@@ -1,0 +1,51 @@
+// §5.7 "Profiling Overheads": Sia with three throughput-model regimes on
+// Helios (Heterogeneous):
+//   Oracle    -- ground-truth models for every configuration (impractical
+//                upper bound; would cost 1-10 GPU-hours of profiling/job),
+//   Bootstrap -- Sia's default (<0.1 GPU-hours/job: 1-GPU profiles + Eq. 1),
+//   NoProf    -- profile-as-you-go (zero prior information).
+// Expected shape: Bootstrap within ~10% of Oracle and ~30% better than
+// NoProf.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/ascii_chart.h"
+#include "src/cluster/cluster_spec.h"
+#include "src/common/table.h"
+
+using namespace sia;
+using namespace sia::bench;
+
+int main() {
+  std::cout << "=== Bootstrap ablation (Helios, Heterogeneous) ===\n";
+  std::vector<std::pair<std::string, double>> bars;
+  std::vector<PolicySummary> summaries;
+  const auto seeds = SeedsFromEnv({1, 2});
+  for (const auto& [label, mode] :
+       std::vector<std::pair<std::string, ProfilingMode>>{
+           {"oracle", ProfilingMode::kOracle},
+           {"no-prof", ProfilingMode::kNoProfile},
+           {"bootstrap", ProfilingMode::kBootstrap}}) {
+    ScenarioOptions options;
+    options.cluster = MakeHeterogeneousCluster();
+    options.trace_kind = TraceKind::kHelios;
+    options.seeds = seeds;
+    options.profiling_mode = mode;
+    ScenarioResult result = RunScenario("sia", options);
+    result.summary.policy = "sia/" + label;
+    summaries.push_back(result.summary);
+    bars.emplace_back(label, result.summary.avg_jct_hours);
+    std::cout << "  " << label << " done\n";
+  }
+  std::cout << "\n" << RenderSummaryTable(summaries, "Sia throughput-model regimes");
+  std::cout << "\n" << RenderBarChart("avg JCT (hours)", bars);
+  const double oracle = summaries[0].avg_jct_hours;
+  const double noprof = summaries[1].avg_jct_hours;
+  const double bootstrap = summaries[2].avg_jct_hours;
+  std::cout << "bootstrap vs oracle: +" << Table::Num(100.0 * (bootstrap / oracle - 1.0), 1)
+            << "%   bootstrap vs no-prof: " << Table::Num(100.0 * (1.0 - bootstrap / noprof), 1)
+            << "% better\n";
+  std::cout << "\nPaper shape check: Bootstrap ~8% worse than Oracle, ~30% better than\n"
+               "NoProf, at ~0.1 GPU-hours of profiling per job.\n";
+  return 0;
+}

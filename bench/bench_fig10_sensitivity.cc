@@ -1,0 +1,82 @@
+// Figure 10 / §5.7: Sia parameter sensitivity on Helios (Heterogeneous):
+//  (left)  fairness power p swept over [-1, 1]: avg JCT, p99 JCT, makespan
+//          normalized to the p = -0.5 default;
+//  (right) scheduling-round duration swept over 30-300 s: avg JCT.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/common/ascii_chart.h"
+#include "src/common/table.h"
+#include "src/cluster/cluster_spec.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+
+using namespace sia;
+using namespace sia::bench;
+
+namespace {
+
+SimResult RunSiaWith(const SiaOptions& sia_options, uint64_t seed) {
+  TraceOptions trace;
+  trace.kind = TraceKind::kHelios;
+  trace.seed = seed;
+  const auto jobs = GenerateTrace(trace);
+  SiaScheduler scheduler(sia_options);
+  SimOptions sim;
+  sim.seed = seed;
+  ClusterSimulator simulator(MakeHeterogeneousCluster(), jobs, &scheduler, sim);
+  return simulator.Run();
+}
+
+}  // namespace
+
+int main() {
+  const auto seeds = SeedsFromEnv({1});
+  const uint64_t seed = seeds[0];
+  std::cout << "=== Figure 10: Sia parameter sensitivity (Helios, Heterogeneous) ===\n";
+
+  // --- fairness power p ---
+  const std::vector<double> powers = {-1.0, -0.5, -0.25, 0.25, 0.5, 1.0};
+  std::vector<SimResult> results;
+  for (double p : powers) {
+    SiaOptions options;
+    options.fairness_power = p;
+    results.push_back(RunSiaWith(options, seed));
+    std::cout << "  p=" << p << " done\n";
+  }
+  // Normalize to the default p = -0.5 (index 1).
+  const SimResult& base = results[1];
+  Table table({"p", "avg JCT (norm)", "p99 JCT (norm)", "makespan (norm)"});
+  for (size_t k = 0; k < powers.size(); ++k) {
+    table.AddRow({Table::Num(powers[k], 2),
+                  Table::Num(results[k].AvgJctHours() / base.AvgJctHours(), 2),
+                  Table::Num(results[k].P99JctHours() / base.P99JctHours(), 2),
+                  Table::Num(results[k].MakespanHours() / base.MakespanHours(), 2)});
+  }
+  std::cout << "\n" << table.Render();
+
+  // --- scheduling round duration ---
+  const std::vector<double> rounds = {30.0, 60.0, 120.0, 180.0, 300.0};
+  Table round_table({"round (s)", "avg JCT (h)", "restarts/job"});
+  AsciiChart chart(56, 12);
+  chart.SetTitle("avg JCT (h) vs scheduling round duration (s)");
+  chart.SetXLabel("round (s)");
+  chart.SetYLabel("avg JCT (h)");
+  Series series{"sia", {}};
+  for (double round : rounds) {
+    SiaOptions options;
+    options.round_duration_seconds = round;
+    const SimResult result = RunSiaWith(options, seed);
+    round_table.AddRow({Table::Num(round, 0), Table::Num(result.AvgJctHours(), 2),
+                        Table::Num(result.AvgRestarts(), 1)});
+    series.points.emplace_back(round, result.AvgJctHours());
+    std::cout << "  round=" << round << "s done\n";
+  }
+  chart.AddSeries(std::move(series));
+  std::cout << "\n" << round_table.Render() << "\n" << chart.Render();
+  std::cout << "Paper shape check: p99 JCT falls as p -> 1 at the cost of avg JCT;\n"
+               "metrics vary only mildly across p in [-1, 1] (robustness). 60 s rounds\n"
+               "are near-best; 300 s rounds cost ~10% avg JCT; 30 s rounds add restarts.\n";
+  return 0;
+}

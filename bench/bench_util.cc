@@ -1,0 +1,96 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/schedulers/allox/allox_scheduler.h"
+#include "src/schedulers/baselines/priority_schedulers.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+
+namespace sia::bench {
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "sia") {
+    return std::make_unique<SiaScheduler>();
+  }
+  if (name == "pollux") {
+    return std::make_unique<PolluxScheduler>();
+  }
+  if (name == "gavel") {
+    return std::make_unique<GavelScheduler>();
+  }
+  if (name == "allox") {
+    return std::make_unique<AlloxScheduler>();
+  }
+  if (name == "shockwave") {
+    return std::make_unique<PriorityScheduler>(ShockwaveOptions());
+  }
+  if (name == "themis") {
+    return std::make_unique<PriorityScheduler>(ThemisOptions());
+  }
+  if (name == "fifo") {
+    return std::make_unique<PriorityScheduler>(FifoOptions());
+  }
+  if (name == "srtf") {
+    return std::make_unique<PriorityScheduler>(SrtfOptions());
+  }
+  SIA_CHECK(false) << "unknown scheduler " << name;
+  return nullptr;
+}
+
+bool IsRigidPolicy(const std::string& name) {
+  return name == "gavel" || name == "allox" || name == "shockwave" || name == "themis" ||
+         name == "fifo" || name == "srtf";
+}
+
+ScenarioResult RunScenario(const std::string& scheduler_name, const ScenarioOptions& options) {
+  ScenarioResult result;
+  const bool rigid = IsRigidPolicy(scheduler_name);
+  for (uint64_t seed : options.seeds) {
+    TraceOptions trace;
+    trace.kind = options.trace_kind;
+    trace.arrival_rate_per_hour = options.arrival_rate_per_hour;
+    trace.duration_hours = options.duration_hours;
+    trace.seed = seed;
+    std::vector<JobSpec> jobs = GenerateTrace(trace);
+    if (options.transform) {
+      jobs = options.transform(std::move(jobs));
+    }
+    if (rigid && options.tuned_max_gpus > 0) {
+      TunedJobsOptions tuned;
+      tuned.max_gpus = options.tuned_max_gpus;
+      tuned.seed = seed;
+      jobs = MakeTunedJobs(jobs, tuned);
+    }
+    auto scheduler = MakeScheduler(scheduler_name);
+    SimOptions sim;
+    sim.seed = seed;
+    sim.profiling_mode = options.profiling_mode;
+    sim.max_hours = options.max_sim_hours;
+    sim.record_timeline = options.record_timeline;
+    ClusterSimulator simulator(options.cluster, jobs, scheduler.get(), sim);
+    result.runs.push_back(simulator.Run());
+  }
+  const std::string label = rigid ? scheduler_name + "+TJ" : scheduler_name;
+  result.summary = Summarize(label, result.runs);
+  return result;
+}
+
+std::vector<uint64_t> SeedsFromEnv(std::vector<uint64_t> defaults) {
+  const char* env = std::getenv("SIA_BENCH_SEEDS");
+  if (env == nullptr || *env == '\0') {
+    return defaults;
+  }
+  std::vector<uint64_t> seeds;
+  std::stringstream stream(env);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
+  }
+  return seeds.empty() ? defaults : seeds;
+}
+
+}  // namespace sia::bench

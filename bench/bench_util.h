@@ -1,0 +1,58 @@
+// Shared helpers for the experiment harness: scheduler factories, scenario
+// runners, and trace sampling used by the per-table/figure bench binaries.
+#ifndef SIA_BENCH_BENCH_UTIL_H_
+#define SIA_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/metrics/report.h"
+#include "src/schedulers/scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia::bench {
+
+// Named scheduler factory: "sia", "pollux", "gavel", "shockwave", "themis",
+// "fifo", "srtf". Aborts on unknown names.
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name);
+
+struct ScenarioOptions {
+  ClusterSpec cluster;
+  TraceKind trace_kind = TraceKind::kPhilly;
+  double arrival_rate_per_hour = 20.0;
+  double duration_hours = 0.0;  // 0 = trace default.
+  std::vector<uint64_t> seeds = {1};
+  ProfilingMode profiling_mode = ProfilingMode::kBootstrap;
+  // Rigid baselines receive TunedJobs with this GPU cap (0 = adaptive jobs).
+  int tuned_max_gpus = 16;
+  double max_sim_hours = 21.0 * 24.0;
+  bool record_timeline = false;
+  // Optional transformation applied to each sampled trace (e.g. adaptivity
+  // restrictions for Fig. 11).
+  std::function<std::vector<JobSpec>(std::vector<JobSpec>)> transform;
+};
+
+struct ScenarioResult {
+  PolicySummary summary;
+  std::vector<SimResult> runs;  // One per seed.
+};
+
+// Runs `scheduler_name` over all seeds of the scenario. Policies that cannot
+// adapt jobs ("gavel", "shockwave", "themis", "fifo", "srtf") automatically
+// receive TunedJobs (§4.3) and get "+TJ" appended to their summary label.
+ScenarioResult RunScenario(const std::string& scheduler_name, const ScenarioOptions& options);
+
+// True for policies that require rigid TunedJobs.
+bool IsRigidPolicy(const std::string& name);
+
+// Reads env var SIA_BENCH_SEEDS (comma list) to override seeds, enabling
+// quick smoke runs (SIA_BENCH_SEEDS=1) vs full sweeps.
+std::vector<uint64_t> SeedsFromEnv(std::vector<uint64_t> defaults);
+
+}  // namespace sia::bench
+
+#endif  // SIA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Capacity-planning example: a cluster operator compares candidate
+// expansions of an existing cluster -- more cheap t4 nodes vs fewer a100
+// nodes at similar cost -- by replaying the same workload under Sia and
+// comparing JCT, makespan, and utilization.
+//
+// This exercises the library as an operator would: build candidate
+// ClusterSpecs, replay one trace, read the metrics.
+#include <iostream>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/table.h"
+#include "src/metrics/report.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace {
+
+sia::ClusterSpec BaseCluster() {
+  sia::ClusterSpec cluster;
+  const int t4 = cluster.AddGpuType({"t4", 16.0, 50.0});
+  const int rtx = cluster.AddGpuType({"rtx", 11.0, 50.0});
+  cluster.AddNodes(t4, 6, 4);
+  cluster.AddNodes(rtx, 3, 8);
+  return cluster;
+}
+
+}  // namespace
+
+int main() {
+  // Candidate expansions at roughly equal hardware cost:
+  //   A) +6 t4 nodes (24 cheap GPUs)
+  //   B) +1 a100 node (8 premium GPUs)
+  sia::ClusterSpec option_a = BaseCluster();
+  option_a.AddNodes(option_a.FindGpuType("t4"), 6, 4);
+
+  sia::ClusterSpec option_b = BaseCluster();
+  const int a100 = option_b.AddGpuType({"a100", 40.0, 1600.0});
+  option_b.AddNodes(a100, 1, 8);
+
+  sia::TraceOptions trace;
+  trace.kind = sia::TraceKind::kHelios;
+  trace.seed = 3;
+  trace.duration_hours = 4.0;
+  const auto jobs = sia::GenerateTrace(trace);
+  std::cout << "replaying " << jobs.size() << " Helios-like jobs on each candidate cluster\n\n";
+
+  std::vector<sia::PolicySummary> summaries;
+  std::vector<double> utilizations;
+  auto evaluate = [&](const sia::ClusterSpec& cluster, const std::string& label) {
+    sia::SiaScheduler scheduler;
+    sia::SimOptions options;
+    options.seed = 3;
+    sia::ClusterSimulator simulator(cluster, jobs, &scheduler, options);
+    const sia::SimResult result = simulator.Run();
+    sia::PolicySummary summary = sia::Summarize(label, {result});
+    summaries.push_back(summary);
+    utilizations.push_back(result.gpu_utilization);
+  };
+  evaluate(BaseCluster(), "base (48 GPUs)");
+  evaluate(option_a, "A: +24 t4 (72 GPUs)");
+  evaluate(option_b, "B: +8 a100 (56 GPUs)");
+
+  std::cout << sia::RenderSummaryTable(summaries, "Expansion candidates under Sia");
+  std::cout << "\nGPU utilization: ";
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    std::cout << summaries[i].policy << " " << sia::Table::Num(100.0 * utilizations[i], 0)
+              << "%  ";
+  }
+  std::cout << "\n\nWith a heterogeneity-aware scheduler, the premium-GPU option often wins\n"
+               "despite adding fewer GPUs: Sia routes the models that exploit the a100s\n"
+               "(BERT-class) onto them and leaves commodity GPUs for the rest.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Extensibility example: writing a custom scheduling policy against the
+// public Scheduler interface and running it head-to-head with Sia.
+//
+// The demo policy is "greedy best-fit": each round, jobs are ranked by their
+// best estimated goodput-per-GPU and greedily given their favourite
+// configuration while capacity lasts -- simple, adaptive, but fairness- and
+// restart-blind. Comparing it against Sia shows what the ILP + restart
+// factor + fairness power buy.
+#include <iostream>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/metrics/report.h"
+#include "src/schedulers/scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace {
+
+class GreedyBestFitScheduler : public sia::Scheduler {
+ public:
+  std::string name() const override { return "greedy-best-fit"; }
+  double round_duration_seconds() const override { return 60.0; }
+
+  sia::ScheduleOutput Schedule(const sia::ScheduleInput& input) override {
+    struct Choice {
+      int job_index;
+      sia::Config config;
+      double goodput_per_gpu;
+    };
+    std::vector<Choice> choices;
+    for (size_t i = 0; i < input.jobs.size(); ++i) {
+      const sia::JobView& job = input.jobs[i];
+      sia::Config best_config;
+      double best_rate = 0.0;
+      for (const sia::Config& config : *input.config_set) {
+        const int min_gpus = job.estimator->MinGpus(config.gpu_type);
+        if (min_gpus <= 0 || config.num_gpus % min_gpus != 0 ||
+            config.num_gpus > job.spec->max_num_gpus) {
+          continue;
+        }
+        const auto decision =
+            job.estimator->Estimate(config, job.spec->adaptivity, job.spec->fixed_bsz);
+        if (!decision.feasible) {
+          continue;
+        }
+        const double rate = decision.goodput / config.num_gpus;
+        if (rate > best_rate) {
+          best_rate = rate;
+          best_config = config;
+        }
+      }
+      if (best_rate > 0.0) {
+        choices.push_back({static_cast<int>(i), best_config, best_rate});
+      }
+    }
+    std::stable_sort(choices.begin(), choices.end(), [](const Choice& a, const Choice& b) {
+      return a.goodput_per_gpu > b.goodput_per_gpu;
+    });
+    std::vector<int> free_gpus(input.cluster->num_gpu_types());
+    for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
+      free_gpus[t] = input.cluster->TotalGpus(t);
+    }
+    sia::ScheduleOutput output;
+    for (const Choice& choice : choices) {
+      if (free_gpus[choice.config.gpu_type] < choice.config.num_gpus) {
+        continue;
+      }
+      free_gpus[choice.config.gpu_type] -= choice.config.num_gpus;
+      output[input.jobs[choice.job_index].spec->id] = choice.config;
+    }
+    return output;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const sia::ClusterSpec cluster = sia::MakeHeterogeneousCluster();
+  sia::TraceOptions trace;
+  trace.kind = sia::TraceKind::kPhilly;
+  trace.seed = 5;
+  trace.duration_hours = 3.0;
+  const auto jobs = sia::GenerateTrace(trace);
+  std::cout << "workload: " << jobs.size() << " jobs over 3 h\n\n";
+
+  std::vector<sia::PolicySummary> summaries;
+  {
+    GreedyBestFitScheduler greedy;
+    sia::ClusterSimulator simulator(cluster, jobs, &greedy, {});
+    summaries.push_back(sia::Summarize(greedy.name(), {simulator.Run()}));
+  }
+  {
+    sia::SiaScheduler scheduler;
+    sia::ClusterSimulator simulator(cluster, jobs, &scheduler, {});
+    summaries.push_back(sia::Summarize(scheduler.name(), {simulator.Run()}));
+  }
+  std::cout << sia::RenderSummaryTable(summaries, "Custom policy vs Sia (Heterogeneous)");
+  std::cout << "\nNote how maximizing goodput-per-GPU pins every job at its most\n"
+               "\"efficient\" (tiny) configuration, leaving GPUs idle and JCTs high --\n"
+               "Sia's normalized-goodput ILP scales jobs out whenever that helps.\n";
+  return 0;
+}

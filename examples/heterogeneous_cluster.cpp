@@ -1,0 +1,57 @@
+// Head-to-head comparison of Sia, Pollux, and Gavel+TunedJobs on the
+// Heterogeneous setting (the scenario of Table 3), on one sampled trace.
+//
+//   ./build/examples/heterogeneous_cluster [trace: philly|helios] [seed]
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/metrics/report.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+int main(int argc, char** argv) {
+  const bool helios = argc > 1 && std::strcmp(argv[1], "helios") == 0;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const sia::ClusterSpec cluster = sia::MakeHeterogeneousCluster();
+  sia::TraceOptions trace;
+  trace.kind = helios ? sia::TraceKind::kHelios : sia::TraceKind::kPhilly;
+  trace.seed = seed;
+  const auto jobs = sia::GenerateTrace(trace);
+  std::cout << "trace: " << ToString(trace.kind) << ", " << jobs.size() << " jobs over 8 h\n";
+
+  // Gavel cannot adapt jobs, so it receives hand-tuned rigid configs (§4.3).
+  sia::TunedJobsOptions tuned_options;
+  tuned_options.max_gpus = 16;
+  tuned_options.seed = seed;
+  const auto tuned_jobs = sia::MakeTunedJobs(jobs, tuned_options);
+
+  std::vector<sia::PolicySummary> summaries;
+  auto run = [&](sia::Scheduler& scheduler, const std::vector<sia::JobSpec>& workload,
+                 const std::string& label) {
+    sia::SimOptions options;
+    options.seed = seed;
+    sia::ClusterSimulator simulator(cluster, workload, &scheduler, options);
+    const sia::SimResult result = simulator.Run();
+    summaries.push_back(sia::Summarize(label, {result}));
+    std::cout << "  " << label << ": done (median policy runtime "
+              << result.MedianPolicyRuntime() * 1000.0 << " ms)\n";
+  };
+
+  sia::SiaScheduler sia_scheduler;
+  run(sia_scheduler, jobs, "sia");
+  sia::PolluxScheduler pollux;
+  run(pollux, jobs, "pollux");
+  sia::GavelScheduler gavel;
+  run(gavel, tuned_jobs, "gavel+TJ");
+
+  std::cout << "\n"
+            << sia::RenderSummaryTable(summaries,
+                                       "Heterogeneous 64-GPU cluster (one trace sample)");
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "src/cluster/cluster_spec.h"
+
+#include "src/common/check.h"
+
+namespace sia {
+
+int ClusterSpec::AddGpuType(GpuType type) {
+  types_.push_back(std::move(type));
+  return num_gpu_types() - 1;
+}
+
+void ClusterSpec::AddNodes(int gpu_type, int count, int gpus_per_node) {
+  SIA_CHECK(gpu_type >= 0 && gpu_type < num_gpu_types());
+  SIA_CHECK(count > 0 && gpus_per_node > 0);
+  for (int i = 0; i < count; ++i) {
+    nodes_.push_back({gpu_type, gpus_per_node});
+  }
+}
+
+int ClusterSpec::TotalGpus(int gpu_type) const {
+  int total = 0;
+  for (const auto& node : nodes_) {
+    if (node.gpu_type == gpu_type) {
+      total += node.num_gpus;
+    }
+  }
+  return total;
+}
+
+int ClusterSpec::TotalGpus() const {
+  int total = 0;
+  for (const auto& node : nodes_) {
+    total += node.num_gpus;
+  }
+  return total;
+}
+
+int ClusterSpec::NumNodes(int gpu_type) const {
+  int count = 0;
+  for (const auto& node : nodes_) {
+    if (node.gpu_type == gpu_type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int ClusterSpec::GpusPerNode(int gpu_type) const {
+  int per_node = -1;
+  for (const auto& node : nodes_) {
+    if (node.gpu_type != gpu_type) {
+      continue;
+    }
+    if (per_node < 0) {
+      per_node = node.num_gpus;
+    } else {
+      SIA_CHECK(per_node == node.num_gpus)
+          << "non-uniform node sizes for GPU type " << types_[gpu_type].name;
+    }
+  }
+  SIA_CHECK(per_node > 0) << "no nodes of GPU type index " << gpu_type;
+  return per_node;
+}
+
+int ClusterSpec::FindGpuType(const std::string& name) const {
+  for (int i = 0; i < num_gpu_types(); ++i) {
+    if (types_[i].name == name) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+ClusterSpec MakePhysicalCluster() {
+  ClusterSpec cluster;
+  const int rtx = cluster.AddGpuType({"rtx", 11.0, 50.0});
+  const int quad = cluster.AddGpuType({"quad", 24.0, 200.0});
+  const int a100 = cluster.AddGpuType({"a100", 40.0, 1600.0});
+  cluster.AddNodes(rtx, 3, 8);
+  cluster.AddNodes(quad, 1, 4);
+  cluster.AddNodes(a100, 2, 8);
+  return cluster;
+}
+
+ClusterSpec MakeHomogeneousCluster() {
+  ClusterSpec cluster;
+  const int t4 = cluster.AddGpuType({"t4", 16.0, 50.0});
+  cluster.AddNodes(t4, 16, 4);
+  return cluster;
+}
+
+ClusterSpec MakeHeterogeneousCluster(int scale) {
+  SIA_CHECK(scale >= 1);
+  ClusterSpec cluster;
+  const int t4 = cluster.AddGpuType({"t4", 16.0, 50.0});
+  const int rtx = cluster.AddGpuType({"rtx", 11.0, 50.0});
+  const int a100 = cluster.AddGpuType({"a100", 40.0, 1600.0});
+  cluster.AddNodes(t4, 6 * scale, 4);
+  cluster.AddNodes(rtx, 3 * scale, 8);
+  cluster.AddNodes(a100, 2 * scale, 8);
+  return cluster;
+}
+
+}  // namespace sia

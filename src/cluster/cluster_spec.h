@@ -1,0 +1,77 @@
+// Cluster description: GPU types and nodes.
+//
+// Matches the hardware matrix of the paper's §4.2: t4 (4-GPU cloud nodes),
+// rtx (8x RTX 2080Ti), a100 (8x A100 DGX), quad (4x Quadro RTX 6000),
+// plus factories for the three evaluated settings (Physical, Homogeneous,
+// Heterogeneous) and scaled variants for the Fig. 9 scalability sweep.
+#ifndef SIA_SRC_CLUSTER_CLUSTER_SPEC_H_
+#define SIA_SRC_CLUSTER_CLUSTER_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace sia {
+
+// Static description of one GPU type present in the cluster.
+struct GpuType {
+  std::string name;
+  double vram_gb = 16.0;
+  // Aggregate inter-node network bandwidth in Gb/s (drives sync-time ground
+  // truth; e.g. a100 nodes have 1.6 Tb/s Infiniband).
+  double network_gbps = 50.0;
+};
+
+// A physical node: homogeneous GPUs of one type.
+struct NodeSpec {
+  int gpu_type = 0;  // Index into ClusterSpec::types.
+  int num_gpus = 0;
+};
+
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+
+  // Returns the index of the new type.
+  int AddGpuType(GpuType type);
+  // Adds `count` nodes with `gpus_per_node` GPUs of `gpu_type` each.
+  void AddNodes(int gpu_type, int count, int gpus_per_node);
+
+  int num_gpu_types() const { return static_cast<int>(types_.size()); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const GpuType& gpu_type(int index) const { return types_[index]; }
+  const NodeSpec& node(int index) const { return nodes_[index]; }
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+
+  // Total GPUs of the given type.
+  int TotalGpus(int gpu_type) const;
+  // Total GPUs across all types.
+  int TotalGpus() const;
+  // Number of nodes of the given type.
+  int NumNodes(int gpu_type) const;
+  // GPUs per node for the given type. Requires all nodes of the type to be
+  // uniform (the standard clusters are; virtual-node decomposition in
+  // BuildConfigSet handles the general case).
+  int GpusPerNode(int gpu_type) const;
+  // Looks up a type index by name; -1 if absent.
+  int FindGpuType(const std::string& name) const;
+
+ private:
+  std::vector<GpuType> types_;
+  std::vector<NodeSpec> nodes_;
+};
+
+// --- standard clusters from the paper (§4.2 / §4.3) ---
+
+// Physical testbed: 3 rtx (8 GPU) + 1 quad (4 GPU) + 2 a100 (8 GPU) = 44 GPUs.
+ClusterSpec MakePhysicalCluster();
+
+// Homogeneous: 16 t4 nodes x 4 GPUs = 64 GPUs.
+ClusterSpec MakeHomogeneousCluster();
+
+// Heterogeneous: 6 t4 + 3 rtx + 2 a100 nodes = 64 GPUs. `scale` multiplies
+// the node counts (scale=32 gives the 2048-GPU setting of Fig. 9).
+ClusterSpec MakeHeterogeneousCluster(int scale = 1);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_CLUSTER_CLUSTER_SPEC_H_

@@ -1,0 +1,66 @@
+#include "src/cluster/configuration.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+std::string Config::ToString(const ClusterSpec& cluster) const {
+  std::ostringstream out;
+  out << "(" << num_nodes << ", " << num_gpus << ", " << cluster.gpu_type(gpu_type).name << ")";
+  return out.str();
+}
+
+std::vector<Config> BuildConfigSet(const ClusterSpec& cluster) {
+  std::vector<Config> configs;
+  for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+    const int num_nodes = cluster.NumNodes(t);
+    if (num_nodes == 0) {
+      continue;
+    }
+    const int per_node = cluster.GpusPerNode(t);
+
+    // Single-node set: powers of two up to the node size. A non-power-of-2
+    // node decomposes into power-of-2 virtual nodes, so the largest
+    // single-node allocation is the largest power of two <= per_node.
+    int largest_pow2 = 1;
+    while (largest_pow2 * 2 <= per_node) {
+      largest_pow2 *= 2;
+    }
+    for (int g = 1; g <= largest_pow2; g *= 2) {
+      configs.push_back({1, g, t});
+    }
+    if (per_node != largest_pow2) {
+      // Whole-(physical)-node allocation is still available (e.g. R=6 packs
+      // as virtual 4+2); expose it as a single-node config.
+      configs.push_back({1, per_node, t});
+    }
+
+    // Multi-node set: whole nodes only.
+    for (int n = 2; n <= num_nodes; ++n) {
+      configs.push_back({n, n * per_node, t});
+    }
+  }
+  return configs;
+}
+
+std::vector<Config> FilterConfigsForJob(const std::vector<Config>& configs, int min_gpus,
+                                        int max_gpus) {
+  SIA_CHECK(min_gpus >= 1);
+  SIA_CHECK(max_gpus >= min_gpus);
+  std::vector<Config> out;
+  for (const Config& config : configs) {
+    if (config.num_gpus < min_gpus || config.num_gpus > max_gpus) {
+      continue;
+    }
+    if (config.num_gpus % min_gpus != 0) {
+      continue;
+    }
+    out.push_back(config);
+  }
+  return out;
+}
+
+}  // namespace sia

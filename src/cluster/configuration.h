@@ -1,0 +1,51 @@
+// Sia configurations (§3.3): resource bundles (n, m, t) meaning m GPUs of
+// type t spread over n nodes. The valid set per GPU type is
+//   single-node: {(1, 2^0, t), (1, 2^1, t), ..., (1, R, t)}
+//   multi-node:  {(2, 2R, t), (3, 3R, t), ..., (N, N*R, t)}
+// which guarantees placeability whenever per-type GPU capacity holds
+// (power-of-2 items pack perfectly into power-of-2 bins; whole-node
+// allocations take dedicated nodes).
+#ifndef SIA_SRC_CLUSTER_CONFIGURATION_H_
+#define SIA_SRC_CLUSTER_CONFIGURATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+
+namespace sia {
+
+struct Config {
+  int num_nodes = 0;
+  int num_gpus = 0;
+  int gpu_type = 0;
+  // Pollux-style placement: GPUs may be scattered across partially-free
+  // nodes (no dedicated-whole-node rule). Sia's own configurations never
+  // set this; it exists so baseline policies with 1-GPU-granular
+  // allocations can be simulated faithfully.
+  bool scatter = false;
+
+  bool operator==(const Config& other) const = default;
+
+  // True when the allocation spans more than one node (whole-node rule).
+  bool is_distributed() const { return num_nodes > 1; }
+
+  std::string ToString(const ClusterSpec& cluster) const;
+};
+
+// Builds the valid configuration set for `cluster`. Node GPU counts that are
+// not powers of two are decomposed into power-of-two virtual nodes for the
+// single-node set (per §3.3), and the multi-node set uses the per-type
+// uniform node size.
+std::vector<Config> BuildConfigSet(const ClusterSpec& cluster);
+
+// Returns the subset of `configs` usable by a job that requires at least
+// `min_gpus` (replica granularity) and at most `max_gpus` GPUs, restricted
+// to GPU counts that are multiples of `min_gpus` (hybrid-parallel jobs scale
+// in whole replicas; min_gpus == 1 for data-parallel jobs).
+std::vector<Config> FilterConfigsForJob(const std::vector<Config>& configs, int min_gpus,
+                                        int max_gpus);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_CLUSTER_CONFIGURATION_H_

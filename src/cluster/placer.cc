@@ -1,0 +1,273 @@
+#include "src/cluster/placer.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace sia {
+namespace {
+
+struct NodeState {
+  int gpu_type;
+  int capacity;
+  int free;
+};
+
+// Splits a single-node GPU count into per-virtual-node power-of-2 chunks if
+// it exceeds any single free slot; for uniform power-of-2 nodes this is the
+// identity. Here we only need to know the count fits one node.
+bool TryPlaceSingleNode(std::vector<NodeState>& nodes, int gpu_type, int need, int preferred_node,
+                        Placement& out) {
+  // Prefer the job's previous node to avoid migration.
+  int chosen = -1;
+  if (preferred_node >= 0 && nodes[preferred_node].gpu_type == gpu_type &&
+      nodes[preferred_node].free >= need) {
+    chosen = preferred_node;
+  } else {
+    // Best fit: smallest free count that still fits, to limit fragmentation.
+    int best_free = 0;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+      if (nodes[i].gpu_type != gpu_type || nodes[i].free < need) {
+        continue;
+      }
+      if (chosen < 0 || nodes[i].free < best_free) {
+        chosen = i;
+        best_free = nodes[i].free;
+      }
+    }
+  }
+  if (chosen < 0) {
+    return false;
+  }
+  nodes[chosen].free -= need;
+  out.node_ids = {chosen};
+  out.gpus_per_node = {need};
+  return true;
+}
+
+bool TryPlaceMultiNode(std::vector<NodeState>& nodes, int gpu_type, int num_nodes, int total_gpus,
+                       const std::vector<int>& preferred_nodes, Placement& out) {
+  // Per-node demands: as even as possible (Sia's whole-node configurations
+  // are exactly divisible; Pollux-style arbitrary counts get a floor/ceil
+  // split). Distributed jobs still take *dedicated* whole nodes.
+  const int base = total_gpus / num_nodes;
+  const int extra = total_gpus % num_nodes;
+  const int max_demand = base + (extra > 0 ? 1 : 0);
+
+  std::vector<int> chosen;
+  // First pass: fully-free preferred nodes.
+  for (int node : preferred_nodes) {
+    if (static_cast<int>(chosen.size()) == num_nodes) {
+      break;
+    }
+    if (node >= 0 && node < static_cast<int>(nodes.size()) && nodes[node].gpu_type == gpu_type &&
+        nodes[node].free == nodes[node].capacity && nodes[node].capacity >= max_demand) {
+      if (std::find(chosen.begin(), chosen.end(), node) == chosen.end()) {
+        chosen.push_back(node);
+      }
+    }
+  }
+  // Second pass: any fully-free node of the type.
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    if (static_cast<int>(chosen.size()) == num_nodes) {
+      break;
+    }
+    if (nodes[i].gpu_type == gpu_type && nodes[i].free == nodes[i].capacity &&
+        nodes[i].capacity >= max_demand &&
+        std::find(chosen.begin(), chosen.end(), i) == chosen.end()) {
+      chosen.push_back(i);
+    }
+  }
+  if (static_cast<int>(chosen.size()) < num_nodes) {
+    return false;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  out.node_ids = chosen;
+  out.gpus_per_node.resize(chosen.size());
+  for (int k = 0; k < num_nodes; ++k) {
+    const int demand = base + (k < extra ? 1 : 0);
+    out.gpus_per_node[k] = demand;
+    nodes[chosen[k]].free -= demand;
+  }
+  return true;
+}
+
+// Scatter placement (Pollux-style): gather `total_gpus` from any nodes of
+// the type with free capacity, preferring previously-used nodes, then nodes
+// with the most free GPUs (fewest fragments).
+bool TryPlaceScatter(std::vector<NodeState>& nodes, int gpu_type, int total_gpus,
+                     const std::vector<int>& preferred_nodes, Placement& out) {
+  std::vector<int> order;
+  for (int node : preferred_nodes) {
+    if (node >= 0 && node < static_cast<int>(nodes.size()) && nodes[node].gpu_type == gpu_type &&
+        std::find(order.begin(), order.end(), node) == order.end()) {
+      order.push_back(node);
+    }
+  }
+  std::vector<int> rest;
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    if (nodes[i].gpu_type == gpu_type &&
+        std::find(order.begin(), order.end(), i) == order.end()) {
+      rest.push_back(i);
+    }
+  }
+  std::stable_sort(rest.begin(), rest.end(),
+                   [&nodes](int a, int b) { return nodes[a].free > nodes[b].free; });
+  order.insert(order.end(), rest.begin(), rest.end());
+
+  int remaining = total_gpus;
+  std::vector<std::pair<int, int>> takes;
+  for (int node : order) {
+    if (remaining == 0) {
+      break;
+    }
+    const int take = std::min(nodes[node].free, remaining);
+    if (take > 0) {
+      takes.emplace_back(node, take);
+      remaining -= take;
+    }
+  }
+  if (remaining > 0) {
+    return false;
+  }
+  std::sort(takes.begin(), takes.end());
+  for (const auto& [node, take] : takes) {
+    nodes[node].free -= take;
+    out.node_ids.push_back(node);
+    out.gpus_per_node.push_back(take);
+  }
+  return true;
+}
+
+}  // namespace
+
+PlacerResult PlaceJobs(const ClusterSpec& cluster, const std::map<JobId, Config>& desired,
+                       const std::map<JobId, Placement>& previous) {
+  PlacerResult result;
+  std::vector<NodeState> nodes;
+  nodes.reserve(cluster.num_nodes());
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    const NodeSpec& spec = cluster.node(i);
+    nodes.push_back({spec.gpu_type, spec.num_gpus, spec.num_gpus});
+  }
+
+  // Partition jobs: unchanged keep their placement; changed are re-placed,
+  // multi-node first (they need whole nodes), then single-node descending.
+  std::vector<JobId> unchanged;
+  std::vector<JobId> changed;
+  for (const auto& [job, config] : desired) {
+    const auto prev_it = previous.find(job);
+    if (prev_it != previous.end() && !prev_it->second.empty() &&
+        prev_it->second.config == config) {
+      unchanged.push_back(job);
+    } else {
+      changed.push_back(job);
+    }
+  }
+
+  for (JobId job : unchanged) {
+    const Placement& prev = previous.at(job);
+    for (size_t k = 0; k < prev.node_ids.size(); ++k) {
+      NodeState& node = nodes[prev.node_ids[k]];
+      SIA_CHECK(node.free >= prev.gpus_per_node[k])
+          << "unchanged placements conflict for job " << job;
+      node.free -= prev.gpus_per_node[k];
+    }
+    result.placements[job] = prev;
+  }
+
+  std::stable_sort(changed.begin(), changed.end(), [&desired](JobId a, JobId b) {
+    const Config& ca = desired.at(a);
+    const Config& cb = desired.at(b);
+    // Rigid shapes first (whole-node multi-node, then single-node FFD);
+    // scatter-capable jobs last -- they can absorb fragments.
+    if (ca.scatter != cb.scatter) {
+      return cb.scatter;
+    }
+    if (ca.is_distributed() != cb.is_distributed()) {
+      return ca.is_distributed();  // Multi-node first.
+    }
+    return ca.num_gpus > cb.num_gpus;  // Then descending size (FFD).
+  });
+
+  std::vector<JobId> failed;
+  for (JobId job : changed) {
+    const Config& config = desired.at(job);
+    Placement placement;
+    placement.config = config;
+    std::vector<int> preferred;
+    const auto prev_it = previous.find(job);
+    if (prev_it != previous.end()) {
+      preferred = prev_it->second.node_ids;
+    }
+    bool placed;
+    if (config.scatter) {
+      placed = TryPlaceScatter(nodes, config.gpu_type, config.num_gpus, preferred, placement);
+    } else if (config.is_distributed()) {
+      placed = TryPlaceMultiNode(nodes, config.gpu_type, config.num_nodes, config.num_gpus,
+                                 preferred, placement);
+    } else {
+      const int preferred_node = preferred.empty() ? -1 : preferred[0];
+      placed =
+          TryPlaceSingleNode(nodes, config.gpu_type, config.num_gpus, preferred_node, placement);
+    }
+    if (placed) {
+      result.placements[job] = std::move(placement);
+    } else {
+      failed.push_back(job);
+    }
+  }
+
+  // Rule (c): fragmentation. Evict the smallest already-placed single-node
+  // jobs of the same GPU type until the failed job fits (or give up and
+  // leave the failed job unallocated this round).
+  for (JobId job : failed) {
+    const Config& config = desired.at(job);
+    bool placed = false;
+    while (!placed) {
+      // Find the smallest placed single-node victim on this GPU type.
+      JobId victim = -1;
+      int victim_size = 0;
+      for (const auto& [other, placement] : result.placements) {
+        if (placement.config.gpu_type != config.gpu_type || placement.config.is_distributed()) {
+          continue;
+        }
+        if (victim < 0 || placement.total_gpus() < victim_size) {
+          victim = other;
+          victim_size = placement.total_gpus();
+        }
+      }
+      if (victim < 0) {
+        break;
+      }
+      const Placement victim_placement = result.placements.at(victim);
+      for (size_t k = 0; k < victim_placement.node_ids.size(); ++k) {
+        nodes[victim_placement.node_ids[k]].free += victim_placement.gpus_per_node[k];
+      }
+      result.placements.erase(victim);
+      result.evicted.push_back(victim);
+      SIA_LOG(Debug) << "placer evicted job " << victim << " to defragment";
+
+      Placement placement;
+      placement.config = config;
+      if (config.scatter) {
+        placed = TryPlaceScatter(nodes, config.gpu_type, config.num_gpus, {}, placement);
+      } else if (config.is_distributed()) {
+        placed = TryPlaceMultiNode(nodes, config.gpu_type, config.num_nodes, config.num_gpus, {},
+                                   placement);
+      } else {
+        placed = TryPlaceSingleNode(nodes, config.gpu_type, config.num_gpus, -1, placement);
+      }
+      if (placed) {
+        result.placements[job] = std::move(placement);
+      }
+    }
+    if (!placed) {
+      result.evicted.push_back(job);
+    }
+  }
+  return result;
+}
+
+}  // namespace sia

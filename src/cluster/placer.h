@@ -1,0 +1,51 @@
+// Placement stage (§3.1): maps per-job configuration decisions to concrete
+// nodes, following Sia's three rules:
+//  (a) partial-node allocations never split across nodes,
+//  (b) whole-node (multi-node) allocations take dedicated whole nodes,
+//  (c) on fragmentation, evict jobs and retry.
+// The placer also minimizes migrations by re-using a job's previous nodes
+// whenever its configuration is unchanged or still fits.
+#ifndef SIA_SRC_CLUSTER_PLACER_H_
+#define SIA_SRC_CLUSTER_PLACER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/configuration.h"
+
+namespace sia {
+
+using JobId = int;
+
+// Concrete resources backing an allocation.
+struct Placement {
+  Config config;
+  std::vector<int> node_ids;
+  std::vector<int> gpus_per_node;  // Parallel to node_ids.
+
+  bool empty() const { return node_ids.empty(); }
+  int total_gpus() const {
+    int total = 0;
+    for (int g : gpus_per_node) {
+      total += g;
+    }
+    return total;
+  }
+};
+
+struct PlacerResult {
+  std::map<JobId, Placement> placements;
+  // Jobs that requested resources but ended the round without any (either
+  // fragmentation victims or unplaceable requests). Rare by construction.
+  std::vector<JobId> evicted;
+};
+
+// Places `desired` configurations onto the cluster. `previous` placements
+// are used to avoid unnecessary migrations. Deterministic.
+PlacerResult PlaceJobs(const ClusterSpec& cluster, const std::map<JobId, Config>& desired,
+                       const std::map<JobId, Placement>& previous);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_CLUSTER_PLACER_H_

@@ -1,0 +1,137 @@
+#include "src/common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace sia {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+std::string FormatTick(double value) {
+  std::ostringstream out;
+  if (std::abs(value) >= 1000.0 || (std::abs(value) < 0.01 && value != 0.0)) {
+    out << std::scientific << std::setprecision(1) << value;
+  } else {
+    out << std::fixed << std::setprecision(2) << value;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string AsciiChart::Render() const {
+  std::ostringstream out;
+  if (!title_.empty()) {
+    out << title_ << "\n";
+  }
+  bool any_points = false;
+  double x_min = 0.0;
+  double x_max = 1.0;
+  double y_min = 0.0;
+  double y_max = 1.0;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      double yy = y;
+      if (log_y_) {
+        SIA_CHECK(y > 0.0) << "log-scale chart requires positive y, got " << y;
+        yy = std::log10(y);
+      }
+      if (!any_points) {
+        x_min = x_max = x;
+        y_min = y_max = yy;
+        any_points = true;
+      } else {
+        x_min = std::min(x_min, x);
+        x_max = std::max(x_max, x);
+        y_min = std::min(y_min, yy);
+        y_max = std::max(y_max, yy);
+      }
+    }
+  }
+  if (!any_points) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  if (x_max == x_min) {
+    x_max = x_min + 1.0;
+  }
+  if (y_max == y_min) {
+    y_max = y_min + 1.0;
+  }
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& [x, y] : series_[si].points) {
+      const double yy = log_y_ ? std::log10(y) : y;
+      int col = static_cast<int>(std::lround((x - x_min) / (x_max - x_min) * (width_ - 1)));
+      int row = static_cast<int>(std::lround((yy - y_min) / (y_max - y_min) * (height_ - 1)));
+      col = std::clamp(col, 0, width_ - 1);
+      row = std::clamp(row, 0, height_ - 1);
+      grid[height_ - 1 - row][col] = glyph;
+    }
+  }
+
+  const std::string y_top = FormatTick(log_y_ ? std::pow(10.0, y_max) : y_max);
+  const std::string y_bot = FormatTick(log_y_ ? std::pow(10.0, y_min) : y_min);
+  const size_t margin = std::max(y_top.size(), y_bot.size()) + 1;
+  for (int r = 0; r < height_; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) {
+      label = y_top + std::string(margin - y_top.size(), ' ');
+    } else if (r == height_ - 1) {
+      label = y_bot + std::string(margin - y_bot.size(), ' ');
+    }
+    out << label << "|" << grid[r] << "\n";
+  }
+  out << std::string(margin, ' ') << "+" << std::string(width_, '-') << "\n";
+  out << std::string(margin + 1, ' ') << FormatTick(x_min)
+      << std::string(std::max<int>(1, width_ - 16), ' ') << FormatTick(x_max) << "\n";
+  if (!x_label_.empty() || !y_label_.empty()) {
+    out << std::string(margin + 1, ' ') << "x: " << x_label_;
+    if (log_y_) {
+      out << "   y(log10): " << y_label_;
+    } else {
+      out << "   y: " << y_label_;
+    }
+    out << "\n";
+  }
+  for (size_t si = 0; si < series_.size(); ++si) {
+    out << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series_[si].name << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderBarChart(const std::string& title,
+                           const std::vector<std::pair<std::string, double>>& bars, int width) {
+  std::ostringstream out;
+  if (!title.empty()) {
+    out << title << "\n";
+  }
+  if (bars.empty()) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  double max_value = 0.0;
+  size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  if (max_value <= 0.0) {
+    max_value = 1.0;
+  }
+  for (const auto& [label, value] : bars) {
+    const int len = static_cast<int>(std::lround(value / max_value * width));
+    out << "  " << label << std::string(label_width - label.size(), ' ') << " |"
+        << std::string(std::max(0, len), '=') << " " << FormatTick(value) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sia

@@ -1,0 +1,52 @@
+// Terminal line/bar chart renderer: the bench harness uses this to print
+// figure-shaped output (series over a swept parameter) next to each table.
+#ifndef SIA_SRC_COMMON_ASCII_CHART_H_
+#define SIA_SRC_COMMON_ASCII_CHART_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sia {
+
+// A named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+// Renders one or more series into a fixed-size character grid with axes and
+// a legend. Each series gets a distinct glyph. Intended for quick visual
+// sanity-checking of experiment shapes, not publication graphics.
+class AsciiChart {
+ public:
+  AsciiChart(int width = 72, int height = 20) : width_(width), height_(height) {}
+
+  void AddSeries(Series series) { series_.push_back(std::move(series)); }
+
+  // When true, the y axis is log10-scaled (all y must be > 0).
+  void SetLogY(bool log_y) { log_y_ = log_y; }
+  void SetTitle(std::string title) { title_ = std::move(title); }
+  void SetXLabel(std::string label) { x_label_ = std::move(label); }
+  void SetYLabel(std::string label) { y_label_ = std::move(label); }
+
+  std::string Render() const;
+
+ private:
+  int width_;
+  int height_;
+  bool log_y_ = false;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+// Renders a horizontal bar chart from (label, value) pairs.
+std::string RenderBarChart(const std::string& title,
+                           const std::vector<std::pair<std::string, double>>& bars,
+                           int width = 50);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_ASCII_CHART_H_

@@ -1,0 +1,65 @@
+// Lightweight assertion macros used throughout the Sia library.
+//
+// SIA_CHECK(cond) aborts with a message when `cond` is false, in all build
+// modes. SIA_DCHECK(cond) compiles out in NDEBUG builds. Both accept a
+// streamed message: SIA_CHECK(x > 0) << "x must be positive, got " << x;
+#ifndef SIA_SRC_COMMON_CHECK_H_
+#define SIA_SRC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sia {
+namespace internal {
+
+// Collects the streamed message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line, const char* condition) {
+    stream_ << kind << " failed: " << condition << " at " << file << ":" << line << ": ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// operator& binds more loosely than operator<<, letting the macros below
+// swallow an arbitrary streamed tail expression and yield void.
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal
+}  // namespace sia
+
+#define SIA_CHECK(condition)            \
+  (condition) ? (void)0                 \
+              : ::sia::internal::Voidify() & ::sia::internal::CheckFailureStream( \
+                    "SIA_CHECK", __FILE__, __LINE__, #condition)
+
+#ifdef NDEBUG
+// Evaluates to a dead branch so the condition and message compile but never run.
+#define SIA_DCHECK(condition)           \
+  true ? (void)0                        \
+       : ::sia::internal::Voidify() & ::sia::internal::CheckFailureStream( \
+             "SIA_DCHECK", __FILE__, __LINE__, #condition)
+#else
+#define SIA_DCHECK(condition)           \
+  (condition) ? (void)0                 \
+              : ::sia::internal::Voidify() & ::sia::internal::CheckFailureStream( \
+                    "SIA_DCHECK", __FILE__, __LINE__, #condition)
+#endif
+
+#endif  // SIA_SRC_COMMON_CHECK_H_

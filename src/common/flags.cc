@@ -1,0 +1,98 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+bool FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      error_ = "bare '--' is not a flag";
+      return false;
+    }
+    // Only --name=value and bare --name (boolean true) are supported;
+    // "--name value" is ambiguous with positional arguments.
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return true;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+double FlagParser::GetDouble(const std::string& name, double default_value) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  SIA_CHECK(end != it->second.c_str() && *end == '\0')
+      << "flag --" << name << " expects a number, got '" << it->second << "'";
+  return value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t default_value) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  SIA_CHECK(end != it->second.c_str() && *end == '\0')
+      << "flag --" << name << " expects an integer, got '" << it->second << "'";
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no") {
+    return false;
+  }
+  SIA_CHECK(false) << "flag --" << name << " expects a boolean, got '" << v << "'";
+  return default_value;
+}
+
+std::vector<std::string> FlagParser::UnknownFlags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.count(name)) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace sia

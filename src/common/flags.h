@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the tools and examples:
+// --name=value, or bare --name for booleans; everything else is positional.
+// Unknown flags are reported. No global state.
+#ifndef SIA_SRC_COMMON_FLAGS_H_
+#define SIA_SRC_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sia {
+
+class FlagParser {
+ public:
+  // Parses argv; returns false (and fills error()) on malformed input.
+  bool Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+  // Typed getters with defaults; abort on unparseable values.
+  std::string GetString(const std::string& name, const std::string& default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  // Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+  // Names seen during Parse but never queried (typo detection); call after
+  // all Get*() calls.
+  std::vector<std::string> UnknownFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_FLAGS_H_

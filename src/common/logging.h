@@ -1,0 +1,64 @@
+// Minimal leveled logging for the Sia library.
+//
+// Usage: SIA_LOG(INFO) << "scheduled " << n << " jobs";
+// The global threshold is controlled with sia::SetLogLevel(); messages below
+// the threshold are not evaluated.
+#ifndef SIA_SRC_COMMON_LOGGING_H_
+#define SIA_SRC_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sia {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Returns the current global log threshold (default: kWarning so library
+// consumers are quiet unless they opt in).
+LogLevel GetLogLevel();
+
+// Sets the global log threshold. Thread-compatible: call before spawning.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace sia
+
+#define SIA_LOG(severity)                                                      \
+  (::sia::LogLevel::k##severity < ::sia::GetLogLevel())                        \
+      ? (void)0                                                               \
+      : ::sia::internal::LogVoidify() &                                       \
+            ::sia::internal::LogMessage(::sia::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // SIA_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,149 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace sia {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// FNV-1a hash over a string, used to key Fork() streams by name.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64Next(sm);
+  }
+}
+
+Rng Rng::Fork(std::string_view name, uint64_t index) const {
+  // Mix the current state (not advanced) with the stream key. Copies of the
+  // same Rng produce identical forks, which keeps experiments reproducible.
+  uint64_t key = state_[0] ^ Rotl(state_[1], 13) ^ Rotl(state_[2], 29) ^ Rotl(state_[3], 47);
+  key ^= HashName(name) + 0x9E3779B97F4A7C15ULL * (index + 1);
+  return Rng(key);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SIA_DCHECK(lo <= hi);
+  // 53 random mantissa bits -> uniform in [0, 1).
+  const double unit = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SIA_CHECK(lo <= hi) << "UniformInt range [" << lo << ", " << hi << "]";
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = (~0ULL) - ((~0ULL) % span);
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+double Rng::Exponential(double rate) {
+  SIA_CHECK(rate > 0.0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+int64_t Rng::Poisson(double mean) {
+  SIA_CHECK(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction.
+    const double draw = Normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<int64_t>(draw + 0.5);
+  }
+  // Knuth's algorithm.
+  const double limit = std::exp(-mean);
+  int64_t count = -1;
+  double product = 1.0;
+  do {
+    ++count;
+    product *= Uniform();
+  } while (product > limit);
+  return count;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return Uniform() < p;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    SIA_DCHECK(w >= 0.0);
+    total += w;
+  }
+  SIA_CHECK(total > 0.0) << "WeightedIndex requires positive total weight";
+  double draw = Uniform(0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace sia

@@ -1,0 +1,88 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return min_; }
+
+double RunningStats::max() const { return max_; }
+
+double Percentile(std::vector<double> values, double q) {
+  SIA_CHECK(!values.empty()) << "Percentile of empty vector";
+  SIA_CHECK(q >= 0.0 && q <= 1.0) << "quantile " << q;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) { return Percentile(std::move(values), 0.5); }
+
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<double, double>> cdf;
+  cdf.reserve(values.size());
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    cdf.emplace_back(values[i], static_cast<double>(i + 1) / n);
+  }
+  return cdf;
+}
+
+double FractionAbove(const std::vector<double>& values, double threshold) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  size_t count = 0;
+  for (double v : values) {
+    if (v > threshold) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace sia

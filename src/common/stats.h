@@ -1,0 +1,50 @@
+// Summary-statistics helpers shared by the simulator, metrics, and benches.
+#ifndef SIA_SRC_COMMON_STATS_H_
+#define SIA_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sia {
+
+// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Returns the q-quantile (q in [0,1]) of `values` using linear interpolation
+// between closest ranks. Copies and sorts internally. Requires non-empty input.
+double Percentile(std::vector<double> values, double q);
+
+// Convenience wrappers.
+double Mean(const std::vector<double>& values);
+double Median(std::vector<double> values);
+
+// Empirical CDF: sorted (value, cumulative fraction) points, one per sample.
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> values);
+
+// Fraction of samples strictly greater than `threshold`.
+double FractionAbove(const std::vector<double>& values, double threshold);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_STATS_H_

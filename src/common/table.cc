@@ -1,0 +1,66 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SIA_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  SIA_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, header has " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_separator = [&widths]() {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_separator();
+  out += render_row(headers_);
+  out += render_separator();
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += render_separator();
+  return out;
+}
+
+std::string Table::Num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace sia

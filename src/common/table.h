@@ -1,0 +1,31 @@
+// ASCII table renderer used by the benchmark harness to print paper-style
+// tables (e.g., Table 3 / Table 4 rows) to stdout.
+#ifndef SIA_SRC_COMMON_TABLE_H_
+#define SIA_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sia {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and +---+ separators.
+  std::string Render() const;
+
+  // Formats a double with the given precision (fixed notation).
+  static std::string Num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_TABLE_H_

@@ -1,0 +1,152 @@
+#include "src/metrics/ftf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/models/goodput.h"
+#include "src/models/profile_db.h"
+
+namespace sia {
+namespace {
+
+// Best ground-truth goodput achievable on an isolated mini-cluster of
+// `num_gpus` GPUs (nodes of `gpus_per_node`) at the given noise scale.
+double BestIsolatedGoodput(const JobSpec& spec, const ModelInfo& info,
+                           const std::string& gpu_type_name, int num_gpus, int gpus_per_node,
+                           double pgns) {
+  double best = 0.0;
+  if (info.hybrid_parallel) {
+    const HybridProfile& hybrid = GetHybridProfile(spec.model, gpu_type_name);
+    if (!hybrid.available) {
+      return 0.0;
+    }
+    const int max_replicas = num_gpus / hybrid.pipeline_gpus;
+    for (int replicas = 1; replicas <= max_replicas; ++replicas) {
+      const auto decision =
+          HybridGoodput(hybrid, info.efficiency, pgns, replicas, info.max_bsz);
+      if (decision.feasible) {
+        best = std::max(best, decision.goodput);
+      }
+    }
+    return best;
+  }
+
+  const DeviceProfile& device = GetDeviceProfile(spec.model, gpu_type_name);
+  if (!device.available) {
+    return 0.0;
+  }
+  // Candidate shapes: powers of two within one node, then whole nodes.
+  std::vector<std::pair<int, int>> shapes;  // (nodes, gpus)
+  for (int g = 1; g <= std::min(num_gpus, gpus_per_node); g *= 2) {
+    shapes.emplace_back(1, g);
+  }
+  for (int n = 2; n * gpus_per_node <= num_gpus; ++n) {
+    shapes.emplace_back(n, n * gpus_per_node);
+  }
+  const int cap = std::min(num_gpus, spec.max_num_gpus);
+  for (const auto& [nodes, gpus] : shapes) {
+    if (gpus > cap) {
+      continue;
+    }
+    BatchDecision decision;
+    if (spec.adaptivity == AdaptivityMode::kAdaptive) {
+      decision = OptimizeBatch(device.truth, info.efficiency, pgns, info.min_bsz, info.max_bsz,
+                               device.max_local_bsz, nodes, gpus);
+    } else {
+      if (spec.adaptivity == AdaptivityMode::kRigid && gpus != spec.rigid_num_gpus) {
+        continue;
+      }
+      decision = EvaluateFixedBatch(device.truth, info.efficiency, pgns, spec.fixed_bsz,
+                                    device.max_local_bsz, nodes, gpus);
+    }
+    if (decision.feasible) {
+      best = std::max(best, decision.goodput);
+    }
+  }
+  if (best == 0.0 && spec.adaptivity == AdaptivityMode::kRigid) {
+    // Rigid job larger than the fair share: run at the fair share size
+    // anyway (the isolated baseline must be able to run the job).
+    const auto decision = EvaluateFixedBatch(device.truth, info.efficiency, pgns, spec.fixed_bsz,
+                                             device.max_local_bsz, 1,
+                                             std::min(num_gpus, gpus_per_node));
+    if (decision.feasible) {
+      best = decision.goodput;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double IsolatedRuntimeSeconds(const JobSpec& spec, const std::string& gpu_type_name, int num_gpus,
+                              int gpus_per_node) {
+  const ModelInfo& info = GetModelInfo(spec.model);
+  double progress = 0.0;
+  // Initial restore, as in the shared cluster.
+  double elapsed = 0.5 * info.restart_seconds;
+  // Integrate with the gradient noise scale evolving over progress.
+  constexpr int kMaxSteps = 100000;
+  for (int step = 0; step < kMaxSteps && progress < info.total_work; ++step) {
+    const double pgns = PgnsAt(info.efficiency, progress / info.total_work);
+    const double rate =
+        BestIsolatedGoodput(spec, info, gpu_type_name, num_gpus, gpus_per_node, pgns);
+    if (rate <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double remaining_time = (info.total_work - progress) / rate;
+    // Re-evaluate the batch choice every 2% of the job or 10 minutes.
+    const double dt = std::min({remaining_time, info.total_work / (50.0 * rate), 600.0});
+    progress += rate * std::max(dt, 1e-6);
+    elapsed += std::max(dt, 1e-6);
+  }
+  return elapsed;
+}
+
+double FinishTimeFairness(const JobSpec& spec, double jct_seconds, double avg_contention,
+                          const ClusterSpec& cluster) {
+  SIA_CHECK(avg_contention > 0.0);
+  double rho = 0.0;
+  double probability_mass = 0.0;
+  const int total_gpus = cluster.TotalGpus();
+  for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+    const int type_gpus = cluster.TotalGpus(t);
+    if (type_gpus == 0) {
+      continue;
+    }
+    const double probability = static_cast<double>(type_gpus) / total_gpus;
+    const int gpus_per_node = cluster.GpusPerNode(t);
+    const int fair_gpus = std::clamp(
+        static_cast<int>(std::lround(type_gpus / avg_contention)), 1, type_gpus);
+    const double isolated =
+        IsolatedRuntimeSeconds(spec, cluster.gpu_type(t).name, fair_gpus, gpus_per_node);
+    if (!std::isfinite(isolated)) {
+      continue;  // Model cannot run on this type: excluded from the mix.
+    }
+    rho += probability * (jct_seconds / isolated);
+    probability_mass += probability;
+  }
+  if (probability_mass <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return rho / probability_mass;
+}
+
+std::vector<double> FtfRatios(const SimResult& result, const ClusterSpec& cluster) {
+  std::vector<double> ratios;
+  ratios.reserve(result.jobs.size());
+  const double contention = std::max(result.avg_contention, 1.0);
+  for (const JobResult& job : result.jobs) {
+    if (!job.finished) {
+      continue;
+    }
+    const double rho = FinishTimeFairness(job.spec, job.jct, contention, cluster);
+    if (std::isfinite(rho)) {
+      ratios.push_back(rho);
+    }
+  }
+  return ratios;
+}
+
+}  // namespace sia

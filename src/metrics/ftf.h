@@ -1,0 +1,38 @@
+// Finish-time fairness (FTF, Mahajan et al. [34]) extended to heterogeneous
+// clusters per §5.5:
+//
+//   rho = sum_g P(G = g) * rho_g,     rho_g = T_shared / T_isolated_g
+//
+// where P(G = g) is the fraction of cluster GPUs of type g and T_isolated_g
+// is the job's completion time alone on a "fair-sized" cluster of
+// N_g / N_avg GPUs of type g (N_avg = average contention). rho > 1 means the
+// job would have finished faster in isolation (unfair execution).
+#ifndef SIA_SRC_METRICS_FTF_H_
+#define SIA_SRC_METRICS_FTF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/sim/simulator.h"
+#include "src/workload/job.h"
+
+namespace sia {
+
+// Completion time of `spec` running alone on `num_gpus` GPUs of the named
+// type (gpus_per_node-sized nodes), with oracle knowledge -- integrates
+// ground-truth goodput as the gradient noise scale evolves. Returns +inf if
+// the model cannot run on this GPU type.
+double IsolatedRuntimeSeconds(const JobSpec& spec, const std::string& gpu_type_name, int num_gpus,
+                              int gpus_per_node);
+
+// Heterogeneous FTF ratio (Eq. 6) for a finished job.
+double FinishTimeFairness(const JobSpec& spec, double jct_seconds, double avg_contention,
+                          const ClusterSpec& cluster);
+
+// FTF ratios for all finished jobs of a simulation result.
+std::vector<double> FtfRatios(const SimResult& result, const ClusterSpec& cluster);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_METRICS_FTF_H_

@@ -1,0 +1,120 @@
+#include "src/metrics/report.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace sia {
+
+PolicySummary Summarize(const std::string& policy, const std::vector<SimResult>& results) {
+  PolicySummary summary;
+  summary.policy = policy;
+  summary.num_traces = static_cast<int>(results.size());
+  RunningStats jct, p99, makespan, gpu_hours, contention, restarts;
+  double max_contention = 0.0;
+  for (const SimResult& result : results) {
+    jct.Add(result.AvgJctHours());
+    p99.Add(result.P99JctHours());
+    makespan.Add(result.MakespanHours());
+    gpu_hours.Add(result.AvgGpuHoursPerJob());
+    contention.Add(result.avg_contention);
+    restarts.Add(result.AvgRestarts());
+    max_contention = std::max(max_contention, static_cast<double>(result.max_contention));
+    summary.all_finished = summary.all_finished && result.all_finished;
+  }
+  summary.avg_jct_hours = jct.mean();
+  summary.avg_jct_std = jct.stddev();
+  summary.p99_jct_hours = p99.mean();
+  summary.makespan_hours = makespan.mean();
+  summary.makespan_std = makespan.stddev();
+  summary.gpu_hours_per_job = gpu_hours.mean();
+  summary.gpu_hours_std = gpu_hours.stddev();
+  summary.avg_contention = contention.mean();
+  summary.max_contention = max_contention;
+  summary.avg_restarts = restarts.mean();
+  return summary;
+}
+
+std::map<ModelKind, double> GpuHoursByModel(const std::vector<SimResult>& results) {
+  std::map<ModelKind, double> totals;
+  std::map<ModelKind, int> counts;
+  for (const SimResult& result : results) {
+    for (const JobResult& job : result.jobs) {
+      totals[job.spec.model] += job.gpu_seconds / 3600.0;
+      counts[job.spec.model] += 1;
+    }
+  }
+  std::map<ModelKind, double> averages;
+  for (const auto& [model, total] : totals) {
+    averages[model] = total / counts[model];
+  }
+  return averages;
+}
+
+std::map<SizeCategory, double> AvgJctByCategory(const std::vector<SimResult>& results) {
+  std::map<SizeCategory, double> totals;
+  std::map<SizeCategory, int> counts;
+  for (const SimResult& result : results) {
+    for (const JobResult& job : result.jobs) {
+      const SizeCategory category = CategoryOf(job.spec.model);
+      totals[category] += job.jct / 3600.0;
+      counts[category] += 1;
+    }
+  }
+  std::map<SizeCategory, double> averages;
+  for (const auto& [category, total] : totals) {
+    averages[category] = total / counts[category];
+  }
+  return averages;
+}
+
+std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
+                               const std::string& title) {
+  Table table({"policy", "avg JCT (h)", "p99 JCT (h)", "makespan (h)", "GPU-h/job",
+               "contention avg", "contention max", "restarts/job"});
+  for (const PolicySummary& summary : summaries) {
+    table.AddRow({summary.policy,
+                  Table::Num(summary.avg_jct_hours) + " +- " + Table::Num(summary.avg_jct_std, 2),
+                  Table::Num(summary.p99_jct_hours, 1),
+                  Table::Num(summary.makespan_hours, 1) + " +- " +
+                      Table::Num(summary.makespan_std, 1),
+                  Table::Num(summary.gpu_hours_per_job) + " +- " +
+                      Table::Num(summary.gpu_hours_std, 2),
+                  Table::Num(summary.avg_contention, 1), Table::Num(summary.max_contention, 0),
+                  Table::Num(summary.avg_restarts, 1)});
+  }
+  return title + "\n" + table.Render();
+}
+
+double JainFairnessIndex(const std::vector<double>& values) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (values.empty() || sum_sq == 0.0) {
+    return 0.0;
+  }
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+bool WriteJobResultsCsv(std::ostream& out, const SimResult& result) {
+  out << "id,name,model,submit_time,finished,jct_hours,gpu_hours,restarts,failures\n";
+  for (const JobResult& job : result.jobs) {
+    out << job.spec.id << "," << job.spec.name << "," << ToString(job.spec.model) << ","
+        << job.spec.submit_time << "," << (job.finished ? 1 : 0) << "," << job.jct / 3600.0
+        << "," << job.gpu_seconds / 3600.0 << "," << job.num_restarts << "," << job.num_failures
+        << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteJobResultsCsv(const std::string& path, const SimResult& result) {
+  std::ofstream out(path);
+  return out.is_open() && WriteJobResultsCsv(out, result);
+}
+
+}  // namespace sia

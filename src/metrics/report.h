@@ -1,0 +1,59 @@
+// Aggregation of simulation results into paper-style summary rows
+// (Table 3 / Table 4 columns) across one or many trace samples.
+#ifndef SIA_SRC_METRICS_REPORT_H_
+#define SIA_SRC_METRICS_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/models/model_kind.h"
+#include "src/sim/simulator.h"
+
+namespace sia {
+
+// One scheduler's metrics aggregated over trace samples (mean +- stddev
+// where the paper reports them).
+struct PolicySummary {
+  std::string policy;
+  int num_traces = 0;
+  double avg_jct_hours = 0.0;
+  double avg_jct_std = 0.0;
+  double p99_jct_hours = 0.0;  // Mean of per-trace p99s.
+  double makespan_hours = 0.0;
+  double makespan_std = 0.0;
+  double gpu_hours_per_job = 0.0;
+  double gpu_hours_std = 0.0;
+  double avg_contention = 0.0;
+  double max_contention = 0.0;
+  double avg_restarts = 0.0;
+  bool all_finished = true;
+};
+
+// Aggregates per-trace results for one scheduler.
+PolicySummary Summarize(const std::string& policy, const std::vector<SimResult>& results);
+
+// Average GPU-hours consumed per job, grouped by model kind (Fig. 6).
+std::map<ModelKind, double> GpuHoursByModel(const std::vector<SimResult>& results);
+
+// Average JCT (hours) grouped by job-size category -- shows which class of
+// jobs a policy is serving well (small jobs dominate avg JCT; XL jobs
+// dominate GPU-hours).
+std::map<SizeCategory, double> AvgJctByCategory(const std::vector<SimResult>& results);
+
+// Renders a Table 3/4-style row set to stdout-ready text.
+std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
+                               const std::string& title);
+
+// Jain's fairness index over non-negative values: (sum x)^2 / (n sum x^2),
+// in (0, 1]; 1 = perfectly equal. Returns 0 for empty/all-zero input.
+double JainFairnessIndex(const std::vector<double>& values);
+
+// Serializes per-job results to CSV:
+//   id,name,model,submit_time,finished,jct_hours,gpu_hours,restarts,failures
+bool WriteJobResultsCsv(std::ostream& out, const SimResult& result);
+bool WriteJobResultsCsv(const std::string& path, const SimResult& result);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_METRICS_REPORT_H_

@@ -1,0 +1,323 @@
+#include "src/models/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/solver/curve_fit.h"
+
+namespace sia {
+namespace {
+
+// Observation windows are capped to bound refit cost; recent points dominate
+// anyway as allocations converge.
+constexpr size_t kMaxPointsPerKind = 96;
+// EMA smoothing for gradient-noise-scale reports.
+constexpr double kPgnsEma = 0.3;
+// Conservative default parameters used in kNoProfile mode before any data
+// exists for any type ("profile as you go").
+const ThroughputParams kDefaultParams = {0.05, 5e-3, 0.0, 0.0, 0.0, 0.0, 2.0};
+
+template <typename T>
+void PushCapped(std::vector<T>& points, T point) {
+  if (points.size() >= kMaxPointsPerKind) {
+    points.erase(points.begin());
+  }
+  points.push_back(point);
+}
+
+}  // namespace
+
+const char* ToString(ProfilingMode mode) {
+  switch (mode) {
+    case ProfilingMode::kOracle:
+      return "oracle";
+    case ProfilingMode::kBootstrap:
+      return "bootstrap";
+    case ProfilingMode::kNoProfile:
+      return "no-profile";
+  }
+  return "?";
+}
+
+GoodputEstimator::GoodputEstimator(ModelKind kind, const ClusterSpec* cluster, ProfilingMode mode,
+                                   bool batch_inference, double latency_slo_seconds)
+    : kind_(kind),
+      mode_(mode),
+      batch_inference_(batch_inference || latency_slo_seconds > 0.0),
+      latency_slo_seconds_(latency_slo_seconds),
+      info_(GetModelInfo(kind)) {
+  if (batch_inference_) {
+    // Goodput = throughput for inference (§3.4): neutralize the efficiency
+    // model by pushing the gradient-noise scale to (near) infinity so
+    // E(M) ~= 1 for every batch size; the optimizer then simply maximizes
+    // samples/second.
+    info_.efficiency.init_pgns = 1e15;
+    info_.efficiency.pgns_growth = 0.0;
+  }
+  SIA_CHECK(cluster != nullptr);
+  pgns_ = info_.efficiency.init_pgns;
+  types_.resize(cluster->num_gpu_types());
+  hybrid_.resize(cluster->num_gpu_types());
+  for (int t = 0; t < cluster->num_gpu_types(); ++t) {
+    TypeState& type = types_[t];
+    type.name = cluster->gpu_type(t).name;
+    if (info_.hybrid_parallel) {
+      hybrid_[t] = GetHybridProfile(kind, type.name);
+      type.available = hybrid_[t].available;
+      continue;
+    }
+    const DeviceProfile& device = GetDeviceProfile(kind, type.name);
+    type.available = device.available;
+    type.max_local_bsz = device.max_local_bsz;
+    type.truth = device.truth;
+    // The fitted model starts from defaults; gamma is the scheduler's
+    // assumed overlap exponent (ground truth varies per model: honest
+    // model mismatch).
+    type.fitted = kDefaultParams;
+  }
+}
+
+void GoodputEstimator::AddProfilePoint(int gpu_type, double local_bsz, double iter_time) {
+  SIA_CHECK(gpu_type >= 0 && gpu_type < static_cast<int>(types_.size()));
+  TypeState& type = types_[gpu_type];
+  if (!type.available) {
+    return;
+  }
+  PushCapped(type.profile_points, {1, 1, local_bsz, 1, iter_time});
+  RefitCompute(type);
+}
+
+void GoodputEstimator::AddObservation(int gpu_type, int num_nodes, int num_gpus, double local_bsz,
+                                      int accum_steps, double iter_time) {
+  SIA_CHECK(gpu_type >= 0 && gpu_type < static_cast<int>(types_.size()));
+  TypeState& type = types_[gpu_type];
+  if (!type.available) {
+    return;
+  }
+  if (num_gpus <= 1) {
+    // Single-GPU runs refine the compute model, like profile points.
+    PushCapped(type.profile_points, {1, 1, local_bsz, accum_steps, iter_time / accum_steps});
+    RefitCompute(type);
+    return;
+  }
+  if (num_nodes <= 1) {
+    PushCapped(type.intra_points, {num_nodes, num_gpus, local_bsz, accum_steps, iter_time});
+    RefitSync(type, /*inter=*/false);
+  } else {
+    PushCapped(type.inter_points, {num_nodes, num_gpus, local_bsz, accum_steps, iter_time});
+    RefitSync(type, /*inter=*/true);
+  }
+}
+
+void GoodputEstimator::ObservePgns(double pgns) {
+  SIA_CHECK(pgns >= 0.0);
+  if (batch_inference_) {
+    return;  // Inference has no gradient statistics.
+  }
+  pgns_ = (1.0 - kPgnsEma) * pgns_ + kPgnsEma * pgns;
+}
+
+void GoodputEstimator::RefitCompute(TypeState& type) {
+  // Closed-form linear least squares for T = alpha + beta * m over 1-GPU
+  // points (each profile point stores per-micro-batch time).
+  const auto& pts = type.profile_points;
+  if (pts.empty()) {
+    return;
+  }
+  if (pts.size() == 1) {
+    // One point: split using the default overhead fraction.
+    const double t = pts[0].iter_time;
+    type.fitted.alpha_compute = 0.1 * t;
+    type.fitted.beta_compute = 0.9 * t / std::max(pts[0].local_bsz, 1.0);
+    type.has_compute = true;
+    return;
+  }
+  double sum_m = 0.0, sum_t = 0.0, sum_mm = 0.0, sum_mt = 0.0;
+  for (const auto& p : pts) {
+    sum_m += p.local_bsz;
+    sum_t += p.iter_time;
+    sum_mm += p.local_bsz * p.local_bsz;
+    sum_mt += p.local_bsz * p.iter_time;
+  }
+  const double n = static_cast<double>(pts.size());
+  const double denom = n * sum_mm - sum_m * sum_m;
+  if (std::abs(denom) < 1e-12) {
+    return;
+  }
+  double beta = (n * sum_mt - sum_m * sum_t) / denom;
+  double alpha = (sum_t - beta * sum_m) / n;
+  // Physical constraints: non-negative overhead and per-sample time.
+  beta = std::max(beta, 1e-8);
+  alpha = std::max(alpha, 0.0);
+  type.fitted.alpha_compute = alpha;
+  type.fitted.beta_compute = beta;
+  type.has_compute = true;
+}
+
+void GoodputEstimator::RefitSync(TypeState& type, bool inter) {
+  const auto& pts = inter ? type.inter_points : type.intra_points;
+  if (pts.empty()) {
+    return;
+  }
+  // Fit (alpha_sync, beta_sync) with compute params frozen, via LM on the
+  // full iteration-time model.
+  ThroughputParams base = type.fitted;
+  auto residual = [&](const std::vector<double>& p, std::vector<double>& r) {
+    ThroughputParams trial = base;
+    if (inter) {
+      trial.alpha_inter = p[0];
+      trial.beta_inter = p[1];
+    } else {
+      trial.alpha_intra = p[0];
+      trial.beta_intra = p[1];
+    }
+    r.resize(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      const auto& o = pts[i];
+      r[i] = IterTime(trial, o.num_nodes, o.num_gpus, o.local_bsz, o.accum_steps) - o.iter_time;
+    }
+  };
+  const double init_alpha = inter ? type.fitted.alpha_inter : type.fitted.alpha_intra;
+  const double init_beta = inter ? type.fitted.beta_inter : type.fitted.beta_intra;
+  const auto fit = FitLeastSquares(residual, {std::max(init_alpha, 1e-3), std::max(init_beta, 1e-4)},
+                                   {0.0, 0.0}, {60.0, 10.0});
+  if (inter) {
+    type.fitted.alpha_inter = fit.params[0];
+    type.fitted.beta_inter = fit.params[1];
+    type.has_inter = true;
+  } else {
+    type.fitted.alpha_intra = fit.params[0];
+    type.fitted.beta_intra = fit.params[1];
+    type.has_intra = true;
+  }
+}
+
+double GoodputEstimator::ComputeTimeEstimate(const TypeState& type, double local_bsz) const {
+  if (mode_ == ProfilingMode::kOracle) {
+    return GradTime(type.truth, local_bsz);
+  }
+  if (type.has_compute) {
+    return GradTime(type.fitted, local_bsz);
+  }
+  // kNoProfile before any data on this type: borrow another type's compute
+  // model (heterogeneity-blind guess), else the generic default.
+  for (const TypeState& other : types_) {
+    if (other.has_compute) {
+      return GradTime(other.fitted, local_bsz);
+    }
+  }
+  return GradTime(kDefaultParams, local_bsz);
+}
+
+const GoodputEstimator::TypeState* GoodputEstimator::FindReference(int exclude_type,
+                                                                   bool inter) const {
+  // Eq. (1) reference: a type with both a compute profile and the needed
+  // sync observations. Deterministic: first such type wins.
+  for (int t = 0; t < static_cast<int>(types_.size()); ++t) {
+    if (t == exclude_type) {
+      continue;
+    }
+    const TypeState& type = types_[t];
+    const bool has_sync = inter ? type.has_inter : type.has_intra;
+    if (type.available && type.has_compute && has_sync) {
+      return &type;
+    }
+  }
+  return nullptr;
+}
+
+double GoodputEstimator::EstimateIterTime(int gpu_type, int num_nodes, int num_gpus,
+                                          double local_bsz, int accum_steps) const {
+  SIA_CHECK(gpu_type >= 0 && gpu_type < static_cast<int>(types_.size()));
+  const TypeState& type = types_[gpu_type];
+  SIA_CHECK(type.available) << "estimate requested for unavailable GPU type " << type.name;
+  if (mode_ == ProfilingMode::kOracle) {
+    return IterTime(type.truth, num_nodes, num_gpus, local_bsz, accum_steps);
+  }
+  if (num_gpus <= 1) {
+    return accum_steps * ComputeTimeEstimate(type, local_bsz);
+  }
+  const bool inter = num_nodes > 1;
+  const bool has_sync = inter ? type.has_inter : type.has_intra;
+  if (type.has_compute && has_sync) {
+    return IterTime(type.fitted, num_nodes, num_gpus, local_bsz, accum_steps);
+  }
+  // Cross-type bootstrap (Eq. 1): scale the reference type's full iteration
+  // time by the ratio of single-GPU compute times at the same local batch.
+  const TypeState* reference = FindReference(gpu_type, inter);
+  if (reference != nullptr) {
+    const double ref_iter =
+        IterTime(reference->fitted, num_nodes, num_gpus, local_bsz, accum_steps);
+    const double ratio = ComputeTimeEstimate(type, local_bsz) /
+                         std::max(GradTime(reference->fitted, local_bsz), 1e-9);
+    return ref_iter * ratio;
+  }
+  // No multi-GPU information anywhere yet: the paper's one-time simplifying
+  // assumption of perfect scaling (zero communication time).
+  return accum_steps * ComputeTimeEstimate(type, local_bsz);
+}
+
+bool GoodputEstimator::TypeAvailable(int gpu_type) const {
+  SIA_CHECK(gpu_type >= 0 && gpu_type < static_cast<int>(types_.size()));
+  return types_[gpu_type].available;
+}
+
+int GoodputEstimator::MinGpus(int gpu_type) const {
+  if (info_.hybrid_parallel) {
+    return hybrid_[gpu_type].available ? hybrid_[gpu_type].pipeline_gpus : 0;
+  }
+  return types_[gpu_type].available ? 1 : 0;
+}
+
+BatchDecision GoodputEstimator::Estimate(const Config& config, AdaptivityMode adaptivity,
+                                         double fixed_bsz) const {
+  const int t = config.gpu_type;
+  SIA_CHECK(t >= 0 && t < static_cast<int>(types_.size()));
+  const TypeState& type = types_[t];
+  if (!type.available) {
+    return {};
+  }
+
+  if (info_.hybrid_parallel) {
+    const HybridProfile& hybrid = hybrid_[t];
+    if (config.num_gpus % hybrid.pipeline_gpus != 0) {
+      return {};  // Hybrid jobs scale in whole pipeline replicas.
+    }
+    const int replicas = config.num_gpus / hybrid.pipeline_gpus;
+    return HybridGoodput(hybrid, info_.efficiency, pgns_, replicas, info_.max_bsz);
+  }
+
+  auto iter_fn = [this, t](int num_nodes, int num_gpus, double local_bsz, int accum_steps) {
+    return EstimateIterTime(t, num_nodes, num_gpus, local_bsz, accum_steps);
+  };
+  if (latency_slo_seconds_ > 0.0) {
+    // Latency-sensitive inference (§3.4): largest batch whose iteration
+    // latency meets the SLO; all SLO-meeting configurations carry goodput 1.
+    BatchDecision best;
+    for (int k = 1; k <= type.max_local_bsz; k = std::max(k + 1, k * 5 / 4)) {
+      const double iter = iter_fn(config.num_nodes, config.num_gpus, k, 1);
+      if (iter > latency_slo_seconds_) {
+        break;  // Iteration time grows with the batch; larger ones also miss.
+      }
+      best.feasible = true;
+      best.local_bsz = k;
+      best.accum_steps = 1;
+      best.global_bsz = static_cast<double>(k) * config.num_gpus;
+      best.iter_time = iter;
+      best.throughput = best.global_bsz / iter;
+      best.efficiency = 1.0;
+      best.goodput = 1.0;  // Binary utility: the SLO is met.
+    }
+    return best;
+  }
+  if (adaptivity == AdaptivityMode::kAdaptive) {
+    return OptimizeBatch(iter_fn, info_.efficiency, pgns_, info_.min_bsz, info_.max_bsz,
+                         type.max_local_bsz, config.num_nodes, config.num_gpus);
+  }
+  SIA_CHECK(fixed_bsz > 0.0) << "strong-scaling/rigid jobs need a fixed batch size";
+  return EvaluateFixedBatch(iter_fn, info_.efficiency, pgns_, fixed_bsz, type.max_local_bsz,
+                            config.num_nodes, config.num_gpus);
+}
+
+}  // namespace sia

@@ -1,0 +1,129 @@
+// Scheduler-side learned goodput model for one job (§3.2).
+//
+// The estimator never touches the simulator's ground truth (except in
+// kOracle mode, the ablation baseline of §5.7): it consumes
+//  * 1-GPU profile points per GPU type from the initial profiling sweep
+//    (~10 batch sizes, <20 GPU-seconds per type), and
+//  * iteration-time observations from configurations the job actually ran,
+// fits the ThroughputParams family to them, and fills the gaps with the
+// paper's Eq. (1) cross-GPU-type bootstrap:
+//
+//   est-xput_B(N) = xput_B(1) / xput_A(1) * xput_A(N)
+//
+// i.e. until type B has its own multi-GPU observation, assume its
+// compute-to-communication scaling matches a type A that does.
+#ifndef SIA_SRC_MODELS_ESTIMATOR_H_
+#define SIA_SRC_MODELS_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/configuration.h"
+#include "src/models/goodput.h"
+#include "src/models/model_kind.h"
+#include "src/models/profile_db.h"
+
+namespace sia {
+
+// Throughput-model knowledge regimes evaluated in §5.7.
+enum class ProfilingMode {
+  kOracle,     // Ground-truth params known for every configuration.
+  kBootstrap,  // Sia's default: 1-GPU profiles + Eq. (1) extrapolation.
+  kNoProfile,  // Profile-as-you-go: no initial information at all.
+};
+
+const char* ToString(ProfilingMode mode);
+
+class GoodputEstimator {
+ public:
+  // `cluster` provides GPU type names; the estimator keeps one model per
+  // type. Memory limits (max local batch) come from the public profile DB:
+  // they are derivable from model size and VRAM without running the job.
+  // `batch_inference` drops the statistical-efficiency term (goodput =
+  // throughput, §3.4 "Scheduling other workload types"); a positive
+  // `latency_slo_seconds` additionally makes goodput binary -- 1 when some
+  // batch choice meets the per-iteration latency SLO on the configuration,
+  // infeasible otherwise.
+  GoodputEstimator(ModelKind kind, const ClusterSpec* cluster, ProfilingMode mode,
+                   bool batch_inference = false, double latency_slo_seconds = 0.0);
+
+  ModelKind model_kind() const { return kind_; }
+  ProfilingMode mode() const { return mode_; }
+
+  // --- observation ingestion (called by the executors / simulator) ---
+
+  // 1-GPU profile point from the initial profiling sweep.
+  void AddProfilePoint(int gpu_type, double local_bsz, double iter_time);
+  // Iteration time observed while training on an actual allocation.
+  void AddObservation(int gpu_type, int num_nodes, int num_gpus, double local_bsz, int accum_steps,
+                      double iter_time);
+  // Gradient-noise-scale report (EMA-smoothed internally).
+  void ObservePgns(double pgns);
+
+  // --- estimation (called by scheduling policies) ---
+
+  // Best batch decision the Adaptive Executor would make on `config`, under
+  // the estimator's current beliefs. fixed_bsz is used for strong-scaling /
+  // rigid jobs; ignored for kAdaptive.
+  BatchDecision Estimate(const Config& config, AdaptivityMode adaptivity,
+                         double fixed_bsz = 0.0) const;
+
+  // Estimated iteration time for an explicit shape (exposed for tests).
+  double EstimateIterTime(int gpu_type, int num_nodes, int num_gpus, double local_bsz,
+                          int accum_steps) const;
+
+  // True when the model can run on this GPU type at all.
+  bool TypeAvailable(int gpu_type) const;
+  // Replica granularity on the type: 1 for data-parallel jobs, the pipeline
+  // width for hybrid-parallel jobs (§5.3).
+  int MinGpus(int gpu_type) const;
+
+  double pgns() const { return pgns_; }
+  bool has_compute_data(int gpu_type) const { return types_[gpu_type].has_compute; }
+  bool has_intra_data(int gpu_type) const { return types_[gpu_type].has_intra; }
+  bool has_inter_data(int gpu_type) const { return types_[gpu_type].has_inter; }
+
+ private:
+  struct Observation {
+    int num_nodes;
+    int num_gpus;
+    double local_bsz;
+    int accum_steps;
+    double iter_time;
+  };
+
+  struct TypeState {
+    std::string name;
+    bool available = false;
+    int max_local_bsz = 0;
+    ThroughputParams truth;     // Used only in kOracle mode.
+    ThroughputParams fitted;    // Learned parameters.
+    bool has_compute = false;   // 1-GPU compute profile exists.
+    bool has_intra = false;     // Single-node multi-GPU sync observed.
+    bool has_inter = false;     // Cross-node sync observed.
+    std::vector<Observation> profile_points;  // 1-GPU points.
+    std::vector<Observation> intra_points;
+    std::vector<Observation> inter_points;
+  };
+
+  void RefitCompute(TypeState& type);
+  void RefitSync(TypeState& type, bool inter);
+  // Compute-only iteration-time estimate for 1 GPU on `type` (used by the
+  // Eq. (1) ratio); falls back to borrowed/default params in kNoProfile.
+  double ComputeTimeEstimate(const TypeState& type, double local_bsz) const;
+  const TypeState* FindReference(int exclude_type, bool inter) const;
+
+  ModelKind kind_;
+  ProfilingMode mode_;
+  bool batch_inference_;
+  double latency_slo_seconds_;
+  ModelInfo info_;
+  std::vector<TypeState> types_;
+  std::vector<HybridProfile> hybrid_;  // Per type; available only for hybrid models.
+  double pgns_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_MODELS_ESTIMATOR_H_

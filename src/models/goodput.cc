@@ -1,0 +1,144 @@
+#include "src/models/goodput.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace sia {
+namespace {
+
+// Gradient accumulation depths the executor considers.
+constexpr int kAccumChoices[] = {1, 2, 4, 8, 16};
+
+BatchDecision Evaluate(const IterTimeFn& iter_time, const EfficiencyParams& eff, double pgns,
+                       double local_bsz, int accum, int num_nodes, int num_gpus) {
+  BatchDecision decision;
+  decision.feasible = true;
+  decision.local_bsz = local_bsz;
+  decision.accum_steps = accum;
+  decision.global_bsz = local_bsz * accum * num_gpus;
+  decision.iter_time = iter_time(num_nodes, num_gpus, local_bsz, accum);
+  decision.throughput = decision.global_bsz / decision.iter_time;
+  decision.efficiency = Efficiency(eff, pgns, decision.global_bsz);
+  decision.goodput = decision.throughput * decision.efficiency;
+  return decision;
+}
+
+IterTimeFn WrapParams(const ThroughputParams& params) {
+  return [params](int num_nodes, int num_gpus, double local_bsz, int accum_steps) {
+    return IterTime(params, num_nodes, num_gpus, local_bsz, accum_steps);
+  };
+}
+
+}  // namespace
+
+const char* ToString(AdaptivityMode mode) {
+  switch (mode) {
+    case AdaptivityMode::kAdaptive:
+      return "adaptive";
+    case AdaptivityMode::kStrongScaling:
+      return "strong-scaling";
+    case AdaptivityMode::kRigid:
+      return "rigid";
+  }
+  return "?";
+}
+
+BatchDecision OptimizeBatch(const IterTimeFn& iter_time, const EfficiencyParams& eff, double pgns,
+                            double min_bsz, double max_bsz, int max_local_bsz, int num_nodes,
+                            int num_gpus) {
+  BatchDecision best;
+  if (max_local_bsz <= 0 || num_gpus <= 0) {
+    return best;  // Model does not fit this GPU type.
+  }
+  for (int accum : kAccumChoices) {
+    // Local batch sizes on a geometric grid between the bounds implied by
+    // the global batch range and the per-GPU memory limit.
+    const double lo = std::max(1.0, min_bsz / (accum * num_gpus));
+    const double hi =
+        std::min(static_cast<double>(max_local_bsz), max_bsz / (accum * num_gpus));
+    if (lo > hi) {
+      continue;
+    }
+    constexpr int kGridPoints = 24;
+    for (int k = 0; k <= kGridPoints; ++k) {
+      const double local = lo * std::pow(hi / lo, static_cast<double>(k) / kGridPoints);
+      const BatchDecision candidate =
+          Evaluate(iter_time, eff, pgns, local, accum, num_nodes, num_gpus);
+      if (!best.feasible || candidate.goodput > best.goodput) {
+        best = candidate;
+      }
+    }
+  }
+  return best;
+}
+
+BatchDecision OptimizeBatch(const ThroughputParams& params, const EfficiencyParams& eff,
+                            double pgns, double min_bsz, double max_bsz, int max_local_bsz,
+                            int num_nodes, int num_gpus) {
+  return OptimizeBatch(WrapParams(params), eff, pgns, min_bsz, max_bsz, max_local_bsz, num_nodes,
+                       num_gpus);
+}
+
+BatchDecision EvaluateFixedBatch(const IterTimeFn& iter_time, const EfficiencyParams& eff,
+                                 double pgns, double global_bsz, int max_local_bsz, int num_nodes,
+                                 int num_gpus) {
+  BatchDecision decision;
+  if (max_local_bsz <= 0 || num_gpus <= 0 || global_bsz <= 0.0) {
+    return decision;
+  }
+  if (global_bsz < static_cast<double>(num_gpus)) {
+    return decision;  // Fewer than one sample per GPU: config unusable.
+  }
+  for (int accum : kAccumChoices) {
+    const double local = global_bsz / (accum * num_gpus);
+    if (local > static_cast<double>(max_local_bsz)) {
+      continue;  // Does not fit memory; deepen accumulation.
+    }
+    return Evaluate(iter_time, eff, pgns, local, accum, num_nodes, num_gpus);
+  }
+  return decision;  // Batch too large even at max accumulation.
+}
+
+BatchDecision EvaluateFixedBatch(const ThroughputParams& params, const EfficiencyParams& eff,
+                                 double pgns, double global_bsz, int max_local_bsz, int num_nodes,
+                                 int num_gpus) {
+  return EvaluateFixedBatch(WrapParams(params), eff, pgns, global_bsz, max_local_bsz, num_nodes,
+                            num_gpus);
+}
+
+BatchDecision HybridGoodput(const HybridProfile& profile, const EfficiencyParams& eff, double pgns,
+                            int replicas, double max_bsz) {
+  BatchDecision decision;
+  if (!profile.available || replicas < 1) {
+    return decision;
+  }
+  const double replica_bsz = static_cast<double>(profile.micro_batches) * profile.micro_bsz;
+  const double global_bsz = replica_bsz * replicas;
+  if (global_bsz > max_bsz) {
+    return decision;  // Data-parallel width exceeds the allowed batch range.
+  }
+  // GPipe pipeline: (micro_batches + stages - 1) micro-batch slots.
+  const double compute =
+      (profile.micro_batches + profile.pipeline_gpus - 1) * profile.stage_time;
+  double iter;
+  if (replicas == 1) {
+    iter = compute;
+  } else {
+    const double sync = profile.sync_base + profile.sync_per_replica * (replicas - 1);
+    iter = std::pow(std::pow(compute, profile.gamma) + std::pow(sync, profile.gamma),
+                    1.0 / profile.gamma);
+  }
+  decision.feasible = true;
+  decision.global_bsz = global_bsz;
+  decision.local_bsz = profile.micro_bsz;
+  decision.accum_steps = profile.micro_batches;
+  decision.iter_time = iter;
+  decision.throughput = global_bsz / iter;
+  decision.efficiency = Efficiency(eff, pgns, global_bsz);
+  decision.goodput = decision.throughput * decision.efficiency;
+  return decision;
+}
+
+}  // namespace sia

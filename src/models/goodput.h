@@ -1,0 +1,69 @@
+// Goodput evaluation: combines a throughput model with the statistical
+// efficiency model and optimizes the batch-size/gradient-accumulation choice
+// for a given resource configuration (the Adaptive Executor's job, §3.1).
+#ifndef SIA_SRC_MODELS_GOODPUT_H_
+#define SIA_SRC_MODELS_GOODPUT_H_
+
+#include <functional>
+
+#include "src/models/profile_db.h"
+#include "src/models/stat_efficiency.h"
+#include "src/models/throughput_model.h"
+
+namespace sia {
+
+// Job adaptivity modes (§3.4 "Support for limited adaptivity").
+enum class AdaptivityMode {
+  kAdaptive,       // Batch size, GPU count, and GPU type all optimized.
+  kStrongScaling,  // Fixed batch size; GPU count and type optimized.
+  kRigid,          // Fixed batch size and GPU count; only GPU type optimized.
+};
+
+const char* ToString(AdaptivityMode mode);
+
+// Outcome of a batch-size decision on a specific configuration.
+struct BatchDecision {
+  bool feasible = false;
+  double global_bsz = 0.0;
+  double local_bsz = 0.0;  // Per-GPU micro-batch size.
+  int accum_steps = 1;
+  double iter_time = 0.0;    // Seconds per training iteration.
+  double throughput = 0.0;   // Samples per second.
+  double efficiency = 0.0;   // Statistical efficiency in (0, 1].
+  double goodput = 0.0;      // Reference samples per second.
+};
+
+// Iteration-time oracle: seconds for one iteration with the given placement
+// shape and micro-batch choice. Lets callers plug in either exact
+// ThroughputParams or a learned/bootstrapped estimate (Eq. 1).
+using IterTimeFn =
+    std::function<double(int num_nodes, int num_gpus, double local_bsz, int accum_steps)>;
+
+// Optimizes goodput over global batch size for `num_gpus` GPUs spread over
+// `num_nodes` nodes, subject to the model's batch range, per-GPU memory
+// limit (gradient accumulation extends it), and minimum one sample per GPU.
+BatchDecision OptimizeBatch(const IterTimeFn& iter_time, const EfficiencyParams& eff, double pgns,
+                            double min_bsz, double max_bsz, int max_local_bsz, int num_nodes,
+                            int num_gpus);
+BatchDecision OptimizeBatch(const ThroughputParams& params, const EfficiencyParams& eff,
+                            double pgns, double min_bsz, double max_bsz, int max_local_bsz,
+                            int num_nodes, int num_gpus);
+
+// Evaluates a fixed global batch size (strong-scaling / rigid jobs): picks
+// the smallest accumulation count that fits memory.
+BatchDecision EvaluateFixedBatch(const IterTimeFn& iter_time, const EfficiencyParams& eff,
+                                 double pgns, double global_bsz, int max_local_bsz, int num_nodes,
+                                 int num_gpus);
+BatchDecision EvaluateFixedBatch(const ThroughputParams& params, const EfficiencyParams& eff,
+                                 double pgns, double global_bsz, int max_local_bsz, int num_nodes,
+                                 int num_gpus);
+
+// Goodput of a hybrid (pipeline+data parallel) job with `replicas`
+// data-parallel pipeline replicas (§5.3). The global batch is
+// replicas * micro_batches * micro_bsz and is not otherwise adaptable.
+BatchDecision HybridGoodput(const HybridProfile& profile, const EfficiencyParams& eff, double pgns,
+                            int replicas, double max_bsz);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_MODELS_GOODPUT_H_

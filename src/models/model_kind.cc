@@ -1,0 +1,67 @@
+#include "src/models/model_kind.h"
+
+namespace sia {
+
+const char* ToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet18:
+      return "resnet18";
+    case ModelKind::kBert:
+      return "bert";
+    case ModelKind::kDeepSpeech2:
+      return "deepspeech2";
+    case ModelKind::kYoloV3:
+      return "yolov3";
+    case ModelKind::kResNet50:
+      return "resnet50";
+    case ModelKind::kGpt2_8B:
+      return "gpt2.8b";
+  }
+  return "?";
+}
+
+SizeCategory CategoryOf(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet18:
+      return SizeCategory::kSmall;
+    case ModelKind::kBert:
+    case ModelKind::kDeepSpeech2:
+      return SizeCategory::kMedium;
+    case ModelKind::kYoloV3:
+      return SizeCategory::kLarge;
+    case ModelKind::kResNet50:
+      return SizeCategory::kExtraLarge;
+    case ModelKind::kGpt2_8B:
+      return SizeCategory::kXxl;
+  }
+  return SizeCategory::kSmall;
+}
+
+bool ModelKindFromString(const std::string& name, ModelKind* out) {
+  for (int k = 0; k < kNumModelKinds; ++k) {
+    const auto kind = static_cast<ModelKind>(k);
+    if (name == ToString(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* ToString(SizeCategory category) {
+  switch (category) {
+    case SizeCategory::kSmall:
+      return "S";
+    case SizeCategory::kMedium:
+      return "M";
+    case SizeCategory::kLarge:
+      return "L";
+    case SizeCategory::kExtraLarge:
+      return "XL";
+    case SizeCategory::kXxl:
+      return "XXL";
+  }
+  return "?";
+}
+
+}  // namespace sia

@@ -1,0 +1,34 @@
+// The DL training workloads of the paper's Table 2.
+#ifndef SIA_SRC_MODELS_MODEL_KIND_H_
+#define SIA_SRC_MODELS_MODEL_KIND_H_
+
+#include <string>
+
+namespace sia {
+
+// Size category by total GPU time (§4.1): Small 0-1 h, Medium 1-10 h,
+// Large 10-100 h, XL >100 h; XXL reserved for hybrid-parallel jobs (§5.3).
+enum class SizeCategory { kSmall, kMedium, kLarge, kExtraLarge, kXxl };
+
+enum class ModelKind {
+  kResNet18,     // S:  image classification, CIFAR-10.
+  kBert,         // M:  question answering, SQuAD.
+  kDeepSpeech2,  // M:  speech recognition, CMU-ARCTIC.
+  kYoloV3,       // L:  object detection, PASCAL-VOC.
+  kResNet50,     // XL: image classification, ImageNet-1k.
+  kGpt2_8B,      // XXL: LLM finetuning (pipeline+data parallel).
+};
+
+inline constexpr int kNumModelKinds = 6;
+
+const char* ToString(ModelKind kind);
+SizeCategory CategoryOf(ModelKind kind);
+const char* ToString(SizeCategory category);
+
+// Parses the names produced by ToString(ModelKind). Returns false and
+// leaves `out` untouched on unknown names.
+bool ModelKindFromString(const std::string& name, ModelKind* out);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_MODELS_MODEL_KIND_H_

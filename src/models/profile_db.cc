@@ -1,0 +1,245 @@
+#include "src/models/profile_db.h"
+
+#include <map>
+
+#include "src/common/check.h"
+
+namespace sia {
+namespace {
+
+// Interconnect characteristics per GPU type (matches ClusterSpec factories).
+struct GpuFabric {
+  double inter_gbps;  // Node-to-node network.
+  double intra_gbps;  // Effective intra-node GPU-to-GPU aggregate.
+  double vram_gb;
+};
+
+const std::map<std::string, GpuFabric>& Fabrics() {
+  static const std::map<std::string, GpuFabric> kFabrics = {
+      {"t4", {50.0, 256.0, 16.0}},
+      {"rtx", {50.0, 128.0, 11.0}},
+      {"quad", {200.0, 512.0, 24.0}},
+      {"a100", {1600.0, 4800.0, 40.0}},
+  };
+  return kFabrics;
+}
+
+// Per-model compute characteristics on the baseline t4, plus per-type speed
+// factors (fraction of t4 time; smaller = faster). A100 speedups are model
+// dependent: compute-dense models (BERT) gain the most, small models
+// (ResNet18) under-utilize it -- this asymmetry is what heterogeneity-aware
+// scheduling exploits (Fig. 2, Fig. 6).
+struct ComputeSpec {
+  double alpha_t4;  // Fixed per-micro-batch overhead on t4 (s).
+  double beta_t4;   // Per-sample time on t4 (s).
+  double speed_rtx;
+  double speed_quad;
+  double speed_a100;
+  double gamma;
+};
+
+const std::map<ModelKind, ComputeSpec>& ComputeSpecs() {
+  static const std::map<ModelKind, ComputeSpec> kSpecs = {
+      {ModelKind::kResNet18, {0.004, 5.0e-4, 0.50, 0.42, 0.35, 1.8}},
+      {ModelKind::kBert, {0.040, 2.5e-2, 0.55, 0.45, 0.12, 2.2}},
+      {ModelKind::kDeepSpeech2, {0.020, 1.0e-2, 0.42, 0.40, 0.30, 2.0}},
+      {ModelKind::kYoloV3, {0.040, 3.3e-2, 0.50, 0.42, 0.25, 2.0}},
+      {ModelKind::kResNet50, {0.015, 1.0e-2, 0.50, 0.42, 0.22, 2.0}},
+  };
+  return kSpecs;
+}
+
+// Per-GPU memory-limited local batch sizes, by model and type.
+const std::map<ModelKind, std::map<std::string, int>>& LocalBszLimits() {
+  static const std::map<ModelKind, std::map<std::string, int>> kLimits = {
+      {ModelKind::kResNet18, {{"t4", 512}, {"rtx", 352}, {"quad", 768}, {"a100", 1280}}},
+      {ModelKind::kBert, {{"t4", 12}, {"rtx", 8}, {"quad", 18}, {"a100", 32}}},
+      {ModelKind::kDeepSpeech2, {{"t4", 40}, {"rtx", 28}, {"quad", 60}, {"a100", 100}}},
+      {ModelKind::kYoloV3, {{"t4", 16}, {"rtx", 11}, {"quad", 24}, {"a100", 40}}},
+      {ModelKind::kResNet50, {{"t4", 100}, {"rtx", 64}, {"quad", 144}, {"a100", 256}}},
+  };
+  return kLimits;
+}
+
+double ParamsMillions(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet18:
+      return 11.0;
+    case ModelKind::kBert:
+      return 110.0;
+    case ModelKind::kDeepSpeech2:
+      return 40.0;
+    case ModelKind::kYoloV3:
+      return 62.0;
+    case ModelKind::kResNet50:
+      return 25.0;
+    case ModelKind::kGpt2_8B:
+      return 2800.0;
+  }
+  return 0.0;
+}
+
+double SpeedFactor(const ComputeSpec& spec, const std::string& gpu) {
+  if (gpu == "t4") {
+    return 1.0;
+  }
+  if (gpu == "rtx") {
+    return spec.speed_rtx;
+  }
+  if (gpu == "quad") {
+    return spec.speed_quad;
+  }
+  if (gpu == "a100") {
+    return spec.speed_a100;
+  }
+  SIA_CHECK(false) << "unknown GPU type " << gpu;
+  return 1.0;
+}
+
+DeviceProfile BuildDeviceProfile(ModelKind kind, const std::string& gpu) {
+  DeviceProfile profile;
+  const auto limits_it = LocalBszLimits().find(kind);
+  if (limits_it == LocalBszLimits().end()) {
+    return profile;  // Hybrid model: no data-parallel device profile.
+  }
+  const auto bsz_it = limits_it->second.find(gpu);
+  if (bsz_it == limits_it->second.end()) {
+    return profile;
+  }
+  const ComputeSpec& spec = ComputeSpecs().at(kind);
+  const GpuFabric& fabric = Fabrics().at(gpu);
+  const double speed = SpeedFactor(spec, gpu);
+  // All-reduce transfer volume: ring all-reduce moves ~2x the gradient
+  // payload; 4 bytes/param -> gigabits = params_M * 0.032.
+  const double gbits = ParamsMillions(kind) * 0.032;
+
+  profile.available = true;
+  profile.max_local_bsz = bsz_it->second;
+  profile.truth.alpha_compute = spec.alpha_t4 * speed;
+  profile.truth.beta_compute = spec.beta_t4 * speed;
+  // Per-extra-GPU increments model ring-all-reduce degradation: steep on
+  // slow fabrics, nearly flat on fast interconnects.
+  profile.truth.alpha_intra = 2.0 * gbits / fabric.intra_gbps + 0.002;
+  profile.truth.beta_intra = 0.15 * profile.truth.alpha_intra + 0.0002;
+  profile.truth.alpha_inter = 2.0 * gbits / fabric.inter_gbps + 0.005;
+  profile.truth.beta_inter = 0.25 * profile.truth.alpha_inter + 0.0002;
+  profile.truth.gamma = spec.gamma;
+  return profile;
+}
+
+ModelInfo BuildModelInfo(ModelKind kind) {
+  ModelInfo info;
+  info.kind = kind;
+  info.params_millions = ParamsMillions(kind);
+  switch (kind) {
+    case ModelKind::kResNet18:
+      info.min_bsz = 128.0;
+      info.max_bsz = 4096.0;
+      info.efficiency = {128.0, 600.0, 8.0};
+      info.total_work = 2.5e6;
+      info.restart_seconds = 25.0;
+      break;
+    case ModelKind::kBert:
+      info.min_bsz = 12.0;
+      info.max_bsz = 384.0;
+      info.efficiency = {12.0, 100.0, 4.0};
+      info.total_work = 4.2e5;
+      info.restart_seconds = 90.0;
+      break;
+    case ModelKind::kDeepSpeech2:
+      info.min_bsz = 20.0;
+      info.max_bsz = 640.0;
+      info.efficiency = {20.0, 150.0, 5.0};
+      info.total_work = 1.3e6;
+      info.restart_seconds = 60.0;
+      break;
+    case ModelKind::kYoloV3:
+      info.min_bsz = 8.0;
+      info.max_bsz = 512.0;
+      info.efficiency = {8.0, 80.0, 4.0};
+      info.total_work = 2.2e6;
+      info.restart_seconds = 120.0;
+      break;
+    case ModelKind::kResNet50:
+      info.min_bsz = 200.0;
+      info.max_bsz = 12800.0;
+      info.efficiency = {200.0, 1500.0, 10.0};
+      info.total_work = 4.0e7;
+      info.restart_seconds = 180.0;
+      break;
+    case ModelKind::kGpt2_8B:
+      info.min_bsz = 48.0;
+      info.max_bsz = 384.0;
+      info.efficiency = {48.0, 100.0, 3.0};
+      info.total_work = 1.2e6;
+      info.restart_seconds = 250.0;
+      info.hybrid_parallel = true;
+      break;
+  }
+  return info;
+}
+
+HybridProfile BuildHybridProfile(ModelKind kind, const std::string& gpu) {
+  HybridProfile profile;
+  if (kind != ModelKind::kGpt2_8B) {
+    return profile;
+  }
+  // §5.3: 2 stages on a100 (larger memory), 8 stages on rtx; 48 micro-batches
+  // of size 1 per replica. Other GPU types cannot hold the model.
+  if (gpu == "a100") {
+    profile.available = true;
+    profile.pipeline_gpus = 2;
+    profile.stage_time = 0.060;
+    // All-reduce of 2.8B/2 params per stage group over 1.6 Tb/s.
+    profile.sync_base = 2.0 * (2800.0 * 0.032 / 2.0) / 1600.0 + 0.005;
+    profile.sync_per_replica = 0.08 * profile.sync_base;
+  } else if (gpu == "rtx") {
+    profile.available = true;
+    profile.pipeline_gpus = 8;
+    profile.stage_time = 0.220;
+    profile.sync_base = 2.0 * (2800.0 * 0.032 / 8.0) / 50.0 + 0.005;
+    profile.sync_per_replica = 0.08 * profile.sync_base;
+  }
+  return profile;
+}
+
+}  // namespace
+
+const ModelInfo& GetModelInfo(ModelKind kind) {
+  static const std::map<ModelKind, ModelInfo>* kInfos = [] {
+    auto* infos = new std::map<ModelKind, ModelInfo>();
+    for (int k = 0; k < kNumModelKinds; ++k) {
+      const auto each = static_cast<ModelKind>(k);
+      (*infos)[each] = BuildModelInfo(each);
+    }
+    return infos;
+  }();
+  return kInfos->at(kind);
+}
+
+const DeviceProfile& GetDeviceProfile(ModelKind kind, const std::string& gpu_type_name) {
+  static std::map<std::pair<ModelKind, std::string>, DeviceProfile> cache;
+  const auto key = std::make_pair(kind, gpu_type_name);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, BuildDeviceProfile(kind, gpu_type_name)).first;
+  }
+  return it->second;
+}
+
+const HybridProfile& GetHybridProfile(ModelKind kind, const std::string& gpu_type_name) {
+  static std::map<std::pair<ModelKind, std::string>, HybridProfile> cache;
+  const auto key = std::make_pair(kind, gpu_type_name);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, BuildHybridProfile(kind, gpu_type_name)).first;
+  }
+  return it->second;
+}
+
+std::vector<ModelKind> AllDataParallelModels() {
+  return {ModelKind::kResNet18, ModelKind::kBert, ModelKind::kDeepSpeech2, ModelKind::kYoloV3,
+          ModelKind::kResNet50};
+}
+
+}  // namespace sia

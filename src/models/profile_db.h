@@ -1,0 +1,76 @@
+// Ground-truth performance profiles for the Table 2 workloads on the four
+// GPU types of §4.2 (t4, rtx, quad, a100).
+//
+// The real system measures these on hardware; this reproduction synthesizes
+// them from first principles so the relative behaviour matches the paper:
+//  * per-sample compute time scales with a per-(model, GPU) speed factor
+//    (A100 helps BERT far more than ResNet18, reproducing Fig. 2 / Fig. 6),
+//  * all-reduce time scales with model size / interconnect bandwidth, so
+//    big models scale poorly on 50 Gb/s Ethernet but nearly linearly on
+//    1.6 Tb/s Infiniband,
+//  * per-GPU memory limits bound the local batch size (gradient
+//    accumulation covers the rest, §3.1 "Heterogeneous Execution").
+#ifndef SIA_SRC_MODELS_PROFILE_DB_H_
+#define SIA_SRC_MODELS_PROFILE_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/models/model_kind.h"
+#include "src/models/stat_efficiency.h"
+#include "src/models/throughput_model.h"
+
+namespace sia {
+
+// Static per-model facts (model-parallel-free models; see HybridProfile for
+// the GPT workload).
+struct ModelInfo {
+  ModelKind kind = ModelKind::kResNet18;
+  double params_millions = 0.0;
+  double min_bsz = 1.0;            // Smallest permitted global batch.
+  double max_bsz = 1.0;            // Largest permitted global batch (Table 2).
+  EfficiencyParams efficiency;
+  double total_work = 0.0;         // Reference samples to completion.
+  double restart_seconds = 30.0;   // Checkpoint-restore cost (25-250 s).
+  bool hybrid_parallel = false;
+};
+
+// Per-(model, GPU type) ground truth.
+struct DeviceProfile {
+  bool available = false;          // Model fits on this GPU type.
+  ThroughputParams truth;
+  int max_local_bsz = 0;           // Per-GPU memory-limited batch size.
+};
+
+// Ground truth for hybrid (pipeline + data) parallel jobs (§5.3): the model
+// is partitioned over `pipeline_gpus` stages; data parallelism replicates
+// whole pipelines. GPipe schedule: iteration compute is
+// (micro_batches + stages - 1) * stage_time, with a cross-replica gradient
+// all-reduce combined under the usual gamma overlap rule.
+struct HybridProfile {
+  bool available = false;
+  int pipeline_gpus = 0;     // GPUs per data-parallel replica (P).
+  int micro_batches = 48;    // Micro-batches per replica per iteration.
+  int micro_bsz = 1;         // Samples per micro-batch.
+  double stage_time = 0.0;   // Per-micro-batch per-stage compute time (s).
+  double sync_base = 0.0;    // Cross-replica all-reduce base cost (s).
+  double sync_per_replica = 0.0;
+  double gamma = 2.0;
+};
+
+const ModelInfo& GetModelInfo(ModelKind kind);
+
+// Ground truth for `kind` on the GPU type with the given name ("t4", "rtx",
+// "quad", "a100"). DeviceProfile.available is false if the model cannot run
+// there (e.g. GPT on t4).
+const DeviceProfile& GetDeviceProfile(ModelKind kind, const std::string& gpu_type_name);
+
+// Hybrid-parallel ground truth (only meaningful for hybrid models).
+const HybridProfile& GetHybridProfile(ModelKind kind, const std::string& gpu_type_name);
+
+// All non-hybrid models, in Table 2 order.
+std::vector<ModelKind> AllDataParallelModels();
+
+}  // namespace sia
+
+#endif  // SIA_SRC_MODELS_PROFILE_DB_H_

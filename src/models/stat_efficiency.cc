@@ -1,0 +1,23 @@
+#include "src/models/stat_efficiency.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+double PgnsAt(const EfficiencyParams& params, double progress_fraction) {
+  const double f = std::clamp(progress_fraction, 0.0, 1.0);
+  return params.init_pgns * (1.0 + params.pgns_growth * f);
+}
+
+double Efficiency(const EfficiencyParams& params, double pgns, double global_bsz) {
+  SIA_DCHECK(global_bsz > 0.0);
+  SIA_DCHECK(pgns >= 0.0);
+  if (global_bsz <= params.base_bsz) {
+    return 1.0;
+  }
+  return (pgns + params.base_bsz) / (pgns + global_bsz);
+}
+
+}  // namespace sia

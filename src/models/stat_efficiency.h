@@ -1,0 +1,37 @@
+// Statistical-efficiency model (borrowed from Pollux [44], after McCandlish
+// et al.'s gradient-noise-scale analysis [36]).
+//
+// Training progress per sample at global batch size M, relative to the
+// baseline batch size M0, is
+//
+//   E(M) = (B + M0) / (B + M)      with E(M0) = 1,
+//
+// where B is the (pre-conditioned) gradient noise scale. B grows as training
+// progresses, making large batches more efficient later in training:
+//
+//   B(progress) = B0 * (1 + growth * progress_fraction).
+//
+// Goodput = Throughput(samples/s) * E(M) measures progress in
+// "reference samples" per second; a job completes when its accumulated
+// reference samples reach the model's total work.
+#ifndef SIA_SRC_MODELS_STAT_EFFICIENCY_H_
+#define SIA_SRC_MODELS_STAT_EFFICIENCY_H_
+
+namespace sia {
+
+struct EfficiencyParams {
+  double base_bsz = 128.0;     // M0: batch size with efficiency 1.
+  double init_pgns = 512.0;    // B0 at the start of training.
+  double pgns_growth = 4.0;    // Relative growth of B over the run.
+};
+
+// Gradient noise scale at the given progress fraction in [0, 1].
+double PgnsAt(const EfficiencyParams& params, double progress_fraction);
+
+// Efficiency of global batch size M given noise scale B. In (0, 1] for
+// M >= M0; capped at 1 for smaller batches.
+double Efficiency(const EfficiencyParams& params, double pgns, double global_bsz);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_MODELS_STAT_EFFICIENCY_H_

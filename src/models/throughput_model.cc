@@ -1,0 +1,48 @@
+#include "src/models/throughput_model.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+double GradTime(const ThroughputParams& params, double local_bsz) {
+  SIA_DCHECK(local_bsz > 0.0);
+  return params.alpha_compute + params.beta_compute * local_bsz;
+}
+
+double SyncTime(const ThroughputParams& params, int num_nodes, int num_gpus) {
+  SIA_DCHECK(num_gpus >= 1 && num_nodes >= 1);
+  if (num_gpus <= 1) {
+    return 0.0;
+  }
+  const double extra = static_cast<double>(num_gpus - 2);
+  if (num_nodes <= 1) {
+    return params.alpha_intra + params.beta_intra * extra;
+  }
+  return params.alpha_inter + params.beta_inter * extra;
+}
+
+double IterTime(const ThroughputParams& params, int num_nodes, int num_gpus, double local_bsz,
+                int accum_steps) {
+  SIA_DCHECK(accum_steps >= 1);
+  const double grad = GradTime(params, local_bsz);
+  const double sync = SyncTime(params, num_nodes, num_gpus);
+  double overlapped;
+  if (sync <= 0.0) {
+    overlapped = grad;
+  } else {
+    const double g = params.gamma;
+    overlapped = std::pow(std::pow(grad, g) + std::pow(sync, g), 1.0 / g);
+  }
+  return (accum_steps - 1) * grad + overlapped;
+}
+
+double Throughput(const ThroughputParams& params, int num_nodes, int num_gpus, double local_bsz,
+                  int accum_steps) {
+  const double iter = IterTime(params, num_nodes, num_gpus, local_bsz, accum_steps);
+  SIA_DCHECK(iter > 0.0);
+  return static_cast<double>(num_gpus) * local_bsz * accum_steps / iter;
+}
+
+}  // namespace sia

@@ -1,0 +1,47 @@
+// The parametric throughput-model family shared by the simulator's ground
+// truth and the scheduler's fitted estimates (Pollux [44] / Sia §3.2).
+//
+// One data-parallel training iteration with `accum_steps` micro-batches of
+// `local_bsz` samples per GPU costs
+//
+//   T_grad = alpha_compute + beta_compute * local_bsz          (per micro-batch)
+//   T_sync = 0                                   if 1 GPU
+//          = alpha_intra + beta_intra * (g - 2)  if 1 node, g GPUs
+//          = alpha_inter + beta_inter * (g - 2)  if > 1 node
+//   T_iter = (accum_steps - 1) * T_grad
+//            + (T_grad^gamma + T_sync^gamma)^(1/gamma)
+//
+// where gamma > 1 models partial overlap of computation and gradient
+// synchronization. Throughput = global batch / T_iter.
+#ifndef SIA_SRC_MODELS_THROUGHPUT_MODEL_H_
+#define SIA_SRC_MODELS_THROUGHPUT_MODEL_H_
+
+namespace sia {
+
+struct ThroughputParams {
+  double alpha_compute = 0.01;  // Fixed per-micro-batch overhead (s).
+  double beta_compute = 1e-3;   // Per-sample compute time (s).
+  double alpha_intra = 0.0;     // Single-node all-reduce base cost (s).
+  double beta_intra = 0.0;      // Single-node per-extra-GPU increment (s).
+  double alpha_inter = 0.0;     // Cross-node all-reduce base cost (s).
+  double beta_inter = 0.0;      // Cross-node per-extra-GPU increment (s).
+  double gamma = 2.0;           // Compute/communication overlap exponent.
+};
+
+// Gradient-computation time for one micro-batch (s).
+double GradTime(const ThroughputParams& params, double local_bsz);
+
+// Gradient-synchronization time for the given placement shape (s).
+double SyncTime(const ThroughputParams& params, int num_nodes, int num_gpus);
+
+// Full iteration time (s). Requires local_bsz > 0, accum_steps >= 1.
+double IterTime(const ThroughputParams& params, int num_nodes, int num_gpus, double local_bsz,
+                int accum_steps);
+
+// Samples processed per second: num_gpus * local_bsz * accum_steps / T_iter.
+double Throughput(const ThroughputParams& params, int num_nodes, int num_gpus, double local_bsz,
+                  int accum_steps);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_MODELS_THROUGHPUT_MODEL_H_

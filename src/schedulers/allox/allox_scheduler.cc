@@ -1,0 +1,83 @@
+#include "src/schedulers/allox/allox_scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/schedulers/shape_util.h"
+
+namespace sia {
+
+ScheduleOutput AlloxScheduler::Schedule(const ScheduleInput& input) {
+  SIA_CHECK(input.cluster != nullptr);
+  const ClusterSpec& cluster = *input.cluster;
+  const int num_types = cluster.num_gpu_types();
+  ScheduleOutput output;
+
+  struct Entry {
+    size_t job_index;
+    double best_remaining_seconds;
+    // Types ordered fastest-first for this job.
+    std::vector<std::pair<double, int>> type_speeds;  // (remaining seconds, type)
+    int count;
+  };
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < input.jobs.size(); ++i) {
+    const JobView& job = input.jobs[i];
+    Entry entry;
+    entry.job_index = i;
+    entry.count = job.spec->rigid_num_gpus > 0 ? job.spec->rigid_num_gpus : 1;
+    const double remaining_work = (1.0 - job.progress_fraction) * job.total_work;
+    for (int t = 0; t < num_types; ++t) {
+      if (!job.estimator->TypeAvailable(t)) {
+        continue;
+      }
+      const auto shape = ShapeForCount(cluster, t, entry.count);
+      if (!shape) {
+        continue;
+      }
+      const AdaptivityMode mode =
+          job.spec->fixed_bsz > 0.0 ? AdaptivityMode::kRigid : AdaptivityMode::kAdaptive;
+      const BatchDecision decision =
+          job.estimator->Estimate(*shape, mode, job.spec->fixed_bsz);
+      if (!decision.feasible || decision.goodput <= 0.0) {
+        continue;
+      }
+      entry.type_speeds.emplace_back(remaining_work / decision.goodput, t);
+    }
+    if (entry.type_speeds.empty()) {
+      continue;
+    }
+    std::sort(entry.type_speeds.begin(), entry.type_speeds.end());
+    entry.best_remaining_seconds = entry.type_speeds.front().first;
+    entries.push_back(std::move(entry));
+  }
+
+  // Shortest best-case remaining time first (the SJF order that the min-cost
+  // matching produces for average-JCT minimization).
+  std::stable_sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.best_remaining_seconds < b.best_remaining_seconds;
+  });
+
+  std::vector<int> free_gpus(num_types);
+  for (int t = 0; t < num_types; ++t) {
+    free_gpus[t] = cluster.TotalGpus(t);
+  }
+  for (const Entry& entry : entries) {
+    for (const auto& [remaining, t] : entry.type_speeds) {
+      if (free_gpus[t] < entry.count) {
+        continue;
+      }
+      const auto shape = ShapeForCount(cluster, t, entry.count);
+      if (!shape) {
+        continue;
+      }
+      free_gpus[t] -= entry.count;
+      output[input.jobs[entry.job_index].spec->id] = *shape;
+      break;
+    }
+  }
+  return output;
+}
+
+}  // namespace sia

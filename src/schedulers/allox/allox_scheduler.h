@@ -1,0 +1,36 @@
+// AlloX-style baseline (Le et al., EuroSys'20 [32]): heterogeneity-aware
+// scheduling of rigid jobs that minimizes average completion time by
+// assigning jobs to the GPU type where they run fastest, serving the
+// shortest (remaining-time) jobs first.
+//
+// AlloX models scheduling as a min-cost bipartite matching between jobs and
+// (machine, order) slots; with round-based preemptive execution this reduces
+// to: each round, sort jobs by their best-case remaining time and greedily
+// give each its fastest feasible GPU type. Like Gavel it does not adapt
+// batch sizes or GPU counts.
+#ifndef SIA_SRC_SCHEDULERS_ALLOX_ALLOX_SCHEDULER_H_
+#define SIA_SRC_SCHEDULERS_ALLOX_ALLOX_SCHEDULER_H_
+
+#include "src/schedulers/scheduler.h"
+
+namespace sia {
+
+struct AlloxOptions {
+  double round_duration_seconds = 360.0;
+};
+
+class AlloxScheduler : public Scheduler {
+ public:
+  explicit AlloxScheduler(AlloxOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "allox"; }
+  double round_duration_seconds() const override { return options_.round_duration_seconds; }
+  ScheduleOutput Schedule(const ScheduleInput& input) override;
+
+ private:
+  AlloxOptions options_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SCHEDULERS_ALLOX_ALLOX_SCHEDULER_H_

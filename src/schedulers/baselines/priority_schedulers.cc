@@ -1,0 +1,146 @@
+#include "src/schedulers/baselines/priority_schedulers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/schedulers/shape_util.h"
+
+namespace sia {
+namespace {
+
+// Estimated seconds to finish the job if it ran its rigid configuration on
+// its best GPU type starting now (used by SRTF and Shockwave).
+double EstimatedRemainingSeconds(const JobView& job, const ClusterSpec& cluster) {
+  const int count = job.spec->rigid_num_gpus > 0 ? job.spec->rigid_num_gpus : 1;
+  double best_goodput = 0.0;
+  for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+    if (!job.estimator->TypeAvailable(t)) {
+      continue;
+    }
+    const auto shape = ShapeForCount(cluster, t, count);
+    if (!shape) {
+      continue;
+    }
+    const AdaptivityMode mode =
+        job.spec->fixed_bsz > 0.0 ? AdaptivityMode::kRigid : AdaptivityMode::kAdaptive;
+    const BatchDecision decision = job.estimator->Estimate(*shape, mode, job.spec->fixed_bsz);
+    if (decision.feasible) {
+      best_goodput = std::max(best_goodput, decision.goodput);
+    }
+  }
+  if (best_goodput <= 0.0) {
+    return 1e9;
+  }
+  const double remaining_work = (1.0 - job.progress_fraction) * job.total_work;
+  return remaining_work / best_goodput;
+}
+
+}  // namespace
+
+std::string PriorityScheduler::name() const {
+  switch (options_.policy) {
+    case PriorityPolicy::kShockwave:
+      return "shockwave";
+    case PriorityPolicy::kThemis:
+      return "themis";
+    case PriorityPolicy::kFifo:
+      return "fifo";
+    case PriorityPolicy::kSrtf:
+      return "srtf";
+  }
+  return "?";
+}
+
+double PriorityScheduler::PriorityOf(const JobView& job, const ScheduleInput& input) const {
+  const double age = std::max(job.age_seconds, 1.0);
+  const int count = std::max(job.spec->rigid_num_gpus, 1);
+  switch (options_.policy) {
+    case PriorityPolicy::kThemis: {
+      // Attained-service fairness: seconds of age per GPU-second of service
+      // per requested GPU. Starved jobs float to the top. Themis allocates
+      // on leases, so running jobs get a small incumbency bonus standing in
+      // for the unexpired-lease period.
+      const double service = job.service_gpu_seconds / count;
+      const double incumbency = job.current_config.num_gpus > 0 ? 1.3 : 1.0;
+      return incumbency * age / (service + 1.0);
+    }
+    case PriorityPolicy::kShockwave: {
+      // FTF deficit regularized toward finishing near-done jobs (the
+      // makespan-aware term of Shockwave's market objective). Shockwave
+      // plans over multi-round epochs, so running jobs keep a moderate
+      // incumbency bonus -- without it, per-round FTF re-ranking swaps jobs
+      // continuously and checkpoint-restore overhead dominates.
+      const double service = job.service_gpu_seconds / count;
+      const double ftf_deficit = age / (service + 1.0);
+      const double remaining_hours =
+          EstimatedRemainingSeconds(job, *input.cluster) / 3600.0;
+      const double incumbency = job.current_config.num_gpus > 0 ? 1.5 : 1.0;
+      return ftf_deficit * (1.0 + 1.0 / (1.0 + remaining_hours)) * incumbency;
+    }
+    case PriorityPolicy::kFifo:
+      // Earlier submissions first.
+      return -job.spec->submit_time;
+    case PriorityPolicy::kSrtf:
+      return -EstimatedRemainingSeconds(job, *input.cluster);
+  }
+  return 0.0;
+}
+
+ScheduleOutput PriorityScheduler::Schedule(const ScheduleInput& input) {
+  SIA_CHECK(input.cluster != nullptr);
+  const ClusterSpec& cluster = *input.cluster;
+  ScheduleOutput output;
+
+  std::vector<size_t> order(input.jobs.size());
+  std::vector<double> priorities(input.jobs.size());
+  for (size_t i = 0; i < input.jobs.size(); ++i) {
+    order[i] = i;
+    priorities[i] = PriorityOf(input.jobs[i], input);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return priorities[a] > priorities[b]; });
+
+  std::vector<int> free_gpus(cluster.num_gpu_types());
+  for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+    free_gpus[t] = cluster.TotalGpus(t);
+  }
+  for (size_t i : order) {
+    const JobView& job = input.jobs[i];
+    const int count = job.spec->rigid_num_gpus > 0 ? job.spec->rigid_num_gpus : 1;
+    // Prefer keeping the current GPU type (avoids pointless migration),
+    // then the type with the most free GPUs.
+    std::vector<int> types;
+    if (job.current_config.num_gpus > 0) {
+      types.push_back(job.current_config.gpu_type);
+    }
+    std::vector<int> by_free;
+    for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+      by_free.push_back(t);
+    }
+    std::stable_sort(by_free.begin(), by_free.end(),
+                     [&](int a, int b) { return free_gpus[a] > free_gpus[b]; });
+    types.insert(types.end(), by_free.begin(), by_free.end());
+    for (int t : types) {
+      if (!job.estimator->TypeAvailable(t) || free_gpus[t] < count) {
+        continue;
+      }
+      const auto shape = ShapeForCount(cluster, t, count);
+      if (!shape) {
+        continue;
+      }
+      free_gpus[t] -= count;
+      output[job.spec->id] = *shape;
+      break;
+    }
+  }
+  return output;
+}
+
+PrioritySchedulerOptions ShockwaveOptions() { return {PriorityPolicy::kShockwave, 360.0}; }
+PrioritySchedulerOptions ThemisOptions() { return {PriorityPolicy::kThemis, 360.0}; }
+PrioritySchedulerOptions FifoOptions() { return {PriorityPolicy::kFifo, 360.0}; }
+PrioritySchedulerOptions SrtfOptions() { return {PriorityPolicy::kSrtf, 360.0}; }
+
+}  // namespace sia

@@ -1,0 +1,53 @@
+// Rigid-job priority schedulers: Shockwave [61], Themis [34], FIFO, SRTF.
+//
+// All four share a greedy mechanism -- rank active jobs by a policy-specific
+// priority and pack them (at their fixed GPU counts) onto whichever GPU type
+// has room, preferring the type with the most free GPUs. They never adapt
+// batch sizes or GPU counts, matching the paper's "rigid jobs on
+// homogeneous clusters" category (§2.1):
+//
+//  * Themis: finish-time-fairness -- jobs with the highest attained-service
+//    deficit (age per unit of GPU service) first.
+//  * Shockwave: FTF priority like Themis, but regularized to also favor
+//    jobs that are close to finishing (its makespan-aware market term),
+//    which is why it beats Themis/Gavel in Table 4. Simplified from the
+//    full dynamic-market formulation; documented in DESIGN.md.
+//  * FIFO: submission order.
+//  * SRTF: shortest estimated remaining time first.
+#ifndef SIA_SRC_SCHEDULERS_BASELINES_PRIORITY_SCHEDULERS_H_
+#define SIA_SRC_SCHEDULERS_BASELINES_PRIORITY_SCHEDULERS_H_
+
+#include "src/schedulers/scheduler.h"
+
+namespace sia {
+
+enum class PriorityPolicy { kShockwave, kThemis, kFifo, kSrtf };
+
+struct PrioritySchedulerOptions {
+  PriorityPolicy policy = PriorityPolicy::kShockwave;
+  double round_duration_seconds = 360.0;  // §4.3 default for rigid baselines.
+};
+
+class PriorityScheduler : public Scheduler {
+ public:
+  explicit PriorityScheduler(PrioritySchedulerOptions options) : options_(options) {}
+
+  std::string name() const override;
+  double round_duration_seconds() const override { return options_.round_duration_seconds; }
+  ScheduleOutput Schedule(const ScheduleInput& input) override;
+
+ private:
+  double PriorityOf(const JobView& job, const ScheduleInput& input) const;
+
+  PrioritySchedulerOptions options_;
+};
+
+// Convenience factories.
+PrioritySchedulerOptions ShockwaveOptions();
+PrioritySchedulerOptions ThemisOptions();
+PrioritySchedulerOptions FifoOptions();
+PrioritySchedulerOptions SrtfOptions();
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SCHEDULERS_BASELINES_PRIORITY_SCHEDULERS_H_

@@ -1,0 +1,249 @@
+#include "src/schedulers/gavel/gavel_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/schedulers/shape_util.h"
+#include "src/solver/simplex.h"
+
+namespace sia {
+
+const char* ToString(GavelPolicy policy) {
+  switch (policy) {
+    case GavelPolicy::kMaxSumThroughput:
+      return "max-sum-throughput";
+    case GavelPolicy::kMaxMinFairness:
+      return "max-min-fairness";
+    case GavelPolicy::kMinJct:
+      return "min-jct";
+  }
+  return "?";
+}
+
+ScheduleOutput GavelScheduler::Schedule(const ScheduleInput& input) {
+  SIA_CHECK(input.cluster != nullptr);
+  const ClusterSpec& cluster = *input.cluster;
+  const int num_types = cluster.num_gpu_types();
+  const int num_jobs = static_cast<int>(input.jobs.size());
+  ScheduleOutput output;
+  if (num_jobs == 0) {
+    last_output_.clear();
+    return output;
+  }
+
+  // Account service from the previous round before re-planning.
+  for (const auto& [job_id, config] : last_output_) {
+    auto it = received_seconds_.find(job_id);
+    if (it != received_seconds_.end() && config.num_gpus > 0) {
+      it->second[config.gpu_type] += options_.round_duration_seconds;
+    }
+  }
+  for (const JobView& job : input.jobs) {
+    received_seconds_.try_emplace(job.spec->id, std::vector<double>(num_types, 0.0));
+    active_seconds_[job.spec->id] = std::max(job.age_seconds, 1.0);
+  }
+
+  // --- allocation LP ---
+  // Throughputs: job at its fixed GPU count / batch on each type, from the
+  // job's (profiled) estimator; normalized per job by its best type so the
+  // objective is scale-free across models.
+  struct JobRow {
+    int count = 1;                      // Rigid GPU count.
+    std::vector<double> throughput;     // Per type; 0 = cannot run.
+    std::vector<int> lp_var;            // Per type; -1 = absent.
+  };
+  std::vector<JobRow> rows(num_jobs);
+  LinearProgram lp(ObjectiveSense::kMaximize);
+  for (int i = 0; i < num_jobs; ++i) {
+    const JobView& job = input.jobs[i];
+    JobRow& row = rows[i];
+    // Gavel treats every job as rigid: it uses the submitted (tuned) count
+    // and batch size; adaptive jobs submitted to Gavel fall back to their
+    // max-batch single... -- in our harness Gavel always receives TunedJobs,
+    // but degrade gracefully for adaptive specs (1 GPU, optimal batch).
+    row.count = job.spec->rigid_num_gpus > 0 ? job.spec->rigid_num_gpus : 1;
+    row.throughput.assign(num_types, 0.0);
+    row.lp_var.assign(num_types, -1);
+    double best = 0.0;
+    for (int t = 0; t < num_types; ++t) {
+      if (!job.estimator->TypeAvailable(t)) {
+        continue;
+      }
+      const auto shape = ShapeForCount(cluster, t, row.count);
+      if (!shape) {
+        continue;
+      }
+      const AdaptivityMode mode = job.spec->fixed_bsz > 0.0 ? AdaptivityMode::kRigid
+                                                            : AdaptivityMode::kAdaptive;
+      const BatchDecision decision =
+          job.estimator->Estimate(*shape, mode, job.spec->fixed_bsz);
+      if (decision.feasible && decision.throughput > 0.0) {
+        row.throughput[t] = decision.throughput;
+        best = std::max(best, decision.throughput);
+      }
+    }
+    if (best <= 0.0) {
+      continue;
+    }
+    // Policy-specific objective weight on each (job, type) time fraction.
+    double weight_scale = 1.0;
+    switch (options_.policy) {
+      case GavelPolicy::kMaxSumThroughput:
+        weight_scale = 1.0;
+        break;
+      case GavelPolicy::kMinJct:
+        // Favor young jobs: weight decays with age (finish-time-leaning).
+        weight_scale = 1.0 / std::max(job.age_seconds / 3600.0, 0.1);
+        break;
+      case GavelPolicy::kMaxMinFairness:
+        weight_scale = 0.0;  // Objective carried by the max-min variable.
+        break;
+    }
+    std::vector<LpTerm> job_constraint;
+    for (int t = 0; t < num_types; ++t) {
+      if (row.throughput[t] <= 0.0) {
+        continue;
+      }
+      // Tiny utilization tiebreak keeps max-min solutions from leaving
+      // fractions at zero when capacity is idle.
+      const double coefficient =
+          weight_scale * row.throughput[t] / best +
+          (options_.policy == GavelPolicy::kMaxMinFairness ? 1e-3 : 0.0);
+      row.lp_var[t] = lp.AddVariable(0.0, 1.0, coefficient);
+      job_constraint.emplace_back(row.lp_var[t], 1.0);
+    }
+    lp.AddConstraint(ConstraintOp::kLessEq, 1.0, std::move(job_constraint));
+  }
+  int maxmin_var = -1;
+  if (options_.policy == GavelPolicy::kMaxMinFairness && lp.num_variables() > 0) {
+    // One-shot max-min (first level of Gavel's lexicographic water-filling):
+    // maximize z subject to every job's normalized effective throughput
+    // >= z.
+    maxmin_var = lp.AddVariable(0.0, 1.0, 1.0, "z");
+    for (int i = 0; i < num_jobs; ++i) {
+      double best = 0.0;
+      for (int t = 0; t < num_types; ++t) {
+        best = std::max(best, rows[i].throughput[t]);
+      }
+      if (best <= 0.0) {
+        continue;
+      }
+      std::vector<LpTerm> fairness_row;
+      for (int t = 0; t < num_types; ++t) {
+        if (rows[i].lp_var[t] >= 0) {
+          fairness_row.emplace_back(rows[i].lp_var[t], rows[i].throughput[t] / best);
+        }
+      }
+      fairness_row.emplace_back(maxmin_var, -1.0);
+      lp.AddConstraint(ConstraintOp::kGreaterEq, 0.0, std::move(fairness_row));
+    }
+  }
+  for (int t = 0; t < num_types; ++t) {
+    std::vector<LpTerm> capacity;
+    for (int i = 0; i < num_jobs; ++i) {
+      if (rows[i].lp_var[t] >= 0) {
+        capacity.emplace_back(rows[i].lp_var[t], static_cast<double>(rows[i].count));
+      }
+    }
+    if (!capacity.empty()) {
+      lp.AddConstraint(ConstraintOp::kLessEq, static_cast<double>(cluster.TotalGpus(t)),
+                       std::move(capacity));
+    }
+  }
+  if (lp.num_variables() == 0) {
+    last_output_.clear();
+    return output;
+  }
+  const LpSolution solution = SolveLp(lp);
+  if (solution.status != SolveStatus::kOptimal) {
+    last_output_.clear();
+    return output;
+  }
+
+  // --- round-based mechanism: priority = allocated fraction / received ---
+  struct Priority {
+    int job_index;
+    int type;
+    double priority;
+    double fraction;
+  };
+  std::vector<Priority> priorities;
+  for (int i = 0; i < num_jobs; ++i) {
+    const JobView& job = input.jobs[i];
+    for (int t = 0; t < num_types; ++t) {
+      if (rows[i].lp_var[t] < 0) {
+        continue;
+      }
+      // Gavel solves its LP with an interior-point solver, which spreads the
+      // optimal face across jobs; our simplex returns vertices that can zero
+      // a job out entirely. A small fraction floor restores the rotating
+      // time-share behaviour for feasible (job, type) pairs.
+      const double fraction = std::max(solution.values[rows[i].lp_var[t]], 0.02);
+      const double received =
+          received_seconds_.at(job.spec->id)[t] / active_seconds_.at(job.spec->id);
+      priorities.push_back({i, t, fraction / (received + 1e-3), fraction});
+    }
+  }
+  std::stable_sort(priorities.begin(), priorities.end(), [](const Priority& a, const Priority& b) {
+    return a.priority > b.priority;
+  });
+
+  std::vector<int> free_gpus(num_types);
+  for (int t = 0; t < num_types; ++t) {
+    free_gpus[t] = cluster.TotalGpus(t);
+  }
+  std::vector<bool> placed(num_jobs, false);
+  for (const Priority& candidate : priorities) {
+    if (placed[candidate.job_index]) {
+      continue;
+    }
+    const JobRow& row = rows[candidate.job_index];
+    if (free_gpus[candidate.type] < row.count) {
+      continue;
+    }
+    const auto shape = ShapeForCount(cluster, candidate.type, row.count);
+    if (!shape) {
+      continue;
+    }
+    free_gpus[candidate.type] -= row.count;
+    placed[candidate.job_index] = true;
+    output[input.jobs[candidate.job_index].spec->id] = *shape;
+  }
+
+  // Backfill: the max-sum-throughput LP can hand a job zero fraction on
+  // every type (vertex solutions starve); idle capacity goes to unplaced
+  // jobs in least-served-first order, as Gavel's mechanism does.
+  std::vector<int> backfill;
+  for (int i = 0; i < num_jobs; ++i) {
+    if (!placed[i]) {
+      backfill.push_back(i);
+    }
+  }
+  std::stable_sort(backfill.begin(), backfill.end(), [&](int a, int b) {
+    const JobView& ja = input.jobs[a];
+    const JobView& jb = input.jobs[b];
+    return ja.service_gpu_seconds / std::max(ja.age_seconds, 1.0) <
+           jb.service_gpu_seconds / std::max(jb.age_seconds, 1.0);
+  });
+  for (int i : backfill) {
+    const JobRow& row = rows[i];
+    for (int t = 0; t < num_types; ++t) {
+      if (row.throughput[t] <= 0.0 || free_gpus[t] < row.count) {
+        continue;
+      }
+      const auto shape = ShapeForCount(cluster, t, row.count);
+      if (!shape) {
+        continue;
+      }
+      free_gpus[t] -= row.count;
+      output[input.jobs[i].spec->id] = *shape;
+      break;
+    }
+  }
+
+  last_output_ = output;
+  return output;
+}
+
+}  // namespace sia

@@ -1,0 +1,497 @@
+#include "src/schedulers/pollux/pollux_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/schedulers/shape_util.h"
+
+namespace sia {
+namespace {
+
+// One individual: GPUs assigned to each job on each virtual node,
+// row-major [job * num_vnodes + vnode]. This is Pollux's actual search
+// space -- per-job per-node placements -- which is why its genetic algorithm
+// scales poorly with cluster size (Fig. 9): genome length grows with
+// #jobs x #nodes.
+using Genome = std::vector<uint8_t>;
+
+}  // namespace
+
+ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
+  SIA_CHECK(input.cluster != nullptr);
+  const ClusterSpec& cluster = *input.cluster;
+  const int num_jobs = static_cast<int>(input.jobs.size());
+  ScheduleOutput output;
+  if (num_jobs == 0) {
+    return output;
+  }
+  const int vnode = options_.virtual_node_gpus;
+  // Present every physical node as homogeneous virtual nodes of `vnode`
+  // GPUs (8-GPU nodes become two virtual nodes, §4.3).
+  int num_vnodes = 0;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    num_vnodes += std::max(1, cluster.node(n).num_gpus / vnode);
+  }
+  const size_t genome_len = static_cast<size_t>(num_jobs) * num_vnodes;
+
+  // Heterogeneity-blind goodput model: each job is evaluated on one "blend"
+  // type (its current type, else the most numerous type it can run on).
+  int most_numerous_type = 0;
+  for (int t = 1; t < cluster.num_gpu_types(); ++t) {
+    if (cluster.TotalGpus(t) > cluster.TotalGpus(most_numerous_type)) {
+      most_numerous_type = t;
+    }
+  }
+
+  struct JobModel {
+    int blend_type = -1;
+    int min_count = 1;
+    int max_count = 0;
+    int current_count = 0;
+    double restart_factor = 1.0;
+    double base_goodput = 0.0;
+    // Memoized goodput by (count, multi_node flag).
+    mutable std::map<std::pair<int, bool>, double> cache;
+  };
+  std::vector<JobModel> models(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    const JobView& job = input.jobs[i];
+    JobModel& model = models[i];
+    int blend = job.current_config.num_gpus > 0 ? job.current_config.gpu_type
+                                                : most_numerous_type;
+    if (!job.estimator->TypeAvailable(blend)) {
+      blend = -1;
+      for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+        if (job.estimator->TypeAvailable(t)) {
+          blend = t;
+          break;
+        }
+      }
+    }
+    model.blend_type = blend;
+    if (blend < 0) {
+      continue;
+    }
+    model.min_count = std::max(1, job.estimator->MinGpus(blend));
+    model.max_count = std::min(job.spec->max_num_gpus, cluster.TotalGpus());
+    if (job.spec->adaptivity == AdaptivityMode::kRigid) {
+      model.min_count = model.max_count = job.spec->rigid_num_gpus;
+    }
+    model.current_count = job.current_config.num_gpus;
+    const double age = std::max(job.age_seconds, 1.0);
+    const double restart_cost = std::max(job.restart_overhead_seconds, 0.0);
+    model.restart_factor =
+        std::clamp((age - job.num_restarts * restart_cost) / (age + restart_cost),
+                   options_.min_restart_factor, 1.0);
+  }
+  auto goodput_of = [&](int i, int count, bool multi_node) {
+    const JobModel& model = models[i];
+    if (model.blend_type < 0 || count < model.min_count || count > model.max_count ||
+        count % model.min_count != 0) {
+      return 0.0;
+    }
+    const auto key = std::make_pair(count, multi_node);
+    const auto it = model.cache.find(key);
+    if (it != model.cache.end()) {
+      return it->second;
+    }
+    const int nodes = multi_node ? std::max(2, (count + vnode - 1) / vnode) : 1;
+    const Config shape{nodes, count, model.blend_type};
+    const JobView& job = input.jobs[i];
+    const BatchDecision decision =
+        job.estimator->Estimate(shape, job.spec->adaptivity, job.spec->fixed_bsz);
+    const double goodput = decision.feasible ? decision.goodput : 0.0;
+    model.cache.emplace(key, goodput);
+    return goodput;
+  };
+  for (int i = 0; i < num_jobs; ++i) {
+    models[i].base_goodput = goodput_of(i, models[i].min_count, false);
+  }
+
+  // --- genome helpers ---
+  auto job_count = [&](const Genome& genome, int i) {
+    int total = 0;
+    for (int n = 0; n < num_vnodes; ++n) {
+      total += genome[static_cast<size_t>(i) * num_vnodes + n];
+    }
+    return total;
+  };
+  auto job_spread = [&](const Genome& genome, int i) {
+    int nodes = 0;
+    for (int n = 0; n < num_vnodes; ++n) {
+      nodes += genome[static_cast<size_t>(i) * num_vnodes + n] > 0 ? 1 : 0;
+    }
+    return nodes;
+  };
+  auto repair = [&](Genome& genome) {
+    // Node capacity: trim random genes on overloaded virtual nodes.
+    for (int n = 0; n < num_vnodes; ++n) {
+      int used = 0;
+      for (int i = 0; i < num_jobs; ++i) {
+        used += genome[static_cast<size_t>(i) * num_vnodes + n];
+      }
+      while (used > vnode) {
+        const int i = static_cast<int>(rng_.UniformInt(0, num_jobs - 1));
+        uint8_t& gene = genome[static_cast<size_t>(i) * num_vnodes + n];
+        if (gene > 0) {
+          --gene;
+          --used;
+        }
+      }
+    }
+    // Per-job caps and granularity: shrink over-sized rows, clear rows that
+    // violate the job's replica granularity / rigid count.
+    for (int i = 0; i < num_jobs; ++i) {
+      const JobModel& model = models[i];
+      int count = job_count(genome, i);
+      while (count > model.max_count) {
+        for (int n = 0; n < num_vnodes && count > model.max_count; ++n) {
+          uint8_t& gene = genome[static_cast<size_t>(i) * num_vnodes + n];
+          if (gene > 0) {
+            --gene;
+            --count;
+          }
+        }
+      }
+      if (count > 0 && (count < model.min_count || count % model.min_count != 0)) {
+        if (input.jobs[i].spec->adaptivity == AdaptivityMode::kRigid || count < model.min_count) {
+          for (int n = 0; n < num_vnodes; ++n) {
+            genome[static_cast<size_t>(i) * num_vnodes + n] = 0;
+          }
+        } else {
+          int excess = count % model.min_count;
+          for (int n = 0; n < num_vnodes && excess > 0; ++n) {
+            uint8_t& gene = genome[static_cast<size_t>(i) * num_vnodes + n];
+            const int take = std::min<int>(gene, excess);
+            gene = static_cast<uint8_t>(gene - take);
+            excess -= take;
+          }
+        }
+      }
+    }
+  };
+  const double p = options_.fairness_power;
+  auto fitness = [&](const Genome& genome) {
+    double sum = 0.0;
+    for (int i = 0; i < num_jobs; ++i) {
+      const JobModel& model = models[i];
+      const int count = job_count(genome, i);
+      // Preempting a running job is strictly worse than leaving a queued
+      // job waiting (the running job loses checkpoint-restore time), so the
+      // floors are asymmetric -- without this the GA churns allocations.
+      double speedup = model.current_count > 0 ? 5e-4 : 1e-3;
+      if (count > 0 && model.base_goodput > 0.0) {
+        double goodput = goodput_of(i, count, job_spread(genome, i) > 1);
+        if (count != model.current_count) {
+          goodput *= model.restart_factor;
+        }
+        speedup = std::max(goodput / model.base_goodput, 1e-3);
+      }
+      sum += std::pow(speedup, p);
+    }
+    const double mean = sum / num_jobs;
+    return p > 0 ? std::pow(mean, 1.0 / p) : -std::pow(mean, 1.0 / std::abs(p));
+  };
+
+  // --- population ---
+  std::vector<Genome> population;
+  Genome zero(genome_len, 0);
+  // Seed 1: approximately the current allocation (counts packed greedily).
+  Genome current = zero;
+  {
+    std::vector<int> free_gpus(num_vnodes, vnode);
+    for (int i = 0; i < num_jobs; ++i) {
+      int count = models[i].current_count;
+      for (int n = 0; n < num_vnodes && count > 0; ++n) {
+        const int take = std::min(count, free_gpus[n]);
+        current[static_cast<size_t>(i) * num_vnodes + n] = static_cast<uint8_t>(take);
+        free_gpus[n] -= take;
+        count -= take;
+      }
+    }
+    repair(current);
+  }
+  population.push_back(current);
+  population.push_back(zero);
+  // A quarter of the population starts as light mutations of the current
+  // allocation (local search around the status quo).
+  while (static_cast<int>(population.size()) < options_.population / 4) {
+    Genome genome = current;
+    for (int m = 0; m < 1 + num_jobs / 4; ++m) {
+      const size_t g = static_cast<size_t>(rng_.UniformInt(0, genome_len - 1));
+      genome[g] = static_cast<uint8_t>(rng_.UniformInt(0, vnode));
+    }
+    repair(genome);
+    population.push_back(std::move(genome));
+  }
+  while (static_cast<int>(population.size()) < options_.population) {
+    Genome genome(genome_len, 0);
+    for (size_t g = 0; g < genome_len; ++g) {
+      if (rng_.Bernoulli(0.25)) {
+        genome[g] = static_cast<uint8_t>(rng_.UniformInt(0, vnode));
+      }
+    }
+    repair(genome);
+    population.push_back(std::move(genome));
+  }
+  std::vector<double> scores(population.size());
+  for (size_t k = 0; k < population.size(); ++k) {
+    scores[k] = fitness(population[k]);
+  }
+
+  for (int gen = 0; gen < options_.generations; ++gen) {
+    std::vector<Genome> next;
+    std::vector<double> next_scores;
+    size_t best = 0;
+    for (size_t k = 1; k < population.size(); ++k) {
+      if (scores[k] > scores[best]) {
+        best = k;
+      }
+    }
+    next.push_back(population[best]);
+    next_scores.push_back(scores[best]);
+    // Keep the current allocation competitive (stability).
+    next.push_back(current);
+    next_scores.push_back(fitness(current));
+    while (static_cast<int>(next.size()) < options_.population) {
+      auto pick = [&]() -> const Genome& {
+        const size_t a = static_cast<size_t>(rng_.UniformInt(0, population.size() - 1));
+        const size_t b = static_cast<size_t>(rng_.UniformInt(0, population.size() - 1));
+        return scores[a] >= scores[b] ? population[a] : population[b];
+      };
+      const Genome& mother = pick();
+      const Genome& father = pick();
+      Genome child(genome_len);
+      // Job-row crossover keeps each job's placement coherent.
+      for (int i = 0; i < num_jobs; ++i) {
+        const Genome& source = rng_.Bernoulli(0.5) ? mother : father;
+        std::copy_n(source.begin() + static_cast<size_t>(i) * num_vnodes, num_vnodes,
+                    child.begin() + static_cast<size_t>(i) * num_vnodes);
+      }
+      // Point mutations on (job, node) genes -- 1-GPU steps, as in Pollux.
+      const int mutations =
+          1 + static_cast<int>(options_.mutation_rate * static_cast<double>(num_jobs));
+      for (int m = 0; m < mutations; ++m) {
+        const size_t g = static_cast<size_t>(rng_.UniformInt(0, genome_len - 1));
+        child[g] = static_cast<uint8_t>(rng_.UniformInt(0, vnode));
+      }
+      repair(child);
+      next.push_back(child);
+      next_scores.push_back(fitness(next.back()));
+    }
+    population = std::move(next);
+    scores = std::move(next_scores);
+  }
+
+  size_t best = 0;
+  for (size_t k = 1; k < population.size(); ++k) {
+    if (scores[k] > scores[best]) {
+      best = k;
+    }
+  }
+  const Genome& winner = population[best];
+
+  // --- local refinement: marginal-utility hill climbing on the GA winner ---
+  // Pollux's converged GA approaches the fractional optimum; a stochastic GA
+  // under a per-round time budget does not, so we polish its output with
+  // greedy single-step GPU moves evaluated under the exact same objective
+  // (restart discounts included, which keeps allocations stable).
+  std::vector<int> final_counts(num_jobs);
+  int used_gpus = 0;
+  for (int i = 0; i < num_jobs; ++i) {
+    final_counts[i] = job_count(winner, i);
+    used_gpus += final_counts[i];
+  }
+  const int total_gpus = cluster.TotalGpus();
+
+  // Per-job ladder of valid counts.
+  std::vector<std::vector<int>> ladder(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    const JobModel& model = models[i];
+    ladder[i].push_back(0);
+    if (model.blend_type < 0) {
+      continue;
+    }
+    if (input.jobs[i].spec->adaptivity == AdaptivityMode::kRigid) {
+      ladder[i].push_back(model.min_count);
+      continue;
+    }
+    for (int c = model.min_count; c <= std::min(model.max_count, vnode);
+         c += model.min_count) {
+      ladder[i].push_back(c);
+    }
+    const int stride = std::max(vnode, model.min_count);
+    for (int c = ((vnode / stride) + 1) * stride; c <= model.max_count; c += stride) {
+      if (c % model.min_count == 0) {
+        ladder[i].push_back(c);
+      }
+    }
+  }
+  auto ladder_pos = [&](int i, int count) {
+    const auto it = std::find(ladder[i].begin(), ladder[i].end(), count);
+    return it == ladder[i].end() ? -1 : static_cast<int>(it - ladder[i].begin());
+  };
+  // Snap GA counts onto the ladder (round down).
+  for (int i = 0; i < num_jobs; ++i) {
+    if (ladder_pos(i, final_counts[i]) >= 0) {
+      continue;
+    }
+    int snapped = 0;
+    for (int c : ladder[i]) {
+      if (c <= final_counts[i]) {
+        snapped = c;
+      }
+    }
+    used_gpus += snapped - final_counts[i];
+    final_counts[i] = snapped;
+  }
+  const double sign = p > 0 ? 1.0 : -1.0;
+  auto term = [&](int i, int count) {
+    const JobModel& model = models[i];
+    double speedup = model.current_count > 0 ? 5e-4 : 1e-3;
+    if (count > 0 && model.base_goodput > 0.0) {
+      double goodput = goodput_of(i, count, count > vnode);
+      if (count != model.current_count) {
+        goodput *= model.restart_factor;
+      }
+      speedup = std::max(goodput / model.base_goodput, 1e-3);
+    }
+    return sign * std::pow(speedup, p);
+  };
+  for (int iter = 0; iter < 400; ++iter) {
+    // Best single up-move per free GPU, and cheapest down-move per GPU.
+    int best_up = -1;
+    double best_up_gain = 0.0;
+    int best_up_next = 0;
+    for (int i = 0; i < num_jobs; ++i) {
+      const int pos = ladder_pos(i, final_counts[i]);
+      if (pos < 0 || pos + 1 >= static_cast<int>(ladder[i].size())) {
+        continue;
+      }
+      const int next = ladder[i][pos + 1];
+      const double gain =
+          (term(i, next) - term(i, final_counts[i])) / (next - final_counts[i]);
+      if (gain > best_up_gain) {
+        best_up_gain = gain;
+        best_up = i;
+        best_up_next = next;
+      }
+    }
+    if (best_up < 0) {
+      break;
+    }
+    const int need = best_up_next - final_counts[best_up];
+    if (used_gpus + need <= total_gpus) {
+      used_gpus += need;
+      final_counts[best_up] = best_up_next;
+      continue;
+    }
+    // Fund the move by shrinking the job with the smallest per-GPU loss.
+    int best_down = -1;
+    double best_down_loss = best_up_gain;  // Must lose less than we gain.
+    int best_down_next = 0;
+    for (int j = 0; j < num_jobs; ++j) {
+      if (j == best_up) {
+        continue;
+      }
+      const int pos = ladder_pos(j, final_counts[j]);
+      if (pos <= 0) {
+        continue;
+      }
+      const int next = ladder[j][pos - 1];
+      const double loss =
+          (term(j, final_counts[j]) - term(j, next)) / (final_counts[j] - next);
+      if (loss < best_down_loss) {
+        best_down_loss = loss;
+        best_down = j;
+        best_down_next = next;
+      }
+    }
+    if (best_down < 0) {
+      break;
+    }
+    used_gpus -= final_counts[best_down] - best_down_next;
+    final_counts[best_down] = best_down_next;
+    if (used_gpus + need <= total_gpus) {
+      used_gpus += need;
+      final_counts[best_up] = best_up_next;
+    }
+  }
+
+  // --- map type-blind counts onto single GPU types (fix heuristic, §4.3) ---
+  std::vector<int> free_gpus(cluster.num_gpu_types());
+  for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+    free_gpus[t] = cluster.TotalGpus(t);
+  }
+  std::vector<int> order(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return final_counts[a] > final_counts[b];
+  });
+  for (int i : order) {
+    int count = final_counts[i];
+    if (count <= 0) {
+      continue;
+    }
+    const JobView& job = input.jobs[i];
+    // Stickiness first: keep the current GPU type when it still fits, then
+    // the most-free type (ties by GPU power).
+    int chosen_type = -1;
+    const int current_type =
+        job.current_config.num_gpus > 0 ? job.current_config.gpu_type : -1;
+    if (current_type >= 0 && job.estimator->TypeAvailable(current_type) &&
+        free_gpus[current_type] >= std::min(count, free_gpus[current_type]) &&
+        free_gpus[current_type] >= job.estimator->MinGpus(current_type)) {
+      chosen_type = current_type;
+    }
+    if (chosen_type < 0) {
+      for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+        if (!job.estimator->TypeAvailable(t)) {
+          continue;
+        }
+        const int min_gpus = job.estimator->MinGpus(t);
+        if (free_gpus[t] < min_gpus) {
+          continue;
+        }
+        if (chosen_type < 0 || free_gpus[t] > free_gpus[chosen_type] ||
+            (free_gpus[t] == free_gpus[chosen_type] &&
+             GpuPowerRank(cluster.gpu_type(t).name) >
+                 GpuPowerRank(cluster.gpu_type(chosen_type).name))) {
+          chosen_type = t;
+        }
+      }
+    }
+    if (chosen_type < 0) {
+      continue;
+    }
+    count = std::min(count, free_gpus[chosen_type]);
+    const int min_gpus = std::max(job.estimator->MinGpus(chosen_type), 1);
+    count -= count % min_gpus;
+    std::optional<Config> shape;
+    while (count >= min_gpus && !(shape = ShapeForCount(cluster, chosen_type, count))) {
+      count -= min_gpus;  // Idle leftover GPUs rather than span types (§4.3).
+    }
+    if (!shape) {
+      continue;
+    }
+    if (job.spec->adaptivity == AdaptivityMode::kRigid &&
+        shape->num_gpus != job.spec->rigid_num_gpus) {
+      continue;  // Rigid jobs run at their exact GPU count or not at all.
+    }
+    if (shape->num_nodes > 1) {
+      // Pollux placements may scatter across partially-free nodes (no
+      // dedicated-whole-node rule, unlike Sia's configurations).
+      shape->scatter = true;
+    }
+    free_gpus[chosen_type] -= shape->num_gpus;
+    output[job.spec->id] = *shape;
+  }
+  return output;
+}
+
+}  // namespace sia

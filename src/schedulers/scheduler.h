@@ -1,0 +1,72 @@
+// Scheduling-policy interface shared by Sia and all baseline policies.
+//
+// The simulator invokes Schedule() once per scheduling round with a snapshot
+// of all active jobs (queued + running) and expects back a desired
+// configuration per job (absent = no resources this round). Concrete
+// placement is handled by the Placer downstream (§3.1 "decoupled allocation
+// and placement").
+#ifndef SIA_SRC_SCHEDULERS_SCHEDULER_H_
+#define SIA_SRC_SCHEDULERS_SCHEDULER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/configuration.h"
+#include "src/models/estimator.h"
+#include "src/workload/job.h"
+
+namespace sia {
+
+// Scheduler-visible state of one active job.
+struct JobView {
+  const JobSpec* spec = nullptr;
+  // The job's learned goodput model (never the simulator's ground truth).
+  const GoodputEstimator* estimator = nullptr;
+  double age_seconds = 0.0;  // Time since submission.
+  int num_restarts = 0;
+  // Checkpoint-restore cost for this job (S_i in Eq. 3). Known to the
+  // scheduler from past restarts.
+  double restart_overhead_seconds = 30.0;
+  // Current allocation; num_gpus == 0 when queued/preempted.
+  Config current_config;
+  // Largest GPU count this job has held so far (drives the <=2x scale-up
+  // rule across preemptions).
+  int peak_num_gpus = 0;
+  // Fraction of total work completed, as reported by the executors
+  // (schedulers may use it for remaining-time estimates; they never see the
+  // simulator's ground-truth throughput).
+  double progress_fraction = 0.0;
+  // GPU-seconds of service received so far (drives fairness policies).
+  double service_gpu_seconds = 0.0;
+  // Total work declared at submission (epochs x dataset size, in reference
+  // samples) -- lets policies estimate remaining time.
+  double total_work = 0.0;
+};
+
+struct ScheduleInput {
+  double now_seconds = 0.0;
+  const ClusterSpec* cluster = nullptr;
+  // Valid configuration set for this cluster (§3.3), prebuilt once.
+  const std::vector<Config>* config_set = nullptr;
+  std::vector<JobView> jobs;
+};
+
+// Desired allocation per job id; jobs absent from the map receive nothing.
+using ScheduleOutput = std::map<int, Config>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+  // Preferred scheduling-round duration (60 s for Sia/Pollux, 360 s for the
+  // rigid baselines per §4.3).
+  virtual double round_duration_seconds() const = 0;
+  virtual ScheduleOutput Schedule(const ScheduleInput& input) = 0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SCHEDULERS_SCHEDULER_H_

@@ -1,0 +1,36 @@
+#include "src/schedulers/shape_util.h"
+
+namespace sia {
+
+std::optional<Config> ShapeForCount(const ClusterSpec& cluster, int gpu_type, int count) {
+  if (count <= 0 || cluster.NumNodes(gpu_type) == 0) {
+    return std::nullopt;
+  }
+  const int per_node = cluster.GpusPerNode(gpu_type);
+  if (count <= per_node) {
+    return Config{1, count, gpu_type};
+  }
+  const int nodes = (count + per_node - 1) / per_node;
+  if (nodes > cluster.NumNodes(gpu_type)) {
+    return std::nullopt;
+  }
+  return Config{nodes, count, gpu_type};
+}
+
+int GpuPowerRank(const std::string& type_name) {
+  if (type_name == "a100") {
+    return 4;
+  }
+  if (type_name == "quad") {
+    return 3;
+  }
+  if (type_name == "rtx") {
+    return 2;
+  }
+  if (type_name == "t4") {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace sia

@@ -1,0 +1,25 @@
+// Shared helpers for mapping a bare GPU count onto a placeable (n, m, t)
+// configuration shape on a given cluster.
+#ifndef SIA_SRC_SCHEDULERS_SHAPE_UTIL_H_
+#define SIA_SRC_SCHEDULERS_SHAPE_UTIL_H_
+
+#include <optional>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/configuration.h"
+
+namespace sia {
+
+// Shape for `count` GPUs of `gpu_type`: single-node when it fits one node,
+// otherwise whole nodes (count must then be a multiple of the node size).
+// Returns nullopt when the count cannot be realized on this type (e.g. 32
+// GPUs on a type with only 6 4-GPU nodes, or 12 GPUs on 8-GPU nodes).
+std::optional<Config> ShapeForCount(const ClusterSpec& cluster, int gpu_type, int count);
+
+// Power rank used by the paper's mixed-allocation fix heuristic (§4.3):
+// a100 > quad > rtx > t4 > anything unknown.
+int GpuPowerRank(const std::string& type_name);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SCHEDULERS_SHAPE_UTIL_H_

@@ -1,0 +1,185 @@
+#include "src/schedulers/sia/sia_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace sia {
+namespace {
+
+// See the resume-stickiness comment in Schedule().
+constexpr double kResumePenalty = 0.95;
+// See the tie-breaking comment in Schedule().
+constexpr double kServiceTieBreak = 0.05;
+
+struct Candidate {
+  int config_index;
+  double goodput;
+  int lp_var = -1;
+};
+
+// Per-round GPU-count cap from the scale-up rule: jobs start at their
+// minimum size and may at most double each round (scale-down is free).
+int ScaleUpCap(const JobView& job, int min_gpus, int scale_up_factor) {
+  if (job.spec->adaptivity == AdaptivityMode::kRigid) {
+    return job.spec->rigid_num_gpus;
+  }
+  if (job.peak_num_gpus <= 0) {
+    return min_gpus;
+  }
+  return std::max(min_gpus, scale_up_factor * job.peak_num_gpus);
+}
+
+}  // namespace
+
+ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
+  SIA_CHECK(input.cluster != nullptr && input.config_set != nullptr);
+  const std::vector<Config>& configs = *input.config_set;
+  const double p = options_.fairness_power;
+  SIA_CHECK(p != 0.0) << "fairness power must be nonzero";
+  const bool minimize = p < 0.0;
+
+  LinearProgram lp(minimize ? ObjectiveSense::kMinimize : ObjectiveSense::kMaximize);
+  std::vector<std::vector<Candidate>> candidates(input.jobs.size());
+  std::vector<std::vector<LpTerm>> capacity_rows(input.cluster->num_gpu_types());
+
+  for (size_t i = 0; i < input.jobs.size(); ++i) {
+    const JobView& job = input.jobs[i];
+    const JobSpec& spec = *job.spec;
+    const GoodputEstimator& estimator = *job.estimator;
+
+    // --- build this job's row of the goodput matrix ---
+    double min_goodput = std::numeric_limits<double>::infinity();
+    int min_required_gpus = std::numeric_limits<int>::max();
+    for (int c = 0; c < static_cast<int>(configs.size()); ++c) {
+      const Config& config = configs[c];
+      const int min_gpus = estimator.MinGpus(config.gpu_type);
+      if (min_gpus <= 0) {
+        continue;  // Model cannot run on this GPU type.
+      }
+      min_required_gpus = std::min(min_required_gpus, min_gpus);
+      if (config.num_gpus % min_gpus != 0) {
+        continue;  // Hybrid jobs scale in whole replicas.
+      }
+      const int cap =
+          std::min(spec.max_num_gpus, ScaleUpCap(job, min_gpus, options_.scale_up_factor));
+      if (config.num_gpus < min_gpus || config.num_gpus > cap) {
+        continue;
+      }
+      if (spec.adaptivity == AdaptivityMode::kRigid && config.num_gpus != spec.rigid_num_gpus) {
+        continue;  // Rigid jobs only pick the GPU type (Eq. 5).
+      }
+      const BatchDecision decision =
+          estimator.Estimate(config, spec.adaptivity, spec.fixed_bsz);
+      if (!decision.feasible || decision.goodput <= 0.0) {
+        continue;
+      }
+      candidates[i].push_back({c, decision.goodput});
+      min_goodput = std::min(min_goodput, decision.goodput);
+    }
+    if (candidates[i].empty()) {
+      continue;
+    }
+
+    // --- restart factor (Eq. 3) ---
+    const double age = std::max(job.age_seconds, 1.0);
+    const double restart_cost = std::max(job.restart_overhead_seconds, 0.0);
+    double restart_factor =
+        (age - job.num_restarts * restart_cost) / (age + restart_cost);
+    restart_factor = std::clamp(restart_factor, options_.min_restart_factor, 1.0);
+
+    // --- normalized utilities + ILP variables ---
+    const bool currently_running = job.current_config.num_gpus > 0;
+    const bool ever_allocated = job.peak_num_gpus > 0;
+    for (Candidate& candidate : candidates[i]) {
+      const Config& config = configs[candidate.config_index];
+      double normalized =
+          candidate.goodput / min_goodput * static_cast<double>(min_required_gpus);
+      // Eq. 3: discount configurations that would restart a running job.
+      if (currently_running && !(config == job.current_config)) {
+        normalized *= restart_factor;
+      } else if (!currently_running && ever_allocated) {
+        // Mild fixed stickiness for preempted jobs: resuming costs a restore
+        // wherever they land, and without this, utility ties between
+        // incumbents and equally-good queued jobs cause running<->queued
+        // thrash under heavy contention. Kept small so genuinely better
+        // queued jobs still displace incumbents.
+        normalized *= kResumePenalty;
+      }
+      double utility = std::pow(normalized, p);
+      // Tie-breaking: Eq. 4 leaves utility ties (common under heavy
+      // contention, when most queued jobs compete for 1-GPU slots with
+      // identical normalized goodput) to the solver. Break them by least
+      // attained service so short/new jobs flow through the queue -- the
+      // behaviour §5.5 describes ("scale down long jobs ... to prioritize
+      // incoming short jobs"). The perturbation is far below any real
+      // utility difference.
+      const double service_fraction =
+          job.service_gpu_seconds / (job.service_gpu_seconds + 2.0 * 3600.0);
+      utility += (minimize ? 1.0 : -1.0) * kServiceTieBreak * service_fraction;
+      // Objective rewrite: sum_ij A_ij u_ij + lambda sum_i (1 - ||A_i||_1)
+      // = const + sum_ij A_ij (u_ij - lambda).
+      candidate.lp_var = lp.AddBinaryVariable(utility - options_.lambda);
+      capacity_rows[config.gpu_type].emplace_back(candidate.lp_var,
+                                                  static_cast<double>(config.num_gpus));
+    }
+
+    std::vector<LpTerm> job_row;
+    job_row.reserve(candidates[i].size());
+    for (const Candidate& candidate : candidates[i]) {
+      job_row.emplace_back(candidate.lp_var, 1.0);
+    }
+    if (!spec.preemptible && currently_running) {
+      // Non-preemptible jobs must retain their current configuration (§3.4
+      // "Preemption and reservation").
+      for (const Candidate& candidate : candidates[i]) {
+        if (configs[candidate.config_index] == job.current_config) {
+          lp.SetVariableBounds(candidate.lp_var, 1.0, 1.0);
+        }
+      }
+    }
+    // Reservations: non-preemptible jobs are *forced* to receive resources
+    // ("this constraint ensures that the non-preemptive jobs get allocated
+    // first", §3.4); preemptible jobs may be left queued.
+    lp.AddConstraint(spec.preemptible ? ConstraintOp::kLessEq : ConstraintOp::kEqual, 1.0,
+                     std::move(job_row));
+  }
+
+  for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
+    if (!capacity_rows[t].empty()) {
+      lp.AddConstraint(ConstraintOp::kLessEq, static_cast<double>(input.cluster->TotalGpus(t)),
+                       std::move(capacity_rows[t]));
+    }
+  }
+
+  ScheduleOutput output;
+  if (lp.num_variables() == 0) {
+    return output;
+  }
+  const MilpSolution solution = SolveMilp(lp, options_.milp);
+  if (solution.status != SolveStatus::kOptimal && solution.status != SolveStatus::kNodeLimit) {
+    SIA_LOG(Warning) << "Sia ILP solve failed: " << ToString(solution.status)
+                     << "; leaving allocations unchanged";
+    for (const JobView& job : input.jobs) {
+      if (job.current_config.num_gpus > 0) {
+        output[job.spec->id] = job.current_config;
+      }
+    }
+    return output;
+  }
+
+  for (size_t i = 0; i < input.jobs.size(); ++i) {
+    for (const Candidate& candidate : candidates[i]) {
+      if (solution.values[candidate.lp_var] > 0.5) {
+        output[input.jobs[i].spec->id] = configs[candidate.config_index];
+        break;
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace sia

@@ -1,0 +1,64 @@
+// The Sia scheduling policy (§3.4).
+//
+// Each round, Sia
+//  1. evaluates every job's estimated goodput on every valid configuration
+//     it could hold this round (respecting the <=2x scale-up rule, the job's
+//     GPU-count cap, replica granularity for hybrid-parallel jobs, and
+//     rigid/strong-scaling adaptivity limits),
+//  2. row-normalizes the goodput matrix (G_ij <- G_ij / min_j G_ij * N_i^min)
+//     so utilities are comparable across jobs,
+//  3. discounts configurations that would restart the job by the
+//     re-allocation factor r_i = (T_i - N_i S_i) / (T_i + S_i)     (Eq. 3),
+//  4. applies the fairness power p (p < 0 flips the objective to minimize),
+//  5. solves the resulting binary ILP
+//        opt  sum_ij A_ij (r_i G_ij)^p + lambda (1 - ||A_i||_1)     (Eq. 4)
+//     s.t. each job takes at most one configuration and per-GPU-type
+//     capacity holds,
+//  6. returns the chosen configuration per job.
+#ifndef SIA_SRC_SCHEDULERS_SIA_SIA_SCHEDULER_H_
+#define SIA_SRC_SCHEDULERS_SIA_SIA_SCHEDULER_H_
+
+#include "src/schedulers/scheduler.h"
+#include "src/solver/milp.h"
+
+namespace sia {
+
+struct SiaOptions {
+  // Fairness power p (§3.4, default -0.5; Fig. 10 sweeps [-1, 1]).
+  double fairness_power = -0.5;
+  // Queue-occupancy penalty lambda (default 1.1).
+  double lambda = 1.1;
+  double round_duration_seconds = 60.0;
+  // Per-round cap on scaling a job up (2x per §3.1 "Job Scaling policy").
+  int scale_up_factor = 2;
+  // Lower clamp on the restart factor so long-running jobs can still move.
+  double min_restart_factor = 0.05;
+  // The scheduling ILP's LP relaxation is near-integral and the rounding
+  // heuristic produces strong incumbents, so a loose gap and a small node
+  // budget lose nothing measurable while keeping worst-case policy runtime
+  // bounded (Fig. 9).
+  MilpOptions milp = [] {
+    MilpOptions options;
+    options.max_nodes = 64;
+    options.relative_gap = 3e-3;
+    return options;
+  }();
+};
+
+class SiaScheduler : public Scheduler {
+ public:
+  explicit SiaScheduler(SiaOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "sia"; }
+  double round_duration_seconds() const override { return options_.round_duration_seconds; }
+  ScheduleOutput Schedule(const ScheduleInput& input) override;
+
+  const SiaOptions& options() const { return options_; }
+
+ private:
+  SiaOptions options_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SCHEDULERS_SIA_SIA_SCHEDULER_H_

@@ -1,0 +1,431 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/models/profile_db.h"
+
+namespace sia {
+
+struct ClusterSimulator::JobState {
+  JobSpec spec;
+  std::unique_ptr<GoodputEstimator> estimator;
+  ModelInfo info;
+  Rng noise;
+
+  bool done = false;
+  double finish_time = 0.0;
+  double progress = 0.0;      // Reference samples completed.
+  double gpu_seconds = 0.0;
+  int num_restarts = 0;
+  int num_failures = 0;
+  int peak_num_gpus = 0;
+  bool ever_allocated = false;
+  double pending_restore = 0.0;  // Remaining checkpoint-restore time.
+  Placement placement;           // Empty when queued / preempted.
+};
+
+namespace {
+
+// Profiling sweep of §3.2: ~10 batch sizes on one GPU of each type, charged
+// at <20 GPU-seconds per type.
+constexpr int kProfileBatchSizes = 10;
+constexpr double kProfileGpuSecondsPerType = 20.0;
+
+double WallSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(ClusterSpec cluster, std::vector<JobSpec> jobs,
+                                   Scheduler* scheduler, SimOptions options)
+    : cluster_(std::move(cluster)),
+      config_set_(BuildConfigSet(cluster_)),
+      pending_(std::move(jobs)),
+      scheduler_(scheduler),
+      options_(options),
+      rng_(options.seed),
+      failure_rng_(rng_.Fork("node-failures")) {
+  SIA_CHECK(scheduler_ != nullptr);
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+}
+
+ClusterSimulator::~ClusterSimulator() = default;
+
+void ClusterSimulator::ActivateArrivals(double now) {
+  while (next_arrival_ < pending_.size() && pending_[next_arrival_].submit_time <= now) {
+    const JobSpec& spec = pending_[next_arrival_];
+    auto job = std::make_unique<JobState>();
+    job->spec = spec;
+    job->info = GetModelInfo(spec.model);
+    job->estimator =
+        std::make_unique<GoodputEstimator>(spec.model, &cluster_, options_.profiling_mode,
+                                           spec.batch_inference, spec.latency_slo_seconds);
+    job->noise = rng_.Fork("job-noise", static_cast<uint64_t>(spec.id));
+
+    if (options_.profiling_mode == ProfilingMode::kBootstrap && !job->info.hybrid_parallel) {
+      // Initial profiling: 1 GPU of each type, a sweep of batch sizes up to
+      // the memory limit, with observation noise. Charged to the job's GPU
+      // time (~0.1 GPU-hours total, §5.7).
+      for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+        const DeviceProfile& device = GetDeviceProfile(spec.model, cluster_.gpu_type(t).name);
+        if (!device.available) {
+          continue;
+        }
+        for (int k = 1; k <= kProfileBatchSizes; ++k) {
+          const double local =
+              std::max(1.0, device.max_local_bsz * static_cast<double>(k) / kProfileBatchSizes);
+          const double truth = IterTime(device.truth, 1, 1, local, 1);
+          job->estimator->AddProfilePoint(
+              t, local, truth * job->noise.LogNormal(0.0, options_.observation_noise_sigma));
+        }
+        job->gpu_seconds += kProfileGpuSecondsPerType;
+      }
+    }
+    active_.push_back(std::move(job));
+    ++next_arrival_;
+  }
+}
+
+void ClusterSimulator::ApplyPlacements(double now, const std::map<JobId, Placement>& placements) {
+  for (auto& job : active_) {
+    if (job->done) {
+      continue;
+    }
+    const auto it = placements.find(job->spec.id);
+    const Placement next = it == placements.end() ? Placement{} : it->second;
+    const bool changed = !(next.config == job->placement.config) ||
+                         next.node_ids != job->placement.node_ids;
+    if (!changed) {
+      continue;
+    }
+    if (options_.record_timeline) {
+      result_.timeline.push_back({now, job->spec.id, next.config});
+    }
+    if (!next.empty()) {
+      if (job->ever_allocated) {
+        ++job->num_restarts;
+      }
+      job->ever_allocated = true;
+      // Checkpoint-restore before training resumes (initial start pays the
+      // restore half as state is loaded onto fresh executors).
+      job->pending_restore = job->num_restarts == 0 ? 0.5 * job->info.restart_seconds
+                                                    : job->info.restart_seconds;
+      job->peak_num_gpus = std::max(job->peak_num_gpus, next.config.num_gpus);
+    }
+    job->placement = next;
+  }
+}
+
+double ClusterSimulator::TrueIterTime(const JobState& job, const Config& config,
+                                      const BatchDecision& decision) const {
+  const std::string& type_name = cluster_.gpu_type(config.gpu_type).name;
+  if (job.info.hybrid_parallel) {
+    return decision.iter_time;  // Hybrid profiles are measurement-seeded (§5.3).
+  }
+  const DeviceProfile& device = GetDeviceProfile(job.spec.model, type_name);
+  SIA_CHECK(device.available);
+  return IterTime(device.truth, config.num_nodes, config.num_gpus, decision.local_bsz,
+                  decision.accum_steps);
+}
+
+double ClusterSimulator::TrueGoodputRate(const JobState& job, const Config& config,
+                                         const BatchDecision& decision) const {
+  const double iter = TrueIterTime(job, config, decision);
+  const double throughput = decision.global_bsz / iter;
+  if (job.spec.batch_inference || job.spec.latency_slo_seconds > 0.0) {
+    return throughput;  // Inference progress is plain samples/second (§3.4).
+  }
+  const double progress_fraction =
+      job.info.total_work > 0.0 ? job.progress / job.info.total_work : 0.0;
+  const double true_pgns = PgnsAt(job.info.efficiency, progress_fraction);
+  const double efficiency = Efficiency(job.info.efficiency, true_pgns, decision.global_bsz);
+  return throughput * efficiency;
+}
+
+void ClusterSimulator::AdvanceRound(double now, double duration) {
+  for (auto& job : active_) {
+    if (job->done || job->placement.empty()) {
+      continue;
+    }
+    const Config& config = job->placement.config;
+    job->gpu_seconds += config.num_gpus * duration;
+
+    double remaining = duration;
+    if (job->pending_restore > 0.0) {
+      const double used = std::min(job->pending_restore, remaining);
+      job->pending_restore -= used;
+      remaining -= used;
+    }
+    if (remaining <= 0.0) {
+      continue;
+    }
+
+    // The Adaptive Executor picks the batch size using the *learned* model;
+    // the cluster then delivers ground-truth performance at that choice.
+    const BatchDecision decision =
+        job->estimator->Estimate(config, job->spec.adaptivity, job->spec.fixed_bsz);
+    if (!decision.feasible) {
+      continue;  // Unusable configuration: holds GPUs but makes no progress.
+    }
+    const double rate = TrueGoodputRate(*job, config, decision);
+    SIA_CHECK(rate > 0.0);
+    const double work_left = job->info.total_work - job->progress;
+    const double needed = work_left / rate;
+    if (needed <= remaining) {
+      job->progress = job->info.total_work;
+      job->done = true;
+      job->finish_time = now + (duration - remaining) + needed;
+    } else {
+      job->progress += rate * remaining;
+    }
+
+    // --- end-of-round telemetry back to the estimator (§3.1, default 30 s
+    // reporting folded into one round-level update). Hybrid jobs skip
+    // throughput telemetry: their pipeline profiles are measurement-seeded
+    // (§5.3) rather than fit online. ---
+    if (!job->info.hybrid_parallel) {
+      const double true_iter = TrueIterTime(*job, config, decision);
+      job->estimator->AddObservation(
+          config.gpu_type, config.num_nodes, config.num_gpus, decision.local_bsz,
+          decision.accum_steps,
+          true_iter * job->noise.LogNormal(0.0, options_.observation_noise_sigma));
+    }
+    const double progress_fraction =
+        job->info.total_work > 0.0 ? job->progress / job->info.total_work : 0.0;
+    job->estimator->ObservePgns(PgnsAt(job->info.efficiency, progress_fraction) *
+                                job->noise.LogNormal(0.0, options_.pgns_noise_sigma));
+  }
+}
+
+SimResult ClusterSimulator::Run() {
+  const double round = scheduler_->round_duration_seconds();
+  SIA_CHECK(round > 0.0);
+  const double cap_seconds = options_.max_hours * 3600.0;
+
+  double now = 0.0;
+  RunningStats contention;
+  std::map<JobId, Placement> previous_placements;
+
+  while (now < cap_seconds) {
+    ActivateArrivals(now);
+
+    // Snapshot active (unfinished) jobs for the policy.
+    ScheduleInput input;
+    input.now_seconds = now;
+    input.cluster = &cluster_;
+    input.config_set = &config_set_;
+    int active_count = 0;
+    for (const auto& job : active_) {
+      if (job->done) {
+        continue;
+      }
+      ++active_count;
+      JobView view;
+      view.spec = &job->spec;
+      view.estimator = job->estimator.get();
+      view.age_seconds = now - job->spec.submit_time;
+      view.num_restarts = job->num_restarts;
+      view.restart_overhead_seconds = job->info.restart_seconds;
+      view.current_config = job->placement.config;
+      if (job->placement.empty()) {
+        view.current_config = Config{};
+      }
+      view.peak_num_gpus = job->peak_num_gpus;
+      view.progress_fraction =
+          job->info.total_work > 0.0 ? job->progress / job->info.total_work : 0.0;
+      view.service_gpu_seconds = job->gpu_seconds;
+      view.total_work = job->info.total_work;
+      input.jobs.push_back(view);
+    }
+
+    if (active_count == 0) {
+      if (next_arrival_ >= pending_.size()) {
+        break;  // Simulation complete.
+      }
+      // Idle-skip to the next arrival's round boundary.
+      const double next_time = pending_[next_arrival_].submit_time;
+      now = std::ceil(next_time / round) * round;
+      continue;
+    }
+
+    contention.Add(static_cast<double>(active_count));
+    result_.max_contention = std::max(result_.max_contention, active_count);
+
+    const double t0 = WallSeconds();
+    const ScheduleOutput desired = scheduler_->Schedule(input);
+    result_.policy_runtimes.push_back(WallSeconds() - t0);
+
+    std::map<JobId, Config> desired_map;
+    for (const auto& [job_id, config] : desired) {
+      if (config.num_gpus > 0) {
+        desired_map[job_id] = config;
+      }
+    }
+    // Drop stale placements of finished jobs before re-placing.
+    std::map<JobId, Placement> live_previous;
+    for (const auto& job : active_) {
+      if (!job->done && !job->placement.empty()) {
+        live_previous[job->spec.id] = job->placement;
+      }
+    }
+    const PlacerResult placed = PlaceJobs(cluster_, desired_map, live_previous);
+    ApplyPlacements(now, placed.placements);
+
+    // Worker-failure injection (§3.5): a failing node knocks every job
+    // touching it back to its last epoch checkpoint; the job recovers via
+    // checkpoint-restore on the same resources.
+    if (options_.node_mtbf_hours > 0.0) {
+      const double failure_probability =
+          std::min(1.0, round / (options_.node_mtbf_hours * 3600.0));
+      for (int node = 0; node < cluster_.num_nodes(); ++node) {
+        if (!failure_rng_.Bernoulli(failure_probability)) {
+          continue;
+        }
+        ++result_.total_failures;
+        for (auto& job : active_) {
+          if (job->done || job->placement.empty()) {
+            continue;
+          }
+          const auto& ids = job->placement.node_ids;
+          if (std::find(ids.begin(), ids.end(), node) == ids.end()) {
+            continue;
+          }
+          job->progress *= 1.0 - options_.failure_progress_loss;
+          job->pending_restore = job->info.restart_seconds;
+          ++job->num_failures;
+        }
+      }
+    }
+
+    // Accumulate busy capacity for the utilization metric (and optionally a
+    // per-round snapshot for timeline analysis).
+    RoundStats stats;
+    stats.time_seconds = now;
+    for (const auto& job : active_) {
+      if (job->done) {
+        continue;
+      }
+      ++stats.active_jobs;
+      if (!job->placement.empty()) {
+        ++stats.running_jobs;
+        stats.busy_gpus += job->placement.total_gpus();
+        busy_gpu_seconds_ += job->placement.total_gpus() * round;
+      }
+    }
+    if (options_.record_timeline) {
+      result_.round_stats.push_back(stats);
+    }
+
+    AdvanceRound(now, round);
+    now += round;
+
+    // Retire finished jobs into results.
+    for (auto& job : active_) {
+      if (job->done && job->finish_time > 0.0 && !job->placement.empty()) {
+        if (options_.record_timeline) {
+          result_.timeline.push_back({now, job->spec.id, Config{}});
+        }
+        job->placement = Placement{};  // Resources free from the next round.
+      }
+    }
+    auto retire = std::stable_partition(active_.begin(), active_.end(),
+                                        [](const auto& job) { return !job->done; });
+    for (auto it = retire; it != active_.end(); ++it) {
+      JobResult jr;
+      jr.spec = (*it)->spec;
+      jr.finished = true;
+      jr.finish_time = (*it)->finish_time;
+      jr.jct = (*it)->finish_time - (*it)->spec.submit_time;
+      jr.gpu_seconds = (*it)->gpu_seconds;
+      jr.num_restarts = (*it)->num_restarts;
+      jr.num_failures = (*it)->num_failures;
+      result_.makespan_seconds = std::max(result_.makespan_seconds, (*it)->finish_time);
+      result_.jobs.push_back(std::move(jr));
+    }
+    active_.erase(retire, active_.end());
+  }
+
+  // Censor unfinished jobs at the cap.
+  result_.all_finished = active_.empty() && next_arrival_ >= pending_.size();
+  for (auto& job : active_) {
+    JobResult jr;
+    jr.spec = job->spec;
+    jr.finished = false;
+    jr.jct = std::max(0.0, now - job->spec.submit_time);
+    jr.gpu_seconds = job->gpu_seconds;
+    jr.num_restarts = job->num_restarts;
+    jr.num_failures = job->num_failures;
+    result_.makespan_seconds = std::max(result_.makespan_seconds, now);
+    result_.jobs.push_back(std::move(jr));
+  }
+  if (!result_.all_finished) {
+    SIA_LOG(Warning) << "simulation hit the max-hours cap with " << active_.size()
+                     << " unfinished jobs";
+  }
+  result_.avg_contention = contention.mean();
+  if (result_.makespan_seconds > 0.0 && cluster_.TotalGpus() > 0) {
+    result_.gpu_utilization =
+        busy_gpu_seconds_ / (cluster_.TotalGpus() * result_.makespan_seconds);
+  }
+  std::stable_sort(result_.jobs.begin(), result_.jobs.end(),
+                   [](const JobResult& a, const JobResult& b) { return a.spec.id < b.spec.id; });
+  return result_;
+}
+
+// --- SimResult helpers ---
+
+std::vector<double> SimResult::JctsHours() const {
+  std::vector<double> jcts;
+  jcts.reserve(jobs.size());
+  for (const JobResult& job : jobs) {
+    jcts.push_back(job.jct / 3600.0);
+  }
+  return jcts;
+}
+
+double SimResult::AvgJctHours() const { return Mean(JctsHours()); }
+
+double SimResult::P99JctHours() const {
+  const auto jcts = JctsHours();
+  return jcts.empty() ? 0.0 : Percentile(jcts, 0.99);
+}
+
+double SimResult::AvgGpuHoursPerJob() const {
+  if (jobs.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const JobResult& job : jobs) {
+    total += job.gpu_seconds / 3600.0;
+  }
+  return total / static_cast<double>(jobs.size());
+}
+
+double SimResult::AvgRestarts() const {
+  if (jobs.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const JobResult& job : jobs) {
+    total += job.num_restarts;
+  }
+  return total / static_cast<double>(jobs.size());
+}
+
+double SimResult::MedianPolicyRuntime() const {
+  return policy_runtimes.empty() ? 0.0 : Median(policy_runtimes);
+}
+
+double SimResult::P95PolicyRuntime() const {
+  return policy_runtimes.empty() ? 0.0 : Percentile(policy_runtimes, 0.95);
+}
+
+}  // namespace sia

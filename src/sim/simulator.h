@@ -1,0 +1,140 @@
+// Round-based discrete-time cluster simulator (the reproduction of the
+// Pollux simulator [3, 44] that §4.2 builds on, with Sia's model-specific
+// checkpoint-restore delays).
+//
+// Fidelity model:
+//  * Scheduling happens at fixed round boundaries; arrivals queue until the
+//    next boundary.
+//  * The scheduler only sees each job's *learned* GoodputEstimator; the
+//    simulator advances progress using ground-truth throughput/efficiency at
+//    the batch size the (estimator-driven) Adaptive Executor picked --
+//    mis-estimates therefore cost real time, which is what makes the
+//    Oracle/Bootstrap/NoProf ablation (§5.7) meaningful.
+//  * Every allocation change pays the model-specific checkpoint-restore
+//    delay before progress resumes.
+//  * Executors report noisy iteration-time and gradient-noise observations
+//    each round, continuously refining the estimators (§3.2).
+#ifndef SIA_SRC_SIM_SIMULATOR_H_
+#define SIA_SRC_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/placer.h"
+#include "src/common/rng.h"
+#include "src/models/estimator.h"
+#include "src/schedulers/scheduler.h"
+#include "src/workload/job.h"
+
+namespace sia {
+
+struct SimOptions {
+  uint64_t seed = 1;
+  ProfilingMode profiling_mode = ProfilingMode::kBootstrap;
+  // Multiplicative log-normal noise on observed iteration times.
+  double observation_noise_sigma = 0.03;
+  // Noise on gradient-noise-scale reports.
+  double pgns_noise_sigma = 0.10;
+  // Safety cap on simulated time.
+  double max_hours = 21.0 * 24.0;
+  // Record per-job allocation-change events (Fig. 5 timelines).
+  bool record_timeline = false;
+  // Mean time between worker failures per node, in hours (0 disables).
+  // On a failure, every job running on the node loses progress back to its
+  // last epoch checkpoint and restarts from shared storage (§3.5).
+  double node_mtbf_hours = 0.0;
+  // Fraction of a job's progress lost when a worker fails (since the last
+  // per-epoch checkpoint).
+  double failure_progress_loss = 0.02;
+};
+
+struct TimelineEvent {
+  double time_seconds;
+  int job_id;
+  Config config;  // num_gpus == 0 marks preemption to the queue.
+};
+
+// Per-round cluster snapshot (recorded when record_timeline is set).
+struct RoundStats {
+  double time_seconds = 0.0;
+  int active_jobs = 0;
+  int running_jobs = 0;
+  int busy_gpus = 0;
+};
+
+struct JobResult {
+  JobSpec spec;
+  bool finished = false;
+  double finish_time = 0.0;  // Simulated seconds (valid when finished).
+  double jct = 0.0;          // Completion (or censoring) time - submit time.
+  double gpu_seconds = 0.0;  // GPU-seconds held, including restore overhead.
+  int num_restarts = 0;
+  int num_failures = 0;      // Worker failures survived via checkpointing.
+};
+
+struct SimResult {
+  std::vector<JobResult> jobs;
+  double makespan_seconds = 0.0;
+  bool all_finished = false;
+  double avg_contention = 0.0;
+  int max_contention = 0;
+  std::vector<double> policy_runtimes;  // Wall-clock seconds per round.
+  std::vector<TimelineEvent> timeline;
+  std::vector<RoundStats> round_stats;  // Populated when record_timeline.
+  int total_failures = 0;  // Worker failures injected across the run.
+  // Fraction of GPU capacity busy over the run (allocated GPU-seconds /
+  // (total GPUs x makespan)).
+  double gpu_utilization = 0.0;
+
+  // --- summary helpers (all in hours) ---
+  double AvgJctHours() const;
+  double P99JctHours() const;
+  double MakespanHours() const { return makespan_seconds / 3600.0; }
+  double AvgGpuHoursPerJob() const;
+  double AvgRestarts() const;
+  double MedianPolicyRuntime() const;
+  double P95PolicyRuntime() const;
+  std::vector<double> JctsHours() const;
+};
+
+class ClusterSimulator {
+ public:
+  ClusterSimulator(ClusterSpec cluster, std::vector<JobSpec> jobs, Scheduler* scheduler,
+                   SimOptions options = {});
+  ~ClusterSimulator();
+
+  ClusterSimulator(const ClusterSimulator&) = delete;
+  ClusterSimulator& operator=(const ClusterSimulator&) = delete;
+
+  // Runs the simulation to completion (or the max_hours cap) and returns the
+  // collected metrics.
+  SimResult Run();
+
+ private:
+  struct JobState;
+
+  void ActivateArrivals(double now);
+  void ApplyPlacements(double now, const std::map<JobId, Placement>& placements);
+  void AdvanceRound(double now, double duration);
+  double TrueGoodputRate(const JobState& job, const Config& config,
+                         const BatchDecision& decision) const;
+  double TrueIterTime(const JobState& job, const Config& config,
+                      const BatchDecision& decision) const;
+
+  ClusterSpec cluster_;
+  std::vector<Config> config_set_;
+  std::vector<JobSpec> pending_;  // Sorted by submit time; consumed on arrival.
+  size_t next_arrival_ = 0;
+  Scheduler* scheduler_;
+  SimOptions options_;
+  Rng rng_;
+  Rng failure_rng_{0};
+  double busy_gpu_seconds_ = 0.0;
+  std::vector<std::unique_ptr<JobState>> active_;
+  SimResult result_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,193 @@
+#include "src/solver/curve_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace sia {
+namespace {
+
+double SumSquares(const std::vector<double>& r) {
+  double total = 0.0;
+  for (double v : r) {
+    total += v * v;
+  }
+  return total;
+}
+
+// Solves the symmetric positive-definite-ish system M x = b in place via
+// Gaussian elimination with partial pivoting. Returns false if singular.
+bool SolveDense(std::vector<double> m, std::vector<double> b, int n, std::vector<double>& x) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::abs(m[static_cast<size_t>(col) * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double cand = std::abs(m[static_cast<size_t>(r) * n + col]);
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return false;
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(m[static_cast<size_t>(pivot) * n + c], m[static_cast<size_t>(col) * n + c]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / m[static_cast<size_t>(col) * n + col];
+    for (int r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double factor = m[static_cast<size_t>(r) * n + col] * inv;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (int c = col; c < n; ++c) {
+        m[static_cast<size_t>(r) * n + c] -= factor * m[static_cast<size_t>(col) * n + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  x.resize(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = b[i] / m[static_cast<size_t>(i) * n + i];
+  }
+  return true;
+}
+
+}  // namespace
+
+CurveFitResult FitLeastSquares(const ResidualFn& residual_fn, std::vector<double> initial,
+                               const std::vector<double>& lower, const std::vector<double>& upper,
+                               const CurveFitOptions& options) {
+  const int p = static_cast<int>(initial.size());
+  SIA_CHECK(lower.size() == initial.size() && upper.size() == initial.size());
+
+  auto project = [&](std::vector<double>& params) {
+    for (int i = 0; i < p; ++i) {
+      params[i] = std::clamp(params[i], lower[i], upper[i]);
+    }
+  };
+  project(initial);
+
+  CurveFitResult result;
+  result.params = initial;
+
+  std::vector<double> residuals;
+  residual_fn(result.params, residuals);
+  double cost = SumSquares(residuals);
+  result.cost = cost;
+  const int num_residuals = static_cast<int>(residuals.size());
+  if (num_residuals == 0 || p == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  double lambda = options.initial_lambda;
+  std::vector<double> jacobian(static_cast<size_t>(num_residuals) * p);
+  std::vector<double> perturbed_residuals;
+  std::vector<double> trial_params;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Forward-difference Jacobian, respecting bounds by stepping inward when
+    // a parameter sits on its upper bound.
+    for (int j = 0; j < p; ++j) {
+      double step = options.jacobian_step * std::max(1.0, std::abs(result.params[j]));
+      trial_params = result.params;
+      if (trial_params[j] + step > upper[j]) {
+        step = -step;
+      }
+      trial_params[j] += step;
+      project(trial_params);
+      const double actual_step = trial_params[j] - result.params[j];
+      residual_fn(trial_params, perturbed_residuals);
+      SIA_CHECK(static_cast<int>(perturbed_residuals.size()) == num_residuals)
+          << "residual count changed during fit";
+      if (actual_step == 0.0) {
+        for (int i = 0; i < num_residuals; ++i) {
+          jacobian[static_cast<size_t>(i) * p + j] = 0.0;
+        }
+        continue;
+      }
+      const double inv_step = 1.0 / actual_step;
+      for (int i = 0; i < num_residuals; ++i) {
+        jacobian[static_cast<size_t>(i) * p + j] =
+            (perturbed_residuals[i] - residuals[i]) * inv_step;
+      }
+    }
+
+    // Normal equations: (JtJ + lambda * diag(JtJ)) delta = -Jt r.
+    std::vector<double> jtj(static_cast<size_t>(p) * p, 0.0);
+    std::vector<double> jtr(p, 0.0);
+    for (int i = 0; i < num_residuals; ++i) {
+      const double* row = &jacobian[static_cast<size_t>(i) * p];
+      for (int a = 0; a < p; ++a) {
+        jtr[a] += row[a] * residuals[i];
+        for (int b = a; b < p; ++b) {
+          jtj[static_cast<size_t>(a) * p + b] += row[a] * row[b];
+        }
+      }
+    }
+    for (int a = 0; a < p; ++a) {
+      for (int b = 0; b < a; ++b) {
+        jtj[static_cast<size_t>(a) * p + b] = jtj[static_cast<size_t>(b) * p + a];
+      }
+    }
+
+    bool improved = false;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      std::vector<double> damped = jtj;
+      for (int a = 0; a < p; ++a) {
+        const double diag = jtj[static_cast<size_t>(a) * p + a];
+        damped[static_cast<size_t>(a) * p + a] += lambda * std::max(diag, 1e-12);
+      }
+      std::vector<double> neg_jtr(p);
+      for (int a = 0; a < p; ++a) {
+        neg_jtr[a] = -jtr[a];
+      }
+      std::vector<double> delta;
+      if (!SolveDense(damped, neg_jtr, p, delta)) {
+        lambda *= 10.0;
+        continue;
+      }
+      trial_params = result.params;
+      for (int a = 0; a < p; ++a) {
+        trial_params[a] += delta[a];
+      }
+      project(trial_params);
+      residual_fn(trial_params, perturbed_residuals);
+      const double trial_cost = SumSquares(perturbed_residuals);
+      if (trial_cost < cost) {
+        const double improvement = (cost - trial_cost) / std::max(cost, 1e-300);
+        result.params = trial_params;
+        residuals = perturbed_residuals;
+        cost = trial_cost;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        improved = true;
+        if (improvement < options.relative_tol) {
+          result.converged = true;
+          result.cost = cost;
+          return result;
+        }
+        break;
+      }
+      lambda *= 10.0;
+    }
+    if (!improved) {
+      result.converged = true;  // Local minimum within damping budget.
+      break;
+    }
+  }
+
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace sia

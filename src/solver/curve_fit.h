@@ -1,0 +1,43 @@
+// Box-constrained Levenberg-Marquardt nonlinear least squares.
+//
+// Used by the goodput estimator to fit per-(job, GPU-type) throughput-model
+// parameters (alpha/beta compute and sync terms, gamma overlap exponent) to
+// the iteration-time observations collected by the Adaptive Executors.
+#ifndef SIA_SRC_SOLVER_CURVE_FIT_H_
+#define SIA_SRC_SOLVER_CURVE_FIT_H_
+
+#include <functional>
+#include <vector>
+
+namespace sia {
+
+struct CurveFitOptions {
+  int max_iterations = 200;
+  // Stop when the relative cost improvement falls below this.
+  double relative_tol = 1e-10;
+  double initial_lambda = 1e-3;
+  // Forward-difference step scale for the numeric Jacobian.
+  double jacobian_step = 1e-6;
+};
+
+struct CurveFitResult {
+  std::vector<double> params;
+  double cost = 0.0;  // Final sum of squared residuals.
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Computes residuals r(params); the fitter minimizes sum r_i^2.
+using ResidualFn =
+    std::function<void(const std::vector<double>& params, std::vector<double>& residuals)>;
+
+// Minimizes ||r(p)||^2 over the box [lower, upper] starting from `initial`.
+// `lower`/`upper` must match `initial` in size; use +-infinity for
+// unconstrained parameters. Bounds are enforced by projection.
+CurveFitResult FitLeastSquares(const ResidualFn& residual_fn, std::vector<double> initial,
+                               const std::vector<double>& lower, const std::vector<double>& upper,
+                               const CurveFitOptions& options = {});
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SOLVER_CURVE_FIT_H_

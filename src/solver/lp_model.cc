@@ -1,0 +1,80 @@
+#include "src/solver/lp_model.h"
+
+#include <map>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+int LinearProgram::AddVariable(double lower, double upper, double objective, std::string name) {
+  SIA_CHECK(lower <= upper) << "variable bounds [" << lower << ", " << upper << "]";
+  objective_.push_back(objective);
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  integer_.push_back(false);
+  var_names_.push_back(std::move(name));
+  return num_variables() - 1;
+}
+
+int LinearProgram::AddBinaryVariable(double objective, std::string name) {
+  const int var = AddVariable(0.0, 1.0, objective, std::move(name));
+  integer_[var] = true;
+  return var;
+}
+
+int LinearProgram::AddConstraint(ConstraintOp op, double rhs, std::vector<LpTerm> terms,
+                                 std::string name) {
+  // Merge duplicate indices so the simplex sees clean sparse columns.
+  std::map<int, double> merged;
+  for (const auto& [var, coeff] : terms) {
+    SIA_CHECK(var >= 0 && var < num_variables()) << "constraint references variable " << var;
+    merged[var] += coeff;
+  }
+  std::vector<LpTerm> row;
+  row.reserve(merged.size());
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) {
+      row.emplace_back(var, coeff);
+    }
+  }
+  rows_.push_back(std::move(row));
+  ops_.push_back(op);
+  rhs_.push_back(rhs);
+  row_names_.push_back(std::move(name));
+  return num_constraints() - 1;
+}
+
+void LinearProgram::SetObjectiveCoefficient(int var, double coeff) {
+  SIA_CHECK(var >= 0 && var < num_variables());
+  objective_[var] = coeff;
+}
+
+void LinearProgram::SetVariableBounds(int var, double lower, double upper) {
+  SIA_CHECK(var >= 0 && var < num_variables());
+  SIA_CHECK(lower <= upper) << "variable bounds [" << lower << ", " << upper << "]";
+  lower_[var] = lower;
+  upper_[var] = upper;
+}
+
+void LinearProgram::SetInteger(int var, bool is_integer) {
+  SIA_CHECK(var >= 0 && var < num_variables());
+  integer_[var] = is_integer;
+}
+
+const char* ToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+    case SolveStatus::kNodeLimit:
+      return "node-limit";
+  }
+  return "?";
+}
+
+}  // namespace sia

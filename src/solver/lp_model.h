@@ -1,0 +1,97 @@
+// Linear-program model builder shared by the LP (simplex) and MILP
+// (branch-and-bound) solvers.
+//
+// Variables carry box bounds [lower, upper] (possibly infinite) and an
+// objective coefficient; constraints are sparse rows with <=, >=, or ==
+// against a right-hand side. Sia's scheduling ILP (Eq. 4/5 of the paper) and
+// Gavel's max-sum-throughput LP are both expressed through this interface.
+#ifndef SIA_SRC_SOLVER_LP_MODEL_H_
+#define SIA_SRC_SOLVER_LP_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sia {
+
+inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+enum class ObjectiveSense { kMaximize, kMinimize };
+
+enum class ConstraintOp { kLessEq, kGreaterEq, kEqual };
+
+// One sparse term: (variable index, coefficient).
+using LpTerm = std::pair<int, double>;
+
+class LinearProgram {
+ public:
+  explicit LinearProgram(ObjectiveSense sense = ObjectiveSense::kMaximize) : sense_(sense) {}
+
+  // Adds a variable and returns its index.
+  int AddVariable(double lower, double upper, double objective, std::string name = "");
+
+  // Adds a binary {0,1} variable (only meaningful to MILP; LP treats it as
+  // a [0,1] continuous variable).
+  int AddBinaryVariable(double objective, std::string name = "");
+
+  // Adds a sparse constraint row; duplicate variable indices are allowed and
+  // are summed. Returns the row index.
+  int AddConstraint(ConstraintOp op, double rhs, std::vector<LpTerm> terms,
+                    std::string name = "");
+
+  void SetObjectiveSense(ObjectiveSense sense) { sense_ = sense; }
+  ObjectiveSense objective_sense() const { return sense_; }
+
+  void SetObjectiveCoefficient(int var, double coeff);
+  void SetVariableBounds(int var, double lower, double upper);
+  // Marks a variable as integral for the MILP solver.
+  void SetInteger(int var, bool is_integer = true);
+
+  int num_variables() const { return static_cast<int>(objective_.size()); }
+  int num_constraints() const { return static_cast<int>(rhs_.size()); }
+
+  double lower_bound(int var) const { return lower_[var]; }
+  double upper_bound(int var) const { return upper_[var]; }
+  double objective_coefficient(int var) const { return objective_[var]; }
+  bool is_integer(int var) const { return integer_[var]; }
+  const std::string& variable_name(int var) const { return var_names_[var]; }
+
+  ConstraintOp constraint_op(int row) const { return ops_[row]; }
+  double rhs(int row) const { return rhs_[row]; }
+  const std::vector<LpTerm>& row_terms(int row) const { return rows_[row]; }
+
+ private:
+  ObjectiveSense sense_;
+  std::vector<double> objective_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<bool> integer_;
+  std::vector<std::string> var_names_;
+  std::vector<std::vector<LpTerm>> rows_;
+  std::vector<ConstraintOp> ops_;
+  std::vector<double> rhs_;
+  std::vector<std::string> row_names_;
+};
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNodeLimit,
+};
+
+const char* ToString(SolveStatus status);
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  // One entry per variable.
+  std::vector<double> duals;   // One entry per constraint (simplex multipliers).
+  int iterations = 0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SOLVER_LP_MODEL_H_

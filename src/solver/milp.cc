@@ -1,0 +1,268 @@
+#include "src/solver/milp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace sia {
+namespace {
+
+struct BranchNode {
+  // Bound overrides accumulated along the branch, (var, lower, upper).
+  std::vector<std::tuple<int, double, double>> overrides;
+  double bound;  // LP objective of the parent (max-normalized).
+  int depth;
+};
+
+// True when the program is "packing-shaped": every constraint is <= and all
+// integer variables have non-negative coefficients everywhere, so flooring
+// integer values can never break feasibility.
+bool IsPackingShaped(const LinearProgram& lp) {
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    if (!lp.is_integer(j)) {
+      continue;
+    }
+    // Integer bounds must themselves be integral for flooring to be safe.
+    const double lo = lp.lower_bound(j);
+    if (std::isfinite(lo) && std::abs(lo - std::round(lo)) > 1e-9) {
+      return false;
+    }
+  }
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    if (lp.constraint_op(i) != ConstraintOp::kLessEq) {
+      return false;
+    }
+    for (const auto& [var, coeff] : lp.row_terms(i)) {
+      if (lp.is_integer(var) && coeff < 0.0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Rounds an LP-relaxation point to an integral feasible point: floor all
+// integer variables, then greedily bump the most promising fractional ones
+// back up while every row stays within its rhs. Returns the objective in
+// max-normalized form via `sign`.
+std::pair<double, std::vector<double>> PackingRound(const LinearProgram& lp,
+                                                    const std::vector<double>& relaxed,
+                                                    double sign) {
+  std::vector<double> values = relaxed;
+  std::vector<double> activity(lp.num_constraints(), 0.0);
+  std::vector<std::tuple<double, int, double>> bump_candidates;  // (score, var, frac)
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    if (!lp.is_integer(j)) {
+      continue;
+    }
+    const double floored = std::floor(values[j] + 1e-9);
+    const double frac = values[j] - floored;
+    values[j] = floored;
+    if (frac > 1e-6 && floored + 1.0 <= lp.upper_bound(j) + 1e-9 &&
+        sign * lp.objective_coefficient(j) > 0.0) {
+      bump_candidates.emplace_back(frac * sign * lp.objective_coefficient(j), j, frac);
+    }
+  }
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    for (const auto& [var, coeff] : lp.row_terms(i)) {
+      activity[i] += coeff * values[var];
+    }
+  }
+  // Most valuable fractional variables first.
+  std::sort(bump_candidates.begin(), bump_candidates.end(),
+            [](const auto& a, const auto& b) { return std::get<0>(a) > std::get<0>(b); });
+  // Row membership for quick feasibility checks.
+  std::vector<std::vector<std::pair<int, double>>> rows_of_var(lp.num_variables());
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    for (const auto& [var, coeff] : lp.row_terms(i)) {
+      rows_of_var[var].emplace_back(i, coeff);
+    }
+  }
+  for (const auto& [score, var, frac] : bump_candidates) {
+    bool fits = true;
+    for (const auto& [row, coeff] : rows_of_var[var]) {
+      if (activity[row] + coeff > lp.rhs(row) + 1e-9) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      continue;
+    }
+    values[var] += 1.0;
+    for (const auto& [row, coeff] : rows_of_var[var]) {
+      activity[row] += coeff;
+    }
+  }
+  double objective = 0.0;
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    objective += lp.objective_coefficient(j) * values[j];
+  }
+  return {sign * objective, std::move(values)};
+}
+
+// Finds the integral variable whose LP value is most fractional.
+int MostFractional(const LinearProgram& lp, const std::vector<double>& values, double tol) {
+  int best = -1;
+  double best_dist = tol;
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    if (!lp.is_integer(j)) {
+      continue;
+    }
+    const double frac = values[j] - std::floor(values[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
+  MilpSolution result;
+  const bool maximizing = lp.objective_sense() == ObjectiveSense::kMaximize;
+  // Normalize: internally we compare objectives as "bigger is better".
+  const double sign = maximizing ? 1.0 : -1.0;
+
+  // Mutable copy whose bounds we override per node.
+  LinearProgram working = lp;
+  const bool use_rounding = options.packing_rounding && IsPackingShaped(lp);
+
+  double incumbent_obj = -kLpInfinity;
+  std::vector<double> incumbent_values;
+  bool have_incumbent = false;
+
+  // Depth-first stack; diving finds incumbents quickly and the near-integral
+  // relaxation keeps the stack shallow.
+  std::vector<BranchNode> stack;
+  stack.push_back({{}, kLpInfinity, 0});
+
+  int nodes = 0;
+  bool hit_node_limit = false;
+  while (!stack.empty()) {
+    if (nodes >= options.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    BranchNode node = std::move(stack.back());
+    stack.pop_back();
+    if (have_incumbent && node.bound <= incumbent_obj + std::abs(incumbent_obj) *
+                                                            options.relative_gap) {
+      continue;  // Pruned by bound.
+    }
+
+    // Apply overrides.
+    std::vector<std::tuple<int, double, double>> saved;
+    saved.reserve(node.overrides.size());
+    bool bounds_ok = true;
+    for (const auto& [var, lo, hi] : node.overrides) {
+      saved.emplace_back(var, working.lower_bound(var), working.upper_bound(var));
+      if (lo > hi) {
+        bounds_ok = false;
+        break;
+      }
+      working.SetVariableBounds(var, lo, hi);
+    }
+
+    LpSolution relaxation;
+    if (bounds_ok) {
+      relaxation = SolveLp(working, options.simplex);
+      ++nodes;
+    }
+
+    // Restore bounds before any continue/branch bookkeeping.
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      working.SetVariableBounds(std::get<0>(*it), std::get<1>(*it), std::get<2>(*it));
+    }
+
+    if (!bounds_ok || relaxation.status == SolveStatus::kInfeasible) {
+      continue;
+    }
+    if (relaxation.status == SolveStatus::kUnbounded) {
+      result.status = SolveStatus::kUnbounded;
+      result.nodes_explored = nodes;
+      return result;
+    }
+    if (relaxation.status == SolveStatus::kIterationLimit) {
+      continue;  // Treat as unexplorable; conservative but safe.
+    }
+
+    const double node_obj = sign * relaxation.objective;
+    if (have_incumbent &&
+        node_obj <= incumbent_obj + std::abs(incumbent_obj) * options.relative_gap) {
+      continue;
+    }
+
+    if (use_rounding) {
+      // Build a feasible integral incumbent from this relaxation; with the
+      // near-integral relaxations of Sia's scheduling ILP this usually
+      // closes the gap at the root node.
+      auto [rounded_obj, rounded_values] = PackingRound(lp, relaxation.values, sign);
+      if (!have_incumbent || rounded_obj > incumbent_obj) {
+        incumbent_obj = rounded_obj;
+        incumbent_values = std::move(rounded_values);
+        have_incumbent = true;
+      }
+      if (node_obj <= incumbent_obj + std::abs(incumbent_obj) * options.relative_gap) {
+        continue;  // Relaxation bound already met by the rounded incumbent.
+      }
+    }
+
+    const int branch_var = MostFractional(lp, relaxation.values, options.integrality_tol);
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      if (!have_incumbent || node_obj > incumbent_obj) {
+        incumbent_obj = node_obj;
+        incumbent_values = relaxation.values;
+        // Snap integral variables exactly.
+        for (int j = 0; j < lp.num_variables(); ++j) {
+          if (lp.is_integer(j)) {
+            incumbent_values[j] = std::round(incumbent_values[j]);
+          }
+        }
+        have_incumbent = true;
+      }
+      continue;
+    }
+
+    // Branch: child with the rounded-toward side first popped (pushed last)
+    // to dive toward integrality.
+    const double value = relaxation.values[branch_var];
+    const double floor_value = std::floor(value);
+
+    BranchNode up_child{node.overrides, node_obj, node.depth + 1};
+    up_child.overrides.emplace_back(branch_var,
+                                    std::max(working.lower_bound(branch_var), floor_value + 1.0),
+                                    working.upper_bound(branch_var));
+    BranchNode down_child{std::move(node.overrides), node_obj, node.depth + 1};
+    down_child.overrides.emplace_back(branch_var, working.lower_bound(branch_var),
+                                      std::min(working.upper_bound(branch_var), floor_value));
+
+    if (value - floor_value > 0.5) {
+      stack.push_back(std::move(down_child));
+      stack.push_back(std::move(up_child));
+    } else {
+      stack.push_back(std::move(up_child));
+      stack.push_back(std::move(down_child));
+    }
+  }
+
+  result.nodes_explored = nodes;
+  if (!have_incumbent) {
+    result.status = hit_node_limit ? SolveStatus::kNodeLimit : SolveStatus::kInfeasible;
+    return result;
+  }
+  result.status = hit_node_limit ? SolveStatus::kNodeLimit : SolveStatus::kOptimal;
+  result.objective = sign * incumbent_obj;
+  result.values = std::move(incumbent_values);
+  return result;
+}
+
+}  // namespace sia

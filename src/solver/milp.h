@@ -1,0 +1,44 @@
+// Branch-and-bound MILP solver on top of the revised-simplex LP solver.
+//
+// Sia's scheduling problem (Eq. 4/5) is a binary program whose LP relaxation
+// is near-integral (one GUB row per job plus one knapsack row per GPU type),
+// so depth-first branch-and-bound with best-first tie-breaking terminates in
+// a handful of nodes in practice.
+#ifndef SIA_SRC_SOLVER_MILP_H_
+#define SIA_SRC_SOLVER_MILP_H_
+
+#include "src/solver/lp_model.h"
+#include "src/solver/simplex.h"
+
+namespace sia {
+
+struct MilpOptions {
+  SimplexOptions simplex;
+  // Stop exploring once this many branch-and-bound nodes were solved.
+  int max_nodes = 50000;
+  // Accept an incumbent within this relative gap of the best bound.
+  double relative_gap = 1e-6;
+  // Integrality tolerance.
+  double integrality_tol = 1e-6;
+  // Enables a packing-aware rounding heuristic that builds an incumbent
+  // from every LP relaxation. Safe (and automatically verified) only for
+  // programs where all constraints are <= with non-negative coefficients on
+  // integer variables, so rounding down is always feasible -- exactly the
+  // shape of Sia's scheduling ILP. Ignored (with no effect) otherwise.
+  bool packing_rounding = true;
+};
+
+struct MilpSolution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+  int nodes_explored = 0;
+};
+
+// Solves `lp` honoring the integrality markers set via SetInteger /
+// AddBinaryVariable.
+MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options = {});
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SOLVER_MILP_H_

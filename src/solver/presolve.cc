@@ -1,0 +1,223 @@
+#include "src/solver/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/solver/simplex.h"
+
+namespace sia {
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+struct WorkingVar {
+  double lower;
+  double upper;
+  double objective;
+  bool is_integer;
+  bool eliminated = false;
+  double fixed_value = 0.0;
+};
+
+struct WorkingRow {
+  std::vector<LpTerm> terms;  // Over original variable indices.
+  ConstraintOp op;
+  double rhs;
+  bool removed = false;
+};
+
+// Row activity bounds over the variable box, ignoring eliminated variables
+// (their contribution has been folded into rhs).
+std::pair<double, double> ActivityBounds(const WorkingRow& row,
+                                         const std::vector<WorkingVar>& vars) {
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const auto& [var, coeff] : row.terms) {
+    const double a = coeff >= 0.0 ? vars[var].lower : vars[var].upper;
+    const double b = coeff >= 0.0 ? vars[var].upper : vars[var].lower;
+    lo += coeff * a;
+    hi += coeff * b;
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+PresolveResult PresolveLp(const LinearProgram& lp) {
+  PresolveResult result;
+  const int n = lp.num_variables();
+  const int m = lp.num_constraints();
+
+  std::vector<WorkingVar> vars(n);
+  for (int j = 0; j < n; ++j) {
+    vars[j] = {lp.lower_bound(j), lp.upper_bound(j), lp.objective_coefficient(j),
+               lp.is_integer(j)};
+  }
+  std::vector<WorkingRow> rows(m);
+  for (int i = 0; i < m; ++i) {
+    rows[i] = {lp.row_terms(i), lp.constraint_op(i), lp.rhs(i)};
+  }
+
+  auto eliminate_fixed = [&](int j, double value) {
+    vars[j].eliminated = true;
+    vars[j].fixed_value = value;
+    result.objective_offset += vars[j].objective * value;
+    for (WorkingRow& row : rows) {
+      if (row.removed) {
+        continue;
+      }
+      for (auto it = row.terms.begin(); it != row.terms.end(); ++it) {
+        if (it->first == j) {
+          row.rhs -= it->second * value;
+          row.terms.erase(it);
+          break;
+        }
+      }
+    }
+  };
+
+  bool changed = true;
+  for (int pass = 0; pass < 10 && changed; ++pass) {
+    changed = false;
+
+    // Fixed variables.
+    for (int j = 0; j < n; ++j) {
+      if (!vars[j].eliminated && vars[j].upper - vars[j].lower <= kFeasTol &&
+          std::isfinite(vars[j].lower)) {
+        eliminate_fixed(j, vars[j].lower);
+        changed = true;
+      }
+    }
+
+    for (WorkingRow& row : rows) {
+      if (row.removed) {
+        continue;
+      }
+      // Empty rows: trivially feasible or infeasible.
+      if (row.terms.empty()) {
+        const bool feasible = (row.op == ConstraintOp::kLessEq && 0.0 <= row.rhs + kFeasTol) ||
+                              (row.op == ConstraintOp::kGreaterEq && 0.0 >= row.rhs - kFeasTol) ||
+                              (row.op == ConstraintOp::kEqual && std::abs(row.rhs) <= kFeasTol);
+        if (!feasible) {
+          result.proven_infeasible = true;
+          return result;
+        }
+        row.removed = true;
+        ++result.rows_removed;
+        changed = true;
+        continue;
+      }
+      // Singleton rows: tighten the variable's bounds and drop the row.
+      if (row.terms.size() == 1) {
+        const auto [var, coeff] = row.terms[0];
+        SIA_DCHECK(std::abs(coeff) > 0.0);
+        const double bound = row.rhs / coeff;
+        WorkingVar& v = vars[var];
+        if (row.op == ConstraintOp::kEqual) {
+          v.lower = std::max(v.lower, bound);
+          v.upper = std::min(v.upper, bound);
+        } else {
+          const bool upper_bound =
+              (row.op == ConstraintOp::kLessEq) == (coeff > 0.0);
+          if (upper_bound) {
+            v.upper = std::min(v.upper, bound);
+          } else {
+            v.lower = std::max(v.lower, bound);
+          }
+        }
+        if (v.lower > v.upper + kFeasTol) {
+          result.proven_infeasible = true;
+          return result;
+        }
+        row.removed = true;
+        ++result.rows_removed;
+        changed = true;
+        continue;
+      }
+      // Redundant rows: satisfied over the whole variable box.
+      const auto [lo, hi] = ActivityBounds(row, vars);
+      if ((row.op == ConstraintOp::kLessEq && hi <= row.rhs + kFeasTol) ||
+          (row.op == ConstraintOp::kGreaterEq && lo >= row.rhs - kFeasTol)) {
+        row.removed = true;
+        ++result.rows_removed;
+        changed = true;
+      } else if ((row.op == ConstraintOp::kLessEq && lo > row.rhs + kFeasTol) ||
+                 (row.op == ConstraintOp::kGreaterEq && hi < row.rhs - kFeasTol) ||
+                 (row.op == ConstraintOp::kEqual &&
+                  (lo > row.rhs + kFeasTol || hi < row.rhs - kFeasTol))) {
+        result.proven_infeasible = true;
+        return result;
+      }
+    }
+  }
+
+  // Build the reduced program.
+  result.reduced.SetObjectiveSense(lp.objective_sense());
+  result.variable_map.assign(n, -1);
+  result.fixed_values.assign(n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    if (vars[j].eliminated) {
+      result.fixed_values[j] = vars[j].fixed_value;
+      ++result.variables_removed;
+      continue;
+    }
+    result.variable_map[j] =
+        result.reduced.AddVariable(vars[j].lower, vars[j].upper, vars[j].objective,
+                                   lp.variable_name(j));
+    if (vars[j].is_integer) {
+      result.reduced.SetInteger(result.variable_map[j]);
+    }
+  }
+  for (const WorkingRow& row : rows) {
+    if (row.removed) {
+      continue;
+    }
+    std::vector<LpTerm> mapped;
+    mapped.reserve(row.terms.size());
+    for (const auto& [var, coeff] : row.terms) {
+      SIA_DCHECK(result.variable_map[var] >= 0);
+      mapped.emplace_back(result.variable_map[var], coeff);
+    }
+    result.reduced.AddConstraint(row.op, row.rhs, std::move(mapped));
+  }
+  return result;
+}
+
+LpSolution PostsolveLp(const LinearProgram& original, const PresolveResult& presolve,
+                       const LpSolution& reduced_solution) {
+  LpSolution out;
+  out.status = reduced_solution.status;
+  out.iterations = reduced_solution.iterations;
+  if (out.status != SolveStatus::kOptimal && out.status != SolveStatus::kIterationLimit) {
+    return out;
+  }
+  out.values.assign(original.num_variables(), 0.0);
+  double objective = 0.0;
+  for (int j = 0; j < original.num_variables(); ++j) {
+    const int mapped = presolve.variable_map[j];
+    out.values[j] =
+        mapped >= 0 ? reduced_solution.values[mapped] : presolve.fixed_values[j];
+    objective += original.objective_coefficient(j) * out.values[j];
+  }
+  out.objective = objective;
+  return out;
+}
+
+LpSolution SolveLpWithPresolve(const LinearProgram& lp, const SimplexOptions& options) {
+  const PresolveResult presolve = PresolveLp(lp);
+  if (presolve.proven_infeasible) {
+    LpSolution solution;
+    solution.status = SolveStatus::kInfeasible;
+    return solution;
+  }
+  const LpSolution reduced = SolveLp(presolve.reduced, options);
+  if (reduced.status == SolveStatus::kInfeasible || reduced.status == SolveStatus::kUnbounded) {
+    LpSolution solution;
+    solution.status = reduced.status;
+    return solution;
+  }
+  return PostsolveLp(lp, presolve, reduced);
+}
+
+}  // namespace sia

@@ -1,0 +1,50 @@
+// LP presolve: reductions applied before the simplex that shrink the
+// problem without changing its optimum. Standard techniques:
+//   * fixed variables (lower == upper) are substituted into rows/objective,
+//   * empty constraints are checked for trivial feasibility and dropped,
+//   * singleton rows (one variable) become bound tightenings,
+//   * redundant rows (satisfied for every point in the variable box) drop.
+// The result maps back to a solution of the original program.
+//
+// Opt-in: Sia's scheduling LPs are already compact, so the solvers do not
+// call this implicitly; it is provided for larger/looser models built on
+// the same LinearProgram interface.
+#ifndef SIA_SRC_SOLVER_PRESOLVE_H_
+#define SIA_SRC_SOLVER_PRESOLVE_H_
+
+#include <vector>
+
+#include "src/solver/lp_model.h"
+#include "src/solver/simplex.h"
+
+namespace sia {
+
+struct PresolveResult {
+  // True when presolve alone proved the program infeasible.
+  bool proven_infeasible = false;
+  // The reduced program (valid only when !proven_infeasible).
+  LinearProgram reduced;
+  // Mapping: original variable -> reduced-program variable index, or -1 if
+  // the variable was eliminated (its value is in fixed_values).
+  std::vector<int> variable_map;
+  std::vector<double> fixed_values;  // Per original variable; used when map == -1.
+  // Constant objective contribution of eliminated variables.
+  double objective_offset = 0.0;
+  int rows_removed = 0;
+  int variables_removed = 0;
+};
+
+// Runs the reductions to a fixed point (bounded passes).
+PresolveResult PresolveLp(const LinearProgram& lp);
+
+// Expands a reduced-program solution back to the original variable space
+// and recomputes the objective in original terms.
+LpSolution PostsolveLp(const LinearProgram& original, const PresolveResult& presolve,
+                       const LpSolution& reduced_solution);
+
+// Convenience: presolve, solve, postsolve.
+LpSolution SolveLpWithPresolve(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SOLVER_PRESOLVE_H_

@@ -1,0 +1,584 @@
+#include "src/solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace sia {
+namespace {
+
+enum class VarState : uint8_t {
+  kBasic,
+  kAtLower,
+  kAtUpper,
+  kNonbasicFree,  // Free variable resting at zero.
+};
+
+struct SparseColumn {
+  std::vector<int> rows;
+  std::vector<double> values;
+};
+
+// Internal solver working over the maximize form. All constraints are turned
+// into equalities via one slack per row; artificial variables are appended
+// on demand for phase 1.
+class SimplexSolver {
+ public:
+  SimplexSolver(const LinearProgram& lp, const SimplexOptions& options);
+
+  LpSolution Solve();
+
+ private:
+  // --- setup ---
+  void BuildColumns(const LinearProgram& lp);
+  void InitializeBasis();
+
+  // --- iteration machinery ---
+  // Runs simplex pivots until optimal w.r.t. `cost_` or a limit is reached.
+  // Returns the termination status for the current phase.
+  SolveStatus Iterate();
+  void ComputeDuals(std::vector<double>& y) const;
+  double ReducedCost(int var, const std::vector<double>& y) const;
+  void ComputeDirection(int var, std::vector<double>& w) const;
+  void Refactorize();
+  void RecomputeBasicValues();
+
+  double LowerOf(int var) const { return lower_[var]; }
+  double UpperOf(int var) const { return upper_[var]; }
+
+  int num_total() const { return static_cast<int>(columns_.size()); }
+
+  const LinearProgram& lp_;
+  SimplexOptions options_;
+  int m_ = 0;               // Number of rows.
+  int n_structural_ = 0;    // Number of original variables.
+  int first_artificial_ = 0;
+  double sense_sign_ = 1.0;  // +1 maximize, -1 minimize (applied to costs).
+
+  std::vector<SparseColumn> columns_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> cost_;        // Active phase cost.
+  std::vector<double> phase2_cost_; // Original (sense-normalized) cost.
+  std::vector<double> rhs_;
+
+  std::vector<int> basis_;          // Row -> basic variable.
+  std::vector<int> row_of_basic_;   // Var -> row (or -1).
+  std::vector<VarState> state_;
+  std::vector<double> x_;
+  std::vector<double> binv_;        // Dense m x m, row-major.
+
+  int iterations_ = 0;
+  int max_iterations_ = 0;
+  int degenerate_streak_ = 0;
+  bool bland_mode_ = false;
+};
+
+SimplexSolver::SimplexSolver(const LinearProgram& lp, const SimplexOptions& options)
+    : lp_(lp), options_(options) {
+  m_ = lp.num_constraints();
+  n_structural_ = lp.num_variables();
+  sense_sign_ = lp.objective_sense() == ObjectiveSense::kMaximize ? 1.0 : -1.0;
+  BuildColumns(lp);
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 20000 + 50 * (m_ + n_structural_);
+}
+
+void SimplexSolver::BuildColumns(const LinearProgram& lp) {
+  columns_.resize(n_structural_ + m_);
+  lower_.resize(n_structural_ + m_);
+  upper_.resize(n_structural_ + m_);
+  phase2_cost_.assign(n_structural_ + m_, 0.0);
+  rhs_.resize(m_);
+
+  for (int j = 0; j < n_structural_; ++j) {
+    lower_[j] = lp.lower_bound(j);
+    upper_[j] = lp.upper_bound(j);
+    phase2_cost_[j] = sense_sign_ * lp.objective_coefficient(j);
+  }
+  for (int i = 0; i < m_; ++i) {
+    rhs_[i] = lp.rhs(i);
+    for (const auto& [var, coeff] : lp.row_terms(i)) {
+      columns_[var].rows.push_back(i);
+      columns_[var].values.push_back(coeff);
+    }
+    // Slack variable for row i.
+    const int slack = n_structural_ + i;
+    columns_[slack].rows.push_back(i);
+    columns_[slack].values.push_back(1.0);
+    switch (lp.constraint_op(i)) {
+      case ConstraintOp::kLessEq:
+        lower_[slack] = 0.0;
+        upper_[slack] = kLpInfinity;
+        break;
+      case ConstraintOp::kGreaterEq:
+        lower_[slack] = -kLpInfinity;
+        upper_[slack] = 0.0;
+        break;
+      case ConstraintOp::kEqual:
+        lower_[slack] = 0.0;
+        upper_[slack] = 0.0;
+        break;
+    }
+  }
+  first_artificial_ = n_structural_ + m_;
+}
+
+void SimplexSolver::InitializeBasis() {
+  const int total = num_total();
+  state_.assign(total, VarState::kAtLower);
+  x_.assign(total, 0.0);
+  row_of_basic_.assign(total, -1);
+  basis_.assign(m_, -1);
+
+  // Nonbasic structurals rest at the finite bound closest to zero.
+  for (int j = 0; j < n_structural_; ++j) {
+    const double lo = lower_[j];
+    const double hi = upper_[j];
+    if (std::isfinite(lo) && std::isfinite(hi)) {
+      if (std::abs(lo) <= std::abs(hi)) {
+        state_[j] = VarState::kAtLower;
+        x_[j] = lo;
+      } else {
+        state_[j] = VarState::kAtUpper;
+        x_[j] = hi;
+      }
+    } else if (std::isfinite(lo)) {
+      state_[j] = VarState::kAtLower;
+      x_[j] = lo;
+    } else if (std::isfinite(hi)) {
+      state_[j] = VarState::kAtUpper;
+      x_[j] = hi;
+    } else {
+      state_[j] = VarState::kNonbasicFree;
+      x_[j] = 0.0;
+    }
+  }
+
+  // Residual each slack must absorb.
+  std::vector<double> residual(rhs_);
+  for (int j = 0; j < n_structural_; ++j) {
+    if (x_[j] == 0.0) {
+      continue;
+    }
+    const auto& col = columns_[j];
+    for (size_t k = 0; k < col.rows.size(); ++k) {
+      residual[col.rows[k]] -= col.values[k] * x_[j];
+    }
+  }
+
+  // Slack basis where the residual fits the slack's bounds; otherwise clamp
+  // the slack to its nearest bound and add a signed artificial variable.
+  for (int i = 0; i < m_; ++i) {
+    const int slack = n_structural_ + i;
+    const double r = residual[i];
+    if (r >= lower_[slack] - options_.feasibility_tol &&
+        r <= upper_[slack] + options_.feasibility_tol) {
+      basis_[i] = slack;
+      row_of_basic_[slack] = i;
+      state_[slack] = VarState::kBasic;
+      x_[slack] = std::clamp(r, lower_[slack], upper_[slack]);
+      continue;
+    }
+    const double clamped = std::clamp(r, lower_[slack], upper_[slack]);
+    state_[slack] = clamped == lower_[slack] ? VarState::kAtLower : VarState::kAtUpper;
+    x_[slack] = clamped;
+    const double leftover = r - clamped;
+    // Artificial column: +1 if leftover positive, -1 otherwise, with value
+    // |leftover| and bounds [0, inf) during phase 1.
+    SparseColumn art;
+    art.rows.push_back(i);
+    art.values.push_back(leftover > 0.0 ? 1.0 : -1.0);
+    columns_.push_back(std::move(art));
+    lower_.push_back(0.0);
+    upper_.push_back(kLpInfinity);
+    phase2_cost_.push_back(0.0);
+    const int art_var = num_total() - 1;
+    state_.push_back(VarState::kBasic);
+    x_.push_back(std::abs(leftover));
+    row_of_basic_.push_back(i);
+    basis_[i] = art_var;
+  }
+
+  Refactorize();
+}
+
+void SimplexSolver::Refactorize() {
+  // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+  std::vector<double> basis_matrix(static_cast<size_t>(m_) * m_, 0.0);
+  for (int r = 0; r < m_; ++r) {
+    const auto& col = columns_[basis_[r]];
+    for (size_t k = 0; k < col.rows.size(); ++k) {
+      basis_matrix[static_cast<size_t>(col.rows[k]) * m_ + r] = col.values[k];
+    }
+  }
+  binv_.assign(static_cast<size_t>(m_) * m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    binv_[static_cast<size_t>(i) * m_ + i] = 1.0;
+  }
+  for (int col = 0; col < m_; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    double best = std::abs(basis_matrix[static_cast<size_t>(col) * m_ + col]);
+    for (int r = col + 1; r < m_; ++r) {
+      const double cand = std::abs(basis_matrix[static_cast<size_t>(r) * m_ + col]);
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    SIA_CHECK(best > 1e-12) << "singular basis during refactorization";
+    if (pivot != col) {
+      // Row swap on the augmented system [B | I]; reducing B to the exact
+      // identity leaves B^-1 on the right regardless of swaps.
+      for (int c = 0; c < m_; ++c) {
+        std::swap(basis_matrix[static_cast<size_t>(pivot) * m_ + c],
+                  basis_matrix[static_cast<size_t>(col) * m_ + c]);
+        std::swap(binv_[static_cast<size_t>(pivot) * m_ + c],
+                  binv_[static_cast<size_t>(col) * m_ + c]);
+      }
+    }
+    const double inv_pivot = 1.0 / basis_matrix[static_cast<size_t>(col) * m_ + col];
+    for (int c = 0; c < m_; ++c) {
+      basis_matrix[static_cast<size_t>(col) * m_ + c] *= inv_pivot;
+      binv_[static_cast<size_t>(col) * m_ + c] *= inv_pivot;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double factor = basis_matrix[static_cast<size_t>(r) * m_ + col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (int c = 0; c < m_; ++c) {
+        basis_matrix[static_cast<size_t>(r) * m_ + c] -=
+            factor * basis_matrix[static_cast<size_t>(col) * m_ + c];
+        binv_[static_cast<size_t>(r) * m_ + c] -= factor * binv_[static_cast<size_t>(col) * m_ + c];
+      }
+    }
+  }
+  RecomputeBasicValues();
+}
+
+void SimplexSolver::RecomputeBasicValues() {
+  // x_B = B^-1 (b - N x_N).
+  std::vector<double> residual(rhs_);
+  for (int j = 0; j < num_total(); ++j) {
+    if (state_[j] == VarState::kBasic || x_[j] == 0.0) {
+      continue;
+    }
+    const auto& col = columns_[j];
+    for (size_t k = 0; k < col.rows.size(); ++k) {
+      residual[col.rows[k]] -= col.values[k] * x_[j];
+    }
+  }
+  for (int r = 0; r < m_; ++r) {
+    double value = 0.0;
+    const double* row = &binv_[static_cast<size_t>(r) * m_];
+    for (int i = 0; i < m_; ++i) {
+      value += row[i] * residual[i];
+    }
+    x_[basis_[r]] = value;
+  }
+}
+
+void SimplexSolver::ComputeDuals(std::vector<double>& y) const {
+  y.assign(m_, 0.0);
+  for (int r = 0; r < m_; ++r) {
+    const double cb = cost_[basis_[r]];
+    if (cb == 0.0) {
+      continue;
+    }
+    const double* row = &binv_[static_cast<size_t>(r) * m_];
+    for (int i = 0; i < m_; ++i) {
+      y[i] += cb * row[i];
+    }
+  }
+}
+
+double SimplexSolver::ReducedCost(int var, const std::vector<double>& y) const {
+  double d = cost_[var];
+  const auto& col = columns_[var];
+  for (size_t k = 0; k < col.rows.size(); ++k) {
+    d -= y[col.rows[k]] * col.values[k];
+  }
+  return d;
+}
+
+void SimplexSolver::ComputeDirection(int var, std::vector<double>& w) const {
+  w.assign(m_, 0.0);
+  const auto& col = columns_[var];
+  for (size_t k = 0; k < col.rows.size(); ++k) {
+    const int i = col.rows[k];
+    const double v = col.values[k];
+    for (int r = 0; r < m_; ++r) {
+      w[r] += v * binv_[static_cast<size_t>(r) * m_ + i];
+    }
+  }
+}
+
+SolveStatus SimplexSolver::Iterate() {
+  std::vector<double> y;
+  std::vector<double> w;
+  int pivots_since_refactor = 0;
+  while (true) {
+    if (iterations_ >= max_iterations_) {
+      return SolveStatus::kIterationLimit;
+    }
+    ComputeDuals(y);
+
+    // --- pricing ---
+    int entering = -1;
+    double entering_sign = 0.0;
+    double best_violation = options_.optimality_tol;
+    for (int j = 0; j < num_total(); ++j) {
+      if (state_[j] == VarState::kBasic || lower_[j] == upper_[j]) {
+        continue;
+      }
+      const double d = ReducedCost(j, y);
+      double violation = 0.0;
+      double sign = 0.0;
+      switch (state_[j]) {
+        case VarState::kAtLower:
+          if (d > options_.optimality_tol) {
+            violation = d;
+            sign = 1.0;
+          }
+          break;
+        case VarState::kAtUpper:
+          if (d < -options_.optimality_tol) {
+            violation = -d;
+            sign = -1.0;
+          }
+          break;
+        case VarState::kNonbasicFree:
+          if (std::abs(d) > options_.optimality_tol) {
+            violation = std::abs(d);
+            sign = d > 0.0 ? 1.0 : -1.0;
+          }
+          break;
+        case VarState::kBasic:
+          break;
+      }
+      if (violation > best_violation) {
+        best_violation = violation;
+        entering = j;
+        entering_sign = sign;
+        if (bland_mode_) {
+          break;  // Bland: first improving index.
+        }
+      }
+    }
+    if (entering < 0) {
+      return SolveStatus::kOptimal;
+    }
+
+    // --- ratio test ---
+    ComputeDirection(entering, w);
+    // Distance until the entering variable hits its own opposite bound.
+    double t_limit = kLpInfinity;
+    if (std::isfinite(lower_[entering]) && std::isfinite(upper_[entering])) {
+      t_limit = upper_[entering] - lower_[entering];
+    }
+    int leaving_row = -1;
+    double t_best = t_limit;
+    double best_pivot_mag = 0.0;
+    const double kPivotTol = 1e-9;
+    for (int r = 0; r < m_; ++r) {
+      const double delta = -entering_sign * w[r];  // d(x_basic[r]) / dt
+      if (std::abs(delta) <= kPivotTol) {
+        continue;
+      }
+      const int basic = basis_[r];
+      double t_r;
+      if (delta > 0.0) {
+        if (!std::isfinite(upper_[basic])) {
+          continue;
+        }
+        t_r = (upper_[basic] - x_[basic]) / delta;
+      } else {
+        if (!std::isfinite(lower_[basic])) {
+          continue;
+        }
+        t_r = (x_[basic] - lower_[basic]) / (-delta);
+      }
+      t_r = std::max(t_r, 0.0);
+      if (t_r < t_best - 1e-12 ||
+          (t_r < t_best + 1e-12 && std::abs(delta) > best_pivot_mag)) {
+        t_best = t_r;
+        leaving_row = r;
+        best_pivot_mag = std::abs(delta);
+      }
+    }
+
+    if (!std::isfinite(t_best)) {
+      return SolveStatus::kUnbounded;
+    }
+
+    ++iterations_;
+    degenerate_streak_ = (t_best <= 1e-10) ? degenerate_streak_ + 1 : 0;
+    if (degenerate_streak_ > 2 * (m_ + 10)) {
+      bland_mode_ = true;
+    } else if (degenerate_streak_ == 0) {
+      bland_mode_ = false;
+    }
+
+    // Apply the step to basic variables.
+    if (t_best != 0.0) {
+      for (int r = 0; r < m_; ++r) {
+        x_[basis_[r]] -= entering_sign * t_best * w[r];
+      }
+      x_[entering] += entering_sign * t_best;
+    }
+
+    if (leaving_row < 0) {
+      // Bound flip: entering variable moved to its opposite bound.
+      state_[entering] = entering_sign > 0.0 ? VarState::kAtUpper : VarState::kAtLower;
+      x_[entering] = entering_sign > 0.0 ? upper_[entering] : lower_[entering];
+      continue;
+    }
+
+    // --- pivot ---
+    const int leaving = basis_[leaving_row];
+    const double w_r = w[leaving_row];
+    SIA_CHECK(std::abs(w_r) > 1e-12) << "zero pivot";
+    // Leaving variable lands on the bound that blocked.
+    const double delta_leaving = -entering_sign * w_r;
+    state_[leaving] = delta_leaving > 0.0 ? VarState::kAtUpper : VarState::kAtLower;
+    x_[leaving] = delta_leaving > 0.0 ? upper_[leaving] : lower_[leaving];
+    row_of_basic_[leaving] = -1;
+
+    basis_[leaving_row] = entering;
+    row_of_basic_[entering] = leaving_row;
+    state_[entering] = VarState::kBasic;
+
+    // Update the dense inverse: row ops making column `entering` a unit
+    // vector in the basis.
+    double* pivot_row = &binv_[static_cast<size_t>(leaving_row) * m_];
+    const double inv_wr = 1.0 / w_r;
+    for (int c = 0; c < m_; ++c) {
+      pivot_row[c] *= inv_wr;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (r == leaving_row || w[r] == 0.0) {
+        continue;
+      }
+      const double factor = w[r];
+      double* row = &binv_[static_cast<size_t>(r) * m_];
+      for (int c = 0; c < m_; ++c) {
+        row[c] -= factor * pivot_row[c];
+      }
+    }
+
+    if (++pivots_since_refactor >= options_.refactor_interval) {
+      Refactorize();
+      pivots_since_refactor = 0;
+    }
+  }
+}
+
+LpSolution SimplexSolver::Solve() {
+  LpSolution solution;
+  if (m_ == 0) {
+    // Pure box-constrained problem: each variable sits at its best bound.
+    solution.values.resize(n_structural_);
+    double objective = 0.0;
+    for (int j = 0; j < n_structural_; ++j) {
+      const double c = phase2_cost_[j];
+      double v;
+      if (c > 0.0) {
+        if (!std::isfinite(upper_[j])) {
+          solution.status = SolveStatus::kUnbounded;
+          return solution;
+        }
+        v = upper_[j];
+      } else if (c < 0.0) {
+        if (!std::isfinite(lower_[j])) {
+          solution.status = SolveStatus::kUnbounded;
+          return solution;
+        }
+        v = lower_[j];
+      } else {
+        v = std::isfinite(lower_[j]) ? lower_[j] : (std::isfinite(upper_[j]) ? upper_[j] : 0.0);
+      }
+      solution.values[j] = v;
+      objective += lp_.objective_coefficient(j) * v;
+    }
+    solution.status = SolveStatus::kOptimal;
+    solution.objective = objective;
+    return solution;
+  }
+
+  InitializeBasis();
+
+  // --- phase 1 ---
+  if (num_total() > first_artificial_) {
+    cost_.assign(num_total(), 0.0);
+    for (int j = first_artificial_; j < num_total(); ++j) {
+      cost_[j] = -1.0;  // Maximize -(sum of artificials).
+    }
+    const SolveStatus status = Iterate();
+    if (status == SolveStatus::kIterationLimit) {
+      solution.status = status;
+      solution.iterations = iterations_;
+      return solution;
+    }
+    double infeasibility = 0.0;
+    for (int j = first_artificial_; j < num_total(); ++j) {
+      infeasibility += x_[j];
+    }
+    if (infeasibility > 1e-6) {
+      solution.status = SolveStatus::kInfeasible;
+      solution.iterations = iterations_;
+      return solution;
+    }
+    // Freeze artificials at zero for phase 2.
+    for (int j = first_artificial_; j < num_total(); ++j) {
+      lower_[j] = 0.0;
+      upper_[j] = 0.0;
+      if (state_[j] != VarState::kBasic) {
+        state_[j] = VarState::kAtLower;
+        x_[j] = 0.0;
+      }
+    }
+  }
+
+  // --- phase 2 ---
+  cost_ = phase2_cost_;
+  cost_.resize(num_total(), 0.0);
+  const SolveStatus status = Iterate();
+  solution.status = status;
+  solution.iterations = iterations_;
+  if (status != SolveStatus::kOptimal && status != SolveStatus::kIterationLimit) {
+    return solution;
+  }
+
+  solution.values.assign(lp_.num_variables(), 0.0);
+  double objective = 0.0;
+  for (int j = 0; j < n_structural_; ++j) {
+    solution.values[j] = x_[j];
+    objective += lp_.objective_coefficient(j) * x_[j];
+  }
+  solution.objective = objective;
+
+  std::vector<double> y;
+  ComputeDuals(y);
+  solution.duals.resize(m_);
+  for (int i = 0; i < m_; ++i) {
+    solution.duals[i] = sense_sign_ * y[i];
+  }
+  return solution;
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LinearProgram& lp, const SimplexOptions& options) {
+  SimplexSolver solver(lp, options);
+  return solver.Solve();
+}
+
+}  // namespace sia

@@ -1,0 +1,39 @@
+// Bounded-variable revised simplex LP solver.
+//
+// Designed for Sia's scheduling LPs: constraint columns carry very few
+// structural nonzeros (an assignment variable appears in one job row and one
+// capacity row), so the solver stores columns sparsely and maintains a dense
+// basis inverse of size m x m (m = #constraints), which stays small even for
+// the 2048-GPU experiments of Fig. 9.
+//
+// Implementation notes:
+//  * two-phase method with artificial variables for infeasible starts,
+//  * bounded ratio test with bound flips,
+//  * Dantzig pricing with an automatic switch to Bland's rule when a long
+//    run of degenerate pivots indicates cycling risk,
+//  * periodic refactorization of the basis inverse for numerical hygiene.
+#ifndef SIA_SRC_SOLVER_SIMPLEX_H_
+#define SIA_SRC_SOLVER_SIMPLEX_H_
+
+#include "src/solver/lp_model.h"
+
+namespace sia {
+
+struct SimplexOptions {
+  // Hard cap on simplex pivots (phase 1 + phase 2). <= 0 selects an
+  // automatic limit scaling with problem size.
+  int max_iterations = 0;
+  // Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-7;
+  // Feasibility tolerance on variable bounds.
+  double feasibility_tol = 1e-7;
+  // Refactorize the basis inverse every this many pivots.
+  int refactor_interval = 2000;
+};
+
+// Solves the LP relaxation of `lp` (integrality markers ignored).
+LpSolution SolveLp(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SOLVER_SIMPLEX_H_

@@ -1,0 +1,45 @@
+// Job specifications as submitted to the cluster (§3.1): a model, a submit
+// time, adaptivity limits, and user-declared resource caps.
+#ifndef SIA_SRC_WORKLOAD_JOB_H_
+#define SIA_SRC_WORKLOAD_JOB_H_
+
+#include <string>
+
+#include "src/models/goodput.h"
+#include "src/models/model_kind.h"
+
+namespace sia {
+
+struct JobSpec {
+  int id = 0;
+  std::string name;
+  ModelKind model = ModelKind::kResNet18;
+  double submit_time = 0.0;  // Seconds from trace start.
+
+  // Adaptivity contract (§3.4). kAdaptive jobs let Sia/Pollux co-optimize
+  // batch size, GPU count, and GPU type; kStrongScaling fixes the batch
+  // size; kRigid also fixes the GPU count.
+  AdaptivityMode adaptivity = AdaptivityMode::kAdaptive;
+  // Required for kStrongScaling and kRigid (and used by Gavel's TunedJobs).
+  double fixed_bsz = 0.0;
+  // Required for kRigid: the exact GPU count the job must run with.
+  int rigid_num_gpus = 0;
+
+  // User-declared maximum GPU count (max_ngpus in §3.1).
+  int max_num_gpus = 64;
+  // Non-preemptible jobs must keep their resources once allocated (§3.4).
+  bool preemptible = true;
+  // Batch-inference job (§3.4 "Scheduling other workload types"): goodput is
+  // plain throughput -- no statistical-efficiency term, since inference over
+  // a dataset has no notion of gradient noise.
+  bool batch_inference = false;
+  // Latency-sensitive inference (§3.4): when > 0, a configuration is usable
+  // only if a batch choice exists whose iteration latency meets the SLO;
+  // usable configurations all have goodput 1 ("pick the right set of
+  // resources"). Implies batch-inference semantics for progress accounting.
+  double latency_slo_seconds = 0.0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_WORKLOAD_JOB_H_

@@ -1,0 +1,290 @@
+#include "src/workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/models/profile_db.h"
+
+namespace sia {
+namespace {
+
+constexpr double kHour = 3600.0;
+
+struct CategoryMix {
+  double small;
+  double medium;
+  double large;
+  double xl;
+};
+
+CategoryMix MixFor(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPhilly:
+      // Philly is dominated by short jobs [21].
+      return {0.55, 0.30, 0.12, 0.03};
+    case TraceKind::kHelios:
+      // Helios jobs request more GPUs and run longer (§4.1); calibrated so
+      // average GPU-hours/job lands near the paper's Table 3 (~5).
+      return {0.35, 0.35, 0.22, 0.08};
+    case TraceKind::kNewTrace:
+      // Small-job heavy (bursts are hyper-parameter sweeps); calibrated so
+      // aggregate demand over the 48 h window sits just under the 64-GPU
+      // cluster's capacity, as the paper's Table 3 contention implies
+      // (congestion comes from the bursts, not permanent overload).
+      return {0.66, 0.27, 0.06, 0.01};
+  }
+  return {0.25, 0.25, 0.25, 0.25};
+}
+
+ModelKind SampleModel(SizeCategory category, Rng& rng) {
+  switch (category) {
+    case SizeCategory::kSmall:
+      return ModelKind::kResNet18;
+    case SizeCategory::kMedium:
+      return rng.Bernoulli(0.5) ? ModelKind::kBert : ModelKind::kDeepSpeech2;
+    case SizeCategory::kLarge:
+      return ModelKind::kYoloV3;
+    case SizeCategory::kExtraLarge:
+    case SizeCategory::kXxl:
+      return ModelKind::kResNet50;
+  }
+  return ModelKind::kResNet18;
+}
+
+int SampleMaxGpus(SizeCategory category, Rng& rng) {
+  switch (category) {
+    case SizeCategory::kSmall:
+      return rng.Bernoulli(0.5) ? 4 : 8;
+    case SizeCategory::kMedium:
+      return rng.Bernoulli(0.5) ? 8 : 16;
+    case SizeCategory::kLarge:
+      return rng.Bernoulli(0.5) ? 16 : 32;
+    case SizeCategory::kExtraLarge:
+    case SizeCategory::kXxl:
+      return rng.Bernoulli(0.5) ? 32 : 64;
+  }
+  return 8;
+}
+
+SizeCategory SampleCategory(const CategoryMix& mix, Rng& rng) {
+  const size_t pick = rng.WeightedIndex({mix.small, mix.medium, mix.large, mix.xl});
+  return static_cast<SizeCategory>(pick);
+}
+
+JobSpec MakeJob(int id, double submit_time, SizeCategory category, Rng& rng) {
+  JobSpec job;
+  job.id = id;
+  job.submit_time = submit_time;
+  job.model = SampleModel(category, rng);
+  job.max_num_gpus = SampleMaxGpus(category, rng);
+  std::ostringstream name;
+  name << ToString(job.model) << "-" << id;
+  job.name = name.str();
+  return job;
+}
+
+// Steady Poisson arrivals over the window.
+std::vector<double> PoissonArrivals(double rate_per_hour, double duration_hours, Rng& rng) {
+  std::vector<double> arrivals;
+  double t = rng.Exponential(rate_per_hour / kHour);
+  const double end = duration_hours * kHour;
+  while (t < end) {
+    arrivals.push_back(t);
+    t += rng.Exponential(rate_per_hour / kHour);
+  }
+  return arrivals;
+}
+
+// Diurnal non-homogeneous Poisson arrivals via thinning, plus submission
+// bursts (e.g. hyper-parameter sweeps) -- arrival rates swing between ~5 and
+// ~100 jobs/hr as described for newTrace (§4.1).
+std::vector<double> DiurnalBurstyArrivals(double rate_per_hour, double duration_hours, Rng& rng,
+                                          std::vector<std::pair<double, int>>& bursts) {
+  // Reserve ~35% of the volume for bursts (submission scripts); individual
+  // bursts of 20-60 jobs drive the busiest hours to ~100 jobs/hr (§4.1).
+  const double expected_total = rate_per_hour * duration_hours;
+  const double burst_budget = 0.35 * expected_total;
+  bursts.clear();
+  double burst_jobs = 0.0;
+  while (burst_jobs < burst_budget) {
+    const double at = rng.Uniform(0.0, duration_hours * kHour);
+    const int size = static_cast<int>(rng.UniformInt(20, 60));
+    bursts.emplace_back(at, size);
+    burst_jobs += size;
+  }
+
+  const double base = (expected_total - burst_jobs) / duration_hours;
+  auto rate_at = [base](double t_seconds) {
+    const double hours = t_seconds / kHour;
+    // Peak mid-day, trough at night.
+    return std::max(0.15 * base, base * (1.0 + 0.8 * std::sin(2.0 * M_PI * hours / 24.0)));
+  };
+  const double rate_max = base * 1.8;
+
+  std::vector<double> arrivals;
+  double t = 0.0;
+  const double end = duration_hours * kHour;
+  while (true) {
+    t += rng.Exponential(rate_max / kHour);
+    if (t >= end) {
+      break;
+    }
+    if (rng.Bernoulli(rate_at(t) / rate_max)) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+// Candidate batch sizes for the TunedJobs search: a geometric grid over the
+// model's allowed range.
+std::vector<double> BszGrid(const ModelInfo& info, int points = 16) {
+  std::vector<double> grid;
+  for (int k = 0; k <= points; ++k) {
+    grid.push_back(info.min_bsz *
+                   std::pow(info.max_bsz / info.min_bsz, static_cast<double>(k) / points));
+  }
+  return grid;
+}
+
+}  // namespace
+
+const char* ToString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPhilly:
+      return "philly";
+    case TraceKind::kHelios:
+      return "helios";
+    case TraceKind::kNewTrace:
+      return "newtrace";
+  }
+  return "?";
+}
+
+std::vector<JobSpec> GenerateTrace(const TraceOptions& options) {
+  Rng rng(options.seed);
+  Rng arrivals_rng = rng.Fork("arrivals", options.seed);
+  Rng jobs_rng = rng.Fork("jobs", options.seed);
+  const double duration =
+      options.duration_hours > 0.0 ? options.duration_hours
+                                   : (options.kind == TraceKind::kNewTrace ? 48.0 : 8.0);
+  const CategoryMix mix = MixFor(options.kind);
+
+  std::vector<JobSpec> jobs;
+  if (options.kind == TraceKind::kNewTrace) {
+    std::vector<std::pair<double, int>> bursts;
+    const auto arrivals =
+        DiurnalBurstyArrivals(options.arrival_rate_per_hour, duration, arrivals_rng, bursts);
+    for (double t : arrivals) {
+      jobs.push_back(MakeJob(0, t, SampleCategory(mix, jobs_rng), jobs_rng));
+    }
+    // Bursts model submission scripts: many near-simultaneous jobs of the
+    // same model/category (e.g. a hyper-parameter sweep).
+    for (const auto& [at, size] : bursts) {
+      const SizeCategory category = SampleCategory(mix, jobs_rng);
+      for (int k = 0; k < size; ++k) {
+        const double jitter = jobs_rng.Uniform(0.0, 300.0);
+        JobSpec job = MakeJob(0, std::min(at + jitter, duration * kHour - 1.0), category,
+                              jobs_rng);
+        jobs.push_back(std::move(job));
+      }
+    }
+  } else {
+    const auto arrivals =
+        PoissonArrivals(options.arrival_rate_per_hour, duration, arrivals_rng);
+    for (double t : arrivals) {
+      jobs.push_back(MakeJob(0, t, SampleCategory(mix, jobs_rng), jobs_rng));
+    }
+  }
+
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<int>(i);
+    std::ostringstream name;
+    name << ToString(jobs[i].model) << "-" << i;
+    jobs[i].name = name.str();
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> MakeTunedJobs(const std::vector<JobSpec>& jobs,
+                                   const TunedJobsOptions& options) {
+  Rng rng(options.seed ^ 0x7E57ED);
+  std::vector<JobSpec> tuned = jobs;
+  for (JobSpec& job : tuned) {
+    const ModelInfo& info = GetModelInfo(job.model);
+    const DeviceProfile& device = GetDeviceProfile(job.model, options.reference_gpu);
+    SIA_CHECK(device.available)
+        << ToString(job.model) << " unavailable on reference GPU " << options.reference_gpu;
+    // Reference nodes hold 4 GPUs (t4); larger counts span nodes.
+    constexpr int kGpusPerNode = 4;
+    const auto baseline = OptimizeBatch(device.truth, info.efficiency, info.efficiency.init_pgns,
+                                        info.min_bsz, info.max_bsz, device.max_local_bsz, 1, 1);
+    SIA_CHECK(baseline.feasible);
+
+    // Search power-of-2 GPU counts and a batch grid; keep combinations whose
+    // speedup is 50-80% of ideal (§4.3).
+    std::vector<std::pair<int, double>> acceptable;
+    for (int count = 2; count <= std::min(options.max_gpus, job.max_num_gpus); count *= 2) {
+      const int nodes = (count + kGpusPerNode - 1) / kGpusPerNode;
+      for (double bsz : BszGrid(info)) {
+        if (bsz < static_cast<double>(count)) {
+          continue;
+        }
+        const auto candidate =
+            EvaluateFixedBatch(device.truth, info.efficiency, info.efficiency.init_pgns, bsz,
+                               device.max_local_bsz, nodes, count);
+        if (!candidate.feasible) {
+          continue;
+        }
+        const double speedup = candidate.goodput / baseline.goodput;
+        if (speedup >= 0.5 * count && speedup <= 0.8 * count) {
+          acceptable.emplace_back(count, bsz);
+        }
+      }
+    }
+    job.adaptivity = AdaptivityMode::kRigid;
+    if (acceptable.empty()) {
+      job.rigid_num_gpus = 1;
+      job.fixed_bsz = baseline.global_bsz;
+    } else {
+      const auto& [count, bsz] =
+          acceptable[static_cast<size_t>(rng.UniformInt(0, acceptable.size() - 1))];
+      job.rigid_num_gpus = count;
+      job.fixed_bsz = bsz;
+    }
+  }
+  return tuned;
+}
+
+std::vector<JobSpec> RestrictAdaptivity(const std::vector<JobSpec>& jobs, double strong_fraction,
+                                        double rigid_fraction, const TunedJobsOptions& options) {
+  SIA_CHECK(strong_fraction >= 0.0 && rigid_fraction >= 0.0 &&
+            strong_fraction + rigid_fraction <= 1.0);
+  std::vector<JobSpec> tuned = MakeTunedJobs(jobs, options);
+  std::vector<JobSpec> out = jobs;
+  // Shuffle indices deterministically and assign modes by position.
+  std::vector<size_t> order(jobs.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  Rng rng(options.seed ^ 0x5EED5);
+  std::shuffle(order.begin(), order.end(), rng);
+  const size_t num_strong = static_cast<size_t>(std::lround(strong_fraction * jobs.size()));
+  const size_t num_rigid = static_cast<size_t>(std::lround(rigid_fraction * jobs.size()));
+  for (size_t k = 0; k < order.size(); ++k) {
+    const size_t i = order[k];
+    if (k < num_strong) {
+      out[i].adaptivity = AdaptivityMode::kStrongScaling;
+      out[i].fixed_bsz = tuned[i].fixed_bsz;
+    } else if (k < num_strong + num_rigid) {
+      out[i] = tuned[i];  // Fully rigid: tuned batch size + GPU count.
+    }
+  }
+  return out;
+}
+
+}  // namespace sia

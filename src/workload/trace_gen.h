@@ -1,0 +1,66 @@
+// Workload/trace generators for the three evaluation environments (§4.1).
+//
+// The production traces themselves (Microsoft Philly, Helios/Saturn, and the
+// anonymous "newTrace") are not public, so these generators sample synthetic
+// traces whose published statistics match the paper: job-size category mix
+// by total GPU time, arrival process (steady Poisson at ~20 jobs/hr for the
+// 8-hour Philly/Helios windows; diurnal + bursty over 48 hours for
+// newTrace), and the category -> representative-model mapping of Table 2.
+#ifndef SIA_SRC_WORKLOAD_TRACE_GEN_H_
+#define SIA_SRC_WORKLOAD_TRACE_GEN_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/job.h"
+
+namespace sia {
+
+enum class TraceKind {
+  kPhilly,    // Small-job heavy, 8-hour window (Microsoft Philly [21]).
+  kHelios,    // Bigger jobs / higher load, 8-hour window (Helios Saturn [17]).
+  kNewTrace,  // 48-hour window, diurnal pattern with submission bursts.
+};
+
+const char* ToString(TraceKind kind);
+
+struct TraceOptions {
+  TraceKind kind = TraceKind::kPhilly;
+  double arrival_rate_per_hour = 20.0;
+  // Submission window; defaults to 8 h (48 h for kNewTrace when <= 0).
+  double duration_hours = 0.0;
+  uint64_t seed = 1;
+};
+
+// Samples a trace. Jobs are sorted by submit time and ids are dense from 0.
+std::vector<JobSpec> GenerateTrace(const TraceOptions& options);
+
+// --- TunedJobs (§4.3) ---
+//
+// Rigid baselines (Gavel, Shockwave, Themis) cannot tune job parameters, so
+// the paper hand-tunes each job's (batch size, GPU count): it searches
+// combinations and picks one whose speedup over the optimal-batch 1-GPU
+// baseline is 50-80% of ideal. `max_gpus` caps the search (64 in the
+// Homogeneous setting, 16 in Physical/Heterogeneous).
+struct TunedJobsOptions {
+  int max_gpus = 16;
+  // Reference GPU type name used to evaluate speedups.
+  std::string reference_gpu = "t4";
+  uint64_t seed = 1;
+};
+
+// Returns a copy of `jobs` with adaptivity = kRigid, fixed_bsz and
+// rigid_num_gpus set per the 50-80%-of-ideal rule.
+std::vector<JobSpec> MakeTunedJobs(const std::vector<JobSpec>& jobs,
+                                   const TunedJobsOptions& options);
+
+// --- limited-adaptivity sweeps (Fig. 11) ---
+//
+// Marks a random `fraction` of jobs kStrongScaling (fixing their batch size
+// at the tuned value) or kRigid (also fixing the GPU count).
+std::vector<JobSpec> RestrictAdaptivity(const std::vector<JobSpec>& jobs, double strong_fraction,
+                                        double rigid_fraction, const TunedJobsOptions& options);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_WORKLOAD_TRACE_GEN_H_

@@ -1,0 +1,131 @@
+#include "src/workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace sia {
+namespace {
+
+constexpr char kHeader[] =
+    "id,name,model,submit_time,adaptivity,fixed_bsz,rigid_num_gpus,max_num_gpus,preemptible,"
+    "batch_inference,latency_slo";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream stream(line);
+  while (std::getline(stream, field, ',')) {
+    fields.push_back(field);
+  }
+  if (!line.empty() && line.back() == ',') {
+    fields.emplace_back();
+  }
+  return fields;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AdaptivityModeFromString(const std::string& name, AdaptivityMode* out) {
+  for (AdaptivityMode mode : {AdaptivityMode::kAdaptive, AdaptivityMode::kStrongScaling,
+                              AdaptivityMode::kRigid}) {
+    if (name == ToString(mode)) {
+      *out = mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WriteTraceCsv(std::ostream& out, const std::vector<JobSpec>& jobs) {
+  const auto saved_precision = out.precision(17);  // Lossless double round-trip.
+  out << kHeader << "\n";
+  for (const JobSpec& job : jobs) {
+    SIA_CHECK(job.name.find(',') == std::string::npos)
+        << "job names may not contain commas: " << job.name;
+    out << job.id << "," << job.name << "," << ToString(job.model) << "," << job.submit_time
+        << "," << ToString(job.adaptivity) << "," << job.fixed_bsz << "," << job.rigid_num_gpus
+        << "," << job.max_num_gpus << "," << (job.preemptible ? 1 : 0) << ","
+        << (job.batch_inference ? 1 : 0) << "," << job.latency_slo_seconds << "\n";
+  }
+  out.precision(saved_precision);
+  return static_cast<bool>(out);
+}
+
+bool WriteTraceCsv(const std::string& path, const std::vector<JobSpec>& jobs) {
+  std::ofstream out(path);
+  return out.is_open() && WriteTraceCsv(out, jobs);
+}
+
+bool ReadTraceCsv(std::istream& in, std::vector<JobSpec>* jobs, std::string* error) {
+  SIA_CHECK(jobs != nullptr);
+  jobs->clear();
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Fail(error, "empty input");
+  }
+  if (line != kHeader) {
+    return Fail(error, "unexpected header: " + line);
+  }
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 11) {
+      return Fail(error, "line " + std::to_string(line_number) + ": expected 11 fields, got " +
+                             std::to_string(fields.size()));
+    }
+    JobSpec job;
+    try {
+      job.id = std::stoi(fields[0]);
+      job.name = fields[1];
+      if (!ModelKindFromString(fields[2], &job.model)) {
+        return Fail(error,
+                    "line " + std::to_string(line_number) + ": unknown model " + fields[2]);
+      }
+      job.submit_time = std::stod(fields[3]);
+      if (!AdaptivityModeFromString(fields[4], &job.adaptivity)) {
+        return Fail(error,
+                    "line " + std::to_string(line_number) + ": unknown adaptivity " + fields[4]);
+      }
+      job.fixed_bsz = std::stod(fields[5]);
+      job.rigid_num_gpus = std::stoi(fields[6]);
+      job.max_num_gpus = std::stoi(fields[7]);
+      job.preemptible = std::stoi(fields[8]) != 0;
+      job.batch_inference = std::stoi(fields[9]) != 0;
+      job.latency_slo_seconds = std::stod(fields[10]);
+    } catch (const std::exception& e) {
+      return Fail(error, "line " + std::to_string(line_number) + ": " + e.what());
+    }
+    if (job.submit_time < 0.0 || job.max_num_gpus < 1 ||
+        (job.adaptivity == AdaptivityMode::kRigid && job.rigid_num_gpus < 1) ||
+        (job.adaptivity != AdaptivityMode::kAdaptive && job.fixed_bsz <= 0.0) ||
+        job.latency_slo_seconds < 0.0) {
+      return Fail(error, "line " + std::to_string(line_number) + ": invalid job fields");
+    }
+    jobs->push_back(std::move(job));
+  }
+  return true;
+}
+
+bool ReadTraceCsv(const std::string& path, std::vector<JobSpec>* jobs, std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Fail(error, "cannot open " + path);
+  }
+  return ReadTraceCsv(in, jobs, error);
+}
+
+}  // namespace sia

@@ -1,0 +1,34 @@
+// CSV import/export of workload traces, so generated traces can be frozen
+// as artifacts and externally-produced traces can be replayed.
+//
+// Format (one header line, then one job per line):
+//   id,name,model,submit_time,adaptivity,fixed_bsz,rigid_num_gpus,
+//   max_num_gpus,preemptible
+#ifndef SIA_SRC_WORKLOAD_TRACE_IO_H_
+#define SIA_SRC_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/workload/job.h"
+
+namespace sia {
+
+// Parses AdaptivityMode names produced by ToString(AdaptivityMode).
+bool AdaptivityModeFromString(const std::string& name, AdaptivityMode* out);
+
+// Serializes `jobs` to CSV. Streams never fail silently: returns false on
+// I/O error.
+bool WriteTraceCsv(std::ostream& out, const std::vector<JobSpec>& jobs);
+bool WriteTraceCsv(const std::string& path, const std::vector<JobSpec>& jobs);
+
+// Parses a CSV trace; on malformed input returns false and reports the
+// offending line via `error` (if non-null).
+bool ReadTraceCsv(std::istream& in, std::vector<JobSpec>* jobs, std::string* error = nullptr);
+bool ReadTraceCsv(const std::string& path, std::vector<JobSpec>* jobs,
+                  std::string* error = nullptr);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_WORKLOAD_TRACE_IO_H_

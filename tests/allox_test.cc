@@ -1,0 +1,140 @@
+// Tests for the AlloX-style baseline: fastest-type matching + shortest-job
+// ordering for rigid jobs.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/models/profile_db.h"
+#include "src/schedulers/allox/allox_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+class AlloxTest : public ::testing::Test {
+ protected:
+  AlloxTest() : cluster_(MakeHeterogeneousCluster()), config_set_(BuildConfigSet(cluster_)) {
+    input_.cluster = &cluster_;
+    input_.config_set = &config_set_;
+  }
+
+  JobView& AddJob(int id, ModelKind model, int count, double bsz, double progress = 0.0) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = model;
+    spec->adaptivity = AdaptivityMode::kRigid;
+    spec->rigid_num_gpus = count;
+    spec->fixed_bsz = bsz;
+    auto estimator = std::make_unique<GoodputEstimator>(model, &cluster_, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 600.0;
+    view.progress_fraction = progress;
+    view.total_work = GetModelInfo(model).total_work;
+    specs_.push_back(std::move(spec));
+    estimators_.push_back(std::move(estimator));
+    input_.jobs.push_back(view);
+    return input_.jobs.back();
+  }
+
+  ClusterSpec cluster_;
+  std::vector<Config> config_set_;
+  ScheduleInput input_;
+  std::vector<std::unique_ptr<JobSpec>> specs_;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators_;
+};
+
+TEST_F(AlloxTest, AssignsFastestTypeWhenFree) {
+  AddJob(0, ModelKind::kBert, 4, 96.0);
+  AlloxScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  ASSERT_TRUE(output.count(0));
+  // BERT's fastest type is a100 by a wide margin.
+  EXPECT_EQ(output.at(0).gpu_type, cluster_.FindGpuType("a100"));
+  EXPECT_EQ(output.at(0).num_gpus, 4);
+}
+
+TEST_F(AlloxTest, ShortJobsWinContendedFastTypes) {
+  // Nearly-done BERT vs fresh BERT: the shorter one gets the a100s when only
+  // one fits.
+  ClusterSpec small;
+  const int t4 = small.AddGpuType({"t4", 16.0, 50.0});
+  const int a100 = small.AddGpuType({"a100", 40.0, 1600.0});
+  small.AddNodes(t4, 1, 4);
+  small.AddNodes(a100, 1, 4);
+  const auto configs = BuildConfigSet(small);
+  ScheduleInput input;
+  input.cluster = &small;
+  input.config_set = &configs;
+  std::vector<std::unique_ptr<JobSpec>> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  auto add = [&](int id, double progress) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = ModelKind::kBert;
+    spec->adaptivity = AdaptivityMode::kRigid;
+    spec->rigid_num_gpus = 4;
+    spec->fixed_bsz = 96.0;
+    auto estimator =
+        std::make_unique<GoodputEstimator>(spec->model, &small, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 600.0;
+    view.progress_fraction = progress;
+    view.total_work = GetModelInfo(spec->model).total_work;
+    specs.push_back(std::move(spec));
+    estimators.push_back(std::move(estimator));
+    input.jobs.push_back(view);
+  };
+  add(0, 0.0);   // Fresh.
+  add(1, 0.9);   // Nearly done.
+  AlloxScheduler scheduler;
+  const auto output = scheduler.Schedule(input);
+  ASSERT_TRUE(output.count(1));
+  EXPECT_EQ(output.at(1).gpu_type, a100);
+  if (output.count(0)) {
+    EXPECT_EQ(output.at(0).gpu_type, t4);
+  }
+}
+
+TEST_F(AlloxTest, RespectsCapacity) {
+  for (int id = 0; id < 30; ++id) {
+    AddJob(id, ModelKind::kDeepSpeech2, 4, 160.0);
+  }
+  AlloxScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  std::vector<int> used(cluster_.num_gpu_types(), 0);
+  for (const auto& [id, config] : output) {
+    used[config.gpu_type] += config.num_gpus;
+  }
+  for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+    EXPECT_LE(used[t], cluster_.TotalGpus(t));
+  }
+}
+
+TEST_F(AlloxTest, CompletesTunedWorkloadEndToEnd) {
+  TraceOptions trace;
+  trace.kind = TraceKind::kPhilly;
+  trace.seed = 8;
+  trace.duration_hours = 0.6;
+  auto jobs = MakeTunedJobs(GenerateTrace(trace), {});
+  AlloxScheduler scheduler;
+  SimOptions options;
+  options.seed = 8;
+  const SimResult result =
+      ClusterSimulator(MakeHeterogeneousCluster(), jobs, &scheduler, options).Run();
+  EXPECT_TRUE(result.all_finished);
+}
+
+TEST_F(AlloxTest, NameAndRound) {
+  AlloxScheduler scheduler;
+  EXPECT_EQ(scheduler.name(), "allox");
+  EXPECT_DOUBLE_EQ(scheduler.round_duration_seconds(), 360.0);
+}
+
+}  // namespace
+}  // namespace sia

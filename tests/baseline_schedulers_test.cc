@@ -1,0 +1,300 @@
+// Unit tests for the baseline policies: Pollux (GA), Gavel (LP +
+// time-sharing), Shockwave/Themis/FIFO/SRTF (priority greedy), and the
+// shared shape helpers.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/models/profile_db.h"
+#include "src/schedulers/baselines/priority_schedulers.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/shape_util.h"
+
+namespace sia {
+namespace {
+
+TEST(ShapeUtilTest, SingleNodeCounts) {
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const int t4 = cluster.FindGpuType("t4");
+  const int rtx = cluster.FindGpuType("rtx");
+  const auto c1 = ShapeForCount(cluster, t4, 3);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->num_nodes, 1);
+  const auto c2 = ShapeForCount(cluster, rtx, 8);
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->num_nodes, 1);
+}
+
+TEST(ShapeUtilTest, MultiNodeCountsCeil) {
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const int t4 = cluster.FindGpuType("t4");
+  const auto c = ShapeForCount(cluster, t4, 10);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->num_nodes, 3);  // ceil(10/4)
+  EXPECT_EQ(c->num_gpus, 10);
+}
+
+TEST(ShapeUtilTest, RejectsOversizedCounts) {
+  const ClusterSpec cluster = MakeHeterogeneousCluster();  // 6 t4 nodes.
+  const int t4 = cluster.FindGpuType("t4");
+  EXPECT_FALSE(ShapeForCount(cluster, t4, 25).has_value());  // needs 7 nodes.
+  EXPECT_FALSE(ShapeForCount(cluster, t4, 0).has_value());
+}
+
+TEST(ShapeUtilTest, PowerRankOrdering) {
+  EXPECT_GT(GpuPowerRank("a100"), GpuPowerRank("quad"));
+  EXPECT_GT(GpuPowerRank("quad"), GpuPowerRank("rtx"));
+  EXPECT_GT(GpuPowerRank("rtx"), GpuPowerRank("t4"));
+  EXPECT_GT(GpuPowerRank("t4"), GpuPowerRank("tpu"));
+}
+
+// Shared fixture producing oracle-estimator JobViews.
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : cluster_(MakeHeterogeneousCluster()), config_set_(BuildConfigSet(cluster_)) {
+    input_.cluster = &cluster_;
+    input_.config_set = &config_set_;
+  }
+
+  JobView& AddJob(int id, ModelKind model, int rigid_gpus, double fixed_bsz) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = model;
+    if (rigid_gpus > 0) {
+      spec->adaptivity = AdaptivityMode::kRigid;
+      spec->rigid_num_gpus = rigid_gpus;
+      spec->fixed_bsz = fixed_bsz;
+    }
+    auto estimator = std::make_unique<GoodputEstimator>(model, &cluster_, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 1800.0;
+    view.total_work = GetModelInfo(model).total_work;
+    view.restart_overhead_seconds = GetModelInfo(model).restart_seconds;
+    specs_.push_back(std::move(spec));
+    estimators_.push_back(std::move(estimator));
+    input_.jobs.push_back(view);
+    return input_.jobs.back();
+  }
+
+  ClusterSpec cluster_;
+  std::vector<Config> config_set_;
+  ScheduleInput input_;
+  std::vector<std::unique_ptr<JobSpec>> specs_;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators_;
+};
+
+TEST_F(BaselineTest, GavelAllocatesRigidCounts) {
+  AddJob(0, ModelKind::kBert, 4, 96.0);
+  AddJob(1, ModelKind::kResNet18, 2, 256.0);
+  GavelScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  ASSERT_TRUE(output.count(0));
+  ASSERT_TRUE(output.count(1));
+  EXPECT_EQ(output.at(0).num_gpus, 4);
+  EXPECT_EQ(output.at(1).num_gpus, 2);
+}
+
+TEST_F(BaselineTest, GavelRespectsCapacity) {
+  for (int id = 0; id < 30; ++id) {
+    AddJob(id, ModelKind::kDeepSpeech2, 4, 160.0);
+  }
+  GavelScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  std::vector<int> used(cluster_.num_gpu_types(), 0);
+  for (const auto& [id, config] : output) {
+    used[config.gpu_type] += config.num_gpus;
+  }
+  for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+    EXPECT_LE(used[t], cluster_.TotalGpus(t));
+  }
+  // 64 GPUs / 4 per job = at most 16 concurrently.
+  EXPECT_LE(output.size(), 16u);
+}
+
+TEST_F(BaselineTest, GavelTimeSharesAcrossRounds) {
+  // 17 four-GPU jobs on 64 GPUs: someone must wait each round, and the
+  // received-fraction priority must rotate who.
+  for (int id = 0; id < 17; ++id) {
+    AddJob(id, ModelKind::kBert, 4, 96.0);
+  }
+  GavelScheduler scheduler;
+  std::set<int> ever_scheduled;
+  for (int round = 0; round < 6; ++round) {
+    const auto output = scheduler.Schedule(input_);
+    for (const auto& [id, config] : output) {
+      ever_scheduled.insert(id);
+    }
+    // Feed ages forward so received fractions update.
+    for (JobView& job : input_.jobs) {
+      job.age_seconds += 360.0;
+      const auto it = output.find(job.spec->id);
+      job.current_config = it == output.end() ? Config{} : it->second;
+    }
+  }
+  EXPECT_EQ(ever_scheduled.size(), 17u) << "time-sharing should rotate all jobs in";
+}
+
+TEST_F(BaselineTest, GavelMaxMinFairnessAllocatesEveryoneWhenPossible) {
+  // 8 four-GPU jobs on 64 GPUs: max-min fairness must serve all of them.
+  for (int id = 0; id < 8; ++id) {
+    AddJob(id, ModelKind::kDeepSpeech2, 4, 160.0);
+  }
+  GavelOptions options;
+  options.policy = GavelPolicy::kMaxMinFairness;
+  GavelScheduler scheduler(options);
+  EXPECT_EQ(scheduler.name(), "gavel/max-min-fairness");
+  const auto output = scheduler.Schedule(input_);
+  EXPECT_EQ(output.size(), 8u);
+}
+
+TEST_F(BaselineTest, GavelMinJctPrefersYoungJobs) {
+  // 17 x 4-GPU jobs (only 16 fit): the oldest job should be the one waiting
+  // under the min-JCT (age-decayed) policy.
+  for (int id = 0; id < 17; ++id) {
+    AddJob(id, ModelKind::kBert, 4, 96.0);
+    input_.jobs.back().age_seconds = id == 0 ? 100000.0 : 600.0;
+  }
+  GavelOptions options;
+  options.policy = GavelPolicy::kMinJct;
+  GavelScheduler scheduler(options);
+  const auto output = scheduler.Schedule(input_);
+  EXPECT_EQ(output.size(), 16u);
+  EXPECT_FALSE(output.count(0)) << "the very old job should yield to young ones";
+}
+
+TEST_F(BaselineTest, PolluxAllocatesAdaptiveJobs) {
+  for (int id = 0; id < 6; ++id) {
+    AddJob(id, ModelKind::kResNet18, 0, 0.0);
+  }
+  PolluxOptions options;
+  options.population = 24;
+  options.generations = 8;
+  PolluxScheduler scheduler(options);
+  const auto output = scheduler.Schedule(input_);
+  EXPECT_EQ(output.size(), 6u);  // Harmonic-mean fitness starves nobody.
+  std::vector<int> used(cluster_.num_gpu_types(), 0);
+  for (const auto& [id, config] : output) {
+    EXPECT_GE(config.num_gpus, 1);
+    used[config.gpu_type] += config.num_gpus;
+  }
+  for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+    EXPECT_LE(used[t], cluster_.TotalGpus(t));
+  }
+}
+
+TEST_F(BaselineTest, PolluxSingleTypePerJob) {
+  for (int id = 0; id < 10; ++id) {
+    AddJob(id, ModelKind::kBert, 0, 0.0);
+  }
+  PolluxScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  for (const auto& [id, config] : output) {
+    // Every allocation names exactly one GPU type (the fix heuristic).
+    EXPECT_GE(config.gpu_type, 0);
+    EXPECT_LT(config.gpu_type, cluster_.num_gpu_types());
+  }
+}
+
+TEST_F(BaselineTest, FifoPrefersEarlierSubmissions) {
+  // 17 jobs x 4 GPUs fill 64 GPUs: the last-submitted must wait.
+  for (int id = 0; id < 17; ++id) {
+    JobView& job = AddJob(id, ModelKind::kBert, 4, 96.0);
+    job.spec = specs_.back().get();
+    specs_.back()->submit_time = id * 60.0;
+  }
+  PriorityScheduler scheduler(FifoOptions());
+  const auto output = scheduler.Schedule(input_);
+  EXPECT_TRUE(output.count(0));
+  EXPECT_FALSE(output.count(16));
+}
+
+TEST_F(BaselineTest, ThemisFavorsStarvedJobs) {
+  // Job 0 has received lots of service; job 1 none. One 4-GPU slot left on
+  // a tiny cluster -> job 1 wins.
+  ClusterSpec tiny;
+  const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
+  tiny.AddNodes(t4, 1, 4);
+  const auto configs = BuildConfigSet(tiny);
+  ScheduleInput input;
+  input.cluster = &tiny;
+  input.config_set = &configs;
+  std::vector<std::unique_ptr<JobSpec>> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  for (int id = 0; id < 2; ++id) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = ModelKind::kResNet18;
+    spec->adaptivity = AdaptivityMode::kRigid;
+    spec->rigid_num_gpus = 4;
+    spec->fixed_bsz = 256.0;
+    auto estimator =
+        std::make_unique<GoodputEstimator>(spec->model, &tiny, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 7200.0;
+    view.service_gpu_seconds = id == 0 ? 7200.0 * 4 : 0.0;
+    view.total_work = GetModelInfo(spec->model).total_work;
+    specs.push_back(std::move(spec));
+    estimators.push_back(std::move(estimator));
+    input.jobs.push_back(view);
+  }
+  PriorityScheduler scheduler(ThemisOptions());
+  const auto output = scheduler.Schedule(input);
+  EXPECT_FALSE(output.count(0));
+  EXPECT_TRUE(output.count(1));
+}
+
+TEST_F(BaselineTest, SrtfPrefersShortJobs) {
+  ClusterSpec tiny;
+  const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
+  tiny.AddNodes(t4, 1, 4);
+  const auto configs = BuildConfigSet(tiny);
+  ScheduleInput input;
+  input.cluster = &tiny;
+  input.config_set = &configs;
+  std::vector<std::unique_ptr<JobSpec>> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  auto add = [&](int id, ModelKind model) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = model;
+    spec->adaptivity = AdaptivityMode::kRigid;
+    spec->rigid_num_gpus = 4;
+    spec->fixed_bsz = model == ModelKind::kResNet18 ? 256.0 : 96.0;
+    auto estimator = std::make_unique<GoodputEstimator>(model, &tiny, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 600.0;
+    view.total_work = GetModelInfo(model).total_work;
+    specs.push_back(std::move(spec));
+    estimators.push_back(std::move(estimator));
+    input.jobs.push_back(view);
+  };
+  add(0, ModelKind::kResNet50);  // XL job.
+  add(1, ModelKind::kResNet18);  // S job.
+  PriorityScheduler scheduler(SrtfOptions());
+  const auto output = scheduler.Schedule(input);
+  EXPECT_TRUE(output.count(1));
+  EXPECT_FALSE(output.count(0));
+}
+
+TEST_F(BaselineTest, SchedulerNamesAndRounds) {
+  EXPECT_EQ(PriorityScheduler(ShockwaveOptions()).name(), "shockwave");
+  EXPECT_EQ(PriorityScheduler(ThemisOptions()).name(), "themis");
+  EXPECT_EQ(PriorityScheduler(FifoOptions()).name(), "fifo");
+  EXPECT_EQ(PriorityScheduler(SrtfOptions()).name(), "srtf");
+  EXPECT_DOUBLE_EQ(PriorityScheduler(ShockwaveOptions()).round_duration_seconds(), 360.0);
+  EXPECT_EQ(GavelScheduler().name(), "gavel");
+  EXPECT_DOUBLE_EQ(GavelScheduler().round_duration_seconds(), 360.0);
+  EXPECT_EQ(PolluxScheduler().name(), "pollux");
+  EXPECT_DOUBLE_EQ(PolluxScheduler().round_duration_seconds(), 60.0);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,85 @@
+// Tests for the bench harness utilities (scheduler factory, scenario
+// runner, seed parsing) so the experiment drivers themselves are covered.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster_spec.h"
+
+namespace sia::bench {
+namespace {
+
+TEST(BenchUtilTest, FactoryKnowsEveryPolicy) {
+  for (const char* name :
+       {"sia", "pollux", "gavel", "allox", "shockwave", "themis", "fifo", "srtf"}) {
+    const auto scheduler = MakeScheduler(name);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_EQ(scheduler->name(), name);
+  }
+}
+
+TEST(BenchUtilTest, RigidPolicyClassification) {
+  EXPECT_FALSE(IsRigidPolicy("sia"));
+  EXPECT_FALSE(IsRigidPolicy("pollux"));
+  EXPECT_TRUE(IsRigidPolicy("gavel"));
+  EXPECT_TRUE(IsRigidPolicy("allox"));
+  EXPECT_TRUE(IsRigidPolicy("shockwave"));
+}
+
+TEST(BenchUtilTest, SeedsFromEnvParsesAndFallsBack) {
+  unsetenv("SIA_BENCH_SEEDS");
+  EXPECT_EQ(SeedsFromEnv({1, 2}), (std::vector<uint64_t>{1, 2}));
+  setenv("SIA_BENCH_SEEDS", "7,8,9", 1);
+  EXPECT_EQ(SeedsFromEnv({1}), (std::vector<uint64_t>{7, 8, 9}));
+  setenv("SIA_BENCH_SEEDS", "", 1);
+  EXPECT_EQ(SeedsFromEnv({3}), (std::vector<uint64_t>{3}));
+  unsetenv("SIA_BENCH_SEEDS");
+}
+
+TEST(BenchUtilTest, RunScenarioAdaptiveAndRigid) {
+  ScenarioOptions options;
+  options.cluster = MakeHeterogeneousCluster();
+  options.trace_kind = TraceKind::kPhilly;
+  options.duration_hours = 0.4;  // ~8 jobs.
+  options.seeds = {11};
+  const ScenarioResult sia_result = RunScenario("sia", options);
+  EXPECT_EQ(sia_result.summary.policy, "sia");
+  EXPECT_EQ(sia_result.summary.num_traces, 1);
+  EXPECT_TRUE(sia_result.summary.all_finished);
+
+  const ScenarioResult gavel_result = RunScenario("gavel", options);
+  EXPECT_EQ(gavel_result.summary.policy, "gavel+TJ");
+  EXPECT_TRUE(gavel_result.summary.all_finished);
+  // TunedJobs were applied: every job in the run is rigid.
+  for (const SimResult& run : gavel_result.runs) {
+    for (const JobResult& job : run.jobs) {
+      EXPECT_EQ(job.spec.adaptivity, AdaptivityMode::kRigid);
+    }
+  }
+}
+
+TEST(BenchUtilTest, TransformHookApplies) {
+  ScenarioOptions options;
+  options.cluster = MakeHeterogeneousCluster();
+  options.duration_hours = 0.3;
+  options.seeds = {5};
+  bool called = false;
+  options.transform = [&called](std::vector<JobSpec> jobs) {
+    called = true;
+    for (JobSpec& job : jobs) {
+      job.max_num_gpus = 2;
+    }
+    return jobs;
+  };
+  const ScenarioResult result = RunScenario("sia", options);
+  EXPECT_TRUE(called);
+  for (const SimResult& run : result.runs) {
+    for (const JobResult& job : run.jobs) {
+      EXPECT_EQ(job.spec.max_num_gpus, 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sia::bench

@@ -1,0 +1,217 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/ascii_chart.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace sia {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  SIA_CHECK(1 + 1 == 2) << "should not fire";
+  SIA_DCHECK(true);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(SIA_CHECK(false) << "boom", "SIA_CHECK failed");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng root(7);
+  Rng f1 = root.Fork("alpha", 0);
+  Rng f2 = root.Fork("alpha", 0);
+  Rng f3 = root.Fork("alpha", 1);
+  Rng f4 = root.Fork("beta", 0);
+  EXPECT_EQ(f1.Next(), f2.Next());
+  std::set<uint64_t> firsts{root.Fork("alpha", 0).Next(), f3.Next(), f4.Next()};
+  EXPECT_EQ(firsts.size(), 3u);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  const int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int64_t v = rng.UniformInt(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 6.0, kDraws * 0.01);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.Normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Exponential(0.25));
+  }
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(13);
+  RunningStats small_mean;
+  RunningStats large_mean;
+  for (int i = 0; i < 50000; ++i) {
+    small_mean.Add(static_cast<double>(rng.Poisson(3.5)));
+    large_mean.Add(static_cast<double>(rng.Poisson(100.0)));
+  }
+  EXPECT_NEAR(small_mean.mean(), 3.5, 0.1);
+  EXPECT_NEAR(large_mean.mean(), 100.0, 0.5);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(values), 2.5);
+}
+
+TEST(StatsTest, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 0.99), 42.0);
+}
+
+TEST(StatsTest, EmpiricalCdfIsMonotone) {
+  const auto cdf = EmpiricalCdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(StatsTest, FractionAbove) {
+  EXPECT_DOUBLE_EQ(FractionAbove({1.0, 2.0, 3.0, 4.0}, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAbove({}, 2.0), 0.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"policy", "avg JCT"});
+  table.AddRow({"Sia", "0.6"});
+  table.AddRow({"Pollux", "1.0"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| policy | avg JCT |"), std::string::npos);
+  EXPECT_NE(out.find("| Sia    | 0.6     |"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsFixed) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(AsciiChartTest, RendersSeriesAndLegend) {
+  AsciiChart chart(40, 10);
+  chart.SetTitle("test chart");
+  chart.AddSeries({"up", {{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}}});
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find("* = up"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, LogScaleHandlesDecades) {
+  AsciiChart chart(40, 10);
+  chart.SetLogY(true);
+  chart.AddSeries({"runtime", {{64.0, 0.01}, {2048.0, 100.0}}});
+  EXPECT_FALSE(chart.Render().empty());
+}
+
+TEST(AsciiChartTest, EmptyChartSafe) {
+  AsciiChart chart;
+  EXPECT_NE(chart.Render().find("(no data)"), std::string::npos);
+}
+
+TEST(BarChartTest, ScalesToMax) {
+  const std::string out =
+      RenderBarChart("bars", {{"a", 1.0}, {"b", 2.0}}, 10);
+  EXPECT_NE(out.find("=========="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,208 @@
+// Grab-bag coverage tests for smaller units and error paths: logging levels,
+// solver limit statuses, Gavel service accounting, Pollux degenerate
+// configurations, and chart/table rendering edges.
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/ascii_chart.h"
+#include "src/common/logging.h"
+#include "src/models/profile_db.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/solver/milp.h"
+#include "src/solver/simplex.h"
+
+namespace sia {
+namespace {
+
+TEST(LoggingTest, LevelGateWorks) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold logging must not evaluate its stream arguments.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  SIA_LOG(Debug) << count();
+  EXPECT_EQ(evaluations, 0);
+  SIA_LOG(Error) << count();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
+TEST(SimplexLimitTest, IterationLimitReported) {
+  // A healthy LP with an absurdly low iteration budget.
+  LinearProgram lp;
+  std::vector<int> vars;
+  for (int j = 0; j < 24; ++j) {
+    vars.push_back(lp.AddVariable(0.0, 10.0, 1.0 + j % 5));
+  }
+  for (int i = 0; i < 12; ++i) {
+    std::vector<LpTerm> row;
+    for (int j = 0; j < 24; ++j) {
+      if ((i + j) % 3 == 0) {
+        row.emplace_back(vars[j], 1.0 + (i % 4));
+      }
+    }
+    lp.AddConstraint(ConstraintOp::kLessEq, 20.0, std::move(row));
+  }
+  SimplexOptions options;
+  options.max_iterations = 1;
+  const auto solution = SolveLp(lp, options);
+  EXPECT_EQ(solution.status, SolveStatus::kIterationLimit);
+}
+
+TEST(MilpLimitTest, NodeLimitStillReturnsIncumbent) {
+  // A binary program where rounding finds an incumbent at the root even if
+  // the node budget prevents proving optimality.
+  Rng rng(5);
+  LinearProgram lp;
+  std::vector<int> vars;
+  for (int j = 0; j < 30; ++j) {
+    vars.push_back(lp.AddBinaryVariable(rng.Uniform(1.0, 5.0)));
+  }
+  std::vector<LpTerm> row;
+  for (int j = 0; j < 30; ++j) {
+    row.emplace_back(vars[j], rng.Uniform(1.0, 4.0));
+  }
+  lp.AddConstraint(ConstraintOp::kLessEq, 20.0, std::move(row));
+  MilpOptions options;
+  options.max_nodes = 1;
+  options.relative_gap = 0.0;
+  const auto solution = SolveMilp(lp, options);
+  EXPECT_TRUE(solution.status == SolveStatus::kOptimal ||
+              solution.status == SolveStatus::kNodeLimit);
+  EXPECT_GT(solution.objective, 0.0);
+  EXPECT_FALSE(solution.values.empty());
+}
+
+TEST(MilpTest, NonPackingShapeStillSolves) {
+  // >= constraints disable the rounding heuristic path; plain B&B must
+  // still find the optimum.
+  LinearProgram lp(ObjectiveSense::kMinimize);
+  const int a = lp.AddBinaryVariable(3.0, "a");
+  const int b = lp.AddBinaryVariable(2.0, "b");
+  const int c = lp.AddBinaryVariable(4.0, "c");
+  lp.AddConstraint(ConstraintOp::kGreaterEq, 2.0, {{a, 1.0}, {b, 1.0}, {c, 1.0}});
+  const auto solution = SolveMilp(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 5.0, 1e-6);  // a + b.
+}
+
+TEST(GavelAccountingTest, ReceivedServiceShiftsPriorities) {
+  // Two identical jobs, one 4-GPU slot: whoever ran last round must yield.
+  ClusterSpec tiny;
+  const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
+  tiny.AddNodes(t4, 1, 4);
+  const auto configs = BuildConfigSet(tiny);
+  std::vector<std::unique_ptr<JobSpec>> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  ScheduleInput input;
+  input.cluster = &tiny;
+  input.config_set = &configs;
+  for (int id = 0; id < 2; ++id) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = ModelKind::kBert;
+    spec->adaptivity = AdaptivityMode::kRigid;
+    spec->rigid_num_gpus = 4;
+    spec->fixed_bsz = 96.0;
+    auto estimator =
+        std::make_unique<GoodputEstimator>(spec->model, &tiny, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 360.0;
+    specs.push_back(std::move(spec));
+    estimators.push_back(std::move(estimator));
+    input.jobs.push_back(view);
+  }
+  GavelScheduler scheduler;
+  std::vector<int> winners;
+  for (int round = 0; round < 4; ++round) {
+    const auto output = scheduler.Schedule(input);
+    ASSERT_EQ(output.size(), 1u);
+    winners.push_back(output.begin()->first);
+    for (JobView& job : input.jobs) {
+      job.age_seconds += 360.0;
+      job.current_config =
+          output.count(job.spec->id) ? output.at(job.spec->id) : Config{};
+    }
+  }
+  // Alternation: both jobs must appear among the winners.
+  EXPECT_NE(winners[0], winners[1]);
+}
+
+TEST(PolluxEdgeTest, TinyPopulationStillValid) {
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const auto configs = BuildConfigSet(cluster);
+  auto spec = std::make_unique<JobSpec>();
+  spec->id = 0;
+  spec->model = ModelKind::kResNet18;
+  GoodputEstimator estimator(spec->model, &cluster, ProfilingMode::kOracle);
+  ScheduleInput input;
+  input.cluster = &cluster;
+  input.config_set = &configs;
+  JobView view;
+  view.spec = spec.get();
+  view.estimator = &estimator;
+  view.age_seconds = 60.0;
+  input.jobs.push_back(view);
+  PolluxOptions options;
+  options.population = 3;
+  options.generations = 1;
+  PolluxScheduler scheduler(options);
+  const auto output = scheduler.Schedule(input);
+  ASSERT_TRUE(output.count(0));
+  EXPECT_GE(output.at(0).num_gpus, 1);
+}
+
+TEST(ConfigToStringTest, DistributedAndScatter) {
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  Config config{2, 16, cluster.FindGpuType("rtx")};
+  EXPECT_EQ(config.ToString(cluster), "(2, 16, rtx)");
+  EXPECT_TRUE(config.is_distributed());
+  Config single{1, 1, 0};
+  EXPECT_FALSE(single.is_distributed());
+}
+
+TEST(AsciiChartTest, SinglePointSeries) {
+  AsciiChart chart(20, 6);
+  chart.AddSeries({"dot", {{1.0, 1.0}}});
+  EXPECT_FALSE(chart.Render().empty());
+}
+
+TEST(AsciiChartTest, ManySeriesCycleGlyphs) {
+  AsciiChart chart(30, 8);
+  for (int s = 0; s < 10; ++s) {
+    chart.AddSeries({"s" + std::to_string(s), {{0.0, s * 1.0}, {1.0, s * 2.0}}});
+  }
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find("s9"), std::string::npos);
+}
+
+TEST(ProfileDbTest, QuadIsBetweenRtxAndA100ForMostModels) {
+  int consistent = 0;
+  for (ModelKind kind : AllDataParallelModels()) {
+    const double quad = GetDeviceProfile(kind, "quad").truth.beta_compute;
+    const double rtx = GetDeviceProfile(kind, "rtx").truth.beta_compute;
+    const double a100 = GetDeviceProfile(kind, "a100").truth.beta_compute;
+    if (quad <= rtx && quad >= a100) {
+      ++consistent;
+    }
+  }
+  EXPECT_GE(consistent, 4);
+}
+
+TEST(ClusterSpecDeathTest, BadTypeIndexAborts) {
+  ClusterSpec cluster;
+  EXPECT_DEATH(cluster.AddNodes(0, 1, 4), "SIA_CHECK");
+}
+
+}  // namespace
+}  // namespace sia

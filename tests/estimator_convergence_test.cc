@@ -1,0 +1,90 @@
+// Property tests for estimator learning dynamics: prediction error must
+// shrink as observations accumulate, across models, GPU types, and noise
+// levels (parameterized sweeps).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/rng.h"
+#include "src/models/estimator.h"
+#include "src/models/profile_db.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+using Param = std::tuple<int /*model*/, const char* /*gpu*/, int /*noise_pct*/>;
+
+class ConvergenceTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ConvergenceTest, SyncErrorShrinksWithObservations) {
+  const ModelKind model = static_cast<ModelKind>(std::get<0>(GetParam()));
+  const std::string gpu = std::get<1>(GetParam());
+  const double sigma = std::get<2>(GetParam()) / 100.0;
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const int type = cluster.FindGpuType(gpu);
+  ASSERT_GE(type, 0);
+  const DeviceProfile& device = GetDeviceProfile(model, gpu);
+  ASSERT_TRUE(device.available);
+
+  GoodputEstimator estimator(model, &cluster, ProfilingMode::kBootstrap);
+  Rng rng(31 + std::get<0>(GetParam()));
+  // Profile sweep first (as the simulator does).
+  for (int k = 1; k <= 10; ++k) {
+    const double local = std::max(1.0, device.max_local_bsz * k / 10.0);
+    estimator.AddProfilePoint(type, local,
+                              IterTime(device.truth, 1, 1, local, 1) *
+                                  rng.LogNormal(0.0, sigma));
+  }
+  const double probe_local = std::max(1.0, device.max_local_bsz / 2.0);
+  const double truth = IterTime(device.truth, 1, 4, probe_local, 1);
+  // Error with no sync data (perfect-scaling assumption).
+  const double err_before =
+      std::abs(estimator.EstimateIterTime(type, 1, 4, probe_local, 1) - truth) / truth;
+  // Feed 12 noisy multi-GPU observations.
+  for (int k = 0; k < 12; ++k) {
+    const int gpus = 2 + (k % 3);
+    const double local = std::max(1.0, device.max_local_bsz * (1 + k % 4) / 4.0);
+    estimator.AddObservation(type, 1, gpus, local, 1,
+                             IterTime(device.truth, 1, gpus, local, 1) *
+                                 rng.LogNormal(0.0, sigma));
+  }
+  const double err_after =
+      std::abs(estimator.EstimateIterTime(type, 1, 4, probe_local, 1) - truth) / truth;
+  EXPECT_LT(err_after, 0.20) << "fitted error too large";
+  // Only require improvement when the initial assumption was meaningfully
+  // wrong (fast interconnects make perfect scaling nearly correct already).
+  if (err_before > 0.10) {
+    EXPECT_LT(err_after, err_before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvergenceTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values("t4", "rtx", "a100"),
+                                            ::testing::Values(0, 3, 8)));
+
+using RateParam = std::tuple<int /*rate*/, int /*seed*/>;
+
+class ArrivalRateTest : public ::testing::TestWithParam<RateParam> {};
+
+TEST_P(ArrivalRateTest, RealizedRateMatchesRequested) {
+  const double rate = std::get<0>(GetParam());
+  TraceOptions options;
+  options.kind = TraceKind::kHelios;
+  options.arrival_rate_per_hour = rate;
+  options.duration_hours = 8.0;
+  options.seed = static_cast<uint64_t>(std::get<1>(GetParam()));
+  const auto jobs = GenerateTrace(options);
+  const double realized = jobs.size() / 8.0;
+  // Poisson noise: ~3 sigma of sqrt(rate*8)/8.
+  EXPECT_NEAR(realized, rate, 3.2 * std::sqrt(rate * 8.0) / 8.0 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ArrivalRateTest,
+                         ::testing::Combine(::testing::Values(10, 20, 40),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace sia

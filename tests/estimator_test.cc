@@ -1,0 +1,235 @@
+// Tests for the learned goodput estimator: profile fitting, online sync
+// refinement, and the Eq. (1) cross-GPU-type bootstrap of §3.2.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/rng.h"
+#include "src/models/estimator.h"
+#include "src/models/profile_db.h"
+
+namespace sia {
+namespace {
+
+// Feeds the §3.2 profiling sweep (10 batch sizes on 1 GPU per type) using
+// ground truth plus optional noise.
+void FeedProfiles(GoodputEstimator& estimator, const ClusterSpec& cluster, ModelKind kind,
+                  double noise_sigma = 0.0, uint64_t seed = 1) {
+  Rng rng(seed);
+  for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+    const DeviceProfile& device = GetDeviceProfile(kind, cluster.gpu_type(t).name);
+    if (!device.available) {
+      continue;
+    }
+    for (int k = 1; k <= 10; ++k) {
+      const double local = std::max(1.0, device.max_local_bsz * k / 10.0);
+      double time = IterTime(device.truth, 1, 1, local, 1);
+      if (noise_sigma > 0.0) {
+        time *= rng.LogNormal(0.0, noise_sigma);
+      }
+      estimator.AddProfilePoint(t, local, time);
+    }
+  }
+}
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() : cluster_(MakeHeterogeneousCluster()) {}
+  ClusterSpec cluster_;
+};
+
+TEST_F(EstimatorTest, OracleMatchesGroundTruth) {
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kOracle);
+  const int a100 = cluster_.FindGpuType("a100");
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kBert, "a100");
+  const double est = estimator.EstimateIterTime(a100, 2, 16, 8.0, 1);
+  const double truth = IterTime(device.truth, 2, 16, 8.0, 1);
+  EXPECT_NEAR(est, truth, 1e-12);
+}
+
+TEST_F(EstimatorTest, ComputeFitRecoversTruthFromCleanProfiles) {
+  GoodputEstimator estimator(ModelKind::kDeepSpeech2, &cluster_, ProfilingMode::kBootstrap);
+  FeedProfiles(estimator, cluster_, ModelKind::kDeepSpeech2);
+  const int t4 = cluster_.FindGpuType("t4");
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kDeepSpeech2, "t4");
+  for (double local : {5.0, 20.0, 40.0}) {
+    EXPECT_NEAR(estimator.EstimateIterTime(t4, 1, 1, local, 1),
+                IterTime(device.truth, 1, 1, local, 1), 1e-6);
+  }
+}
+
+TEST_F(EstimatorTest, PerfectScalingAssumedBeforeAnyMultiGpuData) {
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kBootstrap);
+  FeedProfiles(estimator, cluster_, ModelKind::kBert);
+  const int t4 = cluster_.FindGpuType("t4");
+  // No sync data anywhere: 4-GPU iteration time equals 1-GPU time (zero
+  // communication assumption).
+  const double one = estimator.EstimateIterTime(t4, 1, 1, 8.0, 1);
+  const double four = estimator.EstimateIterTime(t4, 1, 4, 8.0, 1);
+  EXPECT_NEAR(four, one, 1e-9);
+}
+
+TEST_F(EstimatorTest, SyncRefinementLearnsFromObservations) {
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kBootstrap);
+  FeedProfiles(estimator, cluster_, ModelKind::kBert);
+  const int t4 = cluster_.FindGpuType("t4");
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kBert, "t4");
+  // Observe 2- and 4-GPU single-node runs.
+  for (int gpus : {2, 4}) {
+    for (double local : {4.0, 8.0, 12.0}) {
+      estimator.AddObservation(t4, 1, gpus, local, 1, IterTime(device.truth, 1, gpus, local, 1));
+    }
+  }
+  EXPECT_TRUE(estimator.has_intra_data(t4));
+  const double est = estimator.EstimateIterTime(t4, 1, 4, 8.0, 1);
+  const double truth = IterTime(device.truth, 1, 4, 8.0, 1);
+  EXPECT_NEAR(est / truth, 1.0, 0.05);
+}
+
+TEST_F(EstimatorTest, BootstrapScalesAcrossTypes) {
+  // Learn multi-GPU behaviour on t4, then ask about rtx (never run
+  // multi-GPU there): Eq. (1) should predict rtx multi-GPU time as the t4
+  // time scaled by the single-GPU compute ratio.
+  GoodputEstimator estimator(ModelKind::kDeepSpeech2, &cluster_, ProfilingMode::kBootstrap);
+  FeedProfiles(estimator, cluster_, ModelKind::kDeepSpeech2);
+  const int t4 = cluster_.FindGpuType("t4");
+  const int rtx = cluster_.FindGpuType("rtx");
+  const DeviceProfile& t4_device = GetDeviceProfile(ModelKind::kDeepSpeech2, "t4");
+  for (int gpus : {2, 4}) {
+    for (double local : {10.0, 20.0, 40.0}) {
+      estimator.AddObservation(t4, 1, gpus, local, 1,
+                               IterTime(t4_device.truth, 1, gpus, local, 1));
+    }
+  }
+  ASSERT_FALSE(estimator.has_intra_data(rtx));
+  const double est_rtx = estimator.EstimateIterTime(rtx, 1, 4, 20.0, 1);
+  // Eq. (1) reference value computed by hand from the fitted models.
+  const double t4_iter = estimator.EstimateIterTime(t4, 1, 4, 20.0, 1);
+  const double ratio = estimator.EstimateIterTime(rtx, 1, 1, 20.0, 1) /
+                       estimator.EstimateIterTime(t4, 1, 1, 20.0, 1);
+  EXPECT_NEAR(est_rtx, t4_iter * ratio, 1e-9);
+  // And it is a finite, sane prediction (bounded by 4x the true value).
+  const DeviceProfile& rtx_device = GetDeviceProfile(ModelKind::kDeepSpeech2, "rtx");
+  const double truth = IterTime(rtx_device.truth, 1, 4, 20.0, 1);
+  EXPECT_GT(est_rtx, 0.25 * truth);
+  EXPECT_LT(est_rtx, 4.0 * truth);
+}
+
+TEST_F(EstimatorTest, OwnObservationsOverrideBootstrap) {
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kBootstrap);
+  FeedProfiles(estimator, cluster_, ModelKind::kBert);
+  const int t4 = cluster_.FindGpuType("t4");
+  const int a100 = cluster_.FindGpuType("a100");
+  const DeviceProfile& t4_device = GetDeviceProfile(ModelKind::kBert, "t4");
+  const DeviceProfile& a100_device = GetDeviceProfile(ModelKind::kBert, "a100");
+  for (int gpus : {2, 4}) {
+    estimator.AddObservation(t4, 1, gpus, 8.0, 1, IterTime(t4_device.truth, 1, gpus, 8.0, 1));
+    estimator.AddObservation(a100, 1, gpus, 8.0, 1,
+                             IterTime(a100_device.truth, 1, gpus, 8.0, 1));
+  }
+  // a100 now has its own sync data; the estimate should track a100 truth
+  // closely rather than the (much slower) t4-scaled bootstrap.
+  const double est = estimator.EstimateIterTime(a100, 1, 4, 8.0, 1);
+  const double truth = IterTime(a100_device.truth, 1, 4, 8.0, 1);
+  EXPECT_NEAR(est / truth, 1.0, 0.1);
+}
+
+TEST_F(EstimatorTest, NoisyProfilesStillFitWell) {
+  GoodputEstimator estimator(ModelKind::kYoloV3, &cluster_, ProfilingMode::kBootstrap);
+  FeedProfiles(estimator, cluster_, ModelKind::kYoloV3, /*noise_sigma=*/0.05, /*seed=*/7);
+  const int rtx = cluster_.FindGpuType("rtx");
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kYoloV3, "rtx");
+  const double est = estimator.EstimateIterTime(rtx, 1, 1, 8.0, 1);
+  const double truth = IterTime(device.truth, 1, 1, 8.0, 1);
+  EXPECT_NEAR(est / truth, 1.0, 0.15);
+}
+
+TEST_F(EstimatorTest, NoProfileModeBorrowsAcrossTypes) {
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kNoProfile);
+  const int t4 = cluster_.FindGpuType("t4");
+  const int a100 = cluster_.FindGpuType("a100");
+  // Before any data: default params produce *identical* estimates for all
+  // types -- heterogeneity-blind, which is exactly the NoProf weakness.
+  EXPECT_NEAR(estimator.EstimateIterTime(t4, 1, 1, 8.0, 1),
+              estimator.EstimateIterTime(a100, 1, 1, 8.0, 1), 1e-12);
+  // After running on t4 only, a100 estimates borrow t4 compute times.
+  const DeviceProfile& t4_device = GetDeviceProfile(ModelKind::kBert, "t4");
+  estimator.AddObservation(t4, 1, 1, 8.0, 1, IterTime(t4_device.truth, 1, 1, 8.0, 1));
+  estimator.AddObservation(t4, 1, 1, 12.0, 1, IterTime(t4_device.truth, 1, 1, 12.0, 1));
+  EXPECT_NEAR(estimator.EstimateIterTime(a100, 1, 1, 8.0, 1),
+              estimator.EstimateIterTime(t4, 1, 1, 8.0, 1), 1e-12);
+}
+
+TEST_F(EstimatorTest, PgnsEmaSmoothing) {
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kBootstrap);
+  const double initial = estimator.pgns();
+  estimator.ObservePgns(initial * 3.0);
+  EXPECT_GT(estimator.pgns(), initial);
+  EXPECT_LT(estimator.pgns(), initial * 3.0);
+}
+
+TEST_F(EstimatorTest, EstimateRespectsAdaptivityModes) {
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kOracle);
+  const int a100 = cluster_.FindGpuType("a100");
+  const Config config{1, 4, a100};
+  const auto adaptive = estimator.Estimate(config, AdaptivityMode::kAdaptive);
+  const auto strong = estimator.Estimate(config, AdaptivityMode::kStrongScaling, 48.0);
+  ASSERT_TRUE(adaptive.feasible);
+  ASSERT_TRUE(strong.feasible);
+  EXPECT_DOUBLE_EQ(strong.global_bsz, 48.0);
+  // The adaptive executor can only do better than any fixed batch.
+  EXPECT_GE(adaptive.goodput, strong.goodput - 1e-9);
+}
+
+TEST_F(EstimatorTest, BatchInferenceGoodputEqualsThroughput) {
+  GoodputEstimator estimator(ModelKind::kResNet50, &cluster_, ProfilingMode::kOracle,
+                             /*batch_inference=*/true);
+  const int a100 = cluster_.FindGpuType("a100");
+  const auto decision = estimator.Estimate({1, 4, a100}, AdaptivityMode::kAdaptive);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_NEAR(decision.efficiency, 1.0, 1e-6);
+  EXPECT_NEAR(decision.goodput, decision.throughput, 1e-6);
+  // With no efficiency penalty, inference maxes out the batch/memory.
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kResNet50, "a100");
+  EXPECT_NEAR(decision.local_bsz, device.max_local_bsz, device.max_local_bsz * 0.05);
+  // Gradient-noise reports are ignored for inference jobs.
+  const double before = estimator.pgns();
+  estimator.ObservePgns(1.0);
+  EXPECT_DOUBLE_EQ(estimator.pgns(), before);
+}
+
+
+TEST_F(EstimatorTest, LatencySloMakesGoodputBinary) {
+  // 200 ms per-iteration SLO for ResNet18 inference: small configs on slow
+  // GPUs must be rejected; fast/large configs accepted with goodput 1 and
+  // the largest SLO-meeting batch.
+  GoodputEstimator estimator(ModelKind::kResNet18, &cluster_, ProfilingMode::kOracle,
+                             /*batch_inference=*/true, /*latency_slo_seconds=*/0.2);
+  const int a100 = cluster_.FindGpuType("a100");
+  const auto decision = estimator.Estimate({1, 4, a100}, AdaptivityMode::kAdaptive);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_DOUBLE_EQ(decision.goodput, 1.0);
+  EXPECT_LE(decision.iter_time, 0.2 + 1e-9);
+  EXPECT_GT(decision.throughput, 0.0);
+  // An impossibly tight SLO is infeasible everywhere.
+  GoodputEstimator tight(ModelKind::kResNet50, &cluster_, ProfilingMode::kOracle, true, 1e-6);
+  const int t4 = cluster_.FindGpuType("t4");
+  EXPECT_FALSE(tight.Estimate({1, 1, t4}, AdaptivityMode::kAdaptive).feasible);
+}
+
+TEST_F(EstimatorTest, HybridEstimateUsesReplicaGranularity) {
+  GoodputEstimator estimator(ModelKind::kGpt2_8B, &cluster_, ProfilingMode::kBootstrap);
+  const int a100 = cluster_.FindGpuType("a100");
+  const int t4 = cluster_.FindGpuType("t4");
+  EXPECT_EQ(estimator.MinGpus(a100), 2);
+  EXPECT_EQ(estimator.MinGpus(t4), 0);
+  EXPECT_FALSE(estimator.TypeAvailable(t4));
+  const auto two = estimator.Estimate({1, 2, a100}, AdaptivityMode::kAdaptive);
+  const auto three = estimator.Estimate({1, 3, a100}, AdaptivityMode::kAdaptive);
+  EXPECT_TRUE(two.feasible);
+  EXPECT_FALSE(three.feasible);  // Not a whole number of replicas.
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,249 @@
+// Exactness tests: the simplex against brute-force vertex enumeration on
+// small LPs, and the MILP against exhaustive search on small general
+// (non-packing) integer programs. These give exact-optimum guarantees that
+// the Monte-Carlo property tests cannot.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/milp.h"
+#include "src/solver/simplex.h"
+
+namespace sia {
+namespace {
+
+// Dense Gaussian elimination solve of a k x k system; returns false if
+// singular.
+bool SolveSquare(std::vector<std::vector<double>> a, std::vector<double> b,
+                 std::vector<double>& x) {
+  const int k = static_cast<int>(b.size());
+  for (int col = 0; col < k; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < k; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[pivot][col]) < 1e-10) {
+      return false;
+    }
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+    for (int r = 0; r < k; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double factor = a[r][col] / a[col][col];
+      for (int c = col; c < k; ++c) {
+        a[r][c] -= factor * a[col][c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  x.resize(k);
+  for (int i = 0; i < k; ++i) {
+    x[i] = b[i] / a[i][i];
+  }
+  return true;
+}
+
+// Brute-force LP optimum by enumerating all vertices of the polytope
+// {l <= x <= u, Ax <= b}: every vertex is the intersection of n active
+// constraints chosen among rows and bound hyperplanes.
+double BruteForceLpOptimum(const LinearProgram& lp, bool& found) {
+  const int n = lp.num_variables();
+  // Build the full list of halfspaces: a.x <= rhs.
+  struct Halfspace {
+    std::vector<double> a;
+    double rhs;
+    bool equality;
+  };
+  std::vector<Halfspace> halfspaces;
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    Halfspace h{std::vector<double>(n, 0.0), lp.rhs(i),
+                lp.constraint_op(i) == ConstraintOp::kEqual};
+    for (const auto& [var, coeff] : lp.row_terms(i)) {
+      h.a[var] += lp.constraint_op(i) == ConstraintOp::kGreaterEq ? -coeff : coeff;
+    }
+    if (lp.constraint_op(i) == ConstraintOp::kGreaterEq) {
+      h.rhs = -h.rhs;
+    }
+    halfspaces.push_back(std::move(h));
+  }
+  for (int j = 0; j < n; ++j) {
+    Halfspace upper{std::vector<double>(n, 0.0), lp.upper_bound(j), false};
+    upper.a[j] = 1.0;
+    halfspaces.push_back(std::move(upper));
+    Halfspace lower{std::vector<double>(n, 0.0), -lp.lower_bound(j), false};
+    lower.a[j] = -1.0;
+    halfspaces.push_back(std::move(lower));
+  }
+
+  const int total = static_cast<int>(halfspaces.size());
+  const double sense = lp.objective_sense() == ObjectiveSense::kMaximize ? 1.0 : -1.0;
+  double best = -1e300;
+  found = false;
+  // Enumerate all n-subsets of halfspaces as candidate active sets.
+  std::vector<int> pick(n);
+  auto recurse = [&](auto&& self, int depth, int start) -> void {
+    if (depth == n) {
+      std::vector<std::vector<double>> a(n, std::vector<double>(n));
+      std::vector<double> b(n);
+      for (int k = 0; k < n; ++k) {
+        a[k] = halfspaces[pick[k]].a;
+        b[k] = halfspaces[pick[k]].rhs;
+      }
+      std::vector<double> x;
+      if (!SolveSquare(a, b, x)) {
+        return;
+      }
+      // Feasibility against every halfspace (equalities exactly).
+      for (const Halfspace& h : halfspaces) {
+        double lhs = 0.0;
+        for (int j = 0; j < n; ++j) {
+          lhs += h.a[j] * x[j];
+        }
+        if (lhs > h.rhs + 1e-7 || (h.equality && lhs < h.rhs - 1e-7)) {
+          return;
+        }
+      }
+      double objective = 0.0;
+      for (int j = 0; j < n; ++j) {
+        objective += lp.objective_coefficient(j) * x[j];
+      }
+      best = std::max(best, sense * objective);
+      found = true;
+      return;
+    }
+    for (int k = start; k < total; ++k) {
+      pick[depth] = k;
+      self(self, depth + 1, k + 1);
+    }
+  };
+  recurse(recurse, 0, 0);
+  return sense * best;
+}
+
+class VertexEnumerationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VertexEnumerationTest, SimplexMatchesBruteForceOptimum) {
+  Rng rng(GetParam() * 13 + 1);
+  const int n = static_cast<int>(rng.UniformInt(2, 3));
+  const int m = static_cast<int>(rng.UniformInt(1, 3));
+  LinearProgram lp(rng.Bernoulli(0.5) ? ObjectiveSense::kMaximize : ObjectiveSense::kMinimize);
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.Uniform(-2.0, 0.0);
+    lp.AddVariable(lo, lo + rng.Uniform(0.5, 3.0), rng.Uniform(-2.0, 2.0));
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<LpTerm> terms;
+    for (int j = 0; j < n; ++j) {
+      terms.emplace_back(j, rng.Uniform(-2.0, 2.0));
+    }
+    lp.AddConstraint(rng.Bernoulli(0.7) ? ConstraintOp::kLessEq : ConstraintOp::kGreaterEq,
+                     rng.Uniform(-2.0, 4.0), std::move(terms));
+  }
+  bool found = false;
+  const double brute = BruteForceLpOptimum(lp, found);
+  const auto solution = SolveLp(lp);
+  if (!found) {
+    EXPECT_EQ(solution.status, SolveStatus::kInfeasible) << "seed " << GetParam();
+    return;
+  }
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_NEAR(solution.objective, brute, 1e-5) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VertexEnumerationTest, ::testing::Range<uint64_t>(1, 61));
+
+class GeneralMilpTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneralMilpTest, MatchesExhaustiveSearch) {
+  // Small integer programs with mixed <=, >=, = rows (exercising the
+  // non-packing branch-and-bound path) against full enumeration.
+  Rng rng(GetParam() * 97 + 11);
+  const int n = static_cast<int>(rng.UniformInt(2, 4));
+  const int range = 3;  // Variables in {0..3}.
+  LinearProgram lp(rng.Bernoulli(0.5) ? ObjectiveSense::kMaximize : ObjectiveSense::kMinimize);
+  for (int j = 0; j < n; ++j) {
+    lp.AddVariable(0.0, range, rng.Uniform(-3.0, 3.0));
+    lp.SetInteger(j);
+  }
+  const int m = static_cast<int>(rng.UniformInt(1, 3));
+  std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+  std::vector<ConstraintOp> ops(m);
+  std::vector<double> rhs(m);
+  for (int i = 0; i < m; ++i) {
+    std::vector<LpTerm> terms;
+    for (int j = 0; j < n; ++j) {
+      rows[i][j] = static_cast<double>(rng.UniformInt(-2, 2));
+      terms.emplace_back(j, rows[i][j]);
+    }
+    const double pick = rng.Uniform(0.0, 1.0);
+    ops[i] = pick < 0.5 ? ConstraintOp::kLessEq
+                        : (pick < 0.8 ? ConstraintOp::kGreaterEq : ConstraintOp::kEqual);
+    rhs[i] = static_cast<double>(rng.UniformInt(-3, 6));
+    lp.AddConstraint(ops[i], rhs[i], std::move(terms));
+  }
+
+  // Exhaustive search.
+  double best = 0.0;
+  bool feasible_exists = false;
+  const double sense = lp.objective_sense() == ObjectiveSense::kMaximize ? 1.0 : -1.0;
+  int total = 1;
+  for (int j = 0; j < n; ++j) {
+    total *= range + 1;
+  }
+  for (int mask = 0; mask < total; ++mask) {
+    int rem = mask;
+    std::vector<int> x(n);
+    for (int j = 0; j < n; ++j) {
+      x[j] = rem % (range + 1);
+      rem /= range + 1;
+    }
+    bool ok = true;
+    for (int i = 0; i < m && ok; ++i) {
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        lhs += rows[i][j] * x[j];
+      }
+      switch (ops[i]) {
+        case ConstraintOp::kLessEq:
+          ok = lhs <= rhs[i] + 1e-9;
+          break;
+        case ConstraintOp::kGreaterEq:
+          ok = lhs >= rhs[i] - 1e-9;
+          break;
+        case ConstraintOp::kEqual:
+          ok = std::abs(lhs - rhs[i]) <= 1e-9;
+          break;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    double objective = 0.0;
+    for (int j = 0; j < n; ++j) {
+      objective += lp.objective_coefficient(j) * x[j];
+    }
+    if (!feasible_exists || sense * objective > sense * best) {
+      best = objective;
+      feasible_exists = true;
+    }
+  }
+
+  const auto solution = SolveMilp(lp);
+  if (!feasible_exists) {
+    EXPECT_EQ(solution.status, SolveStatus::kInfeasible) << "seed " << GetParam();
+    return;
+  }
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_NEAR(solution.objective, best, 1e-5) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralMilpTest, ::testing::Range<uint64_t>(1, 61));
+
+}  // namespace
+}  // namespace sia

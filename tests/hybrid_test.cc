@@ -1,0 +1,131 @@
+// Dedicated hybrid-parallel (pipeline + data parallel, §5.3) coverage:
+// goodput edges, multi-job scheduling under Sia and Pollux, and competing
+// hybrid jobs sharing the a100 pool.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/models/goodput.h"
+#include "src/models/profile_db.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace sia {
+namespace {
+
+TEST(HybridGoodputTest, ThroughputMonotoneInReplicas) {
+  const ModelInfo& info = GetModelInfo(ModelKind::kGpt2_8B);
+  const HybridProfile& profile = GetHybridProfile(ModelKind::kGpt2_8B, "a100");
+  double previous = 0.0;
+  for (int replicas = 1; replicas * 48 <= static_cast<int>(info.max_bsz); ++replicas) {
+    const auto decision =
+        HybridGoodput(profile, info.efficiency, info.efficiency.init_pgns, replicas,
+                      info.max_bsz);
+    ASSERT_TRUE(decision.feasible) << replicas;
+    EXPECT_GT(decision.throughput, previous);
+    previous = decision.throughput;
+  }
+}
+
+TEST(HybridGoodputTest, PipelineBubbleCostsThroughput) {
+  // Per-GPU throughput on rtx (8 stages) must be below a100 (2 stages) by
+  // more than the raw stage-time ratio: deeper pipelines waste more slots
+  // in the GPipe bubble.
+  const ModelInfo& info = GetModelInfo(ModelKind::kGpt2_8B);
+  const HybridProfile& a100 = GetHybridProfile(ModelKind::kGpt2_8B, "a100");
+  const HybridProfile& rtx = GetHybridProfile(ModelKind::kGpt2_8B, "rtx");
+  const auto a = HybridGoodput(a100, info.efficiency, info.efficiency.init_pgns, 1, info.max_bsz);
+  const auto r = HybridGoodput(rtx, info.efficiency, info.efficiency.init_pgns, 1, info.max_bsz);
+  const double a_per_gpu = a.throughput / a100.pipeline_gpus;
+  const double r_per_gpu = r.throughput / rtx.pipeline_gpus;
+  EXPECT_GT(a_per_gpu, r_per_gpu);
+  // Bubble fraction: (P-1)/(micro+P-1) -> larger for rtx.
+  const double a_bubble = (a100.pipeline_gpus - 1.0) / (48 + a100.pipeline_gpus - 1.0);
+  const double r_bubble = (rtx.pipeline_gpus - 1.0) / (48 + rtx.pipeline_gpus - 1.0);
+  EXPECT_GT(r_bubble, a_bubble);
+}
+
+TEST(HybridSchedulingTest, TwoGptJobsShareTheA100Pool) {
+  std::vector<JobSpec> jobs;
+  for (int id = 0; id < 2; ++id) {
+    JobSpec job;
+    job.id = id;
+    job.model = ModelKind::kGpt2_8B;
+    job.max_num_gpus = 16;
+    job.name = "gpt-" + std::to_string(id);
+    jobs.push_back(job);
+  }
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = 5;
+  options.record_timeline = true;
+  options.max_hours = 400.0;
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  ClusterSimulator sim(cluster, jobs, &scheduler, options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.all_finished);
+  // Every allocation event is replica-granular on a valid type.
+  for (const TimelineEvent& event : result.timeline) {
+    if (event.config.num_gpus == 0) {
+      continue;
+    }
+    const std::string& type = cluster.gpu_type(event.config.gpu_type).name;
+    ASSERT_TRUE(type == "a100" || type == "rtx") << type;
+    EXPECT_EQ(event.config.num_gpus % (type == "a100" ? 2 : 8), 0);
+  }
+}
+
+TEST(HybridSchedulingTest, PolluxAllocatesHybridInReplicas) {
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const auto configs = BuildConfigSet(cluster);
+  auto spec = std::make_unique<JobSpec>();
+  spec->id = 0;
+  spec->model = ModelKind::kGpt2_8B;
+  spec->max_num_gpus = 16;
+  GoodputEstimator estimator(spec->model, &cluster, ProfilingMode::kBootstrap);
+  ScheduleInput input;
+  input.cluster = &cluster;
+  input.config_set = &configs;
+  JobView view;
+  view.spec = spec.get();
+  view.estimator = &estimator;
+  view.age_seconds = 600.0;
+  input.jobs.push_back(view);
+  PolluxOptions options;
+  options.population = 16;
+  options.generations = 6;
+  PolluxScheduler scheduler(options);
+  const auto output = scheduler.Schedule(input);
+  ASSERT_TRUE(output.count(0));
+  const Config& config = output.at(0);
+  const int min_gpus = estimator.MinGpus(config.gpu_type);
+  ASSERT_GT(min_gpus, 0);
+  EXPECT_EQ(config.num_gpus % min_gpus, 0);
+}
+
+TEST(HybridSchedulingTest, MaxBszCapsReplicaCount) {
+  // GPT's batch range caps data parallelism at 8 replicas (384/48): even on
+  // an empty 2048-GPU cluster Sia must not allocate more than 16 a100s.
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kGpt2_8B;
+  job.max_num_gpus = 1024;
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = 2;
+  options.record_timeline = true;
+  options.max_hours = 48.0;
+  ClusterSimulator sim(MakeHeterogeneousCluster(4), {job}, &scheduler, options);
+  const SimResult result = sim.Run();
+  int peak = 0;
+  for (const TimelineEvent& event : result.timeline) {
+    peak = std::max(peak, event.config.num_gpus);
+  }
+  EXPECT_LE(peak, 8 * 8);  // 8 replicas x at most 8 GPUs per replica (rtx).
+  EXPECT_GT(peak, 1);
+}
+
+}  // namespace
+}  // namespace sia

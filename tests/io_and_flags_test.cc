@@ -1,0 +1,215 @@
+// Tests for trace CSV round-tripping, result export, the flag parser, and
+// the failure-injection / utilization extensions of the simulator.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+#include "src/metrics/report.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+#include "src/workload/trace_io.h"
+
+namespace sia {
+namespace {
+
+TEST(TraceIoTest, RoundTripsGeneratedTrace) {
+  TraceOptions options;
+  options.seed = 13;
+  options.duration_hours = 2.0;
+  const auto jobs = GenerateTrace(options);
+  ASSERT_FALSE(jobs.empty());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTraceCsv(buffer, jobs));
+  std::vector<JobSpec> parsed;
+  std::string error;
+  ASSERT_TRUE(ReadTraceCsv(buffer, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, jobs[i].id);
+    EXPECT_EQ(parsed[i].name, jobs[i].name);
+    EXPECT_EQ(parsed[i].model, jobs[i].model);
+    EXPECT_DOUBLE_EQ(parsed[i].submit_time, jobs[i].submit_time);
+    EXPECT_EQ(parsed[i].adaptivity, jobs[i].adaptivity);
+    EXPECT_EQ(parsed[i].max_num_gpus, jobs[i].max_num_gpus);
+    EXPECT_EQ(parsed[i].preemptible, jobs[i].preemptible);
+  }
+}
+
+TEST(TraceIoTest, RoundTripsTunedJobs) {
+  TraceOptions options;
+  options.seed = 13;
+  options.duration_hours = 1.0;
+  const auto tuned = MakeTunedJobs(GenerateTrace(options), {});
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTraceCsv(buffer, tuned));
+  std::vector<JobSpec> parsed;
+  ASSERT_TRUE(ReadTraceCsv(buffer, &parsed));
+  for (size_t i = 0; i < tuned.size(); ++i) {
+    EXPECT_EQ(parsed[i].adaptivity, AdaptivityMode::kRigid);
+    EXPECT_EQ(parsed[i].rigid_num_gpus, tuned[i].rigid_num_gpus);
+    EXPECT_DOUBLE_EQ(parsed[i].fixed_bsz, tuned[i].fixed_bsz);
+  }
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::stringstream buffer("id,bogus\n");
+  std::vector<JobSpec> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadTraceCsv(buffer, &parsed, &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsUnknownModel) {
+  std::stringstream buffer;
+  buffer << "id,name,model,submit_time,adaptivity,fixed_bsz,rigid_num_gpus,max_num_gpus,"
+            "preemptible,batch_inference,latency_slo\n"
+         << "0,j,transformer9000,0,adaptive,0,0,8,1,0,0\n";
+  std::vector<JobSpec> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadTraceCsv(buffer, &parsed, &error));
+  EXPECT_NE(error.find("unknown model"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsInvalidFields) {
+  std::stringstream buffer;
+  buffer << "id,name,model,submit_time,adaptivity,fixed_bsz,rigid_num_gpus,max_num_gpus,"
+            "preemptible,batch_inference,latency_slo\n"
+         << "0,j,bert,-5,adaptive,0,0,8,1,0,0\n";
+  std::vector<JobSpec> parsed;
+  EXPECT_FALSE(ReadTraceCsv(buffer, &parsed));
+}
+
+TEST(TraceIoTest, MissingFileReportsError) {
+  std::vector<JobSpec> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadTraceCsv("/nonexistent/path.csv", &parsed, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(ModelKindTest, FromStringRoundTrip) {
+  for (int k = 0; k < kNumModelKinds; ++k) {
+    const auto kind = static_cast<ModelKind>(k);
+    ModelKind parsed;
+    ASSERT_TRUE(ModelKindFromString(ToString(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  ModelKind parsed;
+  EXPECT_FALSE(ModelKindFromString("gpt5", &parsed));
+}
+
+TEST(AdaptivityModeTest, FromStringRoundTrip) {
+  for (AdaptivityMode mode : {AdaptivityMode::kAdaptive, AdaptivityMode::kStrongScaling,
+                              AdaptivityMode::kRigid}) {
+    AdaptivityMode parsed;
+    ASSERT_TRUE(AdaptivityModeFromString(ToString(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  AdaptivityMode parsed;
+  EXPECT_FALSE(AdaptivityModeFromString("elastic", &parsed));
+}
+
+TEST(ResultsCsvTest, WritesAllJobs) {
+  SimResult result;
+  JobResult job;
+  job.spec.id = 3;
+  job.spec.name = "bert-3";
+  job.spec.model = ModelKind::kBert;
+  job.finished = true;
+  job.jct = 7200.0;
+  job.gpu_seconds = 3600.0;
+  job.num_restarts = 2;
+  job.num_failures = 1;
+  result.jobs.push_back(job);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteJobResultsCsv(buffer, result));
+  const std::string out = buffer.str();
+  EXPECT_NE(out.find("3,bert-3,bert,0,1,2,1,2,1"), std::string::npos);
+}
+
+TEST(FlagParserTest, ParsesEqualsAndBareBooleans) {
+  const char* argv[] = {"prog", "--alpha=3.5", "--name=hello", "--verbose", "pos1"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(5, argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 3.5);
+  EXPECT_EQ(flags.GetString("name", ""), "hello");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(FlagParserTest, DefaultsAndUnknowns) {
+  const char* argv[] = {"prog", "--typo=1"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(2, argv));
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  const auto unknown = flags.UnknownFlags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagParserTest, BoolValues) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(4, argv));
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+}
+
+TEST(FlagParserDeathTest, BadNumberAborts) {
+  const char* argv[] = {"prog", "--n=abc"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(2, argv));
+  EXPECT_DEATH((void)flags.GetInt("n", 0), "expects an integer");
+}
+
+TEST(JainIndexTest, PerfectEqualityIsOne) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({2.0, 2.0, 2.0}), 1.0);
+}
+
+TEST(JainIndexTest, StarvationLowersIndex) {
+  const double skewed = JainFairnessIndex({10.0, 0.1, 0.1, 0.1});
+  EXPECT_LT(skewed, 0.5);
+  EXPECT_GT(skewed, 0.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 0.0);
+}
+
+TEST(FailureInjectionTest, FailuresSlowJobsDown) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kYoloV3;  // Long enough to see failures.
+  job.max_num_gpus = 8;
+  SiaScheduler s1, s2;
+  SimOptions clean;
+  clean.seed = 4;
+  SimOptions faulty = clean;
+  faulty.node_mtbf_hours = 2.0;  // Aggressive failure rate.
+  faulty.failure_progress_loss = 0.05;
+  const SimResult without =
+      ClusterSimulator(MakeHomogeneousCluster(), {job}, &s1, clean).Run();
+  const SimResult with =
+      ClusterSimulator(MakeHomogeneousCluster(), {job}, &s2, faulty).Run();
+  ASSERT_TRUE(without.all_finished);
+  ASSERT_TRUE(with.all_finished);
+  EXPECT_GT(with.total_failures, 0);
+  EXPECT_GT(with.jobs[0].num_failures, 0);
+  EXPECT_GT(with.jobs[0].jct, without.jobs[0].jct);
+}
+
+TEST(UtilizationTest, BoundedAndPositive) {
+  TraceOptions trace;
+  trace.seed = 6;
+  trace.duration_hours = 1.0;
+  const auto jobs = GenerateTrace(trace);
+  SiaScheduler scheduler;
+  const SimResult result =
+      ClusterSimulator(MakeHeterogeneousCluster(), jobs, &scheduler, {}).Run();
+  EXPECT_GT(result.gpu_utilization, 0.0);
+  EXPECT_LE(result.gpu_utilization, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace sia

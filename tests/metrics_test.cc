@@ -1,0 +1,171 @@
+// Tests for the metrics module: isolated runtimes, heterogeneous FTF
+// (Eq. 6), and report aggregation.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/metrics/ftf.h"
+#include "src/metrics/report.h"
+#include "src/models/profile_db.h"
+
+namespace sia {
+namespace {
+
+TEST(IsolatedRuntimeTest, FasterGpuFinishesSooner) {
+  JobSpec job;
+  job.model = ModelKind::kBert;
+  const double t4_time = IsolatedRuntimeSeconds(job, "t4", 4, 4);
+  const double a100_time = IsolatedRuntimeSeconds(job, "a100", 4, 8);
+  EXPECT_GT(t4_time, 0.0);
+  EXPECT_LT(a100_time, t4_time);
+}
+
+TEST(IsolatedRuntimeTest, MoreGpusFinishSooner) {
+  JobSpec job;
+  job.model = ModelKind::kResNet50;
+  const double one = IsolatedRuntimeSeconds(job, "a100", 1, 8);
+  const double eight = IsolatedRuntimeSeconds(job, "a100", 8, 8);
+  EXPECT_LT(eight, one);
+}
+
+TEST(IsolatedRuntimeTest, UnavailableTypeIsInfinite) {
+  JobSpec job;
+  job.model = ModelKind::kGpt2_8B;
+  EXPECT_TRUE(std::isinf(IsolatedRuntimeSeconds(job, "t4", 4, 4)));
+  EXPECT_TRUE(std::isfinite(IsolatedRuntimeSeconds(job, "a100", 4, 8)));
+}
+
+TEST(IsolatedRuntimeTest, RigidJobUsesItsConfig) {
+  JobSpec job;
+  job.model = ModelKind::kBert;
+  job.adaptivity = AdaptivityMode::kRigid;
+  job.fixed_bsz = 96.0;
+  job.rigid_num_gpus = 4;
+  const double time = IsolatedRuntimeSeconds(job, "t4", 4, 4);
+  EXPECT_TRUE(std::isfinite(time));
+  EXPECT_GT(time, 0.0);
+}
+
+TEST(FtfTest, FairExecutionHasRhoNearOne) {
+  // A job that took exactly its fair-share isolated runtime has rho ~= 1.
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  JobSpec job;
+  job.model = ModelKind::kDeepSpeech2;
+  // Compute what isolation would take at contention 8 on each type and
+  // weight as Eq. 6 does -- then feed that exact JCT back in.
+  const double contention = 8.0;
+  double expected = 0.0;
+  double mass = 0.0;
+  for (const char* type : {"t4", "rtx", "a100"}) {
+    const int t = cluster.FindGpuType(type);
+    const int fair =
+        std::max(1, static_cast<int>(std::lround(cluster.TotalGpus(t) / contention)));
+    const double iso =
+        IsolatedRuntimeSeconds(job, type, fair, cluster.GpusPerNode(t));
+    const double probability =
+        static_cast<double>(cluster.TotalGpus(t)) / cluster.TotalGpus();
+    expected += probability / iso;
+    mass += probability;
+  }
+  // With jct = harmonic-style average the rho lands near 1; just verify
+  // monotonicity and the rho=1 crossing direction.
+  const double fast_rho = FinishTimeFairness(job, 600.0, contention, cluster);
+  const double slow_rho = FinishTimeFairness(job, 60000.0, contention, cluster);
+  EXPECT_LT(fast_rho, slow_rho);
+  EXPECT_LT(fast_rho, 1.0);
+  EXPECT_GT(slow_rho, 1.0);
+  EXPECT_GT(mass, 0.99);
+}
+
+TEST(FtfTest, ReducesToHomogeneousDefinition) {
+  const ClusterSpec cluster = MakeHomogeneousCluster();
+  JobSpec job;
+  job.model = ModelKind::kResNet18;
+  const double contention = 4.0;
+  const int fair = 64 / 4;
+  const double iso = IsolatedRuntimeSeconds(job, "t4", fair, 4);
+  const double rho = FinishTimeFairness(job, 2.0 * iso, contention, cluster);
+  EXPECT_NEAR(rho, 2.0, 1e-9);
+}
+
+TEST(FtfTest, HybridJobSkipsUnusableTypes) {
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  JobSpec job;
+  job.model = ModelKind::kGpt2_8B;
+  const double rho = FinishTimeFairness(job, 3600.0, 4.0, cluster);
+  EXPECT_TRUE(std::isfinite(rho));
+  EXPECT_GT(rho, 0.0);
+}
+
+TEST(ReportTest, SummarizeAggregatesAcrossTraces) {
+  SimResult a;
+  a.makespan_seconds = 7200.0;
+  a.avg_contention = 4.0;
+  a.max_contention = 8;
+  a.all_finished = true;
+  JobResult job;
+  job.spec.model = ModelKind::kBert;
+  job.finished = true;
+  job.jct = 3600.0;
+  job.gpu_seconds = 7200.0;
+  job.num_restarts = 2;
+  a.jobs = {job, job};
+  SimResult b = a;
+  b.makespan_seconds = 10800.0;
+  b.jobs[0].jct = 7200.0;
+
+  const PolicySummary summary = Summarize("test", {a, b});
+  EXPECT_EQ(summary.num_traces, 2);
+  EXPECT_NEAR(summary.avg_jct_hours, (1.0 + 1.5) / 2.0, 1e-9);
+  EXPECT_NEAR(summary.makespan_hours, 2.5, 1e-9);
+  EXPECT_NEAR(summary.gpu_hours_per_job, 2.0, 1e-9);
+  EXPECT_NEAR(summary.avg_restarts, 2.0, 1e-9);
+  EXPECT_EQ(summary.max_contention, 8.0);
+  EXPECT_TRUE(summary.all_finished);
+}
+
+TEST(ReportTest, GpuHoursByModelAverages) {
+  SimResult result;
+  JobResult bert;
+  bert.spec.model = ModelKind::kBert;
+  bert.gpu_seconds = 3600.0;
+  JobResult bert2 = bert;
+  bert2.gpu_seconds = 7200.0;
+  JobResult resnet;
+  resnet.spec.model = ModelKind::kResNet18;
+  resnet.gpu_seconds = 1800.0;
+  result.jobs = {bert, bert2, resnet};
+  const auto by_model = GpuHoursByModel({result});
+  EXPECT_NEAR(by_model.at(ModelKind::kBert), 1.5, 1e-9);
+  EXPECT_NEAR(by_model.at(ModelKind::kResNet18), 0.5, 1e-9);
+}
+
+
+TEST(ReportTest, AvgJctByCategoryGroups) {
+  SimResult result;
+  JobResult small;
+  small.spec.model = ModelKind::kResNet18;
+  small.jct = 3600.0;
+  JobResult small2 = small;
+  small2.jct = 7200.0;
+  JobResult xl;
+  xl.spec.model = ModelKind::kResNet50;
+  xl.jct = 36000.0;
+  result.jobs = {small, small2, xl};
+  const auto by_category = AvgJctByCategory({result});
+  EXPECT_NEAR(by_category.at(SizeCategory::kSmall), 1.5, 1e-9);
+  EXPECT_NEAR(by_category.at(SizeCategory::kExtraLarge), 10.0, 1e-9);
+  EXPECT_EQ(by_category.count(SizeCategory::kMedium), 0u);
+}
+
+TEST(ReportTest, RenderSummaryTableContainsPolicies) {
+  PolicySummary summary;
+  summary.policy = "sia";
+  const std::string out = RenderSummaryTable({summary}, "title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("sia"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sia

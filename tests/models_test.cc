@@ -1,0 +1,244 @@
+// Tests for the throughput/efficiency/goodput model stack and ground-truth
+// profile database, including Fig. 2-shaped scaling properties.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/models/goodput.h"
+#include "src/models/model_kind.h"
+#include "src/models/profile_db.h"
+#include "src/models/stat_efficiency.h"
+#include "src/models/throughput_model.h"
+
+namespace sia {
+namespace {
+
+TEST(ModelKindTest, NamesAndCategories) {
+  EXPECT_STREQ(ToString(ModelKind::kBert), "bert");
+  EXPECT_EQ(CategoryOf(ModelKind::kResNet18), SizeCategory::kSmall);
+  EXPECT_EQ(CategoryOf(ModelKind::kBert), SizeCategory::kMedium);
+  EXPECT_EQ(CategoryOf(ModelKind::kYoloV3), SizeCategory::kLarge);
+  EXPECT_EQ(CategoryOf(ModelKind::kResNet50), SizeCategory::kExtraLarge);
+  EXPECT_EQ(CategoryOf(ModelKind::kGpt2_8B), SizeCategory::kXxl);
+  EXPECT_STREQ(ToString(SizeCategory::kLarge), "L");
+}
+
+TEST(ThroughputModelTest, GradTimeLinearInBatch) {
+  ThroughputParams params{0.01, 0.002, 0, 0, 0, 0, 2.0};
+  EXPECT_DOUBLE_EQ(GradTime(params, 10.0), 0.03);
+  EXPECT_DOUBLE_EQ(GradTime(params, 20.0), 0.05);
+}
+
+TEST(ThroughputModelTest, SyncZeroForOneGpu) {
+  ThroughputParams params{0.01, 0.002, 0.5, 0.1, 0.9, 0.2, 2.0};
+  EXPECT_DOUBLE_EQ(SyncTime(params, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(SyncTime(params, 1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(SyncTime(params, 1, 4), 0.5 + 0.1 * 2);
+  EXPECT_DOUBLE_EQ(SyncTime(params, 2, 8), 0.9 + 0.2 * 6);
+}
+
+TEST(ThroughputModelTest, IterTimeOverlapsComputeAndSync) {
+  ThroughputParams params{0.0, 0.01, 0.3, 0.0, 0.0, 0.0, 2.0};
+  // grad = 0.4, sync = 0.3 -> overlapped = sqrt(0.16 + 0.09) = 0.5.
+  EXPECT_NEAR(IterTime(params, 1, 2, 40.0, 1), 0.5, 1e-12);
+  // With accumulation: 2 extra grads at 0.4.
+  EXPECT_NEAR(IterTime(params, 1, 2, 40.0, 3), 0.8 + 0.5, 1e-12);
+}
+
+TEST(ThroughputModelTest, ThroughputCountsAllGpus) {
+  ThroughputParams params{0.0, 0.01, 0.0, 0.0, 0.0, 0.0, 2.0};
+  // 4 GPUs x 10 samples / (0.1 s) = 400/s (perfect scaling when sync = 0).
+  EXPECT_NEAR(Throughput(params, 1, 4, 10.0, 1), 400.0, 1e-9);
+}
+
+TEST(StatEfficiencyTest, BaselineBatchHasUnitEfficiency) {
+  EfficiencyParams eff{128.0, 500.0, 4.0};
+  EXPECT_DOUBLE_EQ(Efficiency(eff, 500.0, 128.0), 1.0);
+  EXPECT_DOUBLE_EQ(Efficiency(eff, 500.0, 64.0), 1.0);  // Capped below M0.
+}
+
+TEST(StatEfficiencyTest, EfficiencyDecreasesWithBatch) {
+  EfficiencyParams eff{128.0, 500.0, 4.0};
+  const double e1 = Efficiency(eff, 500.0, 256.0);
+  const double e2 = Efficiency(eff, 500.0, 1024.0);
+  EXPECT_LT(e2, e1);
+  EXPECT_LT(e1, 1.0);
+  EXPECT_GT(e2, 0.0);
+}
+
+TEST(StatEfficiencyTest, LargerPgnsToleratesLargerBatches) {
+  EfficiencyParams eff{128.0, 500.0, 4.0};
+  EXPECT_GT(Efficiency(eff, 5000.0, 1024.0), Efficiency(eff, 500.0, 1024.0));
+}
+
+TEST(StatEfficiencyTest, PgnsGrowsWithProgress) {
+  EfficiencyParams eff{128.0, 500.0, 4.0};
+  EXPECT_DOUBLE_EQ(PgnsAt(eff, 0.0), 500.0);
+  EXPECT_DOUBLE_EQ(PgnsAt(eff, 1.0), 2500.0);
+  EXPECT_DOUBLE_EQ(PgnsAt(eff, 2.0), 2500.0);  // Clamped.
+}
+
+TEST(ProfileDbTest, AllDataParallelModelsAvailableOnAllTypes) {
+  for (ModelKind kind : AllDataParallelModels()) {
+    for (const char* gpu : {"t4", "rtx", "quad", "a100"}) {
+      const DeviceProfile& profile = GetDeviceProfile(kind, gpu);
+      EXPECT_TRUE(profile.available) << ToString(kind) << " on " << gpu;
+      EXPECT_GT(profile.max_local_bsz, 0);
+      EXPECT_GT(profile.truth.beta_compute, 0.0);
+    }
+  }
+}
+
+TEST(ProfileDbTest, A100IsFasterThanT4PerSample) {
+  for (ModelKind kind : AllDataParallelModels()) {
+    const auto& t4 = GetDeviceProfile(kind, "t4");
+    const auto& a100 = GetDeviceProfile(kind, "a100");
+    EXPECT_LT(a100.truth.beta_compute, t4.truth.beta_compute) << ToString(kind);
+  }
+}
+
+TEST(ProfileDbTest, BertGainsMoreFromA100ThanResNet18) {
+  // The per-model speedup asymmetry driving Fig. 6's job-to-GPU matching.
+  const double bert_speedup = GetDeviceProfile(ModelKind::kBert, "t4").truth.beta_compute /
+                              GetDeviceProfile(ModelKind::kBert, "a100").truth.beta_compute;
+  const double resnet_speedup =
+      GetDeviceProfile(ModelKind::kResNet18, "t4").truth.beta_compute /
+      GetDeviceProfile(ModelKind::kResNet18, "a100").truth.beta_compute;
+  EXPECT_GT(bert_speedup, 2.0 * resnet_speedup);
+}
+
+TEST(ProfileDbTest, BigModelsSyncSlowerOnEthernet) {
+  // BERT (110M params) cross-node sync on 50 Gb/s t4 must dwarf its sync on
+  // 1.6 Tb/s a100 interconnect.
+  const auto& t4 = GetDeviceProfile(ModelKind::kBert, "t4");
+  const auto& a100 = GetDeviceProfile(ModelKind::kBert, "a100");
+  EXPECT_GT(t4.truth.alpha_inter, 10.0 * a100.truth.alpha_inter);
+}
+
+TEST(ProfileDbTest, GptOnlyOnBigGpus) {
+  EXPECT_FALSE(GetDeviceProfile(ModelKind::kGpt2_8B, "t4").available);
+  EXPECT_TRUE(GetHybridProfile(ModelKind::kGpt2_8B, "a100").available);
+  EXPECT_TRUE(GetHybridProfile(ModelKind::kGpt2_8B, "rtx").available);
+  EXPECT_FALSE(GetHybridProfile(ModelKind::kGpt2_8B, "t4").available);
+  EXPECT_EQ(GetHybridProfile(ModelKind::kGpt2_8B, "a100").pipeline_gpus, 2);
+  EXPECT_EQ(GetHybridProfile(ModelKind::kGpt2_8B, "rtx").pipeline_gpus, 8);
+}
+
+TEST(ProfileDbTest, ModelInfoSane) {
+  for (ModelKind kind : AllDataParallelModels()) {
+    const ModelInfo& info = GetModelInfo(kind);
+    EXPECT_GT(info.total_work, 0.0);
+    EXPECT_GE(info.max_bsz, info.min_bsz);
+    EXPECT_GE(info.restart_seconds, 25.0);
+    EXPECT_LE(info.restart_seconds, 250.0);
+    EXPECT_FALSE(info.hybrid_parallel);
+  }
+  EXPECT_TRUE(GetModelInfo(ModelKind::kGpt2_8B).hybrid_parallel);
+}
+
+TEST(GoodputTest, OptimizeBatchFindsFeasibleChoice) {
+  const ModelInfo& info = GetModelInfo(ModelKind::kBert);
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kBert, "a100");
+  const auto decision = OptimizeBatch(device.truth, info.efficiency, info.efficiency.init_pgns,
+                                      info.min_bsz, info.max_bsz, device.max_local_bsz, 1, 4);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_GE(decision.global_bsz, info.min_bsz - 1e-9);
+  EXPECT_LE(decision.global_bsz, info.max_bsz + 1e-9);
+  EXPECT_LE(decision.local_bsz, device.max_local_bsz);
+  EXPECT_GT(decision.goodput, 0.0);
+  EXPECT_NEAR(decision.goodput, decision.throughput * decision.efficiency, 1e-9);
+}
+
+TEST(GoodputTest, GoodputGrowsWithGpus) {
+  const ModelInfo& info = GetModelInfo(ModelKind::kResNet18);
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kResNet18, "a100");
+  double previous = 0.0;
+  for (int gpus : {1, 2, 4, 8}) {
+    const auto decision = OptimizeBatch(device.truth, info.efficiency, info.efficiency.init_pgns,
+                                        info.min_bsz, info.max_bsz, device.max_local_bsz, 1, gpus);
+    ASSERT_TRUE(decision.feasible);
+    EXPECT_GT(decision.goodput, previous);
+    previous = decision.goodput;
+  }
+}
+
+TEST(GoodputTest, ScalingIsSubLinearOnSlowNetworks) {
+  // Fig. 2 shape: BERT on t4 scales poorly across nodes; on a100 it is
+  // near-linear.
+  const ModelInfo& info = GetModelInfo(ModelKind::kBert);
+  const auto& t4 = GetDeviceProfile(ModelKind::kBert, "t4");
+  const auto& a100 = GetDeviceProfile(ModelKind::kBert, "a100");
+  // Pure throughput scaling at a fixed local batch isolates the network
+  // effect from statistical-efficiency saturation.
+  auto xput_speedup = [&](const DeviceProfile& device, int nodes, int gpus, double local) {
+    return Throughput(device.truth, nodes, gpus, local, 1) /
+           Throughput(device.truth, 1, 1, local, 1);
+  };
+  const double t4_speedup = xput_speedup(t4, 2, 8, 12.0);       // 2 nodes x 4, full VRAM.
+  const double a100_speedup = xput_speedup(a100, 2, 16, 16.0);  // 2 nodes x 8.
+  EXPECT_LT(t4_speedup, 6.5);      // Well below linear 8x on 50 Gb/s.
+  EXPECT_GT(a100_speedup, 12.0);   // Near-linear 16x on Infiniband.
+  // Goodput speedup (batch-optimized) preserves the same ordering.
+  auto goodput_speedup = [&](const DeviceProfile& device, int nodes, int gpus) {
+    const auto one = OptimizeBatch(device.truth, info.efficiency, info.efficiency.init_pgns,
+                                   info.min_bsz, info.max_bsz, device.max_local_bsz, 1, 1);
+    const auto many = OptimizeBatch(device.truth, info.efficiency, info.efficiency.init_pgns,
+                                    info.min_bsz, info.max_bsz, device.max_local_bsz, nodes, gpus);
+    return many.goodput / one.goodput;
+  };
+  EXPECT_GT(goodput_speedup(a100, 2, 16), goodput_speedup(t4, 2, 8));
+}
+
+TEST(GoodputTest, FixedBatchUsesAccumulationWhenNeeded) {
+  const ModelInfo& info = GetModelInfo(ModelKind::kResNet50);
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kResNet50, "t4");
+  // Global 800 on 2 GPUs -> local 400 > limit 100 -> accumulate 4x.
+  const auto decision = EvaluateFixedBatch(device.truth, info.efficiency,
+                                           info.efficiency.init_pgns, 800.0,
+                                           device.max_local_bsz, 1, 2);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_EQ(decision.accum_steps, 4);
+  EXPECT_NEAR(decision.local_bsz, 100.0, 1e-9);
+}
+
+TEST(GoodputTest, FixedBatchInfeasibleBelowOneSamplePerGpu) {
+  const ModelInfo& info = GetModelInfo(ModelKind::kBert);
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kBert, "t4");
+  const auto decision = EvaluateFixedBatch(device.truth, info.efficiency,
+                                           info.efficiency.init_pgns, 12.0,
+                                           device.max_local_bsz, 2, 16);
+  EXPECT_FALSE(decision.feasible);
+}
+
+TEST(GoodputTest, HybridGoodputScalesWithReplicas) {
+  const ModelInfo& info = GetModelInfo(ModelKind::kGpt2_8B);
+  const HybridProfile& profile = GetHybridProfile(ModelKind::kGpt2_8B, "a100");
+  const auto one = HybridGoodput(profile, info.efficiency, info.efficiency.init_pgns, 1,
+                                 info.max_bsz);
+  const auto four = HybridGoodput(profile, info.efficiency, info.efficiency.init_pgns, 4,
+                                  info.max_bsz);
+  ASSERT_TRUE(one.feasible);
+  ASSERT_TRUE(four.feasible);
+  EXPECT_GT(four.throughput, 3.0 * one.throughput);  // Compute dominates (§5.3).
+  EXPECT_DOUBLE_EQ(one.global_bsz, 48.0);
+  EXPECT_DOUBLE_EQ(four.global_bsz, 192.0);
+}
+
+TEST(GoodputTest, HybridRespectsMaxBatch) {
+  const ModelInfo& info = GetModelInfo(ModelKind::kGpt2_8B);
+  const HybridProfile& profile = GetHybridProfile(ModelKind::kGpt2_8B, "a100");
+  // 9 replicas -> global 432 > 384.
+  const auto decision =
+      HybridGoodput(profile, info.efficiency, info.efficiency.init_pgns, 9, info.max_bsz);
+  EXPECT_FALSE(decision.feasible);
+}
+
+TEST(GoodputTest, UnavailableTypeInfeasible) {
+  const ModelInfo& info = GetModelInfo(ModelKind::kBert);
+  const auto decision = OptimizeBatch(ThroughputParams{}, info.efficiency, 100.0, info.min_bsz,
+                                      info.max_bsz, /*max_local_bsz=*/0, 1, 1);
+  EXPECT_FALSE(decision.feasible);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,245 @@
+// Cross-module property tests: placement guarantees, goodput-model
+// invariants, estimator sanity over all (model, GPU type) pairs, and
+// simulator conservation laws, mostly as parameterized sweeps.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/placer.h"
+#include "src/common/rng.h"
+#include "src/models/estimator.h"
+#include "src/models/profile_db.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+// --- §3.3 placement guarantee: any mix of valid Sia configurations within
+// per-type GPU capacity always places with zero evictions. ---
+
+class PlacementGuaranteeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlacementGuaranteeTest, ValidConfigMixAlwaysPlaces) {
+  Rng rng(GetParam());
+  ClusterSpec cluster = MakeHeterogeneousCluster();
+  const auto config_set = BuildConfigSet(cluster);
+
+  std::vector<int> free_gpus(cluster.num_gpu_types());
+  std::vector<int> free_nodes(cluster.num_gpu_types());
+  for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+    free_gpus[t] = cluster.TotalGpus(t);
+    free_nodes[t] = cluster.NumNodes(t);
+  }
+  // Greedily sample random valid configs while both the per-type GPU pool
+  // and (for multi-node configs) whole nodes remain -- exactly the
+  // invariant Sia's ILP enforces.
+  std::map<JobId, Config> desired;
+  int next_id = 0;
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    const Config& config =
+        config_set[static_cast<size_t>(rng.UniformInt(0, config_set.size() - 1))];
+    if (config.num_gpus > free_gpus[config.gpu_type]) {
+      continue;
+    }
+    if (config.is_distributed() && config.num_nodes > free_nodes[config.gpu_type]) {
+      continue;
+    }
+    free_gpus[config.gpu_type] -= config.num_gpus;
+    if (config.is_distributed()) {
+      free_nodes[config.gpu_type] -= config.num_nodes;
+    } else {
+      // A single-node config occupies capacity within nodes; whole nodes
+      // stay countable as long as GPU capacity holds (power-of-2 packing).
+      const int per_node = cluster.GpusPerNode(config.gpu_type);
+      free_nodes[config.gpu_type] =
+          std::min(free_nodes[config.gpu_type], free_gpus[config.gpu_type] / per_node);
+    }
+    desired[next_id++] = config;
+  }
+  const PlacerResult result = PlaceJobs(cluster, desired, {});
+  EXPECT_EQ(result.placements.size(), desired.size()) << "seed " << GetParam();
+  EXPECT_TRUE(result.evicted.empty()) << "seed " << GetParam();
+  // No node over-subscribed.
+  std::vector<int> used(cluster.num_nodes(), 0);
+  for (const auto& [job, placement] : result.placements) {
+    for (size_t k = 0; k < placement.node_ids.size(); ++k) {
+      used[placement.node_ids[k]] += placement.gpus_per_node[k];
+    }
+  }
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    EXPECT_LE(used[n], cluster.node(n).num_gpus);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementGuaranteeTest, ::testing::Range<uint64_t>(1, 21));
+
+// --- goodput model invariants over every (model, type) pair ---
+
+using ModelTypeParam = std::tuple<int, std::string>;
+
+class ModelTypeSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(ModelTypeSweepTest, OptimizedBatchWithinLimits) {
+  const ModelKind model = static_cast<ModelKind>(std::get<0>(GetParam()));
+  const std::string gpu = std::get<1>(GetParam());
+  const ModelInfo& info = GetModelInfo(model);
+  const DeviceProfile& device = GetDeviceProfile(model, gpu);
+  ASSERT_TRUE(device.available);
+  for (int gpus : {1, 2, 4, 8}) {
+    for (int nodes : {1, 2}) {
+      if (nodes > gpus) {
+        continue;
+      }
+      const auto decision =
+          OptimizeBatch(device.truth, info.efficiency, info.efficiency.init_pgns, info.min_bsz,
+                        info.max_bsz, device.max_local_bsz, nodes, gpus);
+      if (!decision.feasible) {
+        continue;  // e.g. min one sample per GPU unreachable.
+      }
+      EXPECT_GE(decision.global_bsz, info.min_bsz - 1e-6);
+      EXPECT_LE(decision.global_bsz, info.max_bsz + 1e-6);
+      EXPECT_LE(decision.local_bsz, device.max_local_bsz + 1e-9);
+      EXPECT_GT(decision.iter_time, 0.0);
+      EXPECT_GT(decision.efficiency, 0.0);
+      EXPECT_LE(decision.efficiency, 1.0 + 1e-9);
+      EXPECT_NEAR(decision.throughput * decision.efficiency, decision.goodput, 1e-9);
+      EXPECT_NEAR(decision.global_bsz, decision.local_bsz * decision.accum_steps * gpus, 1e-6);
+    }
+  }
+}
+
+TEST_P(ModelTypeSweepTest, EstimatorNeverProducesNegativeGoodput) {
+  const ModelKind model = static_cast<ModelKind>(std::get<0>(GetParam()));
+  const std::string gpu = std::get<1>(GetParam());
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const int type = cluster.FindGpuType(gpu);
+  if (type < 0) {
+    GTEST_SKIP() << gpu << " not in heterogeneous cluster";
+  }
+  for (ProfilingMode mode :
+       {ProfilingMode::kOracle, ProfilingMode::kBootstrap, ProfilingMode::kNoProfile}) {
+    GoodputEstimator estimator(model, &cluster, mode);
+    if (!estimator.TypeAvailable(type)) {
+      continue;
+    }
+    for (const Config config : {Config{1, 1, type}, Config{1, 2, type}, Config{2, 8, type}}) {
+      if (config.num_gpus % std::max(estimator.MinGpus(type), 1) != 0) {
+        continue;
+      }
+      const auto decision = estimator.Estimate(config, AdaptivityMode::kAdaptive);
+      if (decision.feasible) {
+        EXPECT_GT(decision.goodput, 0.0) << ToString(mode);
+        EXPECT_TRUE(std::isfinite(decision.goodput));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, ModelTypeSweepTest,
+    ::testing::Combine(::testing::Range(0, 5),  // Data-parallel model kinds.
+                       ::testing::Values("t4", "rtx", "quad", "a100")));
+
+// --- simulator conservation laws ---
+
+class SimConservationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimConservationTest, GpuSecondsBoundedByCapacityTimesMakespan) {
+  TraceOptions trace;
+  trace.kind = TraceKind::kPhilly;
+  trace.seed = GetParam();
+  trace.duration_hours = 1.0;
+  auto jobs = GenerateTrace(trace);
+  if (jobs.size() > 14) {
+    jobs.resize(14);
+  }
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = GetParam();
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  ClusterSimulator sim(cluster, jobs, &scheduler, options);
+  const SimResult result = sim.Run();
+  ASSERT_TRUE(result.all_finished);
+  double total_gpu_seconds = 0.0;
+  for (const JobResult& job : result.jobs) {
+    total_gpu_seconds += job.gpu_seconds;
+    // JCT can never beat the best possible isolated run on the fastest GPUs
+    // at the user's cap (sanity lower bound, slack for profiling credit).
+    EXPECT_GT(job.jct, 0.0);
+  }
+  EXPECT_LE(total_gpu_seconds,
+            cluster.TotalGpus() * result.makespan_seconds + 1e4 /* profiling credit */);
+}
+
+TEST_P(SimConservationTest, JctNeverBelowIdealCompute) {
+  // Even with every GPU in the cluster, a job cannot finish faster than its
+  // work divided by its theoretical max goodput across types.
+  TraceOptions trace;
+  trace.kind = TraceKind::kHelios;
+  trace.seed = GetParam() + 100;
+  trace.duration_hours = 0.5;
+  auto jobs = GenerateTrace(trace);
+  if (jobs.size() > 8) {
+    jobs.resize(8);
+  }
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = GetParam();
+  ClusterSimulator sim(MakeHeterogeneousCluster(), jobs, &scheduler, options);
+  const SimResult result = sim.Run();
+  for (const JobResult& job : result.jobs) {
+    if (!job.finished) {
+      continue;
+    }
+    const ModelInfo& info = GetModelInfo(job.spec.model);
+    // Generous bound: max conceivable goodput = work at perfect efficiency
+    // on 64 a100-speed GPUs.
+    const DeviceProfile& a100 = GetDeviceProfile(job.spec.model, "a100");
+    const double max_rate = 64.0 / a100.truth.beta_compute;
+    EXPECT_GT(job.jct, info.total_work / max_rate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimConservationTest, ::testing::Range<uint64_t>(1, 9));
+
+// --- scatter placement properties ---
+
+TEST(ScatterPlacementTest, GathersFragmentsAcrossNodes) {
+  ClusterSpec cluster;
+  const int t4 = cluster.AddGpuType({"t4", 16.0, 50.0});
+  cluster.AddNodes(t4, 3, 4);
+  // Occupy 2 GPUs on each node via single-node jobs, leaving 2+2+2 free.
+  std::map<JobId, Config> round1{{1, {1, 2, t4}}, {2, {1, 2, t4}}, {3, {1, 2, t4}}};
+  const auto first = PlaceJobs(cluster, round1, {});
+  ASSERT_EQ(first.placements.size(), 3u);
+  // A 6-GPU scatter job must fit in the fragments.
+  std::map<JobId, Config> round2 = round1;
+  Config scatter{2, 6, t4};
+  scatter.scatter = true;
+  round2[4] = scatter;
+  const auto second = PlaceJobs(cluster, round2, first.placements);
+  ASSERT_TRUE(second.placements.count(4));
+  EXPECT_EQ(second.placements.at(4).total_gpus(), 6);
+  EXPECT_TRUE(second.evicted.empty());
+}
+
+TEST(ScatterPlacementTest, FailsWhenFragmentsInsufficient) {
+  ClusterSpec cluster;
+  const int t4 = cluster.AddGpuType({"t4", 16.0, 50.0});
+  cluster.AddNodes(t4, 2, 4);
+  std::map<JobId, Config> desired;
+  Config scatter{2, 9, t4};  // 9 > 8 total.
+  scatter.scatter = true;
+  desired[1] = scatter;
+  const auto result = PlaceJobs(cluster, desired, {});
+  EXPECT_FALSE(result.placements.count(1));
+  EXPECT_FALSE(result.evicted.empty());
+}
+
+}  // namespace
+}  // namespace sia

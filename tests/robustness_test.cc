@@ -1,0 +1,222 @@
+// Robustness tests: multi-round placement churn invariants, simplex
+// equality-system properties, simulator accounting details, and tuner
+// determinism.
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/placer.h"
+#include "src/metrics/ftf.h"
+#include "src/common/rng.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/solver/simplex.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+// --- placer churn: random config streams over many rounds never violate
+// node capacity, and unchanged jobs never migrate. ---
+
+class PlacerChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlacerChurnTest, MultiRoundChurnKeepsInvariants) {
+  Rng rng(GetParam());
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const auto config_set = BuildConfigSet(cluster);
+  std::map<JobId, Placement> previous;
+  std::map<JobId, Config> desired;
+  for (int round = 0; round < 30; ++round) {
+    // Mutate the desired set: add/remove/resize jobs randomly while keeping
+    // within a conservative GPU budget.
+    std::vector<int> budget(cluster.num_gpu_types());
+    for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+      budget[t] = cluster.TotalGpus(t);
+    }
+    std::map<JobId, Config> next;
+    for (const auto& [job, config] : desired) {
+      if (rng.Bernoulli(0.8)) {
+        next[job] = config;  // Keep most jobs.
+      }
+    }
+    for (int add = 0; add < 4; ++add) {
+      const Config& config =
+          config_set[static_cast<size_t>(rng.UniformInt(0, config_set.size() - 1))];
+      if (config.is_distributed()) {
+        continue;  // Keep the budget check simple: single-node jobs only.
+      }
+      next[1000 + round * 10 + add] = config;
+    }
+    // Enforce the budget by dropping jobs (largest first).
+    std::vector<std::pair<int, JobId>> sized;
+    for (const auto& [job, config] : next) {
+      sized.emplace_back(config.num_gpus, job);
+    }
+    std::sort(sized.rbegin(), sized.rend());
+    std::vector<int> used(cluster.num_gpu_types(), 0);
+    std::map<JobId, Config> trimmed;
+    for (const auto& [gpus, job] : sized) {
+      const Config& config = next[job];
+      if (used[config.gpu_type] + config.num_gpus <= budget[config.gpu_type]) {
+        used[config.gpu_type] += config.num_gpus;
+        trimmed[job] = config;
+      }
+    }
+    const PlacerResult result = PlaceJobs(cluster, trimmed, previous);
+
+    // Invariant 1: no node over-subscribed.
+    std::vector<int> node_used(cluster.num_nodes(), 0);
+    for (const auto& [job, placement] : result.placements) {
+      for (size_t k = 0; k < placement.node_ids.size(); ++k) {
+        node_used[placement.node_ids[k]] += placement.gpus_per_node[k];
+      }
+    }
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      ASSERT_LE(node_used[n], cluster.node(n).num_gpus) << "round " << round;
+    }
+    // Invariant 2: placements match the requested configs.
+    for (const auto& [job, placement] : result.placements) {
+      ASSERT_EQ(placement.total_gpus(), trimmed.at(job).num_gpus);
+    }
+    // Invariant 3: unchanged jobs that were placed last round and survived
+    // this round keep their nodes.
+    for (const auto& [job, placement] : result.placements) {
+      const auto prev_it = previous.find(job);
+      if (prev_it != previous.end() && prev_it->second.config == placement.config &&
+          !prev_it->second.empty()) {
+        ASSERT_EQ(placement.node_ids, prev_it->second.node_ids) << "round " << round;
+      }
+    }
+    previous = result.placements;
+    desired = trimmed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacerChurnTest, ::testing::Range<uint64_t>(1, 13));
+
+// --- simplex equality systems ---
+
+class EqualitySystemTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EqualitySystemTest, RandomTransportationProblemsSolve) {
+  // Balanced transportation LPs (all-equality): supply == demand; verify
+  // feasibility and flow conservation of the returned solution.
+  Rng rng(GetParam() * 31 + 5);
+  const int sources = static_cast<int>(rng.UniformInt(2, 4));
+  const int sinks = static_cast<int>(rng.UniformInt(2, 4));
+  std::vector<double> supply(sources);
+  std::vector<double> demand(sinks, 0.0);
+  double total = 0.0;
+  for (double& s : supply) {
+    s = static_cast<double>(rng.UniformInt(1, 20));
+    total += s;
+  }
+  // Split total into demands.
+  double remaining = total;
+  for (int j = 0; j < sinks - 1; ++j) {
+    demand[j] = std::floor(remaining * rng.Uniform(0.2, 0.5));
+    remaining -= demand[j];
+  }
+  demand[sinks - 1] = remaining;
+
+  LinearProgram lp(ObjectiveSense::kMinimize);
+  std::vector<std::vector<int>> x(sources, std::vector<int>(sinks));
+  for (int i = 0; i < sources; ++i) {
+    for (int j = 0; j < sinks; ++j) {
+      x[i][j] = lp.AddVariable(0.0, kLpInfinity, rng.Uniform(1.0, 9.0));
+    }
+  }
+  for (int i = 0; i < sources; ++i) {
+    std::vector<LpTerm> row;
+    for (int j = 0; j < sinks; ++j) {
+      row.emplace_back(x[i][j], 1.0);
+    }
+    lp.AddConstraint(ConstraintOp::kEqual, supply[i], std::move(row));
+  }
+  for (int j = 0; j < sinks; ++j) {
+    std::vector<LpTerm> row;
+    for (int i = 0; i < sources; ++i) {
+      row.emplace_back(x[i][j], 1.0);
+    }
+    lp.AddConstraint(ConstraintOp::kEqual, demand[j], std::move(row));
+  }
+  const auto solution = SolveLp(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  for (int i = 0; i < sources; ++i) {
+    double shipped = 0.0;
+    for (int j = 0; j < sinks; ++j) {
+      EXPECT_GE(solution.values[x[i][j]], -1e-7);
+      shipped += solution.values[x[i][j]];
+    }
+    EXPECT_NEAR(shipped, supply[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EqualitySystemTest, ::testing::Range<uint64_t>(1, 21));
+
+// --- simulator accounting ---
+
+TEST(SimAccountingTest, BootstrapProfilingChargesGpuTime) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kResNet18;
+  job.max_num_gpus = 1;
+  auto run_with = [&](ProfilingMode mode) {
+    SiaScheduler scheduler;
+    SimOptions options;
+    options.seed = 1;
+    options.profiling_mode = mode;
+    options.observation_noise_sigma = 0.0;
+    return ClusterSimulator(MakeHeterogeneousCluster(), {job}, &scheduler, options).Run();
+  };
+  const SimResult bootstrap = run_with(ProfilingMode::kBootstrap);
+  const SimResult oracle = run_with(ProfilingMode::kOracle);
+  // Bootstrap pays the profiling sweep (~20 GPU-seconds per type, 3 types).
+  EXPECT_NEAR(bootstrap.jobs[0].gpu_seconds - oracle.jobs[0].gpu_seconds, 60.0, 45.0);
+}
+
+TEST(SimAccountingTest, RestoreDelayVisibleInJct) {
+  // With zero observation noise and a single job, a model with a large
+  // restart cost shows the initial restore as extra JCT relative to pure
+  // compute time.
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kBert;
+  job.max_num_gpus = 1;
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = 1;
+  options.profiling_mode = ProfilingMode::kOracle;
+  options.observation_noise_sigma = 0.0;
+  ClusterSpec one_gpu;
+  const int a100 = one_gpu.AddGpuType({"a100", 40.0, 1600.0});
+  one_gpu.AddNodes(a100, 1, 1);
+  const SimResult result = ClusterSimulator(one_gpu, {job}, &scheduler, options).Run();
+  ASSERT_TRUE(result.all_finished);
+  // The analytic isolated runtime models the same physics (initial restore +
+  // gradient-noise evolution); a noise-free single-job simulation must land
+  // within round/discretization slack of it.
+  const double isolated = IsolatedRuntimeSeconds(job, "a100", 1, 1);
+  EXPECT_NEAR(result.jobs[0].jct, isolated, 150.0);
+}
+
+TEST(TunedJobsTest, DeterministicForSeed) {
+  TraceOptions trace;
+  trace.seed = 21;
+  trace.duration_hours = 1.0;
+  const auto jobs = GenerateTrace(trace);
+  TunedJobsOptions options;
+  options.seed = 5;
+  const auto a = MakeTunedJobs(jobs, options);
+  const auto b = MakeTunedJobs(jobs, options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rigid_num_gpus, b[i].rigid_num_gpus);
+    EXPECT_DOUBLE_EQ(a[i].fixed_bsz, b[i].fixed_bsz);
+  }
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,172 @@
+// Spec-level exactness test for the Sia policy: on small instances with
+// fresh jobs (no restart discounts or service tie-breaks in play), the
+// scheduler's chosen assignment must attain the brute-force optimum of the
+// paper's Eq. 4 objective computed independently from the estimators.
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/rng.h"
+#include "src/models/profile_db.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+
+namespace sia {
+namespace {
+
+struct Instance {
+  ClusterSpec cluster;
+  std::vector<Config> config_set;
+  std::vector<std::unique_ptr<JobSpec>> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  ScheduleInput input;
+};
+
+std::unique_ptr<Instance> MakeInstance(uint64_t seed, int num_jobs) {
+  auto instance = std::make_unique<Instance>();
+  ClusterSpec& cluster = instance->cluster;
+  const int t4 = cluster.AddGpuType({"t4", 16.0, 50.0});
+  const int a100 = cluster.AddGpuType({"a100", 40.0, 1600.0});
+  cluster.AddNodes(t4, 1, 4);
+  cluster.AddNodes(a100, 1, 2);
+  instance->config_set = BuildConfigSet(cluster);
+  instance->input.cluster = &cluster;
+  instance->input.config_set = &instance->config_set;
+  Rng rng(seed);
+  const ModelKind kinds[] = {ModelKind::kResNet18, ModelKind::kBert, ModelKind::kDeepSpeech2};
+  for (int id = 0; id < num_jobs; ++id) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = kinds[rng.UniformInt(0, 2)];
+    auto estimator =
+        std::make_unique<GoodputEstimator>(spec->model, &cluster, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 3600.0;  // Same age, fresh: no discounts/tie-breaks.
+    instance->specs.push_back(std::move(spec));
+    instance->estimators.push_back(std::move(estimator));
+    instance->input.jobs.push_back(view);
+  }
+  return instance;
+}
+
+// Eq. 4 objective of an assignment (per-job config index into the candidate
+// list, -1 = unallocated), computed straight from the paper's definition.
+double Eq4Objective(const Instance& instance, const SiaOptions& options,
+                    const std::vector<std::vector<Config>>& candidates,
+                    const std::vector<std::vector<double>>& utilities,
+                    const std::vector<int>& assignment) {
+  const double p = options.fairness_power;
+  double objective = 0.0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] < 0) {
+      objective += options.lambda;  // lambda * (1 - ||A_i||) with ||A_i|| = 0.
+    } else {
+      objective += utilities[i][assignment[i]];
+    }
+  }
+  // For p < 0 the paper minimizes; normalize to "smaller is better".
+  return p < 0 ? objective : -objective;
+}
+
+class SiaObjectiveTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SiaObjectiveTest, ScheduleAttainsBruteForceOptimum) {
+  const auto instance = MakeInstance(GetParam(), static_cast<int>(2 + GetParam() % 3));
+  SiaOptions options;  // Defaults: p = -0.5, lambda = 1.1.
+  options.milp.relative_gap = 0.0;
+  options.milp.max_nodes = 100000;
+  SiaScheduler scheduler(options);
+
+  // Build each job's candidate set and Eq. 4 utilities exactly as the spec
+  // prescribes: scale-up cap = 1 GPU for fresh jobs, row-min normalization,
+  // fairness power.
+  const int num_jobs = static_cast<int>(instance->input.jobs.size());
+  std::vector<std::vector<Config>> candidates(num_jobs);
+  std::vector<std::vector<double>> utilities(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    const JobView& job = instance->input.jobs[i];
+    std::vector<double> goodputs;
+    double min_goodput = std::numeric_limits<double>::infinity();
+    for (const Config& config : instance->config_set) {
+      if (config.num_gpus != 1) {
+        continue;  // Fresh job: scale-up rule caps at its minimum (1 GPU).
+      }
+      const auto decision = job.estimator->Estimate(config, AdaptivityMode::kAdaptive);
+      if (!decision.feasible || decision.goodput <= 0.0) {
+        continue;
+      }
+      candidates[i].push_back(config);
+      goodputs.push_back(decision.goodput);
+      min_goodput = std::min(min_goodput, decision.goodput);
+    }
+    for (double g : goodputs) {
+      utilities[i].push_back(std::pow(g / min_goodput, options.fairness_power));
+    }
+  }
+
+  // Brute force over all assignments (including "none") honoring capacity.
+  std::vector<int> assignment(num_jobs, -1);
+  std::vector<int> best_assignment;
+  double best = std::numeric_limits<double>::infinity();
+  auto recurse = [&](auto&& self, int i) -> void {
+    if (i == num_jobs) {
+      // Capacity check.
+      std::vector<int> used(instance->cluster.num_gpu_types(), 0);
+      for (int k = 0; k < num_jobs; ++k) {
+        if (assignment[k] >= 0) {
+          const Config& config = candidates[k][assignment[k]];
+          used[config.gpu_type] += config.num_gpus;
+        }
+      }
+      for (int t = 0; t < instance->cluster.num_gpu_types(); ++t) {
+        if (used[t] > instance->cluster.TotalGpus(t)) {
+          return;
+        }
+      }
+      const double value =
+          Eq4Objective(*instance, options, candidates, utilities, assignment);
+      if (value < best) {
+        best = value;
+        best_assignment = assignment;
+      }
+      return;
+    }
+    for (int c = -1; c < static_cast<int>(candidates[i].size()); ++c) {
+      assignment[i] = c;
+      self(self, i + 1);
+    }
+    assignment[i] = -1;
+  };
+  recurse(recurse, 0);
+  ASSERT_TRUE(std::isfinite(best));
+
+  // The scheduler's output, evaluated under the same objective, must match.
+  const ScheduleOutput output = scheduler.Schedule(instance->input);
+  std::vector<int> chosen(num_jobs, -1);
+  for (int i = 0; i < num_jobs; ++i) {
+    const auto it = output.find(instance->specs[i]->id);
+    if (it == output.end()) {
+      continue;
+    }
+    for (size_t c = 0; c < candidates[i].size(); ++c) {
+      if (candidates[i][c] == it->second) {
+        chosen[i] = static_cast<int>(c);
+        break;
+      }
+    }
+    ASSERT_GE(chosen[i], 0) << "scheduler picked a config outside the spec candidate set";
+  }
+  const double attained =
+      Eq4Objective(*instance, options, candidates, utilities, chosen);
+  EXPECT_NEAR(attained, best, 1e-6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SiaObjectiveTest, ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace sia

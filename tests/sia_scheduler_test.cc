@@ -1,0 +1,270 @@
+// Unit tests for the Sia scheduling policy (§3.4): goodput-matrix
+// construction, the ILP solution, restart discounts, scale-up rule, rigid
+// jobs, non-preemptible jobs, and the paper's running example.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/models/profile_db.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+
+namespace sia {
+namespace {
+
+// Test fixture with a small heterogeneous cluster and oracle estimators
+// (deterministic utilities).
+class SiaSchedulerTest : public ::testing::Test {
+ protected:
+  SiaSchedulerTest() : cluster_(MakeHeterogeneousCluster()), config_set_(BuildConfigSet(cluster_)) {
+    input_.cluster = &cluster_;
+    input_.config_set = &config_set_;
+    input_.now_seconds = 3600.0;
+  }
+
+  JobView& AddJob(int id, ModelKind model, AdaptivityMode adaptivity = AdaptivityMode::kAdaptive,
+                  double fixed_bsz = 0.0, int rigid_gpus = 0) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = model;
+    spec->adaptivity = adaptivity;
+    spec->fixed_bsz = fixed_bsz;
+    spec->rigid_num_gpus = rigid_gpus;
+    auto estimator = std::make_unique<GoodputEstimator>(model, &cluster_, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 3600.0;
+    view.restart_overhead_seconds = GetModelInfo(model).restart_seconds;
+    view.total_work = GetModelInfo(model).total_work;
+    specs_.push_back(std::move(spec));
+    estimators_.push_back(std::move(estimator));
+    input_.jobs.push_back(view);
+    return input_.jobs.back();
+  }
+
+  ClusterSpec cluster_;
+  std::vector<Config> config_set_;
+  ScheduleInput input_;
+  std::vector<std::unique_ptr<JobSpec>> specs_;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators_;
+};
+
+TEST_F(SiaSchedulerTest, EmptyInputYieldsEmptyOutput) {
+  SiaScheduler scheduler;
+  EXPECT_TRUE(scheduler.Schedule(input_).empty());
+}
+
+TEST_F(SiaSchedulerTest, NewJobStartsWithMinimumGpus) {
+  AddJob(0, ModelKind::kBert);
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  ASSERT_TRUE(output.count(0));
+  EXPECT_EQ(output.at(0).num_gpus, 1);  // §3.1: start each job with 1 GPU.
+}
+
+TEST_F(SiaSchedulerTest, ScaleUpCappedAtTwice) {
+  JobView& job = AddJob(0, ModelKind::kResNet18);
+  job.current_config = Config{1, 2, cluster_.FindGpuType("a100")};
+  job.peak_num_gpus = 2;
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  ASSERT_TRUE(output.count(0));
+  EXPECT_LE(output.at(0).num_gpus, 4);
+}
+
+TEST_F(SiaSchedulerTest, LambdaAllocatesEveryJobWhenRoomExists) {
+  // 8 small jobs, 64 GPUs: the lambda penalty should give all of them at
+  // least one GPU.
+  for (int id = 0; id < 8; ++id) {
+    AddJob(id, ModelKind::kResNet18);
+  }
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  EXPECT_EQ(output.size(), 8u);
+}
+
+TEST_F(SiaSchedulerTest, CapacityRespectedUnderOverload) {
+  // More 1-GPU jobs than t4 GPUs exist in a t4-only cluster.
+  ClusterSpec tiny;
+  const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
+  tiny.AddNodes(t4, 1, 4);
+  const auto configs = BuildConfigSet(tiny);
+  ScheduleInput input;
+  input.cluster = &tiny;
+  input.config_set = &configs;
+  std::vector<std::unique_ptr<JobSpec>> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  for (int id = 0; id < 7; ++id) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = ModelKind::kResNet18;
+    auto estimator =
+        std::make_unique<GoodputEstimator>(spec->model, &tiny, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 100.0;
+    specs.push_back(std::move(spec));
+    estimators.push_back(std::move(estimator));
+    input.jobs.push_back(view);
+  }
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input);
+  int total = 0;
+  for (const auto& [id, config] : output) {
+    total += config.num_gpus;
+  }
+  EXPECT_LE(total, 4);
+  EXPECT_LE(output.size(), 4u);
+}
+
+TEST_F(SiaSchedulerTest, RigidJobGetsExactCountTypeOnly) {
+  JobView& job = AddJob(0, ModelKind::kBert, AdaptivityMode::kRigid, 96.0, 4);
+  job.peak_num_gpus = 0;  // Even fresh rigid jobs run at their full count.
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  ASSERT_TRUE(output.count(0));
+  EXPECT_EQ(output.at(0).num_gpus, 4);
+}
+
+TEST_F(SiaSchedulerTest, RestartFactorKeepsCurrentConfigOnNearTies) {
+  // A long-running job on rtx should not migrate to a marginally better
+  // config when the restart discount outweighs the gain.
+  const int rtx = cluster_.FindGpuType("rtx");
+  JobView& job = AddJob(0, ModelKind::kDeepSpeech2);
+  job.current_config = Config{1, 4, rtx};
+  job.peak_num_gpus = 4;
+  job.age_seconds = 120.0;  // Young job: restart factor small.
+  job.num_restarts = 1;
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  ASSERT_TRUE(output.count(0));
+  // With an empty cluster it may scale up (gain outweighs discount), but a
+  // pure type-migration at equal count must not happen for a young job.
+  const Config& chosen = output.at(0);
+  if (chosen.num_gpus == 4) {
+    EXPECT_EQ(chosen.gpu_type, rtx);
+  }
+}
+
+TEST_F(SiaSchedulerTest, NonPreemptibleJobKeepsItsConfig) {
+  const int t4 = cluster_.FindGpuType("t4");
+  JobView& job = AddJob(0, ModelKind::kResNet18);
+  specs_.back()->preemptible = false;
+  job.current_config = Config{1, 2, t4};
+  job.peak_num_gpus = 2;
+  // Competing jobs that would otherwise displace it.
+  for (int id = 1; id < 20; ++id) {
+    AddJob(id, ModelKind::kBert);
+  }
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  ASSERT_TRUE(output.count(0));
+  EXPECT_EQ(output.at(0), (Config{1, 2, t4}));
+}
+
+TEST_F(SiaSchedulerTest, BertPrefersA100WhenContended) {
+  // One BERT and one ResNet18, both mature enough to take 2 GPUs; only 2
+  // a100 GPUs exist. BERT's a100 affinity should win them.
+  ClusterSpec small;
+  const int t4 = small.AddGpuType({"t4", 16.0, 50.0});
+  const int a100 = small.AddGpuType({"a100", 40.0, 1600.0});
+  small.AddNodes(t4, 1, 2);
+  small.AddNodes(a100, 1, 2);
+  const auto configs = BuildConfigSet(small);
+  ScheduleInput input;
+  input.cluster = &small;
+  input.config_set = &configs;
+  std::vector<std::unique_ptr<JobSpec>> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  auto add = [&](int id, ModelKind model) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = model;
+    auto estimator = std::make_unique<GoodputEstimator>(model, &small, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 7200.0;
+    view.peak_num_gpus = 1;
+    specs.push_back(std::move(spec));
+    estimators.push_back(std::move(estimator));
+    input.jobs.push_back(view);
+  };
+  add(0, ModelKind::kBert);
+  add(1, ModelKind::kResNet18);
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input);
+  ASSERT_TRUE(output.count(0));
+  EXPECT_EQ(output.at(0).gpu_type, a100) << "BERT should win the a100 GPUs";
+}
+
+TEST_F(SiaSchedulerTest, QueuedNonPreemptibleJobForcedIn) {
+  // A reservation (§3.4): a non-preemptible rigid job must be allocated
+  // immediately even on a crowded cluster.
+  ClusterSpec tiny;
+  const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
+  tiny.AddNodes(t4, 1, 4);
+  const auto configs = BuildConfigSet(tiny);
+  ScheduleInput input;
+  input.cluster = &tiny;
+  input.config_set = &configs;
+  std::vector<std::unique_ptr<JobSpec>> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  auto add = [&](int id, bool preemptible, int rigid) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = ModelKind::kResNet18;
+    spec->preemptible = preemptible;
+    if (rigid > 0) {
+      spec->adaptivity = AdaptivityMode::kRigid;
+      spec->rigid_num_gpus = rigid;
+      spec->fixed_bsz = 256.0;
+    }
+    auto estimator =
+        std::make_unique<GoodputEstimator>(spec->model, &tiny, ProfilingMode::kOracle);
+    JobView view;
+    view.spec = spec.get();
+    view.estimator = estimator.get();
+    view.age_seconds = 3600.0;
+    specs.push_back(std::move(spec));
+    estimators.push_back(std::move(estimator));
+    input.jobs.push_back(view);
+  };
+  // Eight preemptible jobs compete; the reservation needs all 4 GPUs.
+  for (int id = 1; id <= 8; ++id) {
+    add(id, /*preemptible=*/true, /*rigid=*/0);
+  }
+  add(/*id=*/0, /*preemptible=*/false, /*rigid=*/4);
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input);
+  ASSERT_TRUE(output.count(0)) << "reservation not honored";
+  EXPECT_EQ(output.at(0).num_gpus, 4);
+}
+
+TEST_F(SiaSchedulerTest, HybridJobAllocatedInReplicas) {
+  AddJob(0, ModelKind::kGpt2_8B);
+  SiaScheduler scheduler;
+  const auto output = scheduler.Schedule(input_);
+  ASSERT_TRUE(output.count(0));
+  const Config& config = output.at(0);
+  const std::string& type = cluster_.gpu_type(config.gpu_type).name;
+  EXPECT_TRUE(type == "a100" || type == "rtx");
+  const int stage = type == "a100" ? 2 : 8;
+  EXPECT_EQ(config.num_gpus % stage, 0);
+}
+
+TEST_F(SiaSchedulerTest, FairnessPowerPositiveAlsoWorks) {
+  for (int id = 0; id < 4; ++id) {
+    AddJob(id, ModelKind::kResNet18);
+  }
+  SiaOptions options;
+  options.fairness_power = 0.5;
+  SiaScheduler scheduler(options);
+  const auto output = scheduler.Schedule(input_);
+  EXPECT_FALSE(output.empty());
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,271 @@
+// End-to-end simulator tests: every scheduler drives small workloads to
+// completion while conserving resources and recording sane metrics.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/schedulers/baselines/priority_schedulers.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+std::vector<JobSpec> SmallTrace(int count, uint64_t seed) {
+  TraceOptions options;
+  options.kind = TraceKind::kPhilly;
+  options.seed = seed;
+  options.arrival_rate_per_hour = 20.0;
+  options.duration_hours = static_cast<double>(count) / 20.0;
+  auto jobs = GenerateTrace(options);
+  if (static_cast<int>(jobs.size()) > count) {
+    jobs.resize(count);
+  }
+  return jobs;
+}
+
+TEST(SimulatorTest, SingleJobRunsToCompletion) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kResNet18;
+  job.submit_time = 0.0;
+  SiaScheduler scheduler;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), {job}, &scheduler, {});
+  const SimResult result = sim.Run();
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_TRUE(result.jobs[0].finished);
+  EXPECT_GT(result.jobs[0].jct, 0.0);
+  // A small CIFAR job should finish within an hour or two even from 1 GPU.
+  EXPECT_LT(result.jobs[0].jct, 3.0 * 3600.0);
+  EXPECT_GT(result.jobs[0].gpu_seconds, 0.0);
+}
+
+TEST(SimulatorTest, SiaScaleUpRuleDoublesAllocations) {
+  // With an otherwise-empty cluster, a single adaptive job should start at
+  // 1 GPU and grow by at most 2x per round.
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kResNet50;  // Long job: survives many rounds.
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.record_timeline = true;
+  options.max_hours = 6.0;  // Don't run the XL job to completion.
+  ClusterSimulator sim(MakeHeterogeneousCluster(), {job}, &scheduler, options);
+  const SimResult result = sim.Run();
+  int previous = 0;
+  for (const TimelineEvent& event : result.timeline) {
+    if (event.config.num_gpus > 0) {
+      if (previous > 0) {
+        EXPECT_LE(event.config.num_gpus, 2 * previous)
+            << "scale-up exceeded 2x at t=" << event.time_seconds;
+      } else {
+        EXPECT_EQ(event.config.num_gpus, 1) << "jobs must start at 1 GPU";
+      }
+      previous = std::max(previous, event.config.num_gpus);
+    }
+  }
+  EXPECT_GT(previous, 1) << "job never scaled up";
+}
+
+class AllSchedulersTest : public ::testing::TestWithParam<std::string> {};
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "sia") {
+    return std::make_unique<SiaScheduler>();
+  }
+  if (name == "pollux") {
+    PolluxOptions options;
+    options.population = 24;
+    options.generations = 10;
+    return std::make_unique<PolluxScheduler>(options);
+  }
+  if (name == "gavel") {
+    return std::make_unique<GavelScheduler>();
+  }
+  if (name == "shockwave") {
+    return std::make_unique<PriorityScheduler>(ShockwaveOptions());
+  }
+  if (name == "themis") {
+    return std::make_unique<PriorityScheduler>(ThemisOptions());
+  }
+  if (name == "fifo") {
+    return std::make_unique<PriorityScheduler>(FifoOptions());
+  }
+  if (name == "srtf") {
+    return std::make_unique<PriorityScheduler>(SrtfOptions());
+  }
+  return nullptr;
+}
+
+TEST_P(AllSchedulersTest, CompletesSmallWorkloadWithinCapacity) {
+  auto jobs = SmallTrace(12, /*seed=*/21);
+  const bool rigid_policy = GetParam() != "sia" && GetParam() != "pollux";
+  if (rigid_policy) {
+    TunedJobsOptions tuned;
+    tuned.max_gpus = 16;
+    jobs = MakeTunedJobs(jobs, tuned);
+  }
+  auto scheduler = MakeScheduler(GetParam());
+  ASSERT_NE(scheduler, nullptr);
+  SimOptions options;
+  options.seed = 5;
+  options.max_hours = 72.0;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), jobs, scheduler.get(), options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.all_finished) << GetParam() << " left jobs unfinished";
+  EXPECT_EQ(result.jobs.size(), jobs.size());
+  for (const JobResult& job : result.jobs) {
+    EXPECT_TRUE(job.finished);
+    EXPECT_GT(job.jct, 0.0);
+    EXPECT_GE(job.num_restarts, 0);
+  }
+  EXPECT_GT(result.avg_contention, 0.0);
+  EXPECT_FALSE(result.policy_runtimes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllSchedulersTest,
+                         ::testing::Values("sia", "pollux", "gavel", "shockwave", "themis",
+                                           "fifo", "srtf"));
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  const auto jobs = SmallTrace(8, 31);
+  SimOptions options;
+  options.seed = 9;
+  SiaScheduler s1, s2;
+  const SimResult a = ClusterSimulator(MakeHeterogeneousCluster(), jobs, &s1, options).Run();
+  const SimResult b = ClusterSimulator(MakeHeterogeneousCluster(), jobs, &s2, options).Run();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].jct, b.jobs[i].jct);
+    EXPECT_EQ(a.jobs[i].num_restarts, b.jobs[i].num_restarts);
+  }
+}
+
+TEST(SimulatorTest, GpuCapacityNeverExceeded) {
+  // Reconstruct per-round GPU usage from the timeline and check capacity.
+  const auto jobs = SmallTrace(16, 41);
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.record_timeline = true;
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  ClusterSimulator sim(cluster, jobs, &scheduler, options);
+  const SimResult result = sim.Run();
+  std::map<int, Config> current;  // job -> config
+  std::map<double, std::vector<std::pair<int, Config>>> by_time;
+  for (const TimelineEvent& event : result.timeline) {
+    by_time[event.time_seconds].push_back({event.job_id, event.config});
+  }
+  for (const auto& [time, events] : by_time) {
+    for (const auto& [job_id, config] : events) {
+      if (config.num_gpus == 0) {
+        current.erase(job_id);
+      } else {
+        current[job_id] = config;
+      }
+    }
+    std::vector<int> used(cluster.num_gpu_types(), 0);
+    for (const auto& [job_id, config] : current) {
+      used[config.gpu_type] += config.num_gpus;
+    }
+    for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+      EXPECT_LE(used[t], cluster.TotalGpus(t)) << "over-allocation at t=" << time;
+    }
+  }
+}
+
+
+TEST(SimulatorTest, RoundStatsRecordedWithTimeline) {
+  const auto jobs = SmallTrace(6, 13);
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.record_timeline = true;
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  ClusterSimulator sim(cluster, jobs, &scheduler, options);
+  const SimResult result = sim.Run();
+  ASSERT_FALSE(result.round_stats.empty());
+  for (const RoundStats& stats : result.round_stats) {
+    EXPECT_GE(stats.active_jobs, stats.running_jobs);
+    EXPECT_LE(stats.busy_gpus, cluster.TotalGpus());
+    EXPECT_GE(stats.busy_gpus, stats.running_jobs);  // >= 1 GPU per running job.
+  }
+  // Times strictly increase.
+  for (size_t i = 1; i < result.round_stats.size(); ++i) {
+    EXPECT_GT(result.round_stats[i].time_seconds, result.round_stats[i - 1].time_seconds);
+  }
+}
+
+TEST(SimulatorTest, TimelineNeedsFlagDisabledByDefault) {
+  const auto jobs = SmallTrace(4, 3);
+  SiaScheduler scheduler;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), jobs, &scheduler, {});
+  EXPECT_TRUE(sim.Run().timeline.empty());
+}
+
+TEST(SimulatorTest, MaxHoursCapCensorsJobs) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kResNet50;  // >100 h of work on 1 GPU.
+  job.max_num_gpus = 1;
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.max_hours = 2.0;
+  ClusterSimulator sim(MakeHomogeneousCluster(), {job}, &scheduler, options);
+  const SimResult result = sim.Run();
+  EXPECT_FALSE(result.all_finished);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_FALSE(result.jobs[0].finished);
+  EXPECT_NEAR(result.jobs[0].jct, 2.0 * 3600.0, 61.0);
+}
+
+TEST(SimulatorTest, RestartsAreCountedAndCostTime) {
+  // Two long jobs on a tiny cluster force preemptions/rescales under Sia.
+  auto jobs = SmallTrace(6, 51);
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = 2;
+  ClusterSpec tiny;
+  const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
+  tiny.AddNodes(t4, 2, 4);
+  ClusterSimulator sim(tiny, jobs, &scheduler, options);
+  const SimResult result = sim.Run();
+  double total_restarts = 0.0;
+  for (const JobResult& job : result.jobs) {
+    total_restarts += job.num_restarts;
+  }
+  EXPECT_GT(total_restarts, 0.0);
+}
+
+TEST(SimulatorTest, HybridParallelJobSchedulesOnPipelineGranularity) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kGpt2_8B;
+  job.max_num_gpus = 16;
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.record_timeline = true;
+  options.max_hours = 200.0;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), {job}, &scheduler, options);
+  const SimResult result = sim.Run();
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_TRUE(result.jobs[0].finished);
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  for (const TimelineEvent& event : result.timeline) {
+    if (event.config.num_gpus == 0) {
+      continue;
+    }
+    const std::string& type = cluster.gpu_type(event.config.gpu_type).name;
+    EXPECT_TRUE(type == "a100" || type == "rtx") << "GPT placed on " << type;
+    const int stage = type == "a100" ? 2 : 8;
+    EXPECT_EQ(event.config.num_gpus % stage, 0)
+        << "hybrid allocation not replica-granular: " << event.config.num_gpus << " on " << type;
+  }
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,113 @@
+// Tests for the Levenberg-Marquardt fitter.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/curve_fit.h"
+
+namespace sia {
+namespace {
+
+TEST(CurveFitTest, FitsLine) {
+  // y = 2x + 1 exactly.
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  auto residual = [&xs](const std::vector<double>& p, std::vector<double>& r) {
+    r.resize(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      r[i] = (p[0] * xs[i] + p[1]) - (2.0 * xs[i] + 1.0);
+    }
+  };
+  const auto fit = FitLeastSquares(residual, {0.0, 0.0}, {-100.0, -100.0}, {100.0, 100.0});
+  EXPECT_NEAR(fit.params[0], 2.0, 1e-6);
+  EXPECT_NEAR(fit.params[1], 1.0, 1e-6);
+  EXPECT_LT(fit.cost, 1e-10);
+}
+
+TEST(CurveFitTest, FitsExponentialDecay) {
+  // y = 3 exp(-0.7 x), noisy.
+  Rng rng(21);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(3.0 * std::exp(-0.7 * x) * rng.LogNormal(0.0, 0.01));
+  }
+  auto residual = [&](const std::vector<double>& p, std::vector<double>& r) {
+    r.resize(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      r[i] = p[0] * std::exp(-p[1] * xs[i]) - ys[i];
+    }
+  };
+  const auto fit = FitLeastSquares(residual, {1.0, 0.1}, {0.0, 0.0}, {100.0, 10.0});
+  EXPECT_NEAR(fit.params[0], 3.0, 0.1);
+  EXPECT_NEAR(fit.params[1], 0.7, 0.05);
+}
+
+TEST(CurveFitTest, RespectsBoxBounds) {
+  // Unconstrained optimum p = -1; box forces p in [0, 5] -> boundary 0.
+  auto residual = [](const std::vector<double>& p, std::vector<double>& r) {
+    r.assign(1, p[0] + 1.0);
+  };
+  const auto fit = FitLeastSquares(residual, {2.0}, {0.0}, {5.0});
+  EXPECT_NEAR(fit.params[0], 0.0, 1e-6);
+}
+
+TEST(CurveFitTest, FitsThroughputModelShape) {
+  // Pollux/Sia throughput family: T(k, m) = ((a + b m)^g + (c + d (k-1))^g)^(1/g)
+  // with synthetic ground truth; recover parameters from 30 samples.
+  const double a = 0.05, b = 0.002, c = 0.02, d = 0.008, g = 2.5;
+  auto model = [](const std::vector<double>& p, double k, double m) {
+    const double compute = p[0] + p[1] * m;
+    const double sync = k <= 1.0 ? 0.0 : p[2] + p[3] * (k - 1.0);
+    const double gamma = p[4];
+    if (sync == 0.0) {
+      return compute;
+    }
+    return std::pow(std::pow(compute, gamma) + std::pow(sync, gamma), 1.0 / gamma);
+  };
+  std::vector<std::tuple<double, double, double>> samples;
+  for (int k = 1; k <= 6; ++k) {
+    for (int mi = 1; mi <= 5; ++mi) {
+      const double m = 32.0 * mi;
+      samples.emplace_back(k, m, model({a, b, c, d, g}, k, m));
+    }
+  }
+  auto residual = [&](const std::vector<double>& p, std::vector<double>& r) {
+    r.resize(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const auto& [k, m, y] = samples[i];
+      r[i] = model(p, k, m) - y;
+    }
+  };
+  const auto fit = FitLeastSquares(residual, {0.1, 0.001, 0.1, 0.001, 2.0},
+                                   {1e-6, 1e-8, 0.0, 0.0, 1.0},
+                                   {10.0, 1.0, 10.0, 1.0, 10.0});
+  // The surface has mild parameter degeneracy; require excellent predictive
+  // accuracy rather than exact parameter recovery.
+  double worst_rel_err = 0.0;
+  for (const auto& [k, m, y] : samples) {
+    worst_rel_err = std::max(worst_rel_err, std::abs(model(fit.params, k, m) - y) / y);
+  }
+  EXPECT_LT(worst_rel_err, 0.02);
+}
+
+TEST(CurveFitTest, EmptyResidualsConverge) {
+  auto residual = [](const std::vector<double>&, std::vector<double>& r) { r.clear(); };
+  const auto fit = FitLeastSquares(residual, {1.0}, {0.0}, {2.0});
+  EXPECT_TRUE(fit.converged);
+  EXPECT_DOUBLE_EQ(fit.cost, 0.0);
+}
+
+TEST(CurveFitTest, InitialPointProjectedIntoBox) {
+  auto residual = [](const std::vector<double>& p, std::vector<double>& r) {
+    r.assign(1, p[0] - 3.0);
+  };
+  const auto fit = FitLeastSquares(residual, {100.0}, {0.0}, {10.0});
+  EXPECT_NEAR(fit.params[0], 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sia

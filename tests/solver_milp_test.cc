@@ -1,0 +1,177 @@
+// Tests for branch-and-bound MILP, including brute-force cross-checks on
+// random binary programs shaped like Sia's scheduling ILP.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/milp.h"
+
+namespace sia {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+TEST(MilpTest, SolvesKnapsack) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary. Optimum: a + c (17)
+  // vs b + c (20) -> b + c = 20.
+  LinearProgram lp;
+  const int a = lp.AddBinaryVariable(10.0, "a");
+  const int b = lp.AddBinaryVariable(13.0, "b");
+  const int c = lp.AddBinaryVariable(7.0, "c");
+  lp.AddConstraint(ConstraintOp::kLessEq, 6.0, {{a, 3.0}, {b, 4.0}, {c, 2.0}});
+  const auto solution = SolveMilp(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 20.0, kTol);
+  EXPECT_NEAR(solution.values[a], 0.0, kTol);
+  EXPECT_NEAR(solution.values[b], 1.0, kTol);
+  EXPECT_NEAR(solution.values[c], 1.0, kTol);
+}
+
+TEST(MilpTest, IntegerVariablesWithWiderRange) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, x,y integer >= 0.
+  // Integral optimum is (4, 0) -> 20 (both constraints tight/satisfied).
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 10.0, 5.0, "x");
+  const int y = lp.AddVariable(0.0, 10.0, 4.0, "y");
+  lp.SetInteger(x);
+  lp.SetInteger(y);
+  lp.AddConstraint(ConstraintOp::kLessEq, 24.0, {{x, 6.0}, {y, 4.0}});
+  lp.AddConstraint(ConstraintOp::kLessEq, 6.0, {{x, 1.0}, {y, 2.0}});
+  const auto solution = SolveMilp(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 20.0, kTol);
+}
+
+TEST(MilpTest, MinimizationWorks) {
+  // min x + y s.t. 2x + y >= 5, x + 3y >= 6, integers.
+  // Candidates: (2,1)->2x+y=5 ok, x+3y=5 <6 no; (1,3): 5 ok, 10 ok -> 4;
+  // (2,2): 6,8 ok -> 4; (3,1): 7,6 ok -> 4. Optimum 4.
+  LinearProgram lp(ObjectiveSense::kMinimize);
+  const int x = lp.AddVariable(0.0, 10.0, 1.0, "x");
+  const int y = lp.AddVariable(0.0, 10.0, 1.0, "y");
+  lp.SetInteger(x);
+  lp.SetInteger(y);
+  lp.AddConstraint(ConstraintOp::kGreaterEq, 5.0, {{x, 2.0}, {y, 1.0}});
+  lp.AddConstraint(ConstraintOp::kGreaterEq, 6.0, {{x, 1.0}, {y, 3.0}});
+  const auto solution = SolveMilp(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 4.0, kTol);
+}
+
+TEST(MilpTest, InfeasibleBinaryProgram) {
+  LinearProgram lp;
+  const int a = lp.AddBinaryVariable(1.0, "a");
+  const int b = lp.AddBinaryVariable(1.0, "b");
+  lp.AddConstraint(ConstraintOp::kGreaterEq, 3.0, {{a, 1.0}, {b, 1.0}});
+  EXPECT_EQ(SolveMilp(lp).status, SolveStatus::kInfeasible);
+}
+
+TEST(MilpTest, ContinuousVariablesPassThrough) {
+  // Mixed: binary gate y, continuous x <= 5y. max 2x - 3y.
+  // y=1: x=5 -> 7. y=0: x=0 -> 0. Optimum 7.
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, kLpInfinity, 2.0, "x");
+  const int y = lp.AddBinaryVariable(-3.0, "y");
+  lp.AddConstraint(ConstraintOp::kLessEq, 0.0, {{x, 1.0}, {y, -5.0}});
+  const auto solution = SolveMilp(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 7.0, kTol);
+  EXPECT_NEAR(solution.values[y], 1.0, kTol);
+  EXPECT_NEAR(solution.values[x], 5.0, kTol);
+}
+
+TEST(MilpTest, PureLpShortCircuits) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 4.0, 1.0, "x");
+  const auto solution = SolveMilp(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 4.0, kTol);
+}
+
+// Brute-force cross-check on random scheduling-shaped binary programs:
+// jobs x configs assignment with per-type capacity knapsacks, exactly the
+// structure of Sia's Eq. (4).
+class RandomSchedulingIlpTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSchedulingIlpTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int jobs = static_cast<int>(rng.UniformInt(2, 4));
+  const int configs = static_cast<int>(rng.UniformInt(2, 4));
+  const int types = 2;
+
+  LinearProgram lp;
+  std::vector<std::vector<int>> var(jobs, std::vector<int>(configs));
+  std::vector<std::vector<double>> utility(jobs, std::vector<double>(configs));
+  std::vector<std::vector<int>> gpu_need(jobs, std::vector<int>(configs));
+  std::vector<std::vector<int>> gpu_type(jobs, std::vector<int>(configs));
+  for (int i = 0; i < jobs; ++i) {
+    for (int j = 0; j < configs; ++j) {
+      utility[i][j] = rng.Uniform(0.5, 8.0);
+      gpu_need[i][j] = static_cast<int>(rng.UniformInt(1, 4));
+      gpu_type[i][j] = static_cast<int>(rng.UniformInt(0, types - 1));
+      var[i][j] = lp.AddBinaryVariable(utility[i][j]);
+    }
+  }
+  for (int i = 0; i < jobs; ++i) {
+    std::vector<LpTerm> row;
+    for (int j = 0; j < configs; ++j) {
+      row.emplace_back(var[i][j], 1.0);
+    }
+    lp.AddConstraint(ConstraintOp::kLessEq, 1.0, std::move(row));
+  }
+  std::vector<double> capacity(types);
+  for (int t = 0; t < types; ++t) {
+    capacity[t] = static_cast<double>(rng.UniformInt(2, 6));
+    std::vector<LpTerm> row;
+    for (int i = 0; i < jobs; ++i) {
+      for (int j = 0; j < configs; ++j) {
+        if (gpu_type[i][j] == t) {
+          row.emplace_back(var[i][j], static_cast<double>(gpu_need[i][j]));
+        }
+      }
+    }
+    lp.AddConstraint(ConstraintOp::kLessEq, capacity[t], std::move(row));
+  }
+
+  const auto solution = SolveMilp(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+
+  // Brute force: each job picks one of `configs` choices or none.
+  double best = 0.0;
+  const int choices = configs + 1;
+  int total = 1;
+  for (int i = 0; i < jobs; ++i) {
+    total *= choices;
+  }
+  for (int mask = 0; mask < total; ++mask) {
+    int rem = mask;
+    std::vector<double> used(types, 0.0);
+    double obj = 0.0;
+    bool ok = true;
+    for (int i = 0; i < jobs && ok; ++i) {
+      const int pick = rem % choices;
+      rem /= choices;
+      if (pick == configs) {
+        continue;  // No allocation.
+      }
+      used[gpu_type[i][pick]] += gpu_need[i][pick];
+      if (used[gpu_type[i][pick]] > capacity[gpu_type[i][pick]]) {
+        ok = false;
+        break;
+      }
+      obj += utility[i][pick];
+    }
+    if (ok) {
+      best = std::max(best, obj);
+    }
+  }
+  EXPECT_NEAR(solution.objective, best, kTol) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomIlps, RandomSchedulingIlpTest,
+                         ::testing::Range<uint64_t>(100, 140));
+
+}  // namespace
+}  // namespace sia

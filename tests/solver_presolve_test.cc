@@ -1,0 +1,143 @@
+// Tests for LP presolve reductions and the presolve+solve+postsolve path,
+// including randomized equivalence against the plain simplex.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/presolve.h"
+#include "src/solver/simplex.h"
+
+namespace sia {
+namespace {
+
+TEST(PresolveTest, EliminatesFixedVariables) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(3.0, 3.0, 2.0, "x");
+  const int y = lp.AddVariable(0.0, 10.0, 1.0, "y");
+  lp.AddConstraint(ConstraintOp::kLessEq, 8.0, {{x, 1.0}, {y, 1.0}});
+  const auto presolve = PresolveLp(lp);
+  ASSERT_FALSE(presolve.proven_infeasible);
+  EXPECT_EQ(presolve.variables_removed, 1);
+  EXPECT_EQ(presolve.variable_map[x], -1);
+  EXPECT_DOUBLE_EQ(presolve.fixed_values[x], 3.0);
+  EXPECT_DOUBLE_EQ(presolve.objective_offset, 6.0);
+  // Reduced: max y s.t. y <= 5.
+  const auto solution = SolveLpWithPresolve(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 2.0 * 3.0 + 5.0, 1e-9);
+  EXPECT_NEAR(solution.values[y], 5.0, 1e-9);
+  EXPECT_NEAR(solution.values[x], 3.0, 1e-9);
+}
+
+TEST(PresolveTest, SingletonRowTightensBounds) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 100.0, 1.0, "x");
+  lp.AddConstraint(ConstraintOp::kLessEq, 7.0, {{x, 1.0}});
+  lp.AddConstraint(ConstraintOp::kGreaterEq, 4.0, {{x, 2.0}});  // x >= 2.
+  const auto presolve = PresolveLp(lp);
+  ASSERT_FALSE(presolve.proven_infeasible);
+  EXPECT_EQ(presolve.rows_removed, 2);
+  // After tightening, x is in [2, 7] with no rows.
+  EXPECT_EQ(presolve.reduced.num_constraints(), 0);
+  const auto solution = SolveLpWithPresolve(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], 7.0, 1e-9);
+}
+
+TEST(PresolveTest, NegativeCoefficientSingleton) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(-10.0, 10.0, -1.0, "x");  // max -x => x small.
+  lp.AddConstraint(ConstraintOp::kLessEq, 6.0, {{x, -2.0}});  // -2x <= 6 => x >= -3.
+  const auto solution = SolveLpWithPresolve(lp);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[x], -3.0, 1e-9);
+}
+
+TEST(PresolveTest, DetectsInfeasibleSingletons) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 5.0, 1.0, "x");
+  lp.AddConstraint(ConstraintOp::kGreaterEq, 12.0, {{x, 1.0}});
+  const auto presolve = PresolveLp(lp);
+  EXPECT_TRUE(presolve.proven_infeasible);
+  EXPECT_EQ(SolveLpWithPresolve(lp).status, SolveStatus::kInfeasible);
+}
+
+TEST(PresolveTest, DropsRedundantRows) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 1.0, 1.0, "x");
+  const int y = lp.AddVariable(0.0, 1.0, 1.0, "y");
+  lp.AddConstraint(ConstraintOp::kLessEq, 10.0, {{x, 1.0}, {y, 1.0}});  // Redundant.
+  lp.AddConstraint(ConstraintOp::kLessEq, 1.0, {{x, 1.0}, {y, 1.0}});   // Binding.
+  const auto presolve = PresolveLp(lp);
+  ASSERT_FALSE(presolve.proven_infeasible);
+  EXPECT_EQ(presolve.reduced.num_constraints(), 1);
+}
+
+TEST(PresolveTest, DetectsInfeasibleBoxVsRow) {
+  LinearProgram lp;
+  const int x = lp.AddVariable(0.0, 1.0, 1.0, "x");
+  const int y = lp.AddVariable(0.0, 1.0, 1.0, "y");
+  lp.AddConstraint(ConstraintOp::kGreaterEq, 5.0, {{x, 1.0}, {y, 1.0}});
+  EXPECT_TRUE(PresolveLp(lp).proven_infeasible);
+}
+
+TEST(PresolveTest, FixedVariableCascadesThroughRows) {
+  // Fixing x turns the remaining row into a singleton on y.
+  LinearProgram lp;
+  const int x = lp.AddVariable(2.0, 2.0, 0.0, "x");
+  const int y = lp.AddVariable(0.0, 100.0, 1.0, "y");
+  lp.AddConstraint(ConstraintOp::kLessEq, 10.0, {{x, 2.0}, {y, 1.0}});  // y <= 6.
+  const auto presolve = PresolveLp(lp);
+  ASSERT_FALSE(presolve.proven_infeasible);
+  EXPECT_EQ(presolve.reduced.num_constraints(), 0);  // Became singleton, absorbed.
+  const auto solution = SolveLpWithPresolve(lp);
+  EXPECT_NEAR(solution.values[y], 6.0, 1e-9);
+}
+
+TEST(PresolveTest, PreservesIntegerMarkers) {
+  LinearProgram lp;
+  lp.AddVariable(1.0, 1.0, 1.0, "fixed");
+  const int y = lp.AddBinaryVariable(1.0, "y");
+  const auto presolve = PresolveLp(lp);
+  const int mapped = presolve.variable_map[y];
+  ASSERT_GE(mapped, 0);
+  EXPECT_TRUE(presolve.reduced.is_integer(mapped));
+}
+
+class PresolveEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PresolveEquivalenceTest, MatchesPlainSimplexOnRandomLps) {
+  Rng rng(GetParam() * 77 + 3);
+  const int n = static_cast<int>(rng.UniformInt(3, 8));
+  const int m = static_cast<int>(rng.UniformInt(2, 6));
+  LinearProgram lp(rng.Bernoulli(0.5) ? ObjectiveSense::kMaximize : ObjectiveSense::kMinimize);
+  for (int j = 0; j < n; ++j) {
+    double lo = rng.Uniform(-3.0, 1.0);
+    double hi = lo + rng.Uniform(0.0, 4.0);
+    if (rng.Bernoulli(0.2)) {
+      hi = lo;  // Some fixed variables.
+    }
+    lp.AddVariable(lo, hi, rng.Uniform(-2.0, 2.0));
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<LpTerm> terms;
+    const int nnz = static_cast<int>(rng.UniformInt(1, n));
+    for (int k = 0; k < nnz; ++k) {
+      terms.emplace_back(static_cast<int>(rng.UniformInt(0, n - 1)), rng.Uniform(-2.0, 2.0));
+    }
+    const ConstraintOp op = rng.Bernoulli(0.5) ? ConstraintOp::kLessEq : ConstraintOp::kGreaterEq;
+    lp.AddConstraint(op, rng.Uniform(-5.0, 8.0), std::move(terms));
+  }
+  const auto plain = SolveLp(lp);
+  const auto with_presolve = SolveLpWithPresolve(lp);
+  ASSERT_EQ(plain.status, with_presolve.status) << "seed " << GetParam();
+  if (plain.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(plain.objective, with_presolve.objective, 1e-6) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveEquivalenceTest, ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace sia

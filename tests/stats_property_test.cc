@@ -1,0 +1,142 @@
+// Property tests for the statistics utilities and additional estimator
+// learning scenarios (cross-node sync refinement).
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/models/estimator.h"
+#include "src/models/profile_db.h"
+
+namespace sia {
+namespace {
+
+class StatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsPropertyTest, RunningStatsMatchesDirectComputation) {
+  Rng rng(GetParam() * 7 + 1);
+  const int n = static_cast<int>(rng.UniformInt(2, 200));
+  std::vector<double> values;
+  RunningStats stats;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Uniform(-100.0, 100.0);
+    values.push_back(v);
+    stats.Add(v);
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  const double mean = sum / n;
+  double var = 0.0;
+  for (double v : values) {
+    var += (v - mean) * (v - mean);
+  }
+  var /= n - 1;
+  EXPECT_NEAR(stats.mean(), mean, 1e-9 * std::max(1.0, std::abs(mean)));
+  EXPECT_NEAR(stats.variance(), var, 1e-7 * std::max(1.0, var));
+  EXPECT_DOUBLE_EQ(stats.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(stats.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST_P(StatsPropertyTest, PercentileMonotoneInQuantile) {
+  Rng rng(GetParam() * 11 + 3);
+  const int n = static_cast<int>(rng.UniformInt(1, 60));
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(rng.Uniform(-10.0, 10.0));
+  }
+  double previous = -1e300;
+  for (double q = 0.0; q <= 1.0001; q += 0.05) {
+    const double value = Percentile(values, std::min(q, 1.0));
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+  }
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0),
+                   *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.0),
+                   *std::max_element(values.begin(), values.end()));
+}
+
+TEST_P(StatsPropertyTest, CdfIsAValidDistribution) {
+  Rng rng(GetParam() * 13 + 7);
+  const int n = static_cast<int>(rng.UniformInt(1, 80));
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(rng.Normal(0.0, 5.0));
+  }
+  const auto cdf = EmpiricalCdf(values);
+  ASSERT_EQ(cdf.size(), values.size());
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-12);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest, ::testing::Range<uint64_t>(1, 16));
+
+TEST(EstimatorCrossNodeTest, InterNodeSyncLearnedSeparately) {
+  // Intra-node data alone must not be used for cross-node predictions once
+  // cross-node observations exist; after both are observed the estimator
+  // should track both regimes of the truth.
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const int t4 = cluster.FindGpuType("t4");
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kBert, "t4");
+  GoodputEstimator estimator(ModelKind::kBert, &cluster, ProfilingMode::kBootstrap);
+  for (int k = 1; k <= 10; ++k) {
+    const double local = std::max(1.0, device.max_local_bsz * k / 10.0);
+    estimator.AddProfilePoint(t4, local, IterTime(device.truth, 1, 1, local, 1));
+  }
+  // Intra-node observations.
+  for (int gpus : {2, 4}) {
+    estimator.AddObservation(t4, 1, gpus, 8.0, 1, IterTime(device.truth, 1, gpus, 8.0, 1));
+  }
+  // Cross-node observations (2 nodes).
+  for (int gpus : {8}) {
+    estimator.AddObservation(t4, 2, gpus, 8.0, 1, IterTime(device.truth, 2, gpus, 8.0, 1));
+  }
+  EXPECT_TRUE(estimator.has_intra_data(t4));
+  EXPECT_TRUE(estimator.has_inter_data(t4));
+  const double est_intra = estimator.EstimateIterTime(t4, 1, 4, 8.0, 1);
+  const double est_inter = estimator.EstimateIterTime(t4, 2, 8, 8.0, 1);
+  EXPECT_NEAR(est_intra / IterTime(device.truth, 1, 4, 8.0, 1), 1.0, 0.1);
+  EXPECT_NEAR(est_inter / IterTime(device.truth, 2, 8, 8.0, 1), 1.0, 0.15);
+  // Cross-node is genuinely slower than intra-node on 50 Gb/s Ethernet, and
+  // the estimator must preserve that ordering.
+  EXPECT_GT(est_inter, est_intra);
+}
+
+TEST(EstimatorCrossNodeTest, BootstrapUsesInterReferenceForInterQueries) {
+  // Type A has cross-node data; type B has only profiles. A cross-node
+  // query on B must scale from A's *cross-node* model (Eq. 1), not its
+  // intra-node one.
+  const ClusterSpec cluster = MakeHeterogeneousCluster();
+  const int t4 = cluster.FindGpuType("t4");
+  const int rtx = cluster.FindGpuType("rtx");
+  const DeviceProfile& t4_device = GetDeviceProfile(ModelKind::kDeepSpeech2, "t4");
+  const DeviceProfile& rtx_device = GetDeviceProfile(ModelKind::kDeepSpeech2, "rtx");
+  GoodputEstimator estimator(ModelKind::kDeepSpeech2, &cluster, ProfilingMode::kBootstrap);
+  for (int t : {t4, rtx}) {
+    const DeviceProfile& device = t == t4 ? t4_device : rtx_device;
+    for (int k = 1; k <= 10; ++k) {
+      const double local = std::max(1.0, device.max_local_bsz * k / 10.0);
+      estimator.AddProfilePoint(t, local, IterTime(device.truth, 1, 1, local, 1));
+    }
+  }
+  estimator.AddObservation(t4, 2, 8, 20.0, 1, IterTime(t4_device.truth, 2, 8, 20.0, 1));
+  ASSERT_TRUE(estimator.has_inter_data(t4));
+  ASSERT_FALSE(estimator.has_inter_data(rtx));
+  const double est = estimator.EstimateIterTime(rtx, 2, 8, 20.0, 1);
+  const double truth = IterTime(rtx_device.truth, 2, 8, 20.0, 1);
+  // Bounded Eq. 1 extrapolation error (t4 and rtx share 50 Gb/s networks,
+  // so the ratio bootstrap should be decent).
+  EXPECT_GT(est, 0.3 * truth);
+  EXPECT_LT(est, 3.0 * truth);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,181 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/models/profile_db.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+TEST(TraceGenTest, PhillyTraceBasics) {
+  TraceOptions options;
+  options.kind = TraceKind::kPhilly;
+  options.seed = 3;
+  const auto jobs = GenerateTrace(options);
+  // ~20 jobs/hr x 8 h = ~160 +- Poisson noise.
+  EXPECT_GT(jobs.size(), 110u);
+  EXPECT_LT(jobs.size(), 220u);
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+    EXPECT_EQ(jobs[i].id, static_cast<int>(i));
+  }
+  for (const JobSpec& job : jobs) {
+    EXPECT_GE(job.submit_time, 0.0);
+    EXPECT_LE(job.submit_time, 8.0 * 3600.0);
+    EXPECT_EQ(job.adaptivity, AdaptivityMode::kAdaptive);
+    EXPECT_GE(job.max_num_gpus, 4);
+  }
+}
+
+TEST(TraceGenTest, DeterministicForSeed) {
+  TraceOptions options;
+  options.seed = 11;
+  const auto a = GenerateTrace(options);
+  const auto b = GenerateTrace(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].model, b[i].model);
+  }
+  options.seed = 12;
+  const auto c = GenerateTrace(options);
+  EXPECT_TRUE(a.size() != c.size() || a[0].submit_time != c[0].submit_time);
+}
+
+TEST(TraceGenTest, PhillySkewsSmallerThanHelios) {
+  // Helios jobs are bigger on average (§4.1): compare total-work means over
+  // several seeds.
+  double philly_work = 0.0, helios_work = 0.0;
+  int philly_n = 0, helios_n = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    TraceOptions options;
+    options.seed = seed;
+    options.kind = TraceKind::kPhilly;
+    for (const auto& job : GenerateTrace(options)) {
+      philly_work += static_cast<double>(CategoryOf(job.model) != SizeCategory::kSmall);
+      ++philly_n;
+    }
+    options.kind = TraceKind::kHelios;
+    for (const auto& job : GenerateTrace(options)) {
+      helios_work += static_cast<double>(CategoryOf(job.model) != SizeCategory::kSmall);
+      ++helios_n;
+    }
+  }
+  EXPECT_LT(philly_work / philly_n, helios_work / helios_n);
+}
+
+TEST(TraceGenTest, NewTraceIs48HoursAndBursty) {
+  TraceOptions options;
+  options.kind = TraceKind::kNewTrace;
+  options.seed = 5;
+  const auto jobs = GenerateTrace(options);
+  // ~20/hr x 48 h = ~960.
+  EXPECT_GT(jobs.size(), 700u);
+  EXPECT_LT(jobs.size(), 1250u);
+  EXPECT_GT(jobs.back().submit_time, 24.0 * 3600.0);
+  // Burstiness: the busiest hour should far exceed the average hour.
+  std::vector<int> per_hour(49, 0);
+  for (const auto& job : jobs) {
+    ++per_hour[static_cast<size_t>(job.submit_time / 3600.0)];
+  }
+  const int busiest = *std::max_element(per_hour.begin(), per_hour.end());
+  EXPECT_GT(busiest, 40);  // Paper: bursts up to ~100 jobs/hr vs 20 avg.
+}
+
+TEST(TunedJobsTest, ProducesValidRigidConfigs) {
+  TraceOptions trace_options;
+  trace_options.seed = 9;
+  const auto jobs = GenerateTrace(trace_options);
+  TunedJobsOptions options;
+  options.max_gpus = 16;
+  const auto tuned = MakeTunedJobs(jobs, options);
+  ASSERT_EQ(tuned.size(), jobs.size());
+  int multi_gpu = 0;
+  for (const JobSpec& job : tuned) {
+    EXPECT_EQ(job.adaptivity, AdaptivityMode::kRigid);
+    EXPECT_GE(job.rigid_num_gpus, 1);
+    EXPECT_LE(job.rigid_num_gpus, 16);
+    // Power-of-two counts (placeable on every type).
+    EXPECT_EQ(job.rigid_num_gpus & (job.rigid_num_gpus - 1), 0);
+    EXPECT_GT(job.fixed_bsz, 0.0);
+    const ModelInfo& info = GetModelInfo(job.model);
+    EXPECT_GE(job.fixed_bsz, info.min_bsz - 1e-9);
+    EXPECT_LE(job.fixed_bsz, info.max_bsz + 1e-9);
+    multi_gpu += job.rigid_num_gpus > 1 ? 1 : 0;
+  }
+  // The 50-80%-of-ideal rule should yield mostly multi-GPU configs.
+  EXPECT_GT(multi_gpu, static_cast<int>(jobs.size()) / 2);
+}
+
+TEST(TunedJobsTest, SpeedupRuleHolds) {
+  // Verify the 50-80% rule on a sample of tuned jobs with ground truth.
+  TraceOptions trace_options;
+  trace_options.seed = 2;
+  const auto jobs = GenerateTrace(trace_options);
+  TunedJobsOptions options;
+  const auto tuned = MakeTunedJobs(jobs, options);
+  int checked = 0;
+  for (const JobSpec& job : tuned) {
+    if (job.rigid_num_gpus <= 1) {
+      continue;
+    }
+    const ModelInfo& info = GetModelInfo(job.model);
+    const DeviceProfile& device = GetDeviceProfile(job.model, "t4");
+    const auto baseline = OptimizeBatch(device.truth, info.efficiency, info.efficiency.init_pgns,
+                                        info.min_bsz, info.max_bsz, device.max_local_bsz, 1, 1);
+    const int nodes = (job.rigid_num_gpus + 3) / 4;
+    const auto rigid = EvaluateFixedBatch(device.truth, info.efficiency,
+                                          info.efficiency.init_pgns, job.fixed_bsz,
+                                          device.max_local_bsz, nodes, job.rigid_num_gpus);
+    ASSERT_TRUE(rigid.feasible);
+    const double speedup = rigid.goodput / baseline.goodput;
+    EXPECT_GE(speedup, 0.5 * job.rigid_num_gpus - 1e-6);
+    EXPECT_LE(speedup, 0.8 * job.rigid_num_gpus + 1e-6);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(RestrictAdaptivityTest, FractionsRespected) {
+  TraceOptions trace_options;
+  trace_options.seed = 4;
+  const auto jobs = GenerateTrace(trace_options);
+  TunedJobsOptions options;
+  const auto restricted = RestrictAdaptivity(jobs, 0.25, 0.25, options);
+  ASSERT_EQ(restricted.size(), jobs.size());
+  int strong = 0, rigid = 0, adaptive = 0;
+  for (const JobSpec& job : restricted) {
+    switch (job.adaptivity) {
+      case AdaptivityMode::kStrongScaling:
+        ++strong;
+        EXPECT_GT(job.fixed_bsz, 0.0);
+        break;
+      case AdaptivityMode::kRigid:
+        ++rigid;
+        EXPECT_GT(job.rigid_num_gpus, 0);
+        break;
+      case AdaptivityMode::kAdaptive:
+        ++adaptive;
+        break;
+    }
+  }
+  const int n = static_cast<int>(jobs.size());
+  EXPECT_NEAR(strong, n / 4, 2);
+  EXPECT_NEAR(rigid, n / 4, 2);
+  EXPECT_EQ(strong + rigid + adaptive, n);
+}
+
+TEST(RestrictAdaptivityTest, ZeroFractionsNoOp) {
+  TraceOptions trace_options;
+  trace_options.seed = 4;
+  const auto jobs = GenerateTrace(trace_options);
+  const auto same = RestrictAdaptivity(jobs, 0.0, 0.0, TunedJobsOptions{});
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(same[i].adaptivity, AdaptivityMode::kAdaptive);
+  }
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,204 @@
+// Command-line simulation driver: run any scheduler on any cluster/trace
+// combination and optionally export the trace and per-job results as CSV.
+//
+//   sia_simulate --scheduler=sia --cluster=heterogeneous --trace=philly ...
+//                --seed=1 [--rate=20] [--hours=8] [--scale=1]
+//                [--profiling=bootstrap|oracle|noprof] [--tuned]
+//                [--mtbf-hours=0] [--trace-in=jobs.csv]
+//                [--trace-out=jobs.csv] [--results-out=results.csv]
+#include <iostream>
+#include <algorithm>
+#include <memory>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/flags.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/metrics/ftf.h"
+#include "src/metrics/report.h"
+#include "src/schedulers/allox/allox_scheduler.h"
+#include "src/schedulers/baselines/priority_schedulers.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+#include "src/workload/trace_io.h"
+
+namespace {
+
+constexpr char kUsage[] = R"(usage: sia_simulate [flags]
+  --scheduler  sia|pollux|gavel|allox|shockwave|themis|fifo|srtf (default sia)
+  --cluster    heterogeneous|homogeneous|physical            (default heterogeneous)
+  --scale      N: multiply heterogeneous node counts         (default 1)
+  --trace      philly|helios|newtrace                        (default philly)
+  --trace-in   CSV file to replay instead of generating
+  --rate       arrival rate, jobs/hour                       (default 20)
+  --hours      submission window                             (default per trace)
+  --seed       RNG seed                                      (default 1)
+  --profiling  bootstrap|oracle|noprof                       (default bootstrap)
+  --tuned      tune jobs rigid (TunedJobs); implied for rigid policies
+  --mtbf-hours per-node mean time between failures, 0=off    (default 0)
+  --trace-out  write the (possibly tuned) trace as CSV
+  --results-out write per-job results as CSV
+  --ftf        also compute finish-time-fairness stats
+)";
+
+std::unique_ptr<sia::Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "sia") {
+    return std::make_unique<sia::SiaScheduler>();
+  }
+  if (name == "pollux") {
+    return std::make_unique<sia::PolluxScheduler>();
+  }
+  if (name == "gavel") {
+    return std::make_unique<sia::GavelScheduler>();
+  }
+  if (name == "allox") {
+    return std::make_unique<sia::AlloxScheduler>();
+  }
+  if (name == "shockwave") {
+    return std::make_unique<sia::PriorityScheduler>(sia::ShockwaveOptions());
+  }
+  if (name == "themis") {
+    return std::make_unique<sia::PriorityScheduler>(sia::ThemisOptions());
+  }
+  if (name == "fifo") {
+    return std::make_unique<sia::PriorityScheduler>(sia::FifoOptions());
+  }
+  if (name == "srtf") {
+    return std::make_unique<sia::PriorityScheduler>(sia::SrtfOptions());
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sia::FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n" << kUsage;
+    return 2;
+  }
+  if (flags.Has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+
+  const std::string scheduler_name = flags.GetString("scheduler", "sia");
+  const std::string cluster_name = flags.GetString("cluster", "heterogeneous");
+  const std::string trace_name = flags.GetString("trace", "philly");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int scale = static_cast<int>(flags.GetInt("scale", 1));
+
+  sia::ClusterSpec cluster;
+  if (cluster_name == "heterogeneous") {
+    cluster = sia::MakeHeterogeneousCluster(scale);
+  } else if (cluster_name == "homogeneous") {
+    cluster = sia::MakeHomogeneousCluster();
+  } else if (cluster_name == "physical") {
+    cluster = sia::MakePhysicalCluster();
+  } else {
+    std::cerr << "unknown cluster '" << cluster_name << "'\n" << kUsage;
+    return 2;
+  }
+
+  std::vector<sia::JobSpec> jobs;
+  if (flags.Has("trace-in")) {
+    std::string error;
+    if (!sia::ReadTraceCsv(flags.GetString("trace-in", ""), &jobs, &error)) {
+      std::cerr << "failed to read trace: " << error << "\n";
+      return 1;
+    }
+  } else {
+    sia::TraceOptions trace;
+    if (trace_name == "philly") {
+      trace.kind = sia::TraceKind::kPhilly;
+    } else if (trace_name == "helios") {
+      trace.kind = sia::TraceKind::kHelios;
+    } else if (trace_name == "newtrace") {
+      trace.kind = sia::TraceKind::kNewTrace;
+    } else {
+      std::cerr << "unknown trace '" << trace_name << "'\n" << kUsage;
+      return 2;
+    }
+    trace.arrival_rate_per_hour = flags.GetDouble("rate", 20.0);
+    trace.duration_hours = flags.GetDouble("hours", 0.0);
+    trace.seed = seed;
+    jobs = sia::GenerateTrace(trace);
+  }
+
+  const bool rigid_policy = scheduler_name != "sia" && scheduler_name != "pollux";
+  if (flags.GetBool("tuned", false) || rigid_policy) {
+    sia::TunedJobsOptions tuned;
+    tuned.max_gpus = cluster_name == "homogeneous" ? 64 : 16;
+    tuned.seed = seed;
+    jobs = sia::MakeTunedJobs(jobs, tuned);
+  }
+  if (flags.Has("trace-out")) {
+    if (!sia::WriteTraceCsv(flags.GetString("trace-out", ""), jobs)) {
+      std::cerr << "failed to write trace CSV\n";
+      return 1;
+    }
+  }
+
+  auto scheduler = MakeScheduler(scheduler_name);
+  if (scheduler == nullptr) {
+    std::cerr << "unknown scheduler '" << scheduler_name << "'\n" << kUsage;
+    return 2;
+  }
+
+  sia::SimOptions options;
+  options.seed = seed;
+  options.node_mtbf_hours = flags.GetDouble("mtbf-hours", 0.0);
+  const std::string profiling = flags.GetString("profiling", "bootstrap");
+  if (profiling == "oracle") {
+    options.profiling_mode = sia::ProfilingMode::kOracle;
+  } else if (profiling == "noprof") {
+    options.profiling_mode = sia::ProfilingMode::kNoProfile;
+  } else if (profiling == "bootstrap") {
+    options.profiling_mode = sia::ProfilingMode::kBootstrap;
+  } else {
+    std::cerr << "unknown profiling mode '" << profiling << "'\n" << kUsage;
+    return 2;
+  }
+
+  const bool want_ftf = flags.GetBool("ftf", false);
+  const std::string results_out = flags.GetString("results-out", "");
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown << "\n" << kUsage;
+    return 2;
+  }
+
+  std::cout << "cluster=" << cluster_name << " (" << cluster.TotalGpus() << " GPUs)  jobs="
+            << jobs.size() << "  scheduler=" << scheduler->name() << "  seed=" << seed << "\n";
+  sia::ClusterSimulator simulator(cluster, jobs, scheduler.get(), options);
+  const sia::SimResult result = simulator.Run();
+
+  const sia::PolicySummary summary = sia::Summarize(scheduler->name(), {result});
+  std::cout << sia::RenderSummaryTable({summary}, "results");
+  std::cout << "GPU utilization: " << sia::Table::Num(100.0 * result.gpu_utilization, 1)
+            << "%   policy runtime: median " << result.MedianPolicyRuntime() * 1000.0
+            << " ms, p95 " << result.P95PolicyRuntime() * 1000.0 << " ms\n";
+  if (options.node_mtbf_hours > 0.0) {
+    std::cout << "worker failures injected: " << result.total_failures << "\n";
+  }
+  if (want_ftf) {
+    const auto ratios = sia::FtfRatios(result, cluster);
+    if (!ratios.empty()) {
+      std::cout << "FTF: worst rho " << sia::Table::Num(*std::max_element(ratios.begin(),
+                                                                          ratios.end()), 2)
+                << ", unfair fraction " << sia::Table::Num(sia::FractionAbove(ratios, 1.0), 3)
+                << ", Jain index of JCT-normalized service "
+                << sia::Table::Num(sia::JainFairnessIndex(ratios), 3) << "\n";
+    }
+  }
+  if (!results_out.empty()) {
+    if (!sia::WriteJobResultsCsv(results_out, result)) {
+      std::cerr << "failed to write results CSV\n";
+      return 1;
+    }
+    std::cout << "wrote per-job results to " << results_out << "\n";
+  }
+  return result.all_finished ? 0 : 1;
+}

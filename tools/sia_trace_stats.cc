@@ -1,0 +1,111 @@
+// Trace inspection tool: prints the composition of a generated or imported
+// trace -- model/category mix, arrival-rate histogram, adaptivity modes --
+// so users can sanity-check workloads before simulating them.
+//
+//   sia_trace_stats --trace=philly --seed=1         (generate + inspect)
+//   sia_trace_stats --trace-in=jobs.csv             (inspect a CSV trace)
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/models/profile_db.h"
+#include "src/workload/trace_gen.h"
+#include "src/workload/trace_io.h"
+
+int main(int argc, char** argv) {
+  sia::FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n";
+    return 2;
+  }
+  std::vector<sia::JobSpec> jobs;
+  if (flags.Has("trace-in")) {
+    std::string error;
+    if (!sia::ReadTraceCsv(flags.GetString("trace-in", ""), &jobs, &error)) {
+      std::cerr << "failed to read trace: " << error << "\n";
+      return 1;
+    }
+  } else {
+    sia::TraceOptions options;
+    const std::string name = flags.GetString("trace", "philly");
+    if (name == "helios") {
+      options.kind = sia::TraceKind::kHelios;
+    } else if (name == "newtrace") {
+      options.kind = sia::TraceKind::kNewTrace;
+    } else if (name == "philly") {
+      options.kind = sia::TraceKind::kPhilly;
+    } else {
+      std::cerr << "unknown trace '" << name << "'\n";
+      return 2;
+    }
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    options.arrival_rate_per_hour = flags.GetDouble("rate", 20.0);
+    options.duration_hours = flags.GetDouble("hours", 0.0);
+    jobs = sia::GenerateTrace(options);
+  }
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown << "\n";
+    return 2;
+  }
+  if (jobs.empty()) {
+    std::cout << "(empty trace)\n";
+    return 0;
+  }
+
+  std::map<sia::ModelKind, int> by_model;
+  std::map<sia::AdaptivityMode, int> by_mode;
+  double total_work_hours = 0.0;
+  for (const sia::JobSpec& job : jobs) {
+    ++by_model[job.model];
+    ++by_mode[job.adaptivity];
+    // Work expressed as single-t4 hours at the optimal batch (rough size).
+    const auto& info = sia::GetModelInfo(job.model);
+    const auto& device = sia::GetDeviceProfile(
+        job.model, info.hybrid_parallel ? "a100" : "t4");
+    if (device.available) {
+      const auto decision = sia::OptimizeBatch(
+          device.truth, info.efficiency, info.efficiency.init_pgns, info.min_bsz, info.max_bsz,
+          device.max_local_bsz, 1, 1);
+      if (decision.feasible) {
+        total_work_hours += info.total_work / decision.goodput / 3600.0;
+      }
+    }
+  }
+
+  const double window_hours = jobs.back().submit_time / 3600.0;
+  std::cout << jobs.size() << " jobs over " << sia::Table::Num(window_hours, 1)
+            << " h (avg rate " << sia::Table::Num(jobs.size() / std::max(window_hours, 1e-9), 1)
+            << " jobs/hr); total work ~" << sia::Table::Num(total_work_hours, 0)
+            << " single-t4 GPU-hours\n\n";
+
+  sia::Table model_table({"model", "category", "count", "share"});
+  for (const auto& [model, count] : by_model) {
+    model_table.AddRow({ToString(model), ToString(CategoryOf(model)), std::to_string(count),
+                        sia::Table::Num(100.0 * count / jobs.size(), 1) + "%"});
+  }
+  std::cout << model_table.Render() << "\n";
+
+  sia::Table mode_table({"adaptivity", "count"});
+  for (const auto& [mode, count] : by_mode) {
+    mode_table.AddRow({ToString(mode), std::to_string(count)});
+  }
+  std::cout << mode_table.Render() << "\n";
+
+  // Arrival histogram, one bucket per hour.
+  std::cout << "arrivals per hour:\n";
+  std::map<int, int> per_hour;
+  for (const sia::JobSpec& job : jobs) {
+    ++per_hour[static_cast<int>(job.submit_time / 3600.0)];
+  }
+  int max_count = 0;
+  for (const auto& [hour, count] : per_hour) {
+    max_count = std::max(max_count, count);
+  }
+  for (const auto& [hour, count] : per_hour) {
+    std::cout << "  h" << hour << (hour < 10 ? " " : "") << " |"
+              << std::string(count * 50 / std::max(max_count, 1), '=') << " " << count << "\n";
+  }
+  return 0;
+}
