@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sia"
+  "../bench/bench_ablation_sia.pdb"
+  "CMakeFiles/bench_ablation_sia.dir/bench_ablation_sia.cc.o"
+  "CMakeFiles/bench_ablation_sia.dir/bench_ablation_sia.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

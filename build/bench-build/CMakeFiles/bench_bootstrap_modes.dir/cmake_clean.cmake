@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bootstrap_modes"
+  "../bench/bench_bootstrap_modes.pdb"
+  "CMakeFiles/bench_bootstrap_modes.dir/bench_bootstrap_modes.cc.o"
+  "CMakeFiles/bench_bootstrap_modes.dir/bench_bootstrap_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bootstrap_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

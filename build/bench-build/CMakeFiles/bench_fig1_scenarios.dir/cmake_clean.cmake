@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_scenarios"
+  "../bench/bench_fig1_scenarios.pdb"
+  "CMakeFiles/bench_fig1_scenarios.dir/bench_fig1_scenarios.cc.o"
+  "CMakeFiles/bench_fig1_scenarios.dir/bench_fig1_scenarios.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_physical"
+  "../bench/bench_fig4_physical.pdb"
+  "CMakeFiles/bench_fig4_physical.dir/bench_fig4_physical.cc.o"
+  "CMakeFiles/bench_fig4_physical.dir/bench_fig4_physical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_timeline.cc" "bench-build/CMakeFiles/bench_fig5_timeline.dir/bench_fig5_timeline.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig5_timeline.dir/bench_fig5_timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/sia_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sia_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/sia_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sia_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/sia_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sia_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sia_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

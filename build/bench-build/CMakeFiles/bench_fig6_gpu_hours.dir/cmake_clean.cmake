@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_gpu_hours"
+  "../bench/bench_fig6_gpu_hours.pdb"
+  "CMakeFiles/bench_fig6_gpu_hours.dir/bench_fig6_gpu_hours.cc.o"
+  "CMakeFiles/bench_fig6_gpu_hours.dir/bench_fig6_gpu_hours.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gpu_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

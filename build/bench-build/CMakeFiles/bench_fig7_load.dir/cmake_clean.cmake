@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_load"
+  "../bench/bench_fig7_load.pdb"
+  "CMakeFiles/bench_fig7_load.dir/bench_fig7_load.cc.o"
+  "CMakeFiles/bench_fig7_load.dir/bench_fig7_load.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_fairness"
+  "../bench/bench_fig8_fairness.pdb"
+  "CMakeFiles/bench_fig8_fairness.dir/bench_fig8_fairness.cc.o"
+  "CMakeFiles/bench_fig8_fairness.dir/bench_fig8_fairness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hybrid_parallel"
+  "../bench/bench_hybrid_parallel.pdb"
+  "CMakeFiles/bench_hybrid_parallel.dir/bench_hybrid_parallel.cc.o"
+  "CMakeFiles/bench_hybrid_parallel.dir/bench_hybrid_parallel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

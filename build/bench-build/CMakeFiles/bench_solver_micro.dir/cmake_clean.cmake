@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_solver_micro"
+  "../bench/bench_solver_micro.pdb"
+  "CMakeFiles/bench_solver_micro.dir/bench_solver_micro.cc.o"
+  "CMakeFiles/bench_solver_micro.dir/bench_solver_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_heterogeneous"
+  "../bench/bench_table3_heterogeneous.pdb"
+  "CMakeFiles/bench_table3_heterogeneous.dir/bench_table3_heterogeneous.cc.o"
+  "CMakeFiles/bench_table3_heterogeneous.dir/bench_table3_heterogeneous.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_homogeneous"
+  "../bench/bench_table4_homogeneous.pdb"
+  "CMakeFiles/bench_table4_homogeneous.dir/bench_table4_homogeneous.cc.o"
+  "CMakeFiles/bench_table4_homogeneous.dir/bench_table4_homogeneous.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/sia_bench_util.dir/bench_util.cc.o.d"
+  "libsia_bench_util.a"
+  "libsia_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

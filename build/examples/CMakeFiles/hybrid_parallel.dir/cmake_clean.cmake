@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_parallel.dir/hybrid_parallel.cpp.o"
+  "CMakeFiles/hybrid_parallel.dir/hybrid_parallel.cpp.o.d"
+  "hybrid_parallel"
+  "hybrid_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_spec.cc" "src/cluster/CMakeFiles/sia_cluster.dir/cluster_spec.cc.o" "gcc" "src/cluster/CMakeFiles/sia_cluster.dir/cluster_spec.cc.o.d"
+  "/root/repo/src/cluster/configuration.cc" "src/cluster/CMakeFiles/sia_cluster.dir/configuration.cc.o" "gcc" "src/cluster/CMakeFiles/sia_cluster.dir/configuration.cc.o.d"
+  "/root/repo/src/cluster/placer.cc" "src/cluster/CMakeFiles/sia_cluster.dir/placer.cc.o" "gcc" "src/cluster/CMakeFiles/sia_cluster.dir/placer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

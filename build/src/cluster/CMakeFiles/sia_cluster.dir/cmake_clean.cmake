@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_cluster.dir/cluster_spec.cc.o"
+  "CMakeFiles/sia_cluster.dir/cluster_spec.cc.o.d"
+  "CMakeFiles/sia_cluster.dir/configuration.cc.o"
+  "CMakeFiles/sia_cluster.dir/configuration.cc.o.d"
+  "CMakeFiles/sia_cluster.dir/placer.cc.o"
+  "CMakeFiles/sia_cluster.dir/placer.cc.o.d"
+  "libsia_cluster.a"
+  "libsia_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_common.dir/ascii_chart.cc.o"
+  "CMakeFiles/sia_common.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/sia_common.dir/flags.cc.o"
+  "CMakeFiles/sia_common.dir/flags.cc.o.d"
+  "CMakeFiles/sia_common.dir/logging.cc.o"
+  "CMakeFiles/sia_common.dir/logging.cc.o.d"
+  "CMakeFiles/sia_common.dir/rng.cc.o"
+  "CMakeFiles/sia_common.dir/rng.cc.o.d"
+  "CMakeFiles/sia_common.dir/stats.cc.o"
+  "CMakeFiles/sia_common.dir/stats.cc.o.d"
+  "CMakeFiles/sia_common.dir/table.cc.o"
+  "CMakeFiles/sia_common.dir/table.cc.o.d"
+  "libsia_common.a"
+  "libsia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

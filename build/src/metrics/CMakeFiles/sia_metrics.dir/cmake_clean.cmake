@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_metrics.dir/ftf.cc.o"
+  "CMakeFiles/sia_metrics.dir/ftf.cc.o.d"
+  "CMakeFiles/sia_metrics.dir/report.cc.o"
+  "CMakeFiles/sia_metrics.dir/report.cc.o.d"
+  "libsia_metrics.a"
+  "libsia_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

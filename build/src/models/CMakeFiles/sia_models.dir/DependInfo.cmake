@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/estimator.cc" "src/models/CMakeFiles/sia_models.dir/estimator.cc.o" "gcc" "src/models/CMakeFiles/sia_models.dir/estimator.cc.o.d"
+  "/root/repo/src/models/goodput.cc" "src/models/CMakeFiles/sia_models.dir/goodput.cc.o" "gcc" "src/models/CMakeFiles/sia_models.dir/goodput.cc.o.d"
+  "/root/repo/src/models/model_kind.cc" "src/models/CMakeFiles/sia_models.dir/model_kind.cc.o" "gcc" "src/models/CMakeFiles/sia_models.dir/model_kind.cc.o.d"
+  "/root/repo/src/models/profile_db.cc" "src/models/CMakeFiles/sia_models.dir/profile_db.cc.o" "gcc" "src/models/CMakeFiles/sia_models.dir/profile_db.cc.o.d"
+  "/root/repo/src/models/stat_efficiency.cc" "src/models/CMakeFiles/sia_models.dir/stat_efficiency.cc.o" "gcc" "src/models/CMakeFiles/sia_models.dir/stat_efficiency.cc.o.d"
+  "/root/repo/src/models/throughput_model.cc" "src/models/CMakeFiles/sia_models.dir/throughput_model.cc.o" "gcc" "src/models/CMakeFiles/sia_models.dir/throughput_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sia_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sia_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

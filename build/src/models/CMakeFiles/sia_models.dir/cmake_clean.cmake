@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_models.dir/estimator.cc.o"
+  "CMakeFiles/sia_models.dir/estimator.cc.o.d"
+  "CMakeFiles/sia_models.dir/goodput.cc.o"
+  "CMakeFiles/sia_models.dir/goodput.cc.o.d"
+  "CMakeFiles/sia_models.dir/model_kind.cc.o"
+  "CMakeFiles/sia_models.dir/model_kind.cc.o.d"
+  "CMakeFiles/sia_models.dir/profile_db.cc.o"
+  "CMakeFiles/sia_models.dir/profile_db.cc.o.d"
+  "CMakeFiles/sia_models.dir/stat_efficiency.cc.o"
+  "CMakeFiles/sia_models.dir/stat_efficiency.cc.o.d"
+  "CMakeFiles/sia_models.dir/throughput_model.cc.o"
+  "CMakeFiles/sia_models.dir/throughput_model.cc.o.d"
+  "libsia_models.a"
+  "libsia_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedulers/allox/allox_scheduler.cc" "src/schedulers/CMakeFiles/sia_schedulers.dir/allox/allox_scheduler.cc.o" "gcc" "src/schedulers/CMakeFiles/sia_schedulers.dir/allox/allox_scheduler.cc.o.d"
+  "/root/repo/src/schedulers/baselines/priority_schedulers.cc" "src/schedulers/CMakeFiles/sia_schedulers.dir/baselines/priority_schedulers.cc.o" "gcc" "src/schedulers/CMakeFiles/sia_schedulers.dir/baselines/priority_schedulers.cc.o.d"
+  "/root/repo/src/schedulers/gavel/gavel_scheduler.cc" "src/schedulers/CMakeFiles/sia_schedulers.dir/gavel/gavel_scheduler.cc.o" "gcc" "src/schedulers/CMakeFiles/sia_schedulers.dir/gavel/gavel_scheduler.cc.o.d"
+  "/root/repo/src/schedulers/pollux/pollux_scheduler.cc" "src/schedulers/CMakeFiles/sia_schedulers.dir/pollux/pollux_scheduler.cc.o" "gcc" "src/schedulers/CMakeFiles/sia_schedulers.dir/pollux/pollux_scheduler.cc.o.d"
+  "/root/repo/src/schedulers/shape_util.cc" "src/schedulers/CMakeFiles/sia_schedulers.dir/shape_util.cc.o" "gcc" "src/schedulers/CMakeFiles/sia_schedulers.dir/shape_util.cc.o.d"
+  "/root/repo/src/schedulers/sia/sia_scheduler.cc" "src/schedulers/CMakeFiles/sia_schedulers.dir/sia/sia_scheduler.cc.o" "gcc" "src/schedulers/CMakeFiles/sia_schedulers.dir/sia/sia_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sia_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/sia_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/sia_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sia_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_schedulers.dir/allox/allox_scheduler.cc.o"
+  "CMakeFiles/sia_schedulers.dir/allox/allox_scheduler.cc.o.d"
+  "CMakeFiles/sia_schedulers.dir/baselines/priority_schedulers.cc.o"
+  "CMakeFiles/sia_schedulers.dir/baselines/priority_schedulers.cc.o.d"
+  "CMakeFiles/sia_schedulers.dir/gavel/gavel_scheduler.cc.o"
+  "CMakeFiles/sia_schedulers.dir/gavel/gavel_scheduler.cc.o.d"
+  "CMakeFiles/sia_schedulers.dir/pollux/pollux_scheduler.cc.o"
+  "CMakeFiles/sia_schedulers.dir/pollux/pollux_scheduler.cc.o.d"
+  "CMakeFiles/sia_schedulers.dir/shape_util.cc.o"
+  "CMakeFiles/sia_schedulers.dir/shape_util.cc.o.d"
+  "CMakeFiles/sia_schedulers.dir/sia/sia_scheduler.cc.o"
+  "CMakeFiles/sia_schedulers.dir/sia/sia_scheduler.cc.o.d"
+  "libsia_schedulers.a"
+  "libsia_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_sim.dir/simulator.cc.o"
+  "CMakeFiles/sia_sim.dir/simulator.cc.o.d"
+  "libsia_sim.a"
+  "libsia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

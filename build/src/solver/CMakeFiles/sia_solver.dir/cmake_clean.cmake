@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_solver.dir/curve_fit.cc.o"
+  "CMakeFiles/sia_solver.dir/curve_fit.cc.o.d"
+  "CMakeFiles/sia_solver.dir/lp_model.cc.o"
+  "CMakeFiles/sia_solver.dir/lp_model.cc.o.d"
+  "CMakeFiles/sia_solver.dir/milp.cc.o"
+  "CMakeFiles/sia_solver.dir/milp.cc.o.d"
+  "CMakeFiles/sia_solver.dir/presolve.cc.o"
+  "CMakeFiles/sia_solver.dir/presolve.cc.o.d"
+  "CMakeFiles/sia_solver.dir/simplex.cc.o"
+  "CMakeFiles/sia_solver.dir/simplex.cc.o.d"
+  "libsia_solver.a"
+  "libsia_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allox_test.dir/allox_test.cc.o"
+  "CMakeFiles/allox_test.dir/allox_test.cc.o.d"
+  "allox_test"
+  "allox_test.pdb"
+  "allox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_schedulers_test.dir/baseline_schedulers_test.cc.o"
+  "CMakeFiles/baseline_schedulers_test.dir/baseline_schedulers_test.cc.o.d"
+  "baseline_schedulers_test"
+  "baseline_schedulers_test.pdb"
+  "baseline_schedulers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_schedulers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_and_flags_test.dir/io_and_flags_test.cc.o"
+  "CMakeFiles/io_and_flags_test.dir/io_and_flags_test.cc.o.d"
+  "io_and_flags_test"
+  "io_and_flags_test.pdb"
+  "io_and_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_and_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

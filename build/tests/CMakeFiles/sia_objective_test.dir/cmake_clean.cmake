@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_objective_test.dir/sia_objective_test.cc.o"
+  "CMakeFiles/sia_objective_test.dir/sia_objective_test.cc.o.d"
+  "sia_objective_test"
+  "sia_objective_test.pdb"
+  "sia_objective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

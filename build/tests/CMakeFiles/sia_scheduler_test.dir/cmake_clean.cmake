@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_scheduler_test.dir/sia_scheduler_test.cc.o"
+  "CMakeFiles/sia_scheduler_test.dir/sia_scheduler_test.cc.o.d"
+  "sia_scheduler_test"
+  "sia_scheduler_test.pdb"
+  "sia_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_curve_fit_test.dir/solver_curve_fit_test.cc.o"
+  "CMakeFiles/solver_curve_fit_test.dir/solver_curve_fit_test.cc.o.d"
+  "solver_curve_fit_test"
+  "solver_curve_fit_test.pdb"
+  "solver_curve_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_curve_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

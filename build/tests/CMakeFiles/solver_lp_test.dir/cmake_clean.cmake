@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_lp_test.dir/solver_lp_test.cc.o"
+  "CMakeFiles/solver_lp_test.dir/solver_lp_test.cc.o.d"
+  "solver_lp_test"
+  "solver_lp_test.pdb"
+  "solver_lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

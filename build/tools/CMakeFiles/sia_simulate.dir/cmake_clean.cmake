@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_simulate.dir/sia_simulate.cc.o"
+  "CMakeFiles/sia_simulate.dir/sia_simulate.cc.o.d"
+  "sia_simulate"
+  "sia_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

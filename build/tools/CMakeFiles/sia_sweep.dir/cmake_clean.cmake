@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_sweep.dir/sia_sweep.cc.o"
+  "CMakeFiles/sia_sweep.dir/sia_sweep.cc.o.d"
+  "sia_sweep"
+  "sia_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_trace_stats.dir/sia_trace_stats.cc.o"
+  "CMakeFiles/sia_trace_stats.dir/sia_trace_stats.cc.o.d"
+  "sia_trace_stats"
+  "sia_trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
