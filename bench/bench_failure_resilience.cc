@@ -1,48 +1,95 @@
 // Failure-resilience experiment (§3.5 checkpoint-restore recovery, an
-// extension beyond the paper's evaluation): sweep per-node MTBF and measure
-// how much JCT the epoch-checkpoint recovery mechanism gives back compared
-// to the failure-free baseline.
+// extension beyond the paper's evaluation).
+//
+// Part 1: MTBF x MTTR sweep. Crash/repair churn shrinks live capacity and
+// evicts victims back to the queue; avg JCT should degrade *smoothly and
+// monotonically* as MTBF shrinks and as MTTR grows -- the scheduler only
+// loses the crashed capacity plus progress back to the last epoch
+// checkpoint, never the whole job.
+//
+// Part 2: degraded (straggler) nodes. A fraction of nodes runs slower than
+// its profile; the slowdown pollutes the estimators' observations, so this
+// measures how gracefully the goodput-fitting stack absorbs stragglers.
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/cluster/cluster_spec.h"
+#include "src/metrics/report.h"
 #include "src/schedulers/sia/sia_scheduler.h"
 #include "src/sim/simulator.h"
 
 using namespace sia;
 using namespace sia::bench;
 
+namespace {
+
+SimResult RunWithFaults(const std::vector<JobSpec>& jobs, uint64_t seed,
+                        const FaultOptions& faults) {
+  SiaScheduler scheduler;
+  SimOptions sim;
+  sim.seed = seed;
+  sim.faults = faults;
+  ClusterSimulator simulator(MakeHeterogeneousCluster(), jobs, &scheduler, sim);
+  return simulator.Run();
+}
+
+}  // namespace
+
 int main() {
   const uint64_t seed = SeedsFromEnv({1})[0];
-  std::cout << "=== Failure resilience: avg JCT vs per-node MTBF (Philly, Heterogeneous) ===\n";
   TraceOptions trace;
   trace.kind = TraceKind::kPhilly;
   trace.seed = seed;
   const auto jobs = GenerateTrace(trace);
 
-  Table table({"node MTBF (h)", "failures", "avg JCT (h)", "JCT overhead vs clean",
-               "restarts/job"});
-  double clean_jct = 0.0;
-  for (double mtbf : {0.0, 48.0, 12.0, 4.0}) {
-    SiaScheduler scheduler;
-    SimOptions sim;
-    sim.seed = seed;
-    sim.node_mtbf_hours = mtbf;
-    ClusterSimulator simulator(MakeHeterogeneousCluster(), jobs, &scheduler, sim);
-    const SimResult result = simulator.Run();
-    if (mtbf == 0.0) {
-      clean_jct = result.AvgJctHours();
+  std::cout << "=== Failure resilience: MTBF x MTTR sweep (Philly, Heterogeneous, sia) ===\n";
+  const SimResult clean = RunWithFaults(jobs, seed, FaultOptions{});
+  const double clean_jct = clean.AvgJctHours();
+
+  Table table({"node MTBF (h)", "MTTR (h)", "crashes", "evictions", "downtime GPU-h",
+               "recovery (min)", "avg JCT (h)", "JCT overhead", "finished"});
+  table.AddRow({"none", "-", "0", "0", "0", "-", Table::Num(clean_jct, 2), "0.0%",
+                clean.all_finished ? "yes" : "NO"});
+  for (double mtbf : {48.0, 12.0, 4.0}) {
+    for (double mttr : {0.25, 1.0}) {
+      FaultOptions faults;
+      faults.node_mtbf_hours = mtbf;
+      faults.node_mttr_hours = mttr;
+      const SimResult result = RunWithFaults(jobs, seed, faults);
+      table.AddRow({Table::Num(mtbf, 0), Table::Num(mttr, 2),
+                    std::to_string(result.total_failures),
+                    std::to_string(result.failure_evictions),
+                    Table::Num(result.NodeDowntimeGpuHours(), 1),
+                    Table::Num(result.AvgRecoveryMinutes(), 1),
+                    Table::Num(result.AvgJctHours(), 2),
+                    Table::Num(100.0 * (result.AvgJctHours() / clean_jct - 1.0), 1) + "%",
+                    result.all_finished ? "yes" : "NO"});
+      std::cout << "  mtbf=" << mtbf << "h mttr=" << mttr << "h done\n";
     }
-    table.AddRow({mtbf == 0.0 ? "none" : Table::Num(mtbf, 0),
-                  std::to_string(result.total_failures), Table::Num(result.AvgJctHours(), 2),
-                  Table::Num(100.0 * (result.AvgJctHours() / clean_jct - 1.0), 1) + "%",
-                  Table::Num(result.AvgRestarts(), 1)});
-    std::cout << "  mtbf=" << mtbf << "h done\n";
   }
   std::cout << "\n" << table.Render();
   std::cout << "\nExpected shape: graceful degradation -- overhead grows smoothly as MTBF\n"
-               "shrinks because jobs only lose progress back to the last epoch\n"
-               "checkpoint instead of restarting from scratch.\n";
+               "shrinks and as repair windows lengthen, because victims only lose\n"
+               "progress back to the last epoch checkpoint and the scheduler re-packs\n"
+               "the surviving capacity.\n";
+
+  std::cout << "\n=== Degraded (straggler) nodes ===\n";
+  Table degraded({"degraded frac", "slowdown", "avg JCT (h)", "JCT overhead", "zero-goodput"});
+  degraded.AddRow({"0.00", "-", Table::Num(clean_jct, 2), "0.0%", "0"});
+  for (double frac : {0.125, 0.5}) {
+    FaultOptions faults;
+    faults.degraded_frac = frac;
+    faults.degrade_multiplier = 1.5;
+    const SimResult result = RunWithFaults(jobs, seed, faults);
+    degraded.AddRow({Table::Num(frac, 3), "1.5x", Table::Num(result.AvgJctHours(), 2),
+                     Table::Num(100.0 * (result.AvgJctHours() / clean_jct - 1.0), 1) + "%",
+                     std::to_string(result.zero_goodput_rounds)});
+    std::cout << "  degraded_frac=" << frac << " done\n";
+  }
+  std::cout << "\n" << degraded.Render();
+  std::cout << "\nStragglers slow whichever allocations touch them; the estimators absorb\n"
+               "the inflated iteration times into their fits, so overhead should stay\n"
+               "close to the capacity-weighted slowdown rather than collapsing.\n";
   return 0;
 }

@@ -62,6 +62,69 @@ int ClusterSpec::GpusPerNode(int gpu_type) const {
   return per_node;
 }
 
+void ClusterSpec::SetNodeUp(int node, bool up) {
+  SIA_CHECK(node >= 0 && node < num_nodes());
+  if (down_.empty()) {
+    if (up) {
+      return;  // All nodes already up; stay in the compact representation.
+    }
+    down_.assign(nodes_.size(), 0);
+  }
+  down_[node] = up ? 0 : 1;
+}
+
+bool ClusterSpec::NodeUp(int node) const {
+  SIA_CHECK(node >= 0 && node < num_nodes());
+  return down_.empty() || down_[node] == 0;
+}
+
+int ClusterSpec::NumDownNodes() const {
+  int count = 0;
+  for (uint8_t d : down_) {
+    count += d;
+  }
+  return count;
+}
+
+int ClusterSpec::AvailableGpus(int gpu_type) const {
+  if (down_.empty()) {
+    return TotalGpus(gpu_type);
+  }
+  int total = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (down_[i] == 0 && nodes_[i].gpu_type == gpu_type) {
+      total += nodes_[i].num_gpus;
+    }
+  }
+  return total;
+}
+
+int ClusterSpec::AvailableGpus() const {
+  if (down_.empty()) {
+    return TotalGpus();
+  }
+  int total = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (down_[i] == 0) {
+      total += nodes_[i].num_gpus;
+    }
+  }
+  return total;
+}
+
+int ClusterSpec::NumAvailableNodes(int gpu_type) const {
+  if (down_.empty()) {
+    return NumNodes(gpu_type);
+  }
+  int count = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (down_[i] == 0 && nodes_[i].gpu_type == gpu_type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 int ClusterSpec::FindGpuType(const std::string& name) const {
   for (int i = 0; i < num_gpu_types(); ++i) {
     if (types_[i].name == name) {

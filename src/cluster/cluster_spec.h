@@ -7,6 +7,7 @@
 #ifndef SIA_SRC_CLUSTER_CLUSTER_SPEC_H_
 #define SIA_SRC_CLUSTER_CLUSTER_SPEC_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,19 @@ class ClusterSpec {
   int TotalGpus() const;
   // Number of nodes of the given type.
   int NumNodes(int gpu_type) const;
+
+  // --- dynamic node availability (fault-injection view) ---
+  // Nodes default to up. The simulator marks nodes down while they are in
+  // their crash/repair window; schedulers and the placer must treat down
+  // nodes as nonexistent capacity.
+  void SetNodeUp(int node, bool up);
+  bool NodeUp(int node) const;
+  int NumDownNodes() const;
+  // Live capacity: GPUs (or nodes) on currently-up nodes only. Equal to the
+  // Total/Num variants when every node is up.
+  int AvailableGpus(int gpu_type) const;
+  int AvailableGpus() const;
+  int NumAvailableNodes(int gpu_type) const;
   // GPUs per node for the given type. Requires all nodes of the type to be
   // uniform (the standard clusters are; virtual-node decomposition in
   // BuildConfigSet handles the general case).
@@ -58,6 +72,8 @@ class ClusterSpec {
  private:
   std::vector<GpuType> types_;
   std::vector<NodeSpec> nodes_;
+  // Parallel to nodes_ once any node has gone down; empty means all up.
+  std::vector<uint8_t> down_;
 };
 
 // --- standard clusters from the paper (§4.2 / §4.3) ---

@@ -149,17 +149,31 @@ PlacerResult PlaceJobs(const ClusterSpec& cluster, const std::map<JobId, Config>
   nodes.reserve(cluster.num_nodes());
   for (int i = 0; i < cluster.num_nodes(); ++i) {
     const NodeSpec& spec = cluster.node(i);
-    nodes.push_back({spec.gpu_type, spec.num_gpus, spec.num_gpus});
+    // Down nodes (crash/repair window) present zero capacity, so no
+    // placement path can select them.
+    const int capacity = cluster.NodeUp(i) ? spec.num_gpus : 0;
+    nodes.push_back({spec.gpu_type, capacity, capacity});
   }
 
   // Partition jobs: unchanged keep their placement; changed are re-placed,
   // multi-node first (they need whole nodes), then single-node descending.
+  // A previous placement touching a node that has since gone down is stale
+  // and must be re-placed, not kept.
   std::vector<JobId> unchanged;
   std::vector<JobId> changed;
   for (const auto& [job, config] : desired) {
     const auto prev_it = previous.find(job);
-    if (prev_it != previous.end() && !prev_it->second.empty() &&
-        prev_it->second.config == config) {
+    bool keep = prev_it != previous.end() && !prev_it->second.empty() &&
+                prev_it->second.config == config;
+    if (keep) {
+      for (int node : prev_it->second.node_ids) {
+        if (!cluster.NodeUp(node)) {
+          keep = false;
+          break;
+        }
+      }
+    }
+    if (keep) {
       unchanged.push_back(job);
     } else {
       changed.push_back(job);

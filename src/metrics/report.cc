@@ -13,6 +13,7 @@ PolicySummary Summarize(const std::string& policy, const std::vector<SimResult>&
   summary.policy = policy;
   summary.num_traces = static_cast<int>(results.size());
   RunningStats jct, p99, makespan, gpu_hours, contention, restarts;
+  RunningStats crashes, evictions, downtime, recovery, zero_goodput;
   double max_contention = 0.0;
   for (const SimResult& result : results) {
     jct.Add(result.AvgJctHours());
@@ -23,6 +24,13 @@ PolicySummary Summarize(const std::string& policy, const std::vector<SimResult>&
     restarts.Add(result.AvgRestarts());
     max_contention = std::max(max_contention, static_cast<double>(result.max_contention));
     summary.all_finished = summary.all_finished && result.all_finished;
+    crashes.Add(static_cast<double>(result.total_failures));
+    evictions.Add(static_cast<double>(result.failure_evictions));
+    downtime.Add(result.NodeDowntimeGpuHours());
+    if (!result.recovery_seconds.empty()) {
+      recovery.Add(result.AvgRecoveryMinutes());
+    }
+    zero_goodput.Add(static_cast<double>(result.zero_goodput_rounds));
   }
   summary.avg_jct_hours = jct.mean();
   summary.avg_jct_std = jct.stddev();
@@ -34,6 +42,11 @@ PolicySummary Summarize(const std::string& policy, const std::vector<SimResult>&
   summary.avg_contention = contention.mean();
   summary.max_contention = max_contention;
   summary.avg_restarts = restarts.mean();
+  summary.avg_crashes = crashes.mean();
+  summary.avg_evictions = evictions.mean();
+  summary.downtime_gpu_hours = downtime.mean();
+  summary.avg_recovery_minutes = recovery.mean();
+  summary.zero_goodput_rounds = zero_goodput.mean();
   return summary;
 }
 
@@ -84,6 +97,21 @@ std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
                       Table::Num(summary.gpu_hours_std, 2),
                   Table::Num(summary.avg_contention, 1), Table::Num(summary.max_contention, 0),
                   Table::Num(summary.avg_restarts, 1)});
+  }
+  return title + "\n" + table.Render();
+}
+
+std::string RenderResilienceTable(const std::vector<PolicySummary>& summaries,
+                                  const std::string& title) {
+  Table table({"policy", "avg JCT (h)", "crashes", "evictions", "downtime GPU-h",
+               "recovery (min)", "zero-goodput", "finished"});
+  for (const PolicySummary& summary : summaries) {
+    table.AddRow({summary.policy, Table::Num(summary.avg_jct_hours),
+                  Table::Num(summary.avg_crashes, 1), Table::Num(summary.avg_evictions, 1),
+                  Table::Num(summary.downtime_gpu_hours, 1),
+                  Table::Num(summary.avg_recovery_minutes, 1),
+                  Table::Num(summary.zero_goodput_rounds, 1),
+                  summary.all_finished ? "yes" : "NO"});
   }
   return title + "\n" + table.Render();
 }

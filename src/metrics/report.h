@@ -28,6 +28,13 @@ struct PolicySummary {
   double max_contention = 0.0;
   double avg_restarts = 0.0;
   bool all_finished = true;
+
+  // --- resilience columns (all zero when no faults were injected) ---
+  double avg_crashes = 0.0;            // Node crash events per trace.
+  double avg_evictions = 0.0;          // Failure-induced job evictions per trace.
+  double downtime_gpu_hours = 0.0;     // Mean capacity lost to crash windows.
+  double avg_recovery_minutes = 0.0;   // Mean time-to-recover after a crash.
+  double zero_goodput_rounds = 0.0;    // Degenerate-goodput rounds per trace.
 };
 
 // Aggregates per-trace results for one scheduler.
@@ -44,6 +51,12 @@ std::map<SizeCategory, double> AvgJctByCategory(const std::vector<SimResult>& re
 // Renders a Table 3/4-style row set to stdout-ready text.
 std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
                                const std::string& title);
+
+// Renders the resilience view of the same summaries: crash/eviction counts,
+// downtime GPU-hours, mean recovery time, and zero-goodput rounds alongside
+// the headline JCT so degradation under faults reads in one table.
+std::string RenderResilienceTable(const std::vector<PolicySummary>& summaries,
+                                  const std::string& title);
 
 // Jain's fairness index over non-negative values: (sum x)^2 / (n sum x^2),
 // in (0, 1]; 1 = perfectly equal. Returns 0 for empty/all-zero input.

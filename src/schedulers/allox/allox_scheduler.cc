@@ -61,7 +61,7 @@ ScheduleOutput AlloxScheduler::Schedule(const ScheduleInput& input) {
 
   std::vector<int> free_gpus(num_types);
   for (int t = 0; t < num_types; ++t) {
-    free_gpus[t] = cluster.TotalGpus(t);
+    free_gpus[t] = cluster.AvailableGpus(t);  // Live capacity only.
   }
   for (const Entry& entry : entries) {
     for (const auto& [remaining, t] : entry.type_speeds) {

@@ -104,7 +104,7 @@ ScheduleOutput PriorityScheduler::Schedule(const ScheduleInput& input) {
 
   std::vector<int> free_gpus(cluster.num_gpu_types());
   for (int t = 0; t < cluster.num_gpu_types(); ++t) {
-    free_gpus[t] = cluster.TotalGpus(t);
+    free_gpus[t] = cluster.AvailableGpus(t);  // Live capacity only.
   }
   for (size_t i : order) {
     const JobView& job = input.jobs[i];

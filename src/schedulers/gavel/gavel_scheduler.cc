@@ -147,7 +147,7 @@ ScheduleOutput GavelScheduler::Schedule(const ScheduleInput& input) {
       }
     }
     if (!capacity.empty()) {
-      lp.AddConstraint(ConstraintOp::kLessEq, static_cast<double>(cluster.TotalGpus(t)),
+      lp.AddConstraint(ConstraintOp::kLessEq, static_cast<double>(cluster.AvailableGpus(t)),
                        std::move(capacity));
     }
   }
@@ -191,7 +191,7 @@ ScheduleOutput GavelScheduler::Schedule(const ScheduleInput& input) {
 
   std::vector<int> free_gpus(num_types);
   for (int t = 0; t < num_types; ++t) {
-    free_gpus[t] = cluster.TotalGpus(t);
+    free_gpus[t] = cluster.AvailableGpus(t);  // Live capacity only.
   }
   std::vector<bool> placed(num_jobs, false);
   for (const Priority& candidate : priorities) {

@@ -33,7 +33,13 @@ ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
   // GPUs (8-GPU nodes become two virtual nodes, §4.3).
   int num_vnodes = 0;
   for (int n = 0; n < cluster.num_nodes(); ++n) {
+    if (!cluster.NodeUp(n)) {
+      continue;  // Down nodes contribute no virtual nodes.
+    }
     num_vnodes += std::max(1, cluster.node(n).num_gpus / vnode);
+  }
+  if (num_vnodes == 0) {
+    return output;  // Every node is down; nothing to allocate.
   }
   const size_t genome_len = static_cast<size_t>(num_jobs) * num_vnodes;
 
@@ -76,7 +82,7 @@ ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
       continue;
     }
     model.min_count = std::max(1, job.estimator->MinGpus(blend));
-    model.max_count = std::min(job.spec->max_num_gpus, cluster.TotalGpus());
+    model.max_count = std::min(job.spec->max_num_gpus, cluster.AvailableGpus());
     if (job.spec->adaptivity == AdaptivityMode::kRigid) {
       model.min_count = model.max_count = job.spec->rigid_num_gpus;
     }
@@ -305,7 +311,7 @@ ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
     final_counts[i] = job_count(winner, i);
     used_gpus += final_counts[i];
   }
-  const int total_gpus = cluster.TotalGpus();
+  const int total_gpus = cluster.AvailableGpus();
 
   // Per-job ladder of valid counts.
   std::vector<std::vector<int>> ladder(num_jobs);
@@ -424,7 +430,7 @@ ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
   // --- map type-blind counts onto single GPU types (fix heuristic, §4.3) ---
   std::vector<int> free_gpus(cluster.num_gpu_types());
   for (int t = 0; t < cluster.num_gpu_types(); ++t) {
-    free_gpus[t] = cluster.TotalGpus(t);
+    free_gpus[t] = cluster.AvailableGpus(t);  // Live capacity only.
   }
   std::vector<int> order(num_jobs);
   for (int i = 0; i < num_jobs; ++i) {

@@ -33,6 +33,68 @@ int ScaleUpCap(const JobView& job, int min_gpus, int scale_up_factor) {
   return std::max(min_gpus, scale_up_factor * job.peak_num_gpus);
 }
 
+// Feasibility-repair fallback for failed/timed-out ILP solves. The old
+// "leave allocations unchanged" fallback is wrong after a crash shrinks
+// capacity: stale placements can exceed what is live. Instead, greedily
+// re-pack jobs into the *available* per-type capacity -- non-preemptible
+// first (their reservation must hold), then running jobs (avoid restarts),
+// then queued jobs -- giving each its highest-goodput candidate that still
+// fits, preferring the current configuration for running jobs.
+ScheduleOutput GreedyRepairAllocations(const ScheduleInput& input,
+                                       const std::vector<Config>& configs,
+                                       const std::vector<std::vector<Candidate>>& candidates) {
+  ScheduleOutput output;
+  std::vector<int> free_gpus(input.cluster->num_gpu_types());
+  for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
+    free_gpus[t] = input.cluster->AvailableGpus(t);
+  }
+
+  std::vector<size_t> order(input.jobs.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&input](size_t a, size_t b) {
+    const JobView& ja = input.jobs[a];
+    const JobView& jb = input.jobs[b];
+    const bool ra = !ja.spec->preemptible && ja.current_config.num_gpus > 0;
+    const bool rb = !jb.spec->preemptible && jb.current_config.num_gpus > 0;
+    if (ra != rb) {
+      return ra;
+    }
+    const bool runs_a = ja.current_config.num_gpus > 0;
+    const bool runs_b = jb.current_config.num_gpus > 0;
+    if (runs_a != runs_b) {
+      return runs_a;
+    }
+    return ja.service_gpu_seconds < jb.service_gpu_seconds;  // Starved first.
+  });
+
+  for (size_t i : order) {
+    const JobView& job = input.jobs[i];
+    const Candidate* best = nullptr;
+    for (const Candidate& candidate : candidates[i]) {
+      const Config& config = configs[candidate.config_index];
+      if (config.num_gpus > free_gpus[config.gpu_type]) {
+        continue;
+      }
+      if (job.current_config.num_gpus > 0 && config == job.current_config) {
+        best = &candidate;  // Keeping the incumbent shape is restart-free.
+        break;
+      }
+      if (best == nullptr || candidate.goodput > best->goodput) {
+        best = &candidate;
+      }
+    }
+    if (best == nullptr) {
+      continue;  // Stays queued this round.
+    }
+    const Config& config = configs[best->config_index];
+    free_gpus[config.gpu_type] -= config.num_gpus;
+    output[job.spec->id] = config;
+  }
+  return output;
+}
+
 }  // namespace
 
 ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
@@ -150,7 +212,10 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
 
   for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
     if (!capacity_rows[t].empty()) {
-      lp.AddConstraint(ConstraintOp::kLessEq, static_cast<double>(input.cluster->TotalGpus(t)),
+      // Capacity is live capacity: down nodes (crash/repair window) must not
+      // be allocatable, or the placer would have to evict the overflow.
+      lp.AddConstraint(ConstraintOp::kLessEq,
+                       static_cast<double>(input.cluster->AvailableGpus(t)),
                        std::move(capacity_rows[t]));
     }
   }
@@ -160,15 +225,17 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     return output;
   }
   const MilpSolution solution = SolveMilp(lp, options_.milp);
-  if (solution.status != SolveStatus::kOptimal && solution.status != SolveStatus::kNodeLimit) {
-    SIA_LOG(Warning) << "Sia ILP solve failed: " << ToString(solution.status)
-                     << "; leaving allocations unchanged";
-    for (const JobView& job : input.jobs) {
-      if (job.current_config.num_gpus > 0) {
-        output[job.spec->id] = job.current_config;
-      }
-    }
-    return output;
+  const bool usable = (solution.status == SolveStatus::kOptimal ||
+                       solution.status == SolveStatus::kNodeLimit ||
+                       solution.status == SolveStatus::kTimeLimit) &&
+                      !solution.values.empty();
+  if (!usable) {
+    // "Leave allocations unchanged" is not a safe fallback: after a node
+    // crash the stale allocation can exceed live capacity. Re-pack greedily
+    // against what is actually available instead.
+    SIA_LOG(Warning) << "Sia ILP solve failed (" << ToString(solution.status)
+                     << "); running greedy feasibility repair";
+    return GreedyRepairAllocations(input, configs, candidates);
   }
 
   for (size_t i = 0; i < input.jobs.size(); ++i) {

@@ -36,11 +36,14 @@ struct SiaOptions {
   // The scheduling ILP's LP relaxation is near-integral and the rounding
   // heuristic produces strong incumbents, so a loose gap and a small node
   // budget lose nothing measurable while keeping worst-case policy runtime
-  // bounded (Fig. 9).
+  // bounded (Fig. 9). The wall-clock budget caps pathological solves; a
+  // timed-out solve falls back to the incumbent, or to the greedy
+  // feasibility-repair allocator when none exists.
   MilpOptions milp = [] {
     MilpOptions options;
     options.max_nodes = 64;
     options.relative_gap = 3e-3;
+    options.time_limit_seconds = 5.0;
     return options;
   }();
 };

@@ -1,0 +1,287 @@
+#include "src/sim/fault_injector.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace sia {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "crash";
+    case FaultKind::kNodeRepair:
+      return "repair";
+    case FaultKind::kDegradeStart:
+      return "degrade-start";
+    case FaultKind::kDegradeEnd:
+      return "degrade-end";
+  }
+  return "?";
+}
+
+std::string ToString(const FaultEvent& event) {
+  std::ostringstream out;
+  out << ToString(event.kind) << " node=" << event.node << " t=" << event.time_seconds << "s";
+  if (event.kind == FaultKind::kDegradeStart) {
+    out << " x" << event.severity;
+  }
+  return out.str();
+}
+
+FaultInjector::FaultInjector(int num_nodes, const FaultOptions& options, Rng rng)
+    : options_(options),
+      rng_(rng.Fork("fault-events")),
+      telemetry_rng_(rng.Fork("fault-telemetry")),
+      down_(static_cast<size_t>(std::max(num_nodes, 0)), 0),
+      degrade_(static_cast<size_t>(std::max(num_nodes, 0)), 1.0),
+      crash_token_(static_cast<size_t>(std::max(num_nodes, 0)), 0) {
+  SIA_CHECK(num_nodes >= 0);
+  for (int node = 0; node < num_nodes; ++node) {
+    ScheduleNextCrash(node, 0.0);
+  }
+  // Born-degraded stragglers: permanent unless a scripted kDegradeEnd ends
+  // them. Sampled after crash scheduling so the two draws never interleave.
+  if (options_.degraded_frac > 0.0) {
+    for (int node = 0; node < num_nodes; ++node) {
+      if (rng_.Bernoulli(options_.degraded_frac)) {
+        Push(0.0, FaultKind::kDegradeStart, node, options_.degrade_multiplier, 0.0);
+      }
+    }
+  }
+  for (const FaultEvent& event : options_.schedule) {
+    SIA_CHECK(event.kind == FaultKind::kNodeCrash || event.kind == FaultKind::kDegradeStart ||
+              event.kind == FaultKind::kNodeRepair || event.kind == FaultKind::kDegradeEnd)
+        << "invalid scripted fault kind";
+    if (event.node < 0 || event.node >= num_nodes) {
+      SIA_LOG(Warning) << "scripted fault for out-of-range node " << event.node << "; dropped";
+      continue;
+    }
+    const double severity = event.kind == FaultKind::kDegradeStart && event.severity > 1.0
+                                ? event.severity
+                                : options_.degrade_multiplier;
+    Push(event.time_seconds, event.kind, event.node, severity, event.duration_seconds);
+  }
+}
+
+void FaultInjector::Push(double time, FaultKind kind, int node, double severity,
+                         double duration) {
+  pending_.push_back({time, kind, node, severity, duration, next_seq_++});
+}
+
+void FaultInjector::ScheduleNextCrash(int node, double after) {
+  if (options_.node_mtbf_hours <= 0.0) {
+    return;
+  }
+  const double gap = rng_.Exponential(1.0 / (options_.node_mtbf_hours * 3600.0));
+  pending_.push_back({after + gap, FaultKind::kNodeCrash, node, 1.0, 0.0, next_seq_++,
+                      crash_token_[node], /*stochastic=*/true});
+}
+
+double FaultInjector::SampleRepairSeconds() {
+  const double mttr = std::max(options_.node_mttr_hours, 0.0) * 3600.0;
+  if (mttr <= 0.0) {
+    return options_.min_repair_seconds;
+  }
+  return std::max(options_.min_repair_seconds, rng_.Exponential(1.0 / mttr));
+}
+
+std::vector<FaultEvent> FaultInjector::AdvanceTo(double now) {
+  std::vector<FaultEvent> emitted;
+  SIA_CHECK(now >= now_) << "fault clock cannot run backwards";
+  while (true) {
+    // Earliest pending event within the window; seq breaks ties so the
+    // sequence is reproducible for a fixed seed.
+    size_t best = pending_.size();
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].time > now) {
+        continue;
+      }
+      if (best == pending_.size() || pending_[i].time < pending_[best].time ||
+          (pending_[i].time == pending_[best].time && pending_[i].seq < pending_[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == pending_.size()) {
+      break;
+    }
+    const Pending event = pending_[best];
+    pending_.erase(pending_.begin() + static_cast<long>(best));
+
+    switch (event.kind) {
+      case FaultKind::kNodeCrash: {
+        if (down_[event.node] ||
+            (event.stochastic && event.arm_token != crash_token_[event.node])) {
+          break;  // Node already down, or a stale disarmed stochastic entry.
+        }
+        down_[event.node] = 1;
+        ++crash_token_[event.node];
+        ++total_crashes_;
+        const double repair =
+            event.duration > 0.0 ? event.duration : SampleRepairSeconds();
+        Push(event.time + repair, FaultKind::kNodeRepair, event.node, 1.0, 0.0);
+        emitted.push_back({event.time, FaultKind::kNodeCrash, event.node, 1.0, repair});
+        break;
+      }
+      case FaultKind::kNodeRepair: {
+        if (!down_[event.node]) {
+          break;
+        }
+        down_[event.node] = 0;
+        ScheduleNextCrash(event.node, event.time);
+        emitted.push_back({event.time, FaultKind::kNodeRepair, event.node, 1.0, 0.0});
+        break;
+      }
+      case FaultKind::kDegradeStart: {
+        degrade_[event.node] = std::max(degrade_[event.node], event.severity);
+        if (event.duration > 0.0) {
+          Push(event.time + event.duration, FaultKind::kDegradeEnd, event.node, 1.0, 0.0);
+        }
+        emitted.push_back(
+            {event.time, FaultKind::kDegradeStart, event.node, event.severity, event.duration});
+        break;
+      }
+      case FaultKind::kDegradeEnd: {
+        if (degrade_[event.node] == 1.0) {
+          break;
+        }
+        degrade_[event.node] = 1.0;
+        emitted.push_back({event.time, FaultKind::kDegradeEnd, event.node, 1.0, 0.0});
+        break;
+      }
+    }
+  }
+  now_ = now;
+  return emitted;
+}
+
+int FaultInjector::num_down_nodes() const {
+  int count = 0;
+  for (uint8_t d : down_) {
+    count += d;
+  }
+  return count;
+}
+
+TelemetryFault FaultInjector::SampleTelemetry() {
+  TelemetryFault fault;
+  if (options_.telemetry_dropout_prob <= 0.0 && options_.telemetry_outlier_prob <= 0.0) {
+    return fault;
+  }
+  // One uniform draw covers both channels so enabling outliers does not
+  // perturb the dropout stream (and vice versa).
+  const double u = telemetry_rng_.Uniform();
+  if (u < options_.telemetry_dropout_prob) {
+    fault.dropped = true;
+  } else if (u < options_.telemetry_dropout_prob + options_.telemetry_outlier_prob) {
+    // Outliers are symmetric: half report impossibly fast iterations, half
+    // impossibly slow ones.
+    const double factor = std::max(options_.telemetry_outlier_multiplier, 1.0);
+    fault.multiplier = telemetry_rng_.Bernoulli(0.5) ? factor : 1.0 / factor;
+  }
+  return fault;
+}
+
+namespace {
+
+bool ParseKind(const std::string& token, FaultKind* kind) {
+  if (token == "crash") {
+    *kind = FaultKind::kNodeCrash;
+  } else if (token == "degrade") {
+    *kind = FaultKind::kDegradeStart;
+  } else if (token == "repair") {
+    *kind = FaultKind::kNodeRepair;
+  } else if (token == "degrade-end") {
+    *kind = FaultKind::kDegradeEnd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseFaultScheduleCsv(std::istream& in, std::vector<FaultEvent>* events,
+                           std::string* error) {
+  events->clear();
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') {
+      continue;
+    }
+    std::vector<std::string> fields;
+    std::stringstream row(line);
+    std::string field;
+    while (std::getline(row, field, ',')) {
+      const size_t a = field.find_first_not_of(" \t\r");
+      const size_t b = field.find_last_not_of(" \t\r");
+      fields.push_back(a == std::string::npos ? "" : field.substr(a, b - a + 1));
+    }
+    if (!fields.empty() && fields[0] == "time_hours") {
+      continue;  // Header row.
+    }
+    if (fields.size() < 3) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": expected time_hours,kind,node";
+      }
+      return false;
+    }
+    FaultEvent event;
+    FaultKind kind;
+    if (!ParseKind(fields[1], &kind)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": unknown fault kind '" + fields[1] +
+                 "' (want crash|degrade|repair|degrade-end)";
+      }
+      return false;
+    }
+    event.kind = kind;
+    try {
+      event.time_seconds = std::stod(fields[0]) * 3600.0;
+      event.node = std::stoi(fields[2]);
+      if (fields.size() > 3 && !fields[3].empty()) {
+        event.duration_seconds = std::stod(fields[3]) * 3600.0;
+      }
+      if (fields.size() > 4 && !fields[4].empty()) {
+        event.severity = std::stod(fields[4]);
+      }
+    } catch (const std::exception&) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": malformed number";
+      }
+      return false;
+    }
+    if (event.time_seconds < 0.0 || event.node < 0 || event.duration_seconds < 0.0) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": negative time/node/duration";
+      }
+      return false;
+    }
+    events->push_back(event);
+  }
+  std::stable_sort(events->begin(), events->end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_seconds < b.time_seconds;
+                   });
+  return true;
+}
+
+bool ReadFaultScheduleCsv(const std::string& path, std::vector<FaultEvent>* events,
+                          std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (error != nullptr) {
+      *error = "cannot open fault schedule '" + path + "'";
+    }
+    return false;
+  }
+  return ParseFaultScheduleCsv(in, events, error);
+}
+
+}  // namespace sia

@@ -1,0 +1,160 @@
+// Fault-injection subsystem (§3.5 resilience, extended beyond the paper's
+// evaluation): produces the dynamic-availability signal that stresses every
+// scheduler.
+//
+// Three fault classes are modeled:
+//  * node crash/repair lifecycle -- a node goes down (stochastically, per-node
+//    MTBF, or from a scripted schedule), stays down for a sampled MTTR repair
+//    period during which cluster capacity genuinely shrinks, then rejoins;
+//  * degraded (straggler) nodes -- a multiplier on ground-truth iteration
+//    time for every job touching the node, which the online goodput
+//    estimators must absorb since it pollutes their observations;
+//  * telemetry faults -- per-observation dropout (the executor report is
+//    lost) and outlier rounds (the report is off by a large factor), which
+//    stress the goodput-fitting stack.
+//
+// The injector is a deterministic event generator: given (seed, options) the
+// emitted crash/repair/degrade event sequence is byte-identical across runs.
+// It owns the node up/down state machine; the simulator mirrors the state
+// into its ClusterSpec availability view and handles job eviction/requeue.
+#ifndef SIA_SRC_SIM_FAULT_INJECTOR_H_
+#define SIA_SRC_SIM_FAULT_INJECTOR_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sia {
+
+enum class FaultKind {
+  kNodeCrash,     // Node leaves the cluster; jobs touching it are evicted.
+  kNodeRepair,    // Node rejoins with full capacity.
+  kDegradeStart,  // Node becomes a straggler (severity = iter-time multiplier).
+  kDegradeEnd,    // Straggler recovers to nominal speed.
+};
+
+const char* ToString(FaultKind kind);
+
+struct FaultEvent {
+  double time_seconds = 0.0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  int node = -1;
+  // Iteration-time multiplier for degrade events (> 1.0 slows the node).
+  double severity = 1.0;
+  // Scripted events only: how long the crash/degradation lasts. 0 means
+  // "sample the MTTR" for crashes and "permanent" for degradations.
+  double duration_seconds = 0.0;
+
+  bool operator==(const FaultEvent& other) const = default;
+};
+
+std::string ToString(const FaultEvent& event);
+
+struct FaultOptions {
+  // Mean time between crashes per node, in hours (0 disables stochastic
+  // crashes; scripted events still fire).
+  double node_mtbf_hours = 0.0;
+  // Mean time to repair a crashed node, in hours (exponentially sampled).
+  double node_mttr_hours = 0.5;
+  // Repairs never complete faster than this (models reboot/reimage floor).
+  double min_repair_seconds = 120.0;
+  // Fraction of a job's progress lost when its node crashes (distance back
+  // to the last epoch checkpoint, §3.5).
+  double failure_progress_loss = 0.02;
+  // Fraction of nodes that are degraded stragglers from t=0 (sampled
+  // per-node Bernoulli at construction; emitted as kDegradeStart events).
+  double degraded_frac = 0.0;
+  // Ground-truth iteration-time multiplier on degraded nodes.
+  double degrade_multiplier = 1.5;
+  // Per-observation probability that an executor telemetry report is lost.
+  double telemetry_dropout_prob = 0.0;
+  // Per-observation probability that a report is a gross outlier.
+  double telemetry_outlier_prob = 0.0;
+  // Multiplier applied to outlier iteration-time reports.
+  double telemetry_outlier_multiplier = 8.0;
+  // Scripted events (kNodeCrash / kDegradeStart with durations), merged with
+  // the stochastic stream in deterministic time order.
+  std::vector<FaultEvent> schedule;
+
+  // True when any fault class is active (drives simulator fast paths).
+  bool any_faults() const {
+    return node_mtbf_hours > 0.0 || degraded_frac > 0.0 || !schedule.empty() ||
+           telemetry_dropout_prob > 0.0 || telemetry_outlier_prob > 0.0;
+  }
+};
+
+// Result of perturbing one telemetry observation.
+struct TelemetryFault {
+  bool dropped = false;      // Report lost entirely.
+  double multiplier = 1.0;   // Applied to the observed iteration time.
+};
+
+class FaultInjector {
+ public:
+  // `rng` should be forked from the simulation root seed so fault sequences
+  // are reproducible and independent of every other random stream.
+  FaultInjector(int num_nodes, const FaultOptions& options, Rng rng);
+
+  // Advances the fault clock to `now` and returns every event in
+  // (previous now, now], time-ordered (stable across runs for a fixed seed).
+  // State transitions (node_up / degrade_multiplier) are applied as events
+  // are emitted.
+  std::vector<FaultEvent> AdvanceTo(double now);
+
+  bool node_up(int node) const { return !down_[node]; }
+  int num_down_nodes() const;
+  // 1.0 for healthy nodes; > 1.0 iteration-time multiplier for stragglers.
+  double degrade_multiplier(int node) const { return degrade_[node]; }
+
+  // Samples the telemetry-fault channel for one executor report.
+  TelemetryFault SampleTelemetry();
+
+  const FaultOptions& options() const { return options_; }
+  int total_crashes() const { return total_crashes_; }
+
+ private:
+  struct Pending {
+    double time;
+    FaultKind kind;
+    int node;
+    double severity;
+    double duration;
+    uint64_t seq;  // Insertion order; deterministic tie-break.
+    // Stochastic crash entries only: valid while it matches the node's
+    // current arm token. A scripted crash bumps the token, invalidating the
+    // stale stochastic entry so the crash rate is not inflated after repair.
+    uint64_t arm_token = 0;
+    bool stochastic = false;
+  };
+
+  void Push(double time, FaultKind kind, int node, double severity, double duration);
+  void ScheduleNextCrash(int node, double after);
+  double SampleRepairSeconds();
+
+  FaultOptions options_;
+  Rng rng_;
+  Rng telemetry_rng_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::vector<Pending> pending_;  // Unordered; popped by (time, seq) min.
+  std::vector<uint8_t> down_;
+  std::vector<double> degrade_;
+  std::vector<uint64_t> crash_token_;  // Bumped on every down transition.
+  int total_crashes_ = 0;
+};
+
+// Parses a scripted fault schedule from CSV. Lines (header optional,
+// '#' comments allowed):
+//   time_hours,kind,node[,duration_hours[,severity]]
+// with kind in {crash, degrade}. duration_hours 0 = sample MTTR (crash) /
+// permanent (degrade). severity only applies to degrade events.
+bool ParseFaultScheduleCsv(std::istream& in, std::vector<FaultEvent>* events,
+                           std::string* error);
+bool ReadFaultScheduleCsv(const std::string& path, std::vector<FaultEvent>* events,
+                          std::string* error);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SIM_FAULT_INJECTOR_H_

@@ -25,6 +25,7 @@ struct ClusterSimulator::JobState {
   int num_failures = 0;
   int peak_num_gpus = 0;
   bool ever_allocated = false;
+  bool failure_evicted = false;  // Awaiting first re-allocation after a crash.
   double pending_restore = 0.0;  // Remaining checkpoint-restore time.
   Placement placement;           // Empty when queued / preempted.
 };
@@ -51,7 +52,9 @@ ClusterSimulator::ClusterSimulator(ClusterSpec cluster, std::vector<JobSpec> job
       scheduler_(scheduler),
       options_(options),
       rng_(options.seed),
-      failure_rng_(rng_.Fork("node-failures")) {
+      faults_(std::make_unique<FaultInjector>(cluster_.num_nodes(), options.faults,
+                                              rng_.Fork("node-failures"))),
+      node_down_since_(static_cast<size_t>(cluster_.num_nodes()), -1.0) {
   SIA_CHECK(scheduler_ != nullptr);
   std::stable_sort(pending_.begin(), pending_.end(),
                    [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
@@ -94,6 +97,90 @@ void ClusterSimulator::ActivateArrivals(double now) {
   }
 }
 
+void ClusterSimulator::ProcessFaultEvents(double now) {
+  for (const FaultEvent& event : faults_->AdvanceTo(now)) {
+    switch (event.kind) {
+      case FaultKind::kNodeCrash: {
+        cluster_.SetNodeUp(event.node, false);
+        node_down_since_[event.node] = event.time_seconds;
+        ++result_.total_failures;
+        SIA_LOG(Debug) << "node " << event.node << " crashed at t=" << event.time_seconds
+                       << "s (repair in " << event.duration_seconds << "s)";
+        // Evict every job touching the node back to the queue: progress
+        // rolls back to the last epoch checkpoint (§3.5) and the job
+        // competes for new resources from the next round.
+        PendingRecovery recovery;
+        recovery.crash_time = event.time_seconds;
+        for (auto& job : active_) {
+          if (job->done || job->placement.empty()) {
+            continue;
+          }
+          const auto& ids = job->placement.node_ids;
+          if (std::find(ids.begin(), ids.end(), event.node) == ids.end()) {
+            continue;
+          }
+          job->progress *= 1.0 - options_.faults.failure_progress_loss;
+          job->placement = Placement{};
+          job->pending_restore = 0.0;
+          job->failure_evicted = true;
+          ++job->num_failures;
+          ++result_.failure_evictions;
+          if (options_.record_timeline) {
+            result_.timeline.push_back({event.time_seconds, job->spec.id, Config{},
+                                        TimelineEventKind::kFailureEviction});
+          }
+          recovery.victims.push_back(job->spec.id);
+        }
+        if (!recovery.victims.empty()) {
+          recoveries_.push_back(std::move(recovery));
+        }
+        break;
+      }
+      case FaultKind::kNodeRepair: {
+        cluster_.SetNodeUp(event.node, true);
+        if (node_down_since_[event.node] >= 0.0) {
+          result_.node_downtime_gpu_seconds +=
+              (event.time_seconds - node_down_since_[event.node]) *
+              cluster_.node(event.node).num_gpus;
+          node_down_since_[event.node] = -1.0;
+        }
+        SIA_LOG(Debug) << "node " << event.node << " rejoined at t=" << event.time_seconds << "s";
+        break;
+      }
+      case FaultKind::kDegradeStart:
+      case FaultKind::kDegradeEnd:
+        // The injector tracks the per-node multiplier; ground truth picks it
+        // up in AdvanceRound.
+        SIA_LOG(Debug) << ToString(event);
+        break;
+    }
+  }
+}
+
+void ClusterSimulator::UpdateRecoveries(double now) {
+  if (recoveries_.empty()) {
+    return;
+  }
+  auto recovered = [this](int job_id) {
+    for (const auto& job : active_) {
+      if (job->spec.id == job_id) {
+        return job->done || !job->placement.empty();
+      }
+    }
+    return true;  // Already retired into results.
+  };
+  for (auto it = recoveries_.begin(); it != recoveries_.end();) {
+    const bool all_back =
+        std::all_of(it->victims.begin(), it->victims.end(), recovered);
+    if (all_back) {
+      result_.recovery_seconds.push_back(now - it->crash_time);
+      it = recoveries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ClusterSimulator::ApplyPlacements(double now, const std::map<JobId, Placement>& placements) {
   for (auto& job : active_) {
     if (job->done) {
@@ -107,13 +194,17 @@ void ClusterSimulator::ApplyPlacements(double now, const std::map<JobId, Placeme
       continue;
     }
     if (options_.record_timeline) {
-      result_.timeline.push_back({now, job->spec.id, next.config});
+      const TimelineEventKind kind = job->failure_evicted && !next.empty()
+                                         ? TimelineEventKind::kRestore
+                                         : TimelineEventKind::kAllocation;
+      result_.timeline.push_back({now, job->spec.id, next.config, kind});
     }
     if (!next.empty()) {
       if (job->ever_allocated) {
         ++job->num_restarts;
       }
       job->ever_allocated = true;
+      job->failure_evicted = false;
       // Checkpoint-restore before training resumes (initial start pays the
       // restore half as state is loaded onto fresh executors).
       job->pending_restore = job->num_restarts == 0 ? 0.5 * job->info.restart_seconds
@@ -122,6 +213,16 @@ void ClusterSimulator::ApplyPlacements(double now, const std::map<JobId, Placeme
     }
     job->placement = next;
   }
+}
+
+double ClusterSimulator::StragglerFactor(const Placement& placement) const {
+  // A distributed job synchronizes every iteration, so one degraded node
+  // drags the whole allocation to the slowest member's pace.
+  double factor = 1.0;
+  for (int node : placement.node_ids) {
+    factor = std::max(factor, faults_->degrade_multiplier(node));
+  }
+  return factor;
 }
 
 double ClusterSimulator::TrueIterTime(const JobState& job, const Config& config,
@@ -137,8 +238,9 @@ double ClusterSimulator::TrueIterTime(const JobState& job, const Config& config,
 }
 
 double ClusterSimulator::TrueGoodputRate(const JobState& job, const Config& config,
-                                         const BatchDecision& decision) const {
-  const double iter = TrueIterTime(job, config, decision);
+                                         const BatchDecision& decision,
+                                         double straggler) const {
+  const double iter = TrueIterTime(job, config, decision) * straggler;
   const double throughput = decision.global_bsz / iter;
   if (job.spec.batch_inference || job.spec.latency_slo_seconds > 0.0) {
     return throughput;  // Inference progress is plain samples/second (§3.4).
@@ -175,8 +277,23 @@ void ClusterSimulator::AdvanceRound(double now, double duration) {
     if (!decision.feasible) {
       continue;  // Unusable configuration: holds GPUs but makes no progress.
     }
-    const double rate = TrueGoodputRate(*job, config, decision);
-    SIA_CHECK(rate > 0.0);
+    const double straggler = StragglerFactor(job->placement);
+    const double rate = TrueGoodputRate(*job, config, decision, straggler);
+    if (!(rate > 0.0)) {
+      // A degenerate estimator decision (e.g. after outlier-poisoned fits)
+      // can produce a configuration with no ground-truth progress. Holding
+      // the GPUs for a round is the honest cost; aborting the whole sweep
+      // is not.
+      ++result_.zero_goodput_rounds;
+      if (result_.zero_goodput_rounds == 1) {
+        SIA_LOG(Warning) << "job " << job->spec.id
+                         << " made zero ground-truth goodput this round; holding GPUs "
+                            "without progress (suppressing further warnings)";
+      } else {
+        SIA_LOG(Debug) << "job " << job->spec.id << " zero-goodput round";
+      }
+      continue;
+    }
     const double work_left = job->info.total_work - job->progress;
     const double needed = work_left / rate;
     if (needed <= remaining) {
@@ -190,13 +307,24 @@ void ClusterSimulator::AdvanceRound(double now, double duration) {
     // --- end-of-round telemetry back to the estimator (§3.1, default 30 s
     // reporting folded into one round-level update). Hybrid jobs skip
     // throughput telemetry: their pipeline profiles are measurement-seeded
-    // (§5.3) rather than fit online. ---
+    // (§5.3) rather than fit online. The telemetry-fault channel can drop
+    // the whole report or deliver a gross outlier; degraded-node slowdowns
+    // are *in* the report, so estimators absorb stragglers as they fit. ---
+    const TelemetryFault fault = faults_->SampleTelemetry();
+    if (fault.dropped) {
+      ++result_.telemetry_dropouts;
+      continue;
+    }
+    if (fault.multiplier != 1.0) {
+      ++result_.telemetry_outliers;
+    }
     if (!job->info.hybrid_parallel) {
-      const double true_iter = TrueIterTime(*job, config, decision);
+      const double true_iter = TrueIterTime(*job, config, decision) * straggler;
       job->estimator->AddObservation(
           config.gpu_type, config.num_nodes, config.num_gpus, decision.local_bsz,
           decision.accum_steps,
-          true_iter * job->noise.LogNormal(0.0, options_.observation_noise_sigma));
+          true_iter * fault.multiplier *
+              job->noise.LogNormal(0.0, options_.observation_noise_sigma));
     }
     const double progress_fraction =
         job->info.total_work > 0.0 ? job->progress / job->info.total_work : 0.0;
@@ -212,9 +340,14 @@ SimResult ClusterSimulator::Run() {
 
   double now = 0.0;
   RunningStats contention;
-  std::map<JobId, Placement> previous_placements;
 
   while (now < cap_seconds) {
+    // Faults first: crash/repair/degrade events that occurred since the last
+    // boundary take effect before the scheduler sees the cluster, so its
+    // capacity view and the job queue are consistent with live hardware.
+    // Because the injector is event-driven (not per-round sampled), idle
+    // skips below cannot undersample failures on sparse traces.
+    ProcessFaultEvents(now);
     ActivateArrivals(now);
 
     // Snapshot active (unfinished) jobs for the policy.
@@ -250,7 +383,9 @@ SimResult ClusterSimulator::Run() {
       if (next_arrival_ >= pending_.size()) {
         break;  // Simulation complete.
       }
-      // Idle-skip to the next arrival's round boundary.
+      // Idle-skip to the next arrival's round boundary. Fault events in the
+      // skipped window are replayed with their true timestamps by
+      // ProcessFaultEvents at the top of the next iteration.
       const double next_time = pending_[next_arrival_].submit_time;
       now = std::ceil(next_time / round) * round;
       continue;
@@ -277,38 +412,23 @@ SimResult ClusterSimulator::Run() {
       }
     }
     const PlacerResult placed = PlaceJobs(cluster_, desired_map, live_previous);
-    ApplyPlacements(now, placed.placements);
-
-    // Worker-failure injection (§3.5): a failing node knocks every job
-    // touching it back to its last epoch checkpoint; the job recovers via
-    // checkpoint-restore on the same resources.
-    if (options_.node_mtbf_hours > 0.0) {
-      const double failure_probability =
-          std::min(1.0, round / (options_.node_mtbf_hours * 3600.0));
-      for (int node = 0; node < cluster_.num_nodes(); ++node) {
-        if (!failure_rng_.Bernoulli(failure_probability)) {
-          continue;
-        }
-        ++result_.total_failures;
-        for (auto& job : active_) {
-          if (job->done || job->placement.empty()) {
-            continue;
-          }
-          const auto& ids = job->placement.node_ids;
-          if (std::find(ids.begin(), ids.end(), node) == ids.end()) {
-            continue;
-          }
-          job->progress *= 1.0 - options_.failure_progress_loss;
-          job->pending_restore = job->info.restart_seconds;
-          ++job->num_failures;
-        }
+    // Resilience invariant: no placement may touch a node in its
+    // crash/repair window. The placer treats down nodes as zero capacity;
+    // this check catches any regression in that contract.
+    for (const auto& [job_id, placement] : placed.placements) {
+      for (int node : placement.node_ids) {
+        SIA_CHECK(cluster_.NodeUp(node))
+            << "job " << job_id << " placed on down node " << node;
       }
     }
+    ApplyPlacements(now, placed.placements);
+    UpdateRecoveries(now);
 
     // Accumulate busy capacity for the utilization metric (and optionally a
     // per-round snapshot for timeline analysis).
     RoundStats stats;
     stats.time_seconds = now;
+    stats.down_nodes = cluster_.NumDownNodes();
     for (const auto& job : active_) {
       if (job->done) {
         continue;
@@ -331,7 +451,8 @@ SimResult ClusterSimulator::Run() {
     for (auto& job : active_) {
       if (job->done && job->finish_time > 0.0 && !job->placement.empty()) {
         if (options_.record_timeline) {
-          result_.timeline.push_back({now, job->spec.id, Config{}});
+          result_.timeline.push_back(
+              {now, job->spec.id, Config{}, TimelineEventKind::kFinish});
         }
         job->placement = Placement{};  // Resources free from the next round.
       }
@@ -351,6 +472,15 @@ SimResult ClusterSimulator::Run() {
       result_.jobs.push_back(std::move(jr));
     }
     active_.erase(retire, active_.end());
+  }
+
+  // Close out crash windows still open at the end of the run.
+  for (int node = 0; node < cluster_.num_nodes(); ++node) {
+    if (node_down_since_[node] >= 0.0 && now > node_down_since_[node]) {
+      result_.node_downtime_gpu_seconds +=
+          (now - node_down_since_[node]) * cluster_.node(node).num_gpus;
+      node_down_since_[node] = -1.0;
+    }
   }
 
   // Censor unfinished jobs at the cap.
@@ -426,6 +556,10 @@ double SimResult::MedianPolicyRuntime() const {
 
 double SimResult::P95PolicyRuntime() const {
   return policy_runtimes.empty() ? 0.0 : Percentile(policy_runtimes, 0.95);
+}
+
+double SimResult::AvgRecoveryMinutes() const {
+  return recovery_seconds.empty() ? 0.0 : Mean(recovery_seconds) / 60.0;
 }
 
 }  // namespace sia

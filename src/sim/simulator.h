@@ -14,6 +14,11 @@
 //    delay before progress resumes.
 //  * Executors report noisy iteration-time and gradient-noise observations
 //    each round, continuously refining the estimators (§3.2).
+//  * Faults (src/sim/fault_injector.h) are first class: a crashed node
+//    leaves the cluster for its repair window (capacity genuinely shrinks
+//    and its jobs are evicted back to the queue with progress loss, §3.5),
+//    degraded nodes stretch ground-truth iteration time, and telemetry
+//    dropout/outlier rounds stress the goodput-fitting stack.
 #ifndef SIA_SRC_SIM_SIMULATOR_H_
 #define SIA_SRC_SIM_SIMULATOR_H_
 
@@ -25,6 +30,7 @@
 #include "src/common/rng.h"
 #include "src/models/estimator.h"
 #include "src/schedulers/scheduler.h"
+#include "src/sim/fault_injector.h"
 #include "src/workload/job.h"
 
 namespace sia {
@@ -40,19 +46,23 @@ struct SimOptions {
   double max_hours = 21.0 * 24.0;
   // Record per-job allocation-change events (Fig. 5 timelines).
   bool record_timeline = false;
-  // Mean time between worker failures per node, in hours (0 disables).
-  // On a failure, every job running on the node loses progress back to its
-  // last epoch checkpoint and restarts from shared storage (§3.5).
-  double node_mtbf_hours = 0.0;
-  // Fraction of a job's progress lost when a worker fails (since the last
-  // per-epoch checkpoint).
-  double failure_progress_loss = 0.02;
+  // Fault model: node crash/repair lifecycle, degraded (straggler) nodes,
+  // and telemetry faults. Disabled by default (no fields set).
+  FaultOptions faults;
+};
+
+enum class TimelineEventKind {
+  kAllocation,       // Scheduler-driven allocation change (or preemption).
+  kFinish,           // Job completed; resources released.
+  kFailureEviction,  // Node crash evicted the job back to the queue.
+  kRestore,          // First re-allocation after a failure eviction.
 };
 
 struct TimelineEvent {
   double time_seconds;
   int job_id;
   Config config;  // num_gpus == 0 marks preemption to the queue.
+  TimelineEventKind kind = TimelineEventKind::kAllocation;
 };
 
 // Per-round cluster snapshot (recorded when record_timeline is set).
@@ -61,6 +71,7 @@ struct RoundStats {
   int active_jobs = 0;
   int running_jobs = 0;
   int busy_gpus = 0;
+  int down_nodes = 0;  // Nodes in their crash/repair window this round.
 };
 
 struct JobResult {
@@ -70,7 +81,7 @@ struct JobResult {
   double jct = 0.0;          // Completion (or censoring) time - submit time.
   double gpu_seconds = 0.0;  // GPU-seconds held, including restore overhead.
   int num_restarts = 0;
-  int num_failures = 0;      // Worker failures survived via checkpointing.
+  int num_failures = 0;      // Node crashes that evicted this job.
 };
 
 struct SimResult {
@@ -82,10 +93,24 @@ struct SimResult {
   std::vector<double> policy_runtimes;  // Wall-clock seconds per round.
   std::vector<TimelineEvent> timeline;
   std::vector<RoundStats> round_stats;  // Populated when record_timeline.
-  int total_failures = 0;  // Worker failures injected across the run.
   // Fraction of GPU capacity busy over the run (allocated GPU-seconds /
   // (total GPUs x makespan)).
   double gpu_utilization = 0.0;
+
+  // --- resilience accounting ---
+  int total_failures = 0;      // Node crash events injected across the run.
+  int failure_evictions = 0;   // Job evictions caused by node crashes.
+  // GPU-hours of capacity lost to crash/repair windows, in GPU-seconds.
+  double node_downtime_gpu_seconds = 0.0;
+  // Per crash with running victims: seconds from the crash until every
+  // victim was running again (or finished). Measures scheduler recovery.
+  std::vector<double> recovery_seconds;
+  // Rounds where a running job's ground-truth goodput came out non-positive
+  // (degenerate estimator decision); skipped instead of aborting the run.
+  int zero_goodput_rounds = 0;
+  // Telemetry faults injected (reports lost / gross outliers delivered).
+  int telemetry_dropouts = 0;
+  int telemetry_outliers = 0;
 
   // --- summary helpers (all in hours) ---
   double AvgJctHours() const;
@@ -96,6 +121,10 @@ struct SimResult {
   double MedianPolicyRuntime() const;
   double P95PolicyRuntime() const;
   std::vector<double> JctsHours() const;
+  double NodeDowntimeGpuHours() const { return node_downtime_gpu_seconds / 3600.0; }
+  // Mean time-to-recover after a crash, in minutes (0 when no crash had
+  // running victims).
+  double AvgRecoveryMinutes() const;
 };
 
 class ClusterSimulator {
@@ -113,12 +142,19 @@ class ClusterSimulator {
 
  private:
   struct JobState;
+  struct PendingRecovery {
+    double crash_time = 0.0;
+    std::vector<int> victims;  // Job ids evicted by this crash.
+  };
 
   void ActivateArrivals(double now);
+  void ProcessFaultEvents(double now);
+  void UpdateRecoveries(double now);
   void ApplyPlacements(double now, const std::map<JobId, Placement>& placements);
   void AdvanceRound(double now, double duration);
+  double StragglerFactor(const Placement& placement) const;
   double TrueGoodputRate(const JobState& job, const Config& config,
-                         const BatchDecision& decision) const;
+                         const BatchDecision& decision, double straggler) const;
   double TrueIterTime(const JobState& job, const Config& config,
                       const BatchDecision& decision) const;
 
@@ -129,7 +165,9 @@ class ClusterSimulator {
   Scheduler* scheduler_;
   SimOptions options_;
   Rng rng_;
-  Rng failure_rng_{0};
+  std::unique_ptr<FaultInjector> faults_;
+  std::vector<double> node_down_since_;  // Per node; < 0 when up.
+  std::vector<PendingRecovery> recoveries_;
   double busy_gpu_seconds_ = 0.0;
   std::vector<std::unique_ptr<JobState>> active_;
   SimResult result_;

@@ -73,6 +73,8 @@ const char* ToString(SolveStatus status) {
       return "iteration-limit";
     case SolveStatus::kNodeLimit:
       return "node-limit";
+    case SolveStatus::kTimeLimit:
+      return "time-limit";
   }
   return "?";
 }

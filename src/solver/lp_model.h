@@ -80,6 +80,8 @@ enum class SolveStatus {
   kUnbounded,
   kIterationLimit,
   kNodeLimit,
+  // MILP wall-clock budget exhausted; the incumbent (if any) is returned.
+  kTimeLimit,
 };
 
 const char* ToString(SolveStatus status);

@@ -1,6 +1,7 @@
 #include "src/solver/milp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <queue>
@@ -144,11 +145,25 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   std::vector<BranchNode> stack;
   stack.push_back({{}, kLpInfinity, 0});
 
+  const auto start_time = std::chrono::steady_clock::now();
+  auto out_of_time = [&]() {
+    if (options.time_limit_seconds <= 0.0) {
+      return false;
+    }
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_time;
+    return elapsed.count() >= options.time_limit_seconds;
+  };
+
   int nodes = 0;
   bool hit_node_limit = false;
+  bool hit_time_limit = false;
   while (!stack.empty()) {
     if (nodes >= options.max_nodes) {
       hit_node_limit = true;
+      break;
+    }
+    if (out_of_time()) {
+      hit_time_limit = true;
       break;
     }
     BranchNode node = std::move(stack.back());
@@ -256,10 +271,14 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
 
   result.nodes_explored = nodes;
   if (!have_incumbent) {
-    result.status = hit_node_limit ? SolveStatus::kNodeLimit : SolveStatus::kInfeasible;
+    result.status = hit_time_limit ? SolveStatus::kTimeLimit
+                    : hit_node_limit ? SolveStatus::kNodeLimit
+                                     : SolveStatus::kInfeasible;
     return result;
   }
-  result.status = hit_node_limit ? SolveStatus::kNodeLimit : SolveStatus::kOptimal;
+  result.status = hit_time_limit   ? SolveStatus::kTimeLimit
+                  : hit_node_limit ? SolveStatus::kNodeLimit
+                                   : SolveStatus::kOptimal;
   result.objective = sign * incumbent_obj;
   result.values = std::move(incumbent_values);
   return result;

@@ -16,6 +16,10 @@ struct MilpOptions {
   SimplexOptions simplex;
   // Stop exploring once this many branch-and-bound nodes were solved.
   int max_nodes = 50000;
+  // Wall-clock budget for the whole solve; <= 0 means unlimited. When the
+  // budget expires the best incumbent found so far is returned with status
+  // kTimeLimit (values empty if no incumbent exists yet).
+  double time_limit_seconds = 0.0;
   // Accept an incumbent within this relative gap of the best bound.
   double relative_gap = 1e-6;
   // Integrality tolerance.

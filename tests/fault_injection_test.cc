@@ -1,0 +1,355 @@
+// Fault-injection subsystem tests: deterministic event streams, the node
+// crash/repair lifecycle end to end, degraded (straggler) nodes, telemetry
+// faults, scripted schedules, and every scheduling policy surviving
+// capacity churn without placing work on down nodes.
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/schedulers/allox/allox_scheduler.h"
+#include "src/schedulers/baselines/priority_schedulers.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+std::vector<JobSpec> SmallTrace(int count, uint64_t seed) {
+  TraceOptions options;
+  options.kind = TraceKind::kPhilly;
+  options.seed = seed;
+  options.arrival_rate_per_hour = 20.0;
+  options.duration_hours = static_cast<double>(count) / 20.0;
+  auto jobs = GenerateTrace(options);
+  if (static_cast<int>(jobs.size()) > count) {
+    jobs.resize(count);
+  }
+  return jobs;
+}
+
+std::vector<FaultEvent> DrainEvents(FaultInjector* injector, double until, double step) {
+  std::vector<FaultEvent> events;
+  for (double t = 0.0; t <= until; t += step) {
+    for (const FaultEvent& event : injector->AdvanceTo(t)) {
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+TEST(FaultInjectorTest, SameSeedSameEventSequence) {
+  FaultOptions options;
+  options.node_mtbf_hours = 2.0;
+  options.node_mttr_hours = 0.3;
+  options.degraded_frac = 0.25;
+  FaultInjector a(/*num_nodes=*/8, options, Rng(42));
+  FaultInjector b(/*num_nodes=*/8, options, Rng(42));
+  const auto events_a = DrainEvents(&a, 24.0 * 3600.0, 60.0);
+  const auto events_b = DrainEvents(&b, 24.0 * 3600.0, 60.0);
+  ASSERT_FALSE(events_a.empty());
+  ASSERT_EQ(events_a.size(), events_b.size());
+  for (size_t i = 0; i < events_a.size(); ++i) {
+    EXPECT_TRUE(events_a[i] == events_b[i]) << "event " << i << " diverged: "
+                                            << ToString(events_a[i]) << " vs "
+                                            << ToString(events_b[i]);
+  }
+}
+
+TEST(FaultInjectorTest, AdvanceGranularityDoesNotChangeEvents) {
+  // Idle skips advance the clock in big jumps; the event stream must be
+  // identical to fine-grained advancing (no undersampling).
+  FaultOptions options;
+  options.node_mtbf_hours = 1.5;
+  options.node_mttr_hours = 0.2;
+  FaultInjector fine(/*num_nodes=*/4, options, Rng(7));
+  FaultInjector coarse(/*num_nodes=*/4, options, Rng(7));
+  const auto events_fine = DrainEvents(&fine, 12.0 * 3600.0, 30.0);
+  const auto events_coarse = DrainEvents(&coarse, 12.0 * 3600.0, 4.0 * 3600.0);
+  ASSERT_EQ(events_fine.size(), events_coarse.size());
+  for (size_t i = 0; i < events_fine.size(); ++i) {
+    EXPECT_TRUE(events_fine[i] == events_coarse[i]);
+  }
+}
+
+TEST(FaultInjectorTest, ScriptedCrashLifecycle) {
+  FaultOptions options;  // No stochastic faults; scripted only.
+  FaultEvent crash;
+  crash.time_seconds = 1000.0;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.node = 2;
+  crash.duration_seconds = 500.0;
+  options.schedule = {crash};
+  FaultInjector injector(/*num_nodes=*/4, options, Rng(1));
+
+  EXPECT_TRUE(injector.node_up(2));
+  auto events = injector.AdvanceTo(999.0);
+  EXPECT_TRUE(events.empty());
+  events = injector.AdvanceTo(1100.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(events[0].node, 2);
+  EXPECT_FALSE(injector.node_up(2));
+  EXPECT_EQ(injector.num_down_nodes(), 1);
+  events = injector.AdvanceTo(2000.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FaultKind::kNodeRepair);
+  EXPECT_DOUBLE_EQ(events[0].time_seconds, 1500.0);
+  EXPECT_TRUE(injector.node_up(2));
+  EXPECT_EQ(injector.total_crashes(), 1);
+}
+
+TEST(FaultInjectorTest, TelemetryFaultChannels) {
+  FaultOptions dropout;
+  dropout.telemetry_dropout_prob = 1.0;
+  FaultInjector always_drops(/*num_nodes=*/1, dropout, Rng(3));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(always_drops.SampleTelemetry().dropped);
+  }
+  FaultOptions outlier;
+  outlier.telemetry_outlier_prob = 1.0;
+  outlier.telemetry_outlier_multiplier = 8.0;
+  FaultInjector always_outlier(/*num_nodes=*/1, outlier, Rng(3));
+  for (int i = 0; i < 10; ++i) {
+    const TelemetryFault fault = always_outlier.SampleTelemetry();
+    EXPECT_FALSE(fault.dropped);
+    EXPECT_TRUE(fault.multiplier == 8.0 || fault.multiplier == 0.125)
+        << "multiplier " << fault.multiplier;
+  }
+  FaultInjector clean(/*num_nodes=*/1, FaultOptions{}, Rng(3));
+  for (int i = 0; i < 10; ++i) {
+    const TelemetryFault fault = clean.SampleTelemetry();
+    EXPECT_FALSE(fault.dropped);
+    EXPECT_DOUBLE_EQ(fault.multiplier, 1.0);
+  }
+}
+
+TEST(FaultInjectorTest, ParsesScheduleCsv) {
+  std::istringstream in(
+      "time_hours,kind,node,duration_hours,severity\n"
+      "# mid-morning rack loss\n"
+      "1.5,crash,3,0.25\n"
+      "2.0,degrade,1,1.0,2.5\n"
+      "4.0,repair,3\n");
+  std::vector<FaultEvent> schedule;
+  std::string error;
+  ASSERT_TRUE(ParseFaultScheduleCsv(in, &schedule, &error)) << error;
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule[0].time_seconds, 1.5 * 3600.0);
+  EXPECT_EQ(schedule[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(schedule[0].node, 3);
+  EXPECT_DOUBLE_EQ(schedule[0].duration_seconds, 0.25 * 3600.0);
+  EXPECT_EQ(schedule[1].kind, FaultKind::kDegradeStart);
+  EXPECT_DOUBLE_EQ(schedule[1].severity, 2.5);
+  EXPECT_EQ(schedule[2].kind, FaultKind::kNodeRepair);
+
+  std::istringstream bad("1.0,meltdown,0\n");
+  EXPECT_FALSE(ParseFaultScheduleCsv(bad, &schedule, &error));
+  EXPECT_FALSE(error.empty());
+
+  std::istringstream negative("-1.0,crash,0\n");
+  EXPECT_FALSE(ParseFaultScheduleCsv(negative, &schedule, &error));
+}
+
+TEST(FaultSimulationTest, SimulatorIsDeterministicUnderFaults) {
+  const auto jobs = SmallTrace(6, 11);
+  SimOptions options;
+  options.seed = 13;
+  options.faults.node_mtbf_hours = 3.0;
+  options.faults.node_mttr_hours = 0.2;
+  SiaScheduler s1, s2;
+  const SimResult a = ClusterSimulator(MakeHeterogeneousCluster(), jobs, &s1, options).Run();
+  const SimResult b = ClusterSimulator(MakeHeterogeneousCluster(), jobs, &s2, options).Run();
+  EXPECT_EQ(a.total_failures, b.total_failures);
+  EXPECT_EQ(a.failure_evictions, b.failure_evictions);
+  EXPECT_DOUBLE_EQ(a.node_downtime_gpu_seconds, b.node_downtime_gpu_seconds);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].jct, b.jobs[i].jct);
+    EXPECT_EQ(a.jobs[i].num_failures, b.jobs[i].num_failures);
+  }
+}
+
+TEST(FaultSimulationTest, ScriptedCrashProducesExactDowntime) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kDeepSpeech2;  // Long enough to outlive the repair.
+  SimOptions options;
+  options.seed = 2;
+  FaultEvent crash;
+  crash.time_seconds = 900.0;
+  crash.kind = FaultKind::kNodeCrash;
+  crash.node = 0;
+  crash.duration_seconds = 1800.0;
+  options.faults.schedule = {crash};
+  SiaScheduler scheduler;
+  const ClusterSpec cluster = MakeHomogeneousCluster();
+  const int node_gpus = cluster.node(0).num_gpus;
+  ClusterSimulator sim(cluster, {job}, &scheduler, options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_EQ(result.total_failures, 1);
+  EXPECT_DOUBLE_EQ(result.node_downtime_gpu_seconds, 1800.0 * node_gpus);
+}
+
+TEST(FaultSimulationTest, WholeClusterCrashEvictsAndRecovers) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kDeepSpeech2;
+  job.max_num_gpus = 4;
+  SimOptions options;
+  options.seed = 5;
+  options.record_timeline = true;
+  const ClusterSpec cluster = MakeHomogeneousCluster();
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    FaultEvent crash;
+    crash.time_seconds = 1800.0;
+    crash.kind = FaultKind::kNodeCrash;
+    crash.node = node;
+    crash.duration_seconds = 600.0;
+    options.faults.schedule.push_back(crash);
+  }
+  SiaScheduler scheduler;
+  ClusterSimulator sim(cluster, {job}, &scheduler, options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_EQ(result.total_failures, cluster.num_nodes());
+  EXPECT_GE(result.failure_evictions, 1);
+  EXPECT_GE(result.jobs[0].num_failures, 1);
+  ASSERT_FALSE(result.recovery_seconds.empty());
+  EXPECT_GT(result.recovery_seconds[0], 0.0);
+  bool saw_eviction = false;
+  bool saw_restore_after = false;
+  for (const TimelineEvent& event : result.timeline) {
+    if (event.kind == TimelineEventKind::kFailureEviction) {
+      saw_eviction = true;
+    }
+    if (saw_eviction && event.kind == TimelineEventKind::kRestore) {
+      saw_restore_after = true;
+    }
+  }
+  EXPECT_TRUE(saw_eviction);
+  EXPECT_TRUE(saw_restore_after);
+}
+
+TEST(FaultSimulationTest, DegradedNodesSlowJobsDown) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kResNet18;
+  SimOptions clean;
+  clean.seed = 8;
+  SimOptions degraded = clean;
+  degraded.faults.degraded_frac = 1.0;  // Every node is a straggler.
+  degraded.faults.degrade_multiplier = 2.0;
+  SiaScheduler s1, s2;
+  const SimResult fast = ClusterSimulator(MakeHomogeneousCluster(), {job}, &s1, clean).Run();
+  const SimResult slow =
+      ClusterSimulator(MakeHomogeneousCluster(), {job}, &s2, degraded).Run();
+  ASSERT_TRUE(fast.all_finished);
+  ASSERT_TRUE(slow.all_finished);
+  EXPECT_GT(slow.jobs[0].jct, fast.jobs[0].jct);
+}
+
+TEST(FaultSimulationTest, TelemetryDropoutsCountedAndSurvivable) {
+  JobSpec job;
+  job.id = 0;
+  job.model = ModelKind::kResNet18;
+  SimOptions options;
+  options.seed = 9;
+  options.faults.telemetry_dropout_prob = 0.5;
+  SiaScheduler scheduler;
+  ClusterSimulator sim(MakeHomogeneousCluster(), {job}, &scheduler, options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_GT(result.telemetry_dropouts, 0);
+}
+
+TEST(FaultSimulationTest, SiaGreedyRepairKeepsClusterRunning) {
+  // An unusable ILP solve (here: a time budget nothing can meet) must fall
+  // back to the greedy feasibility-repair allocator, not to stale
+  // allocations -- the workload still runs to completion under churn.
+  SiaOptions sia_options;
+  sia_options.milp.time_limit_seconds = 1e-9;
+  SiaScheduler scheduler(sia_options);
+  const auto jobs = SmallTrace(4, 19);
+  SimOptions options;
+  options.seed = 19;
+  options.faults.node_mtbf_hours = 3.0;
+  options.faults.node_mttr_hours = 0.2;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), jobs, &scheduler, options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.all_finished);
+}
+
+class FaultChurnTest : public ::testing::TestWithParam<std::string> {};
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+  if (name == "sia") {
+    return std::make_unique<SiaScheduler>();
+  }
+  if (name == "pollux") {
+    PolluxOptions options;
+    options.population = 24;
+    options.generations = 10;
+    return std::make_unique<PolluxScheduler>(options);
+  }
+  if (name == "gavel") {
+    return std::make_unique<GavelScheduler>();
+  }
+  if (name == "allox") {
+    return std::make_unique<AlloxScheduler>();
+  }
+  if (name == "shockwave") {
+    return std::make_unique<PriorityScheduler>(ShockwaveOptions());
+  }
+  if (name == "themis") {
+    return std::make_unique<PriorityScheduler>(ThemisOptions());
+  }
+  if (name == "fifo") {
+    return std::make_unique<PriorityScheduler>(FifoOptions());
+  }
+  if (name == "srtf") {
+    return std::make_unique<PriorityScheduler>(SrtfOptions());
+  }
+  return nullptr;
+}
+
+// Every policy must ride out aggressive crash/repair churn: no CHECK
+// failures, no placements on down nodes (the simulator asserts this every
+// round), and the whole workload finishes on the surviving capacity.
+TEST_P(FaultChurnTest, SurvivesCapacityChurn) {
+  auto jobs = SmallTrace(8, 27);
+  const bool rigid_policy = GetParam() != "sia" && GetParam() != "pollux";
+  if (rigid_policy) {
+    TunedJobsOptions tuned;
+    tuned.max_gpus = 16;
+    jobs = MakeTunedJobs(jobs, tuned);
+  }
+  auto scheduler = MakeScheduler(GetParam());
+  ASSERT_NE(scheduler, nullptr);
+  SimOptions options;
+  options.seed = 7;
+  options.max_hours = 96.0;
+  options.faults.node_mtbf_hours = 3.0;  // Aggressive churn.
+  options.faults.node_mttr_hours = 0.2;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), jobs, scheduler.get(), options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.all_finished) << GetParam() << " left jobs unfinished under churn";
+  EXPECT_GT(result.total_failures, 0) << GetParam();
+  for (const JobResult& job : result.jobs) {
+    EXPECT_TRUE(job.finished) << GetParam() << " job " << job.spec.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FaultChurnTest,
+                         ::testing::Values("sia", "pollux", "gavel", "allox", "shockwave",
+                                           "themis", "fifo", "srtf"));
+
+}  // namespace
+}  // namespace sia

@@ -57,7 +57,8 @@ TEST(IntegrationTest, HybridJobSurvivesNodeFailures) {
   SiaScheduler scheduler;
   SimOptions options;
   options.seed = 23;
-  options.node_mtbf_hours = 6.0;
+  options.faults.node_mtbf_hours = 6.0;
+  options.faults.node_mttr_hours = 0.25;
   options.max_hours = 400.0;
   ClusterSimulator simulator(MakeHeterogeneousCluster(), {gpt}, &scheduler, options);
   const SimResult result = simulator.Run();

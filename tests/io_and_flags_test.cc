@@ -186,8 +186,9 @@ TEST(FailureInjectionTest, FailuresSlowJobsDown) {
   SimOptions clean;
   clean.seed = 4;
   SimOptions faulty = clean;
-  faulty.node_mtbf_hours = 2.0;  // Aggressive failure rate.
-  faulty.failure_progress_loss = 0.05;
+  faulty.faults.node_mtbf_hours = 2.0;  // Aggressive failure rate.
+  faulty.faults.node_mttr_hours = 0.25;
+  faulty.faults.failure_progress_loss = 0.05;
   const SimResult without =
       ClusterSimulator(MakeHomogeneousCluster(), {job}, &s1, clean).Run();
   const SimResult with =

@@ -4,7 +4,8 @@
 //   sia_simulate --scheduler=sia --cluster=heterogeneous --trace=philly ...
 //                --seed=1 [--rate=20] [--hours=8] [--scale=1]
 //                [--profiling=bootstrap|oracle|noprof] [--tuned]
-//                [--mtbf-hours=0] [--trace-in=jobs.csv]
+//                [--mtbf-hours=0] [--mttr-hours=0.5] [--degraded-frac=0]
+//                [--fault-schedule=faults.csv] [--trace-in=jobs.csv]
 //                [--trace-out=jobs.csv] [--results-out=results.csv]
 #include <iostream>
 #include <algorithm>
@@ -38,7 +39,14 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
   --seed       RNG seed                                      (default 1)
   --profiling  bootstrap|oracle|noprof                       (default bootstrap)
   --tuned      tune jobs rigid (TunedJobs); implied for rigid policies
-  --mtbf-hours per-node mean time between failures, 0=off    (default 0)
+  --mtbf-hours per-node mean time between crashes, 0=off     (default 0)
+  --mttr-hours mean crash-repair window, hours                (default 0.5)
+  --degraded-frac fraction of nodes born degraded (stragglers) (default 0)
+  --degrade-mult  iteration-time multiplier on degraded nodes  (default 1.5)
+  --dropout-prob  per-report telemetry dropout probability     (default 0)
+  --outlier-prob  per-report telemetry outlier probability     (default 0)
+  --fault-schedule CSV of scripted fault events
+                   (time_hours,kind,node[,duration_hours[,severity]])
   --trace-out  write the (possibly tuned) trace as CSV
   --results-out write per-job results as CSV
   --ftf        also compute finish-time-fairness stats
@@ -150,7 +158,20 @@ int main(int argc, char** argv) {
 
   sia::SimOptions options;
   options.seed = seed;
-  options.node_mtbf_hours = flags.GetDouble("mtbf-hours", 0.0);
+  options.faults.node_mtbf_hours = flags.GetDouble("mtbf-hours", 0.0);
+  options.faults.node_mttr_hours = flags.GetDouble("mttr-hours", 0.5);
+  options.faults.degraded_frac = flags.GetDouble("degraded-frac", 0.0);
+  options.faults.degrade_multiplier = flags.GetDouble("degrade-mult", 1.5);
+  options.faults.telemetry_dropout_prob = flags.GetDouble("dropout-prob", 0.0);
+  options.faults.telemetry_outlier_prob = flags.GetDouble("outlier-prob", 0.0);
+  if (flags.Has("fault-schedule")) {
+    std::string error;
+    if (!sia::ReadFaultScheduleCsv(flags.GetString("fault-schedule", ""),
+                                   &options.faults.schedule, &error)) {
+      std::cerr << "failed to read fault schedule: " << error << "\n";
+      return 1;
+    }
+  }
   const std::string profiling = flags.GetString("profiling", "bootstrap");
   if (profiling == "oracle") {
     options.profiling_mode = sia::ProfilingMode::kOracle;
@@ -180,8 +201,13 @@ int main(int argc, char** argv) {
   std::cout << "GPU utilization: " << sia::Table::Num(100.0 * result.gpu_utilization, 1)
             << "%   policy runtime: median " << result.MedianPolicyRuntime() * 1000.0
             << " ms, p95 " << result.P95PolicyRuntime() * 1000.0 << " ms\n";
-  if (options.node_mtbf_hours > 0.0) {
-    std::cout << "worker failures injected: " << result.total_failures << "\n";
+  if (options.faults.any_faults()) {
+    std::cout << "resilience: crashes " << result.total_failures << ", evictions "
+              << result.failure_evictions << ", downtime "
+              << sia::Table::Num(result.NodeDowntimeGpuHours(), 1) << " GPU-h, mean recovery "
+              << sia::Table::Num(result.AvgRecoveryMinutes(), 1) << " min, zero-goodput rounds "
+              << result.zero_goodput_rounds << ", telemetry dropouts "
+              << result.telemetry_dropouts << ", outliers " << result.telemetry_outliers << "\n";
   }
   if (want_ftf) {
     const auto ratios = sia::FtfRatios(result, cluster);
