@@ -38,6 +38,7 @@ int main() {
     std::cout << "  " << label << " done\n";
   }
   std::cout << "\n" << RenderSummaryTable(summaries, "Sia throughput-model regimes");
+  WriteBenchJson("bootstrap_modes", summaries);
   std::cout << "\n" << RenderBarChart("avg JCT (hours)", bars);
   const double oracle = summaries[0].avg_jct_hours;
   const double noprof = summaries[1].avg_jct_hours;

@@ -46,6 +46,8 @@ int main() {
   std::cout << "=== Failure resilience: MTBF x MTTR sweep (Philly, Heterogeneous, sia) ===\n";
   const SimResult clean = RunWithFaults(jobs, seed, FaultOptions{});
   const double clean_jct = clean.AvgJctHours();
+  std::vector<PolicySummary> bench_rows;
+  bench_rows.push_back(Summarize("sia/clean", {clean}));
 
   Table table({"node MTBF (h)", "MTTR (h)", "crashes", "evictions", "downtime GPU-h",
                "recovery (min)", "avg JCT (h)", "JCT overhead", "finished"});
@@ -57,9 +59,12 @@ int main() {
       faults.node_mtbf_hours = mtbf;
       faults.node_mttr_hours = mttr;
       const SimResult result = RunWithFaults(jobs, seed, faults);
+      bench_rows.push_back(Summarize("sia/mtbf" + Table::Num(mtbf, 0) + "h-mttr" +
+                                         Table::Num(mttr, 2) + "h",
+                                     {result}));
       table.AddRow({Table::Num(mtbf, 0), Table::Num(mttr, 2),
-                    std::to_string(result.total_failures),
-                    std::to_string(result.failure_evictions),
+                    std::to_string(result.resilience.total_failures),
+                    std::to_string(result.resilience.failure_evictions),
                     Table::Num(result.NodeDowntimeGpuHours(), 1),
                     Table::Num(result.AvgRecoveryMinutes(), 1),
                     Table::Num(result.AvgJctHours(), 2),
@@ -82,14 +87,16 @@ int main() {
     faults.degraded_frac = frac;
     faults.degrade_multiplier = 1.5;
     const SimResult result = RunWithFaults(jobs, seed, faults);
+    bench_rows.push_back(Summarize("sia/degraded" + Table::Num(frac, 3), {result}));
     degraded.AddRow({Table::Num(frac, 3), "1.5x", Table::Num(result.AvgJctHours(), 2),
                      Table::Num(100.0 * (result.AvgJctHours() / clean_jct - 1.0), 1) + "%",
-                     std::to_string(result.zero_goodput_rounds)});
+                     std::to_string(result.resilience.zero_goodput_rounds)});
     std::cout << "  degraded_frac=" << frac << " done\n";
   }
   std::cout << "\n" << degraded.Render();
   std::cout << "\nStragglers slow whichever allocations touch them; the estimators absorb\n"
                "the inflated iteration times into their fits, so overhead should stay\n"
                "close to the capacity-weighted slowdown rather than collapsing.\n";
+  WriteBenchJson("failure_resilience", bench_rows);
   return 0;
 }

@@ -22,6 +22,7 @@ int main() {
       {TraceKind::kHelios, SeedsFromEnv({1, 2}), "8 h, ~160 jobs (heavier mix)"},
       {TraceKind::kNewTrace, SeedsFromEnv({1}), "48 h, ~960 jobs, bursty"},
   };
+  std::vector<PolicySummary> all_rows;
   for (const TraceCase& trace_case : cases) {
     ScenarioOptions options;
     options.cluster = MakeHeterogeneousCluster();
@@ -30,11 +31,15 @@ int main() {
     std::vector<PolicySummary> summaries;
     for (const char* policy : {"sia", "pollux", "gavel"}) {
       summaries.push_back(RunScenario(policy, options).summary);
+      all_rows.push_back(summaries.back());
+      all_rows.back().policy = std::string(ToString(trace_case.kind)) + "/" +
+                               all_rows.back().policy;
     }
     std::cout << "\n"
               << RenderSummaryTable(summaries, std::string("Trace: ") + ToString(trace_case.kind) +
                                                    " (" + trace_case.note + ")");
   }
+  WriteBenchJson("table3_heterogeneous", all_rows);
   std::cout << "\nPaper shape check: Sia < Pollux < Gavel on avg JCT for every trace;\n"
                "the Gavel gap explodes on newTrace (congestion feedback loop, §5.2).\n";
   return 0;

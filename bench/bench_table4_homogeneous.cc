@@ -23,6 +23,7 @@ int main() {
     summaries.push_back(RunScenario(policy, options).summary);
   }
   std::cout << "\n" << RenderSummaryTable(summaries, "Homogeneous 64-GPU t4 cluster");
+  WriteBenchJson("table4_homogeneous", summaries);
   std::cout << "\nPaper shape check: Sia ~= Pollux (ILP guarantees the optimum the GA\n"
                "approximates); Shockwave best among inelastic; Themis worst.\n";
   return 0;

@@ -1,9 +1,12 @@
 #include "bench/bench_util.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/obs/json_util.h"
 #include "src/schedulers/allox/allox_scheduler.h"
 #include "src/schedulers/baselines/priority_schedulers.h"
 #include "src/schedulers/gavel/gavel_scheduler.h"
@@ -91,6 +94,71 @@ std::vector<uint64_t> SeedsFromEnv(std::vector<uint64_t> defaults) {
     seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
   }
   return seeds.empty() ? defaults : seeds;
+}
+
+namespace {
+
+void AppendField(std::string& out, const char* key, double v, bool first = false) {
+  if (!first) {
+    out += ',';
+  }
+  AppendJsonString(out, key);
+  out += ':';
+  AppendJsonNumber(out, v);
+}
+
+}  // namespace
+
+std::string WriteBenchJson(const std::string& bench_name,
+                           const std::vector<PolicySummary>& rows) {
+  const char* dir = std::getenv("SIA_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string();
+  path += "BENCH_" + bench_name + ".json";
+
+  std::string out = "{\"schema_version\":1,\"bench\":";
+  AppendJsonString(out, bench_name);
+  out += ",\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const PolicySummary& row = rows[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"policy\":";
+    AppendJsonString(out, row.policy);
+    out += ",\"num_traces\":";
+    AppendJsonNumber(out, static_cast<int64_t>(row.num_traces));
+    AppendField(out, "avg_jct_hours", row.avg_jct_hours);
+    AppendField(out, "avg_jct_std", row.avg_jct_std);
+    AppendField(out, "p99_jct_hours", row.p99_jct_hours);
+    AppendField(out, "makespan_hours", row.makespan_hours);
+    AppendField(out, "makespan_std", row.makespan_std);
+    AppendField(out, "gpu_hours_per_job", row.gpu_hours_per_job);
+    AppendField(out, "gpu_hours_std", row.gpu_hours_std);
+    AppendField(out, "avg_contention", row.avg_contention);
+    AppendField(out, "max_contention", row.max_contention);
+    AppendField(out, "avg_restarts", row.avg_restarts);
+    out += ",\"all_finished\":";
+    out += row.all_finished ? "true" : "false";
+    AppendField(out, "avg_crashes", row.avg_crashes);
+    AppendField(out, "avg_evictions", row.avg_evictions);
+    AppendField(out, "downtime_gpu_hours", row.downtime_gpu_hours);
+    AppendField(out, "avg_recovery_minutes", row.avg_recovery_minutes);
+    AppendField(out, "zero_goodput_rounds", row.zero_goodput_rounds);
+    AppendField(out, "median_policy_ms", row.median_policy_ms);
+    AppendField(out, "p95_policy_ms", row.p95_policy_ms);
+    AppendField(out, "avg_bb_nodes", row.avg_bb_nodes);
+    AppendField(out, "avg_lp_iterations", row.avg_lp_iterations);
+    out += '}';
+  }
+  out += "]}\n";
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open() || !(file << out)) {
+    std::cerr << "failed to write " << path << "\n";
+    return "";
+  }
+  std::cout << "wrote " << path << "\n";
+  return path;
 }
 
 }  // namespace sia::bench

@@ -53,6 +53,15 @@ bool IsRigidPolicy(const std::string& name);
 // quick smoke runs (SIA_BENCH_SEEDS=1) vs full sweeps.
 std::vector<uint64_t> SeedsFromEnv(std::vector<uint64_t> defaults);
 
+// Writes the summary rows as machine-readable bench output:
+//   BENCH_<bench_name>.json = {"schema_version":1,"bench":...,"rows":[...]}
+// with one object per PolicySummary (every numeric column of the tables,
+// plus resilience and policy-cost fields). The file lands in the directory
+// named by env SIA_BENCH_JSON_DIR, or the working directory when unset.
+// Returns the path written ("" on failure) and logs it to stdout.
+std::string WriteBenchJson(const std::string& bench_name,
+                           const std::vector<PolicySummary>& rows);
+
 }  // namespace sia::bench
 
 #endif  // SIA_BENCH_BENCH_UTIL_H_

@@ -45,6 +45,6 @@ int main(int argc, char** argv) {
   std::cout << sia::RenderSummaryTable({summary}, "\nSia on the Heterogeneous setting");
   std::cout << "\npolicy runtime: median " << result.MedianPolicyRuntime() * 1000.0
             << " ms, p95 " << result.P95PolicyRuntime() * 1000.0 << " ms over "
-            << result.policy_runtimes.size() << " rounds\n";
+            << result.policy_cost.runtimes_seconds.size() << " rounds\n";
   return result.all_finished ? 0 : 1;
 }

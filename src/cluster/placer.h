@@ -13,10 +13,9 @@
 
 #include "src/cluster/cluster_spec.h"
 #include "src/cluster/configuration.h"
+#include "src/common/job_id.h"
 
 namespace sia {
-
-using JobId = int;
 
 // Concrete resources backing an allocation.
 struct Placement {

@@ -1,0 +1,16 @@
+// The one job-identifier type shared end-to-end: JobSpec::id, scheduler
+// output keys, placer maps, timeline events, and trace records all use
+// JobId, so an id never silently degrades to a raw int of unclear origin.
+#ifndef SIA_SRC_COMMON_JOB_ID_H_
+#define SIA_SRC_COMMON_JOB_ID_H_
+
+namespace sia {
+
+using JobId = int;
+
+// Sentinel for "no job" (trace records, optional fields).
+inline constexpr JobId kInvalidJobId = -1;
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_JOB_ID_H_

@@ -14,6 +14,7 @@ PolicySummary Summarize(const std::string& policy, const std::vector<SimResult>&
   summary.num_traces = static_cast<int>(results.size());
   RunningStats jct, p99, makespan, gpu_hours, contention, restarts;
   RunningStats crashes, evictions, downtime, recovery, zero_goodput;
+  RunningStats policy_median, policy_p95, bb_nodes, lp_iterations;
   double max_contention = 0.0;
   for (const SimResult& result : results) {
     jct.Add(result.AvgJctHours());
@@ -24,13 +25,17 @@ PolicySummary Summarize(const std::string& policy, const std::vector<SimResult>&
     restarts.Add(result.AvgRestarts());
     max_contention = std::max(max_contention, static_cast<double>(result.max_contention));
     summary.all_finished = summary.all_finished && result.all_finished;
-    crashes.Add(static_cast<double>(result.total_failures));
-    evictions.Add(static_cast<double>(result.failure_evictions));
+    crashes.Add(static_cast<double>(result.resilience.total_failures));
+    evictions.Add(static_cast<double>(result.resilience.failure_evictions));
     downtime.Add(result.NodeDowntimeGpuHours());
-    if (!result.recovery_seconds.empty()) {
+    if (!result.resilience.recovery_seconds.empty()) {
       recovery.Add(result.AvgRecoveryMinutes());
     }
-    zero_goodput.Add(static_cast<double>(result.zero_goodput_rounds));
+    zero_goodput.Add(static_cast<double>(result.resilience.zero_goodput_rounds));
+    policy_median.Add(result.MedianPolicyRuntime() * 1e3);
+    policy_p95.Add(result.P95PolicyRuntime() * 1e3);
+    bb_nodes.Add(static_cast<double>(result.policy_cost.solver_bb_nodes));
+    lp_iterations.Add(static_cast<double>(result.policy_cost.solver_lp_iterations));
   }
   summary.avg_jct_hours = jct.mean();
   summary.avg_jct_std = jct.stddev();
@@ -47,6 +52,10 @@ PolicySummary Summarize(const std::string& policy, const std::vector<SimResult>&
   summary.downtime_gpu_hours = downtime.mean();
   summary.avg_recovery_minutes = recovery.mean();
   summary.zero_goodput_rounds = zero_goodput.mean();
+  summary.median_policy_ms = policy_median.mean();
+  summary.p95_policy_ms = policy_p95.mean();
+  summary.avg_bb_nodes = bb_nodes.mean();
+  summary.avg_lp_iterations = lp_iterations.mean();
   return summary;
 }
 
@@ -83,13 +92,31 @@ std::map<SizeCategory, double> AvgJctByCategory(const std::vector<SimResult>& re
   return averages;
 }
 
-std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
-                               const std::string& title) {
-  Table table({"policy", "avg JCT (h)", "p99 JCT (h)", "makespan (h)", "GPU-h/job",
-               "contention avg", "contention max", "restarts/job"});
-  for (const PolicySummary& summary : summaries) {
-    table.AddRow({summary.policy,
-                  Table::Num(summary.avg_jct_hours) + " +- " + Table::Num(summary.avg_jct_std, 2),
+namespace {
+
+void AppendHeader(ReportColumns group, std::vector<std::string>& header) {
+  switch (group) {
+    case ReportColumns::kHeadline:
+      header.insert(header.end(), {"avg JCT (h)", "p99 JCT (h)", "makespan (h)", "GPU-h/job",
+                                   "contention avg", "contention max", "restarts/job"});
+      break;
+    case ReportColumns::kResilience:
+      header.insert(header.end(), {"avg JCT (h)", "crashes", "evictions", "downtime GPU-h",
+                                   "recovery (min)", "zero-goodput", "finished"});
+      break;
+    case ReportColumns::kPolicyCost:
+      header.insert(header.end(),
+                    {"policy med (ms)", "policy p95 (ms)", "B&B nodes", "LP iters"});
+      break;
+  }
+}
+
+void AppendCells(ReportColumns group, const PolicySummary& summary,
+                 std::vector<std::string>& row) {
+  switch (group) {
+    case ReportColumns::kHeadline:
+      row.insert(row.end(),
+                 {Table::Num(summary.avg_jct_hours) + " +- " + Table::Num(summary.avg_jct_std, 2),
                   Table::Num(summary.p99_jct_hours, 1),
                   Table::Num(summary.makespan_hours, 1) + " +- " +
                       Table::Num(summary.makespan_std, 1),
@@ -97,23 +124,83 @@ std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
                       Table::Num(summary.gpu_hours_std, 2),
                   Table::Num(summary.avg_contention, 1), Table::Num(summary.max_contention, 0),
                   Table::Num(summary.avg_restarts, 1)});
+      break;
+    case ReportColumns::kResilience:
+      row.insert(row.end(),
+                 {Table::Num(summary.avg_jct_hours), Table::Num(summary.avg_crashes, 1),
+                  Table::Num(summary.avg_evictions, 1), Table::Num(summary.downtime_gpu_hours, 1),
+                  Table::Num(summary.avg_recovery_minutes, 1),
+                  Table::Num(summary.zero_goodput_rounds, 1),
+                  summary.all_finished ? "yes" : "NO"});
+      break;
+    case ReportColumns::kPolicyCost:
+      row.insert(row.end(),
+                 {Table::Num(summary.median_policy_ms, 2), Table::Num(summary.p95_policy_ms, 2),
+                  Table::Num(summary.avg_bb_nodes, 0), Table::Num(summary.avg_lp_iterations, 0)});
+      break;
   }
-  return title + "\n" + table.Render();
+}
+
+}  // namespace
+
+Report& Report::With(ReportColumns group) {
+  for (ReportColumns existing : groups_) {
+    if (existing == group) {
+      return *this;
+    }
+  }
+  groups_.push_back(group);
+  return *this;
+}
+
+Report& Report::Add(const PolicySummary& summary) {
+  rows_.push_back(summary);
+  return *this;
+}
+
+Report& Report::Add(const std::vector<PolicySummary>& summaries) {
+  rows_.insert(rows_.end(), summaries.begin(), summaries.end());
+  return *this;
+}
+
+std::string Report::Render() const {
+  // Fixed rendering order regardless of With() call order, so composed
+  // reports always read headline -> resilience -> policy cost.
+  std::vector<ReportColumns> groups;
+  for (ReportColumns group : {ReportColumns::kHeadline, ReportColumns::kResilience,
+                              ReportColumns::kPolicyCost}) {
+    for (ReportColumns requested : groups_) {
+      if (requested == group) {
+        groups.push_back(group);
+      }
+    }
+  }
+  if (groups.empty()) {
+    groups.push_back(ReportColumns::kHeadline);
+  }
+  std::vector<std::string> header{"policy"};
+  for (ReportColumns group : groups) {
+    AppendHeader(group, header);
+  }
+  Table table(header);
+  for (const PolicySummary& summary : rows_) {
+    std::vector<std::string> row{summary.policy};
+    for (ReportColumns group : groups) {
+      AppendCells(group, summary, row);
+    }
+    table.AddRow(row);
+  }
+  return title_ + "\n" + table.Render();
+}
+
+std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
+                               const std::string& title) {
+  return Report(title).Add(summaries).Render();
 }
 
 std::string RenderResilienceTable(const std::vector<PolicySummary>& summaries,
                                   const std::string& title) {
-  Table table({"policy", "avg JCT (h)", "crashes", "evictions", "downtime GPU-h",
-               "recovery (min)", "zero-goodput", "finished"});
-  for (const PolicySummary& summary : summaries) {
-    table.AddRow({summary.policy, Table::Num(summary.avg_jct_hours),
-                  Table::Num(summary.avg_crashes, 1), Table::Num(summary.avg_evictions, 1),
-                  Table::Num(summary.downtime_gpu_hours, 1),
-                  Table::Num(summary.avg_recovery_minutes, 1),
-                  Table::Num(summary.zero_goodput_rounds, 1),
-                  summary.all_finished ? "yes" : "NO"});
-  }
-  return title + "\n" + table.Render();
+  return Report(title).With(ReportColumns::kResilience).Add(summaries).Render();
 }
 
 double JainFairnessIndex(const std::vector<double>& values) {

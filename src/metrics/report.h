@@ -1,5 +1,6 @@
 // Aggregation of simulation results into paper-style summary rows
-// (Table 3 / Table 4 columns) across one or many trace samples.
+// (Table 3 / Table 4 columns) across one or many trace samples, and the
+// Report builder that renders any combination of column groups from them.
 #ifndef SIA_SRC_METRICS_REPORT_H_
 #define SIA_SRC_METRICS_REPORT_H_
 
@@ -35,6 +36,12 @@ struct PolicySummary {
   double downtime_gpu_hours = 0.0;     // Mean capacity lost to crash windows.
   double avg_recovery_minutes = 0.0;   // Mean time-to-recover after a crash.
   double zero_goodput_rounds = 0.0;    // Degenerate-goodput rounds per trace.
+
+  // --- policy-cost columns (from SimResult::PolicyCost) ---
+  double median_policy_ms = 0.0;       // Median per-round solve wall-clock.
+  double p95_policy_ms = 0.0;          // p95 per-round solve wall-clock.
+  double avg_bb_nodes = 0.0;           // MILP B&B nodes per trace.
+  double avg_lp_iterations = 0.0;      // Simplex iterations per trace.
 };
 
 // Aggregates per-trace results for one scheduler.
@@ -48,13 +55,49 @@ std::map<ModelKind, double> GpuHoursByModel(const std::vector<SimResult>& result
 // dominate GPU-hours).
 std::map<SizeCategory, double> AvgJctByCategory(const std::vector<SimResult>& results);
 
-// Renders a Table 3/4-style row set to stdout-ready text.
+// Column groups a Report can render. Groups compose: requesting several
+// concatenates their columns (after the shared "policy" key column) in the
+// order listed here, regardless of With() call order.
+enum class ReportColumns {
+  kHeadline,    // avg/p99 JCT, makespan, GPU-h/job, contention, restarts.
+  kResilience,  // Crashes, evictions, downtime, recovery time, zero-goodput.
+  kPolicyCost,  // Median/p95 solve wall-clock, B&B nodes, LP iterations.
+};
+
+// Builder for paper-style summary tables over PolicySummary rows:
+//
+//   std::cout << Report("Table 3").Add(summaries).Render();                 // headline
+//   std::cout << Report("faults").With(ReportColumns::kResilience)
+//                    .Add(summaries).Render();                              // resilience
+//
+// A Report with no With() call renders kHeadline. Every view of the same
+// summaries goes through this one surface, so adding a column group is a
+// local change instead of another Render*Table free function.
+class Report {
+ public:
+  explicit Report(std::string title) : title_(std::move(title)) {}
+
+  // Requests a column group (idempotent). Returns *this for chaining.
+  Report& With(ReportColumns group);
+  Report& Add(const PolicySummary& summary);
+  Report& Add(const std::vector<PolicySummary>& summaries);
+
+  // Renders the title plus one table row per added summary.
+  std::string Render() const;
+
+ private:
+  std::string title_;
+  std::vector<ReportColumns> groups_;  // Insertion-ordered, deduplicated.
+  std::vector<PolicySummary> rows_;
+};
+
+// Renders a Table 3/4-style row set to stdout-ready text. Equivalent to
+// Report(title).Add(summaries).Render().
 std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
                                const std::string& title);
 
-// Renders the resilience view of the same summaries: crash/eviction counts,
-// downtime GPU-hours, mean recovery time, and zero-goodput rounds alongside
-// the headline JCT so degradation under faults reads in one table.
+// Renders the resilience view of the same summaries.
+[[deprecated("use Report(title).With(ReportColumns::kResilience) instead")]]
 std::string RenderResilienceTable(const std::vector<PolicySummary>& summaries,
                                   const std::string& title);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/metrics_registry.h"
 #include "src/solver/curve_fit.h"
 
 namespace sia {
@@ -153,6 +154,15 @@ void GoodputEstimator::RefitCompute(TypeState& type) {
   type.fitted.alpha_compute = alpha;
   type.fitted.beta_compute = beta;
   type.has_compute = true;
+  if (metrics_ != nullptr) {
+    double residual = 0.0;
+    for (const auto& p : pts) {
+      const double r = alpha + beta * p.local_bsz - p.iter_time;
+      residual += r * r;
+    }
+    metrics_->counter("estimator.refits").Add();
+    metrics_->histogram("estimator.fit_residual").Record(residual);
+  }
 }
 
 void GoodputEstimator::RefitSync(TypeState& type, bool inter) {
@@ -190,6 +200,11 @@ void GoodputEstimator::RefitSync(TypeState& type, bool inter) {
     type.fitted.alpha_intra = fit.params[0];
     type.fitted.beta_intra = fit.params[1];
     type.has_intra = true;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("estimator.refits").Add();
+    metrics_->histogram("estimator.fit_residual").Record(fit.cost);
+    metrics_->histogram("estimator.fit_iterations").Record(static_cast<double>(fit.iterations));
   }
 }
 

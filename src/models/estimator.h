@@ -26,6 +26,8 @@
 
 namespace sia {
 
+class MetricsRegistry;
+
 // Throughput-model knowledge regimes evaluated in §5.7.
 enum class ProfilingMode {
   kOracle,     // Ground-truth params known for every configuration.
@@ -60,6 +62,13 @@ class GoodputEstimator {
                       double iter_time);
   // Gradient-noise-scale report (EMA-smoothed internally).
   void ObservePgns(double pgns);
+
+  // Optional observability hook. When bound, every compute/sync refit
+  // records into the registry: "estimator.refits" (counter),
+  // "estimator.fit_residual" (histogram of final sum-of-squares cost), and
+  // "estimator.fit_iterations" (histogram of LM iterations per sync fit).
+  // Null unbinds. The estimator never owns the registry.
+  void BindMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // --- estimation (called by scheduling policies) ---
 
@@ -122,6 +131,7 @@ class GoodputEstimator {
   std::vector<TypeState> types_;
   std::vector<HybridProfile> hybrid_;  // Per type; available only for hybrid models.
   double pgns_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sia

@@ -1,0 +1,67 @@
+#include "src/obs/json_util.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace sia {
+
+void AppendJsonEscaped(std::string& out, std::string_view v) {
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string& out, std::string_view v) {
+  out += '"';
+  AppendJsonEscaped(out, v);
+  out += '"';
+}
+
+void AppendJsonNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
+}
+
+void AppendJsonNumber(std::string& out, int64_t v) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
+}
+
+void AppendJsonNumber(std::string& out, uint64_t v) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
+}
+
+}  // namespace sia

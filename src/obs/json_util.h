@@ -1,0 +1,31 @@
+// Deterministic JSON fragment helpers shared by the trace sinks, the metrics
+// registry export, and the bench JSON writer.
+//
+// Numbers are rendered with std::to_chars (shortest round-trip form), so the
+// byte output depends only on the value -- a fixed-seed run serializes
+// byte-identically across invocations. Non-finite doubles become null (JSON
+// has no inf/nan).
+#ifndef SIA_SRC_OBS_JSON_UTIL_H_
+#define SIA_SRC_OBS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sia {
+
+// Appends `v` escaped per RFC 8259 (quotes, backslash, control chars),
+// without surrounding quotes.
+void AppendJsonEscaped(std::string& out, std::string_view v);
+
+// Appends a quoted, escaped JSON string.
+void AppendJsonString(std::string& out, std::string_view v);
+
+// Appends a JSON number (shortest round-trip form; null when non-finite).
+void AppendJsonNumber(std::string& out, double v);
+void AppendJsonNumber(std::string& out, int64_t v);
+void AppendJsonNumber(std::string& out, uint64_t v);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_OBS_JSON_UTIL_H_

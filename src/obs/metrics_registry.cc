@@ -1,0 +1,190 @@
+#include "src/obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "src/common/check.h"
+#include "src/obs/json_util.h"
+
+namespace sia {
+
+void Histogram::Record(double v) {
+#ifndef SIA_OBS_DISABLED
+  if (!enabled_) {
+    return;
+  }
+  int bucket;
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    bucket = 0;  // Underflow: non-positive / non-finite values.
+  } else {
+    const double pos = std::log2(v) * kSubBuckets;
+    const double lo = static_cast<double>(kMinExp * kSubBuckets);
+    const double hi = static_cast<double>(kMaxExp * kSubBuckets);
+    if (pos < lo) {
+      bucket = 0;
+    } else if (pos >= hi) {
+      bucket = kNumBuckets - 1;
+    } else {
+      bucket = 1 + static_cast<int>(std::floor(pos) - lo);
+    }
+  }
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+#else
+  (void)v;
+#endif
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target && buckets_[i] > 0) {
+      double representative;
+      if (i == 0) {
+        representative = min_;
+      } else if (i == kNumBuckets - 1) {
+        representative = max_;
+      } else {
+        // Geometric midpoint of the bucket's [2^(s/k), 2^((s+1)/k)) span.
+        const double s = static_cast<double>(i - 1 + kMinExp * kSubBuckets);
+        representative = std::exp2((s + 0.5) / kSubBuckets);
+      }
+      return std::clamp(representative, min_, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) {
+    return *it->second;
+  }
+  SIA_CHECK(gauge_index_.find(name) == gauge_index_.end() &&
+            histogram_index_.find(name) == histogram_index_.end())
+      << "metric name '" << std::string(name) << "' already used for another instrument kind";
+  counters_.push_back(Counter(enabled_));
+  counter_index_.emplace(std::string(name), &counters_.back());
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) {
+    return *it->second;
+  }
+  SIA_CHECK(counter_index_.find(name) == counter_index_.end() &&
+            histogram_index_.find(name) == histogram_index_.end())
+      << "metric name '" << std::string(name) << "' already used for another instrument kind";
+  gauges_.push_back(Gauge(enabled_));
+  gauge_index_.emplace(std::string(name), &gauges_.back());
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) {
+    return *it->second;
+  }
+  SIA_CHECK(counter_index_.find(name) == counter_index_.end() &&
+            gauge_index_.find(name) == gauge_index_.end())
+      << "metric name '" << std::string(name) << "' already used for another instrument kind";
+  histograms_.push_back(Histogram(enabled_));
+  histogram_index_.emplace(std::string(name), &histograms_.back());
+  return histograms_.back();
+}
+
+uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const auto it = gauge_index_.find(name);
+  return it == gauge_index_.end() ? 0.0 : it->second->value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = histogram_index_.find(name);
+  return it == histogram_index_.end() ? nullptr : it->second;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::string line = "{\"schema_version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counter_index_) {
+    if (!first) {
+      line += ',';
+    }
+    first = false;
+    AppendJsonString(line, name);
+    line += ':';
+    AppendJsonNumber(line, counter->value());
+  }
+  line += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauge_index_) {
+    if (!first) {
+      line += ',';
+    }
+    first = false;
+    AppendJsonString(line, name);
+    line += ':';
+    AppendJsonNumber(line, gauge->value());
+  }
+  line += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histogram_index_) {
+    if (!first) {
+      line += ',';
+    }
+    first = false;
+    AppendJsonString(line, name);
+    line += ":{\"count\":";
+    AppendJsonNumber(line, histogram->count());
+    line += ",\"sum\":";
+    AppendJsonNumber(line, histogram->sum());
+    line += ",\"min\":";
+    AppendJsonNumber(line, histogram->min());
+    line += ",\"max\":";
+    AppendJsonNumber(line, histogram->max());
+    line += ",\"mean\":";
+    AppendJsonNumber(line, histogram->mean());
+    line += ",\"p50\":";
+    AppendJsonNumber(line, histogram->Percentile(0.50));
+    line += ",\"p90\":";
+    AppendJsonNumber(line, histogram->Percentile(0.90));
+    line += ",\"p99\":";
+    AppendJsonNumber(line, histogram->Percentile(0.99));
+    line += '}';
+  }
+  line += "}}\n";
+  out << line;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  WriteJson(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace sia

@@ -1,0 +1,166 @@
+// Lightweight metrics substrate for the simulator, schedulers, solver, and
+// estimator stack: named counters, gauges, and log-bucketed histograms owned
+// by a MetricsRegistry.
+//
+// Design constraints (ISSUE 2):
+//  * zero heap allocation on the hot path -- callers look an instrument up
+//    once (registry lookup may allocate) and then record through the returned
+//    reference, which is a plain arithmetic update into pre-allocated
+//    storage;
+//  * runtime-disableable -- a registry constructed disabled hands out
+//    instruments whose record operations are no-ops, so library code can
+//    instrument unconditionally;
+//  * compile-out-able -- building with -DSIA_OBS_DISABLED turns every record
+//    operation into an empty inline body (the registry and export surface
+//    stay link-compatible).
+//
+// Instruments live as long as their registry; references returned by
+// counter()/gauge()/histogram() are stable (deque storage, never moved).
+#ifndef SIA_SRC_OBS_METRICS_REGISTRY_H_
+#define SIA_SRC_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sia {
+
+// Monotonic event count. Add() saturates at uint64 max instead of wrapping,
+// so a runaway increment can never masquerade as a near-zero count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+#ifndef SIA_OBS_DISABLED
+    if (!enabled_) {
+      return;
+    }
+    const uint64_t next = value_ + n;
+    value_ = next < value_ ? std::numeric_limits<uint64_t>::max() : next;
+#else
+    (void)n;
+#endif
+  }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(bool enabled) : enabled_(enabled) {}
+  uint64_t value_ = 0;
+  bool enabled_;
+};
+
+// Last-written value (e.g. "B&B nodes of the most recent solve").
+class Gauge {
+ public:
+  void Set(double v) {
+#ifndef SIA_OBS_DISABLED
+    if (enabled_) {
+      value_ = v;
+    }
+#else
+    (void)v;
+#endif
+  }
+  void Add(double v) {
+#ifndef SIA_OBS_DISABLED
+    if (enabled_) {
+      value_ += v;
+    }
+#else
+    (void)v;
+#endif
+  }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(bool enabled) : enabled_(enabled) {}
+  double value_ = 0.0;
+  bool enabled_;
+};
+
+// Fixed-layout geometric histogram: kSubBuckets buckets per power of two
+// over [2^kMinExp, 2^kMaxExp), one underflow bucket for values below range
+// (including <= 0) and one overflow bucket above. Record() is a couple of
+// arithmetic ops plus two array increments -- no allocation, ever (the
+// bucket array is part of the object). Relative quantile error is bounded
+// by the sub-bucket width (~9%).
+class Histogram {
+ public:
+  static constexpr int kMinExp = -30;  // ~1e-9 (ns-scale timings).
+  static constexpr int kMaxExp = 40;   // ~1e12 (GPU-second aggregates).
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kNumBuckets = (kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  void Record(double v);
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  // q in [0, 1]; returns the representative value of the bucket where the
+  // q-quantile falls, clamped to [min, max]. 0 when empty.
+  double Percentile(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(bool enabled) : enabled_(enabled) {}
+
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool enabled_;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  // Finds or creates the named instrument. The returned reference stays
+  // valid for the registry's lifetime. A name may only be used for one
+  // instrument kind (checked).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Read-only lookups for export/tests; return 0 / nullptr when absent.
+  uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+  // Serializes every instrument as one JSON object (names sorted, so the
+  // output is deterministic for a deterministic run):
+  //   {"schema_version":1,"counters":{...},"gauges":{...},
+  //    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+  //                          "mean":..,"p50":..,"p90":..,"p99":..}}}
+  void WriteJson(std::ostream& out) const;
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  bool enabled_;
+  // std::map keys double as the sorted export order; std::deque keeps
+  // instrument addresses stable as the registry grows.
+  std::map<std::string, Counter*, std::less<>> counter_index_;
+  std::map<std::string, Gauge*, std::less<>> gauge_index_;
+  std::map<std::string, Histogram*, std::less<>> histogram_index_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,180 @@
+#include "src/obs/trace_sink.h"
+
+#include <fstream>
+
+#include "src/obs/json_util.h"
+
+namespace sia {
+
+TraceRecord& TraceRecord::Set(std::string_view key, double v) {
+  Field f;
+  f.key = std::string(key);
+  f.kind = Field::Kind::kDouble;
+  f.d = v;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TraceRecord& TraceRecord::Set(std::string_view key, int64_t v) {
+  Field f;
+  f.key = std::string(key);
+  f.kind = Field::Kind::kInt;
+  f.i = v;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TraceRecord& TraceRecord::Set(std::string_view key, uint64_t v) {
+  // Values beyond int64 range do not occur in practice; keep one int kind.
+  return Set(key, static_cast<int64_t>(v));
+}
+
+TraceRecord& TraceRecord::Set(std::string_view key, std::string_view v) {
+  Field f;
+  f.key = std::string(key);
+  f.kind = Field::Kind::kString;
+  f.s = std::string(v);
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+TraceRecord& TraceRecord::Set(std::string_view key, bool v) {
+  Field f;
+  f.key = std::string(key);
+  f.kind = Field::Kind::kBool;
+  f.b = v;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+std::string TraceRecord::ToJson() const {
+  std::string line = "{\"type\":";
+  AppendJsonString(line, type_);
+  for (const Field& field : fields_) {
+    line += ',';
+    AppendJsonString(line, field.key);
+    line += ':';
+    switch (field.kind) {
+      case Field::Kind::kDouble:
+        AppendJsonNumber(line, field.d);
+        break;
+      case Field::Kind::kInt:
+        AppendJsonNumber(line, field.i);
+        break;
+      case Field::Kind::kString:
+        AppendJsonString(line, field.s);
+        break;
+      case Field::Kind::kBool:
+        line += field.b ? "true" : "false";
+        break;
+    }
+  }
+  line += '}';
+  return line;
+}
+
+namespace {
+
+std::string CsvCell(const TraceRecord::Field& field) {
+  std::string value;
+  switch (field.kind) {
+    case TraceRecord::Field::Kind::kDouble:
+      AppendJsonNumber(value, field.d);
+      break;
+    case TraceRecord::Field::Kind::kInt:
+      AppendJsonNumber(value, field.i);
+      break;
+    case TraceRecord::Field::Kind::kString:
+      value = field.s;
+      break;
+    case TraceRecord::Field::Kind::kBool:
+      value = field.b ? "1" : "0";
+      break;
+  }
+  if (value.find_first_of(",\"\n") != std::string::npos) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"') {
+        quoted += '"';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+  return value;
+}
+
+}  // namespace
+
+JsonlTraceSink::JsonlTraceSink(std::unique_ptr<std::ostream> owned)
+    : owned_(std::move(owned)), out_(owned_.get()) {}
+
+std::unique_ptr<JsonlTraceSink> JsonlTraceSink::Open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!file->is_open()) {
+    return nullptr;
+  }
+  return std::unique_ptr<JsonlTraceSink>(new JsonlTraceSink(std::move(file)));
+}
+
+void JsonlTraceSink::Write(const TraceRecord& record) {
+  *out_ << record.ToJson() << '\n';
+  ++records_written_;
+}
+
+void JsonlTraceSink::Flush() { out_->flush(); }
+
+CsvTraceSink::CsvTraceSink(std::unique_ptr<std::ostream> owned, std::string record_type)
+    : owned_(std::move(owned)), out_(owned_.get()), record_type_(std::move(record_type)) {}
+
+std::unique_ptr<CsvTraceSink> CsvTraceSink::Open(const std::string& path,
+                                                 std::string record_type) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!file->is_open()) {
+    return nullptr;
+  }
+  return std::unique_ptr<CsvTraceSink>(new CsvTraceSink(std::move(file), std::move(record_type)));
+}
+
+void CsvTraceSink::Write(const TraceRecord& record) {
+  if (record.type() != record_type_) {
+    return;
+  }
+  if (columns_.empty()) {
+    std::string header;
+    for (const auto& field : record.fields()) {
+      if (!header.empty()) {
+        header += ',';
+      }
+      header += field.key;
+      columns_.push_back(field.key);
+    }
+    *out_ << header << '\n';
+  }
+  std::string row;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) {
+      row += ',';
+    }
+    for (const auto& field : record.fields()) {
+      if (field.key == columns_[c]) {
+        row += CsvCell(field);
+        break;
+      }
+    }
+  }
+  *out_ << row << '\n';
+}
+
+void CsvTraceSink::Flush() { out_->flush(); }
+
+std::unique_ptr<TraceSink> OpenTraceSink(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    return CsvTraceSink::Open(path);
+  }
+  return JsonlTraceSink::Open(path);
+}
+
+}  // namespace sia

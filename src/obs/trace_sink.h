@@ -1,0 +1,118 @@
+// Streaming run-trace layer: typed flat records (the per-round evidence the
+// paper's evaluation is built from -- queue depth, busy GPUs, solver work,
+// fault events) pushed through a TraceSink interface with JSONL and CSV
+// backends.
+//
+// The JSONL backend writes one JSON object per record, fields in insertion
+// order, numbers in shortest round-trip form -- a fixed-seed simulation
+// therefore serializes byte-identically across invocations (tools/
+// check_trace_schema.py validates the schema; DESIGN.md documents it).
+// The CSV backend projects one record type (default "round") onto a flat
+// table for spreadsheet use.
+#ifndef SIA_SRC_OBS_TRACE_SINK_H_
+#define SIA_SRC_OBS_TRACE_SINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sia {
+
+// One flat trace record: a type tag plus ordered key/value fields. Values
+// are doubles, integers, strings, or booleans. Built fluently:
+//   TraceRecord("round").Set("t", now).Set("busy_gpus", busy)
+class TraceRecord {
+ public:
+  struct Field {
+    enum class Kind { kDouble, kInt, kString, kBool };
+    std::string key;
+    Kind kind;
+    double d = 0.0;
+    int64_t i = 0;
+    std::string s;
+    bool b = false;
+  };
+
+  explicit TraceRecord(std::string_view type) : type_(type) {}
+
+  TraceRecord& Set(std::string_view key, double v);
+  TraceRecord& Set(std::string_view key, int64_t v);
+  TraceRecord& Set(std::string_view key, int v) { return Set(key, static_cast<int64_t>(v)); }
+  TraceRecord& Set(std::string_view key, uint64_t v);
+  TraceRecord& Set(std::string_view key, std::string_view v);
+  TraceRecord& Set(std::string_view key, const char* v) {
+    return Set(key, std::string_view(v));
+  }
+  TraceRecord& Set(std::string_view key, bool v);
+
+  const std::string& type() const { return type_; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // Renders the record as a single-line JSON object (no trailing newline),
+  // "type" first, then fields in insertion order.
+  std::string ToJson() const;
+
+ private:
+  std::string type_;
+  std::vector<Field> fields_;
+};
+
+// Record consumer. Implementations must tolerate any record type: the set
+// of types grows with the instrumentation (sinks may filter).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Write(const TraceRecord& record) = 0;
+  virtual void Flush() {}
+};
+
+// JSON-lines backend: every record becomes one line. Use Open() to write a
+// file (owns the stream) or the ostream constructor to borrow one.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
+  static std::unique_ptr<JsonlTraceSink> Open(const std::string& path);
+
+  void Write(const TraceRecord& record) override;
+  void Flush() override;
+  int64_t records_written() const { return records_written_; }
+
+ private:
+  JsonlTraceSink(std::unique_ptr<std::ostream> owned);
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  int64_t records_written_ = 0;
+};
+
+// CSV backend: keeps only records of `record_type` and lays them out as a
+// flat table. The first matching record fixes the column set (header row);
+// later records are projected onto it -- missing fields render empty, new
+// fields are dropped. Quoting follows RFC 4180.
+class CsvTraceSink : public TraceSink {
+ public:
+  explicit CsvTraceSink(std::ostream& out, std::string record_type = "round")
+      : out_(&out), record_type_(std::move(record_type)) {}
+  static std::unique_ptr<CsvTraceSink> Open(const std::string& path,
+                                            std::string record_type = "round");
+
+  void Write(const TraceRecord& record) override;
+  void Flush() override;
+
+ private:
+  CsvTraceSink(std::unique_ptr<std::ostream> owned, std::string record_type);
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  std::string record_type_;
+  std::vector<std::string> columns_;  // Fixed by the first matching record.
+};
+
+// Opens the sink matching `path`'s extension: ".csv" -> CsvTraceSink (round
+// records), anything else -> JsonlTraceSink. Null on open failure.
+std::unique_ptr<TraceSink> OpenTraceSink(const std::string& path);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_OBS_TRACE_SINK_H_

@@ -77,6 +77,10 @@ ScheduleOutput AlloxScheduler::Schedule(const ScheduleInput& input) {
       break;
     }
   }
+  if (input.metrics != nullptr) {
+    input.metrics->counter("scheduler.jobs_allocated").Add(output.size());
+    input.metrics->counter("scheduler.jobs_considered").Add(entries.size());
+  }
   return output;
 }
 

@@ -135,6 +135,10 @@ ScheduleOutput PriorityScheduler::Schedule(const ScheduleInput& input) {
       break;
     }
   }
+  if (input.metrics != nullptr) {
+    input.metrics->counter("scheduler.jobs_allocated").Add(output.size());
+    input.metrics->counter("scheduler.jobs_considered").Add(input.jobs.size());
+  }
   return output;
 }
 

@@ -156,6 +156,10 @@ ScheduleOutput GavelScheduler::Schedule(const ScheduleInput& input) {
     return output;
   }
   const LpSolution solution = SolveLp(lp);
+  if (input.metrics != nullptr) {
+    input.metrics->counter("solver.lp_iterations").Add(static_cast<uint64_t>(solution.iterations));
+    input.metrics->gauge("solver.last_objective").Set(solution.objective);
+  }
   if (solution.status != SolveStatus::kOptimal) {
     last_output_.clear();
     return output;

@@ -291,6 +291,13 @@ ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
     population = std::move(next);
     scores = std::move(next_scores);
   }
+  if (input.metrics != nullptr) {
+    input.metrics->counter("scheduler.ga_generations")
+        .Add(static_cast<uint64_t>(options_.generations));
+    input.metrics->counter("scheduler.ga_genomes_evaluated")
+        .Add(static_cast<uint64_t>(options_.generations) *
+             static_cast<uint64_t>(options_.population));
+  }
 
   size_t best = 0;
   for (size_t k = 1; k < population.size(); ++k) {

@@ -14,7 +14,9 @@
 
 #include "src/cluster/cluster_spec.h"
 #include "src/cluster/configuration.h"
+#include "src/common/job_id.h"
 #include "src/models/estimator.h"
+#include "src/obs/metrics_registry.h"
 #include "src/workload/job.h"
 
 namespace sia {
@@ -51,10 +53,18 @@ struct ScheduleInput {
   // Valid configuration set for this cluster (§3.3), prebuilt once.
   const std::vector<Config>* config_set = nullptr;
   std::vector<JobView> jobs;
+  // Observability hook (never null inside ClusterSimulator; standalone
+  // drivers may leave it unset). Policies record their per-round solver work
+  // here -- `solver.bb_nodes`, `solver.lp_iterations`, `scheduler.*` -- which
+  // the simulator folds into SimResult::PolicyCost and the run trace.
+  MetricsRegistry* metrics = nullptr;
 };
 
-// Desired allocation per job id; jobs absent from the map receive nothing.
-using ScheduleOutput = std::map<int, Config>;
+// Desired allocation per job; jobs absent from the map receive nothing.
+// Keyed by JobId -- the same id type JobSpec, the placer, and the trace
+// layer use -- so ids survive the whole schedule -> place -> apply chain
+// without type laundering.
+using ScheduleOutput = std::map<JobId, Config>;
 
 class Scheduler {
  public:

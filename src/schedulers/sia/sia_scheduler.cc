@@ -225,6 +225,15 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     return output;
   }
   const MilpSolution solution = SolveMilp(lp, options_.milp);
+  if (input.metrics != nullptr) {
+    input.metrics->counter("solver.bb_nodes").Add(static_cast<uint64_t>(solution.nodes_explored));
+    input.metrics->counter("solver.lp_iterations")
+        .Add(static_cast<uint64_t>(solution.lp_iterations));
+    input.metrics->counter("scheduler.ilp_variables")
+        .Add(static_cast<uint64_t>(lp.num_variables()));
+    input.metrics->gauge("solver.last_bb_nodes").Set(solution.nodes_explored);
+    input.metrics->gauge("solver.last_objective").Set(solution.objective);
+  }
   const bool usable = (solution.status == SolveStatus::kOptimal ||
                        solution.status == SolveStatus::kNodeLimit ||
                        solution.status == SolveStatus::kTimeLimit) &&
@@ -235,6 +244,9 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     // against what is actually available instead.
     SIA_LOG(Warning) << "Sia ILP solve failed (" << ToString(solution.status)
                      << "); running greedy feasibility repair";
+    if (input.metrics != nullptr) {
+      input.metrics->counter("scheduler.greedy_fallbacks").Add();
+    }
     return GreedyRepairAllocations(input, configs, candidates);
   }
 

@@ -32,6 +32,54 @@ std::string ToString(const FaultEvent& event) {
   return out.str();
 }
 
+namespace {
+
+bool InUnitInterval(double v) { return v >= 0.0 && v <= 1.0; }
+
+}  // namespace
+
+std::string FaultOptions::Validate() const {
+  std::ostringstream err;
+  if (node_mtbf_hours < 0.0) {
+    err << "node_mtbf_hours must be >= 0 (got " << node_mtbf_hours << ")";
+  } else if (node_mtbf_hours > 0.0 && node_mttr_hours <= 0.0) {
+    err << "node_mttr_hours must be > 0 when crashes are enabled (got " << node_mttr_hours << ")";
+  } else if (node_mttr_hours < 0.0) {
+    err << "node_mttr_hours must be >= 0 (got " << node_mttr_hours << ")";
+  } else if (min_repair_seconds < 0.0) {
+    err << "min_repair_seconds must be >= 0 (got " << min_repair_seconds << ")";
+  } else if (!InUnitInterval(failure_progress_loss)) {
+    err << "failure_progress_loss must be in [0, 1] (got " << failure_progress_loss << ")";
+  } else if (!InUnitInterval(degraded_frac)) {
+    err << "degraded_frac must be in [0, 1] (got " << degraded_frac << ")";
+  } else if (degraded_frac > 0.0 && degrade_multiplier < 1.0) {
+    err << "degrade_multiplier must be >= 1 (got " << degrade_multiplier << ")";
+  } else if (!InUnitInterval(telemetry_dropout_prob)) {
+    err << "telemetry_dropout_prob must be in [0, 1] (got " << telemetry_dropout_prob << ")";
+  } else if (!InUnitInterval(telemetry_outlier_prob)) {
+    err << "telemetry_outlier_prob must be in [0, 1] (got " << telemetry_outlier_prob << ")";
+  } else if (telemetry_outlier_prob > 0.0 && telemetry_outlier_multiplier <= 0.0) {
+    err << "telemetry_outlier_multiplier must be > 0 (got " << telemetry_outlier_multiplier << ")";
+  } else {
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      const FaultEvent& event = schedule[i];
+      if (event.time_seconds < 0.0) {
+        err << "scripted fault #" << i << " has negative time " << event.time_seconds;
+        break;
+      }
+      if (event.duration_seconds < 0.0) {
+        err << "scripted fault #" << i << " has negative duration " << event.duration_seconds;
+        break;
+      }
+      if (event.kind == FaultKind::kDegradeStart && event.severity < 1.0) {
+        err << "scripted degrade #" << i << " has severity " << event.severity << " < 1";
+        break;
+      }
+    }
+  }
+  return err.str();
+}
+
 FaultInjector::FaultInjector(int num_nodes, const FaultOptions& options, Rng rng)
     : options_(options),
       rng_(rng.Fork("fault-events")),

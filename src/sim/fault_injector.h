@@ -83,6 +83,12 @@ struct FaultOptions {
     return node_mtbf_hours > 0.0 || degraded_frac > 0.0 || !schedule.empty() ||
            telemetry_dropout_prob > 0.0 || telemetry_outlier_prob > 0.0;
   }
+
+  // Returns "" when the options are coherent, else a descriptive error
+  // (negative rates, out-of-range fractions/probabilities, malformed
+  // scripted events). ClusterSimulator and the CLI tools call this instead
+  // of silently accepting garbage.
+  std::string Validate() const;
 };
 
 // Result of perturbing one telemetry observation.

@@ -1,15 +1,32 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/models/profile_db.h"
+#include "src/obs/scoped_timer.h"
 
 namespace sia {
+
+std::string SimOptions::Validate() const {
+  if (observation_noise_sigma < 0.0) {
+    return "observation_noise_sigma must be >= 0 (got " +
+           std::to_string(observation_noise_sigma) + ")";
+  }
+  if (pgns_noise_sigma < 0.0) {
+    return "pgns_noise_sigma must be >= 0 (got " + std::to_string(pgns_noise_sigma) + ")";
+  }
+  if (!(max_hours > 0.0)) {
+    return "max_hours must be > 0 (got " + std::to_string(max_hours) + ")";
+  }
+  if (std::string fault_error = faults.Validate(); !fault_error.empty()) {
+    return "faults: " + fault_error;
+  }
+  return "";
+}
 
 struct ClusterSimulator::JobState {
   JobSpec spec;
@@ -37,11 +54,6 @@ namespace {
 constexpr int kProfileBatchSizes = 10;
 constexpr double kProfileGpuSecondsPerType = 20.0;
 
-double WallSeconds() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 }  // namespace
 
 ClusterSimulator::ClusterSimulator(ClusterSpec cluster, std::vector<JobSpec> jobs,
@@ -54,8 +66,11 @@ ClusterSimulator::ClusterSimulator(ClusterSpec cluster, std::vector<JobSpec> job
       rng_(options.seed),
       faults_(std::make_unique<FaultInjector>(cluster_.num_nodes(), options.faults,
                                               rng_.Fork("node-failures"))),
-      node_down_since_(static_cast<size_t>(cluster_.num_nodes()), -1.0) {
+      node_down_since_(static_cast<size_t>(cluster_.num_nodes()), -1.0),
+      metrics_(options_.metrics != nullptr ? options_.metrics : &owned_metrics_) {
   SIA_CHECK(scheduler_ != nullptr);
+  const std::string error = options_.Validate();
+  SIA_CHECK(error.empty()) << "invalid SimOptions: " << error;
   std::stable_sort(pending_.begin(), pending_.end(),
                    [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
 }
@@ -71,7 +86,16 @@ void ClusterSimulator::ActivateArrivals(double now) {
     job->estimator =
         std::make_unique<GoodputEstimator>(spec.model, &cluster_, options_.profiling_mode,
                                            spec.batch_inference, spec.latency_slo_seconds);
+    job->estimator->BindMetrics(metrics_);
     job->noise = rng_.Fork("job-noise", static_cast<uint64_t>(spec.id));
+    metrics_->counter("sim.job_arrivals").Add();
+    if (options_.trace != nullptr) {
+      options_.trace->Write(TraceRecord("job_arrival")
+                                .Set("t", now)
+                                .Set("job", spec.id)
+                                .Set("submit", spec.submit_time)
+                                .Set("model", ToString(spec.model)));
+    }
 
     if (options_.profiling_mode == ProfilingMode::kBootstrap && !job->info.hybrid_parallel) {
       // Initial profiling: 1 GPU of each type, a sweep of batch sizes up to
@@ -99,11 +123,19 @@ void ClusterSimulator::ActivateArrivals(double now) {
 
 void ClusterSimulator::ProcessFaultEvents(double now) {
   for (const FaultEvent& event : faults_->AdvanceTo(now)) {
+    if (options_.trace != nullptr) {
+      TraceRecord record("fault");
+      record.Set("t", event.time_seconds).Set("kind", ToString(event.kind)).Set("node", event.node);
+      if (event.kind == FaultKind::kDegradeStart) {
+        record.Set("severity", event.severity);
+      }
+      options_.trace->Write(record);
+    }
     switch (event.kind) {
       case FaultKind::kNodeCrash: {
         cluster_.SetNodeUp(event.node, false);
         node_down_since_[event.node] = event.time_seconds;
-        ++result_.total_failures;
+        metrics_->counter("fault.node_crashes").Add();
         SIA_LOG(Debug) << "node " << event.node << " crashed at t=" << event.time_seconds
                        << "s (repair in " << event.duration_seconds << "s)";
         // Evict every job touching the node back to the queue: progress
@@ -124,7 +156,7 @@ void ClusterSimulator::ProcessFaultEvents(double now) {
           job->pending_restore = 0.0;
           job->failure_evicted = true;
           ++job->num_failures;
-          ++result_.failure_evictions;
+          metrics_->counter("fault.job_evictions").Add();
           if (options_.record_timeline) {
             result_.timeline.push_back({event.time_seconds, job->spec.id, Config{},
                                         TimelineEventKind::kFailureEviction});
@@ -139,7 +171,7 @@ void ClusterSimulator::ProcessFaultEvents(double now) {
       case FaultKind::kNodeRepair: {
         cluster_.SetNodeUp(event.node, true);
         if (node_down_since_[event.node] >= 0.0) {
-          result_.node_downtime_gpu_seconds +=
+          result_.resilience.node_downtime_gpu_seconds +=
               (event.time_seconds - node_down_since_[event.node]) *
               cluster_.node(event.node).num_gpus;
           node_down_since_[event.node] = -1.0;
@@ -173,7 +205,9 @@ void ClusterSimulator::UpdateRecoveries(double now) {
     const bool all_back =
         std::all_of(it->victims.begin(), it->victims.end(), recovered);
     if (all_back) {
-      result_.recovery_seconds.push_back(now - it->crash_time);
+      const double recovery = now - it->crash_time;
+      result_.resilience.recovery_seconds.push_back(recovery);
+      metrics_->histogram("fault.recovery_seconds").Record(recovery);
       it = recoveries_.erase(it);
     } else {
       ++it;
@@ -284,8 +318,9 @@ void ClusterSimulator::AdvanceRound(double now, double duration) {
       // can produce a configuration with no ground-truth progress. Holding
       // the GPUs for a round is the honest cost; aborting the whole sweep
       // is not.
-      ++result_.zero_goodput_rounds;
-      if (result_.zero_goodput_rounds == 1) {
+      metrics_->counter("sim.zero_goodput_rounds").Add();
+      if (!warned_zero_goodput_) {
+        warned_zero_goodput_ = true;
         SIA_LOG(Warning) << "job " << job->spec.id
                          << " made zero ground-truth goodput this round; holding GPUs "
                             "without progress (suppressing further warnings)";
@@ -312,11 +347,11 @@ void ClusterSimulator::AdvanceRound(double now, double duration) {
     // are *in* the report, so estimators absorb stragglers as they fit. ---
     const TelemetryFault fault = faults_->SampleTelemetry();
     if (fault.dropped) {
-      ++result_.telemetry_dropouts;
+      metrics_->counter("fault.telemetry_dropouts").Add();
       continue;
     }
     if (fault.multiplier != 1.0) {
-      ++result_.telemetry_outliers;
+      metrics_->counter("fault.telemetry_outliers").Add();
     }
     if (!job->info.hybrid_parallel) {
       const double true_iter = TrueIterTime(*job, config, decision) * straggler;
@@ -337,6 +372,9 @@ SimResult ClusterSimulator::Run() {
   const double round = scheduler_->round_duration_seconds();
   SIA_CHECK(round > 0.0);
   const double cap_seconds = options_.max_hours * 3600.0;
+  EmitManifest(round);
+  Histogram& schedule_hist = metrics_->histogram("sim.schedule_seconds");
+  Counter& rounds_counter = metrics_->counter("sim.rounds");
 
   double now = 0.0;
   RunningStats contention;
@@ -393,10 +431,19 @@ SimResult ClusterSimulator::Run() {
 
     contention.Add(static_cast<double>(active_count));
     result_.max_contention = std::max(result_.max_contention, active_count);
+    rounds_counter.Add();
 
-    const double t0 = WallSeconds();
+    // Solver-work deltas bracketing this round's Schedule() call; the
+    // difference is what lands in the round trace record.
+    input.metrics = metrics_;
+    const uint64_t bb_before = metrics_->counter_value("solver.bb_nodes");
+    const uint64_t lp_before = metrics_->counter_value("solver.lp_iterations");
+    const uint64_t refits_before = metrics_->counter_value("estimator.refits");
+
+    ScopedTimer schedule_timer(&schedule_hist);
     const ScheduleOutput desired = scheduler_->Schedule(input);
-    result_.policy_runtimes.push_back(WallSeconds() - t0);
+    const double schedule_seconds = schedule_timer.Stop();
+    result_.policy_cost.runtimes_seconds.push_back(schedule_seconds);
 
     std::map<JobId, Config> desired_map;
     for (const auto& [job_id, config] : desired) {
@@ -445,6 +492,33 @@ SimResult ClusterSimulator::Run() {
     }
 
     AdvanceRound(now, round);
+
+    if (options_.trace != nullptr) {
+      // Emitted after AdvanceRound so this round's estimator refits (driven
+      // by end-of-round telemetry) land in the same record as its solve.
+      int available_gpus = 0;
+      for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+        available_gpus += cluster_.AvailableGpus(t);
+      }
+      TraceRecord record("round");
+      record.Set("round", round_index_)
+          .Set("t", now)
+          .Set("active_jobs", stats.active_jobs)
+          .Set("running_jobs", stats.running_jobs)
+          .Set("queued_jobs", stats.active_jobs - stats.running_jobs)
+          .Set("busy_gpus", stats.busy_gpus)
+          .Set("available_gpus", available_gpus)
+          .Set("down_nodes", stats.down_nodes)
+          .Set("solver_bb_nodes", metrics_->counter_value("solver.bb_nodes") - bb_before)
+          .Set("solver_lp_iterations",
+               metrics_->counter_value("solver.lp_iterations") - lp_before)
+          .Set("estimator_refits", metrics_->counter_value("estimator.refits") - refits_before);
+      if (options_.trace_timings) {
+        record.Set("schedule_ms", schedule_seconds * 1e3);
+      }
+      options_.trace->Write(record);
+    }
+    ++round_index_;
     now += round;
 
     // Retire finished jobs into results.
@@ -468,6 +542,17 @@ SimResult ClusterSimulator::Run() {
       jr.gpu_seconds = (*it)->gpu_seconds;
       jr.num_restarts = (*it)->num_restarts;
       jr.num_failures = (*it)->num_failures;
+      metrics_->counter("sim.jobs_finished").Add();
+      metrics_->histogram("sim.jct_seconds").Record(jr.jct);
+      if (options_.trace != nullptr) {
+        options_.trace->Write(TraceRecord("job_finish")
+                                  .Set("t", jr.finish_time)
+                                  .Set("job", jr.spec.id)
+                                  .Set("jct", jr.jct)
+                                  .Set("gpu_seconds", jr.gpu_seconds)
+                                  .Set("restarts", jr.num_restarts)
+                                  .Set("failures", jr.num_failures));
+      }
       result_.makespan_seconds = std::max(result_.makespan_seconds, (*it)->finish_time);
       result_.jobs.push_back(std::move(jr));
     }
@@ -477,7 +562,7 @@ SimResult ClusterSimulator::Run() {
   // Close out crash windows still open at the end of the run.
   for (int node = 0; node < cluster_.num_nodes(); ++node) {
     if (node_down_since_[node] >= 0.0 && now > node_down_since_[node]) {
-      result_.node_downtime_gpu_seconds +=
+      result_.resilience.node_downtime_gpu_seconds +=
           (now - node_down_since_[node]) * cluster_.node(node).num_gpus;
       node_down_since_[node] = -1.0;
     }
@@ -507,7 +592,62 @@ SimResult ClusterSimulator::Run() {
   }
   std::stable_sort(result_.jobs.begin(), result_.jobs.end(),
                    [](const JobResult& a, const JobResult& b) { return a.spec.id < b.spec.id; });
+  FinalizeObservability();
   return result_;
+}
+
+void ClusterSimulator::EmitManifest(double round_seconds) {
+  if (options_.trace == nullptr) {
+    return;
+  }
+  options_.trace->Write(TraceRecord("manifest")
+                            .Set("schema_version", 1)
+                            .Set("scheduler", scheduler_->name())
+                            .Set("cluster_nodes", cluster_.num_nodes())
+                            .Set("cluster_gpus", cluster_.TotalGpus())
+                            .Set("num_jobs", static_cast<int64_t>(pending_.size()))
+                            .Set("seed", options_.seed)
+                            .Set("profiling_mode", ToString(options_.profiling_mode))
+                            .Set("round_seconds", round_seconds)
+                            .Set("faults_enabled", options_.faults.any_faults()));
+}
+
+void ClusterSimulator::FinalizeObservability() {
+  // SimResult sub-structs are views over the registry: every countable field
+  // below is sourced from the counters the run recorded.
+  auto as_int = [this](std::string_view name) {
+    return static_cast<int>(metrics_->counter_value(name));
+  };
+  result_.resilience.total_failures = as_int("fault.node_crashes");
+  result_.resilience.failure_evictions = as_int("fault.job_evictions");
+  result_.resilience.zero_goodput_rounds = as_int("sim.zero_goodput_rounds");
+  result_.resilience.telemetry_dropouts = as_int("fault.telemetry_dropouts");
+  result_.resilience.telemetry_outliers = as_int("fault.telemetry_outliers");
+  result_.policy_cost.solver_bb_nodes = metrics_->counter_value("solver.bb_nodes");
+  result_.policy_cost.solver_lp_iterations = metrics_->counter_value("solver.lp_iterations");
+  result_.policy_cost.greedy_fallbacks = metrics_->counter_value("scheduler.greedy_fallbacks");
+  result_.policy_cost.estimator_refits = metrics_->counter_value("estimator.refits");
+
+  metrics_->gauge("fault.node_downtime_gpu_seconds")
+      .Set(result_.resilience.node_downtime_gpu_seconds);
+  metrics_->gauge("sim.makespan_seconds").Set(result_.makespan_seconds);
+  metrics_->gauge("sim.gpu_utilization").Set(result_.gpu_utilization);
+  metrics_->gauge("sim.avg_contention").Set(result_.avg_contention);
+
+  if (options_.trace != nullptr) {
+    int finished = 0;
+    for (const JobResult& job : result_.jobs) {
+      finished += job.finished ? 1 : 0;
+    }
+    options_.trace->Write(TraceRecord("run_end")
+                              .Set("makespan", result_.makespan_seconds)
+                              .Set("rounds", round_index_)
+                              .Set("jobs_finished", finished)
+                              .Set("jobs_total", static_cast<int64_t>(result_.jobs.size()))
+                              .Set("all_finished", result_.all_finished)
+                              .Set("gpu_utilization", result_.gpu_utilization));
+    options_.trace->Flush();
+  }
 }
 
 // --- SimResult helpers ---
@@ -551,15 +691,16 @@ double SimResult::AvgRestarts() const {
 }
 
 double SimResult::MedianPolicyRuntime() const {
-  return policy_runtimes.empty() ? 0.0 : Median(policy_runtimes);
+  return policy_cost.runtimes_seconds.empty() ? 0.0 : Median(policy_cost.runtimes_seconds);
 }
 
 double SimResult::P95PolicyRuntime() const {
-  return policy_runtimes.empty() ? 0.0 : Percentile(policy_runtimes, 0.95);
+  return policy_cost.runtimes_seconds.empty() ? 0.0
+                                              : Percentile(policy_cost.runtimes_seconds, 0.95);
 }
 
 double SimResult::AvgRecoveryMinutes() const {
-  return recovery_seconds.empty() ? 0.0 : Mean(recovery_seconds) / 60.0;
+  return resilience.recovery_seconds.empty() ? 0.0 : Mean(resilience.recovery_seconds) / 60.0;
 }
 
 }  // namespace sia

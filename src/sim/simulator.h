@@ -23,12 +23,15 @@
 #define SIA_SRC_SIM_SIMULATOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster_spec.h"
 #include "src/cluster/placer.h"
 #include "src/common/rng.h"
 #include "src/models/estimator.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_sink.h"
 #include "src/schedulers/scheduler.h"
 #include "src/sim/fault_injector.h"
 #include "src/workload/job.h"
@@ -49,6 +52,27 @@ struct SimOptions {
   // Fault model: node crash/repair lifecycle, degraded (straggler) nodes,
   // and telemetry faults. Disabled by default (no fields set).
   FaultOptions faults;
+
+  // --- observability hooks (never owned by the simulator) ---
+  // External registry the run records into; the simulator uses an internal
+  // one when unset. SimResult::Resilience / SimResult::PolicyCost are
+  // populated from this registry at the end of Run(), so handing in a
+  // *disabled* registry (or building with -DSIA_OBS_DISABLED) also zeroes
+  // those counts.
+  MetricsRegistry* metrics = nullptr;
+  // Streaming run trace: one manifest record, one record per scheduling
+  // round, arrival/finish/fault events, and a closing run_end record (schema
+  // in DESIGN.md; validated by tools/check_trace_schema.py).
+  TraceSink* trace = nullptr;
+  // Include wall-clock solve timings in the trace. Off by default because
+  // timings are nondeterministic and the default trace is byte-identical
+  // across runs of the same seed.
+  bool trace_timings = false;
+
+  // Returns "" when the options are coherent, else a descriptive error.
+  // The ClusterSimulator constructor enforces this; CLI tools call it first
+  // to turn bad flags into readable diagnostics instead of a crash.
+  std::string Validate() const;
 };
 
 enum class TimelineEventKind {
@@ -60,7 +84,7 @@ enum class TimelineEventKind {
 
 struct TimelineEvent {
   double time_seconds;
-  int job_id;
+  JobId job_id;
   Config config;  // num_gpus == 0 marks preemption to the queue.
   TimelineEventKind kind = TimelineEventKind::kAllocation;
 };
@@ -90,27 +114,42 @@ struct SimResult {
   bool all_finished = false;
   double avg_contention = 0.0;
   int max_contention = 0;
-  std::vector<double> policy_runtimes;  // Wall-clock seconds per round.
   std::vector<TimelineEvent> timeline;
   std::vector<RoundStats> round_stats;  // Populated when record_timeline.
   // Fraction of GPU capacity busy over the run (allocated GPU-seconds /
   // (total GPUs x makespan)).
   double gpu_utilization = 0.0;
 
-  // --- resilience accounting ---
-  int total_failures = 0;      // Node crash events injected across the run.
-  int failure_evictions = 0;   // Job evictions caused by node crashes.
-  // GPU-hours of capacity lost to crash/repair windows, in GPU-seconds.
-  double node_downtime_gpu_seconds = 0.0;
-  // Per crash with running victims: seconds from the crash until every
-  // victim was running again (or finished). Measures scheduler recovery.
-  std::vector<double> recovery_seconds;
-  // Rounds where a running job's ground-truth goodput came out non-positive
-  // (degenerate estimator decision); skipped instead of aborting the run.
-  int zero_goodput_rounds = 0;
-  // Telemetry faults injected (reports lost / gross outliers delivered).
-  int telemetry_dropouts = 0;
-  int telemetry_outliers = 0;
+  // Resilience accounting, populated from the run's MetricsRegistry
+  // (`fault.*` / `sim.zero_goodput_rounds` counters) at the end of Run().
+  struct Resilience {
+    int total_failures = 0;      // Node crash events injected across the run.
+    int failure_evictions = 0;   // Job evictions caused by node crashes.
+    // GPU capacity lost to crash/repair windows, in GPU-seconds.
+    double node_downtime_gpu_seconds = 0.0;
+    // Per crash with running victims: seconds from the crash until every
+    // victim was running again (or finished). Measures scheduler recovery.
+    std::vector<double> recovery_seconds;
+    // Rounds where a running job's ground-truth goodput came out
+    // non-positive (degenerate estimator decision); skipped instead of
+    // aborting the run.
+    int zero_goodput_rounds = 0;
+    // Telemetry faults injected (reports lost / gross outliers delivered).
+    int telemetry_dropouts = 0;
+    int telemetry_outliers = 0;
+  };
+  Resilience resilience;
+
+  // What the policy itself cost, populated from the registry's `solver.*` /
+  // `scheduler.*` / `estimator.*` counters at the end of Run().
+  struct PolicyCost {
+    std::vector<double> runtimes_seconds;  // Wall-clock seconds per round.
+    uint64_t solver_bb_nodes = 0;          // MILP branch-and-bound nodes.
+    uint64_t solver_lp_iterations = 0;     // Simplex iterations (LP + MILP).
+    uint64_t greedy_fallbacks = 0;         // Sia MILP-timeout fallbacks.
+    uint64_t estimator_refits = 0;         // Goodput-model refits across jobs.
+  };
+  PolicyCost policy_cost;
 
   // --- summary helpers (all in hours) ---
   double AvgJctHours() const;
@@ -121,7 +160,9 @@ struct SimResult {
   double MedianPolicyRuntime() const;
   double P95PolicyRuntime() const;
   std::vector<double> JctsHours() const;
-  double NodeDowntimeGpuHours() const { return node_downtime_gpu_seconds / 3600.0; }
+  double NodeDowntimeGpuHours() const {
+    return resilience.node_downtime_gpu_seconds / 3600.0;
+  }
   // Mean time-to-recover after a crash, in minutes (0 when no crash had
   // running victims).
   double AvgRecoveryMinutes() const;
@@ -144,7 +185,7 @@ class ClusterSimulator {
   struct JobState;
   struct PendingRecovery {
     double crash_time = 0.0;
-    std::vector<int> victims;  // Job ids evicted by this crash.
+    std::vector<JobId> victims;  // Job ids evicted by this crash.
   };
 
   void ActivateArrivals(double now);
@@ -157,6 +198,8 @@ class ClusterSimulator {
                          const BatchDecision& decision, double straggler) const;
   double TrueIterTime(const JobState& job, const Config& config,
                       const BatchDecision& decision) const;
+  void EmitManifest(double round_seconds);
+  void FinalizeObservability();
 
   ClusterSpec cluster_;
   std::vector<Config> config_set_;
@@ -170,6 +213,11 @@ class ClusterSimulator {
   std::vector<PendingRecovery> recoveries_;
   double busy_gpu_seconds_ = 0.0;
   std::vector<std::unique_ptr<JobState>> active_;
+  // The run's registry: options_.metrics when provided, else owned storage.
+  MetricsRegistry owned_metrics_;
+  MetricsRegistry* metrics_;
+  int64_t round_index_ = 0;
+  bool warned_zero_goodput_ = false;
   SimResult result_;
 };
 

@@ -155,6 +155,7 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   };
 
   int nodes = 0;
+  int lp_iterations = 0;
   bool hit_node_limit = false;
   bool hit_time_limit = false;
   while (!stack.empty()) {
@@ -190,6 +191,7 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
     if (bounds_ok) {
       relaxation = SolveLp(working, options.simplex);
       ++nodes;
+      lp_iterations += relaxation.iterations;
     }
 
     // Restore bounds before any continue/branch bookkeeping.
@@ -203,6 +205,7 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
     if (relaxation.status == SolveStatus::kUnbounded) {
       result.status = SolveStatus::kUnbounded;
       result.nodes_explored = nodes;
+      result.lp_iterations = lp_iterations;
       return result;
     }
     if (relaxation.status == SolveStatus::kIterationLimit) {
@@ -270,6 +273,7 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   }
 
   result.nodes_explored = nodes;
+  result.lp_iterations = lp_iterations;
   if (!have_incumbent) {
     result.status = hit_time_limit ? SolveStatus::kTimeLimit
                     : hit_node_limit ? SolveStatus::kNodeLimit

@@ -37,6 +37,9 @@ struct MilpSolution {
   double objective = 0.0;
   std::vector<double> values;
   int nodes_explored = 0;
+  // Simplex pivots summed over every node relaxation -- the solver-effort
+  // signal the observability layer reports per scheduling round (Fig. 9).
+  int lp_iterations = 0;
 };
 
 // Solves `lp` honoring the integrality markers set via SetInteger /

@@ -5,13 +5,14 @@
 
 #include <string>
 
+#include "src/common/job_id.h"
 #include "src/models/goodput.h"
 #include "src/models/model_kind.h"
 
 namespace sia {
 
 struct JobSpec {
-  int id = 0;
+  JobId id = 0;
   std::string name;
   ModelKind model = ModelKind::kResNet18;
   double submit_time = 0.0;  // Seconds from trace start.

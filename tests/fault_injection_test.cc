@@ -166,9 +166,9 @@ TEST(FaultSimulationTest, SimulatorIsDeterministicUnderFaults) {
   SiaScheduler s1, s2;
   const SimResult a = ClusterSimulator(MakeHeterogeneousCluster(), jobs, &s1, options).Run();
   const SimResult b = ClusterSimulator(MakeHeterogeneousCluster(), jobs, &s2, options).Run();
-  EXPECT_EQ(a.total_failures, b.total_failures);
-  EXPECT_EQ(a.failure_evictions, b.failure_evictions);
-  EXPECT_DOUBLE_EQ(a.node_downtime_gpu_seconds, b.node_downtime_gpu_seconds);
+  EXPECT_EQ(a.resilience.total_failures, b.resilience.total_failures);
+  EXPECT_EQ(a.resilience.failure_evictions, b.resilience.failure_evictions);
+  EXPECT_DOUBLE_EQ(a.resilience.node_downtime_gpu_seconds, b.resilience.node_downtime_gpu_seconds);
   ASSERT_EQ(a.jobs.size(), b.jobs.size());
   for (size_t i = 0; i < a.jobs.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.jobs[i].jct, b.jobs[i].jct);
@@ -194,8 +194,8 @@ TEST(FaultSimulationTest, ScriptedCrashProducesExactDowntime) {
   ClusterSimulator sim(cluster, {job}, &scheduler, options);
   const SimResult result = sim.Run();
   EXPECT_TRUE(result.all_finished);
-  EXPECT_EQ(result.total_failures, 1);
-  EXPECT_DOUBLE_EQ(result.node_downtime_gpu_seconds, 1800.0 * node_gpus);
+  EXPECT_EQ(result.resilience.total_failures, 1);
+  EXPECT_DOUBLE_EQ(result.resilience.node_downtime_gpu_seconds, 1800.0 * node_gpus);
 }
 
 TEST(FaultSimulationTest, WholeClusterCrashEvictsAndRecovers) {
@@ -219,11 +219,11 @@ TEST(FaultSimulationTest, WholeClusterCrashEvictsAndRecovers) {
   ClusterSimulator sim(cluster, {job}, &scheduler, options);
   const SimResult result = sim.Run();
   EXPECT_TRUE(result.all_finished);
-  EXPECT_EQ(result.total_failures, cluster.num_nodes());
-  EXPECT_GE(result.failure_evictions, 1);
+  EXPECT_EQ(result.resilience.total_failures, cluster.num_nodes());
+  EXPECT_GE(result.resilience.failure_evictions, 1);
   EXPECT_GE(result.jobs[0].num_failures, 1);
-  ASSERT_FALSE(result.recovery_seconds.empty());
-  EXPECT_GT(result.recovery_seconds[0], 0.0);
+  ASSERT_FALSE(result.resilience.recovery_seconds.empty());
+  EXPECT_GT(result.resilience.recovery_seconds[0], 0.0);
   bool saw_eviction = false;
   bool saw_restore_after = false;
   for (const TimelineEvent& event : result.timeline) {
@@ -267,7 +267,7 @@ TEST(FaultSimulationTest, TelemetryDropoutsCountedAndSurvivable) {
   ClusterSimulator sim(MakeHomogeneousCluster(), {job}, &scheduler, options);
   const SimResult result = sim.Run();
   EXPECT_TRUE(result.all_finished);
-  EXPECT_GT(result.telemetry_dropouts, 0);
+  EXPECT_GT(result.resilience.telemetry_dropouts, 0);
 }
 
 TEST(FaultSimulationTest, SiaGreedyRepairKeepsClusterRunning) {
@@ -341,7 +341,7 @@ TEST_P(FaultChurnTest, SurvivesCapacityChurn) {
   ClusterSimulator sim(MakeHeterogeneousCluster(), jobs, scheduler.get(), options);
   const SimResult result = sim.Run();
   EXPECT_TRUE(result.all_finished) << GetParam() << " left jobs unfinished under churn";
-  EXPECT_GT(result.total_failures, 0) << GetParam();
+  EXPECT_GT(result.resilience.total_failures, 0) << GetParam();
   for (const JobResult& job : result.jobs) {
     EXPECT_TRUE(job.finished) << GetParam() << " job " << job.spec.id;
   }

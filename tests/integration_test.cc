@@ -64,7 +64,7 @@ TEST(IntegrationTest, HybridJobSurvivesNodeFailures) {
   const SimResult result = simulator.Run();
   ASSERT_TRUE(result.all_finished);
   EXPECT_TRUE(result.jobs[0].finished);
-  EXPECT_GT(result.total_failures, 0);
+  EXPECT_GT(result.resilience.total_failures, 0);
 }
 
 TEST(IntegrationTest, InferenceTrainingMixAcrossSchedulers) {

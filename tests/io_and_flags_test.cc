@@ -195,7 +195,7 @@ TEST(FailureInjectionTest, FailuresSlowJobsDown) {
       ClusterSimulator(MakeHomogeneousCluster(), {job}, &s2, faulty).Run();
   ASSERT_TRUE(without.all_finished);
   ASSERT_TRUE(with.all_finished);
-  EXPECT_GT(with.total_failures, 0);
+  EXPECT_GT(with.resilience.total_failures, 0);
   EXPECT_GT(with.jobs[0].num_failures, 0);
   EXPECT_GT(with.jobs[0].jct, without.jobs[0].jct);
 }

@@ -1,0 +1,252 @@
+// Observability-subsystem tests: MetricsRegistry instruments (counter
+// saturation, histogram percentiles, disabled-mode no-ops), ScopedTimer,
+// trace-record serialization, both TraceSink backends, the Validate()
+// surfaces, and the end-to-end determinism contract -- a fixed-seed
+// simulation must serialize a byte-identical JSONL trace across runs.
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/scoped_timer.h"
+#include "src/obs/trace_sink.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+TEST(CounterTest, AddsAndSaturatesInsteadOfWrapping) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("events");
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Add(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(counter.value(), std::numeric_limits<uint64_t>::max());
+  counter.Add();  // Still saturated, not wrapped to 0.
+  EXPECT_EQ(counter.value(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("level");
+  gauge.Set(2.5);
+  gauge.Add(1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+}
+
+TEST(HistogramTest, TracksExactSummaryStats) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("latency");
+  for (double v : {1.0, 2.0, 4.0, 8.0}) {
+    hist.Record(v);
+  }
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 8.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 3.75);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketResolution) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("uniform");
+  // 1..1000 uniformly: p50 ~ 500, p99 ~ 990. Geometric buckets guarantee
+  // ~9% relative resolution.
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Record(static_cast<double>(i));
+  }
+  EXPECT_NEAR(hist.Percentile(0.50), 500.0, 0.1 * 500.0);
+  EXPECT_NEAR(hist.Percentile(0.99), 990.0, 0.1 * 990.0);
+  // Quantiles clamp to the observed range.
+  EXPECT_GE(hist.Percentile(0.0), 1.0);
+  EXPECT_LE(hist.Percentile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, EmptyAndOutOfRangeValues) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("edge");
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 0.0);
+  hist.Record(0.0);     // Underflow bucket (log2 undefined).
+  hist.Record(-5.0);    // Underflow bucket.
+  hist.Record(1e300);   // Overflow bucket.
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.min(), -5.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 1e300);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryRecordsNothing) {
+  MetricsRegistry registry(/*enabled=*/false);
+  registry.counter("c").Add(100);
+  registry.gauge("g").Set(7.0);
+  registry.histogram("h").Record(1.0);
+  EXPECT_EQ(registry.counter_value("c"), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("g"), 0.0);
+  EXPECT_EQ(registry.find_histogram("h")->count(), 0u);
+}
+
+TEST(MetricsRegistryTest, LookupsAreStableAndReadable) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);  // Same instrument, stable address.
+  a.Add(3);
+  EXPECT_EQ(registry.counter_value("x"), 3u);
+  EXPECT_EQ(registry.counter_value("missing"), 0u);
+  EXPECT_EQ(registry.find_histogram("missing"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("b.count").Add(2);
+  registry.counter("a.count").Add(1);
+  registry.gauge("z.gauge").Set(1.5);
+  registry.histogram("m.hist").Record(4.0);
+  std::ostringstream first, second;
+  registry.WriteJson(first);
+  registry.WriteJson(second);
+  EXPECT_EQ(first.str(), second.str());
+  // Sorted names, schema versioned.
+  EXPECT_NE(first.str().find("\"schema_version\":1"), std::string::npos);
+  EXPECT_LT(first.str().find("a.count"), first.str().find("b.count"));
+}
+
+TEST(ScopedTimerTest, RecordsOneSampleAndIsIdempotent) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("t");
+  {
+    ScopedTimer timer(&hist);
+    const double first = timer.Stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(timer.Stop(), first);  // Second Stop() is a no-op.
+  }
+  EXPECT_EQ(hist.count(), 1u);
+  ScopedTimer null_timer(nullptr);
+  EXPECT_DOUBLE_EQ(null_timer.Stop(), 0.0);
+}
+
+TEST(TraceRecordTest, JsonKeepsInsertionOrderAndEscapes) {
+  TraceRecord record("round");
+  record.Set("t", 60.0).Set("jobs", 3).Set("name", "a\"b").Set("ok", true);
+  EXPECT_EQ(record.ToJson(),
+            R"({"type":"round","t":60,"jobs":3,"name":"a\"b","ok":true})");
+}
+
+TEST(JsonlTraceSinkTest, WritesOneLinePerRecord) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  sink.Write(TraceRecord("a").Set("v", 1));
+  sink.Write(TraceRecord("b").Set("v", 2));
+  EXPECT_EQ(out.str(), "{\"type\":\"a\",\"v\":1}\n{\"type\":\"b\",\"v\":2}\n");
+  EXPECT_EQ(sink.records_written(), 2);
+}
+
+TEST(CsvTraceSinkTest, ProjectsOneRecordTypeOntoFixedColumns) {
+  std::ostringstream out;
+  CsvTraceSink sink(out, "round");
+  sink.Write(TraceRecord("manifest").Set("seed", 1));  // Filtered out.
+  sink.Write(TraceRecord("round").Set("t", 60.0).Set("jobs", 2));
+  sink.Write(TraceRecord("round").Set("t", 120.0).Set("jobs", 3).Set("extra", 9));
+  EXPECT_EQ(out.str(), "t,jobs\n60,2\n120,3\n");
+}
+
+TEST(ValidateTest, FaultOptionsRejectIncoherentValues) {
+  FaultOptions faults;
+  EXPECT_EQ(faults.Validate(), "");
+  faults.node_mtbf_hours = -1.0;
+  EXPECT_NE(faults.Validate().find("node_mtbf_hours"), std::string::npos);
+  faults = FaultOptions{};
+  faults.degraded_frac = 1.5;
+  EXPECT_NE(faults.Validate().find("degraded_frac"), std::string::npos);
+  faults = FaultOptions{};
+  faults.telemetry_dropout_prob = -0.1;
+  EXPECT_NE(faults.Validate().find("telemetry_dropout_prob"), std::string::npos);
+  faults = FaultOptions{};
+  faults.schedule.push_back({-10.0, FaultKind::kNodeCrash, 0});
+  EXPECT_NE(faults.Validate().find("negative time"), std::string::npos);
+}
+
+TEST(ValidateTest, SimOptionsDelegateAndCheckOwnFields) {
+  SimOptions options;
+  EXPECT_EQ(options.Validate(), "");
+  options.max_hours = 0.0;
+  EXPECT_NE(options.Validate().find("max_hours"), std::string::npos);
+  options = SimOptions{};
+  options.faults.node_mttr_hours = -2.0;
+  EXPECT_NE(options.Validate().find("faults:"), std::string::npos);
+}
+
+// --- end-to-end determinism and threading ---
+
+std::vector<JobSpec> TinyTrace(uint64_t seed) {
+  TraceOptions options;
+  options.kind = TraceKind::kPhilly;
+  options.seed = seed;
+  options.arrival_rate_per_hour = 20.0;
+  options.duration_hours = 0.3;
+  auto jobs = GenerateTrace(options);
+  if (jobs.size() > 6) {
+    jobs.resize(6);
+  }
+  return jobs;
+}
+
+std::string RunTraced(uint64_t seed, MetricsRegistry* registry) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = seed;
+  options.max_hours = 24.0;
+  options.trace = &sink;
+  options.metrics = registry;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), TinyTrace(seed), &scheduler, options);
+  sim.Run();
+  return out.str();
+}
+
+TEST(TraceDeterminismTest, FixedSeedTraceIsByteIdenticalAcrossRuns) {
+  MetricsRegistry first_registry, second_registry;
+  const std::string first = RunTraced(7, &first_registry);
+  const std::string second = RunTraced(7, &second_registry);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Manifest first, run_end last.
+  EXPECT_EQ(first.find("{\"type\":\"manifest\""), 0u);
+  EXPECT_NE(first.rfind("{\"type\":\"run_end\""), std::string::npos);
+  EXPECT_NE(first.find("\"type\":\"round\""), std::string::npos);
+  EXPECT_NE(first.find("\"type\":\"job_arrival\""), std::string::npos);
+  EXPECT_NE(first.find("\"type\":\"job_finish\""), std::string::npos);
+}
+
+TEST(SimulatorObservabilityTest, PopulatesRegistryAndPolicyCost) {
+  MetricsRegistry registry;
+  SiaScheduler scheduler;
+  SimOptions options;
+  options.seed = 3;
+  options.max_hours = 24.0;
+  options.metrics = &registry;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), TinyTrace(3), &scheduler, options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.all_finished);
+  EXPECT_GT(registry.counter_value("sim.rounds"), 0u);
+  EXPECT_EQ(registry.counter_value("sim.jobs_finished"), result.jobs.size());
+  EXPECT_GT(registry.counter_value("estimator.refits"), 0u);
+  EXPECT_GT(registry.counter_value("solver.lp_iterations"), 0u);
+  const Histogram* schedule_hist = registry.find_histogram("sim.schedule_seconds");
+  ASSERT_NE(schedule_hist, nullptr);
+  EXPECT_EQ(schedule_hist->count(), result.policy_cost.runtimes_seconds.size());
+  EXPECT_EQ(result.policy_cost.solver_lp_iterations,
+            registry.counter_value("solver.lp_iterations"));
+  EXPECT_EQ(result.policy_cost.estimator_refits, registry.counter_value("estimator.refits"));
+}
+
+}  // namespace
+}  // namespace sia

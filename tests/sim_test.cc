@@ -126,7 +126,7 @@ TEST_P(AllSchedulersTest, CompletesSmallWorkloadWithinCapacity) {
     EXPECT_GE(job.num_restarts, 0);
   }
   EXPECT_GT(result.avg_contention, 0.0);
-  EXPECT_FALSE(result.policy_runtimes.empty());
+  EXPECT_FALSE(result.policy_cost.runtimes_seconds.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, AllSchedulersTest,

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate a sia_simulate JSONL run trace against the documented schema.
+
+Usage:
+  check_trace_schema.py trace.jsonl            # validate an existing trace
+  check_trace_schema.py --simulate BIN [ARGS]  # run BIN twice with a fixed
+                                               # seed, require byte-identical
+                                               # traces, then validate
+
+Stdlib only (json/subprocess/tempfile); exits 0 on success, 1 with a
+diagnostic on the first violation. The schema is documented in DESIGN.md
+("Observability" section); keep the two in sync.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+# type -> {field: allowed json types}; "?" prefix marks optional fields.
+REQUIRED_FIELDS = {
+    "manifest": {
+        "schema_version": int,
+        "scheduler": str,
+        "cluster_nodes": int,
+        "cluster_gpus": int,
+        "num_jobs": int,
+        "seed": int,
+        "profiling_mode": str,
+        "round_seconds": (int, float),
+        "faults_enabled": bool,
+    },
+    "round": {
+        "round": int,
+        "t": (int, float),
+        "active_jobs": int,
+        "running_jobs": int,
+        "queued_jobs": int,
+        "busy_gpus": int,
+        "available_gpus": int,
+        "down_nodes": int,
+        "solver_bb_nodes": int,
+        "solver_lp_iterations": int,
+        "estimator_refits": int,
+        "?schedule_ms": (int, float),
+    },
+    "job_arrival": {
+        "t": (int, float),
+        "job": int,
+        "submit": (int, float),
+        "model": str,
+    },
+    "job_finish": {
+        "t": (int, float),
+        "job": int,
+        "jct": (int, float),
+        "gpu_seconds": (int, float),
+        "restarts": int,
+        "failures": int,
+    },
+    "fault": {
+        "t": (int, float),
+        "kind": str,
+        "node": int,
+        "?severity": (int, float),
+    },
+    "run_end": {
+        "makespan": (int, float),
+        "rounds": int,
+        "jobs_finished": int,
+        "jobs_total": int,
+        "all_finished": bool,
+        "gpu_utilization": (int, float),
+    },
+}
+
+
+def fail(message):
+    print(f"check_trace_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_record(line_no, record):
+    if not isinstance(record, dict):
+        fail(f"line {line_no}: not a JSON object")
+    rtype = record.get("type")
+    if not isinstance(rtype, str):
+        fail(f"line {line_no}: missing string 'type' field")
+    spec = REQUIRED_FIELDS.get(rtype)
+    if spec is None:
+        fail(f"line {line_no}: unknown record type '{rtype}'")
+    for field, kinds in spec.items():
+        optional = field.startswith("?")
+        name = field[1:] if optional else field
+        if name not in record:
+            if optional:
+                continue
+            fail(f"line {line_no} ({rtype}): missing field '{name}'")
+        value = record[name]
+        # bool is an int subclass in Python; keep the kinds strict.
+        if isinstance(value, bool) and kinds is not bool:
+            fail(f"line {line_no} ({rtype}): field '{name}' is bool, want {kinds}")
+        if not isinstance(value, kinds):
+            fail(
+                f"line {line_no} ({rtype}): field '{name}' = {value!r} "
+                f"has wrong type (want {kinds})"
+            )
+    return rtype
+
+
+def validate(path):
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        fail(f"{path}: empty trace")
+    types = []
+    for line_no, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(f"line {line_no}: invalid JSON ({err})")
+        types.append(check_record(line_no, record))
+        if line_no == 1:
+            if types[0] != "manifest":
+                fail(f"line 1: first record must be 'manifest', got '{types[0]}'")
+            if record["schema_version"] != SCHEMA_VERSION:
+                fail(
+                    f"line 1: schema_version {record['schema_version']} != "
+                    f"{SCHEMA_VERSION}"
+                )
+    if types[-1] != "run_end":
+        fail(f"last record must be 'run_end', got '{types[-1]}'")
+    if types.count("manifest") != 1 or types.count("run_end") != 1:
+        fail("manifest and run_end must appear exactly once")
+    if "round" not in types:
+        fail("no 'round' records in trace")
+    print(
+        f"check_trace_schema: OK: {len(lines)} records "
+        f"({types.count('round')} rounds, {types.count('job_finish')} finishes)"
+    )
+
+
+def simulate_and_validate(binary, extra_args):
+    with tempfile.TemporaryDirectory() as tmp:
+        traces = []
+        for run in (1, 2):
+            out = Path(tmp) / f"trace{run}.jsonl"
+            cmd = [
+                binary,
+                "--trace=philly",
+                "--seed=1",
+                "--hours=0.5",
+                f"--trace-out={out}",
+            ] + extra_args
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                fail(
+                    f"run {run}: {' '.join(cmd)} exited {proc.returncode}\n"
+                    f"{proc.stdout}{proc.stderr}"
+                )
+            traces.append(out.read_bytes())
+        if traces[0] != traces[1]:
+            fail("fixed-seed traces differ between two runs (determinism broken)")
+        print("check_trace_schema: two fixed-seed runs are byte-identical")
+        with open(Path(tmp) / "trace1.jsonl", "wb") as merged:
+            merged.write(traces[0])
+        validate(Path(tmp) / "trace1.jsonl")
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--simulate":
+        if len(argv) < 3:
+            fail("--simulate requires the sia_simulate binary path")
+        simulate_and_validate(argv[2], argv[3:])
+    elif len(argv) == 2:
+        validate(argv[1])
+    else:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,12 +1,13 @@
 // Command-line simulation driver: run any scheduler on any cluster/trace
-// combination and optionally export the trace and per-job results as CSV.
+// combination, stream the observability trace, and export results as CSV.
 //
 //   sia_simulate --scheduler=sia --cluster=heterogeneous --trace=philly ...
 //                --seed=1 [--rate=20] [--hours=8] [--scale=1]
 //                [--profiling=bootstrap|oracle|noprof] [--tuned]
 //                [--mtbf-hours=0] [--mttr-hours=0.5] [--degraded-frac=0]
 //                [--fault-schedule=faults.csv] [--trace-in=jobs.csv]
-//                [--trace-out=jobs.csv] [--results-out=results.csv]
+//                [--trace-out=run.jsonl] [--metrics-out=metrics.json]
+//                [--jobs-out=jobs.csv] [--results-out=results.csv]
 #include <iostream>
 #include <algorithm>
 #include <memory>
@@ -17,6 +18,8 @@
 #include "src/common/table.h"
 #include "src/metrics/ftf.h"
 #include "src/metrics/report.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_sink.h"
 #include "src/schedulers/allox/allox_scheduler.h"
 #include "src/schedulers/baselines/priority_schedulers.h"
 #include "src/schedulers/gavel/gavel_scheduler.h"
@@ -47,7 +50,12 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
   --outlier-prob  per-report telemetry outlier probability     (default 0)
   --fault-schedule CSV of scripted fault events
                    (time_hours,kind,node[,duration_hours[,severity]])
-  --trace-out  write the (possibly tuned) trace as CSV
+  --trace-out  stream the run trace (manifest/round/event records);
+               .jsonl -> JSON lines, .csv -> round records as CSV
+  --trace-timings include wall-clock solve timings in the trace
+               (nondeterministic; off keeps the trace byte-identical per seed)
+  --metrics-out write the metrics registry (counters/gauges/histograms) as JSON
+  --jobs-out   write the (possibly tuned) input job trace as CSV
   --results-out write per-job results as CSV
   --ftf        also compute finish-time-fairness stats
 )";
@@ -143,9 +151,9 @@ int main(int argc, char** argv) {
     tuned.seed = seed;
     jobs = sia::MakeTunedJobs(jobs, tuned);
   }
-  if (flags.Has("trace-out")) {
-    if (!sia::WriteTraceCsv(flags.GetString("trace-out", ""), jobs)) {
-      std::cerr << "failed to write trace CSV\n";
+  if (flags.Has("jobs-out")) {
+    if (!sia::WriteTraceCsv(flags.GetString("jobs-out", ""), jobs)) {
+      std::cerr << "failed to write jobs CSV\n";
       return 1;
     }
   }
@@ -186,8 +194,34 @@ int main(int argc, char** argv) {
 
   const bool want_ftf = flags.GetBool("ftf", false);
   const std::string results_out = flags.GetString("results-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+
+  sia::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  std::unique_ptr<sia::TraceSink> trace_sink;
+  if (flags.Has("trace-out")) {
+    trace_sink = sia::OpenTraceSink(flags.GetString("trace-out", ""));
+    if (trace_sink == nullptr) {
+      std::cerr << "failed to open --trace-out for writing\n";
+      return 1;
+    }
+    options.trace = trace_sink.get();
+  }
+  options.trace_timings = flags.GetBool("trace-timings", false);
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown << "\n" << kUsage;
+    return 2;
+  }
+  // Enabling MTTR tuning without a crash source is a silent no-op; a struct
+  // default makes it indistinguishable in Validate(), so flag presence is
+  // checked here.
+  if (flags.Has("mttr-hours") && options.faults.node_mtbf_hours <= 0.0 &&
+      options.faults.schedule.empty()) {
+    std::cerr << "--mttr-hours has no effect without --mtbf-hours or --fault-schedule\n";
+    return 2;
+  }
+  if (const std::string error = options.Validate(); !error.empty()) {
+    std::cerr << "invalid options: " << error << "\n" << kUsage;
     return 2;
   }
 
@@ -202,12 +236,12 @@ int main(int argc, char** argv) {
             << "%   policy runtime: median " << result.MedianPolicyRuntime() * 1000.0
             << " ms, p95 " << result.P95PolicyRuntime() * 1000.0 << " ms\n";
   if (options.faults.any_faults()) {
-    std::cout << "resilience: crashes " << result.total_failures << ", evictions "
-              << result.failure_evictions << ", downtime "
+    std::cout << "resilience: crashes " << result.resilience.total_failures << ", evictions "
+              << result.resilience.failure_evictions << ", downtime "
               << sia::Table::Num(result.NodeDowntimeGpuHours(), 1) << " GPU-h, mean recovery "
               << sia::Table::Num(result.AvgRecoveryMinutes(), 1) << " min, zero-goodput rounds "
-              << result.zero_goodput_rounds << ", telemetry dropouts "
-              << result.telemetry_dropouts << ", outliers " << result.telemetry_outliers << "\n";
+              << result.resilience.zero_goodput_rounds << ", telemetry dropouts "
+              << result.resilience.telemetry_dropouts << ", outliers " << result.resilience.telemetry_outliers << "\n";
   }
   if (want_ftf) {
     const auto ratios = sia::FtfRatios(result, cluster);
@@ -225,6 +259,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "wrote per-job results to " << results_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    if (!metrics.WriteJsonFile(metrics_out)) {
+      std::cerr << "failed to write metrics JSON\n";
+      return 1;
+    }
+    std::cout << "wrote metrics to " << metrics_out << "\n";
   }
   return result.all_finished ? 0 : 1;
 }

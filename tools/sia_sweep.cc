@@ -132,6 +132,10 @@ int main(int argc, char** argv) {
         }
         sia::SimOptions sim;
         sim.seed = seed;
+        if (const std::string error = sim.Validate(); !error.empty()) {
+          std::cerr << "invalid options: " << error << "\n";
+          return 2;
+        }
         sia::ClusterSimulator simulator(cluster, jobs, scheduler.get(), sim);
         const sia::SimResult result = simulator.Run();
         csv << scheduler_name << "," << rate << "," << seed << "," << jobs.size() << ","
