@@ -8,113 +8,33 @@
 // Expected shape: Gavel fastest (no adaptivity), Sia ~seconds even at 2048
 // GPUs, Pollux's genetic algorithm 1-2 orders of magnitude slower and
 // growing fastest.
+//
+// Env knobs:
+//   SIA_SCHED_THREADS    candidate-generation threads for sia/pollux
+//                        (results stay byte-identical; only runtime moves).
+//   SIA_BENCH_JSON_DIR   where BENCH_fig9_scalability.json lands.
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "bench/bench_util.h"
 #include "src/common/ascii_chart.h"
-#include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
 #include "src/cluster/cluster_spec.h"
-#include "src/models/profile_db.h"
 
 using namespace sia;
 using namespace sia::bench;
 
-namespace {
-
-struct Snapshot {
-  ClusterSpec cluster;
-  std::vector<Config> config_set;
-  std::vector<JobSpec> specs;
-  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
-  ScheduleInput input;
-};
-
-// Builds a steady-state-like snapshot: ~7 active jobs per 64 GPUs (the
-// Helios heterogeneous contention level), profiled estimators, half of the
-// jobs currently holding resources.
-std::unique_ptr<Snapshot> MakeSnapshot(int scale, uint64_t seed) {
-  auto snap = std::make_unique<Snapshot>();
-  snap->cluster = MakeHeterogeneousCluster(scale);
-  snap->config_set = BuildConfigSet(snap->cluster);
-  Rng rng(seed);
-  const int num_jobs = 8 * scale;
-  TraceOptions trace;
-  trace.kind = TraceKind::kHelios;
-  trace.seed = seed;
-  trace.duration_hours = 8.0;
-  trace.arrival_rate_per_hour = std::max(20.0, num_jobs / 4.0);
-  auto specs = GenerateTrace(trace);
-  specs.resize(std::min<size_t>(specs.size(), num_jobs));
-  snap->specs = std::move(specs);
-
-  std::vector<int> free_gpus(snap->cluster.num_gpu_types());
-  for (int t = 0; t < snap->cluster.num_gpu_types(); ++t) {
-    free_gpus[t] = snap->cluster.TotalGpus(t);
-  }
-  for (const JobSpec& spec : snap->specs) {
-    auto estimator =
-        std::make_unique<GoodputEstimator>(spec.model, &snap->cluster, ProfilingMode::kBootstrap);
-    // Profiling sweep + a couple of multi-GPU observations from ground truth.
-    for (int t = 0; t < snap->cluster.num_gpu_types(); ++t) {
-      const DeviceProfile& device =
-          GetDeviceProfile(spec.model, snap->cluster.gpu_type(t).name);
-      if (!device.available) {
-        continue;
-      }
-      for (int k = 1; k <= 5; ++k) {
-        const double local = std::max(1.0, device.max_local_bsz * k / 5.0);
-        estimator->AddProfilePoint(t, local, IterTime(device.truth, 1, 1, local, 1));
-      }
-    }
-    JobView view;
-    view.spec = &spec;
-    view.age_seconds = rng.Uniform(600.0, 6.0 * 3600.0);
-    view.num_restarts = static_cast<int>(rng.UniformInt(0, 4));
-    view.restart_overhead_seconds = GetModelInfo(spec.model).restart_seconds;
-    view.progress_fraction = rng.Uniform(0.05, 0.9);
-    view.total_work = GetModelInfo(spec.model).total_work;
-    if (rng.Bernoulli(0.5)) {
-      // Currently running somewhere small.
-      const int t = static_cast<int>(rng.UniformInt(0, snap->cluster.num_gpu_types() - 1));
-      const DeviceProfile& device =
-          GetDeviceProfile(spec.model, snap->cluster.gpu_type(t).name);
-      if (device.available && free_gpus[t] >= 2) {
-        const int count = rng.Bernoulli(0.5) ? 1 : 2;
-        view.current_config = Config{1, count, t};
-        view.peak_num_gpus = count;
-        view.service_gpu_seconds = view.age_seconds * count * 0.6;
-        free_gpus[t] -= count;
-        const auto decision =
-            estimator->Estimate(view.current_config, spec.adaptivity, spec.fixed_bsz);
-        if (decision.feasible) {
-          estimator->AddObservation(t, 1, count, decision.local_bsz, decision.accum_steps,
-                                    IterTime(device.truth, 1, count, decision.local_bsz,
-                                             decision.accum_steps));
-        }
-      }
-    }
-    view.estimator = estimator.get();
-    snap->estimators.push_back(std::move(estimator));
-    snap->input.jobs.push_back(view);
-  }
-  snap->input.cluster = &snap->cluster;
-  snap->input.config_set = &snap->config_set;
-  snap->input.now_seconds = 3600.0;
-  // Fix dangling spec pointers (vector stable now).
-  for (size_t i = 0; i < snap->input.jobs.size(); ++i) {
-    snap->input.jobs[i].spec = &snap->specs[i];
-  }
-  return snap;
-}
-
-}  // namespace
-
 int main() {
-  std::cout << "=== Figure 9: median policy runtime vs cluster size ===\n\n";
+  int sched_threads = 1;
+  if (const char* env = std::getenv("SIA_SCHED_THREADS"); env != nullptr && *env != '\0') {
+    sched_threads = std::max(1, std::atoi(env));
+  }
+  std::cout << "=== Figure 9: median policy runtime vs cluster size ===\n";
+  std::cout << "(sched_threads=" << sched_threads << ")\n\n";
   const std::vector<int> scales = {1, 2, 4, 8, 16, 32};  // 64 ... 2048 GPUs.
   AsciiChart chart(64, 16);
   chart.SetTitle("median policy runtime (s, log scale) vs #GPUs");
@@ -123,8 +43,9 @@ int main() {
   chart.SetYLabel("runtime (s)");
   Table table({"#GPUs", "#jobs", "sia (ms)", "pollux (ms)", "gavel (ms)"});
   std::map<std::string, Series> series;
+  std::vector<std::string> json_rows;
   for (int scale : scales) {
-    const auto snapshot = MakeSnapshot(scale, 1234 + scale);
+    const auto snapshot = MakePolicySnapshot(scale, 1234 + scale);
     const int gpus = snapshot->cluster.TotalGpus();
     std::vector<std::string> row = {std::to_string(gpus),
                                     std::to_string(snapshot->input.jobs.size())};
@@ -143,7 +64,7 @@ int main() {
           input.jobs[i].spec = &rigid_specs[i];
         }
       }
-      auto scheduler = MakeScheduler(policy);
+      auto scheduler = MakeScheduler(policy, sched_threads);
       std::vector<double> times;
       const int reps = scale >= 16 ? 3 : 5;
       for (int rep = 0; rep < reps; ++rep) {
@@ -156,6 +77,12 @@ int main() {
       series[policy].name = policy;
       series[policy].points.emplace_back(gpus, std::max(median, 1e-5));
       row.push_back(Table::Num(median * 1000.0, 1));
+      std::ostringstream obj;
+      obj << "{\"name\":\"" << policy << "_gpus" << gpus << "\",\"policy\":\"" << policy
+          << "\",\"gpus\":" << gpus << ",\"jobs\":" << snapshot->input.jobs.size()
+          << ",\"sched_threads\":" << sched_threads << ",\"median_runtime_ms\":" << median * 1000.0
+          << "}";
+      json_rows.push_back(obj.str());
     }
     table.AddRow(row);
     std::cout << "scale " << scale << " (" << gpus << " GPUs) done\n";
@@ -164,6 +91,7 @@ int main() {
     chart.AddSeries(s);
   }
   std::cout << "\n" << table.Render() << "\n" << chart.Render();
+  WriteBenchJsonRows("fig9_scalability", json_rows);
   std::cout << "Paper shape check (§5.6): at 64 GPUs Sia ~100 ms-class, Pollux ~10-100x\n"
                "slower, Gavel ~ms-class; the Pollux/Sia gap widens with cluster size.\n";
   return 0;

@@ -2,12 +2,30 @@
 // times on Sia-shaped scheduling programs (one GUB row per job + one
 // capacity knapsack per GPU type) across problem sizes, and the
 // Levenberg-Marquardt throughput-model fit.
+//
+// On top of the BM_* timings, the binary always runs the fast-path
+// comparisons (ISSUE 3) and writes them to BENCH_solver_micro.json:
+//   * cold vs warm MILP re-solves on perturbed instances (exact pivot
+//     savings, not the solver's own estimate),
+//   * cold vs warm simplex with a captured basis,
+//   * cache-enabled vs cache-disabled Sia scheduling rounds (hit/miss
+//     counts and wall time).
+// Pass --comparisons-only to skip the google-benchmark suite (used by the
+// ctest `bench` smoke and tools/bench_compare.py).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics_registry.h"
+#include "src/schedulers/sia/sia_scheduler.h"
 #include "src/solver/curve_fit.h"
 #include "src/solver/milp.h"
 #include "src/solver/simplex.h"
@@ -15,42 +33,9 @@
 namespace sia {
 namespace {
 
-LinearProgram MakeSchedulingLp(int jobs, int configs, int types, uint64_t seed,
-                               bool binary) {
-  Rng rng(seed);
-  LinearProgram lp;
-  std::vector<std::vector<int>> vars(jobs, std::vector<int>(configs));
-  for (int i = 0; i < jobs; ++i) {
-    for (int j = 0; j < configs; ++j) {
-      vars[i][j] =
-          binary ? lp.AddBinaryVariable(rng.Uniform(0.1, 10.0))
-                 : lp.AddVariable(0.0, 1.0, rng.Uniform(0.1, 10.0));
-    }
-  }
-  for (int i = 0; i < jobs; ++i) {
-    std::vector<LpTerm> row;
-    for (int j = 0; j < configs; ++j) {
-      row.emplace_back(vars[i][j], 1.0);
-    }
-    lp.AddConstraint(ConstraintOp::kLessEq, 1.0, std::move(row));
-  }
-  for (int t = 0; t < types; ++t) {
-    std::vector<LpTerm> row;
-    for (int i = 0; i < jobs; ++i) {
-      for (int j = 0; j < configs; ++j) {
-        if (j % types == t) {
-          row.emplace_back(vars[i][j], static_cast<double>(1 << (j % 6)));
-        }
-      }
-    }
-    lp.AddConstraint(ConstraintOp::kLessEq, 8.0 * jobs / types, std::move(row));
-  }
-  return lp;
-}
-
 void BM_SimplexSchedulingLp(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));
-  const LinearProgram lp = MakeSchedulingLp(jobs, 24, 3, 42, /*binary=*/false);
+  const LinearProgram lp = bench::MakeSchedulingLp(jobs, 24, 3, 42, /*binary=*/false);
   for (auto _ : state) {
     const auto solution = SolveLp(lp);
     benchmark::DoNotOptimize(solution.objective);
@@ -61,7 +46,7 @@ BENCHMARK(BM_SimplexSchedulingLp)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_MilpSchedulingIlp(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));
-  const LinearProgram lp = MakeSchedulingLp(jobs, 24, 3, 42, /*binary=*/true);
+  const LinearProgram lp = bench::MakeSchedulingLp(jobs, 24, 3, 42, /*binary=*/true);
   // The budget Sia's policy actually uses (§3.4 solves are gap-bounded, not
   // proven to 1e-6 -- the uncapped default can grind for minutes at this
   // size without changing the schedule).
@@ -107,7 +92,166 @@ void BM_CurveFitThroughputModel(benchmark::State& state) {
 }
 BENCHMARK(BM_CurveFitThroughputModel);
 
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Round N solves a Sia-shaped ILP cold and hands its warm-start state to
+// round N+1 (the same program with objectives drifted +-5%). Reports the
+// *exact* pivot savings -- perturbed instance solved both cold and warm --
+// next to the solver's own baseline-based estimate.
+std::string MilpWarmComparisonRow(int jobs) {
+  const LinearProgram base = bench::MakeSchedulingLp(jobs, 24, 3, 42, /*binary=*/true);
+  LinearProgram next = base;
+  bench::PerturbObjective(next, 43, 0.05);
+
+  // Tight gap so cold and warm must agree on the optimal objective exactly
+  // (the policy's gap-bounded budget would let them stop at different
+  // incumbents).
+  MilpOptions options;
+  const MilpSolution seed_solution = SolveMilp(base, options);
+
+  auto t0 = std::chrono::steady_clock::now();
+  const MilpSolution cold = SolveMilp(next, options);
+  const double cold_ms = MsSince(t0);
+
+  MilpOptions warm_options = options;
+  warm_options.warm_start = &seed_solution.next_warm_start;
+  t0 = std::chrono::steady_clock::now();
+  const MilpSolution warm = SolveMilp(next, warm_options);
+  const double warm_ms = MsSince(t0);
+
+  const bool objective_match =
+      cold.status == warm.status &&
+      std::abs(cold.objective - warm.objective) <= 1e-6 * std::max(1.0, std::abs(cold.objective));
+  std::ostringstream obj;
+  obj << "{\"name\":\"milp_warm_jobs" << jobs << "\",\"cold_pivots\":" << cold.lp_iterations
+      << ",\"warm_pivots\":" << warm.lp_iterations
+      << ",\"pivots_saved_exact\":" << cold.lp_iterations - warm.lp_iterations
+      << ",\"pivots_saved_estimate\":" << warm.warm_start_pivots_saved
+      << ",\"warm_started_lps\":" << warm.warm_started_lps
+      << ",\"cold_nodes\":" << cold.nodes_explored << ",\"warm_nodes\":" << warm.nodes_explored
+      << ",\"cold_ms\":" << cold_ms << ",\"warm_ms\":" << warm_ms
+      << ",\"objective_match\":" << (objective_match ? "true" : "false") << "}";
+  std::cout << "milp jobs=" << jobs << ": cold " << cold.lp_iterations << " pivots / "
+            << cold.nodes_explored << " nodes, warm " << warm.lp_iterations << " pivots / "
+            << warm.nodes_explored << " nodes, objective_match=" << objective_match << "\n";
+  return obj.str();
+}
+
+// Pure-LP version: previous round's captured optimal basis fed back as the
+// warm hint for the perturbed instance (objective drift leaves the old basis
+// primal-feasible, so phase 1 is skipped outright).
+std::string SimplexWarmComparisonRow(int jobs) {
+  const LinearProgram base = bench::MakeSchedulingLp(jobs, 24, 3, 42, /*binary=*/false);
+  LinearProgram next = base;
+  bench::PerturbObjective(next, 43, 0.05);
+
+  SimplexOptions capture;
+  capture.capture_basis = true;
+  const LpSolution seed_solution = SolveLp(base, capture);
+
+  const LpSolution cold = SolveLp(next);
+  SimplexOptions warm_options;
+  warm_options.warm_basis = &seed_solution.basis;
+  const LpSolution warm = SolveLp(next, warm_options);
+
+  const bool objective_match =
+      cold.status == warm.status &&
+      std::abs(cold.objective - warm.objective) <= 1e-6 * std::max(1.0, std::abs(cold.objective));
+  std::ostringstream obj;
+  obj << "{\"name\":\"simplex_warm_jobs" << jobs << "\",\"cold_pivots\":" << cold.iterations
+      << ",\"warm_pivots\":" << warm.iterations
+      << ",\"pivots_saved_exact\":" << cold.iterations - warm.iterations
+      << ",\"warm_started\":" << (warm.warm_started ? "true" : "false")
+      << ",\"objective_match\":" << (objective_match ? "true" : "false") << "}";
+  std::cout << "simplex jobs=" << jobs << ": cold " << cold.iterations << " pivots, warm "
+            << warm.iterations << " pivots (warm_started=" << warm.warm_started
+            << "), objective_match=" << objective_match << "\n";
+  return obj.str();
+}
+
+// Two scheduling rounds over an unchanged snapshot: round 2 of the cached
+// scheduler should be near-100% cache hits, and both schedulers must emit
+// identical allocations every round.
+std::string CandidateCacheComparisonRow() {
+  const auto snapshot = bench::MakePolicySnapshot(1, 99);
+
+  MetricsRegistry metrics;
+  ScheduleInput input = snapshot->input;
+  input.metrics = &metrics;
+  SiaScheduler cached{SiaOptions{}};  // candidate_cache defaults on.
+  auto t0 = std::chrono::steady_clock::now();
+  const ScheduleOutput cached_round1 = cached.Schedule(input);
+  const double cached_round1_ms = MsSince(t0);
+  const uint64_t round1_hits = metrics.counter_value("sia.candidate_cache_hits");
+  const uint64_t round1_misses = metrics.counter_value("sia.candidate_cache_misses");
+  t0 = std::chrono::steady_clock::now();
+  const ScheduleOutput cached_round2 = cached.Schedule(input);
+  const double cached_round2_ms = MsSince(t0);
+  const uint64_t round2_hits = metrics.counter_value("sia.candidate_cache_hits") - round1_hits;
+  const uint64_t round2_misses =
+      metrics.counter_value("sia.candidate_cache_misses") - round1_misses;
+
+  SiaOptions uncached_options;
+  uncached_options.candidate_cache = false;
+  SiaScheduler uncached(uncached_options);
+  const ScheduleOutput uncached_round1 = uncached.Schedule(snapshot->input);
+  t0 = std::chrono::steady_clock::now();
+  const ScheduleOutput uncached_round2 = uncached.Schedule(snapshot->input);
+  const double uncached_round2_ms = MsSince(t0);
+
+  const bool outputs_match = cached_round1 == uncached_round1 && cached_round2 == uncached_round2;
+  std::ostringstream obj;
+  obj << "{\"name\":\"sia_candidate_cache\",\"jobs\":" << snapshot->input.jobs.size()
+      << ",\"round1_hits\":" << round1_hits << ",\"round1_misses\":" << round1_misses
+      << ",\"round2_hits\":" << round2_hits << ",\"round2_misses\":" << round2_misses
+      << ",\"cached_round1_ms\":" << cached_round1_ms
+      << ",\"cached_round2_ms\":" << cached_round2_ms
+      << ",\"uncached_round2_ms\":" << uncached_round2_ms
+      << ",\"outputs_match\":" << (outputs_match ? "true" : "false") << "}";
+  std::cout << "candidate cache: round2 " << round2_hits << " hits / " << round2_misses
+            << " misses, cached " << cached_round2_ms << " ms vs uncached " << uncached_round2_ms
+            << " ms, outputs_match=" << outputs_match << "\n";
+  return obj.str();
+}
+
+void RunFastPathComparisons() {
+  std::cout << "=== fast-path comparisons (cold vs warm, cached vs uncached) ===\n";
+  std::vector<std::string> rows;
+  for (int jobs : {16, 64}) {
+    rows.push_back(MilpWarmComparisonRow(jobs));
+  }
+  for (int jobs : {16, 64}) {
+    rows.push_back(SimplexWarmComparisonRow(jobs));
+  }
+  rows.push_back(CandidateCacheComparisonRow());
+  bench::WriteBenchJsonRows("solver_micro", rows);
+}
+
 }  // namespace
 }  // namespace sia
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool comparisons_only = false;
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--comparisons-only") == 0) {
+      comparisons_only = true;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  sia::RunFastPathComparisons();
+  if (comparisons_only) {
+    return 0;
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

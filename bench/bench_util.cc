@@ -1,11 +1,14 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/models/profile_db.h"
 #include "src/obs/json_util.h"
 #include "src/schedulers/allox/allox_scheduler.h"
 #include "src/schedulers/baselines/priority_schedulers.h"
@@ -15,12 +18,16 @@
 
 namespace sia::bench {
 
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, int sched_threads) {
   if (name == "sia") {
-    return std::make_unique<SiaScheduler>();
+    SiaOptions options;
+    options.num_threads = sched_threads;
+    return std::make_unique<SiaScheduler>(options);
   }
   if (name == "pollux") {
-    return std::make_unique<PolluxScheduler>();
+    PolluxOptions options;
+    options.num_threads = sched_threads;
+    return std::make_unique<PolluxScheduler>(options);
   }
   if (name == "gavel") {
     return std::make_unique<GavelScheduler>();
@@ -42,6 +49,118 @@ std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
   }
   SIA_CHECK(false) << "unknown scheduler " << name;
   return nullptr;
+}
+
+LinearProgram MakeSchedulingLp(int jobs, int configs, int types, uint64_t seed, bool binary) {
+  Rng rng(seed);
+  LinearProgram lp;
+  std::vector<std::vector<int>> vars(jobs, std::vector<int>(configs));
+  for (int i = 0; i < jobs; ++i) {
+    for (int j = 0; j < configs; ++j) {
+      vars[i][j] = binary ? lp.AddBinaryVariable(rng.Uniform(0.1, 10.0))
+                          : lp.AddVariable(0.0, 1.0, rng.Uniform(0.1, 10.0));
+    }
+  }
+  for (int i = 0; i < jobs; ++i) {
+    std::vector<LpTerm> row;
+    for (int j = 0; j < configs; ++j) {
+      row.emplace_back(vars[i][j], 1.0);
+    }
+    lp.AddConstraint(ConstraintOp::kLessEq, 1.0, std::move(row));
+  }
+  for (int t = 0; t < types; ++t) {
+    std::vector<LpTerm> row;
+    for (int i = 0; i < jobs; ++i) {
+      for (int j = 0; j < configs; ++j) {
+        if (j % types == t) {
+          row.emplace_back(vars[i][j], static_cast<double>(1 << (j % 6)));
+        }
+      }
+    }
+    lp.AddConstraint(ConstraintOp::kLessEq, 8.0 * jobs / types, std::move(row));
+  }
+  return lp;
+}
+
+void PerturbObjective(LinearProgram& lp, uint64_t seed, double frac) {
+  Rng rng(seed);
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    lp.SetObjectiveCoefficient(
+        j, lp.objective_coefficient(j) * rng.Uniform(1.0 - frac, 1.0 + frac));
+  }
+}
+
+std::unique_ptr<PolicySnapshot> MakePolicySnapshot(int scale, uint64_t seed) {
+  auto snap = std::make_unique<PolicySnapshot>();
+  snap->cluster = MakeHeterogeneousCluster(scale);
+  snap->config_set = BuildConfigSet(snap->cluster);
+  Rng rng(seed);
+  const int num_jobs = 8 * scale;
+  TraceOptions trace;
+  trace.kind = TraceKind::kHelios;
+  trace.seed = seed;
+  trace.duration_hours = 8.0;
+  trace.arrival_rate_per_hour = std::max(20.0, num_jobs / 4.0);
+  auto specs = GenerateTrace(trace);
+  specs.resize(std::min<size_t>(specs.size(), num_jobs));
+  snap->specs = std::move(specs);
+
+  std::vector<int> free_gpus(snap->cluster.num_gpu_types());
+  for (int t = 0; t < snap->cluster.num_gpu_types(); ++t) {
+    free_gpus[t] = snap->cluster.TotalGpus(t);
+  }
+  for (const JobSpec& spec : snap->specs) {
+    auto estimator =
+        std::make_unique<GoodputEstimator>(spec.model, &snap->cluster, ProfilingMode::kBootstrap);
+    // Profiling sweep + a couple of multi-GPU observations from ground truth.
+    for (int t = 0; t < snap->cluster.num_gpu_types(); ++t) {
+      const DeviceProfile& device = GetDeviceProfile(spec.model, snap->cluster.gpu_type(t).name);
+      if (!device.available) {
+        continue;
+      }
+      for (int k = 1; k <= 5; ++k) {
+        const double local = std::max(1.0, device.max_local_bsz * k / 5.0);
+        estimator->AddProfilePoint(t, local, IterTime(device.truth, 1, 1, local, 1));
+      }
+    }
+    JobView view;
+    view.spec = &spec;
+    view.age_seconds = rng.Uniform(600.0, 6.0 * 3600.0);
+    view.num_restarts = static_cast<int>(rng.UniformInt(0, 4));
+    view.restart_overhead_seconds = GetModelInfo(spec.model).restart_seconds;
+    view.progress_fraction = rng.Uniform(0.05, 0.9);
+    view.total_work = GetModelInfo(spec.model).total_work;
+    if (rng.Bernoulli(0.5)) {
+      // Currently running somewhere small.
+      const int t = static_cast<int>(rng.UniformInt(0, snap->cluster.num_gpu_types() - 1));
+      const DeviceProfile& device = GetDeviceProfile(spec.model, snap->cluster.gpu_type(t).name);
+      if (device.available && free_gpus[t] >= 2) {
+        const int count = rng.Bernoulli(0.5) ? 1 : 2;
+        view.current_config = Config{1, count, t};
+        view.peak_num_gpus = count;
+        view.service_gpu_seconds = view.age_seconds * count * 0.6;
+        free_gpus[t] -= count;
+        const auto decision =
+            estimator->Estimate(view.current_config, spec.adaptivity, spec.fixed_bsz);
+        if (decision.feasible) {
+          estimator->AddObservation(t, 1, count, decision.local_bsz, decision.accum_steps,
+                                    IterTime(device.truth, 1, count, decision.local_bsz,
+                                             decision.accum_steps));
+        }
+      }
+    }
+    view.estimator = estimator.get();
+    snap->estimators.push_back(std::move(estimator));
+    snap->input.jobs.push_back(view);
+  }
+  snap->input.cluster = &snap->cluster;
+  snap->input.config_set = &snap->config_set;
+  snap->input.now_seconds = 3600.0;
+  // Fix dangling spec pointers (vector stable now).
+  for (size_t i = 0; i < snap->input.jobs.size(); ++i) {
+    snap->input.jobs[i].spec = &snap->specs[i];
+  }
+  return snap;
 }
 
 bool IsRigidPolicy(const std::string& name) {
@@ -68,7 +187,7 @@ ScenarioResult RunScenario(const std::string& scheduler_name, const ScenarioOpti
       tuned.seed = seed;
       jobs = MakeTunedJobs(jobs, tuned);
     }
-    auto scheduler = MakeScheduler(scheduler_name);
+    auto scheduler = MakeScheduler(scheduler_name, options.sched_threads);
     SimOptions sim;
     sim.seed = seed;
     sim.profiling_mode = options.profiling_mode;
@@ -149,6 +268,32 @@ std::string WriteBenchJson(const std::string& bench_name,
     AppendField(out, "avg_bb_nodes", row.avg_bb_nodes);
     AppendField(out, "avg_lp_iterations", row.avg_lp_iterations);
     out += '}';
+  }
+  out += "]}\n";
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open() || !(file << out)) {
+    std::cerr << "failed to write " << path << "\n";
+    return "";
+  }
+  std::cout << "wrote " << path << "\n";
+  return path;
+}
+
+std::string WriteBenchJsonRows(const std::string& bench_name,
+                               const std::vector<std::string>& row_objects) {
+  const char* dir = std::getenv("SIA_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string();
+  path += "BENCH_" + bench_name + ".json";
+
+  std::string out = "{\"schema_version\":1,\"bench\":";
+  AppendJsonString(out, bench_name);
+  out += ",\"rows\":[";
+  for (size_t i = 0; i < row_objects.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += row_objects[i];
   }
   out += "]}\n";
 

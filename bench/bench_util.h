@@ -12,13 +12,38 @@
 #include "src/metrics/report.h"
 #include "src/schedulers/scheduler.h"
 #include "src/sim/simulator.h"
+#include "src/solver/lp_model.h"
 #include "src/workload/trace_gen.h"
 
 namespace sia::bench {
 
 // Named scheduler factory: "sia", "pollux", "gavel", "shockwave", "themis",
-// "fifo", "srtf". Aborts on unknown names.
-std::unique_ptr<Scheduler> MakeScheduler(const std::string& name);
+// "fifo", "srtf". Aborts on unknown names. `sched_threads` fans candidate
+// generation for sia/pollux (--sched-threads); other policies ignore it.
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, int sched_threads = 1);
+
+// Sia-shaped scheduling program generator shared by the solver benches and
+// the warm-start tests: one GUB row per job (pick <= 1 config) plus one
+// capacity knapsack per GPU type. `binary` selects ILP vs LP relaxation.
+LinearProgram MakeSchedulingLp(int jobs, int configs, int types, uint64_t seed, bool binary);
+
+// Multiplies every objective coefficient by Uniform(1 - frac, 1 + frac) --
+// the round-over-round drift model for warm-start benches/tests (goodputs
+// move a little between rounds; the constraint structure does not).
+void PerturbObjective(LinearProgram& lp, uint64_t seed, double frac);
+
+// Steady-state policy-snapshot builder (the Fig. 9 / §5.6 methodology):
+// ~8 jobs per 64-GPU scale unit with profiled estimators, half currently
+// running. Shared by bench_fig9_scalability and bench_solver_micro's
+// cached-vs-uncached comparison.
+struct PolicySnapshot {
+  ClusterSpec cluster;
+  std::vector<Config> config_set;
+  std::vector<JobSpec> specs;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  ScheduleInput input;
+};
+std::unique_ptr<PolicySnapshot> MakePolicySnapshot(int scale, uint64_t seed);
 
 struct ScenarioOptions {
   ClusterSpec cluster;
@@ -34,6 +59,9 @@ struct ScenarioOptions {
   // Optional transformation applied to each sampled trace (e.g. adaptivity
   // restrictions for Fig. 11).
   std::function<std::vector<JobSpec>(std::vector<JobSpec>)> transform;
+  // Candidate-generation threads for sia/pollux (byte-identical results at
+  // any value; see SiaOptions::num_threads).
+  int sched_threads = 1;
 };
 
 struct ScenarioResult {
@@ -61,6 +89,13 @@ std::vector<uint64_t> SeedsFromEnv(std::vector<uint64_t> defaults);
 // Returns the path written ("" on failure) and logs it to stdout.
 std::string WriteBenchJson(const std::string& bench_name,
                            const std::vector<PolicySummary>& rows);
+
+// Same envelope ({"schema_version":1,"bench":...,"rows":[...]}) for benches
+// whose rows are not PolicySummary tables: each element of `row_objects`
+// must be a complete pre-rendered JSON object. tools/bench_compare.py diffs
+// two such files by each row's "name" (or "policy") key.
+std::string WriteBenchJsonRows(const std::string& bench_name,
+                               const std::vector<std::string>& row_objects);
 
 }  // namespace sia::bench
 

@@ -1,0 +1,120 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace sia {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to run.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Drain() {
+  if (workers_.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // Shared claim/completion state. Helpers capture it by shared_ptr: a
+  // helper that wakes up after all indices were claimed exits without
+  // touching anything owned by this (already returned) frame.
+  struct State {
+    std::atomic<int> next{0};
+    std::atomic<int> remaining;
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining.store(n, std::memory_order_relaxed);
+
+  // fn is copied into the helper task so queued stragglers never dangle.
+  auto body = [state, n, fn]() {
+    while (true) {
+      const int i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      fn(i);
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done_cv.notify_all();
+      }
+    }
+  };
+
+  const int helpers = std::min(static_cast<int>(workers_.size()), n - 1);
+  for (int h = 0; h < helpers; ++h) {
+    Submit(body);
+  }
+  body();  // The caller is always one of the workers.
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] {
+    return state->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace sia

@@ -1,0 +1,70 @@
+// Fixed-size thread pool for the scheduling fast path (ISSUE 3).
+//
+// Design constraints:
+//  * deterministic results -- ParallelFor hands each index to exactly one
+//    worker and callers write into per-index slots, so the output is
+//    byte-identical regardless of how many threads execute it (including
+//    zero: a 1-thread pool runs everything inline on the caller);
+//  * no work stealing, no task dependencies -- the schedulers' per-job
+//    candidate loops are embarrassingly parallel, so a mutex-guarded deque
+//    plus an atomic index counter is all the machinery needed;
+//  * safe reuse -- one pool per scheduler lives across rounds; Submit/Drain
+//    and ParallelFor may be called repeatedly and from different rounds.
+//
+// Tasks must not throw: an escaping exception would terminate the process
+// (worker threads have no handler), which SIA_CHECK-style aborts already do.
+#ifndef SIA_SRC_COMMON_THREAD_POOL_H_
+#define SIA_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sia {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers: the calling thread always participates
+  // in ParallelFor, so a pool of size 1 runs strictly inline and spawns
+  // nothing. num_threads < 1 is clamped to 1; 0 from
+  // std::thread::hardware_concurrency() callers therefore degrades safely.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Enqueues a task for any worker (inline when the pool has no workers).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Drain();
+
+  // Runs fn(0) ... fn(n-1), each exactly once, and returns when all calls
+  // completed. Indices are claimed from a shared atomic counter, so the
+  // execution *order* is nondeterministic but the index->call mapping is
+  // not; callers must write results into per-index slots. The calling
+  // thread participates, so this never deadlocks even on a 1-thread pool.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: task queued / stop.
+  std::condition_variable drain_cv_;  // Signals Drain(): queue empty & idle.
+  int active_ = 0;                    // Tasks currently executing.
+  bool stop_ = false;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_THREAD_POOL_H_

@@ -60,6 +60,7 @@ GoodputEstimator::GoodputEstimator(ModelKind kind, const ClusterSpec* cluster, P
   pgns_ = info_.efficiency.init_pgns;
   types_.resize(cluster->num_gpu_types());
   hybrid_.resize(cluster->num_gpu_types());
+  type_epoch_.assign(cluster->num_gpu_types(), 0);
   for (int t = 0; t < cluster->num_gpu_types(); ++t) {
     TypeState& type = types_[t];
     type.name = cluster->gpu_type(t).name;
@@ -85,6 +86,8 @@ void GoodputEstimator::AddProfilePoint(int gpu_type, double local_bsz, double it
   if (!type.available) {
     return;
   }
+  ++shared_epoch_;
+  ++type_epoch_[gpu_type];
   PushCapped(type.profile_points, {1, 1, local_bsz, 1, iter_time});
   RefitCompute(type);
 }
@@ -96,6 +99,8 @@ void GoodputEstimator::AddObservation(int gpu_type, int num_nodes, int num_gpus,
   if (!type.available) {
     return;
   }
+  ++shared_epoch_;
+  ++type_epoch_[gpu_type];
   if (num_gpus <= 1) {
     // Single-GPU runs refine the compute model, like profile points.
     PushCapped(type.profile_points, {1, 1, local_bsz, accum_steps, iter_time / accum_steps});
@@ -116,7 +121,13 @@ void GoodputEstimator::ObservePgns(double pgns) {
   if (batch_inference_) {
     return;  // Inference has no gradient statistics.
   }
+  ++shared_epoch_;  // pgns_ feeds every type's efficiency term.
   pgns_ = (1.0 - kPgnsEma) * pgns_ + kPgnsEma * pgns;
+}
+
+long long GoodputEstimator::fit_epoch(int gpu_type) const {
+  SIA_CHECK(gpu_type >= 0 && gpu_type < static_cast<int>(type_epoch_.size()));
+  return type_epoch_[gpu_type] + shared_epoch_;
 }
 
 void GoodputEstimator::RefitCompute(TypeState& type) {

@@ -88,6 +88,16 @@ class GoodputEstimator {
   // width for hybrid-parallel jobs (§5.3).
   int MinGpus(int gpu_type) const;
 
+  // Monotonic version of the beliefs behind Estimate() on `gpu_type`,
+  // used by the scheduler's CandidateCache (ISSUE 3): equal epochs across
+  // rounds guarantee Estimate returns identical results. Per-type refits
+  // bump the type's own counter, and *every* ingestion (profile point,
+  // observation, pgns report) additionally bumps a shared counter, because
+  // Estimate on type B can borrow type A's model through the Eq. (1)
+  // bootstrap and the gradient-noise EMA is estimator-global. Conservative
+  // (some bumps do not change any estimate) but never stale.
+  long long fit_epoch(int gpu_type) const;
+
   double pgns() const { return pgns_; }
   bool has_compute_data(int gpu_type) const { return types_[gpu_type].has_compute; }
   bool has_intra_data(int gpu_type) const { return types_[gpu_type].has_intra; }
@@ -130,6 +140,8 @@ class GoodputEstimator {
   ModelInfo info_;
   std::vector<TypeState> types_;
   std::vector<HybridProfile> hybrid_;  // Per type; available only for hybrid models.
+  std::vector<long long> type_epoch_;  // Bumped by that type's refits.
+  long long shared_epoch_ = 0;         // Bumped by every ingestion.
   double pgns_;
   MetricsRegistry* metrics_ = nullptr;
 };

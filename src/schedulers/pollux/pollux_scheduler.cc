@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/check.h"
@@ -113,8 +114,23 @@ ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
     model.cache.emplace(key, goodput);
     return goodput;
   };
-  for (int i = 0; i < num_jobs; ++i) {
+  // Pre-evaluate each job's baseline goodput -- the hottest estimator calls
+  // of the round. Each index touches only models[i] (and its per-job memo
+  // map), so fanning over jobs is race-free and the result is identical for
+  // any thread count (ISSUE 3).
+  const auto eval_base = [&](int i) {
     models[i].base_goodput = goodput_of(i, models[i].min_count, false);
+  };
+  const int threads = std::max(1, options_.num_threads);
+  if (threads > 1 && num_jobs > 1) {
+    if (pool_ == nullptr || pool_->num_threads() != threads) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    pool_->ParallelFor(num_jobs, eval_base);
+  } else {
+    for (int i = 0; i < num_jobs; ++i) {
+      eval_base(i);
+    }
   }
 
   // --- genome helpers ---

@@ -18,7 +18,10 @@
 #ifndef SIA_SRC_SCHEDULERS_POLLUX_POLLUX_SCHEDULER_H_
 #define SIA_SRC_SCHEDULERS_POLLUX_POLLUX_SCHEDULER_H_
 
+#include <memory>
+
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/schedulers/scheduler.h"
 
 namespace sia {
@@ -34,6 +37,10 @@ struct PolluxOptions {
   int virtual_node_gpus = 4;
   double min_restart_factor = 0.05;
   uint64_t seed = 7;
+  // Threads for the per-job goodput pre-evaluation (--sched-threads). The GA
+  // itself stays sequential (its RNG stream defines the search), but the
+  // expensive estimator calls fan out deterministically over jobs.
+  int num_threads = 1;
 };
 
 class PolluxScheduler : public Scheduler {
@@ -47,6 +54,7 @@ class PolluxScheduler : public Scheduler {
  private:
   PolluxOptions options_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;  // Created lazily when num_threads > 1.
 };
 
 }  // namespace sia

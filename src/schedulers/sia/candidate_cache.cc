@@ -1,0 +1,27 @@
+#include "src/schedulers/sia/candidate_cache.h"
+
+#include <algorithm>
+
+namespace sia {
+
+CandidateCache::Row* CandidateCache::AcquireRow(JobId job, int num_configs) {
+  Row& row = rows_[job];
+  if (static_cast<int>(row.size()) != num_configs) {
+    row.assign(static_cast<std::size_t>(num_configs), Entry{});
+  }
+  return &row;
+}
+
+void CandidateCache::RetainOnly(const std::vector<JobId>& live) {
+  std::vector<JobId> sorted = live;
+  std::sort(sorted.begin(), sorted.end());
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    if (std::binary_search(sorted.begin(), sorted.end(), it->first)) {
+      ++it;
+    } else {
+      it = rows_.erase(it);
+    }
+  }
+}
+
+}  // namespace sia

@@ -1,0 +1,55 @@
+// Cross-round memoization of the goodput matrix (ISSUE 3).
+//
+// Sia re-evaluates jobs x configs goodputs every round, but between two
+// rounds most jobs' throughput models are unchanged: queued jobs receive no
+// telemetry at all, and running jobs refit only the GPU type they run on.
+// The cache keys each (job, config) estimate by the estimator's fit epoch
+// for that config's GPU type -- see GoodputEstimator::fit_epoch() -- so a
+// hit is *guaranteed* to equal what Estimate() would return, making
+// cache-enabled scheduling bit-identical to cache-disabled.
+//
+// Threading contract: AcquireRow / RetainOnly are sequential (they mutate
+// the row map); the per-row entries may then be read/written concurrently
+// as long as each job's row is touched by exactly one thread -- which the
+// scheduler guarantees by parallelizing over jobs, not configs.
+#ifndef SIA_SRC_SCHEDULERS_SIA_CANDIDATE_CACHE_H_
+#define SIA_SRC_SCHEDULERS_SIA_CANDIDATE_CACHE_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "src/common/job_id.h"
+
+namespace sia {
+
+class CandidateCache {
+ public:
+  struct Entry {
+    long long epoch = -1;  // fit_epoch the estimate was computed at; -1 = empty.
+    bool feasible = false;
+    double goodput = 0.0;
+  };
+
+  // One row per job, one entry per config index.
+  using Row = std::vector<Entry>;
+
+  // Returns the row for `job`, creating or resizing it to `num_configs`
+  // entries (a config-set change invalidates naturally: resized entries
+  // start empty, and epochs never match across different estimators).
+  // Sequential only.
+  Row* AcquireRow(JobId job, int num_configs);
+
+  // Drops rows of jobs not in `live` (finished / removed jobs). `live` need
+  // not be sorted. Sequential only.
+  void RetainOnly(const std::vector<JobId>& live);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::map<JobId, Row> rows_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SCHEDULERS_SIA_CANDIDATE_CACHE_H_

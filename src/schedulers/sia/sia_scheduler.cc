@@ -1,8 +1,12 @@
 #include "src/schedulers/sia/sia_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
@@ -69,20 +73,41 @@ ScheduleOutput GreedyRepairAllocations(const ScheduleInput& input,
     return ja.service_gpu_seconds < jb.service_gpu_seconds;  // Starved first.
   });
 
+  // Rank each job's candidates by goodput once up front (stable: goodput
+  // ties keep config order) so the scan below stops at the first candidate
+  // that fits instead of rescanning the whole list for the max.
+  std::vector<std::vector<const Candidate*>> ranked(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ranked[i].reserve(candidates[i].size());
+    for (const Candidate& candidate : candidates[i]) {
+      ranked[i].push_back(&candidate);
+    }
+    std::stable_sort(
+        ranked[i].begin(), ranked[i].end(),
+        [](const Candidate* a, const Candidate* b) { return a->goodput > b->goodput; });
+  }
+
   for (size_t i : order) {
     const JobView& job = input.jobs[i];
     const Candidate* best = nullptr;
-    for (const Candidate& candidate : candidates[i]) {
-      const Config& config = configs[candidate.config_index];
-      if (config.num_gpus > free_gpus[config.gpu_type]) {
-        continue;
+    // Keeping the incumbent shape is restart-free: it wins whenever it fits.
+    if (job.current_config.num_gpus > 0) {
+      for (const Candidate& candidate : candidates[i]) {
+        if (configs[candidate.config_index] == job.current_config) {
+          if (job.current_config.num_gpus <= free_gpus[job.current_config.gpu_type]) {
+            best = &candidate;
+          }
+          break;
+        }
       }
-      if (job.current_config.num_gpus > 0 && config == job.current_config) {
-        best = &candidate;  // Keeping the incumbent shape is restart-free.
-        break;
-      }
-      if (best == nullptr || candidate.goodput > best->goodput) {
-        best = &candidate;
+    }
+    if (best == nullptr) {
+      for (const Candidate* candidate : ranked[i]) {
+        const Config& config = configs[candidate->config_index];
+        if (config.num_gpus <= free_gpus[config.gpu_type]) {
+          best = candidate;
+          break;
+        }
       }
     }
     if (best == nullptr) {
@@ -105,24 +130,52 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   const bool minimize = p < 0.0;
 
   LinearProgram lp(minimize ? ObjectiveSense::kMinimize : ObjectiveSense::kMaximize);
-  std::vector<std::vector<Candidate>> candidates(input.jobs.size());
+  const int num_jobs = static_cast<int>(input.jobs.size());
+  std::vector<std::vector<Candidate>> candidates(num_jobs);
   std::vector<std::vector<LpTerm>> capacity_rows(input.cluster->num_gpu_types());
 
-  for (size_t i = 0; i < input.jobs.size(); ++i) {
+  // --- phase A: candidate generation (parallel + memoized, ISSUE 3) ---
+  // Every job writes only into its own index-i slots, so the result is
+  // identical for any thread count and any claim order. LP construction
+  // stays in phase B because AddBinaryVariable order defines variable
+  // indices (and with them the solver's tie-breaking).
+  const auto gen_start = std::chrono::steady_clock::now();
+
+  std::vector<CandidateCache::Row*> cache_rows(num_jobs, nullptr);
+  if (options_.candidate_cache) {
+    std::vector<JobId> live;
+    live.reserve(input.jobs.size());
+    for (const JobView& job : input.jobs) {
+      live.push_back(job.spec->id);
+    }
+    cache_.RetainOnly(live);
+    // Rows are created sequentially: the map must not rehash/rebalance under
+    // the parallel loop below.
+    for (int i = 0; i < num_jobs; ++i) {
+      cache_rows[i] =
+          cache_.AcquireRow(input.jobs[i].spec->id, static_cast<int>(configs.size()));
+    }
+  }
+
+  std::vector<double> min_goodputs(num_jobs, std::numeric_limits<double>::infinity());
+  std::vector<int> min_required(num_jobs, std::numeric_limits<int>::max());
+  std::vector<int> cache_hits(num_jobs, 0);
+  std::vector<int> cache_misses(num_jobs, 0);
+
+  const auto generate = [&](int i) {
     const JobView& job = input.jobs[i];
     const JobSpec& spec = *job.spec;
     const GoodputEstimator& estimator = *job.estimator;
+    CandidateCache::Row* row = cache_rows[i];
 
     // --- build this job's row of the goodput matrix ---
-    double min_goodput = std::numeric_limits<double>::infinity();
-    int min_required_gpus = std::numeric_limits<int>::max();
     for (int c = 0; c < static_cast<int>(configs.size()); ++c) {
       const Config& config = configs[c];
       const int min_gpus = estimator.MinGpus(config.gpu_type);
       if (min_gpus <= 0) {
         continue;  // Model cannot run on this GPU type.
       }
-      min_required_gpus = std::min(min_required_gpus, min_gpus);
+      min_required[i] = std::min(min_required[i], min_gpus);
       if (config.num_gpus % min_gpus != 0) {
         continue;  // Hybrid jobs scale in whole replicas.
       }
@@ -134,14 +187,70 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       if (spec.adaptivity == AdaptivityMode::kRigid && config.num_gpus != spec.rigid_num_gpus) {
         continue;  // Rigid jobs only pick the GPU type (Eq. 5).
       }
-      const BatchDecision decision =
-          estimator.Estimate(config, spec.adaptivity, spec.fixed_bsz);
-      if (!decision.feasible || decision.goodput <= 0.0) {
+      bool feasible;
+      double goodput;
+      if (row != nullptr) {
+        CandidateCache::Entry& entry = (*row)[c];
+        const long long epoch = estimator.fit_epoch(config.gpu_type);
+        if (entry.epoch == epoch) {
+          ++cache_hits[i];
+          feasible = entry.feasible;
+          goodput = entry.goodput;
+        } else {
+          ++cache_misses[i];
+          const BatchDecision decision =
+              estimator.Estimate(config, spec.adaptivity, spec.fixed_bsz);
+          feasible = decision.feasible;
+          goodput = decision.goodput;
+          entry = {epoch, feasible, goodput};
+        }
+      } else {
+        const BatchDecision decision =
+            estimator.Estimate(config, spec.adaptivity, spec.fixed_bsz);
+        feasible = decision.feasible;
+        goodput = decision.goodput;
+      }
+      if (!feasible || goodput <= 0.0) {
         continue;
       }
-      candidates[i].push_back({c, decision.goodput});
-      min_goodput = std::min(min_goodput, decision.goodput);
+      candidates[i].push_back({c, goodput});
+      min_goodputs[i] = std::min(min_goodputs[i], goodput);
     }
+  };
+
+  const int threads = std::max(1, options_.num_threads);
+  if (threads > 1 && num_jobs > 1) {
+    if (pool_ == nullptr || pool_->num_threads() != threads) {
+      pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    pool_->ParallelFor(num_jobs, generate);
+  } else {
+    for (int i = 0; i < num_jobs; ++i) {
+      generate(i);
+    }
+  }
+
+  if (input.metrics != nullptr) {
+    const auto gen_elapsed = std::chrono::steady_clock::now() - gen_start;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    for (int i = 0; i < num_jobs; ++i) {
+      hits += static_cast<uint64_t>(cache_hits[i]);
+      misses += static_cast<uint64_t>(cache_misses[i]);
+    }
+    input.metrics->counter("sia.candidate_cache_hits").Add(hits);
+    input.metrics->counter("sia.candidate_cache_misses").Add(misses);
+    input.metrics->counter("sia.candidate_gen_wall_ns")
+        .Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(gen_elapsed).count()));
+  }
+
+  // --- phase B: LP construction (sequential by design) ---
+  for (int i = 0; i < num_jobs; ++i) {
+    const JobView& job = input.jobs[i];
+    const JobSpec& spec = *job.spec;
+    const double min_goodput = min_goodputs[i];
+    const int min_required_gpus = min_required[i];
     if (candidates[i].empty()) {
       continue;
     }
@@ -222,13 +331,34 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
 
   ScheduleOutput output;
   if (lp.num_variables() == 0) {
+    have_warm_state_ = false;  // Nothing to warm-start the next round with.
     return output;
   }
-  const MilpSolution solution = SolveMilp(lp, options_.milp);
+
+  // Feed the previous round's incumbent + root basis in when the new ILP has
+  // the same shape; SolveMilp re-validates both, so near-identical-but-not
+  // programs degrade to a cold solve, never to a wrong answer.
+  MilpOptions milp_options = options_.milp;
+  if (options_.warm_start && have_warm_state_ &&
+      warm_num_variables_ == lp.num_variables() &&
+      warm_num_constraints_ == lp.num_constraints()) {
+    milp_options.warm_start = &warm_state_;
+  }
+  MilpSolution solution = SolveMilp(lp, milp_options);
+  if (options_.warm_start) {
+    warm_state_ = std::move(solution.next_warm_start);
+    have_warm_state_ = !warm_state_.empty();
+    warm_num_variables_ = lp.num_variables();
+    warm_num_constraints_ = lp.num_constraints();
+  }
   if (input.metrics != nullptr) {
     input.metrics->counter("solver.bb_nodes").Add(static_cast<uint64_t>(solution.nodes_explored));
     input.metrics->counter("solver.lp_iterations")
         .Add(static_cast<uint64_t>(solution.lp_iterations));
+    input.metrics->counter("solver.warm_started_lps")
+        .Add(static_cast<uint64_t>(solution.warm_started_lps));
+    input.metrics->counter("solver.warm_start_pivots_saved")
+        .Add(static_cast<uint64_t>(solution.warm_start_pivots_saved));
     input.metrics->counter("scheduler.ilp_variables")
         .Add(static_cast<uint64_t>(lp.num_variables()));
     input.metrics->gauge("solver.last_bb_nodes").Set(solution.nodes_explored);

@@ -18,7 +18,11 @@
 #ifndef SIA_SRC_SCHEDULERS_SIA_SIA_SCHEDULER_H_
 #define SIA_SRC_SCHEDULERS_SIA_SIA_SCHEDULER_H_
 
+#include <memory>
+
+#include "src/common/thread_pool.h"
 #include "src/schedulers/scheduler.h"
+#include "src/schedulers/sia/candidate_cache.h"
 #include "src/solver/milp.h"
 
 namespace sia {
@@ -46,6 +50,17 @@ struct SiaOptions {
     options.time_limit_seconds = 5.0;
     return options;
   }();
+  // --- round-over-round fast path (ISSUE 3) ---
+  // Threads for the candidate-generation phase (--sched-threads). Results
+  // are written into per-job slots, so any value produces byte-identical
+  // schedules; 1 runs strictly inline.
+  int num_threads = 1;
+  // Memoize Estimate() results across rounds, invalidated by estimator fit
+  // epochs. Bit-equivalent to recomputing (see CandidateCache).
+  bool candidate_cache = true;
+  // Feed round N's MILP incumbent and root basis into round N+1. Preserves
+  // the optimal objective (hints are validated, never trusted).
+  bool warm_start = true;
 };
 
 class SiaScheduler : public Scheduler {
@@ -60,6 +75,15 @@ class SiaScheduler : public Scheduler {
 
  private:
   SiaOptions options_;
+  // Cross-round state for the fast path. The cache is consulted only when
+  // options_.candidate_cache is set; the warm start only when the new ILP
+  // has the same shape as the one that produced it.
+  CandidateCache cache_;
+  MilpWarmStart warm_state_;
+  bool have_warm_state_ = false;
+  int warm_num_variables_ = -1;
+  int warm_num_constraints_ = -1;
+  std::unique_ptr<ThreadPool> pool_;  // Created lazily when num_threads > 1.
 };
 
 }  // namespace sia

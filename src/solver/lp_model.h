@@ -86,12 +86,38 @@ enum class SolveStatus {
 
 const char* ToString(SolveStatus status);
 
+// Variable-state snapshot of a simplex basis, used to warm-start re-solves
+// (ISSUE 3): `state[j]` covers the structural variables first, then one slack
+// per constraint row (size = num_variables + num_constraints). A basis is
+// usable as a hint only when exactly num_constraints entries are kBasic; the
+// solver validates the hint (size, basic count, non-singularity, primal
+// feasibility under the *current* bounds) and silently falls back to its
+// cold crash basis when any check fails, so a stale hint can never change
+// the solve result -- only its pivot count.
+struct SimplexBasis {
+  enum State : uint8_t {
+    kBasic = 0,
+    kAtLower = 1,
+    kAtUpper = 2,
+    kFree = 3,  // Nonbasic free variable resting at zero.
+  };
+  std::vector<uint8_t> state;
+
+  bool empty() const { return state.empty(); }
+};
+
 struct LpSolution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> values;  // One entry per variable.
   std::vector<double> duals;   // One entry per constraint (simplex multipliers).
   int iterations = 0;
+  // True when a SimplexOptions::warm_basis hint passed validation and phase 1
+  // was skipped entirely.
+  bool warm_started = false;
+  // Final basis (populated when SimplexOptions::capture_basis is set and the
+  // solve ended kOptimal with no artificial variable left in the basis).
+  SimplexBasis basis;
 };
 
 }  // namespace sia

@@ -17,7 +17,69 @@ struct BranchNode {
   std::vector<std::tuple<int, double, double>> overrides;
   double bound;  // LP objective of the parent (max-normalized).
   int depth;
+  // Creation order; the deterministic tie-break of the best-first heap.
+  long long seq;
+  // Parent relaxation's optimal basis, shared by both children. May be null
+  // (parent LP did not export a basis); the simplex falls back to cold.
+  std::shared_ptr<const SimplexBasis> parent_basis;
 };
+
+// Best-first ordering: highest bound wins; among equal bounds the deeper
+// node (diving toward integrality) wins; among those, the earlier-created
+// node wins so the exploration order is deterministic.
+struct NodeWorse {
+  bool operator()(const BranchNode& a, const BranchNode& b) const {
+    if (a.bound != b.bound) {
+      return a.bound < b.bound;
+    }
+    if (a.depth != b.depth) {
+      return a.depth < b.depth;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+// True when `values` is an integral feasible point of `lp` -- the gate for
+// accepting a previous round's incumbent as this round's starting bound.
+bool IsFeasibleIntegral(const LinearProgram& lp, const std::vector<double>& values,
+                        double integrality_tol) {
+  constexpr double kFeasTol = 1e-6;
+  if (static_cast<int>(values.size()) != lp.num_variables()) {
+    return false;
+  }
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    if (values[j] < lp.lower_bound(j) - kFeasTol || values[j] > lp.upper_bound(j) + kFeasTol) {
+      return false;
+    }
+    if (lp.is_integer(j) && std::abs(values[j] - std::round(values[j])) > integrality_tol) {
+      return false;
+    }
+  }
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    double activity = 0.0;
+    for (const auto& [var, coeff] : lp.row_terms(i)) {
+      activity += coeff * values[var];
+    }
+    switch (lp.constraint_op(i)) {
+      case ConstraintOp::kLessEq:
+        if (activity > lp.rhs(i) + kFeasTol) {
+          return false;
+        }
+        break;
+      case ConstraintOp::kGreaterEq:
+        if (activity < lp.rhs(i) - kFeasTol) {
+          return false;
+        }
+        break;
+      case ConstraintOp::kEqual:
+        if (std::abs(activity - lp.rhs(i)) > kFeasTol) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
 
 // True when the program is "packing-shaped": every constraint is <= and all
 // integer variables have non-negative coefficients everywhere, so flooring
@@ -140,10 +202,39 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   std::vector<double> incumbent_values;
   bool have_incumbent = false;
 
-  // Depth-first stack; diving finds incumbents quickly and the near-integral
-  // relaxation keeps the stack shallow.
-  std::vector<BranchNode> stack;
-  stack.push_back({{}, kLpInfinity, 0});
+  // --- warm start (ISSUE 3) ---
+  // A previous incumbent that is still feasible becomes an immediate lower
+  // bound; the previous root basis becomes the root relaxation's hint. Both
+  // are validated, so garbage hints cost nothing but the validation.
+  const MilpWarmStart* warm = options.warm_start;
+  std::shared_ptr<const SimplexBasis> root_hint;
+  if (warm != nullptr) {
+    if (!warm->incumbent_values.empty() &&
+        IsFeasibleIntegral(lp, warm->incumbent_values, options.integrality_tol)) {
+      incumbent_values = warm->incumbent_values;
+      for (int j = 0; j < lp.num_variables(); ++j) {
+        if (lp.is_integer(j)) {
+          incumbent_values[j] = std::round(incumbent_values[j]);
+        }
+      }
+      double obj = 0.0;
+      for (int j = 0; j < lp.num_variables(); ++j) {
+        obj += lp.objective_coefficient(j) * incumbent_values[j];
+      }
+      incumbent_obj = sign * obj;
+      have_incumbent = true;
+    }
+    if (!warm->basis.empty()) {
+      root_hint = std::make_shared<SimplexBasis>(warm->basis);
+    }
+  }
+
+  // Best-first heap: the node with the highest LP bound is explored next,
+  // so the tree never expands a node that the final bound proof would have
+  // pruned (modulo ties). Kept as a manual heap so nodes can be moved out.
+  std::vector<BranchNode> heap;
+  long long next_seq = 0;
+  heap.push_back({{}, kLpInfinity, 0, next_seq++, root_hint});
 
   const auto start_time = std::chrono::steady_clock::now();
   auto out_of_time = [&]() {
@@ -156,9 +247,18 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
 
   int nodes = 0;
   int lp_iterations = 0;
+  int warm_started_lps = 0;
+  long long pivots_saved = 0;
+  // Baseline for the pivots-saved estimate: the most recent cold root's
+  // pivot count, carried forward through warm rounds.
+  int cold_root_baseline = warm != nullptr ? warm->cold_root_iterations : 0;
+  bool root_solved = false;
+  bool root_was_warm = false;
+  int root_iterations = 0;
+  SimplexBasis root_basis;
   bool hit_node_limit = false;
   bool hit_time_limit = false;
-  while (!stack.empty()) {
+  while (!heap.empty()) {
     if (nodes >= options.max_nodes) {
       hit_node_limit = true;
       break;
@@ -167,8 +267,9 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       hit_time_limit = true;
       break;
     }
-    BranchNode node = std::move(stack.back());
-    stack.pop_back();
+    std::pop_heap(heap.begin(), heap.end(), NodeWorse{});
+    BranchNode node = std::move(heap.back());
+    heap.pop_back();
     if (have_incumbent && node.bound <= incumbent_obj + std::abs(incumbent_obj) *
                                                             options.relative_gap) {
       continue;  // Pruned by bound.
@@ -189,9 +290,25 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
 
     LpSolution relaxation;
     if (bounds_ok) {
-      relaxation = SolveLp(working, options.simplex);
+      SimplexOptions node_simplex = options.simplex;
+      node_simplex.warm_basis = node.parent_basis != nullptr ? node.parent_basis.get() : nullptr;
+      node_simplex.capture_basis = true;
+      relaxation = SolveLp(working, node_simplex);
       ++nodes;
       lp_iterations += relaxation.iterations;
+      if (relaxation.warm_started) {
+        ++warm_started_lps;
+        if (cold_root_baseline > 0) {
+          pivots_saved +=
+              std::max(0, cold_root_baseline - relaxation.iterations);
+        }
+      }
+      if (!root_solved && node.depth == 0) {
+        root_solved = true;
+        root_was_warm = relaxation.warm_started;
+        root_iterations = relaxation.iterations;
+        root_basis = relaxation.basis;  // Copy; children still need theirs.
+      }
     }
 
     // Restore bounds before any continue/branch bookkeeping.
@@ -250,30 +367,52 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       continue;
     }
 
-    // Branch: child with the rounded-toward side first popped (pushed last)
-    // to dive toward integrality.
+    // Branch. Both children share bound node_obj in the best-first heap;
+    // the rounded-toward side gets the earlier seq so it pops first among
+    // equal bounds (the old diving behavior, now a tie-break).
     const double value = relaxation.values[branch_var];
     const double floor_value = std::floor(value);
 
-    BranchNode up_child{node.overrides, node_obj, node.depth + 1};
+    std::shared_ptr<const SimplexBasis> child_basis;
+    if (!relaxation.basis.empty()) {
+      child_basis = std::make_shared<SimplexBasis>(std::move(relaxation.basis));
+    }
+
+    BranchNode up_child{node.overrides, node_obj, node.depth + 1, 0, child_basis};
     up_child.overrides.emplace_back(branch_var,
                                     std::max(working.lower_bound(branch_var), floor_value + 1.0),
                                     working.upper_bound(branch_var));
-    BranchNode down_child{std::move(node.overrides), node_obj, node.depth + 1};
+    BranchNode down_child{std::move(node.overrides), node_obj, node.depth + 1, 0, child_basis};
     down_child.overrides.emplace_back(branch_var, working.lower_bound(branch_var),
                                       std::min(working.upper_bound(branch_var), floor_value));
 
+    BranchNode* first = &down_child;
+    BranchNode* second = &up_child;
     if (value - floor_value > 0.5) {
-      stack.push_back(std::move(down_child));
-      stack.push_back(std::move(up_child));
-    } else {
-      stack.push_back(std::move(up_child));
-      stack.push_back(std::move(down_child));
+      std::swap(first, second);
     }
+    first->seq = next_seq++;
+    second->seq = next_seq++;
+    heap.push_back(std::move(*first));
+    std::push_heap(heap.begin(), heap.end(), NodeWorse{});
+    heap.push_back(std::move(*second));
+    std::push_heap(heap.begin(), heap.end(), NodeWorse{});
   }
 
   result.nodes_explored = nodes;
   result.lp_iterations = lp_iterations;
+  result.warm_started_lps = warm_started_lps;
+  result.warm_start_pivots_saved = pivots_saved;
+  // Export warm-start state for the next solve of a near-identical program.
+  if (root_solved) {
+    result.next_warm_start.basis = std::move(root_basis);
+    // A warm root's pivot count is not a cold baseline; keep the inherited
+    // one in that case.
+    result.next_warm_start.cold_root_iterations =
+        root_was_warm ? cold_root_baseline : root_iterations;
+  } else {
+    result.next_warm_start.cold_root_iterations = cold_root_baseline;
+  }
   if (!have_incumbent) {
     result.status = hit_time_limit ? SolveStatus::kTimeLimit
                     : hit_node_limit ? SolveStatus::kNodeLimit
@@ -285,6 +424,7 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
                                    : SolveStatus::kOptimal;
   result.objective = sign * incumbent_obj;
   result.values = std::move(incumbent_values);
+  result.next_warm_start.incumbent_values = result.values;
   return result;
 }
 

@@ -2,8 +2,10 @@
 //
 // Sia's scheduling problem (Eq. 4/5) is a binary program whose LP relaxation
 // is near-integral (one GUB row per job plus one knapsack row per GPU type),
-// so depth-first branch-and-bound with best-first tie-breaking terminates in
-// a handful of nodes in practice.
+// so best-first branch-and-bound (highest LP bound popped first, depth as a
+// diving tie-break) terminates in a handful of nodes in practice. Node
+// relaxations reuse the parent's simplex basis, and a whole solve can be
+// warm-started from the previous scheduling round via MilpWarmStart.
 #ifndef SIA_SRC_SOLVER_MILP_H_
 #define SIA_SRC_SOLVER_MILP_H_
 
@@ -12,8 +14,30 @@
 
 namespace sia {
 
+// Cross-solve warm-start state (ISSUE 3). A scheduler keeps the
+// `next_warm_start` returned by round N and feeds it into round N+1's
+// MilpOptions; everything in it is a hint, re-validated against the new
+// program before use, so a stale or mismatched warm start can never change
+// the solve result -- only its cost.
+struct MilpWarmStart {
+  // Previous incumbent, used as an immediate B&B lower bound when it is
+  // still feasible and integral for the new program.
+  std::vector<double> incumbent_values;
+  // Root-LP optimal basis of the previous solve, used to skip phase 1.
+  SimplexBasis basis;
+  // Root-LP pivot count of the most recent *cold* solve in this chain;
+  // carried forward across warm rounds as the baseline for the
+  // pivots-saved estimate.
+  int cold_root_iterations = 0;
+
+  bool empty() const { return incumbent_values.empty() && basis.empty(); }
+};
+
 struct MilpOptions {
   SimplexOptions simplex;
+  // Optional warm start from a previous solve of a near-identical program.
+  // Not owned; must outlive the solve.
+  const MilpWarmStart* warm_start = nullptr;
   // Stop exploring once this many branch-and-bound nodes were solved.
   int max_nodes = 50000;
   // Wall-clock budget for the whole solve; <= 0 means unlimited. When the
@@ -40,6 +64,14 @@ struct MilpSolution {
   // Simplex pivots summed over every node relaxation -- the solver-effort
   // signal the observability layer reports per scheduling round (Fig. 9).
   int lp_iterations = 0;
+  // Node relaxations that accepted a warm basis (phase 1 skipped).
+  int warm_started_lps = 0;
+  // Estimated pivots avoided by warm starts: for every warm-started node LP,
+  // max(0, cold_root_iterations - pivots actually used). An estimate -- the
+  // exact number requires re-solving cold, which bench_solver_micro does.
+  long long warm_start_pivots_saved = 0;
+  // State to feed into the next round's MilpOptions::warm_start.
+  MilpWarmStart next_warm_start;
 };
 
 // Solves `lp` honoring the integrality markers set via SetInteger /

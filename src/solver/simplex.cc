@@ -34,6 +34,10 @@ class SimplexSolver {
   // --- setup ---
   void BuildColumns(const LinearProgram& lp);
   void InitializeBasis();
+  // Attempts to install `hint` as the starting basis. On success the solver
+  // is primal-feasible and phase 1 can be skipped entirely. On failure the
+  // working state is garbage and the caller must run InitializeBasis().
+  bool TryWarmBasis(const SimplexBasis& hint);
 
   // --- iteration machinery ---
   // Runs simplex pivots until optimal w.r.t. `cost_` or a limit is reached.
@@ -43,7 +47,9 @@ class SimplexSolver {
   double ReducedCost(int var, const std::vector<double>& y) const;
   void ComputeDirection(int var, std::vector<double>& w) const;
   void Refactorize();
+  bool TryRefactorize();
   void RecomputeBasicValues();
+  void CaptureBasis(LpSolution& solution) const;
 
   double LowerOf(int var) const { return lower_[var]; }
   double UpperOf(int var) const { return upper_[var]; }
@@ -206,7 +212,82 @@ void SimplexSolver::InitializeBasis() {
   Refactorize();
 }
 
+bool SimplexSolver::TryWarmBasis(const SimplexBasis& hint) {
+  const int total = n_structural_ + m_;
+  if (static_cast<int>(hint.state.size()) != total) {
+    return false;
+  }
+  int basic_count = 0;
+  for (const uint8_t s : hint.state) {
+    if (s == SimplexBasis::kBasic) {
+      ++basic_count;
+    }
+  }
+  if (basic_count != m_) {
+    return false;
+  }
+
+  state_.assign(total, VarState::kAtLower);
+  x_.assign(total, 0.0);
+  row_of_basic_.assign(total, -1);
+  basis_.assign(m_, -1);
+
+  // Basic variables are assigned to rows in index order; the hint records
+  // only variable states, and the inversion below is permutation-agnostic.
+  int row = 0;
+  for (int j = 0; j < total; ++j) {
+    switch (hint.state[j]) {
+      case SimplexBasis::kBasic:
+        state_[j] = VarState::kBasic;
+        basis_[row] = j;
+        row_of_basic_[j] = row;
+        ++row;
+        break;
+      case SimplexBasis::kAtLower:
+        if (!std::isfinite(lower_[j])) {
+          return false;
+        }
+        state_[j] = VarState::kAtLower;
+        x_[j] = lower_[j];
+        break;
+      case SimplexBasis::kAtUpper:
+        if (!std::isfinite(upper_[j])) {
+          return false;
+        }
+        state_[j] = VarState::kAtUpper;
+        x_[j] = upper_[j];
+        break;
+      case SimplexBasis::kFree:
+        state_[j] = VarState::kNonbasicFree;
+        x_[j] = 0.0;
+        break;
+      default:
+        return false;
+    }
+  }
+
+  if (!TryRefactorize()) {
+    return false;  // Hint basis is singular for this problem's columns.
+  }
+
+  // The implied basic solution must be primal-feasible under the *current*
+  // bounds (the MILP tightens bounds between parent and child nodes); if it
+  // is not, skipping phase 1 would be unsound.
+  for (int r = 0; r < m_; ++r) {
+    const int basic = basis_[r];
+    if (x_[basic] < lower_[basic] - options_.feasibility_tol ||
+        x_[basic] > upper_[basic] + options_.feasibility_tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void SimplexSolver::Refactorize() {
+  SIA_CHECK(TryRefactorize()) << "singular basis during refactorization";
+}
+
+bool SimplexSolver::TryRefactorize() {
   // Gauss-Jordan inversion of the basis matrix with partial pivoting.
   std::vector<double> basis_matrix(static_cast<size_t>(m_) * m_, 0.0);
   for (int r = 0; r < m_; ++r) {
@@ -230,7 +311,9 @@ void SimplexSolver::Refactorize() {
         pivot = r;
       }
     }
-    SIA_CHECK(best > 1e-12) << "singular basis during refactorization";
+    if (best <= 1e-12) {
+      return false;
+    }
     if (pivot != col) {
       // Row swap on the augmented system [B | I]; reducing B to the exact
       // identity leaves B^-1 on the right regardless of swaps.
@@ -262,6 +345,7 @@ void SimplexSolver::Refactorize() {
     }
   }
   RecomputeBasicValues();
+  return true;
 }
 
 void SimplexSolver::RecomputeBasicValues() {
@@ -283,6 +367,36 @@ void SimplexSolver::RecomputeBasicValues() {
       value += row[i] * residual[i];
     }
     x_[basis_[r]] = value;
+  }
+}
+
+void SimplexSolver::CaptureBasis(LpSolution& solution) const {
+  // An artificial stuck in the basis (degenerate at zero) cannot be
+  // expressed in the structural+slack state vector; skip the export rather
+  // than hand out a basis that TryWarmBasis would misinterpret.
+  for (int r = 0; r < m_; ++r) {
+    if (basis_[r] >= first_artificial_) {
+      return;
+    }
+  }
+  solution.basis.state.resize(static_cast<size_t>(n_structural_ + m_));
+  for (int j = 0; j < n_structural_ + m_; ++j) {
+    uint8_t s = SimplexBasis::kAtLower;
+    switch (state_[j]) {
+      case VarState::kBasic:
+        s = SimplexBasis::kBasic;
+        break;
+      case VarState::kAtLower:
+        s = SimplexBasis::kAtLower;
+        break;
+      case VarState::kAtUpper:
+        s = SimplexBasis::kAtUpper;
+        break;
+      case VarState::kNonbasicFree:
+        s = SimplexBasis::kFree;
+        break;
+    }
+    solution.basis.state[static_cast<size_t>(j)] = s;
   }
 }
 
@@ -513,36 +627,46 @@ LpSolution SimplexSolver::Solve() {
     return solution;
   }
 
-  InitializeBasis();
+  // A validated warm basis is primal-feasible by construction, so the
+  // entire phase-1 machinery (artificial variables included) is skipped.
+  bool warm = false;
+  if (options_.warm_basis != nullptr && !options_.warm_basis->empty()) {
+    warm = TryWarmBasis(*options_.warm_basis);
+  }
+  solution.warm_started = warm;
 
-  // --- phase 1 ---
-  if (num_total() > first_artificial_) {
-    cost_.assign(num_total(), 0.0);
-    for (int j = first_artificial_; j < num_total(); ++j) {
-      cost_[j] = -1.0;  // Maximize -(sum of artificials).
-    }
-    const SolveStatus status = Iterate();
-    if (status == SolveStatus::kIterationLimit) {
-      solution.status = status;
-      solution.iterations = iterations_;
-      return solution;
-    }
-    double infeasibility = 0.0;
-    for (int j = first_artificial_; j < num_total(); ++j) {
-      infeasibility += x_[j];
-    }
-    if (infeasibility > 1e-6) {
-      solution.status = SolveStatus::kInfeasible;
-      solution.iterations = iterations_;
-      return solution;
-    }
-    // Freeze artificials at zero for phase 2.
-    for (int j = first_artificial_; j < num_total(); ++j) {
-      lower_[j] = 0.0;
-      upper_[j] = 0.0;
-      if (state_[j] != VarState::kBasic) {
-        state_[j] = VarState::kAtLower;
-        x_[j] = 0.0;
+  if (!warm) {
+    InitializeBasis();
+
+    // --- phase 1 ---
+    if (num_total() > first_artificial_) {
+      cost_.assign(num_total(), 0.0);
+      for (int j = first_artificial_; j < num_total(); ++j) {
+        cost_[j] = -1.0;  // Maximize -(sum of artificials).
+      }
+      const SolveStatus status = Iterate();
+      if (status == SolveStatus::kIterationLimit) {
+        solution.status = status;
+        solution.iterations = iterations_;
+        return solution;
+      }
+      double infeasibility = 0.0;
+      for (int j = first_artificial_; j < num_total(); ++j) {
+        infeasibility += x_[j];
+      }
+      if (infeasibility > 1e-6) {
+        solution.status = SolveStatus::kInfeasible;
+        solution.iterations = iterations_;
+        return solution;
+      }
+      // Freeze artificials at zero for phase 2.
+      for (int j = first_artificial_; j < num_total(); ++j) {
+        lower_[j] = 0.0;
+        upper_[j] = 0.0;
+        if (state_[j] != VarState::kBasic) {
+          state_[j] = VarState::kAtLower;
+          x_[j] = 0.0;
+        }
       }
     }
   }
@@ -570,6 +694,9 @@ LpSolution SimplexSolver::Solve() {
   solution.duals.resize(m_);
   for (int i = 0; i < m_; ++i) {
     solution.duals[i] = sense_sign_ * y[i];
+  }
+  if (options_.capture_basis && status == SolveStatus::kOptimal) {
+    CaptureBasis(solution);
   }
   return solution;
 }

@@ -29,6 +29,13 @@ struct SimplexOptions {
   double feasibility_tol = 1e-7;
   // Refactorize the basis inverse every this many pivots.
   int refactor_interval = 2000;
+  // Optional warm-start hint (previous round / parent B&B node basis). The
+  // hint is validated before use; on any mismatch the solver silently falls
+  // back to its cold crash basis. Not owned; must outlive the solve.
+  const SimplexBasis* warm_basis = nullptr;
+  // When set, an optimal solve exports its final basis in
+  // LpSolution::basis (skipped if an artificial variable is still basic).
+  bool capture_basis = false;
 };
 
 // Solves the LP relaxation of `lp` (integrality markers ignored).

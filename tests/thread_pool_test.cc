@@ -1,0 +1,120 @@
+// ThreadPool (src/common/thread_pool.h): coverage, determinism, and
+// concurrent churn. The churn tests are the interesting ones under
+// SIA_SANITIZE=thread -- the pool must be TSan-clean, since a data race
+// here would silently break the scheduler's byte-identical-results
+// contract.
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sia {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    constexpr int kN = 1000;
+    std::vector<std::atomic<int>> counts(kN);
+    pool.ParallelFor(kN, [&](int i) { counts[i].fetch_add(1, std::memory_order_relaxed); });
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForResultsIndependentOfThreadCount) {
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<long long> out(513);
+    pool.ParallelFor(static_cast<int>(out.size()),
+                     [&](int i) { out[i] = static_cast<long long>(i) * i + 7; });
+    return out;
+  };
+  const auto baseline = run(1);
+  EXPECT_EQ(baseline, run(2));
+  EXPECT_EQ(baseline, run(4));
+  EXPECT_EQ(baseline, run(7));
+}
+
+TEST(ThreadPoolTest, ParallelForEdgeCases) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int) { ++calls; });  // Empty range: no calls, no hang.
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](int i) { calls += i + 1; });  // Fewer items than threads.
+  EXPECT_EQ(calls, 1);
+  // More threads than hardware likely has; still exact coverage.
+  ThreadPool wide(64);
+  std::atomic<int> sum{0};
+  wide.ParallelFor(10, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Submit([&] { seen = std::this_thread::get_id(); });
+  pool.Drain();
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  std::atomic<int> sum{0};
+  negative.ParallelFor(5, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitDrainChurn) {
+  ThreadPool pool(4);
+  std::atomic<long long> total{0};
+  // Many small batches: Submit from the caller while workers execute, Drain
+  // between batches. Exercises the queue/active bookkeeping repeatedly.
+  long long expected = 0;
+  for (int batch = 0; batch < 50; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      expected += batch + i;
+      pool.Submit([&total, batch, i] { total.fetch_add(batch + i, std::memory_order_relaxed); });
+    }
+    pool.Drain();
+    EXPECT_EQ(total.load(), expected) << "after batch " << batch;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromSubmittedTasks) {
+  // ParallelFor invoked from Submit'd work on an *independent* pool -- the
+  // pattern a scheduler nested inside a simulator worker would produce.
+  ThreadPool outer(2);
+  ThreadPool inner(3);
+  std::atomic<int> sum{0};
+  for (int t = 0; t < 8; ++t) {
+    outer.Submit([&] { inner.ParallelFor(16, [&](int i) { sum.fetch_add(i + 1); }); });
+  }
+  outer.Drain();
+  EXPECT_EQ(sum.load(), 8 * (16 * 17) / 2);
+}
+
+TEST(ThreadPoolTest, ReuseAcrossManyRounds) {
+  // One pool reused across rounds, as SiaScheduler keeps its pool across
+  // Schedule() calls.
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<int> out(round % 17);
+    pool.ParallelFor(static_cast<int>(out.size()), [&](int i) { out[i] = i; });
+    std::vector<int> expect(out.size());
+    std::iota(expect.begin(), expect.end(), 0);
+    ASSERT_EQ(out, expect) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sia

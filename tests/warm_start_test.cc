@@ -1,0 +1,221 @@
+// Warm-start correctness properties (ISSUE 3): a warm start is a hint, not
+// a contract -- it may only change solve *cost*, never the solve *result*.
+// These tests drive the simplex basis hint and the MILP round-over-round
+// warm start over Sia-shaped scheduling programs (bench_util's generator)
+// and require cold and warm solves to agree exactly.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "src/solver/lp_model.h"
+#include "src/solver/milp.h"
+#include "src/solver/simplex.h"
+
+namespace sia {
+namespace {
+
+using bench::MakeSchedulingLp;
+using bench::PerturbObjective;
+
+constexpr double kTol = 1e-6;
+
+TEST(SimplexWarmStartTest, WarmSolveMatchesColdAndSkipsPhase1) {
+  const LinearProgram base = MakeSchedulingLp(16, 24, 3, 11, /*binary=*/false);
+  SimplexOptions capture;
+  capture.capture_basis = true;
+  const LpSolution seed = SolveLp(base, capture);
+  ASSERT_EQ(seed.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(seed.basis.empty());
+
+  // Re-solve the *same* program warm: the old basis is already optimal, so
+  // the warm solve should need (almost) no pivots.
+  SimplexOptions warm_options;
+  warm_options.warm_basis = &seed.basis;
+  const LpSolution rewarm = SolveLp(base, warm_options);
+  ASSERT_EQ(rewarm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(rewarm.warm_started);
+  EXPECT_NEAR(rewarm.objective, seed.objective, kTol * std::abs(seed.objective));
+  EXPECT_LT(rewarm.iterations, seed.iterations);
+
+  // Perturbed objective, same constraints: still same optimum as cold.
+  LinearProgram next = base;
+  PerturbObjective(next, 12, 0.05);
+  const LpSolution cold = SolveLp(next);
+  const LpSolution warm = SolveLp(next, warm_options);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, kTol * std::abs(cold.objective));
+}
+
+TEST(SimplexWarmStartTest, InvalidHintsFallBackToColdSolve) {
+  const LinearProgram lp = MakeSchedulingLp(8, 12, 3, 21, /*binary=*/false);
+  const LpSolution cold = SolveLp(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  auto solve_with_hint = [&](const SimplexBasis& hint) {
+    SimplexOptions options;
+    options.warm_basis = &hint;
+    return SolveLp(lp, options);
+  };
+
+  // Wrong size.
+  SimplexBasis wrong_size;
+  wrong_size.state.assign(3, SimplexBasis::kBasic);
+  LpSolution solution = solve_with_hint(wrong_size);
+  EXPECT_FALSE(solution.warm_started);
+  EXPECT_NEAR(solution.objective, cold.objective, kTol * std::abs(cold.objective));
+
+  // Right size but every entry basic (basic count != #constraints).
+  SimplexBasis all_basic;
+  all_basic.state.assign(lp.num_variables() + lp.num_constraints(), SimplexBasis::kBasic);
+  solution = solve_with_hint(all_basic);
+  EXPECT_FALSE(solution.warm_started);
+  EXPECT_NEAR(solution.objective, cold.objective, kTol * std::abs(cold.objective));
+
+  // Garbage state bytes.
+  SimplexBasis garbage;
+  garbage.state.assign(lp.num_variables() + lp.num_constraints(), 77);
+  solution = solve_with_hint(garbage);
+  EXPECT_FALSE(solution.warm_started);
+  EXPECT_NEAR(solution.objective, cold.objective, kTol * std::abs(cold.objective));
+
+  // Structurally plausible but singular: make the first #constraints
+  // variables basic -- variables of one job share constraint rows, so the
+  // basis matrix is singular for this program shape.
+  SimplexBasis singular;
+  singular.state.assign(lp.num_variables() + lp.num_constraints(), SimplexBasis::kAtLower);
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    singular.state[i] = SimplexBasis::kBasic;
+  }
+  solution = solve_with_hint(singular);
+  EXPECT_NEAR(solution.objective, cold.objective, kTol * std::abs(cold.objective));
+}
+
+TEST(SimplexWarmStartTest, StaleBasisStillYieldsColdObjectiveAfterBoundChange) {
+  // Tighten a variable's bounds after capturing the basis: the hint may be
+  // primal-infeasible for the new program and must be rejected (or repaired
+  // by a correct solve) -- either way the objective matches cold.
+  LinearProgram lp = MakeSchedulingLp(8, 12, 3, 31, /*binary=*/false);
+  SimplexOptions capture;
+  capture.capture_basis = true;
+  const LpSolution seed = SolveLp(lp, capture);
+  ASSERT_EQ(seed.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(seed.basis.empty());
+
+  // Force the largest variable of the old solution to zero.
+  int big = 0;
+  for (int j = 1; j < lp.num_variables(); ++j) {
+    if (seed.values[j] > seed.values[big]) {
+      big = j;
+    }
+  }
+  ASSERT_GT(seed.values[big], 0.5);
+  lp.SetVariableBounds(big, 0.0, 0.0);
+
+  const LpSolution cold = SolveLp(lp);
+  SimplexOptions warm_options;
+  warm_options.warm_basis = &seed.basis;
+  const LpSolution warm = SolveLp(lp, warm_options);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, kTol * std::abs(cold.objective));
+}
+
+TEST(MilpWarmStartTest, WarmRoundsMatchColdOverPerturbedRounds) {
+  // Round-over-round property: round 0 solves cold; each later round
+  // perturbs the objective +-5% and solves both cold and warm (chained
+  // next_warm_start). Same optimal objective required every round.
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    LinearProgram lp = MakeSchedulingLp(12, 16, 3, seed, /*binary=*/true);
+    MilpOptions options;  // Tight default gap: optima must match exactly.
+    MilpSolution previous = SolveMilp(lp, options);
+    ASSERT_EQ(previous.status, SolveStatus::kOptimal) << "seed " << seed;
+    for (int round = 1; round <= 4; ++round) {
+      PerturbObjective(lp, seed * 100 + round, 0.05);
+      const MilpSolution cold = SolveMilp(lp, options);
+      MilpOptions warm_options = options;
+      warm_options.warm_start = &previous.next_warm_start;
+      const MilpSolution warm = SolveMilp(lp, warm_options);
+      ASSERT_EQ(cold.status, SolveStatus::kOptimal) << "seed " << seed << " round " << round;
+      ASSERT_EQ(warm.status, SolveStatus::kOptimal) << "seed " << seed << " round " << round;
+      EXPECT_NEAR(warm.objective, cold.objective, kTol * std::max(1.0, std::abs(cold.objective)))
+          << "seed " << seed << " round " << round;
+      previous = warm;
+    }
+  }
+}
+
+TEST(MilpWarmStartTest, WarmStartReducesRootPivots) {
+  const LinearProgram base = MakeSchedulingLp(16, 24, 3, 42, /*binary=*/true);
+  MilpOptions options;
+  const MilpSolution seed = SolveMilp(base, options);
+  ASSERT_EQ(seed.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(seed.next_warm_start.empty());
+  ASSERT_GT(seed.next_warm_start.cold_root_iterations, 0);
+
+  LinearProgram next = base;
+  PerturbObjective(next, 43, 0.05);
+  const MilpSolution cold = SolveMilp(next, options);
+  MilpOptions warm_options = options;
+  warm_options.warm_start = &seed.next_warm_start;
+  const MilpSolution warm = SolveMilp(next, warm_options);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_GT(warm.warm_started_lps, 0);
+  EXPECT_LT(warm.lp_iterations, cold.lp_iterations);
+  EXPECT_NEAR(warm.objective, cold.objective, kTol * std::abs(cold.objective));
+}
+
+TEST(MilpWarmStartTest, InfeasibleIncumbentHintIsIgnored) {
+  const LinearProgram lp = MakeSchedulingLp(8, 12, 3, 51, /*binary=*/true);
+  const MilpSolution cold = SolveMilp(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  // Incumbent claiming "every variable = 1" violates the per-job GUB rows.
+  MilpWarmStart bogus;
+  bogus.incumbent_values.assign(lp.num_variables(), 1.0);
+  MilpOptions options;
+  options.warm_start = &bogus;
+  const MilpSolution warm = SolveMilp(lp, options);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, kTol * std::abs(cold.objective));
+
+  // Fractional incumbent: fails the integrality check, equally ignored.
+  MilpWarmStart fractional;
+  fractional.incumbent_values.assign(lp.num_variables(), 0.0);
+  fractional.incumbent_values[0] = 0.5;
+  options.warm_start = &fractional;
+  const MilpSolution warm2 = SolveMilp(lp, options);
+  ASSERT_EQ(warm2.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm2.objective, cold.objective, kTol * std::abs(cold.objective));
+
+  // Wrong length: ignored outright.
+  MilpWarmStart short_hint;
+  short_hint.incumbent_values.assign(3, 0.0);
+  options.warm_start = &short_hint;
+  const MilpSolution warm3 = SolveMilp(lp, options);
+  ASSERT_EQ(warm3.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm3.objective, cold.objective, kTol * std::abs(cold.objective));
+}
+
+TEST(MilpWarmStartTest, FeasibleIncumbentPrunesByBound) {
+  // A valid incumbent (the previous optimum of the *same* program) lets the
+  // solver prove optimality without re-discovering it: the warm solve must
+  // agree and never explore more nodes than the cold solve.
+  const LinearProgram lp = MakeSchedulingLp(12, 16, 3, 61, /*binary=*/true);
+  const MilpSolution cold = SolveMilp(lp);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  MilpOptions options;
+  options.warm_start = &cold.next_warm_start;
+  const MilpSolution warm = SolveMilp(lp, options);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, kTol * std::abs(cold.objective));
+  EXPECT_LE(warm.nodes_explored, cold.nodes_explored);
+  EXPECT_LE(warm.lp_iterations, cold.lp_iterations);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and fail on regressions.
+
+The bench binaries (bench_util.cc WriteBenchJson / WriteBenchJsonRows) emit
+    {"schema_version": 1, "bench": "<name>", "rows": [ {...}, ... ]}
+with one object per row. Rows are matched between the two files by their
+"name" key (falling back to "policy" for the PolicySummary tables), and a
+chosen numeric metric is compared:
+
+    bench_compare.py baseline.json candidate.json \
+        --metric median_policy_ms --max-regress-pct 25
+
+exits 1 if the candidate regresses the metric by more than the threshold on
+any matched row (by default lower is better; pass --higher-is-better for
+throughput-style metrics), 2 on usage/schema errors, and 0 otherwise.
+Rows missing from either file or missing the metric are reported and
+skipped -- bench sets evolve; only comparable rows gate.
+
+Stdlib only (argparse + json): runs anywhere the repo builds, no pip.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if not isinstance(doc, dict) or "rows" not in doc:
+        raise SystemExit(f"error: {path}: not a BENCH json (missing 'rows')")
+    rows = {}
+    for row in doc["rows"]:
+        key = row.get("name", row.get("policy"))
+        if key is None:
+            print(f"warning: {path}: row without 'name'/'policy' skipped", file=sys.stderr)
+            continue
+        rows[str(key)] = row
+    return rows
+
+
+def compare(baseline, candidate, metric, max_regress_pct, higher_is_better):
+    """Returns the number of regressing rows; prints one line per matched row."""
+    regressions = 0
+    compared = 0
+    for key in sorted(baseline):
+        if key not in candidate:
+            print(f"  {key}: missing from candidate, skipped")
+            continue
+        base_val = baseline[key].get(metric)
+        cand_val = candidate[key].get(metric)
+        if not isinstance(base_val, (int, float)) or not isinstance(cand_val, (int, float)):
+            print(f"  {key}: metric '{metric}' absent or non-numeric, skipped")
+            continue
+        compared += 1
+        if base_val == 0:
+            delta_pct = 0.0 if cand_val == 0 else float("inf")
+        else:
+            delta_pct = (cand_val - base_val) / abs(base_val) * 100.0
+        worse = -delta_pct if higher_is_better else delta_pct
+        verdict = "REGRESSION" if worse > max_regress_pct else "ok"
+        if verdict == "REGRESSION":
+            regressions += 1
+        print(f"  {key}: {metric} {base_val:g} -> {cand_val:g} ({delta_pct:+.1f}%) {verdict}")
+    for key in sorted(set(candidate) - set(baseline)):
+        print(f"  {key}: new in candidate, skipped")
+    if compared == 0:
+        print("warning: no comparable rows", file=sys.stderr)
+    return regressions
+
+
+def self_test():
+    """In-memory check of the comparison logic (wired as a ctest smoke)."""
+    base = {"a": {"name": "a", "ms": 100.0}, "b": {"name": "b", "ms": 50.0}}
+    ok = {"a": {"name": "a", "ms": 105.0}, "b": {"name": "b", "ms": 49.0}}
+    bad = {"a": {"name": "a", "ms": 200.0}, "b": {"name": "b", "ms": 50.0}}
+    assert compare(base, base, "ms", 10.0, False) == 0
+    assert compare(base, ok, "ms", 10.0, False) == 0
+    assert compare(base, bad, "ms", 10.0, False) == 1
+    # higher-is-better flips the direction: dropping throughput regresses.
+    assert compare(base, bad, "ms", 10.0, True) == 0
+    assert compare(bad, base, "ms", 10.0, True) == 1
+    # Zero baseline: any nonzero candidate is an infinite regression.
+    zero = {"a": {"name": "a", "ms": 0.0}}
+    assert compare(zero, {"a": {"name": "a", "ms": 1.0}}, "ms", 10.0, False) == 1
+    assert compare(zero, {"a": {"name": "a", "ms": 0.0}}, "ms", 10.0, False) == 0
+    # Missing rows / metrics skip, not fail.
+    assert compare(base, {"a": {"name": "a"}}, "ms", 10.0, False) == 0
+    print("self-test passed")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--metric", default="median_policy_ms", help="row key to compare")
+    parser.add_argument("--max-regress-pct", type=float, default=10.0,
+                        help="allowed regression in percent (default 10)")
+    parser.add_argument("--higher-is-better", action="store_true",
+                        help="metric is a throughput: smaller values regress")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in logic check and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if args.baseline is None or args.candidate is None:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    baseline = load_rows(args.baseline)
+    candidate = load_rows(args.candidate)
+    print(f"comparing '{args.metric}' (max regression {args.max_regress_pct}%"
+          f"{', higher is better' if args.higher_is_better else ''})")
+    regressions = compare(baseline, candidate, args.metric,
+                          args.max_regress_pct, args.higher_is_better)
+    if regressions:
+        print(f"{regressions} regression(s) beyond {args.max_regress_pct}%")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,8 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
   --hours      submission window                             (default per trace)
   --seed       RNG seed                                      (default 1)
   --profiling  bootstrap|oracle|noprof                       (default bootstrap)
+  --sched-threads N: threads for sia/pollux candidate generation (default 1);
+               results are byte-identical for any value
   --tuned      tune jobs rigid (TunedJobs); implied for rigid policies
   --mtbf-hours per-node mean time between crashes, 0=off     (default 0)
   --mttr-hours mean crash-repair window, hours                (default 0.5)
@@ -60,12 +62,16 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
   --ftf        also compute finish-time-fairness stats
 )";
 
-std::unique_ptr<sia::Scheduler> MakeScheduler(const std::string& name) {
+std::unique_ptr<sia::Scheduler> MakeScheduler(const std::string& name, int sched_threads) {
   if (name == "sia") {
-    return std::make_unique<sia::SiaScheduler>();
+    sia::SiaOptions options;
+    options.num_threads = sched_threads;
+    return std::make_unique<sia::SiaScheduler>(options);
   }
   if (name == "pollux") {
-    return std::make_unique<sia::PolluxScheduler>();
+    sia::PolluxOptions options;
+    options.num_threads = sched_threads;
+    return std::make_unique<sia::PolluxScheduler>(options);
   }
   if (name == "gavel") {
     return std::make_unique<sia::GavelScheduler>();
@@ -158,7 +164,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto scheduler = MakeScheduler(scheduler_name);
+  const int sched_threads = static_cast<int>(flags.GetInt("sched-threads", 1));
+  if (sched_threads < 1) {
+    std::cerr << "--sched-threads must be >= 1\n" << kUsage;
+    return 2;
+  }
+  auto scheduler = MakeScheduler(scheduler_name, sched_threads);
   if (scheduler == nullptr) {
     std::cerr << "unknown scheduler '" << scheduler_name << "'\n" << kUsage;
     return 2;

@@ -2,7 +2,8 @@
 // CSV row per run -- the raw material for load curves and custom plots.
 //
 //   sia_sweep --schedulers=sia,pollux --rates=10,20,30 --seeds=1,2 \
-//             --trace=helios --cluster=heterogeneous [--out=sweep.csv]
+//             --trace=helios --cluster=heterogeneous [--out=sweep.csv] \
+//             [--sched-threads=N]   # results byte-identical at any N
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -33,12 +34,16 @@ std::vector<std::string> SplitList(const std::string& csv) {
   return out;
 }
 
-std::unique_ptr<sia::Scheduler> MakeScheduler(const std::string& name) {
+std::unique_ptr<sia::Scheduler> MakeScheduler(const std::string& name, int sched_threads) {
   if (name == "sia") {
-    return std::make_unique<sia::SiaScheduler>();
+    sia::SiaOptions options;
+    options.num_threads = sched_threads;
+    return std::make_unique<sia::SiaScheduler>(options);
   }
   if (name == "pollux") {
-    return std::make_unique<sia::PolluxScheduler>();
+    sia::PolluxOptions options;
+    options.num_threads = sched_threads;
+    return std::make_unique<sia::PolluxScheduler>(options);
   }
   if (name == "gavel") {
     return std::make_unique<sia::GavelScheduler>();
@@ -77,6 +82,11 @@ int main(int argc, char** argv) {
   const std::string trace_name = flags.GetString("trace", "helios");
   const std::string cluster_name = flags.GetString("cluster", "heterogeneous");
   const std::string out_path = flags.GetString("out", "");
+  const int sched_threads = flags.GetInt("sched-threads", 1);
+  if (sched_threads < 1) {
+    std::cerr << "--sched-threads must be >= 1\n";
+    return 2;
+  }
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown << "\n";
     return 2;
@@ -125,7 +135,7 @@ int main(int argc, char** argv) {
           tuned.seed = seed;
           jobs = sia::MakeTunedJobs(jobs, tuned);
         }
-        auto scheduler = MakeScheduler(scheduler_name);
+        auto scheduler = MakeScheduler(scheduler_name, sched_threads);
         if (scheduler == nullptr) {
           std::cerr << "unknown scheduler '" << scheduler_name << "'\n";
           return 2;
