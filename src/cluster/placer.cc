@@ -239,9 +239,10 @@ PlacerResult PlaceJobs(const ClusterSpec& cluster, const std::map<JobId, Config>
   for (JobId job : failed) {
     const Config& config = desired.at(job);
     bool placed = false;
+    std::vector<std::pair<JobId, Placement>> victims;
     while (!placed) {
       // Find the smallest placed single-node victim on this GPU type.
-      JobId victim = -1;
+      JobId victim = kInvalidJobId;
       int victim_size = 0;
       for (const auto& [other, placement] : result.placements) {
         if (placement.config.gpu_type != config.gpu_type || placement.config.is_distributed()) {
@@ -260,7 +261,7 @@ PlacerResult PlaceJobs(const ClusterSpec& cluster, const std::map<JobId, Config>
         nodes[victim_placement.node_ids[k]].free += victim_placement.gpus_per_node[k];
       }
       result.placements.erase(victim);
-      result.evicted.push_back(victim);
+      victims.emplace_back(victim, victim_placement);
       SIA_LOG(Debug) << "placer evicted job " << victim << " to defragment";
 
       Placement placement;
@@ -277,10 +278,88 @@ PlacerResult PlaceJobs(const ClusterSpec& cluster, const std::map<JobId, Config>
         result.placements[job] = std::move(placement);
       }
     }
-    if (!placed) {
+    if (placed) {
+      for (const auto& victim : victims) {
+        result.evicted.push_back(victim.first);
+      }
+    } else {
+      // Eviction bought nothing: restore every victim exactly where it was.
+      // Only this loop freed their GPUs and the failed attempts allocated
+      // none, so the capacity is still there. (Found by sia_fuzz: a
+      // multi-node request that cannot fit even an empty cluster view --
+      // e.g. more whole nodes than the type has up -- used to cascade-evict
+      // every single-node job of the type and strand the freed GPUs.)
+      for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+        for (size_t k = 0; k < it->second.node_ids.size(); ++k) {
+          nodes[it->second.node_ids[k]].free -= it->second.gpus_per_node[k];
+        }
+        result.placements[it->first] = it->second;
+      }
       result.evicted.push_back(job);
     }
   }
+
+  // Second chance: defragmentation and placement failures must not strand
+  // capacity, but re-placing a job on *different* nodes than last round
+  // would break the stability contract (unchanged jobs never migrate). So a
+  // job with a live same-config placement history is only restored exactly
+  // onto its previous slots when all of them are still free; jobs without
+  // such a history may be placed fresh. Everything else stays evicted. The
+  // invariant oracle (src/testing/invariant_oracle.h) checks this contract.
+  std::vector<JobId> still_evicted;
+  std::vector<JobId> fresh;
+  for (JobId job : result.evicted) {
+    const Config& config = desired.at(job);
+    const auto prev_it = previous.find(job);
+    const bool sticky = prev_it != previous.end() && !prev_it->second.empty() &&
+                        prev_it->second.config == config;
+    if (!sticky) {
+      fresh.push_back(job);
+      continue;
+    }
+    const Placement& prev = prev_it->second;
+    bool restorable = true;
+    for (size_t k = 0; k < prev.node_ids.size(); ++k) {
+      if (nodes[prev.node_ids[k]].free < prev.gpus_per_node[k]) {
+        restorable = false;
+        break;
+      }
+    }
+    if (restorable) {
+      for (size_t k = 0; k < prev.node_ids.size(); ++k) {
+        nodes[prev.node_ids[k]].free -= prev.gpus_per_node[k];
+      }
+      result.placements[job] = prev;
+    } else {
+      still_evicted.push_back(job);
+    }
+  }
+  for (JobId job : fresh) {
+    const Config& config = desired.at(job);
+    Placement placement;
+    placement.config = config;
+    std::vector<int> preferred;
+    if (const auto prev_it = previous.find(job); prev_it != previous.end()) {
+      preferred = prev_it->second.node_ids;
+    }
+    bool placed;
+    if (config.scatter) {
+      placed = TryPlaceScatter(nodes, config.gpu_type, config.num_gpus, preferred, placement);
+    } else if (config.is_distributed()) {
+      placed = TryPlaceMultiNode(nodes, config.gpu_type, config.num_nodes, config.num_gpus,
+                                 preferred, placement);
+    } else {
+      const int preferred_node = preferred.empty() ? -1 : preferred[0];
+      placed =
+          TryPlaceSingleNode(nodes, config.gpu_type, config.num_gpus, preferred_node, placement);
+    }
+    if (placed) {
+      result.placements[job] = std::move(placement);
+    } else {
+      still_evicted.push_back(job);
+    }
+  }
+  result.evicted = std::move(still_evicted);
   return result;
 }
 

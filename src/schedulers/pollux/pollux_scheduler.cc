@@ -502,7 +502,8 @@ ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
     const int min_gpus = std::max(job.estimator->MinGpus(chosen_type), 1);
     count -= count % min_gpus;
     std::optional<Config> shape;
-    while (count >= min_gpus && !(shape = ShapeForCount(cluster, chosen_type, count))) {
+    while (count >= min_gpus &&
+           !(shape = ShapeForCount(cluster, chosen_type, count, /*allow_partial_nodes=*/true))) {
       count -= min_gpus;  // Idle leftover GPUs rather than span types (§4.3).
     }
     if (!shape) {

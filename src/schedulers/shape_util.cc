@@ -2,13 +2,17 @@
 
 namespace sia {
 
-std::optional<Config> ShapeForCount(const ClusterSpec& cluster, int gpu_type, int count) {
+std::optional<Config> ShapeForCount(const ClusterSpec& cluster, int gpu_type, int count,
+                                    bool allow_partial_nodes) {
   if (count <= 0 || cluster.NumNodes(gpu_type) == 0) {
     return std::nullopt;
   }
   const int per_node = cluster.GpusPerNode(gpu_type);
   if (count <= per_node) {
     return Config{1, count, gpu_type};
+  }
+  if (!allow_partial_nodes && count % per_node != 0) {
+    return std::nullopt;  // Distributed non-scatter shapes take whole nodes.
   }
   const int nodes = (count + per_node - 1) / per_node;
   if (nodes > cluster.NumNodes(gpu_type)) {

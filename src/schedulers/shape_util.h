@@ -14,7 +14,15 @@ namespace sia {
 // otherwise whole nodes (count must then be a multiple of the node size).
 // Returns nullopt when the count cannot be realized on this type (e.g. 32
 // GPUs on a type with only 6 4-GPU nodes, or 12 GPUs on 8-GPU nodes).
-std::optional<Config> ShapeForCount(const ClusterSpec& cluster, int gpu_type, int count);
+//
+// `allow_partial_nodes` lifts the multiple-of-node-size rule and returns a
+// ceil(count / node_size)-node shape instead. Only for callers that mark
+// the result `scatter` (Pollux): a non-scatter distributed allocation
+// claims whole nodes, so a partial shape would leave residual GPUs that
+// the placer hands to other jobs -- the node-sharing violation sia_fuzz
+// found on 3-GPU node groups (seeds 125/176/185, every rigid policy).
+std::optional<Config> ShapeForCount(const ClusterSpec& cluster, int gpu_type, int count,
+                                    bool allow_partial_nodes = false);
 
 // Power rank used by the paper's mixed-allocation fix heuristic (§4.3):
 // a100 > quad > rtx > t4 > anything unknown.

@@ -1,0 +1,57 @@
+// Per-round observation hook for ClusterSimulator (the attachment point of
+// the invariant oracle in src/testing/, and of any future round-level
+// analysis tool).
+//
+// The simulator calls OnRoundScheduled() once per scheduling round, after
+// the policy and the placer have both run but before the new placements are
+// applied to job state. Everything in the observation is a view of live
+// simulator state: pointers are valid only for the duration of the call.
+// Observers must not mutate anything they are shown -- the hook exists so a
+// run can be *checked*, not steered, and an attached observer must never
+// change simulation results.
+#ifndef SIA_SRC_SIM_SIM_OBSERVER_H_
+#define SIA_SRC_SIM_SIM_OBSERVER_H_
+
+#include <cstdint>
+
+#include "src/cluster/placer.h"
+#include "src/schedulers/scheduler.h"
+
+namespace sia {
+
+struct SimResult;
+
+// One scheduling round, seen end to end: the snapshot the policy received,
+// what it asked for, and what the placer concretely granted.
+struct RoundObservation {
+  int64_t round_index = 0;
+  double now_seconds = 0.0;
+  double round_duration_seconds = 0.0;
+  // Cluster in its live-availability state (down nodes reflect the
+  // crash/repair windows active this round).
+  const ClusterSpec* cluster = nullptr;
+  const std::vector<Config>* config_set = nullptr;
+  // The exact snapshot handed to Scheduler::Schedule() this round.
+  const ScheduleInput* input = nullptr;
+  // The policy's requested allocation (zero-GPU entries already dropped).
+  const ScheduleOutput* desired = nullptr;
+  // The placer's concrete result for the request.
+  const PlacerResult* placed = nullptr;
+};
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  // Called once per scheduling round (skipped rounds with no active jobs do
+  // not produce observations).
+  virtual void OnRoundScheduled(const RoundObservation& observation) = 0;
+
+  // Called once at the end of Run() with the final result, after censoring
+  // and metric finalization.
+  virtual void OnRunEnd(const SimResult& result) {}
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SIM_SIM_OBSERVER_H_

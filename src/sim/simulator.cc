@@ -468,6 +468,21 @@ SimResult ClusterSimulator::Run() {
             << "job " << job_id << " placed on down node " << node;
       }
     }
+    if (options_.observer != nullptr) {
+      // The round end to end: the snapshot the policy saw, what it asked
+      // for, and what the placer granted -- before any of it mutates job
+      // state, so the observer can cross-check all three.
+      RoundObservation observation;
+      observation.round_index = round_index_;
+      observation.now_seconds = now;
+      observation.round_duration_seconds = round;
+      observation.cluster = &cluster_;
+      observation.config_set = &config_set_;
+      observation.input = &input;
+      observation.desired = &desired_map;
+      observation.placed = &placed;
+      options_.observer->OnRoundScheduled(observation);
+    }
     ApplyPlacements(now, placed.placements);
     UpdateRecoveries(now);
 
@@ -593,6 +608,9 @@ SimResult ClusterSimulator::Run() {
   std::stable_sort(result_.jobs.begin(), result_.jobs.end(),
                    [](const JobResult& a, const JobResult& b) { return a.spec.id < b.spec.id; });
   FinalizeObservability();
+  if (options_.observer != nullptr) {
+    options_.observer->OnRunEnd(result_);
+  }
   return result_;
 }
 

@@ -34,6 +34,7 @@
 #include "src/obs/trace_sink.h"
 #include "src/schedulers/scheduler.h"
 #include "src/sim/fault_injector.h"
+#include "src/sim/sim_observer.h"
 #include "src/workload/job.h"
 
 namespace sia {
@@ -68,6 +69,12 @@ struct SimOptions {
   // timings are nondeterministic and the default trace is byte-identical
   // across runs of the same seed.
   bool trace_timings = false;
+  // Round-level observer (src/sim/sim_observer.h): sees every scheduling
+  // round end to end (policy snapshot, requested allocation, concrete
+  // placement) plus the final result. Read-only by contract -- attaching an
+  // observer never changes simulation results. The invariant oracle in
+  // src/testing/ is the canonical implementation.
+  SimObserver* observer = nullptr;
 
   // Returns "" when the options are coherent, else a descriptive error.
   // The ClusterSimulator constructor enforces this; CLI tools call it first

@@ -115,6 +115,13 @@ struct LpSolution {
   // True when a SimplexOptions::warm_basis hint passed validation and phase 1
   // was skipped entirely.
   bool warm_started = false;
+  // True when the optimal basis is certifiably the *only* optimal basis:
+  // every movable nonbasic variable has a reduced cost strictly away from
+  // zero and no basic variable sits on a bound. Any solve path -- warm or
+  // cold -- must then terminate at this exact basis, which is what lets a
+  // MILP accept a cross-round warm basis without risking a different
+  // answer. Only computed for kOptimal solves.
+  bool unique_optimal_basis = false;
   // Final basis (populated when SimplexOptions::capture_basis is set and the
   // solve ended kOptimal with no artificial variable left in the basis).
   SimplexBasis basis;

@@ -203,26 +203,33 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   bool have_incumbent = false;
 
   // --- warm start (ISSUE 3) ---
-  // A previous incumbent that is still feasible becomes an immediate lower
-  // bound; the previous root basis becomes the root relaxation's hint. Both
-  // are validated, so garbage hints cost nothing but the validation.
+  // The previous round's incumbent is validated but deliberately kept OUT
+  // of the branch-and-bound: with a nonzero relative_gap, pruning against a
+  // hint-supplied incumbent can cut the very subtree a cold solve would
+  // have answered from, steering the search to a *different* near-optimal
+  // solution (found by sia_fuzz seed 2). To keep warm starts cost-only, the
+  // hint serves purely as a fallback answer when the search itself ends
+  // with no incumbent. The basis hint still seeds the root relaxation.
   const MilpWarmStart* warm = options.warm_start;
   std::shared_ptr<const SimplexBasis> root_hint;
+  double warm_obj = -kLpInfinity;
+  std::vector<double> warm_values;
+  bool have_warm_fallback = false;
   if (warm != nullptr) {
     if (!warm->incumbent_values.empty() &&
         IsFeasibleIntegral(lp, warm->incumbent_values, options.integrality_tol)) {
-      incumbent_values = warm->incumbent_values;
+      warm_values = warm->incumbent_values;
       for (int j = 0; j < lp.num_variables(); ++j) {
         if (lp.is_integer(j)) {
-          incumbent_values[j] = std::round(incumbent_values[j]);
+          warm_values[j] = std::round(warm_values[j]);
         }
       }
       double obj = 0.0;
       for (int j = 0; j < lp.num_variables(); ++j) {
-        obj += lp.objective_coefficient(j) * incumbent_values[j];
+        obj += lp.objective_coefficient(j) * warm_values[j];
       }
-      incumbent_obj = sign * obj;
-      have_incumbent = true;
+      warm_obj = sign * obj;
+      have_warm_fallback = true;
     }
     if (!warm->basis.empty()) {
       root_hint = std::make_shared<SimplexBasis>(warm->basis);
@@ -254,6 +261,7 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   int cold_root_baseline = warm != nullptr ? warm->cold_root_iterations : 0;
   bool root_solved = false;
   bool root_was_warm = false;
+  bool root_unique = false;
   int root_iterations = 0;
   SimplexBasis root_basis;
   bool hit_node_limit = false;
@@ -294,6 +302,18 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       node_simplex.warm_basis = node.parent_basis != nullptr ? node.parent_basis.get() : nullptr;
       node_simplex.capture_basis = true;
       relaxation = SolveLp(working, node_simplex);
+      if (node.depth == 0 && relaxation.warm_started &&
+          !(relaxation.status == SolveStatus::kOptimal && relaxation.unique_optimal_basis)) {
+        // The cross-round basis hint is only allowed to influence the solve
+        // when the root optimum is certifiably unique -- otherwise a warm
+        // solve can settle on a different (equally optimal) vertex than a
+        // cold solve, branch differently, and return a different
+        // near-optimal answer (found by sia_fuzz). Redo the root exactly as
+        // a cold solve would.
+        lp_iterations += relaxation.iterations;
+        node_simplex.warm_basis = nullptr;
+        relaxation = SolveLp(working, node_simplex);
+      }
       ++nodes;
       lp_iterations += relaxation.iterations;
       if (relaxation.warm_started) {
@@ -306,6 +326,8 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       if (!root_solved && node.depth == 0) {
         root_solved = true;
         root_was_warm = relaxation.warm_started;
+        root_unique = relaxation.status == SolveStatus::kOptimal &&
+                      relaxation.unique_optimal_basis;
         root_iterations = relaxation.iterations;
         root_basis = relaxation.basis;  // Copy; children still need theirs.
       }
@@ -405,7 +427,13 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   result.warm_start_pivots_saved = pivots_saved;
   // Export warm-start state for the next solve of a near-identical program.
   if (root_solved) {
-    result.next_warm_start.basis = std::move(root_basis);
+    // The basis hint is exported only when this root's optimum was certified
+    // unique: on a degenerate program the hint would be rejected (and its
+    // attempt wasted) by the next solve's uniqueness gate anyway, so
+    // withholding it keeps warm rounds exactly as cheap as cold ones.
+    if (root_unique) {
+      result.next_warm_start.basis = std::move(root_basis);
+    }
     // A warm root's pivot count is not a cold baseline; keep the inherited
     // one in that case.
     result.next_warm_start.cold_root_iterations =
@@ -414,6 +442,20 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
     result.next_warm_start.cold_root_iterations = cold_root_baseline;
   }
   if (!have_incumbent) {
+    if (have_warm_fallback) {
+      // The search found nothing on its own (limit hit, or every subtree
+      // lost to LP iteration limits), but the validated warm incumbent is a
+      // feasible integral point -- return it rather than nothing. This is
+      // the one place a warm start may change the outcome, and only where
+      // the cold solve would have failed to produce an answer at all.
+      result.status = hit_time_limit   ? SolveStatus::kTimeLimit
+                      : hit_node_limit ? SolveStatus::kNodeLimit
+                                       : SolveStatus::kOptimal;
+      result.objective = sign * warm_obj;
+      result.values = std::move(warm_values);
+      result.next_warm_start.incumbent_values = result.values;
+      return result;
+    }
     result.status = hit_time_limit ? SolveStatus::kTimeLimit
                     : hit_node_limit ? SolveStatus::kNodeLimit
                                      : SolveStatus::kInfeasible;

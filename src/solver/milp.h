@@ -20,10 +20,19 @@ namespace sia {
 // program before use, so a stale or mismatched warm start can never change
 // the solve result -- only its cost.
 struct MilpWarmStart {
-  // Previous incumbent, used as an immediate B&B lower bound when it is
-  // still feasible and integral for the new program.
+  // Previous incumbent. Deliberately NOT used to prune the new search: with
+  // a nonzero relative_gap, pruning against a hint-supplied incumbent can
+  // steer branch-and-bound to a different near-optimal answer than a cold
+  // solve. It is only returned as a fallback when the search itself ends
+  // with no incumbent (so the sole result-visible effect is turning a
+  // failed solve into a feasible answer).
   std::vector<double> incumbent_values;
-  // Root-LP optimal basis of the previous solve, used to skip phase 1.
+  // Root-LP optimal basis of the previous solve, used to skip phase 1. Only
+  // populated when that root's optimum was certified unique
+  // (LpSolution::unique_optimal_basis), and the warm root result is likewise
+  // kept only when the *new* root re-certifies -- i.e. when a cold solve
+  // provably lands on the same basis. Otherwise the root is (re-)solved cold
+  // so the hint cannot steer the search to a different near-optimal answer.
   SimplexBasis basis;
   // Root-LP pivot count of the most recent *cold* solve in this chain;
   // carried forward across warm rounds as the baseline for the

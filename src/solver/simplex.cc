@@ -51,6 +51,8 @@ class SimplexSolver {
   void RecomputeBasicValues();
   void CaptureBasis(LpSolution& solution) const;
 
+  bool CertifyUniqueOptimalBasis() const;
+
   double LowerOf(int var) const { return lower_[var]; }
   double UpperOf(int var) const { return upper_[var]; }
 
@@ -400,6 +402,37 @@ void SimplexSolver::CaptureBasis(LpSolution& solution) const {
   }
 }
 
+bool SimplexSolver::CertifyUniqueOptimalBasis() const {
+  // Strictly-nonzero reduced costs on every movable nonbasic variable mean
+  // no alternate optimum exists; basic variables strictly inside their
+  // bounds mean the vertex has exactly one basis. Together they certify
+  // that every correct solve of this program ends in this basis. The
+  // margins are deliberately wider than the pivoting tolerances so a
+  // certificate issued from one pivot path holds for any other.
+  constexpr double kReducedCostMargin = 1e-6;
+  constexpr double kDegeneracyMargin = 1e-8;
+  std::vector<double> y;
+  ComputeDuals(y);
+  for (int j = 0; j < num_total(); ++j) {
+    if (state_[j] == VarState::kBasic) {
+      const double lo = lower_[j];
+      const double hi = upper_[j];
+      if ((std::isfinite(lo) && x_[j] - lo <= kDegeneracyMargin) ||
+          (std::isfinite(hi) && hi - x_[j] <= kDegeneracyMargin)) {
+        return false;  // Degenerate: the vertex admits another basis.
+      }
+      continue;
+    }
+    if (lower_[j] == upper_[j]) {
+      continue;  // Fixed variables cannot move; their reduced cost is moot.
+    }
+    if (std::abs(ReducedCost(j, y)) <= kReducedCostMargin) {
+      return false;  // Zero reduced cost: an equally-good neighbor exists.
+    }
+  }
+  return true;
+}
+
 void SimplexSolver::ComputeDuals(std::vector<double>& y) const {
   y.assign(m_, 0.0);
   for (int r = 0; r < m_; ++r) {
@@ -679,6 +712,17 @@ LpSolution SimplexSolver::Solve() {
   solution.iterations = iterations_;
   if (status != SolveStatus::kOptimal && status != SolveStatus::kIterationLimit) {
     return solution;
+  }
+
+  if (status == SolveStatus::kOptimal) {
+    // Recompute the inverse and basic values directly from the final basis
+    // so the reported solution is a pure function of (program, basis) --
+    // not of the pivot path that got here. Without this, a warm and a cold
+    // solve reaching the same basis could still differ in the last bits of
+    // the incrementally-updated values.
+    if (TryRefactorize()) {
+      solution.unique_optimal_basis = CertifyUniqueOptimalBasis();
+    }
   }
 
   solution.values.assign(lp_.num_variables(), 0.0);

@@ -1,0 +1,284 @@
+#include "src/testing/fuzz_harness.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/schedulers/allox/allox_scheduler.h"
+#include "src/schedulers/baselines/priority_schedulers.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace sia::testing {
+namespace {
+
+// Bug-injection wrapper: delegates to the real policy, then inflates the
+// first requested allocation past the type's live capacity. Exactly the
+// class of defect the capacity invariant exists for.
+class OversubscribingScheduler : public Scheduler {
+ public:
+  explicit OversubscribingScheduler(std::unique_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name() + "+oversub"; }
+  double round_duration_seconds() const override { return inner_->round_duration_seconds(); }
+
+  ScheduleOutput Schedule(const ScheduleInput& input) override {
+    ScheduleOutput output = inner_->Schedule(input);
+    if (!output.empty() && input.cluster != nullptr) {
+      auto& [id, config] = *output.begin();
+      config.num_gpus = input.cluster->AvailableGpus(config.gpu_type) + 1;
+    }
+    return output;
+  }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+};
+
+// One simulation of the scenario; `sia_variant` tweaks the Sia/Pollux fast
+// paths for differential twins (0 = as configured, 1 = cold solves + no
+// cache, 2 = alternate thread count).
+std::unique_ptr<Scheduler> MakeSchedulerVariant(const Scenario& scenario, int variant,
+                                                BugInjection inject) {
+  Scenario adjusted = scenario;
+  if (variant == 1) {
+    adjusted.warm_start = false;
+    adjusted.candidate_cache = false;
+  } else if (variant == 2) {
+    adjusted.sched_threads = scenario.sched_threads > 1 ? 1 : 3;
+  }
+  std::unique_ptr<Scheduler> scheduler = MakeFuzzScheduler(adjusted);
+  if (inject == BugInjection::kOversubscribe) {
+    scheduler = std::make_unique<OversubscribingScheduler>(std::move(scheduler));
+  }
+  return scheduler;
+}
+
+OracleOptions OracleOptionsFor(const Scenario& scenario, const FuzzRunOptions& options,
+                               bool record_schedules) {
+  OracleOptions oracle;
+  oracle.check_scale_up = scenario.scheduler == "sia";
+  oracle.check_config_set = scenario.scheduler == "sia";
+  oracle.record_schedules = record_schedules;
+  oracle.max_recorded_violations = options.max_recorded_violations;
+  // FaultOptions::failure_progress_loss default; scenarios do not vary it.
+  return oracle;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllSchedulers() {
+  static const std::vector<std::string> kNames = {"sia",       "pollux", "gavel", "allox",
+                                                  "shockwave", "themis", "fifo",  "srtf"};
+  return kNames;
+}
+
+bool KnownScheduler(const std::string& name) {
+  const std::vector<std::string>& names = AllSchedulers();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::unique_ptr<Scheduler> MakeFuzzScheduler(const Scenario& scenario) {
+  const std::string& name = scenario.scheduler;
+  if (name == "sia") {
+    SiaOptions options;
+    options.num_threads = scenario.sched_threads;
+    options.warm_start = scenario.warm_start;
+    options.candidate_cache = scenario.candidate_cache;
+    return std::make_unique<SiaScheduler>(options);
+  }
+  if (name == "pollux") {
+    PolluxOptions options;
+    options.num_threads = scenario.sched_threads;
+    return std::make_unique<PolluxScheduler>(options);
+  }
+  if (name == "gavel") {
+    return std::make_unique<GavelScheduler>();
+  }
+  if (name == "allox") {
+    return std::make_unique<AlloxScheduler>();
+  }
+  if (name == "shockwave") {
+    return std::make_unique<PriorityScheduler>(ShockwaveOptions());
+  }
+  if (name == "themis") {
+    return std::make_unique<PriorityScheduler>(ThemisOptions());
+  }
+  if (name == "fifo") {
+    return std::make_unique<PriorityScheduler>(FifoOptions());
+  }
+  if (name == "srtf") {
+    return std::make_unique<PriorityScheduler>(SrtfOptions());
+  }
+  SIA_CHECK(false) << "unknown scheduler " << name;
+  return nullptr;
+}
+
+FuzzRunResult RunScenarioWithOracle(const Scenario& scenario, const FuzzRunOptions& options) {
+  FuzzRunResult result;
+  const bool twins =
+      options.differential && (scenario.scheduler == "sia" || scenario.scheduler == "pollux");
+
+  InvariantOracle oracle(OracleOptionsFor(scenario, options, twins));
+  {
+    std::unique_ptr<Scheduler> scheduler =
+        MakeSchedulerVariant(scenario, /*variant=*/0, options.inject);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.observer = &oracle;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+  }
+  result.rounds = oracle.rounds_checked();
+  result.violations = oracle.total_violations();
+  result.recorded = oracle.violations();
+  std::ostringstream report;
+  report << oracle.Report();
+
+  if (twins && options.inject == BugInjection::kNone) {
+    // Twin runs must reproduce the primary's per-round requests exactly:
+    // warm starts, candidate caches, and thread fan-out are all documented
+    // as cost-only knobs.
+    const char* kTwinNames[] = {"", "cold-solve", "thread-count"};
+    for (int variant = 1; variant <= 2; ++variant) {
+      InvariantOracle twin_oracle(OracleOptionsFor(scenario, options, true));
+      std::unique_ptr<Scheduler> scheduler =
+          MakeSchedulerVariant(scenario, variant, options.inject);
+      SimOptions sim = scenario.BuildSimOptions();
+      sim.observer = &twin_oracle;
+      ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+      simulator.Run();
+      if (twin_oracle.schedules() != oracle.schedules()) {
+        ++result.violations;
+        size_t round = 0;
+        const size_t limit =
+            std::min(oracle.schedules().size(), twin_oracle.schedules().size());
+        while (round < limit && oracle.schedules()[round] == twin_oracle.schedules()[round]) {
+          ++round;
+        }
+        report << "\n[differential] " << kTwinNames[variant]
+               << " twin diverged from the primary run at round " << round << " ("
+               << oracle.schedules().size() << " vs " << twin_oracle.schedules().size()
+               << " rounds)";
+      }
+    }
+  }
+
+  result.ok = result.violations == 0;
+  result.report = report.str();
+  return result;
+}
+
+namespace {
+
+bool StillFails(const Scenario& candidate, const FuzzRunOptions& options, int max_evals,
+                int* evals) {
+  if (*evals >= max_evals) {
+    return false;
+  }
+  ++*evals;
+  FuzzRunOptions quick = options;
+  quick.differential = options.differential;
+  return !RunScenarioWithOracle(candidate, quick).ok;
+}
+
+}  // namespace
+
+Scenario ShrinkScenario(const Scenario& failing, const FuzzRunOptions& options, int max_evals,
+                        int* evals_used) {
+  Scenario best = failing;
+  int evals = 0;
+  bool improved = true;
+  while (improved && evals < max_evals) {
+    improved = false;
+
+    // Jobs: drop chunks (ddmin granularity halving), then singles.
+    for (size_t chunk = std::max<size_t>(1, best.jobs.size() / 2); chunk >= 1; chunk /= 2) {
+      for (size_t start = 0; start + chunk <= best.jobs.size();) {
+        Scenario candidate = best;
+        candidate.jobs.erase(candidate.jobs.begin() + static_cast<long>(start),
+                             candidate.jobs.begin() + static_cast<long>(start + chunk));
+        if (!candidate.jobs.empty() && StillFails(candidate, options, max_evals, &evals)) {
+          best = std::move(candidate);
+          improved = true;
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) {
+        break;
+      }
+    }
+
+    // Scripted fault events, one at a time.
+    for (size_t i = 0; i < best.faults.size();) {
+      Scenario candidate = best;
+      candidate.faults.erase(candidate.faults.begin() + static_cast<long>(i));
+      if (StillFails(candidate, options, max_evals, &evals)) {
+        best = std::move(candidate);
+        improved = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Stochastic fault channels.
+    if (best.node_mtbf_hours > 0.0 || best.degraded_frac > 0.0 ||
+        best.telemetry_dropout_prob > 0.0 || best.telemetry_outlier_prob > 0.0) {
+      Scenario candidate = best;
+      candidate.node_mtbf_hours = 0.0;
+      candidate.degraded_frac = 0.0;
+      candidate.telemetry_dropout_prob = 0.0;
+      candidate.telemetry_outlier_prob = 0.0;
+      if (StillFails(candidate, options, max_evals, &evals)) {
+        best = std::move(candidate);
+        improved = true;
+      }
+    }
+
+    // Node groups: drop whole groups, then shave nodes off groups.
+    for (size_t g = 0; best.node_groups.size() > 1 && g < best.node_groups.size();) {
+      Scenario candidate = best;
+      candidate.node_groups.erase(candidate.node_groups.begin() + static_cast<long>(g));
+      if (StillFails(candidate, options, max_evals, &evals)) {
+        best = std::move(candidate);
+        improved = true;
+      } else {
+        ++g;
+      }
+    }
+    for (size_t g = 0; g < best.node_groups.size(); ++g) {
+      while (best.node_groups[g].num_nodes > 1) {
+        Scenario candidate = best;
+        --candidate.node_groups[g].num_nodes;
+        if (StillFails(candidate, options, max_evals, &evals)) {
+          best = std::move(candidate);
+          improved = true;
+        } else {
+          break;
+        }
+      }
+    }
+
+    // Simulated horizon.
+    while (best.max_hours > 0.5) {
+      Scenario candidate = best;
+      candidate.max_hours = std::max(0.5, best.max_hours / 2.0);
+      if (StillFails(candidate, options, max_evals, &evals)) {
+        best = std::move(candidate);
+        improved = true;
+      } else {
+        break;
+      }
+    }
+  }
+  if (evals_used != nullptr) {
+    *evals_used = evals;
+  }
+  return best;
+}
+
+}  // namespace sia::testing

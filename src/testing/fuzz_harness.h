@@ -1,0 +1,73 @@
+// Fuzz harness: runs a Scenario through ClusterSimulator with the invariant
+// oracle attached, optionally cross-checks Sia/Pollux against differential
+// twin runs (warm-vs-cold solves, threaded-vs-serial candidate generation --
+// both are documented to be output-identical), and shrinks failing
+// scenarios to minimal reproducers with a ddmin-style greedy reduction.
+//
+// Bug injection exists so the pipeline can be demonstrated end to end: the
+// kOversubscribe wrapper turns any scheduler into one that requests more
+// GPUs than AvailableGpus, which the oracle must catch and the shrinker
+// must reduce.
+#ifndef SIA_SRC_TESTING_FUZZ_HARNESS_H_
+#define SIA_SRC_TESTING_FUZZ_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/schedulers/scheduler.h"
+#include "src/testing/invariant_oracle.h"
+#include "src/testing/scenario.h"
+
+namespace sia::testing {
+
+// Every named policy the repo ships (tools/sia_simulate accepts the same
+// set).
+const std::vector<std::string>& AllSchedulers();
+bool KnownScheduler(const std::string& name);
+
+// Builds the scenario's scheduler with its knobs applied (threads /
+// warm-start / candidate-cache for sia, threads for pollux).
+std::unique_ptr<Scheduler> MakeFuzzScheduler(const Scenario& scenario);
+
+enum class BugInjection {
+  kNone,
+  // Wraps the scheduler so one request per round exceeds AvailableGpus.
+  kOversubscribe,
+};
+
+struct FuzzRunOptions {
+  // Run differential twins for sia/pollux: a second simulation with the
+  // fast paths reconfigured (cold solves / different thread count) whose
+  // per-round ScheduleOutput must be identical.
+  bool differential = true;
+  BugInjection inject = BugInjection::kNone;
+  // Oracle knobs derived from the scenario are set automatically; this only
+  // bounds how many violations are kept.
+  int max_recorded_violations = 16;
+};
+
+struct FuzzRunResult {
+  bool ok = true;
+  int64_t violations = 0;      // Oracle violations + differential mismatches.
+  int64_t rounds = 0;
+  std::vector<OracleViolation> recorded;
+  std::string report;          // Human-readable summary of what failed.
+};
+
+// One fuzz iteration: simulate the scenario under the oracle (plus twins
+// when enabled). Deterministic in the scenario.
+FuzzRunResult RunScenarioWithOracle(const Scenario& scenario,
+                                    const FuzzRunOptions& options = {});
+
+// Greedy ddmin-style shrink: repeatedly tries dropping jobs, fault events,
+// stochastic fault channels, node groups, and simulated hours, keeping any
+// reduction that still fails, until a fixed point or `max_evals` predicate
+// evaluations. Returns the smallest still-failing scenario found (the input
+// itself when nothing could be removed).
+Scenario ShrinkScenario(const Scenario& failing, const FuzzRunOptions& options,
+                        int max_evals = 200, int* evals_used = nullptr);
+
+}  // namespace sia::testing
+
+#endif  // SIA_SRC_TESTING_FUZZ_HARNESS_H_

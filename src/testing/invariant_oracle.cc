@@ -1,0 +1,593 @@
+#include "src/testing/invariant_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/models/estimator.h"
+
+namespace sia::testing {
+namespace {
+
+constexpr double kAbsEps = 1e-9;
+
+// Relative tolerance for GPU-second accounting (values reach 1e6; exact
+// arithmetic modulo float rounding).
+bool NearlyEqual(double a, double b) {
+  return std::abs(a - b) <= 1e-6 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+std::string ConfigString(const Config& config) {
+  std::ostringstream out;
+  out << "(n=" << config.num_nodes << ", g=" << config.num_gpus << ", t=" << config.gpu_type
+      << (config.scatter ? ", scatter" : "") << ")";
+  return out.str();
+}
+
+// Free GPUs per node after all of this round's placements are charged.
+std::vector<int> FreeGpusPerNode(const RoundObservation& observation) {
+  const ClusterSpec& cluster = *observation.cluster;
+  std::vector<int> free(static_cast<size_t>(cluster.num_nodes()), 0);
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    free[n] = cluster.NodeUp(n) ? cluster.node(n).num_gpus : 0;
+  }
+  for (const auto& [job, placement] : observation.placed->placements) {
+    for (size_t k = 0; k < placement.node_ids.size(); ++k) {
+      const int node = placement.node_ids[k];
+      if (node >= 0 && node < cluster.num_nodes()) {
+        free[node] -= placement.gpus_per_node[k];
+      }
+    }
+  }
+  return free;
+}
+
+// Whether `config` could still be placed on the residual free capacity.
+// Mirrors the placer's shape rules: single-node allocations need one node
+// with enough free GPUs, distributed allocations need num_nodes fully-free
+// nodes, scatter allocations only need aggregate capacity.
+bool ConfigFitsResidual(const ClusterSpec& cluster, const std::vector<int>& free,
+                        const Config& config) {
+  if (config.scatter) {
+    int total = 0;
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      if (cluster.node(n).gpu_type == config.gpu_type) {
+        total += std::max(0, free[n]);
+      }
+    }
+    return total >= config.num_gpus;
+  }
+  if (!config.is_distributed()) {
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      if (cluster.node(n).gpu_type == config.gpu_type && free[n] >= config.num_gpus) {
+        return true;
+      }
+    }
+    return false;
+  }
+  const int max_demand =
+      config.num_gpus / config.num_nodes + (config.num_gpus % config.num_nodes != 0 ? 1 : 0);
+  int fully_free = 0;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    const NodeSpec& node = cluster.node(n);
+    if (node.gpu_type == config.gpu_type && cluster.NodeUp(n) && free[n] == node.num_gpus &&
+        node.num_gpus >= max_demand) {
+      ++fully_free;
+    }
+  }
+  return fully_free >= config.num_nodes;
+}
+
+}  // namespace
+
+std::string OracleViolation::ToString() const {
+  std::ostringstream out;
+  out << "[" << invariant << "] round " << round << " t=" << time_seconds << "s: " << message;
+  return out.str();
+}
+
+InvariantOracle::InvariantOracle(OracleOptions options) : options_(options) {}
+
+void InvariantOracle::AddViolation(const RoundObservation* observation,
+                                   const std::string& invariant, std::string message) {
+  ++total_violations_;
+  if (static_cast<int>(violations_.size()) >= options_.max_recorded_violations) {
+    return;
+  }
+  OracleViolation violation;
+  if (observation != nullptr) {
+    violation.round = observation->round_index;
+    violation.time_seconds = observation->now_seconds;
+  } else {
+    violation.round = last_round_index_;
+    violation.time_seconds = last_now_;
+  }
+  violation.invariant = invariant;
+  violation.message = std::move(message);
+  violations_.push_back(std::move(violation));
+}
+
+void InvariantOracle::CheckTime(const RoundObservation& observation) {
+  if (observation.round_index <= last_round_index_) {
+    std::ostringstream out;
+    out << "round index went " << last_round_index_ << " -> " << observation.round_index;
+    AddViolation(&observation, "time", out.str());
+  }
+  if (observation.now_seconds < last_now_ - kAbsEps ||
+      (last_round_index_ >= 0 && observation.now_seconds <= last_now_ - kAbsEps)) {
+    std::ostringstream out;
+    out << "virtual time went " << last_now_ << " -> " << observation.now_seconds;
+    AddViolation(&observation, "time", out.str());
+  }
+  if (observation.round_duration_seconds <= 0.0) {
+    AddViolation(&observation, "time", "non-positive round duration");
+  }
+}
+
+void InvariantOracle::CheckInput(const RoundObservation& observation) {
+  std::set<JobId> seen_ids;
+  for (const JobView& job : observation.input->jobs) {
+    if (job.spec == nullptr || job.estimator == nullptr) {
+      AddViolation(&observation, "lifecycle", "JobView with null spec or estimator");
+      continue;
+    }
+    const JobId id = job.spec->id;
+    if (!seen_ids.insert(id).second) {
+      std::ostringstream out;
+      out << "job " << id << " appears twice in the scheduler snapshot";
+      AddViolation(&observation, "lifecycle", out.str());
+    }
+    if (job.spec->submit_time > observation.now_seconds + kAbsEps) {
+      std::ostringstream out;
+      out << "job " << id << " active before its submit time (" << job.spec->submit_time << " > "
+          << observation.now_seconds << ")";
+      AddViolation(&observation, "lifecycle", out.str());
+    }
+    if (job.progress_fraction < -kAbsEps || job.progress_fraction > 1.0 + 1e-6) {
+      std::ostringstream out;
+      out << "job " << id << " progress_fraction " << job.progress_fraction << " out of [0, 1]";
+      AddViolation(&observation, "accounting", out.str());
+    }
+    if (job.service_gpu_seconds < -kAbsEps) {
+      std::ostringstream out;
+      out << "job " << id << " negative service " << job.service_gpu_seconds;
+      AddViolation(&observation, "accounting", out.str());
+    }
+    if (job.current_config.num_gpus > 0 && job.peak_num_gpus < job.current_config.num_gpus) {
+      std::ostringstream out;
+      out << "job " << id << " peak_num_gpus " << job.peak_num_gpus
+          << " below current allocation " << job.current_config.num_gpus;
+      AddViolation(&observation, "accounting", out.str());
+    }
+    const auto track_it = tracks_.find(id);
+    if (track_it != tracks_.end() && track_it->second.retired) {
+      std::ostringstream out;
+      out << "job " << id << " resurrected after retiring";
+      AddViolation(&observation, "lifecycle", out.str());
+    }
+  }
+}
+
+void InvariantOracle::CheckDesired(const RoundObservation& observation) {
+  const ClusterSpec& cluster = *observation.cluster;
+  std::map<JobId, const JobView*> views;
+  for (const JobView& job : observation.input->jobs) {
+    if (job.spec != nullptr) {
+      views[job.spec->id] = &job;
+    }
+  }
+
+  std::vector<int> requested(static_cast<size_t>(cluster.num_gpu_types()), 0);
+  for (const auto& [id, config] : *observation.desired) {
+    const auto view_it = views.find(id);
+    if (view_it == views.end()) {
+      std::ostringstream out;
+      out << "allocation for job " << id << " that is not in the scheduler snapshot";
+      AddViolation(&observation, "lifecycle", out.str());
+      continue;
+    }
+    const JobView& job = *view_it->second;
+    if (config.num_gpus <= 0 || config.num_nodes <= 0 || config.gpu_type < 0 ||
+        config.gpu_type >= cluster.num_gpu_types()) {
+      std::ostringstream out;
+      out << "job " << id << " malformed config " << ConfigString(config);
+      AddViolation(&observation, "config", out.str());
+      continue;
+    }
+    requested[config.gpu_type] += config.num_gpus;
+    if (!config.scatter) {
+      // Structural validity (all policies): the shape must be realizable on
+      // this cluster's node inventory.
+      int max_per_node = 0;
+      int type_nodes = 0;
+      for (int n = 0; n < cluster.num_nodes(); ++n) {
+        if (cluster.node(n).gpu_type == config.gpu_type) {
+          ++type_nodes;
+          max_per_node = std::max(max_per_node, cluster.node(n).num_gpus);
+        }
+      }
+      if (config.num_nodes > type_nodes || config.num_gpus < config.num_nodes ||
+          config.num_gpus > config.num_nodes * max_per_node) {
+        std::ostringstream out;
+        out << "job " << id << " config " << ConfigString(config)
+            << " cannot be realized on " << type_nodes << " nodes of up to " << max_per_node
+            << " GPUs";
+        AddViolation(&observation, "config", out.str());
+      }
+      if (options_.check_config_set) {
+        bool in_set = false;
+        for (const Config& candidate : *observation.config_set) {
+          if (candidate.num_nodes == config.num_nodes && candidate.num_gpus == config.num_gpus &&
+              candidate.gpu_type == config.gpu_type) {
+            in_set = true;
+            break;
+          }
+        }
+        if (!in_set) {
+          std::ostringstream out;
+          out << "job " << id << " config " << ConfigString(config)
+              << " is not in the §3.3 configuration set";
+          AddViolation(&observation, "config", out.str());
+        }
+      }
+    }
+    if (config.num_gpus > job.spec->max_num_gpus) {
+      std::ostringstream out;
+      out << "job " << id << " granted " << config.num_gpus << " GPUs above its max_num_gpus "
+          << job.spec->max_num_gpus;
+      AddViolation(&observation, "config", out.str());
+    }
+    if (job.spec->adaptivity == AdaptivityMode::kRigid &&
+        config.num_gpus != job.spec->rigid_num_gpus) {
+      std::ostringstream out;
+      out << "rigid job " << id << " granted " << config.num_gpus << " GPUs instead of "
+          << job.spec->rigid_num_gpus;
+      AddViolation(&observation, "config", out.str());
+    }
+    if (options_.check_scale_up && job.spec->adaptivity != AdaptivityMode::kRigid) {
+      const int min_gpus = std::max(1, job.estimator->MinGpus(config.gpu_type));
+      const int cap = job.peak_num_gpus <= 0
+                          ? min_gpus
+                          : std::max(min_gpus, options_.scale_up_factor * job.peak_num_gpus);
+      if (config.num_gpus > cap) {
+        std::ostringstream out;
+        out << "job " << id << " scaled to " << config.num_gpus << " GPUs past the "
+            << options_.scale_up_factor << "x cap " << cap << " (peak " << job.peak_num_gpus
+            << ")";
+        AddViolation(&observation, "scale-up", out.str());
+      }
+    }
+  }
+  for (int t = 0; t < cluster.num_gpu_types(); ++t) {
+    if (requested[t] > cluster.AvailableGpus(t)) {
+      std::ostringstream out;
+      out << "requested " << requested[t] << " GPUs of type " << cluster.gpu_type(t).name
+          << " but only " << cluster.AvailableGpus(t) << " are available";
+      AddViolation(&observation, "capacity", out.str());
+    }
+  }
+}
+
+void InvariantOracle::CheckPlacements(const RoundObservation& observation) {
+  const ClusterSpec& cluster = *observation.cluster;
+  std::vector<int> used(static_cast<size_t>(cluster.num_nodes()), 0);
+  std::vector<int> jobs_on_node(static_cast<size_t>(cluster.num_nodes()), 0);
+  std::vector<uint8_t> node_has_distributed(static_cast<size_t>(cluster.num_nodes()), 0);
+
+  for (const auto& [id, placement] : observation.placed->placements) {
+    const auto desired_it = observation.desired->find(id);
+    if (desired_it == observation.desired->end()) {
+      std::ostringstream out;
+      out << "job " << id << " placed without a requested allocation";
+      AddViolation(&observation, "placement", out.str());
+      continue;
+    }
+    if (!(placement.config == desired_it->second)) {
+      std::ostringstream out;
+      out << "job " << id << " placed as " << ConfigString(placement.config)
+          << " but the policy requested " << ConfigString(desired_it->second);
+      AddViolation(&observation, "placement", out.str());
+    }
+    if (placement.node_ids.size() != placement.gpus_per_node.size() || placement.empty()) {
+      std::ostringstream out;
+      out << "job " << id << " malformed placement vectors";
+      AddViolation(&observation, "placement", out.str());
+      continue;
+    }
+    if (placement.total_gpus() != placement.config.num_gpus) {
+      std::ostringstream out;
+      out << "job " << id << " placement covers " << placement.total_gpus() << " GPUs, config "
+          << ConfigString(placement.config);
+      AddViolation(&observation, "placement", out.str());
+    }
+    if (!placement.config.scatter && !placement.config.is_distributed() &&
+        placement.node_ids.size() != 1) {
+      std::ostringstream out;
+      out << "job " << id << " single-node allocation split across " << placement.node_ids.size()
+          << " nodes";
+      AddViolation(&observation, "placement", out.str());
+    }
+    if (!placement.config.scatter && placement.config.is_distributed() &&
+        static_cast<int>(placement.node_ids.size()) != placement.config.num_nodes) {
+      std::ostringstream out;
+      out << "job " << id << " distributed allocation on " << placement.node_ids.size()
+          << " nodes, config wants " << placement.config.num_nodes;
+      AddViolation(&observation, "placement", out.str());
+    }
+    std::set<int> unique_nodes;
+    for (size_t k = 0; k < placement.node_ids.size(); ++k) {
+      const int node = placement.node_ids[k];
+      if (node < 0 || node >= cluster.num_nodes()) {
+        std::ostringstream out;
+        out << "job " << id << " placed on nonexistent node " << node;
+        AddViolation(&observation, "placement", out.str());
+        continue;
+      }
+      if (!unique_nodes.insert(node).second) {
+        std::ostringstream out;
+        out << "job " << id << " lists node " << node << " twice";
+        AddViolation(&observation, "placement", out.str());
+      }
+      if (!cluster.NodeUp(node)) {
+        std::ostringstream out;
+        out << "job " << id << " placed on down node " << node;
+        AddViolation(&observation, "capacity", out.str());
+      }
+      if (cluster.node(node).gpu_type != placement.config.gpu_type) {
+        std::ostringstream out;
+        out << "job " << id << " placed on node " << node << " of the wrong GPU type";
+        AddViolation(&observation, "placement", out.str());
+      }
+      if (placement.gpus_per_node[k] <= 0) {
+        std::ostringstream out;
+        out << "job " << id << " takes " << placement.gpus_per_node[k] << " GPUs on node "
+            << node;
+        AddViolation(&observation, "placement", out.str());
+      }
+      used[node] += placement.gpus_per_node[k];
+      ++jobs_on_node[node];
+      if (placement.config.is_distributed() && !placement.config.scatter) {
+        node_has_distributed[node] = 1;
+      }
+    }
+  }
+
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    const int capacity = cluster.NodeUp(n) ? cluster.node(n).num_gpus : 0;
+    if (used[n] > capacity) {
+      std::ostringstream out;
+      out << "node " << n << " oversubscribed: " << used[n] << " GPUs placed on capacity "
+          << capacity;
+      AddViolation(&observation, "capacity", out.str());
+    }
+    if (node_has_distributed[n] && jobs_on_node[n] > 1) {
+      std::ostringstream out;
+      out << "node " << n << " shared by " << jobs_on_node[n]
+          << " jobs although a distributed allocation requires it whole";
+      AddViolation(&observation, "placement", out.str());
+    }
+  }
+}
+
+void InvariantOracle::CheckConservation(const RoundObservation& observation) {
+  std::set<JobId> evicted(observation.placed->evicted.begin(), observation.placed->evicted.end());
+  for (const auto& [id, config] : *observation.desired) {
+    const bool placed = observation.placed->placements.count(id) > 0;
+    if (!placed && evicted.count(id) == 0) {
+      std::ostringstream out;
+      out << "job " << id << " requested " << ConfigString(config)
+          << " but was neither placed nor reported evicted";
+      AddViolation(&observation, "conserve", out.str());
+    }
+    if (placed && evicted.count(id) > 0) {
+      std::ostringstream out;
+      out << "job " << id << " both placed and reported evicted";
+      AddViolation(&observation, "conserve", out.str());
+    }
+  }
+
+  const std::vector<int> free = FreeGpusPerNode(observation);
+  for (const JobId id : observation.placed->evicted) {
+    if (observation.placed->placements.count(id) > 0) {
+      continue;  // Already flagged above.
+    }
+    const auto desired_it = observation.desired->find(id);
+    if (desired_it == observation.desired->end()) {
+      std::ostringstream out;
+      out << "evicted job " << id << " never requested resources this round";
+      AddViolation(&observation, "conserve", out.str());
+      continue;
+    }
+    const Config& config = desired_it->second;
+    const auto prev_it = prev_placements_.find(id);
+    const bool sticky = prev_it != prev_placements_.end() && !prev_it->second.empty() &&
+                        prev_it->second.config == config;
+    if (sticky) {
+      // Stability contract: a job with a live same-config placement may only
+      // return to its exact previous slots, so eviction strands capacity
+      // only when those very slots are free (whole nodes for distributed
+      // shapes, which never share).
+      const ClusterSpec& cluster = *observation.cluster;
+      const Placement& prev = prev_it->second;
+      bool restorable = true;
+      for (size_t k = 0; k < prev.node_ids.size() && restorable; ++k) {
+        const int node = prev.node_ids[k];
+        if (node < 0 || node >= cluster.num_nodes()) {
+          restorable = false;
+        } else if (config.is_distributed() && !config.scatter) {
+          restorable = cluster.NodeUp(node) && free[node] == cluster.node(node).num_gpus;
+        } else {
+          restorable = free[node] >= prev.gpus_per_node[k];
+        }
+      }
+      if (restorable) {
+        std::ostringstream out;
+        out << "evicted job " << id << " could return to its previous slots as "
+            << ConfigString(config) << " (stranded eviction)";
+        AddViolation(&observation, "conserve", out.str());
+      }
+    } else if (ConfigFitsResidual(*observation.cluster, free, config)) {
+      std::ostringstream out;
+      out << "evicted job " << id << " still fits the leftover capacity as "
+          << ConfigString(config) << " (stranded eviction)";
+      AddViolation(&observation, "conserve", out.str());
+    }
+  }
+}
+
+void InvariantOracle::UpdateTracks(const RoundObservation& observation) {
+  std::set<JobId> present;
+  for (const JobView& job : observation.input->jobs) {
+    if (job.spec == nullptr) {
+      continue;
+    }
+    const JobId id = job.spec->id;
+    present.insert(id);
+    JobTrack& track = tracks_[id];
+    if (track.seen) {
+      // Service: exactly what last round's grant charged.
+      const double expected =
+          track.last_service +
+          static_cast<double>(track.granted_gpus) * track.last_round_duration;
+      if (!NearlyEqual(job.service_gpu_seconds, expected)) {
+        std::ostringstream out;
+        out << "job " << id << " service drifted: " << job.service_gpu_seconds << " != "
+            << track.last_service << " + " << track.granted_gpus << " x "
+            << track.last_round_duration;
+        AddViolation(&observation, "accounting", out.str());
+      }
+      // Progress: monotone except a bounded rollback when a running job was
+      // evicted back to the queue (node crash, §3.5).
+      if (job.progress_fraction < track.last_progress - kAbsEps) {
+        const bool evicted_to_queue = track.last_running && job.current_config.num_gpus == 0;
+        const double floor =
+            track.last_progress * (1.0 - options_.failure_progress_loss) - 1e-6;
+        if (!evicted_to_queue || job.progress_fraction < floor) {
+          std::ostringstream out;
+          out << "job " << id << " progress went backwards " << track.last_progress << " -> "
+              << job.progress_fraction << (evicted_to_queue ? " (past the checkpoint floor)" : "");
+          AddViolation(&observation, "accounting", out.str());
+        }
+      }
+      if (job.peak_num_gpus < track.last_peak) {
+        std::ostringstream out;
+        out << "job " << id << " peak_num_gpus shrank " << track.last_peak << " -> "
+            << job.peak_num_gpus;
+        AddViolation(&observation, "accounting", out.str());
+      }
+      if (job.num_restarts < track.last_restarts) {
+        std::ostringstream out;
+        out << "job " << id << " restart count shrank " << track.last_restarts << " -> "
+            << job.num_restarts;
+        AddViolation(&observation, "accounting", out.str());
+      }
+    } else {
+      track.seen = true;
+      track.submit_time = job.spec->submit_time;
+    }
+    track.last_progress = job.progress_fraction;
+    track.last_service = job.service_gpu_seconds;
+    track.last_peak = job.peak_num_gpus;
+    track.last_restarts = job.num_restarts;
+    track.last_round_duration = observation.round_duration_seconds;
+    const auto placed_it = observation.placed->placements.find(id);
+    track.granted_gpus =
+        placed_it == observation.placed->placements.end() ? 0 : placed_it->second.config.num_gpus;
+    track.last_running = track.granted_gpus > 0;
+  }
+  for (auto& [id, track] : tracks_) {
+    if (track.seen && !track.retired && present.count(id) == 0) {
+      track.retired = true;
+      track.granted_gpus = 0;
+      track.last_running = false;
+    }
+  }
+}
+
+void InvariantOracle::OnRoundScheduled(const RoundObservation& observation) {
+  if (observation.cluster == nullptr || observation.config_set == nullptr ||
+      observation.input == nullptr || observation.desired == nullptr ||
+      observation.placed == nullptr) {
+    AddViolation(nullptr, "time", "incomplete round observation");
+    return;
+  }
+  CheckTime(observation);
+  CheckInput(observation);
+  CheckDesired(observation);
+  CheckPlacements(observation);
+  CheckConservation(observation);
+  UpdateTracks(observation);
+  prev_placements_ = observation.placed->placements;
+  if (options_.record_schedules) {
+    schedules_.push_back(*observation.desired);
+  }
+  last_round_index_ = observation.round_index;
+  last_now_ = observation.now_seconds;
+  ++rounds_checked_;
+}
+
+void InvariantOracle::OnRunEnd(const SimResult& result) {
+  run_ended_ = true;
+  std::set<JobId> result_ids;
+  for (const JobResult& job : result.jobs) {
+    if (!result_ids.insert(job.spec.id).second) {
+      std::ostringstream out;
+      out << "job " << job.spec.id << " appears twice in SimResult::jobs";
+      AddViolation(nullptr, "lifecycle", out.str());
+    }
+    const auto track_it = tracks_.find(job.spec.id);
+    if (track_it == tracks_.end()) {
+      std::ostringstream out;
+      out << "job " << job.spec.id << " in SimResult::jobs was never observed in a round";
+      AddViolation(nullptr, "lifecycle", out.str());
+      continue;
+    }
+    const JobTrack& track = track_it->second;
+    if (track.retired && !job.finished) {
+      std::ostringstream out;
+      out << "job " << job.spec.id << " left the active set but is not marked finished";
+      AddViolation(nullptr, "lifecycle", out.str());
+    }
+    if (job.gpu_seconds < track.last_service - 1e-6) {
+      std::ostringstream out;
+      out << "job " << job.spec.id << " final gpu_seconds " << job.gpu_seconds
+          << " below last observed service " << track.last_service;
+      AddViolation(nullptr, "accounting", out.str());
+    }
+    if (job.finished && job.finish_time > result.makespan_seconds + kAbsEps) {
+      std::ostringstream out;
+      out << "job " << job.spec.id << " finished at " << job.finish_time
+          << " after the makespan " << result.makespan_seconds;
+      AddViolation(nullptr, "accounting", out.str());
+    }
+  }
+  for (const auto& [id, track] : tracks_) {
+    if (track.seen && result_ids.count(id) == 0) {
+      std::ostringstream out;
+      out << "job " << id << " was observed in rounds but is missing from SimResult::jobs";
+      AddViolation(nullptr, "lifecycle", out.str());
+    }
+  }
+}
+
+std::string InvariantOracle::Report() const {
+  std::ostringstream out;
+  if (ok()) {
+    out << "oracle ok: " << rounds_checked_ << " rounds, " << tracks_.size()
+        << " jobs, 0 violations";
+    return out.str();
+  }
+  out << "oracle FAILED: " << total_violations_ << " violation(s) over " << rounds_checked_
+      << " rounds";
+  for (const OracleViolation& violation : violations_) {
+    out << "\n  " << violation.ToString();
+  }
+  if (total_violations_ > static_cast<int64_t>(violations_.size())) {
+    out << "\n  ... " << (total_violations_ - static_cast<int64_t>(violations_.size()))
+        << " more suppressed";
+  }
+  return out.str();
+}
+
+}  // namespace sia::testing

@@ -1,0 +1,138 @@
+// Cluster-invariant oracle: a SimObserver that machine-checks every
+// scheduling round of a ClusterSimulator run against the invariants the
+// whole reproduction stands on, and the final SimResult against the
+// lifecycle it watched. Attach it via SimOptions::observer; it never aborts
+// and never mutates the run -- violations are collected and reported so the
+// fuzz driver (tools/sia_fuzz) can shrink the scenario that produced them.
+//
+// Invariant catalogue (DESIGN.md section 9):
+//  time       -- virtual time and round indices advance strictly.
+//  capacity   -- requested GPUs per type never exceed AvailableGpus (the
+//                live, fault-adjusted view); per-node placements fit node
+//                capacity; no placement touches a down node.
+//  config     -- every requested configuration is well-formed, within the
+//                job's declared caps, from the §3.3 set for non-scatter
+//                allocations, and (for rigid jobs) exactly rigid_num_gpus.
+//  scale-up   -- with check_scale_up (Sia's contract): GPU count <=
+//                max(min replicas, scale_up_factor x peak_num_gpus).
+//  placement  -- placements echo the requested config, split per the
+//                placer's rules (partial nodes never split; distributed
+//                allocations take dedicated whole nodes).
+//  conserve   -- every requested job is either placed or reported evicted;
+//                no eviction strands capacity: a job with a live same-config
+//                placement history must not stay evicted while its exact
+//                previous slots are free (the placer's stability contract
+//                forbids moving it anywhere else), and a job without such a
+//                history must not stay evicted while its configuration still
+//                fits the leftover free capacity.
+//  lifecycle  -- jobs arrive after their submit time, never resurrect after
+//                retiring, and end up in SimResult::jobs exactly once.
+//  accounting -- service_gpu_seconds grows by exactly granted-GPUs x round
+//                while running; progress is monotone except a bounded
+//                rollback on failure eviction; peak_num_gpus tracks grants.
+#ifndef SIA_SRC_TESTING_INVARIANT_ORACLE_H_
+#define SIA_SRC_TESTING_INVARIANT_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/sim_observer.h"
+#include "src/sim/simulator.h"
+
+namespace sia::testing {
+
+struct OracleOptions {
+  // Enforce the <=2x scale-up rule on requested configurations. This is
+  // Sia's contract (§3.1); baselines with rigid or policy-specific sizing
+  // run with it off.
+  bool check_scale_up = false;
+  int scale_up_factor = 2;
+  // Require every non-scatter configuration to be a member of the prebuilt
+  // §3.3 set. Sia's contract; baselines map bare GPU counts onto shapes via
+  // ShapeForCount, which is structurally valid but can step outside the
+  // power-of-two set, so they run with it off (the structural rules --
+  // counts fit node sizes and node counts -- are always enforced).
+  bool check_config_set = false;
+  // Allowed fractional progress rollback on a failure eviction; mirror
+  // FaultOptions::failure_progress_loss for the run under check.
+  double failure_progress_loss = 0.02;
+  // Record each round's requested ScheduleOutput so two runs can be diffed
+  // (the warm-vs-cold / threaded-vs-serial differential harness).
+  bool record_schedules = false;
+  // Stop recording individual violations after this many (counting
+  // continues) so a hot invariant cannot swamp memory or logs.
+  int max_recorded_violations = 64;
+};
+
+struct OracleViolation {
+  int64_t round = 0;
+  double time_seconds = 0.0;
+  std::string invariant;  // Catalogue key, e.g. "capacity", "conserve".
+  std::string message;
+
+  std::string ToString() const;
+};
+
+class InvariantOracle : public SimObserver {
+ public:
+  explicit InvariantOracle(OracleOptions options = {});
+
+  void OnRoundScheduled(const RoundObservation& observation) override;
+  void OnRunEnd(const SimResult& result) override;
+
+  bool ok() const { return total_violations_ == 0; }
+  // First max_recorded_violations violations, in detection order.
+  const std::vector<OracleViolation>& violations() const { return violations_; }
+  int64_t total_violations() const { return total_violations_; }
+  int64_t rounds_checked() const { return rounds_checked_; }
+  bool run_ended() const { return run_ended_; }
+
+  // Requested allocations per round (record_schedules only).
+  const std::vector<ScheduleOutput>& schedules() const { return schedules_; }
+
+  // Multi-line human-readable report ("ok" summary or every recorded
+  // violation).
+  std::string Report() const;
+
+ private:
+  struct JobTrack {
+    bool seen = false;
+    bool retired = false;           // Disappeared from the active set.
+    double submit_time = 0.0;
+    double last_progress = 0.0;
+    double last_service = 0.0;
+    int last_peak = 0;
+    int last_restarts = 0;
+    bool last_running = false;      // Had a placement going into last round.
+    int granted_gpus = 0;           // GPUs granted by last round's placer.
+    double last_round_duration = 0.0;
+  };
+
+  void AddViolation(const RoundObservation* observation, const std::string& invariant,
+                    std::string message);
+  void CheckTime(const RoundObservation& observation);
+  void CheckInput(const RoundObservation& observation);
+  void CheckDesired(const RoundObservation& observation);
+  void CheckPlacements(const RoundObservation& observation);
+  void CheckConservation(const RoundObservation& observation);
+  void UpdateTracks(const RoundObservation& observation);
+
+  OracleOptions options_;
+  std::vector<OracleViolation> violations_;
+  int64_t total_violations_ = 0;
+  int64_t rounds_checked_ = 0;
+  int64_t last_round_index_ = -1;
+  double last_now_ = -1.0;
+  bool run_ended_ = false;
+  std::map<JobId, JobTrack> tracks_;
+  // Last round's placements: the oracle's model of the `previous` map the
+  // placer sees, used by the conserve check's stability-aware rules.
+  std::map<JobId, Placement> prev_placements_;
+  std::vector<ScheduleOutput> schedules_;
+};
+
+}  // namespace sia::testing
+
+#endif  // SIA_SRC_TESTING_INVARIANT_ORACLE_H_

@@ -1,0 +1,447 @@
+#include "src/testing/lp_differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/solver/lp_model.h"
+#include "src/solver/milp.h"
+#include "src/solver/simplex.h"
+
+namespace sia::testing {
+namespace {
+
+constexpr double kTol = 1e-6;
+constexpr int kMaxMessages = 16;
+
+void Record(LpCheckStats* stats, std::string message) {
+  ++stats->failures;
+  if (static_cast<int>(stats->messages.size()) < kMaxMessages) {
+    stats->messages.push_back(std::move(message));
+  }
+}
+
+bool RowSatisfied(const LinearProgram& lp, int row, const std::vector<double>& x) {
+  double lhs = 0.0;
+  for (const auto& [var, coeff] : lp.row_terms(row)) {
+    lhs += coeff * x[static_cast<size_t>(var)];
+  }
+  switch (lp.constraint_op(row)) {
+    case ConstraintOp::kLessEq:
+      return lhs <= lp.rhs(row) + kTol;
+    case ConstraintOp::kGreaterEq:
+      return lhs >= lp.rhs(row) - kTol;
+    case ConstraintOp::kEqual:
+      return std::abs(lhs - lp.rhs(row)) <= kTol;
+  }
+  return false;
+}
+
+bool PointFeasible(const LinearProgram& lp, const std::vector<double>& x) {
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    if (x[static_cast<size_t>(j)] < lp.lower_bound(j) - kTol ||
+        x[static_cast<size_t>(j)] > lp.upper_bound(j) + kTol) {
+      return false;
+    }
+  }
+  for (int row = 0; row < lp.num_constraints(); ++row) {
+    if (!RowSatisfied(lp, row, x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Objective(const LinearProgram& lp, const std::vector<double>& x) {
+  double total = 0.0;
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    total += lp.objective_coefficient(j) * x[static_cast<size_t>(j)];
+  }
+  return total;
+}
+
+bool NearlyEqual(double a, double b) {
+  return std::abs(a - b) <= 1e-5 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+// Exhaustive reference for binary programs: best objective over all 2^n
+// assignments, or no value when none is feasible.
+struct EnumerationResult {
+  bool feasible = false;
+  double objective = 0.0;
+};
+
+EnumerationResult EnumerateBinary(const LinearProgram& lp) {
+  const int n = lp.num_variables();
+  EnumerationResult best;
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<size_t>(j)] = (mask >> j) & 1u ? 1.0 : 0.0;
+    }
+    if (!PointFeasible(lp, x)) {
+      continue;
+    }
+    const double value = Objective(lp, x);
+    if (!best.feasible || value > best.objective) {
+      best.feasible = true;
+      best.objective = value;
+    }
+  }
+  return best;
+}
+
+// Solves an n x n dense linear system in place (partial pivoting). Returns
+// false when singular.
+bool SolveDense(std::vector<std::vector<double>>& a, std::vector<double>& b,
+                std::vector<double>* x) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    if (std::abs(a[pivot][col]) < 1e-10) {
+      return false;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double value = b[row];
+    for (size_t k = row + 1; k < n; ++k) {
+      value -= a[row][k] * (*x)[k];
+    }
+    (*x)[row] = value / a[row][row];
+  }
+  return true;
+}
+
+// Dense reference for box LPs: the optimum of a feasible LP with finite
+// variable bounds is attained at a vertex, i.e. a point where n linearly
+// independent constraints (bounds or rows) are active. Enumerate every
+// n-subset of the 2n + m candidate hyperplanes, solve the active-set system,
+// keep the best feasible point.
+EnumerationResult EnumerateVertices(const LinearProgram& lp) {
+  const int n = lp.num_variables();
+  const int m = lp.num_constraints();
+  // Hyperplane k < 2n: x_{k/2} = (k odd ? upper : lower); k >= 2n: row k-2n.
+  const int num_planes = 2 * n + m;
+  EnumerationResult best;
+
+  // Iterative combination enumeration over C(num_planes, n).
+  std::vector<int> stack(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    stack[static_cast<size_t>(i)] = i;
+  }
+  while (true) {
+    // Build and solve the active-set system for `stack`.
+    std::vector<std::vector<double>> a(static_cast<size_t>(n),
+                                       std::vector<double>(static_cast<size_t>(n), 0.0));
+    std::vector<double> b(static_cast<size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const int plane = stack[static_cast<size_t>(i)];
+      if (plane < 2 * n) {
+        const int var = plane / 2;
+        a[static_cast<size_t>(i)][static_cast<size_t>(var)] = 1.0;
+        b[static_cast<size_t>(i)] =
+            plane % 2 == 1 ? lp.upper_bound(var) : lp.lower_bound(var);
+      } else {
+        for (const auto& [var, coeff] : lp.row_terms(plane - 2 * n)) {
+          a[static_cast<size_t>(i)][static_cast<size_t>(var)] += coeff;
+        }
+        b[static_cast<size_t>(i)] = lp.rhs(plane - 2 * n);
+      }
+    }
+    std::vector<double> x;
+    if (SolveDense(a, b, &x) && PointFeasible(lp, x)) {
+      const double value = Objective(lp, x);
+      if (!best.feasible || value > best.objective) {
+        best.feasible = true;
+        best.objective = value;
+      }
+    }
+    // Next combination.
+    int i = n - 1;
+    while (i >= 0 && stack[static_cast<size_t>(i)] == num_planes - n + i) {
+      --i;
+    }
+    if (i < 0) {
+      break;
+    }
+    ++stack[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      stack[static_cast<size_t>(k)] = stack[static_cast<size_t>(k - 1)] + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string LpCheckStats::Report() const {
+  std::ostringstream out;
+  out << programs << " programs, " << failures << " failure(s)";
+  for (const std::string& message : messages) {
+    out << "\n  " << message;
+  }
+  return out.str();
+}
+
+void CheckMilpAgainstEnumeration(uint64_t seed, int num_programs, LpCheckStats* stats) {
+  Rng rng = Rng(seed).Fork("lp-diff-milp");
+  for (int p = 0; p < num_programs; ++p) {
+    const int n = static_cast<int>(rng.UniformInt(2, 10));
+    const int m = static_cast<int>(rng.UniformInt(1, 5));
+    LinearProgram lp(ObjectiveSense::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      lp.AddBinaryVariable(static_cast<double>(rng.UniformInt(-5, 5)));
+    }
+    for (int row = 0; row < m; ++row) {
+      std::vector<LpTerm> terms;
+      for (int j = 0; j < n; ++j) {
+        const int coeff = static_cast<int>(rng.UniformInt(-4, 4));
+        if (coeff != 0) {
+          terms.push_back({j, static_cast<double>(coeff)});
+        }
+      }
+      if (terms.empty()) {
+        terms.push_back({static_cast<int>(rng.UniformInt(0, n - 1)), 1.0});
+      }
+      const ConstraintOp op = rng.Bernoulli(0.1)
+                                  ? ConstraintOp::kEqual
+                                  : (rng.Bernoulli(0.5) ? ConstraintOp::kLessEq
+                                                        : ConstraintOp::kGreaterEq);
+      lp.AddConstraint(op, static_cast<double>(rng.UniformInt(-6, 8)), std::move(terms));
+    }
+
+    ++stats->programs;
+    const EnumerationResult reference = EnumerateBinary(lp);
+    const MilpSolution milp = SolveMilp(lp);
+    std::ostringstream id;
+    id << "milp-vs-enum seed=" << seed << " program=" << p;
+    if (reference.feasible) {
+      if (milp.status != SolveStatus::kOptimal) {
+        Record(stats, id.str() + ": enumeration found a feasible point but MILP returned " +
+                          ToString(milp.status));
+        continue;
+      }
+      if (!PointFeasible(lp, milp.values)) {
+        Record(stats, id.str() + ": MILP incumbent violates its own constraints");
+        continue;
+      }
+      if (!NearlyEqual(milp.objective, reference.objective)) {
+        std::ostringstream msg;
+        msg << id.str() << ": MILP objective " << milp.objective << " != enumeration "
+            << reference.objective;
+        Record(stats, msg.str());
+      }
+    } else if (milp.status != SolveStatus::kInfeasible) {
+      Record(stats, id.str() + ": program is infeasible by enumeration but MILP returned " +
+                        ToString(milp.status));
+    }
+  }
+}
+
+void CheckSimplexAgainstEnumeration(uint64_t seed, int num_programs, LpCheckStats* stats) {
+  Rng rng = Rng(seed).Fork("lp-diff-simplex");
+  for (int p = 0; p < num_programs; ++p) {
+    const int n = static_cast<int>(rng.UniformInt(2, 5));
+    const int m = static_cast<int>(rng.UniformInt(0, 4));
+    LinearProgram lp(ObjectiveSense::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      const double lower = rng.Uniform(-3.0, 0.0);
+      const double upper = lower + rng.Uniform(0.5, 4.0);
+      lp.AddVariable(lower, upper, static_cast<double>(rng.UniformInt(-4, 4)));
+    }
+    for (int row = 0; row < m; ++row) {
+      std::vector<LpTerm> terms;
+      for (int j = 0; j < n; ++j) {
+        const int coeff = static_cast<int>(rng.UniformInt(-3, 3));
+        if (coeff != 0) {
+          terms.push_back({j, static_cast<double>(coeff)});
+        }
+      }
+      if (terms.empty()) {
+        terms.push_back({static_cast<int>(rng.UniformInt(0, n - 1)), 1.0});
+      }
+      lp.AddConstraint(rng.Bernoulli(0.5) ? ConstraintOp::kLessEq : ConstraintOp::kGreaterEq,
+                       rng.Uniform(-6.0, 6.0), std::move(terms));
+    }
+
+    ++stats->programs;
+    const EnumerationResult reference = EnumerateVertices(lp);
+    const LpSolution solution = SolveLp(lp);
+    std::ostringstream id;
+    id << "simplex-vs-enum seed=" << seed << " program=" << p;
+    if (reference.feasible) {
+      if (solution.status != SolveStatus::kOptimal) {
+        Record(stats, id.str() + ": vertex enumeration found a feasible point but simplex "
+                                 "returned " +
+                          ToString(solution.status));
+        continue;
+      }
+      if (!PointFeasible(lp, solution.values)) {
+        Record(stats, id.str() + ": simplex solution violates its own constraints");
+        continue;
+      }
+      if (!NearlyEqual(solution.objective, reference.objective)) {
+        std::ostringstream msg;
+        msg << id.str() << ": simplex objective " << solution.objective
+            << " != vertex enumeration " << reference.objective;
+        Record(stats, msg.str());
+      }
+    } else if (solution.status != SolveStatus::kInfeasible) {
+      Record(stats, id.str() + ": program is infeasible by vertex enumeration but simplex "
+                               "returned " +
+                        ToString(solution.status));
+    }
+  }
+}
+
+void CheckSiaShapedIlp(uint64_t seed, int num_programs, LpCheckStats* stats) {
+  Rng rng = Rng(seed).Fork("lp-diff-sia");
+  for (int p = 0; p < num_programs; ++p) {
+    const int num_jobs = static_cast<int>(rng.UniformInt(2, 6));
+    const int num_types = static_cast<int>(rng.UniformInt(1, 3));
+    std::vector<int> capacity(static_cast<size_t>(num_types));
+    for (int t = 0; t < num_types; ++t) {
+      capacity[static_cast<size_t>(t)] = static_cast<int>(rng.UniformInt(4, 16));
+    }
+
+    // One binary variable per (job, type, gpu-count) candidate; objective is
+    // a random positive goodput.
+    LinearProgram lp(ObjectiveSense::kMaximize);
+    struct Candidate {
+      int var;
+      int job;
+      int type;
+      int gpus;
+      double goodput;
+    };
+    std::vector<Candidate> candidates;
+    for (int j = 0; j < num_jobs; ++j) {
+      std::vector<LpTerm> gub;
+      for (int t = 0; t < num_types; ++t) {
+        for (int gpus = 1; gpus <= capacity[static_cast<size_t>(t)]; gpus *= 2) {
+          if (!rng.Bernoulli(0.7)) {
+            continue;  // Sparse candidate sets, like FilterConfigsForJob.
+          }
+          const double goodput = rng.Uniform(0.1, 4.0) * gpus;
+          const int var = lp.AddBinaryVariable(goodput);
+          candidates.push_back({var, j, t, gpus, goodput});
+          gub.push_back({var, 1.0});
+        }
+      }
+      if (!gub.empty()) {
+        lp.AddConstraint(ConstraintOp::kLessEq, 1.0, std::move(gub));
+      }
+    }
+    for (int t = 0; t < num_types; ++t) {
+      std::vector<LpTerm> knapsack;
+      for (const Candidate& candidate : candidates) {
+        if (candidate.type == t) {
+          knapsack.push_back({candidate.var, static_cast<double>(candidate.gpus)});
+        }
+      }
+      if (!knapsack.empty()) {
+        lp.AddConstraint(ConstraintOp::kLessEq,
+                         static_cast<double>(capacity[static_cast<size_t>(t)]),
+                         std::move(knapsack));
+      }
+    }
+    if (candidates.empty()) {
+      continue;  // Nothing to check; do not count the program.
+    }
+
+    ++stats->programs;
+    std::ostringstream id;
+    id << "sia-ilp seed=" << seed << " program=" << p;
+
+    const MilpSolution cold = SolveMilp(lp);
+    if (cold.status != SolveStatus::kOptimal) {
+      // The empty allocation is always feasible, so this must solve.
+      Record(stats, id.str() + ": cold solve returned " + std::string(ToString(cold.status)));
+      continue;
+    }
+    if (!PointFeasible(lp, cold.values)) {
+      Record(stats, id.str() + ": incumbent violates GUB/capacity constraints");
+      continue;
+    }
+    for (int j = 0; j < lp.num_variables(); ++j) {
+      const double value = cold.values[static_cast<size_t>(j)];
+      if (std::abs(value - std::round(value)) > 1e-6) {
+        Record(stats, id.str() + ": incumbent is not integral");
+        break;
+      }
+    }
+
+    // Greedy packing lower bound: best-goodput-first, respecting the one-
+    // config-per-job and per-type capacity rows. Always feasible, so the
+    // optimal objective must dominate it.
+    std::vector<const Candidate*> order;
+    for (const Candidate& candidate : candidates) {
+      order.push_back(&candidate);
+    }
+    std::sort(order.begin(), order.end(), [](const Candidate* a, const Candidate* b) {
+      if (a->goodput != b->goodput) {
+        return a->goodput > b->goodput;
+      }
+      return a->var < b->var;
+    });
+    std::vector<bool> job_done(static_cast<size_t>(num_jobs), false);
+    std::vector<int> remaining = capacity;
+    double greedy_objective = 0.0;
+    for (const Candidate* candidate : order) {
+      if (job_done[static_cast<size_t>(candidate->job)] ||
+          remaining[static_cast<size_t>(candidate->type)] < candidate->gpus) {
+        continue;
+      }
+      job_done[static_cast<size_t>(candidate->job)] = true;
+      remaining[static_cast<size_t>(candidate->type)] -= candidate->gpus;
+      greedy_objective += candidate->goodput;
+    }
+    if (cold.objective < greedy_objective - kTol) {
+      std::ostringstream msg;
+      msg << id.str() << ": MILP objective " << cold.objective
+          << " below the greedy packing bound " << greedy_objective;
+      Record(stats, msg.str());
+    }
+
+    // Small instances: full enumeration must agree exactly.
+    if (lp.num_variables() <= 14) {
+      const EnumerationResult reference = EnumerateBinary(lp);
+      if (!reference.feasible || !NearlyEqual(cold.objective, reference.objective)) {
+        std::ostringstream msg;
+        msg << id.str() << ": MILP objective " << cold.objective << " != enumeration "
+            << (reference.feasible ? reference.objective : -1.0);
+        Record(stats, msg.str());
+      }
+    }
+
+    // Warm re-solve of the identical program: the warm start is a hint and
+    // must not change the result.
+    MilpOptions warm_options;
+    warm_options.warm_start = &cold.next_warm_start;
+    const MilpSolution warm = SolveMilp(lp, warm_options);
+    if (warm.status != cold.status || !NearlyEqual(warm.objective, cold.objective)) {
+      std::ostringstream msg;
+      msg << id.str() << ": warm re-solve changed the result (" << ToString(warm.status) << " "
+          << warm.objective << " vs " << ToString(cold.status) << " " << cold.objective << ")";
+      Record(stats, msg.str());
+    }
+  }
+}
+
+}  // namespace sia::testing

@@ -1,0 +1,43 @@
+// Differential testing of the LP/MILP stack against dense reference
+// implementations that are too slow for production but obviously correct on
+// small programs:
+//
+//  * random binary ILPs vs exhaustive enumeration of all 2^n assignments
+//    (SolveMilp must agree on feasibility and optimal objective);
+//  * random box LPs vs dense active-set vertex enumeration (the optimum of
+//    a bounded feasible LP is attained at a vertex; SolveLp must agree on
+//    feasibility and objective);
+//  * random Sia-shaped scheduling ILPs (one GUB row per job, one knapsack
+//    row per GPU type, Eq. 4/5 shape): the incumbent must be integral and
+//    feasible, its objective must dominate a greedy packing lower bound,
+//    match exhaustive enumeration on small instances, and be bit-reproduced
+//    by a warm-started re-solve (the MilpWarmStart contract).
+//
+// Used by tools/sia_fuzz --lp-checks and the fuzz_oracle_test self-checks.
+#ifndef SIA_SRC_TESTING_LP_DIFFERENTIAL_H_
+#define SIA_SRC_TESTING_LP_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sia::testing {
+
+struct LpCheckStats {
+  int programs = 0;   // Programs generated and cross-checked.
+  int failures = 0;   // Programs where the solvers and the oracle disagreed.
+  std::vector<std::string> messages;  // One line per failure (capped).
+
+  bool ok() const { return failures == 0; }
+  std::string Report() const;
+};
+
+// Each check generates `num_programs` random programs from `seed` and
+// appends to `stats`. Deterministic in (seed, num_programs).
+void CheckMilpAgainstEnumeration(uint64_t seed, int num_programs, LpCheckStats* stats);
+void CheckSimplexAgainstEnumeration(uint64_t seed, int num_programs, LpCheckStats* stats);
+void CheckSiaShapedIlp(uint64_t seed, int num_programs, LpCheckStats* stats);
+
+}  // namespace sia::testing
+
+#endif  // SIA_SRC_TESTING_LP_DIFFERENTIAL_H_

@@ -1,0 +1,478 @@
+#include "src/testing/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/workload/trace_gen.h"
+#include "src/workload/trace_io.h"
+
+namespace sia::testing {
+namespace {
+
+// GPU-type catalogue: the exact parameters the standard clusters in
+// src/cluster/cluster_spec.cc use, keyed by name so reproducer files stay
+// readable and replays rebuild identical GpuTypes.
+struct CatalogEntry {
+  const char* name;
+  double vram_gb;
+  double network_gbps;
+  int standard_gpus_per_node;
+};
+
+constexpr CatalogEntry kGpuCatalog[] = {
+    {"t4", 16.0, 50.0, 4},
+    {"rtx", 11.0, 50.0, 8},
+    {"a100", 40.0, 1600.0, 8},
+    {"quad", 24.0, 200.0, 4},
+};
+
+const CatalogEntry* FindCatalogEntry(const std::string& name) {
+  for (const CatalogEntry& entry : kGpuCatalog) {
+    if (name == entry.name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+// Lossless double formatting; 17 significant digits round-trip any binary64.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  try {
+    size_t used = 0;
+    *out = std::stod(text, &used);
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  try {
+    size_t used = 0;
+    *out = std::stoll(text, &used);
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  try {
+    size_t used = 0;
+    *out = std::stoull(text, &used);
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(text);
+  while (std::getline(in, field, sep)) {
+    fields.push_back(field);
+  }
+  if (!text.empty() && text.back() == sep) {
+    fields.push_back("");
+  }
+  return fields;
+}
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) {
+    *error = std::move(message);
+  }
+  return false;
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "crash";
+    case FaultKind::kNodeRepair:
+      return "repair";
+    case FaultKind::kDegradeStart:
+      return "degrade";
+    case FaultKind::kDegradeEnd:
+      return "degrade_end";
+  }
+  return "crash";
+}
+
+bool FaultKindFromName(const std::string& name, FaultKind* out) {
+  if (name == "crash") {
+    *out = FaultKind::kNodeCrash;
+  } else if (name == "repair") {
+    *out = FaultKind::kNodeRepair;
+  } else if (name == "degrade") {
+    *out = FaultKind::kDegradeStart;
+  } else if (name == "degrade_end") {
+    *out = FaultKind::kDegradeEnd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ClusterSpec Scenario::BuildCluster() const {
+  ClusterSpec cluster;
+  for (const ScenarioNodeGroup& group : node_groups) {
+    const CatalogEntry* entry = FindCatalogEntry(group.gpu_type);
+    SIA_CHECK(entry != nullptr) << "unknown GPU type in scenario: " << group.gpu_type;
+    int type = cluster.FindGpuType(group.gpu_type);
+    if (type < 0) {
+      type = cluster.AddGpuType({entry->name, entry->vram_gb, entry->network_gbps});
+    }
+    cluster.AddNodes(type, group.num_nodes, group.gpus_per_node);
+  }
+  return cluster;
+}
+
+SimOptions Scenario::BuildSimOptions() const {
+  SimOptions options;
+  options.seed = sim_seed;
+  options.profiling_mode = static_cast<ProfilingMode>(profiling_mode);
+  options.observation_noise_sigma = observation_noise_sigma;
+  options.pgns_noise_sigma = pgns_noise_sigma;
+  options.max_hours = max_hours;
+  options.faults.node_mtbf_hours = node_mtbf_hours;
+  options.faults.node_mttr_hours = node_mttr_hours;
+  options.faults.degraded_frac = degraded_frac;
+  options.faults.telemetry_dropout_prob = telemetry_dropout_prob;
+  options.faults.telemetry_outlier_prob = telemetry_outlier_prob;
+  options.faults.schedule = faults;
+  return options;
+}
+
+std::string Scenario::Describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " sched=" << scheduler << " nodes=";
+  for (size_t i = 0; i < node_groups.size(); ++i) {
+    if (i > 0) {
+      out << "+";
+    }
+    out << node_groups[i].num_nodes << "x" << node_groups[i].gpus_per_node
+        << node_groups[i].gpu_type;
+  }
+  out << " jobs=" << jobs.size() << " faults=" << faults.size();
+  if (node_mtbf_hours > 0.0) {
+    out << " mtbf=" << node_mtbf_hours << "h";
+  }
+  if (degraded_frac > 0.0) {
+    out << " degraded=" << degraded_frac;
+  }
+  out << " threads=" << sched_threads << (warm_start ? "" : " cold")
+      << (candidate_cache ? "" : " nocache");
+  return out.str();
+}
+
+Scenario GenerateScenario(uint64_t seed, const std::string& scheduler) {
+  Scenario scenario;
+  scenario.seed = seed;
+  scenario.scheduler = scheduler;
+
+  Rng root(seed);
+  Rng cluster_rng = root.Fork("fuzz-cluster");
+  Rng workload_rng = root.Fork("fuzz-workload");
+  Rng fault_rng = root.Fork("fuzz-faults");
+  Rng knob_rng = root.Fork("fuzz-knobs");
+
+  // Cluster: 1-3 node groups of distinct types, kept small so a fuzz
+  // iteration stays well under a second.
+  const int num_types = static_cast<int>(sizeof(kGpuCatalog) / sizeof(kGpuCatalog[0]));
+  const int num_groups = static_cast<int>(cluster_rng.UniformInt(1, 3));
+  std::vector<int> type_order(static_cast<size_t>(num_types));
+  for (int i = 0; i < num_types; ++i) {
+    type_order[static_cast<size_t>(i)] = i;
+  }
+  std::shuffle(type_order.begin(), type_order.end(), cluster_rng);
+  int total_nodes = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    const CatalogEntry& entry = kGpuCatalog[type_order[static_cast<size_t>(g)]];
+    ScenarioNodeGroup group;
+    group.gpu_type = entry.name;
+    group.num_nodes = static_cast<int>(cluster_rng.UniformInt(1, 4));
+    // Standard node size most of the time; occasionally a small variant to
+    // exercise non-standard shapes.
+    group.gpus_per_node = cluster_rng.Bernoulli(0.75)
+                              ? entry.standard_gpus_per_node
+                              : static_cast<int>(cluster_rng.UniformInt(1, 4));
+    total_nodes += group.num_nodes;
+    scenario.node_groups.push_back(group);
+  }
+
+  // Workload: sample a real trace-generator mix over a short submission
+  // window, truncate to at most 10 jobs, and clamp max_num_gpus so rigid
+  // picks stay schedulable on small clusters.
+  TraceOptions trace;
+  trace.kind = workload_rng.Bernoulli(0.5) ? TraceKind::kPhilly : TraceKind::kHelios;
+  trace.arrival_rate_per_hour = workload_rng.Uniform(8.0, 30.0);
+  trace.duration_hours = workload_rng.Uniform(0.2, 0.8);
+  trace.seed = workload_rng.Next();
+  std::vector<JobSpec> jobs = GenerateTrace(trace);
+  if (jobs.empty()) {
+    // Degenerate but valid: keep one deterministic job so every scenario
+    // actually schedules something.
+    JobSpec job;
+    job.id = 0;
+    job.name = "job-0";
+    job.model = ModelKind::kResNet18;
+    job.submit_time = 0.0;
+    jobs.push_back(job);
+  }
+  if (jobs.size() > 10) {
+    jobs.resize(10);
+  }
+  const bool restrict = workload_rng.Bernoulli(0.35);
+  if (restrict) {
+    TunedJobsOptions tuned;
+    tuned.max_gpus = 4;
+    tuned.reference_gpu = "t4";
+    tuned.seed = workload_rng.Next();
+    jobs = RestrictAdaptivity(jobs, workload_rng.Uniform(0.0, 0.5),
+                              workload_rng.Uniform(0.0, 0.5), tuned);
+  }
+  for (JobSpec& job : jobs) {
+    job.max_num_gpus = std::min(job.max_num_gpus, 16);
+  }
+  scenario.jobs = std::move(jobs);
+
+  // Faults: scripted crash/degrade events on valid node indices, plus the
+  // stochastic channels, each enabled independently.
+  if (fault_rng.Bernoulli(0.5)) {
+    const int num_events = static_cast<int>(fault_rng.UniformInt(1, 4));
+    for (int i = 0; i < num_events; ++i) {
+      FaultEvent event;
+      event.time_seconds = fault_rng.Uniform(0.0, 1.5) * 3600.0;
+      event.node = static_cast<int>(fault_rng.UniformInt(0, total_nodes - 1));
+      if (fault_rng.Bernoulli(0.7)) {
+        event.kind = FaultKind::kNodeCrash;
+        event.duration_seconds = fault_rng.Uniform(180.0, 1200.0);
+      } else {
+        event.kind = FaultKind::kDegradeStart;
+        event.severity = fault_rng.Uniform(1.2, 3.0);
+        event.duration_seconds = fault_rng.Bernoulli(0.5) ? 0.0 : fault_rng.Uniform(600.0, 3600.0);
+      }
+      scenario.faults.push_back(event);
+    }
+    std::sort(scenario.faults.begin(), scenario.faults.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                return a.time_seconds < b.time_seconds;
+              });
+  }
+  if (fault_rng.Bernoulli(0.3)) {
+    scenario.node_mtbf_hours = fault_rng.Uniform(2.0, 12.0);
+    scenario.node_mttr_hours = fault_rng.Uniform(0.1, 0.5);
+  }
+  if (fault_rng.Bernoulli(0.25)) {
+    scenario.degraded_frac = fault_rng.Uniform(0.1, 0.4);
+  }
+  if (fault_rng.Bernoulli(0.25)) {
+    scenario.telemetry_dropout_prob = fault_rng.Uniform(0.0, 0.3);
+    scenario.telemetry_outlier_prob = fault_rng.Uniform(0.0, 0.1);
+  }
+
+  // Simulator / scheduler knobs.
+  scenario.sim_seed = knob_rng.Next() | 1ULL;
+  const int mode_pick = static_cast<int>(knob_rng.UniformInt(0, 3));
+  scenario.profiling_mode = mode_pick >= 2 ? 1 : mode_pick;  // Bias to bootstrap.
+  scenario.observation_noise_sigma = knob_rng.Uniform(0.0, 0.08);
+  scenario.pgns_noise_sigma = knob_rng.Uniform(0.0, 0.2);
+  scenario.max_hours = knob_rng.Uniform(2.5, 5.0);
+  scenario.sched_threads = knob_rng.Bernoulli(0.3) ? static_cast<int>(knob_rng.UniformInt(2, 4)) : 1;
+  scenario.warm_start = knob_rng.Bernoulli(0.8);
+  scenario.candidate_cache = knob_rng.Bernoulli(0.8);
+  return scenario;
+}
+
+bool WriteScenario(std::ostream& out, const Scenario& scenario) {
+  out << "# sia_fuzz reproducer v1\n";
+  out << "seed=" << scenario.seed << "\n";
+  out << "scheduler=" << scenario.scheduler << "\n";
+  for (const ScenarioNodeGroup& group : scenario.node_groups) {
+    out << "node_group=" << group.gpu_type << ":" << group.num_nodes << ":" << group.gpus_per_node
+        << "\n";
+  }
+  out << "node_mtbf_hours=" << FormatDouble(scenario.node_mtbf_hours) << "\n";
+  out << "node_mttr_hours=" << FormatDouble(scenario.node_mttr_hours) << "\n";
+  out << "degraded_frac=" << FormatDouble(scenario.degraded_frac) << "\n";
+  out << "telemetry_dropout_prob=" << FormatDouble(scenario.telemetry_dropout_prob) << "\n";
+  out << "telemetry_outlier_prob=" << FormatDouble(scenario.telemetry_outlier_prob) << "\n";
+  out << "sim_seed=" << scenario.sim_seed << "\n";
+  out << "profiling_mode=" << scenario.profiling_mode << "\n";
+  out << "observation_noise_sigma=" << FormatDouble(scenario.observation_noise_sigma) << "\n";
+  out << "pgns_noise_sigma=" << FormatDouble(scenario.pgns_noise_sigma) << "\n";
+  out << "max_hours=" << FormatDouble(scenario.max_hours) << "\n";
+  out << "sched_threads=" << scenario.sched_threads << "\n";
+  out << "warm_start=" << (scenario.warm_start ? 1 : 0) << "\n";
+  out << "candidate_cache=" << (scenario.candidate_cache ? 1 : 0) << "\n";
+  for (const FaultEvent& event : scenario.faults) {
+    out << "fault=" << FormatDouble(event.time_seconds) << "," << FaultKindName(event.kind) << ","
+        << event.node << "," << FormatDouble(event.duration_seconds) << ","
+        << FormatDouble(event.severity) << "\n";
+  }
+  out << "jobs_begin\n";
+  if (!WriteTraceCsv(out, scenario.jobs)) {
+    return false;
+  }
+  out << "jobs_end\n";
+  return static_cast<bool>(out);
+}
+
+bool WriteScenario(const std::string& path, const Scenario& scenario) {
+  std::ofstream out(path);
+  return out && WriteScenario(out, scenario);
+}
+
+bool ReadScenario(std::istream& in, Scenario* scenario, std::string* error) {
+  Scenario result;
+  std::string line;
+  int line_number = 0;
+  bool saw_jobs = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line == "jobs_begin") {
+      // The trace CSV runs until jobs_end; collect and parse it whole.
+      std::ostringstream csv;
+      bool closed = false;
+      while (std::getline(in, line)) {
+        ++line_number;
+        if (line == "jobs_end") {
+          closed = true;
+          break;
+        }
+        csv << line << "\n";
+      }
+      if (!closed) {
+        return Fail(error, "unterminated jobs_begin block");
+      }
+      std::istringstream csv_in(csv.str());
+      std::string csv_error;
+      if (!ReadTraceCsv(csv_in, &result.jobs, &csv_error)) {
+        return Fail(error, "embedded trace CSV: " + csv_error);
+      }
+      saw_jobs = true;
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Fail(error, "line " + std::to_string(line_number) + ": expected key=value");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    auto bad = [&]() {
+      return Fail(error,
+                  "line " + std::to_string(line_number) + ": bad value for " + key);
+    };
+    int64_t as_int = 0;
+    uint64_t as_uint = 0;
+    double as_double = 0.0;
+    if (key == "seed") {
+      if (!ParseUint(value, &as_uint)) return bad();
+      result.seed = as_uint;
+    } else if (key == "scheduler") {
+      result.scheduler = value;
+    } else if (key == "node_group") {
+      const std::vector<std::string> parts = Split(value, ':');
+      int64_t nodes = 0;
+      int64_t gpus = 0;
+      if (parts.size() != 3 || !ParseInt(parts[1], &nodes) || !ParseInt(parts[2], &gpus) ||
+          nodes <= 0 || gpus <= 0) {
+        return bad();
+      }
+      if (FindCatalogEntry(parts[0]) == nullptr) {
+        return Fail(error, "line " + std::to_string(line_number) + ": unknown GPU type " +
+                               parts[0]);
+      }
+      result.node_groups.push_back(
+          {parts[0], static_cast<int>(nodes), static_cast<int>(gpus)});
+    } else if (key == "fault") {
+      const std::vector<std::string> parts = Split(value, ',');
+      FaultEvent event;
+      int64_t node = 0;
+      if (parts.size() != 5 || !ParseDouble(parts[0], &event.time_seconds) ||
+          !FaultKindFromName(parts[1], &event.kind) || !ParseInt(parts[2], &node) ||
+          !ParseDouble(parts[3], &event.duration_seconds) ||
+          !ParseDouble(parts[4], &event.severity)) {
+        return bad();
+      }
+      event.node = static_cast<int>(node);
+      result.faults.push_back(event);
+    } else if (key == "node_mtbf_hours") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.node_mtbf_hours = as_double;
+    } else if (key == "node_mttr_hours") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.node_mttr_hours = as_double;
+    } else if (key == "degraded_frac") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.degraded_frac = as_double;
+    } else if (key == "telemetry_dropout_prob") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.telemetry_dropout_prob = as_double;
+    } else if (key == "telemetry_outlier_prob") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.telemetry_outlier_prob = as_double;
+    } else if (key == "sim_seed") {
+      if (!ParseUint(value, &as_uint)) return bad();
+      result.sim_seed = as_uint;
+    } else if (key == "profiling_mode") {
+      if (!ParseInt(value, &as_int) || as_int < 0 || as_int > 2) return bad();
+      result.profiling_mode = static_cast<int>(as_int);
+    } else if (key == "observation_noise_sigma") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.observation_noise_sigma = as_double;
+    } else if (key == "pgns_noise_sigma") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.pgns_noise_sigma = as_double;
+    } else if (key == "max_hours") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.max_hours = as_double;
+    } else if (key == "sched_threads") {
+      if (!ParseInt(value, &as_int) || as_int <= 0) return bad();
+      result.sched_threads = static_cast<int>(as_int);
+    } else if (key == "warm_start") {
+      if (!ParseInt(value, &as_int)) return bad();
+      result.warm_start = as_int != 0;
+    } else if (key == "candidate_cache") {
+      if (!ParseInt(value, &as_int)) return bad();
+      result.candidate_cache = as_int != 0;
+    } else {
+      return Fail(error, "line " + std::to_string(line_number) + ": unknown key " + key);
+    }
+  }
+  if (result.node_groups.empty()) {
+    return Fail(error, "scenario has no node_group lines");
+  }
+  if (!saw_jobs) {
+    return Fail(error, "scenario has no jobs_begin block");
+  }
+  *scenario = std::move(result);
+  return true;
+}
+
+bool ReadScenario(const std::string& path, Scenario* scenario, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    return Fail(error, "cannot open " + path);
+  }
+  return ReadScenario(in, scenario, error);
+}
+
+}  // namespace sia::testing

@@ -1,0 +1,94 @@
+// Fuzz scenarios: a fully-materialized simulation input (cluster shape,
+// concrete job list, scripted + stochastic fault knobs, scheduler choice,
+// simulator knobs) that can be (a) generated deterministically from a seed,
+// (b) serialized to a small text reproducer file, and (c) replayed
+// byte-identically -- ReadScenario(WriteScenario(s)) drives the exact same
+// simulation, because jobs and fault events are stored materialized (never
+// re-sampled) and every floating-point field round-trips at 17 significant
+// digits.
+//
+// Reproducer format (DESIGN.md section 9): `key=value` lines for scalar
+// knobs, one `node_group=<type>:<nodes>:<gpus_per_node>` line per node
+// group, the job list as an embedded trace CSV between `jobs_begin` /
+// `jobs_end` markers, and one `fault=<t_seconds>,<kind>,<node>,<duration_
+// seconds>,<severity>` line per scripted fault event. '#' lines are
+// comments.
+#ifndef SIA_SRC_TESTING_SCENARIO_H_
+#define SIA_SRC_TESTING_SCENARIO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/simulator.h"
+#include "src/workload/job.h"
+
+namespace sia::testing {
+
+// One group of identical nodes. `gpu_type` must name a type from the
+// catalogue in scenario.cc (t4 / rtx / a100 / quad) so replays rebuild the
+// exact same GpuType parameters.
+struct ScenarioNodeGroup {
+  std::string gpu_type = "t4";
+  int num_nodes = 1;
+  int gpus_per_node = 4;
+};
+
+struct Scenario {
+  // Provenance: the generator seed this scenario came from (0 for
+  // hand-written or shrunk scenarios; shrinking preserves the original).
+  uint64_t seed = 0;
+  // Scheduler under test; any name accepted by tools/sia_simulate.
+  std::string scheduler = "sia";
+
+  std::vector<ScenarioNodeGroup> node_groups;
+  std::vector<JobSpec> jobs;        // Materialized; sorted by submit time.
+  std::vector<FaultEvent> faults;   // Scripted schedule (crash / degrade).
+
+  // Stochastic fault knobs (FaultOptions).
+  double node_mtbf_hours = 0.0;
+  double node_mttr_hours = 0.5;
+  double degraded_frac = 0.0;
+  double telemetry_dropout_prob = 0.0;
+  double telemetry_outlier_prob = 0.0;
+
+  // Simulator knobs (SimOptions).
+  uint64_t sim_seed = 1;
+  int profiling_mode = 1;  // static_cast<int>(ProfilingMode): 0/1/2.
+  double observation_noise_sigma = 0.03;
+  double pgns_noise_sigma = 0.10;
+  double max_hours = 4.0;
+
+  // Sia fast-path knobs (ignored by the baselines).
+  int sched_threads = 1;
+  bool warm_start = true;
+  bool candidate_cache = true;
+
+  // Rebuilds the ClusterSpec from node_groups. SIA_CHECKs on unknown GPU
+  // type names.
+  ClusterSpec BuildCluster() const;
+  // SimOptions with every knob applied (observer/metrics/trace left unset).
+  SimOptions BuildSimOptions() const;
+  // One-line summary for fuzz logs.
+  std::string Describe() const;
+};
+
+// Deterministically samples a scenario from `seed` for the given scheduler:
+// 1-3 node groups (<= ~40 GPUs), 1-10 jobs over a short submission window,
+// an optional fault cocktail, and randomized simulator/Sia knobs. The same
+// (seed, scheduler) always yields the same scenario.
+Scenario GenerateScenario(uint64_t seed, const std::string& scheduler);
+
+// Serialization. Write returns false on I/O error; Read returns false and
+// reports the offending line via `error` (if non-null) on malformed input.
+bool WriteScenario(std::ostream& out, const Scenario& scenario);
+bool WriteScenario(const std::string& path, const Scenario& scenario);
+bool ReadScenario(std::istream& in, Scenario* scenario, std::string* error = nullptr);
+bool ReadScenario(const std::string& path, Scenario* scenario, std::string* error = nullptr);
+
+}  // namespace sia::testing
+
+#endif  // SIA_SRC_TESTING_SCENARIO_H_

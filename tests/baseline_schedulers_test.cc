@@ -27,13 +27,22 @@ TEST(ShapeUtilTest, SingleNodeCounts) {
   EXPECT_EQ(c2->num_nodes, 1);
 }
 
-TEST(ShapeUtilTest, MultiNodeCountsCeil) {
+TEST(ShapeUtilTest, MultiNodeCountsRequireWholeNodes) {
+  // sia_fuzz seeds 125/176/185: a distributed non-scatter shape that is not
+  // a multiple of the node size (10 on 4-GPU nodes -> 4+4+2) leaves residual
+  // GPUs that the placer hands to other jobs, breaking the whole-node rule.
+  // Such counts are only realizable as scatter (allow_partial_nodes).
   const ClusterSpec cluster = MakeHeterogeneousCluster();
   const int t4 = cluster.FindGpuType("t4");
-  const auto c = ShapeForCount(cluster, t4, 10);
-  ASSERT_TRUE(c.has_value());
-  EXPECT_EQ(c->num_nodes, 3);  // ceil(10/4)
-  EXPECT_EQ(c->num_gpus, 10);
+  EXPECT_FALSE(ShapeForCount(cluster, t4, 10).has_value());
+  const auto whole = ShapeForCount(cluster, t4, 12);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->num_nodes, 3);
+  EXPECT_EQ(whole->num_gpus, 12);
+  const auto partial = ShapeForCount(cluster, t4, 10, /*allow_partial_nodes=*/true);
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_EQ(partial->num_nodes, 3);  // ceil(10/4)
+  EXPECT_EQ(partial->num_gpus, 10);
 }
 
 TEST(ShapeUtilTest, RejectsOversizedCounts) {

@@ -1,0 +1,127 @@
+// Placer regression tests for the two defects the fuzz/oracle pass surfaced
+// (ISSUE 4), each reduced to a minimal hand-written cluster:
+//  * defrag rollback: an unplaceable request used to cascade-evict every
+//    single-node job of its GPU type and strand the freed capacity;
+//  * second-chance stability: defrag victims may only be re-placed on
+//    exactly their previous slots (the stable-placement contract), never
+//    migrated to a different node.
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/configuration.h"
+#include "src/cluster/placer.h"
+
+namespace sia {
+namespace {
+
+ClusterSpec TwoNodeCluster(int gpus_node0 = 4, int gpus_node1 = 4) {
+  ClusterSpec cluster;
+  cluster.AddGpuType({.name = "t4"});
+  cluster.AddNodes(/*gpu_type=*/0, /*count=*/1, gpus_node0);
+  cluster.AddNodes(/*gpu_type=*/0, /*count=*/1, gpus_node1);
+  return cluster;
+}
+
+Config Single(int num_gpus) { return Config{.num_nodes = 1, .num_gpus = num_gpus, .gpu_type = 0}; }
+
+Placement Place(Config config, std::vector<int> node_ids, std::vector<int> gpus_per_node) {
+  Placement placement;
+  placement.config = config;
+  placement.node_ids = std::move(node_ids);
+  placement.gpus_per_node = std::move(gpus_per_node);
+  return placement;
+}
+
+TEST(PlacerRegressionTest, UnplaceableRequestRollsBackDefragVictims) {
+  // Fuzz-found: job 3 asks for 3 whole nodes on a 2-node type. No amount of
+  // eviction can help, so the defrag loop's victims (jobs 1 and 2) must be
+  // restored exactly where they were -- the pre-fix placer left them
+  // evicted with their GPUs idle.
+  const ClusterSpec cluster = TwoNodeCluster();
+  std::map<JobId, Placement> previous;
+  previous[1] = Place(Single(2), {0}, {2});
+  previous[2] = Place(Single(2), {1}, {2});
+  std::map<JobId, Config> desired;
+  desired[1] = Single(2);
+  desired[2] = Single(2);
+  desired[3] = Config{.num_nodes = 3, .num_gpus = 12, .gpu_type = 0};
+
+  const PlacerResult result = PlaceJobs(cluster, desired, previous);
+  ASSERT_EQ(result.placements.count(1), 1u);
+  ASSERT_EQ(result.placements.count(2), 1u);
+  EXPECT_EQ(result.placements.at(1).node_ids, previous.at(1).node_ids);
+  EXPECT_EQ(result.placements.at(2).node_ids, previous.at(2).node_ids);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 3);
+}
+
+TEST(PlacerRegressionTest, DefragVictimIsEvictedNotMigrated) {
+  // Node 0 holds job 1 (1 GPU); node 1 only has 2 free. Job 2 needs a whole
+  // 4-GPU node, so defrag evicts job 1 and takes node 0. Job 1's exact
+  // slots are gone and the stability contract forbids moving it to node 1,
+  // so it must end the round evicted -- not migrated.
+  const ClusterSpec cluster = TwoNodeCluster(/*gpus_node0=*/4, /*gpus_node1=*/2);
+  std::map<JobId, Placement> previous;
+  previous[1] = Place(Single(1), {0}, {1});
+  std::map<JobId, Config> desired;
+  desired[1] = Single(1);
+  desired[2] = Single(4);
+
+  const PlacerResult result = PlaceJobs(cluster, desired, previous);
+  ASSERT_EQ(result.placements.count(2), 1u);
+  EXPECT_EQ(result.placements.at(2).node_ids, std::vector<int>{0});
+  EXPECT_EQ(result.placements.count(1), 0u);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 1);
+}
+
+TEST(PlacerRegressionTest, SecondChanceRestoresVictimOntoItsExactSlots) {
+  // Defrag tries victims smallest-first: job 1 (1 GPU, node 0) goes first
+  // but frees too little; job 2 (2 GPUs, node 1) goes next and node 1 fits
+  // the newcomer. Job 1's own slots on node 0 are untouched, so the second
+  // chance must restore it exactly there; job 2's slots were consumed, so
+  // it stays evicted.
+  const ClusterSpec cluster = TwoNodeCluster();
+  std::map<JobId, Placement> previous;
+  previous[1] = Place(Single(1), {0}, {1});
+  previous[2] = Place(Single(2), {1}, {2});
+  previous[4] = Place(Single(2), {0}, {2});
+  std::map<JobId, Config> desired;
+  desired[1] = Single(1);
+  desired[2] = Single(2);
+  desired[4] = Single(2);
+  desired[3] = Single(4);
+
+  const PlacerResult result = PlaceJobs(cluster, desired, previous);
+  ASSERT_EQ(result.placements.count(3), 1u);
+  EXPECT_EQ(result.placements.at(3).node_ids, std::vector<int>{1});
+  ASSERT_EQ(result.placements.count(1), 1u);
+  EXPECT_EQ(result.placements.at(1).node_ids, previous.at(1).node_ids);
+  EXPECT_EQ(result.placements.at(1).gpus_per_node, previous.at(1).gpus_per_node);
+  ASSERT_EQ(result.placements.count(4), 1u);
+  EXPECT_EQ(result.placements.at(4).node_ids, previous.at(4).node_ids);
+  ASSERT_EQ(result.evicted.size(), 1u);
+  EXPECT_EQ(result.evicted[0], 2);
+}
+
+TEST(PlacerRegressionTest, StalePlacementOnDownNodeIsReplacedFresh) {
+  // A previous placement touching a down node is stale: the job may migrate
+  // (this is the one exception to the stability contract).
+  ClusterSpec cluster = TwoNodeCluster();
+  cluster.SetNodeUp(0, false);
+  std::map<JobId, Placement> previous;
+  previous[1] = Place(Single(2), {0}, {2});
+  std::map<JobId, Config> desired;
+  desired[1] = Single(2);
+
+  const PlacerResult result = PlaceJobs(cluster, desired, previous);
+  ASSERT_EQ(result.placements.count(1), 1u);
+  EXPECT_EQ(result.placements.at(1).node_ids, std::vector<int>{1});
+  EXPECT_TRUE(result.evicted.empty());
+}
+
+}  // namespace
+}  // namespace sia

@@ -113,7 +113,7 @@ TEST(SchedFastPathTest, PolluxThreadCountDoesNotChangeOutput) {
   }
 }
 
-std::string RunTracedSim(int sched_threads) {
+std::string RunTracedSim(const std::string& scheduler_name, int sched_threads) {
   ClusterSpec cluster = MakeHeterogeneousCluster();
   TraceOptions trace_options;
   trace_options.kind = TraceKind::kHelios;
@@ -121,25 +121,42 @@ std::string RunTracedSim(int sched_threads) {
   trace_options.duration_hours = 1.0;
   trace_options.arrival_rate_per_hour = 12.0;
   std::vector<JobSpec> jobs = GenerateTrace(trace_options);
+  if (bench::IsRigidPolicy(scheduler_name)) {
+    jobs = MakeTunedJobs(jobs, TunedJobsOptions{});  // §4.3: rigid baselines.
+  }
 
-  SiaOptions options;
-  options.num_threads = sched_threads;
-  SiaScheduler scheduler(options);
+  auto scheduler = bench::MakeScheduler(scheduler_name, sched_threads);
   SimOptions sim;
   sim.seed = 5;
   sim.max_hours = 24.0;
   std::ostringstream trace;
   JsonlTraceSink sink(trace);
   sim.trace = &sink;
-  ClusterSimulator simulator(cluster, jobs, &scheduler, sim);
+  ClusterSimulator simulator(cluster, jobs, scheduler.get(), sim);
   (void)simulator.Run();
   return trace.str();
 }
 
+// Run-to-run determinism is the foundation the fuzzer's replay and the
+// golden-trace comparisons stand on, so it must hold for every policy --
+// not just Sia's fast-path knobs.
+TEST(SchedFastPathTest, SimulatorTraceByteIdenticalAcrossRunsForAllSchedulers) {
+  for (const char* name :
+       {"sia", "pollux", "gavel", "allox", "shockwave", "themis", "fifo", "srtf"}) {
+    const std::string baseline = RunTracedSim(name, 1);
+    ASSERT_FALSE(baseline.empty()) << name;
+    EXPECT_EQ(baseline, RunTracedSim(name, 1)) << name;
+  }
+}
+
 TEST(SchedFastPathTest, SimulatorTraceByteIdenticalAcrossThreadCounts) {
-  const std::string baseline = RunTracedSim(1);
-  ASSERT_FALSE(baseline.empty());
-  EXPECT_EQ(baseline, RunTracedSim(4));
+  // Thread count is a pure acceleration for sia/pollux: the trace must not
+  // change. (Other policies ignore the knob entirely.)
+  for (const char* name : {"sia", "pollux"}) {
+    const std::string baseline = RunTracedSim(name, 1);
+    ASSERT_FALSE(baseline.empty()) << name;
+    EXPECT_EQ(baseline, RunTracedSim(name, 4)) << name;
+  }
 }
 
 TEST(SchedFastPathTest, GreedyFallbackIdenticalAcrossFastPathKnobs) {

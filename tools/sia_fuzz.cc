@@ -1,0 +1,166 @@
+// Scenario fuzzer: randomized differential testing of every scheduling
+// policy against the cluster-invariant oracle (src/testing/).
+//
+// Each seed generates a small randomized scenario (cluster shape, job
+// trace, fault cocktail, scheduler knobs), runs it under the invariant
+// oracle (plus differential twin runs for sia/pollux), and -- on failure --
+// shrinks it to a minimal reproducer file that replays byte-identically:
+//
+//   sia_fuzz --seeds=200                      # fuzz all policies
+//   sia_fuzz --seeds=50 --scheduler=sia       # one policy
+//   sia_fuzz --replay=repro.txt               # re-run a reproducer
+//   sia_fuzz --lp-checks=200                  # solver differential checks
+//   sia_fuzz --seeds=5 --inject-bug=oversub   # demo: oracle must catch it
+//
+// Exit status: 0 when every scenario passed, 1 on any violation.
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/testing/fuzz_harness.h"
+#include "src/testing/lp_differential.h"
+#include "src/testing/scenario.h"
+
+namespace {
+
+constexpr char kUsage[] = R"(usage: sia_fuzz [flags]
+  --seeds       N: scenarios per scheduler                     (default 20)
+  --start-seed  first seed (scenario i uses start-seed + i)    (default 1)
+  --scheduler   restrict to one policy (default: all of
+                sia|pollux|gavel|allox|shockwave|themis|fifo|srtf)
+  --out-dir     directory for shrunk reproducer files          (default .)
+  --no-shrink   keep failing scenarios unshrunk
+  --no-differential  skip warm-vs-cold / thread-count twin runs
+  --inject-bug  oversub: wrap the scheduler with a deliberate
+                capacity bug (the oracle must flag every scenario)
+  --replay      reproducer file: run it instead of fuzzing
+  --lp-checks   N: also run N random programs through each LP/MILP
+                differential check (enumeration oracles)        (default 0)
+  --verbose     per-scenario progress lines
+)";
+
+struct FuzzStats {
+  int scenarios = 0;
+  int failures = 0;
+};
+
+int ReplayReproducer(const std::string& path, const sia::testing::FuzzRunOptions& options) {
+  sia::testing::Scenario scenario;
+  std::string error;
+  if (!sia::testing::ReadScenario(path, &scenario, &error)) {
+    std::cerr << "sia_fuzz: cannot read " << path << ": " << error << "\n";
+    return 2;
+  }
+  std::cout << "replaying " << path << ": " << scenario.Describe() << "\n";
+  const sia::testing::FuzzRunResult result = sia::testing::RunScenarioWithOracle(scenario, options);
+  std::cout << result.report << "\n";
+  return result.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sia::FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n" << kUsage;
+    return 2;
+  }
+  const int64_t num_seeds = flags.GetInt("seeds", 20);
+  const int64_t start_seed = flags.GetInt("start-seed", 1);
+  const std::string scheduler = flags.GetString("scheduler", "");
+  const std::string out_dir = flags.GetString("out-dir", ".");
+  const bool shrink = !flags.GetBool("no-shrink", false);
+  const bool differential = !flags.GetBool("no-differential", false);
+  const std::string inject = flags.GetString("inject-bug", "");
+  const std::string replay = flags.GetString("replay", "");
+  const int64_t lp_checks = flags.GetInt("lp-checks", 0);
+  const bool verbose = flags.GetBool("verbose", false);
+  if (flags.Has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "sia_fuzz: unknown flag --" << unknown << "\n" << kUsage;
+    return 2;
+  }
+
+  sia::testing::FuzzRunOptions run_options;
+  run_options.differential = differential;
+  if (inject == "oversub") {
+    run_options.inject = sia::testing::BugInjection::kOversubscribe;
+  } else if (!inject.empty()) {
+    std::cerr << "sia_fuzz: unknown --inject-bug value " << inject << "\n";
+    return 2;
+  }
+
+  if (!replay.empty()) {
+    return ReplayReproducer(replay, run_options);
+  }
+  if (!scheduler.empty() && !sia::testing::KnownScheduler(scheduler)) {
+    std::cerr << "sia_fuzz: unknown scheduler " << scheduler << "\n";
+    return 2;
+  }
+
+  int exit_code = 0;
+
+  if (lp_checks > 0) {
+    sia::testing::LpCheckStats stats;
+    sia::testing::CheckMilpAgainstEnumeration(static_cast<uint64_t>(start_seed),
+                                              static_cast<int>(lp_checks), &stats);
+    sia::testing::CheckSimplexAgainstEnumeration(static_cast<uint64_t>(start_seed),
+                                                 static_cast<int>(lp_checks), &stats);
+    sia::testing::CheckSiaShapedIlp(static_cast<uint64_t>(start_seed),
+                                    static_cast<int>(lp_checks), &stats);
+    std::cout << "lp differential: " << stats.Report() << "\n";
+    if (!stats.ok()) {
+      exit_code = 1;
+    }
+  }
+
+  std::vector<std::string> schedulers;
+  if (!scheduler.empty()) {
+    schedulers.push_back(scheduler);
+  } else {
+    schedulers = sia::testing::AllSchedulers();
+  }
+
+  FuzzStats stats;
+  for (const std::string& name : schedulers) {
+    for (int64_t i = 0; i < num_seeds; ++i) {
+      const uint64_t seed = static_cast<uint64_t>(start_seed + i);
+      sia::testing::Scenario scenario = sia::testing::GenerateScenario(seed, name);
+      ++stats.scenarios;
+      const sia::testing::FuzzRunResult result =
+          sia::testing::RunScenarioWithOracle(scenario, run_options);
+      if (verbose || !result.ok) {
+        std::cout << (result.ok ? "ok   " : "FAIL ") << scenario.Describe() << " ("
+                  << result.rounds << " rounds)\n";
+      }
+      if (result.ok) {
+        continue;
+      }
+      ++stats.failures;
+      exit_code = 1;
+      std::cout << result.report << "\n";
+      sia::testing::Scenario minimal = scenario;
+      if (shrink) {
+        int evals = 0;
+        minimal = sia::testing::ShrinkScenario(scenario, run_options, /*max_evals=*/200, &evals);
+        std::cout << "shrunk after " << evals << " evaluations: " << minimal.Describe() << "\n";
+      }
+      std::ostringstream path;
+      path << out_dir << "/sia_fuzz_repro_" << name << "_seed" << seed << ".txt";
+      if (sia::testing::WriteScenario(path.str(), minimal)) {
+        std::cout << "reproducer written to " << path.str() << " (replay with --replay=" << path.str()
+                  << ")\n";
+      } else {
+        std::cerr << "sia_fuzz: failed to write " << path.str() << "\n";
+      }
+    }
+  }
+
+  std::cout << "sia_fuzz: " << stats.scenarios << " scenarios across " << schedulers.size()
+            << " scheduler(s), " << stats.failures << " failure(s)\n";
+  return exit_code;
+}
