@@ -1,0 +1,187 @@
+// Minimal bounds-checked binary serialization used by the snapshot subsystem
+// (ISSUE 5). Fixed-width little-endian-on-x86 host encoding: snapshots are a
+// crash-recovery mechanism for the *same* binary on the *same* machine, not a
+// portable interchange format, so no byte-swapping is attempted (the framing
+// layer in src/snapshot rejects foreign files via magic + version + checksum).
+//
+// Header-only so that low-level components (Rng, estimator, schedulers) can
+// serialize themselves without a link-time dependency on the snapshot
+// library.
+#ifndef SIA_SRC_COMMON_BINARY_CODEC_H_
+#define SIA_SRC_COMMON_BINARY_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sia {
+
+// Appends primitives to an in-memory buffer. Never fails.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  // Doubles are written as raw IEEE-754 bits so restore is bit-exact (NaN
+  // payloads and signed zeros included) -- required for byte-identical
+  // resumed traces.
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(std::string_view s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+  // Length-prefixed opaque blob (e.g. a nested writer's buffer).
+  void Blob(std::string_view s) { Str(s); }
+
+  void VecF64(const std::vector<double>& v) {
+    U64(v.size());
+    for (double x : v) F64(x);
+  }
+  void VecU64(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    for (uint64_t x : v) U64(x);
+  }
+  void VecU8(const std::vector<uint8_t>& v) {
+    U64(v.size());
+    Raw(v.data(), v.size());
+  }
+
+  const std::string& data() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    if (n > 0) buffer_.append(static_cast<const char*>(p), n);
+  }
+  std::string buffer_;
+};
+
+// Reads primitives back. Out-of-bounds or failed validation flips `ok()` to
+// false and every subsequent read returns a zero value, so callers can do one
+// `ok()` check at the end of a decode instead of after every field.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  bool Bool() { return U8() != 0; }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint64_t n = U64();
+    if (!CheckAvailable(n)) return {};
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  std::string Blob() { return Str(); }
+
+  std::vector<double> VecF64() {
+    uint64_t n = U64();
+    if (!CheckCount(n, sizeof(double))) return {};
+    std::vector<double> v(n);
+    for (uint64_t i = 0; i < n; ++i) v[i] = F64();
+    return v;
+  }
+  std::vector<uint64_t> VecU64() {
+    uint64_t n = U64();
+    if (!CheckCount(n, sizeof(uint64_t))) return {};
+    std::vector<uint64_t> v(n);
+    for (uint64_t i = 0; i < n; ++i) v[i] = U64();
+    return v;
+  }
+  std::vector<uint8_t> VecU8() {
+    uint64_t n = U64();
+    if (!CheckAvailable(n)) return {};
+    std::vector<uint8_t> v(n);
+    if (n > 0) std::memcpy(v.data(), data_.data() + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  // Marks the decode as failed with a reason (e.g. a version or size
+  // validation the caller performed itself).
+  void Fail(std::string message) {
+    if (ok_) error_ = std::move(message);
+    ok_ = false;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool CheckAvailable(uint64_t n) {
+    if (!ok_) return false;
+    if (n > data_.size() - pos_) {
+      Fail("truncated payload");
+      return false;
+    }
+    return true;
+  }
+  // Guards element-count prefixes against absurd values that would trigger a
+  // huge allocation before the per-element reads start failing.
+  bool CheckCount(uint64_t n, size_t elem_size) {
+    if (!ok_) return false;
+    if (n > (data_.size() - pos_) / elem_size) {
+      Fail("truncated payload");
+      return false;
+    }
+    return true;
+  }
+  void Raw(void* p, size_t n) {
+    if (!CheckAvailable(n)) {
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_BINARY_CODEC_H_

@@ -1,0 +1,142 @@
+#include "src/common/file_util.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace sia {
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::string Errno(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+#ifndef _WIN32
+// Flushes a file (or directory) to stable storage. Best effort on
+// filesystems that reject fsync on directories (EINVAL).
+bool FsyncPath(const std::string& path, bool is_dir, std::string* error) {
+  int fd = ::open(path.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    SetError(error, Errno("open", path));
+    return false;
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !(is_dir && (errno == EINVAL || errno == EBADF))) {
+    SetError(error, Errno("fsync", path));
+    return false;
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
+bool AtomicWriteFile(const std::string& path, std::string_view contents, std::string* error) {
+  const std::string tmp = path + ".tmp";
+#ifndef _WIN32
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    SetError(error, Errno("open", tmp));
+    return false;
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, Errno("write", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    SetError(error, Errno("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, Errno("rename", tmp));
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  return FsyncPath(dir.string(), /*is_dir=*/true, error);
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      SetError(error, "open " + tmp + " failed");
+      return false;
+    }
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    if (!out) {
+      SetError(error, "write " + tmp + " failed");
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    SetError(error, "rename " + tmp + ": " + ec.message());
+    return false;
+  }
+  return true;
+#endif
+}
+
+bool ReadFileToString(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "open " + path + " failed");
+    return false;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    SetError(error, "read " + path + " failed");
+    return false;
+  }
+  *out = std::move(data);
+  return true;
+}
+
+bool TruncateFile(const std::string& path, uint64_t size, std::string* error) {
+  std::error_code ec;
+  uint64_t current = std::filesystem::file_size(path, ec);
+  if (ec) {
+    SetError(error, "stat " + path + ": " + ec.message());
+    return false;
+  }
+  if (current < size) {
+    SetError(error, "file " + path + " is shorter (" + std::to_string(current) +
+                        " bytes) than the requested truncation point (" + std::to_string(size) +
+                        " bytes)");
+    return false;
+  }
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) {
+    SetError(error, "truncate " + path + ": " + ec.message());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sia

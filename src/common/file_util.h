@@ -1,0 +1,28 @@
+// Durable file-write helpers for crash-safe persistence (ISSUE 5).
+#ifndef SIA_SRC_COMMON_FILE_UTIL_H_
+#define SIA_SRC_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace sia {
+
+// Writes `contents` to `path` atomically: write to `<path>.tmp`, fsync the
+// file, rename over `path`, then fsync the containing directory. A reader
+// never observes a partially written file -- either the old file (or
+// nothing) or the complete new one. Returns false and fills `error` (if
+// non-null) on failure; a failed write never leaves a partial `path` behind.
+bool AtomicWriteFile(const std::string& path, std::string_view contents,
+                     std::string* error = nullptr);
+
+// Reads the whole file into `out`. Returns false (and fills `error`) when the
+// file cannot be opened or read.
+bool ReadFileToString(const std::string& path, std::string* out, std::string* error = nullptr);
+
+// Truncates `path` to exactly `size` bytes. Fails when the file is shorter
+// than `size` (truncation must only ever discard data, never invent it).
+bool TruncateFile(const std::string& path, uint64_t size, std::string* error = nullptr);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_FILE_UTIL_H_

@@ -146,4 +146,17 @@ size_t Rng::WeightedIndex(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+void Rng::SaveState(BinaryWriter& w) const {
+  for (uint64_t word : state_) w.U64(word);
+  w.Bool(has_cached_normal_);
+  w.F64(cached_normal_);
+}
+
+bool Rng::RestoreState(BinaryReader& r) {
+  for (auto& word : state_) word = r.U64();
+  has_cached_normal_ = r.Bool();
+  cached_normal_ = r.F64();
+  return r.ok();
+}
+
 }  // namespace sia

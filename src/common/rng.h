@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/binary_codec.h"
+
 namespace sia {
 
 // SplitMix64: used for seeding and stream derivation.
@@ -59,6 +61,14 @@ class Rng {
   static constexpr uint64_t min() { return 0; }
   static constexpr uint64_t max() { return ~0ULL; }
   uint64_t operator()() { return Next(); }
+
+  // Snapshot support (ISSUE 5): serializes the full stream position -- the
+  // four xoshiro state words plus the cached Box-Muller variate -- so a
+  // restored stream reproduces the exact tail of the original, across every
+  // distribution above.
+  void SaveState(BinaryWriter& w) const;
+  // Returns false (and marks `r` failed) on a malformed record.
+  bool RestoreState(BinaryReader& r);
 
  private:
   uint64_t state_[4];

@@ -21,6 +21,23 @@ class RunningStats {
   double min() const;
   double max() const;
   double sum() const { return sum_; }
+  // Raw Welford second moment, exposed for snapshot serialization (ISSUE 5).
+  double m2() const { return m2_; }
+
+  // Rebuilds an accumulator from previously saved raw parts; restoring the
+  // exact bits guarantees the continuation of a resumed run accumulates
+  // identically to the uninterrupted one.
+  static RunningStats FromParts(size_t count, double mean, double m2, double min, double max,
+                                double sum) {
+    RunningStats s;
+    s.count_ = count;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    s.sum_ = sum;
+    return s;
+  }
 
  private:
   size_t count_ = 0;

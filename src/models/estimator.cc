@@ -346,4 +346,98 @@ BatchDecision GoodputEstimator::Estimate(const Config& config, AdaptivityMode ad
                             config.num_nodes, config.num_gpus);
 }
 
+namespace {
+
+void SaveParams(BinaryWriter& w, const ThroughputParams& p) {
+  w.F64(p.alpha_compute);
+  w.F64(p.beta_compute);
+  w.F64(p.alpha_intra);
+  w.F64(p.beta_intra);
+  w.F64(p.alpha_inter);
+  w.F64(p.beta_inter);
+  w.F64(p.gamma);
+}
+
+ThroughputParams RestoreParams(BinaryReader& r) {
+  ThroughputParams p;
+  p.alpha_compute = r.F64();
+  p.beta_compute = r.F64();
+  p.alpha_intra = r.F64();
+  p.beta_intra = r.F64();
+  p.alpha_inter = r.F64();
+  p.beta_inter = r.F64();
+  p.gamma = r.F64();
+  return p;
+}
+
+}  // namespace
+
+void GoodputEstimator::SaveState(BinaryWriter& w) const {
+  auto save_points = [&w](const std::vector<Observation>& points) {
+    w.U64(points.size());
+    for (const Observation& o : points) {
+      w.I32(o.num_nodes);
+      w.I32(o.num_gpus);
+      w.F64(o.local_bsz);
+      w.I32(o.accum_steps);
+      w.F64(o.iter_time);
+    }
+  };
+  w.F64(pgns_);
+  w.I64(shared_epoch_);
+  w.U64(types_.size());
+  for (size_t t = 0; t < types_.size(); ++t) {
+    const TypeState& type = types_[t];
+    w.I64(type_epoch_[t]);
+    SaveParams(w, type.fitted);
+    w.Bool(type.has_compute);
+    w.Bool(type.has_intra);
+    w.Bool(type.has_inter);
+    save_points(type.profile_points);
+    save_points(type.intra_points);
+    save_points(type.inter_points);
+  }
+}
+
+bool GoodputEstimator::RestoreState(BinaryReader& r) {
+  auto restore_points = [&r](std::vector<Observation>* points) {
+    uint64_t n = r.U64();
+    if (!r.ok() || n > 4096) {
+      r.Fail("estimator: implausible observation count");
+      return;
+    }
+    points->clear();
+    points->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      Observation o;
+      o.num_nodes = r.I32();
+      o.num_gpus = r.I32();
+      o.local_bsz = r.F64();
+      o.accum_steps = r.I32();
+      o.iter_time = r.F64();
+      points->push_back(o);
+    }
+  };
+  pgns_ = r.F64();
+  shared_epoch_ = r.I64();
+  uint64_t num_types = r.U64();
+  if (!r.ok() || num_types != types_.size()) {
+    r.Fail("estimator: GPU-type count mismatch");
+    return false;
+  }
+  for (size_t t = 0; t < types_.size(); ++t) {
+    TypeState& type = types_[t];
+    type_epoch_[t] = r.I64();
+    type.fitted = RestoreParams(r);
+    type.has_compute = r.Bool();
+    type.has_intra = r.Bool();
+    type.has_inter = r.Bool();
+    restore_points(&type.profile_points);
+    restore_points(&type.intra_points);
+    restore_points(&type.inter_points);
+    if (!r.ok()) return false;
+  }
+  return r.ok();
+}
+
 }  // namespace sia

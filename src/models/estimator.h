@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/binary_codec.h"
 #include "src/cluster/cluster_spec.h"
 #include "src/cluster/configuration.h"
 #include "src/models/goodput.h"
@@ -102,6 +103,16 @@ class GoodputEstimator {
   bool has_compute_data(int gpu_type) const { return types_[gpu_type].has_compute; }
   bool has_intra_data(int gpu_type) const { return types_[gpu_type].has_intra; }
   bool has_inter_data(int gpu_type) const { return types_[gpu_type].has_inter; }
+
+  // Snapshot support (ISSUE 5): serializes the learned state -- fitted
+  // params, observation buffers, epochs, and the gradient-noise EMA -- so a
+  // restored estimator returns bit-identical estimates without re-running
+  // the fits (refits record metrics; replaying them would skew counters).
+  // Restore expects an estimator constructed with the same (kind, cluster,
+  // mode, ...) arguments; structural fields (truth, hybrid profiles,
+  // availability) are rebuilt by the constructor, not serialized.
+  void SaveState(BinaryWriter& w) const;
+  bool RestoreState(BinaryReader& r);
 
  private:
   struct Observation {

@@ -187,4 +187,90 @@ bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+void MetricsRegistry::SaveState(BinaryWriter& w) const {
+  w.U64(counter_index_.size());
+  for (const auto& [name, counter] : counter_index_) {
+    w.Str(name);
+    w.U64(counter->value_);
+  }
+  w.U64(gauge_index_.size());
+  for (const auto& [name, gauge] : gauge_index_) {
+    w.Str(name);
+    w.F64(gauge->value_);
+  }
+  w.U64(histogram_index_.size());
+  for (const auto& [name, histogram] : histogram_index_) {
+    w.Str(name);
+    w.U64(histogram->count_);
+    w.F64(histogram->sum_);
+    w.F64(histogram->min_);
+    w.F64(histogram->max_);
+    uint32_t nonzero = 0;
+    for (uint64_t b : histogram->buckets_) {
+      if (b != 0) ++nonzero;
+    }
+    w.U32(nonzero);
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (histogram->buckets_[i] != 0) {
+        w.U32(static_cast<uint32_t>(i));
+        w.U64(histogram->buckets_[i]);
+      }
+    }
+  }
+}
+
+bool MetricsRegistry::RestoreState(BinaryReader& r) {
+  uint64_t num_counters = r.U64();
+  if (!r.ok() || num_counters > 1u << 20) {
+    r.Fail("metrics: implausible counter count");
+    return false;
+  }
+  for (uint64_t i = 0; i < num_counters; ++i) {
+    std::string name = r.Str();
+    uint64_t value = r.U64();
+    if (!r.ok()) return false;
+    counter(name).value_ = value;
+  }
+  uint64_t num_gauges = r.U64();
+  if (!r.ok() || num_gauges > 1u << 20) {
+    r.Fail("metrics: implausible gauge count");
+    return false;
+  }
+  for (uint64_t i = 0; i < num_gauges; ++i) {
+    std::string name = r.Str();
+    double value = r.F64();
+    if (!r.ok()) return false;
+    gauge(name).value_ = value;
+  }
+  uint64_t num_histograms = r.U64();
+  if (!r.ok() || num_histograms > 1u << 20) {
+    r.Fail("metrics: implausible histogram count");
+    return false;
+  }
+  for (uint64_t i = 0; i < num_histograms; ++i) {
+    std::string name = r.Str();
+    Histogram& h = histogram(name);
+    h.count_ = r.U64();
+    h.sum_ = r.F64();
+    h.min_ = r.F64();
+    h.max_ = r.F64();
+    std::fill(std::begin(h.buckets_), std::end(h.buckets_), 0);
+    uint32_t nonzero = r.U32();
+    if (!r.ok() || nonzero > static_cast<uint32_t>(Histogram::kNumBuckets)) {
+      r.Fail("metrics: histogram bucket count out of range");
+      return false;
+    }
+    for (uint32_t b = 0; b < nonzero; ++b) {
+      uint32_t index = r.U32();
+      uint64_t value = r.U64();
+      if (!r.ok() || index >= static_cast<uint32_t>(Histogram::kNumBuckets)) {
+        r.Fail("metrics: histogram bucket index out of range");
+        return false;
+      }
+      h.buckets_[index] = value;
+    }
+  }
+  return r.ok();
+}
+
 }  // namespace sia

@@ -27,6 +27,8 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/binary_codec.h"
+
 namespace sia {
 
 // Monotonic event count. Add() saturates at uint64 max instead of wrapping,
@@ -148,6 +150,14 @@ class MetricsRegistry {
   //                          "mean":..,"p50":..,"p90":..,"p99":..}}}
   void WriteJson(std::ostream& out) const;
   bool WriteJsonFile(const std::string& path) const;
+
+  // Snapshot support (ISSUE 5): serializes every instrument (histograms with
+  // sparse nonzero buckets) and restores them in place -- instruments are
+  // found-or-created by name, so restoring into a freshly constructed
+  // registry rebuilds the exact export state. Values are restored even when
+  // the registry is disabled (record paths stay no-ops either way).
+  void SaveState(BinaryWriter& w) const;
+  bool RestoreState(BinaryReader& r);
 
  private:
   bool enabled_;

@@ -118,6 +118,17 @@ std::unique_ptr<JsonlTraceSink> JsonlTraceSink::Open(const std::string& path) {
   return std::unique_ptr<JsonlTraceSink>(new JsonlTraceSink(std::move(file)));
 }
 
+std::unique_ptr<JsonlTraceSink> JsonlTraceSink::OpenForAppend(const std::string& path) {
+  // in|out|ate keeps the existing contents, positions the write pointer at
+  // the end, and (unlike ios::app) reports the real offset via tellp before
+  // the first write.
+  auto file = std::make_unique<std::fstream>(path, std::ios::in | std::ios::out | std::ios::ate);
+  if (!file->is_open()) {
+    return nullptr;
+  }
+  return std::unique_ptr<JsonlTraceSink>(new JsonlTraceSink(std::move(file)));
+}
+
 void JsonlTraceSink::Write(const TraceRecord& record) {
   *out_ << record.ToJson() << '\n';
   ++records_written_;
@@ -125,12 +136,34 @@ void JsonlTraceSink::Write(const TraceRecord& record) {
 
 void JsonlTraceSink::Flush() { out_->flush(); }
 
+int64_t JsonlTraceSink::ByteOffset() {
+  out_->flush();
+  auto pos = out_->tellp();
+  return pos == std::ostream::pos_type(-1) ? -1 : static_cast<int64_t>(pos);
+}
+
+void JsonlTraceSink::SaveState(BinaryWriter& w) const { w.I64(records_written_); }
+
+bool JsonlTraceSink::RestoreState(BinaryReader& r) {
+  records_written_ = r.I64();
+  return r.ok();
+}
+
 CsvTraceSink::CsvTraceSink(std::unique_ptr<std::ostream> owned, std::string record_type)
     : owned_(std::move(owned)), out_(owned_.get()), record_type_(std::move(record_type)) {}
 
 std::unique_ptr<CsvTraceSink> CsvTraceSink::Open(const std::string& path,
                                                  std::string record_type) {
   auto file = std::make_unique<std::ofstream>(path);
+  if (!file->is_open()) {
+    return nullptr;
+  }
+  return std::unique_ptr<CsvTraceSink>(new CsvTraceSink(std::move(file), std::move(record_type)));
+}
+
+std::unique_ptr<CsvTraceSink> CsvTraceSink::OpenForAppend(const std::string& path,
+                                                          std::string record_type) {
+  auto file = std::make_unique<std::fstream>(path, std::ios::in | std::ios::out | std::ios::ate);
   if (!file->is_open()) {
     return nullptr;
   }
@@ -169,12 +202,47 @@ void CsvTraceSink::Write(const TraceRecord& record) {
 
 void CsvTraceSink::Flush() { out_->flush(); }
 
+int64_t CsvTraceSink::ByteOffset() {
+  out_->flush();
+  auto pos = out_->tellp();
+  return pos == std::ostream::pos_type(-1) ? -1 : static_cast<int64_t>(pos);
+}
+
+void CsvTraceSink::SaveState(BinaryWriter& w) const {
+  w.U64(columns_.size());
+  for (const std::string& column : columns_) {
+    w.Str(column);
+  }
+}
+
+bool CsvTraceSink::RestoreState(BinaryReader& r) {
+  uint64_t n = r.U64();
+  if (!r.ok() || n > 4096) {
+    r.Fail("csv sink: implausible column count");
+    return false;
+  }
+  columns_.clear();
+  columns_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    columns_.push_back(r.Str());
+  }
+  return r.ok();
+}
+
 std::unique_ptr<TraceSink> OpenTraceSink(const std::string& path) {
   const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
   if (csv) {
     return CsvTraceSink::Open(path);
   }
   return JsonlTraceSink::Open(path);
+}
+
+std::unique_ptr<TraceSink> OpenTraceSinkForAppend(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    return CsvTraceSink::OpenForAppend(path);
+  }
+  return JsonlTraceSink::OpenForAppend(path);
 }
 
 }  // namespace sia

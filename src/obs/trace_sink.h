@@ -19,6 +19,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/binary_codec.h"
+
 namespace sia {
 
 // One flat trace record: a type tag plus ordered key/value fields. Values
@@ -67,6 +69,16 @@ class TraceSink {
   virtual ~TraceSink() = default;
   virtual void Write(const TraceRecord& record) = 0;
   virtual void Flush() {}
+
+  // Snapshot support (ISSUE 5).
+  // Current byte position of the underlying stream (file size for owned
+  // files), recorded in snapshots so resume can truncate away records
+  // written after the snapshot. -1 when the stream cannot report one.
+  virtual int64_t ByteOffset() { return -1; }
+  // Serializes/restores sink-internal state (e.g. the CSV column set fixed
+  // by the first record) so a resumed sink continues byte-identically.
+  virtual void SaveState(BinaryWriter& w) const { (void)w; }
+  virtual bool RestoreState(BinaryReader& r) { return r.ok(); }
 };
 
 // JSON-lines backend: every record becomes one line. Use Open() to write a
@@ -75,9 +87,15 @@ class JsonlTraceSink : public TraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
   static std::unique_ptr<JsonlTraceSink> Open(const std::string& path);
+  // Reopens an existing trace for resumed appending (the caller is expected
+  // to have truncated it to the snapshot's byte offset first).
+  static std::unique_ptr<JsonlTraceSink> OpenForAppend(const std::string& path);
 
   void Write(const TraceRecord& record) override;
   void Flush() override;
+  int64_t ByteOffset() override;
+  void SaveState(BinaryWriter& w) const override;
+  bool RestoreState(BinaryReader& r) override;
   int64_t records_written() const { return records_written_; }
 
  private:
@@ -97,9 +115,14 @@ class CsvTraceSink : public TraceSink {
       : out_(&out), record_type_(std::move(record_type)) {}
   static std::unique_ptr<CsvTraceSink> Open(const std::string& path,
                                             std::string record_type = "round");
+  static std::unique_ptr<CsvTraceSink> OpenForAppend(const std::string& path,
+                                                     std::string record_type = "round");
 
   void Write(const TraceRecord& record) override;
   void Flush() override;
+  int64_t ByteOffset() override;
+  void SaveState(BinaryWriter& w) const override;
+  bool RestoreState(BinaryReader& r) override;
 
  private:
   CsvTraceSink(std::unique_ptr<std::ostream> owned, std::string record_type);
@@ -112,6 +135,10 @@ class CsvTraceSink : public TraceSink {
 // Opens the sink matching `path`'s extension: ".csv" -> CsvTraceSink (round
 // records), anything else -> JsonlTraceSink. Null on open failure.
 std::unique_ptr<TraceSink> OpenTraceSink(const std::string& path);
+
+// Append-mode variant for resuming from a snapshot: the existing file is kept
+// and writes continue at its end.
+std::unique_ptr<TraceSink> OpenTraceSinkForAppend(const std::string& path);
 
 }  // namespace sia
 

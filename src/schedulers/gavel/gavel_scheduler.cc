@@ -250,4 +250,65 @@ ScheduleOutput GavelScheduler::Schedule(const ScheduleInput& input) {
   return output;
 }
 
+void GavelScheduler::SaveState(BinaryWriter& w) const {
+  w.U64(received_seconds_.size());
+  for (const auto& [job, per_type] : received_seconds_) {
+    w.I32(job);
+    w.VecF64(per_type);
+  }
+  w.U64(active_seconds_.size());
+  for (const auto& [job, seconds] : active_seconds_) {
+    w.I32(job);
+    w.F64(seconds);
+  }
+  w.U64(last_output_.size());
+  for (const auto& [job, config] : last_output_) {
+    w.I32(job);
+    w.I32(config.num_nodes);
+    w.I32(config.num_gpus);
+    w.I32(config.gpu_type);
+    w.Bool(config.scatter);
+  }
+}
+
+bool GavelScheduler::RestoreState(BinaryReader& r) {
+  constexpr uint64_t kMaxEntries = 1u << 20;
+  uint64_t num_received = r.U64();
+  if (!r.ok() || num_received > kMaxEntries) {
+    r.Fail("gavel: implausible received-seconds count");
+    return false;
+  }
+  received_seconds_.clear();
+  for (uint64_t i = 0; i < num_received; ++i) {
+    int job = r.I32();
+    received_seconds_[job] = r.VecF64();
+  }
+  uint64_t num_active = r.U64();
+  if (!r.ok() || num_active > kMaxEntries) {
+    r.Fail("gavel: implausible active-seconds count");
+    return false;
+  }
+  active_seconds_.clear();
+  for (uint64_t i = 0; i < num_active; ++i) {
+    int job = r.I32();
+    active_seconds_[job] = r.F64();
+  }
+  uint64_t num_output = r.U64();
+  if (!r.ok() || num_output > kMaxEntries) {
+    r.Fail("gavel: implausible last-output count");
+    return false;
+  }
+  last_output_.clear();
+  for (uint64_t i = 0; i < num_output; ++i) {
+    JobId job = r.I32();
+    Config config;
+    config.num_nodes = r.I32();
+    config.num_gpus = r.I32();
+    config.gpu_type = r.I32();
+    config.scatter = r.Bool();
+    last_output_[job] = config;
+  }
+  return r.ok();
+}
+
 }  // namespace sia

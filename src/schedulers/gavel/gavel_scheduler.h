@@ -55,6 +55,11 @@ class GavelScheduler : public Scheduler {
   double round_duration_seconds() const override { return options_.round_duration_seconds; }
   ScheduleOutput Schedule(const ScheduleInput& input) override;
 
+  // Serializes the service-accounting state driving the x/received priority
+  // mechanism (ISSUE 5).
+  void SaveState(BinaryWriter& w) const override;
+  bool RestoreState(BinaryReader& r) override;
+
  private:
   GavelOptions options_;
   // Seconds of service each (job, type) pair has received, for the

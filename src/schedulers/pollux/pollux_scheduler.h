@@ -51,6 +51,11 @@ class PolluxScheduler : public Scheduler {
   double round_duration_seconds() const override { return options_.round_duration_seconds; }
   ScheduleOutput Schedule(const ScheduleInput& input) override;
 
+  // The GA's RNG stream defines the search; serialize it so a resumed run
+  // explores the exact same populations (ISSUE 5).
+  void SaveState(BinaryWriter& w) const override { rng_.SaveState(w); }
+  bool RestoreState(BinaryReader& r) override { return rng_.RestoreState(r); }
+
  private:
   PolluxOptions options_;
   Rng rng_;

@@ -58,6 +58,12 @@ struct ScheduleInput {
   // here -- `solver.bb_nodes`, `solver.lp_iterations`, `scheduler.*` -- which
   // the simulator folds into SimResult::PolicyCost and the run trace.
   MetricsRegistry* metrics = nullptr;
+  // Allow wall-clock counters (e.g. sia.candidate_gen_wall_ns) into the
+  // registry. Off by default: wall time is nondeterministic, and default
+  // registry exports must be byte-identical for a fixed seed -- including
+  // across a checkpoint/resume (ISSUE 5). The simulator sets this from
+  // SimOptions::trace_timings.
+  bool record_timings = false;
 };
 
 // Desired allocation per job; jobs absent from the map receive nothing.
@@ -75,6 +81,14 @@ class Scheduler {
   // rigid baselines per §4.3).
   virtual double round_duration_seconds() const = 0;
   virtual ScheduleOutput Schedule(const ScheduleInput& input) = 0;
+
+  // Snapshot support (ISSUE 5): policies carrying cross-round state (Sia's
+  // warm start + candidate cache, Gavel's service accounting, Pollux's
+  // genetic-search RNG) serialize it here so a resumed run schedules
+  // byte-identically to the uninterrupted one. Stateless policies keep the
+  // no-op defaults.
+  virtual void SaveState(BinaryWriter& w) const { (void)w; }
+  virtual bool RestoreState(BinaryReader& r) { return r.ok(); }
 };
 
 }  // namespace sia

@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "src/common/binary_codec.h"
 #include "src/common/job_id.h"
 
 namespace sia {
@@ -45,6 +46,46 @@ class CandidateCache {
   void RetainOnly(const std::vector<JobId>& live);
 
   std::size_t num_rows() const { return rows_.size(); }
+
+  // Snapshot support (ISSUE 5): the cache is performance state, but resumed
+  // runs must replay the same hit/miss counters and warm-path behavior as
+  // the uninterrupted run, so it is carried across a checkpoint verbatim.
+  void SaveState(BinaryWriter& w) const {
+    w.U64(rows_.size());
+    for (const auto& [job, row] : rows_) {
+      w.I32(job);
+      w.U64(row.size());
+      for (const Entry& entry : row) {
+        w.I64(entry.epoch);
+        w.Bool(entry.feasible);
+        w.F64(entry.goodput);
+      }
+    }
+  }
+  bool RestoreState(BinaryReader& r) {
+    uint64_t num_rows = r.U64();
+    if (!r.ok() || num_rows > 1u << 20) {
+      r.Fail("candidate cache: implausible row count");
+      return false;
+    }
+    rows_.clear();
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      JobId job = r.I32();
+      uint64_t row_size = r.U64();
+      if (!r.ok() || row_size > 1u << 20) {
+        r.Fail("candidate cache: implausible row size");
+        return false;
+      }
+      Row row(row_size);
+      for (Entry& entry : row) {
+        entry.epoch = r.I64();
+        entry.feasible = r.Bool();
+        entry.goodput = r.F64();
+      }
+      rows_.emplace(job, std::move(row));
+    }
+    return r.ok();
+  }
 
  private:
   std::map<JobId, Row> rows_;

@@ -240,9 +240,11 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     }
     input.metrics->counter("sia.candidate_cache_hits").Add(hits);
     input.metrics->counter("sia.candidate_cache_misses").Add(misses);
-    input.metrics->counter("sia.candidate_gen_wall_ns")
-        .Add(static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(gen_elapsed).count()));
+    if (input.record_timings) {
+      input.metrics->counter("sia.candidate_gen_wall_ns")
+          .Add(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(gen_elapsed).count()));
+    }
   }
 
   // --- phase B: LP construction (sequential by design) ---
@@ -389,6 +391,22 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     }
   }
   return output;
+}
+
+void SiaScheduler::SaveState(BinaryWriter& w) const {
+  w.Bool(have_warm_state_);
+  w.I32(warm_num_variables_);
+  w.I32(warm_num_constraints_);
+  SaveWarmStart(w, warm_state_);
+  cache_.SaveState(w);
+}
+
+bool SiaScheduler::RestoreState(BinaryReader& r) {
+  have_warm_state_ = r.Bool();
+  warm_num_variables_ = r.I32();
+  warm_num_constraints_ = r.I32();
+  if (!RestoreWarmStart(r, &warm_state_)) return false;
+  return cache_.RestoreState(r);
 }
 
 }  // namespace sia

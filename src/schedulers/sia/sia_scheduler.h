@@ -71,6 +71,11 @@ class SiaScheduler : public Scheduler {
   double round_duration_seconds() const override { return options_.round_duration_seconds; }
   ScheduleOutput Schedule(const ScheduleInput& input) override;
 
+  // Serializes the cross-round fast-path state (warm start + candidate
+  // cache) so a resumed run replays identical solver work (ISSUE 5).
+  void SaveState(BinaryWriter& w) const override;
+  bool RestoreState(BinaryReader& r) override;
+
   const SiaOptions& options() const { return options_; }
 
  private:

@@ -320,6 +320,69 @@ bool ParseFaultScheduleCsv(std::istream& in, std::vector<FaultEvent>* events,
   return true;
 }
 
+void FaultInjector::SaveState(BinaryWriter& w) const {
+  rng_.SaveState(w);
+  telemetry_rng_.SaveState(w);
+  w.F64(now_);
+  w.U64(next_seq_);
+  w.U64(pending_.size());
+  for (const Pending& p : pending_) {
+    w.F64(p.time);
+    w.U8(static_cast<uint8_t>(p.kind));
+    w.I32(p.node);
+    w.F64(p.severity);
+    w.F64(p.duration);
+    w.U64(p.seq);
+    w.U64(p.arm_token);
+    w.Bool(p.stochastic);
+  }
+  w.VecU8(down_);
+  w.VecF64(degrade_);
+  w.VecU64(crash_token_);
+  w.I32(total_crashes_);
+}
+
+bool FaultInjector::RestoreState(BinaryReader& r) {
+  const size_t num_nodes = down_.size();
+  if (!rng_.RestoreState(r) || !telemetry_rng_.RestoreState(r)) return false;
+  now_ = r.F64();
+  next_seq_ = r.U64();
+  uint64_t num_pending = r.U64();
+  if (!r.ok() || num_pending > next_seq_) {
+    r.Fail("fault injector: implausible pending event count");
+    return false;
+  }
+  pending_.clear();
+  pending_.reserve(num_pending);
+  for (uint64_t i = 0; i < num_pending; ++i) {
+    Pending p;
+    p.time = r.F64();
+    p.kind = static_cast<FaultKind>(r.U8());
+    p.node = r.I32();
+    p.severity = r.F64();
+    p.duration = r.F64();
+    p.seq = r.U64();
+    p.arm_token = r.U64();
+    p.stochastic = r.Bool();
+    if (p.node < 0 || p.node >= static_cast<int>(num_nodes)) {
+      r.Fail("fault injector: pending event node out of range");
+      return false;
+    }
+    pending_.push_back(p);
+  }
+  down_ = r.VecU8();
+  degrade_ = r.VecF64();
+  crash_token_ = r.VecU64();
+  total_crashes_ = r.I32();
+  if (!r.ok()) return false;
+  if (down_.size() != num_nodes || degrade_.size() != num_nodes ||
+      crash_token_.size() != num_nodes) {
+    r.Fail("fault injector: node-state vector size mismatch");
+    return false;
+  }
+  return true;
+}
+
 bool ReadFaultScheduleCsv(const std::string& path, std::vector<FaultEvent>* events,
                           std::string* error) {
   std::ifstream in(path);

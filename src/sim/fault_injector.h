@@ -120,6 +120,14 @@ class FaultInjector {
   const FaultOptions& options() const { return options_; }
   int total_crashes() const { return total_crashes_; }
 
+  // Snapshot support (ISSUE 5): serializes the full injector state -- both
+  // RNG streams, the fault clock, the pending event heap (including arm
+  // tokens), and the per-node up/degrade state -- so a resumed run emits the
+  // exact fault sequence of the uninterrupted one. Restore expects an
+  // injector constructed with the same (num_nodes, options).
+  void SaveState(BinaryWriter& w) const;
+  bool RestoreState(BinaryReader& r);
+
  private:
   struct Pending {
     double time;

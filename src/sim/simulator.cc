@@ -1,13 +1,16 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
 
+#include "src/common/binary_codec.h"
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/models/profile_db.h"
-#include "src/obs/scoped_timer.h"
+#include "src/snapshot/snapshot.h"
 
 namespace sia {
 
@@ -24,6 +27,19 @@ std::string SimOptions::Validate() const {
   }
   if (std::string fault_error = faults.Validate(); !fault_error.empty()) {
     return "faults: " + fault_error;
+  }
+  if (checkpoint.every_rounds < 0) {
+    return "checkpoint.every_rounds must be >= 0 (got " +
+           std::to_string(checkpoint.every_rounds) + ")";
+  }
+  if (checkpoint.every_rounds > 0 && checkpoint.dir.empty()) {
+    return "checkpoint.dir is required when checkpoint.every_rounds > 0";
+  }
+  if (checkpoint.retain < 1) {
+    return "checkpoint.retain must be >= 1 (got " + std::to_string(checkpoint.retain) + ")";
+  }
+  if (stop_after_round < -1) {
+    return "stop_after_round must be >= -1 (got " + std::to_string(stop_after_round) + ")";
   }
   return "";
 }
@@ -372,25 +388,37 @@ SimResult ClusterSimulator::Run() {
   const double round = scheduler_->round_duration_seconds();
   SIA_CHECK(round > 0.0);
   const double cap_seconds = options_.max_hours * 3600.0;
-  EmitManifest(round);
+  if (!restored_) {
+    EmitManifest(round);
+  }
   Histogram& schedule_hist = metrics_->histogram("sim.schedule_seconds");
   Counter& rounds_counter = metrics_->counter("sim.rounds");
 
-  double now = 0.0;
-  RunningStats contention;
+  while (now_ < cap_seconds) {
+    // Round boundary: the checkpoint cadence fires before any of this
+    // round's work, so a resume replays the round in full. stop_after_round
+    // (a simulated SIGKILL for in-process tests) is checked *after* the
+    // checkpoint opportunity, mirroring a crash right after the write.
+    if (options_.checkpoint.every_rounds > 0 && round_index_ > 0 &&
+        round_index_ % options_.checkpoint.every_rounds == 0 &&
+        last_checkpoint_round_ != round_index_) {
+      WriteCheckpoint();
+    }
+    if (options_.stop_after_round >= 0 && round_index_ >= options_.stop_after_round) {
+      return result_;  // Simulated crash: no finalization (see SimOptions).
+    }
 
-  while (now < cap_seconds) {
     // Faults first: crash/repair/degrade events that occurred since the last
     // boundary take effect before the scheduler sees the cluster, so its
     // capacity view and the job queue are consistent with live hardware.
     // Because the injector is event-driven (not per-round sampled), idle
     // skips below cannot undersample failures on sparse traces.
-    ProcessFaultEvents(now);
-    ActivateArrivals(now);
+    ProcessFaultEvents(now_);
+    ActivateArrivals(now_);
 
     // Snapshot active (unfinished) jobs for the policy.
     ScheduleInput input;
-    input.now_seconds = now;
+    input.now_seconds = now_;
     input.cluster = &cluster_;
     input.config_set = &config_set_;
     int active_count = 0;
@@ -402,7 +430,7 @@ SimResult ClusterSimulator::Run() {
       JobView view;
       view.spec = &job->spec;
       view.estimator = job->estimator.get();
-      view.age_seconds = now - job->spec.submit_time;
+      view.age_seconds = now_ - job->spec.submit_time;
       view.num_restarts = job->num_restarts;
       view.restart_overhead_seconds = job->info.restart_seconds;
       view.current_config = job->placement.config;
@@ -425,24 +453,33 @@ SimResult ClusterSimulator::Run() {
       // skipped window are replayed with their true timestamps by
       // ProcessFaultEvents at the top of the next iteration.
       const double next_time = pending_[next_arrival_].submit_time;
-      now = std::ceil(next_time / round) * round;
+      now_ = std::ceil(next_time / round) * round;
       continue;
     }
 
-    contention.Add(static_cast<double>(active_count));
+    contention_.Add(static_cast<double>(active_count));
     result_.max_contention = std::max(result_.max_contention, active_count);
     rounds_counter.Add();
 
     // Solver-work deltas bracketing this round's Schedule() call; the
     // difference is what lands in the round trace record.
     input.metrics = metrics_;
+    input.record_timings = options_.trace_timings;
     const uint64_t bb_before = metrics_->counter_value("solver.bb_nodes");
     const uint64_t lp_before = metrics_->counter_value("solver.lp_iterations");
     const uint64_t refits_before = metrics_->counter_value("estimator.refits");
 
-    ScopedTimer schedule_timer(&schedule_hist);
+    // Wall-clock the policy directly (ScopedTimer's null-sink fast path
+    // returns 0). The nondeterministic duration only reaches the metrics
+    // registry when trace_timings asks for it, keeping default registry
+    // exports byte-identical across runs and across checkpoint/resume.
+    const auto schedule_start = std::chrono::steady_clock::now();
     const ScheduleOutput desired = scheduler_->Schedule(input);
-    const double schedule_seconds = schedule_timer.Stop();
+    const double schedule_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - schedule_start).count();
+    if (options_.trace_timings) {
+      schedule_hist.Record(schedule_seconds);
+    }
     result_.policy_cost.runtimes_seconds.push_back(schedule_seconds);
 
     std::map<JobId, Config> desired_map;
@@ -474,7 +511,7 @@ SimResult ClusterSimulator::Run() {
       // state, so the observer can cross-check all three.
       RoundObservation observation;
       observation.round_index = round_index_;
-      observation.now_seconds = now;
+      observation.now_seconds = now_;
       observation.round_duration_seconds = round;
       observation.cluster = &cluster_;
       observation.config_set = &config_set_;
@@ -483,13 +520,13 @@ SimResult ClusterSimulator::Run() {
       observation.placed = &placed;
       options_.observer->OnRoundScheduled(observation);
     }
-    ApplyPlacements(now, placed.placements);
-    UpdateRecoveries(now);
+    ApplyPlacements(now_, placed.placements);
+    UpdateRecoveries(now_);
 
     // Accumulate busy capacity for the utilization metric (and optionally a
     // per-round snapshot for timeline analysis).
     RoundStats stats;
-    stats.time_seconds = now;
+    stats.time_seconds = now_;
     stats.down_nodes = cluster_.NumDownNodes();
     for (const auto& job : active_) {
       if (job->done) {
@@ -506,7 +543,7 @@ SimResult ClusterSimulator::Run() {
       result_.round_stats.push_back(stats);
     }
 
-    AdvanceRound(now, round);
+    AdvanceRound(now_, round);
 
     if (options_.trace != nullptr) {
       // Emitted after AdvanceRound so this round's estimator refits (driven
@@ -517,7 +554,7 @@ SimResult ClusterSimulator::Run() {
       }
       TraceRecord record("round");
       record.Set("round", round_index_)
-          .Set("t", now)
+          .Set("t", now_)
           .Set("active_jobs", stats.active_jobs)
           .Set("running_jobs", stats.running_jobs)
           .Set("queued_jobs", stats.active_jobs - stats.running_jobs)
@@ -534,14 +571,14 @@ SimResult ClusterSimulator::Run() {
       options_.trace->Write(record);
     }
     ++round_index_;
-    now += round;
+    now_ += round;
 
     // Retire finished jobs into results.
     for (auto& job : active_) {
       if (job->done && job->finish_time > 0.0 && !job->placement.empty()) {
         if (options_.record_timeline) {
           result_.timeline.push_back(
-              {now, job->spec.id, Config{}, TimelineEventKind::kFinish});
+              {now_, job->spec.id, Config{}, TimelineEventKind::kFinish});
         }
         job->placement = Placement{};  // Resources free from the next round.
       }
@@ -572,13 +609,20 @@ SimResult ClusterSimulator::Run() {
       result_.jobs.push_back(std::move(jr));
     }
     active_.erase(retire, active_.end());
+
+    if (options_.trace != nullptr) {
+      // Crash-safe sinks: everything this round emitted is on disk before
+      // the next round begins, so a kill mid-round loses at most the
+      // in-progress round (which a resume replays in full).
+      options_.trace->Flush();
+    }
   }
 
   // Close out crash windows still open at the end of the run.
   for (int node = 0; node < cluster_.num_nodes(); ++node) {
-    if (node_down_since_[node] >= 0.0 && now > node_down_since_[node]) {
+    if (node_down_since_[node] >= 0.0 && now_ > node_down_since_[node]) {
       result_.resilience.node_downtime_gpu_seconds +=
-          (now - node_down_since_[node]) * cluster_.node(node).num_gpus;
+          (now_ - node_down_since_[node]) * cluster_.node(node).num_gpus;
       node_down_since_[node] = -1.0;
     }
   }
@@ -589,18 +633,18 @@ SimResult ClusterSimulator::Run() {
     JobResult jr;
     jr.spec = job->spec;
     jr.finished = false;
-    jr.jct = std::max(0.0, now - job->spec.submit_time);
+    jr.jct = std::max(0.0, now_ - job->spec.submit_time);
     jr.gpu_seconds = job->gpu_seconds;
     jr.num_restarts = job->num_restarts;
     jr.num_failures = job->num_failures;
-    result_.makespan_seconds = std::max(result_.makespan_seconds, now);
+    result_.makespan_seconds = std::max(result_.makespan_seconds, now_);
     result_.jobs.push_back(std::move(jr));
   }
   if (!result_.all_finished) {
     SIA_LOG(Warning) << "simulation hit the max-hours cap with " << active_.size()
                      << " unfinished jobs";
   }
-  result_.avg_contention = contention.mean();
+  result_.avg_contention = contention_.mean();
   if (result_.makespan_seconds > 0.0 && cluster_.TotalGpus() > 0) {
     result_.gpu_utilization =
         busy_gpu_seconds_ / (cluster_.TotalGpus() * result_.makespan_seconds);
@@ -666,6 +710,503 @@ void ClusterSimulator::FinalizeObservability() {
                               .Set("gpu_utilization", result_.gpu_utilization));
     options_.trace->Flush();
   }
+}
+
+// --- checkpoint/resume (ISSUE 5) ---
+
+namespace {
+
+// Payload schema version; bumped whenever SerializeState's layout changes.
+constexpr uint32_t kSimStateVersion = 1;
+// Upper bound on element-count prefixes read back from a snapshot; anything
+// larger is treated as corruption rather than allocated.
+constexpr uint64_t kMaxSnapshotEntries = 1u << 20;
+
+void SaveConfig(BinaryWriter& w, const Config& config) {
+  w.I32(config.num_nodes);
+  w.I32(config.num_gpus);
+  w.I32(config.gpu_type);
+  w.Bool(config.scatter);
+}
+
+Config RestoreConfig(BinaryReader& r) {
+  Config config;
+  config.num_nodes = r.I32();
+  config.num_gpus = r.I32();
+  config.gpu_type = r.I32();
+  config.scatter = r.Bool();
+  return config;
+}
+
+void SaveIntVec(BinaryWriter& w, const std::vector<int>& v) {
+  w.U64(v.size());
+  for (int x : v) w.I32(x);
+}
+
+bool RestoreIntVec(BinaryReader& r, std::vector<int>* v) {
+  const uint64_t count = r.U64();
+  if (!r.ok() || count > kMaxSnapshotEntries) {
+    r.Fail("sim: implausible int-vector length");
+    return false;
+  }
+  v->clear();
+  v->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    v->push_back(r.I32());
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+uint64_t ClusterSimulator::ConfigFingerprint() const {
+  // Canonical encoding of everything that determines the run besides the
+  // serialized dynamic state: options (minus checkpoint/stop knobs, which a
+  // resume may legitimately change), fault model, scheduler identity, cluster
+  // shape, and the full workload. Any difference means the snapshot belongs
+  // to a different run and resuming would silently diverge.
+  BinaryWriter w;
+  w.U64(options_.seed);
+  w.U8(static_cast<uint8_t>(options_.profiling_mode));
+  w.F64(options_.observation_noise_sigma);
+  w.F64(options_.pgns_noise_sigma);
+  w.F64(options_.max_hours);
+  w.Bool(options_.record_timeline);
+  const FaultOptions& faults = options_.faults;
+  w.F64(faults.node_mtbf_hours);
+  w.F64(faults.node_mttr_hours);
+  w.F64(faults.min_repair_seconds);
+  w.F64(faults.failure_progress_loss);
+  w.F64(faults.degraded_frac);
+  w.F64(faults.degrade_multiplier);
+  w.F64(faults.telemetry_dropout_prob);
+  w.F64(faults.telemetry_outlier_prob);
+  w.F64(faults.telemetry_outlier_multiplier);
+  w.U64(faults.schedule.size());
+  for (const FaultEvent& event : faults.schedule) {
+    w.F64(event.time_seconds);
+    w.U8(static_cast<uint8_t>(event.kind));
+    w.I32(event.node);
+    w.F64(event.severity);
+    w.F64(event.duration_seconds);
+  }
+  w.Str(scheduler_->name());
+  w.F64(scheduler_->round_duration_seconds());
+  w.I32(cluster_.num_nodes());
+  w.I32(cluster_.num_gpu_types());
+  for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+    w.Str(cluster_.gpu_type(t).name);
+  }
+  for (int node = 0; node < cluster_.num_nodes(); ++node) {
+    w.I32(cluster_.node(node).gpu_type);
+    w.I32(cluster_.node(node).num_gpus);
+  }
+  w.U64(pending_.size());
+  for (const JobSpec& spec : pending_) {
+    w.I32(spec.id);
+    w.Str(spec.name);
+    w.U8(static_cast<uint8_t>(spec.model));
+    w.F64(spec.submit_time);
+    w.U8(static_cast<uint8_t>(spec.adaptivity));
+    w.F64(spec.fixed_bsz);
+    w.I32(spec.rigid_num_gpus);
+    w.I32(spec.max_num_gpus);
+    w.Bool(spec.preemptible);
+    w.Bool(spec.batch_inference);
+    w.F64(spec.latency_slo_seconds);
+  }
+  return Crc64(w.data());
+}
+
+std::string ClusterSimulator::SerializeState() const {
+  BinaryWriter w;
+  // SnapshotMeta prefix -- field order is a contract with ReadSnapshotMeta.
+  w.U32(kSimStateVersion);
+  w.I64(round_index_);
+  w.F64(now_);
+  w.U64(options_.seed);
+  w.Str(scheduler_->name());
+  w.U64(ConfigFingerprint());
+  const bool has_trace = options_.trace != nullptr;
+  int64_t trace_offset = -1;
+  if (has_trace) {
+    // Flush so the recorded offset covers every record emitted so far; the
+    // resume path truncates the file back to exactly this size.
+    options_.trace->Flush();
+    trace_offset = options_.trace->ByteOffset();
+  }
+  w.Bool(has_trace);
+  w.I64(trace_offset);
+  w.Bool(options_.metrics != nullptr);
+
+  // Core simulator state.
+  rng_.SaveState(w);
+  w.U64(next_arrival_);
+  w.F64(busy_gpu_seconds_);
+  w.Bool(warned_zero_goodput_);
+  w.U64(contention_.count());
+  w.F64(contention_.mean());
+  w.F64(contention_.m2());
+  w.F64(contention_.min());
+  w.F64(contention_.max());
+  w.F64(contention_.sum());
+  w.VecF64(node_down_since_);
+  w.U64(recoveries_.size());
+  for (const PendingRecovery& recovery : recoveries_) {
+    w.F64(recovery.crash_time);
+    w.U64(recovery.victims.size());
+    for (JobId victim : recovery.victims) {
+      w.I32(victim);
+    }
+  }
+  faults_->SaveState(w);
+
+  // Active jobs. Specs are not serialized -- they are re-looked-up by id in
+  // the (identical, fingerprint-checked) workload on restore.
+  w.U64(active_.size());
+  for (const auto& job : active_) {
+    w.I32(job->spec.id);
+    w.Bool(job->done);
+    w.F64(job->finish_time);
+    w.F64(job->progress);
+    w.F64(job->gpu_seconds);
+    w.I32(job->num_restarts);
+    w.I32(job->num_failures);
+    w.I32(job->peak_num_gpus);
+    w.Bool(job->ever_allocated);
+    w.Bool(job->failure_evicted);
+    w.F64(job->pending_restore);
+    SaveConfig(w, job->placement.config);
+    SaveIntVec(w, job->placement.node_ids);
+    SaveIntVec(w, job->placement.gpus_per_node);
+    job->noise.SaveState(w);
+    BinaryWriter estimator_writer;
+    job->estimator->SaveState(estimator_writer);
+    w.Blob(estimator_writer.data());
+  }
+
+  // Partial SimResult (retired jobs and accumulators filled in mid-run).
+  w.U64(result_.jobs.size());
+  for (const JobResult& jr : result_.jobs) {
+    w.I32(jr.spec.id);
+    w.Bool(jr.finished);
+    w.F64(jr.finish_time);
+    w.F64(jr.jct);
+    w.F64(jr.gpu_seconds);
+    w.I32(jr.num_restarts);
+    w.I32(jr.num_failures);
+  }
+  w.F64(result_.makespan_seconds);
+  w.I32(result_.max_contention);
+  w.U64(result_.timeline.size());
+  for (const TimelineEvent& event : result_.timeline) {
+    w.F64(event.time_seconds);
+    w.I32(event.job_id);
+    SaveConfig(w, event.config);
+    w.U8(static_cast<uint8_t>(event.kind));
+  }
+  w.U64(result_.round_stats.size());
+  for (const RoundStats& stats : result_.round_stats) {
+    w.F64(stats.time_seconds);
+    w.I32(stats.active_jobs);
+    w.I32(stats.running_jobs);
+    w.I32(stats.busy_gpus);
+    w.I32(stats.down_nodes);
+  }
+  w.F64(result_.resilience.node_downtime_gpu_seconds);
+  w.VecF64(result_.resilience.recovery_seconds);
+  w.VecF64(result_.policy_cost.runtimes_seconds);
+
+  // Cross-round scheduler state, registry contents, and sink bookkeeping as
+  // nested blobs: each component decodes from its own bounded region, so a
+  // component-level bug cannot desynchronize the outer stream.
+  BinaryWriter scheduler_writer;
+  scheduler_->SaveState(scheduler_writer);
+  w.Blob(scheduler_writer.data());
+  BinaryWriter metrics_writer;
+  metrics_->SaveState(metrics_writer);
+  w.Blob(metrics_writer.data());
+  if (has_trace) {
+    BinaryWriter trace_writer;
+    options_.trace->SaveState(trace_writer);
+    w.Blob(trace_writer.data());
+  }
+  return w.Take();
+}
+
+bool ClusterSimulator::RestoreState(std::string_view payload, std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return false;
+  };
+  BinaryReader r(payload);
+  const uint32_t state_version = r.U32();
+  const int64_t round_index = r.I64();
+  const double now = r.F64();
+  const uint64_t seed = r.U64();
+  const std::string scheduler_name = r.Str();
+  const uint64_t fingerprint = r.U64();
+  const bool has_trace = r.Bool();
+  const int64_t trace_offset = r.I64();
+  (void)trace_offset;  // Consumed by the resume tooling, not the simulator.
+  const bool has_metrics = r.Bool();
+  (void)has_metrics;  // Informational; registry contents always follow.
+  if (!r.ok()) {
+    return fail("snapshot meta: " + r.error());
+  }
+  if (state_version != kSimStateVersion) {
+    return fail("snapshot state version " + std::to_string(state_version) +
+                " != supported " + std::to_string(kSimStateVersion));
+  }
+  if (seed != options_.seed) {
+    return fail("snapshot seed " + std::to_string(seed) + " != configured seed " +
+                std::to_string(options_.seed));
+  }
+  if (scheduler_name != scheduler_->name()) {
+    return fail("snapshot scheduler '" + scheduler_name + "' != configured '" +
+                scheduler_->name() + "'");
+  }
+  if (fingerprint != ConfigFingerprint()) {
+    return fail("snapshot fingerprint mismatch: cluster/workload/options differ "
+                "from the run that wrote it");
+  }
+  round_index_ = round_index;
+  now_ = now;
+
+  if (!rng_.RestoreState(r)) {
+    return fail("snapshot rng: " + r.error());
+  }
+  const uint64_t next_arrival = r.U64();
+  if (!r.ok() || next_arrival > pending_.size()) {
+    return fail("snapshot arrival cursor out of range");
+  }
+  next_arrival_ = static_cast<size_t>(next_arrival);
+  busy_gpu_seconds_ = r.F64();
+  warned_zero_goodput_ = r.Bool();
+  {
+    // Read into locals first: argument evaluation order is unspecified.
+    const uint64_t count = r.U64();
+    const double mean = r.F64();
+    const double m2 = r.F64();
+    const double min = r.F64();
+    const double max = r.F64();
+    const double sum = r.F64();
+    contention_ = RunningStats::FromParts(static_cast<size_t>(count), mean, m2, min, max, sum);
+  }
+  node_down_since_ = r.VecF64();
+  if (!r.ok() || node_down_since_.size() != static_cast<size_t>(cluster_.num_nodes())) {
+    return fail("snapshot node-downtime vector size mismatch");
+  }
+  const uint64_t num_recoveries = r.U64();
+  if (!r.ok() || num_recoveries > kMaxSnapshotEntries) {
+    return fail("snapshot recovery list: " + r.error());
+  }
+  recoveries_.clear();
+  for (uint64_t i = 0; i < num_recoveries; ++i) {
+    PendingRecovery recovery;
+    recovery.crash_time = r.F64();
+    const uint64_t num_victims = r.U64();
+    if (!r.ok() || num_victims > kMaxSnapshotEntries) {
+      return fail("snapshot recovery victims: corrupt count");
+    }
+    for (uint64_t v = 0; v < num_victims; ++v) {
+      recovery.victims.push_back(r.I32());
+    }
+    recoveries_.push_back(std::move(recovery));
+  }
+  if (!faults_->RestoreState(r)) {
+    return fail("snapshot fault injector: " + r.error());
+  }
+  // Mirror the injector's up/down state into the cluster view, exactly as
+  // ProcessFaultEvents would have along the original timeline.
+  for (int node = 0; node < cluster_.num_nodes(); ++node) {
+    cluster_.SetNodeUp(node, faults_->node_up(node));
+  }
+
+  const uint64_t num_jobs = r.U64();
+  if (!r.ok() || num_jobs > kMaxSnapshotEntries) {
+    return fail("snapshot job table: corrupt count");
+  }
+  active_.clear();
+  for (uint64_t i = 0; i < num_jobs; ++i) {
+    const JobId id = r.I32();
+    if (!r.ok()) {
+      return fail("snapshot job table: " + r.error());
+    }
+    const JobSpec* spec = nullptr;
+    for (const JobSpec& candidate : pending_) {
+      if (candidate.id == id) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      return fail("snapshot references unknown job id " + std::to_string(id));
+    }
+    auto job = std::make_unique<JobState>();
+    job->spec = *spec;
+    job->info = GetModelInfo(spec->model);
+    job->estimator =
+        std::make_unique<GoodputEstimator>(spec->model, &cluster_, options_.profiling_mode,
+                                           spec->batch_inference, spec->latency_slo_seconds);
+    job->estimator->BindMetrics(metrics_);
+    // Deliberately no bootstrap profiling sweep, arrival counter, or
+    // job_arrival trace record here: those side effects already happened in
+    // the run being resumed, and the estimator contents arrive below.
+    job->done = r.Bool();
+    job->finish_time = r.F64();
+    job->progress = r.F64();
+    job->gpu_seconds = r.F64();
+    job->num_restarts = r.I32();
+    job->num_failures = r.I32();
+    job->peak_num_gpus = r.I32();
+    job->ever_allocated = r.Bool();
+    job->failure_evicted = r.Bool();
+    job->pending_restore = r.F64();
+    job->placement.config = RestoreConfig(r);
+    if (!RestoreIntVec(r, &job->placement.node_ids) ||
+        !RestoreIntVec(r, &job->placement.gpus_per_node)) {
+      return fail("snapshot placement for job " + std::to_string(id) + ": " + r.error());
+    }
+    if (!job->noise.RestoreState(r)) {
+      return fail("snapshot noise rng for job " + std::to_string(id) + ": " + r.error());
+    }
+    const std::string estimator_blob = r.Blob();
+    if (!r.ok()) {
+      return fail("snapshot estimator blob for job " + std::to_string(id) + ": " + r.error());
+    }
+    BinaryReader estimator_reader(estimator_blob);
+    if (!job->estimator->RestoreState(estimator_reader) || !estimator_reader.AtEnd()) {
+      return fail("snapshot estimator state for job " + std::to_string(id) + ": " +
+                  estimator_reader.error());
+    }
+    active_.push_back(std::move(job));
+  }
+
+  const uint64_t num_results = r.U64();
+  if (!r.ok() || num_results > kMaxSnapshotEntries) {
+    return fail("snapshot result table: corrupt count");
+  }
+  result_ = SimResult{};
+  for (uint64_t i = 0; i < num_results; ++i) {
+    const JobId id = r.I32();
+    if (!r.ok()) {
+      return fail("snapshot result table: " + r.error());
+    }
+    const JobSpec* spec = nullptr;
+    for (const JobSpec& candidate : pending_) {
+      if (candidate.id == id) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      return fail("snapshot result references unknown job id " + std::to_string(id));
+    }
+    JobResult jr;
+    jr.spec = *spec;
+    jr.finished = r.Bool();
+    jr.finish_time = r.F64();
+    jr.jct = r.F64();
+    jr.gpu_seconds = r.F64();
+    jr.num_restarts = r.I32();
+    jr.num_failures = r.I32();
+    result_.jobs.push_back(std::move(jr));
+  }
+  result_.makespan_seconds = r.F64();
+  result_.max_contention = r.I32();
+  const uint64_t num_timeline = r.U64();
+  if (!r.ok() || num_timeline > kMaxSnapshotEntries) {
+    return fail("snapshot timeline: corrupt count");
+  }
+  for (uint64_t i = 0; i < num_timeline; ++i) {
+    TimelineEvent event;
+    event.time_seconds = r.F64();
+    event.job_id = r.I32();
+    event.config = RestoreConfig(r);
+    const uint8_t kind = r.U8();
+    if (kind > static_cast<uint8_t>(TimelineEventKind::kRestore)) {
+      return fail("snapshot timeline: invalid event kind");
+    }
+    event.kind = static_cast<TimelineEventKind>(kind);
+    result_.timeline.push_back(event);
+  }
+  const uint64_t num_round_stats = r.U64();
+  if (!r.ok() || num_round_stats > kMaxSnapshotEntries) {
+    return fail("snapshot round stats: corrupt count");
+  }
+  for (uint64_t i = 0; i < num_round_stats; ++i) {
+    RoundStats stats;
+    stats.time_seconds = r.F64();
+    stats.active_jobs = r.I32();
+    stats.running_jobs = r.I32();
+    stats.busy_gpus = r.I32();
+    stats.down_nodes = r.I32();
+    result_.round_stats.push_back(stats);
+  }
+  result_.resilience.node_downtime_gpu_seconds = r.F64();
+  result_.resilience.recovery_seconds = r.VecF64();
+  result_.policy_cost.runtimes_seconds = r.VecF64();
+
+  {
+    const std::string blob = r.Blob();
+    if (!r.ok()) {
+      return fail("snapshot scheduler blob: " + r.error());
+    }
+    BinaryReader scheduler_reader(blob);
+    if (!scheduler_->RestoreState(scheduler_reader) || !scheduler_reader.AtEnd()) {
+      return fail("snapshot scheduler state: " + scheduler_reader.error());
+    }
+  }
+  {
+    const std::string blob = r.Blob();
+    if (!r.ok()) {
+      return fail("snapshot metrics blob: " + r.error());
+    }
+    BinaryReader metrics_reader(blob);
+    if (!metrics_->RestoreState(metrics_reader) || !metrics_reader.AtEnd()) {
+      return fail("snapshot metrics state: " + metrics_reader.error());
+    }
+  }
+  if (has_trace) {
+    const std::string blob = r.Blob();
+    if (!r.ok()) {
+      return fail("snapshot trace-sink blob: " + r.error());
+    }
+    if (options_.trace != nullptr) {
+      BinaryReader trace_reader(blob);
+      if (!options_.trace->RestoreState(trace_reader)) {
+        return fail("snapshot trace-sink state: " + trace_reader.error());
+      }
+    }
+  }
+  if (!r.ok()) {
+    return fail("snapshot payload: " + r.error());
+  }
+  if (!r.AtEnd()) {
+    return fail("snapshot payload has trailing bytes");
+  }
+  restored_ = true;
+  last_checkpoint_round_ = round_index_;  // Don't immediately rewrite it.
+  return true;
+}
+
+void ClusterSimulator::WriteCheckpoint() {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.checkpoint.dir, ec);
+  const std::string path = SnapshotPath(options_.checkpoint.dir, round_index_);
+  std::string error;
+  if (!WriteSnapshotFile(path, SerializeState(), &error)) {
+    // A failed checkpoint degrades durability, not correctness -- keep
+    // simulating rather than killing a healthy run.
+    SIA_LOG(Warning) << "checkpoint write failed for " << path << ": " << error;
+    return;
+  }
+  last_checkpoint_round_ = round_index_;
+  PruneSnapshots(options_.checkpoint.dir, options_.checkpoint.retain);
+  SIA_LOG(Debug) << "checkpoint written: " << path;
 }
 
 // --- SimResult helpers ---

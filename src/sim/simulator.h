@@ -24,11 +24,13 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/cluster/cluster_spec.h"
 #include "src/cluster/placer.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 #include "src/models/estimator.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace_sink.h"
@@ -75,6 +77,24 @@ struct SimOptions {
   // observer never changes simulation results. The invariant oracle in
   // src/testing/ is the canonical implementation.
   SimObserver* observer = nullptr;
+
+  // --- checkpoint/resume (ISSUE 5) ---
+  // Periodic whole-state snapshots at round boundaries, written atomically
+  // (tmp + fsync + rename) to `dir` as snapshot-NNNNNNNNNNNN.siasnap.
+  // Checkpointing never changes simulation results, traces, or metrics -- a
+  // checkpointed run is byte-identical to an unchecked one.
+  struct CheckpointOptions {
+    int every_rounds = 0;  // Snapshot cadence in scheduling rounds; 0 = off.
+    std::string dir;       // Checkpoint directory; required when enabled.
+    int retain = 3;        // Snapshots kept after each write (older pruned).
+  };
+  CheckpointOptions checkpoint;
+  // Test/crash-injection hook: stop Run() at the top of this scheduling
+  // round -- right after the round's checkpoint opportunity -- WITHOUT
+  // finalizing (no censoring, no run_end record, no registry export), as a
+  // SIGKILL at that boundary would. -1 disables. The partial SimResult
+  // returned this way is only meaningful to resume-equivalence tests.
+  int64_t stop_after_round = -1;
 
   // Returns "" when the options are coherent, else a descriptive error.
   // The ClusterSimulator constructor enforces this; CLI tools call it first
@@ -188,6 +208,25 @@ class ClusterSimulator {
   // collected metrics.
   SimResult Run();
 
+  // --- checkpoint/resume (ISSUE 5) ---
+  // Serializes the complete simulator state at the current round boundary:
+  // clock + round counter, arrival cursor, every active job (estimator fit
+  // state, noise RNG stream, placement), fault-injector state, scheduler
+  // cross-round state, metrics registry contents, and the trace sink's byte
+  // offset. Valid before Run() or after a Run() bounded by stop_after_round;
+  // the payload framing/checksumming lives in src/snapshot.
+  std::string SerializeState() const;
+  // Restores a SerializeState() payload into a freshly constructed simulator
+  // built from the same (cluster, jobs, scheduler, options). Verifies the
+  // state version, seed, scheduler, and input fingerprint; returns false and
+  // fills `error` on any mismatch or malformed payload. After a successful
+  // restore, Run() continues from the snapshot round and produces the exact
+  // trace/metrics/result suffix of an uninterrupted run.
+  bool RestoreState(std::string_view payload, std::string* error);
+  // Fingerprint over (cluster, workload, options, scheduler identity) used
+  // to reject resuming against different inputs.
+  uint64_t ConfigFingerprint() const;
+
  private:
   struct JobState;
   struct PendingRecovery {
@@ -207,6 +246,9 @@ class ClusterSimulator {
                       const BatchDecision& decision) const;
   void EmitManifest(double round_seconds);
   void FinalizeObservability();
+  // Writes the periodic snapshot for the current round (flushes the trace
+  // first so the recorded byte offset covers everything emitted so far).
+  void WriteCheckpoint();
 
   ClusterSpec cluster_;
   std::vector<Config> config_set_;
@@ -224,7 +266,11 @@ class ClusterSimulator {
   MetricsRegistry owned_metrics_;
   MetricsRegistry* metrics_;
   int64_t round_index_ = 0;
+  double now_ = 0.0;  // Simulated clock; a member so snapshots capture it.
+  RunningStats contention_;
   bool warned_zero_goodput_ = false;
+  bool restored_ = false;              // Run() resumes instead of starting fresh.
+  int64_t last_checkpoint_round_ = -1;
   SimResult result_;
 };
 

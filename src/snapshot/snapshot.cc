@@ -1,0 +1,273 @@
+#include "src/snapshot/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "src/common/binary_codec.h"
+#include "src/common/file_util.h"
+
+namespace sia {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'I', 'A', 'S', 'N', 'A', 'P', '1'};
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".siasnap";
+// Framing overhead: magic + u32 version + u64 payload size + u64 CRC trailer.
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kTrailerSize = sizeof(uint64_t);
+
+// CRC-64/XZ table (reflected ECMA-182 polynomial 0x42F0E1EBA9EA3693).
+const std::array<uint64_t, 256>& Crc64Table() {
+  static const std::array<uint64_t, 256> table = [] {
+    std::array<uint64_t, 256> t{};
+    constexpr uint64_t kPoly = 0xC96C5795D7870F42ULL;  // Reflected ECMA-182.
+    for (uint64_t i = 0; i < 256; ++i) {
+      uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+uint64_t Crc64(std::string_view data, uint64_t seed) {
+  const auto& table = Crc64Table();
+  uint64_t crc = ~seed;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string EncodeSnapshotFile(std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  out.append(kMagic, sizeof(kMagic));
+  uint32_t version = kSnapshotFormatVersion;
+  out.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  uint64_t size = payload.size();
+  out.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.append(payload.data(), payload.size());
+  uint64_t crc = Crc64(payload);
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return out;
+}
+
+bool DecodeSnapshotFile(std::string_view file_contents, std::string* payload, std::string* error) {
+  if (file_contents.size() < kHeaderSize + kTrailerSize) {
+    SetError(error, "snapshot too small to contain a header");
+    return false;
+  }
+  if (file_contents.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    SetError(error, "bad snapshot magic");
+    return false;
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, file_contents.data() + sizeof(kMagic), sizeof(version));
+  if (version != kSnapshotFormatVersion) {
+    SetError(error, "unsupported snapshot format version " + std::to_string(version));
+    return false;
+  }
+  uint64_t size = 0;
+  std::memcpy(&size, file_contents.data() + sizeof(kMagic) + sizeof(version), sizeof(size));
+  if (size != file_contents.size() - kHeaderSize - kTrailerSize) {
+    SetError(error, "snapshot truncated: header promises " + std::to_string(size) +
+                        " payload bytes, file holds " +
+                        std::to_string(file_contents.size() - kHeaderSize - kTrailerSize));
+    return false;
+  }
+  std::string_view body = file_contents.substr(kHeaderSize, size);
+  uint64_t stored_crc = 0;
+  std::memcpy(&stored_crc, file_contents.data() + kHeaderSize + size, sizeof(stored_crc));
+  uint64_t actual_crc = Crc64(body);
+  if (stored_crc != actual_crc) {
+    SetError(error, "snapshot checksum mismatch");
+    return false;
+  }
+  payload->assign(body.data(), body.size());
+  return true;
+}
+
+bool ReadSnapshotMeta(std::string_view payload, SnapshotMeta* meta, std::string* error) {
+  BinaryReader r(payload);
+  meta->state_version = r.U32();
+  meta->round_index = r.I64();
+  meta->now_seconds = r.F64();
+  meta->seed = r.U64();
+  meta->scheduler = r.Str();
+  meta->fingerprint = r.U64();
+  meta->has_trace = r.Bool();
+  meta->trace_offset = r.I64();
+  meta->has_metrics = r.Bool();
+  if (!r.ok()) {
+    SetError(error, "malformed snapshot meta prefix: " + r.error());
+    return false;
+  }
+  return true;
+}
+
+std::string SnapshotPath(const std::string& dir, int64_t round) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%012lld%s", kSnapshotPrefix,
+                static_cast<long long>(round), kSnapshotSuffix);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+bool WriteSnapshotFile(const std::string& path, std::string_view payload, std::string* error) {
+  return AtomicWriteFile(path, EncodeSnapshotFile(payload), error);
+}
+
+bool ReadSnapshotFile(const std::string& path, std::string* payload, std::string* error) {
+  std::string contents;
+  if (!ReadFileToString(path, &contents, error)) return false;
+  return DecodeSnapshotFile(contents, payload, error);
+}
+
+std::vector<SnapshotEntry> ListSnapshots(const std::string& dir) {
+  std::vector<SnapshotEntry> entries;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return entries;
+  for (const auto& de : it) {
+    const std::string name = de.path().filename().string();
+    constexpr size_t kPrefixLen = sizeof(kSnapshotPrefix) - 1;
+    constexpr size_t kSuffixLen = sizeof(kSnapshotSuffix) - 1;
+    if (name.size() <= kPrefixLen + kSuffixLen) continue;
+    if (name.compare(0, kPrefixLen, kSnapshotPrefix) != 0) continue;
+    if (name.compare(name.size() - kSuffixLen, kSuffixLen, kSnapshotSuffix) != 0) continue;
+    const std::string digits = name.substr(kPrefixLen, name.size() - kPrefixLen - kSuffixLen);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    SnapshotEntry entry;
+    entry.path = de.path().string();
+    entry.round = std::stoll(digits);
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.round > b.round; });
+  return entries;
+}
+
+bool LatestValidSnapshot(const std::string& dir, std::string* path, std::string* payload,
+                         std::vector<std::string>* skipped, std::string* error) {
+  std::vector<SnapshotEntry> entries = ListSnapshots(dir);
+  if (entries.empty()) {
+    SetError(error, "no snapshots found in " + dir);
+    return false;
+  }
+  for (const SnapshotEntry& entry : entries) {
+    std::string candidate_error;
+    if (ReadSnapshotFile(entry.path, payload, &candidate_error)) {
+      *path = entry.path;
+      return true;
+    }
+    if (skipped != nullptr) {
+      skipped->push_back(entry.path + ": " + candidate_error);
+    }
+  }
+  SetError(error, "all " + std::to_string(entries.size()) + " snapshots in " + dir +
+                      " failed validation");
+  return false;
+}
+
+bool ResolveSnapshot(const std::string& path_or_dir, std::string* resolved_path,
+                     std::string* payload, std::vector<std::string>* skipped, std::string* error) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path_or_dir, ec)) {
+    return LatestValidSnapshot(path_or_dir, resolved_path, payload, skipped, error);
+  }
+  if (!ReadSnapshotFile(path_or_dir, payload, error)) return false;
+  *resolved_path = path_or_dir;
+  return true;
+}
+
+int PruneSnapshots(const std::string& dir, int retain) {
+  if (retain < 0) retain = 0;
+  std::vector<SnapshotEntry> entries = ListSnapshots(dir);  // Newest first.
+  int removed = 0;
+  for (size_t i = static_cast<size_t>(retain); i < entries.size(); ++i) {
+    std::error_code ec;
+    if (std::filesystem::remove(entries[i].path, ec)) ++removed;
+  }
+  return removed;
+}
+
+bool RepairTornTail(const std::string& path, uint64_t* bytes_removed, std::string* error) {
+  if (bytes_removed != nullptr) *bytes_removed = 0;
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    SetError(error, "stat " + path + ": " + ec.message());
+    return false;
+  }
+  if (size == 0) return true;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "open " + path + " failed");
+    return false;
+  }
+  in.seekg(static_cast<std::streamoff>(size - 1));
+  char last = 0;
+  in.read(&last, 1);
+  if (!in) {
+    SetError(error, "read " + path + " failed");
+    return false;
+  }
+  if (last == '\n') return true;
+  // Torn trailing line: scan backwards (in bounded chunks) for the last
+  // newline and cut everything after it.
+  constexpr uint64_t kChunk = 4096;
+  uint64_t keep = 0;  // Bytes to keep (position just past the last newline).
+  uint64_t pos = size;
+  bool found = false;
+  std::string buffer;
+  while (pos > 0 && !found) {
+    uint64_t chunk = std::min<uint64_t>(kChunk, pos);
+    pos -= chunk;
+    buffer.resize(chunk);
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(pos));
+    in.read(buffer.data(), static_cast<std::streamsize>(chunk));
+    if (!in) {
+      SetError(error, "read " + path + " failed");
+      return false;
+    }
+    for (uint64_t i = chunk; i > 0; --i) {
+      if (buffer[i - 1] == '\n') {
+        keep = pos + i;
+        found = true;
+        break;
+      }
+    }
+  }
+  in.close();
+  if (!TruncateFile(path, keep, error)) return false;
+  if (bytes_removed != nullptr) *bytes_removed = size - keep;
+  return true;
+}
+
+bool PrepareSinkForResume(const std::string& path, int64_t offset, std::string* error) {
+  if (offset < 0) {
+    SetError(error, "snapshot has no byte offset for sink " + path);
+    return false;
+  }
+  if (!RepairTornTail(path, nullptr, error)) return false;
+  return TruncateFile(path, static_cast<uint64_t>(offset), error);
+}
+
+}  // namespace sia

@@ -1,0 +1,120 @@
+// Snapshot file format and checkpoint-directory management (ISSUE 5).
+//
+// A snapshot captures the complete simulator state at a round boundary so a
+// SIGKILLed run can resume and produce byte-identical traces, metrics, and
+// results to an uninterrupted run. This header owns the *container*: framing,
+// checksumming, atomic writes, retention, and corrupt-file fallback. The
+// *payload* (what simulator state means) is produced and consumed by
+// ClusterSimulator::SerializeState / RestoreState in src/sim.
+//
+// File layout:
+//   bytes 0..7   magic "SIASNAP1"
+//   bytes 8..11  u32 container format version (kSnapshotFormatVersion)
+//   bytes 12..19 u64 payload size in bytes
+//   payload      opaque payload (see src/sim/simulator.h)
+//   trailer      u64 CRC-64/XZ of the payload
+//
+// Snapshots are written with tmp + fsync + rename (AtomicWriteFile), so a
+// crash mid-write leaves at most a stale `.tmp` file behind; a truncated or
+// bit-flipped snapshot fails the size or CRC check and is skipped by
+// LatestValidSnapshot in favor of the previous valid one.
+#ifndef SIA_SRC_SNAPSHOT_SNAPSHOT_H_
+#define SIA_SRC_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sia {
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+// CRC-64/XZ (ECMA-182 polynomial, reflected). Used as the snapshot payload
+// checksum.
+uint64_t Crc64(std::string_view data, uint64_t seed = 0);
+
+// The fixed metadata prefix every snapshot payload starts with. It is
+// readable without constructing a simulator, which lets tools prepare the
+// trace file (truncate to `trace_offset`) and validate compatibility before
+// the expensive full restore.
+struct SnapshotMeta {
+  uint32_t state_version = 0;  // Payload schema version (simulator-owned).
+  int64_t round_index = 0;     // Scheduling round the snapshot resumes into.
+  double now_seconds = 0.0;    // Simulated clock at the round boundary.
+  uint64_t seed = 0;
+  std::string scheduler;  // Scheduler name the run was started with.
+  // Fingerprint of (cluster, workload, options, scheduler); resume refuses a
+  // snapshot whose fingerprint disagrees with the freshly built inputs.
+  uint64_t fingerprint = 0;
+  bool has_trace = false;     // Whether the run had a --trace-out sink.
+  int64_t trace_offset = -1;  // Trace file size at snapshot time (-1: unknown).
+  bool has_metrics = false;   // Whether the run exported --metrics-out.
+};
+
+// Wraps `payload` in the framed container (magic, version, size, CRC).
+std::string EncodeSnapshotFile(std::string_view payload);
+
+// Validates framing + checksum and extracts the payload. Returns false and
+// fills `error` on any mismatch (bad magic, unsupported version, truncation,
+// CRC failure).
+bool DecodeSnapshotFile(std::string_view file_contents, std::string* payload, std::string* error);
+
+// Parses the SnapshotMeta prefix of a payload (as written by
+// ClusterSimulator::SerializeState). Returns false on a malformed prefix.
+bool ReadSnapshotMeta(std::string_view payload, SnapshotMeta* meta, std::string* error);
+
+// Canonical file name for the checkpoint at `round` inside `dir`:
+// dir/snapshot-NNNNNNNNNNNN.siasnap (zero-padded so lexicographic order ==
+// numeric order).
+std::string SnapshotPath(const std::string& dir, int64_t round);
+
+// Frames `payload` (EncodeSnapshotFile) and writes it atomically
+// (tmp + fsync + rename).
+bool WriteSnapshotFile(const std::string& path, std::string_view payload, std::string* error);
+
+// Reads + validates a snapshot file, returning its payload.
+bool ReadSnapshotFile(const std::string& path, std::string* payload, std::string* error);
+
+// One discovered snapshot file.
+struct SnapshotEntry {
+  std::string path;
+  int64_t round = 0;
+};
+
+// Lists snapshot files in `dir` matching the canonical name, sorted by round
+// descending (newest first). Missing directory -> empty list.
+std::vector<SnapshotEntry> ListSnapshots(const std::string& dir);
+
+// Resolves the newest snapshot in `dir` that passes framing + CRC
+// validation, skipping (and reporting in `skipped`, if non-null) corrupt or
+// truncated ones. Returns false when no valid snapshot exists.
+bool LatestValidSnapshot(const std::string& dir, std::string* path, std::string* payload,
+                         std::vector<std::string>* skipped, std::string* error);
+
+// Resolves `path_or_dir` to a validated snapshot payload: a directory picks
+// the latest valid snapshot inside it (falling back past corrupt files); a
+// file is validated directly.
+bool ResolveSnapshot(const std::string& path_or_dir, std::string* resolved_path,
+                     std::string* payload, std::vector<std::string>* skipped, std::string* error);
+
+// Deletes the oldest snapshots so at most `retain` remain. Only touches
+// files matching the canonical snapshot name. Returns the number removed.
+int PruneSnapshots(const std::string& dir, int retain);
+
+// Repairs a line-oriented sink file (JSONL or CSV) after a crash: if the
+// file does not end in '\n', the torn trailing partial line is truncated
+// away. Returns false on I/O error; `bytes_removed` (optional) reports how
+// much was cut.
+bool RepairTornTail(const std::string& path, uint64_t* bytes_removed, std::string* error);
+
+// Prepares a sink file for resumed appending: repairs a torn tail, then
+// truncates to `offset` -- the file size recorded in the snapshot -- so
+// records emitted after the snapshot was taken (and before the crash) are
+// replayed rather than duplicated. Fails if the file is shorter than
+// `offset` (the snapshot promises those bytes exist).
+bool PrepareSinkForResume(const std::string& path, int64_t offset, std::string* error);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SNAPSHOT_SNAPSHOT_H_

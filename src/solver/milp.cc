@@ -470,4 +470,17 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   return result;
 }
 
+void SaveWarmStart(BinaryWriter& w, const MilpWarmStart& warm) {
+  w.VecF64(warm.incumbent_values);
+  w.VecU8(warm.basis.state);
+  w.I32(warm.cold_root_iterations);
+}
+
+bool RestoreWarmStart(BinaryReader& r, MilpWarmStart* warm) {
+  warm->incumbent_values = r.VecF64();
+  warm->basis.state = r.VecU8();
+  warm->cold_root_iterations = r.I32();
+  return r.ok();
+}
+
 }  // namespace sia

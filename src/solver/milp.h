@@ -9,6 +9,7 @@
 #ifndef SIA_SRC_SOLVER_MILP_H_
 #define SIA_SRC_SOLVER_MILP_H_
 
+#include "src/common/binary_codec.h"
 #include "src/solver/lp_model.h"
 #include "src/solver/simplex.h"
 
@@ -86,6 +87,15 @@ struct MilpSolution {
 // Solves `lp` honoring the integrality markers set via SetInteger /
 // AddBinaryVariable.
 MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options = {});
+
+// Snapshot support (ISSUE 5): a scheduler checkpointed between rounds must
+// carry its MilpWarmStart across the restart, because warm-started solves
+// report different lp_iterations/warm_started_lps metrics than cold ones --
+// dropping the hint would break byte-identical resumed traces. Everything in
+// a warm start is already re-validated against the new program at use time,
+// so a restored hint is exactly as safe as a live one.
+void SaveWarmStart(BinaryWriter& w, const MilpWarmStart& warm);
+bool RestoreWarmStart(BinaryReader& r, MilpWarmStart* warm);
 
 }  // namespace sia
 

@@ -5,12 +5,18 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/metrics/report.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_sink.h"
 #include "src/schedulers/allox/allox_scheduler.h"
 #include "src/schedulers/baselines/priority_schedulers.h"
 #include "src/schedulers/gavel/gavel_scheduler.h"
 #include "src/schedulers/pollux/pollux_scheduler.h"
 #include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/sim_observer.h"
 #include "src/sim/simulator.h"
+#include "src/snapshot/snapshot.h"
 
 namespace sia::testing {
 namespace {
@@ -170,6 +176,185 @@ FuzzRunResult RunScenarioWithOracle(const Scenario& scenario, const FuzzRunOptio
   result.ok = result.violations == 0;
   result.report = report.str();
   return result;
+}
+
+namespace {
+
+// Tracks the last scheduling round the reference run reached, so the crash
+// round can be drawn from a range the run is guaranteed to pass through.
+class MaxRoundObserver : public SimObserver {
+ public:
+  void OnRoundScheduled(const RoundObservation& observation) override {
+    max_round_ = std::max(max_round_, observation.round_index);
+  }
+  int64_t max_round() const { return max_round_; }
+
+ private:
+  int64_t max_round_ = -1;
+};
+
+// First byte where `a` and `b` diverge, with a little context for the
+// report (the line containing the divergence, from the longer string).
+std::string DescribeFirstDivergence(const std::string& a, const std::string& b) {
+  size_t i = 0;
+  const size_t limit = std::min(a.size(), b.size());
+  while (i < limit && a[i] == b[i]) {
+    ++i;
+  }
+  const std::string& longer = a.size() >= b.size() ? a : b;
+  size_t line_start = longer.rfind('\n', i == 0 ? 0 : i - 1);
+  line_start = line_start == std::string::npos ? 0 : line_start + 1;
+  size_t line_end = longer.find('\n', i);
+  line_end = line_end == std::string::npos ? longer.size() : line_end;
+  std::ostringstream out;
+  out << "first divergence at byte " << i << " (" << a.size() << " vs " << b.size()
+      << " bytes); line: " << longer.substr(line_start, line_end - line_start);
+  return out.str();
+}
+
+std::string MetricsJson(const MetricsRegistry& metrics) {
+  std::ostringstream out;
+  metrics.WriteJson(out);
+  return out.str();
+}
+
+std::string ResultsCsv(const SimResult& result) {
+  std::ostringstream out;
+  WriteJobResultsCsv(out, result);
+  return out.str();
+}
+
+}  // namespace
+
+CrashCheckResult CheckCrashEquivalence(const Scenario& scenario) {
+  CrashCheckResult check;
+  std::ostringstream report;
+
+  // --- run A: uninterrupted reference ---
+  std::ostringstream trace_a;
+  MetricsRegistry metrics_a;
+  SimResult result_a;
+  MaxRoundObserver rounds;
+  {
+    JsonlTraceSink sink(trace_a);
+    std::unique_ptr<Scheduler> scheduler = MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = &sink;
+    sim.metrics = &metrics_a;
+    sim.observer = &rounds;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    result_a = simulator.Run();
+    sink.Flush();
+  }
+  check.rounds = rounds.max_round();
+
+  int64_t crash_round = scenario.crash_round;
+  if (crash_round < 0) {
+    if (rounds.max_round() < 1) {
+      // Nothing to interrupt: the run never reached a second round boundary.
+      check.report = "run too short for a crash point; trivially equivalent";
+      return check;
+    }
+    Rng crash_rng = Rng(scenario.seed).Fork("crash-round");
+    crash_round = crash_rng.UniformInt(1, rounds.max_round());
+  }
+  check.crash_round = crash_round;
+
+  // --- run B: identical run killed at the top of round `crash_round`, then
+  // snapshotted. stop_after_round fires right after the round's checkpoint
+  // opportunity, so SerializeState() here is exactly the payload a periodic
+  // checkpoint at this boundary would have written. ---
+  std::ostringstream trace_b;
+  MetricsRegistry metrics_b;
+  std::string payload;
+  {
+    JsonlTraceSink sink(trace_b);
+    std::unique_ptr<Scheduler> scheduler = MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = &sink;
+    sim.metrics = &metrics_b;
+    sim.stop_after_round = crash_round;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+    payload = simulator.SerializeState();
+  }
+  SnapshotMeta meta;
+  std::string error;
+  if (!ReadSnapshotMeta(payload, &meta, &error)) {
+    check.ok = false;
+    check.report = "snapshot meta unreadable: " + error;
+    return check;
+  }
+  // The crashed run may have buffered records past the snapshot boundary; a
+  // real resume truncates the sink file to the snapshot's offset, so mirror
+  // that on the in-memory prefix.
+  std::string trace_prefix = trace_b.str();
+  if (meta.trace_offset < 0 || meta.trace_offset > static_cast<int64_t>(trace_prefix.size())) {
+    check.ok = false;
+    report << "snapshot trace_offset " << meta.trace_offset << " out of range (buffer "
+           << trace_prefix.size() << " bytes)";
+    check.report = report.str();
+    return check;
+  }
+  trace_prefix.resize(static_cast<size_t>(meta.trace_offset));
+
+  // --- run C: fresh simulator restored from B's payload, run to the end ---
+  std::ostringstream trace_c;
+  MetricsRegistry metrics_c;
+  SimResult result_c;
+  {
+    JsonlTraceSink sink(trace_c);
+    std::unique_ptr<Scheduler> scheduler = MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = &sink;
+    sim.metrics = &metrics_c;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    if (!simulator.RestoreState(payload, &error)) {
+      check.ok = false;
+      check.report = "restore failed: " + error;
+      return check;
+    }
+    result_c = simulator.Run();
+    sink.Flush();
+  }
+
+  // --- crash-equivalence assertions ---
+  const std::string resumed_trace = trace_prefix + trace_c.str();
+  if (trace_a.str() != resumed_trace) {
+    check.ok = false;
+    report << "[crash] trace mismatch at round " << crash_round << ": "
+           << DescribeFirstDivergence(trace_a.str(), resumed_trace) << "\n";
+  }
+  const std::string metrics_json_a = MetricsJson(metrics_a);
+  const std::string metrics_json_c = MetricsJson(metrics_c);
+  if (metrics_json_a != metrics_json_c) {
+    check.ok = false;
+    report << "[crash] metrics JSON mismatch at round " << crash_round << ": "
+           << DescribeFirstDivergence(metrics_json_a, metrics_json_c) << "\n";
+  }
+  const std::string results_a = ResultsCsv(result_a);
+  const std::string results_c = ResultsCsv(result_c);
+  if (results_a != results_c) {
+    check.ok = false;
+    report << "[crash] per-job results mismatch at round " << crash_round << ": "
+           << DescribeFirstDivergence(results_a, results_c) << "\n";
+  }
+  const bool scalars_equal =
+      result_a.makespan_seconds == result_c.makespan_seconds &&
+      result_a.all_finished == result_c.all_finished &&
+      result_a.avg_contention == result_c.avg_contention &&
+      result_a.max_contention == result_c.max_contention &&
+      result_a.gpu_utilization == result_c.gpu_utilization &&
+      result_a.timeline.size() == result_c.timeline.size() &&
+      result_a.round_stats.size() == result_c.round_stats.size();
+  if (!scalars_equal) {
+    check.ok = false;
+    report << "[crash] SimResult summary mismatch at round " << crash_round << " (makespan "
+           << result_a.makespan_seconds << " vs " << result_c.makespan_seconds << ", contention "
+           << result_a.avg_contention << " vs " << result_c.avg_contention << ")\n";
+  }
+  check.report = report.str();
+  return check;
 }
 
 namespace {

@@ -60,6 +60,31 @@ struct FuzzRunResult {
 FuzzRunResult RunScenarioWithOracle(const Scenario& scenario,
                                     const FuzzRunOptions& options = {});
 
+// Crash-point mode (ISSUE 5): checkpoint/resume crash-equivalence for one
+// scenario, fully in-process. Three runs share the scenario's inputs:
+//   A  uninterrupted reference (trace -> buffer, own metrics registry);
+//   B  identical run stopped at the top of round `crash_round`
+//      (SimOptions::stop_after_round), then SerializeState() -- exactly the
+//      state a checkpoint at that boundary captures;
+//   C  a fresh simulator restored from B's payload, run to completion.
+// The check asserts A's trace bytes == B's trace prefix (truncated to the
+// snapshot's trace_offset) + C's trace bytes, A's and C's metrics JSON are
+// byte-identical, and the per-job results CSV plus the SimResult summary
+// scalars match bit-exactly (policy wall-clock cost is excluded: it is the
+// one documented nondeterministic output).
+struct CrashCheckResult {
+  bool ok = true;
+  int64_t crash_round = -1;  // Round actually used (derived when the
+                             // scenario left it at -1).
+  int64_t rounds = 0;        // Last scheduled round of the reference run.
+  std::string report;        // Human-readable failure description.
+};
+
+// Deterministic in the scenario: the crash round, when not pinned by
+// `scenario.crash_round`, is drawn from Rng(seed).Fork("crash-round") within
+// the reference run's observed round range.
+CrashCheckResult CheckCrashEquivalence(const Scenario& scenario);
+
 // Greedy ddmin-style shrink: repeatedly tries dropping jobs, fault events,
 // stochastic fault channels, node groups, and simulated hours, keeping any
 // reduction that still fails, until a fixed point or `max_evals` predicate

@@ -176,6 +176,9 @@ std::string Scenario::Describe() const {
   }
   out << " threads=" << sched_threads << (warm_start ? "" : " cold")
       << (candidate_cache ? "" : " nocache");
+  if (crash_round >= 0) {
+    out << " crash@" << crash_round;
+  }
   return out.str();
 }
 
@@ -319,6 +322,9 @@ bool WriteScenario(std::ostream& out, const Scenario& scenario) {
   out << "sched_threads=" << scenario.sched_threads << "\n";
   out << "warm_start=" << (scenario.warm_start ? 1 : 0) << "\n";
   out << "candidate_cache=" << (scenario.candidate_cache ? 1 : 0) << "\n";
+  if (scenario.crash_round >= 0) {
+    out << "crash_round=" << scenario.crash_round << "\n";
+  }
   for (const FaultEvent& event : scenario.faults) {
     out << "fault=" << FormatDouble(event.time_seconds) << "," << FaultKindName(event.kind) << ","
         << event.node << "," << FormatDouble(event.duration_seconds) << ","
@@ -453,6 +459,9 @@ bool ReadScenario(std::istream& in, Scenario* scenario, std::string* error) {
     } else if (key == "candidate_cache") {
       if (!ParseInt(value, &as_int)) return bad();
       result.candidate_cache = as_int != 0;
+    } else if (key == "crash_round") {
+      if (!ParseInt(value, &as_int) || as_int < -1) return bad();
+      result.crash_round = as_int;
     } else {
       return Fail(error, "line " + std::to_string(line_number) + ": unknown key " + key);
     }

@@ -67,6 +67,12 @@ struct Scenario {
   bool warm_start = true;
   bool candidate_cache = true;
 
+  // Crash-point mode (ISSUE 5): the scheduling round at which the
+  // checkpoint/resume crash-equivalence check simulates a kill. -1 lets the
+  // harness derive one from `seed` inside the run's actual round range; a
+  // reproducer written by a failing crash check pins the exact round.
+  int64_t crash_round = -1;
+
   // Rebuilds the ClusterSpec from node_groups. SIA_CHECKs on unknown GPU
   // type names.
   ClusterSpec BuildCluster() const;

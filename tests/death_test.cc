@@ -52,6 +52,43 @@ TEST(SimOptionsValidateTest, RejectsBadScalars) {
   EXPECT_THAT(options.Validate(), HasSubstr("max_hours"));
 }
 
+TEST(SimOptionsValidateTest, RejectsBadCheckpointOptions) {
+  SimOptions options;
+  options.checkpoint.every_rounds = -1;
+  EXPECT_THAT(options.Validate(), HasSubstr("checkpoint.every_rounds"));
+
+  options = SimOptions{};
+  options.checkpoint.every_rounds = 5;  // Enabled without a directory.
+  options.checkpoint.dir = "";
+  EXPECT_THAT(options.Validate(), HasSubstr("checkpoint.dir"));
+
+  options = SimOptions{};
+  options.checkpoint.every_rounds = 5;
+  options.checkpoint.dir = "/tmp/ckpt";
+  options.checkpoint.retain = 0;
+  EXPECT_THAT(options.Validate(), HasSubstr("checkpoint.retain"));
+
+  options = SimOptions{};
+  options.stop_after_round = -2;
+  EXPECT_THAT(options.Validate(), HasSubstr("stop_after_round"));
+
+  // Coherent checkpoint options pass.
+  options = SimOptions{};
+  options.checkpoint.every_rounds = 5;
+  options.checkpoint.dir = "/tmp/ckpt";
+  EXPECT_EQ(options.Validate(), "");
+}
+
+TEST(SimDeathTest, ConstructorAbortsOnInvalidCheckpointOptions) {
+  ClusterSpec cluster = MakeHeterogeneousCluster();
+  std::vector<JobSpec> jobs = SmallTrace(1);
+  SiaScheduler scheduler{SiaOptions{}};
+  SimOptions bad;
+  bad.checkpoint.every_rounds = 3;  // No directory.
+  EXPECT_DEATH((ClusterSimulator{cluster, jobs, &scheduler, bad}),
+               "invalid SimOptions.*checkpoint");
+}
+
 TEST(SimOptionsValidateTest, ForwardsFaultErrorsWithPrefix) {
   SimOptions options;
   options.faults.degraded_frac = 2.0;

@@ -233,6 +233,9 @@ TEST(SimulatorObservabilityTest, PopulatesRegistryAndPolicyCost) {
   options.seed = 3;
   options.max_hours = 24.0;
   options.metrics = &registry;
+  // Wall-clock schedule timings only reach the registry when trace_timings is
+  // on (the default registry export stays deterministic, ISSUE 5).
+  options.trace_timings = true;
   ClusterSimulator sim(MakeHeterogeneousCluster(), TinyTrace(3), &scheduler, options);
   const SimResult result = sim.Run();
   EXPECT_TRUE(result.all_finished);

@@ -1,0 +1,131 @@
+// Rng save/restore property coverage (ISSUE 5): a restored stream must
+// reproduce the exact tail of the original across every distribution the
+// class offers, including the cached second Box-Muller variate -- the one
+// piece of hidden state beyond the four xoshiro words. Restoring mid-pair
+// and after arbitrary mixed-draw warmups are the cases a simulator resume
+// actually exercises.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/binary_codec.h"
+#include "src/common/rng.h"
+
+namespace sia {
+namespace {
+
+// Draws one value from distribution `which` (cycled over all of them) so a
+// mixed tail touches every code path, Box-Muller cache included.
+double DrawMixed(Rng& rng, int which) {
+  switch (which % 8) {
+    case 0:
+      return static_cast<double>(rng.Next());
+    case 1:
+      return rng.Uniform(-5.0, 5.0);
+    case 2:
+      return static_cast<double>(rng.UniformInt(0, 1000));
+    case 3:
+      return rng.Normal(1.0, 2.0);
+    case 4:
+      return rng.LogNormal(0.0, 0.3);
+    case 5:
+      return rng.Exponential(2.5);
+    case 6:
+      return static_cast<double>(rng.Poisson(7.0));
+    default:
+      return rng.Bernoulli(0.4) ? 1.0 : 0.0;
+  }
+}
+
+std::string Save(const Rng& rng) {
+  BinaryWriter w;
+  rng.SaveState(w);
+  return w.Take();
+}
+
+bool Restore(Rng& rng, const std::string& state) {
+  BinaryReader r(state);
+  return rng.RestoreState(r) && r.AtEnd();
+}
+
+TEST(RngRestoreTest, RestoredStreamReproducesExactTailAcrossDistributions) {
+  for (uint64_t seed : {1ULL, 7ULL, 0xDEADBEEFULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    Rng original(seed);
+    // Warm up with a seed-dependent mixed prefix so the save point lands at
+    // varied stream positions (including odd Normal() counts, which leave
+    // the Box-Muller cache armed).
+    const int warmup = static_cast<int>(seed % 97) + 13;
+    for (int i = 0; i < warmup; ++i) {
+      DrawMixed(original, i);
+    }
+
+    const std::string state = Save(original);
+    Rng restored(/*seed=*/0);  // Deliberately different seed; state wins.
+    ASSERT_TRUE(Restore(restored, state));
+
+    for (int i = 0; i < 256; ++i) {
+      ASSERT_EQ(DrawMixed(original, i), DrawMixed(restored, i))
+          << "seed " << seed << " diverged at tail draw " << i;
+    }
+  }
+}
+
+TEST(RngRestoreTest, PreservesArmedBoxMullerCache) {
+  Rng original(42);
+  (void)original.Normal();  // Odd draw count: second variate is cached.
+
+  const std::string state = Save(original);
+  Rng restored(7);
+  ASSERT_TRUE(Restore(restored, state));
+
+  // The very next Normal() must come from the cache, not a fresh pair.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(original.Normal(), restored.Normal()) << "draw " << i;
+  }
+}
+
+TEST(RngRestoreTest, SavedStateIsPositionNotSeed) {
+  // Two streams from the same seed at different positions save different
+  // states; restoring each reproduces its own tail, not the other's.
+  Rng a(5);
+  Rng b(5);
+  (void)b.Next();
+  const std::string state_a = Save(a);
+  const std::string state_b = Save(b);
+  EXPECT_NE(state_a, state_b);
+
+  Rng restored(0);
+  ASSERT_TRUE(Restore(restored, state_b));
+  EXPECT_EQ(restored.Next(), b.Next());
+}
+
+TEST(RngRestoreTest, RejectsTruncatedState) {
+  Rng rng(3);
+  (void)rng.Normal();
+  const std::string state = Save(rng);
+  for (size_t cut = 0; cut < state.size(); ++cut) {
+    Rng victim(3);
+    BinaryReader r(std::string_view(state.data(), cut));
+    EXPECT_FALSE(victim.RestoreState(r) && r.AtEnd()) << "cut at " << cut;
+  }
+}
+
+TEST(RngRestoreTest, ForkedStreamsRestoreIndependently) {
+  Rng root(11);
+  Rng child = root.Fork("stream", 4);
+  (void)child.Uniform();
+  const std::string root_state = Save(root);
+  const std::string child_state = Save(child);
+
+  Rng restored_root(0);
+  Rng restored_child(0);
+  ASSERT_TRUE(Restore(restored_root, root_state));
+  ASSERT_TRUE(Restore(restored_child, child_state));
+  EXPECT_EQ(restored_root.Next(), root.Next());
+  EXPECT_EQ(restored_child.Next(), child.Next());
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,426 @@
+// Checkpoint/resume coverage (ISSUE 5), bottom-up: the framed snapshot
+// container (CRC, corruption/truncation rejection), checkpoint-directory
+// management (retention, corrupt-fallback), torn-tail sink repair, the
+// simulator's SerializeState/RestoreState compatibility gates, disk-level
+// resume byte-identity for both sink backends, in-process crash
+// equivalence for every policy, and the per-round Flush() contract proven
+// against a real SIGKILLed child process.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/file_util.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_sink.h"
+#include "src/sim/sim_observer.h"
+#include "src/sim/simulator.h"
+#include "src/snapshot/snapshot.h"
+#include "src/testing/fuzz_harness.h"
+#include "src/testing/scenario.h"
+
+namespace sia {
+namespace {
+
+// Fresh per-test scratch directory under gtest's temp root.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "sia_snapshot_test_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+std::string MustRead(const std::string& path) {
+  std::string contents;
+  std::string error;
+  EXPECT_TRUE(ReadFileToString(path, &contents, &error)) << path << ": " << error;
+  return contents;
+}
+
+void MustWrite(const std::string& path, std::string_view contents) {
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(path, contents, &error)) << path << ": " << error;
+}
+
+// A deterministic mid-size scenario (gavel finishes it in ~47 rounds) used
+// by every disk-level test below.
+testing::Scenario DiskScenario(const std::string& scheduler) {
+  return testing::GenerateScenario(/*seed=*/2, scheduler);
+}
+
+// --- container format ---
+
+TEST(SnapshotCodecTest, Crc64MatchesXzCheckValue) {
+  // CRC-64/XZ check value for "123456789".
+  EXPECT_EQ(Crc64("123456789"), 0x995DC9BBDF1939FAULL);
+  EXPECT_EQ(Crc64(""), 0ULL);
+  EXPECT_NE(Crc64("abc"), Crc64("abd"));
+}
+
+TEST(SnapshotCodecTest, EncodeDecodeRoundtrip) {
+  const std::string payload("arbitrary \x00\x01\xff bytes", 19);  // Embedded NUL.
+  const std::string framed = EncodeSnapshotFile(payload);
+  std::string decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeSnapshotFile(framed, &decoded, &error)) << error;
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(SnapshotCodecTest, RejectsCorruptionEverywhere) {
+  const std::string framed = EncodeSnapshotFile("the quick brown fox");
+  std::string decoded;
+  std::string error;
+
+  // Truncation at every possible length.
+  for (size_t cut = 0; cut < framed.size(); ++cut) {
+    EXPECT_FALSE(DecodeSnapshotFile(framed.substr(0, cut), &decoded, &error))
+        << "accepted truncation to " << cut << " bytes";
+  }
+  // A single bit flip anywhere (magic, version, size, payload, CRC).
+  for (size_t i = 0; i < framed.size(); ++i) {
+    std::string corrupt = framed;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    EXPECT_FALSE(DecodeSnapshotFile(corrupt, &decoded, &error))
+        << "accepted bit flip at byte " << i;
+  }
+}
+
+// --- checkpoint directory management ---
+
+TEST(SnapshotDirTest, ListsNewestFirstAndPrunesOldest) {
+  const std::string dir = ScratchDir("prune");
+  std::string error;
+  for (int64_t round : {5, 10, 15}) {
+    ASSERT_TRUE(WriteSnapshotFile(SnapshotPath(dir, round), "payload", &error)) << error;
+  }
+  // A stray file must be ignored by both listing and pruning.
+  MustWrite(dir + "/notes.txt", "not a snapshot");
+
+  std::vector<SnapshotEntry> entries = ListSnapshots(dir);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].round, 15);
+  EXPECT_EQ(entries[1].round, 10);
+  EXPECT_EQ(entries[2].round, 5);
+
+  EXPECT_EQ(PruneSnapshots(dir, 2), 1);
+  entries = ListSnapshots(dir);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].round, 10);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
+}
+
+TEST(SnapshotDirTest, LatestValidFallsBackPastCorruptSnapshots) {
+  const std::string dir = ScratchDir("fallback");
+  std::string error;
+  ASSERT_TRUE(WriteSnapshotFile(SnapshotPath(dir, 5), "older", &error)) << error;
+  ASSERT_TRUE(WriteSnapshotFile(SnapshotPath(dir, 10), "newer", &error)) << error;
+
+  // Flip a payload bit in the newest snapshot; resolution must skip it.
+  std::string newest = MustRead(SnapshotPath(dir, 10));
+  newest[newest.size() / 2] = static_cast<char>(newest[newest.size() / 2] ^ 0x01);
+  MustWrite(SnapshotPath(dir, 10), newest);
+
+  std::string path;
+  std::string payload;
+  std::vector<std::string> skipped;
+  ASSERT_TRUE(LatestValidSnapshot(dir, &path, &payload, &skipped, &error)) << error;
+  EXPECT_EQ(path, SnapshotPath(dir, 5));
+  EXPECT_EQ(payload, "older");
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_NE(skipped[0].find(SnapshotPath(dir, 10)), std::string::npos);
+
+  // With every snapshot corrupt, resolution fails.
+  std::string older = MustRead(SnapshotPath(dir, 5));
+  older.resize(older.size() - 1);
+  MustWrite(SnapshotPath(dir, 5), older);
+  EXPECT_FALSE(LatestValidSnapshot(dir, &path, &payload, &skipped, &error));
+}
+
+TEST(SnapshotDirTest, ResolveAcceptsBothDirectoryAndFile) {
+  const std::string dir = ScratchDir("resolve");
+  std::string error;
+  ASSERT_TRUE(WriteSnapshotFile(SnapshotPath(dir, 7), "seven", &error)) << error;
+
+  std::string path;
+  std::string payload;
+  ASSERT_TRUE(ResolveSnapshot(dir, &path, &payload, nullptr, &error)) << error;
+  EXPECT_EQ(payload, "seven");
+  ASSERT_TRUE(ResolveSnapshot(SnapshotPath(dir, 7), &path, &payload, nullptr, &error)) << error;
+  EXPECT_EQ(payload, "seven");
+  EXPECT_FALSE(ResolveSnapshot(dir + "/missing.siasnap", &path, &payload, nullptr, &error));
+}
+
+// --- torn-tail sink repair ---
+
+TEST(SinkRepairTest, RepairsTornTailAndTruncatesToOffset) {
+  const std::string dir = ScratchDir("repair");
+  const std::string path = dir + "/trace.jsonl";
+  MustWrite(path, "{\"a\":1}\n{\"b\":2}\n{\"torn\":");
+
+  uint64_t removed = 0;
+  std::string error;
+  ASSERT_TRUE(RepairTornTail(path, &removed, &error)) << error;
+  EXPECT_EQ(removed, 8u);
+  EXPECT_EQ(MustRead(path), "{\"a\":1}\n{\"b\":2}\n");
+
+  // Already-clean file: repair is a no-op.
+  ASSERT_TRUE(RepairTornTail(path, &removed, &error)) << error;
+  EXPECT_EQ(removed, 0u);
+
+  // Resume truncates to the snapshot's recorded offset.
+  ASSERT_TRUE(PrepareSinkForResume(path, 8, &error)) << error;
+  EXPECT_EQ(MustRead(path), "{\"a\":1}\n");
+  // An offset the file never reached breaks the snapshot's promise.
+  EXPECT_FALSE(PrepareSinkForResume(path, 100, &error));
+}
+
+// --- simulator payload gates ---
+
+TEST(SnapshotSimulatorTest, MetaReflectsRunAndFingerprintGatesRestore) {
+  testing::Scenario scenario = DiskScenario("gavel");
+  std::string payload;
+  {
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.stop_after_round = 4;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+    payload = simulator.SerializeState();
+
+    SnapshotMeta meta;
+    std::string error;
+    ASSERT_TRUE(ReadSnapshotMeta(payload, &meta, &error)) << error;
+    EXPECT_EQ(meta.round_index, 4);
+    EXPECT_EQ(meta.scheduler, "gavel");
+    EXPECT_EQ(meta.seed, scenario.sim_seed);
+    EXPECT_EQ(meta.fingerprint, simulator.ConfigFingerprint());
+    EXPECT_FALSE(meta.has_trace);
+  }
+
+  // A simulator built from different inputs must refuse the payload.
+  {
+    testing::Scenario other = scenario;
+    other.jobs.pop_back();
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(other);
+    ClusterSimulator simulator(other.BuildCluster(), other.jobs, scheduler.get(),
+                               other.BuildSimOptions());
+    std::string error;
+    EXPECT_FALSE(simulator.RestoreState(payload, &error));
+    EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+  }
+  {
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.seed ^= 1;
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    std::string error;
+    EXPECT_FALSE(simulator.RestoreState(payload, &error));
+  }
+  // Truncated payloads are rejected, never half-applied into a crash.
+  {
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(),
+                               scenario.BuildSimOptions());
+    std::string error;
+    EXPECT_FALSE(
+        simulator.RestoreState(std::string_view(payload).substr(0, payload.size() / 2), &error));
+  }
+}
+
+// --- disk-level resume byte-identity, both sink backends ---
+
+class ResumeByteIdentityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ResumeByteIdentityTest, ResumedTraceMatchesUninterruptedRun) {
+  const std::string ext = GetParam();
+  const std::string dir = ScratchDir("resume_" + ext);
+  testing::Scenario scenario = DiskScenario("gavel");
+
+  // Reference: uninterrupted, no checkpointing.
+  const std::string ref_path = dir + "/ref." + ext;
+  {
+    std::unique_ptr<TraceSink> sink = OpenTraceSink(ref_path);
+    ASSERT_NE(sink, nullptr);
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = sink.get();
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+    sink->Flush();
+  }
+
+  // Crashed run: checkpoint every 2 rounds, killed at the top of round 6 --
+  // the checkpoint at round 6 is written first, so resume restarts there.
+  const std::string run_path = dir + "/run." + ext;
+  const std::string ckpt_dir = dir + "/ckpt";
+  {
+    std::unique_ptr<TraceSink> sink = OpenTraceSink(run_path);
+    ASSERT_NE(sink, nullptr);
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = sink.get();
+    sim.checkpoint.every_rounds = 2;
+    sim.checkpoint.dir = ckpt_dir;
+    sim.stop_after_round = 6;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+  }
+
+  std::string snap_path;
+  std::string payload;
+  std::string error;
+  ASSERT_TRUE(LatestValidSnapshot(ckpt_dir, &snap_path, &payload, nullptr, &error)) << error;
+  SnapshotMeta meta;
+  ASSERT_TRUE(ReadSnapshotMeta(payload, &meta, &error)) << error;
+  EXPECT_EQ(meta.round_index, 6);
+  ASSERT_TRUE(meta.has_trace);
+  ASSERT_TRUE(PrepareSinkForResume(run_path, meta.trace_offset, &error)) << error;
+
+  // Resume in a fresh simulator appending to the repaired trace.
+  {
+    std::unique_ptr<TraceSink> sink = OpenTraceSinkForAppend(run_path);
+    ASSERT_NE(sink, nullptr);
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = sink.get();
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    ASSERT_TRUE(simulator.RestoreState(payload, &error)) << error;
+    simulator.Run();
+    sink->Flush();
+  }
+
+  EXPECT_EQ(MustRead(ref_path), MustRead(run_path));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ResumeByteIdentityTest, ::testing::Values("jsonl", "csv"));
+
+// --- checkpointing has zero observable side effects ---
+
+TEST(SnapshotSimulatorTest, CheckpointWritesDoNotPerturbTheRun) {
+  const std::string dir = ScratchDir("side_effects");
+  testing::Scenario scenario = DiskScenario("gavel");
+
+  auto run = [&](const std::string& trace_path, bool checkpointing) {
+    std::unique_ptr<TraceSink> sink = OpenTraceSink(trace_path);
+    ASSERT_NE(sink, nullptr);
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = sink.get();
+    if (checkpointing) {
+      sim.checkpoint.every_rounds = 3;
+      sim.checkpoint.dir = dir + "/ckpt";
+      sim.checkpoint.retain = 2;
+    }
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+    sink->Flush();
+  };
+  run(dir + "/plain.jsonl", false);
+  run(dir + "/checkpointed.jsonl", true);
+
+  EXPECT_EQ(MustRead(dir + "/plain.jsonl"), MustRead(dir + "/checkpointed.jsonl"));
+  // Retention held: at most 2 snapshots remain from the whole run.
+  EXPECT_LE(ListSnapshots(dir + "/ckpt").size(), 2u);
+  EXPECT_GE(ListSnapshots(dir + "/ckpt").size(), 1u);
+}
+
+// --- in-process crash equivalence, every policy ---
+
+TEST(SnapshotSimulatorTest, AllPoliciesAreCrashEquivalent) {
+  for (const std::string& scheduler : testing::AllSchedulers()) {
+    testing::Scenario scenario = testing::GenerateScenario(/*seed=*/3, scheduler);
+    const testing::CrashCheckResult result = testing::CheckCrashEquivalence(scenario);
+    EXPECT_TRUE(result.ok) << scheduler << " at round " << result.crash_round << "\n"
+                           << result.report;
+  }
+}
+
+// --- per-round Flush() proven against a real SIGKILL (satellite 1) ---
+
+namespace {
+
+class KillAtRoundObserver : public SimObserver {
+ public:
+  explicit KillAtRoundObserver(int64_t round) : round_(round) {}
+  void OnRoundScheduled(const RoundObservation& observation) override {
+    if (observation.round_index >= round_) {
+      std::raise(SIGKILL);
+    }
+  }
+
+ private:
+  int64_t round_;
+};
+
+}  // namespace
+
+TEST(SinkFlushTest, KilledChildLeavesFlushedPrefixOnDisk) {
+  const std::string dir = ScratchDir("kill_flush");
+  testing::Scenario scenario = DiskScenario("gavel");
+  constexpr int64_t kKillRound = 6;
+
+  // Reference trace from an uninterrupted in-process run.
+  const std::string ref_path = dir + "/ref.jsonl";
+  {
+    std::unique_ptr<TraceSink> sink = OpenTraceSink(ref_path);
+    ASSERT_NE(sink, nullptr);
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = sink.get();
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+    sink->Flush();
+  }
+
+  // Child: same run, SIGKILLed mid-round (after Schedule, before the
+  // round's records flush) -- an uncatchable crash, exactly what the
+  // per-round Flush() contract is for.
+  const std::string run_path = dir + "/killed.jsonl";
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::unique_ptr<TraceSink> sink = OpenTraceSink(run_path);
+    if (sink == nullptr) {
+      _exit(3);
+    }
+    KillAtRoundObserver killer(kKillRound);
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.trace = sink.get();
+    sim.observer = &killer;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+    _exit(4);  // Unreachable: the observer kills the process first.
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Everything through round kKillRound-1 must be durable: after torn-tail
+  // repair the file is a byte-prefix of the reference containing the last
+  // pre-kill round record.
+  std::string error;
+  ASSERT_TRUE(RepairTornTail(run_path, nullptr, &error)) << error;
+  const std::string flushed = MustRead(run_path);
+  const std::string reference = MustRead(ref_path);
+  ASSERT_FALSE(flushed.empty());
+  ASSERT_LE(flushed.size(), reference.size());
+  EXPECT_EQ(reference.compare(0, flushed.size(), flushed), 0)
+      << "flushed bytes are not a prefix of the reference trace";
+  EXPECT_NE(flushed.find("\"round\":" + std::to_string(kKillRound - 1)), std::string::npos)
+      << "round " << (kKillRound - 1) << " record was not flushed before the kill";
+}
+
+}  // namespace
+}  // namespace sia

@@ -11,6 +11,8 @@
 //   sia_fuzz --replay=repro.txt               # re-run a reproducer
 //   sia_fuzz --lp-checks=200                  # solver differential checks
 //   sia_fuzz --seeds=5 --inject-bug=oversub   # demo: oracle must catch it
+//   sia_fuzz --seeds=0 --crash-seeds=20       # checkpoint/resume equivalence
+//                                             # at a random round per seed
 //
 // Exit status: 0 when every scenario passed, 1 on any violation.
 #include <iostream>
@@ -34,9 +36,15 @@ constexpr char kUsage[] = R"(usage: sia_fuzz [flags]
   --no-differential  skip warm-vs-cold / thread-count twin runs
   --inject-bug  oversub: wrap the scheduler with a deliberate
                 capacity bug (the oracle must flag every scenario)
-  --replay      reproducer file: run it instead of fuzzing
+  --replay      reproducer file: run it instead of fuzzing (a reproducer
+                with crash_round set replays the crash-equivalence check)
   --lp-checks   N: also run N random programs through each LP/MILP
                 differential check (enumeration oracles)        (default 0)
+  --crash-seeds N: per scheduler, also run N scenarios through the
+                checkpoint/resume crash-equivalence check -- stop at a
+                randomized round, snapshot, restore, and require the final
+                trace/metrics/results to match the uninterrupted run
+                byte-for-byte (default 0)
   --verbose     per-scenario progress lines
 )";
 
@@ -53,6 +61,17 @@ int ReplayReproducer(const std::string& path, const sia::testing::FuzzRunOptions
     return 2;
   }
   std::cout << "replaying " << path << ": " << scenario.Describe() << "\n";
+  if (scenario.crash_round >= 0) {
+    // Crash-mode reproducer: replay the crash-equivalence check at the
+    // pinned round instead of the oracle run.
+    const sia::testing::CrashCheckResult result = sia::testing::CheckCrashEquivalence(scenario);
+    std::cout << (result.ok ? "crash-equivalent at round " : "NOT crash-equivalent at round ")
+              << result.crash_round << "\n";
+    if (!result.report.empty()) {
+      std::cout << result.report << "\n";
+    }
+    return result.ok ? 0 : 1;
+  }
   const sia::testing::FuzzRunResult result = sia::testing::RunScenarioWithOracle(scenario, options);
   std::cout << result.report << "\n";
   return result.ok ? 0 : 1;
@@ -75,6 +94,7 @@ int main(int argc, char** argv) {
   const std::string inject = flags.GetString("inject-bug", "");
   const std::string replay = flags.GetString("replay", "");
   const int64_t lp_checks = flags.GetInt("lp-checks", 0);
+  const int64_t crash_seeds = flags.GetInt("crash-seeds", 0);
   const bool verbose = flags.GetBool("verbose", false);
   if (flags.Has("help")) {
     std::cout << kUsage;
@@ -160,7 +180,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Crash-point mode: checkpoint/resume crash-equivalence at a randomized
+  // round per seed. Failures write a reproducer with the crash round pinned
+  // so --replay re-runs the exact same three-way comparison.
+  FuzzStats crash_stats;
+  for (const std::string& name : schedulers) {
+    for (int64_t i = 0; i < crash_seeds; ++i) {
+      const uint64_t seed = static_cast<uint64_t>(start_seed + i);
+      sia::testing::Scenario scenario = sia::testing::GenerateScenario(seed, name);
+      ++crash_stats.scenarios;
+      const sia::testing::CrashCheckResult result = sia::testing::CheckCrashEquivalence(scenario);
+      if (verbose || !result.ok) {
+        std::cout << (result.ok ? "ok   " : "FAIL ") << scenario.Describe() << " (crash at round "
+                  << result.crash_round << " of " << result.rounds << ")\n";
+      }
+      if (result.ok) {
+        continue;
+      }
+      ++crash_stats.failures;
+      exit_code = 1;
+      std::cout << result.report << "\n";
+      sia::testing::Scenario repro = scenario;
+      repro.crash_round = result.crash_round;
+      std::ostringstream path;
+      path << out_dir << "/sia_fuzz_crash_repro_" << name << "_seed" << seed << ".txt";
+      if (sia::testing::WriteScenario(path.str(), repro)) {
+        std::cout << "reproducer written to " << path.str() << " (replay with --replay=" << path.str()
+                  << ")\n";
+      } else {
+        std::cerr << "sia_fuzz: failed to write " << path.str() << "\n";
+      }
+    }
+  }
+
   std::cout << "sia_fuzz: " << stats.scenarios << " scenarios across " << schedulers.size()
-            << " scheduler(s), " << stats.failures << " failure(s)\n";
+            << " scheduler(s), " << stats.failures << " failure(s)";
+  if (crash_stats.scenarios > 0) {
+    std::cout << "; crash mode: " << crash_stats.scenarios << " scenario(s), "
+              << crash_stats.failures << " failure(s)";
+  }
+  std::cout << "\n";
   return exit_code;
 }

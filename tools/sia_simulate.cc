@@ -8,6 +8,8 @@
 //                [--fault-schedule=faults.csv] [--trace-in=jobs.csv]
 //                [--trace-out=run.jsonl] [--metrics-out=metrics.json]
 //                [--jobs-out=jobs.csv] [--results-out=results.csv]
+//                [--checkpoint-every=N --checkpoint-dir=D] [--resume=SNAP]
+#include <csignal>
 #include <iostream>
 #include <algorithm>
 #include <memory>
@@ -25,7 +27,9 @@
 #include "src/schedulers/gavel/gavel_scheduler.h"
 #include "src/schedulers/pollux/pollux_scheduler.h"
 #include "src/schedulers/sia/sia_scheduler.h"
+#include "src/sim/sim_observer.h"
 #include "src/sim/simulator.h"
+#include "src/snapshot/snapshot.h"
 #include "src/workload/trace_gen.h"
 #include "src/workload/trace_io.h"
 
@@ -60,7 +64,33 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
   --jobs-out   write the (possibly tuned) input job trace as CSV
   --results-out write per-job results as CSV
   --ftf        also compute finish-time-fairness stats
+  --checkpoint-every N  write a state snapshot every N scheduling rounds
+  --checkpoint-dir D    snapshot directory (required with --checkpoint-every)
+  --checkpoint-retain K snapshots kept, oldest pruned            (default 3)
+  --resume PATH  resume from a snapshot file, or from the newest valid
+                 snapshot in a directory; all other flags must rebuild the
+                 same run (enforced by the snapshot fingerprint). With
+                 --trace-out, the trace file is truncated back to the
+                 snapshot offset and continued byte-identically.
+  --die-at-round R  raise SIGKILL at the start of scheduling round R
+                 (crash-equivalence testing; see tools/sia_supervise)
 )";
+
+// Crash injection for the supervisor harness: SIGKILL at the start of the
+// chosen round, after that round boundary's checkpoint opportunity -- the
+// same uncatchable death a machine failure produces.
+class KillAtRoundObserver : public sia::SimObserver {
+ public:
+  explicit KillAtRoundObserver(int64_t round) : round_(round) {}
+  void OnRoundScheduled(const sia::RoundObservation& observation) override {
+    if (observation.round_index >= round_) {
+      std::raise(SIGKILL);
+    }
+  }
+
+ private:
+  int64_t round_;
+};
 
 std::unique_ptr<sia::Scheduler> MakeScheduler(const std::string& name, int sched_threads) {
   if (name == "sia") {
@@ -207,11 +237,52 @@ int main(int argc, char** argv) {
   const std::string results_out = flags.GetString("results-out", "");
   const std::string metrics_out = flags.GetString("metrics-out", "");
 
+  options.checkpoint.every_rounds = static_cast<int>(flags.GetInt("checkpoint-every", 0));
+  options.checkpoint.dir = flags.GetString("checkpoint-dir", "");
+  options.checkpoint.retain = static_cast<int>(flags.GetInt("checkpoint-retain", 3));
+  const int64_t die_at_round = flags.GetInt("die-at-round", -1);
+  const std::string resume = flags.GetString("resume", "");
+
+  // Resolve the snapshot before opening any sink: the trace file must be
+  // truncated back to the snapshot's byte offset, not re-created.
+  std::string resume_payload;
+  sia::SnapshotMeta resume_meta;
+  if (!resume.empty()) {
+    std::string resolved;
+    std::string error;
+    std::vector<std::string> skipped;
+    if (!sia::ResolveSnapshot(resume, &resolved, &resume_payload, &skipped, &error)) {
+      std::cerr << "failed to resolve --resume snapshot: " << error << "\n";
+      return 1;
+    }
+    for (const std::string& reason : skipped) {
+      std::cerr << "skipping corrupt snapshot: " << reason << "\n";
+    }
+    if (!sia::ReadSnapshotMeta(resume_payload, &resume_meta, &error)) {
+      std::cerr << "unreadable snapshot meta: " << error << "\n";
+      return 1;
+    }
+    std::cout << "resuming from " << resolved << " (round " << resume_meta.round_index
+              << ", t=" << resume_meta.now_seconds << "s)\n";
+  }
+
   sia::MetricsRegistry metrics;
   options.metrics = &metrics;
   std::unique_ptr<sia::TraceSink> trace_sink;
   if (flags.Has("trace-out")) {
-    trace_sink = sia::OpenTraceSink(flags.GetString("trace-out", ""));
+    const std::string trace_path = flags.GetString("trace-out", "");
+    if (!resume.empty() && resume_meta.has_trace) {
+      if (resume_meta.trace_offset >= 0) {
+        std::string error;
+        if (!sia::PrepareSinkForResume(trace_path, resume_meta.trace_offset, &error)) {
+          std::cerr << "failed to prepare trace for resume: " << error << "\n";
+          return 1;
+        }
+      }
+      trace_sink = sia::OpenTraceSinkForAppend(trace_path);
+    } else {
+      trace_sink = sia::OpenTraceSink(trace_path);
+    }
     if (trace_sink == nullptr) {
       std::cerr << "failed to open --trace-out for writing\n";
       return 1;
@@ -219,6 +290,11 @@ int main(int argc, char** argv) {
     options.trace = trace_sink.get();
   }
   options.trace_timings = flags.GetBool("trace-timings", false);
+  std::unique_ptr<KillAtRoundObserver> killer;
+  if (die_at_round >= 0) {
+    killer = std::make_unique<KillAtRoundObserver>(die_at_round);
+    options.observer = killer.get();
+  }
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown << "\n" << kUsage;
     return 2;
@@ -239,6 +315,13 @@ int main(int argc, char** argv) {
   std::cout << "cluster=" << cluster_name << " (" << cluster.TotalGpus() << " GPUs)  jobs="
             << jobs.size() << "  scheduler=" << scheduler->name() << "  seed=" << seed << "\n";
   sia::ClusterSimulator simulator(cluster, jobs, scheduler.get(), options);
+  if (!resume.empty()) {
+    std::string error;
+    if (!simulator.RestoreState(resume_payload, &error)) {
+      std::cerr << "failed to restore snapshot: " << error << "\n";
+      return 1;
+    }
+  }
   const sia::SimResult result = simulator.Run();
 
   const sia::PolicySummary summary = sia::Summarize(scheduler->name(), {result});

@@ -1,0 +1,279 @@
+// Kill-inject run supervisor (ISSUE 5): proves the checkpoint/resume stack
+// end to end by SIGKILLing a real sia_simulate child at randomized rounds,
+// restarting it from the newest valid snapshot with capped exponential
+// backoff, and asserting crash-equivalence -- the final trace, metrics JSON,
+// and per-job results CSV must be byte-identical to an uninterrupted
+// reference run of the same flags.
+//
+//   sia_supervise --simulate=build/tools/sia_simulate --out-dir=/tmp/sup \
+//                 [--sim-flags="--scheduler=sia --hours=1 --rate=30"] \
+//                 [--kills=2] [--seed=1] [--checkpoint-every=5] \
+//                 [--min-kill-gap=3] [--max-kill-gap=12] \
+//                 [--max-restarts=5] [--backoff-ms=100] [--backoff-cap-ms=2000]
+//
+// Exit code 0 iff every comparison passed.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/file_util.h"
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/snapshot/snapshot.h"
+
+namespace {
+
+constexpr char kUsage[] = R"(usage: sia_supervise [flags]
+  --simulate   path to the sia_simulate binary                (required)
+  --out-dir    working directory for run artifacts            (required)
+  --sim-flags  extra flags passed to every simulation run, whitespace-split
+               (default "--scheduler=sia --hours=1 --rate=30 --seed=3")
+  --kills      SIGKILL injections before letting the run finish (default 2)
+  --seed       RNG seed for the randomized kill rounds          (default 1)
+  --checkpoint-every  snapshot cadence in rounds                (default 5)
+  --min-kill-gap / --max-kill-gap  rounds past the last resume point at
+               which the next kill lands                       (default 3/12)
+  --max-restarts  unexpected child failures tolerated per phase (default 5)
+  --backoff-ms / --backoff-cap-ms  restart backoff base and cap (default 100/2000)
+)";
+
+std::vector<std::string> SplitWhitespace(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string token;
+  while (in >> token) {
+    out.push_back(token);
+  }
+  return out;
+}
+
+// Runs `argv` as a child process and returns its raw waitpid status.
+// Returns -1 if the child could not be spawned.
+int RunChild(const std::vector<std::string>& argv) {
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    raw.push_back(const_cast<char*>(arg.c_str()));
+  }
+  raw.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return -1;
+  }
+  if (pid == 0) {
+    ::execv(raw[0], raw.data());
+    _exit(127);  // execv only returns on failure.
+  }
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) {
+      return -1;
+    }
+  }
+  return status;
+}
+
+bool KilledBySigkill(int status) {
+  return status >= 0 && WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+bool ExitedCleanly(int status) {
+  // sia_simulate exits 1 when the run censors jobs at the max-hours cap;
+  // that is still a completed simulation for equivalence purposes.
+  return status >= 0 && WIFEXITED(status) &&
+         (WEXITSTATUS(status) == 0 || WEXITSTATUS(status) == 1);
+}
+
+bool FilesIdentical(const std::string& a, const std::string& b, std::string* detail) {
+  std::string contents_a;
+  std::string contents_b;
+  std::string error;
+  if (!sia::ReadFileToString(a, &contents_a, &error)) {
+    *detail = a + ": " + error;
+    return false;
+  }
+  if (!sia::ReadFileToString(b, &contents_b, &error)) {
+    *detail = b + ": " + error;
+    return false;
+  }
+  if (contents_a != contents_b) {
+    *detail = a + " and " + b + " differ (" + std::to_string(contents_a.size()) + " vs " +
+              std::to_string(contents_b.size()) + " bytes)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sia::FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::cerr << flags.error() << "\n" << kUsage;
+    return 2;
+  }
+  if (flags.Has("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::string simulate = flags.GetString("simulate", "");
+  const std::string out_dir = flags.GetString("out-dir", "");
+  const std::string sim_flags =
+      flags.GetString("sim-flags", "--scheduler=sia --hours=1 --rate=30 --seed=3");
+  const int kills = static_cast<int>(flags.GetInt("kills", 2));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int checkpoint_every = static_cast<int>(flags.GetInt("checkpoint-every", 5));
+  const int min_gap = static_cast<int>(flags.GetInt("min-kill-gap", 3));
+  const int max_gap = static_cast<int>(flags.GetInt("max-kill-gap", 12));
+  const int max_restarts = static_cast<int>(flags.GetInt("max-restarts", 5));
+  const int backoff_ms = static_cast<int>(flags.GetInt("backoff-ms", 100));
+  const int backoff_cap_ms = static_cast<int>(flags.GetInt("backoff-cap-ms", 2000));
+  for (const std::string& unknown : flags.UnknownFlags()) {
+    std::cerr << "unknown flag --" << unknown << "\n" << kUsage;
+    return 2;
+  }
+  if (simulate.empty() || out_dir.empty()) {
+    std::cerr << "--simulate and --out-dir are required\n" << kUsage;
+    return 2;
+  }
+  if (kills < 1 || checkpoint_every < 1 || min_gap < 1 || max_gap < min_gap) {
+    std::cerr << "invalid kill/checkpoint configuration\n" << kUsage;
+    return 2;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string ckpt_dir = out_dir + "/ckpt";
+  std::filesystem::remove_all(ckpt_dir, ec);
+  const std::vector<std::string> base_flags = SplitWhitespace(sim_flags);
+
+  auto make_argv = [&](const std::string& prefix, bool checkpointing, int64_t die_at_round,
+                       bool resume) {
+    std::vector<std::string> child;
+    child.push_back(simulate);
+    child.insert(child.end(), base_flags.begin(), base_flags.end());
+    child.push_back("--trace-out=" + out_dir + "/" + prefix + ".jsonl");
+    child.push_back("--metrics-out=" + out_dir + "/" + prefix + "_metrics.json");
+    child.push_back("--results-out=" + out_dir + "/" + prefix + "_results.csv");
+    if (checkpointing) {
+      child.push_back("--checkpoint-every=" + std::to_string(checkpoint_every));
+      child.push_back("--checkpoint-dir=" + ckpt_dir);
+    }
+    if (die_at_round >= 0) {
+      child.push_back("--die-at-round=" + std::to_string(die_at_round));
+    }
+    if (resume) {
+      child.push_back("--resume=" + ckpt_dir);
+    }
+    return child;
+  };
+
+  // Runs one phase, retrying unexpected failures (spawn errors, crashes we
+  // did not inject) with capped exponential backoff. Expected outcomes --
+  // clean exit, or SIGKILL when `expect_kill` -- return immediately.
+  auto run_with_backoff = [&](const std::vector<std::string>& child, bool expect_kill,
+                              bool* was_killed) {
+    for (int attempt = 0; attempt <= max_restarts; ++attempt) {
+      if (attempt > 0) {
+        int64_t delay = static_cast<int64_t>(backoff_ms) << (attempt - 1);
+        delay = std::min<int64_t>(delay, backoff_cap_ms);
+        std::cerr << "restart " << attempt << "/" << max_restarts << " after " << delay
+                  << " ms backoff\n";
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      const int status = RunChild(child);
+      if (ExitedCleanly(status)) {
+        *was_killed = false;
+        return true;
+      }
+      if (expect_kill && KilledBySigkill(status)) {
+        *was_killed = true;
+        return true;
+      }
+      std::cerr << "child failed unexpectedly (status " << status << ")\n";
+    }
+    return false;
+  };
+
+  // --- phase 1: uninterrupted reference run (no checkpointing at all, so
+  // the comparison also proves checkpoint writes have no side effects) ---
+  std::cout << "[supervise] reference run\n";
+  bool killed = false;
+  if (!run_with_backoff(make_argv("ref", false, -1, false), false, &killed)) {
+    std::cerr << "reference run failed\n";
+    return 1;
+  }
+
+  // --- phase 2: kill-inject loop ---
+  sia::Rng rng(seed);
+  int64_t resume_round = 0;
+  bool resuming = false;
+  for (int kill = 0; kill < kills; ++kill) {
+    const int gap = static_cast<int>(rng.UniformInt(min_gap, max_gap));
+    const int64_t die_at = resume_round + gap;
+    std::cout << "[supervise] kill " << (kill + 1) << "/" << kills << " at round " << die_at
+              << (resuming ? " (resumed)" : " (fresh)") << "\n";
+    if (!run_with_backoff(make_argv("run", true, die_at, resuming), true, &killed)) {
+      std::cerr << "killed phase failed\n";
+      return 1;
+    }
+    if (!killed) {
+      // The run finished before reaching the kill round; nothing left to
+      // interrupt.
+      std::cout << "[supervise] run completed before round " << die_at << "\n";
+      resuming = true;
+      break;
+    }
+    // Find where the next resume will start so the next kill lands after it.
+    std::string snap_path;
+    std::string payload;
+    std::string error;
+    std::vector<std::string> skipped;
+    if (!sia::LatestValidSnapshot(ckpt_dir, &snap_path, &payload, &skipped, &error)) {
+      std::cerr << "no valid snapshot after kill: " << error << "\n";
+      return 1;
+    }
+    sia::SnapshotMeta meta;
+    if (!sia::ReadSnapshotMeta(payload, &meta, &error)) {
+      std::cerr << "unreadable snapshot meta: " << error << "\n";
+      return 1;
+    }
+    std::cout << "[supervise] latest snapshot: round " << meta.round_index << "\n";
+    resume_round = meta.round_index;
+    resuming = true;
+  }
+
+  // --- phase 3: resume to completion ---
+  std::cout << "[supervise] final resume to completion\n";
+  if (!run_with_backoff(make_argv("run", true, -1, resuming), false, &killed)) {
+    std::cerr << "final resume failed\n";
+    return 1;
+  }
+
+  // --- phase 4: crash-equivalence assertions ---
+  bool ok = true;
+  for (const char* suffix : {".jsonl", "_metrics.json", "_results.csv"}) {
+    std::string detail;
+    if (FilesIdentical(out_dir + "/ref" + suffix, out_dir + "/run" + suffix, &detail)) {
+      std::cout << "[supervise] OK  ref" << suffix << " == run" << suffix << "\n";
+    } else {
+      std::cerr << "[supervise] FAIL " << detail << "\n";
+      ok = false;
+    }
+  }
+  std::cout << (ok ? "[supervise] crash-equivalence PASSED\n"
+                   : "[supervise] crash-equivalence FAILED\n");
+  return ok ? 0 : 1;
+}
