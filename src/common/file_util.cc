@@ -71,7 +71,14 @@ bool AtomicWriteFile(const std::string& path, std::string_view contents, std::st
     ::unlink(tmp.c_str());
     return false;
   }
-  ::close(fd);
+  // A failed close can report a deferred write-back error (e.g. NFS, quota);
+  // treating it as success would rename a possibly-corrupt temp file over
+  // the target.
+  if (::close(fd) != 0) {
+    SetError(error, Errno("close", tmp));
+    ::unlink(tmp.c_str());
+    return false;
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     SetError(error, Errno("rename", tmp));
     ::unlink(tmp.c_str());
@@ -136,7 +143,13 @@ bool TruncateFile(const std::string& path, uint64_t size, std::string* error) {
     SetError(error, "truncate " + path + ": " + ec.message());
     return false;
   }
+#ifndef _WIN32
+  // Persist the new length: torn-tail repair relies on a truncated journal
+  // staying truncated after power loss, not reverting to the torn state.
+  return FsyncPath(path, /*is_dir=*/false, error);
+#else
   return true;
+#endif
 }
 
 }  // namespace sia

@@ -8,10 +8,19 @@
 namespace sia {
 
 // Writes `contents` to `path` atomically: write to `<path>.tmp`, fsync the
-// file, rename over `path`, then fsync the containing directory. A reader
-// never observes a partially written file -- either the old file (or
-// nothing) or the complete new one. Returns false and fills `error` (if
-// non-null) on failure; a failed write never leaves a partial `path` behind.
+// file, close it (checking the close result, which can carry a deferred
+// write-back error), rename over `path`, then fsync the containing
+// directory.
+//
+// Power-loss guarantee: once this returns true, the complete new contents
+// survive a crash or power loss at any later instant -- the data was synced
+// before the rename and the rename itself was synced via the parent
+// directory. If the machine dies mid-call, a reader afterwards sees either
+// the old file (or nothing) or the complete new one, never a partial or
+// interleaved state; at worst a stale `<path>.tmp` is left behind and is
+// overwritten by the next successful call. Returns false and fills `error`
+// (if non-null) on failure; a failed write never leaves a partial `path`
+// behind.
 bool AtomicWriteFile(const std::string& path, std::string_view contents,
                      std::string* error = nullptr);
 
@@ -19,8 +28,10 @@ bool AtomicWriteFile(const std::string& path, std::string_view contents,
 // file cannot be opened or read.
 bool ReadFileToString(const std::string& path, std::string* out, std::string* error = nullptr);
 
-// Truncates `path` to exactly `size` bytes. Fails when the file is shorter
-// than `size` (truncation must only ever discard data, never invent it).
+// Truncates `path` to exactly `size` bytes and fsyncs the result, so a
+// repaired (torn-tail-trimmed) journal cannot revert to its torn state
+// after power loss. Fails when the file is shorter than `size` (truncation
+// must only ever discard data, never invent it).
 bool TruncateFile(const std::string& path, uint64_t size, std::string* error = nullptr);
 
 }  // namespace sia

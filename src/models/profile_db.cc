@@ -1,6 +1,7 @@
 #include "src/models/profile_db.h"
 
 #include <map>
+#include <mutex>
 
 #include "src/common/check.h"
 
@@ -217,9 +218,15 @@ const ModelInfo& GetModelInfo(ModelKind kind) {
   return kInfos->at(kind);
 }
 
+// The profile caches are process-global and lazily filled; the service layer
+// constructs estimators from concurrent per-cluster worker threads, so the
+// fill must be guarded. Returned references stay valid without the lock:
+// map nodes are never moved or erased.
 const DeviceProfile& GetDeviceProfile(ModelKind kind, const std::string& gpu_type_name) {
+  static std::mutex mu;
   static std::map<std::pair<ModelKind, std::string>, DeviceProfile> cache;
   const auto key = std::make_pair(kind, gpu_type_name);
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
     it = cache.emplace(key, BuildDeviceProfile(kind, gpu_type_name)).first;
@@ -228,8 +235,10 @@ const DeviceProfile& GetDeviceProfile(ModelKind kind, const std::string& gpu_typ
 }
 
 const HybridProfile& GetHybridProfile(ModelKind kind, const std::string& gpu_type_name) {
+  static std::mutex mu;
   static std::map<std::pair<ModelKind, std::string>, HybridProfile> cache;
   const auto key = std::make_pair(kind, gpu_type_name);
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(key);
   if (it == cache.end()) {
     it = cache.emplace(key, BuildHybridProfile(kind, gpu_type_name)).first;

@@ -1,0 +1,277 @@
+#include "src/schedulers/ladder.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/schedulers/shape_util.h"
+
+namespace sia {
+namespace {
+
+constexpr const char* kRungNames[kNumLadderRungs] = {"full_milp", "capped_milp", "lp_round",
+                                                     "greedy", "carry_over"};
+
+std::string RungMetricName(const char* kind, LadderRung rung) {
+  std::string name = "scheduler.ladder.";
+  name += kind;
+  name += '.';
+  name += kRungNames[static_cast<int>(rung)];
+  return name;
+}
+
+// Grants `config` to `job` if it fits the per-type budget, charging it.
+bool TryGrant(const JobView& job, const Config& config, std::vector<int>& free_gpus,
+              ScheduleOutput& output) {
+  if (config.num_gpus <= 0 || config.gpu_type < 0 ||
+      config.gpu_type >= static_cast<int>(free_gpus.size())) {
+    return false;
+  }
+  if (config.num_gpus > free_gpus[config.gpu_type]) {
+    return false;
+  }
+  free_gpus[config.gpu_type] -= config.num_gpus;
+  output[job.spec->id] = config;
+  return true;
+}
+
+std::vector<int> LiveCapacity(const ScheduleInput& input) {
+  std::vector<int> free_gpus(input.cluster->num_gpu_types());
+  for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
+    free_gpus[t] = input.cluster->AvailableGpus(t);
+  }
+  return free_gpus;
+}
+
+}  // namespace
+
+const char* ToString(LadderRung rung) {
+  const int index = static_cast<int>(rung);
+  SIA_CHECK(index >= 0 && index < kNumLadderRungs);
+  return kRungNames[index];
+}
+
+LadderRung ChooseLadderRung(const DeadlineOptions& options, double budget_seconds,
+                            bool milp_capable, MetricsRegistry* metrics) {
+  const double reserves[kNumLadderRungs - 1] = {
+      options.full_reserve_seconds, options.capped_reserve_seconds,
+      options.lp_round_reserve_seconds, options.greedy_reserve_seconds};
+  const int start = std::clamp(options.force_rung, 0, kNumLadderRungs - 1);
+  for (int r = 0; r < kNumLadderRungs - 1; ++r) {
+    const LadderRung rung = static_cast<LadderRung>(r);
+    if (r < start) {
+      RecordLadderMiss(rung, metrics);  // Forced descent (test hook).
+      continue;
+    }
+    if (!milp_capable && (rung == LadderRung::kCappedMilp || rung == LadderRung::kLpRound)) {
+      RecordLadderMiss(rung, metrics);  // Rung not implementable for this policy.
+      continue;
+    }
+    if (budget_seconds < 0.0 || budget_seconds >= reserves[r]) {
+      return rung;
+    }
+    RecordLadderMiss(rung, metrics);
+  }
+  return LadderRung::kCarryOver;
+}
+
+void RecordLadderServed(LadderRung rung, MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  metrics->counter(RungMetricName("served", rung)).Add();
+  metrics->gauge("scheduler.ladder.last_rung").Set(static_cast<double>(static_cast<int>(rung)));
+}
+
+void RecordLadderMiss(LadderRung rung, MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  metrics->counter(RungMetricName("miss", rung)).Add();
+}
+
+ScheduleOutput CarryOverAllocation(const ScheduleInput& input, const ScheduleOutput& previous,
+                                   int scale_up_factor) {
+  SIA_CHECK(input.cluster != nullptr);
+  ScheduleOutput output;
+  std::vector<int> free_gpus = LiveCapacity(input);
+
+  // Pass 1: non-preemptible running jobs -- their reservation must hold, so
+  // they are charged against capacity before anything else. Pass 2: the
+  // rest, in the snapshot's (JobId-stable) order.
+  for (const int pass : {0, 1}) {
+    for (const JobView& job : input.jobs) {
+      const bool reserved = !job.spec->preemptible && job.current_config.num_gpus > 0;
+      if ((pass == 0) != reserved) {
+        continue;
+      }
+      const auto it = previous.find(job.spec->id);
+      if (it == previous.end()) {
+        continue;
+      }
+      const Config& config = it->second;
+      if (scale_up_factor > 0 && job.spec->adaptivity != AdaptivityMode::kRigid) {
+        // A previous *request* that was never placed does not raise
+        // peak_num_gpus, so re-issuing it verbatim could overshoot the
+        // scale-up cap; drop such grants rather than violate the contract.
+        const int min_gpus = std::max(1, job.estimator->MinGpus(config.gpu_type));
+        const int cap = job.peak_num_gpus <= 0
+                            ? min_gpus
+                            : std::max(min_gpus, scale_up_factor * job.peak_num_gpus);
+        if (config.num_gpus > cap) {
+          continue;
+        }
+      }
+      TryGrant(job, config, free_gpus, output);
+    }
+  }
+  return output;
+}
+
+ScheduleOutput GreedyMinimalAllocation(const ScheduleInput& input) {
+  SIA_CHECK(input.cluster != nullptr);
+  ScheduleOutput output;
+  std::vector<int> free_gpus = LiveCapacity(input);
+
+  std::vector<size_t> order(input.jobs.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  // Same priority order as Sia's greedy repair: reservations, then running
+  // jobs (restart-free), then queued jobs starved-first.
+  std::stable_sort(order.begin(), order.end(), [&input](size_t a, size_t b) {
+    const JobView& ja = input.jobs[a];
+    const JobView& jb = input.jobs[b];
+    const bool ra = !ja.spec->preemptible && ja.current_config.num_gpus > 0;
+    const bool rb = !jb.spec->preemptible && jb.current_config.num_gpus > 0;
+    if (ra != rb) {
+      return ra;
+    }
+    const bool runs_a = ja.current_config.num_gpus > 0;
+    const bool runs_b = jb.current_config.num_gpus > 0;
+    if (runs_a != runs_b) {
+      return runs_a;
+    }
+    return ja.service_gpu_seconds < jb.service_gpu_seconds;
+  });
+
+  for (const size_t i : order) {
+    const JobView& job = input.jobs[i];
+    if (job.current_config.num_gpus > 0) {
+      TryGrant(job, job.current_config, free_gpus, output);
+      continue;
+    }
+    // Queued: minimum feasible size on the first GPU type that accepts the
+    // job (type order is deterministic; quality is not the point here).
+    for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
+      const int min_gpus = job.estimator->MinGpus(t);
+      if (min_gpus <= 0) {
+        continue;  // Model cannot run on this GPU type.
+      }
+      const int count = job.spec->adaptivity == AdaptivityMode::kRigid
+                            ? job.spec->rigid_num_gpus
+                            : min_gpus;
+      if (count <= 0 || count > job.spec->max_num_gpus || count > free_gpus[t]) {
+        continue;
+      }
+      const std::optional<Config> shape = ShapeForCount(*input.cluster, t, count);
+      if (!shape.has_value()) {
+        continue;
+      }
+      const BatchDecision decision =
+          job.estimator->Estimate(*shape, job.spec->adaptivity, job.spec->fixed_bsz);
+      if (!decision.feasible || decision.goodput <= 0.0) {
+        continue;
+      }
+      if (TryGrant(job, *shape, free_gpus, output)) {
+        break;
+      }
+    }
+  }
+  return output;
+}
+
+void SaveScheduleOutput(BinaryWriter& w, const ScheduleOutput& output) {
+  w.U64(output.size());
+  for (const auto& [id, config] : output) {
+    w.I64(static_cast<int64_t>(id));
+    w.I32(config.num_nodes);
+    w.I32(config.num_gpus);
+    w.I32(config.gpu_type);
+    w.Bool(config.scatter);
+  }
+}
+
+bool RestoreScheduleOutput(BinaryReader& r, ScheduleOutput* output) {
+  output->clear();
+  const uint64_t count = r.U64();
+  // Guard the count before reserving anything: a corrupt prefix must fail
+  // cleanly, not allocate. 1M entries is far above any real cluster.
+  if (!r.ok() || count > (1u << 20)) {
+    return false;
+  }
+  for (uint64_t k = 0; k < count; ++k) {
+    const JobId id = static_cast<JobId>(r.I64());
+    Config config;
+    config.num_nodes = r.I32();
+    config.num_gpus = r.I32();
+    config.gpu_type = r.I32();
+    config.scatter = r.Bool();
+    if (!r.ok()) {
+      return false;
+    }
+    (*output)[id] = config;
+  }
+  return r.ok();
+}
+
+DeadlineLadderScheduler::DeadlineLadderScheduler(std::unique_ptr<Scheduler> inner,
+                                                 DeadlineOptions options)
+    : inner_(std::move(inner)), options_(options) {
+  SIA_CHECK(inner_ != nullptr);
+}
+
+std::string DeadlineLadderScheduler::name() const { return inner_->name(); }
+
+double DeadlineLadderScheduler::round_duration_seconds() const {
+  return inner_->round_duration_seconds();
+}
+
+ScheduleOutput DeadlineLadderScheduler::Schedule(const ScheduleInput& input) {
+  const LadderRung rung = ChooseLadderRung(options_, input.deadline_seconds,
+                                           /*milp_capable=*/false, input.metrics);
+  ScheduleOutput output;
+  switch (rung) {
+    case LadderRung::kFullMilp:
+    case LadderRung::kCappedMilp:
+    case LadderRung::kLpRound:
+      // Full budget (the MILP-only rungs are unreachable for the wrapper):
+      // run the wrapped policy unchanged.
+      output = inner_->Schedule(input);
+      break;
+    case LadderRung::kGreedy:
+      output = GreedyMinimalAllocation(input);
+      break;
+    case LadderRung::kCarryOver:
+      output = CarryOverAllocation(input, last_output_);
+      break;
+  }
+  RecordLadderServed(rung, input.metrics);
+  last_output_ = output;
+  return output;
+}
+
+void DeadlineLadderScheduler::SaveState(BinaryWriter& w) const {
+  SaveScheduleOutput(w, last_output_);
+  inner_->SaveState(w);
+}
+
+bool DeadlineLadderScheduler::RestoreState(BinaryReader& r) {
+  if (!RestoreScheduleOutput(r, &last_output_)) {
+    return false;
+  }
+  return inner_->RestoreState(r);
+}
+
+}  // namespace sia

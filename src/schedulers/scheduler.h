@@ -64,6 +64,13 @@ struct ScheduleInput {
   // across a checkpoint/resume (ISSUE 5). The simulator sets this from
   // SimOptions::trace_timings.
   bool record_timings = false;
+  // Wall-clock budget for this Schedule() call in seconds; < 0 = unlimited
+  // (the default, which keeps fixed-seed runs deterministic). Set per round
+  // by the service / SimOptions::round_deadline_seconds. Deadline-aware
+  // policies degrade through the ladder in src/schedulers/ladder.h instead
+  // of overrunning; a budget of exactly 0 deterministically selects the
+  // bottom (carry-over) rung.
+  double deadline_seconds = -1.0;
 };
 
 // Desired allocation per job; jobs absent from the map receive nothing.

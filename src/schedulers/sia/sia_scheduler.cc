@@ -124,6 +124,22 @@ ScheduleOutput GreedyRepairAllocations(const ScheduleInput& input,
 
 ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   SIA_CHECK(input.cluster != nullptr && input.config_set != nullptr);
+
+  // --- degradation ladder (ISSUE 6) ---
+  // The rung is planned up front from the round budget; with no deadline and
+  // no forced rung this is kFullMilp and the round proceeds exactly as
+  // before. Carry-over skips candidate generation entirely -- it is the "we
+  // have no time for anything" rung.
+  const auto round_start = std::chrono::steady_clock::now();
+  const LadderRung rung = ChooseLadderRung(options_.deadline, input.deadline_seconds,
+                                           /*milp_capable=*/true, input.metrics);
+  if (rung == LadderRung::kCarryOver) {
+    ScheduleOutput output = CarryOverAllocation(input, last_output_, options_.scale_up_factor);
+    RecordLadderServed(rung, input.metrics);
+    last_output_ = output;
+    return output;
+  }
+
   const std::vector<Config>& configs = *input.config_set;
   const double p = options_.fairness_power;
   SIA_CHECK(p != 0.0) << "fairness power must be nonzero";
@@ -247,6 +263,15 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     }
   }
 
+  if (rung == LadderRung::kGreedy) {
+    // Greedy rung: candidates are ready, but there is no budget for even one
+    // LP solve. Same allocator as the failed-solve repair path.
+    ScheduleOutput output = GreedyRepairAllocations(input, configs, candidates);
+    RecordLadderServed(rung, input.metrics);
+    last_output_ = output;
+    return output;
+  }
+
   // --- phase B: LP construction (sequential by design) ---
   for (int i = 0; i < num_jobs; ++i) {
     const JobView& job = input.jobs[i];
@@ -334,6 +359,8 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   ScheduleOutput output;
   if (lp.num_variables() == 0) {
     have_warm_state_ = false;  // Nothing to warm-start the next round with.
+    RecordLadderServed(rung, input.metrics);
+    last_output_ = output;
     return output;
   }
 
@@ -341,6 +368,26 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   // the same shape; SolveMilp re-validates both, so near-identical-but-not
   // programs degrade to a cold solve, never to a wrong answer.
   MilpOptions milp_options = options_.milp;
+  if (rung == LadderRung::kCappedMilp) {
+    milp_options.max_nodes = std::min(milp_options.max_nodes, 8);
+  } else if (rung == LadderRung::kLpRound) {
+    // Root relaxation only; the packing-rounding heuristic turns it into a
+    // feasible integral incumbent without any branching.
+    milp_options.max_nodes = 1;
+    milp_options.packing_rounding = true;
+  }
+  if (input.deadline_seconds >= 0.0) {
+    // Tighten the solver budget to what remains of the round deadline (a
+    // 10% margin covers output extraction). The floor keeps the limit
+    // meaningful -- a non-positive value would mean "unlimited".
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - round_start;
+    const double remaining = std::max((input.deadline_seconds - elapsed.count()) * 0.9, 1e-3);
+    if (milp_options.time_limit_seconds <= 0.0 ||
+        remaining < milp_options.time_limit_seconds) {
+      milp_options.time_limit_seconds = remaining;
+    }
+  }
   if (options_.warm_start && have_warm_state_ &&
       warm_num_variables_ == lp.num_variables() &&
       warm_num_constraints_ == lp.num_constraints()) {
@@ -379,7 +426,11 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     if (input.metrics != nullptr) {
       input.metrics->counter("scheduler.greedy_fallbacks").Add();
     }
-    return GreedyRepairAllocations(input, configs, candidates);
+    RecordLadderMiss(rung, input.metrics);  // The planned rung produced nothing.
+    output = GreedyRepairAllocations(input, configs, candidates);
+    RecordLadderServed(LadderRung::kGreedy, input.metrics);
+    last_output_ = output;
+    return output;
   }
 
   for (size_t i = 0; i < input.jobs.size(); ++i) {
@@ -390,6 +441,8 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       }
     }
   }
+  RecordLadderServed(rung, input.metrics);
+  last_output_ = output;
   return output;
 }
 
@@ -399,6 +452,10 @@ void SiaScheduler::SaveState(BinaryWriter& w) const {
   w.I32(warm_num_constraints_);
   SaveWarmStart(w, warm_state_);
   cache_.SaveState(w);
+  // Carry-over rung source (ISSUE 6): without it a resumed run under a
+  // deadline would carry over nothing where the uninterrupted run carries
+  // the previous round's allocation.
+  SaveScheduleOutput(w, last_output_);
 }
 
 bool SiaScheduler::RestoreState(BinaryReader& r) {
@@ -406,7 +463,8 @@ bool SiaScheduler::RestoreState(BinaryReader& r) {
   warm_num_variables_ = r.I32();
   warm_num_constraints_ = r.I32();
   if (!RestoreWarmStart(r, &warm_state_)) return false;
-  return cache_.RestoreState(r);
+  if (!cache_.RestoreState(r)) return false;
+  return RestoreScheduleOutput(r, &last_output_);
 }
 
 }  // namespace sia

@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "src/common/thread_pool.h"
+#include "src/schedulers/ladder.h"
 #include "src/schedulers/scheduler.h"
 #include "src/schedulers/sia/candidate_cache.h"
 #include "src/solver/milp.h"
@@ -61,6 +62,10 @@ struct SiaOptions {
   // Feed round N's MILP incumbent and root basis into round N+1. Preserves
   // the optimal objective (hints are validated, never trusted).
   bool warm_start = true;
+  // Degradation-ladder knobs (ISSUE 6). Sia implements all five rungs
+  // natively; the ladder only engages when ScheduleInput::deadline_seconds
+  // >= 0 or deadline.force_rung is set, so batch runs are unaffected.
+  DeadlineOptions deadline;
 };
 
 class SiaScheduler : public Scheduler {
@@ -88,6 +93,9 @@ class SiaScheduler : public Scheduler {
   bool have_warm_state_ = false;
   int warm_num_variables_ = -1;
   int warm_num_constraints_ = -1;
+  // Previous round's output, the carry_over rung's source (ISSUE 6).
+  // Maintained every round (cheap) so a deadline can arrive at any time.
+  ScheduleOutput last_output_;
   std::unique_ptr<ThreadPool> pool_;  // Created lazily when num_threads > 1.
 };
 

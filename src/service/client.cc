@@ -1,0 +1,145 @@
+#include "src/service/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace sia {
+namespace {
+
+bool IsMutatingOp(const std::string& op) {
+  return op == "submit_job" || op == "step_round" || op == "finalize" ||
+         op == "create_cluster";
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(ClientOptions options)
+    : options_(std::move(options)),
+      rng_(Rng(options_.seed).Fork("service-client-backoff", 0)) {}
+
+ServiceClient::~ServiceClient() { Disconnect(); }
+
+bool ServiceClient::EnsureConnected(std::string* error) {
+  if (fd_ >= 0) {
+    return true;
+  }
+  fd_ = ConnectTo(options_.address, error);
+  return fd_ >= 0;
+}
+
+void ServiceClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int ServiceClient::BackoffMs(int attempt) {
+  const int shift = std::clamp(attempt - 1, 0, 20);
+  int64_t delay = static_cast<int64_t>(options_.backoff_base_ms) << shift;
+  delay = std::min<int64_t>(delay, options_.backoff_max_ms);
+  // Jitter decorrelates a fleet of clients that all got shed at the same
+  // instant; drawing it from the forked Rng keeps a fixed-seed client's
+  // schedule reproducible.
+  const int jitter_cap = static_cast<int>(delay / 2);
+  const int jitter = jitter_cap > 0 ? static_cast<int>(rng_.UniformInt(0, jitter_cap)) : 0;
+  return static_cast<int>(delay) + jitter;
+}
+
+ClientResult ServiceClient::Call(JsonValue request) {
+  ClientResult result;
+  const std::string op = request.GetString("op", "");
+  if (IsMutatingOp(op)) {
+    // Stamp once; retries resend the same (client, seq) so the server can
+    // recognize a replay of an already-applied request.
+    if (request.Find("client") == nullptr) {
+      request.Set("client", JsonValue::MakeString(options_.client_id));
+    }
+    if (request.Find("seq") == nullptr) {
+      request.Set("seq", JsonValue::MakeNumber(static_cast<double>(next_seq_++)));
+    }
+  }
+  const std::string frame = request.Dump();
+
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    std::string transport_error;
+    if (!EnsureConnected(&transport_error)) {
+      result.error = ServiceError::kInternal;
+      result.message = transport_error;
+    } else if (!WriteFrame(fd_, frame)) {
+      result.error = ServiceError::kInternal;
+      result.message = "connection lost while writing";
+      Disconnect();
+    } else {
+      FrameReader reader(fd_, options_.response_timeout_ms);
+      std::string response_frame;
+      const FrameStatus status = reader.ReadFrame(&response_frame);
+      if (status != FrameStatus::kFrame) {
+        result.error = ServiceError::kInternal;
+        result.message = "connection lost while reading response";
+        Disconnect();
+      } else {
+        std::string parse_error;
+        if (!JsonValue::Parse(response_frame, &result.response, &parse_error)) {
+          result.error = ServiceError::kInternal;
+          result.message = "unparseable response: " + parse_error;
+          Disconnect();
+        } else if (result.response.GetBool("ok", false)) {
+          result.ok = true;
+          result.error = ServiceError::kNone;
+          result.message.clear();
+          return result;
+        } else {
+          result.message = result.response.GetString("message", "");
+          result.error = ServiceError::kInternal;
+          const std::string code = result.response.GetString("error", "");
+          for (int e = 0; e <= static_cast<int>(ServiceError::kInternal); ++e) {
+            if (code == ToString(static_cast<ServiceError>(e))) {
+              result.error = static_cast<ServiceError>(e);
+              break;
+            }
+          }
+          if (!result.response.GetBool("retryable", false)) {
+            return result;  // Request defect; retrying is a bug.
+          }
+        }
+      }
+    }
+    if (attempt == options_.max_attempts) {
+      break;
+    }
+    const int delay_ms = BackoffMs(attempt);
+    const auto sleep =
+        std::chrono::duration<double, std::milli>(delay_ms * options_.sleep_scale);
+    if (sleep.count() > 0) {
+      std::this_thread::sleep_for(sleep);
+    }
+  }
+  return result;
+}
+
+ClientResult ServiceClient::StepRound(const std::string& cluster, int rounds,
+                                      double deadline_ms) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue::MakeString("step_round"));
+  request.Set("cluster", JsonValue::MakeString(cluster));
+  request.Set("rounds", JsonValue::MakeNumber(rounds));
+  if (deadline_ms >= 0.0) {
+    request.Set("deadline_ms", JsonValue::MakeNumber(deadline_ms));
+  }
+  return Call(std::move(request));
+}
+
+ClientResult ServiceClient::Query(const std::string& cluster) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue::MakeString("query"));
+  request.Set("cluster", JsonValue::MakeString(cluster));
+  return Call(std::move(request));
+}
+
+}  // namespace sia

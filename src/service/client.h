@@ -1,0 +1,85 @@
+// Reference client for the sia service (ISSUE 6).
+//
+// Retry contract (mirrors src/service/wire.h):
+//  * transport failures (disconnect, short read, connection refused) and
+//    *retryable* typed errors are retried with capped exponential backoff
+//    plus jitter;
+//  * non-retryable errors are returned to the caller immediately;
+//  * every mutating request carries this client's id and a monotonically
+//    increasing sequence number, so a retry of a request whose response was
+//    lost is absorbed by the server's dedupe map (exactly-once application
+//    over an at-least-once transport).
+//
+// Backoff jitter is drawn from the repo's deterministic Rng, forked from a
+// caller-provided seed: two clients with the same seed back off identically,
+// which keeps the fault-injection harness reproducible.
+#ifndef SIA_SRC_SERVICE_CLIENT_H_
+#define SIA_SRC_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/service/json.h"
+#include "src/service/wire.h"
+
+namespace sia {
+
+struct ClientOptions {
+  std::string address = "unix:/tmp/sia-serve.sock";
+  std::string client_id = "client";
+  uint64_t seed = 1;       // Drives backoff jitter (deterministic).
+  int max_attempts = 8;    // Per request, including the first try.
+  int backoff_base_ms = 50;
+  int backoff_max_ms = 2000;
+  int response_timeout_ms = 150000;  // Per-attempt read timeout.
+  // Scales every real sleep (tests set 0 to spin through retries
+  // instantly while still exercising the full backoff schedule).
+  double sleep_scale = 1.0;
+};
+
+struct ClientResult {
+  bool ok = false;
+  ServiceError error = ServiceError::kNone;  // kInternal for transport loss.
+  std::string message;
+  JsonValue response;  // Parsed response object when a frame was received.
+  int attempts = 0;
+};
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(ClientOptions options);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  // Sends one request, retrying per the options. Mutating ops (submit_job /
+  // step_round / finalize / create_cluster) are stamped with client id +
+  // next sequence number before the first attempt; retries reuse the stamp.
+  ClientResult Call(JsonValue request);
+
+  // Convenience wrappers over Call().
+  ClientResult StepRound(const std::string& cluster, int rounds, double deadline_ms = -1.0);
+  ClientResult Query(const std::string& cluster);
+
+  // Computes the backoff delay (ms) for retry attempt `attempt` (1-based):
+  // min(base << (attempt-1), max) + jitter in [0, delay/2]. Exposed for the
+  // determinism unit test.
+  int BackoffMs(int attempt);
+
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  bool EnsureConnected(std::string* error);
+  void Disconnect();
+
+  ClientOptions options_;
+  Rng rng_;
+  int fd_ = -1;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SERVICE_CLIENT_H_

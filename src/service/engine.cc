@@ -1,0 +1,699 @@
+#include "src/service/engine.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/binary_codec.h"
+#include "src/common/file_util.h"
+#include "src/common/logging.h"
+#include "src/metrics/report.h"
+#include "src/models/model_kind.h"
+#include "src/schedulers/allox/allox_scheduler.h"
+#include "src/schedulers/baselines/priority_schedulers.h"
+#include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/ladder.h"
+#include "src/schedulers/pollux/pollux_scheduler.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/snapshot/snapshot.h"
+#include "src/workload/trace_gen.h"
+#include "src/workload/trace_io.h"
+
+namespace sia {
+namespace {
+
+// Service snapshot payload schema (wrapped in the SIASNAP1 container).
+constexpr uint32_t kServiceStateVersion = 1;
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  return a.empty() || a.back() == '/' ? a + b : a + "/" + b;
+}
+
+bool ParseJobSpec(const JsonValue& json, JobSpec* job, std::string* error) {
+  if (!json.is_object()) {
+    *error = "job must be an object";
+    return false;
+  }
+  job->id = static_cast<JobId>(json.GetNumber("id", -1));
+  job->name = json.GetString("name", "job-" + std::to_string(job->id));
+  const std::string model = json.GetString("model", "");
+  if (!ModelKindFromString(model, &job->model)) {
+    *error = "unknown model '" + model + "'";
+    return false;
+  }
+  job->submit_time = json.GetNumber("submit_time", 0.0);
+  const std::string adaptivity = json.GetString("adaptivity", "adaptive");
+  if (!AdaptivityModeFromString(adaptivity, &job->adaptivity)) {
+    *error = "unknown adaptivity '" + adaptivity + "'";
+    return false;
+  }
+  job->fixed_bsz = json.GetNumber("fixed_bsz", 0.0);
+  job->rigid_num_gpus = static_cast<int>(json.GetNumber("rigid_num_gpus", 0));
+  job->max_num_gpus = static_cast<int>(json.GetNumber("max_num_gpus", 64));
+  job->preemptible = json.GetBool("preemptible", true);
+  job->batch_inference = json.GetBool("batch_inference", false);
+  job->latency_slo_seconds = json.GetNumber("latency_slo_seconds", 0.0);
+  return true;
+}
+
+JsonValue JobSpecToJson(const JobSpec& job) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("id", JsonValue::MakeNumber(job.id));
+  out.Set("name", JsonValue::MakeString(job.name));
+  out.Set("model", JsonValue::MakeString(ToString(job.model)));
+  out.Set("submit_time", JsonValue::MakeNumber(job.submit_time));
+  out.Set("adaptivity", JsonValue::MakeString(ToString(job.adaptivity)));
+  out.Set("fixed_bsz", JsonValue::MakeNumber(job.fixed_bsz));
+  out.Set("rigid_num_gpus", JsonValue::MakeNumber(job.rigid_num_gpus));
+  out.Set("max_num_gpus", JsonValue::MakeNumber(job.max_num_gpus));
+  out.Set("preemptible", JsonValue::MakeBool(job.preemptible));
+  out.Set("batch_inference", JsonValue::MakeBool(job.batch_inference));
+  out.Set("latency_slo_seconds", JsonValue::MakeNumber(job.latency_slo_seconds));
+  return out;
+}
+
+bool ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 64) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) {
+      return false;  // Names become directory components; no traversal.
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ClusterCreateSpec::FromJson(const JsonValue& request, std::string* error) {
+  name = request.GetString("cluster", "");
+  if (!ValidName(name)) {
+    *error = "cluster name must be 1-64 chars of [A-Za-z0-9_-]";
+    return false;
+  }
+  scheduler = request.GetString("scheduler", "sia");
+  cluster_kind = request.GetString("cluster_kind", "heterogeneous");
+  scale = static_cast<int>(request.GetNumber("scale", 1));
+  trace = request.GetString("trace", "none");
+  rate_per_hour = request.GetNumber("rate", 20.0);
+  hours = request.GetNumber("hours", 0.0);
+  seed = static_cast<uint64_t>(request.GetNumber("seed", 1));
+  tuned = request.GetBool("tuned", false);
+  round_deadline_ms = request.GetNumber("round_deadline_ms", -1.0);
+  snapshot_every = static_cast<int>(request.GetNumber("snapshot_every", 16));
+  if (scale < 1 || scale > 64) {
+    *error = "scale must be in [1, 64]";
+    return false;
+  }
+  if (snapshot_every < 1) {
+    *error = "snapshot_every must be >= 1";
+    return false;
+  }
+  if (MakeNamedScheduler(scheduler) == nullptr) {
+    *error = "unknown scheduler '" + scheduler + "'";
+    return false;
+  }
+  if (cluster_kind != "heterogeneous" && cluster_kind != "homogeneous" &&
+      cluster_kind != "physical") {
+    *error = "unknown cluster_kind '" + cluster_kind + "'";
+    return false;
+  }
+  if (trace != "none" && trace != "philly" && trace != "helios" && trace != "newtrace") {
+    *error = "unknown trace '" + trace + "'";
+    return false;
+  }
+  return true;
+}
+
+JsonValue ClusterCreateSpec::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("cluster", JsonValue::MakeString(name));
+  out.Set("scheduler", JsonValue::MakeString(scheduler));
+  out.Set("cluster_kind", JsonValue::MakeString(cluster_kind));
+  out.Set("scale", JsonValue::MakeNumber(scale));
+  out.Set("trace", JsonValue::MakeString(trace));
+  out.Set("rate", JsonValue::MakeNumber(rate_per_hour));
+  out.Set("hours", JsonValue::MakeNumber(hours));
+  out.Set("seed", JsonValue::MakeNumber(static_cast<double>(seed)));
+  out.Set("tuned", JsonValue::MakeBool(tuned));
+  out.Set("round_deadline_ms", JsonValue::MakeNumber(round_deadline_ms));
+  out.Set("snapshot_every", JsonValue::MakeNumber(snapshot_every));
+  return out;
+}
+
+std::unique_ptr<Scheduler> MakeNamedScheduler(const std::string& name) {
+  if (name == "sia") {
+    return std::make_unique<SiaScheduler>(SiaOptions{});
+  }
+  if (name == "pollux") {
+    return std::make_unique<PolluxScheduler>(PolluxOptions{});
+  }
+  if (name == "gavel") {
+    return std::make_unique<GavelScheduler>();
+  }
+  if (name == "allox") {
+    return std::make_unique<AlloxScheduler>();
+  }
+  if (name == "shockwave") {
+    return std::make_unique<PriorityScheduler>(ShockwaveOptions());
+  }
+  if (name == "themis") {
+    return std::make_unique<PriorityScheduler>(ThemisOptions());
+  }
+  if (name == "fifo") {
+    return std::make_unique<PriorityScheduler>(FifoOptions());
+  }
+  if (name == "srtf") {
+    return std::make_unique<PriorityScheduler>(SrtfOptions());
+  }
+  return nullptr;
+}
+
+HostedCluster::~HostedCluster() {
+  if (journal_fd_ >= 0) {
+    ::close(journal_fd_);
+  }
+}
+
+std::unique_ptr<HostedCluster> HostedCluster::Create(const std::string& root,
+                                                     const ClusterCreateSpec& spec,
+                                                     std::string* error) {
+  auto host = std::unique_ptr<HostedCluster>(new HostedCluster());
+  host->spec_ = spec;
+  host->dir_ = JoinPath(root, spec.name);
+  std::error_code ec;
+  std::filesystem::create_directories(host->dir_, ec);
+  std::filesystem::create_directories(JoinPath(host->dir_, "checkpoints"), ec);
+  if (ec) {
+    *error = "mkdir " + host->dir_ + ": " + ec.message();
+    return nullptr;
+  }
+  if (!AtomicWriteFile(JoinPath(host->dir_, "create.json"), spec.ToJson().Dump() + "\n",
+                       error)) {
+    return nullptr;
+  }
+  if (!host->BuildStack(/*resume_trace_offset=*/-1, error)) {
+    return nullptr;
+  }
+  host->journal_fd_ = ::open(JoinPath(host->dir_, "journal.jsonl").c_str(),
+                             O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (host->journal_fd_ < 0) {
+    *error = std::string("open journal: ") + strerror(errno);
+    return nullptr;
+  }
+  return host;
+}
+
+std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
+                                                      const std::string& name,
+                                                      std::string* error) {
+  auto host = std::unique_ptr<HostedCluster>(new HostedCluster());
+  host->dir_ = JoinPath(root, name);
+  const std::string create_path = JoinPath(host->dir_, "create.json");
+  std::string create_text;
+  if (!ReadFileToString(create_path, &create_text, error)) {
+    return nullptr;
+  }
+  JsonValue create_json;
+  if (!JsonValue::Parse(create_text, &create_json, error)) {
+    *error = "create.json: " + *error;
+    return nullptr;
+  }
+  if (!host->spec_.FromJson(create_json, error)) {
+    return nullptr;
+  }
+  if (host->spec_.name != name) {
+    *error = "create.json names cluster '" + host->spec_.name + "'";
+    return nullptr;
+  }
+
+  // The journal's fsynced prefix is authoritative; a torn tail is a request
+  // that was never acknowledged and is safe to drop.
+  const std::string journal_path = JoinPath(host->dir_, "journal.jsonl");
+  if (std::filesystem::exists(journal_path)) {
+    uint64_t removed = 0;
+    if (!RepairTornTail(journal_path, &removed, error)) {
+      return nullptr;
+    }
+    if (removed > 0) {
+      SIA_LOG(Warning) << "cluster " << name << ": dropped " << removed
+                       << " torn journal bytes";
+    }
+  }
+  std::vector<std::string> journal_lines;
+  {
+    std::string journal_text;
+    if (std::filesystem::exists(journal_path) &&
+        !ReadFileToString(journal_path, &journal_text, error)) {
+      return nullptr;
+    }
+    size_t start = 0;
+    while (start < journal_text.size()) {
+      const size_t end = journal_text.find('\n', start);
+      if (end == std::string::npos) {
+        break;  // RepairTornTail guarantees this cannot happen; belt & braces.
+      }
+      journal_lines.push_back(journal_text.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+
+  // Newest valid snapshot, if any; corrupt ones are skipped transparently.
+  std::string sim_payload;
+  {
+    std::string snap_path;
+    std::string snap_payload;
+    std::vector<std::string> skipped;
+    std::string snap_error;
+    if (LatestValidSnapshot(JoinPath(host->dir_, "checkpoints"), &snap_path, &snap_payload,
+                            &skipped, &snap_error)) {
+      for (const std::string& reason : skipped) {
+        SIA_LOG(Warning) << "cluster " << name << ": skipping snapshot: " << reason;
+      }
+      BinaryReader r(snap_payload);
+      const uint32_t version = r.U32();
+      const uint64_t applied = r.U64();
+      const bool finalized = r.Bool();
+      const uint64_t dedupe_count = r.U64();
+      std::map<std::string, uint64_t> dedupe;
+      if (r.ok() && version == kServiceStateVersion && dedupe_count <= (1u << 20)) {
+        for (uint64_t i = 0; r.ok() && i < dedupe_count; ++i) {
+          std::string client = r.Str();
+          const uint64_t seq = r.U64();
+          dedupe[std::move(client)] = seq;
+        }
+        sim_payload = r.Blob();
+        if (r.ok() && applied <= journal_lines.size()) {
+          host->applied_count_ = applied;
+          host->client_last_seq_ = std::move(dedupe);
+          host->finalized_ = finalized;
+          host->last_snapshot_applied_ = applied;
+        } else {
+          sim_payload.clear();  // Snapshot ahead of the journal: distrust it.
+        }
+      }
+    }
+  }
+
+  // Fingerprint parity: the simulator must see the same workload it had when
+  // the snapshot was taken, so journaled submissions in the snapshot's
+  // prefix are re-submitted before RestoreState.
+  int64_t resume_trace_offset = -1;
+  if (!sim_payload.empty()) {
+    SnapshotMeta meta;
+    std::string meta_error;
+    if (!ReadSnapshotMeta(sim_payload, &meta, &meta_error)) {
+      SIA_LOG(Warning) << "cluster " << name << ": unreadable snapshot meta ("
+                       << meta_error << "); replaying journal from round zero";
+      sim_payload.clear();
+      host->applied_count_ = 0;
+      host->client_last_seq_.clear();
+      host->finalized_ = false;
+      host->last_snapshot_applied_ = 0;
+    } else if (meta.has_trace) {
+      resume_trace_offset = meta.trace_offset;
+    }
+  }
+  if (!host->BuildStack(resume_trace_offset, error)) {
+    return nullptr;
+  }
+
+  const uint64_t prefix = sim_payload.empty() ? 0 : host->applied_count_;
+  for (uint64_t i = 0; i < prefix; ++i) {
+    JsonValue entry;
+    std::string parse_error;
+    if (!JsonValue::Parse(journal_lines[i], &entry, &parse_error)) {
+      *error = "journal entry " + std::to_string(i) + ": " + parse_error;
+      return nullptr;
+    }
+    if (entry.GetString("op", "") != "submit_job") {
+      continue;  // Steps in the prefix live inside the snapshot state.
+    }
+    JobSpec job;
+    std::string job_error;
+    if (!ParseJobSpec(*entry.Find("job"), &job, &job_error) ||
+        !host->sim_->SubmitJob(job, &job_error)) {
+      *error = "journal entry " + std::to_string(i) + ": " + job_error;
+      return nullptr;
+    }
+  }
+  if (!sim_payload.empty()) {
+    std::string restore_error;
+    if (!host->sim_->RestoreState(sim_payload, &restore_error)) {
+      *error = "snapshot restore: " + restore_error;
+      return nullptr;
+    }
+  }
+
+  // Replay the journal suffix. Replayed ops do not re-journal and their
+  // responses are discarded -- the original clients already got them (or
+  // never did, and will retry through the dedupe map).
+  for (uint64_t i = prefix; i < journal_lines.size(); ++i) {
+    JsonValue entry;
+    std::string parse_error;
+    if (!JsonValue::Parse(journal_lines[i], &entry, &parse_error)) {
+      *error = "journal entry " + std::to_string(i) + ": " + parse_error;
+      return nullptr;
+    }
+    host->ApplyMutation(entry, /*replay=*/true);
+  }
+
+  host->journal_fd_ = ::open(journal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (host->journal_fd_ < 0) {
+    *error = std::string("open journal: ") + strerror(errno);
+    return nullptr;
+  }
+  return host;
+}
+
+bool HostedCluster::BuildStack(int64_t resume_trace_offset, std::string* error) {
+  if (spec_.cluster_kind == "heterogeneous") {
+    cluster_ = MakeHeterogeneousCluster(spec_.scale);
+  } else if (spec_.cluster_kind == "homogeneous") {
+    cluster_ = MakeHomogeneousCluster();
+  } else {
+    cluster_ = MakePhysicalCluster();
+  }
+
+  jobs_.clear();
+  if (spec_.trace != "none") {
+    TraceOptions trace;
+    trace.kind = spec_.trace == "philly"   ? TraceKind::kPhilly
+                 : spec_.trace == "helios" ? TraceKind::kHelios
+                                           : TraceKind::kNewTrace;
+    trace.arrival_rate_per_hour = spec_.rate_per_hour;
+    trace.duration_hours = spec_.hours;
+    trace.seed = spec_.seed;
+    jobs_ = GenerateTrace(trace);
+  }
+  const bool rigid_policy = spec_.scheduler != "sia" && spec_.scheduler != "pollux";
+  if ((spec_.tuned || rigid_policy) && !jobs_.empty()) {
+    TunedJobsOptions tuned;
+    tuned.max_gpus = spec_.cluster_kind == "homogeneous" ? 64 : 16;
+    tuned.seed = spec_.seed;
+    jobs_ = MakeTunedJobs(jobs_, tuned);
+  }
+
+  scheduler_ = MakeNamedScheduler(spec_.scheduler);
+  if (scheduler_ == nullptr) {
+    *error = "unknown scheduler '" + spec_.scheduler + "'";
+    return false;
+  }
+
+  const std::string trace_path = JoinPath(dir_, "trace.jsonl");
+  if (resume_trace_offset >= 0) {
+    if (!PrepareSinkForResume(trace_path, resume_trace_offset, error)) {
+      return false;
+    }
+    trace_ = OpenTraceSinkForAppend(trace_path);
+  } else {
+    trace_ = OpenTraceSink(trace_path);
+  }
+  if (trace_ == nullptr) {
+    *error = "failed to open trace sink " + trace_path;
+    return false;
+  }
+
+  SimOptions options;
+  options.seed = spec_.seed;
+  options.metrics = &metrics_;
+  options.trace = trace_.get();
+  if (spec_.round_deadline_ms >= 0.0) {
+    options.round_deadline_seconds = spec_.round_deadline_ms / 1000.0;
+  }
+  sim_ = std::make_unique<ClusterSimulator>(cluster_, jobs_, scheduler_.get(), options);
+  return true;
+}
+
+int64_t HostedCluster::RequestSeq(const JsonValue& request) const {
+  return static_cast<int64_t>(request.GetNumber("seq", -1.0));
+}
+
+std::string HostedCluster::HandleRequest(const JsonValue& request) {
+  const std::string op = request.GetString("op", "");
+  if (op == "query") {
+    return HandleQuery();
+  }
+  if (op == "telemetry") {
+    return HandleTelemetry();
+  }
+  if (op == "submit_job" || op == "step_round" || op == "finalize") {
+    return ApplyMutation(request, /*replay=*/false);
+  }
+  return ErrorResponse(RequestSeq(request), ServiceError::kUnknownOp,
+                       "unknown op '" + op + "'");
+}
+
+std::string HostedCluster::ApplyMutation(const JsonValue& request, bool replay) {
+  const std::string op = request.GetString("op", "");
+  const std::string client = request.GetString("client", "");
+  const int64_t seq = RequestSeq(request);
+  if (client.empty() || seq < 1) {
+    return ErrorResponse(seq, ServiceError::kBadArgument,
+                         "mutating requests need a client id and seq >= 1");
+  }
+
+  // Exactly-once application over an at-least-once transport: a seq at or
+  // below the client's high-water mark was already applied (the client
+  // retried a request whose response was lost) -- ack it without reapplying.
+  // A gap means the client skipped a request; make it back off and resend.
+  const auto it = client_last_seq_.find(client);
+  const uint64_t last = it == client_last_seq_.end() ? 0 : it->second;
+  if (static_cast<uint64_t>(seq) <= last) {
+    if (replay) {
+      return "";
+    }
+    JsonValue fields = JsonValue::MakeObject();
+    fields.Set("duplicate", JsonValue::MakeBool(true));
+    return OkResponse(seq, std::move(fields));
+  }
+  if (it != client_last_seq_.end() && static_cast<uint64_t>(seq) != last + 1) {
+    return ErrorResponse(seq, ServiceError::kOutOfOrder,
+                         "expected seq " + std::to_string(last + 1));
+  }
+
+  if (finalized_ && op != "finalize") {
+    return ErrorResponse(seq, ServiceError::kClusterDone, "cluster already finalized");
+  }
+
+  // submit_job rewrites the job's submit time to its effective value before
+  // journaling, so a replay at clock zero re-inserts it at the identical
+  // queue position (the simulator clamps to `now` on live submission).
+  JsonValue journaled = request;
+  if (op == "submit_job") {
+    const JsonValue* job_json = request.Find("job");
+    JobSpec job;
+    std::string job_error;
+    if (job_json == nullptr || !ParseJobSpec(*job_json, &job, &job_error)) {
+      return ErrorResponse(seq, ServiceError::kBadArgument,
+                           job_error.empty() ? "missing job" : job_error);
+    }
+    job.submit_time = std::max(job.submit_time, sim_->now_seconds());
+    journaled.Set("job", JobSpecToJson(job));
+  }
+
+  if (!replay) {
+    std::string journal_error;
+    if (!JournalAppend(journaled.Dump(), &journal_error)) {
+      return ErrorResponse(seq, ServiceError::kInternal, journal_error);
+    }
+  }
+  client_last_seq_[client] = static_cast<uint64_t>(seq);
+  ++applied_count_;
+
+  std::string response;
+  if (op == "submit_job") {
+    response = ApplySubmitJob(journaled, replay);
+  } else if (op == "step_round") {
+    response = ApplyStepRound(journaled);
+  } else {
+    response = ApplyFinalize();
+  }
+
+  if (!replay && !finalized_ &&
+      applied_count_ - last_snapshot_applied_ >= static_cast<uint64_t>(spec_.snapshot_every)) {
+    std::string snap_error;
+    if (!Snapshot(&snap_error)) {
+      SIA_LOG(Warning) << "cluster " << spec_.name << ": snapshot failed: " << snap_error;
+    }
+  }
+  return response;
+}
+
+std::string HostedCluster::ApplySubmitJob(const JsonValue& request, bool replay) {
+  (void)replay;
+  const int64_t seq = RequestSeq(request);
+  JobSpec job;
+  std::string job_error;
+  if (!ParseJobSpec(*request.Find("job"), &job, &job_error)) {
+    return ErrorResponse(seq, ServiceError::kBadArgument, job_error);
+  }
+  if (!sim_->SubmitJob(job, &job_error)) {
+    // Journaled before apply; the failure is deterministic, so a replay
+    // fails the same way and state stays consistent.
+    return ErrorResponse(seq, ServiceError::kBadArgument, job_error);
+  }
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("job_id", JsonValue::MakeNumber(job.id));
+  fields.Set("effective_submit_time", JsonValue::MakeNumber(job.submit_time));
+  return OkResponse(seq, std::move(fields));
+}
+
+std::string HostedCluster::ApplyStepRound(const JsonValue& request) {
+  const int64_t seq = RequestSeq(request);
+  int rounds = static_cast<int>(request.GetNumber("rounds", 1.0));
+  rounds = std::clamp(rounds, 1, 4096);
+  // deadline_ms scopes to this request only; steps without one run under the
+  // cluster default from the create spec (journal replay re-derives the same
+  // sequence, so recovery sees identical deadlines round for round).
+  if (const JsonValue* deadline = request.Find("deadline_ms");
+      deadline != nullptr && deadline->is_number()) {
+    sim_->set_round_deadline_seconds(deadline->as_number() < 0.0
+                                         ? -1.0
+                                         : deadline->as_number() / 1000.0);
+  } else {
+    sim_->set_round_deadline_seconds(
+        spec_.round_deadline_ms >= 0.0 ? spec_.round_deadline_ms / 1000.0 : -1.0);
+  }
+
+  int rounds_run = 0;
+  ClusterSimulator::StepStatus status = ClusterSimulator::StepStatus::kRoundScheduled;
+  for (int i = 0; i < rounds; ++i) {
+    status = sim_->StepRound();
+    if (status != ClusterSimulator::StepStatus::kRoundScheduled) {
+      break;
+    }
+    ++rounds_run;
+  }
+
+  const char* status_name = "scheduled";
+  if (status == ClusterSimulator::StepStatus::kComplete) {
+    status_name = "complete";
+  } else if (status == ClusterSimulator::StepStatus::kCapReached) {
+    status_name = "cap_reached";
+  } else if (status == ClusterSimulator::StepStatus::kStopRequested) {
+    status_name = "stopped";
+  }
+  if (status == ClusterSimulator::StepStatus::kComplete ||
+      status == ClusterSimulator::StepStatus::kCapReached) {
+    // The run cannot advance further; finalize so results/metrics land on
+    // disk without requiring a separate request.
+    ApplyFinalizeOutputs();
+  }
+
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("status", JsonValue::MakeString(status_name));
+  fields.Set("rounds_run", JsonValue::MakeNumber(rounds_run));
+  fields.Set("round_index", JsonValue::MakeNumber(static_cast<double>(sim_->round_index())));
+  fields.Set("now_seconds", JsonValue::MakeNumber(sim_->now_seconds()));
+  fields.Set("ladder_rung",
+             JsonValue::MakeNumber(metrics_.gauge_value("scheduler.ladder.last_rung")));
+  fields.Set("finalized", JsonValue::MakeBool(finalized_));
+  return OkResponse(seq, std::move(fields));
+}
+
+std::string HostedCluster::ApplyFinalize() {
+  ApplyFinalizeOutputs();
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("finalized", JsonValue::MakeBool(true));
+  fields.Set("round_index", JsonValue::MakeNumber(static_cast<double>(sim_->round_index())));
+  return OkResponse(-1, std::move(fields));
+}
+
+void HostedCluster::ApplyFinalizeOutputs() {
+  if (finalized_) {
+    return;
+  }
+  const SimResult& result = sim_->Finalize();
+  trace_->Flush();
+  if (!WriteJobResultsCsv(JoinPath(dir_, "results.csv"), result)) {
+    SIA_LOG(Warning) << "cluster " << spec_.name << ": failed to write results.csv";
+  }
+  if (!metrics_.WriteJsonFile(JoinPath(dir_, "metrics.json"))) {
+    SIA_LOG(Warning) << "cluster " << spec_.name << ": failed to write metrics.json";
+  }
+  finalized_ = true;
+}
+
+std::string HostedCluster::HandleQuery() const {
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("cluster", JsonValue::MakeString(spec_.name));
+  fields.Set("scheduler", JsonValue::MakeString(spec_.scheduler));
+  fields.Set("round_index", JsonValue::MakeNumber(static_cast<double>(sim_->round_index())));
+  fields.Set("now_seconds", JsonValue::MakeNumber(sim_->now_seconds()));
+  fields.Set("applied_count", JsonValue::MakeNumber(static_cast<double>(applied_count_)));
+  fields.Set("finalized", JsonValue::MakeBool(finalized_));
+  return OkResponse(-1, std::move(fields));
+}
+
+std::string HostedCluster::HandleTelemetry() const {
+  std::ostringstream metrics_json;
+  metrics_.WriteJson(metrics_json);
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("ladder_rung",
+             JsonValue::MakeNumber(metrics_.gauge_value("scheduler.ladder.last_rung")));
+  fields.Set("metrics_json", JsonValue::MakeString(metrics_json.str()));
+  return OkResponse(-1, std::move(fields));
+}
+
+bool HostedCluster::JournalAppend(const std::string& line, std::string* error) {
+  std::string wire = line;
+  wire += '\n';
+  size_t written = 0;
+  while (written < wire.size()) {
+    const ssize_t n = ::write(journal_fd_, wire.data() + written, wire.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *error = std::string("journal write: ") + strerror(errno);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Durability point: once fdatasync returns, the entry survives SIGKILL and
+  // power loss; only now may the request mutate the simulator.
+  if (::fdatasync(journal_fd_) != 0) {
+    *error = std::string("journal fdatasync: ") + strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool HostedCluster::Snapshot(std::string* error) {
+  if (applied_count_ == last_snapshot_applied_) {
+    return true;  // Nothing new to capture.
+  }
+  BinaryWriter w;
+  w.U32(kServiceStateVersion);
+  w.U64(applied_count_);
+  w.Bool(finalized_);
+  w.U64(client_last_seq_.size());
+  for (const auto& [client, seq] : client_last_seq_) {
+    w.Str(client);
+    w.U64(seq);
+  }
+  w.Blob(sim_->SerializeState());
+
+  const std::string dir = JoinPath(dir_, "checkpoints");
+  const std::string path = SnapshotPath(dir, static_cast<int64_t>(applied_count_));
+  if (!WriteSnapshotFile(path, w.data(), error)) {
+    return false;
+  }
+  PruneSnapshots(dir, 3);
+  last_snapshot_applied_ = applied_count_;
+  return true;
+}
+
+}  // namespace sia

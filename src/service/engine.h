@@ -1,0 +1,152 @@
+// One hosted simulated cluster inside the sia service (ISSUE 6).
+//
+// A HostedCluster wraps a ClusterSimulator with the durability the daemon
+// needs to survive SIGKILL at any instant:
+//
+//  * create.json      -- the creation spec, written atomically once;
+//  * journal.jsonl    -- write-ahead log of every mutating request
+//                        (submit_job / step_round / finalize), fsynced
+//                        *before* the request is applied;
+//  * checkpoints/     -- SIASNAP1 service snapshots: a service header
+//                        (applied-op count + per-client dedupe map) plus the
+//                        simulator's own SerializeState payload;
+//  * trace.jsonl      -- the run trace (crash-safe, resumed by offset);
+//  * results.csv / metrics.json -- written when the run finalizes.
+//
+// Recovery rebuilds the simulator from create.json, replays journaled
+// submissions up to the snapshot point (the simulator's fingerprint covers
+// the workload, so the job list must match before RestoreState), restores
+// the snapshot, then replays the journal suffix. Because the simulator is
+// deterministic per seed, a recovered cluster's trace/metrics/results are
+// byte-identical to an uninterrupted run -- the property tools/sia_supervise
+// --serve verifies with real SIGKILLs.
+//
+// Determinism caveat: a step_round with a *positive* wall-clock deadline is
+// intentionally nondeterministic (the ladder rung depends on real solver
+// time). Replay applies the same deadline but may pick a different rung.
+// Deadlines of 0 (force carry-over) or unset (unlimited) replay exactly.
+//
+// Threading: a HostedCluster is confined to its owning worker thread; only
+// Snapshot() metadata accessors (name/finalized) are safe cross-thread.
+#ifndef SIA_SRC_SERVICE_ENGINE_H_
+#define SIA_SRC_SERVICE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace_sink.h"
+#include "src/schedulers/scheduler.h"
+#include "src/service/json.h"
+#include "src/service/wire.h"
+#include "src/sim/simulator.h"
+
+namespace sia {
+
+// Parsed create_cluster arguments; round-trips through create.json.
+struct ClusterCreateSpec {
+  std::string name;
+  std::string scheduler = "sia";
+  std::string cluster_kind = "heterogeneous";  // heterogeneous|homogeneous|physical
+  int scale = 1;
+  std::string trace = "none";  // none|philly|helios|newtrace
+  double rate_per_hour = 20.0;
+  double hours = 0.0;  // 0 = the trace's default window.
+  uint64_t seed = 1;
+  bool tuned = false;  // Implied for rigid baseline policies.
+  // Default per-round deadline (ms); step_round may override per request.
+  double round_deadline_ms = -1.0;
+  // Snapshot cadence in applied journal entries (watchdog may add more).
+  int snapshot_every = 16;
+
+  bool FromJson(const JsonValue& request, std::string* error);
+  JsonValue ToJson() const;
+};
+
+// Builds the named scheduler (the same registry sia_simulate exposes).
+// Returns nullptr for unknown names.
+std::unique_ptr<Scheduler> MakeNamedScheduler(const std::string& name);
+
+class HostedCluster {
+ public:
+  ~HostedCluster();
+
+  // Creates a fresh cluster under `root`/`spec.name`, writing create.json.
+  static std::unique_ptr<HostedCluster> Create(const std::string& root,
+                                               const ClusterCreateSpec& spec,
+                                               std::string* error);
+
+  // Rebuilds a cluster from its state directory after a server restart:
+  // create.json + latest valid snapshot + journal replay. A missing or
+  // fully corrupt snapshot set degrades to full journal replay from round
+  // zero (slower, same bytes).
+  static std::unique_ptr<HostedCluster> Recover(const std::string& root,
+                                                const std::string& name, std::string* error);
+
+  // Handles one parsed request (op submit_job|step_round|finalize|query|
+  // telemetry) and returns the response frame. Mutating ops are journaled
+  // and deduplicated by (client, seq) before they touch the simulator.
+  std::string HandleRequest(const JsonValue& request);
+
+  // Writes a service snapshot at the current round boundary (watchdog hook;
+  // also fired automatically every snapshot_every applied ops). No-op when
+  // nothing was applied since the last snapshot.
+  bool Snapshot(std::string* error);
+
+  const std::string& name() const { return spec_.name; }
+  const std::string& dir() const { return dir_; }
+  bool finalized() const { return finalized_; }
+  uint64_t applied_count() const { return applied_count_; }
+
+ private:
+  HostedCluster() = default;
+
+  // Builds the simulator stack (cluster, workload, scheduler, sinks) from
+  // spec_. `resume_trace_offset` >= 0 truncates + appends the trace file
+  // instead of recreating it.
+  bool BuildStack(int64_t resume_trace_offset, std::string* error);
+
+  // Applies one mutating request. `replay` skips journaling and dedupe
+  // bookkeeping is updated from the journaled entry itself.
+  std::string ApplyMutation(const JsonValue& request, bool replay);
+
+  std::string ApplySubmitJob(const JsonValue& request, bool replay);
+  std::string ApplyStepRound(const JsonValue& request);
+  std::string ApplyFinalize();
+  // Finalizes the simulation and writes results.csv / metrics.json once.
+  void ApplyFinalizeOutputs();
+
+  std::string HandleQuery() const;
+  std::string HandleTelemetry() const;
+
+  // Appends `line` to the journal and fsyncs before returning. The write-
+  // ahead contract: a request is applied only after its journal entry is
+  // durable, so an acked request can never be lost to a crash.
+  bool JournalAppend(const std::string& line, std::string* error);
+
+  int64_t RequestSeq(const JsonValue& request) const;
+
+  ClusterCreateSpec spec_;
+  std::string dir_;
+  int journal_fd_ = -1;
+
+  ClusterSpec cluster_;
+  std::vector<JobSpec> jobs_;
+  std::unique_ptr<Scheduler> scheduler_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceSink> trace_;
+  std::unique_ptr<ClusterSimulator> sim_;
+
+  // Durable request bookkeeping (snapshotted + rebuilt by replay).
+  uint64_t applied_count_ = 0;
+  std::map<std::string, uint64_t> client_last_seq_;
+  uint64_t last_snapshot_applied_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SERVICE_ENGINE_H_

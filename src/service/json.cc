@@ -1,0 +1,452 @@
+#include "src/service/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/check.h"
+#include "src/obs/json_util.h"
+
+namespace sia {
+namespace {
+
+// Recursive-descent parser over a bounded cursor. Every Parse* method leaves
+// the cursor on the first byte after the value it consumed.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool ParseValue(JsonValue* out, int depth) {
+    SkipWhitespace();
+    if (depth > JsonValue::kMaxDepth) {
+      return Fail("nesting depth exceeds limit");
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) {
+          return false;
+        }
+        *out = JsonValue::MakeString(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) {
+          return false;
+        }
+        *out = JsonValue::MakeBool(true);
+        return true;
+      case 'f':
+        if (!ConsumeLiteral("false")) {
+          return false;
+        }
+        *out = JsonValue::MakeBool(false);
+        return true;
+      case 'n':
+        if (!ConsumeLiteral("null")) {
+          return false;
+        }
+        *out = JsonValue();
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    size_t members = 0;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      out->Set(std::move(key), std::move(value));
+      if (++members > JsonValue::kMaxElements) {
+        return Fail("object member count exceeds limit");
+      }
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      out->Append(std::move(value));
+      if (out->size() > JsonValue::kMaxElements) {
+        return Fail("array element count exceeds limit");
+      }
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) {
+        return Fail("dangling escape");
+      }
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point. Surrogates are rejected rather
+          // than paired -- no field in this protocol needs astral-plane
+          // characters, and rejecting beats silently mis-encoding.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Fail("surrogate \\u escapes are not supported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    auto digits = [this] {
+      size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) {
+      return Fail("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) {
+        return Fail("invalid number: missing fraction digits");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) {
+        return Fail("invalid number: missing exponent digits");
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Fail("number out of range");
+    }
+    *out = JsonValue::MakeNumber(value);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.type_ = Type::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out;
+  out.type_ = Type::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.type_ = Type::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue out;
+  out.type_ = Type::kArray;
+  return out;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue out;
+  out.type_ = Type::kObject;
+  return out;
+}
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out, std::string* error) {
+  SIA_CHECK(out != nullptr);
+  if (error != nullptr) {
+    error->clear();
+  }
+  Parser parser(text, error);
+  if (!parser.ParseValue(out, 0)) {
+    return false;
+  }
+  parser.SkipWhitespace();
+  if (!parser.AtEnd()) {
+    if (error != nullptr && error->empty()) {
+      *error = "trailing bytes after JSON value";
+    }
+    return false;
+  }
+  return true;
+}
+
+size_t JsonValue::size() const { return array_.size(); }
+
+const JsonValue& JsonValue::at(size_t index) const {
+  SIA_CHECK(type_ == Type::kArray && index < array_.size());
+  return array_[index];
+}
+
+void JsonValue::Append(JsonValue v) {
+  SIA_CHECK(type_ == Type::kArray);
+  array_.push_back(std::move(v));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  SIA_CHECK(type_ == Type::kObject);
+  for (auto& [name, value] : members_) {
+    if (name == key) {
+      value = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+double JsonValue::GetNumber(std::string_view key, double default_value) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : default_value;
+}
+
+std::string JsonValue::GetString(std::string_view key, const std::string& default_value) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : default_value;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool default_value) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : default_value;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(out);
+  return out;
+}
+
+void JsonValue::DumpTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber: {
+      // Integral values print without a fraction so sequence numbers and ids
+      // round-trip as the tokens clients sent.
+      const int64_t as_int = static_cast<int64_t>(number_);
+      if (static_cast<double>(as_int) == number_) {
+        AppendJsonNumber(out, as_int);
+      } else {
+        AppendJsonNumber(out, number_);
+      }
+      return;
+    }
+    case Type::kString:
+      AppendJsonString(out, string_);
+      return;
+    case Type::kArray: {
+      out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        array_[i].DumpTo(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [name, value] : members_) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        AppendJsonString(out, name);
+        out += ':';
+        value.DumpTo(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace sia

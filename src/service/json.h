@@ -1,0 +1,90 @@
+// Minimal hardened JSON value + parser for the service wire protocol
+// (ISSUE 6). The repo's other JSON is write-only (src/obs/json_util.h);
+// the service is the first component that must *accept* bytes from
+// untrusted clients, so this parser is defensive by construction:
+//
+//  * hard input-size cap (callers enforce the frame cap before parsing);
+//  * nesting-depth cap (kMaxDepth) against stack-exhaustion payloads;
+//  * element/key-count caps against billion-laughs-style blowup;
+//  * strict RFC 8259 subset -- no comments, no trailing commas, no bare
+//    NaN/Infinity, exactly one top-level value;
+//  * every failure is a clean `false` + error string, never a crash.
+//
+// Objects preserve insertion order and Dump() emits members in that order,
+// so serialize(parse(x)) is deterministic -- the property every
+// byte-identity check in this repo leans on.
+#ifndef SIA_SRC_SERVICE_JSON_H_
+#define SIA_SRC_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sia {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parse limits. Generous for real requests, tiny for attack payloads.
+  static constexpr int kMaxDepth = 32;
+  static constexpr size_t kMaxElements = 1u << 16;  // Per array/object.
+
+  JsonValue() = default;
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  // Parses exactly one JSON value spanning all of `text` (surrounding
+  // whitespace allowed). Returns false and fills `error` on any violation.
+  static bool Parse(std::string_view text, JsonValue* out, std::string* error);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  // Array access.
+  size_t size() const;
+  const JsonValue& at(size_t index) const;
+  void Append(JsonValue v);
+
+  // Object access: Find returns nullptr when absent; Set appends or
+  // overwrites (preserving the original position on overwrite).
+  const JsonValue* Find(std::string_view key) const;
+  void Set(std::string key, JsonValue v);
+
+  // Typed object lookups with defaults -- the shape every request handler
+  // wants: missing key or wrong type yields the default.
+  double GetNumber(std::string_view key, double default_value) const;
+  std::string GetString(std::string_view key, const std::string& default_value) const;
+  bool GetBool(std::string_view key, bool default_value) const;
+
+  // Serializes deterministically (object members in insertion order,
+  // numbers in shortest round-trip form via src/obs/json_util).
+  std::string Dump() const;
+  void DumpTo(std::string& out) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SERVICE_JSON_H_

@@ -1,0 +1,420 @@
+#include "src/service/server.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/service/wire.h"
+
+namespace sia {
+
+SiaServer::SiaServer(ServerOptions options) : options_(std::move(options)) {}
+
+SiaServer::~SiaServer() { Stop(); }
+
+bool SiaServer::Start(std::string* error) {
+  // A dead client mid-WriteFrame must surface as EPIPE, not kill the server.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.state_dir, ec);
+  if (ec) {
+    *error = "state dir " + options_.state_dir + ": " + ec.message();
+    return false;
+  }
+
+  if (options_.recover) {
+    // Every subdirectory with a create.json is a cluster that was alive when
+    // the previous process died; re-host all of them before accepting work.
+    for (const auto& entry : std::filesystem::directory_iterator(options_.state_dir, ec)) {
+      if (!entry.is_directory()) {
+        continue;
+      }
+      const std::string name = entry.path().filename().string();
+      if (!std::filesystem::exists(entry.path() / "create.json")) {
+        continue;
+      }
+      std::string recover_error;
+      auto host = HostedCluster::Recover(options_.state_dir, name, &recover_error);
+      if (host == nullptr) {
+        SIA_LOG(Warning) << "failed to recover cluster " << name << ": " << recover_error;
+        BumpServerCounter("service.recover_failures");
+        continue;
+      }
+      SIA_LOG(Info) << "recovered cluster " << name << " (applied "
+                    << host->applied_count() << " ops)";
+      BumpServerCounter("service.clusters_recovered");
+      SpawnWorker(std::move(host));
+    }
+  }
+
+  const int listen_fd = ListenOn(options_.listen, error);
+  if (listen_fd < 0) {
+    return false;
+  }
+  listen_fd_.store(listen_fd);
+  running_.store(true);
+  listener_ = std::thread([this] { ListenerLoop(); });
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+  return true;
+}
+
+void SiaServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stopping_.store(true);
+
+  // Unblock the accept loop and every in-flight frame read.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const int fd : connection_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (listener_.joinable()) {
+    listener_.join();
+  }
+  if (watchdog_.joinable()) {
+    watchdog_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (std::thread& t : connections_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    connections_.clear();
+    connection_fds_.clear();
+  }
+
+  // Drain and stop workers, then take a final snapshot of each cluster so a
+  // clean shutdown restarts without journal replay.
+  std::lock_guard<std::mutex> lock(clusters_mu_);
+  for (auto& [name, worker] : clusters_) {
+    {
+      std::lock_guard<std::mutex> wlock(worker->mu);
+      worker->stopping = true;
+    }
+    worker->cv.notify_all();
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+    std::string snap_error;
+    if (!worker->host->Snapshot(&snap_error)) {
+      SIA_LOG(Warning) << "final snapshot for " << name << " failed: " << snap_error;
+    }
+  }
+  stop_cv_.notify_all();
+}
+
+void SiaServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stop_cv_.wait(lock,
+                  [this] { return shutdown_requested_.load() || !running_.load(); });
+  }
+  if (running_.load()) {
+    // Remote shutdown request: give the connection thread a window to flush
+    // the "stopping" response before Stop() shuts its fd down (best-effort --
+    // a lost response is still a completed shutdown).
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    Stop();
+  }
+}
+
+int SiaServer::num_clusters() const {
+  std::lock_guard<std::mutex> lock(clusters_mu_);
+  return static_cast<int>(clusters_.size());
+}
+
+void SiaServer::ListenerLoop() {
+  while (running_.load()) {
+    // accept(-1) after Stop() claims the fd fails with EBADF and exits below.
+    const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // Listen socket closed (Stop) or fatal error.
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connection_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void SiaServer::ConnectionLoop(int fd) {
+  FrameReader reader(fd, options_.frame_timeout_ms);
+  std::string frame;
+  while (running_.load()) {
+    const FrameStatus status = reader.ReadFrame(&frame);
+    if (status == FrameStatus::kClosed) {
+      break;
+    }
+    if (status == FrameStatus::kTooLarge) {
+      BumpServerCounter("service.frames_oversized");
+      WriteFrame(fd, ErrorResponse(-1, ServiceError::kFrameTooLarge,
+                                   "frame exceeds 1 MiB cap"));
+      break;  // The rest of the oversized frame is unrecoverable; drop.
+    }
+    if (status == FrameStatus::kTimeout) {
+      BumpServerCounter("service.frames_timed_out");
+      WriteFrame(fd, ErrorResponse(-1, ServiceError::kTimeout,
+                                   "no complete frame within the read timeout"));
+      break;  // Slow-loris defense: reclaim the thread.
+    }
+    if (status == FrameStatus::kError) {
+      break;
+    }
+    BumpServerCounter("service.requests");
+    std::string response;
+    JsonValue request;
+    std::string parse_error;
+    if (!JsonValue::Parse(frame, &request, &parse_error) || !request.is_object()) {
+      BumpServerCounter("service.requests_malformed");
+      response = ErrorResponse(-1, ServiceError::kMalformedRequest,
+                               parse_error.empty() ? "request must be a JSON object"
+                                                   : parse_error);
+    } else {
+      response = Dispatch(request);
+    }
+    if (!WriteFrame(fd, response)) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+std::string SiaServer::Dispatch(const JsonValue& request) {
+  const int64_t seq = static_cast<int64_t>(request.GetNumber("seq", -1.0));
+  if (stopping_.load()) {
+    return ErrorResponse(seq, ServiceError::kShuttingDown, "server is draining");
+  }
+  const std::string op = request.GetString("op", "");
+  if (op == "create_cluster") {
+    return HandleCreateCluster(request);
+  }
+  if (op == "list_clusters") {
+    return HandleListClusters();
+  }
+  if (op == "server_stats") {
+    return HandleServerStats();
+  }
+  if (op == "shutdown") {
+    // Graceful remote stop (used by tests/tools). Stop() joins this very
+    // connection thread and must outlive the SiaServer object, so it cannot
+    // run on a detached thread from here; instead flag the request and wake
+    // Wait(), whose caller owns the object and performs the actual Stop().
+    stopping_.store(true);  // Refuse new work immediately; drain in Wait().
+    shutdown_requested_.store(true);
+    {
+      std::lock_guard<std::mutex> lock(stop_mu_);
+    }
+    stop_cv_.notify_all();
+    JsonValue fields = JsonValue::MakeObject();
+    fields.Set("stopping", JsonValue::MakeBool(true));
+    return OkResponse(seq, std::move(fields));
+  }
+
+  const std::string cluster = request.GetString("cluster", "");
+  if (cluster.empty()) {
+    return ErrorResponse(seq, ServiceError::kBadArgument, "missing cluster field");
+  }
+  ClusterWorker* worker = FindWorker(cluster);
+  if (worker == nullptr) {
+    return ErrorResponse(seq, ServiceError::kUnknownCluster,
+                         "no hosted cluster '" + cluster + "'");
+  }
+
+  auto item = std::make_unique<WorkItem>();
+  item->kind = WorkItem::Kind::kRequest;
+  item->request = request;
+  std::future<std::string> response = item->response.get_future();
+  if (!Enqueue(worker, std::move(item))) {
+    BumpServerCounter("service.requests_shed");
+    return ErrorResponse(seq, ServiceError::kQueueFull,
+                         "cluster queue at capacity; back off and retry");
+  }
+  if (response.wait_for(std::chrono::milliseconds(options_.request_timeout_ms)) !=
+      std::future_status::ready) {
+    // The op will still complete on the worker; the client's retry hits the
+    // engine dedupe map and gets a duplicate-ok.
+    BumpServerCounter("service.requests_timed_out");
+    return ErrorResponse(seq, ServiceError::kTimeout, "request deadline exceeded");
+  }
+  return response.get();
+}
+
+std::string SiaServer::HandleCreateCluster(const JsonValue& request) {
+  const int64_t seq = static_cast<int64_t>(request.GetNumber("seq", -1.0));
+  ClusterCreateSpec spec;
+  std::string spec_error;
+  if (!spec.FromJson(request, &spec_error)) {
+    return ErrorResponse(seq, ServiceError::kBadArgument, spec_error);
+  }
+  std::lock_guard<std::mutex> lock(clusters_mu_);
+  if (clusters_.count(spec.name) > 0) {
+    // Idempotent create: a client retrying a lost response must not fail.
+    JsonValue fields = JsonValue::MakeObject();
+    fields.Set("cluster", JsonValue::MakeString(spec.name));
+    fields.Set("existing", JsonValue::MakeBool(true));
+    return OkResponse(seq, std::move(fields));
+  }
+  if (static_cast<int>(clusters_.size()) >= options_.max_clusters) {
+    return ErrorResponse(seq, ServiceError::kQueueFull,
+                         "cluster capacity reached (" +
+                             std::to_string(options_.max_clusters) + ")");
+  }
+  std::string create_error;
+  auto host = HostedCluster::Create(options_.state_dir, spec, &create_error);
+  if (host == nullptr) {
+    return ErrorResponse(seq, ServiceError::kInternal, create_error);
+  }
+  BumpServerCounter("service.clusters_created");
+  const std::string name = host->name();
+  auto worker = std::make_unique<ClusterWorker>();
+  worker->host = std::move(host);
+  ClusterWorker* raw = worker.get();
+  clusters_[name] = std::move(worker);
+  raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("cluster", JsonValue::MakeString(name));
+  fields.Set("existing", JsonValue::MakeBool(false));
+  return OkResponse(seq, std::move(fields));
+}
+
+std::string SiaServer::HandleListClusters() {
+  JsonValue names = JsonValue::MakeArray();
+  std::lock_guard<std::mutex> lock(clusters_mu_);
+  for (const auto& [name, worker] : clusters_) {
+    names.Append(JsonValue::MakeString(name));
+  }
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("clusters", std::move(names));
+  return OkResponse(-1, std::move(fields));
+}
+
+std::string SiaServer::HandleServerStats() {
+  JsonValue fields = JsonValue::MakeObject();
+  for (const char* name :
+       {"service.requests", "service.requests_malformed", "service.requests_shed",
+        "service.requests_timed_out", "service.frames_oversized",
+        "service.frames_timed_out", "service.clusters_created",
+        "service.clusters_recovered", "service.recover_failures"}) {
+    fields.Set(name,
+               JsonValue::MakeNumber(static_cast<double>(ServerCounterValue(name))));
+  }
+  fields.Set("num_clusters", JsonValue::MakeNumber(num_clusters()));
+  return OkResponse(-1, std::move(fields));
+}
+
+void SiaServer::BumpServerCounter(const char* name) {
+  std::lock_guard<std::mutex> lock(server_metrics_mu_);
+  server_metrics_.counter(name).Add();
+}
+
+uint64_t SiaServer::ServerCounterValue(const char* name) const {
+  std::lock_guard<std::mutex> lock(server_metrics_mu_);
+  return server_metrics_.counter_value(name);
+}
+
+bool SiaServer::Enqueue(ClusterWorker* worker, std::unique_ptr<WorkItem> item) {
+  {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    if (worker->stopping ||
+        worker->queue.size() >= static_cast<size_t>(options_.queue_depth)) {
+      return false;
+    }
+    worker->queue.push_back(std::move(item));
+  }
+  worker->cv.notify_one();
+  return true;
+}
+
+SiaServer::ClusterWorker* SiaServer::FindWorker(const std::string& name) {
+  std::lock_guard<std::mutex> lock(clusters_mu_);
+  const auto it = clusters_.find(name);
+  return it == clusters_.end() ? nullptr : it->second.get();
+}
+
+void SiaServer::SpawnWorker(std::unique_ptr<HostedCluster> host) {
+  const std::string name = host->name();
+  auto worker = std::make_unique<ClusterWorker>();
+  worker->host = std::move(host);
+  ClusterWorker* raw = worker.get();
+  {
+    std::lock_guard<std::mutex> lock(clusters_mu_);
+    clusters_[name] = std::move(worker);
+  }
+  raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+}
+
+void SiaServer::WorkerLoop(ClusterWorker* worker) {
+  while (true) {
+    std::unique_ptr<WorkItem> item;
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->cv.wait(lock, [worker] { return worker->stopping || !worker->queue.empty(); });
+      if (worker->queue.empty()) {
+        return;  // stopping && drained
+      }
+      item = std::move(worker->queue.front());
+      worker->queue.pop_front();
+    }
+    if (item->kind == WorkItem::Kind::kStop) {
+      return;
+    }
+    if (item->kind == WorkItem::Kind::kSnapshot) {
+      std::string snap_error;
+      if (!worker->host->Snapshot(&snap_error)) {
+        SIA_LOG(Warning) << "watchdog snapshot for " << worker->host->name()
+                         << " failed: " << snap_error;
+      }
+      continue;
+    }
+    item->response.set_value(worker->host->HandleRequest(item->request));
+  }
+}
+
+void SiaServer::WatchdogLoop() {
+  while (running_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.watchdog_interval_ms));
+    if (!running_.load()) {
+      return;
+    }
+    std::vector<ClusterWorker*> workers;
+    {
+      std::lock_guard<std::mutex> lock(clusters_mu_);
+      for (auto& [name, worker] : clusters_) {
+        workers.push_back(worker.get());
+      }
+    }
+    for (ClusterWorker* worker : workers) {
+      auto item = std::make_unique<WorkItem>();
+      item->kind = WorkItem::Kind::kSnapshot;
+      // Best effort: a busy queue means fresh snapshots are coming from the
+      // apply cadence anyway.
+      Enqueue(worker, std::move(item));
+    }
+  }
+}
+
+}  // namespace sia

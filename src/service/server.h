@@ -1,0 +1,154 @@
+// Long-running scheduler service (ISSUE 6): hosts many independent
+// simulated clusters behind a newline-delimited JSON socket protocol.
+//
+// Request routing and threading:
+//
+//   listener thread ──accept──▶ connection threads (one per client socket)
+//        │                            │ parse frame, route by "cluster"
+//        │                            ▼
+//        │                    per-cluster worker thread + BOUNDED queue
+//        │                            │ serialized apply (determinism)
+//        ▼                            ▼
+//   watchdog thread ──────▶ periodic HostedCluster::Snapshot()
+//
+// Hardening properties (what the fault-injecting clients verify):
+//  * admission control: a full per-cluster queue sheds load with the typed,
+//    retryable `queue_full` error instead of buffering without bound;
+//  * per-request server deadline: a response not produced in time turns
+//    into a retryable `timeout` (the op still completes; the client's retry
+//    is absorbed by the engine's dedupe map);
+//  * slow-loris / oversized / malformed frames are contained by FrameReader
+//    and answered (or dropped) per-connection, never crashing the server;
+//  * SIGKILL at any instant is recoverable: every acked mutation is in a
+//    fsynced journal, and Start() re-hosts every cluster found on disk.
+#ifndef SIA_SRC_SERVICE_SERVER_H_
+#define SIA_SRC_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics_registry.h"
+#include "src/service/engine.h"
+#include "src/service/json.h"
+
+namespace sia {
+
+struct ServerOptions {
+  std::string listen = "unix:/tmp/sia-serve.sock";
+  std::string state_dir = "sia-serve-state";
+  int max_clusters = 32;
+  // Admission control: per-cluster request queue bound. A full queue sheds
+  // (queue_full, retryable) instead of growing.
+  int queue_depth = 64;
+  // Per-frame read timeout (slow-loris defense) on client connections.
+  int frame_timeout_ms = 10000;
+  // Server-side cap on one request's end-to-end handling.
+  int request_timeout_ms = 120000;
+  // Watchdog snapshot sweep interval.
+  int watchdog_interval_ms = 2000;
+  // Re-host clusters found under state_dir on startup.
+  bool recover = true;
+};
+
+class SiaServer {
+ public:
+  explicit SiaServer(ServerOptions options);
+  ~SiaServer();
+
+  SiaServer(const SiaServer&) = delete;
+  SiaServer& operator=(const SiaServer&) = delete;
+
+  // Recovers on-disk clusters (when options.recover), binds the listen
+  // address, and spawns the listener + watchdog. Returns false on any
+  // startup failure.
+  bool Start(std::string* error);
+
+  // Graceful stop: refuse new work, drain per-cluster queues, snapshot
+  // every cluster, join all threads. Idempotent; also runs from ~SiaServer.
+  void Stop();
+
+  // Blocks until Stop() is called (e.g. from a signal handler) or a client
+  // sends a shutdown request; in the latter case Wait() itself performs the
+  // Stop() -- the stopping thread must outlive the server object, so it has
+  // to be the owner's, never a connection thread.
+  void Wait();
+
+  int num_clusters() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct WorkItem {
+    enum class Kind { kRequest, kSnapshot, kStop };
+    Kind kind = Kind::kRequest;
+    JsonValue request;
+    std::promise<std::string> response;
+  };
+
+  // One hosted cluster plus its serialized-apply worker.
+  struct ClusterWorker {
+    std::unique_ptr<HostedCluster> host;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::unique_ptr<WorkItem>> queue;
+    bool stopping = false;
+  };
+
+  void ListenerLoop();
+  void ConnectionLoop(int fd);
+  void WatchdogLoop();
+  void WorkerLoop(ClusterWorker* worker);
+
+  // Routes one parsed request; returns the response frame.
+  std::string Dispatch(const JsonValue& request);
+  std::string HandleCreateCluster(const JsonValue& request);
+  std::string HandleListClusters();
+  std::string HandleServerStats();
+
+  // Enqueues onto `worker` respecting the queue bound; empty optional means
+  // the queue was full (caller sheds with queue_full).
+  bool Enqueue(ClusterWorker* worker, std::unique_ptr<WorkItem> item);
+
+  ClusterWorker* FindWorker(const std::string& name);
+  void SpawnWorker(std::unique_ptr<HostedCluster> host);
+
+  // MetricsRegistry is single-threaded by design (zero-overhead simulator hot
+  // path); the server-level instance is shared by every connection thread, so
+  // all access goes through these two accessors under server_metrics_mu_.
+  void BumpServerCounter(const char* name);
+  uint64_t ServerCounterValue(const char* name) const;
+
+  ServerOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<int> listen_fd_{-1};
+
+  std::thread listener_;
+  std::thread watchdog_;
+
+  mutable std::mutex clusters_mu_;
+  std::map<std::string, std::unique_ptr<ClusterWorker>> clusters_;
+
+  std::mutex connections_mu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  mutable std::mutex server_metrics_mu_;
+  MetricsRegistry server_metrics_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SERVICE_SERVER_H_

@@ -1,0 +1,269 @@
+#include "src/service/wire.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+
+namespace sia {
+
+const char* ToString(ServiceError error) {
+  switch (error) {
+    case ServiceError::kNone: return "none";
+    case ServiceError::kMalformedRequest: return "malformed_request";
+    case ServiceError::kUnknownOp: return "unknown_op";
+    case ServiceError::kBadArgument: return "bad_argument";
+    case ServiceError::kUnknownCluster: return "unknown_cluster";
+    case ServiceError::kClusterExists: return "cluster_exists";
+    case ServiceError::kClusterDone: return "cluster_done";
+    case ServiceError::kQueueFull: return "queue_full";
+    case ServiceError::kOutOfOrder: return "out_of_order";
+    case ServiceError::kShuttingDown: return "shutting_down";
+    case ServiceError::kFrameTooLarge: return "frame_too_large";
+    case ServiceError::kTimeout: return "timeout";
+    case ServiceError::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+bool IsRetryable(ServiceError error) {
+  switch (error) {
+    case ServiceError::kQueueFull:
+    case ServiceError::kOutOfOrder:
+    case ServiceError::kShuttingDown:
+    case ServiceError::kTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string OkResponse(int64_t seq, JsonValue fields) {
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", JsonValue::MakeBool(true));
+  if (seq >= 0) {
+    response.Set("seq", JsonValue::MakeNumber(static_cast<double>(seq)));
+  }
+  if (fields.is_object()) {
+    // Splice caller fields after the envelope, preserving their order.
+    JsonValue merged = std::move(response);
+    std::string dumped = merged.Dump();
+    std::string extra = fields.Dump();
+    if (extra.size() > 2) {  // Non-empty object: merge "{a}"+"{b}" textually.
+      dumped.pop_back();
+      dumped += ',';
+      dumped += extra.substr(1);
+    }
+    return dumped;
+  }
+  return response.Dump();
+}
+
+std::string ErrorResponse(int64_t seq, ServiceError error, const std::string& message) {
+  JsonValue response = JsonValue::MakeObject();
+  response.Set("ok", JsonValue::MakeBool(false));
+  if (seq >= 0) {
+    response.Set("seq", JsonValue::MakeNumber(static_cast<double>(seq)));
+  }
+  response.Set("error", JsonValue::MakeString(ToString(error)));
+  response.Set("retryable", JsonValue::MakeBool(IsRetryable(error)));
+  response.Set("message", JsonValue::MakeString(message));
+  return response.Dump();
+}
+
+FrameReader::FrameReader(int fd, int timeout_ms, size_t max_frame)
+    : fd_(fd), timeout_ms_(timeout_ms), max_frame_(max_frame) {}
+
+FrameStatus FrameReader::ReadFrame(std::string* frame) {
+  frame->clear();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms_ < 0 ? 0 : timeout_ms_);
+  while (true) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      // A complete frame over the cap is as hostile as an unterminated one;
+      // without this check a frame of up to max_frame_ + one read chunk
+      // would slip through whenever its newline arrived in the same read.
+      if (newline > max_frame_) {
+        return FrameStatus::kTooLarge;
+      }
+      frame->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return FrameStatus::kFrame;
+    }
+    if (buffer_.size() > max_frame_) {
+      return FrameStatus::kTooLarge;
+    }
+    // The timeout covers the whole frame, not each read: a peer trickling
+    // one byte per poll interval (slow loris) still runs out of clock.
+    int wait_ms = -1;
+    if (timeout_ms_ >= 0) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(remaining.count());
+      if (wait_ms <= 0) {
+        return FrameStatus::kTimeout;
+      }
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return FrameStatus::kError;
+    }
+    if (ready == 0) {
+      return FrameStatus::kTimeout;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        continue;
+      }
+      return FrameStatus::kError;
+    }
+    if (n == 0) {
+      // EOF. Leftover bytes without a newline are a truncated frame.
+      return buffer_.empty() ? FrameStatus::kClosed : FrameStatus::kError;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool WriteFrame(int fd, std::string_view frame) {
+  std::string wire(frame);
+  wire += '\n';
+  size_t written = 0;
+  while (written < wire.size()) {
+    const ssize_t n = ::write(fd, wire.data() + written, wire.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+bool ParseAddress(const std::string& address, bool* is_unix, std::string* path, int* port,
+                  std::string* error) {
+  if (address.rfind("unix:", 0) == 0) {
+    *is_unix = true;
+    *path = address.substr(5);
+    if (path->empty() || path->size() >= sizeof(sockaddr_un{}.sun_path)) {
+      *error = "unix socket path empty or too long";
+      return false;
+    }
+    return true;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    *is_unix = false;
+    const std::string port_str = address.substr(4);
+    char* end = nullptr;
+    const long value = std::strtol(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || value < 1 || value > 65535) {
+      *error = "invalid tcp port '" + port_str + "'";
+      return false;
+    }
+    *port = static_cast<int>(value);
+    return true;
+  }
+  *error = "address must start with unix: or tcp:";
+  return false;
+}
+
+}  // namespace
+
+int ListenOn(const std::string& address, std::string* error) {
+  bool is_unix = false;
+  std::string path;
+  int port = 0;
+  if (!ParseAddress(address, &is_unix, &path, &port, error)) {
+    return -1;
+  }
+  const int fd = ::socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  if (is_unix) {
+    ::unlink(path.c_str());  // Stale socket from a killed server.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      *error = std::string("bind ") + path + ": " + strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      *error = std::string("bind port ") + std::to_string(port) + ": " + strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (::listen(fd, 64) < 0) {
+    *error = std::string("listen: ") + strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectTo(const std::string& address, std::string* error) {
+  bool is_unix = false;
+  std::string path;
+  int port = 0;
+  if (!ParseAddress(address, &is_unix, &path, &port, error)) {
+    return -1;
+  }
+  const int fd = ::socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  int rc;
+  if (is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  }
+  if (rc < 0) {
+    *error = std::string("connect ") + address + ": " + strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace sia

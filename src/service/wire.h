@@ -1,0 +1,103 @@
+// Wire protocol for the sia service (ISSUE 6): newline-delimited JSON
+// frames over a Unix-domain or TCP stream socket, one request per frame,
+// one response frame per request, in order.
+//
+// Hardening contract (the parts the fault-injecting clients attack):
+//  * a frame larger than kMaxFrameBytes kills the connection before the
+//    oversized payload is buffered in full;
+//  * a peer that stalls mid-frame (slow loris) trips the per-frame
+//    read timeout and is disconnected;
+//  * a malformed or truncated frame produces a typed, non-retryable
+//    error response -- never a crash and never a stuck connection;
+//  * every error response says whether retrying the same request can
+//    succeed (`retryable`), which is the client library's backoff signal.
+#ifndef SIA_SRC_SERVICE_WIRE_H_
+#define SIA_SRC_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/service/json.h"
+
+namespace sia {
+
+// Upper bound on one frame (request or response), newline included. Large
+// enough for a create request carrying thousands of inline jobs, small
+// enough that a hostile peer cannot balloon server memory.
+inline constexpr size_t kMaxFrameBytes = 1u << 20;
+
+// Typed protocol errors. Retryability is part of the type, not the message:
+// clients must not parse prose.
+enum class ServiceError {
+  kNone = 0,
+  kMalformedRequest,  // Frame is not a JSON object / violates parse limits.
+  kUnknownOp,         // Valid JSON, but no such operation.
+  kBadArgument,       // Operation rejected its arguments.
+  kUnknownCluster,    // Request names a cluster the server does not host.
+  kClusterExists,     // create_cluster for a name already hosted.
+  kClusterDone,       // Cluster already finalized; no further rounds/jobs.
+  kQueueFull,         // Admission control: per-cluster queue at capacity.
+  kOutOfOrder,        // Client sequence number skipped ahead.
+  kShuttingDown,      // Server is draining; connection will close.
+  kFrameTooLarge,     // Request exceeded kMaxFrameBytes.
+  kTimeout,           // Server-side deadline expired before completion.
+  kInternal,          // Bug or I/O failure on the server.
+};
+
+const char* ToString(ServiceError error);
+
+// Retryable errors are transient server states (load, shutdown, timing):
+// the same bytes can succeed later. Non-retryable errors are request
+// defects; resending them is a client bug.
+bool IsRetryable(ServiceError error);
+
+// Builds the standard response frames (without the trailing newline).
+//   ok:    {"ok":true,"seq":<seq>, ...caller fields}
+//   error: {"ok":false,"seq":<seq>,"error":<code>,"retryable":<b>,"message":m}
+// `seq` < 0 omits the field (unsequenced requests / unparseable frames).
+std::string OkResponse(int64_t seq, JsonValue fields);
+std::string ErrorResponse(int64_t seq, ServiceError error, const std::string& message);
+
+// Outcome of one ReadFrame call.
+enum class FrameStatus {
+  kFrame,     // A complete line was read into `frame` (newline stripped).
+  kClosed,    // Peer closed cleanly at a frame boundary.
+  kTooLarge,  // Frame exceeded the size cap; connection must be dropped.
+  kTimeout,   // No complete frame within the per-frame timeout.
+  kError,     // I/O error; connection must be dropped.
+};
+
+// Buffered newline-delimited frame reader over a socket/pipe fd. Enforces
+// the frame size cap incrementally and an overall per-frame timeout via
+// poll(), so a slow-loris peer cannot hold a reader thread forever.
+class FrameReader {
+ public:
+  // timeout_ms < 0 blocks indefinitely (trusted in-process callers only).
+  explicit FrameReader(int fd, int timeout_ms = 10000, size_t max_frame = kMaxFrameBytes);
+
+  FrameStatus ReadFrame(std::string* frame);
+
+ private:
+  int fd_;
+  int timeout_ms_;
+  size_t max_frame_;
+  std::string buffer_;  // Bytes received but not yet returned as frames.
+};
+
+// Writes `frame` + '\n' fully, retrying on EINTR / partial writes. Returns
+// false on any unrecoverable error (peer gone). SIGPIPE must be blocked or
+// ignored by the process (the server and client library both do).
+bool WriteFrame(int fd, std::string_view frame);
+
+// --- socket endpoints ---
+// Address syntax shared by the server, client, and tools:
+//   unix:/path/to.sock   Unix-domain stream socket
+//   tcp:PORT             TCP on 127.0.0.1:PORT (loopback only by design)
+// Both return -1 and fill `error` on failure.
+int ListenOn(const std::string& address, std::string* error);
+int ConnectTo(const std::string& address, std::string* error);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SERVICE_WIRE_H_

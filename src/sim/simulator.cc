@@ -387,236 +387,334 @@ void ClusterSimulator::AdvanceRound(double now, double duration) {
 SimResult ClusterSimulator::Run() {
   const double round = scheduler_->round_duration_seconds();
   SIA_CHECK(round > 0.0);
-  const double cap_seconds = options_.max_hours * 3600.0;
-  if (!restored_) {
-    EmitManifest(round);
-  }
-  Histogram& schedule_hist = metrics_->histogram("sim.schedule_seconds");
-  Counter& rounds_counter = metrics_->counter("sim.rounds");
+  EnsureRunStarted(round);
 
-  while (now_ < cap_seconds) {
-    // Round boundary: the checkpoint cadence fires before any of this
-    // round's work, so a resume replays the round in full. stop_after_round
-    // (a simulated SIGKILL for in-process tests) is checked *after* the
-    // checkpoint opportunity, mirroring a crash right after the write.
-    if (options_.checkpoint.every_rounds > 0 && round_index_ > 0 &&
-        round_index_ % options_.checkpoint.every_rounds == 0 &&
-        last_checkpoint_round_ != round_index_) {
-      WriteCheckpoint();
-    }
-    if (options_.stop_after_round >= 0 && round_index_ >= options_.stop_after_round) {
-      return result_;  // Simulated crash: no finalization (see SimOptions).
-    }
-
-    // Faults first: crash/repair/degrade events that occurred since the last
-    // boundary take effect before the scheduler sees the cluster, so its
-    // capacity view and the job queue are consistent with live hardware.
-    // Because the injector is event-driven (not per-round sampled), idle
-    // skips below cannot undersample failures on sparse traces.
-    ProcessFaultEvents(now_);
-    ActivateArrivals(now_);
-
-    // Snapshot active (unfinished) jobs for the policy.
-    ScheduleInput input;
-    input.now_seconds = now_;
-    input.cluster = &cluster_;
-    input.config_set = &config_set_;
-    int active_count = 0;
-    for (const auto& job : active_) {
-      if (job->done) {
-        continue;
-      }
-      ++active_count;
-      JobView view;
-      view.spec = &job->spec;
-      view.estimator = job->estimator.get();
-      view.age_seconds = now_ - job->spec.submit_time;
-      view.num_restarts = job->num_restarts;
-      view.restart_overhead_seconds = job->info.restart_seconds;
-      view.current_config = job->placement.config;
-      if (job->placement.empty()) {
-        view.current_config = Config{};
-      }
-      view.peak_num_gpus = job->peak_num_gpus;
-      view.progress_fraction =
-          job->info.total_work > 0.0 ? job->progress / job->info.total_work : 0.0;
-      view.service_gpu_seconds = job->gpu_seconds;
-      view.total_work = job->info.total_work;
-      input.jobs.push_back(view);
-    }
-
-    if (active_count == 0) {
-      if (next_arrival_ >= pending_.size()) {
-        break;  // Simulation complete.
-      }
-      // Idle-skip to the next arrival's round boundary. Fault events in the
-      // skipped window are replayed with their true timestamps by
-      // ProcessFaultEvents at the top of the next iteration.
-      const double next_time = pending_[next_arrival_].submit_time;
-      now_ = std::ceil(next_time / round) * round;
+  while (true) {
+    const StepStatus status = StepOnce();
+    if (status == StepStatus::kRoundScheduled || status == StepStatus::kIdleSkipped) {
       continue;
     }
+    if (status == StepStatus::kStopRequested) {
+      return result_;  // Simulated crash: no finalization (see SimOptions).
+    }
+    break;  // kComplete / kCapReached.
+  }
+  return Finalize();
+}
 
-    contention_.Add(static_cast<double>(active_count));
-    result_.max_contention = std::max(result_.max_contention, active_count);
-    rounds_counter.Add();
-
-    // Solver-work deltas bracketing this round's Schedule() call; the
-    // difference is what lands in the round trace record.
-    input.metrics = metrics_;
-    input.record_timings = options_.trace_timings;
-    const uint64_t bb_before = metrics_->counter_value("solver.bb_nodes");
-    const uint64_t lp_before = metrics_->counter_value("solver.lp_iterations");
-    const uint64_t refits_before = metrics_->counter_value("estimator.refits");
-
-    // Wall-clock the policy directly (ScopedTimer's null-sink fast path
-    // returns 0). The nondeterministic duration only reaches the metrics
-    // registry when trace_timings asks for it, keeping default registry
-    // exports byte-identical across runs and across checkpoint/resume.
-    const auto schedule_start = std::chrono::steady_clock::now();
-    const ScheduleOutput desired = scheduler_->Schedule(input);
-    const double schedule_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - schedule_start).count();
-    if (options_.trace_timings) {
-      schedule_hist.Record(schedule_seconds);
-    }
-    result_.policy_cost.runtimes_seconds.push_back(schedule_seconds);
-
-    std::map<JobId, Config> desired_map;
-    for (const auto& [job_id, config] : desired) {
-      if (config.num_gpus > 0) {
-        desired_map[job_id] = config;
-      }
-    }
-    // Drop stale placements of finished jobs before re-placing.
-    std::map<JobId, Placement> live_previous;
-    for (const auto& job : active_) {
-      if (!job->done && !job->placement.empty()) {
-        live_previous[job->spec.id] = job->placement;
-      }
-    }
-    const PlacerResult placed = PlaceJobs(cluster_, desired_map, live_previous);
-    // Resilience invariant: no placement may touch a node in its
-    // crash/repair window. The placer treats down nodes as zero capacity;
-    // this check catches any regression in that contract.
-    for (const auto& [job_id, placement] : placed.placements) {
-      for (int node : placement.node_ids) {
-        SIA_CHECK(cluster_.NodeUp(node))
-            << "job " << job_id << " placed on down node " << node;
-      }
-    }
-    if (options_.observer != nullptr) {
-      // The round end to end: the snapshot the policy saw, what it asked
-      // for, and what the placer granted -- before any of it mutates job
-      // state, so the observer can cross-check all three.
-      RoundObservation observation;
-      observation.round_index = round_index_;
-      observation.now_seconds = now_;
-      observation.round_duration_seconds = round;
-      observation.cluster = &cluster_;
-      observation.config_set = &config_set_;
-      observation.input = &input;
-      observation.desired = &desired_map;
-      observation.placed = &placed;
-      options_.observer->OnRoundScheduled(observation);
-    }
-    ApplyPlacements(now_, placed.placements);
-    UpdateRecoveries(now_);
-
-    // Accumulate busy capacity for the utilization metric (and optionally a
-    // per-round snapshot for timeline analysis).
-    RoundStats stats;
-    stats.time_seconds = now_;
-    stats.down_nodes = cluster_.NumDownNodes();
-    for (const auto& job : active_) {
-      if (job->done) {
-        continue;
-      }
-      ++stats.active_jobs;
-      if (!job->placement.empty()) {
-        ++stats.running_jobs;
-        stats.busy_gpus += job->placement.total_gpus();
-        busy_gpu_seconds_ += job->placement.total_gpus() * round;
-      }
-    }
-    if (options_.record_timeline) {
-      result_.round_stats.push_back(stats);
-    }
-
-    AdvanceRound(now_, round);
-
-    if (options_.trace != nullptr) {
-      // Emitted after AdvanceRound so this round's estimator refits (driven
-      // by end-of-round telemetry) land in the same record as its solve.
-      int available_gpus = 0;
-      for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
-        available_gpus += cluster_.AvailableGpus(t);
-      }
-      TraceRecord record("round");
-      record.Set("round", round_index_)
-          .Set("t", now_)
-          .Set("active_jobs", stats.active_jobs)
-          .Set("running_jobs", stats.running_jobs)
-          .Set("queued_jobs", stats.active_jobs - stats.running_jobs)
-          .Set("busy_gpus", stats.busy_gpus)
-          .Set("available_gpus", available_gpus)
-          .Set("down_nodes", stats.down_nodes)
-          .Set("solver_bb_nodes", metrics_->counter_value("solver.bb_nodes") - bb_before)
-          .Set("solver_lp_iterations",
-               metrics_->counter_value("solver.lp_iterations") - lp_before)
-          .Set("estimator_refits", metrics_->counter_value("estimator.refits") - refits_before);
-      if (options_.trace_timings) {
-        record.Set("schedule_ms", schedule_seconds * 1e3);
-      }
-      options_.trace->Write(record);
-    }
-    ++round_index_;
-    now_ += round;
-
-    // Retire finished jobs into results.
-    for (auto& job : active_) {
-      if (job->done && job->finish_time > 0.0 && !job->placement.empty()) {
-        if (options_.record_timeline) {
-          result_.timeline.push_back(
-              {now_, job->spec.id, Config{}, TimelineEventKind::kFinish});
-        }
-        job->placement = Placement{};  // Resources free from the next round.
-      }
-    }
-    auto retire = std::stable_partition(active_.begin(), active_.end(),
-                                        [](const auto& job) { return !job->done; });
-    for (auto it = retire; it != active_.end(); ++it) {
-      JobResult jr;
-      jr.spec = (*it)->spec;
-      jr.finished = true;
-      jr.finish_time = (*it)->finish_time;
-      jr.jct = (*it)->finish_time - (*it)->spec.submit_time;
-      jr.gpu_seconds = (*it)->gpu_seconds;
-      jr.num_restarts = (*it)->num_restarts;
-      jr.num_failures = (*it)->num_failures;
-      metrics_->counter("sim.jobs_finished").Add();
-      metrics_->histogram("sim.jct_seconds").Record(jr.jct);
-      if (options_.trace != nullptr) {
-        options_.trace->Write(TraceRecord("job_finish")
-                                  .Set("t", jr.finish_time)
-                                  .Set("job", jr.spec.id)
-                                  .Set("jct", jr.jct)
-                                  .Set("gpu_seconds", jr.gpu_seconds)
-                                  .Set("restarts", jr.num_restarts)
-                                  .Set("failures", jr.num_failures));
-      }
-      result_.makespan_seconds = std::max(result_.makespan_seconds, (*it)->finish_time);
-      result_.jobs.push_back(std::move(jr));
-    }
-    active_.erase(retire, active_.end());
-
-    if (options_.trace != nullptr) {
-      // Crash-safe sinks: everything this round emitted is on disk before
-      // the next round begins, so a kill mid-round loses at most the
-      // in-progress round (which a resume replays in full).
-      options_.trace->Flush();
+ClusterSimulator::StepStatus ClusterSimulator::StepRound() {
+  while (true) {
+    const StepStatus status = StepOnce();
+    if (status != StepStatus::kIdleSkipped) {
+      return status;
     }
   }
+}
+
+bool ClusterSimulator::SubmitJob(const JobSpec& job, std::string* error) {
+  SIA_CHECK(error != nullptr);
+  if (finalized_) {
+    *error = "simulation already finalized";
+    return false;
+  }
+  if (job.id < 0) {
+    *error = "job id must be non-negative";
+    return false;
+  }
+  if (job.max_num_gpus < 1 ||
+      (job.adaptivity == AdaptivityMode::kRigid && job.rigid_num_gpus < 1)) {
+    *error = "job GPU bounds must be positive";
+    return false;
+  }
+  for (const JobSpec& existing : pending_) {
+    if (existing.id == job.id) {
+      *error = "duplicate job id " + std::to_string(job.id);
+      return false;
+    }
+  }
+  for (const auto& state : active_) {
+    if (state->spec.id == job.id) {
+      *error = "duplicate job id " + std::to_string(job.id);
+      return false;
+    }
+  }
+  for (const JobResult& finished : result_.jobs) {
+    if (finished.spec.id == job.id) {
+      *error = "duplicate job id " + std::to_string(job.id);
+      return false;
+    }
+  }
+  JobSpec adjusted = job;
+  // A submission cannot land in the past: it activates at the next round
+  // boundary at or after the current clock.
+  adjusted.submit_time = std::max(adjusted.submit_time, now_);
+  // Keep pending_ sorted by submit time without disturbing already-consumed
+  // arrivals (indices below next_arrival_). upper_bound preserves the
+  // stable-sort tie order of the constructor.
+  const auto begin = pending_.begin() + static_cast<std::ptrdiff_t>(next_arrival_);
+  const auto pos = std::upper_bound(
+      begin, pending_.end(), adjusted,
+      [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  pending_.insert(pos, std::move(adjusted));
+  return true;
+}
+
+void ClusterSimulator::EnsureRunStarted(double round_seconds) {
+  if (run_started_) {
+    return;
+  }
+  run_started_ = true;
+  if (!restored_) {
+    EmitManifest(round_seconds);
+  }
+  // Touch the run-level instruments up front (the original Run() hoisted
+  // these lookups before its loop) so registry contents do not depend on
+  // whether any round ever ran.
+  metrics_->histogram("sim.schedule_seconds");
+  metrics_->counter("sim.rounds");
+}
+
+ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
+  const double round = scheduler_->round_duration_seconds();
+  SIA_CHECK(round > 0.0);
+  const double cap_seconds = options_.max_hours * 3600.0;
+  EnsureRunStarted(round);
+
+  if (now_ >= cap_seconds) {
+    return StepStatus::kCapReached;
+  }
+  // Round boundary: the checkpoint cadence fires before any of this
+  // round's work, so a resume replays the round in full. stop_after_round
+  // (a simulated SIGKILL for in-process tests) is checked *after* the
+  // checkpoint opportunity, mirroring a crash right after the write.
+  if (options_.checkpoint.every_rounds > 0 && round_index_ > 0 &&
+      round_index_ % options_.checkpoint.every_rounds == 0 &&
+      last_checkpoint_round_ != round_index_) {
+    WriteCheckpoint();
+  }
+  if (options_.stop_after_round >= 0 && round_index_ >= options_.stop_after_round) {
+    return StepStatus::kStopRequested;
+  }
+
+  // Faults first: crash/repair/degrade events that occurred since the last
+  // boundary take effect before the scheduler sees the cluster, so its
+  // capacity view and the job queue are consistent with live hardware.
+  // Because the injector is event-driven (not per-round sampled), idle
+  // skips below cannot undersample failures on sparse traces.
+  ProcessFaultEvents(now_);
+  ActivateArrivals(now_);
+
+  // Snapshot active (unfinished) jobs for the policy.
+  ScheduleInput input;
+  input.now_seconds = now_;
+  input.cluster = &cluster_;
+  input.config_set = &config_set_;
+  input.deadline_seconds = options_.round_deadline_seconds;
+  int active_count = 0;
+  for (const auto& job : active_) {
+    if (job->done) {
+      continue;
+    }
+    ++active_count;
+    JobView view;
+    view.spec = &job->spec;
+    view.estimator = job->estimator.get();
+    view.age_seconds = now_ - job->spec.submit_time;
+    view.num_restarts = job->num_restarts;
+    view.restart_overhead_seconds = job->info.restart_seconds;
+    view.current_config = job->placement.config;
+    if (job->placement.empty()) {
+      view.current_config = Config{};
+    }
+    view.peak_num_gpus = job->peak_num_gpus;
+    view.progress_fraction =
+        job->info.total_work > 0.0 ? job->progress / job->info.total_work : 0.0;
+    view.service_gpu_seconds = job->gpu_seconds;
+    view.total_work = job->info.total_work;
+    input.jobs.push_back(view);
+  }
+
+  if (active_count == 0) {
+    if (next_arrival_ >= pending_.size()) {
+      return StepStatus::kComplete;
+    }
+    // Idle-skip to the next arrival's round boundary. Fault events in the
+    // skipped window are replayed with their true timestamps by
+    // ProcessFaultEvents at the top of the next step.
+    const double next_time = pending_[next_arrival_].submit_time;
+    now_ = std::ceil(next_time / round) * round;
+    return StepStatus::kIdleSkipped;
+  }
+
+  contention_.Add(static_cast<double>(active_count));
+  result_.max_contention = std::max(result_.max_contention, active_count);
+  metrics_->counter("sim.rounds").Add();
+
+  // Solver-work deltas bracketing this round's Schedule() call; the
+  // difference is what lands in the round trace record.
+  input.metrics = metrics_;
+  input.record_timings = options_.trace_timings;
+  const uint64_t bb_before = metrics_->counter_value("solver.bb_nodes");
+  const uint64_t lp_before = metrics_->counter_value("solver.lp_iterations");
+  const uint64_t refits_before = metrics_->counter_value("estimator.refits");
+
+  // Wall-clock the policy directly (ScopedTimer's null-sink fast path
+  // returns 0). The nondeterministic duration only reaches the metrics
+  // registry when trace_timings asks for it, keeping default registry
+  // exports byte-identical across runs and across checkpoint/resume.
+  const auto schedule_start = std::chrono::steady_clock::now();
+  const ScheduleOutput desired = scheduler_->Schedule(input);
+  const double schedule_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - schedule_start).count();
+  if (options_.trace_timings) {
+    metrics_->histogram("sim.schedule_seconds").Record(schedule_seconds);
+  }
+  result_.policy_cost.runtimes_seconds.push_back(schedule_seconds);
+
+  std::map<JobId, Config> desired_map;
+  for (const auto& [job_id, config] : desired) {
+    if (config.num_gpus > 0) {
+      desired_map[job_id] = config;
+    }
+  }
+  // Drop stale placements of finished jobs before re-placing.
+  std::map<JobId, Placement> live_previous;
+  for (const auto& job : active_) {
+    if (!job->done && !job->placement.empty()) {
+      live_previous[job->spec.id] = job->placement;
+    }
+  }
+  const PlacerResult placed = PlaceJobs(cluster_, desired_map, live_previous);
+  // Resilience invariant: no placement may touch a node in its
+  // crash/repair window. The placer treats down nodes as zero capacity;
+  // this check catches any regression in that contract.
+  for (const auto& [job_id, placement] : placed.placements) {
+    for (int node : placement.node_ids) {
+      SIA_CHECK(cluster_.NodeUp(node))
+          << "job " << job_id << " placed on down node " << node;
+    }
+  }
+  if (options_.observer != nullptr) {
+    // The round end to end: the snapshot the policy saw, what it asked
+    // for, and what the placer granted -- before any of it mutates job
+    // state, so the observer can cross-check all three.
+    RoundObservation observation;
+    observation.round_index = round_index_;
+    observation.now_seconds = now_;
+    observation.round_duration_seconds = round;
+    observation.cluster = &cluster_;
+    observation.config_set = &config_set_;
+    observation.input = &input;
+    observation.desired = &desired_map;
+    observation.placed = &placed;
+    options_.observer->OnRoundScheduled(observation);
+  }
+  ApplyPlacements(now_, placed.placements);
+  UpdateRecoveries(now_);
+
+  // Accumulate busy capacity for the utilization metric (and optionally a
+  // per-round snapshot for timeline analysis).
+  RoundStats stats;
+  stats.time_seconds = now_;
+  stats.down_nodes = cluster_.NumDownNodes();
+  for (const auto& job : active_) {
+    if (job->done) {
+      continue;
+    }
+    ++stats.active_jobs;
+    if (!job->placement.empty()) {
+      ++stats.running_jobs;
+      stats.busy_gpus += job->placement.total_gpus();
+      busy_gpu_seconds_ += job->placement.total_gpus() * round;
+    }
+  }
+  if (options_.record_timeline) {
+    result_.round_stats.push_back(stats);
+  }
+
+  AdvanceRound(now_, round);
+
+  if (options_.trace != nullptr) {
+    // Emitted after AdvanceRound so this round's estimator refits (driven
+    // by end-of-round telemetry) land in the same record as its solve.
+    int available_gpus = 0;
+    for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+      available_gpus += cluster_.AvailableGpus(t);
+    }
+    TraceRecord record("round");
+    record.Set("round", round_index_)
+        .Set("t", now_)
+        .Set("active_jobs", stats.active_jobs)
+        .Set("running_jobs", stats.running_jobs)
+        .Set("queued_jobs", stats.active_jobs - stats.running_jobs)
+        .Set("busy_gpus", stats.busy_gpus)
+        .Set("available_gpus", available_gpus)
+        .Set("down_nodes", stats.down_nodes)
+        .Set("solver_bb_nodes", metrics_->counter_value("solver.bb_nodes") - bb_before)
+        .Set("solver_lp_iterations",
+             metrics_->counter_value("solver.lp_iterations") - lp_before)
+        .Set("estimator_refits", metrics_->counter_value("estimator.refits") - refits_before)
+        .Set("ladder_rung",
+             static_cast<int64_t>(metrics_->gauge_value("scheduler.ladder.last_rung")));
+    if (options_.trace_timings) {
+      record.Set("schedule_ms", schedule_seconds * 1e3);
+    }
+    options_.trace->Write(record);
+  }
+  ++round_index_;
+  now_ += round;
+
+  // Retire finished jobs into results.
+  for (auto& job : active_) {
+    if (job->done && job->finish_time > 0.0 && !job->placement.empty()) {
+      if (options_.record_timeline) {
+        result_.timeline.push_back(
+            {now_, job->spec.id, Config{}, TimelineEventKind::kFinish});
+      }
+      job->placement = Placement{};  // Resources free from the next round.
+    }
+  }
+  auto retire = std::stable_partition(active_.begin(), active_.end(),
+                                      [](const auto& job) { return !job->done; });
+  for (auto it = retire; it != active_.end(); ++it) {
+    JobResult jr;
+    jr.spec = (*it)->spec;
+    jr.finished = true;
+    jr.finish_time = (*it)->finish_time;
+    jr.jct = (*it)->finish_time - (*it)->spec.submit_time;
+    jr.gpu_seconds = (*it)->gpu_seconds;
+    jr.num_restarts = (*it)->num_restarts;
+    jr.num_failures = (*it)->num_failures;
+    metrics_->counter("sim.jobs_finished").Add();
+    metrics_->histogram("sim.jct_seconds").Record(jr.jct);
+    if (options_.trace != nullptr) {
+      options_.trace->Write(TraceRecord("job_finish")
+                                .Set("t", jr.finish_time)
+                                .Set("job", jr.spec.id)
+                                .Set("jct", jr.jct)
+                                .Set("gpu_seconds", jr.gpu_seconds)
+                                .Set("restarts", jr.num_restarts)
+                                .Set("failures", jr.num_failures));
+    }
+    result_.makespan_seconds = std::max(result_.makespan_seconds, (*it)->finish_time);
+    result_.jobs.push_back(std::move(jr));
+  }
+  active_.erase(retire, active_.end());
+
+  if (options_.trace != nullptr) {
+    // Crash-safe sinks: everything this round emitted is on disk before
+    // the next round begins, so a kill mid-round loses at most the
+    // in-progress round (which a resume replays in full).
+    options_.trace->Flush();
+  }
+  return StepStatus::kRoundScheduled;
+}
+
+const SimResult& ClusterSimulator::Finalize() {
+  if (finalized_) {
+    return result_;
+  }
+  finalized_ = true;
 
   // Close out crash windows still open at the end of the run.
   for (int node = 0; node < cluster_.num_nodes(); ++node) {
@@ -717,7 +815,9 @@ void ClusterSimulator::FinalizeObservability() {
 namespace {
 
 // Payload schema version; bumped whenever SerializeState's layout changes.
-constexpr uint32_t kSimStateVersion = 1;
+// v2: scheduler state blobs grew the ladder's last-served allocation
+// (SaveScheduleOutput) so deadline degradation survives checkpoint/resume.
+constexpr uint32_t kSimStateVersion = 2;
 // Upper bound on element-count prefixes read back from a snapshot; anything
 // larger is treated as corruption rather than allocated.
 constexpr uint64_t kMaxSnapshotEntries = 1u << 20;

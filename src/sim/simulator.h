@@ -96,6 +96,14 @@ struct SimOptions {
   // returned this way is only meaningful to resume-equivalence tests.
   int64_t stop_after_round = -1;
 
+  // Per-round scheduling deadline in seconds, handed to the policy as
+  // ScheduleInput::deadline_seconds (ISSUE 6). < 0 (default) = unlimited,
+  // keeping batch runs deterministic. 0 deterministically forces the
+  // degradation ladder's bottom rung; positive values degrade by wall
+  // clock. Like the checkpoint knobs, excluded from ConfigFingerprint: the
+  // service may vary it per step without invalidating snapshots.
+  double round_deadline_seconds = -1.0;
+
   // Returns "" when the options are coherent, else a descriptive error.
   // The ClusterSimulator constructor enforces this; CLI tools call it first
   // to turn bad flags into readable diagnostics instead of a crash.
@@ -208,6 +216,46 @@ class ClusterSimulator {
   // collected metrics.
   SimResult Run();
 
+  // --- incremental stepping (ISSUE 6: the service drives rounds one at a
+  // time instead of calling Run()). Run() is exactly: StepRound() until it
+  // stops scheduling, then Finalize(). A fixed-seed run produces the same
+  // bytes either way. ---
+  enum class StepStatus {
+    kRoundScheduled,  // One scheduling round ran to its boundary.
+    kIdleSkipped,     // Clock jumped to the next arrival; no round ran.
+                      // Internal to StepOnce -- StepRound() consumes these.
+    kComplete,        // No active or pending jobs remain.
+    kCapReached,      // Simulated clock hit the max_hours cap.
+    kStopRequested,   // options_.stop_after_round fired (crash injection).
+  };
+  // Advances through idle skips until one scheduling round runs (or the run
+  // cannot proceed). Emits the manifest on the first call.
+  StepStatus StepRound();
+  // Post-run bookkeeping: closes fault windows, censors unfinished jobs,
+  // sorts results, exports observability, notifies the observer. Idempotent;
+  // Run() calls it automatically, StepRound() drivers call it once at the
+  // end. Returns the completed result.
+  const SimResult& Finalize();
+
+  // Injects a job after construction (service submit-job requests). The job
+  // joins the pending queue and activates at the next round boundary at or
+  // after its submit_time (clamped to the current clock). Fails -- returning
+  // false and filling `error` -- on a duplicate/negative id or bad GPU bounds.
+  // Note ConfigFingerprint() covers the job list, so snapshots taken before
+  // and after a submission differ (the service journals submissions and
+  // replays them against the matching snapshot).
+  bool SubmitJob(const JobSpec& job, std::string* error);
+
+  // Per-step override of SimOptions::round_deadline_seconds (service
+  // requests may carry their own budget).
+  void set_round_deadline_seconds(double seconds) {
+    options_.round_deadline_seconds = seconds;
+  }
+
+  int64_t round_index() const { return round_index_; }
+  double now_seconds() const { return now_; }
+  bool finalized() const { return finalized_; }
+
   // --- checkpoint/resume (ISSUE 5) ---
   // Serializes the complete simulator state at the current round boundary:
   // clock + round counter, arrival cursor, every active job (estimator fit
@@ -244,7 +292,15 @@ class ClusterSimulator {
                          const BatchDecision& decision, double straggler) const;
   double TrueIterTime(const JobState& job, const Config& config,
                       const BatchDecision& decision) const;
+  // One iteration of the original Run() loop: checkpoint opportunity, fault
+  // + arrival processing, then either an idle skip or one full scheduling
+  // round. Returns kRoundScheduled / kIdleSkipped-as-loop (see StepRound).
+  StepStatus StepOnce();
   void EmitManifest(double round_seconds);
+  // Emits the manifest exactly once per trace (resumed runs already have
+  // theirs) and touches the run-level metric instruments so registry
+  // contents do not depend on whether any round ever ran.
+  void EnsureRunStarted(double round_seconds);
   void FinalizeObservability();
   // Writes the periodic snapshot for the current round (flushes the trace
   // first so the recorded byte offset covers everything emitted so far).
@@ -270,6 +326,8 @@ class ClusterSimulator {
   RunningStats contention_;
   bool warned_zero_goodput_ = false;
   bool restored_ = false;              // Run() resumes instead of starting fresh.
+  bool run_started_ = false;           // Manifest emitted / instruments touched.
+  bool finalized_ = false;             // Finalize() already ran.
   int64_t last_checkpoint_round_ = -1;
   SimResult result_;
 };

@@ -301,6 +301,18 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       SimplexOptions node_simplex = options.simplex;
       node_simplex.warm_basis = node.parent_basis != nullptr ? node.parent_basis.get() : nullptr;
       node_simplex.capture_basis = true;
+      if (options.time_limit_seconds > 0.0) {
+        // Confine each node LP to the MILP budget's remainder so a single
+        // degenerate relaxation cannot blow the round deadline. out_of_time()
+        // was false above, so the remainder is positive.
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start_time;
+        const double remaining = options.time_limit_seconds - elapsed.count();
+        if (remaining > 0.0 && (node_simplex.time_limit_seconds <= 0.0 ||
+                                remaining < node_simplex.time_limit_seconds)) {
+          node_simplex.time_limit_seconds = remaining;
+        }
+      }
       relaxation = SolveLp(working, node_simplex);
       if (node.depth == 0 && relaxation.warm_started &&
           !(relaxation.status == SolveStatus::kOptimal && relaxation.unique_optimal_basis)) {
@@ -346,6 +358,10 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       result.nodes_explored = nodes;
       result.lp_iterations = lp_iterations;
       return result;
+    }
+    if (relaxation.status == SolveStatus::kTimeLimit) {
+      hit_time_limit = true;
+      break;  // Deadline expired inside the node LP; fall back to the incumbent.
     }
     if (relaxation.status == SolveStatus::kIterationLimit) {
       continue;  // Treat as unexplorable; conservative but safe.

@@ -1,6 +1,7 @@
 #include "src/solver/simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -82,6 +83,9 @@ class SimplexSolver {
   int max_iterations_ = 0;
   int degenerate_streak_ = 0;
   bool bland_mode_ = false;
+
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
 };
 
 SimplexSolver::SimplexSolver(const LinearProgram& lp, const SimplexOptions& options)
@@ -93,6 +97,12 @@ SimplexSolver::SimplexSolver(const LinearProgram& lp, const SimplexOptions& opti
   max_iterations_ = options_.max_iterations > 0
                         ? options_.max_iterations
                         : 20000 + 50 * (m_ + n_structural_);
+  if (options_.time_limit_seconds > 0.0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options_.time_limit_seconds));
+  }
 }
 
 void SimplexSolver::BuildColumns(const LinearProgram& lp) {
@@ -476,6 +486,13 @@ SolveStatus SimplexSolver::Iterate() {
     if (iterations_ >= max_iterations_) {
       return SolveStatus::kIterationLimit;
     }
+    // The clock check is amortized over 64 pivots; the duals/pricing pass
+    // below dominates a clock read, so overshoot past the deadline stays
+    // small without taxing every iteration.
+    if (has_deadline_ && (iterations_ & 63) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return SolveStatus::kTimeLimit;
+    }
     ComputeDuals(y);
 
     // --- pricing ---
@@ -678,7 +695,7 @@ LpSolution SimplexSolver::Solve() {
         cost_[j] = -1.0;  // Maximize -(sum of artificials).
       }
       const SolveStatus status = Iterate();
-      if (status == SolveStatus::kIterationLimit) {
+      if (status == SolveStatus::kIterationLimit || status == SolveStatus::kTimeLimit) {
         solution.status = status;
         solution.iterations = iterations_;
         return solution;
@@ -710,7 +727,10 @@ LpSolution SimplexSolver::Solve() {
   const SolveStatus status = Iterate();
   solution.status = status;
   solution.iterations = iterations_;
-  if (status != SolveStatus::kOptimal && status != SolveStatus::kIterationLimit) {
+  if (status != SolveStatus::kOptimal && status != SolveStatus::kIterationLimit &&
+      status != SolveStatus::kTimeLimit) {
+    // Deadline/iteration truncations still export the current (feasible)
+    // basic solution below as a best-effort result.
     return solution;
   }
 

@@ -36,6 +36,13 @@ struct SimplexOptions {
   // When set, an optimal solve exports its final basis in
   // LpSolution::basis (skipped if an artificial variable is still basic).
   bool capture_basis = false;
+  // Wall-clock budget for the whole solve (phase 1 + phase 2); <= 0 means
+  // unlimited. Checked every ~64 pivots, so overshoot is bounded by a few
+  // pivot times. A deadline hit returns kTimeLimit with best-effort values
+  // (the current basic solution), mirroring kIterationLimit. Deterministic
+  // runs must leave this at 0: which pivot trips the check depends on the
+  // host's clock.
+  double time_limit_seconds = 0.0;
 };
 
 // Solves the LP relaxation of `lp` (integrality markers ignored).

@@ -1,0 +1,292 @@
+// Degradation-ladder tests (ISSUE 6): rung selection from the remaining
+// budget, per-rung metrics, carry-over / greedy feasibility, and -- the
+// load-bearing property -- every policy forced onto every rung still
+// produces allocations that pass the full cluster-invariant oracle.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics_registry.h"
+#include "src/schedulers/ladder.h"
+#include "src/schedulers/sia/sia_scheduler.h"
+#include "src/service/engine.h"
+#include "src/sim/simulator.h"
+#include "src/testing/fuzz_harness.h"
+#include "src/testing/invariant_oracle.h"
+#include "src/workload/trace_gen.h"
+
+namespace sia {
+namespace {
+
+std::vector<JobSpec> LadderTrace(const std::string& scheduler, uint64_t seed) {
+  TraceOptions options;
+  options.kind = TraceKind::kPhilly;
+  options.seed = seed;
+  options.arrival_rate_per_hour = 20.0;
+  options.duration_hours = 0.6;
+  std::vector<JobSpec> jobs = GenerateTrace(options);
+  if (scheduler != "sia" && scheduler != "pollux") {
+    TunedJobsOptions tuned;
+    tuned.max_gpus = 16;
+    jobs = MakeTunedJobs(jobs, tuned);
+  }
+  return jobs;
+}
+
+// ---------------------------------------------------------------------------
+// ChooseLadderRung: planned descent and miss accounting.
+// ---------------------------------------------------------------------------
+
+TEST(ChooseLadderRungTest, UnlimitedBudgetServesFullMilp) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(ChooseLadderRung({}, -1.0, /*milp_capable=*/true, &metrics), LadderRung::kFullMilp);
+  EXPECT_EQ(metrics.counter_value("scheduler.ladder.miss.full_milp"), 0u);
+}
+
+TEST(ChooseLadderRungTest, ZeroBudgetWalksEveryRungToCarryOver) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(ChooseLadderRung({}, 0.0, /*milp_capable=*/true, &metrics), LadderRung::kCarryOver);
+  for (const char* rung : {"full_milp", "capped_milp", "lp_round", "greedy"}) {
+    EXPECT_EQ(metrics.counter_value(std::string("scheduler.ladder.miss.") + rung), 1u)
+        << rung;
+  }
+}
+
+TEST(ChooseLadderRungTest, BudgetBetweenReservesPicksTheFittingRung) {
+  DeadlineOptions options;  // reserves 0.5 / 0.05 / 0.01 / 0.002
+  MetricsRegistry metrics;
+  EXPECT_EQ(ChooseLadderRung(options, 1.0, true, &metrics), LadderRung::kFullMilp);
+  EXPECT_EQ(ChooseLadderRung(options, 0.1, true, &metrics), LadderRung::kCappedMilp);
+  EXPECT_EQ(ChooseLadderRung(options, 0.02, true, &metrics), LadderRung::kLpRound);
+  EXPECT_EQ(ChooseLadderRung(options, 0.005, true, &metrics), LadderRung::kGreedy);
+}
+
+TEST(ChooseLadderRungTest, NonMilpPolicyRecordsMilpRungsAsMisses) {
+  MetricsRegistry metrics;
+  // Plenty of budget: a non-MILP policy serves its full (inner) schedule.
+  EXPECT_EQ(ChooseLadderRung({}, 10.0, /*milp_capable=*/false, &metrics),
+            LadderRung::kFullMilp);
+  // A budget that only fits the MILP-specific rungs degrades to greedy and
+  // records the two unusable rungs as misses.
+  EXPECT_EQ(ChooseLadderRung({}, 0.02, /*milp_capable=*/false, &metrics),
+            LadderRung::kGreedy);
+  EXPECT_GE(metrics.counter_value("scheduler.ladder.miss.capped_milp"), 1u);
+  EXPECT_GE(metrics.counter_value("scheduler.ladder.miss.lp_round"), 1u);
+}
+
+TEST(ChooseLadderRungTest, ForceRungOverridesBudget) {
+  DeadlineOptions options;
+  options.force_rung = static_cast<int>(LadderRung::kGreedy);
+  MetricsRegistry metrics;
+  EXPECT_EQ(ChooseLadderRung(options, -1.0, true, &metrics), LadderRung::kGreedy);
+  EXPECT_EQ(metrics.counter_value("scheduler.ladder.miss.full_milp"), 1u);
+  EXPECT_EQ(metrics.counter_value("scheduler.ladder.miss.capped_milp"), 1u);
+  EXPECT_EQ(metrics.counter_value("scheduler.ladder.miss.lp_round"), 1u);
+  EXPECT_EQ(metrics.counter_value("scheduler.ladder.miss.greedy"), 0u);
+}
+
+TEST(LadderMetricsTest, ServedCounterAndGaugeTrackRungs) {
+  MetricsRegistry metrics;
+  RecordLadderServed(LadderRung::kLpRound, &metrics);
+  RecordLadderServed(LadderRung::kCarryOver, &metrics);
+  EXPECT_EQ(metrics.counter_value("scheduler.ladder.served.lp_round"), 1u);
+  EXPECT_EQ(metrics.counter_value("scheduler.ladder.served.carry_over"), 1u);
+  EXPECT_EQ(metrics.gauge_value("scheduler.ladder.last_rung"),
+            static_cast<double>(static_cast<int>(LadderRung::kCarryOver)));
+}
+
+// ---------------------------------------------------------------------------
+// Every policy x every forced rung: full runs under the invariant oracle.
+// ---------------------------------------------------------------------------
+
+struct ForcedRungCase {
+  std::string scheduler;
+  int rung;
+};
+
+class ForcedRungOracleTest : public ::testing::TestWithParam<ForcedRungCase> {};
+
+TEST_P(ForcedRungOracleTest, ForcedRungStaysFeasibleUnderOracle) {
+  const ForcedRungCase& param = GetParam();
+  DeadlineOptions deadline;
+  deadline.force_rung = param.rung;
+
+  std::unique_ptr<Scheduler> scheduler;
+  if (param.scheduler == "sia") {
+    SiaOptions sia_options;
+    sia_options.deadline = deadline;
+    scheduler = std::make_unique<SiaScheduler>(sia_options);
+  } else {
+    scheduler = std::make_unique<DeadlineLadderScheduler>(MakeNamedScheduler(param.scheduler),
+                                                          deadline);
+  }
+  ASSERT_NE(scheduler, nullptr);
+
+  testing::OracleOptions oracle_options;
+  oracle_options.check_scale_up = param.scheduler == "sia";
+  oracle_options.check_config_set = param.scheduler == "sia";
+  testing::InvariantOracle oracle(oracle_options);
+
+  MetricsRegistry metrics;
+  SimOptions options;
+  options.seed = 11;
+  options.max_hours = 4.0;
+  options.observer = &oracle;
+  options.metrics = &metrics;
+  ClusterSimulator sim(MakeHeterogeneousCluster(),
+                       LadderTrace(param.scheduler, /*seed=*/17), scheduler.get(), options);
+  const SimResult result = sim.Run();
+
+  EXPECT_GT(oracle.rounds_checked(), 0);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
+  EXPECT_GT(result.jobs.size(), 0u);
+
+  // The forced rung must actually have served rounds (or, for MILP-only
+  // rungs under a non-MILP policy, degraded to greedy with a recorded miss).
+  const bool milp_capable = param.scheduler == "sia";
+  const LadderRung rung = static_cast<LadderRung>(param.rung);
+  LadderRung expected = rung;
+  if (!milp_capable &&
+      (rung == LadderRung::kCappedMilp || rung == LadderRung::kLpRound)) {
+    expected = LadderRung::kGreedy;
+  }
+  EXPECT_GT(metrics.counter_value(std::string("scheduler.ladder.served.") + ToString(expected)),
+            0u)
+      << "no round served from rung " << ToString(expected);
+  if (expected != rung) {
+    EXPECT_GT(metrics.counter_value(std::string("scheduler.ladder.miss.") + ToString(rung)), 0u);
+  }
+}
+
+std::vector<ForcedRungCase> AllForcedRungCases() {
+  std::vector<ForcedRungCase> cases;
+  for (const std::string& scheduler : testing::AllSchedulers()) {
+    for (int rung = 0; rung < kNumLadderRungs; ++rung) {
+      cases.push_back({scheduler, rung});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAllRungs, ForcedRungOracleTest,
+                         ::testing::ValuesIn(AllForcedRungCases()),
+                         [](const ::testing::TestParamInfo<ForcedRungCase>& info) {
+                           return info.param.scheduler + "_rung" +
+                                  std::to_string(info.param.rung);
+                         });
+
+// ---------------------------------------------------------------------------
+// Zero-deadline runs: the acceptance-criteria walk through every rung.
+// ---------------------------------------------------------------------------
+
+class ZeroDeadlineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZeroDeadlineTest, ZeroBudgetDegradesToCarryOverEveryRoundWithoutViolations) {
+  const std::string& name = GetParam();
+  std::unique_ptr<Scheduler> scheduler;
+  if (name == "sia") {
+    scheduler = std::make_unique<SiaScheduler>();
+  } else {
+    scheduler = std::make_unique<DeadlineLadderScheduler>(MakeNamedScheduler(name),
+                                                          DeadlineOptions{});
+  }
+
+  testing::OracleOptions oracle_options;
+  oracle_options.check_scale_up = name == "sia";
+  oracle_options.check_config_set = name == "sia";
+  testing::InvariantOracle oracle(oracle_options);
+
+  MetricsRegistry metrics;
+  SimOptions options;
+  options.seed = 3;
+  options.max_hours = 4.0;
+  options.observer = &oracle;
+  options.metrics = &metrics;
+  options.round_deadline_seconds = 0.0;
+  ClusterSimulator sim(MakeHeterogeneousCluster(), LadderTrace(name, /*seed=*/29),
+                       scheduler.get(), options);
+  sim.Run();
+
+  EXPECT_GT(oracle.rounds_checked(), 0);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
+  // Every round misses each computational rung and serves from carry_over.
+  const uint64_t served = metrics.counter_value("scheduler.ladder.served.carry_over");
+  EXPECT_EQ(served, static_cast<uint64_t>(oracle.rounds_checked()));
+  for (const char* rung : {"full_milp", "capped_milp", "lp_round", "greedy"}) {
+    EXPECT_EQ(metrics.counter_value(std::string("scheduler.ladder.miss.") + rung), served)
+        << rung;
+  }
+  EXPECT_EQ(metrics.gauge_value("scheduler.ladder.last_rung"),
+            static_cast<double>(static_cast<int>(LadderRung::kCarryOver)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ZeroDeadlineTest,
+                         ::testing::ValuesIn(testing::AllSchedulers()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// ---------------------------------------------------------------------------
+// Carry-over / greedy building blocks.
+// ---------------------------------------------------------------------------
+
+TEST(CarryOverAllocationTest, FiltersDepartedJobsAndRespectsCapacity) {
+  const ClusterSpec cluster = MakeHomogeneousCluster();
+  JobSpec keep;
+  keep.id = 1;
+  keep.model = ModelKind::kResNet18;
+  JobSpec oversize;
+  oversize.id = 2;
+  oversize.model = ModelKind::kResNet18;
+
+  ScheduleInput input;
+  input.cluster = &cluster;
+  JobView keep_view;
+  keep_view.spec = &keep;
+  JobView oversize_view;
+  oversize_view.spec = &oversize;
+  input.jobs.push_back(keep_view);
+  input.jobs.push_back(oversize_view);
+
+  ScheduleOutput previous;
+  previous[1].num_nodes = 1;
+  previous[1].num_gpus = 1;
+  previous[2].num_nodes = cluster.TotalGpus(0) + 1;  // No longer fits.
+  previous[2].num_gpus = cluster.TotalGpus(0) + 1;
+  previous[99].num_nodes = 1;  // Job 99 left the snapshot entirely.
+  previous[99].num_gpus = 4;
+
+  const ScheduleOutput out = CarryOverAllocation(input, previous, /*scale_up_factor=*/0);
+  EXPECT_EQ(out.count(1), 1u);
+  EXPECT_EQ(out.count(2), 0u);
+  EXPECT_EQ(out.count(99), 0u);
+}
+
+TEST(GreedyMinimalAllocationTest, NeverExceedsLiveCapacity) {
+  const ClusterSpec cluster = MakeHomogeneousCluster();
+  const GoodputEstimator estimator(ModelKind::kResNet18, &cluster, ProfilingMode::kOracle);
+  std::vector<JobSpec> specs(3 * cluster.TotalGpus());  // Far more jobs than GPUs.
+  ScheduleInput input;
+  input.cluster = &cluster;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].id = static_cast<JobId>(i);
+    specs[i].model = ModelKind::kResNet18;
+    JobView view;
+    view.spec = &specs[i];
+    view.estimator = &estimator;
+    input.jobs.push_back(view);
+  }
+  const ScheduleOutput out = GreedyMinimalAllocation(input);
+  EXPECT_GT(out.size(), 0u);
+  int total_gpus = 0;
+  for (const auto& [id, config] : out) {
+    EXPECT_GE(config.num_gpus, 1);
+    total_gpus += config.num_gpus;
+  }
+  EXPECT_LE(total_gpus, cluster.TotalGpus());
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,569 @@
+// Service-layer tests (ISSUE 6): hardened JSON parsing, wire framing and
+// the typed error taxonomy, engine journaling/recovery byte-identity,
+// (client, seq) dedupe semantics, admission control, deterministic client
+// backoff, durable file helpers, and an in-process server end to end.
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/file_util.h"
+#include "src/service/client.h"
+#include "src/service/engine.h"
+#include "src/service/json.h"
+#include "src/service/server.h"
+#include "src/service/wire.h"
+
+namespace sia {
+namespace {
+
+// WriteFrame's contract requires SIGPIPE to be ignored process-wide (the
+// server and tools do this in their entry points; tests must too).
+struct IgnoreSigpipe {
+  IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+} g_ignore_sigpipe;
+
+std::string MakeTempDir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("sia_service_test_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(JsonValue::Parse(text, &value, &error)) << text << ": " << error;
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue: defensive parser.
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  const JsonValue v = MustParse(R"({"a":1.5,"b":"x","c":true,"d":null,"e":[1,2,3]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.GetNumber("a", 0.0), 1.5);
+  EXPECT_EQ(v.GetString("b", ""), "x");
+  EXPECT_TRUE(v.GetBool("c", false));
+  ASSERT_NE(v.Find("d"), nullptr);
+  EXPECT_TRUE(v.Find("d")->is_null());
+  ASSERT_NE(v.Find("e"), nullptr);
+  EXPECT_EQ(v.Find("e")->size(), 3u);
+  EXPECT_EQ(v.Find("e")->at(2).as_number(), 3.0);
+}
+
+TEST(JsonTest, TypedGettersFallBackOnMissingOrWrongType) {
+  const JsonValue v = MustParse(R"({"n":"not-a-number"})");
+  EXPECT_EQ(v.GetNumber("n", 7.0), 7.0);
+  EXPECT_EQ(v.GetNumber("absent", 9.0), 9.0);
+  EXPECT_EQ(v.GetString("n", "d"), "not-a-number");
+  EXPECT_FALSE(v.GetBool("n", false));
+}
+
+TEST(JsonTest, RejectsMalformedInputs) {
+  const std::vector<std::string> bad = {
+      "",
+      "{",
+      "[1,2,",
+      R"({"a":1,})",        // Trailing comma.
+      R"({"a" 1})",         // Missing colon.
+      "[1] [2]",            // Two top-level values.
+      "NaN",
+      "Infinity",
+      "// comment\n1",
+      R"("unterminated)",
+      "{\"a\":0x10}",
+      "tru",
+  };
+  for (const std::string& text : bad) {
+    JsonValue value;
+    std::string error;
+    EXPECT_FALSE(JsonValue::Parse(text, &value, &error)) << "accepted: " << text;
+    EXPECT_FALSE(error.empty()) << "no error for: " << text;
+  }
+}
+
+TEST(JsonTest, EnforcesDepthCap) {
+  std::string shallow(10, '[');
+  shallow += std::string(10, ']');
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(JsonValue::Parse(shallow, &value, &error)) << error;
+
+  std::string deep(JsonValue::kMaxDepth + 8, '[');
+  deep += std::string(JsonValue::kMaxDepth + 8, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep, &value, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, EnforcesElementCap) {
+  std::string huge = "[";
+  for (size_t i = 0; i < JsonValue::kMaxElements + 1; ++i) {
+    if (i > 0) huge += ',';
+    huge += '1';
+  }
+  huge += ']';
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(huge, &value, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, DumpIsDeterministicAndAFixpoint) {
+  const std::string text = R"({"z":1,"a":[true,null,"s"],"m":{"k":2.5}})";
+  const JsonValue v = MustParse(text);
+  const std::string dump = v.Dump();
+  // Insertion order is preserved: "z" stays first despite sorting later.
+  EXPECT_LT(dump.find("\"z\""), dump.find("\"a\""));
+  const JsonValue reparsed = MustParse(dump);
+  EXPECT_EQ(reparsed.Dump(), dump);
+}
+
+// ---------------------------------------------------------------------------
+// Wire: error taxonomy, response shapes, framing.
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, ErrorTaxonomyNamesAndRetryability) {
+  EXPECT_STREQ(ToString(ServiceError::kMalformedRequest), "malformed_request");
+  EXPECT_STREQ(ToString(ServiceError::kQueueFull), "queue_full");
+  EXPECT_STREQ(ToString(ServiceError::kOutOfOrder), "out_of_order");
+  EXPECT_STREQ(ToString(ServiceError::kFrameTooLarge), "frame_too_large");
+  // Retryable = transient server state; everything else is a request defect.
+  for (const ServiceError e :
+       {ServiceError::kQueueFull, ServiceError::kOutOfOrder, ServiceError::kShuttingDown,
+        ServiceError::kTimeout}) {
+    EXPECT_TRUE(IsRetryable(e)) << ToString(e);
+  }
+  for (const ServiceError e :
+       {ServiceError::kMalformedRequest, ServiceError::kUnknownOp, ServiceError::kBadArgument,
+        ServiceError::kUnknownCluster, ServiceError::kClusterExists, ServiceError::kClusterDone,
+        ServiceError::kFrameTooLarge, ServiceError::kInternal}) {
+    EXPECT_FALSE(IsRetryable(e)) << ToString(e);
+  }
+}
+
+TEST(WireTest, ResponseShapes) {
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("extra", JsonValue::MakeNumber(3));
+  const JsonValue ok = MustParse(OkResponse(7, std::move(fields)));
+  EXPECT_TRUE(ok.GetBool("ok", false));
+  EXPECT_EQ(ok.GetNumber("seq", -1), 7.0);
+  EXPECT_EQ(ok.GetNumber("extra", 0), 3.0);
+
+  const JsonValue err = MustParse(ErrorResponse(9, ServiceError::kQueueFull, "busy"));
+  EXPECT_FALSE(err.GetBool("ok", true));
+  EXPECT_EQ(err.GetString("error", ""), "queue_full");
+  EXPECT_TRUE(err.GetBool("retryable", false));
+  EXPECT_EQ(err.GetString("message", ""), "busy");
+
+  // seq < 0 (unparseable frame) omits the field entirely.
+  const JsonValue unseq = MustParse(ErrorResponse(-1, ServiceError::kMalformedRequest, "bad"));
+  EXPECT_EQ(unseq.Find("seq"), nullptr);
+}
+
+TEST(WireTest, FrameReaderSplitsFramesAndSignalsClose) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(WriteFrame(fds[0], "first"));
+  ASSERT_TRUE(WriteFrame(fds[0], "second"));
+  ::close(fds[0]);
+
+  FrameReader reader(fds[1], /*timeout_ms=*/2000);
+  std::string frame;
+  EXPECT_EQ(reader.ReadFrame(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame, "first");
+  EXPECT_EQ(reader.ReadFrame(&frame), FrameStatus::kFrame);
+  EXPECT_EQ(frame, "second");
+  EXPECT_EQ(reader.ReadFrame(&frame), FrameStatus::kClosed);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, FrameReaderRejectsOversizedFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string big(200, 'x');
+  ASSERT_TRUE(WriteFrame(fds[0], big));
+
+  FrameReader reader(fds[1], /*timeout_ms=*/2000, /*max_frame=*/64);
+  std::string frame;
+  EXPECT_EQ(reader.ReadFrame(&frame), FrameStatus::kTooLarge);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, FrameReaderTimesOutOnStalledPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A slow-loris peer: bytes but never a newline.
+  ASSERT_EQ(::write(fds[0], "stall", 5), 5);
+
+  FrameReader reader(fds[1], /*timeout_ms=*/100);
+  std::string frame;
+  EXPECT_EQ(reader.ReadFrame(&frame), FrameStatus::kTimeout);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: dedupe semantics and crash-recovery byte-identity.
+// ---------------------------------------------------------------------------
+
+ClusterCreateSpec EngineSpec(const std::string& name) {
+  ClusterCreateSpec spec;
+  spec.name = name;
+  spec.scheduler = "fifo";
+  spec.trace = "philly";
+  spec.rate_per_hour = 20.0;
+  spec.hours = 0.5;
+  spec.seed = 7;
+  spec.snapshot_every = 100;  // Keep the crash test on the journal-replay path.
+  return spec;
+}
+
+JsonValue MustOk(HostedCluster* host, const std::string& request) {
+  const JsonValue response = MustParse(host->HandleRequest(MustParse(request)));
+  EXPECT_TRUE(response.GetBool("ok", false))
+      << request << " -> " << response.GetString("message", "");
+  return response;
+}
+
+const char* kSubmitOp =
+    R"({"op":"submit_job","client":"t","seq":1,)"
+    R"("job":{"id":500,"model":"resnet18","max_num_gpus":8}})";
+const char* kStepOp2 = R"({"op":"step_round","client":"t","seq":2,"rounds":6})";
+const char* kStepOp3 = R"({"op":"step_round","client":"t","seq":3,"rounds":6})";
+const char* kFinalizeOp = R"({"op":"finalize","client":"t","seq":4})";
+
+TEST(EngineTest, DedupeAndSequencingSemantics) {
+  const std::string root = MakeTempDir("dedupe");
+  std::string error;
+  auto host = HostedCluster::Create(root, EngineSpec("ded"), &error);
+  ASSERT_NE(host, nullptr) << error;
+
+  MustOk(host.get(), kSubmitOp);
+
+  // A retry of an applied seq is absorbed, not reapplied.
+  const JsonValue dup = MustParse(host->HandleRequest(MustParse(kSubmitOp)));
+  EXPECT_TRUE(dup.GetBool("ok", false));
+  EXPECT_TRUE(dup.GetBool("duplicate", false));
+  EXPECT_EQ(host->applied_count(), 1u);
+
+  // A sequence gap is a typed, retryable error naming the expected seq.
+  const JsonValue gap = MustParse(
+      host->HandleRequest(MustParse(R"({"op":"step_round","client":"t","seq":5,"rounds":1})")));
+  EXPECT_FALSE(gap.GetBool("ok", true));
+  EXPECT_EQ(gap.GetString("error", ""), "out_of_order");
+  EXPECT_TRUE(gap.GetBool("retryable", false));
+  EXPECT_NE(gap.GetString("message", "").find("expected seq 2"), std::string::npos);
+
+  // A rejected request must not consume the sequence number.
+  const JsonValue bad = MustParse(host->HandleRequest(
+      MustParse(R"({"op":"submit_job","client":"t","seq":2,"job":{"id":501,"model":"nope"}})")));
+  EXPECT_FALSE(bad.GetBool("ok", true));
+  EXPECT_EQ(bad.GetString("error", ""), "bad_argument");
+  MustOk(host.get(), kStepOp2);
+
+  const JsonValue unknown =
+      MustParse(host->HandleRequest(MustParse(R"({"op":"frobnicate","seq":1})")));
+  EXPECT_EQ(unknown.GetString("error", ""), "unknown_op");
+
+  std::filesystem::remove_all(root);
+}
+
+TEST(EngineTest, RecoveryIsByteIdenticalToUninterruptedRun) {
+  const std::string ref_root = MakeTempDir("engine_ref");
+  const std::string crash_root = MakeTempDir("engine_crash");
+  std::string error;
+
+  {
+    auto reference = HostedCluster::Create(ref_root, EngineSpec("eng"), &error);
+    ASSERT_NE(reference, nullptr) << error;
+    for (const char* op : {kSubmitOp, kStepOp2, kStepOp3, kFinalizeOp}) {
+      MustOk(reference.get(), op);
+    }
+  }
+
+  {
+    auto victim = HostedCluster::Create(crash_root, EngineSpec("eng"), &error);
+    ASSERT_NE(victim, nullptr) << error;
+    MustOk(victim.get(), kSubmitOp);
+    MustOk(victim.get(), kStepOp2);
+    // "Crash": drop the host mid-run and rebuild it purely from disk.
+  }
+  auto recovered = HostedCluster::Recover(crash_root, "eng", &error);
+  ASSERT_NE(recovered, nullptr) << error;
+  EXPECT_EQ(recovered->applied_count(), 2u);
+  MustOk(recovered.get(), kStepOp3);
+  MustOk(recovered.get(), kFinalizeOp);
+  EXPECT_TRUE(recovered->finalized());
+
+  for (const char* file : {"trace.jsonl", "results.csv", "metrics.json"}) {
+    std::string ref_bytes;
+    std::string crash_bytes;
+    ASSERT_TRUE(ReadFileToString(ref_root + "/eng/" + file, &ref_bytes, &error)) << error;
+    ASSERT_TRUE(ReadFileToString(crash_root + "/eng/" + file, &crash_bytes, &error)) << error;
+    EXPECT_EQ(ref_bytes, crash_bytes) << file << " diverged after recovery";
+  }
+
+  std::filesystem::remove_all(ref_root);
+  std::filesystem::remove_all(crash_root);
+}
+
+// ---------------------------------------------------------------------------
+// Client: deterministic seeded backoff.
+// ---------------------------------------------------------------------------
+
+TEST(ClientTest, BackoffScheduleIsSeededAndDeterministic) {
+  ClientOptions options;
+  options.seed = 42;
+  options.backoff_base_ms = 25;
+  options.backoff_max_ms = 500;
+  ServiceClient a(options);
+  ServiceClient b(options);
+  options.seed = 43;
+  ServiceClient c(options);
+
+  bool c_differs = false;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const int delay_a = a.BackoffMs(attempt);
+    EXPECT_EQ(delay_a, b.BackoffMs(attempt)) << "attempt " << attempt;
+    const int base = std::min(25 << (attempt - 1), 500);
+    EXPECT_GE(delay_a, base);
+    EXPECT_LE(delay_a, base + base / 2);
+    if (c.BackoffMs(attempt) != delay_a) {
+      c_differs = true;
+    }
+  }
+  EXPECT_TRUE(c_differs) << "different seeds produced identical jitter";
+}
+
+// ---------------------------------------------------------------------------
+// file_util (ISSUE 6 satellite): durable-write helpers.
+// ---------------------------------------------------------------------------
+
+TEST(FileUtilTest, AtomicWriteFileWritesAndOverwrites) {
+  const std::string dir = MakeTempDir("fileutil");
+  const std::string path = dir + "/data.txt";
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(path, "first", &error)) << error;
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes, &error)) << error;
+  EXPECT_EQ(bytes, "first");
+
+  ASSERT_TRUE(AtomicWriteFile(path, "second, longer contents", &error)) << error;
+  ASSERT_TRUE(ReadFileToString(path, &bytes, &error)) << error;
+  EXPECT_EQ(bytes, "second, longer contents");
+  // No stale temp file after a successful write.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileUtilTest, TruncateFileShortensButNeverExtends) {
+  const std::string dir = MakeTempDir("truncate");
+  const std::string path = dir + "/journal";
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(path, "abcdef", &error)) << error;
+
+  ASSERT_TRUE(TruncateFile(path, 3, &error)) << error;
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes, &error)) << error;
+  EXPECT_EQ(bytes, "abc");
+
+  // Truncation may only discard bytes, never invent them.
+  error.clear();
+  EXPECT_FALSE(TruncateFile(path, 10, &error));
+  EXPECT_FALSE(error.empty());
+  ASSERT_TRUE(ReadFileToString(path, &bytes, &error)) << error;
+  EXPECT_EQ(bytes, "abc");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// In-process server end to end.
+// ---------------------------------------------------------------------------
+
+JsonValue CreateRequest(const std::string& cluster, const std::string& scheduler) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue::MakeString("create_cluster"));
+  request.Set("cluster", JsonValue::MakeString(cluster));
+  request.Set("scheduler", JsonValue::MakeString(scheduler));
+  request.Set("trace", JsonValue::MakeString("philly"));
+  request.Set("rate", JsonValue::MakeNumber(10.0));
+  request.Set("hours", JsonValue::MakeNumber(0.2));
+  request.Set("seed", JsonValue::MakeNumber(3));
+  return request;
+}
+
+TEST(ServerTest, EndToEndRequestFlow) {
+  const std::string dir = MakeTempDir("e2e");
+  ServerOptions server_options;
+  server_options.listen = "unix:" + dir + "/e2e.sock";
+  server_options.state_dir = dir + "/state";
+  server_options.watchdog_interval_ms = 100;
+  SiaServer server(server_options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ClientOptions client_options;
+  client_options.address = server_options.listen;
+  client_options.client_id = "e2e";
+  client_options.sleep_scale = 0.0;
+  ServiceClient client(client_options);
+
+  ClientResult created = client.Call(CreateRequest("e2e", "fifo"));
+  ASSERT_TRUE(created.ok) << created.message;
+  EXPECT_FALSE(created.response.GetBool("existing", true));
+
+  // Create is idempotent: a retry of a lost response must not fail.
+  created = client.Call(CreateRequest("e2e", "fifo"));
+  ASSERT_TRUE(created.ok) << created.message;
+  EXPECT_TRUE(created.response.GetBool("existing", false));
+
+  const ClientResult stepped = client.StepRound("e2e", 3);
+  ASSERT_TRUE(stepped.ok) << stepped.message;
+  EXPECT_GE(stepped.response.GetNumber("round_index", -1), 0.0);
+
+  const ClientResult queried = client.Query("e2e");
+  ASSERT_TRUE(queried.ok) << queried.message;
+  EXPECT_EQ(queried.response.GetString("cluster", ""), "e2e");
+  EXPECT_EQ(queried.response.GetString("scheduler", ""), "fifo");
+
+  const ClientResult missing = client.Query("no-such-cluster");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.error, ServiceError::kUnknownCluster);
+
+  JsonValue stats_request = JsonValue::MakeObject();
+  stats_request.Set("op", JsonValue::MakeString("server_stats"));
+  const ClientResult stats = client.Call(std::move(stats_request));
+  ASSERT_TRUE(stats.ok) << stats.message;
+  EXPECT_EQ(stats.response.GetNumber("num_clusters", 0), 1.0);
+
+  // A malformed frame gets a typed error, and the connection survives it.
+  int fd = ConnectTo(server_options.listen, &error);
+  ASSERT_GE(fd, 0) << error;
+  ASSERT_TRUE(WriteFrame(fd, "{this is not json"));
+  FrameReader reader(fd, /*timeout_ms=*/5000);
+  std::string frame;
+  ASSERT_EQ(reader.ReadFrame(&frame), FrameStatus::kFrame);
+  const JsonValue malformed = MustParse(frame);
+  EXPECT_FALSE(malformed.GetBool("ok", true));
+  EXPECT_EQ(malformed.GetString("error", ""), "malformed_request");
+  ASSERT_TRUE(WriteFrame(fd, R"({"op":"list_clusters"})"));
+  ASSERT_EQ(reader.ReadFrame(&frame), FrameStatus::kFrame);
+  EXPECT_TRUE(MustParse(frame).GetBool("ok", false));
+  ::close(fd);
+
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, ClusterCapacitySheddingIsTypedAndRetryable) {
+  const std::string dir = MakeTempDir("capacity");
+  ServerOptions server_options;
+  server_options.listen = "unix:" + dir + "/cap.sock";
+  server_options.state_dir = dir + "/state";
+  server_options.max_clusters = 1;
+  SiaServer server(server_options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ClientOptions client_options;
+  client_options.address = server_options.listen;
+  client_options.client_id = "cap";
+  client_options.sleep_scale = 0.0;
+  client_options.max_attempts = 2;  // Shed errors are retryable; don't spin.
+  ServiceClient client(client_options);
+
+  ASSERT_TRUE(client.Call(CreateRequest("one", "fifo")).ok);
+  const ClientResult shed = client.Call(CreateRequest("two", "fifo"));
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error, ServiceError::kQueueFull);
+
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, BoundedQueueShedsLoadUnderConcurrency) {
+  const std::string dir = MakeTempDir("queuefull");
+  ServerOptions server_options;
+  server_options.listen = "unix:" + dir + "/qf.sock";
+  server_options.state_dir = dir + "/state";
+  server_options.queue_depth = 1;
+  SiaServer server(server_options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ClientOptions client_options;
+  client_options.address = server_options.listen;
+  client_options.client_id = "setup";
+  client_options.sleep_scale = 0.0;
+  ServiceClient setup(client_options);
+
+  JsonValue create = JsonValue::MakeObject();
+  create.Set("op", JsonValue::MakeString("create_cluster"));
+  create.Set("cluster", JsonValue::MakeString("qf"));
+  create.Set("scheduler", JsonValue::MakeString("sia"));
+  create.Set("trace", JsonValue::MakeString("none"));
+  ASSERT_TRUE(setup.Call(std::move(create)).ok);
+  // Enough simultaneous jobs that one sia MILP round takes real time, so
+  // the two follow-up requests below land while the worker is busy.
+  for (int i = 0; i < 20; ++i) {
+    JsonValue submit = JsonValue::MakeObject();
+    submit.Set("op", JsonValue::MakeString("submit_job"));
+    submit.Set("cluster", JsonValue::MakeString("qf"));
+    JsonValue job = JsonValue::MakeObject();
+    job.Set("id", JsonValue::MakeNumber(7000 + i));
+    job.Set("model", JsonValue::MakeString("resnet18"));
+    job.Set("max_num_gpus", JsonValue::MakeNumber(8));
+    submit.Set("job", std::move(job));
+    ASSERT_TRUE(setup.Call(std::move(submit)).ok);
+  }
+
+  // Three raw pipelined requests: one runs, one fills the depth-1 queue,
+  // one must be shed with the typed retryable error.
+  int fds[3];
+  for (int i = 0; i < 3; ++i) {
+    fds[i] = ConnectTo(server_options.listen, &error);
+    ASSERT_GE(fds[i], 0) << error;
+  }
+  ASSERT_TRUE(WriteFrame(fds[0], R"({"op":"step_round","cluster":"qf","client":"qa",)"
+                                 R"("seq":1,"rounds":6})"));
+  ASSERT_TRUE(WriteFrame(fds[1], R"({"op":"step_round","cluster":"qf","client":"qb",)"
+                                 R"("seq":1,"rounds":1})"));
+  ASSERT_TRUE(WriteFrame(fds[2], R"({"op":"step_round","cluster":"qf","client":"qc",)"
+                                 R"("seq":1,"rounds":1})"));
+
+  int ok_count = 0;
+  int shed_count = 0;
+  for (int i = 0; i < 3; ++i) {
+    FrameReader reader(fds[i], /*timeout_ms=*/120000);
+    std::string frame;
+    ASSERT_EQ(reader.ReadFrame(&frame), FrameStatus::kFrame) << "connection " << i;
+    const JsonValue response = MustParse(frame);
+    if (response.GetBool("ok", false)) {
+      ++ok_count;
+    } else {
+      EXPECT_EQ(response.GetString("error", ""), "queue_full") << frame;
+      EXPECT_TRUE(response.GetBool("retryable", false)) << frame;
+      ++shed_count;
+    }
+    ::close(fds[i]);
+  }
+  EXPECT_GE(ok_count, 1);
+  EXPECT_GE(shed_count, 1) << "bounded queue never shed under 3x pipelined load";
+
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sia

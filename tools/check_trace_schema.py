@@ -45,6 +45,7 @@ REQUIRED_FIELDS = {
         "solver_bb_nodes": int,
         "solver_lp_iterations": int,
         "estimator_refits": int,
+        "ladder_rung": int,
         "?schedule_ms": (int, float),
     },
     "job_arrival": {

@@ -15,11 +15,24 @@
 //                                             # at a random round per seed
 //
 // Exit status: 0 when every scenario passed, 1 on any violation.
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "src/common/file_util.h"
 #include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/service/client.h"
+#include "src/service/json.h"
+#include "src/service/server.h"
+#include "src/service/wire.h"
 #include "src/testing/fuzz_harness.h"
 #include "src/testing/lp_differential.h"
 #include "src/testing/scenario.h"
@@ -45,8 +58,439 @@ constexpr char kUsage[] = R"(usage: sia_fuzz [flags]
                 randomized round, snapshot, restore, and require the final
                 trace/metrics/results to match the uninterrupted run
                 byte-for-byte (default 0)
+  --frame-seeds N: mutate valid service request frames (byte flips,
+                truncation, splices, oversizing) and require the service
+                JSON parser to stay deterministic, non-crashing, and
+                dump/parse-stable; failures write raw reproducer frames
+                to --out-dir (default 0)
+  --frame-replay  reproducer frame file: re-run the parser invariants on it
+  --service-episodes N: run N seeded fault-injection episodes (disconnects,
+                slow-loris writes, malformed/truncated/oversized frames,
+                duplicate and out-of-order requests) against an in-process
+                sia service; the server must answer a health probe after
+                every episode (default 0)
   --verbose     per-scenario progress lines
 )";
+
+// ---------------------------------------------------------------------------
+// Frame-corpus fuzzing: the service JSON parser under mutated inputs.
+// ---------------------------------------------------------------------------
+
+// Invariants checked on an arbitrary byte string fed to the request parser:
+//  * parsing is deterministic (same outcome, value, and error twice);
+//  * a successful parse round-trips: Dump() re-parses to the same Dump()
+//    (canonical fixpoint, so journal replays agree with live parses);
+//  * a failed parse reports a non-empty error.
+// Returns true when all hold; fills *detail otherwise.
+bool CheckFrameInvariants(const std::string& frame, std::string* detail) {
+  sia::JsonValue first;
+  sia::JsonValue second;
+  std::string error_first;
+  std::string error_second;
+  const bool ok_first = sia::JsonValue::Parse(frame, &first, &error_first);
+  const bool ok_second = sia::JsonValue::Parse(frame, &second, &error_second);
+  if (ok_first != ok_second) {
+    *detail = "nondeterministic parse outcome";
+    return false;
+  }
+  if (!ok_first) {
+    if (error_first.empty()) {
+      *detail = "failed parse with empty error";
+      return false;
+    }
+    if (error_first != error_second) {
+      *detail = "nondeterministic parse error: '" + error_first + "' vs '" + error_second + "'";
+      return false;
+    }
+    return true;
+  }
+  const std::string dump = first.Dump();
+  if (dump != second.Dump()) {
+    *detail = "nondeterministic dump of identical input";
+    return false;
+  }
+  sia::JsonValue reparsed;
+  std::string reparse_error;
+  if (!sia::JsonValue::Parse(dump, &reparsed, &reparse_error)) {
+    *detail = "dump failed to re-parse: " + reparse_error;
+    return false;
+  }
+  if (reparsed.Dump() != dump) {
+    *detail = "dump/parse is not a fixpoint";
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> FrameCorpus() {
+  return {
+      R"({"op":"create_cluster","cluster":"c1","client":"fz","seq":1,"scheduler":"sia","trace":"philly","rate":20,"hours":1,"seed":7})",
+      R"({"op":"submit_job","cluster":"c1","client":"fz","seq":2,"job":{"id":42,"model":"resnet18","max_num_gpus":8,"adaptivity":"adaptive"}})",
+      R"({"op":"step_round","cluster":"c1","client":"fz","seq":3,"rounds":16,"deadline_ms":0})",
+      R"({"op":"query","cluster":"c1"})",
+      R"({"op":"telemetry","cluster":"c1","nested":[1,2,[3,[4,{"k":"v"}]],true,null,-1.5e3]})",
+  };
+}
+
+std::string MutateFrame(const std::string& base, sia::Rng* rng) {
+  std::string frame = base;
+  const int edits = static_cast<int>(rng->UniformInt(1, 8));
+  for (int e = 0; e < edits && !frame.empty(); ++e) {
+    switch (rng->UniformInt(0, 5)) {
+      case 0: {  // flip one byte
+        const size_t at = static_cast<size_t>(rng->UniformInt(0, frame.size() - 1));
+        frame[at] = static_cast<char>(rng->UniformInt(0, 255));
+        break;
+      }
+      case 1:  // truncate
+        frame.resize(static_cast<size_t>(rng->UniformInt(0, frame.size() - 1)));
+        break;
+      case 2: {  // insert a random byte
+        const size_t at = static_cast<size_t>(rng->UniformInt(0, frame.size()));
+        frame.insert(frame.begin() + at, static_cast<char>(rng->UniformInt(0, 255)));
+        break;
+      }
+      case 3: {  // splice a slice of the frame over another position
+        const size_t from = static_cast<size_t>(rng->UniformInt(0, frame.size() - 1));
+        const size_t len =
+            static_cast<size_t>(rng->UniformInt(1, std::min<int64_t>(16, frame.size() - from)));
+        const size_t to = static_cast<size_t>(rng->UniformInt(0, frame.size()));
+        frame.insert(to, frame.substr(from, len));
+        break;
+      }
+      case 4: {  // deep-nest to probe the depth cap
+        const int depth = static_cast<int>(rng->UniformInt(1, 64));
+        frame = std::string(depth, '[') + frame + std::string(depth, ']');
+        break;
+      }
+      default: {  // pad toward (or past) the frame size cap
+        const size_t pad = static_cast<size_t>(rng->UniformInt(1, 4096));
+        frame.append(pad, static_cast<char>(rng->UniformInt(32, 126)));
+        break;
+      }
+    }
+  }
+  return frame;
+}
+
+int ReplayFrameFile(const std::string& path) {
+  std::string frame;
+  std::string error;
+  if (!sia::ReadFileToString(path, &frame, &error)) {
+    std::cerr << "sia_fuzz: cannot read " << path << ": " << error << "\n";
+    return 2;
+  }
+  std::string detail;
+  if (!CheckFrameInvariants(frame, &detail)) {
+    std::cout << "FAIL " << path << " (" << frame.size() << " bytes): " << detail << "\n";
+    return 1;
+  }
+  std::cout << "ok   " << path << " (" << frame.size() << " bytes)\n";
+  return 0;
+}
+
+int RunFrameFuzz(int64_t seeds, int64_t start_seed, const std::string& out_dir, bool verbose) {
+  const std::vector<std::string> corpus = FrameCorpus();
+  int failures = 0;
+  for (int64_t i = 0; i < seeds; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(start_seed + i);
+    sia::Rng rng = sia::Rng(seed).Fork("frame-fuzz", 0);
+    const std::string& base = corpus[static_cast<size_t>(rng.UniformInt(0, corpus.size() - 1))];
+    const std::string frame = MutateFrame(base, &rng);
+    std::string detail;
+    const bool ok = CheckFrameInvariants(frame, &detail);
+    if (verbose || !ok) {
+      std::cout << (ok ? "ok   " : "FAIL ") << "frame seed " << seed << " (" << frame.size()
+                << " bytes)" << (ok ? "" : ": " + detail) << "\n";
+    }
+    if (ok) {
+      continue;
+    }
+    ++failures;
+    const std::string path = out_dir + "/sia_fuzz_frame_repro_seed" + std::to_string(seed) + ".bin";
+    std::string write_error;
+    if (sia::AtomicWriteFile(path, frame, &write_error)) {
+      std::cout << "reproducer written to " << path << " (replay with --frame-replay=" << path
+                << ")\n";
+    } else {
+      std::cerr << "sia_fuzz: failed to write " << path << ": " << write_error << "\n";
+    }
+  }
+  std::cout << "frame fuzz: " << seeds << " frame(s), " << failures << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Service fault-injection episodes against an in-process server.
+// ---------------------------------------------------------------------------
+
+// One raw-socket exchange; returns false only on a transport-level failure
+// (which several injections intentionally cause).
+bool RawExchange(const std::string& address, const std::string& frame, std::string* response) {
+  std::string error;
+  const int fd = sia::ConnectTo(address, &error);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = sia::WriteFrame(fd, frame);
+  if (ok) {
+    sia::FrameReader reader(fd, /*timeout_ms=*/10000);
+    ok = reader.ReadFrame(response) == sia::FrameStatus::kFrame;
+  }
+  ::close(fd);
+  return ok;
+}
+
+// A received response must always be well-formed: parseable, with an "ok"
+// bool, and -- when ok is false -- a known error code string.
+bool ResponseWellFormed(const std::string& response, std::string* detail) {
+  sia::JsonValue parsed;
+  std::string error;
+  if (!sia::JsonValue::Parse(response, &parsed, &error)) {
+    *detail = "unparseable response: " + error;
+    return false;
+  }
+  const sia::JsonValue* ok_field = parsed.Find("ok");
+  if (ok_field == nullptr || !ok_field->is_bool()) {
+    *detail = "response missing bool 'ok': " + response;
+    return false;
+  }
+  if (!ok_field->as_bool()) {
+    const std::string code = parsed.GetString("error", "");
+    bool known = false;
+    for (int e = 0; e <= static_cast<int>(sia::ServiceError::kInternal); ++e) {
+      if (code == sia::ToString(static_cast<sia::ServiceError>(e))) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *detail = "unknown error code in response: " + response;
+      return false;
+    }
+  }
+  return true;
+}
+
+// Runs one seeded episode of fault injection. Returns false with *detail on
+// an invariant violation (transport loss alone is expected, not a failure).
+bool RunServiceEpisode(const std::string& address, const std::string& cluster, uint64_t seed,
+                       std::string* detail) {
+  sia::Rng rng = sia::Rng(seed).Fork("service-episode", 0);
+  const std::string tag = "e" + std::to_string(seed);
+  const int actions = static_cast<int>(rng.UniformInt(4, 10));
+  for (int a = 0; a < actions; ++a) {
+    std::string response;
+    switch (rng.UniformInt(0, 7)) {
+      case 0: {  // valid query
+        if (RawExchange(address, "{\"op\":\"query\",\"cluster\":\"" + cluster + "\"}",
+                        &response) &&
+            !ResponseWellFormed(response, detail)) {
+          return false;
+        }
+        break;
+      }
+      case 1: {  // valid mutating request from a fresh client identity
+        const std::string frame = "{\"op\":\"step_round\",\"cluster\":\"" + cluster +
+                                  "\",\"client\":\"fz-" + tag + "a" + std::to_string(a) +
+                                  "\",\"seq\":1,\"rounds\":1}";
+        if (RawExchange(address, frame, &response) && !ResponseWellFormed(response, detail)) {
+          return false;
+        }
+        break;
+      }
+      case 2: {  // malformed frame (mutated JSON)
+        sia::Rng mutate_rng = rng.Fork("malformed", a);
+        const std::string frame = MutateFrame(FrameCorpus()[0], &mutate_rng);
+        if (RawExchange(address, frame, &response) && !ResponseWellFormed(response, detail)) {
+          return false;
+        }
+        break;
+      }
+      case 3: {  // truncated frame, then disconnect mid-request
+        std::string error;
+        const int fd = sia::ConnectTo(address, &error);
+        if (fd >= 0) {
+          const std::string partial = "{\"op\":\"query\",\"clu";
+          (void)::write(fd, partial.data(), partial.size());  // no newline
+          ::close(fd);
+        }
+        break;
+      }
+      case 4: {  // slow-loris: dribble a valid frame in small chunks
+        std::string error;
+        const int fd = sia::ConnectTo(address, &error);
+        if (fd >= 0) {
+          const std::string frame =
+              "{\"op\":\"query\",\"cluster\":\"" + cluster + "\"}\n";
+          bool sent = true;
+          for (size_t off = 0; off < frame.size() && sent; off += 4) {
+            const size_t len = std::min<size_t>(4, frame.size() - off);
+            sent = ::write(fd, frame.data() + off, len) == static_cast<ssize_t>(len);
+            usleep(2000);
+          }
+          if (sent) {
+            sia::FrameReader reader(fd, /*timeout_ms=*/10000);
+            if (reader.ReadFrame(&response) == sia::FrameStatus::kFrame &&
+                !ResponseWellFormed(response, detail)) {
+              ::close(fd);
+              return false;
+            }
+          }
+          ::close(fd);
+        }
+        break;
+      }
+      case 5: {  // oversized frame: must be refused, never buffered forever
+        std::string oversized(sia::kMaxFrameBytes + 1024, 'x');
+        if (RawExchange(address, oversized, &response)) {
+          if (!ResponseWellFormed(response, detail)) {
+            return false;
+          }
+          sia::JsonValue parsed;
+          std::string error;
+          sia::JsonValue::Parse(response, &parsed, &error);
+          if (parsed.GetBool("ok", true)) {
+            *detail = "oversized frame was accepted";
+            return false;
+          }
+        }
+        break;
+      }
+      case 6: {  // duplicate request: same (client, seq) twice
+        const std::string frame = "{\"op\":\"step_round\",\"cluster\":\"" + cluster +
+                                  "\",\"client\":\"fz-dup-" + tag + "a" + std::to_string(a) +
+                                  "\",\"seq\":1,\"rounds\":1}";
+        std::string second;
+        const bool first_ok = RawExchange(address, frame, &response);
+        if (first_ok && !ResponseWellFormed(response, detail)) {
+          return false;
+        }
+        if (RawExchange(address, frame, &second)) {
+          if (!ResponseWellFormed(second, detail)) {
+            return false;
+          }
+          sia::JsonValue first_parsed;
+          sia::JsonValue second_parsed;
+          std::string error;
+          if (first_ok && sia::JsonValue::Parse(response, &first_parsed, &error) &&
+              sia::JsonValue::Parse(second, &second_parsed, &error) &&
+              first_parsed.GetBool("ok", false) && !second_parsed.GetBool("ok", false)) {
+            *detail = "retry of an applied request was rejected: " + second;
+            return false;
+          }
+        }
+        break;
+      }
+      default: {  // out-of-order: seq jump after an applied request
+        const std::string client = "fz-ooo-" + tag + "a" + std::to_string(a);
+        const std::string first_frame = "{\"op\":\"step_round\",\"cluster\":\"" + cluster +
+                                        "\",\"client\":\"" + client +
+                                        "\",\"seq\":1,\"rounds\":1}";
+        const std::string jump_frame = "{\"op\":\"step_round\",\"cluster\":\"" + cluster +
+                                       "\",\"client\":\"" + client +
+                                       "\",\"seq\":7,\"rounds\":1}";
+        std::string jump_response;
+        const bool first_ok = RawExchange(address, first_frame, &response);
+        if (first_ok && !ResponseWellFormed(response, detail)) {
+          return false;
+        }
+        if (RawExchange(address, jump_frame, &jump_response)) {
+          if (!ResponseWellFormed(jump_response, detail)) {
+            return false;
+          }
+          sia::JsonValue first_parsed;
+          sia::JsonValue jump_parsed;
+          std::string error;
+          if (first_ok && sia::JsonValue::Parse(response, &first_parsed, &error) &&
+              sia::JsonValue::Parse(jump_response, &jump_parsed, &error) &&
+              first_parsed.GetBool("ok", false) && jump_parsed.GetBool("ok", false)) {
+            *detail = "sequence jump was accepted after an applied request";
+            return false;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+int RunServiceEpisodes(int64_t episodes, int64_t start_seed, const std::string& out_dir,
+                       bool verbose) {
+  std::error_code ec;
+  const std::string root = out_dir + "/sia_fuzz_service";
+  std::filesystem::remove_all(root, ec);
+  std::filesystem::create_directories(root, ec);
+  // Short socket path: AF_UNIX caps out near 108 bytes.
+  const std::string socket_path = root + "/fz.sock";
+
+  sia::ServerOptions options;
+  options.listen = "unix:" + socket_path;
+  options.state_dir = root + "/state";
+  options.frame_timeout_ms = 2000;  // reap slow-loris / truncated victims fast
+  sia::SiaServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "sia_fuzz: cannot start in-process service: " << error << "\n";
+    return 2;
+  }
+
+  // Host one cluster with a couple of jobs for the episodes to poke at.
+  const std::string cluster = "fz";
+  {
+    sia::ClientOptions client_options;
+    client_options.address = options.listen;
+    client_options.client_id = "fz-setup";
+    sia::ServiceClient setup(client_options);
+    sia::JsonValue create = sia::JsonValue::MakeObject();
+    create.Set("op", sia::JsonValue::MakeString("create_cluster"));
+    create.Set("cluster", sia::JsonValue::MakeString(cluster));
+    create.Set("scheduler", sia::JsonValue::MakeString("fifo"));
+    create.Set("trace", sia::JsonValue::MakeString("philly"));
+    create.Set("rate", sia::JsonValue::MakeNumber(10));
+    create.Set("hours", sia::JsonValue::MakeNumber(1));
+    const sia::ClientResult created = setup.Call(std::move(create));
+    if (!created.ok) {
+      std::cerr << "sia_fuzz: cannot create service cluster: " << created.message << "\n";
+      server.Stop();
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (int64_t i = 0; i < episodes; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(start_seed + i);
+    std::string detail;
+    const bool ok = RunServiceEpisode(options.listen, cluster, seed, &detail);
+    bool alive = false;
+    if (ok) {
+      // Health probe: the server must keep answering after every episode.
+      sia::ClientOptions probe_options;
+      probe_options.address = options.listen;
+      probe_options.client_id = "fz-probe";
+      sia::ServiceClient probe(probe_options);
+      sia::JsonValue stats = sia::JsonValue::MakeObject();
+      stats.Set("op", sia::JsonValue::MakeString("server_stats"));
+      alive = probe.Call(std::move(stats)).ok;
+      if (!alive) {
+        detail = "server stopped answering the health probe";
+      }
+    }
+    if (verbose || !ok || !alive) {
+      std::cout << (ok && alive ? "ok   " : "FAIL ") << "service episode seed " << seed
+                << (ok && alive ? "" : ": " + detail) << "\n";
+    }
+    if (!ok || !alive) {
+      ++failures;
+      std::cout << "replay with --service-episodes=1 --start-seed=" << seed << "\n";
+    }
+  }
+  server.Stop();
+  std::cout << "service episodes: " << episodes << " episode(s), " << failures
+            << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
 
 struct FuzzStats {
   int scenarios = 0;
@@ -95,6 +539,9 @@ int main(int argc, char** argv) {
   const std::string replay = flags.GetString("replay", "");
   const int64_t lp_checks = flags.GetInt("lp-checks", 0);
   const int64_t crash_seeds = flags.GetInt("crash-seeds", 0);
+  const int64_t frame_seeds = flags.GetInt("frame-seeds", 0);
+  const std::string frame_replay = flags.GetString("frame-replay", "");
+  const int64_t service_episodes = flags.GetInt("service-episodes", 0);
   const bool verbose = flags.GetBool("verbose", false);
   if (flags.Has("help")) {
     std::cout << kUsage;
@@ -117,12 +564,27 @@ int main(int argc, char** argv) {
   if (!replay.empty()) {
     return ReplayReproducer(replay, run_options);
   }
+  if (!frame_replay.empty()) {
+    return ReplayFrameFile(frame_replay);
+  }
   if (!scheduler.empty() && !sia::testing::KnownScheduler(scheduler)) {
     std::cerr << "sia_fuzz: unknown scheduler " << scheduler << "\n";
     return 2;
   }
 
   int exit_code = 0;
+
+  if (frame_seeds > 0) {
+    if (RunFrameFuzz(frame_seeds, start_seed, out_dir, verbose) != 0) {
+      exit_code = 1;
+    }
+  }
+  if (service_episodes > 0) {
+    const int rc = RunServiceEpisodes(service_episodes, start_seed, out_dir, verbose);
+    if (rc != 0) {
+      exit_code = std::max(exit_code, rc == 2 ? 2 : 1);
+    }
+  }
 
   if (lp_checks > 0) {
     sia::testing::LpCheckStats stats;

@@ -25,6 +25,7 @@
 #include "src/schedulers/allox/allox_scheduler.h"
 #include "src/schedulers/baselines/priority_schedulers.h"
 #include "src/schedulers/gavel/gavel_scheduler.h"
+#include "src/schedulers/ladder.h"
 #include "src/schedulers/pollux/pollux_scheduler.h"
 #include "src/schedulers/sia/sia_scheduler.h"
 #include "src/sim/sim_observer.h"
@@ -74,6 +75,11 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
                  snapshot offset and continued byte-identically.
   --die-at-round R  raise SIGKILL at the start of scheduling round R
                  (crash-equivalence testing; see tools/sia_supervise)
+  --round-deadline-ms M  per-round scheduling deadline in milliseconds;
+                 the degradation ladder (full MILP -> capped MILP -> LP
+                 rounding -> greedy -> carry-over) downgrades the solve to
+                 fit. M=0 forces carry-over every round; unset = unlimited.
+                 Nondeterministic for M>0 (wall-clock dependent).
 )";
 
 // Crash injection for the supervisor harness: SIGKILL at the start of the
@@ -207,6 +213,21 @@ int main(int argc, char** argv) {
 
   sia::SimOptions options;
   options.seed = seed;
+  if (flags.Has("round-deadline-ms")) {
+    const double deadline_ms = flags.GetDouble("round-deadline-ms", -1.0);
+    if (deadline_ms < 0.0) {
+      std::cerr << "--round-deadline-ms must be >= 0\n" << kUsage;
+      return 2;
+    }
+    options.round_deadline_seconds = deadline_ms / 1000.0;
+    if (scheduler_name != "sia") {
+      // Sia implements the ladder natively (it can cap its own MILP); the
+      // baselines get the generic wrapper, which degrades to greedy /
+      // carry-over when the budget is too small to run the policy at all.
+      scheduler = std::make_unique<sia::DeadlineLadderScheduler>(std::move(scheduler),
+                                                                 sia::DeadlineOptions{});
+    }
+  }
   options.faults.node_mtbf_hours = flags.GetDouble("mtbf-hours", 0.0);
   options.faults.node_mttr_hours = flags.GetDouble("mttr-hours", 0.5);
   options.faults.degraded_frac = flags.GetDouble("degraded-frac", 0.0);

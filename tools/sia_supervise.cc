@@ -1,28 +1,46 @@
-// Kill-inject run supervisor (ISSUE 5): proves the checkpoint/resume stack
-// end to end by SIGKILLing a real sia_simulate child at randomized rounds,
-// restarting it from the newest valid snapshot with capped exponential
-// backoff, and asserting crash-equivalence -- the final trace, metrics JSON,
-// and per-job results CSV must be byte-identical to an uninterrupted
-// reference run of the same flags.
+// Kill-inject run supervisor (ISSUE 5 + ISSUE 6): proves the crash-tolerance
+// stack end to end in two modes.
 //
-//   sia_supervise --simulate=build/tools/sia_simulate --out-dir=/tmp/sup \
-//                 [--sim-flags="--scheduler=sia --hours=1 --rate=30"] \
-//                 [--kills=2] [--seed=1] [--checkpoint-every=5] \
-//                 [--min-kill-gap=3] [--max-kill-gap=12] \
+// Simulate mode (--simulate): SIGKILLs a sia_simulate child at randomized
+// rounds, restarts it from the newest valid snapshot, and asserts the final
+// trace, metrics JSON, and per-job results CSV are byte-identical to an
+// uninterrupted reference run of the same flags.
+//
+//   sia_supervise --simulate=build/tools/sia_simulate --out-dir=/tmp/sup
+//                 [--sim-flags="--scheduler=sia --hours=1 --rate=30"]
+//                 [--kills=2] [--seed=1] [--checkpoint-every=5]
+//                 [--min-kill-gap=3] [--max-kill-gap=12]
 //                 [--max-restarts=5] [--backoff-ms=100] [--backoff-cap-ms=2000]
 //
-// Exit code 0 iff every comparison passed.
+// Serve mode (--serve): soaks the long-running sia_serve daemon. A reference
+// pass drives N concurrent clients across M hosted clusters to completion
+// uninterrupted; a chaos pass replays the same traffic while SIGKILLing the
+// *server* at randomized instants and restarting it (clients ride through on
+// retries). Every hosted cluster's trace/results/metrics must come out
+// byte-identical across the two passes, and the cluster driven at a 0 ms
+// round deadline must show the full degradation ladder in its metrics.
+//
+//   sia_supervise --serve=build/tools/sia_serve --out-dir=/tmp/soak
+//                 [--clients=3] [--clusters=2] [--rounds=250] [--kills=3]
+//                 [--min-kill-ms=300] [--max-kill-ms=1500] [--rate=20] [--hours=2]
+//
+// Restart backoff in both modes is capped exponential plus jitter drawn from
+// the seeded Rng, so a fixed --seed reproduces the exact supervision
+// schedule. Exit codes: 0 all comparisons passed, 1 a comparison or phase
+// failed, 2 usage error, 3 the restart cap was exhausted.
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -31,22 +49,41 @@
 #include "src/common/file_util.h"
 #include "src/common/flags.h"
 #include "src/common/rng.h"
+#include "src/service/client.h"
+#include "src/service/json.h"
 #include "src/snapshot/snapshot.h"
 
 namespace {
 
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRestartsExhausted = 3;
+
 constexpr char kUsage[] = R"(usage: sia_supervise [flags]
+simulate mode:
   --simulate   path to the sia_simulate binary                (required)
   --out-dir    working directory for run artifacts            (required)
   --sim-flags  extra flags passed to every simulation run, whitespace-split
                (default "--scheduler=sia --hours=1 --rate=30 --seed=3")
   --kills      SIGKILL injections before letting the run finish (default 2)
-  --seed       RNG seed for the randomized kill rounds          (default 1)
   --checkpoint-every  snapshot cadence in rounds                (default 5)
   --min-kill-gap / --max-kill-gap  rounds past the last resume point at
                which the next kill lands                       (default 3/12)
-  --max-restarts  unexpected child failures tolerated per phase (default 5)
+serve mode:
+  --serve      path to the sia_serve binary (replaces --simulate)
+  --clients    concurrent client threads                       (default 3)
+  --clusters   hosted clusters (cluster 0 runs at a 0 ms round
+               deadline to soak the degradation ladder)        (default 2)
+  --rounds     scheduling rounds per cluster                   (default 250)
+  --kills      server SIGKILLs during the chaos pass           (default 3)
+  --min-kill-ms / --max-kill-ms  delay range between kills     (default 150/500)
+  --rate / --hours  workload arrival rate and trace window     (default 20/5)
+shared:
+  --seed       seed for kill points and restart-backoff jitter (default 1)
+  --max-restarts  unexpected failures tolerated per phase      (default 5)
   --backoff-ms / --backoff-cap-ms  restart backoff base and cap (default 100/2000)
+
+exit codes: 0 pass, 1 comparison/phase failure, 2 usage, 3 restart cap exhausted
 )";
 
 std::vector<std::string> SplitWhitespace(const std::string& s) {
@@ -59,22 +96,47 @@ std::vector<std::string> SplitWhitespace(const std::string& s) {
   return out;
 }
 
-// Runs `argv` as a child process and returns its raw waitpid status.
-// Returns -1 if the child could not be spawned.
-int RunChild(const std::vector<std::string>& argv) {
+// Capped exponential backoff with jitter in [0, delay/2] drawn from `rng`.
+// Seeded jitter keeps the whole supervision schedule reproducible while
+// still decorrelating restarts from any periodic failure cause.
+int64_t BackoffWithJitterMs(int attempt, int base_ms, int cap_ms, sia::Rng* rng) {
+  const int shift = std::clamp(attempt - 1, 0, 20);
+  int64_t delay = static_cast<int64_t>(base_ms) << shift;
+  delay = std::min<int64_t>(delay, cap_ms);
+  if (delay / 2 > 0) {
+    delay += rng->UniformInt(0, delay / 2);
+  }
+  return delay;
+}
+
+std::vector<char*> ToArgv(const std::vector<std::string>& argv) {
   std::vector<char*> raw;
   raw.reserve(argv.size() + 1);
   for (const std::string& arg : argv) {
     raw.push_back(const_cast<char*>(arg.c_str()));
   }
   raw.push_back(nullptr);
+  return raw;
+}
+
+// Spawns `argv` and returns the child pid (-1 on fork failure) without
+// waiting for it.
+pid_t SpawnChild(const std::vector<std::string>& argv) {
+  std::vector<char*> raw = ToArgv(argv);
   const pid_t pid = ::fork();
-  if (pid < 0) {
-    return -1;
-  }
   if (pid == 0) {
     ::execv(raw[0], raw.data());
     _exit(127);  // execv only returns on failure.
+  }
+  return pid;
+}
+
+// Runs `argv` as a child process and returns its raw waitpid status.
+// Returns -1 if the child could not be spawned.
+int RunChild(const std::vector<std::string>& argv) {
+  const pid_t pid = SpawnChild(argv);
+  if (pid < 0) {
+    return -1;
   }
   int status = 0;
   while (::waitpid(pid, &status, 0) < 0) {
@@ -116,23 +178,416 @@ bool FilesIdentical(const std::string& a, const std::string& b, std::string* det
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Serve-mode soak.
+// ---------------------------------------------------------------------------
+
+struct SoakConfig {
+  std::string serve_binary;
+  std::string out_dir;
+  int clients = 3;
+  int clusters = 2;
+  int rounds = 250;
+  int kills = 3;
+  int min_kill_ms = 150;
+  int max_kill_ms = 500;
+  double rate = 20.0;
+  double hours = 5.0;
+  uint64_t seed = 1;
+  int max_restarts = 5;
+  int backoff_ms = 100;
+  int backoff_cap_ms = 2000;
+};
+
+std::string SoakClusterName(int index) { return "soak" + std::to_string(index); }
+
+sia::ClientOptions MakeClientOptions(const std::string& socket, const std::string& client_id,
+                                     uint64_t seed) {
+  sia::ClientOptions options;
+  options.address = "unix:" + socket;
+  options.client_id = client_id;
+  options.seed = seed;
+  // Generous retry budget: the chaos pass knocks the server out for up to a
+  // few seconds at a time and clients must ride through on backoff alone.
+  options.max_attempts = 30;
+  options.backoff_base_ms = 25;
+  options.backoff_max_ms = 500;
+  return options;
+}
+
+// Drives the full soak workload against a running server: creates the
+// clusters, steps each one `rounds` times from `clients` concurrent worker
+// threads, then finalizes every cluster. Returns false (with a message on
+// stderr) if any request exhausts its retries.
+bool DriveSoakTraffic(const SoakConfig& cfg, const std::string& socket) {
+  // Setup: create every cluster and seed a couple of extra jobs beyond the
+  // generated trace so submit_job sees soak traffic too.
+  sia::ServiceClient setup(MakeClientOptions(socket, "soak-setup", cfg.seed));
+  for (int c = 0; c < cfg.clusters; ++c) {
+    sia::JsonValue req = sia::JsonValue::MakeObject();
+    req.Set("op", sia::JsonValue::MakeString("create_cluster"));
+    req.Set("cluster", sia::JsonValue::MakeString(SoakClusterName(c)));
+    // Cluster 0 runs the full sia policy under a 0 ms deadline (every round
+    // degrades to carry_over, which is both the ladder soak target and
+    // cheap); the rest run lightweight policies so hundreds of rounds and
+    // post-kill journal replays stay fast enough for CI.
+    req.Set("scheduler",
+            sia::JsonValue::MakeString(c == 0 ? "sia" : (c % 2 == 1 ? "fifo" : "srtf")));
+    req.Set("trace", sia::JsonValue::MakeString("philly"));
+    req.Set("rate", sia::JsonValue::MakeNumber(cfg.rate));
+    req.Set("hours", sia::JsonValue::MakeNumber(cfg.hours));
+    req.Set("seed", sia::JsonValue::MakeNumber(static_cast<double>(cfg.seed + c)));
+    if (c == 0) {
+      // Cluster 0 soaks the degradation ladder: a 0 ms budget forces every
+      // round down to carry_over while staying deterministic on replay.
+      req.Set("round_deadline_ms", sia::JsonValue::MakeNumber(0));
+    }
+    const sia::ClientResult result = setup.Call(std::move(req));
+    if (!result.ok) {
+      std::cerr << "[soak] create_cluster " << SoakClusterName(c) << " failed: "
+                << result.message << "\n";
+      return false;
+    }
+  }
+  for (int c = 0; c < cfg.clusters; ++c) {
+    sia::ServiceClient submitter(
+        MakeClientOptions(socket, "soak-submit." + SoakClusterName(c), cfg.seed + 100 + c));
+    for (int j = 0; j < 2; ++j) {
+      sia::JsonValue job = sia::JsonValue::MakeObject();
+      job.Set("id", sia::JsonValue::MakeNumber(900000 + c * 10 + j));
+      job.Set("model", sia::JsonValue::MakeString(j == 0 ? "resnet18" : "bert"));
+      job.Set("max_num_gpus", sia::JsonValue::MakeNumber(8));
+      sia::JsonValue req = sia::JsonValue::MakeObject();
+      req.Set("op", sia::JsonValue::MakeString("submit_job"));
+      req.Set("cluster", sia::JsonValue::MakeString(SoakClusterName(c)));
+      req.Set("job", std::move(job));
+      const sia::ClientResult result = submitter.Call(std::move(req));
+      if (!result.ok) {
+        std::cerr << "[soak] submit_job to " << SoakClusterName(c) << " failed: "
+                  << result.message << "\n";
+        return false;
+      }
+    }
+  }
+
+  // Concurrent stepping: per-cluster tickets guarantee both passes apply
+  // exactly `rounds` step_round mutations per cluster no matter how the
+  // worker threads interleave; step_round commutes across clients, so the
+  // final simulator state is interleaving-independent.
+  std::vector<std::unique_ptr<std::atomic<int>>> tickets;
+  std::vector<std::unique_ptr<std::atomic<bool>>> done;
+  for (int c = 0; c < cfg.clusters; ++c) {
+    tickets.push_back(std::make_unique<std::atomic<int>>(cfg.rounds));
+    done.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.clients);
+  for (int w = 0; w < cfg.clients; ++w) {
+    workers.emplace_back([&, w] {
+      // One client identity per (worker, cluster): the server's dedupe map
+      // requires contiguous sequence numbers per client id.
+      std::vector<std::unique_ptr<sia::ServiceClient>> per_cluster;
+      for (int c = 0; c < cfg.clusters; ++c) {
+        per_cluster.push_back(std::make_unique<sia::ServiceClient>(MakeClientOptions(
+            socket, "soak-w" + std::to_string(w) + "." + SoakClusterName(c),
+            cfg.seed + 1000 + static_cast<uint64_t>(w) * 64 + c)));
+      }
+      int cluster = w % cfg.clusters;
+      int idle_scans = 0;
+      while (!failed.load() && idle_scans < cfg.clusters) {
+        cluster = (cluster + 1) % cfg.clusters;
+        if (done[cluster]->load() || tickets[cluster]->fetch_sub(1) <= 0) {
+          ++idle_scans;
+          continue;
+        }
+        idle_scans = 0;
+        const sia::ClientResult result =
+            per_cluster[cluster]->StepRound(SoakClusterName(cluster), 1);
+        if (result.ok) {
+          const std::string status = result.response.GetString("status", "");
+          if (status == "complete" || status == "cap_reached") {
+            done[cluster]->store(true);  // Simulation drained early; stop stepping.
+          }
+        } else if (result.error == sia::ServiceError::kClusterDone) {
+          done[cluster]->store(true);
+        } else {
+          std::cerr << "[soak] step_round on " << SoakClusterName(cluster)
+                    << " failed after " << result.attempts << " attempts: "
+                    << result.message << "\n";
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  if (failed.load()) {
+    return false;
+  }
+
+  // Finalize every cluster so results.csv and metrics.json exist on disk.
+  for (int c = 0; c < cfg.clusters; ++c) {
+    sia::ServiceClient finisher(
+        MakeClientOptions(socket, "soak-fin." + SoakClusterName(c), cfg.seed + 200 + c));
+    sia::JsonValue req = sia::JsonValue::MakeObject();
+    req.Set("op", sia::JsonValue::MakeString("finalize"));
+    req.Set("cluster", sia::JsonValue::MakeString(SoakClusterName(c)));
+    const sia::ClientResult result = finisher.Call(std::move(req));
+    if (!result.ok) {
+      std::cerr << "[soak] finalize " << SoakClusterName(c) << " failed: " << result.message
+                << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// Force-kills and reaps the server (cleanup for failed passes, so an
+// orphaned child never outlives the supervisor).
+void ReapServer(pid_t pid) {
+  if (pid < 0) {
+    return;
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+// Sends a graceful shutdown and reaps the server process. The shutdown
+// response can be lost in the server's own teardown race, so the exit status
+// -- not the response -- is the source of truth.
+bool ShutdownServer(const std::string& socket, pid_t pid) {
+  {
+    sia::ClientOptions options = MakeClientOptions(socket, "soak-shutdown", 1);
+    options.max_attempts = 1;  // A lost response already means it landed.
+    sia::ServiceClient client(options);
+    sia::JsonValue req = sia::JsonValue::MakeObject();
+    req.Set("op", sia::JsonValue::MakeString("shutdown"));
+    client.Call(std::move(req));
+  }
+  // Bounded wait, then escalate to SIGKILL rather than hang the soak.
+  for (int waited_ms = 0; waited_ms < 15000; waited_ms += 50) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid) {
+      return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+    if (reaped < 0 && errno != EINTR) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "[soak] server ignored graceful shutdown; escalating to SIGKILL\n";
+  ReapServer(pid);
+  return false;
+}
+
+// Waits (bounded) until the server accepts a request on `socket`.
+bool AwaitServerReady(const std::string& socket) {
+  sia::ClientOptions options = MakeClientOptions(socket, "soak-probe", 1);
+  options.max_attempts = 40;
+  sia::ServiceClient client(options);
+  sia::JsonValue req = sia::JsonValue::MakeObject();
+  req.Set("op", sia::JsonValue::MakeString("server_stats"));
+  return client.Call(std::move(req)).ok;
+}
+
+std::vector<std::string> ServeArgv(const SoakConfig& cfg, const std::string& socket,
+                                   const std::string& state_dir) {
+  return {cfg.serve_binary, "--listen=unix:" + socket, "--state-dir=" + state_dir};
+}
+
+// Runs one full soak pass. When `kills` > 0 a killer thread SIGKILLs the
+// server at seeded random instants and restarts it with jittered backoff.
+// Returns 0/1/3 like main().
+int RunSoakPass(const SoakConfig& cfg, const std::string& label, const std::string& socket,
+                const std::string& state_dir, int kills, sia::Rng* rng) {
+  std::error_code ec;
+  std::filesystem::remove_all(state_dir, ec);
+  std::filesystem::remove(socket, ec);
+
+  std::atomic<pid_t> server_pid{SpawnChild(ServeArgv(cfg, socket, state_dir))};
+  if (server_pid.load() < 0) {
+    std::cerr << "[soak] failed to spawn " << cfg.serve_binary << "\n";
+    return kExitFailure;
+  }
+  if (!AwaitServerReady(socket)) {
+    std::cerr << "[soak] server never became ready on " << socket << "\n";
+    ReapServer(server_pid.load());
+    return kExitFailure;
+  }
+
+  std::atomic<bool> traffic_done{false};
+  std::atomic<int> killer_exit{0};
+  std::thread killer;
+  if (kills > 0) {
+    killer = std::thread([&] {
+      for (int k = 0; k < kills && !traffic_done.load(); ++k) {
+        const int64_t delay_ms = rng->UniformInt(cfg.min_kill_ms, cfg.max_kill_ms);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms);
+        while (std::chrono::steady_clock::now() < deadline && !traffic_done.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (traffic_done.load()) {
+          break;
+        }
+        const pid_t pid = server_pid.load();
+        std::cout << "[soak] " << label << ": SIGKILL server (kill " << (k + 1) << "/" << kills
+                  << ")\n";
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        bool restarted = false;
+        for (int attempt = 1; attempt <= cfg.max_restarts; ++attempt) {
+          const int64_t backoff =
+              BackoffWithJitterMs(attempt, cfg.backoff_ms, cfg.backoff_cap_ms, rng);
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+          const pid_t next = SpawnChild(ServeArgv(cfg, socket, state_dir));
+          if (next >= 0 && AwaitServerReady(socket)) {
+            server_pid.store(next);
+            restarted = true;
+            break;
+          }
+          if (next >= 0) {
+            ::kill(next, SIGKILL);
+            while (::waitpid(next, &status, 0) < 0 && errno == EINTR) {
+            }
+          }
+          std::cerr << "[soak] restart attempt " << attempt << "/" << cfg.max_restarts
+                    << " failed\n";
+        }
+        if (!restarted) {
+          killer_exit.store(kExitRestartsExhausted);
+          return;
+        }
+      }
+    });
+  }
+
+  const bool traffic_ok = DriveSoakTraffic(cfg, socket);
+  traffic_done.store(true);
+  if (killer.joinable()) {
+    killer.join();
+  }
+  if (killer_exit.load() != 0) {
+    std::cerr << "[soak] " << label << ": restart cap exhausted\n";
+    ReapServer(server_pid.load());
+    return killer_exit.load();
+  }
+  if (!traffic_ok) {
+    std::cerr << "[soak] " << label << ": traffic failed\n";
+    ReapServer(server_pid.load());
+    return kExitFailure;
+  }
+  if (!ShutdownServer(socket, server_pid.load())) {
+    std::cerr << "[soak] " << label << ": server did not shut down cleanly\n";
+    return kExitFailure;
+  }
+  std::cout << "[soak] " << label << ": pass complete\n";
+  return 0;
+}
+
+// Asserts that the ladder cluster's final metrics show both a served
+// carry_over rung and misses on every rung above it.
+bool CheckLadderMetrics(const std::string& metrics_path) {
+  std::string contents;
+  std::string error;
+  if (!sia::ReadFileToString(metrics_path, &contents, &error)) {
+    std::cerr << "[soak] cannot read " << metrics_path << ": " << error << "\n";
+    return false;
+  }
+  sia::JsonValue root;
+  if (!sia::JsonValue::Parse(contents, &root, &error)) {
+    std::cerr << "[soak] cannot parse " << metrics_path << ": " << error << "\n";
+    return false;
+  }
+  const sia::JsonValue* counters = root.Find("counters");
+  if (counters == nullptr) {
+    std::cerr << "[soak] no counters in " << metrics_path << "\n";
+    return false;
+  }
+  bool ok = true;
+  for (const char* name :
+       {"scheduler.ladder.served.carry_over", "scheduler.ladder.miss.full_milp",
+        "scheduler.ladder.miss.capped_milp", "scheduler.ladder.miss.lp_round",
+        "scheduler.ladder.miss.greedy"}) {
+    if (counters->GetNumber(name, 0.0) <= 0.0) {
+      std::cerr << "[soak] expected counter " << name << " > 0 in " << metrics_path << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+int RunServeSoak(const SoakConfig& cfg) {
+  // Writes into a SIGKILLed server's socket must surface as EPIPE to the
+  // client's retry loop, not kill the supervisor.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::error_code ec;
+  std::filesystem::create_directories(cfg.out_dir, ec);
+  // Keep the socket path short: AF_UNIX paths cap out near 108 bytes.
+  const std::string socket = cfg.out_dir + "/soak.sock";
+  const std::string ref_state = cfg.out_dir + "/ref-state";
+  const std::string chaos_state = cfg.out_dir + "/chaos-state";
+
+  sia::Rng rng = sia::Rng(cfg.seed).Fork("supervise-soak", 0);
+  std::cout << "[soak] reference pass: " << cfg.clients << " clients x " << cfg.clusters
+            << " clusters x " << cfg.rounds << " rounds\n";
+  int rc = RunSoakPass(cfg, "reference", socket, ref_state, /*kills=*/0, &rng);
+  if (rc != 0) {
+    return rc;
+  }
+  std::cout << "[soak] chaos pass: same traffic + " << cfg.kills << " server SIGKILLs\n";
+  rc = RunSoakPass(cfg, "chaos", socket, chaos_state, cfg.kills, &rng);
+  if (rc != 0) {
+    return rc;
+  }
+
+  bool ok = true;
+  for (int c = 0; c < cfg.clusters; ++c) {
+    const std::string name = SoakClusterName(c);
+    for (const char* file : {"trace.jsonl", "results.csv", "metrics.json"}) {
+      std::string detail;
+      if (FilesIdentical(ref_state + "/" + name + "/" + file,
+                         chaos_state + "/" + name + "/" + file, &detail)) {
+        std::cout << "[soak] OK  " << name << "/" << file << " identical across passes\n";
+      } else {
+        std::cerr << "[soak] FAIL " << detail << "\n";
+        ok = false;
+      }
+    }
+  }
+  if (!CheckLadderMetrics(chaos_state + "/" + SoakClusterName(0) + "/metrics.json")) {
+    ok = false;
+  }
+  std::cout << (ok ? "[soak] server crash-equivalence PASSED\n"
+                   : "[soak] server crash-equivalence FAILED\n");
+  return ok ? 0 : kExitFailure;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   sia::FlagParser flags;
   if (!flags.Parse(argc, argv)) {
     std::cerr << flags.error() << "\n" << kUsage;
-    return 2;
+    return kExitUsage;
   }
   if (flags.Has("help")) {
     std::cout << kUsage;
     return 0;
   }
   const std::string simulate = flags.GetString("simulate", "");
+  const std::string serve = flags.GetString("serve", "");
   const std::string out_dir = flags.GetString("out-dir", "");
   const std::string sim_flags =
       flags.GetString("sim-flags", "--scheduler=sia --hours=1 --rate=30 --seed=3");
-  const int kills = static_cast<int>(flags.GetInt("kills", 2));
+  const int kills = static_cast<int>(flags.GetInt("kills", serve.empty() ? 2 : 3));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const int checkpoint_every = static_cast<int>(flags.GetInt("checkpoint-every", 5));
   const int min_gap = static_cast<int>(flags.GetInt("min-kill-gap", 3));
@@ -140,17 +595,49 @@ int main(int argc, char** argv) {
   const int max_restarts = static_cast<int>(flags.GetInt("max-restarts", 5));
   const int backoff_ms = static_cast<int>(flags.GetInt("backoff-ms", 100));
   const int backoff_cap_ms = static_cast<int>(flags.GetInt("backoff-cap-ms", 2000));
+  const int clients = static_cast<int>(flags.GetInt("clients", 3));
+  const int clusters = static_cast<int>(flags.GetInt("clusters", 2));
+  const int rounds = static_cast<int>(flags.GetInt("rounds", 250));
+  const int min_kill_ms = static_cast<int>(flags.GetInt("min-kill-ms", 150));
+  const int max_kill_ms = static_cast<int>(flags.GetInt("max-kill-ms", 500));
+  const double rate = flags.GetDouble("rate", 20.0);
+  const double hours = flags.GetDouble("hours", 5.0);
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown << "\n" << kUsage;
-    return 2;
+    return kExitUsage;
   }
-  if (simulate.empty() || out_dir.empty()) {
-    std::cerr << "--simulate and --out-dir are required\n" << kUsage;
-    return 2;
+  if ((simulate.empty() == serve.empty()) || out_dir.empty()) {
+    std::cerr << "exactly one of --simulate/--serve plus --out-dir is required\n" << kUsage;
+    return kExitUsage;
   }
+
+  if (!serve.empty()) {
+    SoakConfig cfg;
+    cfg.serve_binary = serve;
+    cfg.out_dir = out_dir;
+    cfg.clients = clients;
+    cfg.clusters = clusters;
+    cfg.rounds = rounds;
+    cfg.kills = kills;
+    cfg.min_kill_ms = min_kill_ms;
+    cfg.max_kill_ms = max_kill_ms;
+    cfg.rate = rate;
+    cfg.hours = hours;
+    cfg.seed = seed;
+    cfg.max_restarts = max_restarts;
+    cfg.backoff_ms = backoff_ms;
+    cfg.backoff_cap_ms = backoff_cap_ms;
+    if (cfg.clients < 1 || cfg.clusters < 1 || cfg.rounds < 1 || cfg.min_kill_ms < 1 ||
+        cfg.max_kill_ms < cfg.min_kill_ms) {
+      std::cerr << "invalid soak configuration\n" << kUsage;
+      return kExitUsage;
+    }
+    return RunServeSoak(cfg);
+  }
+
   if (kills < 1 || checkpoint_every < 1 || min_gap < 1 || max_gap < min_gap) {
     std::cerr << "invalid kill/checkpoint configuration\n" << kUsage;
-    return 2;
+    return kExitUsage;
   }
 
   std::error_code ec;
@@ -180,15 +667,22 @@ int main(int argc, char** argv) {
     return child;
   };
 
+  // Restart-backoff jitter shares the seeded Rng with the kill schedule so
+  // one --seed pins the whole supervision timeline.
+  sia::Rng rng(seed);
+  sia::Rng backoff_rng = sia::Rng(seed).Fork("supervise-backoff", 0);
+
   // Runs one phase, retrying unexpected failures (spawn errors, crashes we
-  // did not inject) with capped exponential backoff. Expected outcomes --
-  // clean exit, or SIGKILL when `expect_kill` -- return immediately.
+  // did not inject) with capped exponential backoff plus seeded jitter.
+  // Expected outcomes -- clean exit, or SIGKILL when `expect_kill` -- return
+  // immediately. Sets *exhausted when the restart cap ran out.
   auto run_with_backoff = [&](const std::vector<std::string>& child, bool expect_kill,
-                              bool* was_killed) {
+                              bool* was_killed, bool* exhausted) {
+    *exhausted = false;
     for (int attempt = 0; attempt <= max_restarts; ++attempt) {
       if (attempt > 0) {
-        int64_t delay = static_cast<int64_t>(backoff_ms) << (attempt - 1);
-        delay = std::min<int64_t>(delay, backoff_cap_ms);
+        const int64_t delay =
+            BackoffWithJitterMs(attempt, backoff_ms, backoff_cap_ms, &backoff_rng);
         std::cerr << "restart " << attempt << "/" << max_restarts << " after " << delay
                   << " ms backoff\n";
         std::this_thread::sleep_for(std::chrono::milliseconds(delay));
@@ -204,6 +698,7 @@ int main(int argc, char** argv) {
       }
       std::cerr << "child failed unexpectedly (status " << status << ")\n";
     }
+    *exhausted = true;
     return false;
   };
 
@@ -211,13 +706,13 @@ int main(int argc, char** argv) {
   // the comparison also proves checkpoint writes have no side effects) ---
   std::cout << "[supervise] reference run\n";
   bool killed = false;
-  if (!run_with_backoff(make_argv("ref", false, -1, false), false, &killed)) {
+  bool exhausted = false;
+  if (!run_with_backoff(make_argv("ref", false, -1, false), false, &killed, &exhausted)) {
     std::cerr << "reference run failed\n";
-    return 1;
+    return exhausted ? kExitRestartsExhausted : kExitFailure;
   }
 
   // --- phase 2: kill-inject loop ---
-  sia::Rng rng(seed);
   int64_t resume_round = 0;
   bool resuming = false;
   for (int kill = 0; kill < kills; ++kill) {
@@ -225,9 +720,9 @@ int main(int argc, char** argv) {
     const int64_t die_at = resume_round + gap;
     std::cout << "[supervise] kill " << (kill + 1) << "/" << kills << " at round " << die_at
               << (resuming ? " (resumed)" : " (fresh)") << "\n";
-    if (!run_with_backoff(make_argv("run", true, die_at, resuming), true, &killed)) {
+    if (!run_with_backoff(make_argv("run", true, die_at, resuming), true, &killed, &exhausted)) {
       std::cerr << "killed phase failed\n";
-      return 1;
+      return exhausted ? kExitRestartsExhausted : kExitFailure;
     }
     if (!killed) {
       // The run finished before reaching the kill round; nothing left to
@@ -243,12 +738,12 @@ int main(int argc, char** argv) {
     std::vector<std::string> skipped;
     if (!sia::LatestValidSnapshot(ckpt_dir, &snap_path, &payload, &skipped, &error)) {
       std::cerr << "no valid snapshot after kill: " << error << "\n";
-      return 1;
+      return kExitFailure;
     }
     sia::SnapshotMeta meta;
     if (!sia::ReadSnapshotMeta(payload, &meta, &error)) {
       std::cerr << "unreadable snapshot meta: " << error << "\n";
-      return 1;
+      return kExitFailure;
     }
     std::cout << "[supervise] latest snapshot: round " << meta.round_index << "\n";
     resume_round = meta.round_index;
@@ -257,9 +752,9 @@ int main(int argc, char** argv) {
 
   // --- phase 3: resume to completion ---
   std::cout << "[supervise] final resume to completion\n";
-  if (!run_with_backoff(make_argv("run", true, -1, resuming), false, &killed)) {
+  if (!run_with_backoff(make_argv("run", true, -1, resuming), false, &killed, &exhausted)) {
     std::cerr << "final resume failed\n";
-    return 1;
+    return exhausted ? kExitRestartsExhausted : kExitFailure;
   }
 
   // --- phase 4: crash-equivalence assertions ---
@@ -275,5 +770,5 @@ int main(int argc, char** argv) {
   }
   std::cout << (ok ? "[supervise] crash-equivalence PASSED\n"
                    : "[supervise] crash-equivalence FAILED\n");
-  return ok ? 0 : 1;
+  return ok ? 0 : kExitFailure;
 }
