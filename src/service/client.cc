@@ -53,6 +53,7 @@ int ServiceClient::BackoffMs(int attempt) {
 ClientResult ServiceClient::Call(JsonValue request) {
   ClientResult result;
   const std::string op = request.GetString("op", "");
+  bool stamped = false;
   if (IsMutatingOp(op)) {
     // Stamp once; retries resend the same (client, seq) so the server can
     // recognize a replay of an already-applied request.
@@ -61,9 +62,10 @@ ClientResult ServiceClient::Call(JsonValue request) {
     }
     if (request.Find("seq") == nullptr) {
       request.Set("seq", JsonValue::MakeNumber(static_cast<double>(next_seq_++)));
+      stamped = true;
     }
   }
-  const std::string frame = request.Dump();
+  std::string frame = request.Dump();
 
   for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     result.attempts = attempt;
@@ -106,6 +108,18 @@ ClientResult ServiceClient::Call(JsonValue request) {
           }
           if (!result.response.GetBool("retryable", false)) {
             return result;  // Request defect; retrying is a bug.
+          }
+          if (result.error == ServiceError::kOutOfOrder && stamped) {
+            // The stamp is ahead of the server's dedupe window: an earlier
+            // request of ours exhausted its retries without ever being
+            // applied, so retrying this seq can never close the gap. Resync
+            // to the server's typed hint and restamp before the next try.
+            const int64_t expected = result.response.GetInt64("expected_seq", -1);
+            if (expected >= 1) {
+              next_seq_ = static_cast<uint64_t>(expected) + 1;
+              request.Set("seq", JsonValue::MakeNumber(static_cast<double>(expected)));
+              frame = request.Dump();
+            }
           }
         }
       }

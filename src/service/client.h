@@ -8,7 +8,11 @@
 //  * every mutating request carries this client's id and a monotonically
 //    increasing sequence number, so a retry of a request whose response was
 //    lost is absorbed by the server's dedupe map (exactly-once application
-//    over an at-least-once transport).
+//    over an at-least-once transport);
+//  * if an earlier request exhausted its retries without ever being applied
+//    (sustained shedding), the server answers later stamps with out_of_order
+//    plus a typed `expected_seq`; the client resyncs its counter from that
+//    hint and restamps, so one lost request never wedges the sequence.
 //
 // Backoff jitter is drawn from the repo's deterministic Rng, forked from a
 // caller-provided seed: two clients with the same seed back off identically,

@@ -42,7 +42,7 @@ bool ParseJobSpec(const JsonValue& json, JobSpec* job, std::string* error) {
     *error = "job must be an object";
     return false;
   }
-  job->id = static_cast<JobId>(json.GetNumber("id", -1));
+  job->id = static_cast<JobId>(json.GetInt("id", -1));
   job->name = json.GetString("name", "job-" + std::to_string(job->id));
   const std::string model = json.GetString("model", "");
   if (!ModelKindFromString(model, &job->model)) {
@@ -56,8 +56,8 @@ bool ParseJobSpec(const JsonValue& json, JobSpec* job, std::string* error) {
     return false;
   }
   job->fixed_bsz = json.GetNumber("fixed_bsz", 0.0);
-  job->rigid_num_gpus = static_cast<int>(json.GetNumber("rigid_num_gpus", 0));
-  job->max_num_gpus = static_cast<int>(json.GetNumber("max_num_gpus", 64));
+  job->rigid_num_gpus = json.GetInt("rigid_num_gpus", 0);
+  job->max_num_gpus = json.GetInt("max_num_gpus", 64);
   job->preemptible = json.GetBool("preemptible", true);
   job->batch_inference = json.GetBool("batch_inference", false);
   job->latency_slo_seconds = json.GetNumber("latency_slo_seconds", 0.0);
@@ -104,14 +104,14 @@ bool ClusterCreateSpec::FromJson(const JsonValue& request, std::string* error) {
   }
   scheduler = request.GetString("scheduler", "sia");
   cluster_kind = request.GetString("cluster_kind", "heterogeneous");
-  scale = static_cast<int>(request.GetNumber("scale", 1));
+  scale = request.GetInt("scale", 1);
   trace = request.GetString("trace", "none");
   rate_per_hour = request.GetNumber("rate", 20.0);
   hours = request.GetNumber("hours", 0.0);
-  seed = static_cast<uint64_t>(request.GetNumber("seed", 1));
+  seed = request.GetUInt64("seed", 1);
   tuned = request.GetBool("tuned", false);
   round_deadline_ms = request.GetNumber("round_deadline_ms", -1.0);
-  snapshot_every = static_cast<int>(request.GetNumber("snapshot_every", 16));
+  snapshot_every = request.GetInt("snapshot_every", 16);
   if (scale < 1 || scale > 64) {
     *error = "scale must be in [1, 64]";
     return false;
@@ -340,12 +340,19 @@ std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
     if (entry.GetString("op", "") != "submit_job") {
       continue;  // Steps in the prefix live inside the snapshot state.
     }
+    const JsonValue* job_json = entry.Find("job");
     JobSpec job;
     std::string job_error;
-    if (!ParseJobSpec(*entry.Find("job"), &job, &job_error) ||
+    if (job_json == nullptr || !ParseJobSpec(*job_json, &job, &job_error) ||
         !host->sim_->SubmitJob(job, &job_error)) {
-      *error = "journal entry " + std::to_string(i) + ": " + job_error;
-      return nullptr;
+      // The live path journals before the simulator validates, so a
+      // journaled submit can have been rejected (duplicate id, bad GPU
+      // bounds). The rejection is deterministic and left no simulator
+      // state behind, so the prefix replay tolerates it exactly like the
+      // suffix replay does; only an unparseable journal line is fatal.
+      SIA_LOG(Warning) << "cluster " << name << ": journal entry " << i
+                       << ": submit_job rejected on replay: " << job_error;
+      continue;
     }
   }
   if (!sim_payload.empty()) {
@@ -437,7 +444,7 @@ bool HostedCluster::BuildStack(int64_t resume_trace_offset, std::string* error) 
 }
 
 int64_t HostedCluster::RequestSeq(const JsonValue& request) const {
-  return static_cast<int64_t>(request.GetNumber("seq", -1.0));
+  return request.GetInt64("seq", -1);  // Saturating: hostile 1e300 is not UB.
 }
 
 std::string HostedCluster::HandleRequest(const JsonValue& request) {
@@ -479,8 +486,13 @@ std::string HostedCluster::ApplyMutation(const JsonValue& request, bool replay) 
     return OkResponse(seq, std::move(fields));
   }
   if (it != client_last_seq_.end() && static_cast<uint64_t>(seq) != last + 1) {
+    // expected_seq is the typed resync hint: a client whose earlier request
+    // was never applied (e.g. shed until its retries ran out) restamps from
+    // it instead of retrying a stale seq forever.
+    JsonValue fields = JsonValue::MakeObject();
+    fields.Set("expected_seq", JsonValue::MakeNumber(static_cast<double>(last + 1)));
     return ErrorResponse(seq, ServiceError::kOutOfOrder,
-                         "expected seq " + std::to_string(last + 1));
+                         "expected seq " + std::to_string(last + 1), std::move(fields));
   }
 
   if (finalized_ && op != "finalize") {
@@ -552,8 +564,7 @@ std::string HostedCluster::ApplySubmitJob(const JsonValue& request, bool replay)
 
 std::string HostedCluster::ApplyStepRound(const JsonValue& request) {
   const int64_t seq = RequestSeq(request);
-  int rounds = static_cast<int>(request.GetNumber("rounds", 1.0));
-  rounds = std::clamp(rounds, 1, 4096);
+  int rounds = std::clamp(request.GetInt("rounds", 1), 1, 4096);
   // deadline_ms scopes to this request only; steps without one run under the
   // cluster default from the create spec (journal replay re-derives the same
   // sequence, so recovery sees identical deadlines round for round).

@@ -1,6 +1,8 @@
 #include "src/service/json.h"
 
+#include <climits>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
 #include "src/common/check.h"
@@ -390,6 +392,48 @@ std::string JsonValue::GetString(std::string_view key, const std::string& defaul
 bool JsonValue::GetBool(std::string_view key, bool default_value) const {
   const JsonValue* v = Find(key);
   return v != nullptr && v->is_bool() ? v->as_bool() : default_value;
+}
+
+int64_t JsonValue::GetInt64(std::string_view key, int64_t default_value) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number() || std::isnan(v->as_number())) {
+    return default_value;
+  }
+  const double n = v->as_number();
+  // 2^63 is exactly representable; any double >= it would overflow the cast.
+  if (n >= 9223372036854775808.0) {
+    return INT64_MAX;
+  }
+  if (n <= -9223372036854775808.0) {
+    return INT64_MIN;
+  }
+  return static_cast<int64_t>(n);
+}
+
+uint64_t JsonValue::GetUInt64(std::string_view key, uint64_t default_value) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number() || std::isnan(v->as_number())) {
+    return default_value;
+  }
+  const double n = v->as_number();
+  if (n >= 18446744073709551616.0) {  // 2^64.
+    return UINT64_MAX;
+  }
+  if (n <= 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(n);
+}
+
+int JsonValue::GetInt(std::string_view key, int default_value) const {
+  const int64_t wide = GetInt64(key, default_value);
+  if (wide > INT_MAX) {
+    return INT_MAX;
+  }
+  if (wide < INT_MIN) {
+    return INT_MIN;
+  }
+  return static_cast<int>(wide);
 }
 
 std::string JsonValue::Dump() const {

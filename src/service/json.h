@@ -71,6 +71,13 @@ class JsonValue {
   std::string GetString(std::string_view key, const std::string& default_value) const;
   bool GetBool(std::string_view key, bool default_value) const;
 
+  // Integer lookups that saturate at the target type's range instead of
+  // casting: static_cast of an out-of-range double (a hostile frame can
+  // carry 1e300) is undefined behavior. NaN yields the default.
+  int64_t GetInt64(std::string_view key, int64_t default_value) const;
+  uint64_t GetUInt64(std::string_view key, uint64_t default_value) const;
+  int GetInt(std::string_view key, int default_value) const;
+
   // Serializes deterministically (object members in insertion order,
   // numbers in shortest round-trip form via src/obs/json_util).
   std::string Dump() const;

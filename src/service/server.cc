@@ -79,8 +79,8 @@ void SiaServer::Stop() {
   }
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
-    for (const int fd : connection_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
+    for (auto& [id, conn] : connections_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
     }
   }
   if (listener_.joinable()) {
@@ -91,13 +91,13 @@ void SiaServer::Stop() {
   }
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
-    for (std::thread& t : connections_) {
-      if (t.joinable()) {
-        t.join();
+    for (auto& [id, conn] : connections_) {
+      if (conn->thread.joinable()) {
+        conn->thread.join();
       }
+      ::close(conn->fd);
     }
     connections_.clear();
-    connection_fds_.clear();
   }
 
   // Drain and stop workers, then take a final snapshot of each cluster so a
@@ -155,12 +155,39 @@ void SiaServer::ListenerLoop() {
       break;
     }
     std::lock_guard<std::mutex> lock(connections_mu_);
-    connection_fds_.push_back(fd);
-    connections_.emplace_back([this, fd] { ConnectionLoop(fd); });
+    ReapConnectionsLocked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    connections_[next_connection_id_++] = std::move(conn);
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
   }
 }
 
-void SiaServer::ConnectionLoop(int fd) {
+void SiaServer::ReapConnectionsLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection* conn = it->second.get();
+    if (!conn->done.load()) {
+      ++it;
+      continue;
+    }
+    // done is the thread's last act, so this join returns immediately; the
+    // fd is closed only now, after no thread can touch it.
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+    ::close(conn->fd);
+    it = connections_.erase(it);
+  }
+}
+
+int SiaServer::num_connections() const {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  return static_cast<int>(connections_.size());
+}
+
+void SiaServer::ConnectionLoop(Connection* conn) {
+  const int fd = conn->fd;
   FrameReader reader(fd, options_.frame_timeout_ms);
   std::string frame;
   while (running_.load()) {
@@ -199,11 +226,12 @@ void SiaServer::ConnectionLoop(int fd) {
       break;
     }
   }
-  ::close(fd);
+  // The reaper (or Stop) closes the fd after joining this thread.
+  conn->done.store(true);
 }
 
 std::string SiaServer::Dispatch(const JsonValue& request) {
-  const int64_t seq = static_cast<int64_t>(request.GetNumber("seq", -1.0));
+  const int64_t seq = request.GetInt64("seq", -1);  // Saturating, never UB.
   if (stopping_.load()) {
     return ErrorResponse(seq, ServiceError::kShuttingDown, "server is draining");
   }
@@ -263,27 +291,44 @@ std::string SiaServer::Dispatch(const JsonValue& request) {
 }
 
 std::string SiaServer::HandleCreateCluster(const JsonValue& request) {
-  const int64_t seq = static_cast<int64_t>(request.GetNumber("seq", -1.0));
+  const int64_t seq = request.GetInt64("seq", -1);
   ClusterCreateSpec spec;
   std::string spec_error;
   if (!spec.FromJson(request, &spec_error)) {
     return ErrorResponse(seq, ServiceError::kBadArgument, spec_error);
   }
-  std::lock_guard<std::mutex> lock(clusters_mu_);
-  if (clusters_.count(spec.name) > 0) {
-    // Idempotent create: a client retrying a lost response must not fail.
-    JsonValue fields = JsonValue::MakeObject();
-    fields.Set("cluster", JsonValue::MakeString(spec.name));
-    fields.Set("existing", JsonValue::MakeBool(true));
-    return OkResponse(seq, std::move(fields));
+  {
+    // Reserve the name, then drop clusters_mu_ for the create itself:
+    // HostedCluster::Create does trace generation and fsynced writes, and
+    // holding the map lock across that would stall FindWorker (and with it
+    // dispatch for every other hosted cluster).
+    std::lock_guard<std::mutex> lock(clusters_mu_);
+    if (clusters_.count(spec.name) > 0) {
+      // Idempotent create: a client retrying a lost response must not fail.
+      JsonValue fields = JsonValue::MakeObject();
+      fields.Set("cluster", JsonValue::MakeString(spec.name));
+      fields.Set("existing", JsonValue::MakeBool(true));
+      return OkResponse(seq, std::move(fields));
+    }
+    if (creating_.count(spec.name) > 0) {
+      // A concurrent create of the same name (e.g. a retry racing the
+      // original) is transient: back off until the first one publishes.
+      return ErrorResponse(seq, ServiceError::kQueueFull,
+                           "create for '" + spec.name + "' already in flight");
+    }
+    if (static_cast<int>(clusters_.size() + creating_.size()) >= options_.max_clusters) {
+      return ErrorResponse(seq, ServiceError::kQueueFull,
+                           "cluster capacity reached (" +
+                               std::to_string(options_.max_clusters) + ")");
+    }
+    creating_.insert(spec.name);
   }
-  if (static_cast<int>(clusters_.size()) >= options_.max_clusters) {
-    return ErrorResponse(seq, ServiceError::kQueueFull,
-                         "cluster capacity reached (" +
-                             std::to_string(options_.max_clusters) + ")");
-  }
+
   std::string create_error;
   auto host = HostedCluster::Create(options_.state_dir, spec, &create_error);
+
+  std::lock_guard<std::mutex> lock(clusters_mu_);
+  creating_.erase(spec.name);
   if (host == nullptr) {
     return ErrorResponse(seq, ServiceError::kInternal, create_error);
   }
@@ -399,6 +444,12 @@ void SiaServer::WatchdogLoop() {
     std::this_thread::sleep_for(std::chrono::milliseconds(options_.watchdog_interval_ms));
     if (!running_.load()) {
       return;
+    }
+    {
+      // Periodic reap: short-lived clients that disconnected since the last
+      // accept must not pin thread handles and fds until the next accept.
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      ReapConnectionsLocked();
     }
     std::vector<ClusterWorker*> workers;
     {

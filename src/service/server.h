@@ -26,11 +26,13 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -82,6 +84,9 @@ class SiaServer {
   void Wait();
 
   int num_clusters() const;
+  // Live (not yet reaped) connection slots; exposed for tests of the
+  // connection-reaping path.
+  int num_connections() const;
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -102,10 +107,25 @@ class SiaServer {
     bool stopping = false;
   };
 
+  // One client socket plus its reader thread. The fd stays open until the
+  // thread is joined (by the reaper or Stop), so Stop can never shutdown()
+  // a reused fd number.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};  // Set by the thread as its last act.
+  };
+
   void ListenerLoop();
-  void ConnectionLoop(int fd);
+  void ConnectionLoop(Connection* conn);
   void WatchdogLoop();
   void WorkerLoop(ClusterWorker* worker);
+
+  // Joins threads of finished connections, closes their fds, and erases
+  // them. Called under connections_mu_ from the listener (on every accept)
+  // and the watchdog (periodically), so a long-lived server serving many
+  // short-lived clients does not accumulate thread handles or stale fds.
+  void ReapConnectionsLocked();
 
   // Routes one parsed request; returns the response frame.
   std::string Dispatch(const JsonValue& request);
@@ -137,10 +157,14 @@ class SiaServer {
 
   mutable std::mutex clusters_mu_;
   std::map<std::string, std::unique_ptr<ClusterWorker>> clusters_;
+  // Names whose HostedCluster::Create is in flight with clusters_mu_
+  // dropped (creates do fsynced disk writes; holding the map lock across
+  // them would stall dispatch for every other cluster).
+  std::set<std::string> creating_;
 
-  std::mutex connections_mu_;
-  std::vector<std::thread> connections_;
-  std::vector<int> connection_fds_;
+  mutable std::mutex connections_mu_;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_connection_id_ = 0;
 
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;

@@ -67,6 +67,11 @@ std::string OkResponse(int64_t seq, JsonValue fields) {
 }
 
 std::string ErrorResponse(int64_t seq, ServiceError error, const std::string& message) {
+  return ErrorResponse(seq, error, message, JsonValue());
+}
+
+std::string ErrorResponse(int64_t seq, ServiceError error, const std::string& message,
+                          JsonValue fields) {
   JsonValue response = JsonValue::MakeObject();
   response.Set("ok", JsonValue::MakeBool(false));
   if (seq >= 0) {
@@ -75,6 +80,19 @@ std::string ErrorResponse(int64_t seq, ServiceError error, const std::string& me
   response.Set("error", JsonValue::MakeString(ToString(error)));
   response.Set("retryable", JsonValue::MakeBool(IsRetryable(error)));
   response.Set("message", JsonValue::MakeString(message));
+  if (fields.is_object()) {
+    // Typed machine-readable detail (e.g. out_of_order's expected_seq):
+    // clients act on these fields, never on the prose message. Spliced
+    // textually after the envelope, same as OkResponse.
+    std::string dumped = response.Dump();
+    const std::string extra = fields.Dump();
+    if (extra.size() > 2) {
+      dumped.pop_back();
+      dumped += ',';
+      dumped += extra.substr(1);
+    }
+    return dumped;
+  }
   return response.Dump();
 }
 

@@ -58,6 +58,10 @@ bool IsRetryable(ServiceError error);
 // `seq` < 0 omits the field (unsequenced requests / unparseable frames).
 std::string OkResponse(int64_t seq, JsonValue fields);
 std::string ErrorResponse(int64_t seq, ServiceError error, const std::string& message);
+// Error response carrying extra typed fields (machine-readable detail a
+// client may act on, e.g. out_of_order's `expected_seq`).
+std::string ErrorResponse(int64_t seq, ServiceError error, const std::string& message,
+                          JsonValue fields);
 
 // Outcome of one ReadFrame call.
 enum class FrameStatus {

@@ -2,10 +2,14 @@
 // the typed error taxonomy, engine journaling/recovery byte-identity,
 // (client, seq) dedupe semantics, admission control, deterministic client
 // backoff, durable file helpers, and an in-process server end to end.
+#include <chrono>
+#include <climits>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -116,6 +120,21 @@ TEST(JsonTest, EnforcesElementCap) {
   std::string error;
   EXPECT_FALSE(JsonValue::Parse(huge, &value, &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, IntegerGettersSaturateInsteadOfOverflowing) {
+  // static_cast of an out-of-range double is UB; hostile frames carry 1e300.
+  const JsonValue v = MustParse(R"({"huge":1e300,"neg":-1e300,"mid":42.9,"str":"x"})");
+  EXPECT_EQ(v.GetInt64("huge", 0), INT64_MAX);
+  EXPECT_EQ(v.GetInt64("neg", 0), INT64_MIN);
+  EXPECT_EQ(v.GetInt64("mid", 0), 42);
+  EXPECT_EQ(v.GetInt64("str", 7), 7);
+  EXPECT_EQ(v.GetInt64("absent", -3), -3);
+  EXPECT_EQ(v.GetInt("huge", 0), INT_MAX);
+  EXPECT_EQ(v.GetInt("neg", 0), INT_MIN);
+  EXPECT_EQ(v.GetInt("mid", 0), 42);
+  EXPECT_EQ(v.GetUInt64("huge", 0), UINT64_MAX);
+  EXPECT_EQ(v.GetUInt64("neg", 1), 0u);
 }
 
 TEST(JsonTest, DumpIsDeterministicAndAFixpoint) {
@@ -257,13 +276,15 @@ TEST(EngineTest, DedupeAndSequencingSemantics) {
   EXPECT_TRUE(dup.GetBool("duplicate", false));
   EXPECT_EQ(host->applied_count(), 1u);
 
-  // A sequence gap is a typed, retryable error naming the expected seq.
+  // A sequence gap is a typed, retryable error naming the expected seq --
+  // both in prose and as the machine-readable resync hint.
   const JsonValue gap = MustParse(
       host->HandleRequest(MustParse(R"({"op":"step_round","client":"t","seq":5,"rounds":1})")));
   EXPECT_FALSE(gap.GetBool("ok", true));
   EXPECT_EQ(gap.GetString("error", ""), "out_of_order");
   EXPECT_TRUE(gap.GetBool("retryable", false));
   EXPECT_NE(gap.GetString("message", "").find("expected seq 2"), std::string::npos);
+  EXPECT_EQ(gap.GetInt64("expected_seq", -1), 2);
 
   // A rejected request must not consume the sequence number.
   const JsonValue bad = MustParse(host->HandleRequest(
@@ -272,10 +293,48 @@ TEST(EngineTest, DedupeAndSequencingSemantics) {
   EXPECT_EQ(bad.GetString("error", ""), "bad_argument");
   MustOk(host.get(), kStepOp2);
 
+  // A hostile seq far outside int64 range saturates (never UB) and is then
+  // just an ordinary out-of-order stamp.
+  const JsonValue hostile = MustParse(host->HandleRequest(
+      MustParse(R"({"op":"step_round","client":"t","seq":1e300,"rounds":1})")));
+  EXPECT_FALSE(hostile.GetBool("ok", true));
+  EXPECT_EQ(hostile.GetString("error", ""), "out_of_order");
+  EXPECT_EQ(hostile.GetInt64("expected_seq", -1), 3);
+
   const JsonValue unknown =
       MustParse(host->HandleRequest(MustParse(R"({"op":"frobnicate","seq":1})")));
   EXPECT_EQ(unknown.GetString("error", ""), "unknown_op");
 
+  std::filesystem::remove_all(root);
+}
+
+TEST(EngineTest, RecoverToleratesRejectedSubmitInSnapshotPrefix) {
+  const std::string root = MakeTempDir("rejprefix");
+  std::string error;
+  ClusterCreateSpec spec = EngineSpec("rej");
+  spec.snapshot_every = 1;  // Snapshot after every applied op, so the
+                            // rejected submit lands inside a snapshot prefix.
+  {
+    auto host = HostedCluster::Create(root, spec, &error);
+    ASSERT_NE(host, nullptr) << error;
+    MustOk(host.get(), kSubmitOp);
+    // Same job id again: journaled (the WAL entry lands before the simulator
+    // validates) and then deterministically rejected.
+    const JsonValue rejected = MustParse(host->HandleRequest(MustParse(
+        R"({"op":"submit_job","client":"t","seq":2,)"
+        R"("job":{"id":500,"model":"resnet18","max_num_gpus":8}})")));
+    EXPECT_FALSE(rejected.GetBool("ok", true));
+    EXPECT_EQ(rejected.GetString("error", ""), "bad_argument");
+    MustOk(host.get(), kStepOp3);
+    EXPECT_EQ(host->applied_count(), 3u);
+  }
+  // Recovery must replay the rejection the same tolerant way the live path
+  // and the journal-suffix replay do, not abandon the cluster.
+  auto recovered = HostedCluster::Recover(root, "rej", &error);
+  ASSERT_NE(recovered, nullptr)
+      << "recovery hard-failed on a journaled-but-rejected submit: " << error;
+  EXPECT_EQ(recovered->applied_count(), 3u);
+  MustOk(recovered.get(), R"({"op":"step_round","client":"t","seq":4,"rounds":2})");
   std::filesystem::remove_all(root);
 }
 
@@ -344,6 +403,73 @@ TEST(ClientTest, BackoffScheduleIsSeededAndDeterministic) {
     }
   }
   EXPECT_TRUE(c_differs) << "different seeds produced identical jitter";
+}
+
+TEST(ClientTest, ResyncsSequenceAfterExhaustedRetries) {
+  // If a mutating call burns all its attempts without ever being applied
+  // (sustained shedding), its seq is a permanent gap under naive stamping:
+  // every later mutation would get out_of_order forever. The client must
+  // resync from the server's typed expected_seq hint and restamp.
+  const std::string dir = MakeTempDir("resync");
+  const std::string address = "unix:" + dir + "/resync.sock";
+  std::string error;
+  const int listen_fd = ListenOn(address, &error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  std::vector<std::string> seen;
+  std::thread fake([&] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      return;
+    }
+    FrameReader reader(fd, /*timeout_ms=*/10000);
+    const auto respond = [&](const std::string& response) {
+      std::string frame;
+      if (reader.ReadFrame(&frame) != FrameStatus::kFrame) {
+        return;
+      }
+      seen.push_back(frame);
+      WriteFrame(fd, response);
+    };
+    // Shed the first call's every attempt...
+    respond(ErrorResponse(1, ServiceError::kQueueFull, "busy"));
+    respond(ErrorResponse(1, ServiceError::kQueueFull, "busy"));
+    // ...so the second call arrives with a gapped seq 2; hint the resync.
+    JsonValue hint = JsonValue::MakeObject();
+    hint.Set("expected_seq", JsonValue::MakeNumber(1));
+    respond(ErrorResponse(2, ServiceError::kOutOfOrder, "expected seq 1", std::move(hint)));
+    // The restamped retry carries seq 1; ack it.
+    respond(OkResponse(1, JsonValue::MakeObject()));
+    ::close(fd);
+  });
+
+  ClientOptions options;
+  options.address = address;
+  options.client_id = "resync";
+  options.max_attempts = 2;
+  options.sleep_scale = 0.0;
+  ServiceClient client(options);
+
+  JsonValue first = JsonValue::MakeObject();
+  first.Set("op", JsonValue::MakeString("finalize"));
+  const ClientResult shed = client.Call(std::move(first));
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error, ServiceError::kQueueFull);
+
+  JsonValue second = JsonValue::MakeObject();
+  second.Set("op", JsonValue::MakeString("finalize"));
+  const ClientResult resynced = client.Call(std::move(second));
+  EXPECT_TRUE(resynced.ok) << resynced.message;
+  EXPECT_EQ(resynced.attempts, 2);
+
+  fake.join();
+  ::close(listen_fd);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(MustParse(seen[2]).GetInt64("seq", -1), 2);
+  EXPECT_EQ(MustParse(seen[3]).GetInt64("seq", -1), 1);
+  // The counter is resynced, not rewound: the next fresh stamp is seq 2.
+  EXPECT_EQ(client.next_seq(), 2u);
+  std::filesystem::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +587,39 @@ TEST(ServerTest, EndToEndRequestFlow) {
   ASSERT_EQ(reader.ReadFrame(&frame), FrameStatus::kFrame);
   EXPECT_TRUE(MustParse(frame).GetBool("ok", false));
   ::close(fd);
+
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, ReapsFinishedConnections) {
+  const std::string dir = MakeTempDir("reap");
+  ServerOptions server_options;
+  server_options.listen = "unix:" + dir + "/reap.sock";
+  server_options.state_dir = dir + "/state";
+  server_options.watchdog_interval_ms = 50;
+  SiaServer server(server_options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  for (int i = 0; i < 3; ++i) {
+    const int fd = ConnectTo(server_options.listen, &error);
+    ASSERT_GE(fd, 0) << error;
+    ASSERT_TRUE(WriteFrame(fd, R"({"op":"list_clusters"})"));
+    FrameReader reader(fd, /*timeout_ms=*/5000);
+    std::string frame;
+    ASSERT_EQ(reader.ReadFrame(&frame), FrameStatus::kFrame);
+    ::close(fd);
+  }
+
+  // A long-running daemon serving many short-lived clients must not
+  // accumulate thread handles and fds: the watchdog reaps disconnected
+  // connections within its sweep interval.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.num_connections() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.num_connections(), 0);
 
   server.Stop();
   std::filesystem::remove_all(dir);
