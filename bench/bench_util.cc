@@ -123,9 +123,10 @@ std::unique_ptr<PolicySnapshot> MakePolicySnapshot(int scale, uint64_t seed) {
         estimator->AddProfilePoint(t, local, IterTime(device.truth, 1, 1, local, 1));
       }
     }
-    JobView view;
-    view.spec = &spec;
-    view.age_seconds = rng.Uniform(600.0, 6.0 * 3600.0);
+    constexpr double kSnapshotNow = 3600.0;
+    JobView& view = snap->builder.AddJob(spec, estimator.get());
+    const double age = rng.Uniform(600.0, 6.0 * 3600.0);
+    view.submit_time_seconds = kSnapshotNow - age;
     view.num_restarts = static_cast<int>(rng.UniformInt(0, 4));
     view.restart_overhead_seconds = GetModelInfo(spec.model).restart_seconds;
     view.progress_fraction = rng.Uniform(0.05, 0.9);
@@ -138,7 +139,7 @@ std::unique_ptr<PolicySnapshot> MakePolicySnapshot(int scale, uint64_t seed) {
         const int count = rng.Bernoulli(0.5) ? 1 : 2;
         view.current_config = Config{1, count, t};
         view.peak_num_gpus = count;
-        view.service_gpu_seconds = view.age_seconds * count * 0.6;
+        view.service_gpu_seconds = age * count * 0.6;
         free_gpus[t] -= count;
         const auto decision =
             estimator->Estimate(view.current_config, spec.adaptivity, spec.fixed_bsz);
@@ -149,17 +150,12 @@ std::unique_ptr<PolicySnapshot> MakePolicySnapshot(int scale, uint64_t seed) {
         }
       }
     }
-    view.estimator = estimator.get();
     snap->estimators.push_back(std::move(estimator));
-    snap->input.jobs.push_back(view);
   }
-  snap->input.cluster = &snap->cluster;
-  snap->input.config_set = &snap->config_set;
-  snap->input.now_seconds = 3600.0;
-  // Fix dangling spec pointers (vector stable now).
-  for (size_t i = 0; i < snap->input.jobs.size(); ++i) {
-    snap->input.jobs[i].spec = &snap->specs[i];
-  }
+  snap->builder.cluster = &snap->cluster;
+  snap->builder.config_set = &snap->config_set;
+  snap->builder.now_seconds = 3600.0;
+  snap->input = snap->builder.View();
   return snap;
 }
 

@@ -41,6 +41,9 @@ struct PolicySnapshot {
   std::vector<Config> config_set;
   std::vector<JobSpec> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  // Owns the JobView rows; `input` is a cheap view over it (ISSUE 7). Edit
+  // rows via builder.jobs() and re-take builder.View() afterwards.
+  ScheduleViewBuilder builder;
   ScheduleInput input;
 };
 std::unique_ptr<PolicySnapshot> MakePolicySnapshot(int scale, uint64_t seed);

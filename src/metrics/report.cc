@@ -198,11 +198,6 @@ std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
   return Report(title).Add(summaries).Render();
 }
 
-std::string RenderResilienceTable(const std::vector<PolicySummary>& summaries,
-                                  const std::string& title) {
-  return Report(title).With(ReportColumns::kResilience).Add(summaries).Render();
-}
-
 double JainFairnessIndex(const std::vector<double>& values) {
   double sum = 0.0;
   double sum_sq = 0.0;

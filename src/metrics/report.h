@@ -96,11 +96,6 @@ class Report {
 std::string RenderSummaryTable(const std::vector<PolicySummary>& summaries,
                                const std::string& title);
 
-// Renders the resilience view of the same summaries.
-[[deprecated("use Report(title).With(ReportColumns::kResilience) instead")]]
-std::string RenderResilienceTable(const std::vector<PolicySummary>& summaries,
-                                  const std::string& title);
-
 // Jain's fairness index over non-negative values: (sum x)^2 / (n sum x^2),
 // in (0, 1]; 1 = perfectly equal. Returns 0 for empty/all-zero input.
 double JainFairnessIndex(const std::vector<double>& values);

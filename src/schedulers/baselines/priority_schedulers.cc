@@ -54,7 +54,7 @@ std::string PriorityScheduler::name() const {
 }
 
 double PriorityScheduler::PriorityOf(const JobView& job, const ScheduleInput& input) const {
-  const double age = std::max(job.age_seconds, 1.0);
+  const double age = std::max(input.age_seconds(job), 1.0);
   const int count = std::max(job.spec->rigid_num_gpus, 1);
   switch (options_.policy) {
     case PriorityPolicy::kThemis: {

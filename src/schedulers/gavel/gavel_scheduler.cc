@@ -41,7 +41,7 @@ ScheduleOutput GavelScheduler::Schedule(const ScheduleInput& input) {
   }
   for (const JobView& job : input.jobs) {
     received_seconds_.try_emplace(job.spec->id, std::vector<double>(num_types, 0.0));
-    active_seconds_[job.spec->id] = std::max(job.age_seconds, 1.0);
+    active_seconds_[job.spec->id] = std::max(input.age_seconds(job), 1.0);
   }
 
   // --- allocation LP ---
@@ -94,7 +94,7 @@ ScheduleOutput GavelScheduler::Schedule(const ScheduleInput& input) {
         break;
       case GavelPolicy::kMinJct:
         // Favor young jobs: weight decays with age (finish-time-leaning).
-        weight_scale = 1.0 / std::max(job.age_seconds / 3600.0, 0.1);
+        weight_scale = 1.0 / std::max(input.age_seconds(job) / 3600.0, 0.1);
         break;
       case GavelPolicy::kMaxMinFairness:
         weight_scale = 0.0;  // Objective carried by the max-min variable.
@@ -227,8 +227,8 @@ ScheduleOutput GavelScheduler::Schedule(const ScheduleInput& input) {
   std::stable_sort(backfill.begin(), backfill.end(), [&](int a, int b) {
     const JobView& ja = input.jobs[a];
     const JobView& jb = input.jobs[b];
-    return ja.service_gpu_seconds / std::max(ja.age_seconds, 1.0) <
-           jb.service_gpu_seconds / std::max(jb.age_seconds, 1.0);
+    return ja.service_gpu_seconds / std::max(input.age_seconds(ja), 1.0) <
+           jb.service_gpu_seconds / std::max(input.age_seconds(jb), 1.0);
   });
   for (int i : backfill) {
     const JobRow& row = rows[i];

@@ -88,7 +88,7 @@ ScheduleOutput PolluxScheduler::Schedule(const ScheduleInput& input) {
       model.min_count = model.max_count = job.spec->rigid_num_gpus;
     }
     model.current_count = job.current_config.num_gpus;
-    const double age = std::max(job.age_seconds, 1.0);
+    const double age = std::max(input.age_seconds(job), 1.0);
     const double restart_cost = std::max(job.restart_overhead_seconds, 0.0);
     model.restart_factor =
         std::clamp((age - job.num_restarts * restart_cost) / (age + restart_cost),

@@ -1,0 +1,168 @@
+// ScheduleView: the scheduler-facing snapshot of active jobs.
+//
+// Historically `ScheduleInput` owned a `std::vector<JobView>` that the
+// simulator re-copied every round. The event-driven core (ISSUE 7) keeps the
+// canonical per-job views alive inside the simulator's JobTable, so the
+// scheduler boundary is now a *view*: spans over storage owned elsewhere,
+// plus an explicit changed-since-last-round delta that incremental policies
+// (Sia's candidate cache + warm start) consume. `ScheduleInput` remains as an
+// alias, and `ScheduleViewBuilder` is the one factory every producer (the
+// simulator round loop, bench_util snapshots, src/testing differentials,
+// unit tests) routes through, so hand-built inputs cannot drift from the
+// real ones.
+#ifndef SIA_SRC_SCHEDULERS_SCHEDULE_VIEW_H_
+#define SIA_SRC_SCHEDULERS_SCHEDULE_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/configuration.h"
+#include "src/common/job_id.h"
+#include "src/models/estimator.h"
+#include "src/obs/metrics_registry.h"
+#include "src/workload/job.h"
+
+namespace sia {
+
+// Scheduler-visible state of one active job.
+struct JobView {
+  const JobSpec* spec = nullptr;
+  // The job's learned goodput model (never the simulator's ground truth).
+  const GoodputEstimator* estimator = nullptr;
+  // Submission time (simulation clock). Policies derive the job's age from
+  // this via ScheduleView::age_seconds(job) -- storing the absolute time
+  // instead of a precomputed age keeps the view row constant while the job
+  // is idle, which is what lets the event-driven core skip rewriting it.
+  double submit_time_seconds = 0.0;
+  int num_restarts = 0;
+  // Checkpoint-restore cost for this job (S_i in Eq. 3). Known to the
+  // scheduler from past restarts.
+  double restart_overhead_seconds = 30.0;
+  // Current allocation; num_gpus == 0 when queued/preempted.
+  Config current_config;
+  // Largest GPU count this job has held so far (drives the <=2x scale-up
+  // rule across preemptions).
+  int peak_num_gpus = 0;
+  // Fraction of total work completed, as reported by the executors
+  // (schedulers may use it for remaining-time estimates; they never see the
+  // simulator's ground-truth throughput).
+  double progress_fraction = 0.0;
+  // GPU-seconds of service received so far (drives fairness policies).
+  double service_gpu_seconds = 0.0;
+  // Total work declared at submission (epochs x dataset size, in reference
+  // samples) -- lets policies estimate remaining time.
+  double total_work = 0.0;
+};
+
+struct ScheduleView {
+  double now_seconds = 0.0;
+  const ClusterSpec* cluster = nullptr;
+  // Valid configuration set for this cluster (§3.3), prebuilt once.
+  const std::vector<Config>* config_set = nullptr;
+  // All active jobs in arrival order. Storage is owned by the producer
+  // (JobTable / ScheduleViewBuilder) and stays valid for the duration of
+  // the Schedule() call.
+  std::span<const JobView> jobs;
+  // Delta contract: when `incremental` is true, `changed` holds the indices
+  // into `jobs` (ascending) whose view rows may differ from the previous
+  // round with the same producer; every other row is bitwise-unchanged AND
+  // its estimator's fit epochs are unchanged. The set may be a conservative
+  // superset (e.g. the first round after a checkpoint restore marks every
+  // job changed). When `incremental` is false -- standalone drivers, tests,
+  // the dense reference core -- policies must treat every job as changed.
+  std::span<const int32_t> changed;
+  bool incremental = false;
+  // Monotonic producer round counter (simulator round index). Lets policies
+  // detect skipped rounds if they cache across calls.
+  int64_t round_epoch = 0;
+  // Observability hook (never null inside ClusterSimulator; standalone
+  // drivers may leave it unset). Policies record their per-round solver work
+  // here -- `solver.bb_nodes`, `solver.lp_iterations`, `scheduler.*` -- which
+  // the simulator folds into SimResult::PolicyCost and the run trace.
+  MetricsRegistry* metrics = nullptr;
+  // Allow wall-clock counters (e.g. sia.candidate_gen_wall_ns) into the
+  // registry. Off by default: wall time is nondeterministic, and default
+  // registry exports must be byte-identical for a fixed seed -- including
+  // across a checkpoint/resume (ISSUE 5). The simulator sets this from
+  // SimOptions::trace_timings.
+  bool record_timings = false;
+  // Wall-clock budget for this Schedule() call in seconds; < 0 = unlimited
+  // (the default, which keeps fixed-seed runs deterministic). Set per round
+  // by the service / SimOptions::round_deadline_seconds. Deadline-aware
+  // policies degrade through the ladder in src/schedulers/ladder.h instead
+  // of overrunning; a budget of exactly 0 deterministically selects the
+  // bottom (carry-over) rung.
+  double deadline_seconds = -1.0;
+
+  // Time since submission -- identical arithmetic to the pre-view API's
+  // precomputed JobView::age_seconds (now_ - submit_time), so policies
+  // migrate mechanically and traces stay byte-identical.
+  double age_seconds(const JobView& job) const {
+    return now_seconds - job.submit_time_seconds;
+  }
+};
+
+// Compatibility alias: the 8 existing policies keep compiling against
+// `const ScheduleInput&` with mechanical changes only.
+using ScheduleInput = ScheduleView;
+
+// The one factory for ScheduleViews. Owns the JobView rows (and the changed
+// list) and stamps the metadata; View() is cheap and can be called many
+// times as rows are edited between calls.
+class ScheduleViewBuilder {
+ public:
+  double now_seconds = 0.0;
+  const ClusterSpec* cluster = nullptr;
+  const std::vector<Config>* config_set = nullptr;
+  bool incremental = false;
+  int64_t round_epoch = 0;
+  MetricsRegistry* metrics = nullptr;
+  bool record_timings = false;
+  double deadline_seconds = -1.0;
+
+  std::vector<JobView>& jobs() { return jobs_; }
+  const std::vector<JobView>& jobs() const { return jobs_; }
+  std::vector<int32_t>& changed() { return changed_; }
+  const std::vector<int32_t>& changed() const { return changed_; }
+
+  // Appends a row with the identity fields filled from the spec; the caller
+  // tweaks the rest in place.
+  JobView& AddJob(const JobSpec& spec, const GoodputEstimator* estimator) {
+    JobView view;
+    view.spec = &spec;
+    view.estimator = estimator;
+    view.submit_time_seconds = spec.submit_time;
+    jobs_.push_back(view);
+    return jobs_.back();
+  }
+
+  void Clear() {
+    jobs_.clear();
+    changed_.clear();
+  }
+
+  ScheduleView View() const {
+    ScheduleView view;
+    view.now_seconds = now_seconds;
+    view.cluster = cluster;
+    view.config_set = config_set;
+    view.jobs = std::span<const JobView>(jobs_);
+    view.changed = std::span<const int32_t>(changed_);
+    view.incremental = incremental;
+    view.round_epoch = round_epoch;
+    view.metrics = metrics;
+    view.record_timings = record_timings;
+    view.deadline_seconds = deadline_seconds;
+    return view;
+  }
+
+ private:
+  std::vector<JobView> jobs_;
+  std::vector<int32_t> changed_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SCHEDULERS_SCHEDULE_VIEW_H_

@@ -1,77 +1,21 @@
 // Scheduling-policy interface shared by Sia and all baseline policies.
 //
-// The simulator invokes Schedule() once per scheduling round with a snapshot
-// of all active jobs (queued + running) and expects back a desired
+// The simulator invokes Schedule() once per scheduling round with a view of
+// all active jobs (queued + running) and expects back a desired
 // configuration per job (absent = no resources this round). Concrete
 // placement is handled by the Placer downstream (§3.1 "decoupled allocation
-// and placement").
+// and placement"). The view type (ScheduleView, aliased as ScheduleInput)
+// and its builder live in schedule_view.h.
 #ifndef SIA_SRC_SCHEDULERS_SCHEDULER_H_
 #define SIA_SRC_SCHEDULERS_SCHEDULER_H_
 
 #include <map>
 #include <string>
-#include <vector>
 
-#include "src/cluster/cluster_spec.h"
-#include "src/cluster/configuration.h"
 #include "src/common/job_id.h"
-#include "src/models/estimator.h"
-#include "src/obs/metrics_registry.h"
-#include "src/workload/job.h"
+#include "src/schedulers/schedule_view.h"
 
 namespace sia {
-
-// Scheduler-visible state of one active job.
-struct JobView {
-  const JobSpec* spec = nullptr;
-  // The job's learned goodput model (never the simulator's ground truth).
-  const GoodputEstimator* estimator = nullptr;
-  double age_seconds = 0.0;  // Time since submission.
-  int num_restarts = 0;
-  // Checkpoint-restore cost for this job (S_i in Eq. 3). Known to the
-  // scheduler from past restarts.
-  double restart_overhead_seconds = 30.0;
-  // Current allocation; num_gpus == 0 when queued/preempted.
-  Config current_config;
-  // Largest GPU count this job has held so far (drives the <=2x scale-up
-  // rule across preemptions).
-  int peak_num_gpus = 0;
-  // Fraction of total work completed, as reported by the executors
-  // (schedulers may use it for remaining-time estimates; they never see the
-  // simulator's ground-truth throughput).
-  double progress_fraction = 0.0;
-  // GPU-seconds of service received so far (drives fairness policies).
-  double service_gpu_seconds = 0.0;
-  // Total work declared at submission (epochs x dataset size, in reference
-  // samples) -- lets policies estimate remaining time.
-  double total_work = 0.0;
-};
-
-struct ScheduleInput {
-  double now_seconds = 0.0;
-  const ClusterSpec* cluster = nullptr;
-  // Valid configuration set for this cluster (§3.3), prebuilt once.
-  const std::vector<Config>* config_set = nullptr;
-  std::vector<JobView> jobs;
-  // Observability hook (never null inside ClusterSimulator; standalone
-  // drivers may leave it unset). Policies record their per-round solver work
-  // here -- `solver.bb_nodes`, `solver.lp_iterations`, `scheduler.*` -- which
-  // the simulator folds into SimResult::PolicyCost and the run trace.
-  MetricsRegistry* metrics = nullptr;
-  // Allow wall-clock counters (e.g. sia.candidate_gen_wall_ns) into the
-  // registry. Off by default: wall time is nondeterministic, and default
-  // registry exports must be byte-identical for a fixed seed -- including
-  // across a checkpoint/resume (ISSUE 5). The simulator sets this from
-  // SimOptions::trace_timings.
-  bool record_timings = false;
-  // Wall-clock budget for this Schedule() call in seconds; < 0 = unlimited
-  // (the default, which keeps fixed-seed runs deterministic). Set per round
-  // by the service / SimOptions::round_deadline_seconds. Deadline-aware
-  // policies degrade through the ladder in src/schedulers/ladder.h instead
-  // of overrunning; a budget of exactly 0 deterministically selects the
-  // bottom (carry-over) rung.
-  double deadline_seconds = -1.0;
-};
 
 // Desired allocation per job; jobs absent from the map receive nothing.
 // Keyed by JobId -- the same id type JobSpec, the placer, and the trace

@@ -6,8 +6,9 @@ namespace sia {
 
 CandidateCache::Row* CandidateCache::AcquireRow(JobId job, int num_configs) {
   Row& row = rows_[job];
-  if (static_cast<int>(row.size()) != num_configs) {
-    row.assign(static_cast<std::size_t>(num_configs), Entry{});
+  if (static_cast<int>(row.entries.size()) != num_configs) {
+    row.entries.assign(static_cast<std::size_t>(num_configs), Entry{});
+    row.InvalidateDerived();
   }
   return &row;
 }

@@ -8,9 +8,19 @@
 // hit is *guaranteed* to equal what Estimate() would return, making
 // cache-enabled scheduling bit-identical to cache-disabled.
 //
+// On top of the per-entry memo, each row carries the *derived* result of the
+// last full generation pass (candidate list, min goodput/required, entries
+// checked). When the ScheduleView delta (ISSUE 7) reports a job unchanged --
+// same view row, same fit epochs -- the scheduler replays the derived result
+// without touching the config set at all, still bit-identical: a full pass
+// over an unchanged job would hit on exactly the entries it checked last
+// time and rebuild the same candidate list. Derived state is recomputed on
+// demand, so it is not serialized; the first round after a restore (which
+// marks every job changed) regenerates it.
+//
 // Threading contract: AcquireRow / RetainOnly are sequential (they mutate
-// the row map); the per-row entries may then be read/written concurrently
-// as long as each job's row is touched by exactly one thread -- which the
+// the row map); the per-row state may then be read/written concurrently as
+// long as each job's row is touched by exactly one thread -- which the
 // scheduler guarantees by parallelizing over jobs, not configs.
 #ifndef SIA_SRC_SCHEDULERS_SIA_CANDIDATE_CACHE_H_
 #define SIA_SRC_SCHEDULERS_SIA_CANDIDATE_CACHE_H_
@@ -32,8 +42,31 @@ class CandidateCache {
     double goodput = 0.0;
   };
 
-  // One row per job, one entry per config index.
-  using Row = std::vector<Entry>;
+  // A feasible (config, goodput) pair from the last full generation pass.
+  struct CachedCandidate {
+    int config_index = 0;
+    double goodput = 0.0;
+  };
+
+  // One row per job: the per-config memo plus the derived fast-path state.
+  struct Row {
+    std::vector<Entry> entries;
+
+    // Result of the last full generation pass over this row. Only replayed
+    // when the ScheduleView delta says the job is unchanged; never
+    // serialized (recomputed after restore).
+    bool derived_valid = false;
+    int derived_checked = 0;  // Entries the last full pass consulted.
+    double derived_min_goodput = 0.0;
+    int derived_min_required = 0;
+    std::vector<CachedCandidate> derived_candidates;
+
+    void InvalidateDerived() {
+      derived_valid = false;
+      derived_checked = 0;
+      derived_candidates.clear();
+    }
+  };
 
   // Returns the row for `job`, creating or resizing it to `num_configs`
   // entries (a config-set change invalidates naturally: resized entries
@@ -49,13 +82,16 @@ class CandidateCache {
 
   // Snapshot support (ISSUE 5): the cache is performance state, but resumed
   // runs must replay the same hit/miss counters and warm-path behavior as
-  // the uninterrupted run, so it is carried across a checkpoint verbatim.
+  // the uninterrupted run, so the memo entries are carried across a
+  // checkpoint verbatim. Derived state is skipped: the post-restore round
+  // marks every job changed, and the resulting full pass both regenerates
+  // it and counts the same hits a replay would have.
   void SaveState(BinaryWriter& w) const {
     w.U64(rows_.size());
     for (const auto& [job, row] : rows_) {
       w.I32(job);
-      w.U64(row.size());
-      for (const Entry& entry : row) {
+      w.U64(row.entries.size());
+      for (const Entry& entry : row.entries) {
         w.I64(entry.epoch);
         w.Bool(entry.feasible);
         w.F64(entry.goodput);
@@ -76,8 +112,9 @@ class CandidateCache {
         r.Fail("candidate cache: implausible row size");
         return false;
       }
-      Row row(row_size);
-      for (Entry& entry : row) {
+      Row row;
+      row.entries.resize(row_size);
+      for (Entry& entry : row.entries) {
         entry.epoch = r.I64();
         entry.feasible = r.Bool();
         entry.goodput = r.F64();

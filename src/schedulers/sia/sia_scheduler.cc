@@ -178,11 +178,41 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   std::vector<int> cache_hits(num_jobs, 0);
   std::vector<int> cache_misses(num_jobs, 0);
 
+  // ScheduleView delta (ISSUE 7): jobs the producer vouches are unchanged
+  // since the previous round replay their row's derived candidates without
+  // walking the config set. Without a delta (standalone drivers, dense
+  // core, cache disabled) every job takes the full pass.
+  std::vector<uint8_t> job_changed(static_cast<std::size_t>(num_jobs), 1);
+  if (options_.candidate_cache && input.incremental) {
+    std::fill(job_changed.begin(), job_changed.end(), static_cast<uint8_t>(0));
+    for (int32_t idx : input.changed) {
+      if (idx >= 0 && idx < num_jobs) {
+        job_changed[static_cast<std::size_t>(idx)] = 1;
+      }
+    }
+  }
+
   const auto generate = [&](int i) {
     const JobView& job = input.jobs[i];
     const JobSpec& spec = *job.spec;
     const GoodputEstimator& estimator = *job.estimator;
     CandidateCache::Row* row = cache_rows[i];
+
+    // --- delta fast path: replay the last full pass for unchanged jobs ---
+    // Unchanged means same view row *and* same fit epochs, so a full pass
+    // would consult exactly derived_checked entries, hit on all of them,
+    // and rebuild the same candidate list -- the counters and results below
+    // are bit-identical to taking the loop.
+    if (row != nullptr && !job_changed[static_cast<std::size_t>(i)] && row->derived_valid) {
+      cache_hits[i] = row->derived_checked;
+      min_goodputs[i] = row->derived_min_goodput;
+      min_required[i] = row->derived_min_required;
+      candidates[i].reserve(row->derived_candidates.size());
+      for (const CandidateCache::CachedCandidate& cached : row->derived_candidates) {
+        candidates[i].push_back({cached.config_index, cached.goodput});
+      }
+      return;
+    }
 
     // --- build this job's row of the goodput matrix ---
     for (int c = 0; c < static_cast<int>(configs.size()); ++c) {
@@ -206,7 +236,7 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       bool feasible;
       double goodput;
       if (row != nullptr) {
-        CandidateCache::Entry& entry = (*row)[c];
+        CandidateCache::Entry& entry = row->entries[c];
         const long long epoch = estimator.fit_epoch(config.gpu_type);
         if (entry.epoch == epoch) {
           ++cache_hits[i];
@@ -231,6 +261,18 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       }
       candidates[i].push_back({c, goodput});
       min_goodputs[i] = std::min(min_goodputs[i], goodput);
+    }
+
+    if (row != nullptr) {
+      row->derived_valid = true;
+      row->derived_checked = cache_hits[i] + cache_misses[i];
+      row->derived_min_goodput = min_goodputs[i];
+      row->derived_min_required = min_required[i];
+      row->derived_candidates.clear();
+      row->derived_candidates.reserve(candidates[i].size());
+      for (const Candidate& candidate : candidates[i]) {
+        row->derived_candidates.push_back({candidate.config_index, candidate.goodput});
+      }
     }
   };
 
@@ -283,7 +325,7 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     }
 
     // --- restart factor (Eq. 3) ---
-    const double age = std::max(job.age_seconds, 1.0);
+    const double age = std::max(input.age_seconds(job), 1.0);
     const double restart_cost = std::max(job.restart_overhead_seconds, 0.0);
     double restart_factor =
         (age - job.num_restarts * restart_cost) / (age + restart_cost);

@@ -1,0 +1,68 @@
+// Deterministic priority-queue event clock for the event-driven simulation
+// core (ISSUE 7).
+//
+// Events are ordered by (time, push sequence): ties resolve to the earlier
+// push, which reproduces the stable-sorted arrival order (and the
+// upper_bound tie semantics of service-driven SubmitJob) of the old dense
+// core exactly. Push/Pop are O(log n); there is no decrease-key -- sources
+// that need revocation (fault windows, refit ticks) push fresh events and
+// drop stale ones at pop time.
+#ifndef SIA_SRC_SIM_EVENT_QUEUE_H_
+#define SIA_SRC_SIM_EVENT_QUEUE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sia {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time = 0.0;
+    uint64_t seq = 0;  // Monotonic push counter; the deterministic tiebreak.
+    Payload payload{};
+  };
+
+  void Push(double time, Payload payload) {
+    heap_.push_back(Event{time, next_seq_++, payload});
+    std::push_heap(heap_.begin(), heap_.end(), After);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const Event& Top() const { return heap_.front(); }
+
+  Event Pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), After);
+    Event event = heap_.back();
+    heap_.pop_back();
+    return event;
+  }
+
+  void Clear() {
+    heap_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  // Min-heap on (time, seq): std::push_heap keeps the *largest* element
+  // (per the comparator) at the front, so "after" ordering yields the
+  // earliest event on top.
+  static bool After(const Event& a, const Event& b) {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+
+  std::vector<Event> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SIM_EVENT_QUEUE_H_

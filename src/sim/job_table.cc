@@ -1,0 +1,284 @@
+#include "src/sim/job_table.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+namespace {
+// Upper bound on element-count prefixes read back from a snapshot; anything
+// larger is treated as corruption rather than allocated.
+constexpr uint64_t kMaxFieldEntries = 1u << 20;
+}  // namespace
+
+void SaveConfigBytes(BinaryWriter& w, const Config& config) {
+  w.I32(config.num_nodes);
+  w.I32(config.num_gpus);
+  w.I32(config.gpu_type);
+  w.Bool(config.scatter);
+}
+
+Config RestoreConfigBytes(BinaryReader& r) {
+  Config config;
+  config.num_nodes = r.I32();
+  config.num_gpus = r.I32();
+  config.gpu_type = r.I32();
+  config.scatter = r.Bool();
+  return config;
+}
+
+void SaveIntVecBytes(BinaryWriter& w, const std::vector<int>& v) {
+  w.U64(v.size());
+  for (int x : v) w.I32(x);
+}
+
+bool RestoreIntVecBytes(BinaryReader& r, std::vector<int>* v) {
+  const uint64_t count = r.U64();
+  if (!r.ok() || count > kMaxFieldEntries) {
+    r.Fail("sim: implausible int-vector length");
+    return false;
+  }
+  v->clear();
+  v->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    v->push_back(r.I32());
+  }
+  return r.ok();
+}
+
+JobTable::Slot JobTable::Activate(const JobSpec* spec, ModelInfo info,
+                                  std::unique_ptr<GoodputEstimator> estimator, Rng noise) {
+  SIA_CHECK(spec != nullptr);
+  SIA_CHECK(id_to_slot_.find(spec->id) == id_to_slot_.end())
+      << "job " << spec->id << " already active";
+  Slot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    specs_[static_cast<size_t>(slot)] = spec;
+    infos_[static_cast<size_t>(slot)] = info;
+    estimators_[static_cast<size_t>(slot)] = std::move(estimator);
+    noises_[static_cast<size_t>(slot)] = std::move(noise);
+    done_[static_cast<size_t>(slot)] = 0;
+    finish_times_[static_cast<size_t>(slot)] = 0.0;
+    progress_[static_cast<size_t>(slot)] = 0.0;
+    gpu_seconds_[static_cast<size_t>(slot)] = 0.0;
+    num_restarts_[static_cast<size_t>(slot)] = 0;
+    num_failures_[static_cast<size_t>(slot)] = 0;
+    peak_num_gpus_[static_cast<size_t>(slot)] = 0;
+    ever_allocated_[static_cast<size_t>(slot)] = 0;
+    failure_evicted_[static_cast<size_t>(slot)] = 0;
+    pending_restore_[static_cast<size_t>(slot)] = 0.0;
+    placements_[static_cast<size_t>(slot)] = Placement{};
+    arrival_seqs_[static_cast<size_t>(slot)] = next_arrival_seq_;
+  } else {
+    slot = static_cast<Slot>(specs_.size());
+    specs_.push_back(spec);
+    infos_.push_back(info);
+    estimators_.push_back(std::move(estimator));
+    noises_.push_back(std::move(noise));
+    done_.push_back(0);
+    finish_times_.push_back(0.0);
+    progress_.push_back(0.0);
+    gpu_seconds_.push_back(0.0);
+    num_restarts_.push_back(0);
+    num_failures_.push_back(0);
+    peak_num_gpus_.push_back(0);
+    ever_allocated_.push_back(0);
+    failure_evicted_.push_back(0);
+    pending_restore_.push_back(0.0);
+    placements_.push_back(Placement{});
+    arrival_seqs_.push_back(next_arrival_seq_);
+    dirty_.push_back(0);
+    slot_pos_.push_back(kNoSlot);
+  }
+  ++next_arrival_seq_;
+  slot_pos_[static_cast<size_t>(slot)] = static_cast<int32_t>(order_.size());
+  order_.push_back(slot);
+  builder_.jobs().emplace_back();
+  id_to_slot_.emplace(spec->id, slot);
+  MarkChanged(slot);
+  return slot;
+}
+
+void JobTable::Retire(const std::vector<Slot>& slots) {
+  if (slots.empty()) {
+    return;
+  }
+  for (Slot slot : slots) {
+    SIA_CHECK(slot >= 0 && slot < static_cast<Slot>(specs_.size()));
+    SIA_CHECK(slot_pos_[static_cast<size_t>(slot)] != kNoSlot) << "slot already retired";
+    running_.erase({arrival_seqs_[static_cast<size_t>(slot)], slot});
+    id_to_slot_.erase(spec(slot).id);
+    slot_pos_[static_cast<size_t>(slot)] = kNoSlot;
+    estimators_[static_cast<size_t>(slot)].reset();
+    specs_[static_cast<size_t>(slot)] = nullptr;
+    free_slots_.push_back(slot);
+  }
+  // Stable compaction of the arrival order and the aligned view rows.
+  std::vector<JobView>& views = builder_.jobs();
+  int32_t out = 0;
+  for (int32_t pos = 0; pos < static_cast<int32_t>(order_.size()); ++pos) {
+    const Slot slot = order_[static_cast<size_t>(pos)];
+    if (slot_pos_[static_cast<size_t>(slot)] == kNoSlot) {
+      continue;  // Retired above.
+    }
+    if (out != pos) {
+      order_[static_cast<size_t>(out)] = slot;
+      views[static_cast<size_t>(out)] = std::move(views[static_cast<size_t>(pos)]);
+    }
+    slot_pos_[static_cast<size_t>(slot)] = out;
+    ++out;
+  }
+  order_.resize(static_cast<size_t>(out));
+  views.resize(static_cast<size_t>(out));
+}
+
+void JobTable::Clear() {
+  specs_.clear();
+  infos_.clear();
+  estimators_.clear();
+  noises_.clear();
+  done_.clear();
+  finish_times_.clear();
+  progress_.clear();
+  gpu_seconds_.clear();
+  num_restarts_.clear();
+  num_failures_.clear();
+  peak_num_gpus_.clear();
+  ever_allocated_.clear();
+  failure_evicted_.clear();
+  pending_restore_.clear();
+  placements_.clear();
+  arrival_seqs_.clear();
+  dirty_.clear();
+  slot_pos_.clear();
+  order_.clear();
+  free_slots_.clear();
+  dirty_slots_.clear();
+  running_.clear();
+  id_to_slot_.clear();
+  next_arrival_seq_ = 0;
+  builder_.Clear();
+}
+
+void JobTable::set_placement(Slot s, Placement placement) {
+  const bool was_running = !placements_[static_cast<size_t>(s)].empty();
+  const bool now_running = !placement.empty();
+  placements_[static_cast<size_t>(s)] = std::move(placement);
+  if (was_running != now_running) {
+    const std::pair<int64_t, Slot> key{arrival_seqs_[static_cast<size_t>(s)], s};
+    if (now_running) {
+      running_.insert(key);
+    } else {
+      running_.erase(key);
+    }
+  }
+  MarkChanged(s);
+}
+
+void JobTable::MarkChanged(Slot s) {
+  if (dirty_[static_cast<size_t>(s)] == 0) {
+    dirty_[static_cast<size_t>(s)] = 1;
+    dirty_slots_.push_back(s);
+  }
+}
+
+void JobTable::MarkAllChanged() {
+  for (Slot slot : order_) {
+    MarkChanged(slot);
+  }
+}
+
+void JobTable::WriteView(Slot s, int32_t pos) {
+  JobView& view = builder_.jobs()[static_cast<size_t>(pos)];
+  const size_t i = static_cast<size_t>(s);
+  view.spec = specs_[i];
+  view.estimator = estimators_[i].get();
+  view.submit_time_seconds = specs_[i]->submit_time;
+  view.num_restarts = num_restarts_[i];
+  view.restart_overhead_seconds = infos_[i].restart_seconds;
+  view.current_config = placements_[i].config;
+  if (placements_[i].empty()) {
+    view.current_config = Config{};
+  }
+  view.peak_num_gpus = peak_num_gpus_[i];
+  view.progress_fraction =
+      infos_[i].total_work > 0.0 ? progress_[i] / infos_[i].total_work : 0.0;
+  view.service_gpu_seconds = gpu_seconds_[i];
+  view.total_work = infos_[i].total_work;
+}
+
+void JobTable::RefreshViews(bool dense) {
+  std::vector<int32_t>& changed = builder_.changed();
+  changed.clear();
+  if (dense) {
+    // The reference dense scan: rewrite every row, publish no delta.
+    for (int32_t pos = 0; pos < static_cast<int32_t>(order_.size()); ++pos) {
+      WriteView(order_[static_cast<size_t>(pos)], pos);
+    }
+    for (Slot slot : dirty_slots_) {
+      dirty_[static_cast<size_t>(slot)] = 0;
+    }
+    dirty_slots_.clear();
+    builder_.incremental = false;
+    return;
+  }
+  changed.reserve(dirty_slots_.size());
+  for (Slot slot : dirty_slots_) {
+    dirty_[static_cast<size_t>(slot)] = 0;
+    const int32_t pos = slot_pos_[static_cast<size_t>(slot)];
+    if (pos == kNoSlot) {
+      continue;  // Retired since it was marked.
+    }
+    WriteView(slot, pos);
+    changed.push_back(pos);
+  }
+  dirty_slots_.clear();
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  builder_.incremental = true;
+}
+
+void JobTable::SaveJobFields(Slot s, BinaryWriter& w) const {
+  const size_t i = static_cast<size_t>(s);
+  w.Bool(done_[i] != 0);
+  w.F64(finish_times_[i]);
+  w.F64(progress_[i]);
+  w.F64(gpu_seconds_[i]);
+  w.I32(num_restarts_[i]);
+  w.I32(num_failures_[i]);
+  w.I32(peak_num_gpus_[i]);
+  w.Bool(ever_allocated_[i] != 0);
+  w.Bool(failure_evicted_[i] != 0);
+  w.F64(pending_restore_[i]);
+  SaveConfigBytes(w, placements_[i].config);
+  SaveIntVecBytes(w, placements_[i].node_ids);
+  SaveIntVecBytes(w, placements_[i].gpus_per_node);
+}
+
+bool JobTable::RestoreJobFields(Slot s, BinaryReader& r) {
+  const size_t i = static_cast<size_t>(s);
+  done_[i] = r.Bool() ? 1 : 0;
+  finish_times_[i] = r.F64();
+  progress_[i] = r.F64();
+  gpu_seconds_[i] = r.F64();
+  num_restarts_[i] = r.I32();
+  num_failures_[i] = r.I32();
+  peak_num_gpus_[i] = r.I32();
+  ever_allocated_[i] = r.Bool() ? 1 : 0;
+  failure_evicted_[i] = r.Bool() ? 1 : 0;
+  pending_restore_[i] = r.F64();
+  Placement placement;
+  placement.config = RestoreConfigBytes(r);
+  if (!RestoreIntVecBytes(r, &placement.node_ids) ||
+      !RestoreIntVecBytes(r, &placement.gpus_per_node)) {
+    return false;
+  }
+  set_placement(s, std::move(placement));
+  MarkChanged(s);
+  return r.ok();
+}
+
+}  // namespace sia

@@ -1,0 +1,187 @@
+// Structure-of-arrays store for active jobs (ISSUE 7).
+//
+// The JobTable replaces the simulator's std::vector<std::unique_ptr<JobState>>
+// with parallel columns indexed by a stable Slot handle: a job keeps its slot
+// from activation to retirement, across evictions and restores, while the
+// *iteration* structures (arrival order, running set) are maintained
+// separately. The table also owns the scheduler-facing JobView rows (inside a
+// ScheduleViewBuilder) and a dirty set, so each round only the rows of jobs
+// whose state changed are rewritten -- the core of the event-driven round
+// loop's sublinear cost in idle jobs.
+//
+// Determinism invariants the table preserves for byte-identical traces:
+//  * order() is exact arrival order (the order Activate() was called), and
+//    retirement compacts it stably -- matching the old core's stable
+//    vector scan + stable_partition retirement.
+//  * running() iterates in arrival order (keyed by arrival sequence), so
+//    per-job side effects that consume shared RNG streams or accumulate
+//    floating-point sums happen in the same order as the old full scan.
+#ifndef SIA_SRC_SIM_JOB_TABLE_H_
+#define SIA_SRC_SIM_JOB_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/placer.h"
+#include "src/common/binary_codec.h"
+#include "src/common/job_id.h"
+#include "src/common/rng.h"
+#include "src/models/estimator.h"
+#include "src/models/profile_db.h"
+#include "src/schedulers/schedule_view.h"
+#include "src/workload/job.h"
+
+namespace sia {
+
+// Snapshot helpers shared with the simulator's timeline serialization.
+void SaveConfigBytes(BinaryWriter& w, const Config& config);
+Config RestoreConfigBytes(BinaryReader& r);
+void SaveIntVecBytes(BinaryWriter& w, const std::vector<int>& v);
+bool RestoreIntVecBytes(BinaryReader& r, std::vector<int>* v);
+
+class JobTable {
+ public:
+  using Slot = int32_t;
+  static constexpr Slot kNoSlot = -1;
+
+  // (arrival_seq, slot) pairs; iteration order == arrival order.
+  using RunningSet = std::set<std::pair<int64_t, Slot>>;
+
+  // Admits a job into the table. `spec` must stay valid for the slot's
+  // lifetime (the simulator's pending deque guarantees stable addresses).
+  // The new row is marked changed.
+  Slot Activate(const JobSpec* spec, ModelInfo info,
+                std::unique_ptr<GoodputEstimator> estimator, Rng noise);
+
+  // Removes the given slots (any order), compacting the arrival order and
+  // view rows stably. Slots are recycled for future activations.
+  void Retire(const std::vector<Slot>& slots);
+
+  // Drops every job (checkpoint restore rebuilds the table from scratch).
+  void Clear();
+
+  int size() const { return static_cast<int>(order_.size()); }
+  bool empty() const { return order_.empty(); }
+  // Active slots in arrival order.
+  const std::vector<Slot>& order() const { return order_; }
+  // Slots with a non-empty placement, in arrival order.
+  const RunningSet& running() const { return running_; }
+  Slot FindSlot(JobId id) const {
+    const auto it = id_to_slot_.find(id);
+    return it == id_to_slot_.end() ? kNoSlot : it->second;
+  }
+
+  // --- column accessors ---
+  const JobSpec& spec(Slot s) const { return *specs_[static_cast<size_t>(s)]; }
+  const ModelInfo& info(Slot s) const { return infos_[static_cast<size_t>(s)]; }
+  GoodputEstimator& estimator(Slot s) { return *estimators_[static_cast<size_t>(s)]; }
+  const GoodputEstimator& estimator(Slot s) const {
+    return *estimators_[static_cast<size_t>(s)];
+  }
+  Rng& noise(Slot s) { return noises_[static_cast<size_t>(s)]; }
+  const Rng& noise(Slot s) const { return noises_[static_cast<size_t>(s)]; }
+  bool done(Slot s) const { return done_[static_cast<size_t>(s)] != 0; }
+  double finish_time(Slot s) const { return finish_times_[static_cast<size_t>(s)]; }
+  double progress(Slot s) const { return progress_[static_cast<size_t>(s)]; }
+  double gpu_seconds(Slot s) const { return gpu_seconds_[static_cast<size_t>(s)]; }
+  int num_restarts(Slot s) const { return num_restarts_[static_cast<size_t>(s)]; }
+  int num_failures(Slot s) const { return num_failures_[static_cast<size_t>(s)]; }
+  int peak_num_gpus(Slot s) const { return peak_num_gpus_[static_cast<size_t>(s)]; }
+  bool ever_allocated(Slot s) const { return ever_allocated_[static_cast<size_t>(s)] != 0; }
+  bool failure_evicted(Slot s) const { return failure_evicted_[static_cast<size_t>(s)] != 0; }
+  double pending_restore(Slot s) const { return pending_restore_[static_cast<size_t>(s)]; }
+  const Placement& placement(Slot s) const { return placements_[static_cast<size_t>(s)]; }
+  int64_t arrival_seq(Slot s) const { return arrival_seqs_[static_cast<size_t>(s)]; }
+
+  // --- mutators. The ones feeding JobView fields mark the row changed. ---
+  void set_done(Slot s, bool v) { done_[static_cast<size_t>(s)] = v ? 1 : 0; }
+  void set_finish_time(Slot s, double v) { finish_times_[static_cast<size_t>(s)] = v; }
+  void set_progress(Slot s, double v) {
+    progress_[static_cast<size_t>(s)] = v;
+    MarkChanged(s);
+  }
+  void add_gpu_seconds(Slot s, double v) {
+    gpu_seconds_[static_cast<size_t>(s)] += v;
+    MarkChanged(s);
+  }
+  void increment_restarts(Slot s) {
+    ++num_restarts_[static_cast<size_t>(s)];
+    MarkChanged(s);
+  }
+  void increment_failures(Slot s) { ++num_failures_[static_cast<size_t>(s)]; }
+  void set_peak_num_gpus(Slot s, int v) {
+    peak_num_gpus_[static_cast<size_t>(s)] = v;
+    MarkChanged(s);
+  }
+  void set_ever_allocated(Slot s, bool v) {
+    ever_allocated_[static_cast<size_t>(s)] = v ? 1 : 0;
+  }
+  void set_failure_evicted(Slot s, bool v) {
+    failure_evicted_[static_cast<size_t>(s)] = v ? 1 : 0;
+  }
+  void set_pending_restore(Slot s, double v) { pending_restore_[static_cast<size_t>(s)] = v; }
+  // Updates the running set and marks the row changed.
+  void set_placement(Slot s, Placement placement);
+
+  // Marks a row as changed-since-last-refresh (estimator refits, anything
+  // not covered by the mutators above).
+  void MarkChanged(Slot s);
+  void MarkAllChanged();
+
+  // Rebuilds the scheduler-facing rows. Dense mode rewrites every row and
+  // clears the delta (ScheduleView::incremental = false) -- the old
+  // per-round dense scan, kept as the by-construction oracle. Event mode
+  // rewrites only rows marked changed since the previous refresh and
+  // publishes their (sorted, deduplicated) positions as the delta.
+  void RefreshViews(bool dense);
+
+  // The builder the simulator stamps round metadata onto; its jobs() rows
+  // are the table's views.
+  ScheduleViewBuilder& builder() { return builder_; }
+
+  // --- SoA serialization (one job's scalar columns + placement). The byte
+  // layout matches the pre-table JobState serialization, so the simulator's
+  // framing is unchanged around it. Estimator, noise RNG, and spec identity
+  // are serialized by the caller. RestoreJobFields marks the row changed. ---
+  void SaveJobFields(Slot s, BinaryWriter& w) const;
+  bool RestoreJobFields(Slot s, BinaryReader& r);
+
+ private:
+  void WriteView(Slot s, int32_t pos);
+
+  // --- SoA columns, indexed by slot ---
+  std::vector<const JobSpec*> specs_;
+  std::vector<ModelInfo> infos_;
+  std::vector<std::unique_ptr<GoodputEstimator>> estimators_;
+  std::vector<Rng> noises_;
+  std::vector<uint8_t> done_;
+  std::vector<double> finish_times_;
+  std::vector<double> progress_;
+  std::vector<double> gpu_seconds_;
+  std::vector<int> num_restarts_;
+  std::vector<int> num_failures_;
+  std::vector<int> peak_num_gpus_;
+  std::vector<uint8_t> ever_allocated_;
+  std::vector<uint8_t> failure_evicted_;
+  std::vector<double> pending_restore_;
+  std::vector<Placement> placements_;
+  std::vector<int64_t> arrival_seqs_;
+  std::vector<uint8_t> dirty_;
+  std::vector<int32_t> slot_pos_;  // Slot -> position in order_; kNoSlot if retired.
+
+  std::vector<Slot> order_;         // Active slots in arrival order.
+  std::vector<Slot> free_slots_;    // Recycled slots (LIFO).
+  std::vector<Slot> dirty_slots_;   // Slots marked since the last refresh.
+  RunningSet running_;
+  std::unordered_map<JobId, Slot> id_to_slot_;
+  int64_t next_arrival_seq_ = 0;
+  ScheduleViewBuilder builder_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SIM_JOB_TABLE_H_

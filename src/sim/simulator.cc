@@ -44,25 +44,6 @@ std::string SimOptions::Validate() const {
   return "";
 }
 
-struct ClusterSimulator::JobState {
-  JobSpec spec;
-  std::unique_ptr<GoodputEstimator> estimator;
-  ModelInfo info;
-  Rng noise;
-
-  bool done = false;
-  double finish_time = 0.0;
-  double progress = 0.0;      // Reference samples completed.
-  double gpu_seconds = 0.0;
-  int num_restarts = 0;
-  int num_failures = 0;
-  int peak_num_gpus = 0;
-  bool ever_allocated = false;
-  bool failure_evicted = false;  // Awaiting first re-allocation after a crash.
-  double pending_restore = 0.0;  // Remaining checkpoint-restore time.
-  Placement placement;           // Empty when queued / preempted.
-};
-
 namespace {
 
 // Profiling sweep of §3.2: ~10 batch sizes on one GPU of each type, charged
@@ -76,7 +57,6 @@ ClusterSimulator::ClusterSimulator(ClusterSpec cluster, std::vector<JobSpec> job
                                    Scheduler* scheduler, SimOptions options)
     : cluster_(std::move(cluster)),
       config_set_(BuildConfigSet(cluster_)),
-      pending_(std::move(jobs)),
       scheduler_(scheduler),
       options_(options),
       rng_(options.seed),
@@ -87,23 +67,33 @@ ClusterSimulator::ClusterSimulator(ClusterSpec cluster, std::vector<JobSpec> job
   SIA_CHECK(scheduler_ != nullptr);
   const std::string error = options_.Validate();
   SIA_CHECK(error.empty()) << "invalid SimOptions: " << error;
-  std::stable_sort(pending_.begin(), pending_.end(),
+  std::stable_sort(jobs.begin(), jobs.end(),
                    [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  for (JobSpec& spec : jobs) {
+    known_ids_.insert(spec.id);
+    pending_.push_back(std::move(spec));
+  }
+  // Event push order == deque order, so the (time, seq) heap tiebreak
+  // reproduces the stable-sorted consumption order exactly.
+  for (uint32_t index = 0; index < pending_.size(); ++index) {
+    arrivals_.Push(pending_[index].submit_time, index);
+  }
 }
 
 ClusterSimulator::~ClusterSimulator() = default;
 
 void ClusterSimulator::ActivateArrivals(double now) {
-  while (next_arrival_ < pending_.size() && pending_[next_arrival_].submit_time <= now) {
-    const JobSpec& spec = pending_[next_arrival_];
-    auto job = std::make_unique<JobState>();
-    job->spec = spec;
-    job->info = GetModelInfo(spec.model);
-    job->estimator =
+  while (!arrivals_.empty() && arrivals_.Top().time <= now) {
+    const uint32_t index = arrivals_.Pop().payload;
+    ++activated_;
+    const JobSpec& spec = pending_[index];
+    auto estimator =
         std::make_unique<GoodputEstimator>(spec.model, &cluster_, options_.profiling_mode,
                                            spec.batch_inference, spec.latency_slo_seconds);
-    job->estimator->BindMetrics(metrics_);
-    job->noise = rng_.Fork("job-noise", static_cast<uint64_t>(spec.id));
+    estimator->BindMetrics(metrics_);
+    const JobTable::Slot slot =
+        jobs_.Activate(&spec, GetModelInfo(spec.model), std::move(estimator),
+                       rng_.Fork("job-noise", static_cast<uint64_t>(spec.id)));
     metrics_->counter("sim.job_arrivals").Add();
     if (options_.trace != nullptr) {
       options_.trace->Write(TraceRecord("job_arrival")
@@ -113,7 +103,8 @@ void ClusterSimulator::ActivateArrivals(double now) {
                                 .Set("model", ToString(spec.model)));
     }
 
-    if (options_.profiling_mode == ProfilingMode::kBootstrap && !job->info.hybrid_parallel) {
+    if (options_.profiling_mode == ProfilingMode::kBootstrap &&
+        !jobs_.info(slot).hybrid_parallel) {
       // Initial profiling: 1 GPU of each type, a sweep of batch sizes up to
       // the memory limit, with observation noise. Charged to the job's GPU
       // time (~0.1 GPU-hours total, §5.7).
@@ -126,14 +117,13 @@ void ClusterSimulator::ActivateArrivals(double now) {
           const double local =
               std::max(1.0, device.max_local_bsz * static_cast<double>(k) / kProfileBatchSizes);
           const double truth = IterTime(device.truth, 1, 1, local, 1);
-          job->estimator->AddProfilePoint(
-              t, local, truth * job->noise.LogNormal(0.0, options_.observation_noise_sigma));
+          jobs_.estimator(slot).AddProfilePoint(
+              t, local,
+              truth * jobs_.noise(slot).LogNormal(0.0, options_.observation_noise_sigma));
         }
-        job->gpu_seconds += kProfileGpuSecondsPerType;
+        jobs_.add_gpu_seconds(slot, kProfileGpuSecondsPerType);
       }
     }
-    active_.push_back(std::move(job));
-    ++next_arrival_;
   }
 }
 
@@ -156,28 +146,35 @@ void ClusterSimulator::ProcessFaultEvents(double now) {
                        << "s (repair in " << event.duration_seconds << "s)";
         // Evict every job touching the node back to the queue: progress
         // rolls back to the last epoch checkpoint (§3.5) and the job
-        // competes for new resources from the next round.
-        PendingRecovery recovery;
-        recovery.crash_time = event.time_seconds;
-        for (auto& job : active_) {
-          if (job->done || job->placement.empty()) {
+        // competes for new resources from the next round. Only running jobs
+        // can touch a node, and the running set iterates in arrival order,
+        // so eviction side effects replay the old full-scan order.
+        std::vector<JobTable::Slot> victims;
+        for (const auto& [seq, slot] : jobs_.running()) {
+          if (jobs_.done(slot)) {
             continue;
           }
-          const auto& ids = job->placement.node_ids;
+          const auto& ids = jobs_.placement(slot).node_ids;
           if (std::find(ids.begin(), ids.end(), event.node) == ids.end()) {
             continue;
           }
-          job->progress *= 1.0 - options_.faults.failure_progress_loss;
-          job->placement = Placement{};
-          job->pending_restore = 0.0;
-          job->failure_evicted = true;
-          ++job->num_failures;
+          victims.push_back(slot);
+        }
+        PendingRecovery recovery;
+        recovery.crash_time = event.time_seconds;
+        for (const JobTable::Slot slot : victims) {
+          jobs_.set_progress(slot,
+                             jobs_.progress(slot) * (1.0 - options_.faults.failure_progress_loss));
+          jobs_.set_placement(slot, Placement{});
+          jobs_.set_pending_restore(slot, 0.0);
+          jobs_.set_failure_evicted(slot, true);
+          jobs_.increment_failures(slot);
           metrics_->counter("fault.job_evictions").Add();
           if (options_.record_timeline) {
-            result_.timeline.push_back({event.time_seconds, job->spec.id, Config{},
+            result_.timeline.push_back({event.time_seconds, jobs_.spec(slot).id, Config{},
                                         TimelineEventKind::kFailureEviction});
           }
-          recovery.victims.push_back(job->spec.id);
+          recovery.victims.push_back(jobs_.spec(slot).id);
         }
         if (!recovery.victims.empty()) {
           recoveries_.push_back(std::move(recovery));
@@ -210,12 +207,11 @@ void ClusterSimulator::UpdateRecoveries(double now) {
     return;
   }
   auto recovered = [this](int job_id) {
-    for (const auto& job : active_) {
-      if (job->spec.id == job_id) {
-        return job->done || !job->placement.empty();
-      }
+    const JobTable::Slot slot = jobs_.FindSlot(job_id);
+    if (slot == JobTable::kNoSlot) {
+      return true;  // Already retired into results.
     }
-    return true;  // Already retired into results.
+    return jobs_.done(slot) || !jobs_.placement(slot).empty();
   };
   for (auto it = recoveries_.begin(); it != recoveries_.end();) {
     const bool all_back =
@@ -232,36 +228,53 @@ void ClusterSimulator::UpdateRecoveries(double now) {
 }
 
 void ClusterSimulator::ApplyPlacements(double now, const std::map<JobId, Placement>& placements) {
-  for (auto& job : active_) {
-    if (job->done) {
+  // A job's placement can change only if it is currently running (it may be
+  // preempted or resized) or the placer granted it something this round;
+  // for every other job old == new == empty. Collecting that union in
+  // arrival-sequence order makes the walk equivalent to the old full scan.
+  std::vector<std::pair<int64_t, JobTable::Slot>> affected(jobs_.running().begin(),
+                                                           jobs_.running().end());
+  for (const auto& [job_id, placement] : placements) {
+    const JobTable::Slot slot = jobs_.FindSlot(job_id);
+    if (slot == JobTable::kNoSlot || !jobs_.placement(slot).empty()) {
+      continue;  // Unknown job, or already counted via the running set.
+    }
+    affected.push_back({jobs_.arrival_seq(slot), slot});
+  }
+  std::sort(affected.begin(), affected.end());
+
+  for (const auto& [seq, slot] : affected) {
+    if (jobs_.done(slot)) {
       continue;
     }
-    const auto it = placements.find(job->spec.id);
+    const auto it = placements.find(jobs_.spec(slot).id);
     const Placement next = it == placements.end() ? Placement{} : it->second;
-    const bool changed = !(next.config == job->placement.config) ||
-                         next.node_ids != job->placement.node_ids;
+    const Placement& current = jobs_.placement(slot);
+    const bool changed =
+        !(next.config == current.config) || next.node_ids != current.node_ids;
     if (!changed) {
       continue;
     }
     if (options_.record_timeline) {
-      const TimelineEventKind kind = job->failure_evicted && !next.empty()
+      const TimelineEventKind kind = jobs_.failure_evicted(slot) && !next.empty()
                                          ? TimelineEventKind::kRestore
                                          : TimelineEventKind::kAllocation;
-      result_.timeline.push_back({now, job->spec.id, next.config, kind});
+      result_.timeline.push_back({now, jobs_.spec(slot).id, next.config, kind});
     }
     if (!next.empty()) {
-      if (job->ever_allocated) {
-        ++job->num_restarts;
+      if (jobs_.ever_allocated(slot)) {
+        jobs_.increment_restarts(slot);
       }
-      job->ever_allocated = true;
-      job->failure_evicted = false;
+      jobs_.set_ever_allocated(slot, true);
+      jobs_.set_failure_evicted(slot, false);
       // Checkpoint-restore before training resumes (initial start pays the
       // restore half as state is loaded onto fresh executors).
-      job->pending_restore = job->num_restarts == 0 ? 0.5 * job->info.restart_seconds
-                                                    : job->info.restart_seconds;
-      job->peak_num_gpus = std::max(job->peak_num_gpus, next.config.num_gpus);
+      jobs_.set_pending_restore(slot, jobs_.num_restarts(slot) == 0
+                                          ? 0.5 * jobs_.info(slot).restart_seconds
+                                          : jobs_.info(slot).restart_seconds);
+      jobs_.set_peak_num_gpus(slot, std::max(jobs_.peak_num_gpus(slot), next.config.num_gpus));
     }
-    job->placement = next;
+    jobs_.set_placement(slot, next);
   }
 }
 
@@ -275,60 +288,69 @@ double ClusterSimulator::StragglerFactor(const Placement& placement) const {
   return factor;
 }
 
-double ClusterSimulator::TrueIterTime(const JobState& job, const Config& config,
+double ClusterSimulator::TrueIterTime(JobTable::Slot slot, const Config& config,
                                       const BatchDecision& decision) const {
   const std::string& type_name = cluster_.gpu_type(config.gpu_type).name;
-  if (job.info.hybrid_parallel) {
+  if (jobs_.info(slot).hybrid_parallel) {
     return decision.iter_time;  // Hybrid profiles are measurement-seeded (§5.3).
   }
-  const DeviceProfile& device = GetDeviceProfile(job.spec.model, type_name);
+  const DeviceProfile& device = GetDeviceProfile(jobs_.spec(slot).model, type_name);
   SIA_CHECK(device.available);
   return IterTime(device.truth, config.num_nodes, config.num_gpus, decision.local_bsz,
                   decision.accum_steps);
 }
 
-double ClusterSimulator::TrueGoodputRate(const JobState& job, const Config& config,
+double ClusterSimulator::TrueGoodputRate(JobTable::Slot slot, const Config& config,
                                          const BatchDecision& decision,
                                          double straggler) const {
-  const double iter = TrueIterTime(job, config, decision) * straggler;
+  const double iter = TrueIterTime(slot, config, decision) * straggler;
   const double throughput = decision.global_bsz / iter;
-  if (job.spec.batch_inference || job.spec.latency_slo_seconds > 0.0) {
+  const JobSpec& spec = jobs_.spec(slot);
+  if (spec.batch_inference || spec.latency_slo_seconds > 0.0) {
     return throughput;  // Inference progress is plain samples/second (§3.4).
   }
+  const ModelInfo& info = jobs_.info(slot);
   const double progress_fraction =
-      job.info.total_work > 0.0 ? job.progress / job.info.total_work : 0.0;
-  const double true_pgns = PgnsAt(job.info.efficiency, progress_fraction);
-  const double efficiency = Efficiency(job.info.efficiency, true_pgns, decision.global_bsz);
+      info.total_work > 0.0 ? jobs_.progress(slot) / info.total_work : 0.0;
+  const double true_pgns = PgnsAt(info.efficiency, progress_fraction);
+  const double efficiency = Efficiency(info.efficiency, true_pgns, decision.global_bsz);
   return throughput * efficiency;
 }
 
-void ClusterSimulator::AdvanceRound(double now, double duration) {
-  for (auto& job : active_) {
-    if (job->done || job->placement.empty()) {
+void ClusterSimulator::AdvanceRound(double now, double duration,
+                                    std::vector<JobTable::Slot>* finished) {
+  // Arrival-order iteration over running jobs: the shared telemetry-fault
+  // RNG is sampled once per qualifying job, so the order here is part of
+  // the byte-identity contract with the old full scan.
+  for (const auto& [seq, slot] : jobs_.running()) {
+    if (jobs_.done(slot)) {
       continue;
     }
-    const Config& config = job->placement.config;
-    job->gpu_seconds += config.num_gpus * duration;
+    const Config& config = jobs_.placement(slot).config;
+    jobs_.add_gpu_seconds(slot, config.num_gpus * duration);
 
     double remaining = duration;
-    if (job->pending_restore > 0.0) {
-      const double used = std::min(job->pending_restore, remaining);
-      job->pending_restore -= used;
+    const double pending_restore = jobs_.pending_restore(slot);
+    if (pending_restore > 0.0) {
+      const double used = std::min(pending_restore, remaining);
+      jobs_.set_pending_restore(slot, pending_restore - used);
       remaining -= used;
     }
     if (remaining <= 0.0) {
       continue;
     }
 
+    const JobSpec& spec = jobs_.spec(slot);
+    const ModelInfo& info = jobs_.info(slot);
     // The Adaptive Executor picks the batch size using the *learned* model;
     // the cluster then delivers ground-truth performance at that choice.
     const BatchDecision decision =
-        job->estimator->Estimate(config, job->spec.adaptivity, job->spec.fixed_bsz);
+        jobs_.estimator(slot).Estimate(config, spec.adaptivity, spec.fixed_bsz);
     if (!decision.feasible) {
       continue;  // Unusable configuration: holds GPUs but makes no progress.
     }
-    const double straggler = StragglerFactor(job->placement);
-    const double rate = TrueGoodputRate(*job, config, decision, straggler);
+    const double straggler = StragglerFactor(jobs_.placement(slot));
+    const double rate = TrueGoodputRate(slot, config, decision, straggler);
     if (!(rate > 0.0)) {
       // A degenerate estimator decision (e.g. after outlier-poisoned fits)
       // can produce a configuration with no ground-truth progress. Holding
@@ -337,22 +359,23 @@ void ClusterSimulator::AdvanceRound(double now, double duration) {
       metrics_->counter("sim.zero_goodput_rounds").Add();
       if (!warned_zero_goodput_) {
         warned_zero_goodput_ = true;
-        SIA_LOG(Warning) << "job " << job->spec.id
+        SIA_LOG(Warning) << "job " << spec.id
                          << " made zero ground-truth goodput this round; holding GPUs "
                             "without progress (suppressing further warnings)";
       } else {
-        SIA_LOG(Debug) << "job " << job->spec.id << " zero-goodput round";
+        SIA_LOG(Debug) << "job " << spec.id << " zero-goodput round";
       }
       continue;
     }
-    const double work_left = job->info.total_work - job->progress;
+    const double work_left = info.total_work - jobs_.progress(slot);
     const double needed = work_left / rate;
     if (needed <= remaining) {
-      job->progress = job->info.total_work;
-      job->done = true;
-      job->finish_time = now + (duration - remaining) + needed;
+      jobs_.set_progress(slot, info.total_work);
+      jobs_.set_done(slot, true);
+      jobs_.set_finish_time(slot, now + (duration - remaining) + needed);
+      finished->push_back(slot);
     } else {
-      job->progress += rate * remaining;
+      jobs_.set_progress(slot, jobs_.progress(slot) + rate * remaining);
     }
 
     // --- end-of-round telemetry back to the estimator (§3.1, default 30 s
@@ -369,18 +392,18 @@ void ClusterSimulator::AdvanceRound(double now, double duration) {
     if (fault.multiplier != 1.0) {
       metrics_->counter("fault.telemetry_outliers").Add();
     }
-    if (!job->info.hybrid_parallel) {
-      const double true_iter = TrueIterTime(*job, config, decision) * straggler;
-      job->estimator->AddObservation(
+    if (!info.hybrid_parallel) {
+      const double true_iter = TrueIterTime(slot, config, decision) * straggler;
+      jobs_.estimator(slot).AddObservation(
           config.gpu_type, config.num_nodes, config.num_gpus, decision.local_bsz,
           decision.accum_steps,
           true_iter * fault.multiplier *
-              job->noise.LogNormal(0.0, options_.observation_noise_sigma));
+              jobs_.noise(slot).LogNormal(0.0, options_.observation_noise_sigma));
     }
     const double progress_fraction =
-        job->info.total_work > 0.0 ? job->progress / job->info.total_work : 0.0;
-    job->estimator->ObservePgns(PgnsAt(job->info.efficiency, progress_fraction) *
-                                job->noise.LogNormal(0.0, options_.pgns_noise_sigma));
+        info.total_work > 0.0 ? jobs_.progress(slot) / info.total_work : 0.0;
+    jobs_.estimator(slot).ObservePgns(PgnsAt(info.efficiency, progress_fraction) *
+                                      jobs_.noise(slot).LogNormal(0.0, options_.pgns_noise_sigma));
   }
 }
 
@@ -426,36 +449,23 @@ bool ClusterSimulator::SubmitJob(const JobSpec& job, std::string* error) {
     *error = "job GPU bounds must be positive";
     return false;
   }
-  for (const JobSpec& existing : pending_) {
-    if (existing.id == job.id) {
-      *error = "duplicate job id " + std::to_string(job.id);
-      return false;
-    }
-  }
-  for (const auto& state : active_) {
-    if (state->spec.id == job.id) {
-      *error = "duplicate job id " + std::to_string(job.id);
-      return false;
-    }
-  }
-  for (const JobResult& finished : result_.jobs) {
-    if (finished.spec.id == job.id) {
-      *error = "duplicate job id " + std::to_string(job.id);
-      return false;
-    }
+  // pending_ never shrinks (activation only advances the event clock), so
+  // the known-id set covers queued, active, and retired jobs alike.
+  if (known_ids_.count(job.id) > 0) {
+    *error = "duplicate job id " + std::to_string(job.id);
+    return false;
   }
   JobSpec adjusted = job;
   // A submission cannot land in the past: it activates at the next round
   // boundary at or after the current clock.
   adjusted.submit_time = std::max(adjusted.submit_time, now_);
-  // Keep pending_ sorted by submit time without disturbing already-consumed
-  // arrivals (indices below next_arrival_). upper_bound preserves the
-  // stable-sort tie order of the constructor.
-  const auto begin = pending_.begin() + static_cast<std::ptrdiff_t>(next_arrival_);
-  const auto pos = std::upper_bound(
-      begin, pending_.end(), adjusted,
-      [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
-  pending_.insert(pos, std::move(adjusted));
+  // O(log n): append the spec (deque addresses are stable) and push its
+  // arrival event. Later push seq = later tie order, matching the old
+  // sorted-vector upper_bound insertion exactly.
+  const uint32_t index = static_cast<uint32_t>(pending_.size());
+  pending_.push_back(std::move(adjusted));
+  known_ids_.insert(job.id);
+  arrivals_.Push(pending_.back().submit_time, index);
   return true;
 }
 
@@ -504,47 +514,32 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
   ProcessFaultEvents(now_);
   ActivateArrivals(now_);
 
-  // Snapshot active (unfinished) jobs for the policy.
-  ScheduleInput input;
-  input.now_seconds = now_;
-  input.cluster = &cluster_;
-  input.config_set = &config_set_;
-  input.deadline_seconds = options_.round_deadline_seconds;
-  int active_count = 0;
-  for (const auto& job : active_) {
-    if (job->done) {
-      continue;
-    }
-    ++active_count;
-    JobView view;
-    view.spec = &job->spec;
-    view.estimator = job->estimator.get();
-    view.age_seconds = now_ - job->spec.submit_time;
-    view.num_restarts = job->num_restarts;
-    view.restart_overhead_seconds = job->info.restart_seconds;
-    view.current_config = job->placement.config;
-    if (job->placement.empty()) {
-      view.current_config = Config{};
-    }
-    view.peak_num_gpus = job->peak_num_gpus;
-    view.progress_fraction =
-        job->info.total_work > 0.0 ? job->progress / job->info.total_work : 0.0;
-    view.service_gpu_seconds = job->gpu_seconds;
-    view.total_work = job->info.total_work;
-    input.jobs.push_back(view);
-  }
-
+  const int active_count = jobs_.size();
   if (active_count == 0) {
-    if (next_arrival_ >= pending_.size()) {
+    if (arrivals_.empty()) {
       return StepStatus::kComplete;
     }
     // Idle-skip to the next arrival's round boundary. Fault events in the
     // skipped window are replayed with their true timestamps by
     // ProcessFaultEvents at the top of the next step.
-    const double next_time = pending_[next_arrival_].submit_time;
+    const double next_time = arrivals_.Top().time;
     now_ = std::ceil(next_time / round) * round;
     return StepStatus::kIdleSkipped;
   }
+
+  // Refresh the scheduler-facing rows: the dense core rewrites every row
+  // (the old per-round scan), the event core only rows whose state changed
+  // since the last round -- and publishes that delta to the policy.
+  jobs_.RefreshViews(options_.core == SimCore::kDense);
+  ScheduleViewBuilder& views = jobs_.builder();
+  views.now_seconds = now_;
+  views.cluster = &cluster_;
+  views.config_set = &config_set_;
+  views.deadline_seconds = options_.round_deadline_seconds;
+  views.round_epoch = round_index_;
+  views.metrics = metrics_;
+  views.record_timings = options_.trace_timings;
+  const ScheduleView input = views.View();
 
   contention_.Add(static_cast<double>(active_count));
   result_.max_contention = std::max(result_.max_contention, active_count);
@@ -552,8 +547,6 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
 
   // Solver-work deltas bracketing this round's Schedule() call; the
   // difference is what lands in the round trace record.
-  input.metrics = metrics_;
-  input.record_timings = options_.trace_timings;
   const uint64_t bb_before = metrics_->counter_value("solver.bb_nodes");
   const uint64_t lp_before = metrics_->counter_value("solver.lp_iterations");
   const uint64_t refits_before = metrics_->counter_value("estimator.refits");
@@ -577,11 +570,12 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
       desired_map[job_id] = config;
     }
   }
-  // Drop stale placements of finished jobs before re-placing.
+  // Previous placements of live (unfinished) jobs; finished jobs were
+  // retired -- and their slots cleared -- at the end of their round.
   std::map<JobId, Placement> live_previous;
-  for (const auto& job : active_) {
-    if (!job->done && !job->placement.empty()) {
-      live_previous[job->spec.id] = job->placement;
+  for (const auto& [seq, slot] : jobs_.running()) {
+    if (!jobs_.done(slot)) {
+      live_previous[jobs_.spec(slot).id] = jobs_.placement(slot);
     }
   }
   const PlacerResult placed = PlaceJobs(cluster_, desired_map, live_previous);
@@ -613,26 +607,26 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
   UpdateRecoveries(now_);
 
   // Accumulate busy capacity for the utilization metric (and optionally a
-  // per-round snapshot for timeline analysis).
+  // per-round snapshot for timeline analysis). Arrival-order accumulation
+  // keeps the floating-point sum byte-identical to the old full scan.
   RoundStats stats;
   stats.time_seconds = now_;
   stats.down_nodes = cluster_.NumDownNodes();
-  for (const auto& job : active_) {
-    if (job->done) {
+  stats.active_jobs = active_count;
+  for (const auto& [seq, slot] : jobs_.running()) {
+    if (jobs_.done(slot)) {
       continue;
     }
-    ++stats.active_jobs;
-    if (!job->placement.empty()) {
-      ++stats.running_jobs;
-      stats.busy_gpus += job->placement.total_gpus();
-      busy_gpu_seconds_ += job->placement.total_gpus() * round;
-    }
+    ++stats.running_jobs;
+    stats.busy_gpus += jobs_.placement(slot).total_gpus();
+    busy_gpu_seconds_ += jobs_.placement(slot).total_gpus() * round;
   }
   if (options_.record_timeline) {
     result_.round_stats.push_back(stats);
   }
 
-  AdvanceRound(now_, round);
+  std::vector<JobTable::Slot> finished;
+  AdvanceRound(now_, round, &finished);
 
   if (options_.trace != nullptr) {
     // Emitted after AdvanceRound so this round's estimator refits (driven
@@ -664,27 +658,27 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
   ++round_index_;
   now_ += round;
 
-  // Retire finished jobs into results.
-  for (auto& job : active_) {
-    if (job->done && job->finish_time > 0.0 && !job->placement.empty()) {
+  // Retire finished jobs into results. AdvanceRound reported them in
+  // arrival order, which is exactly the order the old stable_partition
+  // walked them in.
+  for (const JobTable::Slot slot : finished) {
+    if (jobs_.finish_time(slot) > 0.0 && !jobs_.placement(slot).empty()) {
       if (options_.record_timeline) {
         result_.timeline.push_back(
-            {now_, job->spec.id, Config{}, TimelineEventKind::kFinish});
+            {now_, jobs_.spec(slot).id, Config{}, TimelineEventKind::kFinish});
       }
-      job->placement = Placement{};  // Resources free from the next round.
+      jobs_.set_placement(slot, Placement{});  // Resources free from the next round.
     }
   }
-  auto retire = std::stable_partition(active_.begin(), active_.end(),
-                                      [](const auto& job) { return !job->done; });
-  for (auto it = retire; it != active_.end(); ++it) {
+  for (const JobTable::Slot slot : finished) {
     JobResult jr;
-    jr.spec = (*it)->spec;
+    jr.spec = jobs_.spec(slot);
     jr.finished = true;
-    jr.finish_time = (*it)->finish_time;
-    jr.jct = (*it)->finish_time - (*it)->spec.submit_time;
-    jr.gpu_seconds = (*it)->gpu_seconds;
-    jr.num_restarts = (*it)->num_restarts;
-    jr.num_failures = (*it)->num_failures;
+    jr.finish_time = jobs_.finish_time(slot);
+    jr.jct = jobs_.finish_time(slot) - jobs_.spec(slot).submit_time;
+    jr.gpu_seconds = jobs_.gpu_seconds(slot);
+    jr.num_restarts = jobs_.num_restarts(slot);
+    jr.num_failures = jobs_.num_failures(slot);
     metrics_->counter("sim.jobs_finished").Add();
     metrics_->histogram("sim.jct_seconds").Record(jr.jct);
     if (options_.trace != nullptr) {
@@ -696,10 +690,10 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
                                 .Set("restarts", jr.num_restarts)
                                 .Set("failures", jr.num_failures));
     }
-    result_.makespan_seconds = std::max(result_.makespan_seconds, (*it)->finish_time);
+    result_.makespan_seconds = std::max(result_.makespan_seconds, jr.finish_time);
     result_.jobs.push_back(std::move(jr));
   }
-  active_.erase(retire, active_.end());
+  jobs_.Retire(finished);
 
   if (options_.trace != nullptr) {
     // Crash-safe sinks: everything this round emitted is on disk before
@@ -726,20 +720,20 @@ const SimResult& ClusterSimulator::Finalize() {
   }
 
   // Censor unfinished jobs at the cap.
-  result_.all_finished = active_.empty() && next_arrival_ >= pending_.size();
-  for (auto& job : active_) {
+  result_.all_finished = jobs_.empty() && arrivals_.empty();
+  for (const JobTable::Slot slot : jobs_.order()) {
     JobResult jr;
-    jr.spec = job->spec;
+    jr.spec = jobs_.spec(slot);
     jr.finished = false;
-    jr.jct = std::max(0.0, now_ - job->spec.submit_time);
-    jr.gpu_seconds = job->gpu_seconds;
-    jr.num_restarts = job->num_restarts;
-    jr.num_failures = job->num_failures;
+    jr.jct = std::max(0.0, now_ - jobs_.spec(slot).submit_time);
+    jr.gpu_seconds = jobs_.gpu_seconds(slot);
+    jr.num_restarts = jobs_.num_restarts(slot);
+    jr.num_failures = jobs_.num_failures(slot);
     result_.makespan_seconds = std::max(result_.makespan_seconds, now_);
     result_.jobs.push_back(std::move(jr));
   }
   if (!result_.all_finished) {
-    SIA_LOG(Warning) << "simulation hit the max-hours cap with " << active_.size()
+    SIA_LOG(Warning) << "simulation hit the max-hours cap with " << jobs_.size()
                      << " unfinished jobs";
   }
   result_.avg_contention = contention_.mean();
@@ -817,54 +811,24 @@ namespace {
 // Payload schema version; bumped whenever SerializeState's layout changes.
 // v2: scheduler state blobs grew the ladder's last-served allocation
 // (SaveScheduleOutput) so deadline degradation survives checkpoint/resume.
-constexpr uint32_t kSimStateVersion = 2;
+// v3: the dense job vector became the SoA JobTable behind the arrival event
+// clock (ISSUE 7) -- the arrival cursor is now the activated-event count
+// (same integer for any legal history), and per-job field order is owned by
+// JobTable::SaveJobFields (layout unchanged).
+constexpr uint32_t kSimStateVersion = 3;
 // Upper bound on element-count prefixes read back from a snapshot; anything
 // larger is treated as corruption rather than allocated.
 constexpr uint64_t kMaxSnapshotEntries = 1u << 20;
-
-void SaveConfig(BinaryWriter& w, const Config& config) {
-  w.I32(config.num_nodes);
-  w.I32(config.num_gpus);
-  w.I32(config.gpu_type);
-  w.Bool(config.scatter);
-}
-
-Config RestoreConfig(BinaryReader& r) {
-  Config config;
-  config.num_nodes = r.I32();
-  config.num_gpus = r.I32();
-  config.gpu_type = r.I32();
-  config.scatter = r.Bool();
-  return config;
-}
-
-void SaveIntVec(BinaryWriter& w, const std::vector<int>& v) {
-  w.U64(v.size());
-  for (int x : v) w.I32(x);
-}
-
-bool RestoreIntVec(BinaryReader& r, std::vector<int>* v) {
-  const uint64_t count = r.U64();
-  if (!r.ok() || count > kMaxSnapshotEntries) {
-    r.Fail("sim: implausible int-vector length");
-    return false;
-  }
-  v->clear();
-  v->reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    v->push_back(r.I32());
-  }
-  return r.ok();
-}
 
 }  // namespace
 
 uint64_t ClusterSimulator::ConfigFingerprint() const {
   // Canonical encoding of everything that determines the run besides the
   // serialized dynamic state: options (minus checkpoint/stop knobs, which a
-  // resume may legitimately change), fault model, scheduler identity, cluster
-  // shape, and the full workload. Any difference means the snapshot belongs
-  // to a different run and resuming would silently diverge.
+  // resume may legitimately change, and the core selection, which never
+  // changes results), fault model, scheduler identity, cluster shape, and
+  // the full workload. Any difference means the snapshot belongs to a
+  // different run and resuming would silently diverge.
   BinaryWriter w;
   w.U64(options_.seed);
   w.U8(static_cast<uint8_t>(options_.profiling_mode));
@@ -939,9 +903,12 @@ std::string ClusterSimulator::SerializeState() const {
   w.I64(trace_offset);
   w.Bool(options_.metrics != nullptr);
 
-  // Core simulator state.
+  // Core simulator state. The arrival heap is not serialized: the activated
+  // set is always the `activated_` smallest (time, seq) events -- everything
+  // ever popped was <= everything still queued at the time -- so the restore
+  // path rebuilds the heap from pending_ and pops that many.
   rng_.SaveState(w);
-  w.U64(next_arrival_);
+  w.U64(activated_);
   w.F64(busy_gpu_seconds_);
   w.Bool(warned_zero_goodput_);
   w.U64(contention_.count());
@@ -961,27 +928,16 @@ std::string ClusterSimulator::SerializeState() const {
   }
   faults_->SaveState(w);
 
-  // Active jobs. Specs are not serialized -- they are re-looked-up by id in
-  // the (identical, fingerprint-checked) workload on restore.
-  w.U64(active_.size());
-  for (const auto& job : active_) {
-    w.I32(job->spec.id);
-    w.Bool(job->done);
-    w.F64(job->finish_time);
-    w.F64(job->progress);
-    w.F64(job->gpu_seconds);
-    w.I32(job->num_restarts);
-    w.I32(job->num_failures);
-    w.I32(job->peak_num_gpus);
-    w.Bool(job->ever_allocated);
-    w.Bool(job->failure_evicted);
-    w.F64(job->pending_restore);
-    SaveConfig(w, job->placement.config);
-    SaveIntVec(w, job->placement.node_ids);
-    SaveIntVec(w, job->placement.gpus_per_node);
-    job->noise.SaveState(w);
+  // Active jobs in arrival order. Specs are not serialized -- they are
+  // re-looked-up by id in the (identical, fingerprint-checked) workload on
+  // restore.
+  w.U64(static_cast<uint64_t>(jobs_.size()));
+  for (const JobTable::Slot slot : jobs_.order()) {
+    w.I32(jobs_.spec(slot).id);
+    jobs_.SaveJobFields(slot, w);
+    jobs_.noise(slot).SaveState(w);
     BinaryWriter estimator_writer;
-    job->estimator->SaveState(estimator_writer);
+    jobs_.estimator(slot).SaveState(estimator_writer);
     w.Blob(estimator_writer.data());
   }
 
@@ -1002,7 +958,7 @@ std::string ClusterSimulator::SerializeState() const {
   for (const TimelineEvent& event : result_.timeline) {
     w.F64(event.time_seconds);
     w.I32(event.job_id);
-    SaveConfig(w, event.config);
+    SaveConfigBytes(w, event.config);
     w.U8(static_cast<uint8_t>(event.kind));
   }
   w.U64(result_.round_stats.size());
@@ -1078,11 +1034,21 @@ bool ClusterSimulator::RestoreState(std::string_view payload, std::string* error
   if (!rng_.RestoreState(r)) {
     return fail("snapshot rng: " + r.error());
   }
-  const uint64_t next_arrival = r.U64();
-  if (!r.ok() || next_arrival > pending_.size()) {
+  const uint64_t activated = r.U64();
+  if (!r.ok() || activated > pending_.size()) {
     return fail("snapshot arrival cursor out of range");
   }
-  next_arrival_ = static_cast<size_t>(next_arrival);
+  // Rebuild the arrival clock: push every known spec (push order = deque
+  // order = the original run's event seqs), then consume the activated
+  // prefix -- provably the same event set the original run popped.
+  arrivals_.Clear();
+  for (uint32_t index = 0; index < pending_.size(); ++index) {
+    arrivals_.Push(pending_[index].submit_time, index);
+  }
+  for (uint64_t i = 0; i < activated; ++i) {
+    arrivals_.Pop();
+  }
+  activated_ = activated;
   busy_gpu_seconds_ = r.F64();
   warned_zero_goodput_ = r.Bool();
   {
@@ -1129,7 +1095,7 @@ bool ClusterSimulator::RestoreState(std::string_view payload, std::string* error
   if (!r.ok() || num_jobs > kMaxSnapshotEntries) {
     return fail("snapshot job table: corrupt count");
   }
-  active_.clear();
+  jobs_.Clear();
   for (uint64_t i = 0; i < num_jobs; ++i) {
     const JobId id = r.I32();
     if (!r.ok()) {
@@ -1145,32 +1111,21 @@ bool ClusterSimulator::RestoreState(std::string_view payload, std::string* error
     if (spec == nullptr) {
       return fail("snapshot references unknown job id " + std::to_string(id));
     }
-    auto job = std::make_unique<JobState>();
-    job->spec = *spec;
-    job->info = GetModelInfo(spec->model);
-    job->estimator =
+    auto estimator =
         std::make_unique<GoodputEstimator>(spec->model, &cluster_, options_.profiling_mode,
                                            spec->batch_inference, spec->latency_slo_seconds);
-    job->estimator->BindMetrics(metrics_);
+    estimator->BindMetrics(metrics_);
     // Deliberately no bootstrap profiling sweep, arrival counter, or
     // job_arrival trace record here: those side effects already happened in
     // the run being resumed, and the estimator contents arrive below.
-    job->done = r.Bool();
-    job->finish_time = r.F64();
-    job->progress = r.F64();
-    job->gpu_seconds = r.F64();
-    job->num_restarts = r.I32();
-    job->num_failures = r.I32();
-    job->peak_num_gpus = r.I32();
-    job->ever_allocated = r.Bool();
-    job->failure_evicted = r.Bool();
-    job->pending_restore = r.F64();
-    job->placement.config = RestoreConfig(r);
-    if (!RestoreIntVec(r, &job->placement.node_ids) ||
-        !RestoreIntVec(r, &job->placement.gpus_per_node)) {
-      return fail("snapshot placement for job " + std::to_string(id) + ": " + r.error());
+    // Jobs were serialized in arrival order, so re-activation reproduces
+    // the table's arrival sequence (and with it every iteration order).
+    const JobTable::Slot slot =
+        jobs_.Activate(spec, GetModelInfo(spec->model), std::move(estimator), Rng(0));
+    if (!jobs_.RestoreJobFields(slot, r)) {
+      return fail("snapshot job fields for job " + std::to_string(id) + ": " + r.error());
     }
-    if (!job->noise.RestoreState(r)) {
+    if (!jobs_.noise(slot).RestoreState(r)) {
       return fail("snapshot noise rng for job " + std::to_string(id) + ": " + r.error());
     }
     const std::string estimator_blob = r.Blob();
@@ -1178,12 +1133,15 @@ bool ClusterSimulator::RestoreState(std::string_view payload, std::string* error
       return fail("snapshot estimator blob for job " + std::to_string(id) + ": " + r.error());
     }
     BinaryReader estimator_reader(estimator_blob);
-    if (!job->estimator->RestoreState(estimator_reader) || !estimator_reader.AtEnd()) {
+    if (!jobs_.estimator(slot).RestoreState(estimator_reader) || !estimator_reader.AtEnd()) {
       return fail("snapshot estimator state for job " + std::to_string(id) + ": " +
                   estimator_reader.error());
     }
-    active_.push_back(std::move(job));
   }
+  // The first post-restore round treats every job as changed (a conservative
+  // superset of the real delta) -- Activate marked each row already; this is
+  // belt and braces for future callers that restore into a warm table.
+  jobs_.MarkAllChanged();
 
   const uint64_t num_results = r.U64();
   if (!r.ok() || num_results > kMaxSnapshotEntries) {
@@ -1225,7 +1183,7 @@ bool ClusterSimulator::RestoreState(std::string_view payload, std::string* error
     TimelineEvent event;
     event.time_seconds = r.F64();
     event.job_id = r.I32();
-    event.config = RestoreConfig(r);
+    event.config = RestoreConfigBytes(r);
     const uint8_t kind = r.U8();
     if (kind > static_cast<uint8_t>(TimelineEventKind::kRestore)) {
       return fail("snapshot timeline: invalid event kind");

@@ -22,9 +22,11 @@
 #ifndef SIA_SRC_SIM_SIMULATOR_H_
 #define SIA_SRC_SIM_SIMULATOR_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "src/cluster/cluster_spec.h"
@@ -35,11 +37,28 @@
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace_sink.h"
 #include "src/schedulers/scheduler.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/fault_injector.h"
+#include "src/sim/job_table.h"
 #include "src/sim/sim_observer.h"
 #include "src/workload/job.h"
 
 namespace sia {
+
+// Which round-loop core drives the run (ISSUE 7). Both cores share every
+// piece of round machinery and produce byte-identical traces/metrics/
+// results for a fixed seed; they differ only in how the scheduler-facing
+// JobView rows are maintained.
+enum class SimCore {
+  // Rewrites every job's view row each round and publishes no delta
+  // (ScheduleView::incremental = false) -- the original dense scan, kept as
+  // the by-construction oracle for equivalence tests.
+  kDense = 0,
+  // Rewrites only rows whose state changed since the last round and hands
+  // the changed-index set to the policy (incremental = true), making
+  // per-round cost sublinear in idle/unchanged jobs.
+  kEvent = 1,
+};
 
 struct SimOptions {
   uint64_t seed = 1;
@@ -103,6 +122,11 @@ struct SimOptions {
   // clock. Like the checkpoint knobs, excluded from ConfigFingerprint: the
   // service may vary it per step without invalidating snapshots.
   double round_deadline_seconds = -1.0;
+
+  // Round-loop core selection (ISSUE 7). Excluded from ConfigFingerprint --
+  // the cores are byte-identical, so a snapshot written under one may be
+  // resumed under the other.
+  SimCore core = SimCore::kEvent;
 
   // Returns "" when the options are coherent, else a descriptive error.
   // The ClusterSimulator constructor enforces this; CLI tools call it first
@@ -276,7 +300,6 @@ class ClusterSimulator {
   uint64_t ConfigFingerprint() const;
 
  private:
-  struct JobState;
   struct PendingRecovery {
     double crash_time = 0.0;
     std::vector<JobId> victims;  // Job ids evicted by this crash.
@@ -286,11 +309,13 @@ class ClusterSimulator {
   void ProcessFaultEvents(double now);
   void UpdateRecoveries(double now);
   void ApplyPlacements(double now, const std::map<JobId, Placement>& placements);
-  void AdvanceRound(double now, double duration);
+  // Advances every running job by one round; appends jobs that completed to
+  // `finished` in arrival order.
+  void AdvanceRound(double now, double duration, std::vector<JobTable::Slot>* finished);
   double StragglerFactor(const Placement& placement) const;
-  double TrueGoodputRate(const JobState& job, const Config& config,
+  double TrueGoodputRate(JobTable::Slot slot, const Config& config,
                          const BatchDecision& decision, double straggler) const;
-  double TrueIterTime(const JobState& job, const Config& config,
+  double TrueIterTime(JobTable::Slot slot, const Config& config,
                       const BatchDecision& decision) const;
   // One iteration of the original Run() loop: checkpoint opportunity, fault
   // + arrival processing, then either an idle skip or one full scheduling
@@ -308,8 +333,16 @@ class ClusterSimulator {
 
   ClusterSpec cluster_;
   std::vector<Config> config_set_;
-  std::vector<JobSpec> pending_;  // Sorted by submit time; consumed on arrival.
-  size_t next_arrival_ = 0;
+  // Every job spec this run has ever known, in submit order (stable-sorted
+  // initial workload, then service submits in call order). A deque so
+  // addresses stay stable: the JobTable and ScheduleViews point into it.
+  // Never shrinks -- it doubles as the duplicate-id universe.
+  std::deque<JobSpec> pending_;
+  // Arrival event clock over pending_ (payload = deque index). Tie order
+  // (time, push seq) reproduces the old sorted-vector consumption order.
+  EventQueue<uint32_t> arrivals_;
+  uint64_t activated_ = 0;  // Events consumed; serialized instead of the heap.
+  std::unordered_set<JobId> known_ids_;  // O(1) duplicate-submit rejection.
   Scheduler* scheduler_;
   SimOptions options_;
   Rng rng_;
@@ -317,7 +350,9 @@ class ClusterSimulator {
   std::vector<double> node_down_since_;  // Per node; < 0 when up.
   std::vector<PendingRecovery> recoveries_;
   double busy_gpu_seconds_ = 0.0;
-  std::vector<std::unique_ptr<JobState>> active_;
+  // All active-job state, SoA form (src/sim/job_table.h). Owns the
+  // scheduler-facing view rows and the changed-set delta.
+  JobTable jobs_;
   // The run's registry: options_.metrics when provided, else owned storage.
   MetricsRegistry owned_metrics_;
   MetricsRegistry* metrics_;

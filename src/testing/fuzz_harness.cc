@@ -357,6 +357,79 @@ CrashCheckResult CheckCrashEquivalence(const Scenario& scenario) {
   return check;
 }
 
+CoreCheckResult CheckCoreEquivalence(const Scenario& scenario) {
+  CoreCheckResult check;
+  std::ostringstream report;
+
+  // One full run per core; everything else (scheduler instance config, RNG
+  // seeds, fault schedule) identical.
+  struct CoreRun {
+    std::string trace;
+    std::string metrics_json;
+    std::string results_csv;
+    SimResult result;
+    int64_t rounds = -1;
+  };
+  auto run_core = [&](SimCore core) {
+    CoreRun run;
+    std::ostringstream trace;
+    MetricsRegistry metrics;
+    MaxRoundObserver rounds;
+    {
+      JsonlTraceSink sink(trace);
+      std::unique_ptr<Scheduler> scheduler = MakeFuzzScheduler(scenario);
+      SimOptions sim = scenario.BuildSimOptions();
+      sim.core = core;
+      sim.trace = &sink;
+      sim.metrics = &metrics;
+      sim.observer = &rounds;
+      ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+      run.result = simulator.Run();
+      sink.Flush();
+    }
+    run.trace = trace.str();
+    run.metrics_json = MetricsJson(metrics);
+    run.results_csv = ResultsCsv(run.result);
+    run.rounds = rounds.max_round();
+    return run;
+  };
+  const CoreRun dense = run_core(SimCore::kDense);
+  const CoreRun event = run_core(SimCore::kEvent);
+  check.rounds = dense.rounds;
+
+  if (dense.trace != event.trace) {
+    check.ok = false;
+    report << "[core] trace mismatch (dense vs event): "
+           << DescribeFirstDivergence(dense.trace, event.trace) << "\n";
+  }
+  if (dense.metrics_json != event.metrics_json) {
+    check.ok = false;
+    report << "[core] metrics JSON mismatch (dense vs event): "
+           << DescribeFirstDivergence(dense.metrics_json, event.metrics_json) << "\n";
+  }
+  if (dense.results_csv != event.results_csv) {
+    check.ok = false;
+    report << "[core] per-job results mismatch (dense vs event): "
+           << DescribeFirstDivergence(dense.results_csv, event.results_csv) << "\n";
+  }
+  const bool scalars_equal =
+      dense.result.makespan_seconds == event.result.makespan_seconds &&
+      dense.result.all_finished == event.result.all_finished &&
+      dense.result.avg_contention == event.result.avg_contention &&
+      dense.result.max_contention == event.result.max_contention &&
+      dense.result.gpu_utilization == event.result.gpu_utilization &&
+      dense.result.timeline.size() == event.result.timeline.size() &&
+      dense.result.round_stats.size() == event.result.round_stats.size();
+  if (!scalars_equal) {
+    check.ok = false;
+    report << "[core] SimResult summary mismatch (makespan " << dense.result.makespan_seconds
+           << " vs " << event.result.makespan_seconds << ", contention "
+           << dense.result.avg_contention << " vs " << event.result.avg_contention << ")\n";
+  }
+  check.report = report.str();
+  return check;
+}
+
 namespace {
 
 bool StillFails(const Scenario& candidate, const FuzzRunOptions& options, int max_evals,

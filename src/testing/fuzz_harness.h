@@ -85,6 +85,19 @@ struct CrashCheckResult {
 // the reference run's observed round range.
 CrashCheckResult CheckCrashEquivalence(const Scenario& scenario);
 
+// Core-equivalence mode (ISSUE 7): the dense reference scan and the
+// event-driven core must be indistinguishable byte-for-byte. Two full runs
+// of the scenario -- one per SimCore, everything else identical -- are
+// compared on trace bytes, metrics JSON, per-job results CSV, and the
+// SimResult summary scalars. `scenario.sim_core` is ignored (both cores are
+// always exercised).
+struct CoreCheckResult {
+  bool ok = true;
+  int64_t rounds = 0;   // Scheduling rounds of the dense reference run.
+  std::string report;   // Human-readable failure description.
+};
+CoreCheckResult CheckCoreEquivalence(const Scenario& scenario);
+
 // Greedy ddmin-style shrink: repeatedly tries dropping jobs, fault events,
 // stochastic fault channels, node groups, and simulated hours, keeping any
 // reduction that still fails, until a fixed point or `max_evals` predicate

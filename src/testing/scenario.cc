@@ -154,6 +154,7 @@ SimOptions Scenario::BuildSimOptions() const {
   options.faults.telemetry_dropout_prob = telemetry_dropout_prob;
   options.faults.telemetry_outlier_prob = telemetry_outlier_prob;
   options.faults.schedule = faults;
+  options.core = static_cast<SimCore>(sim_core);
   return options;
 }
 
@@ -175,7 +176,7 @@ std::string Scenario::Describe() const {
     out << " degraded=" << degraded_frac;
   }
   out << " threads=" << sched_threads << (warm_start ? "" : " cold")
-      << (candidate_cache ? "" : " nocache");
+      << (candidate_cache ? "" : " nocache") << (sim_core == 0 ? " dense" : "");
   if (crash_round >= 0) {
     out << " crash@" << crash_round;
   }
@@ -322,6 +323,7 @@ bool WriteScenario(std::ostream& out, const Scenario& scenario) {
   out << "sched_threads=" << scenario.sched_threads << "\n";
   out << "warm_start=" << (scenario.warm_start ? 1 : 0) << "\n";
   out << "candidate_cache=" << (scenario.candidate_cache ? 1 : 0) << "\n";
+  out << "sim_core=" << scenario.sim_core << "\n";
   if (scenario.crash_round >= 0) {
     out << "crash_round=" << scenario.crash_round << "\n";
   }
@@ -459,6 +461,9 @@ bool ReadScenario(std::istream& in, Scenario* scenario, std::string* error) {
     } else if (key == "candidate_cache") {
       if (!ParseInt(value, &as_int)) return bad();
       result.candidate_cache = as_int != 0;
+    } else if (key == "sim_core") {
+      if (!ParseInt(value, &as_int) || as_int < 0 || as_int > 1) return bad();
+      result.sim_core = static_cast<int>(as_int);
     } else if (key == "crash_round") {
       if (!ParseInt(value, &as_int) || as_int < -1) return bad();
       result.crash_round = as_int;

@@ -67,6 +67,12 @@ struct Scenario {
   bool warm_start = true;
   bool candidate_cache = true;
 
+  // Simulation core (ISSUE 7): static_cast<int>(SimCore) -- 0 = dense
+  // reference scan, 1 = event-driven (the default). Cores are documented to
+  // be byte-identical; the knob exists so reproducers can pin the core a
+  // divergence was found under.
+  int sim_core = 1;
+
   // Crash-point mode (ISSUE 5): the scheduling round at which the
   // checkpoint/resume crash-equivalence check simulates a kill. -1 lets the
   // harness derive one from `seed` inside the run's actual round range; a

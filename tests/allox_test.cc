@@ -16,8 +16,9 @@ namespace {
 class AlloxTest : public ::testing::Test {
  protected:
   AlloxTest() : cluster_(MakeHeterogeneousCluster()), config_set_(BuildConfigSet(cluster_)) {
-    input_.cluster = &cluster_;
-    input_.config_set = &config_set_;
+    builder_.cluster = &cluster_;
+    builder_.config_set = &config_set_;
+    builder_.now_seconds = 600.0;  // Jobs submitted at t=0 are 10 min old.
   }
 
   JobView& AddJob(int id, ModelKind model, int count, double bsz, double progress = 0.0) {
@@ -28,21 +29,19 @@ class AlloxTest : public ::testing::Test {
     spec->rigid_num_gpus = count;
     spec->fixed_bsz = bsz;
     auto estimator = std::make_unique<GoodputEstimator>(model, &cluster_, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 600.0;
+    JobView& view = builder_.AddJob(*spec, estimator.get());
     view.progress_fraction = progress;
     view.total_work = GetModelInfo(model).total_work;
     specs_.push_back(std::move(spec));
     estimators_.push_back(std::move(estimator));
-    input_.jobs.push_back(view);
-    return input_.jobs.back();
+    return view;
   }
+
+  ScheduleInput Input() const { return builder_.View(); }
 
   ClusterSpec cluster_;
   std::vector<Config> config_set_;
-  ScheduleInput input_;
+  ScheduleViewBuilder builder_;
   std::vector<std::unique_ptr<JobSpec>> specs_;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators_;
 };
@@ -50,7 +49,7 @@ class AlloxTest : public ::testing::Test {
 TEST_F(AlloxTest, AssignsFastestTypeWhenFree) {
   AddJob(0, ModelKind::kBert, 4, 96.0);
   AlloxScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   ASSERT_TRUE(output.count(0));
   // BERT's fastest type is a100 by a wide margin.
   EXPECT_EQ(output.at(0).gpu_type, cluster_.FindGpuType("a100"));
@@ -66,9 +65,10 @@ TEST_F(AlloxTest, ShortJobsWinContendedFastTypes) {
   small.AddNodes(t4, 1, 4);
   small.AddNodes(a100, 1, 4);
   const auto configs = BuildConfigSet(small);
-  ScheduleInput input;
-  input.cluster = &small;
-  input.config_set = &configs;
+  ScheduleViewBuilder builder;
+  builder.cluster = &small;
+  builder.config_set = &configs;
+  builder.now_seconds = 600.0;  // Jobs submitted at t=0 are 10 min old.
   std::vector<std::unique_ptr<JobSpec>> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
   auto add = [&](int id, double progress) {
@@ -80,20 +80,16 @@ TEST_F(AlloxTest, ShortJobsWinContendedFastTypes) {
     spec->fixed_bsz = 96.0;
     auto estimator =
         std::make_unique<GoodputEstimator>(spec->model, &small, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 600.0;
+    JobView& view = builder.AddJob(*spec, estimator.get());
     view.progress_fraction = progress;
     view.total_work = GetModelInfo(spec->model).total_work;
     specs.push_back(std::move(spec));
     estimators.push_back(std::move(estimator));
-    input.jobs.push_back(view);
   };
   add(0, 0.0);   // Fresh.
   add(1, 0.9);   // Nearly done.
   AlloxScheduler scheduler;
-  const auto output = scheduler.Schedule(input);
+  const auto output = scheduler.Schedule(builder.View());
   ASSERT_TRUE(output.count(1));
   EXPECT_EQ(output.at(1).gpu_type, a100);
   if (output.count(0)) {
@@ -106,7 +102,7 @@ TEST_F(AlloxTest, RespectsCapacity) {
     AddJob(id, ModelKind::kDeepSpeech2, 4, 160.0);
   }
   AlloxScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   std::vector<int> used(cluster_.num_gpu_types(), 0);
   for (const auto& [id, config] : output) {
     used[config.gpu_type] += config.num_gpus;

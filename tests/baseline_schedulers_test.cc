@@ -63,8 +63,9 @@ TEST(ShapeUtilTest, PowerRankOrdering) {
 class BaselineTest : public ::testing::Test {
  protected:
   BaselineTest() : cluster_(MakeHeterogeneousCluster()), config_set_(BuildConfigSet(cluster_)) {
-    input_.cluster = &cluster_;
-    input_.config_set = &config_set_;
+    builder_.cluster = &cluster_;
+    builder_.config_set = &config_set_;
+    builder_.now_seconds = 1800.0;  // Jobs submitted at t=0 are 30 min old.
   }
 
   JobView& AddJob(int id, ModelKind model, int rigid_gpus, double fixed_bsz) {
@@ -77,21 +78,19 @@ class BaselineTest : public ::testing::Test {
       spec->fixed_bsz = fixed_bsz;
     }
     auto estimator = std::make_unique<GoodputEstimator>(model, &cluster_, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 1800.0;
+    JobView& view = builder_.AddJob(*spec, estimator.get());
     view.total_work = GetModelInfo(model).total_work;
     view.restart_overhead_seconds = GetModelInfo(model).restart_seconds;
     specs_.push_back(std::move(spec));
     estimators_.push_back(std::move(estimator));
-    input_.jobs.push_back(view);
-    return input_.jobs.back();
+    return view;
   }
+
+  ScheduleInput Input() const { return builder_.View(); }
 
   ClusterSpec cluster_;
   std::vector<Config> config_set_;
-  ScheduleInput input_;
+  ScheduleViewBuilder builder_;
   std::vector<std::unique_ptr<JobSpec>> specs_;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators_;
 };
@@ -100,7 +99,7 @@ TEST_F(BaselineTest, GavelAllocatesRigidCounts) {
   AddJob(0, ModelKind::kBert, 4, 96.0);
   AddJob(1, ModelKind::kResNet18, 2, 256.0);
   GavelScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   ASSERT_TRUE(output.count(0));
   ASSERT_TRUE(output.count(1));
   EXPECT_EQ(output.at(0).num_gpus, 4);
@@ -112,7 +111,7 @@ TEST_F(BaselineTest, GavelRespectsCapacity) {
     AddJob(id, ModelKind::kDeepSpeech2, 4, 160.0);
   }
   GavelScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   std::vector<int> used(cluster_.num_gpu_types(), 0);
   for (const auto& [id, config] : output) {
     used[config.gpu_type] += config.num_gpus;
@@ -133,13 +132,13 @@ TEST_F(BaselineTest, GavelTimeSharesAcrossRounds) {
   GavelScheduler scheduler;
   std::set<int> ever_scheduled;
   for (int round = 0; round < 6; ++round) {
-    const auto output = scheduler.Schedule(input_);
+    const auto output = scheduler.Schedule(Input());
     for (const auto& [id, config] : output) {
       ever_scheduled.insert(id);
     }
     // Feed ages forward so received fractions update.
-    for (JobView& job : input_.jobs) {
-      job.age_seconds += 360.0;
+    builder_.now_seconds += 360.0;
+    for (JobView& job : builder_.jobs()) {
       const auto it = output.find(job.spec->id);
       job.current_config = it == output.end() ? Config{} : it->second;
     }
@@ -156,7 +155,7 @@ TEST_F(BaselineTest, GavelMaxMinFairnessAllocatesEveryoneWhenPossible) {
   options.policy = GavelPolicy::kMaxMinFairness;
   GavelScheduler scheduler(options);
   EXPECT_EQ(scheduler.name(), "gavel/max-min-fairness");
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   EXPECT_EQ(output.size(), 8u);
 }
 
@@ -165,12 +164,12 @@ TEST_F(BaselineTest, GavelMinJctPrefersYoungJobs) {
   // under the min-JCT (age-decayed) policy.
   for (int id = 0; id < 17; ++id) {
     AddJob(id, ModelKind::kBert, 4, 96.0);
-    input_.jobs.back().age_seconds = id == 0 ? 100000.0 : 600.0;
+    builder_.jobs().back().submit_time_seconds = 1800.0 - (id == 0 ? 100000.0 : 600.0);
   }
   GavelOptions options;
   options.policy = GavelPolicy::kMinJct;
   GavelScheduler scheduler(options);
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   EXPECT_EQ(output.size(), 16u);
   EXPECT_FALSE(output.count(0)) << "the very old job should yield to young ones";
 }
@@ -183,7 +182,7 @@ TEST_F(BaselineTest, PolluxAllocatesAdaptiveJobs) {
   options.population = 24;
   options.generations = 8;
   PolluxScheduler scheduler(options);
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   EXPECT_EQ(output.size(), 6u);  // Harmonic-mean fitness starves nobody.
   std::vector<int> used(cluster_.num_gpu_types(), 0);
   for (const auto& [id, config] : output) {
@@ -200,7 +199,7 @@ TEST_F(BaselineTest, PolluxSingleTypePerJob) {
     AddJob(id, ModelKind::kBert, 0, 0.0);
   }
   PolluxScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   for (const auto& [id, config] : output) {
     // Every allocation names exactly one GPU type (the fix heuristic).
     EXPECT_GE(config.gpu_type, 0);
@@ -216,7 +215,7 @@ TEST_F(BaselineTest, FifoPrefersEarlierSubmissions) {
     specs_.back()->submit_time = id * 60.0;
   }
   PriorityScheduler scheduler(FifoOptions());
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   EXPECT_TRUE(output.count(0));
   EXPECT_FALSE(output.count(16));
 }
@@ -228,9 +227,10 @@ TEST_F(BaselineTest, ThemisFavorsStarvedJobs) {
   const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
   tiny.AddNodes(t4, 1, 4);
   const auto configs = BuildConfigSet(tiny);
-  ScheduleInput input;
-  input.cluster = &tiny;
-  input.config_set = &configs;
+  ScheduleViewBuilder builder;
+  builder.cluster = &tiny;
+  builder.config_set = &configs;
+  builder.now_seconds = 7200.0;  // Jobs submitted at t=0 are 2 h old.
   std::vector<std::unique_ptr<JobSpec>> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
   for (int id = 0; id < 2; ++id) {
@@ -242,18 +242,14 @@ TEST_F(BaselineTest, ThemisFavorsStarvedJobs) {
     spec->fixed_bsz = 256.0;
     auto estimator =
         std::make_unique<GoodputEstimator>(spec->model, &tiny, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 7200.0;
+    JobView& view = builder.AddJob(*spec, estimator.get());
     view.service_gpu_seconds = id == 0 ? 7200.0 * 4 : 0.0;
     view.total_work = GetModelInfo(spec->model).total_work;
     specs.push_back(std::move(spec));
     estimators.push_back(std::move(estimator));
-    input.jobs.push_back(view);
   }
   PriorityScheduler scheduler(ThemisOptions());
-  const auto output = scheduler.Schedule(input);
+  const auto output = scheduler.Schedule(builder.View());
   EXPECT_FALSE(output.count(0));
   EXPECT_TRUE(output.count(1));
 }
@@ -263,9 +259,10 @@ TEST_F(BaselineTest, SrtfPrefersShortJobs) {
   const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
   tiny.AddNodes(t4, 1, 4);
   const auto configs = BuildConfigSet(tiny);
-  ScheduleInput input;
-  input.cluster = &tiny;
-  input.config_set = &configs;
+  ScheduleViewBuilder builder;
+  builder.cluster = &tiny;
+  builder.config_set = &configs;
+  builder.now_seconds = 600.0;  // Jobs submitted at t=0 are 10 min old.
   std::vector<std::unique_ptr<JobSpec>> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
   auto add = [&](int id, ModelKind model) {
@@ -276,19 +273,15 @@ TEST_F(BaselineTest, SrtfPrefersShortJobs) {
     spec->rigid_num_gpus = 4;
     spec->fixed_bsz = model == ModelKind::kResNet18 ? 256.0 : 96.0;
     auto estimator = std::make_unique<GoodputEstimator>(model, &tiny, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 600.0;
+    JobView& view = builder.AddJob(*spec, estimator.get());
     view.total_work = GetModelInfo(model).total_work;
     specs.push_back(std::move(spec));
     estimators.push_back(std::move(estimator));
-    input.jobs.push_back(view);
   };
   add(0, ModelKind::kResNet50);  // XL job.
   add(1, ModelKind::kResNet18);  // S job.
   PriorityScheduler scheduler(SrtfOptions());
-  const auto output = scheduler.Schedule(input);
+  const auto output = scheduler.Schedule(builder.View());
   EXPECT_TRUE(output.count(1));
   EXPECT_FALSE(output.count(0));
 }

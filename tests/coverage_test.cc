@@ -102,9 +102,10 @@ TEST(GavelAccountingTest, ReceivedServiceShiftsPriorities) {
   const auto configs = BuildConfigSet(tiny);
   std::vector<std::unique_ptr<JobSpec>> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
-  ScheduleInput input;
-  input.cluster = &tiny;
-  input.config_set = &configs;
+  ScheduleViewBuilder builder;
+  builder.cluster = &tiny;
+  builder.config_set = &configs;
+  builder.now_seconds = 360.0;  // Jobs submitted at t=0 are one round old.
   for (int id = 0; id < 2; ++id) {
     auto spec = std::make_unique<JobSpec>();
     spec->id = id;
@@ -114,22 +115,18 @@ TEST(GavelAccountingTest, ReceivedServiceShiftsPriorities) {
     spec->fixed_bsz = 96.0;
     auto estimator =
         std::make_unique<GoodputEstimator>(spec->model, &tiny, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 360.0;
+    builder.AddJob(*spec, estimator.get());
     specs.push_back(std::move(spec));
     estimators.push_back(std::move(estimator));
-    input.jobs.push_back(view);
   }
   GavelScheduler scheduler;
   std::vector<int> winners;
   for (int round = 0; round < 4; ++round) {
-    const auto output = scheduler.Schedule(input);
+    const auto output = scheduler.Schedule(builder.View());
     ASSERT_EQ(output.size(), 1u);
     winners.push_back(output.begin()->first);
-    for (JobView& job : input.jobs) {
-      job.age_seconds += 360.0;
+    builder.now_seconds += 360.0;
+    for (JobView& job : builder.jobs()) {
       job.current_config =
           output.count(job.spec->id) ? output.at(job.spec->id) : Config{};
     }
@@ -145,19 +142,16 @@ TEST(PolluxEdgeTest, TinyPopulationStillValid) {
   spec->id = 0;
   spec->model = ModelKind::kResNet18;
   GoodputEstimator estimator(spec->model, &cluster, ProfilingMode::kOracle);
-  ScheduleInput input;
-  input.cluster = &cluster;
-  input.config_set = &configs;
-  JobView view;
-  view.spec = spec.get();
-  view.estimator = &estimator;
-  view.age_seconds = 60.0;
-  input.jobs.push_back(view);
+  ScheduleViewBuilder builder;
+  builder.cluster = &cluster;
+  builder.config_set = &configs;
+  builder.now_seconds = 60.0;  // Submitted at t=0: one minute old.
+  builder.AddJob(*spec, &estimator);
   PolluxOptions options;
   options.population = 3;
   options.generations = 1;
   PolluxScheduler scheduler(options);
-  const auto output = scheduler.Schedule(input);
+  const auto output = scheduler.Schedule(builder.View());
   ASSERT_TRUE(output.count(0));
   EXPECT_GE(output.at(0).num_gpus, 1);
 }

@@ -174,6 +174,7 @@ struct OracleFixture {
   std::vector<Config> config_set;
   JobSpec spec;
   std::unique_ptr<GoodputEstimator> estimator;
+  ScheduleViewBuilder builder;
   ScheduleInput input;
   ScheduleOutput desired;
   PlacerResult placed;
@@ -186,13 +187,11 @@ struct OracleFixture {
     spec.name = "job-1";
     estimator =
         std::make_unique<GoodputEstimator>(spec.model, &cluster, ProfilingMode::kBootstrap);
-    JobView view;
-    view.spec = &spec;
-    view.estimator = estimator.get();
-    input.now_seconds = 60.0;
-    input.cluster = &cluster;
-    input.config_set = &config_set;
-    input.jobs.push_back(view);
+    builder.now_seconds = 60.0;
+    builder.cluster = &cluster;
+    builder.config_set = &config_set;
+    builder.AddJob(spec, estimator.get());
+    input = builder.View();
   }
 
   RoundObservation Observation() const {
@@ -288,7 +287,8 @@ TEST(InvariantOracleTest, ScaleUpRuleOnlyWhenEnabled) {
   OracleFixture fixture;
   // 8 GPUs off the bat is fine (no peak yet -> capped by min replicas only
   // when peak exists); give the job a prior 2-GPU peak and jump to 8: >2x.
-  fixture.input.jobs[0].peak_num_gpus = 2;
+  fixture.builder.jobs()[0].peak_num_gpus = 2;
+  fixture.input = fixture.builder.View();
   fixture.desired[1] = Config{.num_nodes = 2, .num_gpus = 8, .gpu_type = 0};
   Placement placement;
   placement.config = fixture.desired[1];

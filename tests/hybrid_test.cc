@@ -85,14 +85,12 @@ TEST(HybridSchedulingTest, PolluxAllocatesHybridInReplicas) {
   spec->model = ModelKind::kGpt2_8B;
   spec->max_num_gpus = 16;
   GoodputEstimator estimator(spec->model, &cluster, ProfilingMode::kBootstrap);
-  ScheduleInput input;
-  input.cluster = &cluster;
-  input.config_set = &configs;
-  JobView view;
-  view.spec = spec.get();
-  view.estimator = &estimator;
-  view.age_seconds = 600.0;
-  input.jobs.push_back(view);
+  ScheduleViewBuilder builder;
+  builder.cluster = &cluster;
+  builder.config_set = &configs;
+  builder.now_seconds = 600.0;  // Submitted at t=0: age 600 s.
+  builder.AddJob(*spec, &estimator);
+  const ScheduleInput input = builder.View();
   PolluxOptions options;
   options.population = 16;
   options.generations = 6;

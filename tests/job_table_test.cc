@@ -1,0 +1,216 @@
+// Unit tests for the SoA JobTable (ISSUE 7): stable Slot handles across
+// evictions and retirement, LIFO slot recycling, arrival-order iteration,
+// the changed-row delta contract of RefreshViews, and the SoA field
+// serialization round-trip.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/binary_codec.h"
+#include "src/common/rng.h"
+#include "src/models/profile_db.h"
+#include "src/sim/job_table.h"
+
+namespace sia {
+namespace {
+
+class JobTableTest : public ::testing::Test {
+ protected:
+  JobTableTest() : cluster_(MakeHeterogeneousCluster()) {}
+
+  JobTable::Slot Activate(JobTable& table, int id) {
+    auto spec = std::make_unique<JobSpec>();
+    spec->id = id;
+    spec->model = ModelKind::kResNet18;
+    auto estimator =
+        std::make_unique<GoodputEstimator>(spec->model, &cluster_, ProfilingMode::kOracle);
+    const JobTable::Slot slot = table.Activate(spec.get(), GetModelInfo(spec->model),
+                                               std::move(estimator), Rng(7).Fork("noise", id));
+    specs_.push_back(std::move(spec));
+    return slot;
+  }
+
+  static Placement OneNodePlacement(int gpus) {
+    Placement placement;
+    placement.config = Config{1, gpus, 0};
+    placement.node_ids = {0};
+    placement.gpus_per_node = {gpus};
+    return placement;
+  }
+
+  ClusterSpec cluster_;
+  std::vector<std::unique_ptr<JobSpec>> specs_;
+};
+
+TEST_F(JobTableTest, HandlesStayStableAcrossEvictAndRestore) {
+  JobTable table;
+  const JobTable::Slot a = Activate(table, 0);
+  const JobTable::Slot b = Activate(table, 1);
+  const JobTable::Slot c = Activate(table, 2);
+  ASSERT_EQ(table.size(), 3);
+  EXPECT_EQ(table.order(), (std::vector<JobTable::Slot>{a, b, c}));
+
+  // Run b, evict it, run it again: the slot never moves and FindSlot keeps
+  // resolving the same handle.
+  table.set_placement(b, OneNodePlacement(2));
+  EXPECT_EQ(table.running().size(), 1u);
+  table.set_placement(b, Placement{});
+  EXPECT_TRUE(table.running().empty());
+  table.set_placement(b, OneNodePlacement(4));
+  EXPECT_EQ(table.FindSlot(1), b);
+  EXPECT_EQ(table.placement(b).config.num_gpus, 4);
+  EXPECT_EQ(&table.spec(b), specs_[1].get());
+}
+
+TEST_F(JobTableTest, RetireCompactsOrderStablyAndRecyclesSlots) {
+  JobTable table;
+  const JobTable::Slot a = Activate(table, 0);
+  const JobTable::Slot b = Activate(table, 1);
+  const JobTable::Slot c = Activate(table, 2);
+  table.set_placement(a, OneNodePlacement(1));
+  table.set_placement(c, OneNodePlacement(1));
+
+  table.Retire({b});
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_EQ(table.order(), (std::vector<JobTable::Slot>{a, c}));
+  EXPECT_EQ(table.FindSlot(1), JobTable::kNoSlot);
+  // Survivors keep their handles and their state.
+  EXPECT_EQ(table.FindSlot(0), a);
+  EXPECT_EQ(table.FindSlot(2), c);
+  EXPECT_EQ(table.placement(c).config.num_gpus, 1);
+
+  // The freed slot is recycled (LIFO) with fresh state, and the new job
+  // lands at the *end* of the arrival order.
+  const JobTable::Slot d = Activate(table, 3);
+  EXPECT_EQ(d, b);
+  EXPECT_EQ(table.order(), (std::vector<JobTable::Slot>{a, c, d}));
+  EXPECT_EQ(table.progress(d), 0.0);
+  EXPECT_EQ(table.num_restarts(d), 0);
+  EXPECT_TRUE(table.placement(d).empty());
+  EXPECT_GT(table.arrival_seq(d), table.arrival_seq(c));
+}
+
+TEST_F(JobTableTest, RunningIteratesInArrivalOrder) {
+  JobTable table;
+  const JobTable::Slot a = Activate(table, 0);
+  const JobTable::Slot b = Activate(table, 1);
+  const JobTable::Slot c = Activate(table, 2);
+  // Place out of arrival order; iteration must still be arrival order.
+  table.set_placement(c, OneNodePlacement(1));
+  table.set_placement(a, OneNodePlacement(1));
+  table.set_placement(b, OneNodePlacement(1));
+  std::vector<JobTable::Slot> seen;
+  for (const auto& [seq, slot] : table.running()) {
+    seen.push_back(slot);
+  }
+  EXPECT_EQ(seen, (std::vector<JobTable::Slot>{a, b, c}));
+}
+
+TEST_F(JobTableTest, RefreshViewsPublishesOnlyChangedRows) {
+  JobTable table;
+  const JobTable::Slot a = Activate(table, 0);
+  const JobTable::Slot b = Activate(table, 1);
+  (void)a;
+
+  // First event refresh: both rows are new, so both are in the delta.
+  table.RefreshViews(/*dense=*/false);
+  {
+    const ScheduleView view = table.builder().View();
+    EXPECT_TRUE(view.incremental);
+    EXPECT_EQ(view.changed.size(), 2u);
+  }
+
+  // Nothing mutated: empty delta, rows bitwise intact.
+  table.RefreshViews(/*dense=*/false);
+  EXPECT_TRUE(table.builder().View().changed.empty());
+
+  // Mutate one job: exactly its position appears (sorted, deduplicated even
+  // under repeated marks).
+  table.set_progress(b, 0.5);
+  table.set_progress(b, 0.6);
+  table.RefreshViews(/*dense=*/false);
+  {
+    const ScheduleView view = table.builder().View();
+    ASSERT_EQ(view.changed.size(), 1u);
+    EXPECT_EQ(view.changed[0], 1);
+    EXPECT_DOUBLE_EQ(view.jobs[1].progress_fraction,
+                     0.6 / table.info(b).total_work);
+  }
+
+  // Dense refresh is the reference scan: every row rewritten, no delta.
+  table.set_progress(b, 0.7);
+  table.RefreshViews(/*dense=*/true);
+  {
+    const ScheduleView view = table.builder().View();
+    EXPECT_FALSE(view.incremental);
+    EXPECT_TRUE(view.changed.empty());
+  }
+  // A dense refresh drains the dirty set too: the next event refresh
+  // publishes nothing new.
+  table.RefreshViews(/*dense=*/false);
+  EXPECT_TRUE(table.builder().View().changed.empty());
+}
+
+TEST_F(JobTableTest, SaveRestoreJobFieldsRoundTripsEveryColumn) {
+  JobTable source;
+  const JobTable::Slot s = Activate(source, 0);
+  source.set_progress(s, 123.25);
+  source.add_gpu_seconds(s, 456.5);
+  source.increment_restarts(s);
+  source.increment_restarts(s);
+  source.increment_failures(s);
+  source.set_peak_num_gpus(s, 8);
+  source.set_ever_allocated(s, true);
+  source.set_failure_evicted(s, true);
+  source.set_pending_restore(s, 12.75);
+  source.set_done(s, true);
+  source.set_finish_time(s, 789.125);
+  Placement placement;
+  placement.config = Config{2, 8, 1};
+  placement.node_ids = {3, 4};
+  placement.gpus_per_node = {4, 4};
+  source.set_placement(s, placement);
+
+  BinaryWriter w;
+  source.SaveJobFields(s, w);
+
+  JobTable restored;
+  const JobTable::Slot t = Activate(restored, 0);
+  BinaryReader r(w.data());
+  ASSERT_TRUE(restored.RestoreJobFields(t, r));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+
+  EXPECT_EQ(restored.progress(t), 123.25);
+  EXPECT_EQ(restored.gpu_seconds(t), 456.5);
+  EXPECT_EQ(restored.num_restarts(t), 2);
+  EXPECT_EQ(restored.num_failures(t), 1);
+  EXPECT_EQ(restored.peak_num_gpus(t), 8);
+  EXPECT_TRUE(restored.ever_allocated(t));
+  EXPECT_TRUE(restored.failure_evicted(t));
+  EXPECT_EQ(restored.pending_restore(t), 12.75);
+  EXPECT_TRUE(restored.done(t));
+  EXPECT_EQ(restored.finish_time(t), 789.125);
+  EXPECT_EQ(restored.placement(t).config, placement.config);
+  EXPECT_EQ(restored.placement(t).node_ids, placement.node_ids);
+  EXPECT_EQ(restored.placement(t).gpus_per_node, placement.gpus_per_node);
+  // The restored row is running again (placement non-empty).
+  EXPECT_EQ(restored.running().size(), 1u);
+}
+
+TEST_F(JobTableTest, ClearEmptiesEverything) {
+  JobTable table;
+  Activate(table, 0);
+  const JobTable::Slot b = Activate(table, 1);
+  table.set_placement(b, OneNodePlacement(2));
+  table.Clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_TRUE(table.running().empty());
+  EXPECT_EQ(table.FindSlot(0), JobTable::kNoSlot);
+  EXPECT_TRUE(table.builder().jobs().empty());
+}
+
+}  // namespace
+}  // namespace sia

@@ -241,14 +241,11 @@ TEST(CarryOverAllocationTest, FiltersDepartedJobsAndRespectsCapacity) {
   oversize.id = 2;
   oversize.model = ModelKind::kResNet18;
 
-  ScheduleInput input;
-  input.cluster = &cluster;
-  JobView keep_view;
-  keep_view.spec = &keep;
-  JobView oversize_view;
-  oversize_view.spec = &oversize;
-  input.jobs.push_back(keep_view);
-  input.jobs.push_back(oversize_view);
+  ScheduleViewBuilder builder;
+  builder.cluster = &cluster;
+  builder.AddJob(keep, nullptr);
+  builder.AddJob(oversize, nullptr);
+  const ScheduleInput input = builder.View();
 
   ScheduleOutput previous;
   previous[1].num_nodes = 1;
@@ -268,17 +265,14 @@ TEST(GreedyMinimalAllocationTest, NeverExceedsLiveCapacity) {
   const ClusterSpec cluster = MakeHomogeneousCluster();
   const GoodputEstimator estimator(ModelKind::kResNet18, &cluster, ProfilingMode::kOracle);
   std::vector<JobSpec> specs(3 * cluster.TotalGpus());  // Far more jobs than GPUs.
-  ScheduleInput input;
-  input.cluster = &cluster;
+  ScheduleViewBuilder builder;
+  builder.cluster = &cluster;
   for (size_t i = 0; i < specs.size(); ++i) {
     specs[i].id = static_cast<JobId>(i);
     specs[i].model = ModelKind::kResNet18;
-    JobView view;
-    view.spec = &specs[i];
-    view.estimator = &estimator;
-    input.jobs.push_back(view);
+    builder.AddJob(specs[i], &estimator);
   }
-  const ScheduleOutput out = GreedyMinimalAllocation(input);
+  const ScheduleOutput out = GreedyMinimalAllocation(builder.View());
   EXPECT_GT(out.size(), 0u);
   int total_gpus = 0;
   for (const auto& [id, config] : out) {

@@ -22,6 +22,7 @@ struct Instance {
   std::vector<Config> config_set;
   std::vector<std::unique_ptr<JobSpec>> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
+  ScheduleViewBuilder builder;
   ScheduleInput input;
 };
 
@@ -33,8 +34,9 @@ std::unique_ptr<Instance> MakeInstance(uint64_t seed, int num_jobs) {
   cluster.AddNodes(t4, 1, 4);
   cluster.AddNodes(a100, 1, 2);
   instance->config_set = BuildConfigSet(cluster);
-  instance->input.cluster = &cluster;
-  instance->input.config_set = &instance->config_set;
+  instance->builder.cluster = &cluster;
+  instance->builder.config_set = &instance->config_set;
+  instance->builder.now_seconds = 3600.0;  // Same age, fresh: no discounts.
   Rng rng(seed);
   const ModelKind kinds[] = {ModelKind::kResNet18, ModelKind::kBert, ModelKind::kDeepSpeech2};
   for (int id = 0; id < num_jobs; ++id) {
@@ -43,14 +45,11 @@ std::unique_ptr<Instance> MakeInstance(uint64_t seed, int num_jobs) {
     spec->model = kinds[rng.UniformInt(0, 2)];
     auto estimator =
         std::make_unique<GoodputEstimator>(spec->model, &cluster, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 3600.0;  // Same age, fresh: no discounts/tie-breaks.
+    instance->builder.AddJob(*spec, estimator.get());
     instance->specs.push_back(std::move(spec));
     instance->estimators.push_back(std::move(estimator));
-    instance->input.jobs.push_back(view);
   }
+  instance->input = instance->builder.View();
   return instance;
 }
 

@@ -17,9 +17,9 @@ namespace {
 class SiaSchedulerTest : public ::testing::Test {
  protected:
   SiaSchedulerTest() : cluster_(MakeHeterogeneousCluster()), config_set_(BuildConfigSet(cluster_)) {
-    input_.cluster = &cluster_;
-    input_.config_set = &config_set_;
-    input_.now_seconds = 3600.0;
+    builder_.cluster = &cluster_;
+    builder_.config_set = &config_set_;
+    builder_.now_seconds = 3600.0;  // Jobs submitted at t=0 are 1 h old.
   }
 
   JobView& AddJob(int id, ModelKind model, AdaptivityMode adaptivity = AdaptivityMode::kAdaptive,
@@ -31,34 +31,32 @@ class SiaSchedulerTest : public ::testing::Test {
     spec->fixed_bsz = fixed_bsz;
     spec->rigid_num_gpus = rigid_gpus;
     auto estimator = std::make_unique<GoodputEstimator>(model, &cluster_, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 3600.0;
+    JobView& view = builder_.AddJob(*spec, estimator.get());
     view.restart_overhead_seconds = GetModelInfo(model).restart_seconds;
     view.total_work = GetModelInfo(model).total_work;
     specs_.push_back(std::move(spec));
     estimators_.push_back(std::move(estimator));
-    input_.jobs.push_back(view);
-    return input_.jobs.back();
+    return view;
   }
+
+  ScheduleInput Input() const { return builder_.View(); }
 
   ClusterSpec cluster_;
   std::vector<Config> config_set_;
-  ScheduleInput input_;
+  ScheduleViewBuilder builder_;
   std::vector<std::unique_ptr<JobSpec>> specs_;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators_;
 };
 
 TEST_F(SiaSchedulerTest, EmptyInputYieldsEmptyOutput) {
   SiaScheduler scheduler;
-  EXPECT_TRUE(scheduler.Schedule(input_).empty());
+  EXPECT_TRUE(scheduler.Schedule(Input()).empty());
 }
 
 TEST_F(SiaSchedulerTest, NewJobStartsWithMinimumGpus) {
   AddJob(0, ModelKind::kBert);
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   ASSERT_TRUE(output.count(0));
   EXPECT_EQ(output.at(0).num_gpus, 1);  // §3.1: start each job with 1 GPU.
 }
@@ -68,7 +66,7 @@ TEST_F(SiaSchedulerTest, ScaleUpCappedAtTwice) {
   job.current_config = Config{1, 2, cluster_.FindGpuType("a100")};
   job.peak_num_gpus = 2;
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   ASSERT_TRUE(output.count(0));
   EXPECT_LE(output.at(0).num_gpus, 4);
 }
@@ -80,7 +78,7 @@ TEST_F(SiaSchedulerTest, LambdaAllocatesEveryJobWhenRoomExists) {
     AddJob(id, ModelKind::kResNet18);
   }
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   EXPECT_EQ(output.size(), 8u);
 }
 
@@ -90,9 +88,10 @@ TEST_F(SiaSchedulerTest, CapacityRespectedUnderOverload) {
   const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
   tiny.AddNodes(t4, 1, 4);
   const auto configs = BuildConfigSet(tiny);
-  ScheduleInput input;
-  input.cluster = &tiny;
-  input.config_set = &configs;
+  ScheduleViewBuilder builder;
+  builder.cluster = &tiny;
+  builder.config_set = &configs;
+  builder.now_seconds = 100.0;  // All jobs submitted at t=0: age 100 s.
   std::vector<std::unique_ptr<JobSpec>> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
   for (int id = 0; id < 7; ++id) {
@@ -101,16 +100,12 @@ TEST_F(SiaSchedulerTest, CapacityRespectedUnderOverload) {
     spec->model = ModelKind::kResNet18;
     auto estimator =
         std::make_unique<GoodputEstimator>(spec->model, &tiny, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 100.0;
+    builder.AddJob(*spec, estimator.get());
     specs.push_back(std::move(spec));
     estimators.push_back(std::move(estimator));
-    input.jobs.push_back(view);
   }
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input);
+  const auto output = scheduler.Schedule(builder.View());
   int total = 0;
   for (const auto& [id, config] : output) {
     total += config.num_gpus;
@@ -123,7 +118,7 @@ TEST_F(SiaSchedulerTest, RigidJobGetsExactCountTypeOnly) {
   JobView& job = AddJob(0, ModelKind::kBert, AdaptivityMode::kRigid, 96.0, 4);
   job.peak_num_gpus = 0;  // Even fresh rigid jobs run at their full count.
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   ASSERT_TRUE(output.count(0));
   EXPECT_EQ(output.at(0).num_gpus, 4);
 }
@@ -135,10 +130,10 @@ TEST_F(SiaSchedulerTest, RestartFactorKeepsCurrentConfigOnNearTies) {
   JobView& job = AddJob(0, ModelKind::kDeepSpeech2);
   job.current_config = Config{1, 4, rtx};
   job.peak_num_gpus = 4;
-  job.age_seconds = 120.0;  // Young job: restart factor small.
+  job.submit_time_seconds = 3600.0 - 120.0;  // Young job: restart factor small.
   job.num_restarts = 1;
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   ASSERT_TRUE(output.count(0));
   // With an empty cluster it may scale up (gain outweighs discount), but a
   // pure type-migration at equal count must not happen for a young job.
@@ -159,7 +154,7 @@ TEST_F(SiaSchedulerTest, NonPreemptibleJobKeepsItsConfig) {
     AddJob(id, ModelKind::kBert);
   }
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   ASSERT_TRUE(output.count(0));
   EXPECT_EQ(output.at(0), (Config{1, 2, t4}));
 }
@@ -173,9 +168,10 @@ TEST_F(SiaSchedulerTest, BertPrefersA100WhenContended) {
   small.AddNodes(t4, 1, 2);
   small.AddNodes(a100, 1, 2);
   const auto configs = BuildConfigSet(small);
-  ScheduleInput input;
-  input.cluster = &small;
-  input.config_set = &configs;
+  ScheduleViewBuilder builder;
+  builder.cluster = &small;
+  builder.config_set = &configs;
+  builder.now_seconds = 7200.0;  // All jobs submitted at t=0: age 2 h.
   std::vector<std::unique_ptr<JobSpec>> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
   auto add = [&](int id, ModelKind model) {
@@ -183,19 +179,15 @@ TEST_F(SiaSchedulerTest, BertPrefersA100WhenContended) {
     spec->id = id;
     spec->model = model;
     auto estimator = std::make_unique<GoodputEstimator>(model, &small, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 7200.0;
+    JobView& view = builder.AddJob(*spec, estimator.get());
     view.peak_num_gpus = 1;
     specs.push_back(std::move(spec));
     estimators.push_back(std::move(estimator));
-    input.jobs.push_back(view);
   };
   add(0, ModelKind::kBert);
   add(1, ModelKind::kResNet18);
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input);
+  const auto output = scheduler.Schedule(builder.View());
   ASSERT_TRUE(output.count(0));
   EXPECT_EQ(output.at(0).gpu_type, a100) << "BERT should win the a100 GPUs";
 }
@@ -207,9 +199,10 @@ TEST_F(SiaSchedulerTest, QueuedNonPreemptibleJobForcedIn) {
   const int t4 = tiny.AddGpuType({"t4", 16.0, 50.0});
   tiny.AddNodes(t4, 1, 4);
   const auto configs = BuildConfigSet(tiny);
-  ScheduleInput input;
-  input.cluster = &tiny;
-  input.config_set = &configs;
+  ScheduleViewBuilder builder;
+  builder.cluster = &tiny;
+  builder.config_set = &configs;
+  builder.now_seconds = 3600.0;  // All jobs submitted at t=0: age 1 h.
   std::vector<std::unique_ptr<JobSpec>> specs;
   std::vector<std::unique_ptr<GoodputEstimator>> estimators;
   auto add = [&](int id, bool preemptible, int rigid) {
@@ -224,13 +217,9 @@ TEST_F(SiaSchedulerTest, QueuedNonPreemptibleJobForcedIn) {
     }
     auto estimator =
         std::make_unique<GoodputEstimator>(spec->model, &tiny, ProfilingMode::kOracle);
-    JobView view;
-    view.spec = spec.get();
-    view.estimator = estimator.get();
-    view.age_seconds = 3600.0;
+    builder.AddJob(*spec, estimator.get());
     specs.push_back(std::move(spec));
     estimators.push_back(std::move(estimator));
-    input.jobs.push_back(view);
   };
   // Eight preemptible jobs compete; the reservation needs all 4 GPUs.
   for (int id = 1; id <= 8; ++id) {
@@ -238,7 +227,7 @@ TEST_F(SiaSchedulerTest, QueuedNonPreemptibleJobForcedIn) {
   }
   add(/*id=*/0, /*preemptible=*/false, /*rigid=*/4);
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input);
+  const auto output = scheduler.Schedule(builder.View());
   ASSERT_TRUE(output.count(0)) << "reservation not honored";
   EXPECT_EQ(output.at(0).num_gpus, 4);
 }
@@ -246,7 +235,7 @@ TEST_F(SiaSchedulerTest, QueuedNonPreemptibleJobForcedIn) {
 TEST_F(SiaSchedulerTest, HybridJobAllocatedInReplicas) {
   AddJob(0, ModelKind::kGpt2_8B);
   SiaScheduler scheduler;
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   ASSERT_TRUE(output.count(0));
   const Config& config = output.at(0);
   const std::string& type = cluster_.gpu_type(config.gpu_type).name;
@@ -262,7 +251,7 @@ TEST_F(SiaSchedulerTest, FairnessPowerPositiveAlsoWorks) {
   SiaOptions options;
   options.fairness_power = 0.5;
   SiaScheduler scheduler(options);
-  const auto output = scheduler.Schedule(input_);
+  const auto output = scheduler.Schedule(Input());
   EXPECT_FALSE(output.empty());
 }
 

@@ -13,6 +13,7 @@
 //   sia_fuzz --seeds=5 --inject-bug=oversub   # demo: oracle must catch it
 //   sia_fuzz --seeds=0 --crash-seeds=20       # checkpoint/resume equivalence
 //                                             # at a random round per seed
+//   sia_fuzz --seeds=0 --core-seeds=20        # dense vs event-core equivalence
 //
 // Exit status: 0 when every scenario passed, 1 on any violation.
 #include <unistd.h>
@@ -58,6 +59,10 @@ constexpr char kUsage[] = R"(usage: sia_fuzz [flags]
                 randomized round, snapshot, restore, and require the final
                 trace/metrics/results to match the uninterrupted run
                 byte-for-byte (default 0)
+  --core-seeds N: per scheduler, also run N scenarios through the
+                dense-vs-event core-equivalence check -- the same scenario
+                simulated under both SimCore values must produce identical
+                trace/metrics/results bytes (default 0)
   --frame-seeds N: mutate valid service request frames (byte flips,
                 truncation, splices, oversizing) and require the service
                 JSON parser to stay deterministic, non-crashing, and
@@ -539,6 +544,7 @@ int main(int argc, char** argv) {
   const std::string replay = flags.GetString("replay", "");
   const int64_t lp_checks = flags.GetInt("lp-checks", 0);
   const int64_t crash_seeds = flags.GetInt("crash-seeds", 0);
+  const int64_t core_seeds = flags.GetInt("core-seeds", 0);
   const int64_t frame_seeds = flags.GetInt("frame-seeds", 0);
   const std::string frame_replay = flags.GetString("frame-replay", "");
   const int64_t service_episodes = flags.GetInt("service-episodes", 0);
@@ -675,11 +681,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Core-equivalence mode (ISSUE 7): dense vs event simulation cores must be
+  // byte-identical on every scenario. A failing seed regenerates
+  // deterministically, so the replay instruction pins (scheduler, seed).
+  FuzzStats core_stats;
+  for (const std::string& name : schedulers) {
+    for (int64_t i = 0; i < core_seeds; ++i) {
+      const uint64_t seed = static_cast<uint64_t>(start_seed + i);
+      sia::testing::Scenario scenario = sia::testing::GenerateScenario(seed, name);
+      ++core_stats.scenarios;
+      const sia::testing::CoreCheckResult result = sia::testing::CheckCoreEquivalence(scenario);
+      if (verbose || !result.ok) {
+        std::cout << (result.ok ? "ok   " : "FAIL ") << scenario.Describe() << " ("
+                  << result.rounds << " rounds)\n";
+      }
+      if (result.ok) {
+        continue;
+      }
+      ++core_stats.failures;
+      exit_code = 1;
+      std::cout << result.report << "\n";
+      std::ostringstream path;
+      path << out_dir << "/sia_fuzz_core_repro_" << name << "_seed" << seed << ".txt";
+      if (sia::testing::WriteScenario(path.str(), scenario)) {
+        std::cout << "reproducer written to " << path.str() << " (replay with --core-seeds=1"
+                  << " --scheduler=" << name << " --start-seed=" << seed << ")\n";
+      } else {
+        std::cerr << "sia_fuzz: failed to write " << path.str() << "\n";
+      }
+    }
+  }
+
   std::cout << "sia_fuzz: " << stats.scenarios << " scenarios across " << schedulers.size()
             << " scheduler(s), " << stats.failures << " failure(s)";
   if (crash_stats.scenarios > 0) {
     std::cout << "; crash mode: " << crash_stats.scenarios << " scenario(s), "
               << crash_stats.failures << " failure(s)";
+  }
+  if (core_stats.scenarios > 0) {
+    std::cout << "; core mode: " << core_stats.scenarios << " scenario(s), "
+              << core_stats.failures << " failure(s)";
   }
   std::cout << "\n";
   return exit_code;

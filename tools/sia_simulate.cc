@@ -46,6 +46,9 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
   --hours      submission window                             (default per trace)
   --seed       RNG seed                                      (default 1)
   --profiling  bootstrap|oracle|noprof                       (default bootstrap)
+  --core       event|dense: simulation core (default event). Both produce
+               byte-identical traces; dense is the reference scan kept for
+               differential testing.
   --sched-threads N: threads for sia/pollux candidate generation (default 1);
                results are byte-identical for any value
   --tuned      tune jobs rigid (TunedJobs); implied for rigid policies
@@ -241,6 +244,15 @@ int main(int argc, char** argv) {
       std::cerr << "failed to read fault schedule: " << error << "\n";
       return 1;
     }
+  }
+  const std::string core = flags.GetString("core", "event");
+  if (core == "event") {
+    options.core = sia::SimCore::kEvent;
+  } else if (core == "dense") {
+    options.core = sia::SimCore::kDense;
+  } else {
+    std::cerr << "unknown core '" << core << "'\n" << kUsage;
+    return 2;
   }
   const std::string profiling = flags.GetString("profiling", "bootstrap");
   if (profiling == "oracle") {
