@@ -1,0 +1,61 @@
+#include "src/common/arena.h"
+
+namespace sia {
+
+void* ScratchArena::Allocate(size_t bytes, size_t align) {
+  SIA_CHECK(align != 0 && (align & (align - 1)) == 0) << "alignment must be a power of two";
+  stats_.lifetime_bytes += bytes;
+  if (bytes == 0) {
+    bytes = 1;  // Distinct non-null pointers keep callers honest.
+  }
+  if (current_ < blocks_.size()) {
+    const uintptr_t base = reinterpret_cast<uintptr_t>(blocks_[current_].data.get());
+    const size_t aligned = ((base + offset_ + align - 1) & ~(align - 1)) - base;
+    if (aligned + bytes <= blocks_[current_].capacity) {
+      offset_ = aligned + bytes;
+      return blocks_[current_].data.get() + aligned;
+    }
+  }
+  return AllocateSlow(bytes, align);
+}
+
+void* ScratchArena::AllocateSlow(size_t bytes, size_t align) {
+  // Advance through already-reserved blocks first (they were acquired in a
+  // previous round and recycled by Reset); only when none fits does the
+  // arena go upstream. Blocks double so any workload reaches a steady
+  // state after logarithmically many acquisitions.
+  while (current_ + 1 < blocks_.size()) {
+    ++current_;
+    offset_ = 0;
+    const uintptr_t base = reinterpret_cast<uintptr_t>(blocks_[current_].data.get());
+    const size_t aligned = ((base + align - 1) & ~(align - 1)) - base;
+    if (aligned + bytes <= blocks_[current_].capacity) {
+      offset_ = aligned + bytes;
+      return blocks_[current_].data.get() + aligned;
+    }
+  }
+  size_t capacity = blocks_.empty() ? initial_block_bytes_ : blocks_.back().capacity * 2;
+  while (capacity < bytes + align) {
+    capacity *= 2;
+  }
+  Block block;
+  block.data = std::make_unique<unsigned char[]>(capacity);
+  block.capacity = capacity;
+  blocks_.push_back(std::move(block));
+  ++stats_.upstream_allocations;
+  stats_.block_count = blocks_.size();
+  stats_.reserved_bytes += capacity;
+  current_ = blocks_.size() - 1;
+  const uintptr_t base = reinterpret_cast<uintptr_t>(blocks_[current_].data.get());
+  const size_t aligned = ((base + align - 1) & ~(align - 1)) - base;
+  offset_ = aligned + bytes;
+  return blocks_[current_].data.get() + aligned;
+}
+
+void ScratchArena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  ++stats_.resets;
+}
+
+}  // namespace sia

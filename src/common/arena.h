@@ -1,0 +1,162 @@
+// Per-round scratch arena (ISSUE 8).
+//
+// A bump allocator for transient round-scoped state: candidate lists, LP
+// row assembly, and branch-and-bound node state all live exactly one
+// scheduling round, so individually freeing them is pure overhead. The
+// arena hands out pointers from large blocks and recycles every block on
+// Reset() -- after a warm-up round the steady state performs zero upstream
+// (malloc) allocations, which Stats::upstream_allocations makes testable.
+//
+// NOT thread-safe: allocation and Reset must stay on one thread. Parallel
+// phases (candidate generation) must carve their containers out of the
+// arena in a sequential prologue and only write element slots from workers.
+//
+// Objects allocated here are never destructed -- only trivially
+// destructible payloads are legal, which ArenaVector enforces.
+#ifndef SIA_SRC_COMMON_ARENA_H_
+#define SIA_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace sia {
+
+class ScratchArena {
+ public:
+  struct Stats {
+    // malloc-backed block acquisitions over the arena's lifetime. Flat
+    // across steady-state rounds = the round ran allocation-free.
+    uint64_t upstream_allocations = 0;
+    uint64_t resets = 0;
+    uint64_t lifetime_bytes = 0;  // Sum of all Allocate() requests.
+    size_t block_count = 0;
+    size_t reserved_bytes = 0;  // Total capacity across blocks.
+  };
+
+  explicit ScratchArena(size_t initial_block_bytes = kDefaultBlockBytes)
+      : initial_block_bytes_(initial_block_bytes < kMinBlockBytes ? kMinBlockBytes
+                                                                  : initial_block_bytes) {}
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two). The
+  // memory is uninitialized and valid until the next Reset().
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    if (count == 0) {
+      return nullptr;
+    }
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Recycles every block: subsequent allocations reuse the reserved
+  // capacity front-to-back. All previously returned pointers become
+  // invalid. O(1) apart from bookkeeping; nothing is freed.
+  void Reset();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kDefaultBlockBytes = size_t{256} << 10;
+  static constexpr size_t kMinBlockBytes = size_t{1} << 10;
+
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    size_t capacity = 0;
+  };
+
+  void* AllocateSlow(size_t bytes, size_t align);
+
+  size_t initial_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // Index of the block being bumped.
+  size_t offset_ = 0;   // Bump cursor within blocks_[current_].
+  Stats stats_;
+};
+
+// Minimal vector over arena storage. Growth allocates a fresh arena array
+// and memcpys (old storage is abandoned to the arena -- cheap by design,
+// since everything is reclaimed wholesale at Reset). reserve() up front
+// where the bound is known; push_back past capacity in a parallel section
+// is a data race, exactly like any other allocation there.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "ArenaVector elements are moved with memcpy and never destructed");
+
+ public:
+  ArenaVector() = default;
+  explicit ArenaVector(ScratchArena* arena) : arena_(arena) {}
+
+  void set_arena(ScratchArena* arena) {
+    SIA_CHECK(data_ == nullptr) << "rebinding a non-empty ArenaVector";
+    arena_ = arena;
+  }
+
+  void reserve(size_t capacity) {
+    if (capacity > capacity_) {
+      Grow(capacity);
+    }
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      Grow(capacity_ == 0 ? 8 : capacity_ * 2);
+    }
+    data_[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+  void pop_back() { --size_; }
+  void resize(size_t size) {
+    reserve(size);
+    if (size > size_) {
+      std::memset(static_cast<void*>(data_ + size_), 0, (size - size_) * sizeof(T));
+    }
+    size_ = size;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& back() { return data_[size_ - 1]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Grow(size_t capacity) {
+    SIA_CHECK(arena_ != nullptr) << "ArenaVector used without an arena";
+    T* grown = arena_->AllocateArray<T>(capacity);
+    if (size_ > 0) {
+      std::memcpy(static_cast<void*>(grown), static_cast<const void*>(data_),
+                  size_ * sizeof(T));
+    }
+    data_ = grown;
+    capacity_ = capacity;
+  }
+
+  ScratchArena* arena_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_COMMON_ARENA_H_

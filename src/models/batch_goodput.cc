@@ -1,0 +1,92 @@
+#include "src/models/batch_goodput.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/models/stat_efficiency.h"
+#include "src/models/throughput_model.h"
+
+namespace sia {
+namespace {
+
+// SoA twin of OptimizeBatch for the direct-params case. Walks the identical
+// (accumulation depth x geometric grid) search space with the identical
+// per-point arithmetic, just restructured into array passes, so the selected
+// decision matches the scalar optimizer bit for bit.
+BatchDecision SoaOptimizeBatch(const ThroughputParams& params, const EfficiencyParams& eff,
+                               double pgns, double min_bsz, double max_bsz, int max_local_bsz,
+                               int num_nodes, int num_gpus) {
+  BatchDecision best;
+  if (max_local_bsz <= 0 || num_gpus <= 0) {
+    return best;  // Model does not fit this GPU type.
+  }
+  constexpr int kPoints = kGoodputGridPoints + 1;
+  double local[kPoints];
+  double global[kPoints];
+  double iter[kPoints];
+  double goodput[kPoints];
+  for (int accum : kGoodputAccumChoices) {
+    const double lo = std::max(1.0, min_bsz / (accum * num_gpus));
+    const double hi =
+        std::min(static_cast<double>(max_local_bsz), max_bsz / (accum * num_gpus));
+    if (lo > hi) {
+      continue;
+    }
+    for (int k = 0; k < kPoints; ++k) {
+      local[k] = lo * std::pow(hi / lo, static_cast<double>(k) / kGoodputGridPoints);
+    }
+    for (int k = 0; k < kPoints; ++k) {
+      global[k] = local[k] * accum * num_gpus;
+    }
+    for (int k = 0; k < kPoints; ++k) {
+      iter[k] = IterTime(params, num_nodes, num_gpus, local[k], accum);
+    }
+    for (int k = 0; k < kPoints; ++k) {
+      goodput[k] = (global[k] / iter[k]) * Efficiency(eff, pgns, global[k]);
+    }
+    for (int k = 0; k < kPoints; ++k) {
+      if (!best.feasible || goodput[k] > best.goodput) {
+        best.feasible = true;
+        best.local_bsz = local[k];
+        best.accum_steps = accum;
+        best.global_bsz = global[k];
+        best.iter_time = iter[k];
+        best.throughput = global[k] / iter[k];
+        best.efficiency = Efficiency(eff, pgns, global[k]);
+        best.goodput = goodput[k];
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void AnalyticBatchBackend::EstimateBatch(const GoodputEstimator& estimator,
+                                         const Config* configs, size_t count,
+                                         AdaptivityMode adaptivity, double fixed_bsz,
+                                         BatchDecision* out) const {
+  const bool soa_eligible = adaptivity == AdaptivityMode::kAdaptive &&
+                            !estimator.hybrid_parallel() &&
+                            estimator.latency_slo_seconds() <= 0.0;
+  ThroughputParams params;
+  for (size_t i = 0; i < count; ++i) {
+    const Config& config = configs[i];
+    if (soa_eligible && estimator.DirectThroughputParams(config.gpu_type, config.num_nodes,
+                                                         config.num_gpus, &params)) {
+      out[i] = SoaOptimizeBatch(params, estimator.efficiency_params(), estimator.pgns(),
+                                estimator.min_bsz(), estimator.max_bsz(),
+                                estimator.max_local_bsz(config.gpu_type), config.num_nodes,
+                                config.num_gpus);
+    } else {
+      out[i] = estimator.Estimate(config, adaptivity, fixed_bsz);
+    }
+  }
+}
+
+GoodputBackend* DefaultGoodputBackend() {
+  static AnalyticBatchBackend backend;
+  return &backend;
+}
+
+}  // namespace sia

@@ -1,0 +1,59 @@
+// Vectorized batch goodput kernel (ISSUE 8).
+//
+// Candidate generation evaluates the same goodput optimization for dozens of
+// configurations per job; doing it one std::function callback at a time
+// leaves the whole grid opaque to the compiler. This backend runs the
+// batch-size search as a structure-of-arrays pass per configuration -- grid
+// expansion, iteration-time closed form, efficiency, and argmax as separate
+// array loops over a fixed-size stack block -- whenever the estimator's
+// beliefs reduce to direct ThroughputParams, and falls back to the scalar
+// path otherwise (hybrid models, latency SLOs, bootstrapped estimates,
+// single-GPU shapes).
+//
+// The backend is pluggable so alternative estimators -- e.g. an external
+// simulator-in-the-loop backend in the style of Phantora (arXiv 2505.01616)
+// -- can replace the analytic model without touching the scheduler.
+//
+// Contract: EstimateBatch must be bit-identical to calling
+// GoodputEstimator::Estimate() once per configuration. The scheduler's
+// candidate cache stores whichever of the two ran first and replays it on
+// later rounds, so any backend that breaks the contract makes results
+// depend on cache hit order.
+#ifndef SIA_SRC_MODELS_BATCH_GOODPUT_H_
+#define SIA_SRC_MODELS_BATCH_GOODPUT_H_
+
+#include <cstddef>
+
+#include "src/cluster/configuration.h"
+#include "src/models/estimator.h"
+#include "src/models/goodput.h"
+
+namespace sia {
+
+class GoodputBackend {
+ public:
+  virtual ~GoodputBackend() = default;
+  virtual const char* name() const = 0;
+  // Fills out[0..count) with the decision Estimate() would return for each
+  // configuration. Must be safe to call concurrently from multiple threads
+  // on the same estimator (candidate generation is parallel per job).
+  virtual void EstimateBatch(const GoodputEstimator& estimator, const Config* configs,
+                             size_t count, AdaptivityMode adaptivity, double fixed_bsz,
+                             BatchDecision* out) const = 0;
+};
+
+// Default backend: the analytic SoA kernel described above.
+class AnalyticBatchBackend final : public GoodputBackend {
+ public:
+  const char* name() const override { return "analytic-soa"; }
+  void EstimateBatch(const GoodputEstimator& estimator, const Config* configs, size_t count,
+                     AdaptivityMode adaptivity, double fixed_bsz,
+                     BatchDecision* out) const override;
+};
+
+// Process-wide default backend instance (stateless).
+GoodputBackend* DefaultGoodputBackend();
+
+}  // namespace sia
+
+#endif  // SIA_SRC_MODELS_BATCH_GOODPUT_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/models/batch_goodput.h"
 #include "src/obs/metrics_registry.h"
 #include "src/solver/curve_fit.h"
 
@@ -344,6 +345,39 @@ BatchDecision GoodputEstimator::Estimate(const Config& config, AdaptivityMode ad
   SIA_CHECK(fixed_bsz > 0.0) << "strong-scaling/rigid jobs need a fixed batch size";
   return EvaluateFixedBatch(iter_fn, info_.efficiency, pgns_, fixed_bsz, type.max_local_bsz,
                             config.num_nodes, config.num_gpus);
+}
+
+void GoodputEstimator::EstimateBatch(const Config* configs, size_t count,
+                                     AdaptivityMode adaptivity, double fixed_bsz,
+                                     BatchDecision* out) const {
+  GoodputBackend* backend = backend_ != nullptr ? backend_ : DefaultGoodputBackend();
+  backend->EstimateBatch(*this, configs, count, adaptivity, fixed_bsz, out);
+}
+
+bool GoodputEstimator::DirectThroughputParams(int gpu_type, int num_nodes, int num_gpus,
+                                              ThroughputParams* out) const {
+  SIA_CHECK(gpu_type >= 0 && gpu_type < static_cast<int>(types_.size()));
+  const TypeState& type = types_[gpu_type];
+  if (!type.available) {
+    return false;
+  }
+  // Mirrors EstimateIterTime branch for branch: any regime that consults
+  // ComputeTimeEstimate or the Eq. (1) bootstrap is not a single closed
+  // form and stays on the scalar path.
+  if (mode_ == ProfilingMode::kOracle) {
+    *out = type.truth;
+    return true;
+  }
+  if (num_gpus <= 1) {
+    return false;
+  }
+  const bool inter = num_nodes > 1;
+  const bool has_sync = inter ? type.has_inter : type.has_intra;
+  if (type.has_compute && has_sync) {
+    *out = type.fitted;
+    return true;
+  }
+  return false;
 }
 
 namespace {

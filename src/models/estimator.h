@@ -27,6 +27,7 @@
 
 namespace sia {
 
+class GoodputBackend;
 class MetricsRegistry;
 
 // Throughput-model knowledge regimes evaluated in §5.7.
@@ -79,9 +80,38 @@ class GoodputEstimator {
   BatchDecision Estimate(const Config& config, AdaptivityMode adaptivity,
                          double fixed_bsz = 0.0) const;
 
+  // Batch variant (ISSUE 8): estimates `count` configurations in one call
+  // through the pluggable batch backend -- the vectorized SoA kernel by
+  // default (src/models/batch_goodput.h). Bit-identical to calling
+  // Estimate() once per configuration; that is the backend contract.
+  void EstimateBatch(const Config* configs, size_t count, AdaptivityMode adaptivity,
+                     double fixed_bsz, BatchDecision* out) const;
+
+  // Replaces the batch backend (never owned; nullptr restores the default
+  // analytic kernel). External backends must honor the bit-identity
+  // contract of EstimateBatch or results become cache-order dependent.
+  void SetGoodputBackend(GoodputBackend* backend) { backend_ = backend; }
+
   // Estimated iteration time for an explicit shape (exposed for tests).
   double EstimateIterTime(int gpu_type, int num_nodes, int num_gpus, double local_bsz,
                           int accum_steps) const;
+
+  // True when EstimateIterTime(gpu_type, num_nodes, num_gpus, *, *) reduces
+  // to IterTime(*out, ...) for every batch choice at this shape: oracle
+  // mode, or a fully-fitted type on a multi-GPU shape. The batch kernel
+  // then evaluates the closed form over its SoA grid without per-point
+  // dispatch; every other regime (bootstrap, compute-only, single GPU)
+  // keeps the scalar path.
+  bool DirectThroughputParams(int gpu_type, int num_nodes, int num_gpus,
+                              ThroughputParams* out) const;
+
+  // --- model-info accessors for batch backends ---
+  bool hybrid_parallel() const { return info_.hybrid_parallel; }
+  double latency_slo_seconds() const { return latency_slo_seconds_; }
+  double min_bsz() const { return info_.min_bsz; }
+  double max_bsz() const { return info_.max_bsz; }
+  int max_local_bsz(int gpu_type) const { return types_[gpu_type].max_local_bsz; }
+  const EfficiencyParams& efficiency_params() const { return info_.efficiency; }
 
   // True when the model can run on this GPU type at all.
   bool TypeAvailable(int gpu_type) const;
@@ -155,6 +185,8 @@ class GoodputEstimator {
   long long shared_epoch_ = 0;         // Bumped by every ingestion.
   double pgns_;
   MetricsRegistry* metrics_ = nullptr;
+  // Batch backend; nullptr means DefaultGoodputBackend(). Never owned.
+  GoodputBackend* backend_ = nullptr;
 };
 
 }  // namespace sia

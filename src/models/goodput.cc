@@ -8,9 +8,6 @@
 namespace sia {
 namespace {
 
-// Gradient accumulation depths the executor considers.
-constexpr int kAccumChoices[] = {1, 2, 4, 8, 16};
-
 BatchDecision Evaluate(const IterTimeFn& iter_time, const EfficiencyParams& eff, double pgns,
                        double local_bsz, int accum, int num_nodes, int num_gpus) {
   BatchDecision decision;
@@ -52,7 +49,7 @@ BatchDecision OptimizeBatch(const IterTimeFn& iter_time, const EfficiencyParams&
   if (max_local_bsz <= 0 || num_gpus <= 0) {
     return best;  // Model does not fit this GPU type.
   }
-  for (int accum : kAccumChoices) {
+  for (int accum : kGoodputAccumChoices) {
     // Local batch sizes on a geometric grid between the bounds implied by
     // the global batch range and the per-GPU memory limit.
     const double lo = std::max(1.0, min_bsz / (accum * num_gpus));
@@ -61,7 +58,7 @@ BatchDecision OptimizeBatch(const IterTimeFn& iter_time, const EfficiencyParams&
     if (lo > hi) {
       continue;
     }
-    constexpr int kGridPoints = 24;
+    constexpr int kGridPoints = kGoodputGridPoints;
     for (int k = 0; k <= kGridPoints; ++k) {
       const double local = lo * std::pow(hi / lo, static_cast<double>(k) / kGridPoints);
       const BatchDecision candidate =
@@ -91,7 +88,7 @@ BatchDecision EvaluateFixedBatch(const IterTimeFn& iter_time, const EfficiencyPa
   if (global_bsz < static_cast<double>(num_gpus)) {
     return decision;  // Fewer than one sample per GPU: config unusable.
   }
-  for (int accum : kAccumChoices) {
+  for (int accum : kGoodputAccumChoices) {
     const double local = global_bsz / (accum * num_gpus);
     if (local > static_cast<double>(max_local_bsz)) {
       continue;  // Does not fit memory; deepen accumulation.

@@ -39,6 +39,14 @@ struct BatchDecision {
 using IterTimeFn =
     std::function<double(int num_nodes, int num_gpus, double local_bsz, int accum_steps)>;
 
+// Batch-size search grid shared by the scalar optimizer below and the
+// vectorized batch kernel (src/models/batch_goodput.h): the gradient
+// accumulation depths the executor considers, and the geometric grid
+// resolution per depth. Both paths must walk the identical grid -- the
+// kernel's bit-identity contract depends on it.
+inline constexpr int kGoodputAccumChoices[] = {1, 2, 4, 8, 16};
+inline constexpr int kGoodputGridPoints = 24;
+
 // Optimizes goodput over global batch size for `num_gpus` GPUs spread over
 // `num_nodes` nodes, subject to the model's batch range, per-GPU memory
 // limit (gradient accumulation extends it), and minimum one sample per GPU.

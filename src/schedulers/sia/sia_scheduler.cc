@@ -12,18 +12,57 @@
 #include "src/common/logging.h"
 
 namespace sia {
+
+// Round-transient containers in one place (ISSUE 8): the outer std::vectors
+// are owned by the scheduler so their heap capacity persists across rounds,
+// while the inner ArenaVectors are re-carved from the freshly Reset arena
+// each round (after arena.Reset() the previous round's inner vectors dangle;
+// the per-round assign() below replaces every one before use).
+struct SiaRoundScratch {
+  struct Candidate {
+    int config_index;
+    double goodput;
+    int lp_var = -1;
+  };
+  // One entry per configuration that survives the eligibility filters,
+  // recording where its (feasible, goodput) pair comes from. Cache misses
+  // are resolved by a single batch-estimator call between the two
+  // candidate-generation passes.
+  struct GenSlot {
+    int config;
+    uint8_t from_cache;
+    uint8_t feasible;
+    double goodput;
+  };
+
+  LinearProgram lp;
+  std::vector<ArenaVector<Candidate>> candidates;
+  std::vector<ArenaVector<GenSlot>> slots;
+  std::vector<ArenaVector<Config>> miss_configs;
+  std::vector<ArenaVector<BatchDecision>> miss_decisions;
+  std::vector<ArenaVector<LpEntry>> capacity_rows;
+  ArenaVector<LpEntry> job_row;
+  std::vector<int> capacity_counts;
+  std::vector<double> min_goodputs;
+  std::vector<int> min_required;
+  std::vector<int> cache_hits;
+  std::vector<int> cache_misses;
+  std::vector<uint8_t> job_changed;
+  std::vector<CandidateCache::Row*> cache_rows;
+};
+
+SiaScheduler::SiaScheduler(SiaOptions options) : options_(options) {}
+SiaScheduler::~SiaScheduler() = default;
+
 namespace {
+
+using Candidate = SiaRoundScratch::Candidate;
+using GenSlot = SiaRoundScratch::GenSlot;
 
 // See the resume-stickiness comment in Schedule().
 constexpr double kResumePenalty = 0.95;
 // See the tie-breaking comment in Schedule().
 constexpr double kServiceTieBreak = 0.05;
-
-struct Candidate {
-  int config_index;
-  double goodput;
-  int lp_var = -1;
-};
 
 // Per-round GPU-count cap from the scale-up rule: jobs start at their
 // minimum size and may at most double each round (scale-down is free).
@@ -46,7 +85,7 @@ int ScaleUpCap(const JobView& job, int min_gpus, int scale_up_factor) {
 // fits, preferring the current configuration for running jobs.
 ScheduleOutput GreedyRepairAllocations(const ScheduleInput& input,
                                        const std::vector<Config>& configs,
-                                       const std::vector<std::vector<Candidate>>& candidates) {
+                                       const std::vector<ArenaVector<Candidate>>& candidates) {
   ScheduleOutput output;
   std::vector<int> free_gpus(input.cluster->num_gpu_types());
   for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
@@ -145,10 +184,32 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   SIA_CHECK(p != 0.0) << "fairness power must be nonzero";
   const bool minimize = p < 0.0;
 
-  LinearProgram lp(minimize ? ObjectiveSense::kMinimize : ObjectiveSense::kMaximize);
+  // --- round scratch (ISSUE 8) ---
+  // One arena Reset makes every byte the previous round carved out reusable;
+  // the sequential prologue below re-carves (and pre-reserves) every
+  // container the parallel phase writes into, because ArenaVector growth is
+  // not thread-safe.
+  if (scratch_ == nullptr) {
+    scratch_ = std::make_unique<SiaRoundScratch>();
+  }
+  SiaRoundScratch& scratch = *scratch_;
+  arena_.Reset();
+
+  LinearProgram& lp = scratch.lp;
+  lp.Reset(minimize ? ObjectiveSense::kMinimize : ObjectiveSense::kMaximize);
   const int num_jobs = static_cast<int>(input.jobs.size());
-  std::vector<std::vector<Candidate>> candidates(num_jobs);
-  std::vector<std::vector<LpTerm>> capacity_rows(input.cluster->num_gpu_types());
+  const int num_configs = static_cast<int>(configs.size());
+  std::vector<ArenaVector<Candidate>>& candidates = scratch.candidates;
+  candidates.assign(num_jobs, ArenaVector<Candidate>(&arena_));
+  scratch.slots.assign(num_jobs, ArenaVector<GenSlot>(&arena_));
+  scratch.miss_configs.assign(num_jobs, ArenaVector<Config>(&arena_));
+  scratch.miss_decisions.assign(num_jobs, ArenaVector<BatchDecision>(&arena_));
+  for (int i = 0; i < num_jobs; ++i) {
+    candidates[i].reserve(num_configs);
+    scratch.slots[i].reserve(num_configs);
+    scratch.miss_configs[i].reserve(num_configs);
+    scratch.miss_decisions[i].reserve(num_configs);
+  }
 
   // --- phase A: candidate generation (parallel + memoized, ISSUE 3) ---
   // Every job writes only into its own index-i slots, so the result is
@@ -157,7 +218,8 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   // indices (and with them the solver's tie-breaking).
   const auto gen_start = std::chrono::steady_clock::now();
 
-  std::vector<CandidateCache::Row*> cache_rows(num_jobs, nullptr);
+  std::vector<CandidateCache::Row*>& cache_rows = scratch.cache_rows;
+  cache_rows.assign(num_jobs, nullptr);
   if (options_.candidate_cache) {
     std::vector<JobId> live;
     live.reserve(input.jobs.size());
@@ -168,21 +230,25 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     // Rows are created sequentially: the map must not rehash/rebalance under
     // the parallel loop below.
     for (int i = 0; i < num_jobs; ++i) {
-      cache_rows[i] =
-          cache_.AcquireRow(input.jobs[i].spec->id, static_cast<int>(configs.size()));
+      cache_rows[i] = cache_.AcquireRow(input.jobs[i].spec->id, num_configs);
     }
   }
 
-  std::vector<double> min_goodputs(num_jobs, std::numeric_limits<double>::infinity());
-  std::vector<int> min_required(num_jobs, std::numeric_limits<int>::max());
-  std::vector<int> cache_hits(num_jobs, 0);
-  std::vector<int> cache_misses(num_jobs, 0);
+  std::vector<double>& min_goodputs = scratch.min_goodputs;
+  std::vector<int>& min_required = scratch.min_required;
+  std::vector<int>& cache_hits = scratch.cache_hits;
+  std::vector<int>& cache_misses = scratch.cache_misses;
+  min_goodputs.assign(num_jobs, std::numeric_limits<double>::infinity());
+  min_required.assign(num_jobs, std::numeric_limits<int>::max());
+  cache_hits.assign(num_jobs, 0);
+  cache_misses.assign(num_jobs, 0);
 
   // ScheduleView delta (ISSUE 7): jobs the producer vouches are unchanged
   // since the previous round replay their row's derived candidates without
   // walking the config set. Without a delta (standalone drivers, dense
   // core, cache disabled) every job takes the full pass.
-  std::vector<uint8_t> job_changed(static_cast<std::size_t>(num_jobs), 1);
+  std::vector<uint8_t>& job_changed = scratch.job_changed;
+  job_changed.assign(static_cast<std::size_t>(num_jobs), 1);
   if (options_.candidate_cache && input.incremental) {
     std::fill(job_changed.begin(), job_changed.end(), static_cast<uint8_t>(0));
     for (int32_t idx : input.changed) {
@@ -215,7 +281,12 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     }
 
     // --- build this job's row of the goodput matrix ---
-    for (int c = 0; c < static_cast<int>(configs.size()); ++c) {
+    // Pass 1: eligibility filters + cache probes. Configurations without a
+    // fresh cache entry are gathered so the estimator sees the whole miss
+    // set in one vectorized call (src/models/batch_goodput.h).
+    ArenaVector<GenSlot>& slots = scratch.slots[i];
+    ArenaVector<Config>& misses = scratch.miss_configs[i];
+    for (int c = 0; c < num_configs; ++c) {
       const Config& config = configs[c];
       const int min_gpus = estimator.MinGpus(config.gpu_type);
       if (min_gpus <= 0) {
@@ -233,33 +304,53 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       if (spec.adaptivity == AdaptivityMode::kRigid && config.num_gpus != spec.rigid_num_gpus) {
         continue;  // Rigid jobs only pick the GPU type (Eq. 5).
       }
-      bool feasible;
-      double goodput;
+      GenSlot slot{c, 0, 0, 0.0};
       if (row != nullptr) {
-        CandidateCache::Entry& entry = row->entries[c];
-        const long long epoch = estimator.fit_epoch(config.gpu_type);
-        if (entry.epoch == epoch) {
+        const CandidateCache::Entry& entry = row->entries[c];
+        if (entry.epoch == estimator.fit_epoch(config.gpu_type)) {
           ++cache_hits[i];
-          feasible = entry.feasible;
-          goodput = entry.goodput;
+          slot.from_cache = 1;
+          slot.feasible = entry.feasible ? 1 : 0;
+          slot.goodput = entry.goodput;
         } else {
           ++cache_misses[i];
-          const BatchDecision decision =
-              estimator.Estimate(config, spec.adaptivity, spec.fixed_bsz);
-          feasible = decision.feasible;
-          goodput = decision.goodput;
-          entry = {epoch, feasible, goodput};
+          misses.push_back(config);
         }
       } else {
-        const BatchDecision decision =
-            estimator.Estimate(config, spec.adaptivity, spec.fixed_bsz);
+        misses.push_back(config);
+      }
+      slots.push_back(slot);
+    }
+
+    // Pass 2: one batch-estimator call resolves every miss (bit-identical to
+    // per-config Estimate -- the backend contract), then candidates are
+    // emitted in the same configuration order the single-pass loop used.
+    ArenaVector<BatchDecision>& decisions = scratch.miss_decisions[i];
+    decisions.resize(misses.size());
+    if (!misses.empty()) {
+      estimator.EstimateBatch(misses.data(), misses.size(), spec.adaptivity, spec.fixed_bsz,
+                              decisions.data());
+    }
+    size_t miss_cursor = 0;
+    for (const GenSlot& slot : slots) {
+      bool feasible;
+      double goodput;
+      if (slot.from_cache) {
+        feasible = slot.feasible != 0;
+        goodput = slot.goodput;
+      } else {
+        const BatchDecision& decision = decisions[miss_cursor++];
         feasible = decision.feasible;
         goodput = decision.goodput;
+        if (row != nullptr) {
+          const int gpu_type = configs[slot.config].gpu_type;
+          row->entries[slot.config] = {estimator.fit_epoch(gpu_type), feasible, goodput};
+        }
       }
       if (!feasible || goodput <= 0.0) {
         continue;
       }
-      candidates[i].push_back({c, goodput});
+      candidates[i].push_back({slot.config, goodput});
       min_goodputs[i] = std::min(min_goodputs[i], goodput);
     }
 
@@ -315,6 +406,26 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   }
 
   // --- phase B: LP construction (sequential by design) ---
+  const auto build_start = std::chrono::steady_clock::now();
+  const int num_gpu_types = input.cluster->num_gpu_types();
+  std::vector<ArenaVector<LpEntry>>& capacity_rows = scratch.capacity_rows;
+  capacity_rows.assign(num_gpu_types, ArenaVector<LpEntry>(&arena_));
+  {
+    // Exact per-type reserve so the pushes below never grow mid-build.
+    std::vector<int>& counts = scratch.capacity_counts;
+    counts.assign(num_gpu_types, 0);
+    for (int i = 0; i < num_jobs; ++i) {
+      for (const Candidate& candidate : candidates[i]) {
+        ++counts[configs[candidate.config_index].gpu_type];
+      }
+    }
+    for (int t = 0; t < num_gpu_types; ++t) {
+      capacity_rows[t].reserve(counts[t]);
+    }
+  }
+  ArenaVector<LpEntry>& job_row = scratch.job_row;
+  job_row = ArenaVector<LpEntry>(&arena_);
+  job_row.reserve(num_configs);
   for (int i = 0; i < num_jobs; ++i) {
     const JobView& job = input.jobs[i];
     const JobSpec& spec = *job.spec;
@@ -363,14 +474,13 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       // Objective rewrite: sum_ij A_ij u_ij + lambda sum_i (1 - ||A_i||_1)
       // = const + sum_ij A_ij (u_ij - lambda).
       candidate.lp_var = lp.AddBinaryVariable(utility - options_.lambda);
-      capacity_rows[config.gpu_type].emplace_back(candidate.lp_var,
-                                                  static_cast<double>(config.num_gpus));
+      capacity_rows[config.gpu_type].push_back(
+          {candidate.lp_var, static_cast<double>(config.num_gpus)});
     }
 
-    std::vector<LpTerm> job_row;
-    job_row.reserve(candidates[i].size());
+    job_row.clear();
     for (const Candidate& candidate : candidates[i]) {
-      job_row.emplace_back(candidate.lp_var, 1.0);
+      job_row.push_back({candidate.lp_var, 1.0});
     }
     if (!spec.preemptible && currently_running) {
       // Non-preemptible jobs must retain their current configuration (§3.4
@@ -385,22 +495,33 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     // ("this constraint ensures that the non-preemptive jobs get allocated
     // first", §3.4); preemptible jobs may be left queued.
     lp.AddConstraint(spec.preemptible ? ConstraintOp::kLessEq : ConstraintOp::kEqual, 1.0,
-                     std::move(job_row));
+                     job_row.data(), job_row.size());
   }
 
-  for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
+  for (int t = 0; t < num_gpu_types; ++t) {
     if (!capacity_rows[t].empty()) {
       // Capacity is live capacity: down nodes (crash/repair window) must not
       // be allocatable, or the placer would have to evict the overflow.
       lp.AddConstraint(ConstraintOp::kLessEq,
                        static_cast<double>(input.cluster->AvailableGpus(t)),
-                       std::move(capacity_rows[t]));
+                       capacity_rows[t].data(), capacity_rows[t].size());
     }
+  }
+
+  if (input.metrics != nullptr && input.record_timings) {
+    const auto build_elapsed = std::chrono::steady_clock::now() - build_start;
+    input.metrics->counter("sia.lp_build_wall_ns")
+        .Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(build_elapsed).count()));
   }
 
   ScheduleOutput output;
   if (lp.num_variables() == 0) {
     have_warm_state_ = false;  // Nothing to warm-start the next round with.
+    // Keep the session in lockstep with the serialized warm state: a
+    // restored run would have no basis to rebuild from, so the live run
+    // must not keep one either (byte-identical resumed metrics).
+    session_.Invalidate();
     RecordLadderServed(rung, input.metrics);
     last_output_ = output;
     return output;
@@ -410,6 +531,7 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   // the same shape; SolveMilp re-validates both, so near-identical-but-not
   // programs degrade to a cold solve, never to a wrong answer.
   MilpOptions milp_options = options_.milp;
+  milp_options.arena = &arena_;  // B&B node state joins the round scratch.
   if (rung == LadderRung::kCappedMilp) {
     milp_options.max_nodes = std::min(milp_options.max_nodes, 8);
   } else if (rung == LadderRung::kLpRound) {
@@ -435,7 +557,25 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       warm_num_constraints_ == lp.num_constraints()) {
     milp_options.warm_start = &warm_state_;
   }
+  // Incremental session (ISSUE 8): requires warm_start because the
+  // checkpoint-restore path rebuilds the session from the serialized warm
+  // basis -- without that export a resumed run could not replay the live
+  // run's incremental solves.
+  long long inc_roots_before = 0;
+  long long inc_fallbacks_before = 0;
+  if (options_.incremental_lp && options_.warm_start) {
+    milp_options.session = &session_;
+    inc_roots_before = session_.stats().incremental_roots;
+    inc_fallbacks_before = session_.stats().cold_fallbacks;
+  }
+  const auto solve_start = std::chrono::steady_clock::now();
   MilpSolution solution = SolveMilp(lp, milp_options);
+  if (input.metrics != nullptr && input.record_timings) {
+    const auto solve_elapsed = std::chrono::steady_clock::now() - solve_start;
+    input.metrics->counter("sia.solve_wall_ns")
+        .Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(solve_elapsed).count()));
+  }
   if (options_.warm_start) {
     warm_state_ = std::move(solution.next_warm_start);
     have_warm_state_ = !warm_state_.empty();
@@ -450,6 +590,19 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
         .Add(static_cast<uint64_t>(solution.warm_started_lps));
     input.metrics->counter("solver.warm_start_pivots_saved")
         .Add(static_cast<uint64_t>(solution.warm_start_pivots_saved));
+    input.metrics->counter("solver.dual_pivots")
+        .Add(static_cast<uint64_t>(solution.dual_pivots));
+    input.metrics->counter("solver.cold_node_solves")
+        .Add(static_cast<uint64_t>(solution.cold_node_solves));
+    if (milp_options.session != nullptr) {
+      // Per-round deltas, not cumulative session stats: these are identical
+      // whether the round ran on a live session or one rebuilt from a
+      // restored warm basis, which byte-identical resumed metrics require.
+      input.metrics->counter("solver.incremental_roots")
+          .Add(static_cast<uint64_t>(session_.stats().incremental_roots - inc_roots_before));
+      input.metrics->counter("solver.incremental_fallbacks")
+          .Add(static_cast<uint64_t>(session_.stats().cold_fallbacks - inc_fallbacks_before));
+    }
     input.metrics->counter("scheduler.ilp_variables")
         .Add(static_cast<uint64_t>(lp.num_variables()));
     input.metrics->gauge("solver.last_bb_nodes").Set(solution.nodes_explored);
@@ -475,6 +628,7 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     return output;
   }
 
+  const auto place_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < input.jobs.size(); ++i) {
     for (const Candidate& candidate : candidates[i]) {
       if (solution.values[candidate.lp_var] > 0.5) {
@@ -482,6 +636,12 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
         break;
       }
     }
+  }
+  if (input.metrics != nullptr && input.record_timings) {
+    const auto place_elapsed = std::chrono::steady_clock::now() - place_start;
+    input.metrics->counter("sia.placement_wall_ns")
+        .Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(place_elapsed).count()));
   }
   RecordLadderServed(rung, input.metrics);
   last_output_ = output;
@@ -501,6 +661,10 @@ void SiaScheduler::SaveState(BinaryWriter& w) const {
 }
 
 bool SiaScheduler::RestoreState(BinaryReader& r) {
+  // The incremental session is rebuilt lazily from the restored warm basis
+  // (see SiaOptions::incremental_lp); whatever engine state exists belongs
+  // to the pre-restore timeline.
+  session_.Invalidate();
   have_warm_state_ = r.Bool();
   warm_num_variables_ = r.I32();
   warm_num_constraints_ = r.I32();

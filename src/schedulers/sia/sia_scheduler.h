@@ -20,6 +20,7 @@
 
 #include <memory>
 
+#include "src/common/arena.h"
 #include "src/common/thread_pool.h"
 #include "src/schedulers/ladder.h"
 #include "src/schedulers/scheduler.h"
@@ -27,6 +28,9 @@
 #include "src/solver/milp.h"
 
 namespace sia {
+
+// Round-scoped scratch containers (defined in sia_scheduler.cc).
+struct SiaRoundScratch;
 
 struct SiaOptions {
   // Fairness power p (§3.4, default -0.5; Fig. 10 sweeps [-1, 1]).
@@ -62,6 +66,13 @@ struct SiaOptions {
   // Feed round N's MILP incumbent and root basis into round N+1. Preserves
   // the optimal objective (hints are validated, never trusted).
   bool warm_start = true;
+  // Incremental re-solve (ISSUE 8): persist the simplex engine across
+  // rounds and re-solve the root relaxation by parameter deltas + dual
+  // simplex from the previous optimal basis, gated so only results a
+  // from-scratch solve provably produces are accepted. Only engages
+  // together with warm_start (the serialized warm basis is what rebuilds
+  // the session after a checkpoint restore).
+  bool incremental_lp = true;
   // Degradation-ladder knobs (ISSUE 6). Sia implements all five rungs
   // natively; the ladder only engages when ScheduleInput::deadline_seconds
   // >= 0 or deadline.force_rung is set, so batch runs are unaffected.
@@ -70,7 +81,9 @@ struct SiaOptions {
 
 class SiaScheduler : public Scheduler {
  public:
-  explicit SiaScheduler(SiaOptions options = {}) : options_(options) {}
+  // Out of line: SiaRoundScratch is incomplete here.
+  explicit SiaScheduler(SiaOptions options = {});
+  ~SiaScheduler() override;
 
   std::string name() const override { return "sia"; }
   double round_duration_seconds() const override { return options_.round_duration_seconds; }
@@ -83,6 +96,11 @@ class SiaScheduler : public Scheduler {
 
   const SiaOptions& options() const { return options_; }
 
+  // Allocation-counting hook (ISSUE 8): upstream_allocations staying flat
+  // across rounds proves the candidate-gen / LP-build / B&B hot path ran
+  // allocation-free out of the recycled arena.
+  const ScratchArena::Stats& arena_stats() const { return arena_.stats(); }
+
  private:
   SiaOptions options_;
   // Cross-round state for the fast path. The cache is consulted only when
@@ -90,6 +108,11 @@ class SiaScheduler : public Scheduler {
   // has the same shape as the one that produced it.
   CandidateCache cache_;
   MilpWarmStart warm_state_;
+  // Persistent incremental-solve session (ISSUE 8). Deliberately NOT
+  // serialized: a restored scheduler rebuilds it from warm_state_'s basis +
+  // fingerprint, which yields bit-identical engine state (and therefore
+  // identical pivot-count metrics) to the live session it replaces.
+  IncrementalLp session_;
   bool have_warm_state_ = false;
   int warm_num_variables_ = -1;
   int warm_num_constraints_ = -1;
@@ -97,6 +120,12 @@ class SiaScheduler : public Scheduler {
   // Maintained every round (cheap) so a deadline can arrive at any time.
   ScheduleOutput last_output_;
   std::unique_ptr<ThreadPool> pool_;  // Created lazily when num_threads > 1.
+  // Per-round bump arena + the containers carved from it (ISSUE 8). Reset at
+  // the top of every round; after a warm-up round the candidate-generation /
+  // LP-build hot path performs zero upstream allocations
+  // (arena_.stats().upstream_allocations stays flat).
+  ScratchArena arena_;
+  std::unique_ptr<SiaRoundScratch> scratch_;
 };
 
 }  // namespace sia

@@ -530,6 +530,7 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
   // Refresh the scheduler-facing rows: the dense core rewrites every row
   // (the old per-round scan), the event core only rows whose state changed
   // since the last round -- and publishes that delta to the policy.
+  const auto view_start = std::chrono::steady_clock::now();
   jobs_.RefreshViews(options_.core == SimCore::kDense);
   ScheduleViewBuilder& views = jobs_.builder();
   views.now_seconds = now_;
@@ -540,6 +541,14 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
   views.metrics = metrics_;
   views.record_timings = options_.trace_timings;
   const ScheduleView input = views.View();
+  if (options_.trace_timings) {
+    // Wall-clock phase counter feeding --profile-rounds; gated like every
+    // other nondeterministic duration.
+    const auto view_elapsed = std::chrono::steady_clock::now() - view_start;
+    metrics_->counter("sim.view_build_wall_ns")
+        .Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(view_elapsed).count()));
+  }
 
   contention_.Add(static_cast<double>(active_count));
   result_.max_contention = std::max(result_.max_contention, active_count);

@@ -1,0 +1,147 @@
+#include "src/solver/incremental_lp.h"
+
+#include <cstring>
+
+namespace sia {
+
+namespace {
+inline void Mix(uint64_t& h, uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;  // FNV-1a prime.
+}
+
+inline uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+}  // namespace
+
+uint64_t LpStructureFingerprint(const LinearProgram& lp) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  Mix(h, static_cast<uint64_t>(lp.num_variables()));
+  Mix(h, static_cast<uint64_t>(lp.num_constraints()));
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    Mix(h, lp.is_integer(j) ? 1u : 0u);
+  }
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    Mix(h, static_cast<uint64_t>(lp.constraint_op(i)));
+    const auto& terms = lp.row_terms(i);
+    Mix(h, static_cast<uint64_t>(terms.size()));
+    for (const auto& [var, coeff] : terms) {
+      Mix(h, static_cast<uint64_t>(var));
+      Mix(h, DoubleBits(coeff));
+    }
+  }
+  return h;
+}
+
+void IncrementalLp::ApplyParameters(const LinearProgram& lp) {
+  for (int j = 0; j < lp.num_variables(); ++j) {
+    engine_.SetObjectiveCoefficient(j, lp.objective_coefficient(j));
+    engine_.SetVariableBounds(j, lp.lower_bound(j), lp.upper_bound(j));
+  }
+  for (int i = 0; i < lp.num_constraints(); ++i) {
+    engine_.SetRhs(i, lp.rhs(i));
+  }
+}
+
+bool IncrementalLp::TryIncrementalRoot(const LinearProgram& lp, const SimplexOptions& options,
+                                       const SimplexBasis* hint, uint64_t hint_fingerprint,
+                                       LpSolution* solution) {
+  ++stats_.root_solves;
+  pending_attempted_ = false;
+  pending_discarded_ = 0;
+  const uint64_t fp = LpStructureFingerprint(lp);
+  pending_fingerprint_ = fp;
+  SimplexOptions opts = options;
+  opts.warm_basis = nullptr;  // The session manages its own basis reuse.
+  opts.capture_basis = true;
+
+  bool resolved = false;
+  if (retained_ && engine_.has_factorized_basis() && fp == fingerprint_) {
+    // Live path: parameter deltas against the retained factorization.
+    ApplyParameters(lp);
+    engine_.set_options(opts);
+    pending_attempted_ = true;
+    resolved = engine_.ResolveFromBasis(*solution);
+    stats_.dual_pivots += engine_.last_dual_iterations();
+    if (!resolved) {
+      pending_discarded_ += solution->iterations;
+    }
+  } else if (hint != nullptr && !hint->empty() && hint_fingerprint == fp) {
+    // Rebuild path (first use after a checkpoint restore): load the program
+    // and install the serialized basis. The canonicalizing refactorization
+    // makes the resulting engine state bit-identical to the live path's, so
+    // the pivot sequence -- and every iteration-count metric derived from
+    // it -- replays exactly.
+    engine_.Load(lp, opts);
+    fingerprint_ = fp;
+    retained_ = false;
+    if (engine_.InstallBasis(*hint)) {
+      pending_attempted_ = true;
+      resolved = engine_.ResolveFromBasis(*solution);
+      stats_.dual_pivots += engine_.last_dual_iterations();
+      if (!resolved) {
+        pending_discarded_ += solution->iterations;
+      }
+    }
+  } else if (retained_ && fp != fingerprint_) {
+    ++stats_.structure_mismatches;
+  }
+  return resolved;
+}
+
+void IncrementalLp::AcceptRoot() {
+  ++stats_.incremental_roots;
+  engine_dirty_ = false;
+  pending_attempted_ = false;
+  pending_discarded_ = 0;
+}
+
+LpSolution IncrementalLp::ColdRoot(const LinearProgram& lp, const SimplexOptions& options,
+                                   int rejected_iterations) {
+  SimplexOptions opts = options;
+  opts.warm_basis = nullptr;
+  opts.capture_basis = true;
+  pending_discarded_ += rejected_iterations;
+  if (pending_attempted_) {
+    ++stats_.cold_fallbacks;
+    stats_.discarded_pivots += pending_discarded_;
+  }
+
+  // From-scratch path: fresh load + cold primal two-phase solve, exactly
+  // what a session-less caller runs. Pivots burned on the rejected attempt
+  // are surfaced in the iteration total so solver-effort metrics stay
+  // honest.
+  engine_.Load(lp, opts);
+  fingerprint_ = pending_fingerprint_;
+  LpSolution solution = engine_.SolveFresh();
+  solution.iterations += pending_discarded_;
+  engine_dirty_ = false;
+  pending_attempted_ = false;
+  pending_discarded_ = 0;
+  return solution;
+}
+
+void IncrementalLp::FinalizeRound(const SimplexBasis& root_basis, bool root_retainable) {
+  if (!root_retainable || root_basis.empty()) {
+    Invalidate();
+    return;
+  }
+  if (engine_dirty_) {
+    if (!engine_.InstallBasis(root_basis)) {
+      Invalidate();
+      return;
+    }
+    engine_dirty_ = false;
+  }
+  retained_ = engine_.has_factorized_basis();
+}
+
+void IncrementalLp::Invalidate() {
+  retained_ = false;
+  engine_dirty_ = false;
+}
+
+}  // namespace sia

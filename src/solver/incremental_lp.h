@@ -1,0 +1,131 @@
+// Incremental LP session (ISSUE 8): persists one SimplexEngine -- sparse
+// columns, the factorized dense basis inverse, and the optimal basis --
+// across scheduling rounds, so a round whose LP has the same *structure* as
+// the previous one (same rows, same sparsity pattern, same coefficients) is
+// re-solved by applying parameter deltas (objective, bounds, rhs) and
+// running the dual simplex phase from the previous optimal basis instead of
+// rebuilding and running primal phase 1.
+//
+// Byte-identity contract. An incremental answer may only stand when it is
+// *provably* the one a from-scratch solve produces:
+//   * the re-solve reaches kOptimal with a certified-unique optimal basis
+//     (every correct solve of the program lands on that basis), or with a
+//     certified-unique optimal *solution* at an integral vertex whose values
+//     were snapped to their canonical bound pattern (see SolveMilp's
+//     SnapIntegralRoot -- the dominant case for Sia's degenerate scheduling
+//     LPs), or proves the program infeasible from a verified dual-feasible
+//     basis (the same answer phase 1 gives);
+//   * anything else -- structural mismatch, rejected basis, dual-phase
+//     stall, uncertified optimum -- falls back to an engine reload plus
+//     SolveFresh(), which IS the from-scratch path, with the pivots burned
+//     on the failed attempt counted into the reported iteration total.
+// The gate itself lives in SolveMilp (it needs the snap result); the session
+// exposes the attempt / accept / cold-fallback steps separately.
+// Since the engine canonicalizes + refactorizes at every optimum, its kept
+// state is a pure function of (program, basis set), never of the pivot path
+// -- which is also what makes a session rebuilt from a serialized basis
+// (crash/resume) replay the exact pivot sequence of the live session it
+// replaces.
+#ifndef SIA_SRC_SOLVER_INCREMENTAL_LP_H_
+#define SIA_SRC_SOLVER_INCREMENTAL_LP_H_
+
+#include <cstdint>
+
+#include "src/solver/simplex.h"
+
+namespace sia {
+
+// FNV-1a hash of the LP's *structure*: dimensions, constraint ops, sparsity
+// pattern, constraint coefficients, and integrality markers. Deliberately
+// excludes objective, bounds, and rhs -- those are the parameters the
+// session deltas in place. Two LPs with equal fingerprints are re-solvable
+// through the same engine load.
+uint64_t LpStructureFingerprint(const LinearProgram& lp);
+
+struct IncrementalLpStats {
+  long long root_solves = 0;           // TryIncrementalRoot calls.
+  long long incremental_roots = 0;     // Answered from a re-used basis.
+  long long cold_fallbacks = 0;        // Attempted re-use, fell back cold.
+  long long structure_mismatches = 0;  // Fingerprint change forced a reload.
+  long long dual_pivots = 0;           // Dual-simplex pivots across roots.
+  long long discarded_pivots = 0;      // Pivots burned on rejected attempts.
+};
+
+class IncrementalLp {
+ public:
+  IncrementalLp() = default;
+  IncrementalLp(const IncrementalLp&) = delete;
+  IncrementalLp& operator=(const IncrementalLp&) = delete;
+
+  // The persistent engine; branch-and-bound child nodes solve directly on
+  // it (bound overrides + InstallBasis/ResolveFromBasis), calling
+  // MarkEngineDirty() so FinalizeRound knows to reinstall the root basis.
+  SimplexEngine& engine() { return engine_; }
+
+  // Step 1 of a root solve: attempts the incremental path. Prefers the
+  // retained basis (when the structure fingerprint matches), then a
+  // caller-provided serialized basis `hint` stamped with the fingerprint of
+  // the LP it was captured from (the crash/resume path). Returns true with
+  // `solution` filled in when a re-solve completed; the caller then
+  // evaluates the byte-identity gate and either calls AcceptRoot() or
+  // discards the answer and calls ColdRoot(). Returns false when no
+  // incremental attempt was possible (or the attempt aborted mid-flight) --
+  // the caller must then call ColdRoot(). `options` should carry no
+  // warm_basis; capture_basis is forced on.
+  bool TryIncrementalRoot(const LinearProgram& lp, const SimplexOptions& options,
+                          const SimplexBasis* hint, uint64_t hint_fingerprint,
+                          LpSolution* solution);
+
+  // Step 2a: the caller's gate accepted the TryIncrementalRoot answer.
+  void AcceptRoot();
+
+  // Step 2b: from-scratch path -- fresh engine load + cold primal two-phase
+  // solve, exactly what a session-less caller runs. `rejected_iterations`
+  // carries the pivot count of a gate-rejected TryIncrementalRoot answer
+  // (0 if none); together with pivots burned on an aborted attempt it is
+  // folded into the returned iteration total so solver-effort metrics stay
+  // honest, and accounted as a cold fallback when an attempt was made.
+  LpSolution ColdRoot(const LinearProgram& lp, const SimplexOptions& options,
+                      int rejected_iterations);
+
+  // Child node solves pivot the engine away from the root state.
+  void MarkEngineDirty() { engine_dirty_ = true; }
+
+  // Ends the round: retains the session for the next round iff the final
+  // root optimum passed the byte-identity gate (`root_retainable`) and
+  // exported a basis -- the exact rule governing MilpWarmStart basis
+  // export, so a live session and one rebuilt from the serialized warm
+  // start agree on whether reuse happens. If children dirtied the engine,
+  // the root basis is reinstalled.
+  void FinalizeRound(const SimplexBasis& root_basis, bool root_retainable);
+
+  // Drops the retained basis; the next root solve reloads cold. Parameter
+  // state and heap capacity survive. Call on any out-of-band break
+  // (checkpoint restore, estimator refit changing the LP shape, ...).
+  void Invalidate();
+
+  bool retained() const { return retained_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  const IncrementalLpStats& stats() const { return stats_; }
+
+ private:
+  // Copies the LP's objective, variable bounds, and rhs into the loaded
+  // engine -- the full parameter delta for a structure-identical round.
+  void ApplyParameters(const LinearProgram& lp);
+
+  SimplexEngine engine_;
+  bool retained_ = false;
+  bool engine_dirty_ = false;
+  uint64_t fingerprint_ = 0;
+  // Between TryIncrementalRoot and AcceptRoot/ColdRoot: whether an
+  // incremental attempt ran, the pivots it burned if it aborted, and the
+  // new program's fingerprint (ColdRoot adopts it on reload).
+  bool pending_attempted_ = false;
+  int pending_discarded_ = 0;
+  uint64_t pending_fingerprint_ = 0;
+  IncrementalLpStats stats_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SRC_SOLVER_INCREMENTAL_LP_H_

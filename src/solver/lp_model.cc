@@ -1,6 +1,6 @@
 #include "src/solver/lp_model.h"
 
-#include <map>
+#include <algorithm>
 
 #include "src/common/check.h"
 
@@ -22,26 +22,80 @@ int LinearProgram::AddBinaryVariable(double objective, std::string name) {
   return var;
 }
 
+int LinearProgram::AddConstraint(ConstraintOp op, double rhs, const LpEntry* terms,
+                                 size_t num_terms, std::string name) {
+  const int row_index = static_cast<int>(rhs_.size());
+  if (static_cast<size_t>(row_index) == rows_.size()) {
+    rows_.emplace_back();
+  }
+  // Reuses the heap of whatever row occupied this slot before the last
+  // Reset(); a round that rebuilds a same-shaped program row by row touches
+  // the allocator zero times here.
+  std::vector<LpTerm>& row = rows_[row_index];
+  row.clear();
+  row.reserve(num_terms);
+  for (size_t i = 0; i < num_terms; ++i) {
+    row.emplace_back(terms[i].var, terms[i].coeff);
+  }
+  return SealConstraint(op, rhs, std::move(name));
+}
+
 int LinearProgram::AddConstraint(ConstraintOp op, double rhs, std::vector<LpTerm> terms,
                                  std::string name) {
-  // Merge duplicate indices so the simplex sees clean sparse columns.
-  std::map<int, double> merged;
-  for (const auto& [var, coeff] : terms) {
-    SIA_CHECK(var >= 0 && var < num_variables()) << "constraint references variable " << var;
-    merged[var] += coeff;
+  const int row_index = static_cast<int>(rhs_.size());
+  if (static_cast<size_t>(row_index) == rows_.size()) {
+    rows_.emplace_back();
   }
-  std::vector<LpTerm> row;
-  row.reserve(merged.size());
-  for (const auto& [var, coeff] : merged) {
-    if (coeff != 0.0) {
-      row.emplace_back(var, coeff);
+  rows_[row_index] = std::move(terms);
+  return SealConstraint(op, rhs, std::move(name));
+}
+
+// Validates, canonicalizes, and registers rows_[rhs_.size()], which the
+// AddConstraint overloads have just filled.
+int LinearProgram::SealConstraint(ConstraintOp op, double rhs, std::string name) {
+  const int row_index = static_cast<int>(rhs_.size());
+  std::vector<LpTerm>& row = rows_[row_index];
+  for (const auto& [var, coeff] : row) {
+    (void)coeff;
+    SIA_CHECK(var >= 0 && var < num_variables()) << "constraint references variable " << var;
+  }
+  // Merge duplicate indices so the simplex sees clean sparse columns. The
+  // stable sort keeps duplicate terms in input order, so each variable's
+  // coefficients are summed in the same order the historical std::map-based
+  // merge used -- bit-identical rows.
+  std::stable_sort(row.begin(), row.end(),
+                   [](const LpTerm& a, const LpTerm& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t i = 0; i < row.size();) {
+    const int var = row[i].first;
+    double sum = 0.0;
+    for (; i < row.size() && row[i].first == var; ++i) {
+      sum += row[i].second;
+    }
+    if (sum != 0.0) {
+      row[out++] = {var, sum};
     }
   }
-  rows_.push_back(std::move(row));
+  row.resize(out);
   ops_.push_back(op);
   rhs_.push_back(rhs);
   row_names_.push_back(std::move(name));
-  return num_constraints() - 1;
+  return row_index;
+}
+
+void LinearProgram::Reset(ObjectiveSense sense) {
+  sense_ = sense;
+  objective_.clear();
+  lower_.clear();
+  upper_.clear();
+  integer_.clear();
+  var_names_.clear();
+  ops_.clear();
+  rhs_.clear();
+  row_names_.clear();
+  // rows_ is deliberately kept: row slots beyond rhs_.size() are dead until
+  // AddConstraint re-populates them, and their retained heap is what makes
+  // the rebuild allocation-free.
 }
 
 void LinearProgram::SetObjectiveCoefficient(int var, double coeff) {

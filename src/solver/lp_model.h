@@ -8,6 +8,7 @@
 #ifndef SIA_SRC_SOLVER_LP_MODEL_H_
 #define SIA_SRC_SOLVER_LP_MODEL_H_
 
+#include <cstddef>
 #include <limits>
 #include <string>
 #include <utility>
@@ -24,6 +25,13 @@ enum class ConstraintOp { kLessEq, kGreaterEq, kEqual };
 // One sparse term: (variable index, coefficient).
 using LpTerm = std::pair<int, double>;
 
+// Trivially copyable twin of LpTerm for arena-backed row builders
+// (ArenaVector requires trivially copyable elements; std::pair is not).
+struct LpEntry {
+  int var;
+  double coeff;
+};
+
 class LinearProgram {
  public:
   explicit LinearProgram(ObjectiveSense sense = ObjectiveSense::kMaximize) : sense_(sense) {}
@@ -39,6 +47,18 @@ class LinearProgram {
   // are summed. Returns the row index.
   int AddConstraint(ConstraintOp op, double rhs, std::vector<LpTerm> terms,
                     std::string name = "");
+  // Copy-free variant for hot builders (ISSUE 8): terms come from caller
+  // scratch (e.g. an arena) and the merged row reuses the heap the slot held
+  // before the last Reset(). Produces bit-identical rows to the vector
+  // overload.
+  int AddConstraint(ConstraintOp op, double rhs, const LpEntry* terms, size_t num_terms,
+                    std::string name = "");
+
+  // Clears the program for an in-place rebuild while keeping every
+  // container's heap capacity (including per-row term storage), so a
+  // scheduler that rebuilds a same-shaped program every round performs no
+  // steady-state allocations here.
+  void Reset(ObjectiveSense sense);
 
   void SetObjectiveSense(ObjectiveSense sense) { sense_ = sense; }
   ObjectiveSense objective_sense() const { return sense_; }
@@ -62,6 +82,8 @@ class LinearProgram {
   const std::vector<LpTerm>& row_terms(int row) const { return rows_[row]; }
 
  private:
+  int SealConstraint(ConstraintOp op, double rhs, std::string name);
+
   ObjectiveSense sense_;
   std::vector<double> objective_;
   std::vector<double> lower_;
@@ -122,6 +144,16 @@ struct LpSolution {
   // MILP accept a cross-round warm basis without risking a different
   // answer. Only computed for kOptimal solves.
   bool unique_optimal_basis = false;
+  // Weaker certificate: the optimal *solution vector* is unique, even if
+  // several bases represent it (primal degeneracy). Strictly nonzero
+  // reduced costs on every movable nonbasic variable imply any feasible
+  // move strictly worsens the objective, so every correct solve terminates
+  // at this vertex -- possibly via a different basis, whose recomputed
+  // basic values can differ in the last bits. Consumers that need
+  // byte-identical answers across solve paths must therefore pair this
+  // with a canonical, basis-independent rounding of the values (see
+  // SolveMilp's integral-root snap). Only computed for kOptimal solves.
+  bool unique_optimal_solution = false;
   // Final basis (populated when SimplexOptions::capture_basis is set and the
   // solve ended kOptimal with no artificial variable left in the basis).
   SimplexBasis basis;

@@ -7,21 +7,33 @@
 #include <queue>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/check.h"
 
 namespace sia {
 namespace {
 
+// One bound override accumulated along a branch.
+struct BoundOverride {
+  int var;
+  double lower;
+  double upper;
+};
+
+// B&B node state lives in per-solve arena pools (ISSUE 8): a node's override
+// chain and its parent-basis snapshot are (begin, count) ranges into
+// append-only ArenaVectors, so expanding a node performs no individual
+// allocations and both children share one basis snapshot. Trivially
+// copyable, which is what lets the heap itself be an ArenaVector.
 struct BranchNode {
-  // Bound overrides accumulated along the branch, (var, lower, upper).
-  std::vector<std::tuple<int, double, double>> overrides;
+  uint32_t overrides_begin;  // Range into the override pool.
+  uint32_t overrides_count;
   double bound;  // LP objective of the parent (max-normalized).
   int depth;
   // Creation order; the deterministic tie-break of the best-first heap.
   long long seq;
-  // Parent relaxation's optimal basis, shared by both children. May be null
-  // (parent LP did not export a basis); the simplex falls back to cold.
-  std::shared_ptr<const SimplexBasis> parent_basis;
+  uint32_t basis_begin;  // Parent basis snapshot in the basis pool.
+  uint32_t basis_count;  // 0 = none; the simplex falls back to cold.
 };
 
 // Best-first ordering: highest bound wins; among equal bounds the deeper
@@ -168,6 +180,58 @@ std::pair<double, std::vector<double>> PackingRound(const LinearProgram& lp,
   return {sign * objective, std::move(values)};
 }
 
+// Canonical, basis-independent rounding for integral root vertices. When
+// every variable of an optimal relaxation sits within tolerance of one of
+// its bounds, the vertex is determined by its bound pattern alone: snap each
+// value exactly to the nearer bound and recompute the objective in index
+// order. Two solves that reach the same unique optimal *solution* through
+// different bases (primal degeneracy -- the norm for Sia's near-integral
+// scheduling LPs, where most basic binaries rest exactly on 0/1) then report
+// byte-identical values and objective, which is what lets the incremental
+// session's byte-identity gate accept a degenerate-but-unique-solution
+// answer. Returns false, leaving the solution untouched, when any variable
+// is interior. Idempotent: re-snapping snapped values is a no-op.
+bool SnapIntegralRoot(const LinearProgram& lp, LpSolution* solution) {
+  constexpr double kSnapTol = 1e-6;
+  const int n = lp.num_variables();
+  if (static_cast<int>(solution->values.size()) != n) {
+    return false;
+  }
+  for (int j = 0; j < n; ++j) {
+    const double lo = lp.lower_bound(j);
+    const double hi = lp.upper_bound(j);
+    const double v = solution->values[j];
+    if (!(std::isfinite(lo) && std::abs(v - lo) <= kSnapTol) &&
+        !(std::isfinite(hi) && std::abs(v - hi) <= kSnapTol)) {
+      return false;
+    }
+  }
+  double objective = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double lo = lp.lower_bound(j);
+    double& v = solution->values[j];
+    // Lower bound wins a (pathological) tie, deterministically.
+    v = std::isfinite(lo) && std::abs(v - lo) <= kSnapTol ? lo : lp.upper_bound(j);
+    objective += lp.objective_coefficient(j) * v;
+  }
+  solution->objective = objective;
+  return true;
+}
+
+// The byte-identity accept predicate shared by the incremental session's
+// root gate and the session-less warm-root redo gate: the answer provably
+// equals the from-scratch one when it is an infeasibility proof, carries a
+// certified-unique optimal basis, or carries a certified-unique optimal
+// solution whose integral vertex was snapped to its canonical bound pattern.
+bool RootAnswerCanonical(const LpSolution& solution, bool snapped) {
+  if (solution.status == SolveStatus::kInfeasible) {
+    return true;
+  }
+  return solution.status == SolveStatus::kOptimal &&
+         (solution.unique_optimal_basis ||
+          (solution.unique_optimal_solution && snapped));
+}
+
 // Finds the integral variable whose LP value is most fractional.
 int MostFractional(const LinearProgram& lp, const std::vector<double>& values, double tol) {
   int best = -1;
@@ -194,9 +258,16 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   // Normalize: internally we compare objectives as "bigger is better".
   const double sign = maximizing ? 1.0 : -1.0;
 
-  // Mutable copy whose bounds we override per node.
-  LinearProgram working = lp;
   const bool use_rounding = options.packing_rounding && IsPackingShaped(lp);
+
+  // One simplex engine -- columns, factorized basis inverse, pricing and
+  // ratio-test scratch -- serves every branch-and-bound node: bound
+  // overrides are applied in place and children re-solve from their
+  // parent's basis through the dual simplex phase (ISSUE 8). With an
+  // IncrementalLp session the engine additionally persists across calls.
+  SimplexEngine local_engine;
+  IncrementalLp* const session = options.session;
+  SimplexEngine& engine = session != nullptr ? session->engine() : local_engine;
 
   double incumbent_obj = -kLpInfinity;
   std::vector<double> incumbent_values;
@@ -211,7 +282,7 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   // hint serves purely as a fallback answer when the search itself ends
   // with no incumbent. The basis hint still seeds the root relaxation.
   const MilpWarmStart* warm = options.warm_start;
-  std::shared_ptr<const SimplexBasis> root_hint;
+  const SimplexBasis* root_hint = nullptr;
   double warm_obj = -kLpInfinity;
   std::vector<double> warm_values;
   bool have_warm_fallback = false;
@@ -232,16 +303,24 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       have_warm_fallback = true;
     }
     if (!warm->basis.empty()) {
-      root_hint = std::make_shared<SimplexBasis>(warm->basis);
+      root_hint = &warm->basis;
     }
   }
+
+  // Node-state arena (ISSUE 8): callers on a hot loop (the scheduler) pass a
+  // persistent per-round arena so steady-state solves allocate nothing here;
+  // one-shot callers get a local arena with identical behavior.
+  ScratchArena local_arena;
+  ScratchArena* arena = options.arena != nullptr ? options.arena : &local_arena;
+  ArenaVector<BoundOverride> override_pool(arena);
+  ArenaVector<uint8_t> basis_pool(arena);
 
   // Best-first heap: the node with the highest LP bound is explored next,
   // so the tree never expands a node that the final bound proof would have
   // pruned (modulo ties). Kept as a manual heap so nodes can be moved out.
-  std::vector<BranchNode> heap;
+  ArenaVector<BranchNode> heap(arena);
   long long next_seq = 0;
-  heap.push_back({{}, kLpInfinity, 0, next_seq++, root_hint});
+  heap.push_back({0, 0, kLpInfinity, 0, next_seq++, 0, 0});
 
   const auto start_time = std::chrono::steady_clock::now();
   auto out_of_time = [&]() {
@@ -261,11 +340,30 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   int cold_root_baseline = warm != nullptr ? warm->cold_root_iterations : 0;
   bool root_solved = false;
   bool root_was_warm = false;
-  bool root_unique = false;
+  // Whether the root answer passed the byte-identity gate (canonical basis
+  // or snapped-unique solution) -- the shared rule for exporting the warm
+  // basis and for retaining the incremental session.
+  bool root_retainable = false;
   int root_iterations = 0;
   SimplexBasis root_basis;
   bool hit_node_limit = false;
   bool hit_time_limit = false;
+
+  // The session outlives this solve; on every exit path it must either
+  // retain the round's root state (certified unique + basis exported, with
+  // the root basis reinstalled if children pivoted the engine away) or be
+  // invalidated. Scope guard, because the search below returns early.
+  struct SessionFinalizer {
+    IncrementalLp* session;
+    const SimplexBasis* root_basis;
+    const bool* root_retainable;
+    ~SessionFinalizer() {
+      if (session != nullptr) {
+        session->FinalizeRound(*root_basis, *root_retainable);
+      }
+    }
+  };
+  const SessionFinalizer finalizer{session, &root_basis, &root_retainable};
   while (!heap.empty()) {
     if (nodes >= options.max_nodes) {
       hit_node_limit = true;
@@ -276,30 +374,26 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       break;
     }
     std::pop_heap(heap.begin(), heap.end(), NodeWorse{});
-    BranchNode node = std::move(heap.back());
+    const BranchNode node = heap.back();
     heap.pop_back();
     if (have_incumbent && node.bound <= incumbent_obj + std::abs(incumbent_obj) *
                                                             options.relative_gap) {
       continue;  // Pruned by bound.
     }
 
-    // Apply overrides.
-    std::vector<std::tuple<int, double, double>> saved;
-    saved.reserve(node.overrides.size());
     bool bounds_ok = true;
-    for (const auto& [var, lo, hi] : node.overrides) {
-      saved.emplace_back(var, working.lower_bound(var), working.upper_bound(var));
-      if (lo > hi) {
+    for (uint32_t k = 0; k < node.overrides_count; ++k) {
+      const BoundOverride& ov = override_pool[node.overrides_begin + k];
+      if (ov.lower > ov.upper) {
         bounds_ok = false;
         break;
       }
-      working.SetVariableBounds(var, lo, hi);
     }
 
     LpSolution relaxation;
     if (bounds_ok) {
       SimplexOptions node_simplex = options.simplex;
-      node_simplex.warm_basis = node.parent_basis != nullptr ? node.parent_basis.get() : nullptr;
+      node_simplex.warm_basis = nullptr;
       node_simplex.capture_basis = true;
       if (options.time_limit_seconds > 0.0) {
         // Confine each node LP to the MILP budget's remainder so a single
@@ -313,19 +407,97 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
           node_simplex.time_limit_seconds = remaining;
         }
       }
-      relaxation = SolveLp(working, node_simplex);
-      if (node.depth == 0 && relaxation.warm_started &&
-          !(relaxation.status == SolveStatus::kOptimal && relaxation.unique_optimal_basis)) {
-        // The cross-round basis hint is only allowed to influence the solve
-        // when the root optimum is certifiably unique -- otherwise a warm
-        // solve can settle on a different (equally optimal) vertex than a
-        // cold solve, branch differently, and return a different
-        // near-optimal answer (found by sia_fuzz). Redo the root exactly as
-        // a cold solve would.
-        lp_iterations += relaxation.iterations;
-        node_simplex.warm_basis = nullptr;
-        relaxation = SolveLp(working, node_simplex);
+
+      if (node.depth == 0) {
+        if (session != nullptr) {
+          // Incremental root (ISSUE 8): dual-simplex re-solve from the
+          // retained factorization (or a restored serialized basis). The
+          // answer stands only when RootAnswerCanonical proves it equals the
+          // from-scratch one; anything else is discarded and the session's
+          // cold path -- a fresh load + SolveFresh, which IS the
+          // from-scratch solve -- runs instead.
+          const long long dual_before = session->stats().dual_pivots;
+          LpSolution candidate;
+          bool accepted = false;
+          const bool tried = session->TryIncrementalRoot(
+              lp, node_simplex, root_hint, warm != nullptr ? warm->lp_fingerprint : 0,
+              &candidate);
+          if (tried) {
+            const bool snapped = candidate.status == SolveStatus::kOptimal &&
+                                 SnapIntegralRoot(lp, &candidate);
+            if (RootAnswerCanonical(candidate, snapped)) {
+              session->AcceptRoot();
+              relaxation = std::move(candidate);
+              accepted = true;
+            }
+          }
+          if (!accepted) {
+            relaxation = session->ColdRoot(lp, node_simplex,
+                                           tried ? candidate.iterations : 0);
+          }
+          result.dual_pivots += session->stats().dual_pivots - dual_before;
+          if (!relaxation.warm_started) {
+            ++result.cold_node_solves;
+          }
+        } else {
+          node_simplex.warm_basis = root_hint;
+          engine.Load(lp, node_simplex);
+          relaxation = engine.Solve();
+          if (relaxation.warm_started) {
+            // The cross-round basis hint is only allowed to influence the
+            // solve when the root answer is canonical (unique basis, or
+            // unique solution snapped to its integral vertex) -- otherwise
+            // a warm solve can settle on a different (equally optimal)
+            // vertex than a cold solve, branch differently, and return a
+            // different near-optimal answer (found by sia_fuzz). Redo the
+            // root exactly as a cold solve would.
+            const bool snapped = relaxation.status == SolveStatus::kOptimal &&
+                                 SnapIntegralRoot(lp, &relaxation);
+            if (!RootAnswerCanonical(relaxation, snapped)) {
+              lp_iterations += relaxation.iterations;
+              relaxation = engine.SolveFresh();
+            }
+          }
+          if (!relaxation.warm_started) {
+            ++result.cold_node_solves;
+          }
+        }
+      } else {
+        // Child node: tighten bounds in place on the shared engine, restart
+        // from the parent's optimal basis, and let the dual simplex phase
+        // repair the (usually one-variable) primal infeasibility the new
+        // bounds introduced. Any rejection falls back to a cold two-phase
+        // solve of the same program.
+        for (uint32_t k = 0; k < node.overrides_count; ++k) {
+          const BoundOverride& ov = override_pool[node.overrides_begin + k];
+          engine.SetVariableBounds(ov.var, ov.lower, ov.upper);
+        }
+        engine.set_options(node_simplex);
+        if (session != nullptr) {
+          session->MarkEngineDirty();
+        }
+        bool resolved = false;
+        if (node.basis_count > 0 &&
+            engine.InstallBasis(basis_pool.data() + node.basis_begin, node.basis_count)) {
+          if (engine.ResolveFromBasis(relaxation)) {
+            resolved = true;
+          } else {
+            lp_iterations += relaxation.iterations;  // Burned attempt.
+          }
+          result.dual_pivots += engine.last_dual_iterations();
+        }
+        if (!resolved) {
+          relaxation = engine.SolveFresh();
+          ++result.cold_node_solves;
+        }
+        // Restore the root bound state (branch values were derived from the
+        // original program's bounds, so plain lp bounds are the inverse).
+        for (uint32_t k = node.overrides_count; k-- > 0;) {
+          const int var = override_pool[node.overrides_begin + k].var;
+          engine.SetVariableBounds(var, lp.lower_bound(var), lp.upper_bound(var));
+        }
       }
+
       ++nodes;
       lp_iterations += relaxation.iterations;
       if (relaxation.warm_started) {
@@ -338,16 +510,20 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
       if (!root_solved && node.depth == 0) {
         root_solved = true;
         root_was_warm = relaxation.warm_started;
-        root_unique = relaxation.status == SolveStatus::kOptimal &&
-                      relaxation.unique_optimal_basis;
+        // Canonical snap on EVERY root path -- incremental, cold fallback,
+        // session-less warm or cold -- so all of them report byte-identical
+        // values and objective for the dominant all-integral round. A no-op
+        // when an earlier gate already snapped this solution.
+        bool root_snapped = false;
+        if (relaxation.status == SolveStatus::kOptimal) {
+          root_snapped = SnapIntegralRoot(lp, &relaxation);
+        }
+        root_retainable = relaxation.status == SolveStatus::kOptimal &&
+                          (relaxation.unique_optimal_basis ||
+                           (relaxation.unique_optimal_solution && root_snapped));
         root_iterations = relaxation.iterations;
         root_basis = relaxation.basis;  // Copy; children still need theirs.
       }
-    }
-
-    // Restore bounds before any continue/branch bookkeeping.
-    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
-      working.SetVariableBounds(std::get<0>(*it), std::get<1>(*it), std::get<2>(*it));
     }
 
     if (!bounds_ok || relaxation.status == SolveStatus::kInfeasible) {
@@ -411,18 +587,37 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
     const double value = relaxation.values[branch_var];
     const double floor_value = std::floor(value);
 
-    std::shared_ptr<const SimplexBasis> child_basis;
+    // One basis snapshot in the pool, shared by both children.
+    uint32_t basis_begin = 0;
+    uint32_t basis_count = 0;
     if (!relaxation.basis.empty()) {
-      child_basis = std::make_shared<SimplexBasis>(std::move(relaxation.basis));
+      basis_begin = static_cast<uint32_t>(basis_pool.size());
+      basis_count = static_cast<uint32_t>(relaxation.basis.state.size());
+      for (const uint8_t s : relaxation.basis.state) {
+        basis_pool.push_back(s);
+      }
     }
-
-    BranchNode up_child{node.overrides, node_obj, node.depth + 1, 0, child_basis};
-    up_child.overrides.emplace_back(branch_var,
-                                    std::max(working.lower_bound(branch_var), floor_value + 1.0),
-                                    working.upper_bound(branch_var));
-    BranchNode down_child{std::move(node.overrides), node_obj, node.depth + 1, 0, child_basis};
-    down_child.overrides.emplace_back(branch_var, working.lower_bound(branch_var),
-                                      std::min(working.upper_bound(branch_var), floor_value));
+    // Each child's override chain = the parent's chain + one entry, appended
+    // contiguously to the pool. Indexing (not pointers) keeps the copy loop
+    // safe across pool growth.
+    const auto copy_parent_overrides = [&]() {
+      const uint32_t begin = static_cast<uint32_t>(override_pool.size());
+      for (uint32_t k = 0; k < node.overrides_count; ++k) {
+        override_pool.push_back(override_pool[node.overrides_begin + k]);
+      }
+      return begin;
+    };
+    const uint32_t up_begin = copy_parent_overrides();
+    override_pool.push_back({branch_var,
+                             std::max(lp.lower_bound(branch_var), floor_value + 1.0),
+                             lp.upper_bound(branch_var)});
+    BranchNode up_child{up_begin,   node.overrides_count + 1, node_obj, node.depth + 1,
+                        0,          basis_begin,              basis_count};
+    const uint32_t down_begin = copy_parent_overrides();
+    override_pool.push_back({branch_var, lp.lower_bound(branch_var),
+                             std::min(lp.upper_bound(branch_var), floor_value)});
+    BranchNode down_child{down_begin, node.overrides_count + 1, node_obj, node.depth + 1,
+                          0,          basis_begin,              basis_count};
 
     BranchNode* first = &down_child;
     BranchNode* second = &up_child;
@@ -431,9 +626,9 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
     }
     first->seq = next_seq++;
     second->seq = next_seq++;
-    heap.push_back(std::move(*first));
+    heap.push_back(*first);
     std::push_heap(heap.begin(), heap.end(), NodeWorse{});
-    heap.push_back(std::move(*second));
+    heap.push_back(*second);
     std::push_heap(heap.begin(), heap.end(), NodeWorse{});
   }
 
@@ -443,12 +638,18 @@ MilpSolution SolveMilp(const LinearProgram& lp, const MilpOptions& options) {
   result.warm_start_pivots_saved = pivots_saved;
   // Export warm-start state for the next solve of a near-identical program.
   if (root_solved) {
-    // The basis hint is exported only when this root's optimum was certified
-    // unique: on a degenerate program the hint would be rejected (and its
-    // attempt wasted) by the next solve's uniqueness gate anyway, so
-    // withholding it keeps warm rounds exactly as cheap as cold ones.
-    if (root_unique) {
-      result.next_warm_start.basis = std::move(root_basis);
+    // The basis hint is exported only when this root's answer was canonical
+    // (unique basis, or snapped-unique solution): otherwise the hint would
+    // be rejected (and its attempt wasted) by the next solve's byte-identity
+    // gate anyway, so withholding it keeps warm rounds exactly as cheap as
+    // cold ones. Same rule as IncrementalLp::FinalizeRound, which is what
+    // keeps a live session and one rebuilt from this serialized state in
+    // lockstep.
+    if (root_retainable) {
+      // Copy, not move: the session finalizer still reads root_basis to
+      // reinstall the engine's root state at scope exit.
+      result.next_warm_start.basis = root_basis;
+      result.next_warm_start.lp_fingerprint = LpStructureFingerprint(lp);
     }
     // A warm root's pivot count is not a cold baseline; keep the inherited
     // one in that case.
@@ -490,12 +691,14 @@ void SaveWarmStart(BinaryWriter& w, const MilpWarmStart& warm) {
   w.VecF64(warm.incumbent_values);
   w.VecU8(warm.basis.state);
   w.I32(warm.cold_root_iterations);
+  w.U64(warm.lp_fingerprint);
 }
 
 bool RestoreWarmStart(BinaryReader& r, MilpWarmStart* warm) {
   warm->incumbent_values = r.VecF64();
   warm->basis.state = r.VecU8();
   warm->cold_root_iterations = r.I32();
+  warm->lp_fingerprint = r.U64();
   return r.ok();
 }
 

@@ -9,11 +9,16 @@
 #ifndef SIA_SRC_SOLVER_MILP_H_
 #define SIA_SRC_SOLVER_MILP_H_
 
+#include <cstdint>
+
 #include "src/common/binary_codec.h"
+#include "src/solver/incremental_lp.h"
 #include "src/solver/lp_model.h"
 #include "src/solver/simplex.h"
 
 namespace sia {
+
+class ScratchArena;
 
 // Cross-solve warm-start state (ISSUE 3). A scheduler keeps the
 // `next_warm_start` returned by round N and feeds it into round N+1's
@@ -29,16 +34,25 @@ struct MilpWarmStart {
   // failed solve into a feasible answer).
   std::vector<double> incumbent_values;
   // Root-LP optimal basis of the previous solve, used to skip phase 1. Only
-  // populated when that root's optimum was certified unique
-  // (LpSolution::unique_optimal_basis), and the warm root result is likewise
-  // kept only when the *new* root re-certifies -- i.e. when a cold solve
-  // provably lands on the same basis. Otherwise the root is (re-)solved cold
-  // so the hint cannot steer the search to a different near-optimal answer.
+  // populated when that root's answer was canonical: a certified-unique
+  // optimal basis (LpSolution::unique_optimal_basis), or a certified-unique
+  // optimal *solution* snapped to its integral vertex (the degenerate but
+  // dominant case for Sia's scheduling LPs). The warm root result is
+  // likewise kept only when the *new* root re-certifies -- i.e. when a cold
+  // solve provably reports the same values and objective. Otherwise the
+  // root is (re-)solved cold so the hint cannot steer the search to a
+  // different near-optimal answer.
   SimplexBasis basis;
   // Root-LP pivot count of the most recent *cold* solve in this chain;
   // carried forward across warm rounds as the baseline for the
   // pivots-saved estimate.
   int cold_root_iterations = 0;
+  // Structure fingerprint (LpStructureFingerprint) of the program `basis`
+  // was captured from. An IncrementalLp session rebuilt from this warm
+  // start (checkpoint restore) only installs the basis when the new
+  // program's fingerprint matches -- the same test the live session applies
+  // to its retained state, which keeps resumed pivot counts identical.
+  uint64_t lp_fingerprint = 0;
 
   bool empty() const { return incumbent_values.empty() && basis.empty(); }
 };
@@ -58,6 +72,19 @@ struct MilpOptions {
   double relative_gap = 1e-6;
   // Integrality tolerance.
   double integrality_tol = 1e-6;
+  // Optional persistent incremental session (ISSUE 8). When set, the root
+  // relaxation is solved through the session -- retained factorization plus
+  // dual-simplex re-solve, gated so only a certifiably from-scratch-equal
+  // answer is accepted -- and every node LP reuses the session's engine
+  // scratch. Not owned; must outlive the solve and must not be shared
+  // across threads.
+  IncrementalLp* session = nullptr;
+  // Optional arena for branch-and-bound node state (override chains, basis
+  // snapshots, the node heap). Callers solving every round (the scheduler)
+  // pass their per-round arena so steady-state solves allocate nothing;
+  // when null, a solve-local arena is used. Not owned; must not be shared
+  // across threads.
+  ScratchArena* arena = nullptr;
   // Enables a packing-aware rounding heuristic that builds an incumbent
   // from every LP relaxation. Safe (and automatically verified) only for
   // programs where all constraints are <= with non-negative coefficients on
@@ -80,6 +107,12 @@ struct MilpSolution {
   // max(0, cold_root_iterations - pivots actually used). An estimate -- the
   // exact number requires re-solving cold, which bench_solver_micro does.
   long long warm_start_pivots_saved = 0;
+  // Dual-simplex pivots spent restoring primal feasibility across node
+  // re-solves (child bound changes and incremental root deltas).
+  long long dual_pivots = 0;
+  // Node LPs that had no reusable basis (or whose re-solve attempt was
+  // rejected) and fell back to a cold two-phase solve.
+  int cold_node_solves = 0;
   // State to feed into the next round's MilpOptions::warm_start.
   MilpWarmStart next_warm_start;
 };

@@ -8,88 +8,22 @@
 #include "src/common/check.h"
 
 namespace sia {
+
 namespace {
+// Partial pricing scans this many candidate columns per block; the pivot
+// takes the best violation of the first block containing one. Must be large
+// enough that small programs degenerate to a plain full Dantzig scan.
+constexpr int kPricingBlock = 512;
+// Ratio-test pivot tolerance (unchanged from the original solver).
+constexpr double kPivotTol = 1e-9;
+// Dual-phase tolerance for "this basis is not dual feasible after all".
+constexpr double kDualFeasTol = 1e-6;
+}  // namespace
 
-enum class VarState : uint8_t {
-  kBasic,
-  kAtLower,
-  kAtUpper,
-  kNonbasicFree,  // Free variable resting at zero.
-};
-
-struct SparseColumn {
-  std::vector<int> rows;
-  std::vector<double> values;
-};
-
-// Internal solver working over the maximize form. All constraints are turned
-// into equalities via one slack per row; artificial variables are appended
-// on demand for phase 1.
-class SimplexSolver {
- public:
-  SimplexSolver(const LinearProgram& lp, const SimplexOptions& options);
-
-  LpSolution Solve();
-
- private:
-  // --- setup ---
-  void BuildColumns(const LinearProgram& lp);
-  void InitializeBasis();
-  // Attempts to install `hint` as the starting basis. On success the solver
-  // is primal-feasible and phase 1 can be skipped entirely. On failure the
-  // working state is garbage and the caller must run InitializeBasis().
-  bool TryWarmBasis(const SimplexBasis& hint);
-
-  // --- iteration machinery ---
-  // Runs simplex pivots until optimal w.r.t. `cost_` or a limit is reached.
-  // Returns the termination status for the current phase.
-  SolveStatus Iterate();
-  void ComputeDuals(std::vector<double>& y) const;
-  double ReducedCost(int var, const std::vector<double>& y) const;
-  void ComputeDirection(int var, std::vector<double>& w) const;
-  void Refactorize();
-  bool TryRefactorize();
-  void RecomputeBasicValues();
-  void CaptureBasis(LpSolution& solution) const;
-
-  bool CertifyUniqueOptimalBasis() const;
-
-  double LowerOf(int var) const { return lower_[var]; }
-  double UpperOf(int var) const { return upper_[var]; }
-
-  int num_total() const { return static_cast<int>(columns_.size()); }
-
-  const LinearProgram& lp_;
-  SimplexOptions options_;
-  int m_ = 0;               // Number of rows.
-  int n_structural_ = 0;    // Number of original variables.
-  int first_artificial_ = 0;
-  double sense_sign_ = 1.0;  // +1 maximize, -1 minimize (applied to costs).
-
-  std::vector<SparseColumn> columns_;
-  std::vector<double> lower_;
-  std::vector<double> upper_;
-  std::vector<double> cost_;        // Active phase cost.
-  std::vector<double> phase2_cost_; // Original (sense-normalized) cost.
-  std::vector<double> rhs_;
-
-  std::vector<int> basis_;          // Row -> basic variable.
-  std::vector<int> row_of_basic_;   // Var -> row (or -1).
-  std::vector<VarState> state_;
-  std::vector<double> x_;
-  std::vector<double> binv_;        // Dense m x m, row-major.
-
-  int iterations_ = 0;
-  int max_iterations_ = 0;
-  int degenerate_streak_ = 0;
-  bool bland_mode_ = false;
-
-  bool has_deadline_ = false;
-  std::chrono::steady_clock::time_point deadline_;
-};
-
-SimplexSolver::SimplexSolver(const LinearProgram& lp, const SimplexOptions& options)
-    : lp_(lp), options_(options) {
+void SimplexEngine::Load(const LinearProgram& lp, const SimplexOptions& options) {
+  options_ = options;
+  loaded_ = true;
+  basis_live_ = false;
   m_ = lp.num_constraints();
   n_structural_ = lp.num_variables();
   sense_sign_ = lp.objective_sense() == ObjectiveSense::kMaximize ? 1.0 : -1.0;
@@ -97,25 +31,42 @@ SimplexSolver::SimplexSolver(const LinearProgram& lp, const SimplexOptions& opti
   max_iterations_ = options_.max_iterations > 0
                         ? options_.max_iterations
                         : 20000 + 50 * (m_ + n_structural_);
-  if (options_.time_limit_seconds > 0.0) {
-    has_deadline_ = true;
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(options_.time_limit_seconds));
-  }
 }
 
-void SimplexSolver::BuildColumns(const LinearProgram& lp) {
-  columns_.resize(n_structural_ + m_);
-  lower_.resize(n_structural_ + m_);
-  upper_.resize(n_structural_ + m_);
-  phase2_cost_.assign(n_structural_ + m_, 0.0);
+void SimplexEngine::set_options(const SimplexOptions& options) {
+  options_ = options;
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 20000 + 50 * (m_ + n_structural_);
+}
+
+void SimplexEngine::BuildColumns(const LinearProgram& lp) {
+  const int total = n_structural_ + m_;
+  columns_.resize(total);
+  lower_.resize(total);
+  upper_.resize(total);
+  phase2_cost_.assign(total, 0.0);
+  obj_coeff_.resize(n_structural_);
   rhs_.resize(m_);
 
+  // Row-count pass so every column reserves its exact capacity up front
+  // instead of reallocating throughout the build (ISSUE 8 satellite).
+  canon_scratch_.assign(total, 0);
+  for (int i = 0; i < m_; ++i) {
+    for (const auto& [var, coeff] : lp.row_terms(i)) {
+      (void)coeff;
+      ++canon_scratch_[var];
+    }
+  }
   for (int j = 0; j < n_structural_; ++j) {
+    columns_[j].rows.clear();
+    columns_[j].values.clear();
+    columns_[j].rows.reserve(canon_scratch_[j]);
+    columns_[j].values.reserve(canon_scratch_[j]);
     lower_[j] = lp.lower_bound(j);
     upper_[j] = lp.upper_bound(j);
-    phase2_cost_[j] = sense_sign_ * lp.objective_coefficient(j);
+    obj_coeff_[j] = lp.objective_coefficient(j);
+    phase2_cost_[j] = sense_sign_ * obj_coeff_[j];
   }
   for (int i = 0; i < m_; ++i) {
     rhs_[i] = lp.rhs(i);
@@ -125,6 +76,10 @@ void SimplexSolver::BuildColumns(const LinearProgram& lp) {
     }
     // Slack variable for row i.
     const int slack = n_structural_ + i;
+    columns_[slack].rows.clear();
+    columns_[slack].values.clear();
+    columns_[slack].rows.reserve(1);
+    columns_[slack].values.reserve(1);
     columns_[slack].rows.push_back(i);
     columns_[slack].values.push_back(1.0);
     switch (lp.constraint_op(i)) {
@@ -142,10 +97,38 @@ void SimplexSolver::BuildColumns(const LinearProgram& lp) {
         break;
     }
   }
-  first_artificial_ = n_structural_ + m_;
+  first_artificial_ = total;
 }
 
-void SimplexSolver::InitializeBasis() {
+void SimplexEngine::SetObjectiveCoefficient(int var, double coeff) {
+  obj_coeff_[var] = coeff;
+  phase2_cost_[var] = sense_sign_ * coeff;
+}
+
+void SimplexEngine::SetVariableBounds(int var, double lower, double upper) {
+  lower_[var] = lower;
+  upper_[var] = upper;
+}
+
+void SimplexEngine::SetRhs(int row, double rhs) { rhs_[row] = rhs; }
+
+void SimplexEngine::TruncateArtificials() {
+  if (num_total() <= first_artificial_) {
+    return;
+  }
+  columns_.resize(first_artificial_);
+  lower_.resize(first_artificial_);
+  upper_.resize(first_artificial_);
+  phase2_cost_.resize(first_artificial_);
+  if (static_cast<int>(state_.size()) > first_artificial_) {
+    state_.resize(first_artificial_);
+    x_.resize(first_artificial_);
+    row_of_basic_.resize(first_artificial_);
+  }
+}
+
+void SimplexEngine::InitializeBasis() {
+  TruncateArtificials();
   const int total = num_total();
   state_.assign(total, VarState::kAtLower);
   x_.assign(total, 0.0);
@@ -177,14 +160,14 @@ void SimplexSolver::InitializeBasis() {
   }
 
   // Residual each slack must absorb.
-  std::vector<double> residual(rhs_);
+  residual_scratch_ = rhs_;
   for (int j = 0; j < n_structural_; ++j) {
     if (x_[j] == 0.0) {
       continue;
     }
     const auto& col = columns_[j];
     for (size_t k = 0; k < col.rows.size(); ++k) {
-      residual[col.rows[k]] -= col.values[k] * x_[j];
+      residual_scratch_[col.rows[k]] -= col.values[k] * x_[j];
     }
   }
 
@@ -192,7 +175,7 @@ void SimplexSolver::InitializeBasis() {
   // the slack to its nearest bound and add a signed artificial variable.
   for (int i = 0; i < m_; ++i) {
     const int slack = n_structural_ + i;
-    const double r = residual[i];
+    const double r = residual_scratch_[i];
     if (r >= lower_[slack] - options_.feasibility_tol &&
         r <= upper_[slack] + options_.feasibility_tol) {
       basis_[i] = slack;
@@ -224,7 +207,8 @@ void SimplexSolver::InitializeBasis() {
   Refactorize();
 }
 
-bool SimplexSolver::TryWarmBasis(const SimplexBasis& hint) {
+bool SimplexEngine::TryWarmBasis(const SimplexBasis& hint) {
+  TruncateArtificials();
   const int total = n_structural_ + m_;
   if (static_cast<int>(hint.state.size()) != total) {
     return false;
@@ -284,7 +268,8 @@ bool SimplexSolver::TryWarmBasis(const SimplexBasis& hint) {
 
   // The implied basic solution must be primal-feasible under the *current*
   // bounds (the MILP tightens bounds between parent and child nodes); if it
-  // is not, skipping phase 1 would be unsound.
+  // is not, skipping phase 1 would be unsound. (InstallBasis deliberately
+  // omits this check: its callers re-solve through the dual phase.)
   for (int r = 0; r < m_; ++r) {
     const int basic = basis_[r];
     if (x_[basic] < lower_[basic] - options_.feasibility_tol ||
@@ -295,13 +280,99 @@ bool SimplexSolver::TryWarmBasis(const SimplexBasis& hint) {
   return true;
 }
 
-void SimplexSolver::Refactorize() {
+bool SimplexEngine::InstallBasis(const SimplexBasis& basis) {
+  return InstallBasis(basis.state.data(), basis.state.size());
+}
+
+bool SimplexEngine::InstallBasis(const uint8_t* state, size_t size) {
+  SIA_CHECK(loaded_) << "InstallBasis on an unloaded engine";
+  basis_live_ = false;
+  TruncateArtificials();
+  const int total = n_structural_ + m_;
+  if (static_cast<int>(size) != total) {
+    return false;
+  }
+  int basic_count = 0;
+  for (size_t k = 0; k < size; ++k) {
+    if (state[k] == SimplexBasis::kBasic) {
+      ++basic_count;
+    }
+  }
+  if (basic_count != m_) {
+    return false;
+  }
+  state_.assign(total, VarState::kAtLower);
+  x_.assign(total, 0.0);
+  row_of_basic_.assign(total, -1);
+  basis_.assign(m_, -1);
+  int row = 0;
+  for (int j = 0; j < total; ++j) {
+    switch (state[j]) {
+      case SimplexBasis::kBasic:
+        state_[j] = VarState::kBasic;
+        basis_[row] = j;
+        row_of_basic_[j] = row;
+        ++row;
+        break;
+      case SimplexBasis::kAtLower:
+        state_[j] = VarState::kAtLower;
+        break;
+      case SimplexBasis::kAtUpper:
+        state_[j] = VarState::kAtUpper;
+        break;
+      case SimplexBasis::kFree:
+        state_[j] = VarState::kNonbasicFree;
+        break;
+      default:
+        return false;
+    }
+  }
+  if (!ReclampNonbasics()) {
+    return false;
+  }
+  if (!TryRefactorize()) {
+    return false;
+  }
+  basis_live_ = true;
+  return true;
+}
+
+bool SimplexEngine::ReclampNonbasics() {
+  const int total = num_total();
+  for (int j = 0; j < total; ++j) {
+    switch (state_[j]) {
+      case VarState::kBasic:
+        break;
+      case VarState::kAtLower:
+        if (!std::isfinite(lower_[j])) {
+          return false;
+        }
+        x_[j] = lower_[j];
+        break;
+      case VarState::kAtUpper:
+        if (!std::isfinite(upper_[j])) {
+          return false;
+        }
+        x_[j] = upper_[j];
+        break;
+      case VarState::kNonbasicFree:
+        x_[j] = 0.0;
+        break;
+    }
+  }
+  return true;
+}
+
+void SimplexEngine::Refactorize() {
   SIA_CHECK(TryRefactorize()) << "singular basis during refactorization";
 }
 
-bool SimplexSolver::TryRefactorize() {
-  // Gauss-Jordan inversion of the basis matrix with partial pivoting.
-  std::vector<double> basis_matrix(static_cast<size_t>(m_) * m_, 0.0);
+bool SimplexEngine::TryRefactorize() {
+  // Gauss-Jordan inversion of the basis matrix with partial pivoting. The
+  // factor == 0.0 skip below makes this effectively sparse for Sia's nearly
+  // triangular bases (every column has <= 2 structural nonzeros).
+  factor_scratch_.assign(static_cast<size_t>(m_) * m_, 0.0);
+  std::vector<double>& basis_matrix = factor_scratch_;
   for (int r = 0; r < m_; ++r) {
     const auto& col = columns_[basis_[r]];
     for (size_t k = 0; k < col.rows.size(); ++k) {
@@ -360,29 +431,38 @@ bool SimplexSolver::TryRefactorize() {
   return true;
 }
 
-void SimplexSolver::RecomputeBasicValues() {
+void SimplexEngine::RecomputeBasicValues() {
   // x_B = B^-1 (b - N x_N).
-  std::vector<double> residual(rhs_);
+  residual_scratch_ = rhs_;
   for (int j = 0; j < num_total(); ++j) {
     if (state_[j] == VarState::kBasic || x_[j] == 0.0) {
       continue;
     }
     const auto& col = columns_[j];
     for (size_t k = 0; k < col.rows.size(); ++k) {
-      residual[col.rows[k]] -= col.values[k] * x_[j];
+      residual_scratch_[col.rows[k]] -= col.values[k] * x_[j];
     }
   }
   for (int r = 0; r < m_; ++r) {
     double value = 0.0;
     const double* row = &binv_[static_cast<size_t>(r) * m_];
     for (int i = 0; i < m_; ++i) {
-      value += row[i] * residual[i];
+      value += row[i] * residual_scratch_[i];
     }
     x_[basis_[r]] = value;
   }
 }
 
-void SimplexSolver::CaptureBasis(LpSolution& solution) const {
+void SimplexEngine::CanonicalizeBasis() {
+  canon_scratch_.assign(basis_.begin(), basis_.end());
+  std::sort(canon_scratch_.begin(), canon_scratch_.end());
+  for (int r = 0; r < m_; ++r) {
+    basis_[r] = canon_scratch_[r];
+    row_of_basic_[basis_[r]] = r;
+  }
+}
+
+void SimplexEngine::CaptureBasis(LpSolution& solution) const {
   // An artificial stuck in the basis (degenerate at zero) cannot be
   // expressed in the structural+slack state vector; skip the export rather
   // than hand out a basis that TryWarmBasis would misinterpret.
@@ -412,38 +492,44 @@ void SimplexSolver::CaptureBasis(LpSolution& solution) const {
   }
 }
 
-bool SimplexSolver::CertifyUniqueOptimalBasis() const {
+void SimplexEngine::CertifyOptimal(bool* unique_basis, bool* unique_solution) const {
   // Strictly-nonzero reduced costs on every movable nonbasic variable mean
-  // no alternate optimum exists; basic variables strictly inside their
-  // bounds mean the vertex has exactly one basis. Together they certify
-  // that every correct solve of this program ends in this basis. The
-  // margins are deliberately wider than the pivoting tolerances so a
-  // certificate issued from one pivot path holds for any other.
+  // any feasible move strictly worsens the objective, so the optimal
+  // *solution vector* is unique (this holds even under primal degeneracy:
+  // a point agreeing with x on every nonbasic is x). If additionally no
+  // basic variable sits on a bound, the vertex has exactly one basis and
+  // every correct solve terminates in *this* basis. The margins are
+  // deliberately wider than the pivoting tolerances so a certificate
+  // issued from one pivot path holds for any other. The duals in y_ are
+  // fresh here: the caller certifies only straight after the
+  // canonicalizing refactorization.
   constexpr double kReducedCostMargin = 1e-6;
   constexpr double kDegeneracyMargin = 1e-8;
-  std::vector<double> y;
-  ComputeDuals(y);
+  *unique_basis = true;
+  *unique_solution = true;
   for (int j = 0; j < num_total(); ++j) {
     if (state_[j] == VarState::kBasic) {
       const double lo = lower_[j];
       const double hi = upper_[j];
       if ((std::isfinite(lo) && x_[j] - lo <= kDegeneracyMargin) ||
           (std::isfinite(hi) && hi - x_[j] <= kDegeneracyMargin)) {
-        return false;  // Degenerate: the vertex admits another basis.
+        *unique_basis = false;  // Degenerate: the vertex admits another basis.
       }
       continue;
     }
     if (lower_[j] == upper_[j]) {
       continue;  // Fixed variables cannot move; their reduced cost is moot.
     }
-    if (std::abs(ReducedCost(j, y)) <= kReducedCostMargin) {
-      return false;  // Zero reduced cost: an equally-good neighbor exists.
+    if (std::abs(ReducedCost(j, y_)) <= kReducedCostMargin) {
+      // Zero reduced cost: an equally-good neighboring solution exists.
+      *unique_basis = false;
+      *unique_solution = false;
+      return;
     }
   }
-  return true;
 }
 
-void SimplexSolver::ComputeDuals(std::vector<double>& y) const {
+void SimplexEngine::ComputeDuals(std::vector<double>& y) const {
   y.assign(m_, 0.0);
   for (int r = 0; r < m_; ++r) {
     const double cb = cost_[basis_[r]];
@@ -457,7 +543,7 @@ void SimplexSolver::ComputeDuals(std::vector<double>& y) const {
   }
 }
 
-double SimplexSolver::ReducedCost(int var, const std::vector<double>& y) const {
+double SimplexEngine::ReducedCost(int var, const std::vector<double>& y) const {
   double d = cost_[var];
   const auto& col = columns_[var];
   for (size_t k = 0; k < col.rows.size(); ++k) {
@@ -466,7 +552,7 @@ double SimplexSolver::ReducedCost(int var, const std::vector<double>& y) const {
   return d;
 }
 
-void SimplexSolver::ComputeDirection(int var, std::vector<double>& w) const {
+void SimplexEngine::ComputeDirection(int var, std::vector<double>& w) const {
   w.assign(m_, 0.0);
   const auto& col = columns_[var];
   for (size_t k = 0; k < col.rows.size(); ++k) {
@@ -478,32 +564,23 @@ void SimplexSolver::ComputeDirection(int var, std::vector<double>& w) const {
   }
 }
 
-SolveStatus SimplexSolver::Iterate() {
-  std::vector<double> y;
-  std::vector<double> w;
-  int pivots_since_refactor = 0;
-  while (true) {
-    if (iterations_ >= max_iterations_) {
-      return SolveStatus::kIterationLimit;
-    }
-    // The clock check is amortized over 64 pivots; the duals/pricing pass
-    // below dominates a clock read, so overshoot past the deadline stays
-    // small without taxing every iteration.
-    if (has_deadline_ && (iterations_ & 63) == 0 &&
-        std::chrono::steady_clock::now() >= deadline_) {
-      return SolveStatus::kTimeLimit;
-    }
-    ComputeDuals(y);
+bool SimplexEngine::OutOfTime() const {
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
 
-    // --- pricing ---
-    int entering = -1;
-    double entering_sign = 0.0;
-    double best_violation = options_.optimality_tol;
-    for (int j = 0; j < num_total(); ++j) {
+int SimplexEngine::PriceEntering(bool partial, double& entering_sign) {
+  const int total = num_total();
+  entering_sign = 0.0;
+  int entering = -1;
+  double best_violation = options_.optimality_tol;
+
+  if (bland_mode_) {
+    // Bland's anti-cycling rule: first improving index over a full scan.
+    for (int j = 0; j < total; ++j) {
       if (state_[j] == VarState::kBasic || lower_[j] == upper_[j]) {
         continue;
       }
-      const double d = ReducedCost(j, y);
+      const double d = ReducedCost(j, y_);
       double violation = 0.0;
       double sign = 0.0;
       switch (state_[j]) {
@@ -529,20 +606,158 @@ SolveStatus SimplexSolver::Iterate() {
           break;
       }
       if (violation > best_violation) {
-        best_violation = violation;
         entering = j;
         entering_sign = sign;
-        if (bland_mode_) {
-          break;  // Bland: first improving index.
-        }
+        break;
       }
     }
+    return entering;
+  }
+
+  // Dantzig pricing, optionally restricted to cyclic candidate blocks: scan
+  // from the cursor and stop at the first block boundary once a candidate
+  // exists, so a pivot prices O(block) columns instead of all of them. A
+  // full wrap with no candidate is a tentative optimum (the caller
+  // re-verifies it with fresh duals before trusting it).
+  const int start = (partial && pricing_cursor_ < total) ? pricing_cursor_ : 0;
+  int scanned_in_block = 0;
+  for (int k = 0; k < total; ++k) {
+    int j = start + k;
+    if (j >= total) {
+      j -= total;
+    }
+    if (partial && scanned_in_block >= kPricingBlock) {
+      if (entering >= 0) {
+        break;
+      }
+      scanned_in_block = 0;
+    }
+    ++scanned_in_block;
+    if (state_[j] == VarState::kBasic || lower_[j] == upper_[j]) {
+      continue;
+    }
+    const double d = ReducedCost(j, y_);
+    double violation = 0.0;
+    double sign = 0.0;
+    switch (state_[j]) {
+      case VarState::kAtLower:
+        if (d > options_.optimality_tol) {
+          violation = d;
+          sign = 1.0;
+        }
+        break;
+      case VarState::kAtUpper:
+        if (d < -options_.optimality_tol) {
+          violation = -d;
+          sign = -1.0;
+        }
+        break;
+      case VarState::kNonbasicFree:
+        if (std::abs(d) > options_.optimality_tol) {
+          violation = std::abs(d);
+          sign = d > 0.0 ? 1.0 : -1.0;
+        }
+        break;
+      case VarState::kBasic:
+        break;
+    }
+    if (violation > best_violation) {
+      best_violation = violation;
+      entering = j;
+      entering_sign = sign;
+    }
+  }
+  return entering;
+}
+
+void SimplexEngine::ApplyPivot(int entering, int leaving_row, double d_entering,
+                               const std::vector<double>& w, VarState leaving_state) {
+  const int leaving = basis_[leaving_row];
+  const double w_r = w[leaving_row];
+  SIA_CHECK(std::abs(w_r) > 1e-12) << "zero pivot";
+  state_[leaving] = leaving_state;
+  x_[leaving] = leaving_state == VarState::kAtUpper ? upper_[leaving] : lower_[leaving];
+  row_of_basic_[leaving] = -1;
+
+  basis_[leaving_row] = entering;
+  row_of_basic_[entering] = leaving_row;
+  state_[entering] = VarState::kBasic;
+
+  // Update the dense inverse: row ops making column `entering` a unit
+  // vector in the basis.
+  double* pivot_row = &binv_[static_cast<size_t>(leaving_row) * m_];
+  const double inv_wr = 1.0 / w_r;
+  for (int c = 0; c < m_; ++c) {
+    pivot_row[c] *= inv_wr;
+  }
+  for (int r = 0; r < m_; ++r) {
+    if (r == leaving_row || w[r] == 0.0) {
+      continue;
+    }
+    const double factor = w[r];
+    double* row = &binv_[static_cast<size_t>(r) * m_];
+    for (int c = 0; c < m_; ++c) {
+      row[c] -= factor * pivot_row[c];
+    }
+  }
+
+  // Maintained duals: y' = y + d_e * (new pivot row) zeroes the entering
+  // reduced cost and keeps every other basic reduced cost at zero -- an
+  // O(m) update replacing the old per-pivot O(m^2) recompute. Fully fresh
+  // duals are recomputed at every refactorization and before any
+  // optimality claim.
+  if (d_entering != 0.0) {
+    for (int c = 0; c < m_; ++c) {
+      y_[c] += d_entering * pivot_row[c];
+    }
+  }
+
+  pricing_cursor_ = entering + 1 < num_total() ? entering + 1 : 0;
+  if (++pivots_since_refactor_ >= options_.refactor_interval) {
+    Refactorize();
+    ComputeDuals(y_);
+    pivots_since_refactor_ = 0;
+  }
+}
+
+SolveStatus SimplexEngine::Iterate() {
+  while (true) {
+    if (iterations_ >= max_iterations_) {
+      return SolveStatus::kIterationLimit;
+    }
+    // The clock check is amortized over 64 pivots; the pricing pass below
+    // dominates a clock read, so overshoot past the deadline stays small
+    // without taxing every iteration.
+    if (has_deadline_ && (iterations_ & 63) == 0 && OutOfTime()) {
+      return SolveStatus::kTimeLimit;
+    }
+
+    // --- pricing ---
+    double entering_sign = 0.0;
+    int entering = PriceEntering(/*partial=*/!bland_mode_, entering_sign);
     if (entering < 0) {
-      return SolveStatus::kOptimal;
+      // Tentative optimum: the maintained duals may have drifted, so
+      // canonicalize + refactorize, recompute them, and re-price over all
+      // columns before declaring optimality. On a confirmed optimum this
+      // doubles as the pure-function-of-(program, basis) guarantee: the
+      // exported values, duals, and kept factorization no longer depend on
+      // the pivot path that got here.
+      refactorized_at_optimal_ = false;
+      CanonicalizeBasis();
+      if (!TryRefactorize()) {
+        return SolveStatus::kOptimal;  // Uncertifiable; FinishSolve handles.
+      }
+      ComputeDuals(y_);
+      entering = PriceEntering(/*partial=*/false, entering_sign);
+      if (entering < 0) {
+        refactorized_at_optimal_ = true;
+        return SolveStatus::kOptimal;
+      }
     }
 
     // --- ratio test ---
-    ComputeDirection(entering, w);
+    ComputeDirection(entering, w_scratch_);
+    const std::vector<double>& w = w_scratch_;
     // Distance until the entering variable hits its own opposite bound.
     double t_limit = kLpInfinity;
     if (std::isfinite(lower_[entering]) && std::isfinite(upper_[entering])) {
@@ -551,7 +766,6 @@ SolveStatus SimplexSolver::Iterate() {
     int leaving_row = -1;
     double t_best = t_limit;
     double best_pivot_mag = 0.0;
-    const double kPivotTol = 1e-9;
     for (int r = 0; r < m_; ++r) {
       const double delta = -entering_sign * w[r];  // d(x_basic[r]) / dt
       if (std::abs(delta) <= kPivotTol) {
@@ -603,52 +817,220 @@ SolveStatus SimplexSolver::Iterate() {
       // Bound flip: entering variable moved to its opposite bound.
       state_[entering] = entering_sign > 0.0 ? VarState::kAtUpper : VarState::kAtLower;
       x_[entering] = entering_sign > 0.0 ? upper_[entering] : lower_[entering];
+      pricing_cursor_ = entering + 1 < num_total() ? entering + 1 : 0;
       continue;
     }
 
     // --- pivot ---
-    const int leaving = basis_[leaving_row];
     const double w_r = w[leaving_row];
-    SIA_CHECK(std::abs(w_r) > 1e-12) << "zero pivot";
-    // Leaving variable lands on the bound that blocked.
     const double delta_leaving = -entering_sign * w_r;
-    state_[leaving] = delta_leaving > 0.0 ? VarState::kAtUpper : VarState::kAtLower;
-    x_[leaving] = delta_leaving > 0.0 ? upper_[leaving] : lower_[leaving];
-    row_of_basic_[leaving] = -1;
-
-    basis_[leaving_row] = entering;
-    row_of_basic_[entering] = leaving_row;
-    state_[entering] = VarState::kBasic;
-
-    // Update the dense inverse: row ops making column `entering` a unit
-    // vector in the basis.
-    double* pivot_row = &binv_[static_cast<size_t>(leaving_row) * m_];
-    const double inv_wr = 1.0 / w_r;
-    for (int c = 0; c < m_; ++c) {
-      pivot_row[c] *= inv_wr;
-    }
-    for (int r = 0; r < m_; ++r) {
-      if (r == leaving_row || w[r] == 0.0) {
-        continue;
-      }
-      const double factor = w[r];
-      double* row = &binv_[static_cast<size_t>(r) * m_];
-      for (int c = 0; c < m_; ++c) {
-        row[c] -= factor * pivot_row[c];
-      }
-    }
-
-    if (++pivots_since_refactor >= options_.refactor_interval) {
-      Refactorize();
-      pivots_since_refactor = 0;
-    }
+    const double d_entering = ReducedCost(entering, y_);
+    ApplyPivot(entering, leaving_row, d_entering, w,
+               delta_leaving > 0.0 ? VarState::kAtUpper : VarState::kAtLower);
   }
 }
 
-LpSolution SimplexSolver::Solve() {
+bool SimplexEngine::IterateDual(bool& proven_infeasible) {
+  proven_infeasible = false;
+  // Stall guard: if the worst primal violation has not strictly improved
+  // for this many pivots, hand the solve back to the primal phase-1 path.
+  const int stall_limit = 2 * (m_ + 10);
+  int stall = 0;
+  double best_worst = kLpInfinity;
+  while (true) {
+    if (iterations_ >= max_iterations_) {
+      return false;
+    }
+    if (has_deadline_ && (iterations_ & 63) == 0 && OutOfTime()) {
+      return false;
+    }
+
+    // --- leaving: most primal-infeasible basic variable ---
+    int leaving_row = -1;
+    double worst = options_.feasibility_tol;
+    int dir = 0;  // +1: leaving must increase (lands at lower); -1: decrease.
+    for (int r = 0; r < m_; ++r) {
+      const int basic = basis_[r];
+      const double v = x_[basic];
+      if (std::isfinite(lower_[basic]) && lower_[basic] - v > worst) {
+        worst = lower_[basic] - v;
+        leaving_row = r;
+        dir = 1;
+      } else if (std::isfinite(upper_[basic]) && v - upper_[basic] > worst) {
+        worst = v - upper_[basic];
+        leaving_row = r;
+        dir = -1;
+      }
+    }
+    if (leaving_row < 0) {
+      return true;  // Primal feasible: the dual phase is done.
+    }
+    if (worst < best_worst - 1e-12) {
+      best_worst = worst;
+      stall = 0;
+    } else if (++stall > stall_limit) {
+      return false;
+    }
+
+    // --- dual ratio test over all movable nonbasics ---
+    // rho = e_r B^-1 (the dense pivot row); alpha_j = rho . A_j.
+    const double* rho = &binv_[static_cast<size_t>(leaving_row) * m_];
+    const int total = num_total();
+    int entering = -1;
+    double best_ratio = kLpInfinity;
+    double best_alpha_mag = 0.0;
+    for (int j = 0; j < total; ++j) {
+      if (state_[j] == VarState::kBasic || lower_[j] == upper_[j]) {
+        continue;
+      }
+      const auto& col = columns_[j];
+      double alpha = 0.0;
+      for (size_t k = 0; k < col.rows.size(); ++k) {
+        alpha += rho[col.rows[k]] * col.values[k];
+      }
+      const double d = ReducedCost(j, y_);
+      // The phase is only sound from a dual-feasible start; a reduced cost
+      // on the wrong side of zero beyond tolerance means the caller must
+      // fall back to primal phase 1.
+      bool eligible = false;
+      switch (state_[j]) {
+        case VarState::kAtLower:
+          if (d > kDualFeasTol) {
+            return false;
+          }
+          eligible = dir > 0 ? alpha < -kPivotTol : alpha > kPivotTol;
+          break;
+        case VarState::kAtUpper:
+          if (d < -kDualFeasTol) {
+            return false;
+          }
+          eligible = dir > 0 ? alpha > kPivotTol : alpha < -kPivotTol;
+          break;
+        case VarState::kNonbasicFree:
+          if (std::abs(d) > kDualFeasTol) {
+            return false;
+          }
+          eligible = std::abs(alpha) > kPivotTol;
+          break;
+        case VarState::kBasic:
+          break;
+      }
+      if (!eligible) {
+        continue;
+      }
+      // Wait for it: in both leaving directions the eligibility rules above
+      // make dir * alpha and d carry opposite signs, so the dual step
+      // length is the non-negative d / (dir * alpha); tiny negatives are
+      // pivoting-tolerance noise, clamped to zero.
+      const double ratio = std::max(0.0, d / (dir * alpha));
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && std::abs(alpha) > best_alpha_mag)) {
+        best_ratio = ratio;
+        entering = j;
+        best_alpha_mag = std::abs(alpha);
+      }
+    }
+    if (entering < 0) {
+      // Dual unbounded with verified dual feasibility: primal infeasible.
+      proven_infeasible = true;
+      return false;
+    }
+
+    // --- pivot ---
+    ComputeDirection(entering, w_scratch_);
+    const std::vector<double>& w = w_scratch_;
+    const double alpha_e = w[leaving_row];
+    if (std::abs(alpha_e) <= 1e-11) {
+      return false;  // Numerically hopeless pivot; fall back.
+    }
+    const int leaving = basis_[leaving_row];
+    const double target = dir > 0 ? lower_[leaving] : upper_[leaving];
+    const double t_e = (x_[leaving] - target) / alpha_e;
+    for (int r = 0; r < m_; ++r) {
+      x_[basis_[r]] -= w[r] * t_e;
+    }
+    x_[entering] += t_e;
+
+    ++iterations_;
+    ++dual_iterations_;
+    const double d_entering = ReducedCost(entering, y_);
+    ApplyPivot(entering, leaving_row, d_entering, w,
+               dir > 0 ? VarState::kAtLower : VarState::kAtUpper);
+    // ApplyPivot snaps the leaving variable onto the target bound exactly.
+  }
+}
+
+void SimplexEngine::FinishSolve(LpSolution& solution, SolveStatus status) {
+  solution.status = status;
+  solution.iterations = iterations_;
+  if (status != SolveStatus::kOptimal && status != SolveStatus::kIterationLimit &&
+      status != SolveStatus::kTimeLimit) {
+    // Deadline/iteration truncations still export the current (feasible)
+    // basic solution below as a best-effort result.
+    basis_live_ = false;
+    return;
+  }
+
+  if (status == SolveStatus::kOptimal) {
+    // Iterate() already canonicalized + refactorized the final basis (so
+    // the reported solution is a pure function of (program, basis), not of
+    // the pivot path) unless the refactorization failed numerically.
+    if (refactorized_at_optimal_) {
+      CertifyOptimal(&solution.unique_optimal_basis, &solution.unique_optimal_solution);
+      basis_live_ = true;
+    } else {
+      basis_live_ = false;
+    }
+  } else {
+    basis_live_ = false;
+  }
+
+  solution.values.assign(n_structural_, 0.0);
+  double objective = 0.0;
+  for (int j = 0; j < n_structural_; ++j) {
+    solution.values[j] = x_[j];
+    objective += obj_coeff_[j] * x_[j];
+  }
+  solution.objective = objective;
+
+  ComputeDuals(y_);
+  solution.duals.resize(m_);
+  for (int i = 0; i < m_; ++i) {
+    solution.duals[i] = sense_sign_ * y_[i];
+  }
+  if (options_.capture_basis && status == SolveStatus::kOptimal) {
+    CaptureBasis(solution);
+  }
+}
+
+LpSolution SimplexEngine::Solve() {
+  return SolveInternal(options_.warm_basis);
+}
+
+LpSolution SimplexEngine::SolveFresh() {
+  return SolveInternal(nullptr);
+}
+
+LpSolution SimplexEngine::SolveInternal(const SimplexBasis* warm_hint) {
+  SIA_CHECK(loaded_) << "Solve on an unloaded engine";
   LpSolution solution;
+  iterations_ = 0;
+  dual_iterations_ = 0;
+  degenerate_streak_ = 0;
+  bland_mode_ = false;
+  pricing_cursor_ = 0;
+  pivots_since_refactor_ = 0;
+  refactorized_at_optimal_ = false;
+  has_deadline_ = options_.time_limit_seconds > 0.0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options_.time_limit_seconds));
+  }
+
   if (m_ == 0) {
     // Pure box-constrained problem: each variable sits at its best bound.
+    basis_live_ = false;
     solution.values.resize(n_structural_);
     double objective = 0.0;
     for (int j = 0; j < n_structural_; ++j) {
@@ -670,7 +1052,7 @@ LpSolution SimplexSolver::Solve() {
         v = std::isfinite(lower_[j]) ? lower_[j] : (std::isfinite(upper_[j]) ? upper_[j] : 0.0);
       }
       solution.values[j] = v;
-      objective += lp_.objective_coefficient(j) * v;
+      objective += obj_coeff_[j] * v;
     }
     solution.status = SolveStatus::kOptimal;
     solution.objective = objective;
@@ -680,8 +1062,8 @@ LpSolution SimplexSolver::Solve() {
   // A validated warm basis is primal-feasible by construction, so the
   // entire phase-1 machinery (artificial variables included) is skipped.
   bool warm = false;
-  if (options_.warm_basis != nullptr && !options_.warm_basis->empty()) {
-    warm = TryWarmBasis(*options_.warm_basis);
+  if (warm_hint != nullptr && !warm_hint->empty()) {
+    warm = TryWarmBasis(*warm_hint);
   }
   solution.warm_started = warm;
 
@@ -694,8 +1076,10 @@ LpSolution SimplexSolver::Solve() {
       for (int j = first_artificial_; j < num_total(); ++j) {
         cost_[j] = -1.0;  // Maximize -(sum of artificials).
       }
+      ComputeDuals(y_);
       const SolveStatus status = Iterate();
       if (status == SolveStatus::kIterationLimit || status == SolveStatus::kTimeLimit) {
+        basis_live_ = false;
         solution.status = status;
         solution.iterations = iterations_;
         return solution;
@@ -705,6 +1089,7 @@ LpSolution SimplexSolver::Solve() {
         infeasibility += x_[j];
       }
       if (infeasibility > 1e-6) {
+        basis_live_ = false;
         solution.status = SolveStatus::kInfeasible;
         solution.iterations = iterations_;
         return solution;
@@ -724,52 +1109,86 @@ LpSolution SimplexSolver::Solve() {
   // --- phase 2 ---
   cost_ = phase2_cost_;
   cost_.resize(num_total(), 0.0);
+  ComputeDuals(y_);
+  pricing_cursor_ = 0;
   const SolveStatus status = Iterate();
-  solution.status = status;
-  solution.iterations = iterations_;
-  if (status != SolveStatus::kOptimal && status != SolveStatus::kIterationLimit &&
-      status != SolveStatus::kTimeLimit) {
-    // Deadline/iteration truncations still export the current (feasible)
-    // basic solution below as a best-effort result.
-    return solution;
-  }
-
-  if (status == SolveStatus::kOptimal) {
-    // Recompute the inverse and basic values directly from the final basis
-    // so the reported solution is a pure function of (program, basis) --
-    // not of the pivot path that got here. Without this, a warm and a cold
-    // solve reaching the same basis could still differ in the last bits of
-    // the incrementally-updated values.
-    if (TryRefactorize()) {
-      solution.unique_optimal_basis = CertifyUniqueOptimalBasis();
-    }
-  }
-
-  solution.values.assign(lp_.num_variables(), 0.0);
-  double objective = 0.0;
-  for (int j = 0; j < n_structural_; ++j) {
-    solution.values[j] = x_[j];
-    objective += lp_.objective_coefficient(j) * x_[j];
-  }
-  solution.objective = objective;
-
-  std::vector<double> y;
-  ComputeDuals(y);
-  solution.duals.resize(m_);
-  for (int i = 0; i < m_; ++i) {
-    solution.duals[i] = sense_sign_ * y[i];
-  }
-  if (options_.capture_basis && status == SolveStatus::kOptimal) {
-    CaptureBasis(solution);
-  }
+  FinishSolve(solution, status);
   return solution;
 }
 
-}  // namespace
+bool SimplexEngine::ResolveFromBasis(LpSolution& solution) {
+  SIA_CHECK(loaded_) << "ResolveFromBasis on an unloaded engine";
+  solution = LpSolution{};
+  iterations_ = 0;
+  dual_iterations_ = 0;
+  degenerate_streak_ = 0;
+  bland_mode_ = false;
+  pricing_cursor_ = 0;
+  pivots_since_refactor_ = 0;
+  refactorized_at_optimal_ = false;
+  has_deadline_ = options_.time_limit_seconds > 0.0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options_.time_limit_seconds));
+  }
+  if (!basis_live_ || m_ == 0) {
+    basis_live_ = false;
+    return false;
+  }
+  // Parameter deltas may have moved bounds under nonbasic variables; put
+  // every nonbasic back onto its (current) bound, exactly the way
+  // InstallBasis would, then rebuild the implied basic values against the
+  // current rhs.
+  if (!ReclampNonbasics()) {
+    basis_live_ = false;
+    return false;
+  }
+  RecomputeBasicValues();
+
+  cost_ = phase2_cost_;
+  cost_.resize(num_total(), 0.0);
+  ComputeDuals(y_);
+
+  // --- dual phase: restore primal feasibility if the deltas broke it ---
+  bool infeasible_basic = false;
+  for (int r = 0; r < m_; ++r) {
+    const int basic = basis_[r];
+    if (x_[basic] < lower_[basic] - options_.feasibility_tol ||
+        x_[basic] > upper_[basic] + options_.feasibility_tol) {
+      infeasible_basic = true;
+      break;
+    }
+  }
+  if (infeasible_basic) {
+    bool proven_infeasible = false;
+    if (!IterateDual(proven_infeasible)) {
+      if (proven_infeasible) {
+        // Dual unboundedness from a verified dual-feasible basis proves the
+        // program has no feasible point -- the same answer phase 1 gives.
+        solution.status = SolveStatus::kInfeasible;
+        solution.iterations = iterations_;
+        solution.warm_started = true;
+        return true;
+      }
+      // Stall / drifted duals / pivot cap: report the pivots burned and let
+      // the caller take the primal phase-1 fallback.
+      solution.iterations = iterations_;
+      return false;
+    }
+  }
+
+  // --- primal phase 2 finishes the re-optimization ---
+  const SolveStatus status = Iterate();
+  FinishSolve(solution, status);
+  solution.warm_started = true;
+  return true;
+}
 
 LpSolution SolveLp(const LinearProgram& lp, const SimplexOptions& options) {
-  SimplexSolver solver(lp, options);
-  return solver.Solve();
+  SimplexEngine engine;
+  engine.Load(lp, options);
+  return engine.Solve();
 }
 
 }  // namespace sia

@@ -9,11 +9,28 @@
 // Implementation notes:
 //  * two-phase method with artificial variables for infeasible starts,
 //  * bounded ratio test with bound flips,
-//  * Dantzig pricing with an automatic switch to Bland's rule when a long
-//    run of degenerate pivots indicates cycling risk,
-//  * periodic refactorization of the basis inverse for numerical hygiene.
+//  * partial (candidate-list) pricing: pivots scan one cyclic block of
+//    columns instead of all of them, with an automatic switch to Bland's
+//    full first-index scan when a long run of degenerate pivots indicates
+//    cycling risk,
+//  * incrementally-maintained duals (O(m) per pivot instead of an O(m^2)
+//    recompute), re-verified against a full refactorized pricing pass before
+//    optimality is declared,
+//  * a dual simplex phase (ISSUE 8) that restores primal feasibility from a
+//    dual-feasible basis after bound / rhs deltas -- the engine of
+//    branch-and-bound child re-solves and of cross-round incremental
+//    re-solves,
+//  * periodic refactorization of the basis inverse for numerical hygiene,
+//    plus a canonicalizing refactorization at every optimum (basic variables
+//    assigned to rows in index order) so the reported solution -- values,
+//    duals, and the factorization an incremental session keeps alive -- is a
+//    pure function of (program, basis set), never of the pivot path.
 #ifndef SIA_SRC_SOLVER_SIMPLEX_H_
 #define SIA_SRC_SOLVER_SIMPLEX_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
 
 #include "src/solver/lp_model.h"
 
@@ -43,6 +60,205 @@ struct SimplexOptions {
   // runs must leave this at 0: which pivot trips the check depends on the
   // host's clock.
   double time_limit_seconds = 0.0;
+};
+
+// Persistent simplex engine (ISSUE 8). One engine instance can be loaded
+// once and re-solved many times: across branch-and-bound nodes (bound
+// overrides + dual-simplex child re-solves) and, via IncrementalLp, across
+// scheduling rounds (parameter deltas against a kept factorization). All
+// working buffers -- sparse columns, the dense basis inverse, pricing and
+// ratio-test scratch -- are members that retain their heap capacity, so a
+// steady-state re-solve performs no allocations.
+//
+// The engine copies everything it needs out of the LinearProgram at Load()
+// time and never references it afterwards, which is what makes it safe to
+// persist beyond the LP's lifetime.
+class SimplexEngine {
+ public:
+  SimplexEngine() = default;
+
+  // Loads a fresh program, discarding any previous program and basis (heap
+  // capacity is retained). `options` governs every subsequent solve until
+  // the next Load; set_options() can refresh them (e.g. per-node deadlines).
+  void Load(const LinearProgram& lp, const SimplexOptions& options);
+  void set_options(const SimplexOptions& options);
+  bool loaded() const { return loaded_; }
+  int num_structural() const { return n_structural_; }
+  int num_rows() const { return m_; }
+
+  // Full solve with SolveLp's historical semantics: an options_.warm_basis
+  // hint is validated (size / basic count / non-singularity / primal
+  // feasibility under current bounds) and silently dropped on any mismatch;
+  // otherwise the crash basis + phase 1 run. Leaves the engine's basis and
+  // factorization installed for later ResolveFromBasis calls.
+  LpSolution Solve();
+
+  // Cold solve from the crash basis using the engine's *current* parameter
+  // state (bounds / costs / rhs, including any Set* deltas applied since
+  // Load). Ignores options_.warm_basis. This is the "existing primal
+  // phase-1 path" every incremental route falls back to.
+  LpSolution SolveFresh();
+
+  // --- persistent-session parameter deltas -------------------------------
+  // These edit the loaded program in place without touching the basis or
+  // its factorization; a following ResolveFromBasis (or SolveFresh) picks
+  // them up. Bound deltas on nonbasic variables are re-clamped inside
+  // ResolveFromBasis, so call order does not matter.
+  void SetObjectiveCoefficient(int var, double coeff);
+  void SetVariableBounds(int var, double lower, double upper);
+  void SetRhs(int row, double rhs);
+  double structural_lower(int var) const { return lower_[var]; }
+  double structural_upper(int var) const { return upper_[var]; }
+
+  // Installs an externally-captured basis (structural + slack states) on
+  // the loaded program: assigns basic variables to rows in index order,
+  // refactorizes, and recomputes basic values. Unlike the warm path inside
+  // Solve(), does NOT reject a primal-infeasible basis -- that is exactly
+  // the case the dual simplex phase of ResolveFromBasis handles. Returns
+  // false (engine basis invalidated) on size mismatch, wrong basic count,
+  // a nonbasic state pointing at an infinite bound, or a singular basis.
+  bool InstallBasis(const SimplexBasis& basis);
+  // Raw-span variant for callers that keep basis snapshots in arena storage
+  // (the B&B node pool): same validation and effect.
+  bool InstallBasis(const uint8_t* state, size_t size);
+
+  // True while a solved (or installed) basis and its factorization are
+  // live, i.e. ResolveFromBasis may be called.
+  bool has_factorized_basis() const { return basis_live_; }
+
+  // Re-solves from the currently-installed basis after parameter deltas:
+  // re-clamps nonbasic variables onto the (possibly new) bounds, recomputes
+  // basic values, runs the dual simplex phase if the basis went primal-
+  // infeasible, then finishes with primal phase-2 pivots. Never runs
+  // phase 1. Returns false ("needs cold") when the basis cannot be reused:
+  // a nonbasic state became incompatible with its bounds, or the dual phase
+  // stalled / hit its pivot cap; the caller must then fall back to
+  // SolveFresh(). Pivots spent on a failed attempt are reported in
+  // `solution.iterations` so callers can account for them.
+  bool ResolveFromBasis(LpSolution& solution);
+
+  // Per-solve counters for the observability layer, reset by every Solve /
+  // SolveFresh / ResolveFromBasis call.
+  int last_dual_iterations() const { return dual_iterations_; }
+
+ private:
+  enum class VarState : uint8_t {
+    kBasic,
+    kAtLower,
+    kAtUpper,
+    kNonbasicFree,  // Free variable resting at zero.
+  };
+
+  struct SparseColumn {
+    std::vector<int> rows;
+    std::vector<double> values;
+  };
+
+  // --- setup ---
+  void BuildColumns(const LinearProgram& lp);
+  void InitializeBasis();
+  // Attempts to install `hint` as the starting basis. On success the solver
+  // is primal-feasible and phase 1 can be skipped entirely. On failure the
+  // working state is garbage and the caller must run InitializeBasis().
+  bool TryWarmBasis(const SimplexBasis& hint);
+  // Drops any artificial columns a previous InitializeBasis appended.
+  void TruncateArtificials();
+  // Shared InstallBasis/ResolveFromBasis prologue: re-clamps every nonbasic
+  // variable onto its current bound. Returns false when a nonbasic state
+  // points at an infinite bound (the same condition InstallBasis rejects).
+  bool ReclampNonbasics();
+
+  // --- iteration machinery ---
+  // Runs primal simplex pivots until optimal w.r.t. `cost_` or a limit is
+  // reached. A tentative optimum (no priced candidate) is confirmed by a
+  // canonicalizing refactorization + fresh duals + full pricing pass before
+  // kOptimal is returned, so incrementally-maintained duals can never
+  // terminate the solve early.
+  SolveStatus Iterate();
+  // One full pricing pass with the current duals; returns the entering
+  // variable (or -1) and its direction sign. When `partial` is set, scans
+  // cyclic blocks from pricing_cursor_ and returns the best candidate of
+  // the first block containing one.
+  int PriceEntering(bool partial, double& entering_sign);
+  // Dual simplex phase: from a dual-feasible basis, pivots until primal
+  // feasibility is restored (true) or the phase must give up (false:
+  // dual-infeasible pricing state, stall, or pivot cap). A proven
+  // primal-infeasible program sets `proven_infeasible`.
+  bool IterateDual(bool& proven_infeasible);
+  void ComputeDuals(std::vector<double>& y) const;
+  double ReducedCost(int var, const std::vector<double>& y) const;
+  void ComputeDirection(int var, std::vector<double>& w) const;
+  // Applies one pivot (entering enters at leaving_row) to basis_, state_,
+  // binv_, and the maintained duals. `d_entering` is the entering reduced
+  // cost before the pivot; `w` its direction B^-1 A_e.
+  void ApplyPivot(int entering, int leaving_row, double d_entering,
+                  const std::vector<double>& w, VarState leaving_state);
+  // Reorders basis_ so basic variables are assigned to rows in index order
+  // -- the same canonical order TryWarmBasis / InstallBasis produce.
+  void CanonicalizeBasis();
+  void Refactorize();
+  bool TryRefactorize();
+  void RecomputeBasicValues();
+  void CaptureBasis(LpSolution& solution) const;
+  // Shared phase-2 + extraction tail of Solve / SolveFresh /
+  // ResolveFromBasis.
+  void FinishSolve(LpSolution& solution, SolveStatus status);
+  // Common body of Solve (warm_hint = options_.warm_basis) and SolveFresh
+  // (warm_hint = nullptr).
+  LpSolution SolveInternal(const SimplexBasis* warm_hint);
+
+  void CertifyOptimal(bool* unique_basis, bool* unique_solution) const;
+  bool OutOfTime() const;
+
+  int num_total() const { return static_cast<int>(columns_.size()); }
+
+  SimplexOptions options_;
+  bool loaded_ = false;
+  bool basis_live_ = false;
+  int m_ = 0;               // Number of rows.
+  int n_structural_ = 0;    // Number of original variables.
+  int first_artificial_ = 0;
+  double sense_sign_ = 1.0;  // +1 maximize, -1 minimize (applied to costs).
+
+  std::vector<SparseColumn> columns_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> cost_;        // Active phase cost.
+  std::vector<double> phase2_cost_; // Sense-normalized objective.
+  std::vector<double> obj_coeff_;   // Raw objective (solution extraction).
+  std::vector<double> rhs_;
+
+  std::vector<int> basis_;          // Row -> basic variable.
+  std::vector<int> row_of_basic_;   // Var -> row (or -1).
+  std::vector<VarState> state_;
+  std::vector<double> x_;
+  std::vector<double> binv_;        // Dense m x m, row-major.
+
+  // Maintained duals for the active phase cost; refreshed from scratch at
+  // every refactorization and before any optimality claim.
+  std::vector<double> y_;
+
+  // Reusable solve scratch (zero steady-state allocations).
+  std::vector<double> w_scratch_;
+  std::vector<double> residual_scratch_;
+  std::vector<double> alpha_scratch_;
+  std::vector<double> factor_scratch_;
+  std::vector<int> canon_scratch_;
+
+  int iterations_ = 0;
+  int dual_iterations_ = 0;
+  int max_iterations_ = 0;
+  int degenerate_streak_ = 0;
+  bool bland_mode_ = false;
+  int pricing_cursor_ = 0;
+  int pivots_since_refactor_ = 0;
+  // Whether the final optimum was reached through the canonicalizing
+  // refactorization (false only when that refactorization failed
+  // numerically); gates the uniqueness certificate and basis retention.
+  bool refactorized_at_optimal_ = false;
+
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
 };
 
 // Solves the LP relaxation of `lp` (integrality markers ignored).

@@ -430,6 +430,83 @@ CoreCheckResult CheckCoreEquivalence(const Scenario& scenario) {
   return check;
 }
 
+IncrementalCheckResult CheckIncrementalEquivalence(const Scenario& scenario) {
+  IncrementalCheckResult check;
+  std::ostringstream report;
+
+  // One full run per solver mode. Only Sia has an incremental path; for the
+  // other policies both runs are identically configured, which turns the
+  // comparison into a plain determinism check.
+  struct ModeRun {
+    std::vector<ScheduleOutput> schedules;
+    std::string results_csv;
+    SimResult result;
+    int64_t rounds = -1;
+  };
+  auto run_mode = [&](bool incremental) {
+    ModeRun run;
+    std::unique_ptr<Scheduler> scheduler;
+    if (scenario.scheduler == "sia") {
+      SiaOptions options;
+      options.num_threads = scenario.sched_threads;
+      options.warm_start = scenario.warm_start;
+      options.candidate_cache = scenario.candidate_cache;
+      options.incremental_lp = incremental;
+      scheduler = std::make_unique<SiaScheduler>(options);
+    } else {
+      scheduler = MakeFuzzScheduler(scenario);
+    }
+    InvariantOracle oracle(OracleOptionsFor(scenario, FuzzRunOptions{}, /*record_schedules=*/true));
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.observer = &oracle;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    run.result = simulator.Run();
+    run.schedules = oracle.schedules();
+    run.results_csv = ResultsCsv(run.result);
+    run.rounds = oracle.rounds_checked();
+    return run;
+  };
+  const ModeRun incremental = run_mode(true);
+  const ModeRun from_scratch = run_mode(false);
+  check.rounds = incremental.rounds;
+
+  if (incremental.schedules != from_scratch.schedules) {
+    check.ok = false;
+    size_t round = 0;
+    const size_t limit =
+        std::min(incremental.schedules.size(), from_scratch.schedules.size());
+    while (round < limit && incremental.schedules[round] == from_scratch.schedules[round]) {
+      ++round;
+    }
+    report << "[incremental] schedule mismatch (incremental vs from-scratch) at round " << round
+           << " (" << incremental.schedules.size() << " vs " << from_scratch.schedules.size()
+           << " rounds)\n";
+  }
+  if (incremental.results_csv != from_scratch.results_csv) {
+    check.ok = false;
+    report << "[incremental] per-job results mismatch (incremental vs from-scratch): "
+           << DescribeFirstDivergence(incremental.results_csv, from_scratch.results_csv) << "\n";
+  }
+  const bool scalars_equal =
+      incremental.result.makespan_seconds == from_scratch.result.makespan_seconds &&
+      incremental.result.all_finished == from_scratch.result.all_finished &&
+      incremental.result.avg_contention == from_scratch.result.avg_contention &&
+      incremental.result.max_contention == from_scratch.result.max_contention &&
+      incremental.result.gpu_utilization == from_scratch.result.gpu_utilization &&
+      incremental.result.timeline.size() == from_scratch.result.timeline.size() &&
+      incremental.result.round_stats.size() == from_scratch.result.round_stats.size();
+  if (!scalars_equal) {
+    check.ok = false;
+    report << "[incremental] SimResult summary mismatch (makespan "
+           << incremental.result.makespan_seconds << " vs "
+           << from_scratch.result.makespan_seconds << ", contention "
+           << incremental.result.avg_contention << " vs " << from_scratch.result.avg_contention
+           << ")\n";
+  }
+  check.report = report.str();
+  return check;
+}
+
 namespace {
 
 bool StillFails(const Scenario& candidate, const FuzzRunOptions& options, int max_evals,

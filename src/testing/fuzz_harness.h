@@ -98,6 +98,23 @@ struct CoreCheckResult {
 };
 CoreCheckResult CheckCoreEquivalence(const Scenario& scenario);
 
+// Incremental-solve twin mode (ISSUE 8): the same scenario simulated twice
+// -- once with the persistent IncrementalLp session enabled (Sia's default)
+// and once with it forced off, so every root relaxation is solved from
+// scratch -- must be indistinguishable in everything the schedule
+// determines: per-round ScheduleOutputs, the per-job results CSV, and the
+// SimResult summary scalars. Solver-effort metrics (pivot counts,
+// warm-start tallies) legitimately differ between the two paths, so raw
+// trace/metrics bytes are deliberately NOT compared. For policies without
+// an incremental path the twin degenerates to a same-config determinism
+// check, which must also hold.
+struct IncrementalCheckResult {
+  bool ok = true;
+  int64_t rounds = 0;  // Scheduling rounds of the incremental run.
+  std::string report;  // Human-readable failure description.
+};
+IncrementalCheckResult CheckIncrementalEquivalence(const Scenario& scenario);
+
 // Greedy ddmin-style shrink: repeatedly tries dropping jobs, fault events,
 // stochastic fault channels, node groups, and simulated hours, keeping any
 // reduction that still fails, until a fixed point or `max_evals` predicate

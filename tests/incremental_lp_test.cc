@@ -1,0 +1,309 @@
+// Tests for the incremental solving path (ISSUE 8): the IncrementalLp
+// session (delta-apply vs. fresh-build equivalence, dual-simplex re-solve
+// vs. cold-solve optimality on randomized deltas), the per-round
+// ScratchArena (reset reuse, zero steady-state upstream allocations), and
+// the vectorized batch goodput kernel's bit-identity contract.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/common/arena.h"
+#include "src/common/rng.h"
+#include "src/models/batch_goodput.h"
+#include "src/models/estimator.h"
+#include "src/models/profile_db.h"
+#include "src/models/throughput_model.h"
+#include "src/solver/incremental_lp.h"
+#include "src/solver/milp.h"
+
+namespace sia {
+namespace {
+
+// A small non-degenerate LP:  max 3x + 2y  s.t.  x + y <= 4, x <= 3, y <= 3.
+// The optimum (x=3, y=1) is a unique basis, so the incremental path's
+// byte-identity gate accepts it without needing the integral snap.
+LinearProgram MakeBaseLp() {
+  LinearProgram lp(ObjectiveSense::kMaximize);
+  const int x = lp.AddVariable(0.0, 3.0, 3.0);
+  const int y = lp.AddVariable(0.0, 3.0, 2.0);
+  lp.AddConstraint(ConstraintOp::kLessEq, 4.0, {{x, 1.0}, {y, 1.0}});
+  return lp;
+}
+
+TEST(IncrementalLpTest, FingerprintTracksStructureNotParameters) {
+  LinearProgram a = MakeBaseLp();
+  LinearProgram b = MakeBaseLp();
+  EXPECT_EQ(LpStructureFingerprint(a), LpStructureFingerprint(b));
+
+  // Parameter changes (objective, bounds, rhs) keep the fingerprint.
+  b.SetObjectiveCoefficient(0, 7.0);
+  b.SetVariableBounds(1, 0.0, 2.0);
+  EXPECT_EQ(LpStructureFingerprint(a), LpStructureFingerprint(b));
+
+  // A structural change (new constraint) moves it.
+  b.AddConstraint(ConstraintOp::kLessEq, 1.0, {{0, 1.0}});
+  EXPECT_NE(LpStructureFingerprint(a), LpStructureFingerprint(b));
+}
+
+TEST(IncrementalLpTest, DeltaApplyMatchesFreshBuild) {
+  IncrementalLp session;
+  SimplexOptions opts;
+
+  // Round 1: nothing retained -> cold.
+  LinearProgram lp = MakeBaseLp();
+  LpSolution ignored;
+  EXPECT_FALSE(session.TryIncrementalRoot(lp, opts, nullptr, 0, &ignored));
+  LpSolution first = session.ColdRoot(lp, opts, 0);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  ASSERT_TRUE(first.unique_optimal_basis);
+  session.FinalizeRound(first.basis, /*root_retainable=*/true);
+  EXPECT_TRUE(session.retained());
+
+  // Round 2: same structure, new parameters -> the incremental answer must
+  // equal a from-scratch solve of the same program exactly.
+  LinearProgram next = MakeBaseLp();
+  next.SetObjectiveCoefficient(0, 1.0);  // Optimum flips to (1, 3).
+  next.SetObjectiveCoefficient(1, 5.0);
+  LpSolution incremental;
+  ASSERT_TRUE(
+      session.TryIncrementalRoot(next, opts, nullptr, 0, &incremental));
+  ASSERT_EQ(incremental.status, SolveStatus::kOptimal);
+  ASSERT_TRUE(incremental.unique_optimal_basis);
+  session.AcceptRoot();
+
+  IncrementalLp fresh;
+  LpSolution cold;
+  EXPECT_FALSE(fresh.TryIncrementalRoot(next, opts, nullptr, 0, &cold));
+  cold = fresh.ColdRoot(next, opts, 0);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_EQ(incremental.objective, cold.objective);
+  ASSERT_EQ(incremental.values.size(), cold.values.size());
+  for (size_t j = 0; j < cold.values.size(); ++j) {
+    EXPECT_EQ(incremental.values[j], cold.values[j]) << "variable " << j;
+  }
+  EXPECT_EQ(session.stats().incremental_roots, 1);
+  EXPECT_EQ(session.stats().cold_fallbacks, 0);
+}
+
+TEST(IncrementalLpTest, StructureChangeForcesReload) {
+  IncrementalLp session;
+  SimplexOptions opts;
+  LinearProgram lp = MakeBaseLp();
+  LpSolution solution;
+  EXPECT_FALSE(session.TryIncrementalRoot(lp, opts, nullptr, 0, &solution));
+  solution = session.ColdRoot(lp, opts, 0);
+  session.FinalizeRound(solution.basis, true);
+
+  LinearProgram changed = MakeBaseLp();
+  changed.AddConstraint(ConstraintOp::kLessEq, 2.0, {{0, 1.0}});
+  LpSolution incremental;
+  // The fingerprint mismatch must not be answered from the retained basis.
+  EXPECT_FALSE(
+      session.TryIncrementalRoot(changed, opts, nullptr, 0, &incremental));
+  EXPECT_GE(session.stats().structure_mismatches, 1);
+  const LpSolution cold = session.ColdRoot(changed, opts, 0);
+  EXPECT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(cold.objective, 3.0 * 2.0 + 2.0 * 2.0);
+}
+
+// Randomized parameter deltas: the full production gate lives in SolveMilp,
+// so drive it end to end -- a session solving a drifting MILP must return
+// byte-identical answers to from-scratch solves at every round, whether the
+// round was answered incrementally or via fallback.
+TEST(IncrementalLpTest, RandomizedDeltasMatchFromScratchThroughSolveMilp) {
+  Rng rng(20260807);
+  IncrementalLp session;
+  ScratchArena arena;
+  long long accepted = 0;
+  for (int round = 0; round < 40; ++round) {
+    arena.Reset();
+    LinearProgram lp(ObjectiveSense::kMaximize);
+    std::vector<int> vars;
+    for (int j = 0; j < 6; ++j) {
+      vars.push_back(lp.AddBinaryVariable(rng.Uniform(0.5, 3.0)));
+    }
+    // Two knapsack rows with drifting capacities; structure is stable so
+    // rounds after the first are delta-applicable.
+    std::vector<LpTerm> row1;
+    std::vector<LpTerm> row2;
+    for (int j = 0; j < 6; ++j) {
+      row1.emplace_back(vars[j], 1.0 + (j % 3));
+      row2.emplace_back(vars[j], 3.0 - (j % 3));
+    }
+    lp.AddConstraint(ConstraintOp::kLessEq, rng.Uniform(3.0, 9.0), row1);
+    lp.AddConstraint(ConstraintOp::kLessEq, rng.Uniform(3.0, 9.0), row2);
+
+    MilpOptions with_session;
+    with_session.session = &session;
+    with_session.arena = &arena;
+    const MilpSolution incremental = SolveMilp(lp, with_session);
+
+    const MilpSolution scratch = SolveMilp(lp, MilpOptions{});
+    ASSERT_EQ(incremental.status, scratch.status) << "round " << round;
+    ASSERT_EQ(incremental.values.size(), scratch.values.size());
+    EXPECT_EQ(incremental.objective, scratch.objective) << "round " << round;
+    for (size_t j = 0; j < scratch.values.size(); ++j) {
+      EXPECT_EQ(incremental.values[j], scratch.values[j])
+          << "round " << round << " variable " << j;
+    }
+    accepted = session.stats().incremental_roots;
+  }
+  // The point of the session: at least some rounds must actually take the
+  // incremental path (otherwise this test proves nothing).
+  EXPECT_GT(accepted, 0);
+  EXPECT_EQ(session.stats().root_solves, 40);
+}
+
+TEST(ScratchArenaTest, ResetRecyclesBlocksWithoutUpstreamAllocations) {
+  ScratchArena arena(/*initial_block_bytes=*/1 << 12);
+  for (int round = 0; round < 50; ++round) {
+    arena.Reset();
+    ArenaVector<int> v(&arena);
+    v.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      v.push_back(i * round);
+    }
+    ASSERT_EQ(v.size(), 256u);
+    EXPECT_EQ(v[255], 255 * round);
+  }
+  const uint64_t warmup = arena.stats().upstream_allocations;
+  EXPECT_GT(warmup, 0u);
+  for (int round = 0; round < 50; ++round) {
+    arena.Reset();
+    ArenaVector<double> v(&arena);
+    v.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      v.push_back(i * 0.5);
+    }
+  }
+  // Steady state: every block is recycled, nothing new reaches malloc.
+  EXPECT_EQ(arena.stats().upstream_allocations, warmup);
+  EXPECT_EQ(arena.stats().resets, 100u);
+}
+
+TEST(ScratchArenaTest, SolveMilpWithPersistentArenaIsAllocationFreeAfterWarmup) {
+  ScratchArena arena;
+  LinearProgram lp(ObjectiveSense::kMaximize);
+  // Fractional knapsack relaxation that forces real branching.
+  std::vector<int> vars;
+  for (int j = 0; j < 8; ++j) {
+    vars.push_back(lp.AddBinaryVariable(1.0 + 0.1 * j));
+  }
+  std::vector<LpTerm> row;
+  for (int j = 0; j < 8; ++j) {
+    row.emplace_back(vars[j], 1.0 + 0.37 * j);
+  }
+  lp.AddConstraint(ConstraintOp::kLessEq, 7.3, row);
+
+  MilpOptions options;
+  options.arena = &arena;
+  options.packing_rounding = false;
+  const MilpSolution first = SolveMilp(lp, options);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_GT(first.nodes_explored, 1);  // Otherwise the pool is never used.
+  const uint64_t warmup = arena.stats().upstream_allocations;
+  for (int i = 0; i < 5; ++i) {
+    arena.Reset();
+    const MilpSolution again = SolveMilp(lp, options);
+    EXPECT_EQ(again.objective, first.objective);
+    EXPECT_EQ(again.values, first.values);
+  }
+  EXPECT_EQ(arena.stats().upstream_allocations, warmup);
+}
+
+// --- batch goodput kernel (ISSUE 8) ---
+
+class BatchGoodputTest : public ::testing::Test {
+ protected:
+  BatchGoodputTest() : cluster_(MakeHeterogeneousCluster()) {}
+
+  // Every (type, nodes, gpus) shape in the heterogeneous config set style.
+  std::vector<Config> AllShapes() const {
+    std::vector<Config> configs;
+    for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+      for (int gpus : {1, 2, 4, 8, 16, 32}) {
+        const int nodes = (gpus + 7) / 8;
+        configs.push_back({nodes, gpus, t});
+      }
+    }
+    return configs;
+  }
+
+  void ExpectBatchMatchesScalar(const GoodputEstimator& estimator,
+                                AdaptivityMode adaptivity, double fixed_bsz) {
+    const std::vector<Config> configs = AllShapes();
+    std::vector<BatchDecision> batch(configs.size());
+    estimator.EstimateBatch(configs.data(), configs.size(), adaptivity, fixed_bsz,
+                            batch.data());
+    for (size_t i = 0; i < configs.size(); ++i) {
+      const BatchDecision scalar =
+          estimator.Estimate(configs[i], adaptivity, fixed_bsz);
+      EXPECT_EQ(batch[i].feasible, scalar.feasible) << "config " << i;
+      // Bit-identity, not tolerance: the scheduler's candidate cache stores
+      // whichever of the two ran first and replays it later.
+      EXPECT_EQ(batch[i].goodput, scalar.goodput) << "config " << i;
+      EXPECT_EQ(batch[i].local_bsz, scalar.local_bsz) << "config " << i;
+      EXPECT_EQ(batch[i].accum_steps, scalar.accum_steps) << "config " << i;
+      EXPECT_EQ(batch[i].iter_time, scalar.iter_time) << "config " << i;
+      EXPECT_EQ(batch[i].efficiency, scalar.efficiency) << "config " << i;
+    }
+  }
+
+  ClusterSpec cluster_;
+};
+
+TEST_F(BatchGoodputTest, OracleAdaptiveBatchIsBitIdenticalToScalar) {
+  // Oracle mode reduces to direct ThroughputParams everywhere: the SoA
+  // kernel handles every configuration.
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kOracle);
+  estimator.ObservePgns(150.0);
+  ExpectBatchMatchesScalar(estimator, AdaptivityMode::kAdaptive, 0.0);
+}
+
+TEST_F(BatchGoodputTest, BootstrapAndFixedBatchFallBackBitIdentically) {
+  GoodputEstimator estimator(ModelKind::kResNet18, &cluster_, ProfilingMode::kBootstrap);
+  for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
+    const DeviceProfile& device = GetDeviceProfile(ModelKind::kResNet18,
+                                                   cluster_.gpu_type(t).name);
+    if (!device.available) {
+      continue;
+    }
+    for (int k = 1; k <= 10; ++k) {
+      const double local = std::max(1.0, device.max_local_bsz * k / 10.0);
+      estimator.AddProfilePoint(t, local, IterTime(device.truth, 1, 1, local, 1));
+    }
+  }
+  // Bootstrap estimates route through the scalar path; rigid/strong-scaling
+  // always do. All must match per-config Estimate exactly.
+  ExpectBatchMatchesScalar(estimator, AdaptivityMode::kAdaptive, 0.0);
+  ExpectBatchMatchesScalar(estimator, AdaptivityMode::kStrongScaling, 64.0);
+  ExpectBatchMatchesScalar(estimator, AdaptivityMode::kRigid, 64.0);
+}
+
+TEST_F(BatchGoodputTest, FittedSyncModelTakesSoaPathBitIdentically) {
+  GoodputEstimator estimator(ModelKind::kBert, &cluster_, ProfilingMode::kBootstrap);
+  const int t4 = cluster_.FindGpuType("t4");
+  const DeviceProfile& device = GetDeviceProfile(ModelKind::kBert, "t4");
+  for (int k = 1; k <= 10; ++k) {
+    const double local = std::max(1.0, device.max_local_bsz * k / 10.0);
+    estimator.AddProfilePoint(t4, local, IterTime(device.truth, 1, 1, local, 1));
+  }
+  for (int gpus : {2, 4, 8}) {
+    for (double local : {4.0, 8.0, 12.0}) {
+      estimator.AddObservation(t4, 1, gpus, local, 1, IterTime(device.truth, 1, gpus, local, 1));
+      estimator.AddObservation(t4, 2, gpus, local, 1, IterTime(device.truth, 2, gpus, local, 1));
+    }
+  }
+  estimator.ObservePgns(80.0);
+  // t4 is now fully fitted: multi-GPU shapes on it reduce to direct params
+  // (SoA pass); everything else stays scalar. Both must match Estimate.
+  ThroughputParams params;
+  EXPECT_TRUE(estimator.DirectThroughputParams(t4, 1, 4, &params));
+  EXPECT_FALSE(estimator.DirectThroughputParams(t4, 1, 1, &params));
+  ExpectBatchMatchesScalar(estimator, AdaptivityMode::kAdaptive, 0.0);
+}
+
+}  // namespace
+}  // namespace sia

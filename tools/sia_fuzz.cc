@@ -63,6 +63,13 @@ constexpr char kUsage[] = R"(usage: sia_fuzz [flags]
                 dense-vs-event core-equivalence check -- the same scenario
                 simulated under both SimCore values must produce identical
                 trace/metrics/results bytes (default 0)
+  --incremental-seeds N: per scheduler, also run N scenarios through the
+                incremental-vs-from-scratch solver twin check -- the same
+                scenario with the persistent IncrementalLp session on and
+                off must produce identical per-round schedules and per-job
+                results (solver-effort metrics legitimately differ); for
+                policies without an incremental path the twin is a
+                determinism check (default 0)
   --frame-seeds N: mutate valid service request frames (byte flips,
                 truncation, splices, oversizing) and require the service
                 JSON parser to stay deterministic, non-crashing, and
@@ -545,6 +552,7 @@ int main(int argc, char** argv) {
   const int64_t lp_checks = flags.GetInt("lp-checks", 0);
   const int64_t crash_seeds = flags.GetInt("crash-seeds", 0);
   const int64_t core_seeds = flags.GetInt("core-seeds", 0);
+  const int64_t incremental_seeds = flags.GetInt("incremental-seeds", 0);
   const int64_t frame_seeds = flags.GetInt("frame-seeds", 0);
   const std::string frame_replay = flags.GetString("frame-replay", "");
   const int64_t service_episodes = flags.GetInt("service-episodes", 0);
@@ -712,6 +720,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Incremental-solve twin mode (ISSUE 8): the persistent IncrementalLp
+  // session must be result-invisible -- only solve cost may change. A
+  // failing seed regenerates deterministically, so the replay instruction
+  // pins (scheduler, seed).
+  FuzzStats incremental_stats;
+  for (const std::string& name : schedulers) {
+    for (int64_t i = 0; i < incremental_seeds; ++i) {
+      const uint64_t seed = static_cast<uint64_t>(start_seed + i);
+      sia::testing::Scenario scenario = sia::testing::GenerateScenario(seed, name);
+      ++incremental_stats.scenarios;
+      const sia::testing::IncrementalCheckResult result =
+          sia::testing::CheckIncrementalEquivalence(scenario);
+      if (verbose || !result.ok) {
+        std::cout << (result.ok ? "ok   " : "FAIL ") << scenario.Describe() << " ("
+                  << result.rounds << " rounds)\n";
+      }
+      if (result.ok) {
+        continue;
+      }
+      ++incremental_stats.failures;
+      exit_code = 1;
+      std::cout << result.report << "\n";
+      std::ostringstream path;
+      path << out_dir << "/sia_fuzz_incremental_repro_" << name << "_seed" << seed << ".txt";
+      if (sia::testing::WriteScenario(path.str(), scenario)) {
+        std::cout << "reproducer written to " << path.str()
+                  << " (replay with --incremental-seeds=1 --scheduler=" << name
+                  << " --start-seed=" << seed << ")\n";
+      } else {
+        std::cerr << "sia_fuzz: failed to write " << path.str() << "\n";
+      }
+    }
+  }
+
   std::cout << "sia_fuzz: " << stats.scenarios << " scenarios across " << schedulers.size()
             << " scheduler(s), " << stats.failures << " failure(s)";
   if (crash_stats.scenarios > 0) {
@@ -721,6 +763,10 @@ int main(int argc, char** argv) {
   if (core_stats.scenarios > 0) {
     std::cout << "; core mode: " << core_stats.scenarios << " scenario(s), "
               << core_stats.failures << " failure(s)";
+  }
+  if (incremental_stats.scenarios > 0) {
+    std::cout << "; incremental mode: " << incremental_stats.scenarios << " scenario(s), "
+              << incremental_stats.failures << " failure(s)";
   }
   std::cout << "\n";
   return exit_code;

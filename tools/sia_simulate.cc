@@ -64,6 +64,9 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
                .jsonl -> JSON lines, .csv -> round records as CSV
   --trace-timings include wall-clock solve timings in the trace
                (nondeterministic; off keeps the trace byte-identical per seed)
+  --profile-rounds print a per-round phase breakdown (view build / candidate
+               gen / LP build / solve / placement) at run end; implies
+               --trace-timings
   --metrics-out write the metrics registry (counters/gauges/histograms) as JSON
   --jobs-out   write the (possibly tuned) input job trace as CSV
   --results-out write per-job results as CSV
@@ -322,7 +325,8 @@ int main(int argc, char** argv) {
     }
     options.trace = trace_sink.get();
   }
-  options.trace_timings = flags.GetBool("trace-timings", false);
+  const bool profile_rounds = flags.GetBool("profile-rounds", false);
+  options.trace_timings = flags.GetBool("trace-timings", false) || profile_rounds;
   std::unique_ptr<KillAtRoundObserver> killer;
   if (die_at_round >= 0) {
     killer = std::make_unique<KillAtRoundObserver>(die_at_round);
@@ -379,6 +383,31 @@ int main(int argc, char** argv) {
                 << ", Jain index of JCT-normalized service "
                 << sia::Table::Num(sia::JainFairnessIndex(ratios), 3) << "\n";
     }
+  }
+  if (profile_rounds) {
+    // Phase breakdown from the wall-clock counters the scheduler and
+    // simulator record under record_timings (ISSUE 8). Phases outside the
+    // instrumented set (result extraction, trace writes) appear as the gap
+    // between the phase sum and the total policy runtime.
+    const uint64_t rounds = std::max<uint64_t>(metrics.counter_value("sim.rounds"), 1);
+    const struct {
+      const char* phase;
+      const char* counter;
+    } kPhases[] = {
+        {"view build", "sim.view_build_wall_ns"},
+        {"candidate gen", "sia.candidate_gen_wall_ns"},
+        {"LP build", "sia.lp_build_wall_ns"},
+        {"solve", "sia.solve_wall_ns"},
+        {"placement", "sia.placement_wall_ns"},
+    };
+    sia::Table table({"phase", "total ms", "us/round"});
+    for (const auto& phase : kPhases) {
+      const uint64_t ns = metrics.counter_value(phase.counter);
+      table.AddRow({phase.phase, sia::Table::Num(ns / 1e6, 2),
+                    sia::Table::Num(static_cast<double>(ns) / 1e3 / rounds, 1)});
+    }
+    std::cout << "round profile (" << metrics.counter_value("sim.rounds") << " rounds):\n"
+              << table.Render();
   }
   if (!results_out.empty()) {
     if (!sia::WriteJobResultsCsv(results_out, result)) {
