@@ -19,9 +19,21 @@
 namespace sia::bench {
 
 std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, int sched_threads) {
+  return MakeScheduler(name, sched_threads, /*power_cap_watts=*/0.0);
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, int sched_threads,
+                                         double power_cap_watts) {
   if (name == "sia") {
     SiaOptions options;
     options.num_threads = sched_threads;
+    options.power_cap_watts = power_cap_watts;
+    return std::make_unique<SiaScheduler>(options);
+  }
+  if (name == "sia-energy") {
+    SiaOptions options = MakeSiaEnergyOptions();
+    options.num_threads = sched_threads;
+    options.power_cap_watts = power_cap_watts;
     return std::make_unique<SiaScheduler>(options);
   }
   if (name == "pollux") {
@@ -183,12 +195,21 @@ ScenarioResult RunScenario(const std::string& scheduler_name, const ScenarioOpti
       tuned.seed = seed;
       jobs = MakeTunedJobs(jobs, tuned);
     }
-    auto scheduler = MakeScheduler(scheduler_name, options.sched_threads);
+    if (options.sla_mix.sla0_fraction > 0.0 || options.sla_mix.sla1_fraction > 0.0 ||
+        options.sla_mix.sla2_fraction > 0.0) {
+      SlaMixOptions mix = options.sla_mix;
+      mix.seed = seed;
+      jobs = AssignSlaClasses(jobs, mix);
+    }
+    auto scheduler =
+        MakeScheduler(scheduler_name, options.sched_threads, options.power_cap_watts);
     SimOptions sim;
     sim.seed = seed;
     sim.profiling_mode = options.profiling_mode;
     sim.max_hours = options.max_sim_hours;
     sim.record_timeline = options.record_timeline;
+    sim.energy.track = options.track_energy;
+    sim.energy.power_cap_watts = options.power_cap_watts;
     ClusterSimulator simulator(options.cluster, jobs, scheduler.get(), sim);
     result.runs.push_back(simulator.Run());
   }

@@ -18,9 +18,17 @@
 namespace sia::bench {
 
 // Named scheduler factory: "sia", "pollux", "gavel", "shockwave", "themis",
-// "fifo", "srtf". Aborts on unknown names. `sched_threads` fans candidate
-// generation for sia/pollux (--sched-threads); other policies ignore it.
+// "fifo", "srtf", "sia-energy". Aborts on unknown names. `sched_threads`
+// fans candidate generation for sia/pollux (--sched-threads); other
+// policies ignore it. "sia-energy" is Sia with the default energy/SLA
+// knobs (MakeSiaEnergyOptions); give it a power cap via the second factory.
 std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, int sched_threads = 1);
+
+// Same factory, but forwards a power cap (watts, 0 = uncapped) to policies
+// that plan under one natively (sia/sia-energy). Other policies ignore it:
+// the simulator's EnforcePowerCap trims their requests instead.
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name, int sched_threads,
+                                         double power_cap_watts);
 
 // Sia-shaped scheduling program generator shared by the solver benches and
 // the warm-start tests: one GUB row per job (pick <= 1 config) plus one
@@ -65,6 +73,14 @@ struct ScenarioOptions {
   // Candidate-generation threads for sia/pollux (byte-identical results at
   // any value; see SiaOptions::num_threads).
   int sched_threads = 1;
+  // Energy/SLA axis (ISSUE 9): enable the simulator's energy accounting,
+  // optionally cap the cluster's active draw (watts; the cap is forwarded to
+  // cap-native policies and enforced by the simulator for the rest), and
+  // assign SLA classes to the sampled trace (all-zero fractions = every job
+  // stays best-effort; the mix seed is re-derived per trace seed).
+  bool track_energy = false;
+  double power_cap_watts = 0.0;
+  SlaMixOptions sla_mix;
 };
 
 struct ScenarioResult {

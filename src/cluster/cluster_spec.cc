@@ -5,8 +5,25 @@
 namespace sia {
 
 int ClusterSpec::AddGpuType(GpuType type) {
+  power_models_.push_back(DefaultPowerModel(type.name));
   types_.push_back(std::move(type));
   return num_gpu_types() - 1;
+}
+
+void ClusterSpec::set_power_model(int gpu_type, const GpuPowerModel& model) {
+  SIA_CHECK(gpu_type >= 0 && gpu_type < num_gpu_types());
+  SIA_CHECK(model.active_watts >= 0.0 && model.idle_watts >= 0.0 &&
+            model.low_power_watts >= 0.0 && model.transition_joules >= 0.0 &&
+            model.idle_rounds_to_low_power >= 1);
+  power_models_[gpu_type] = model;
+}
+
+double ClusterSpec::FullActiveWatts() const {
+  double watts = 0.0;
+  for (int t = 0; t < num_gpu_types(); ++t) {
+    watts += AvailableGpus(t) * power_models_[t].active_watts;
+  }
+  return watts;
 }
 
 void ClusterSpec::AddNodes(int gpu_type, int count, int gpus_per_node) {

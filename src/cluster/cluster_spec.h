@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/cluster/power_model.h"
+
 namespace sia {
 
 // Static description of one GPU type present in the cluster.
@@ -69,9 +71,20 @@ class ClusterSpec {
   // Looks up a type index by name; -1 if absent.
   int FindGpuType(const std::string& name) const;
 
+  // --- power models (energy/SLA dimension, DESIGN.md §14) ---
+  // Every type gets DefaultPowerModel(name) at AddGpuType time; scenarios
+  // may override per type (e.g. fuzzed transition costs).
+  const GpuPowerModel& power_model(int gpu_type) const { return power_models_[gpu_type]; }
+  void set_power_model(int gpu_type, const GpuPowerModel& model);
+  // Sum over up nodes of active_watts for every GPU: the cluster's maximum
+  // schedulable power draw (used to pick power caps).
+  double FullActiveWatts() const;
+
  private:
   std::vector<GpuType> types_;
   std::vector<NodeSpec> nodes_;
+  // Parallel to types_.
+  std::vector<GpuPowerModel> power_models_;
   // Parallel to nodes_ once any node has gone down; empty means all up.
   std::vector<uint8_t> down_;
 };

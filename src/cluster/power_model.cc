@@ -1,0 +1,24 @@
+#include "src/cluster/power_model.h"
+
+namespace sia {
+
+GpuPowerModel DefaultPowerModel(const std::string& gpu_type_name) {
+  // TDP-class numbers for the paper's hardware matrix (§4.2): T4 70 W,
+  // RTX 2080Ti 250 W, A100 400 W, Quadro RTX 6000 260 W. Idle draw is
+  // roughly 10-20% of TDP; parked GPUs draw a few watts.
+  if (gpu_type_name == "t4") {
+    return {70.0, 12.0, 5.0, 150.0, 2};
+  }
+  if (gpu_type_name == "rtx") {
+    return {250.0, 30.0, 10.0, 400.0, 2};
+  }
+  if (gpu_type_name == "a100") {
+    return {400.0, 55.0, 20.0, 800.0, 3};
+  }
+  if (gpu_type_name == "quad") {
+    return {260.0, 35.0, 12.0, 400.0, 2};
+  }
+  return GpuPowerModel{};
+}
+
+}  // namespace sia

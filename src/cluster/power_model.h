@@ -1,0 +1,33 @@
+// Per-GPU-type power models (ROADMAP item 3 / DESIGN.md §14).
+//
+// Each GPU type draws power in one of three states:
+//   - active:    the GPU is running a placed job this round,
+//   - idle:      powered but unallocated,
+//   - low-power: parked after `idle_rounds_to_low_power` consecutive rounds
+//                of being idle (type-level min filter, see simulator).
+// Entering or leaving the low-power state costs `transition_joules` per GPU.
+// Down nodes (fault windows) are treated as powered off and draw nothing.
+#ifndef SIA_SRC_CLUSTER_POWER_MODEL_H_
+#define SIA_SRC_CLUSTER_POWER_MODEL_H_
+
+#include <string>
+
+namespace sia {
+
+struct GpuPowerModel {
+  double active_watts = 300.0;
+  double idle_watts = 75.0;
+  double low_power_watts = 15.0;
+  // Energy to park or unpark one GPU (state transition cost).
+  double transition_joules = 500.0;
+  // Consecutive idle rounds before an idle GPU is parked. Must be >= 1.
+  int idle_rounds_to_low_power = 2;
+};
+
+// Catalog defaults for the standard cluster GPU types ("t4", "rtx", "a100",
+// "quad"); unknown names get a generic 300 W model.
+GpuPowerModel DefaultPowerModel(const std::string& gpu_type_name);
+
+}  // namespace sia
+
+#endif  // SIA_SRC_CLUSTER_POWER_MODEL_H_

@@ -212,12 +212,26 @@ double JainFairnessIndex(const std::vector<double>& values) {
 }
 
 bool WriteJobResultsCsv(std::ostream& out, const SimResult& result) {
-  out << "id,name,model,submit_time,finished,jct_hours,gpu_hours,restarts,failures\n";
+  // SLA columns appear only when the run had SLA jobs, so all-best-effort
+  // results keep the classic byte-identical 9-column layout.
+  bool any_sla = false;
+  for (const JobResult& job : result.jobs) {
+    any_sla = any_sla || job.spec.sla_class != SlaClass::kBestEffort;
+  }
+  out << "id,name,model,submit_time,finished,jct_hours,gpu_hours,restarts,failures";
+  if (any_sla) {
+    out << ",sla_class,deadline_hours,sla_violated";
+  }
+  out << "\n";
   for (const JobResult& job : result.jobs) {
     out << job.spec.id << "," << job.spec.name << "," << ToString(job.spec.model) << ","
         << job.spec.submit_time << "," << (job.finished ? 1 : 0) << "," << job.jct / 3600.0
-        << "," << job.gpu_seconds / 3600.0 << "," << job.num_restarts << "," << job.num_failures
-        << "\n";
+        << "," << job.gpu_seconds / 3600.0 << "," << job.num_restarts << "," << job.num_failures;
+    if (any_sla) {
+      out << "," << static_cast<int>(job.spec.sla_class) << ","
+          << job.spec.deadline_seconds / 3600.0 << "," << (job.sla_violated ? 1 : 0);
+    }
+    out << "\n";
   }
   return static_cast<bool>(out);
 }

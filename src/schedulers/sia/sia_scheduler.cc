@@ -42,6 +42,12 @@ struct SiaRoundScratch {
   std::vector<ArenaVector<BatchDecision>> miss_decisions;
   std::vector<ArenaVector<LpEntry>> capacity_rows;
   ArenaVector<LpEntry> job_row;
+  // Power-cap row (DESIGN.md §14): sum(x_ij * active_watts_ij) <= cap.
+  // Carved only when SiaOptions::power_cap_watts > 0.
+  ArenaVector<LpEntry> power_row;
+  // Per-job energy-adjusted goodputs (goodput / watts^w). Kept outside the
+  // arena: only the sia-energy variant touches it, and it is cleared per job.
+  std::vector<double> adjusted;
   std::vector<int> capacity_counts;
   std::vector<double> min_goodputs;
   std::vector<int> min_required;
@@ -83,14 +89,27 @@ int ScaleUpCap(const JobView& job, int min_gpus, int scale_up_factor) {
 // first (their reservation must hold), then running jobs (avoid restarts),
 // then queued jobs -- giving each its highest-goodput candidate that still
 // fits, preferring the current configuration for running jobs.
+//
+// power_cap_watts > 0 additionally budgets active watts (DESIGN.md §14):
+// preemptible candidates must fit the remaining watt budget too.
+// Non-preemptible incumbents always keep their reservation -- their draw was
+// admitted under the cap when they were first placed, so honoring it cannot
+// newly exceed the cap.
 ScheduleOutput GreedyRepairAllocations(const ScheduleInput& input,
                                        const std::vector<Config>& configs,
-                                       const std::vector<ArenaVector<Candidate>>& candidates) {
+                                       const std::vector<ArenaVector<Candidate>>& candidates,
+                                       double power_cap_watts) {
   ScheduleOutput output;
   std::vector<int> free_gpus(input.cluster->num_gpu_types());
   for (int t = 0; t < input.cluster->num_gpu_types(); ++t) {
     free_gpus[t] = input.cluster->AvailableGpus(t);
   }
+  const bool capped = power_cap_watts > 0.0;
+  double free_watts = power_cap_watts;
+  const auto config_watts = [&input](const Config& config) {
+    return static_cast<double>(config.num_gpus) *
+           input.cluster->power_model(config.gpu_type).active_watts;
+  };
 
   std::vector<size_t> order(input.jobs.size());
   for (size_t i = 0; i < order.size(); ++i) {
@@ -128,12 +147,15 @@ ScheduleOutput GreedyRepairAllocations(const ScheduleInput& input,
 
   for (size_t i : order) {
     const JobView& job = input.jobs[i];
+    // Non-preemptible incumbents bypass the watt check (see above).
+    const bool reserved = !job.spec->preemptible && job.current_config.num_gpus > 0;
     const Candidate* best = nullptr;
     // Keeping the incumbent shape is restart-free: it wins whenever it fits.
     if (job.current_config.num_gpus > 0) {
       for (const Candidate& candidate : candidates[i]) {
         if (configs[candidate.config_index] == job.current_config) {
-          if (job.current_config.num_gpus <= free_gpus[job.current_config.gpu_type]) {
+          if (job.current_config.num_gpus <= free_gpus[job.current_config.gpu_type] &&
+              (!capped || reserved || config_watts(job.current_config) <= free_watts)) {
             best = &candidate;
           }
           break;
@@ -143,7 +165,8 @@ ScheduleOutput GreedyRepairAllocations(const ScheduleInput& input,
     if (best == nullptr) {
       for (const Candidate* candidate : ranked[i]) {
         const Config& config = configs[candidate->config_index];
-        if (config.num_gpus <= free_gpus[config.gpu_type]) {
+        if (config.num_gpus <= free_gpus[config.gpu_type] &&
+            (!capped || reserved || config_watts(config) <= free_watts)) {
           best = candidate;
           break;
         }
@@ -154,6 +177,9 @@ ScheduleOutput GreedyRepairAllocations(const ScheduleInput& input,
     }
     const Config& config = configs[best->config_index];
     free_gpus[config.gpu_type] -= config.num_gpus;
+    if (capped) {
+      free_watts -= config_watts(config);
+    }
     output[job.spec->id] = config;
   }
   return output;
@@ -399,7 +425,8 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   if (rung == LadderRung::kGreedy) {
     // Greedy rung: candidates are ready, but there is no budget for even one
     // LP solve. Same allocator as the failed-solve repair path.
-    ScheduleOutput output = GreedyRepairAllocations(input, configs, candidates);
+    ScheduleOutput output =
+        GreedyRepairAllocations(input, configs, candidates, options_.power_cap_watts);
     RecordLadderServed(rung, input.metrics);
     last_output_ = output;
     return output;
@@ -426,6 +453,21 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
   ArenaVector<LpEntry>& job_row = scratch.job_row;
   job_row = ArenaVector<LpEntry>(&arena_);
   job_row.reserve(num_configs);
+  // Power-cap row (DESIGN.md §14): one global watt budget across every
+  // chosen configuration. Only carved when the cap is live, so the zero-knob
+  // scheduler builds a byte-identical LP.
+  const bool power_capped = options_.power_cap_watts > 0.0;
+  ArenaVector<LpEntry>& power_row = scratch.power_row;
+  power_row = ArenaVector<LpEntry>(&arena_);
+  if (power_capped) {
+    int total_candidates = 0;
+    for (int count : scratch.capacity_counts) {
+      total_candidates += count;
+    }
+    power_row.reserve(total_candidates);
+  }
+  const bool energy_scored = options_.energy_weight != 0.0;
+  std::vector<double>& adjusted = scratch.adjusted;
   for (int i = 0; i < num_jobs; ++i) {
     const JobView& job = input.jobs[i];
     const JobSpec& spec = *job.spec;
@@ -445,10 +487,35 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
     // --- normalized utilities + ILP variables ---
     const bool currently_running = job.current_config.num_gpus > 0;
     const bool ever_allocated = job.peak_num_gpus > 0;
+    // Energy scoring (DESIGN.md §14): rank configurations by goodput per
+    // watt^w instead of raw goodput, re-deriving the row minimum over the
+    // adjusted values so the normalization contract (min maps to N_i^min)
+    // is preserved. Done here in phase B -- the candidate cache and the
+    // delta-replay lists store *raw* goodputs, so adjusting phase A would
+    // poison the fast path.
+    double adjusted_min = std::numeric_limits<double>::infinity();
+    if (energy_scored) {
+      adjusted.clear();
+      for (const Candidate& candidate : candidates[i]) {
+        const Config& config = configs[candidate.config_index];
+        const double watts =
+            static_cast<double>(config.num_gpus) *
+            input.cluster->power_model(config.gpu_type).active_watts;
+        const double adj =
+            candidate.goodput / std::pow(std::max(watts, 1.0), options_.energy_weight);
+        adjusted.push_back(adj);
+        adjusted_min = std::min(adjusted_min, adj);
+      }
+    }
+    size_t candidate_index = 0;
     for (Candidate& candidate : candidates[i]) {
       const Config& config = configs[candidate.config_index];
       double normalized =
-          candidate.goodput / min_goodput * static_cast<double>(min_required_gpus);
+          energy_scored
+              ? adjusted[candidate_index] / adjusted_min *
+                    static_cast<double>(min_required_gpus)
+              : candidate.goodput / min_goodput * static_cast<double>(min_required_gpus);
+      ++candidate_index;
       // Eq. 3: discount configurations that would restart a running job.
       if (currently_running && !(config == job.current_config)) {
         normalized *= restart_factor;
@@ -459,6 +526,18 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
         // thrash under heavy contention. Kept small so genuinely better
         // queued jobs still displace incumbents.
         normalized *= kResumePenalty;
+      }
+      // SLA urgency (DESIGN.md §14): boost deadline-class jobs as their age
+      // approaches the deadline. The floor term (0.5) gives SLA jobs a head
+      // start even when freshly submitted; urgency saturates at 2x deadline
+      // so one hopeless straggler cannot dominate the objective.
+      if (options_.sla_boost > 0.0 && spec.sla_class != SlaClass::kBestEffort &&
+          spec.deadline_seconds > 0.0) {
+        static constexpr double kClassWeight[4] = {0.0, 3.0, 2.0, 1.0};
+        const double urgency = std::min(age / spec.deadline_seconds, 2.0);
+        normalized *= 1.0 + options_.sla_boost *
+                                kClassWeight[static_cast<int>(spec.sla_class)] *
+                                (0.5 + urgency);
       }
       double utility = std::pow(normalized, p);
       // Tie-breaking: Eq. 4 leaves utility ties (common under heavy
@@ -476,6 +555,12 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       candidate.lp_var = lp.AddBinaryVariable(utility - options_.lambda);
       capacity_rows[config.gpu_type].push_back(
           {candidate.lp_var, static_cast<double>(config.num_gpus)});
+      if (power_capped) {
+        power_row.push_back(
+            {candidate.lp_var,
+             static_cast<double>(config.num_gpus) *
+                 input.cluster->power_model(config.gpu_type).active_watts});
+      }
     }
 
     job_row.clear();
@@ -506,6 +591,15 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
                        static_cast<double>(input.cluster->AvailableGpus(t)),
                        capacity_rows[t].data(), capacity_rows[t].size());
     }
+  }
+  if (power_capped && !power_row.empty()) {
+    // Cap enforcement, planned natively (DESIGN.md §14): the simulator's
+    // post-hoc trim never fires on sia-energy's output in steady state.
+    // Pinned non-preemptible incumbents were admitted under the cap, so
+    // their forced variables cannot make this row infeasible on their own;
+    // if a solve still fails, the greedy repair above is watt-budgeted.
+    lp.AddConstraint(ConstraintOp::kLessEq, options_.power_cap_watts, power_row.data(),
+                     power_row.size());
   }
 
   if (input.metrics != nullptr && input.record_timings) {
@@ -622,7 +716,7 @@ ScheduleOutput SiaScheduler::Schedule(const ScheduleInput& input) {
       input.metrics->counter("scheduler.greedy_fallbacks").Add();
     }
     RecordLadderMiss(rung, input.metrics);  // The planned rung produced nothing.
-    output = GreedyRepairAllocations(input, configs, candidates);
+    output = GreedyRepairAllocations(input, configs, candidates, options_.power_cap_watts);
     RecordLadderServed(LadderRung::kGreedy, input.metrics);
     last_output_ = output;
     return output;

@@ -77,7 +77,36 @@ struct SiaOptions {
   // natively; the ladder only engages when ScheduleInput::deadline_seconds
   // >= 0 or deadline.force_rung is set, so batch runs are unaffected.
   DeadlineOptions deadline;
+
+  // --- energy/SLA dimension (ROADMAP item 3, DESIGN.md §14) ---
+  // Names the policy "sia-energy" (distinct trace/snapshot identity). The
+  // knobs below default to the sia-energy variant's tuning when MakeSiaEnergy
+  // is used; with all of them at their zero defaults Schedule() is
+  // byte-identical to plain sia (every energy branch is structurally gated).
+  bool energy_aware = false;
+  // w > 0 scores candidates by goodput / active_watts^w (goodput-per-watt at
+  // w = 1) before row normalization; 0 keeps the paper's objective exactly.
+  double energy_weight = 0.0;
+  // Native power-cap awareness: adds sum(x_ij * active_watts_ij) <= cap to
+  // the ILP and a watt budget to the greedy rungs, so sia-energy plans under
+  // the cap instead of being trimmed by the simulator after the fact.
+  double power_cap_watts = 0.0;
+  // Deadline-urgency boost for SLA jobs: multiplies normalized utility by
+  // 1 + sla_boost * class_weight * (0.5 + min(age/deadline, 2)). 0 = off.
+  double sla_boost = 0.0;
 };
+
+// The sia-energy policy variant: goodput-per-watt scoring + SLA urgency.
+inline SiaOptions MakeSiaEnergyOptions(SiaOptions base = {}) {
+  base.energy_aware = true;
+  if (base.energy_weight == 0.0) {
+    base.energy_weight = 0.5;
+  }
+  if (base.sla_boost == 0.0) {
+    base.sla_boost = 0.5;
+  }
+  return base;
+}
 
 class SiaScheduler : public Scheduler {
  public:
@@ -85,7 +114,7 @@ class SiaScheduler : public Scheduler {
   explicit SiaScheduler(SiaOptions options = {});
   ~SiaScheduler() override;
 
-  std::string name() const override { return "sia"; }
+  std::string name() const override { return options_.energy_aware ? "sia-energy" : "sia"; }
   double round_duration_seconds() const override { return options_.round_duration_seconds; }
   ScheduleOutput Schedule(const ScheduleInput& input) override;
 

@@ -156,6 +156,9 @@ std::unique_ptr<Scheduler> MakeNamedScheduler(const std::string& name) {
   if (name == "sia") {
     return std::make_unique<SiaScheduler>(SiaOptions{});
   }
+  if (name == "sia-energy") {
+    return std::make_unique<SiaScheduler>(MakeSiaEnergyOptions());
+  }
   if (name == "pollux") {
     return std::make_unique<PolluxScheduler>(PolluxOptions{});
   }

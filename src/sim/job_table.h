@@ -20,6 +20,7 @@
 #define SIA_SRC_SIM_JOB_TABLE_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -96,6 +97,17 @@ class JobTable {
   double pending_restore(Slot s) const { return pending_restore_[static_cast<size_t>(s)]; }
   const Placement& placement(Slot s) const { return placements_[static_cast<size_t>(s)]; }
   int64_t arrival_seq(Slot s) const { return arrival_seqs_[static_cast<size_t>(s)]; }
+  // SLA convenience views over spec() (ISSUE 9): best-effort jobs have no
+  // deadline, so slack is only meaningful when has_deadline() is true.
+  bool has_deadline(Slot s) const { return spec(s).sla_class != SlaClass::kBestEffort; }
+  // Seconds until the job's absolute deadline at simulation time `now`;
+  // negative once the deadline has passed. +inf for best-effort jobs.
+  double deadline_slack(Slot s, double now) const {
+    if (!has_deadline(s)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return spec(s).submit_time + spec(s).deadline_seconds - now;
+  }
 
   // --- mutators. The ones feeding JobView fields mark the row changed. ---
   void set_done(Slot s, bool v) { done_[static_cast<size_t>(s)] = v ? 1 : 0; }

@@ -41,6 +41,10 @@ std::string SimOptions::Validate() const {
   if (stop_after_round < -1) {
     return "stop_after_round must be >= -1 (got " + std::to_string(stop_after_round) + ")";
   }
+  if (energy.power_cap_watts < 0.0) {
+    return "energy.power_cap_watts must be >= 0 (got " +
+           std::to_string(energy.power_cap_watts) + ")";
+  }
   return "";
 }
 
@@ -479,9 +483,31 @@ void ClusterSimulator::EnsureRunStarted(double round_seconds) {
   }
   // Touch the run-level instruments up front (the original Run() hoisted
   // these lookups before its loop) so registry contents do not depend on
-  // whether any round ever ran.
+  // whether any round ever ran. The energy/SLA instruments exist only when
+  // their feature is on -- with everything off the registry is byte-identical
+  // to a build without the energy dimension.
   metrics_->histogram("sim.schedule_seconds");
   metrics_->counter("sim.rounds");
+  if (options_.energy.track) {
+    metrics_->gauge("energy.active_joules");
+    metrics_->gauge("energy.idle_joules");
+    metrics_->gauge("energy.low_power_joules");
+    metrics_->gauge("energy.transition_joules");
+    metrics_->gauge("energy.total_joules");
+    metrics_->gauge("energy.peak_busy_watts");
+  }
+  if (options_.energy.power_cap_watts > 0.0) {
+    metrics_->counter("energy.cap_trims");
+  }
+  bool any_sla = false;
+  for (const JobSpec& spec : pending_) {
+    any_sla = any_sla || spec.sla_class != SlaClass::kBestEffort;
+  }
+  if (any_sla) {
+    metrics_->counter("sim.sla_jobs_finished");
+    metrics_->counter("sim.sla_violations");
+    metrics_->histogram("sim.sla_tardiness_seconds");
+  }
 }
 
 ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
@@ -579,6 +605,12 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
       desired_map[job_id] = config;
     }
   }
+  // Power cap (DESIGN.md §14): trimmed before placement and before the
+  // observer sees the round, so the oracle's desired-vs-placed cross-checks
+  // and the cap invariant both run against the enforced request.
+  if (options_.energy.power_cap_watts > 0.0) {
+    EnforcePowerCap(&desired_map);
+  }
   // Previous placements of live (unfinished) jobs; finished jobs were
   // retired -- and their slots cleared -- at the end of their round.
   std::map<JobId, Placement> live_previous;
@@ -622,6 +654,10 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
   stats.time_seconds = now_;
   stats.down_nodes = cluster_.NumDownNodes();
   stats.active_jobs = active_count;
+  std::vector<int> busy_by_type;
+  if (options_.energy.track) {
+    busy_by_type.assign(static_cast<size_t>(cluster_.num_gpu_types()), 0);
+  }
   for (const auto& [seq, slot] : jobs_.running()) {
     if (jobs_.done(slot)) {
       continue;
@@ -629,9 +665,16 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
     ++stats.running_jobs;
     stats.busy_gpus += jobs_.placement(slot).total_gpus();
     busy_gpu_seconds_ += jobs_.placement(slot).total_gpus() * round;
+    if (options_.energy.track) {
+      busy_by_type[jobs_.placement(slot).config.gpu_type] += jobs_.placement(slot).total_gpus();
+    }
   }
   if (options_.record_timeline) {
     result_.round_stats.push_back(stats);
+  }
+  double round_busy_watts = 0.0;
+  if (options_.energy.track) {
+    round_busy_watts = AccumulateEnergy(busy_by_type, round);
   }
 
   std::vector<JobTable::Slot> finished;
@@ -659,6 +702,19 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
         .Set("estimator_refits", metrics_->counter_value("estimator.refits") - refits_before)
         .Set("ladder_rung",
              static_cast<int64_t>(metrics_->gauge_value("scheduler.ladder.last_rung")));
+    if (options_.energy.track) {
+      // Schema v2 fields (manifest advertises the version); absent -- not
+      // zero -- when tracking is off, keeping v1 traces byte-identical.
+      int parked_total = 0;
+      for (int parked : energy_state_.parked) {
+        parked_total += parked;
+      }
+      record.Set("busy_watts", round_busy_watts)
+          .Set("parked_gpus", parked_total)
+          .Set("energy_joules", energy_state_.active_joules + energy_state_.idle_joules +
+                                    energy_state_.low_power_joules +
+                                    energy_state_.transition_joules);
+    }
     if (options_.trace_timings) {
       record.Set("schedule_ms", schedule_seconds * 1e3);
     }
@@ -688,16 +744,31 @@ ClusterSimulator::StepStatus ClusterSimulator::StepOnce() {
     jr.gpu_seconds = jobs_.gpu_seconds(slot);
     jr.num_restarts = jobs_.num_restarts(slot);
     jr.num_failures = jobs_.num_failures(slot);
+    if (jr.spec.sla_class != SlaClass::kBestEffort) {
+      jr.tardiness_seconds = std::max(0.0, jr.jct - jr.spec.deadline_seconds);
+      jr.sla_violated = jr.tardiness_seconds > 0.0;
+      metrics_->counter("sim.sla_jobs_finished").Add();
+      metrics_->histogram("sim.sla_tardiness_seconds").Record(jr.tardiness_seconds);
+      if (jr.sla_violated) {
+        metrics_->counter("sim.sla_violations").Add();
+      }
+    }
     metrics_->counter("sim.jobs_finished").Add();
     metrics_->histogram("sim.jct_seconds").Record(jr.jct);
     if (options_.trace != nullptr) {
-      options_.trace->Write(TraceRecord("job_finish")
-                                .Set("t", jr.finish_time)
-                                .Set("job", jr.spec.id)
-                                .Set("jct", jr.jct)
-                                .Set("gpu_seconds", jr.gpu_seconds)
-                                .Set("restarts", jr.num_restarts)
-                                .Set("failures", jr.num_failures));
+      TraceRecord finish("job_finish");
+      finish.Set("t", jr.finish_time)
+          .Set("job", jr.spec.id)
+          .Set("jct", jr.jct)
+          .Set("gpu_seconds", jr.gpu_seconds)
+          .Set("restarts", jr.num_restarts)
+          .Set("failures", jr.num_failures);
+      if (jr.spec.sla_class != SlaClass::kBestEffort) {
+        finish.Set("sla_class", static_cast<int>(jr.spec.sla_class))
+            .Set("deadline", jr.spec.deadline_seconds)
+            .Set("sla_violated", jr.sla_violated);
+      }
+      options_.trace->Write(finish);
     }
     result_.makespan_seconds = std::max(result_.makespan_seconds, jr.finish_time);
     result_.jobs.push_back(std::move(jr));
@@ -738,6 +809,11 @@ const SimResult& ClusterSimulator::Finalize() {
     jr.gpu_seconds = jobs_.gpu_seconds(slot);
     jr.num_restarts = jobs_.num_restarts(slot);
     jr.num_failures = jobs_.num_failures(slot);
+    if (jr.spec.sla_class != SlaClass::kBestEffort) {
+      // Censored SLA job: violated iff the deadline already passed.
+      jr.tardiness_seconds = std::max(0.0, jr.jct - jr.spec.deadline_seconds);
+      jr.sla_violated = jr.tardiness_seconds > 0.0;
+    }
     result_.makespan_seconds = std::max(result_.makespan_seconds, now_);
     result_.jobs.push_back(std::move(jr));
   }
@@ -752,6 +828,22 @@ const SimResult& ClusterSimulator::Finalize() {
   }
   std::stable_sort(result_.jobs.begin(), result_.jobs.end(),
                    [](const JobResult& a, const JobResult& b) { return a.spec.id < b.spec.id; });
+  for (const JobResult& jr : result_.jobs) {
+    if (jr.spec.sla_class == SlaClass::kBestEffort) {
+      continue;
+    }
+    ++result_.sla.sla_jobs;
+    result_.sla.violations += jr.sla_violated ? 1 : 0;
+    result_.sla.total_tardiness_seconds += jr.tardiness_seconds;
+  }
+  if (options_.energy.track) {
+    result_.energy.tracked = true;
+    result_.energy.active_joules = energy_state_.active_joules;
+    result_.energy.idle_joules = energy_state_.idle_joules;
+    result_.energy.low_power_joules = energy_state_.low_power_joules;
+    result_.energy.transition_joules = energy_state_.transition_joules;
+    result_.energy.peak_busy_watts = energy_state_.peak_busy_watts;
+  }
   FinalizeObservability();
   if (options_.observer != nullptr) {
     options_.observer->OnRunEnd(result_);
@@ -759,20 +851,115 @@ const SimResult& ClusterSimulator::Finalize() {
   return result_;
 }
 
+void ClusterSimulator::EnforcePowerCap(std::map<JobId, Config>* desired) {
+  const double cap = options_.energy.power_cap_watts;
+  auto config_watts = [this](const Config& config) {
+    return config.num_gpus * cluster_.power_model(config.gpu_type).active_watts;
+  };
+  double total_watts = 0.0;
+  for (const auto& [job_id, config] : *desired) {
+    total_watts += config_watts(config);
+  }
+  if (total_watts <= cap) {
+    return;
+  }
+  // Deterministic trim order: queued (not-yet-running) jobs first, then
+  // running preemptible jobs, each group largest draw first with highest id
+  // breaking ties. Running non-preemptible jobs are never trimmed -- they
+  // were admitted under the cap when first granted (they were still
+  // trimmable then), so the protected set always fits inductively.
+  struct TrimCandidate {
+    bool running = false;
+    double watts = 0.0;
+    JobId id = 0;
+  };
+  std::vector<TrimCandidate> trimmable;
+  for (const auto& [job_id, config] : *desired) {
+    const JobTable::Slot slot = jobs_.FindSlot(job_id);
+    const bool running = slot != JobTable::kNoSlot && !jobs_.placement(slot).empty();
+    if (running && slot != JobTable::kNoSlot && !jobs_.spec(slot).preemptible) {
+      continue;
+    }
+    trimmable.push_back({running, config_watts(config), job_id});
+  }
+  std::sort(trimmable.begin(), trimmable.end(),
+            [](const TrimCandidate& a, const TrimCandidate& b) {
+              if (a.running != b.running) {
+                return !a.running;  // Queued jobs trim before running ones.
+              }
+              if (a.watts != b.watts) {
+                return a.watts > b.watts;
+              }
+              return a.id > b.id;
+            });
+  for (const TrimCandidate& candidate : trimmable) {
+    if (total_watts <= cap) {
+      break;
+    }
+    desired->erase(candidate.id);
+    total_watts -= candidate.watts;
+    metrics_->counter("energy.cap_trims").Add();
+  }
+}
+
+double ClusterSimulator::AccumulateEnergy(const std::vector<int>& busy_by_type, double duration) {
+  const int num_types = cluster_.num_gpu_types();
+  if (energy_state_.parked.empty()) {
+    energy_state_.parked.assign(static_cast<size_t>(num_types), 0);
+    energy_state_.idle_history.assign(static_cast<size_t>(num_types), {});
+  }
+  double busy_watts = 0.0;
+  for (int t = 0; t < num_types; ++t) {
+    const GpuPowerModel& model = cluster_.power_model(t);
+    const int idle = std::max(0, cluster_.AvailableGpus(t) - busy_by_type[t]);
+    // Type-level low-power machine: parked count = min of the idle counts
+    // over the last idle_rounds_to_low_power scheduled rounds, so a GPU
+    // parks only after that many consecutive idle rounds and unparks the
+    // round its capacity is needed again.
+    const size_t window = static_cast<size_t>(std::max(1, model.idle_rounds_to_low_power));
+    std::vector<int>& history = energy_state_.idle_history[t];
+    history.push_back(idle);
+    if (history.size() > window) {
+      history.erase(history.begin());
+    }
+    int parked = 0;
+    if (history.size() == window) {
+      parked = *std::min_element(history.begin(), history.end());
+    }
+    const int prev_parked = energy_state_.parked[t];
+    if (parked != prev_parked) {
+      const int moved = parked > prev_parked ? parked - prev_parked : prev_parked - parked;
+      energy_state_.transition_joules += moved * model.transition_joules;
+      energy_state_.parked[t] = parked;
+    }
+    busy_watts += busy_by_type[t] * model.active_watts;
+    energy_state_.active_joules += busy_by_type[t] * model.active_watts * duration;
+    energy_state_.low_power_joules += parked * model.low_power_watts * duration;
+    energy_state_.idle_joules += (idle - parked) * model.idle_watts * duration;
+  }
+  energy_state_.peak_busy_watts = std::max(energy_state_.peak_busy_watts, busy_watts);
+  return busy_watts;
+}
+
 void ClusterSimulator::EmitManifest(double round_seconds) {
   if (options_.trace == nullptr) {
     return;
   }
-  options_.trace->Write(TraceRecord("manifest")
-                            .Set("schema_version", 1)
-                            .Set("scheduler", scheduler_->name())
-                            .Set("cluster_nodes", cluster_.num_nodes())
-                            .Set("cluster_gpus", cluster_.TotalGpus())
-                            .Set("num_jobs", static_cast<int64_t>(pending_.size()))
-                            .Set("seed", options_.seed)
-                            .Set("profiling_mode", ToString(options_.profiling_mode))
-                            .Set("round_seconds", round_seconds)
-                            .Set("faults_enabled", options_.faults.any_faults()));
+  TraceRecord manifest("manifest");
+  manifest.Set("schema_version", options_.energy.track ? 2 : 1)
+      .Set("scheduler", scheduler_->name())
+      .Set("cluster_nodes", cluster_.num_nodes())
+      .Set("cluster_gpus", cluster_.TotalGpus())
+      .Set("num_jobs", static_cast<int64_t>(pending_.size()))
+      .Set("seed", options_.seed)
+      .Set("profiling_mode", ToString(options_.profiling_mode))
+      .Set("round_seconds", round_seconds)
+      .Set("faults_enabled", options_.faults.any_faults());
+  if (options_.energy.track) {
+    manifest.Set("energy_tracked", true)
+        .Set("power_cap_watts", options_.energy.power_cap_watts);
+  }
+  options_.trace->Write(manifest);
 }
 
 void ClusterSimulator::FinalizeObservability() {
@@ -796,19 +983,35 @@ void ClusterSimulator::FinalizeObservability() {
   metrics_->gauge("sim.makespan_seconds").Set(result_.makespan_seconds);
   metrics_->gauge("sim.gpu_utilization").Set(result_.gpu_utilization);
   metrics_->gauge("sim.avg_contention").Set(result_.avg_contention);
+  if (options_.energy.track) {
+    metrics_->gauge("energy.active_joules").Set(result_.energy.active_joules);
+    metrics_->gauge("energy.idle_joules").Set(result_.energy.idle_joules);
+    metrics_->gauge("energy.low_power_joules").Set(result_.energy.low_power_joules);
+    metrics_->gauge("energy.transition_joules").Set(result_.energy.transition_joules);
+    metrics_->gauge("energy.total_joules").Set(result_.energy.total_joules());
+    metrics_->gauge("energy.peak_busy_watts").Set(result_.energy.peak_busy_watts);
+  }
 
   if (options_.trace != nullptr) {
     int finished = 0;
     for (const JobResult& job : result_.jobs) {
       finished += job.finished ? 1 : 0;
     }
-    options_.trace->Write(TraceRecord("run_end")
-                              .Set("makespan", result_.makespan_seconds)
-                              .Set("rounds", round_index_)
-                              .Set("jobs_finished", finished)
-                              .Set("jobs_total", static_cast<int64_t>(result_.jobs.size()))
-                              .Set("all_finished", result_.all_finished)
-                              .Set("gpu_utilization", result_.gpu_utilization));
+    TraceRecord run_end("run_end");
+    run_end.Set("makespan", result_.makespan_seconds)
+        .Set("rounds", round_index_)
+        .Set("jobs_finished", finished)
+        .Set("jobs_total", static_cast<int64_t>(result_.jobs.size()))
+        .Set("all_finished", result_.all_finished)
+        .Set("gpu_utilization", result_.gpu_utilization);
+    if (options_.energy.track) {
+      run_end.Set("total_joules", result_.energy.total_joules());
+    }
+    if (result_.sla.sla_jobs > 0) {
+      run_end.Set("sla_jobs", result_.sla.sla_jobs)
+          .Set("sla_violations", result_.sla.violations);
+    }
+    options_.trace->Write(run_end);
     options_.trace->Flush();
   }
 }
@@ -824,7 +1027,10 @@ namespace {
 // clock (ISSUE 7) -- the arrival cursor is now the activated-event count
 // (same integer for any legal history), and per-job field order is owned by
 // JobTable::SaveJobFields (layout unchanged).
-constexpr uint32_t kSimStateVersion = 3;
+// v4: energy/SLA dimension (ROADMAP item 3) -- the per-type low-power state
+// machine + joule accumulators serialize after the policy runtimes, and each
+// partial JobResult row grew sla_violated/tardiness_seconds.
+constexpr uint32_t kSimStateVersion = 4;
 // Upper bound on element-count prefixes read back from a snapshot; anything
 // larger is treated as corruption rather than allocated.
 constexpr uint64_t kMaxSnapshotEntries = 1u << 20;
@@ -845,6 +1051,8 @@ uint64_t ClusterSimulator::ConfigFingerprint() const {
   w.F64(options_.pgns_noise_sigma);
   w.F64(options_.max_hours);
   w.Bool(options_.record_timeline);
+  w.Bool(options_.energy.track);
+  w.F64(options_.energy.power_cap_watts);
   const FaultOptions& faults = options_.faults;
   w.F64(faults.node_mtbf_hours);
   w.F64(faults.node_mttr_hours);
@@ -869,6 +1077,12 @@ uint64_t ClusterSimulator::ConfigFingerprint() const {
   w.I32(cluster_.num_gpu_types());
   for (int t = 0; t < cluster_.num_gpu_types(); ++t) {
     w.Str(cluster_.gpu_type(t).name);
+    const GpuPowerModel& model = cluster_.power_model(t);
+    w.F64(model.active_watts);
+    w.F64(model.idle_watts);
+    w.F64(model.low_power_watts);
+    w.F64(model.transition_joules);
+    w.I32(model.idle_rounds_to_low_power);
   }
   for (int node = 0; node < cluster_.num_nodes(); ++node) {
     w.I32(cluster_.node(node).gpu_type);
@@ -887,6 +1101,8 @@ uint64_t ClusterSimulator::ConfigFingerprint() const {
     w.Bool(spec.preemptible);
     w.Bool(spec.batch_inference);
     w.F64(spec.latency_slo_seconds);
+    w.U8(static_cast<uint8_t>(spec.sla_class));
+    w.F64(spec.deadline_seconds);
   }
   return Crc64(w.data());
 }
@@ -960,6 +1176,8 @@ std::string ClusterSimulator::SerializeState() const {
     w.F64(jr.gpu_seconds);
     w.I32(jr.num_restarts);
     w.I32(jr.num_failures);
+    w.Bool(jr.sla_violated);
+    w.F64(jr.tardiness_seconds);
   }
   w.F64(result_.makespan_seconds);
   w.I32(result_.max_contention);
@@ -981,6 +1199,23 @@ std::string ClusterSimulator::SerializeState() const {
   w.F64(result_.resilience.node_downtime_gpu_seconds);
   w.VecF64(result_.resilience.recovery_seconds);
   w.VecF64(result_.policy_cost.runtimes_seconds);
+
+  // Energy state (v4): always serialized with a fixed layout so the framing
+  // never depends on whether tracking is enabled (all-zero/empty when off).
+  w.F64(energy_state_.active_joules);
+  w.F64(energy_state_.idle_joules);
+  w.F64(energy_state_.low_power_joules);
+  w.F64(energy_state_.transition_joules);
+  w.F64(energy_state_.peak_busy_watts);
+  w.U64(energy_state_.parked.size());
+  for (size_t t = 0; t < energy_state_.parked.size(); ++t) {
+    w.I32(energy_state_.parked[t]);
+    const std::vector<int>& history = energy_state_.idle_history[t];
+    w.U64(history.size());
+    for (int idle : history) {
+      w.I32(idle);
+    }
+  }
 
   // Cross-round scheduler state, registry contents, and sink bookkeeping as
   // nested blobs: each component decodes from its own bounded region, so a
@@ -1180,6 +1415,8 @@ bool ClusterSimulator::RestoreState(std::string_view payload, std::string* error
     jr.gpu_seconds = r.F64();
     jr.num_restarts = r.I32();
     jr.num_failures = r.I32();
+    jr.sla_violated = r.Bool();
+    jr.tardiness_seconds = r.F64();
     result_.jobs.push_back(std::move(jr));
   }
   result_.makespan_seconds = r.F64();
@@ -1216,6 +1453,30 @@ bool ClusterSimulator::RestoreState(std::string_view payload, std::string* error
   result_.resilience.node_downtime_gpu_seconds = r.F64();
   result_.resilience.recovery_seconds = r.VecF64();
   result_.policy_cost.runtimes_seconds = r.VecF64();
+
+  energy_state_ = EnergyState{};
+  energy_state_.active_joules = r.F64();
+  energy_state_.idle_joules = r.F64();
+  energy_state_.low_power_joules = r.F64();
+  energy_state_.transition_joules = r.F64();
+  energy_state_.peak_busy_watts = r.F64();
+  const uint64_t num_energy_types = r.U64();
+  if (!r.ok() || (num_energy_types != 0 &&
+                  num_energy_types != static_cast<uint64_t>(cluster_.num_gpu_types()))) {
+    return fail("snapshot energy state: type count mismatch");
+  }
+  for (uint64_t t = 0; t < num_energy_types; ++t) {
+    energy_state_.parked.push_back(r.I32());
+    const uint64_t history_size = r.U64();
+    if (!r.ok() || history_size > kMaxSnapshotEntries) {
+      return fail("snapshot energy state: corrupt idle history");
+    }
+    std::vector<int> history;
+    for (uint64_t i = 0; i < history_size; ++i) {
+      history.push_back(r.I32());
+    }
+    energy_state_.idle_history.push_back(std::move(history));
+  }
 
   {
     const std::string blob = r.Blob();

@@ -128,6 +128,22 @@ struct SimOptions {
   // resumed under the other.
   SimCore core = SimCore::kEvent;
 
+  // --- energy / power cap (ROADMAP item 3, DESIGN.md §14) ---
+  struct EnergyOptions {
+    // Account per-round joules from the cluster's per-type power models
+    // (active / idle / low-power states + transition costs) and emit the
+    // energy trace fields, metrics, and SimResult::Energy. Off by default:
+    // with track=false and power_cap_watts=0 a run is byte-identical to one
+    // built without these options (no new instruments, records, or fields).
+    bool track = false;
+    // When > 0, the simulator enforces sum(busy GPUs x active watts) <= cap
+    // every round by deterministically trimming the scheduler's requested
+    // allocations before placement (running non-preemptible jobs are never
+    // trimmed). Independent of `track`.
+    double power_cap_watts = 0.0;
+  };
+  EnergyOptions energy;
+
   // Returns "" when the options are coherent, else a descriptive error.
   // The ClusterSimulator constructor enforces this; CLI tools call it first
   // to turn bad flags into readable diagnostics instead of a crash.
@@ -165,6 +181,10 @@ struct JobResult {
   double gpu_seconds = 0.0;  // GPU-seconds held, including restore overhead.
   int num_restarts = 0;
   int num_failures = 0;      // Node crashes that evicted this job.
+  // SLA outcome (spec.sla_class != kBestEffort only): violated when the JCT
+  // (finish, or censoring at end of run) exceeds spec.deadline_seconds.
+  bool sla_violated = false;
+  double tardiness_seconds = 0.0;  // max(0, jct - deadline).
 };
 
 struct SimResult {
@@ -209,6 +229,32 @@ struct SimResult {
     uint64_t estimator_refits = 0;         // Goodput-model refits across jobs.
   };
   PolicyCost policy_cost;
+
+  // Energy accounting over scheduled rounds (SimOptions::energy.track);
+  // all-zero with tracked=false when tracking is off.
+  struct Energy {
+    bool tracked = false;
+    double active_joules = 0.0;
+    double idle_joules = 0.0;
+    double low_power_joules = 0.0;
+    double transition_joules = 0.0;
+    double peak_busy_watts = 0.0;  // Max per-round active draw observed.
+    double total_joules() const {
+      return active_joules + idle_joules + low_power_joules + transition_joules;
+    }
+  };
+  Energy energy;
+
+  // SLA accounting (derived from the per-job results at Finalize()).
+  struct Sla {
+    int sla_jobs = 0;    // Jobs with a non-best-effort class.
+    int violations = 0;  // Of those, deadline missed (finish or censor).
+    double total_tardiness_seconds = 0.0;
+    double ViolationRate() const {
+      return sla_jobs > 0 ? static_cast<double>(violations) / sla_jobs : 0.0;
+    }
+  };
+  Sla sla;
 
   // --- summary helpers (all in hours) ---
   double AvgJctHours() const;
@@ -321,6 +367,16 @@ class ClusterSimulator {
   // + arrival processing, then either an idle skip or one full scheduling
   // round. Returns kRoundScheduled / kIdleSkipped-as-loop (see StepRound).
   StepStatus StepOnce();
+  // Power-cap enforcement: deterministically trims `desired` until the
+  // active power draw fits options_.energy.power_cap_watts (queued jobs
+  // first, then largest draw, then highest id; running non-preemptible jobs
+  // are never trimmed). No-op when the cap is 0.
+  void EnforcePowerCap(std::map<JobId, Config>* desired);
+  // Per-round energy accounting (options_.energy.track): advances the
+  // per-type low-power state machine and accumulates joules for a round of
+  // `duration` seconds with `busy_by_type[t]` GPUs active per type. Returns
+  // the round's active power draw in watts.
+  double AccumulateEnergy(const std::vector<int>& busy_by_type, double duration);
   void EmitManifest(double round_seconds);
   // Emits the manifest exactly once per trace (resumed runs already have
   // theirs) and touches the run-level metric instruments so registry
@@ -358,6 +414,20 @@ class ClusterSimulator {
   MetricsRegistry* metrics_;
   int64_t round_index_ = 0;
   double now_ = 0.0;  // Simulated clock; a member so snapshots capture it.
+  // --- energy accounting state (serialized; meaningful when energy.track).
+  // The low-power machine is type-level: a type's parked count is the min of
+  // its idle-GPU counts over the last idle_rounds_to_low_power scheduled
+  // rounds, so GPUs park only after being idle that many consecutive rounds.
+  struct EnergyState {
+    double active_joules = 0.0;
+    double idle_joules = 0.0;
+    double low_power_joules = 0.0;
+    double transition_joules = 0.0;
+    double peak_busy_watts = 0.0;
+    std::vector<int> parked;                      // Per type, current parked count.
+    std::vector<std::vector<int>> idle_history;   // Per type, last K idle counts.
+  };
+  EnergyState energy_state_;
   RunningStats contention_;
   bool warned_zero_goodput_ = false;
   bool restored_ = false;              // Run() resumes instead of starting fresh.

@@ -64,22 +64,46 @@ std::unique_ptr<Scheduler> MakeSchedulerVariant(const Scenario& scenario, int va
   return scheduler;
 }
 
+// Both Sia variants share the MILP contract the sia-specific checks encode.
+bool IsSiaFamily(const std::string& name) { return name == "sia" || name == "sia-energy"; }
+
 OracleOptions OracleOptionsFor(const Scenario& scenario, const FuzzRunOptions& options,
                                bool record_schedules) {
   OracleOptions oracle;
-  oracle.check_scale_up = scenario.scheduler == "sia";
-  oracle.check_config_set = scenario.scheduler == "sia";
+  oracle.check_scale_up = IsSiaFamily(scenario.scheduler);
+  oracle.check_config_set = IsSiaFamily(scenario.scheduler);
   oracle.record_schedules = record_schedules;
   oracle.max_recorded_violations = options.max_recorded_violations;
+  // Energy invariants mirror the scenario's simulator configuration.
+  oracle.check_energy = scenario.track_energy != 0;
+  oracle.power_cap_watts = scenario.power_cap_watts;
   // FaultOptions::failure_progress_loss default; scenarios do not vary it.
   return oracle;
+}
+
+// Sia knobs shared by both variants; "sia-energy" layers the energy/SLA
+// tuning (and the scenario's cap + weight) on top.
+SiaOptions SiaOptionsFor(const Scenario& scenario) {
+  SiaOptions options;
+  if (scenario.scheduler == "sia-energy") {
+    options = MakeSiaEnergyOptions();
+    if (scenario.energy_weight != 0.0) {
+      options.energy_weight = scenario.energy_weight;
+    }
+    options.power_cap_watts = scenario.power_cap_watts;
+  }
+  options.num_threads = scenario.sched_threads;
+  options.warm_start = scenario.warm_start;
+  options.candidate_cache = scenario.candidate_cache;
+  return options;
 }
 
 }  // namespace
 
 const std::vector<std::string>& AllSchedulers() {
-  static const std::vector<std::string> kNames = {"sia",       "pollux", "gavel", "allox",
-                                                  "shockwave", "themis", "fifo",  "srtf"};
+  static const std::vector<std::string> kNames = {"sia",    "pollux",    "gavel",
+                                                  "allox",  "shockwave", "themis",
+                                                  "fifo",   "srtf",      "sia-energy"};
   return kNames;
 }
 
@@ -90,12 +114,8 @@ bool KnownScheduler(const std::string& name) {
 
 std::unique_ptr<Scheduler> MakeFuzzScheduler(const Scenario& scenario) {
   const std::string& name = scenario.scheduler;
-  if (name == "sia") {
-    SiaOptions options;
-    options.num_threads = scenario.sched_threads;
-    options.warm_start = scenario.warm_start;
-    options.candidate_cache = scenario.candidate_cache;
-    return std::make_unique<SiaScheduler>(options);
+  if (name == "sia" || name == "sia-energy") {
+    return std::make_unique<SiaScheduler>(SiaOptionsFor(scenario));
   }
   if (name == "pollux") {
     PolluxOptions options;
@@ -127,7 +147,7 @@ std::unique_ptr<Scheduler> MakeFuzzScheduler(const Scenario& scenario) {
 FuzzRunResult RunScenarioWithOracle(const Scenario& scenario, const FuzzRunOptions& options) {
   FuzzRunResult result;
   const bool twins =
-      options.differential && (scenario.scheduler == "sia" || scenario.scheduler == "pollux");
+      options.differential && (IsSiaFamily(scenario.scheduler) || scenario.scheduler == "pollux");
 
   InvariantOracle oracle(OracleOptionsFor(scenario, options, twins));
   {
@@ -446,11 +466,8 @@ IncrementalCheckResult CheckIncrementalEquivalence(const Scenario& scenario) {
   auto run_mode = [&](bool incremental) {
     ModeRun run;
     std::unique_ptr<Scheduler> scheduler;
-    if (scenario.scheduler == "sia") {
-      SiaOptions options;
-      options.num_threads = scenario.sched_threads;
-      options.warm_start = scenario.warm_start;
-      options.candidate_cache = scenario.candidate_cache;
+    if (IsSiaFamily(scenario.scheduler)) {
+      SiaOptions options = SiaOptionsFor(scenario);
       options.incremental_lp = incremental;
       scheduler = std::make_unique<SiaScheduler>(options);
     } else {
@@ -557,6 +574,39 @@ Scenario ShrinkScenario(const Scenario& failing, const FuzzRunOptions& options, 
         improved = true;
       } else {
         ++i;
+      }
+    }
+
+    // Energy channel: try turning the whole subsystem off (cap, tracking,
+    // model overrides), then -- separately, so a cap-specific bug keeps its
+    // cap -- stripping SLA classes from the job list.
+    if (best.track_energy != 0 || best.power_cap_watts > 0.0 ||
+        best.transition_joules >= 0.0 || best.idle_rounds_to_low_power > 0) {
+      Scenario candidate = best;
+      candidate.track_energy = 0;
+      candidate.power_cap_watts = 0.0;
+      candidate.transition_joules = -1.0;
+      candidate.idle_rounds_to_low_power = 0;
+      if (StillFails(candidate, options, max_evals, &evals)) {
+        best = std::move(candidate);
+        improved = true;
+      }
+    }
+    {
+      bool any_sla = false;
+      for (const JobSpec& job : best.jobs) {
+        any_sla = any_sla || job.sla_class != SlaClass::kBestEffort;
+      }
+      if (any_sla) {
+        Scenario candidate = best;
+        for (JobSpec& job : candidate.jobs) {
+          job.sla_class = SlaClass::kBestEffort;
+          job.deadline_seconds = 0.0;
+        }
+        if (StillFails(candidate, options, max_evals, &evals)) {
+          best = std::move(candidate);
+          improved = true;
+        }
       }
     }
 

@@ -436,6 +436,145 @@ void InvariantOracle::CheckConservation(const RoundObservation& observation) {
   }
 }
 
+void InvariantOracle::CheckEnergy(const RoundObservation& observation) {
+  const ClusterSpec& cluster = *observation.cluster;
+  const int num_types = cluster.num_gpu_types();
+  std::vector<int> busy(static_cast<size_t>(num_types), 0);
+  for (const auto& [id, placement] : observation.placed->placements) {
+    const int type = placement.config.gpu_type;
+    if (type >= 0 && type < num_types) {
+      busy[static_cast<size_t>(type)] += placement.total_gpus();
+    }
+  }
+  double busy_watts = 0.0;
+  for (int t = 0; t < num_types; ++t) {
+    busy_watts += busy[static_cast<size_t>(t)] * cluster.power_model(t).active_watts;
+  }
+  if (options_.power_cap_watts > 0.0 &&
+      busy_watts > options_.power_cap_watts * (1.0 + 1e-9) + kAbsEps) {
+    std::ostringstream out;
+    out << "placed jobs draw " << busy_watts << "W, above the " << options_.power_cap_watts
+        << "W power cap";
+    AddViolation(&observation, "energy", out.str());
+  }
+  if (!options_.check_energy) {
+    return;
+  }
+  // Mirror of ClusterSimulator::AccumulateEnergy: same window-min low-power
+  // machine, same accumulation order, fed by the same per-round view.
+  if (energy_.parked.empty()) {
+    energy_.parked.assign(static_cast<size_t>(num_types), 0);
+    energy_.idle_history.assign(static_cast<size_t>(num_types), {});
+  }
+  const double duration = observation.round_duration_seconds;
+  for (int t = 0; t < num_types; ++t) {
+    const GpuPowerModel& model = cluster.power_model(t);
+    const int idle = std::max(0, cluster.AvailableGpus(t) - busy[static_cast<size_t>(t)]);
+    const size_t window = static_cast<size_t>(std::max(1, model.idle_rounds_to_low_power));
+    std::vector<int>& history = energy_.idle_history[static_cast<size_t>(t)];
+    history.push_back(idle);
+    if (history.size() > window) {
+      history.erase(history.begin());
+    }
+    int parked = 0;
+    if (history.size() == window) {
+      parked = *std::min_element(history.begin(), history.end());
+    }
+    const int prev_parked = energy_.parked[static_cast<size_t>(t)];
+    if (parked != prev_parked) {
+      const int moved = parked > prev_parked ? parked - prev_parked : prev_parked - parked;
+      energy_.transition_joules += moved * model.transition_joules;
+      energy_.parked[static_cast<size_t>(t)] = parked;
+    }
+    energy_.active_joules += busy[static_cast<size_t>(t)] * model.active_watts * duration;
+    energy_.low_power_joules += parked * model.low_power_watts * duration;
+    energy_.idle_joules += (idle - parked) * model.idle_watts * duration;
+  }
+  energy_.peak_busy_watts = std::max(energy_.peak_busy_watts, busy_watts);
+}
+
+void InvariantOracle::CheckEnergyResult(const SimResult& result) {
+  if (!result.energy.tracked) {
+    AddViolation(nullptr, "energy",
+                 "check_energy is set but SimResult::energy was not tracked");
+    return;
+  }
+  const struct {
+    const char* name;
+    double reported;
+    double derived;
+  } channels[] = {
+      {"active_joules", result.energy.active_joules, energy_.active_joules},
+      {"idle_joules", result.energy.idle_joules, energy_.idle_joules},
+      {"low_power_joules", result.energy.low_power_joules, energy_.low_power_joules},
+      {"transition_joules", result.energy.transition_joules, energy_.transition_joules},
+      {"peak_busy_watts", result.energy.peak_busy_watts, energy_.peak_busy_watts},
+  };
+  for (const auto& channel : channels) {
+    if (channel.reported < -kAbsEps) {
+      std::ostringstream out;
+      out << "energy." << channel.name << " is negative: " << channel.reported;
+      AddViolation(nullptr, "energy", out.str());
+    }
+    // Conservation: reported joules must equal sum(state power x dwell) as
+    // independently re-derived from the observed rounds.
+    if (!NearlyEqual(channel.reported, channel.derived)) {
+      std::ostringstream out;
+      out << "energy." << channel.name << " " << channel.reported
+          << " does not match the oracle's re-derivation " << channel.derived;
+      AddViolation(nullptr, "energy", out.str());
+    }
+  }
+}
+
+void InvariantOracle::CheckSlaResult(const SimResult& result) {
+  int sla_jobs = 0;
+  int violations = 0;
+  double tardiness = 0.0;
+  for (const JobResult& job : result.jobs) {
+    if (job.spec.sla_class == SlaClass::kBestEffort) {
+      if (job.sla_violated || job.tardiness_seconds != 0.0) {
+        std::ostringstream out;
+        out << "best-effort job " << job.spec.id << " carries SLA bookkeeping (violated="
+            << job.sla_violated << ", tardiness=" << job.tardiness_seconds << ")";
+        AddViolation(nullptr, "sla", out.str());
+      }
+      continue;
+    }
+    ++sla_jobs;
+    violations += job.sla_violated ? 1 : 0;
+    tardiness += job.tardiness_seconds;
+    if (job.tardiness_seconds < 0.0) {
+      std::ostringstream out;
+      out << "job " << job.spec.id << " negative tardiness " << job.tardiness_seconds;
+      AddViolation(nullptr, "sla", out.str());
+    }
+    if (job.sla_violated != (job.tardiness_seconds > 0.0)) {
+      std::ostringstream out;
+      out << "job " << job.spec.id << " sla_violated=" << job.sla_violated
+          << " inconsistent with tardiness " << job.tardiness_seconds;
+      AddViolation(nullptr, "sla", out.str());
+    }
+    const double expected =
+        std::max(0.0, job.jct - job.spec.deadline_seconds);
+    if (!NearlyEqual(job.tardiness_seconds, expected)) {
+      std::ostringstream out;
+      out << "job " << job.spec.id << " tardiness " << job.tardiness_seconds
+          << " != max(0, jct - deadline) = " << expected;
+      AddViolation(nullptr, "sla", out.str());
+    }
+  }
+  if (result.sla.sla_jobs != sla_jobs || result.sla.violations != violations ||
+      !NearlyEqual(result.sla.total_tardiness_seconds, tardiness)) {
+    std::ostringstream out;
+    out << "SimResult::sla (" << result.sla.sla_jobs << " jobs, " << result.sla.violations
+        << " violations, " << result.sla.total_tardiness_seconds
+        << "s tardiness) does not match the per-job rows (" << sla_jobs << ", " << violations
+        << ", " << tardiness << "s)";
+    AddViolation(nullptr, "sla", out.str());
+  }
+}
+
 void InvariantOracle::UpdateTracks(const RoundObservation& observation) {
   std::set<JobId> present;
   for (const JobView& job : observation.input->jobs) {
@@ -517,6 +656,9 @@ void InvariantOracle::OnRoundScheduled(const RoundObservation& observation) {
   CheckDesired(observation);
   CheckPlacements(observation);
   CheckConservation(observation);
+  if (options_.check_energy || options_.power_cap_watts > 0.0) {
+    CheckEnergy(observation);
+  }
   UpdateTracks(observation);
   prev_placements_ = observation.placed->placements;
   if (options_.record_schedules) {
@@ -569,6 +711,12 @@ void InvariantOracle::OnRunEnd(const SimResult& result) {
       AddViolation(nullptr, "lifecycle", out.str());
     }
   }
+  if (options_.check_energy) {
+    CheckEnergyResult(result);
+  }
+  // SLA accounting is pure result-internal consistency: with no SLA jobs it
+  // degenerates to 0 == 0, so it runs for every policy unconditionally.
+  CheckSlaResult(result);
 }
 
 std::string InvariantOracle::Report() const {

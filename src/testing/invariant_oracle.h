@@ -30,6 +30,12 @@
 //  accounting -- service_gpu_seconds grows by exactly granted-GPUs x round
 //                while running; progress is monotone except a bounded
 //                rollback on failure eviction; peak_num_gpus tracks grants.
+//  energy     -- with check_energy (DESIGN.md §14): reported joules equal
+//                sum(state power x dwell) re-derived by an independent mirror
+//                of the low-power state machine, never negative; with a
+//                power_cap_watts, placed active draw never exceeds the cap.
+//  sla        -- SimResult::sla matches the per-job rows; per-job tardiness
+//                equals max(0, jct - deadline) and flags are consistent.
 #ifndef SIA_SRC_TESTING_INVARIANT_ORACLE_H_
 #define SIA_SRC_TESTING_INVARIANT_ORACLE_H_
 
@@ -58,6 +64,18 @@ struct OracleOptions {
   // Allowed fractional progress rollback on a failure eviction; mirror
   // FaultOptions::failure_progress_loss for the run under check.
   double failure_progress_loss = 0.02;
+  // Energy-conservation invariants (DESIGN.md §14). With check_energy the
+  // oracle mirrors the simulator's per-type low-power state machine from the
+  // observed placements alone and, at run end, requires the SimResult energy
+  // accumulators to (a) be non-negative and (b) match its independent
+  // re-derivation (joules = sum of state-power x dwell). Enable only for
+  // runs with SimOptions::energy.track set.
+  bool check_energy = false;
+  // With a positive cap: the active draw of each round's *placed* jobs must
+  // never exceed it (the simulator trims requests before placement, so a
+  // violation here means cap enforcement failed). Checked independently of
+  // check_energy, mirroring SimOptions::energy.power_cap_watts.
+  double power_cap_watts = 0.0;
   // Record each round's requested ScheduleOutput so two runs can be diffed
   // (the warm-vs-cold / threaded-vs-serial differential harness).
   bool record_schedules = false;
@@ -117,6 +135,9 @@ class InvariantOracle : public SimObserver {
   void CheckDesired(const RoundObservation& observation);
   void CheckPlacements(const RoundObservation& observation);
   void CheckConservation(const RoundObservation& observation);
+  void CheckEnergy(const RoundObservation& observation);
+  void CheckEnergyResult(const SimResult& result);
+  void CheckSlaResult(const SimResult& result);
   void UpdateTracks(const RoundObservation& observation);
 
   OracleOptions options_;
@@ -131,6 +152,19 @@ class InvariantOracle : public SimObserver {
   // placer sees, used by the conserve check's stability-aware rules.
   std::map<JobId, Placement> prev_placements_;
   std::vector<ScheduleOutput> schedules_;
+  // Energy mirror (check_energy): an independent replay of the simulator's
+  // per-type low-power state machine, fed only by observed placements and
+  // the live cluster view, compared against SimResult::energy at run end.
+  struct EnergyMirror {
+    double active_joules = 0.0;
+    double idle_joules = 0.0;
+    double low_power_joules = 0.0;
+    double transition_joules = 0.0;
+    double peak_busy_watts = 0.0;
+    std::vector<int> parked;
+    std::vector<std::vector<int>> idle_history;
+  };
+  EnergyMirror energy_;
 };
 
 }  // namespace sia::testing

@@ -135,6 +135,16 @@ ClusterSpec Scenario::BuildCluster() const {
     int type = cluster.FindGpuType(group.gpu_type);
     if (type < 0) {
       type = cluster.AddGpuType({entry->name, entry->vram_gb, entry->network_gbps});
+      if (transition_joules >= 0.0 || idle_rounds_to_low_power > 0) {
+        GpuPowerModel model = cluster.power_model(type);
+        if (transition_joules >= 0.0) {
+          model.transition_joules = transition_joules;
+        }
+        if (idle_rounds_to_low_power > 0) {
+          model.idle_rounds_to_low_power = idle_rounds_to_low_power;
+        }
+        cluster.set_power_model(type, model);
+      }
     }
     cluster.AddNodes(type, group.num_nodes, group.gpus_per_node);
   }
@@ -155,6 +165,8 @@ SimOptions Scenario::BuildSimOptions() const {
   options.faults.telemetry_outlier_prob = telemetry_outlier_prob;
   options.faults.schedule = faults;
   options.core = static_cast<SimCore>(sim_core);
+  options.energy.track = track_energy != 0;
+  options.energy.power_cap_watts = power_cap_watts;
   return options;
 }
 
@@ -179,6 +191,12 @@ std::string Scenario::Describe() const {
       << (candidate_cache ? "" : " nocache") << (sim_core == 0 ? " dense" : "");
   if (crash_round >= 0) {
     out << " crash@" << crash_round;
+  }
+  if (track_energy != 0) {
+    out << " energy";
+  }
+  if (power_cap_watts > 0.0) {
+    out << " cap=" << power_cap_watts << "W";
   }
   return out.str();
 }
@@ -302,6 +320,40 @@ Scenario GenerateScenario(uint64_t seed, const std::string& scheduler) {
   return scenario;
 }
 
+Scenario GenerateEnergyScenario(uint64_t seed, const std::string& scheduler) {
+  Scenario scenario = GenerateScenario(seed, scheduler);
+  // A fresh fork off the same root keeps the base scenario bit-identical to
+  // GenerateScenario(seed, scheduler) -- the energy axis only adds knobs.
+  Rng root(seed);
+  Rng energy_rng = root.Fork("fuzz-energy");
+
+  scenario.track_energy = 1;
+  if (energy_rng.Bernoulli(0.6)) {
+    // Cap at 35-90% of the cluster's full active draw: tight enough to bite,
+    // never below what a single non-preemptible reservation could need.
+    const double full_watts = scenario.BuildCluster().FullActiveWatts();
+    scenario.power_cap_watts = energy_rng.Uniform(0.35, 0.9) * full_watts;
+  }
+  if (energy_rng.Bernoulli(0.5)) {
+    scenario.transition_joules = energy_rng.Uniform(0.0, 2000.0);
+  }
+  if (energy_rng.Bernoulli(0.5)) {
+    scenario.idle_rounds_to_low_power = static_cast<int>(energy_rng.UniformInt(1, 5));
+  }
+  if (scenario.scheduler == "sia-energy") {
+    scenario.energy_weight = energy_rng.Uniform(0.1, 1.0);
+  }
+
+  // SLA mix: materialized into the job list so replays never re-sample it.
+  SlaMixOptions mix;
+  mix.sla0_fraction = energy_rng.Uniform(0.0, 0.3);
+  mix.sla1_fraction = energy_rng.Uniform(0.0, 0.3);
+  mix.sla2_fraction = energy_rng.Uniform(0.0, 0.3);
+  mix.seed = energy_rng.Next();
+  scenario.jobs = AssignSlaClasses(scenario.jobs, mix);
+  return scenario;
+}
+
 bool WriteScenario(std::ostream& out, const Scenario& scenario) {
   out << "# sia_fuzz reproducer v1\n";
   out << "seed=" << scenario.seed << "\n";
@@ -326,6 +378,23 @@ bool WriteScenario(std::ostream& out, const Scenario& scenario) {
   out << "sim_core=" << scenario.sim_core << "\n";
   if (scenario.crash_round >= 0) {
     out << "crash_round=" << scenario.crash_round << "\n";
+  }
+  // Energy keys are only written when the scenario engages the subsystem,
+  // so pre-energy reproducer files and their byte-exact rewrites coincide.
+  if (scenario.track_energy != 0) {
+    out << "track_energy=" << scenario.track_energy << "\n";
+  }
+  if (scenario.power_cap_watts != 0.0) {
+    out << "power_cap_watts=" << FormatDouble(scenario.power_cap_watts) << "\n";
+  }
+  if (scenario.energy_weight != 0.0) {
+    out << "energy_weight=" << FormatDouble(scenario.energy_weight) << "\n";
+  }
+  if (scenario.transition_joules >= 0.0) {
+    out << "transition_joules=" << FormatDouble(scenario.transition_joules) << "\n";
+  }
+  if (scenario.idle_rounds_to_low_power > 0) {
+    out << "idle_rounds_to_low_power=" << scenario.idle_rounds_to_low_power << "\n";
   }
   for (const FaultEvent& event : scenario.faults) {
     out << "fault=" << FormatDouble(event.time_seconds) << "," << FaultKindName(event.kind) << ","
@@ -467,6 +536,21 @@ bool ReadScenario(std::istream& in, Scenario* scenario, std::string* error) {
     } else if (key == "crash_round") {
       if (!ParseInt(value, &as_int) || as_int < -1) return bad();
       result.crash_round = as_int;
+    } else if (key == "track_energy") {
+      if (!ParseInt(value, &as_int) || as_int < 0 || as_int > 1) return bad();
+      result.track_energy = static_cast<int>(as_int);
+    } else if (key == "power_cap_watts") {
+      if (!ParseDouble(value, &as_double) || as_double < 0.0) return bad();
+      result.power_cap_watts = as_double;
+    } else if (key == "energy_weight") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.energy_weight = as_double;
+    } else if (key == "transition_joules") {
+      if (!ParseDouble(value, &as_double)) return bad();
+      result.transition_joules = as_double;
+    } else if (key == "idle_rounds_to_low_power") {
+      if (!ParseInt(value, &as_int) || as_int < 0) return bad();
+      result.idle_rounds_to_low_power = static_cast<int>(as_int);
     } else {
       return Fail(error, "line " + std::to_string(line_number) + ": unknown key " + key);
     }

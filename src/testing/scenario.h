@@ -79,6 +79,19 @@ struct Scenario {
   // reproducer written by a failing crash check pins the exact round.
   int64_t crash_round = -1;
 
+  // Energy / power-cap knobs (ROADMAP item 3). Defaults keep the energy
+  // subsystem fully disabled, so pre-energy seeds replay byte-identically.
+  int track_energy = 0;             // SimOptions::energy.track.
+  double power_cap_watts = 0.0;     // Cluster cap (0 = uncapped).
+  double energy_weight = 0.0;       // sia-energy goodput-per-watt exponent.
+  // Power-model overrides applied to every GPU type in BuildCluster();
+  // negative / zero sentinels mean "keep the per-type catalog default".
+  double transition_joules = -1.0;
+  int idle_rounds_to_low_power = 0;
+  // SLA classes live in the materialized job list itself (the embedded
+  // trace CSV grows sla_class/deadline_seconds columns when any job has
+  // them), so no scenario-level mix knob is needed for replay.
+
   // Rebuilds the ClusterSpec from node_groups. SIA_CHECKs on unknown GPU
   // type names.
   ClusterSpec BuildCluster() const;
@@ -93,6 +106,15 @@ struct Scenario {
 // an optional fault cocktail, and randomized simulator/Sia knobs. The same
 // (seed, scheduler) always yields the same scenario.
 Scenario GenerateScenario(uint64_t seed, const std::string& scheduler);
+
+// GenerateScenario plus a randomized energy/SLA dimension (sia_fuzz
+// --energy-seeds): energy tracking always on, and -- each sampled from a
+// *separate* "fuzz-energy" RNG stream so the base scenario for a given seed
+// is unchanged -- an optional power cap (fraction of the cluster's full
+// active draw), randomized state-transition costs and low-power entry
+// thresholds, an energy_weight for sia-energy, and an SLA class mix
+// materialized into the job list.
+Scenario GenerateEnergyScenario(uint64_t seed, const std::string& scheduler);
 
 // Serialization. Write returns false on I/O error; Read returns false and
 // reports the offending line via `error` (if non-null) on malformed input.

@@ -11,6 +11,31 @@
 
 namespace sia {
 
+// SLA/deadline classes (ROADMAP item 3): best-effort jobs keep the original
+// semantics; SLA0-2 jobs carry a completion deadline (seconds after submit),
+// with SLA0 the strictest class. A job whose JCT exceeds its deadline counts
+// as an SLA violation (at finish, or at end-of-run censoring).
+enum class SlaClass {
+  kBestEffort = 0,
+  kSla0 = 1,
+  kSla1 = 2,
+  kSla2 = 3,
+};
+
+inline const char* ToString(SlaClass sla) {
+  switch (sla) {
+    case SlaClass::kBestEffort:
+      return "be";
+    case SlaClass::kSla0:
+      return "sla0";
+    case SlaClass::kSla1:
+      return "sla1";
+    case SlaClass::kSla2:
+      return "sla2";
+  }
+  return "?";
+}
+
 struct JobSpec {
   JobId id = 0;
   std::string name;
@@ -39,6 +64,11 @@ struct JobSpec {
   // usable configurations all have goodput 1 ("pick the right set of
   // resources"). Implies batch-inference semantics for progress accounting.
   double latency_slo_seconds = 0.0;
+
+  // SLA class; kBestEffort jobs have no deadline. Non-best-effort jobs must
+  // set deadline_seconds > 0 (completion deadline relative to submit_time).
+  SlaClass sla_class = SlaClass::kBestEffort;
+  double deadline_seconds = 0.0;
 };
 
 }  // namespace sia

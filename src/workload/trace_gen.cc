@@ -260,6 +260,37 @@ std::vector<JobSpec> MakeTunedJobs(const std::vector<JobSpec>& jobs,
   return tuned;
 }
 
+std::vector<JobSpec> AssignSlaClasses(const std::vector<JobSpec>& jobs,
+                                      const SlaMixOptions& options) {
+  SIA_CHECK(options.sla0_fraction >= 0.0 && options.sla1_fraction >= 0.0 &&
+            options.sla2_fraction >= 0.0 &&
+            options.sla0_fraction + options.sla1_fraction + options.sla2_fraction <= 1.0);
+  std::vector<JobSpec> out = jobs;
+  Rng rng(options.seed ^ 0x51A0DEAD);
+  for (JobSpec& job : out) {
+    const double u = rng.Uniform();
+    double lo_hours;
+    double hi_hours;
+    if (u < options.sla0_fraction) {
+      job.sla_class = SlaClass::kSla0;
+      lo_hours = options.sla0_min_hours;
+      hi_hours = options.sla0_max_hours;
+    } else if (u < options.sla0_fraction + options.sla1_fraction) {
+      job.sla_class = SlaClass::kSla1;
+      lo_hours = options.sla1_min_hours;
+      hi_hours = options.sla1_max_hours;
+    } else if (u < options.sla0_fraction + options.sla1_fraction + options.sla2_fraction) {
+      job.sla_class = SlaClass::kSla2;
+      lo_hours = options.sla2_min_hours;
+      hi_hours = options.sla2_max_hours;
+    } else {
+      continue;
+    }
+    job.deadline_seconds = rng.Uniform(lo_hours, hi_hours) * 3600.0;
+  }
+  return out;
+}
+
 std::vector<JobSpec> RestrictAdaptivity(const std::vector<JobSpec>& jobs, double strong_fraction,
                                         double rigid_fraction, const TunedJobsOptions& options) {
   SIA_CHECK(strong_fraction >= 0.0 && rigid_fraction >= 0.0 &&

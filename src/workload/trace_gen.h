@@ -54,6 +54,26 @@ struct TunedJobsOptions {
 std::vector<JobSpec> MakeTunedJobs(const std::vector<JobSpec>& jobs,
                                    const TunedJobsOptions& options);
 
+// --- SLA class assignment (energy/SLA dimension, ROADMAP item 3) ---
+//
+// Post-pass over a generated trace: marks a random fraction of jobs SLA0-2
+// and draws per-class completion deadlines. Runs on its own RNG stream so
+// the underlying trace (arrivals, models, sizes) is byte-identical to the
+// plain GenerateTrace output; with all fractions zero it is a no-op copy.
+struct SlaMixOptions {
+  double sla0_fraction = 0.0;  // Strictest class, tightest deadlines.
+  double sla1_fraction = 0.0;
+  double sla2_fraction = 0.0;
+  // Deadline ranges in hours (uniform per class).
+  double sla0_min_hours = 0.5, sla0_max_hours = 1.5;
+  double sla1_min_hours = 1.0, sla1_max_hours = 3.0;
+  double sla2_min_hours = 2.0, sla2_max_hours = 6.0;
+  uint64_t seed = 1;
+};
+
+std::vector<JobSpec> AssignSlaClasses(const std::vector<JobSpec>& jobs,
+                                      const SlaMixOptions& options);
+
 // --- limited-adaptivity sweeps (Fig. 11) ---
 //
 // Marks a random `fraction` of jobs kStrongScaling (fixing their batch size

@@ -12,6 +12,11 @@ namespace {
 constexpr char kHeader[] =
     "id,name,model,submit_time,adaptivity,fixed_bsz,rigid_num_gpus,max_num_gpus,preemptible,"
     "batch_inference,latency_slo";
+// Extended header used only when a trace carries SLA jobs; the classic
+// 11-column form above stays byte-identical for all-best-effort traces.
+constexpr char kHeaderSla[] =
+    "id,name,model,submit_time,adaptivity,fixed_bsz,rigid_num_gpus,max_num_gpus,preemptible,"
+    "batch_inference,latency_slo,sla_class,deadline_seconds";
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
@@ -48,14 +53,22 @@ bool AdaptivityModeFromString(const std::string& name, AdaptivityMode* out) {
 
 bool WriteTraceCsv(std::ostream& out, const std::vector<JobSpec>& jobs) {
   const auto saved_precision = out.precision(17);  // Lossless double round-trip.
-  out << kHeader << "\n";
+  bool any_sla = false;
+  for (const JobSpec& job : jobs) {
+    any_sla = any_sla || job.sla_class != SlaClass::kBestEffort || job.deadline_seconds != 0.0;
+  }
+  out << (any_sla ? kHeaderSla : kHeader) << "\n";
   for (const JobSpec& job : jobs) {
     SIA_CHECK(job.name.find(',') == std::string::npos)
         << "job names may not contain commas: " << job.name;
     out << job.id << "," << job.name << "," << ToString(job.model) << "," << job.submit_time
         << "," << ToString(job.adaptivity) << "," << job.fixed_bsz << "," << job.rigid_num_gpus
         << "," << job.max_num_gpus << "," << (job.preemptible ? 1 : 0) << ","
-        << (job.batch_inference ? 1 : 0) << "," << job.latency_slo_seconds << "\n";
+        << (job.batch_inference ? 1 : 0) << "," << job.latency_slo_seconds;
+    if (any_sla) {
+      out << "," << static_cast<int>(job.sla_class) << "," << job.deadline_seconds;
+    }
+    out << "\n";
   }
   out.precision(saved_precision);
   return static_cast<bool>(out);
@@ -73,9 +86,13 @@ bool ReadTraceCsv(std::istream& in, std::vector<JobSpec>* jobs, std::string* err
   if (!std::getline(in, line)) {
     return Fail(error, "empty input");
   }
-  if (line != kHeader) {
+  bool has_sla_columns = false;
+  if (line == kHeaderSla) {
+    has_sla_columns = true;
+  } else if (line != kHeader) {
     return Fail(error, "unexpected header: " + line);
   }
+  const size_t expected_fields = has_sla_columns ? 13 : 11;
   int line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
@@ -83,8 +100,9 @@ bool ReadTraceCsv(std::istream& in, std::vector<JobSpec>* jobs, std::string* err
       continue;
     }
     const auto fields = SplitCsvLine(line);
-    if (fields.size() != 11) {
-      return Fail(error, "line " + std::to_string(line_number) + ": expected 11 fields, got " +
+    if (fields.size() != expected_fields) {
+      return Fail(error, "line " + std::to_string(line_number) + ": expected " +
+                             std::to_string(expected_fields) + " fields, got " +
                              std::to_string(fields.size()));
     }
     JobSpec job;
@@ -106,13 +124,23 @@ bool ReadTraceCsv(std::istream& in, std::vector<JobSpec>* jobs, std::string* err
       job.preemptible = std::stoi(fields[8]) != 0;
       job.batch_inference = std::stoi(fields[9]) != 0;
       job.latency_slo_seconds = std::stod(fields[10]);
+      if (has_sla_columns) {
+        const int sla = std::stoi(fields[11]);
+        if (sla < 0 || sla > 3) {
+          return Fail(error,
+                      "line " + std::to_string(line_number) + ": invalid sla_class " + fields[11]);
+        }
+        job.sla_class = static_cast<SlaClass>(sla);
+        job.deadline_seconds = std::stod(fields[12]);
+      }
     } catch (const std::exception& e) {
       return Fail(error, "line " + std::to_string(line_number) + ": " + e.what());
     }
     if (job.submit_time < 0.0 || job.max_num_gpus < 1 ||
         (job.adaptivity == AdaptivityMode::kRigid && job.rigid_num_gpus < 1) ||
         (job.adaptivity != AdaptivityMode::kAdaptive && job.fixed_bsz <= 0.0) ||
-        job.latency_slo_seconds < 0.0) {
+        job.latency_slo_seconds < 0.0 || job.deadline_seconds < 0.0 ||
+        (job.sla_class != SlaClass::kBestEffort && job.deadline_seconds <= 0.0)) {
       return Fail(error, "line " + std::to_string(line_number) + ": invalid job fields");
     }
     jobs->push_back(std::move(job));

@@ -81,6 +81,70 @@ TEST(FuzzOracleTest, AllSchedulersCleanOnSmallSweep) {
   }
 }
 
+TEST(FuzzOracleTest, EnergyScenariosCleanOnSmallSweep) {
+  // The --energy-seeds axis in miniature (ISSUE 9): every policy under
+  // randomized power caps, transition costs, low-power thresholds, and SLA
+  // mixes, with the oracle's energy-conservation and SLA invariants armed
+  // (RunScenarioWithOracle wires check_energy/power_cap from the scenario).
+  for (const std::string& name : AllSchedulers()) {
+    for (uint64_t seed : {1u, 3u}) {
+      const Scenario scenario = GenerateEnergyScenario(seed, name);
+      EXPECT_EQ(scenario.track_energy, 1) << name << " seed " << seed;
+      const FuzzRunResult result = RunScenarioWithOracle(scenario);
+      EXPECT_TRUE(result.ok) << name << " seed " << seed << "\n" << result.report;
+      EXPECT_GT(result.rounds, 0) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(ScenarioTest, EnergyScenarioRoundTripIsByteIdentical) {
+  for (uint64_t seed : {3u, 17u, 40u}) {
+    const Scenario original = GenerateEnergyScenario(seed, "sia-energy");
+    std::ostringstream first;
+    ASSERT_TRUE(WriteScenario(first, original));
+    std::istringstream in(first.str());
+    Scenario parsed;
+    std::string error;
+    ASSERT_TRUE(ReadScenario(in, &parsed, &error)) << "seed " << seed << ": " << error;
+    std::ostringstream second;
+    ASSERT_TRUE(WriteScenario(second, parsed));
+    EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioTest, DefaultScenariosOmitEnergyKeys) {
+  // Pre-energy reproducer files must stay byte-identical: a scenario with
+  // the energy axis at defaults serializes without any of the new keys.
+  const Scenario scenario = GenerateScenario(11, "sia");
+  std::ostringstream out;
+  ASSERT_TRUE(WriteScenario(out, scenario));
+  const std::string text = out.str();
+  for (const char* key : {"track_energy", "power_cap_watts", "energy_weight",
+                          "transition_joules", "idle_rounds_to_low_power"}) {
+    EXPECT_EQ(text.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ScenarioTest, GeneratedEnergyScenariosKeepBaseScenarioUnchanged) {
+  // The energy axis samples from a forked RNG stream: node groups, faults,
+  // and the underlying job arrivals must match the plain scenario exactly
+  // (SLA classes ride on top of the same jobs).
+  const Scenario base = GenerateScenario(9, "fifo");
+  const Scenario energy = GenerateEnergyScenario(9, "fifo");
+  ASSERT_EQ(base.node_groups.size(), energy.node_groups.size());
+  for (size_t i = 0; i < base.node_groups.size(); ++i) {
+    EXPECT_EQ(base.node_groups[i].gpu_type, energy.node_groups[i].gpu_type);
+    EXPECT_EQ(base.node_groups[i].num_nodes, energy.node_groups[i].num_nodes);
+    EXPECT_EQ(base.node_groups[i].gpus_per_node, energy.node_groups[i].gpus_per_node);
+  }
+  ASSERT_EQ(base.jobs.size(), energy.jobs.size());
+  for (size_t i = 0; i < base.jobs.size(); ++i) {
+    EXPECT_EQ(base.jobs[i].submit_time, energy.jobs[i].submit_time) << i;
+    EXPECT_EQ(base.jobs[i].model, energy.jobs[i].model) << i;
+  }
+  EXPECT_EQ(base.faults.size(), energy.faults.size());
+}
+
 TEST(FuzzRegressionTest, WarmStartDivergenceSeedsStayFixed) {
   // sia_fuzz found two real warm-start determinism bugs, both via the
   // warm-vs-cold differential twin:
@@ -306,6 +370,115 @@ TEST(InvariantOracleTest, ScaleUpRuleOnlyWhenEnabled) {
   strict.OnRoundScheduled(fixture.Observation());
   EXPECT_FALSE(strict.ok());
   EXPECT_EQ(strict.violations().front().invariant, "scale-up");
+}
+
+TEST(InvariantOracleTest, FlagsPowerCapExcess) {
+  // Two t4 GPUs placed (2 x 70 W active) against a 10 W cap: the simulator's
+  // cap enforcement must have trimmed this before placement, so the oracle
+  // flags the round.
+  OracleFixture fixture;
+  fixture.desired[1] = Config{.num_nodes = 1, .num_gpus = 2, .gpu_type = 0};
+  Placement placement;
+  placement.config = fixture.desired[1];
+  placement.node_ids = {0};
+  placement.gpus_per_node = {2};
+  fixture.placed.placements[1] = placement;
+
+  OracleOptions capped_options;
+  capped_options.power_cap_watts = 10.0;
+  InvariantOracle capped(capped_options);
+  capped.OnRoundScheduled(fixture.Observation());
+  EXPECT_FALSE(capped.ok());
+  bool saw_energy = false;
+  for (const OracleViolation& violation : capped.violations()) {
+    saw_energy = saw_energy || violation.invariant == "energy";
+  }
+  EXPECT_TRUE(saw_energy) << capped.Report();
+
+  // A generous cap on the same round is clean.
+  OracleOptions roomy_options;
+  roomy_options.power_cap_watts = 1000.0;
+  InvariantOracle roomy(roomy_options);
+  roomy.OnRoundScheduled(fixture.Observation());
+  EXPECT_TRUE(roomy.ok()) << roomy.Report();
+}
+
+TEST(InvariantOracleTest, FlagsEnergyResultMismatch) {
+  // check_energy with a clean idle round: the mirror accrues idle joules, so
+  // both an untracked result and a cooked-joules result must be flagged.
+  OracleFixture fixture;
+  OracleOptions options;
+  options.check_energy = true;
+
+  InvariantOracle untracked(options);
+  untracked.OnRoundScheduled(fixture.Observation());
+  ASSERT_TRUE(untracked.ok()) << untracked.Report();
+  SimResult result;
+  result.energy.tracked = false;
+  untracked.OnRunEnd(result);
+  EXPECT_FALSE(untracked.ok());
+  // OnRunEnd also reports lifecycle violations for the fixture's
+  // never-finished jobs; scan for the energy one rather than assuming order.
+  bool untracked_saw_energy = false;
+  for (const OracleViolation& violation : untracked.violations()) {
+    untracked_saw_energy = untracked_saw_energy || violation.invariant == "energy";
+  }
+  EXPECT_TRUE(untracked_saw_energy) << untracked.Report();
+
+  InvariantOracle cooked(options);
+  cooked.OnRoundScheduled(fixture.Observation());
+  result.energy.tracked = true;
+  result.energy.idle_joules = 1.0e9;  // Nowhere near 8 idle GPUs x 60 s.
+  cooked.OnRunEnd(result);
+  EXPECT_FALSE(cooked.ok());
+  bool saw_energy = false;
+  for (const OracleViolation& violation : cooked.violations()) {
+    saw_energy = saw_energy || violation.invariant == "energy";
+  }
+  EXPECT_TRUE(saw_energy) << cooked.Report();
+}
+
+TEST(InvariantOracleTest, FlagsInconsistentSlaAccounting) {
+  // A finished SLA job whose recorded tardiness disagrees with
+  // max(0, jct - deadline), and an aggregate that missed it.
+  InvariantOracle oracle;
+  SimResult result;
+  JobResult job;
+  job.spec.id = 1;
+  job.spec.sla_class = SlaClass::kSla1;
+  job.spec.deadline_seconds = 100.0;
+  job.finished = true;
+  job.jct = 200.0;
+  job.sla_violated = true;
+  job.tardiness_seconds = 50.0;  // Should be 100.
+  result.jobs.push_back(job);
+  result.sla.sla_jobs = 1;
+  result.sla.violations = 1;
+  result.sla.total_tardiness_seconds = 50.0;
+  oracle.OnRunEnd(result);
+  EXPECT_FALSE(oracle.ok());
+  bool saw_sla = false;
+  for (const OracleViolation& violation : oracle.violations()) {
+    saw_sla = saw_sla || violation.invariant == "sla";
+  }
+  EXPECT_TRUE(saw_sla) << oracle.Report();
+
+  // Best-effort jobs must never carry SLA outcomes.
+  InvariantOracle be_oracle;
+  SimResult be_result;
+  JobResult be_job;
+  be_job.spec.id = 2;
+  be_job.finished = true;
+  be_job.jct = 10.0;
+  be_job.sla_violated = true;  // Impossible for kBestEffort.
+  be_result.jobs.push_back(be_job);
+  be_oracle.OnRunEnd(be_result);
+  EXPECT_FALSE(be_oracle.ok());
+  saw_sla = false;
+  for (const OracleViolation& violation : be_oracle.violations()) {
+    saw_sla = saw_sla || violation.invariant == "sla";
+  }
+  EXPECT_TRUE(saw_sla) << be_oracle.Report();
 }
 
 }  // namespace

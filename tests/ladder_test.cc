@@ -20,6 +20,10 @@
 namespace sia {
 namespace {
 
+bool IsSiaFamily(const std::string& scheduler) {
+  return scheduler == "sia" || scheduler == "sia-energy";
+}
+
 std::vector<JobSpec> LadderTrace(const std::string& scheduler, uint64_t seed) {
   TraceOptions options;
   options.kind = TraceKind::kPhilly;
@@ -27,7 +31,7 @@ std::vector<JobSpec> LadderTrace(const std::string& scheduler, uint64_t seed) {
   options.arrival_rate_per_hour = 20.0;
   options.duration_hours = 0.6;
   std::vector<JobSpec> jobs = GenerateTrace(options);
-  if (scheduler != "sia" && scheduler != "pollux") {
+  if (!IsSiaFamily(scheduler) && scheduler != "pollux") {
     TunedJobsOptions tuned;
     tuned.max_gpus = 16;
     jobs = MakeTunedJobs(jobs, tuned);
@@ -114,8 +118,9 @@ TEST_P(ForcedRungOracleTest, ForcedRungStaysFeasibleUnderOracle) {
   deadline.force_rung = param.rung;
 
   std::unique_ptr<Scheduler> scheduler;
-  if (param.scheduler == "sia") {
-    SiaOptions sia_options;
+  if (IsSiaFamily(param.scheduler)) {
+    SiaOptions sia_options =
+        param.scheduler == "sia-energy" ? MakeSiaEnergyOptions() : SiaOptions{};
     sia_options.deadline = deadline;
     scheduler = std::make_unique<SiaScheduler>(sia_options);
   } else {
@@ -124,10 +129,20 @@ TEST_P(ForcedRungOracleTest, ForcedRungStaysFeasibleUnderOracle) {
   }
   ASSERT_NE(scheduler, nullptr);
 
+  // Every rung also runs with the energy subsystem fully engaged (tracking +
+  // SLA-mixed trace) and the oracle's energy-conservation and SLA invariants
+  // armed (ISSUE 9): degraded rungs must keep the accounting exact too.
   testing::OracleOptions oracle_options;
-  oracle_options.check_scale_up = param.scheduler == "sia";
-  oracle_options.check_config_set = param.scheduler == "sia";
+  oracle_options.check_scale_up = IsSiaFamily(param.scheduler);
+  oracle_options.check_config_set = IsSiaFamily(param.scheduler);
+  oracle_options.check_energy = true;
   testing::InvariantOracle oracle(oracle_options);
+
+  SlaMixOptions mix;
+  mix.sla0_fraction = 0.15;
+  mix.sla1_fraction = 0.15;
+  mix.sla2_fraction = 0.2;
+  mix.seed = 17;
 
   MetricsRegistry metrics;
   SimOptions options;
@@ -135,17 +150,20 @@ TEST_P(ForcedRungOracleTest, ForcedRungStaysFeasibleUnderOracle) {
   options.max_hours = 4.0;
   options.observer = &oracle;
   options.metrics = &metrics;
+  options.energy.track = true;
   ClusterSimulator sim(MakeHeterogeneousCluster(),
-                       LadderTrace(param.scheduler, /*seed=*/17), scheduler.get(), options);
+                       AssignSlaClasses(LadderTrace(param.scheduler, /*seed=*/17), mix),
+                       scheduler.get(), options);
   const SimResult result = sim.Run();
 
   EXPECT_GT(oracle.rounds_checked(), 0);
   EXPECT_TRUE(oracle.ok()) << oracle.Report();
   EXPECT_GT(result.jobs.size(), 0u);
+  EXPECT_TRUE(result.energy.tracked);
 
   // The forced rung must actually have served rounds (or, for MILP-only
   // rungs under a non-MILP policy, degraded to greedy with a recorded miss).
-  const bool milp_capable = param.scheduler == "sia";
+  const bool milp_capable = IsSiaFamily(param.scheduler);
   const LadderRung rung = static_cast<LadderRung>(param.rung);
   LadderRung expected = rung;
   if (!milp_capable &&
@@ -170,10 +188,19 @@ std::vector<ForcedRungCase> AllForcedRungCases() {
   return cases;
 }
 
+std::string SanitizeName(std::string name) {
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPoliciesAllRungs, ForcedRungOracleTest,
                          ::testing::ValuesIn(AllForcedRungCases()),
                          [](const ::testing::TestParamInfo<ForcedRungCase>& info) {
-                           return info.param.scheduler + "_rung" +
+                           return SanitizeName(info.param.scheduler) + "_rung" +
                                   std::to_string(info.param.rung);
                          });
 
@@ -186,16 +213,17 @@ class ZeroDeadlineTest : public ::testing::TestWithParam<std::string> {};
 TEST_P(ZeroDeadlineTest, ZeroBudgetDegradesToCarryOverEveryRoundWithoutViolations) {
   const std::string& name = GetParam();
   std::unique_ptr<Scheduler> scheduler;
-  if (name == "sia") {
-    scheduler = std::make_unique<SiaScheduler>();
+  if (IsSiaFamily(name)) {
+    scheduler = std::make_unique<SiaScheduler>(
+        name == "sia-energy" ? MakeSiaEnergyOptions() : SiaOptions{});
   } else {
     scheduler = std::make_unique<DeadlineLadderScheduler>(MakeNamedScheduler(name),
                                                           DeadlineOptions{});
   }
 
   testing::OracleOptions oracle_options;
-  oracle_options.check_scale_up = name == "sia";
-  oracle_options.check_config_set = name == "sia";
+  oracle_options.check_scale_up = IsSiaFamily(name);
+  oracle_options.check_config_set = IsSiaFamily(name);
   testing::InvariantOracle oracle(oracle_options);
 
   MetricsRegistry metrics;
@@ -225,7 +253,7 @@ TEST_P(ZeroDeadlineTest, ZeroBudgetDegradesToCarryOverEveryRoundWithoutViolation
 INSTANTIATE_TEST_SUITE_P(AllPolicies, ZeroDeadlineTest,
                          ::testing::ValuesIn(testing::AllSchedulers()),
                          [](const ::testing::TestParamInfo<std::string>& info) {
-                           return info.param;
+                           return SanitizeName(info.param);
                          });
 
 // ---------------------------------------------------------------------------

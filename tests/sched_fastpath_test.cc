@@ -181,6 +181,155 @@ TEST(SchedFastPathTest, GreedyFallbackIdenticalAcrossFastPathKnobs) {
   }
 }
 
+// --- energy/SLA zero-weight differential (ISSUE 9) ---
+//
+// The energy subsystem must be invisible when disabled: explicit zeroed
+// EnergyOptions plus an all-zero SLA-class pass must reproduce the default
+// run byte-for-byte (trace AND metrics) for every policy and both cores,
+// and pure tracking (track=true, no cap) may add observability without
+// changing a single scheduling or job outcome.
+
+struct EnergySimConfig {
+  bool zero_sla_pass = false;    // AssignSlaClasses with all-zero fractions.
+  bool explicit_energy = false;  // Explicitly zero sim.energy vs leaving it untouched.
+  bool track = false;
+  double power_cap_fraction = 0.0;  // Cap as a fraction of FullActiveWatts.
+  double sla0 = 0.0, sla1 = 0.0, sla2 = 0.0;
+  SimCore core = SimCore::kEvent;
+};
+
+struct EnergySimOutput {
+  std::string trace;
+  std::string metrics;
+  SimResult result;
+};
+
+EnergySimOutput RunEnergySim(const std::string& scheduler_name, const EnergySimConfig& config) {
+  ClusterSpec cluster = MakeHeterogeneousCluster();
+  TraceOptions trace_options;
+  trace_options.kind = TraceKind::kHelios;
+  trace_options.seed = 5;
+  trace_options.duration_hours = 1.0;
+  trace_options.arrival_rate_per_hour = 12.0;
+  std::vector<JobSpec> jobs = GenerateTrace(trace_options);
+  if (bench::IsRigidPolicy(scheduler_name)) {
+    jobs = MakeTunedJobs(jobs, TunedJobsOptions{});
+  }
+  if (config.zero_sla_pass || config.sla0 > 0.0 || config.sla1 > 0.0 || config.sla2 > 0.0) {
+    SlaMixOptions mix;
+    mix.sla0_fraction = config.sla0;
+    mix.sla1_fraction = config.sla1;
+    mix.sla2_fraction = config.sla2;
+    mix.seed = 5;
+    jobs = AssignSlaClasses(jobs, mix);
+  }
+  const double cap = config.power_cap_fraction * cluster.FullActiveWatts();
+  auto scheduler = bench::MakeScheduler(scheduler_name, 1, cap);
+  SimOptions sim;
+  sim.seed = 5;
+  sim.max_hours = 24.0;
+  sim.core = config.core;
+  if (config.explicit_energy || config.track || cap > 0.0) {
+    sim.energy.track = config.track;
+    sim.energy.power_cap_watts = cap;
+  }
+  std::ostringstream trace;
+  JsonlTraceSink sink(trace);
+  sim.trace = &sink;
+  MetricsRegistry metrics;
+  sim.metrics = &metrics;
+  EnergySimOutput out;
+  ClusterSimulator simulator(cluster, jobs, scheduler.get(), sim);
+  out.result = simulator.Run();
+  out.trace = trace.str();
+  std::ostringstream metrics_json;
+  metrics.WriteJson(metrics_json);
+  out.metrics = metrics_json.str();
+  return out;
+}
+
+TEST(EnergyDifferentialTest, ZeroedEnergyKnobsByteIdenticalForAllSchedulers) {
+  for (const char* name :
+       {"sia", "pollux", "gavel", "allox", "shockwave", "themis", "fifo", "srtf"}) {
+    for (const SimCore core : {SimCore::kEvent, SimCore::kDense}) {
+      EnergySimConfig plain;
+      plain.core = core;
+      const EnergySimOutput baseline = RunEnergySim(name, plain);
+      ASSERT_FALSE(baseline.trace.empty()) << name;
+      EnergySimConfig zeroed;
+      zeroed.core = core;
+      zeroed.zero_sla_pass = true;
+      zeroed.explicit_energy = true;
+      const EnergySimOutput twin = RunEnergySim(name, zeroed);
+      EXPECT_EQ(baseline.trace, twin.trace) << name;
+      EXPECT_EQ(baseline.metrics, twin.metrics) << name;
+      EXPECT_FALSE(twin.result.energy.tracked);
+      EXPECT_EQ(twin.result.sla.sla_jobs, 0);
+    }
+  }
+}
+
+TEST(EnergyDifferentialTest, TrackingWithoutCapLeavesOutcomesUnchanged) {
+  for (const char* name : {"sia", "pollux", "fifo", "srtf"}) {
+    const EnergySimOutput baseline = RunEnergySim(name, EnergySimConfig{});
+    EnergySimConfig tracked;
+    tracked.track = true;
+    const EnergySimOutput twin = RunEnergySim(name, tracked);
+    EXPECT_TRUE(twin.result.energy.tracked) << name;
+    EXPECT_GT(twin.result.energy.total_joules(), 0.0) << name;
+    EXPECT_FALSE(baseline.result.energy.tracked) << name;
+    EXPECT_EQ(baseline.result.makespan_seconds, twin.result.makespan_seconds) << name;
+    ASSERT_EQ(baseline.result.jobs.size(), twin.result.jobs.size()) << name;
+    for (size_t i = 0; i < baseline.result.jobs.size(); ++i) {
+      const JobResult& a = baseline.result.jobs[i];
+      const JobResult& b = twin.result.jobs[i];
+      EXPECT_EQ(a.finished, b.finished) << name << " job " << i;
+      EXPECT_EQ(a.finish_time, b.finish_time) << name << " job " << i;
+      EXPECT_EQ(a.jct, b.jct) << name << " job " << i;
+      EXPECT_EQ(a.gpu_seconds, b.gpu_seconds) << name << " job " << i;
+      EXPECT_EQ(a.num_restarts, b.num_restarts) << name << " job " << i;
+      EXPECT_FALSE(b.sla_violated) << name << " job " << i;
+    }
+  }
+}
+
+TEST(EnergyDifferentialTest, SiaEnergyZeroKnobsMatchesPlainSia) {
+  // energy_aware alone (weight/boost/cap all zero) only changes the policy
+  // name; every scheduling decision must match plain Sia exactly.
+  const auto snapshot = bench::MakePolicySnapshot(1, 37);
+  SiaScheduler plain{SiaOptions{}};
+  SiaOptions zeroed;
+  zeroed.energy_aware = true;
+  SiaScheduler energy(zeroed);
+  EXPECT_EQ(energy.name(), "sia-energy");
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(plain.Schedule(snapshot->input), energy.Schedule(snapshot->input))
+        << "round " << round;
+    MutateEstimators(*snapshot, round);
+  }
+}
+
+TEST(EnergyDifferentialTest, EnergyRunByteIdenticalAcrossCores) {
+  // The full energy axis engaged (tracking + cap + SLA mix) must preserve
+  // the dense/event core-equivalence contract.
+  for (const char* name : {"sia-energy", "fifo"}) {
+    EnergySimConfig config;
+    config.track = true;
+    config.power_cap_fraction = 0.6;
+    config.sla0 = 0.2;
+    config.sla1 = 0.2;
+    config.sla2 = 0.2;
+    config.core = SimCore::kEvent;
+    const EnergySimOutput event_run = RunEnergySim(name, config);
+    config.core = SimCore::kDense;
+    const EnergySimOutput dense_run = RunEnergySim(name, config);
+    ASSERT_FALSE(event_run.trace.empty()) << name;
+    EXPECT_EQ(event_run.trace, dense_run.trace) << name;
+    EXPECT_EQ(event_run.metrics, dense_run.metrics) << name;
+    EXPECT_TRUE(event_run.result.energy.tracked) << name;
+  }
+}
+
 TEST(SchedFastPathTest, FitEpochMonotoneAndBumpedByIngestion) {
   ClusterSpec cluster = MakeHeterogeneousCluster();
   GoodputEstimator estimator(ModelKind::kResNet18, &cluster, ProfilingMode::kBootstrap);

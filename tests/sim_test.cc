@@ -79,6 +79,9 @@ std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
   if (name == "sia") {
     return std::make_unique<SiaScheduler>();
   }
+  if (name == "sia-energy") {
+    return std::make_unique<SiaScheduler>(MakeSiaEnergyOptions());
+  }
   if (name == "pollux") {
     PolluxOptions options;
     options.population = 24;
@@ -105,7 +108,8 @@ std::unique_ptr<Scheduler> MakeScheduler(const std::string& name) {
 
 TEST_P(AllSchedulersTest, CompletesSmallWorkloadWithinCapacity) {
   auto jobs = SmallTrace(12, /*seed=*/21);
-  const bool rigid_policy = GetParam() != "sia" && GetParam() != "pollux";
+  const bool rigid_policy =
+      GetParam() != "sia" && GetParam() != "sia-energy" && GetParam() != "pollux";
   if (rigid_policy) {
     TunedJobsOptions tuned;
     tuned.max_gpus = 16;
@@ -131,7 +135,7 @@ TEST_P(AllSchedulersTest, CompletesSmallWorkloadWithinCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(Policies, AllSchedulersTest,
                          ::testing::Values("sia", "pollux", "gavel", "shockwave", "themis",
-                                           "fifo", "srtf"));
+                                           "fifo", "srtf", "sia-energy"));
 
 TEST(SimulatorTest, DeterministicGivenSeed) {
   const auto jobs = SmallTrace(8, 31);

@@ -345,6 +345,82 @@ TEST(SnapshotSimulatorTest, AllPoliciesAreCrashEquivalent) {
   }
 }
 
+// The same crash-equivalence contract holds with the energy/SLA axis fully
+// engaged (ISSUE 9): power-state windows, accumulated joules, and SLA
+// bookkeeping are part of the SIASNAP payload, so a resumed run's trace and
+// results stay byte-identical.
+TEST(SnapshotSimulatorTest, AllPoliciesAreCrashEquivalentOnEnergyScenarios) {
+  for (const std::string& scheduler : testing::AllSchedulers()) {
+    testing::Scenario scenario = testing::GenerateEnergyScenario(/*seed=*/3, scheduler);
+    ASSERT_EQ(scenario.track_energy, 1);
+    const testing::CrashCheckResult result = testing::CheckCrashEquivalence(scenario);
+    EXPECT_TRUE(result.ok) << scheduler << " at round " << result.crash_round << "\n"
+                           << result.report;
+  }
+}
+
+TEST(SnapshotSimulatorTest, EnergyAndSlaStateSurviveSnapshotResume) {
+  testing::Scenario scenario = testing::GenerateEnergyScenario(/*seed=*/2, "gavel");
+  ASSERT_EQ(scenario.track_energy, 1);
+
+  SimResult reference;
+  {
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(),
+                               scenario.BuildSimOptions());
+    reference = simulator.Run();
+  }
+  ASSERT_TRUE(reference.energy.tracked);
+
+  std::string payload;
+  {
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    SimOptions sim = scenario.BuildSimOptions();
+    sim.stop_after_round = 4;
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(), sim);
+    simulator.Run();
+    payload = simulator.SerializeState();
+  }
+  SimResult resumed;
+  {
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(scenario);
+    ClusterSimulator simulator(scenario.BuildCluster(), scenario.jobs, scheduler.get(),
+                               scenario.BuildSimOptions());
+    std::string error;
+    ASSERT_TRUE(simulator.RestoreState(payload, &error)) << error;
+    resumed = simulator.Run();
+  }
+
+  // Exact equality, not tolerance: the accumulators and low-power windows
+  // are serialized bit-for-bit, so resuming changes nothing.
+  EXPECT_EQ(reference.energy.active_joules, resumed.energy.active_joules);
+  EXPECT_EQ(reference.energy.idle_joules, resumed.energy.idle_joules);
+  EXPECT_EQ(reference.energy.low_power_joules, resumed.energy.low_power_joules);
+  EXPECT_EQ(reference.energy.transition_joules, resumed.energy.transition_joules);
+  EXPECT_EQ(reference.energy.peak_busy_watts, resumed.energy.peak_busy_watts);
+  EXPECT_EQ(reference.sla.sla_jobs, resumed.sla.sla_jobs);
+  EXPECT_EQ(reference.sla.violations, resumed.sla.violations);
+  EXPECT_EQ(reference.sla.total_tardiness_seconds, resumed.sla.total_tardiness_seconds);
+  ASSERT_EQ(reference.jobs.size(), resumed.jobs.size());
+  for (size_t i = 0; i < reference.jobs.size(); ++i) {
+    EXPECT_EQ(reference.jobs[i].sla_violated, resumed.jobs[i].sla_violated) << i;
+    EXPECT_EQ(reference.jobs[i].tardiness_seconds, resumed.jobs[i].tardiness_seconds) << i;
+  }
+
+  // The energy knobs are part of the config fingerprint: a simulator built
+  // with a different cap must refuse the payload.
+  {
+    testing::Scenario recapped = scenario;
+    recapped.power_cap_watts = scenario.power_cap_watts > 0.0 ? 0.0 : 123.0;
+    std::unique_ptr<Scheduler> scheduler = testing::MakeFuzzScheduler(recapped);
+    ClusterSimulator simulator(recapped.BuildCluster(), recapped.jobs, scheduler.get(),
+                               recapped.BuildSimOptions());
+    std::string error;
+    EXPECT_FALSE(simulator.RestoreState(payload, &error));
+    EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+  }
+}
+
 // --- per-round Flush() proven against a real SIGKILL (satellite 1) ---
 
 namespace {

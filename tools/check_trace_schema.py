@@ -18,7 +18,9 @@ import sys
 import tempfile
 from pathlib import Path
 
-SCHEMA_VERSION = 1
+# v1: the original schema. v2: same records plus optional energy/SLA fields
+# (emitted only when the run tracks energy, so v1 traces stay byte-identical).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 # type -> {field: allowed json types}; "?" prefix marks optional fields.
 REQUIRED_FIELDS = {
@@ -32,6 +34,8 @@ REQUIRED_FIELDS = {
         "profiling_mode": str,
         "round_seconds": (int, float),
         "faults_enabled": bool,
+        "?energy_tracked": bool,
+        "?power_cap_watts": (int, float),
     },
     "round": {
         "round": int,
@@ -47,6 +51,9 @@ REQUIRED_FIELDS = {
         "estimator_refits": int,
         "ladder_rung": int,
         "?schedule_ms": (int, float),
+        "?busy_watts": (int, float),
+        "?parked_gpus": int,
+        "?energy_joules": (int, float),
     },
     "job_arrival": {
         "t": (int, float),
@@ -61,6 +68,9 @@ REQUIRED_FIELDS = {
         "gpu_seconds": (int, float),
         "restarts": int,
         "failures": int,
+        "?sla_class": int,
+        "?deadline": (int, float),
+        "?sla_violated": bool,
     },
     "fault": {
         "t": (int, float),
@@ -75,6 +85,9 @@ REQUIRED_FIELDS = {
         "jobs_total": int,
         "all_finished": bool,
         "gpu_utilization": (int, float),
+        "?total_joules": (int, float),
+        "?sla_jobs": int,
+        "?sla_violations": int,
     },
 }
 
@@ -126,10 +139,10 @@ def validate(path):
         if line_no == 1:
             if types[0] != "manifest":
                 fail(f"line 1: first record must be 'manifest', got '{types[0]}'")
-            if record["schema_version"] != SCHEMA_VERSION:
+            if record["schema_version"] not in SUPPORTED_SCHEMA_VERSIONS:
                 fail(
-                    f"line 1: schema_version {record['schema_version']} != "
-                    f"{SCHEMA_VERSION}"
+                    f"line 1: schema_version {record['schema_version']} not in "
+                    f"{SUPPORTED_SCHEMA_VERSIONS}"
                 )
     if types[-1] != "run_end":
         fail(f"last record must be 'run_end', got '{types[-1]}'")

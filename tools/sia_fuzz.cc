@@ -14,6 +14,8 @@
 //   sia_fuzz --seeds=0 --crash-seeds=20       # checkpoint/resume equivalence
 //                                             # at a random round per seed
 //   sia_fuzz --seeds=0 --core-seeds=20        # dense vs event-core equivalence
+//   sia_fuzz --seeds=0 --energy-seeds=20      # energy/SLA scenario axis:
+//                                             # oracle + crash-equivalence
 //
 // Exit status: 0 when every scenario passed, 1 on any violation.
 #include <unistd.h>
@@ -44,7 +46,7 @@ constexpr char kUsage[] = R"(usage: sia_fuzz [flags]
   --seeds       N: scenarios per scheduler                     (default 20)
   --start-seed  first seed (scenario i uses start-seed + i)    (default 1)
   --scheduler   restrict to one policy (default: all of
-                sia|pollux|gavel|allox|shockwave|themis|fifo|srtf)
+                sia|pollux|gavel|allox|shockwave|themis|fifo|srtf|sia-energy)
   --out-dir     directory for shrunk reproducer files          (default .)
   --no-shrink   keep failing scenarios unshrunk
   --no-differential  skip warm-vs-cold / thread-count twin runs
@@ -63,6 +65,13 @@ constexpr char kUsage[] = R"(usage: sia_fuzz [flags]
                 dense-vs-event core-equivalence check -- the same scenario
                 simulated under both SimCore values must produce identical
                 trace/metrics/results bytes (default 0)
+  --energy-seeds N: per scheduler, N scenarios with the energy/SLA axis
+                randomized (power caps, state-transition costs, low-power
+                thresholds, SLA class mixes): each runs under the oracle
+                with the energy-conservation and cap invariants armed, AND
+                through the checkpoint/resume crash-equivalence check, so
+                power-state bookkeeping must survive snapshots bit-exactly
+                (default 0)
   --incremental-seeds N: per scheduler, also run N scenarios through the
                 incremental-vs-from-scratch solver twin check -- the same
                 scenario with the persistent IncrementalLp session on and
@@ -553,6 +562,7 @@ int main(int argc, char** argv) {
   const int64_t crash_seeds = flags.GetInt("crash-seeds", 0);
   const int64_t core_seeds = flags.GetInt("core-seeds", 0);
   const int64_t incremental_seeds = flags.GetInt("incremental-seeds", 0);
+  const int64_t energy_seeds = flags.GetInt("energy-seeds", 0);
   const int64_t frame_seeds = flags.GetInt("frame-seeds", 0);
   const std::string frame_replay = flags.GetString("frame-replay", "");
   const int64_t service_episodes = flags.GetInt("service-episodes", 0);
@@ -754,6 +764,67 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Energy/SLA mode (ISSUE 9): scenarios with randomized power caps,
+  // state-transition costs, low-power thresholds, and SLA class mixes run
+  // under the oracle with the energy-conservation + cap invariants armed,
+  // and additionally through the checkpoint/resume crash-equivalence check
+  // so power-state bookkeeping must survive snapshots bit-exactly.
+  FuzzStats energy_stats;
+  for (const std::string& name : schedulers) {
+    for (int64_t i = 0; i < energy_seeds; ++i) {
+      const uint64_t seed = static_cast<uint64_t>(start_seed + i);
+      sia::testing::Scenario scenario = sia::testing::GenerateEnergyScenario(seed, name);
+      ++energy_stats.scenarios;
+      const sia::testing::FuzzRunResult result =
+          sia::testing::RunScenarioWithOracle(scenario, run_options);
+      if (verbose || !result.ok) {
+        std::cout << (result.ok ? "ok   " : "FAIL ") << scenario.Describe() << " ("
+                  << result.rounds << " rounds)\n";
+      }
+      if (!result.ok) {
+        ++energy_stats.failures;
+        exit_code = 1;
+        std::cout << result.report << "\n";
+        sia::testing::Scenario minimal = scenario;
+        if (shrink) {
+          int evals = 0;
+          minimal = sia::testing::ShrinkScenario(scenario, run_options, /*max_evals=*/200, &evals);
+          std::cout << "shrunk after " << evals << " evaluations: " << minimal.Describe() << "\n";
+        }
+        std::ostringstream path;
+        path << out_dir << "/sia_fuzz_energy_repro_" << name << "_seed" << seed << ".txt";
+        if (sia::testing::WriteScenario(path.str(), minimal)) {
+          std::cout << "reproducer written to " << path.str()
+                    << " (replay with --replay=" << path.str() << ")\n";
+        } else {
+          std::cerr << "sia_fuzz: failed to write " << path.str() << "\n";
+        }
+        continue;
+      }
+      const sia::testing::CrashCheckResult crash = sia::testing::CheckCrashEquivalence(scenario);
+      if (verbose || !crash.ok) {
+        std::cout << (crash.ok ? "ok   " : "FAIL ") << scenario.Describe()
+                  << " (crash at round " << crash.crash_round << " of " << crash.rounds << ")\n";
+      }
+      if (crash.ok) {
+        continue;
+      }
+      ++energy_stats.failures;
+      exit_code = 1;
+      std::cout << crash.report << "\n";
+      sia::testing::Scenario repro = scenario;
+      repro.crash_round = crash.crash_round;
+      std::ostringstream path;
+      path << out_dir << "/sia_fuzz_energy_crash_repro_" << name << "_seed" << seed << ".txt";
+      if (sia::testing::WriteScenario(path.str(), repro)) {
+        std::cout << "reproducer written to " << path.str()
+                  << " (replay with --replay=" << path.str() << ")\n";
+      } else {
+        std::cerr << "sia_fuzz: failed to write " << path.str() << "\n";
+      }
+    }
+  }
+
   std::cout << "sia_fuzz: " << stats.scenarios << " scenarios across " << schedulers.size()
             << " scheduler(s), " << stats.failures << " failure(s)";
   if (crash_stats.scenarios > 0) {
@@ -767,6 +838,10 @@ int main(int argc, char** argv) {
   if (incremental_stats.scenarios > 0) {
     std::cout << "; incremental mode: " << incremental_stats.scenarios << " scenario(s), "
               << incremental_stats.failures << " failure(s)";
+  }
+  if (energy_stats.scenarios > 0) {
+    std::cout << "; energy mode: " << energy_stats.scenarios << " scenario(s), "
+              << energy_stats.failures << " failure(s)";
   }
   std::cout << "\n";
   return exit_code;

@@ -37,7 +37,8 @@
 namespace {
 
 constexpr char kUsage[] = R"(usage: sia_simulate [flags]
-  --scheduler  sia|pollux|gavel|allox|shockwave|themis|fifo|srtf (default sia)
+  --scheduler  sia|pollux|gavel|allox|shockwave|themis|fifo|srtf|sia-energy
+                                                             (default sia)
   --cluster    heterogeneous|homogeneous|physical            (default heterogeneous)
   --scale      N: multiply heterogeneous node counts         (default 1)
   --trace      philly|helios|newtrace                        (default philly)
@@ -52,6 +53,13 @@ constexpr char kUsage[] = R"(usage: sia_simulate [flags]
   --sched-threads N: threads for sia/pollux candidate generation (default 1);
                results are byte-identical for any value
   --tuned      tune jobs rigid (TunedJobs); implied for rigid policies
+  --track-energy  account per-GPU-type energy (active/idle/low-power states;
+               DESIGN.md section 14) and report joules at run end
+  --power-cap W  cluster-wide active-power cap in watts (0 = uncapped);
+               cap-native policies (sia/sia-energy) plan under it, others
+               have requests trimmed by the simulator. Implies --track-energy
+  --sla0/--sla1/--sla2 F  fraction of jobs assigned to each SLA class with
+               drawn deadlines (default 0; remaining jobs are best-effort)
   --mtbf-hours per-node mean time between crashes, 0=off     (default 0)
   --mttr-hours mean crash-repair window, hours                (default 0.5)
   --degraded-frac fraction of nodes born degraded (stragglers) (default 0)
@@ -104,10 +112,18 @@ class KillAtRoundObserver : public sia::SimObserver {
   int64_t round_;
 };
 
-std::unique_ptr<sia::Scheduler> MakeScheduler(const std::string& name, int sched_threads) {
+std::unique_ptr<sia::Scheduler> MakeScheduler(const std::string& name, int sched_threads,
+                                              double power_cap_watts) {
   if (name == "sia") {
     sia::SiaOptions options;
     options.num_threads = sched_threads;
+    options.power_cap_watts = power_cap_watts;
+    return std::make_unique<sia::SiaScheduler>(options);
+  }
+  if (name == "sia-energy") {
+    sia::SiaOptions options = sia::MakeSiaEnergyOptions();
+    options.num_threads = sched_threads;
+    options.power_cap_watts = power_cap_watts;
     return std::make_unique<sia::SiaScheduler>(options);
   }
   if (name == "pollux") {
@@ -192,12 +208,22 @@ int main(int argc, char** argv) {
     jobs = sia::GenerateTrace(trace);
   }
 
-  const bool rigid_policy = scheduler_name != "sia" && scheduler_name != "pollux";
+  const bool rigid_policy = scheduler_name != "sia" && scheduler_name != "sia-energy" &&
+                            scheduler_name != "pollux";
   if (flags.GetBool("tuned", false) || rigid_policy) {
     sia::TunedJobsOptions tuned;
     tuned.max_gpus = cluster_name == "homogeneous" ? 64 : 16;
     tuned.seed = seed;
     jobs = sia::MakeTunedJobs(jobs, tuned);
+  }
+  sia::SlaMixOptions sla_mix;
+  sla_mix.sla0_fraction = flags.GetDouble("sla0", 0.0);
+  sla_mix.sla1_fraction = flags.GetDouble("sla1", 0.0);
+  sla_mix.sla2_fraction = flags.GetDouble("sla2", 0.0);
+  if (sla_mix.sla0_fraction > 0.0 || sla_mix.sla1_fraction > 0.0 ||
+      sla_mix.sla2_fraction > 0.0) {
+    sla_mix.seed = seed;
+    jobs = sia::AssignSlaClasses(jobs, sla_mix);
   }
   if (flags.Has("jobs-out")) {
     if (!sia::WriteTraceCsv(flags.GetString("jobs-out", ""), jobs)) {
@@ -211,7 +237,12 @@ int main(int argc, char** argv) {
     std::cerr << "--sched-threads must be >= 1\n" << kUsage;
     return 2;
   }
-  auto scheduler = MakeScheduler(scheduler_name, sched_threads);
+  const double power_cap_watts = flags.GetDouble("power-cap", 0.0);
+  if (power_cap_watts < 0.0) {
+    std::cerr << "--power-cap must be >= 0\n" << kUsage;
+    return 2;
+  }
+  auto scheduler = MakeScheduler(scheduler_name, sched_threads, power_cap_watts);
   if (scheduler == nullptr) {
     std::cerr << "unknown scheduler '" << scheduler_name << "'\n" << kUsage;
     return 2;
@@ -219,6 +250,8 @@ int main(int argc, char** argv) {
 
   sia::SimOptions options;
   options.seed = seed;
+  options.energy.track = flags.GetBool("track-energy", false) || power_cap_watts > 0.0;
+  options.energy.power_cap_watts = power_cap_watts;
   if (flags.Has("round-deadline-ms")) {
     const double deadline_ms = flags.GetDouble("round-deadline-ms", -1.0);
     if (deadline_ms < 0.0) {
@@ -226,7 +259,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     options.round_deadline_seconds = deadline_ms / 1000.0;
-    if (scheduler_name != "sia") {
+    if (scheduler_name != "sia" && scheduler_name != "sia-energy") {
       // Sia implements the ladder natively (it can cap its own MILP); the
       // baselines get the generic wrapper, which degrades to greedy /
       // carry-over when the budget is too small to run the policy at all.
@@ -373,6 +406,21 @@ int main(int argc, char** argv) {
               << sia::Table::Num(result.AvgRecoveryMinutes(), 1) << " min, zero-goodput rounds "
               << result.resilience.zero_goodput_rounds << ", telemetry dropouts "
               << result.resilience.telemetry_dropouts << ", outliers " << result.resilience.telemetry_outliers << "\n";
+  }
+  if (result.energy.tracked) {
+    std::cout << "energy: " << sia::Table::Num(result.energy.total_joules() / 3.6e6, 3)
+              << " kWh (active " << sia::Table::Num(result.energy.active_joules / 3.6e6, 3)
+              << ", idle " << sia::Table::Num(result.energy.idle_joules / 3.6e6, 3)
+              << ", low-power " << sia::Table::Num(result.energy.low_power_joules / 3.6e6, 3)
+              << ", transitions " << sia::Table::Num(result.energy.transition_joules / 3.6e6, 3)
+              << "), peak draw " << sia::Table::Num(result.energy.peak_busy_watts / 1000.0, 2)
+              << " kW\n";
+  }
+  if (result.sla.sla_jobs > 0) {
+    std::cout << "SLA: " << result.sla.sla_jobs << " jobs, " << result.sla.violations
+              << " violations (" << sia::Table::Num(100.0 * result.sla.ViolationRate(), 1)
+              << "%), total tardiness "
+              << sia::Table::Num(result.sla.total_tardiness_seconds / 3600.0, 2) << " h\n";
   }
   if (want_ftf) {
     const auto ratios = sia::FtfRatios(result, cluster);
