@@ -1,0 +1,221 @@
+#include "src/common/fault_file_ops.h"
+
+#ifndef _WIN32
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace sia {
+namespace {
+
+// SplitMix64: one independent, well-mixed draw per (seed, op index) without
+// any shared RNG stream to contend on.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double UnitDouble(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);  // 2^-53.
+}
+
+}  // namespace
+
+FaultInjectingFileOps::FaultInjectingFileOps(FaultFileOpsOptions options)
+    : options_(std::move(options)),
+      fail_points_(options_.fail_points.begin(), options_.fail_points.end()) {}
+
+FaultFileOpsStats FaultInjectingFileOps::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjectingFileOps::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool FaultInjectingFileOps::NextOpFails(uint64_t* index) {
+  // Caller holds mu_. Disabled periods do not consume op indices, so a
+  // reference pass leaves the schedule where it started.
+  if (!enabled_) {
+    return false;
+  }
+  *index = next_op_++;
+  ++stats_.eligible_ops;
+  if (options_.period > 0 &&
+      static_cast<int>(*index % static_cast<uint64_t>(options_.period)) < options_.burst) {
+    return true;
+  }
+  if (options_.fail_probability > 0.0 &&
+      UnitDouble(Mix64(options_.seed ^ (*index * 0x2545F4914F6CDD1DULL))) <
+          options_.fail_probability) {
+    return true;
+  }
+  return fail_points_.count(*index) > 0;
+}
+
+bool FaultInjectingFileOps::TrackedFdLocked(int fd) const {
+  return options_.path_filter.empty() || tracked_fds_.count(fd) > 0;
+}
+
+int FaultInjectingFileOps::Open(const char* path, int flags, mode_t mode) {
+  const bool matched =
+      options_.path_filter.empty() || std::strstr(path, options_.path_filter.c_str()) != nullptr;
+  if (matched) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t index = 0;
+    if (NextOpFails(&index)) {
+      ++stats_.injected;
+      ++stats_.open_faults;
+      errno = ENOSPC;
+      return -1;
+    }
+  }
+  const int fd = FileOps::Open(path, flags, mode);
+  if (fd >= 0 && matched && !options_.path_filter.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracked_fds_.insert(fd);
+  }
+  return fd;
+}
+
+ssize_t FaultInjectingFileOps::Write(int fd, const void* buf, size_t count) {
+  if (count > 0) {
+    int kind = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t index = 0;
+      if (TrackedFdLocked(fd) && NextOpFails(&index)) {
+        kind = static_cast<int>(Mix64(options_.seed ^ index) % 3);
+        ++stats_.injected;
+        ++stats_.write_faults;
+        if (kind == 2) {
+          ++stats_.torn_writes;
+        }
+      }
+    }
+    if (kind == 0) {
+      errno = ENOSPC;
+      return -1;
+    }
+    if (kind == 1) {
+      errno = EIO;
+      return -1;
+    }
+    if (kind == 2) {
+      // Torn write: half the buffer really lands on disk, then the device
+      // errors. The caller sees a failure; the file carries a partial record
+      // that recovery must cope with.
+      const size_t half = count / 2;
+      if (half > 0) {
+        size_t done = 0;
+        while (done < half) {
+          const ssize_t n = FileOps::Write(fd, static_cast<const char*>(buf) + done, half - done);
+          if (n <= 0) break;
+          done += static_cast<size_t>(n);
+        }
+      }
+      errno = EIO;
+      return -1;
+    }
+  }
+  return FileOps::Write(fd, buf, count);
+}
+
+int FaultInjectingFileOps::Fsync(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t index = 0;
+    if (TrackedFdLocked(fd) && NextOpFails(&index)) {
+      ++stats_.injected;
+      ++stats_.sync_faults;
+      errno = EIO;
+      return -1;
+    }
+  }
+  return FileOps::Fsync(fd);
+}
+
+int FaultInjectingFileOps::Fdatasync(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t index = 0;
+    if (TrackedFdLocked(fd) && NextOpFails(&index)) {
+      ++stats_.injected;
+      ++stats_.sync_faults;
+      errno = EIO;
+      return -1;
+    }
+  }
+  return FileOps::Fdatasync(fd);
+}
+
+int FaultInjectingFileOps::Close(int fd) {
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t index = 0;
+    if (TrackedFdLocked(fd) && NextOpFails(&index)) {
+      fail = true;
+      ++stats_.injected;
+      ++stats_.close_faults;
+    }
+    tracked_fds_.erase(fd);
+  }
+  // Like a real deferred write-back error: the fd is released either way,
+  // only the result differs -- no test may leak fds through the seam.
+  const int rc = FileOps::Close(fd);
+  if (fail) {
+    errno = EIO;
+    return -1;
+  }
+  return rc;
+}
+
+int FaultInjectingFileOps::Rename(const char* from, const char* to) {
+  const bool matched = options_.path_filter.empty() ||
+                       std::strstr(from, options_.path_filter.c_str()) != nullptr ||
+                       std::strstr(to, options_.path_filter.c_str()) != nullptr;
+  if (matched) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t index = 0;
+    if (NextOpFails(&index)) {
+      // Crash-before-rename analog: the data file is synced but the link
+      // step never happens; the target keeps its old contents.
+      ++stats_.injected;
+      ++stats_.rename_faults;
+      errno = EIO;
+      return -1;
+    }
+  }
+  return FileOps::Rename(from, to);
+}
+
+int FaultInjectingFileOps::Unlink(const char* path) {
+  // Unlink is cleanup, not durability; never faulted (error paths that
+  // unlink a temp file must always be able to finish cleaning up).
+  return FileOps::Unlink(path);
+}
+
+int FaultInjectingFileOps::Ftruncate(int fd, off_t length) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t index = 0;
+    if (TrackedFdLocked(fd) && NextOpFails(&index)) {
+      ++stats_.injected;
+      ++stats_.truncate_faults;
+      errno = EIO;
+      return -1;
+    }
+  }
+  return FileOps::Ftruncate(fd, length);
+}
+
+}  // namespace sia
+
+#endif  // !_WIN32

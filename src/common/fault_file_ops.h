@@ -1,0 +1,103 @@
+// Fault-injecting FileOps for storage-robustness tests (ISSUE 10).
+//
+// Wraps the real syscalls and fails a deterministic subset of the
+// fault-eligible operations (open/write/fsync/fdatasync/close/rename/
+// ftruncate -- everything that can lose or corrupt durable data). Three
+// scheduling modes compose; an op fails if any of them selects it:
+//
+//  * cycle:    of every `period` eligible ops, the first `burst` fail
+//              (period <= 0 disables). Deterministic heal windows, which is
+//              what lets retrying clients always make progress in soaks.
+//  * seeded:   each eligible op fails independently with probability
+//              `fail_probability`, drawn from a SplitMix64 stream keyed by
+//              (seed, op index) -- reproducible per seed, no global RNG.
+//  * scripted: exact op indices in `fail_points` fail (exact-point repro
+//              for shrunk fuzz findings).
+//
+// The failure *kind* is derived from the operation itself: writes fail with
+// ENOSPC, EIO, or a torn write (half the buffer really persists, then EIO
+// -- the caller sees a failure but the file carries a partial record);
+// fsync/fdatasync/close/ftruncate fail with EIO; open fails with ENOSPC;
+// rename fails with EIO (the crash-before-rename analog: data synced, link
+// step lost). Reads are never faulted -- recovery must read back whatever
+// the faulted writes left behind.
+//
+// `path_filter` scopes injection to paths containing the substring (and to
+// fds opened through such paths), so a test can fault only `journal.` or
+// only `checkpoints/` traffic. Thread-safe; stats are cumulative.
+#ifndef SIA_SRC_COMMON_FAULT_FILE_OPS_H_
+#define SIA_SRC_COMMON_FAULT_FILE_OPS_H_
+
+#ifndef _WIN32
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/file_util.h"
+
+namespace sia {
+
+struct FaultFileOpsOptions {
+  // Cycle scheduling: fail ops [k*period, k*period+burst) for every k.
+  int period = 0;
+  int burst = 1;
+  // Seeded scheduling: per-op failure probability in [0, 1).
+  uint64_t seed = 1;
+  double fail_probability = 0.0;
+  // Scripted scheduling: exact eligible-op indices that must fail.
+  std::vector<uint64_t> fail_points;
+  // Only fault paths containing this substring (empty = every path).
+  std::string path_filter;
+};
+
+struct FaultFileOpsStats {
+  uint64_t eligible_ops = 0;   // Fault-eligible calls seen.
+  uint64_t injected = 0;       // Calls that failed by injection.
+  uint64_t open_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t torn_writes = 0;    // Write faults that persisted a partial record.
+  uint64_t sync_faults = 0;    // fsync + fdatasync.
+  uint64_t close_faults = 0;
+  uint64_t rename_faults = 0;
+  uint64_t truncate_faults = 0;
+};
+
+class FaultInjectingFileOps : public FileOps {
+ public:
+  explicit FaultInjectingFileOps(FaultFileOpsOptions options);
+
+  int Open(const char* path, int flags, mode_t mode) override;
+  ssize_t Write(int fd, const void* buf, size_t count) override;
+  int Fsync(int fd) override;
+  int Fdatasync(int fd) override;
+  int Close(int fd) override;
+  int Rename(const char* from, const char* to) override;
+  int Unlink(const char* path) override;
+  int Ftruncate(int fd, off_t length) override;
+
+  FaultFileOpsStats stats() const;
+  // Atomically disables (or re-enables) injection without uninstalling the
+  // seam -- reference passes and teardown paths run clean through it.
+  void set_enabled(bool enabled);
+
+ private:
+  // Claims the next eligible-op index and decides whether it fails.
+  bool NextOpFails(uint64_t* index);
+  bool TrackedFdLocked(int fd) const;
+
+  const FaultFileOpsOptions options_;
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  uint64_t next_op_ = 0;
+  std::set<uint64_t> fail_points_;
+  std::set<int> tracked_fds_;  // Fds whose path matched path_filter.
+  FaultFileOpsStats stats_;
+};
+
+}  // namespace sia
+
+#endif  // !_WIN32
+#endif  // SIA_SRC_COMMON_FAULT_FILE_OPS_H_

@@ -1,5 +1,6 @@
 #include "src/common/file_util.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -24,64 +25,100 @@ std::string Errno(const char* what, const std::string& path) {
   return std::string(what) + " " + path + ": " + std::strerror(errno);
 }
 
+}  // namespace
+
 #ifndef _WIN32
-// Flushes a file (or directory) to stable storage. Best effort on
-// filesystems that reject fsync on directories (EINVAL).
+
+int FileOps::Open(const char* path, int flags, mode_t mode) {
+  return ::open(path, flags, mode);
+}
+ssize_t FileOps::Write(int fd, const void* buf, size_t count) {
+  return ::write(fd, buf, count);
+}
+int FileOps::Fsync(int fd) { return ::fsync(fd); }
+int FileOps::Fdatasync(int fd) { return ::fdatasync(fd); }
+int FileOps::Close(int fd) { return ::close(fd); }
+int FileOps::Rename(const char* from, const char* to) { return ::rename(from, to); }
+int FileOps::Unlink(const char* path) { return ::unlink(path); }
+int FileOps::Ftruncate(int fd, off_t length) { return ::ftruncate(fd, length); }
+
+namespace {
+
+FileOps* RealFileOps() {
+  static FileOps real;
+  return &real;
+}
+
+std::atomic<FileOps*> g_file_ops{nullptr};
+
+}  // namespace
+
+FileOps* GetFileOps() {
+  FileOps* ops = g_file_ops.load(std::memory_order_acquire);
+  return ops != nullptr ? ops : RealFileOps();
+}
+
+FileOps* SetFileOps(FileOps* ops) {
+  FileOps* previous = g_file_ops.exchange(ops, std::memory_order_acq_rel);
+  return previous != nullptr ? previous : RealFileOps();
+}
+
 bool FsyncPath(const std::string& path, bool is_dir, std::string* error) {
-  int fd = ::open(path.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  FileOps* ops = GetFileOps();
+  int fd = ops->Open(path.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY, 0);
   if (fd < 0) {
     SetError(error, Errno("open", path));
     return false;
   }
-  int rc = ::fsync(fd);
-  ::close(fd);
+  int rc = ops->Fsync(fd);
+  ops->Close(fd);
   if (rc != 0 && !(is_dir && (errno == EINVAL || errno == EBADF))) {
     SetError(error, Errno("fsync", path));
     return false;
   }
   return true;
 }
-#endif
 
-}  // namespace
+#endif  // !_WIN32
 
 bool AtomicWriteFile(const std::string& path, std::string_view contents, std::string* error) {
   const std::string tmp = path + ".tmp";
 #ifndef _WIN32
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  FileOps* ops = GetFileOps();
+  int fd = ops->Open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     SetError(error, Errno("open", tmp));
     return false;
   }
   size_t written = 0;
   while (written < contents.size()) {
-    ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    ssize_t n = ops->Write(fd, contents.data() + written, contents.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       SetError(error, Errno("write", tmp));
-      ::close(fd);
-      ::unlink(tmp.c_str());
+      ops->Close(fd);
+      ops->Unlink(tmp.c_str());
       return false;
     }
     written += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (ops->Fsync(fd) != 0) {
     SetError(error, Errno("fsync", tmp));
-    ::close(fd);
-    ::unlink(tmp.c_str());
+    ops->Close(fd);
+    ops->Unlink(tmp.c_str());
     return false;
   }
   // A failed close can report a deferred write-back error (e.g. NFS, quota);
   // treating it as success would rename a possibly-corrupt temp file over
   // the target.
-  if (::close(fd) != 0) {
+  if (ops->Close(fd) != 0) {
     SetError(error, Errno("close", tmp));
-    ::unlink(tmp.c_str());
+    ops->Unlink(tmp.c_str());
     return false;
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (ops->Rename(tmp.c_str(), path.c_str()) != 0) {
     SetError(error, Errno("rename", tmp));
-    ::unlink(tmp.c_str());
+    ops->Unlink(tmp.c_str());
     return false;
   }
   std::filesystem::path dir = std::filesystem::path(path).parent_path();
@@ -97,6 +134,9 @@ bool AtomicWriteFile(const std::string& path, std::string_view contents, std::st
     out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
     if (!out) {
       SetError(error, "write " + tmp + " failed");
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
       return false;
     }
   }
@@ -104,6 +144,7 @@ bool AtomicWriteFile(const std::string& path, std::string_view contents, std::st
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     SetError(error, "rename " + tmp + ": " + ec.message());
+    std::filesystem::remove(tmp, ec);
     return false;
   }
   return true;
@@ -138,16 +179,36 @@ bool TruncateFile(const std::string& path, uint64_t size, std::string* error) {
                         " bytes)");
     return false;
   }
+#ifndef _WIN32
+  FileOps* ops = GetFileOps();
+  int fd = ops->Open(path.c_str(), O_WRONLY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    SetError(error, Errno("open", path));
+    return false;
+  }
+  if (ops->Ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    SetError(error, Errno("truncate", path));
+    ops->Close(fd);
+    return false;
+  }
+  // Persist the new length: torn-tail repair relies on a truncated journal
+  // staying truncated after power loss, not reverting to the torn state.
+  if (ops->Fsync(fd) != 0) {
+    SetError(error, Errno("fsync", path));
+    ops->Close(fd);
+    return false;
+  }
+  if (ops->Close(fd) != 0) {
+    SetError(error, Errno("close", path));
+    return false;
+  }
+  return true;
+#else
   std::filesystem::resize_file(path, size, ec);
   if (ec) {
     SetError(error, "truncate " + path + ": " + ec.message());
     return false;
   }
-#ifndef _WIN32
-  // Persist the new length: torn-tail repair relies on a truncated journal
-  // staying truncated after power loss, not reverting to the torn state.
-  return FsyncPath(path, /*is_dir=*/false, error);
-#else
   return true;
 #endif
 }

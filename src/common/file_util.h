@@ -1,11 +1,56 @@
-// Durable file-write helpers for crash-safe persistence (ISSUE 5).
+// Durable file-write helpers for crash-safe persistence (ISSUE 5) and the
+// injectable filesystem seam the storage-fault tests drive (ISSUE 10).
 #ifndef SIA_SRC_COMMON_FILE_UTIL_H_
 #define SIA_SRC_COMMON_FILE_UTIL_H_
 
 #include <string>
 #include <string_view>
 
+#ifndef _WIN32
+#include <sys/types.h>
+#endif
+
 namespace sia {
+
+#ifndef _WIN32
+// The syscall seam every durable-write path in the tree goes through
+// (AtomicWriteFile, TruncateFile, the service journal). The default
+// implementation forwards to the real syscalls; tests install a
+// FaultInjectingFileOps (src/common/fault_file_ops.h) to inject ENOSPC, EIO,
+// torn writes, fsync failures, and rename failures at scripted or seeded
+// points. All methods follow syscall conventions: negative return (or -1)
+// means failure with the cause in errno.
+//
+// Read paths (ReadFileToString, std::ifstream) intentionally bypass the
+// seam: the fault model is write-side storage loss, and recovery code must
+// be able to read back whatever the faulted writes left behind.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  virtual int Open(const char* path, int flags, mode_t mode);
+  virtual ssize_t Write(int fd, const void* buf, size_t count);
+  virtual int Fsync(int fd);
+  virtual int Fdatasync(int fd);
+  virtual int Close(int fd);
+  virtual int Rename(const char* from, const char* to);
+  virtual int Unlink(const char* path);
+  virtual int Ftruncate(int fd, off_t length);
+};
+
+// Current seam; never nullptr (defaults to the real-syscall implementation).
+FileOps* GetFileOps();
+
+// Installs `ops` process-wide and returns the previous seam; nullptr
+// restores the real syscalls. The caller keeps ownership of `ops` and must
+// keep it alive until replaced. Thread-compatible: install before spawning
+// threads that do durable writes (tests and tool main()s do).
+FileOps* SetFileOps(FileOps* ops);
+
+// Flushes a file (or directory) to stable storage through the seam. Best
+// effort on filesystems that reject fsync on directories (EINVAL/EBADF).
+bool FsyncPath(const std::string& path, bool is_dir, std::string* error = nullptr);
+#endif  // !_WIN32
 
 // Writes `contents` to `path` atomically: write to `<path>.tmp`, fsync the
 // file, close it (checking the close result, which can carry a deferred
@@ -17,10 +62,9 @@ namespace sia {
 // before the rename and the rename itself was synced via the parent
 // directory. If the machine dies mid-call, a reader afterwards sees either
 // the old file (or nothing) or the complete new one, never a partial or
-// interleaved state; at worst a stale `<path>.tmp` is left behind and is
-// overwritten by the next successful call. Returns false and fills `error`
-// (if non-null) on failure; a failed write never leaves a partial `path`
-// behind.
+// interleaved state. Returns false and fills `error` (if non-null) on
+// failure; a failed write never leaves a partial `path` behind, and the
+// temp file is unlinked on every error path (close-failure included).
 bool AtomicWriteFile(const std::string& path, std::string_view contents,
                      std::string* error = nullptr);
 

@@ -31,7 +31,15 @@ namespace sia {
 namespace {
 
 // Service snapshot payload schema (wrapped in the SIASNAP1 container).
-constexpr uint32_t kServiceStateVersion = 1;
+// v1: applied count + dedupe map + sim blob (needs the journal prefix to
+//     re-submit jobs before RestoreState).
+// v2: adds the ordered accepted-submission list, making the snapshot
+//     self-contained -- the property journal compaction relies on.
+constexpr uint32_t kServiceStateVersionLegacy = 1;
+constexpr uint32_t kServiceStateVersion = 2;
+
+// Caps on snapshot-header collection sizes (corrupt-input defense).
+constexpr uint64_t kMaxSnapshotEntries = 1u << 20;
 
 std::string JoinPath(const std::string& a, const std::string& b) {
   return a.empty() || a.back() == '/' ? a + b : a + "/" + b;
@@ -112,12 +120,17 @@ bool ClusterCreateSpec::FromJson(const JsonValue& request, std::string* error) {
   tuned = request.GetBool("tuned", false);
   round_deadline_ms = request.GetNumber("round_deadline_ms", -1.0);
   snapshot_every = request.GetInt("snapshot_every", 16);
+  segment_entries = request.GetInt("segment_entries", 1024);
   if (scale < 1 || scale > 64) {
     *error = "scale must be in [1, 64]";
     return false;
   }
   if (snapshot_every < 1) {
     *error = "snapshot_every must be >= 1";
+    return false;
+  }
+  if (segment_entries < 1) {
+    *error = "segment_entries must be >= 1";
     return false;
   }
   if (MakeNamedScheduler(scheduler) == nullptr) {
@@ -149,6 +162,7 @@ JsonValue ClusterCreateSpec::ToJson() const {
   out.Set("tuned", JsonValue::MakeBool(tuned));
   out.Set("round_deadline_ms", JsonValue::MakeNumber(round_deadline_ms));
   out.Set("snapshot_every", JsonValue::MakeNumber(snapshot_every));
+  out.Set("segment_entries", JsonValue::MakeNumber(segment_entries));
   return out;
 }
 
@@ -185,6 +199,8 @@ std::unique_ptr<Scheduler> MakeNamedScheduler(const std::string& name) {
 
 HostedCluster::~HostedCluster() {
   if (journal_fd_ >= 0) {
+    // Raw close (not the seam): teardown must never consume fault-schedule
+    // indices or fail.
     ::close(journal_fd_);
   }
 }
@@ -209,14 +225,61 @@ std::unique_ptr<HostedCluster> HostedCluster::Create(const std::string& root,
   if (!host->BuildStack(/*resume_trace_offset=*/-1, error)) {
     return nullptr;
   }
-  host->journal_fd_ = ::open(JoinPath(host->dir_, "journal.jsonl").c_str(),
-                             O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (host->journal_fd_ < 0) {
-    *error = std::string("open journal: ") + strerror(errno);
+  // Fresh clusters are segment-native: the first segment starts at entry 0.
+  host->journal_segment_start_ = 0;
+  host->journal_segment_bytes_ = 0;
+  if (!host->OpenActiveSegment(error)) {
+    // A failed create is retryable (the server sheds it as
+    // storage_unavailable); create.json on disk just makes the retry -- or
+    // the next recovery -- idempotent.
     return nullptr;
   }
   return host;
 }
+
+namespace {
+
+// One scanned journal segment: the CRC-valid decoded prefix plus what (if
+// anything) follows it on disk.
+struct SegmentScan {
+  std::string path;
+  uint64_t start = 0;
+  std::vector<std::string> lines;  // Decoded JSON of the valid prefix.
+  uint64_t valid_bytes = 0;        // File bytes holding that prefix.
+  uint64_t file_bytes = 0;
+  bool corrupt = false;  // Bad CRC / malformed framing inside the file.
+};
+
+SegmentScan ScanSegment(const JournalSegmentEntry& entry) {
+  SegmentScan scan;
+  scan.path = entry.path;
+  scan.start = entry.start;
+  std::string text;
+  std::string read_error;
+  if (!ReadFileToString(entry.path, &text, &read_error)) {
+    scan.corrupt = true;  // Unreadable == fully corrupt; quarantine it.
+    return scan;
+  }
+  scan.file_bytes = text.size();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      break;  // Torn trailing partial line (no newline).
+    }
+    std::string json;
+    if (!DecodeJournalLine(std::string_view(text).substr(pos, end - pos), &json)) {
+      scan.corrupt = true;
+      break;
+    }
+    scan.lines.push_back(std::move(json));
+    pos = end + 1;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+}  // namespace
 
 std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
                                                       const std::string& name,
@@ -241,39 +304,73 @@ std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
     return nullptr;
   }
 
+  // --- gather journal entries: legacy single file + CRC-framed segments ---
   // The journal's fsynced prefix is authoritative; a torn tail is a request
   // that was never acknowledged and is safe to drop.
-  const std::string journal_path = JoinPath(host->dir_, "journal.jsonl");
-  if (std::filesystem::exists(journal_path)) {
+  const std::string legacy_path = JoinPath(host->dir_, "journal.jsonl");
+  std::vector<std::string> legacy_lines;
+  if (std::filesystem::exists(legacy_path)) {
     uint64_t removed = 0;
-    if (!RepairTornTail(journal_path, &removed, error)) {
-      return nullptr;
-    }
-    if (removed > 0) {
+    std::string repair_error;
+    if (!RepairTornTail(legacy_path, &removed, &repair_error)) {
+      // Repair is hygiene, not correctness: the line splitter below ignores
+      // an unterminated tail anyway. A failing disk must not fail recovery.
+      SIA_LOG(Warning) << "cluster " << name << ": torn-tail repair failed: " << repair_error;
+    } else if (removed > 0) {
       SIA_LOG(Warning) << "cluster " << name << ": dropped " << removed
                        << " torn journal bytes";
     }
-  }
-  std::vector<std::string> journal_lines;
-  {
     std::string journal_text;
-    if (std::filesystem::exists(journal_path) &&
-        !ReadFileToString(journal_path, &journal_text, error)) {
+    if (!ReadFileToString(legacy_path, &journal_text, error)) {
       return nullptr;
     }
+    host->has_legacy_journal_ = true;
+    host->legacy_journal_bytes_ = journal_text.size();
     size_t start = 0;
     while (start < journal_text.size()) {
       const size_t end = journal_text.find('\n', start);
       if (end == std::string::npos) {
-        break;  // RepairTornTail guarantees this cannot happen; belt & braces.
+        break;  // Unterminated torn tail: never acked, safe to drop.
       }
-      journal_lines.push_back(journal_text.substr(start, end - start));
+      legacy_lines.push_back(journal_text.substr(start, end - start));
       start = end + 1;
+    }
+    host->legacy_journal_entries_ = legacy_lines.size();
+  }
+
+  std::vector<SegmentScan> scans;
+  for (const JournalSegmentEntry& entry : ListJournalSegments(host->dir_)) {
+    scans.push_back(ScanSegment(entry));
+  }
+  // A torn (but CRC-clean-prefix) tail on the *last* segment is the normal
+  // crash artifact; trim it in place. Damage anywhere else is corruption
+  // and marks the segment for quarantine after replay.
+  if (!scans.empty()) {
+    SegmentScan& last = scans.back();
+    if (!last.corrupt && last.valid_bytes < last.file_bytes) {
+      std::string trim_error;
+      if (!TruncateFile(last.path, last.valid_bytes, &trim_error)) {
+        SIA_LOG(Warning) << "cluster " << name << ": trimming torn segment tail failed: "
+                         << trim_error;
+      }
     }
   }
 
-  // Newest valid snapshot, if any; corrupt ones are skipped transparently.
+  // Sparse global index -> entry text. Legacy entries are bare JSON at
+  // [0, n); each segment contributes its valid prefix at [start, ...).
+  std::map<uint64_t, const std::string*> entries;
+  for (uint64_t i = 0; i < legacy_lines.size(); ++i) {
+    entries.emplace(i, &legacy_lines[i]);
+  }
+  for (const SegmentScan& scan : scans) {
+    for (uint64_t i = 0; i < scan.lines.size(); ++i) {
+      entries.emplace(scan.start + i, &scan.lines[i]);
+    }
+  }
+
+  // --- newest valid snapshot, if any; corrupt ones skipped transparently ---
   std::string sim_payload;
+  bool snapshot_self_contained = false;
   {
     std::string snap_path;
     std::string snap_payload;
@@ -290,18 +387,39 @@ std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
       const bool finalized = r.Bool();
       const uint64_t dedupe_count = r.U64();
       std::map<std::string, uint64_t> dedupe;
-      if (r.ok() && version == kServiceStateVersion && dedupe_count <= (1u << 20)) {
+      if (r.ok() &&
+          (version == kServiceStateVersion || version == kServiceStateVersionLegacy) &&
+          dedupe_count <= kMaxSnapshotEntries) {
         for (uint64_t i = 0; r.ok() && i < dedupe_count; ++i) {
           std::string client = r.Str();
           const uint64_t seq = r.U64();
           dedupe[std::move(client)] = seq;
         }
+        std::vector<std::string> submitted;
+        if (version >= kServiceStateVersion) {
+          const uint64_t submitted_count = r.U64();
+          if (submitted_count <= kMaxSnapshotEntries) {
+            for (uint64_t i = 0; r.ok() && i < submitted_count; ++i) {
+              submitted.push_back(r.Str());
+            }
+          } else {
+            r.Str();  // Poison the reader; treated as corrupt below.
+          }
+        }
         sim_payload = r.Blob();
-        if (r.ok() && applied <= journal_lines.size()) {
+        // A v2 snapshot carries its own accepted-job list and needs no
+        // journal prefix. A v1 snapshot needs the legacy prefix [0,
+        // applied) to re-submit jobs; if the journal cannot back that,
+        // distrust it and replay from round zero.
+        const bool prefix_ok =
+            version >= kServiceStateVersion || applied <= legacy_lines.size();
+        if (r.ok() && prefix_ok) {
           host->applied_count_ = applied;
           host->client_last_seq_ = std::move(dedupe);
           host->finalized_ = finalized;
           host->last_snapshot_applied_ = applied;
+          host->submitted_jobs_ = std::move(submitted);
+          snapshot_self_contained = version >= kServiceStateVersion;
         } else {
           sim_payload.clear();  // Snapshot ahead of the journal: distrust it.
         }
@@ -310,8 +428,9 @@ std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
   }
 
   // Fingerprint parity: the simulator must see the same workload it had when
-  // the snapshot was taken, so journaled submissions in the snapshot's
-  // prefix are re-submitted before RestoreState.
+  // the snapshot was taken, so the snapshot's accepted submissions (v2) or
+  // the journaled submissions in its prefix (v1) are re-submitted before
+  // RestoreState.
   int64_t resume_trace_offset = -1;
   if (!sim_payload.empty()) {
     SnapshotMeta meta;
@@ -324,6 +443,8 @@ std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
       host->client_last_seq_.clear();
       host->finalized_ = false;
       host->last_snapshot_applied_ = 0;
+      host->submitted_jobs_.clear();
+      snapshot_self_contained = false;
     } else if (meta.has_trace) {
       resume_trace_offset = meta.trace_offset;
     }
@@ -332,30 +453,48 @@ std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
     return nullptr;
   }
 
-  const uint64_t prefix = sim_payload.empty() ? 0 : host->applied_count_;
-  for (uint64_t i = 0; i < prefix; ++i) {
-    JsonValue entry;
-    std::string parse_error;
-    if (!JsonValue::Parse(journal_lines[i], &entry, &parse_error)) {
-      *error = "journal entry " + std::to_string(i) + ": " + parse_error;
-      return nullptr;
+  if (!sim_payload.empty() && snapshot_self_contained) {
+    for (size_t i = 0; i < host->submitted_jobs_.size(); ++i) {
+      JsonValue job_json;
+      JobSpec job;
+      std::string job_error;
+      if (!JsonValue::Parse(host->submitted_jobs_[i], &job_json, &job_error) ||
+          !ParseJobSpec(job_json, &job, &job_error) ||
+          !host->sim_->SubmitJob(job, &job_error)) {
+        // Snapshotted submissions were accepted once; a rejection here
+        // means the snapshot disagrees with itself. The fingerprint gate
+        // below will refuse the restore if state actually diverged.
+        SIA_LOG(Warning) << "cluster " << name << ": snapshot submission " << i
+                         << " rejected on replay: " << job_error;
+      }
     }
-    if (entry.GetString("op", "") != "submit_job") {
-      continue;  // Steps in the prefix live inside the snapshot state.
-    }
-    const JsonValue* job_json = entry.Find("job");
-    JobSpec job;
-    std::string job_error;
-    if (job_json == nullptr || !ParseJobSpec(*job_json, &job, &job_error) ||
-        !host->sim_->SubmitJob(job, &job_error)) {
-      // The live path journals before the simulator validates, so a
-      // journaled submit can have been rejected (duplicate id, bad GPU
-      // bounds). The rejection is deterministic and left no simulator
-      // state behind, so the prefix replay tolerates it exactly like the
-      // suffix replay does; only an unparseable journal line is fatal.
-      SIA_LOG(Warning) << "cluster " << name << ": journal entry " << i
-                       << ": submit_job rejected on replay: " << job_error;
-      continue;
+  } else if (!sim_payload.empty()) {
+    const uint64_t prefix = host->applied_count_;
+    for (uint64_t i = 0; i < prefix; ++i) {
+      JsonValue entry;
+      std::string parse_error;
+      if (!JsonValue::Parse(legacy_lines[i], &entry, &parse_error)) {
+        *error = "journal entry " + std::to_string(i) + ": " + parse_error;
+        return nullptr;
+      }
+      if (entry.GetString("op", "") != "submit_job") {
+        continue;  // Steps in the prefix live inside the snapshot state.
+      }
+      const JsonValue* job_json = entry.Find("job");
+      JobSpec job;
+      std::string job_error;
+      if (job_json == nullptr || !ParseJobSpec(*job_json, &job, &job_error) ||
+          !host->sim_->SubmitJob(job, &job_error)) {
+        // The live path journals before the simulator validates, so a
+        // journaled submit can have been rejected (duplicate id, bad GPU
+        // bounds). The rejection is deterministic and left no simulator
+        // state behind, so the prefix replay tolerates it exactly like the
+        // suffix replay does; only an unparseable journal line is fatal.
+        SIA_LOG(Warning) << "cluster " << name << ": journal entry " << i
+                         << ": submit_job rejected on replay: " << job_error;
+        continue;
+      }
+      host->submitted_jobs_.push_back(job_json->Dump());
     }
   }
   if (!sim_payload.empty()) {
@@ -366,24 +505,106 @@ std::unique_ptr<HostedCluster> HostedCluster::Recover(const std::string& root,
     }
   }
 
-  // Replay the journal suffix. Replayed ops do not re-journal and their
-  // responses are discarded -- the original clients already got them (or
-  // never did, and will retry through the dedupe map).
-  for (uint64_t i = prefix; i < journal_lines.size(); ++i) {
+  // Replay the journal suffix from the sparse index. Replayed ops do not
+  // re-journal and their responses are discarded -- the original clients
+  // already got them (or never did, and will retry through the dedupe
+  // map). A gap or unparseable entry ends the replay: the cluster degrades
+  // to the longest valid prefix instead of being dropped.
+  while (true) {
+    const auto it = entries.find(host->applied_count_);
+    if (it == entries.end()) {
+      break;
+    }
     JsonValue entry;
     std::string parse_error;
-    if (!JsonValue::Parse(journal_lines[i], &entry, &parse_error)) {
-      *error = "journal entry " + std::to_string(i) + ": " + parse_error;
-      return nullptr;
+    if (!JsonValue::Parse(*it->second, &entry, &parse_error)) {
+      SIA_LOG(Warning) << "cluster " << name << ": journal entry " << it->first
+                       << " unparseable (" << parse_error
+                       << "); recovering the valid prefix only";
+      break;
     }
+    const uint64_t before = host->applied_count_;
     host->ApplyMutation(entry, /*replay=*/true);
+    if (host->applied_count_ == before) {
+      // A CRC-valid entry the replay engine refuses (dedupe/ordering says it
+      // was never applied live). Stop at the valid prefix rather than spin.
+      SIA_LOG(Warning) << "cluster " << name << ": journal entry " << it->first
+                       << " not applicable on replay; recovering the valid prefix only";
+      break;
+    }
+  }
+  if (!entries.empty()) {
+    const uint64_t last_index = entries.rbegin()->first;
+    if (last_index + 1 > host->applied_count_) {
+      SIA_LOG(Warning) << "cluster " << name << ": journal entries ["
+                       << host->applied_count_ << ", " << last_index + 1
+                       << ") unreachable past a gap or corruption; recovered the "
+                       << host->applied_count_ << "-op prefix";
+    }
   }
 
-  host->journal_fd_ = ::open(journal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (host->journal_fd_ < 0) {
-    *error = std::string("open journal: ") + strerror(errno);
-    return nullptr;
+  // --- make the recovered truth durable, then quarantine + compact ---
+  // Ordering matters: corrupt segments may still hold the only copy of
+  // replayed entries (their valid prefix), so they are renamed away only
+  // after a self-contained snapshot covering everything replayed is on
+  // disk. Unreachable segments (start beyond the recovery point) are
+  // quarantined too -- their entries can never be applied.
+  std::vector<const SegmentScan*> quarantine;
+  for (const SegmentScan& scan : scans) {
+    if (scan.corrupt || scan.start > host->applied_count_) {
+      quarantine.push_back(&scan);
+    }
   }
+  std::string snap_error;
+  if (!host->SnapshotInternal(&snap_error, /*force=*/true)) {
+    SIA_LOG(Warning) << "cluster " << name
+                     << ": recovery snapshot failed; keeping all segments: " << snap_error;
+  } else {
+    FileOps* ops = GetFileOps();
+    for (const SegmentScan* scan : quarantine) {
+      const std::string target = scan->path + ".quarantined";
+      if (ops->Rename(scan->path.c_str(), target.c_str()) != 0) {
+        SIA_LOG(Warning) << "cluster " << name << ": quarantine of " << scan->path
+                         << " failed: " << strerror(errno);
+      } else {
+        SIA_LOG(Warning) << "cluster " << name << ": quarantined corrupt segment "
+                         << scan->path;
+      }
+    }
+  }
+
+  // Remaining healthy, non-active segments become the closed-segment set
+  // (compaction bookkeeping).
+  for (const SegmentScan& scan : scans) {
+    bool quarantined = false;
+    for (const SegmentScan* q : quarantine) {
+      quarantined = quarantined || q == &scan;
+    }
+    if (quarantined || scan.lines.empty() || scan.start == host->applied_count_) {
+      continue;
+    }
+    host->closed_segments_.push_back(
+        {scan.start, scan.lines.size(), scan.valid_bytes, scan.path});
+  }
+  host->CompactJournal();
+
+  // Open the active segment at the recovery point. An existing file there
+  // (a previous instance's active segment) keeps its valid prefix; a dirty
+  // tail past it is trimmed by OpenActiveSegment.
+  host->journal_segment_start_ = host->applied_count_;
+  host->journal_segment_bytes_ = 0;
+  for (const SegmentScan& scan : scans) {
+    if (scan.start == host->applied_count_ && !scan.corrupt) {
+      host->journal_segment_bytes_ = scan.valid_bytes;
+    }
+  }
+  std::string open_error;
+  if (!host->OpenActiveSegment(&open_error)) {
+    // Hosted but degraded beats dropped: reads still work and the probe
+    // path reopens the journal when the disk heals.
+    host->EnterDegraded(open_error);
+  }
+  host->UpdateStorageGauges();
   return host;
 }
 
@@ -502,6 +723,15 @@ std::string HostedCluster::ApplyMutation(const JsonValue& request, bool replay) 
     return ErrorResponse(seq, ServiceError::kClusterDone, "cluster already finalized");
   }
 
+  // Degraded read-only mode: mutations shed with the typed retryable error
+  // until a probe proves the disk healed. Duplicates were acked above (they
+  // need no journaling); reads never reach this path.
+  if (!replay && degraded_ && !ProbeStorage()) {
+    storage_sheds_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(seq, ServiceError::kStorageUnavailable,
+                         "storage unavailable: " + storage_error_);
+  }
+
   // submit_job rewrites the job's submit time to its effective value before
   // journaling, so a replay at clock zero re-inserts it at the identical
   // queue position (the simulator clamps to `now` on live submission).
@@ -521,7 +751,13 @@ std::string HostedCluster::ApplyMutation(const JsonValue& request, bool replay) 
   if (!replay) {
     std::string journal_error;
     if (!JournalAppend(journaled.Dump(), &journal_error)) {
-      return ErrorResponse(seq, ServiceError::kInternal, journal_error);
+      // The entry never became durable (a torn tail was rolled back or is
+      // isolated at rotation), so the op must not apply: shed it and flip
+      // into degraded mode. The client retries through the probe path.
+      EnterDegraded(journal_error);
+      storage_sheds_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(seq, ServiceError::kStorageUnavailable,
+                           "storage unavailable: " + journal_error);
     }
   }
   client_last_seq_[client] = static_cast<uint64_t>(seq);
@@ -559,6 +795,11 @@ std::string HostedCluster::ApplySubmitJob(const JsonValue& request, bool replay)
     // fails the same way and state stays consistent.
     return ErrorResponse(seq, ServiceError::kBadArgument, job_error);
   }
+  // Accepted: record the journaled job JSON so the next snapshot is
+  // self-contained (v2 snapshots re-submit this list before RestoreState).
+  // The journaled form -- not the post-submit JobSpec -- keeps restore
+  // re-submissions byte-identical to journal replay.
+  submitted_jobs_.push_back(request.Find("job")->Dump());
   JsonValue fields = JsonValue::MakeObject();
   fields.Set("job_id", JsonValue::MakeNumber(job.id));
   fields.Set("effective_submit_time", JsonValue::MakeNumber(job.submit_time));
@@ -662,31 +903,225 @@ std::string HostedCluster::HandleTelemetry() const {
 }
 
 bool HostedCluster::JournalAppend(const std::string& line, std::string* error) {
-  std::string wire = line;
+  if (journal_fd_ < 0) {
+    *error = "journal closed";
+    return false;
+  }
+  if (applied_count_ - journal_segment_start_ >=
+      static_cast<uint64_t>(spec_.segment_entries)) {
+    if (!RotateJournal(error)) {
+      return false;
+    }
+  }
+  FileOps* ops = GetFileOps();
+  std::string wire = EncodeJournalLine(line);
   wire += '\n';
   size_t written = 0;
   while (written < wire.size()) {
-    const ssize_t n = ::write(journal_fd_, wire.data() + written, wire.size() - written);
+    const ssize_t n = ops->Write(journal_fd_, wire.data() + written, wire.size() - written);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
       *error = std::string("journal write: ") + strerror(errno);
+      // Roll the torn tail back to the last durable entry. Best-effort: if
+      // the truncate fails too, the dirty bytes stay isolated -- rotation
+      // and recovery both trim to the known-good byte count.
+      ops->Ftruncate(journal_fd_, static_cast<off_t>(journal_segment_bytes_));
       return false;
     }
     written += static_cast<size_t>(n);
   }
   // Durability point: once fdatasync returns, the entry survives SIGKILL and
   // power loss; only now may the request mutate the simulator.
-  if (::fdatasync(journal_fd_) != 0) {
+  if (ops->Fdatasync(journal_fd_) != 0) {
     *error = std::string("journal fdatasync: ") + strerror(errno);
+    ops->Ftruncate(journal_fd_, static_cast<off_t>(journal_segment_bytes_));
+    return false;
+  }
+  journal_segment_bytes_ += wire.size();
+  // Refresh the cross-thread mirror: server_info's journal_bytes_total
+  // would otherwise lag the active segment until the next rotation.
+  UpdateStorageGauges();
+  return true;
+}
+
+bool HostedCluster::RotateJournal(std::string* error) {
+  FileOps* ops = GetFileOps();
+  if (journal_fd_ >= 0) {
+    ops->Close(journal_fd_);  // Best-effort: entries are already fdatasync'd.
+    journal_fd_ = -1;
+  }
+  if (applied_count_ > journal_segment_start_) {
+    const std::string outgoing = JournalSegmentPath(dir_, journal_segment_start_);
+    // A failed append may have left a torn tail past the last durable
+    // entry; trim so the closed segment holds exactly its valid bytes.
+    // Best-effort -- the recovery CRC scan tolerates a leftover tail.
+    std::error_code ec;
+    const auto on_disk = std::filesystem::file_size(outgoing, ec);
+    if (!ec && on_disk > journal_segment_bytes_) {
+      std::string trim_error;
+      if (!TruncateFile(outgoing, journal_segment_bytes_, &trim_error)) {
+        SIA_LOG(Warning) << "cluster " << spec_.name << ": trimming closed segment: "
+                         << trim_error;
+      }
+    }
+    closed_segments_.push_back({journal_segment_start_,
+                                applied_count_ - journal_segment_start_,
+                                journal_segment_bytes_, outgoing});
+    journal_segment_start_ = applied_count_;
+    journal_segment_bytes_ = 0;
+  }
+  return OpenActiveSegment(error);
+}
+
+bool HostedCluster::OpenActiveSegment(std::string* error) {
+  FileOps* ops = GetFileOps();
+  const std::string path = JournalSegmentPath(dir_, journal_segment_start_);
+  // Never append after foreign bytes: a dirty tail past the known-good
+  // prefix (previous instance's torn write) would stop the recovery CRC
+  // scan and silently orphan everything appended after it.
+  std::error_code ec;
+  const auto on_disk = std::filesystem::file_size(path, ec);
+  if (!ec && on_disk > journal_segment_bytes_) {
+    std::string trim_error;
+    if (!TruncateFile(path, journal_segment_bytes_, &trim_error)) {
+      *error = "journal segment trim: " + trim_error;
+      return false;
+    }
+  }
+  const int fd = ops->Open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *error = std::string("open journal segment: ") + strerror(errno);
+    return false;
+  }
+  // The segment's *name* is load-bearing (it is the replay index), so the
+  // directory entry must be durable before anything is appended.
+  std::string sync_error;
+  if (!FsyncPath(dir_, /*is_dir=*/true, &sync_error)) {
+    ops->Close(fd);
+    *error = "journal dir fsync: " + sync_error;
+    return false;
+  }
+  journal_fd_ = fd;
+  UpdateStorageGauges();
+  return true;
+}
+
+void HostedCluster::EnterDegraded(const std::string& why) {
+  if (degraded_) {
+    return;  // Idempotent: keep the first cause and the probe backoff.
+  }
+  degraded_ = true;
+  storage_error_ = why;
+  probe_countdown_ = 0;  // First shed probes immediately.
+  probe_backoff_ = 1;
+  if (journal_fd_ >= 0) {
+    // Raw close (not the seam): the fd must actually be released so the
+    // recovery probe can rotate to a fresh segment, and teardown paths must
+    // not consume fault-schedule indices.
+    ::close(journal_fd_);
+    journal_fd_ = -1;
+  }
+  degraded_flag_.store(true, std::memory_order_relaxed);
+  UpdateStorageGauges();
+  SIA_LOG(Warning) << "cluster " << spec_.name
+                   << ": entering degraded read-only mode: " << why;
+}
+
+bool HostedCluster::ProbeStorage() {
+  if (probe_countdown_ > 0) {
+    --probe_countdown_;  // Backoff is counted in shed requests, not time.
+    return false;
+  }
+  // Cap the backoff low: a probe is a handful of syscalls, and under an
+  // op-indexed fault schedule probes are the only thing advancing the index
+  // toward the heal window, so starving them stalls recovery.
+  const auto arm_backoff = [this] {
+    probe_countdown_ = probe_backoff_;
+    probe_backoff_ = std::min(probe_backoff_ * 2, 8);
+  };
+  std::string error;
+  const std::string probe_path = JoinPath(dir_, ".storage-probe");
+  if (!AtomicWriteFile(probe_path, "ok\n", &error)) {
+    arm_backoff();
+    return false;
+  }
+  GetFileOps()->Unlink(probe_path.c_str());
+  // The disk answers again: rotate past whatever tail the failure left and
+  // resume journaling on a fresh segment.
+  if (!RotateJournal(&error)) {
+    arm_backoff();
+    return false;
+  }
+  degraded_ = false;
+  storage_error_.clear();
+  probe_countdown_ = 0;
+  probe_backoff_ = 1;
+  degraded_flag_.store(false, std::memory_order_relaxed);
+  SIA_LOG(Info) << "cluster " << spec_.name << ": storage recovered; leaving degraded mode";
+  return true;
+}
+
+void HostedCluster::CompactJournal() {
+  FileOps* ops = GetFileOps();
+  if (has_legacy_journal_ && legacy_journal_entries_ <= last_snapshot_applied_) {
+    const std::string legacy = JoinPath(dir_, "journal.jsonl");
+    if (ops->Unlink(legacy.c_str()) == 0 || errno == ENOENT) {
+      has_legacy_journal_ = false;
+      legacy_journal_entries_ = 0;
+      legacy_journal_bytes_ = 0;
+    }
+  }
+  std::vector<ClosedSegment> keep;
+  for (const ClosedSegment& seg : closed_segments_) {
+    if (seg.start + seg.count <= last_snapshot_applied_) {
+      if (ops->Unlink(seg.path.c_str()) != 0 && errno != ENOENT) {
+        keep.push_back(seg);  // Best-effort; retried at the next snapshot.
+      }
+    } else {
+      keep.push_back(seg);
+    }
+  }
+  closed_segments_ = std::move(keep);
+  UpdateStorageGauges();
+}
+
+void HostedCluster::UpdateStorageGauges() {
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+  if (has_legacy_journal_) {
+    ++count;
+    bytes += legacy_journal_bytes_;
+  }
+  for (const ClosedSegment& seg : closed_segments_) {
+    ++count;
+    bytes += seg.bytes;
+  }
+  if (journal_fd_ >= 0) {
+    ++count;
+    bytes += journal_segment_bytes_;
+  }
+  segment_count_.store(count, std::memory_order_relaxed);
+  segment_bytes_total_.store(bytes, std::memory_order_relaxed);
+  snapshot_applied_.store(last_snapshot_applied_, std::memory_order_relaxed);
+}
+
+bool HostedCluster::Snapshot(std::string* error) {
+  if (degraded_) {
+    // The probe path owns storage recovery; piling snapshot writes onto a
+    // failing disk would only consume fault budget and log spam.
+    return true;
+  }
+  if (!SnapshotInternal(error, /*force=*/false)) {
+    EnterDegraded(*error);
     return false;
   }
   return true;
 }
 
-bool HostedCluster::Snapshot(std::string* error) {
-  if (applied_count_ == last_snapshot_applied_) {
+bool HostedCluster::SnapshotInternal(std::string* error, bool force) {
+  if (!force && applied_count_ == last_snapshot_applied_) {
     return true;  // Nothing new to capture.
   }
   BinaryWriter w;
@@ -698,6 +1133,10 @@ bool HostedCluster::Snapshot(std::string* error) {
     w.Str(client);
     w.U64(seq);
   }
+  w.U64(submitted_jobs_.size());
+  for (const std::string& job : submitted_jobs_) {
+    w.Str(job);
+  }
   w.Blob(sim_->SerializeState());
 
   const std::string dir = JoinPath(dir_, "checkpoints");
@@ -707,6 +1146,9 @@ bool HostedCluster::Snapshot(std::string* error) {
   }
   PruneSnapshots(dir, 3);
   last_snapshot_applied_ = applied_count_;
+  // A durable self-contained snapshot makes every fully-covered segment
+  // dead weight; reclaim it now.
+  CompactJournal();
   return true;
 }
 

@@ -1,25 +1,44 @@
-// One hosted simulated cluster inside the sia service (ISSUE 6).
+// One hosted simulated cluster inside the sia service (ISSUE 6; storage
+// robustness ISSUE 10).
 //
 // A HostedCluster wraps a ClusterSimulator with the durability the daemon
-// needs to survive SIGKILL at any instant:
+// needs to survive SIGKILL at any instant -- and, since ISSUE 10, disk
+// faults (ENOSPC/EIO/torn writes/fsync failure) at any instant:
 //
 //  * create.json      -- the creation spec, written atomically once;
-//  * journal.jsonl    -- write-ahead log of every mutating request
+//  * journal.<n>.jsonl-- write-ahead log of every mutating request
 //                        (submit_job / step_round / finalize), fsynced
-//                        *before* the request is applied;
+//                        *before* the request is applied. Rotated into
+//                        bounded segments named by the global index of
+//                        their first entry; every line is CRC-64 framed
+//                        (see snapshot.h). The pre-segmentation single
+//                        `journal.jsonl` is still recovered and compacted
+//                        away once a self-contained snapshot covers it;
 //  * checkpoints/     -- SIASNAP1 service snapshots: a service header
-//                        (applied-op count + per-client dedupe map) plus the
-//                        simulator's own SerializeState payload;
+//                        (applied-op count, per-client dedupe map, and the
+//                        ordered accepted-submission list -- the snapshot is
+//                        self-contained, which is what makes journal
+//                        compaction sound) plus the simulator's own
+//                        SerializeState payload;
 //  * trace.jsonl      -- the run trace (crash-safe, resumed by offset);
 //  * results.csv / metrics.json -- written when the run finalizes.
 //
-// Recovery rebuilds the simulator from create.json, replays journaled
-// submissions up to the snapshot point (the simulator's fingerprint covers
-// the workload, so the job list must match before RestoreState), restores
-// the snapshot, then replays the journal suffix. Because the simulator is
-// deterministic per seed, a recovered cluster's trace/metrics/results are
-// byte-identical to an uninterrupted run -- the property tools/sia_supervise
-// --serve verifies with real SIGKILLs.
+// Recovery rebuilds the simulator from create.json, re-submits the
+// snapshot's accepted jobs (fingerprint parity), restores the snapshot,
+// then replays the journal suffix from the segments. CRC-checked replay
+// degrades gracefully: a torn tail on the last segment is truncated (crash
+// artifact), a corrupt middle segment is quarantined (renamed
+// `.quarantined`) after a forced durable snapshot pins everything that was
+// replayable, and an unbridgeable gap degrades to the longest valid prefix
+// instead of dropping the cluster.
+//
+// Storage faults at runtime flip the cluster into degraded read-only mode:
+// mutating requests shed with the typed, retryable `storage_unavailable`
+// error while query/telemetry keep serving; a probe (atomic tmp-file write
+// with exponential backoff) detects recovery and rotates to a fresh
+// segment. Acked data is never lost: an op is acked only after its journal
+// entry is fdatasync'd, and a failed append is rolled back (or the torn
+// tail is isolated by rotating away from the dirty segment).
 //
 // Determinism caveat: a step_round with a *positive* wall-clock deadline is
 // intentionally nondeterministic (the ladder rung depends on real solver
@@ -27,10 +46,13 @@
 // Deadlines of 0 (force carry-over) or unset (unlimited) replay exactly.
 //
 // Threading: a HostedCluster is confined to its owning worker thread; only
-// Snapshot() metadata accessors (name/finalized) are safe cross-thread.
+// Snapshot(), name()/finalized(), and the atomic storage-health accessors
+// (degraded/storage_sheds/journal_segment_count/journal_segment_bytes/
+// last_snapshot_applied) are safe cross-thread.
 #ifndef SIA_SRC_SERVICE_ENGINE_H_
 #define SIA_SRC_SERVICE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -61,6 +83,10 @@ struct ClusterCreateSpec {
   double round_deadline_ms = -1.0;
   // Snapshot cadence in applied journal entries (watchdog may add more).
   int snapshot_every = 16;
+  // Journal rotation threshold: entries per segment before rotating to a
+  // fresh `journal.<n>.jsonl`. Old create.json files without the field
+  // parse to the default.
+  int segment_entries = 1024;
 
   bool FromJson(const JsonValue& request, std::string* error);
   JsonValue ToJson() const;
@@ -80,26 +106,45 @@ class HostedCluster {
                                                std::string* error);
 
   // Rebuilds a cluster from its state directory after a server restart:
-  // create.json + latest valid snapshot + journal replay. A missing or
-  // fully corrupt snapshot set degrades to full journal replay from round
-  // zero (slower, same bytes).
+  // create.json + latest valid snapshot + CRC-checked journal-segment
+  // replay. A missing or fully corrupt snapshot set degrades to full
+  // journal replay from round zero (slower, same bytes); corrupt segments
+  // degrade to the longest valid prefix (see file comment). Storage-write
+  // failures during recovery leave the cluster hosted but degraded rather
+  // than failing the recover.
   static std::unique_ptr<HostedCluster> Recover(const std::string& root,
                                                 const std::string& name, std::string* error);
 
   // Handles one parsed request (op submit_job|step_round|finalize|query|
   // telemetry) and returns the response frame. Mutating ops are journaled
-  // and deduplicated by (client, seq) before they touch the simulator.
+  // and deduplicated by (client, seq) before they touch the simulator; in
+  // degraded mode they shed with `storage_unavailable` instead.
   std::string HandleRequest(const JsonValue& request);
 
   // Writes a service snapshot at the current round boundary (watchdog hook;
   // also fired automatically every snapshot_every applied ops). No-op when
-  // nothing was applied since the last snapshot.
+  // nothing was applied since the last snapshot. A successful snapshot
+  // compacts journal segments it fully covers; a failed write flips the
+  // cluster into degraded mode.
   bool Snapshot(std::string* error);
 
   const std::string& name() const { return spec_.name; }
   const std::string& dir() const { return dir_; }
   bool finalized() const { return finalized_; }
   uint64_t applied_count() const { return applied_count_; }
+
+  // Storage-health mirrors, safe to read cross-thread (server_info).
+  bool degraded() const { return degraded_flag_.load(std::memory_order_relaxed); }
+  uint64_t storage_sheds() const { return storage_sheds_.load(std::memory_order_relaxed); }
+  uint64_t journal_segment_count() const {
+    return segment_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t journal_segment_bytes() const {
+    return segment_bytes_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t last_snapshot_applied() const {
+    return snapshot_applied_.load(std::memory_order_relaxed);
+  }
 
  private:
   HostedCluster() = default;
@@ -122,16 +167,64 @@ class HostedCluster {
   std::string HandleQuery() const;
   std::string HandleTelemetry() const;
 
-  // Appends `line` to the journal and fsyncs before returning. The write-
-  // ahead contract: a request is applied only after its journal entry is
-  // durable, so an acked request can never be lost to a crash.
+  // Appends `line` (CRC-framed) to the active journal segment and fsyncs
+  // before returning, rotating to a fresh segment when the active one is
+  // full. The write-ahead contract: a request is applied only after its
+  // journal entry is durable, so an acked request can never be lost to a
+  // crash. A failed append rolls the torn tail back to the last known-good
+  // byte count.
   bool JournalAppend(const std::string& line, std::string* error);
+
+  // Closes the active segment (recording it as closed when non-empty) and
+  // opens the segment whose first entry is the current applied count.
+  bool RotateJournal(std::string* error);
+  // Opens the segment at journal_segment_start_, trimming any bytes past
+  // journal_segment_bytes_ (a previous instance's torn tail), and fsyncs
+  // the directory so the segment's name is durable.
+  bool OpenActiveSegment(std::string* error);
+
+  // Flips into degraded read-only mode (idempotent): closes the journal fd
+  // and arms the recovery probe.
+  void EnterDegraded(const std::string& why);
+  // One degraded-mode recovery attempt, rate-limited by exponential
+  // backoff counted in shed requests: atomic tmp-file write probe, then
+  // re-rotate the journal. Returns true when the cluster is healthy again.
+  bool ProbeStorage();
+
+  // Deletes closed segments (and the legacy journal) fully covered by the
+  // latest durable snapshot. Best-effort; failures retry next snapshot.
+  void CompactJournal();
+  void UpdateStorageGauges();
+
+  bool SnapshotInternal(std::string* error, bool force);
 
   int64_t RequestSeq(const JsonValue& request) const;
 
   ClusterCreateSpec spec_;
   std::string dir_;
   int journal_fd_ = -1;
+
+  // Active-segment state: the segment holds exactly the CRC-framed entries
+  // [journal_segment_start_, applied_count_) in journal_segment_bytes_
+  // bytes.
+  uint64_t journal_segment_start_ = 0;
+  uint64_t journal_segment_bytes_ = 0;
+  struct ClosedSegment {
+    uint64_t start = 0;
+    uint64_t count = 0;
+    uint64_t bytes = 0;
+    std::string path;
+  };
+  std::vector<ClosedSegment> closed_segments_;
+  bool has_legacy_journal_ = false;
+  uint64_t legacy_journal_entries_ = 0;
+  uint64_t legacy_journal_bytes_ = 0;
+
+  // Degraded-mode state (worker-thread confined).
+  bool degraded_ = false;
+  std::string storage_error_;
+  int probe_countdown_ = 0;
+  int probe_backoff_ = 1;
 
   ClusterSpec cluster_;
   std::vector<JobSpec> jobs_;
@@ -145,6 +238,16 @@ class HostedCluster {
   std::map<std::string, uint64_t> client_last_seq_;
   uint64_t last_snapshot_applied_ = 0;
   bool finalized_ = false;
+  // Ordered JSON dumps of every accepted submit_job -- snapshotted so a v2
+  // snapshot is self-contained (no journal-prefix replay needed).
+  std::vector<std::string> submitted_jobs_;
+
+  // Cross-thread mirrors of storage health for server_info.
+  std::atomic<bool> degraded_flag_{false};
+  std::atomic<uint64_t> storage_sheds_{0};
+  std::atomic<uint64_t> segment_count_{0};
+  std::atomic<uint64_t> segment_bytes_total_{0};
+  std::atomic<uint64_t> snapshot_applied_{0};
 };
 
 }  // namespace sia

@@ -1,5 +1,6 @@
 #include "src/service/server.h"
 
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -9,6 +10,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "src/common/file_util.h"
 #include "src/common/logging.h"
 #include "src/service/wire.h"
 
@@ -16,7 +18,14 @@ namespace sia {
 
 SiaServer::SiaServer(ServerOptions options) : options_(std::move(options)) {}
 
-SiaServer::~SiaServer() { Stop(); }
+SiaServer::~SiaServer() {
+  Stop();
+  if (upgrade_fd_ >= 0) {
+    // The owner never exec'd; don't leak the preserved listen socket.
+    ::close(upgrade_fd_);
+    upgrade_fd_ = -1;
+  }
+}
 
 bool SiaServer::Start(std::string* error) {
   // A dead client mid-WriteFrame must surface as EPIPE, not kill the server.
@@ -53,29 +62,90 @@ bool SiaServer::Start(std::string* error) {
       SpawnWorker(std::move(host));
     }
   }
+  ConsumeUpgradeManifest();
 
-  const int listen_fd = ListenOn(options_.listen, error);
-  if (listen_fd < 0) {
-    return false;
+  int listen_fd = options_.inherited_listen_fd;
+  if (listen_fd >= 0) {
+    // Upgrade handoff: the fd is already bound + listening and clients may
+    // already be queued in its backlog. Re-binding here would unlink the
+    // live unix socket out from under them.
+    SIA_LOG(Info) << "serving on inherited listen fd " << listen_fd;
+  } else {
+    listen_fd = ListenOn(options_.listen, error);
+    if (listen_fd < 0) {
+      return false;
+    }
   }
   listen_fd_.store(listen_fd);
   running_.store(true);
+  start_time_ = std::chrono::steady_clock::now();
   listener_ = std::thread([this] { ListenerLoop(); });
   watchdog_ = std::thread([this] { WatchdogLoop(); });
   return true;
 }
 
-void SiaServer::Stop() {
+void SiaServer::ConsumeUpgradeManifest() {
+  const std::string path = options_.state_dir + "/upgrade-manifest.json";
+  if (!std::filesystem::exists(path)) {
+    return;
+  }
+  std::string text;
+  std::string read_error;
+  JsonValue manifest;
+  if (ReadFileToString(path, &text, &read_error) &&
+      JsonValue::Parse(text, &manifest, &read_error) && manifest.is_object()) {
+    // The previous generation snapshotted every cluster before exec'ing us;
+    // anything it listed that recovery failed to re-host is data loss and
+    // must be loud.
+    const JsonValue* clusters = manifest.Find("clusters");
+    if (clusters != nullptr && clusters->is_array()) {
+      for (size_t i = 0; i < clusters->size(); ++i) {
+        const std::string name = clusters->at(i).GetString("name", "");
+        const auto expected =
+            static_cast<uint64_t>(clusters->at(i).GetNumber("applied", 0.0));
+        ClusterWorker* worker = FindWorker(name);
+        if (worker == nullptr) {
+          SIA_LOG(Error) << "upgrade manifest names cluster '" << name
+                         << "' which recovery did not re-host";
+          BumpServerCounter("service.upgrade_manifest_mismatches");
+        } else if (worker->host->applied_count() < expected) {
+          SIA_LOG(Error) << "upgrade manifest expects " << expected << " applied ops for '"
+                         << name << "', recovered only " << worker->host->applied_count();
+          BumpServerCounter("service.upgrade_manifest_mismatches");
+        }
+      }
+    }
+    SIA_LOG(Info) << "resumed after zero-downtime upgrade (generation "
+                  << manifest.GetInt("generation", 0) + 1 << ")";
+    BumpServerCounter("service.upgrades_completed");
+  } else {
+    SIA_LOG(Warning) << "unreadable upgrade manifest: " << read_error;
+    BumpServerCounter("service.upgrade_manifest_mismatches");
+  }
+  ::unlink(path.c_str());  // Consumed (or condemned); never re-checked.
+}
+
+void SiaServer::Stop() { StopInternal(/*for_upgrade=*/false); }
+
+void SiaServer::StopInternal(bool for_upgrade) {
   if (!running_.exchange(false)) {
     return;
   }
   stopping_.store(true);
 
-  // Unblock the accept loop and every in-flight frame read.
+  // Claim the listen fd. Normal stop tears it down; the upgrade path keeps
+  // it open and listening (never shutdown -- that would kill the shared
+  // open file description the next generation inherits) so clients queued
+  // in the backlog survive the exec window. The poll()ing listener thread
+  // notices running_ within its timeout either way.
   const int listen_fd = listen_fd_.exchange(-1);
   if (listen_fd >= 0) {
-    ::shutdown(listen_fd, SHUT_RDWR);
-    ::close(listen_fd);
+    if (for_upgrade) {
+      upgrade_fd_ = listen_fd;
+    } else {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
@@ -117,6 +187,29 @@ void SiaServer::Stop() {
       SIA_LOG(Warning) << "final snapshot for " << name << " failed: " << snap_error;
     }
   }
+
+  if (for_upgrade) {
+    // Handoff manifest: what the next generation must find on disk. Written
+    // after every cluster was quiesced + snapshotted above. Best-effort --
+    // the new process recovers from journals/snapshots regardless; the
+    // manifest only adds the loud cross-check.
+    JsonValue manifest = JsonValue::MakeObject();
+    manifest.Set("listen", JsonValue::MakeString(options_.listen));
+    JsonValue clusters = JsonValue::MakeArray();
+    for (const auto& [name, worker] : clusters_) {
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("name", JsonValue::MakeString(name));
+      entry.Set("applied",
+                JsonValue::MakeNumber(static_cast<double>(worker->host->applied_count())));
+      clusters.Append(std::move(entry));
+    }
+    manifest.Set("clusters", std::move(clusters));
+    std::string write_error;
+    if (!AtomicWriteFile(options_.state_dir + "/upgrade-manifest.json",
+                         manifest.Dump() + "\n", &write_error)) {
+      SIA_LOG(Warning) << "upgrade manifest write failed: " << write_error;
+    }
+  }
   stop_cv_.notify_all();
 }
 
@@ -127,12 +220,23 @@ void SiaServer::Wait() {
                   [this] { return shutdown_requested_.load() || !running_.load(); });
   }
   if (running_.load()) {
-    // Remote shutdown request: give the connection thread a window to flush
-    // the "stopping" response before Stop() shuts its fd down (best-effort --
-    // a lost response is still a completed shutdown).
+    // Remote shutdown/upgrade request: give the connection thread a window
+    // to flush the "stopping" response before Stop() shuts its fd down
+    // (best-effort -- a lost response is still a completed shutdown).
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    Stop();
+    StopInternal(upgrade_requested_.load());
   }
+}
+
+int SiaServer::TakeUpgradeListenFd() {
+  const int fd = upgrade_fd_;
+  upgrade_fd_ = -1;
+  return fd;
+}
+
+std::string SiaServer::upgrade_binary() const {
+  std::lock_guard<std::mutex> lock(upgrade_mu_);
+  return upgrade_binary_;
 }
 
 int SiaServer::num_clusters() const {
@@ -142,10 +246,31 @@ int SiaServer::num_clusters() const {
 
 void SiaServer::ListenerLoop() {
   while (running_.load()) {
-    // accept(-1) after Stop() claims the fd fails with EBADF and exits below.
-    const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
-    if (fd < 0) {
+    // Poll instead of blocking in accept: the upgrade path must reclaim the
+    // listen fd *without* shutdown()/close() (both act on the open file
+    // description the next generation inherits), so the only wakeup this
+    // loop can rely on is its own timeout.
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) {
+      break;  // Stop() claimed the fd.
+    }
+    struct pollfd pfd;
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (ready == 0) {
+      continue;  // Timeout: re-check running_.
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
         continue;
       }
       break;  // Listen socket closed (Stop) or fatal error.
@@ -245,6 +370,12 @@ std::string SiaServer::Dispatch(const JsonValue& request) {
   if (op == "server_stats") {
     return HandleServerStats();
   }
+  if (op == "server_info") {
+    return HandleServerInfo();
+  }
+  if (op == "begin_upgrade") {
+    return HandleBeginUpgrade(request);
+  }
   if (op == "shutdown") {
     // Graceful remote stop (used by tests/tools). Stop() joins this very
     // connection thread and must outlive the SiaServer object, so it cannot
@@ -330,7 +461,10 @@ std::string SiaServer::HandleCreateCluster(const JsonValue& request) {
   std::lock_guard<std::mutex> lock(clusters_mu_);
   creating_.erase(spec.name);
   if (host == nullptr) {
-    return ErrorResponse(seq, ServiceError::kInternal, create_error);
+    // Creates fail for exactly one runtime reason -- the state directory's
+    // disk refused the writes -- and create.json (if it landed) makes the
+    // retry idempotent, so the failure is typed retryable.
+    return ErrorResponse(seq, ServiceError::kStorageUnavailable, create_error);
   }
   BumpServerCounter("service.clusters_created");
   const std::string name = host->name();
@@ -363,12 +497,86 @@ std::string SiaServer::HandleServerStats() {
        {"service.requests", "service.requests_malformed", "service.requests_shed",
         "service.requests_timed_out", "service.frames_oversized",
         "service.frames_timed_out", "service.clusters_created",
-        "service.clusters_recovered", "service.recover_failures"}) {
+        "service.clusters_recovered", "service.recover_failures",
+        "service.upgrades_completed", "service.upgrade_manifest_mismatches"}) {
     fields.Set(name,
                JsonValue::MakeNumber(static_cast<double>(ServerCounterValue(name))));
   }
   fields.Set("num_clusters", JsonValue::MakeNumber(num_clusters()));
   return OkResponse(-1, std::move(fields));
+}
+
+std::string SiaServer::HandleServerInfo() {
+  JsonValue fields = JsonValue::MakeObject();
+  const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start_time_);
+  fields.Set("uptime_ms", JsonValue::MakeNumber(static_cast<double>(uptime.count())));
+  fields.Set("stopping", JsonValue::MakeBool(stopping_.load()));
+  fields.Set("upgrade_requested", JsonValue::MakeBool(upgrade_requested_.load()));
+
+  // Per-cluster storage health. Everything below reads the HostedCluster
+  // atomics (the worker owns all other state), so this never blocks behind
+  // a long-running round.
+  uint64_t segments_total = 0;
+  uint64_t bytes_total = 0;
+  uint64_t sheds_total = 0;
+  int degraded_clusters = 0;
+  JsonValue clusters = JsonValue::MakeArray();
+  {
+    std::lock_guard<std::mutex> lock(clusters_mu_);
+    for (const auto& [name, worker] : clusters_) {
+      const HostedCluster& host = *worker->host;
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("name", JsonValue::MakeString(name));
+      entry.Set("degraded", JsonValue::MakeBool(host.degraded()));
+      entry.Set("storage_sheds",
+                JsonValue::MakeNumber(static_cast<double>(host.storage_sheds())));
+      entry.Set("journal_segments",
+                JsonValue::MakeNumber(static_cast<double>(host.journal_segment_count())));
+      entry.Set("journal_bytes",
+                JsonValue::MakeNumber(static_cast<double>(host.journal_segment_bytes())));
+      entry.Set("last_snapshot_applied",
+                JsonValue::MakeNumber(static_cast<double>(host.last_snapshot_applied())));
+      clusters.Append(std::move(entry));
+      segments_total += host.journal_segment_count();
+      bytes_total += host.journal_segment_bytes();
+      sheds_total += host.storage_sheds();
+      degraded_clusters += host.degraded() ? 1 : 0;
+    }
+    fields.Set("num_clusters",
+               JsonValue::MakeNumber(static_cast<double>(clusters_.size())));
+  }
+  fields.Set("degraded_clusters", JsonValue::MakeNumber(degraded_clusters));
+  fields.Set("journal_segments_total",
+             JsonValue::MakeNumber(static_cast<double>(segments_total)));
+  fields.Set("journal_bytes_total",
+             JsonValue::MakeNumber(static_cast<double>(bytes_total)));
+  fields.Set("storage_sheds_total",
+             JsonValue::MakeNumber(static_cast<double>(sheds_total)));
+  fields.Set("clusters", std::move(clusters));
+  return OkResponse(-1, std::move(fields));
+}
+
+std::string SiaServer::HandleBeginUpgrade(const JsonValue& request) {
+  const int64_t seq = request.GetInt64("seq", -1);
+  // Same shape as shutdown (Stop must run on the owner's thread via Wait(),
+  // never on this connection thread), plus the upgrade flag that makes
+  // StopInternal preserve the listen fd and write the handoff manifest.
+  {
+    std::lock_guard<std::mutex> lock(upgrade_mu_);
+    upgrade_binary_ = request.GetString("binary", "");
+  }
+  upgrade_requested_.store(true);
+  stopping_.store(true);
+  shutdown_requested_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+  }
+  stop_cv_.notify_all();
+  JsonValue fields = JsonValue::MakeObject();
+  fields.Set("stopping", JsonValue::MakeBool(true));
+  fields.Set("upgrading", JsonValue::MakeBool(true));
+  return OkResponse(seq, std::move(fields));
 }
 
 void SiaServer::BumpServerCounter(const char* name) {

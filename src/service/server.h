@@ -25,6 +25,7 @@
 #define SIA_SRC_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -58,6 +59,11 @@ struct ServerOptions {
   int watchdog_interval_ms = 2000;
   // Re-host clusters found under state_dir on startup.
   bool recover = true;
+  // Zero-downtime upgrade handoff: an already-bound, already-listening fd
+  // inherited across exec() from the previous server generation. When >= 0,
+  // Start() uses it instead of binding options.listen (re-binding would
+  // unlink the live unix socket out from under queued clients).
+  int inherited_listen_fd = -1;
 };
 
 class SiaServer {
@@ -88,6 +94,20 @@ class SiaServer {
   // connection-reaping path.
   int num_connections() const;
   const ServerOptions& options() const { return options_; }
+
+  // --- zero-downtime upgrade (ISSUE 10) ---
+  // After a `begin_upgrade` request drained the server (Wait() returned),
+  // these hand the still-listening socket and the requested binary to the
+  // caller, which execs the next generation with the fd kept open. The fd
+  // is never shut down or closed on the upgrade path, so clients queued in
+  // the accept backlog ride straight into the new process.
+  bool upgrade_requested() const { return upgrade_requested_.load(); }
+  // Transfers ownership of the preserved listen fd (-1 if no upgrade was
+  // requested or it was already taken). The caller must exec or close it.
+  int TakeUpgradeListenFd();
+  // Optional replacement binary named by the begin_upgrade request (empty =
+  // re-exec the current binary).
+  std::string upgrade_binary() const;
 
  private:
   struct WorkItem {
@@ -127,11 +147,21 @@ class SiaServer {
   // short-lived clients does not accumulate thread handles or stale fds.
   void ReapConnectionsLocked();
 
+  // Stop with an upgrade variant: `for_upgrade` preserves the listen fd
+  // (instead of shutting it down) and writes the handoff manifest after the
+  // final snapshots.
+  void StopInternal(bool for_upgrade);
+  // Consumes a leftover upgrade-manifest.json in state_dir, cross-checking
+  // it against what recovery actually re-hosted.
+  void ConsumeUpgradeManifest();
+
   // Routes one parsed request; returns the response frame.
   std::string Dispatch(const JsonValue& request);
   std::string HandleCreateCluster(const JsonValue& request);
   std::string HandleListClusters();
   std::string HandleServerStats();
+  std::string HandleServerInfo();
+  std::string HandleBeginUpgrade(const JsonValue& request);
 
   // Enqueues onto `worker` respecting the queue bound; empty optional means
   // the queue was full (caller sheds with queue_full).
@@ -168,6 +198,15 @@ class SiaServer {
 
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
+
+  // Upgrade handoff state. upgrade_fd_ / upgrade_binary_ are written on the
+  // drain path (single-threaded by then) and read by the owner after Wait().
+  std::atomic<bool> upgrade_requested_{false};
+  int upgrade_fd_ = -1;
+  mutable std::mutex upgrade_mu_;
+  std::string upgrade_binary_;
+
+  std::chrono::steady_clock::time_point start_time_;
 
   mutable std::mutex server_metrics_mu_;
   MetricsRegistry server_metrics_;

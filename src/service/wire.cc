@@ -28,6 +28,7 @@ const char* ToString(ServiceError error) {
     case ServiceError::kShuttingDown: return "shutting_down";
     case ServiceError::kFrameTooLarge: return "frame_too_large";
     case ServiceError::kTimeout: return "timeout";
+    case ServiceError::kStorageUnavailable: return "storage_unavailable";
     case ServiceError::kInternal: return "internal";
   }
   return "unknown";
@@ -39,6 +40,7 @@ bool IsRetryable(ServiceError error) {
     case ServiceError::kOutOfOrder:
     case ServiceError::kShuttingDown:
     case ServiceError::kTimeout:
+    case ServiceError::kStorageUnavailable:
       return true;
     default:
       return false;

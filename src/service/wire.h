@@ -40,9 +40,12 @@ enum class ServiceError {
   kQueueFull,         // Admission control: per-cluster queue at capacity.
   kOutOfOrder,        // Client sequence number skipped ahead.
   kShuttingDown,      // Server is draining; connection will close.
-  kFrameTooLarge,     // Request exceeded kMaxFrameBytes.
-  kTimeout,           // Server-side deadline expired before completion.
-  kInternal,          // Bug or I/O failure on the server.
+  kFrameTooLarge,       // Request exceeded kMaxFrameBytes.
+  kTimeout,             // Server-side deadline expired before completion.
+  kStorageUnavailable,  // Journal/snapshot storage failing; degraded mode
+                        // sheds mutations (reads still served) until a
+                        // recovery probe succeeds. Retryable.
+  kInternal,            // Bug or I/O failure on the server.
 };
 
 const char* ToString(ServiceError error);

@@ -478,7 +478,13 @@ void ClusterSimulator::EnsureRunStarted(double round_seconds) {
     return;
   }
   run_started_ = true;
-  if (!restored_) {
+  // A restored run's manifest normally sits in the restored trace prefix --
+  // but a snapshot taken before the first round (submissions only, so
+  // round_index_ restored as 0) predates the manifest, which must still be
+  // emitted exactly once. The sink can't tell us: a stitched-prefix resume
+  // hands the restored sim a fresh sink whose offset is also zero.
+  const bool manifest_in_prefix = restored_ && round_index_ > 0;
+  if (!manifest_in_prefix) {
     EmitManifest(round_seconds);
   }
   // Touch the run-level instruments up front (the original Run() hoisted

@@ -266,8 +266,110 @@ bool PrepareSinkForResume(const std::string& path, int64_t offset, std::string* 
     SetError(error, "snapshot has no byte offset for sink " + path);
     return false;
   }
-  if (!RepairTornTail(path, nullptr, error)) return false;
-  return TruncateFile(path, static_cast<uint64_t>(offset), error);
+  // Sink files (trace/CSV outputs) are written through plain ofstreams,
+  // outside the FileOps fault seam, so their resume-time truncation stays
+  // outside it too: storage-fault injection is scoped to durability state
+  // (journal/snapshots) and must never fail a recovery over an output
+  // artifact. Bytes [0, offset) were flushed complete records at snapshot
+  // time, so truncating to the offset also removes any torn tail.
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    SetError(error, "stat " + path + ": " + ec.message());
+    return false;
+  }
+  if (size < static_cast<uint64_t>(offset)) {
+    // resize_file would silently zero-extend; a sink shorter than its
+    // snapshot offset means the snapshot is not trustworthy here.
+    SetError(error, "sink " + path + " is shorter (" + std::to_string(size) +
+                        " bytes) than its snapshot offset " + std::to_string(offset));
+    return false;
+  }
+  std::filesystem::resize_file(path, static_cast<uint64_t>(offset), ec);
+  if (ec) {
+    SetError(error, "truncate " + path + ": " + ec.message());
+    return false;
+  }
+  return true;
+}
+
+namespace {
+constexpr char kJournalPrefix[] = "journal.";
+constexpr char kJournalSuffix[] = ".jsonl";
+}  // namespace
+
+std::string JournalSegmentPath(const std::string& dir, uint64_t start) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%012llu%s", kJournalPrefix,
+                static_cast<unsigned long long>(start), kJournalSuffix);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+std::vector<JournalSegmentEntry> ListJournalSegments(const std::string& dir) {
+  std::vector<JournalSegmentEntry> entries;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return entries;
+  constexpr size_t kPrefixLen = sizeof(kJournalPrefix) - 1;
+  constexpr size_t kSuffixLen = sizeof(kJournalSuffix) - 1;
+  for (const auto& de : it) {
+    const std::string name = de.path().filename().string();
+    // The legacy `journal.jsonl` is shorter than prefix + digits + suffix
+    // and quarantined files carry a different suffix; both fall out here.
+    if (name.size() <= kPrefixLen + kSuffixLen) continue;
+    if (name.compare(0, kPrefixLen, kJournalPrefix) != 0) continue;
+    if (name.compare(name.size() - kSuffixLen, kSuffixLen, kJournalSuffix) != 0) continue;
+    const std::string digits = name.substr(kPrefixLen, name.size() - kPrefixLen - kSuffixLen);
+    if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    JournalSegmentEntry entry;
+    entry.path = de.path().string();
+    entry.start = static_cast<uint64_t>(std::stoull(digits));
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const JournalSegmentEntry& a, const JournalSegmentEntry& b) {
+              return a.start < b.start;
+            });
+  return entries;
+}
+
+std::string EncodeJournalLine(std::string_view json) {
+  char crc_hex[17];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%016llx",
+                static_cast<unsigned long long>(Crc64(json)));
+  std::string line;
+  line.reserve(17 + json.size());
+  line.append(crc_hex, 16);
+  line.push_back(' ');
+  line.append(json.data(), json.size());
+  return line;
+}
+
+bool DecodeJournalLine(std::string_view line, std::string* json) {
+  if (line.size() < 18 || line[16] != ' ') {
+    return false;
+  }
+  uint64_t stored = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = line[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    stored = (stored << 4) | digit;
+  }
+  const std::string_view body = line.substr(17);
+  if (Crc64(body) != stored) {
+    return false;
+  }
+  json->assign(body.data(), body.size());
+  return true;
 }
 
 }  // namespace sia

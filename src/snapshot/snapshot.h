@@ -115,6 +115,40 @@ bool RepairTornTail(const std::string& path, uint64_t* bytes_removed, std::strin
 // `offset` (the snapshot promises those bytes exist).
 bool PrepareSinkForResume(const std::string& path, int64_t offset, std::string* error);
 
+// --- journal segmentation (ISSUE 10) ---
+//
+// The service write-ahead journal is rotated into bounded segments named
+// dir/journal.NNNNNNNNNNNN.jsonl, where the zero-padded number is the
+// global index of the segment's first entry (so lexicographic order ==
+// replay order, and a segment's entry range is [start, start + lines)).
+// Every line is `16-hex-CRC64 <space> <json>`: the checksum lets recovery
+// tell a torn tail (crash artifact, truncate) from mid-file corruption
+// (quarantine the segment, replay the longest valid prefix). The legacy
+// unsegmented `journal.jsonl` carries bare JSON lines and is still
+// replayed, then compacted away once a self-contained snapshot covers it.
+
+// Canonical path of the segment whose first entry is global op `start`.
+std::string JournalSegmentPath(const std::string& dir, uint64_t start);
+
+// One discovered journal segment file.
+struct JournalSegmentEntry {
+  std::string path;
+  uint64_t start = 0;  // Global index of the segment's first entry.
+};
+
+// Lists journal segments in `dir` matching the canonical name, sorted by
+// start ascending (replay order). Ignores the legacy `journal.jsonl` and
+// quarantined files. Missing directory -> empty list.
+std::vector<JournalSegmentEntry> ListJournalSegments(const std::string& dir);
+
+// Formats one segment line (no trailing newline): CRC-64/XZ of `json` in
+// 16 lowercase hex digits, a space, then the JSON text.
+std::string EncodeJournalLine(std::string_view json);
+
+// Validates a segment line's checksum and extracts the JSON text. Returns
+// false on short lines, malformed checksums, or CRC mismatch.
+bool DecodeJournalLine(std::string_view line, std::string* json);
+
 }  // namespace sia
 
 #endif  // SIA_SRC_SNAPSHOT_SNAPSHOT_H_

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,15 +17,24 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "src/common/fault_file_ops.h"
 #include "src/common/file_util.h"
 #include "src/service/client.h"
 #include "src/service/engine.h"
 #include "src/service/json.h"
 #include "src/service/server.h"
 #include "src/service/wire.h"
+#include "src/snapshot/snapshot.h"
 
 namespace sia {
 namespace {
+
+// Installs a FileOps seam for one scope; gtest ASSERTs return early, so the
+// global seam must be torn down by RAII or it would poison later tests.
+struct ScopedFileOps {
+  explicit ScopedFileOps(FileOps* ops) { SetFileOps(ops); }
+  ~ScopedFileOps() { SetFileOps(nullptr); }
+};
 
 // WriteFrame's contract requires SIGPIPE to be ignored process-wide (the
 // server and tools do this in their entry points; tests must too).
@@ -378,6 +388,137 @@ TEST(EngineTest, RecoveryIsByteIdenticalToUninterruptedRun) {
 }
 
 // ---------------------------------------------------------------------------
+// Engine: journal segmentation, quarantine, and degraded mode (ISSUE 10).
+// ---------------------------------------------------------------------------
+
+std::string StepOp(int seq) {
+  return std::string(R"({"op":"step_round","client":"t","seq":)") + std::to_string(seq) +
+         R"(,"rounds":1})";
+}
+
+TEST(EngineTest, RotationAtSnapshotCadenceKeepsJournalBounded) {
+  // The adversarial alignment: every snapshot lands exactly on a segment
+  // boundary, so compaction always has a freshly-closed segment to reap and
+  // the active segment is always empty at snapshot time.
+  const std::string root = MakeTempDir("rotation");
+  std::string error;
+  ClusterCreateSpec spec = EngineSpec("rot");
+  spec.snapshot_every = 2;
+  spec.segment_entries = 2;
+  auto host = HostedCluster::Create(root, spec, &error);
+  ASSERT_NE(host, nullptr) << error;
+
+  MustOk(host.get(), kSubmitOp);
+  for (int seq = 2; seq <= 8; ++seq) {
+    MustOk(host.get(), StepOp(seq));
+  }
+  EXPECT_EQ(host->applied_count(), 8u);
+  EXPECT_EQ(host->last_snapshot_applied(), 8u);
+  // Compaction must keep pace with rotation: everything before the latest
+  // snapshot is reaped, leaving at most the active segment plus one closed
+  // segment awaiting the next snapshot.
+  EXPECT_LE(host->journal_segment_count(), 2u);
+  EXPECT_LE(ListJournalSegments(host->dir()).size(), 2u);
+
+  host.reset();
+  auto recovered = HostedCluster::Recover(root, "rot", &error);
+  ASSERT_NE(recovered, nullptr) << error;
+  EXPECT_EQ(recovered->applied_count(), 8u);
+  MustOk(recovered.get(), StepOp(9));
+  std::filesystem::remove_all(root);
+}
+
+TEST(EngineTest, QuarantinesCorruptMiddleSegmentAndKeepsServing) {
+  const std::string root = MakeTempDir("quarantine");
+  std::string error;
+  ClusterCreateSpec spec = EngineSpec("quar");
+  spec.snapshot_every = 100;  // No snapshot: recovery must replay segments.
+  spec.segment_entries = 2;
+  {
+    auto host = HostedCluster::Create(root, spec, &error);
+    ASSERT_NE(host, nullptr) << error;
+    MustOk(host.get(), kSubmitOp);
+    for (int seq = 2; seq <= 6; ++seq) {
+      MustOk(host.get(), StepOp(seq));
+    }
+  }
+  // Six entries in three segments: [0,2), [2,4), [4,6). Rot the middle one
+  // mid-file -- a checksum break, not a torn tail.
+  const std::string middle = JournalSegmentPath(root + "/quar", 2);
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(middle, &bytes, &error)) << error;
+  ASSERT_GT(bytes.size(), 24u);
+  bytes[20] = (bytes[20] == 'x') ? 'y' : 'x';
+  {
+    std::ofstream out(middle, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  // Recovery degrades to the longest valid prefix -- entries [0,2) -- and
+  // quarantines the corrupt segment; it must never drop the cluster, and
+  // the segment after the gap must not be replayed (its entries assume
+  // state the lost segment built).
+  auto recovered = HostedCluster::Recover(root, "quar", &error);
+  ASSERT_NE(recovered, nullptr) << error;
+  EXPECT_EQ(recovered->applied_count(), 2u);
+  EXPECT_FALSE(recovered->degraded());
+  // The casualty is preserved for forensics (a fresh active segment may
+  // reuse the index, so only the .quarantined rename is load-bearing).
+  EXPECT_TRUE(std::filesystem::exists(middle + ".quarantined"));
+
+  // The dedupe map degraded with the state: the next expected seq is 3.
+  MustOk(recovered.get(), StepOp(3));
+  std::filesystem::remove_all(root);
+}
+
+TEST(EngineTest, StorageFaultShedsMutationsThenHeals) {
+  const std::string root = MakeTempDir("degraded");
+  std::string error;
+
+  // The seam must be installed before Create: injection is scoped to fds
+  // opened through it, and the active journal fd is opened at creation.
+  FaultFileOpsOptions fault_options;
+  fault_options.period = 1;
+  fault_options.burst = 1;  // Every eligible op fails -- total outage.
+  fault_options.path_filter = root;
+  FaultInjectingFileOps fault_ops(fault_options);
+  fault_ops.set_enabled(false);  // Healthy disk while the cluster is born.
+  ScopedFileOps seam(&fault_ops);
+
+  auto host = HostedCluster::Create(root, EngineSpec("deg"), &error);
+  ASSERT_NE(host, nullptr) << error;
+  fault_ops.set_enabled(true);
+
+  // A mutating op under an outage sheds with the typed retryable error and
+  // consumes no sequence number.
+  const JsonValue shed = MustParse(host->HandleRequest(MustParse(kSubmitOp)));
+  EXPECT_FALSE(shed.GetBool("ok", true));
+  EXPECT_EQ(shed.GetString("error", ""), "storage_unavailable");
+  EXPECT_TRUE(shed.GetBool("retryable", false));
+  EXPECT_TRUE(host->degraded());
+  EXPECT_GE(host->storage_sheds(), 1u);
+  EXPECT_EQ(host->applied_count(), 0u);
+
+  // Reads keep serving in degraded mode.
+  const JsonValue query = MustParse(host->HandleRequest(MustParse(R"({"op":"query"})")));
+  EXPECT_TRUE(query.GetBool("ok", false)) << query.GetString("message", "");
+
+  // Heal the disk; the probe (backoff counted in shed requests) must
+  // notice and the same submit -- same seq -- must eventually apply.
+  fault_ops.set_enabled(false);
+  bool applied = false;
+  for (int attempt = 0; attempt < 100 && !applied; ++attempt) {
+    const JsonValue retry = MustParse(host->HandleRequest(MustParse(kSubmitOp)));
+    applied = retry.GetBool("ok", false);
+  }
+  EXPECT_TRUE(applied) << "probe never healed the cluster";
+  EXPECT_FALSE(host->degraded());
+  EXPECT_EQ(host->applied_count(), 1u);
+  EXPECT_GT(fault_ops.stats().injected, 0u);
+  std::filesystem::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
 // Client: deterministic seeded backoff.
 // ---------------------------------------------------------------------------
 
@@ -721,6 +862,223 @@ TEST(ServerTest, BoundedQueueShedsLoadUnderConcurrency) {
   EXPECT_GE(shed_count, 1) << "bounded queue never shed under 3x pipelined load";
 
   server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Server: storage health, zero-downtime upgrade, watchdog races (ISSUE 10).
+// ---------------------------------------------------------------------------
+
+TEST(FileUtilTest, FaultedAtomicWritePathsNeverLeakTmpFiles) {
+  // Sweep a scripted fault across every syscall AtomicWriteFile makes
+  // (open, write, fsync, close, rename, directory fsync). Each failure
+  // must surface an error, leave the destination's old bytes intact, and
+  // leave no orphaned .tmp behind -- the ISSUE 10 fd/tmp-leak fixes.
+  const std::string dir = MakeTempDir("faultleak");
+  const std::string path = dir + "/data.json";
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(path, "keep", &error)) << error;
+
+  int failures = 0;
+  for (uint64_t point = 0; point < 8; ++point) {
+    FaultFileOpsOptions fault_options;
+    fault_options.fail_points = {point};
+    fault_options.path_filter = dir;
+    FaultInjectingFileOps fault_ops(fault_options);
+    ScopedFileOps seam(&fault_ops);
+
+    error.clear();
+    const bool ok = AtomicWriteFile(path, "replacement bytes", &error);
+    fault_ops.set_enabled(false);
+
+    std::string bytes;
+    std::string read_error;
+    ASSERT_TRUE(ReadFileToString(path, &bytes, &read_error)) << read_error;
+    if (ok) {
+      // The fault point lay past this write's syscall count.
+      EXPECT_EQ(bytes, "replacement bytes");
+      ASSERT_TRUE(AtomicWriteFile(path, "keep", &error)) << error;
+      continue;
+    }
+    ++failures;
+    EXPECT_FALSE(error.empty()) << "fault point " << point;
+    // Atomicity, not success: a reported failure may leave either version
+    // (a post-rename directory-fsync fault fails the call with the new
+    // bytes already in place) but never a torn mix.
+    EXPECT_TRUE(bytes == "keep" || bytes == "replacement bytes")
+        << "fault point " << point << " tore the destination: " << bytes;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      EXPECT_EQ(entry.path().filename().string().find(".tmp"), std::string::npos)
+          << "fault point " << point << " leaked " << entry.path();
+    }
+    if (bytes != "keep") {
+      ASSERT_TRUE(AtomicWriteFile(path, "keep", &error)) << error;
+    }
+  }
+  EXPECT_GE(failures, 4) << "fault sweep never reached the error paths";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, ServerInfoReportsStorageHealth) {
+  const std::string dir = MakeTempDir("info");
+  ServerOptions server_options;
+  server_options.listen = "unix:" + dir + "/info.sock";
+  server_options.state_dir = dir + "/state";
+  SiaServer server(server_options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  ClientOptions client_options;
+  client_options.address = server_options.listen;
+  client_options.client_id = "info";
+  client_options.sleep_scale = 0.0;
+  ServiceClient client(client_options);
+  ASSERT_TRUE(client.Call(CreateRequest("si", "fifo")).ok);
+  ASSERT_TRUE(client.StepRound("si", 1).ok);
+
+  JsonValue info_request = JsonValue::MakeObject();
+  info_request.Set("op", JsonValue::MakeString("server_info"));
+  const ClientResult info = client.Call(std::move(info_request));
+  ASSERT_TRUE(info.ok) << info.message;
+  EXPECT_GE(info.response.GetNumber("uptime_ms", -1.0), 0.0);
+  EXPECT_FALSE(info.response.GetBool("stopping", true));
+  EXPECT_FALSE(info.response.GetBool("upgrade_requested", true));
+  EXPECT_EQ(info.response.GetNumber("num_clusters", 0.0), 1.0);
+  EXPECT_EQ(info.response.GetNumber("degraded_clusters", -1.0), 0.0);
+  EXPECT_EQ(info.response.GetNumber("storage_sheds_total", -1.0), 0.0);
+  EXPECT_GE(info.response.GetNumber("journal_segments_total", 0.0), 1.0);
+  EXPECT_GT(info.response.GetNumber("journal_bytes_total", 0.0), 0.0);
+
+  const JsonValue* clusters = info.response.Find("clusters");
+  ASSERT_NE(clusters, nullptr);
+  ASSERT_TRUE(clusters->is_array());
+  ASSERT_EQ(clusters->size(), 1u);
+  const JsonValue& entry = clusters->at(0);
+  EXPECT_EQ(entry.GetString("name", ""), "si");
+  EXPECT_FALSE(entry.GetBool("degraded", true));
+  EXPECT_GE(entry.GetNumber("journal_segments", 0.0), 1.0);
+
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, ZeroDowntimeUpgradeHandsOffListenFdAndState) {
+  const std::string dir = MakeTempDir("upgrade");
+  ServerOptions server_options;
+  server_options.listen = "unix:" + dir + "/up.sock";
+  server_options.state_dir = dir + "/state";
+  std::string error;
+
+  SiaServer old_server(server_options);
+  ASSERT_TRUE(old_server.Start(&error)) << error;
+
+  ClientOptions client_options;
+  client_options.address = server_options.listen;
+  client_options.client_id = "up";
+  client_options.sleep_scale = 0.0;
+  {
+    ServiceClient client(client_options);
+    ASSERT_TRUE(client.Call(CreateRequest("up", "fifo")).ok);
+    ASSERT_TRUE(client.StepRound("up", 2).ok);
+
+    JsonValue upgrade = JsonValue::MakeObject();
+    upgrade.Set("op", JsonValue::MakeString("begin_upgrade"));
+    const ClientResult ack = client.Call(std::move(upgrade));
+    ASSERT_TRUE(ack.ok) << ack.message;
+    EXPECT_TRUE(ack.response.GetBool("upgrading", false));
+  }
+
+  // Wait() performs the drain: quiesce workers, snapshot clusters, write
+  // the handoff manifest -- and preserves the listen fd.
+  old_server.Wait();
+  EXPECT_TRUE(old_server.upgrade_requested());
+  const int listen_fd = old_server.TakeUpgradeListenFd();
+  ASSERT_GE(listen_fd, 0);
+  EXPECT_TRUE(std::filesystem::exists(server_options.state_dir + "/upgrade-manifest.json"));
+
+  // Zero downtime: the socket stays bound between generations, so a client
+  // connecting in the gap parks in the backlog instead of failing...
+  const int gap_fd = ConnectTo(server_options.listen, &error);
+  ASSERT_GE(gap_fd, 0) << error;
+  ASSERT_TRUE(WriteFrame(gap_fd, R"({"op":"list_clusters"})"));
+
+  ServerOptions next_options = server_options;
+  next_options.inherited_listen_fd = listen_fd;
+  SiaServer next_server(next_options);
+  ASSERT_TRUE(next_server.Start(&error)) << error;
+  // ...and is served as soon as the next generation accepts.
+  FrameReader gap_reader(gap_fd, /*timeout_ms=*/10000);
+  std::string frame;
+  ASSERT_EQ(gap_reader.ReadFrame(&frame), FrameStatus::kFrame);
+  EXPECT_TRUE(MustParse(frame).GetBool("ok", false)) << frame;
+  ::close(gap_fd);
+
+  // The manifest is consumed on startup, and the recovered cluster carries
+  // its pre-upgrade state forward.
+  EXPECT_FALSE(std::filesystem::exists(server_options.state_dir + "/upgrade-manifest.json"));
+  ServiceClient next_client(client_options);
+  const ClientResult queried = next_client.Query("up");
+  ASSERT_TRUE(queried.ok) << queried.message;
+  EXPECT_EQ(queried.response.GetString("scheduler", ""), "fifo");
+  EXPECT_GE(queried.response.GetNumber("round_index", -1.0), 2.0);
+  ASSERT_TRUE(next_client.StepRound("up", 1).ok);
+
+  next_server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, WatchdogSnapshotRacesWorkerCompaction) {
+  // snapshot_every=1 + segment_entries=1 makes every applied op rotate and
+  // compact, while a 10ms watchdog fires Snapshot() from its own thread --
+  // the tightest interleaving of the two snapshot paths.
+  const std::string dir = MakeTempDir("race");
+  ServerOptions server_options;
+  server_options.listen = "unix:" + dir + "/race.sock";
+  server_options.state_dir = dir + "/state";
+  server_options.watchdog_interval_ms = 10;
+  std::string error;
+  {
+    SiaServer server(server_options);
+    ASSERT_TRUE(server.Start(&error)) << error;
+
+    ClientOptions client_options;
+    client_options.address = server_options.listen;
+    client_options.client_id = "race";
+    client_options.sleep_scale = 0.0;
+    ServiceClient client(client_options);
+
+    JsonValue create = CreateRequest("race", "fifo");
+    create.Set("snapshot_every", JsonValue::MakeNumber(1));
+    create.Set("segment_entries", JsonValue::MakeNumber(1));
+    ASSERT_TRUE(client.Call(std::move(create)).ok);
+    for (int i = 0; i < 12; ++i) {
+      const ClientResult stepped = client.StepRound("race", 1);
+      ASSERT_TRUE(stepped.ok) << "step " << i << ": " << stepped.message;
+    }
+
+    JsonValue info_request = JsonValue::MakeObject();
+    info_request.Set("op", JsonValue::MakeString("server_info"));
+    const ClientResult info = client.Call(std::move(info_request));
+    ASSERT_TRUE(info.ok) << info.message;
+    EXPECT_EQ(info.response.GetNumber("degraded_clusters", -1.0), 0.0);
+    // Aggressive compaction held: no unbounded segment accumulation.
+    EXPECT_LE(info.response.GetNumber("journal_segments_total", 1e9), 3.0);
+    server.Stop();
+  }
+
+  // The state the two racing snapshot paths left behind must recover.
+  SiaServer revived(server_options);
+  ASSERT_TRUE(revived.Start(&error)) << error;
+  ClientOptions client_options;
+  client_options.address = server_options.listen;
+  client_options.client_id = "race2";
+  client_options.sleep_scale = 0.0;
+  ServiceClient client(client_options);
+  const ClientResult queried = client.Query("race");
+  ASSERT_TRUE(queried.ok) << queried.message;
+  EXPECT_GE(queried.response.GetNumber("round_index", -1.0), 11.0);
+  ASSERT_TRUE(client.StepRound("race", 1).ok);
+  revived.Stop();
   std::filesystem::remove_all(dir);
 }
 

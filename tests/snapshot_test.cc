@@ -184,6 +184,58 @@ TEST(SinkRepairTest, RepairsTornTailAndTruncatesToOffset) {
   EXPECT_FALSE(PrepareSinkForResume(path, 100, &error));
 }
 
+// --- journal segmentation (ISSUE 10) ---
+
+TEST(JournalSegmentTest, PathsAreZeroPaddedAndListedInReplayOrder) {
+  const std::string dir = ScratchDir("segments");
+  EXPECT_EQ(JournalSegmentPath(dir, 0), dir + "/journal.000000000000.jsonl");
+  EXPECT_EQ(JournalSegmentPath(dir, 42), dir + "/journal.000000000042.jsonl");
+
+  // Discovery must ignore the legacy unsegmented journal and quarantined
+  // casualties, and sort by start index (== replay order) regardless of
+  // directory iteration order.
+  MustWrite(JournalSegmentPath(dir, 12), "x\n");
+  MustWrite(JournalSegmentPath(dir, 0), "x\n");
+  MustWrite(JournalSegmentPath(dir, 5), "x\n");
+  MustWrite(dir + "/journal.jsonl", "legacy\n");
+  MustWrite(JournalSegmentPath(dir, 3) + ".quarantined", "bad\n");
+  MustWrite(dir + "/journal.notanumber.jsonl", "noise\n");
+
+  const std::vector<JournalSegmentEntry> segments = ListJournalSegments(dir);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].start, 0u);
+  EXPECT_EQ(segments[1].start, 5u);
+  EXPECT_EQ(segments[2].start, 12u);
+  EXPECT_EQ(segments[1].path, JournalSegmentPath(dir, 5));
+
+  EXPECT_TRUE(ListJournalSegments(dir + "/missing").empty());
+}
+
+TEST(JournalSegmentTest, LineCodecRoundTripsAndRejectsCorruption) {
+  const std::string json = R"({"op":"step_round","seq":3})";
+  const std::string line = EncodeJournalLine(json);
+  // 16 lowercase hex digits, one space, then the JSON verbatim.
+  ASSERT_GT(line.size(), 17u);
+  EXPECT_EQ(line[16], ' ');
+  EXPECT_EQ(line.substr(17), json);
+  EXPECT_EQ(line.find_first_not_of("0123456789abcdef"), 16u);
+
+  std::string decoded;
+  ASSERT_TRUE(DecodeJournalLine(line, &decoded));
+  EXPECT_EQ(decoded, json);
+
+  // Any single-byte flip -- in the payload or the checksum -- must be
+  // caught; this is what lets replay tell corruption from a torn tail.
+  for (size_t i = 0; i < line.size(); ++i) {
+    std::string bad = line;
+    bad[i] = (bad[i] == 'x') ? 'y' : 'x';
+    EXPECT_FALSE(DecodeJournalLine(bad, &decoded)) << "flip at byte " << i;
+  }
+  EXPECT_FALSE(DecodeJournalLine("short", &decoded));
+  EXPECT_FALSE(DecodeJournalLine("", &decoded));
+  EXPECT_FALSE(DecodeJournalLine(std::string(16, '0') + "_" + json, &decoded));
+}
+
 // --- simulator payload gates ---
 
 TEST(SnapshotSimulatorTest, MetaReflectsRunAndFingerprintGatesRestore) {

@@ -16,6 +16,10 @@
 //   sia_fuzz --seeds=0 --core-seeds=20        # dense vs event-core equivalence
 //   sia_fuzz --seeds=0 --energy-seeds=20      # energy/SLA scenario axis:
 //                                             # oracle + crash-equivalence
+//   sia_fuzz --seeds=0 --disk-seeds=20        # storage-fault equivalence: a
+//                                             # hosted cluster under injected
+//                                             # disk faults + crashes must end
+//                                             # byte-identical to a clean run
 //
 // Exit status: 0 when every scenario passed, 1 on any violation.
 #include <unistd.h>
@@ -25,13 +29,17 @@
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/common/fault_file_ops.h"
 #include "src/common/file_util.h"
 #include "src/common/flags.h"
 #include "src/common/rng.h"
+#include "src/service/engine.h"
 #include "src/service/client.h"
 #include "src/service/json.h"
 #include "src/service/server.h"
@@ -90,6 +98,17 @@ constexpr char kUsage[] = R"(usage: sia_fuzz [flags]
                 duplicate and out-of-order requests) against an in-process
                 sia service; the server must answer a health probe after
                 every episode (default 0)
+  --disk-seeds  N: storage-fault equivalence (ISSUE 10) -- run N seeded op
+                scripts against an in-process HostedCluster twice: a clean
+                reference pass, then a chaos pass with injected disk faults
+                (ENOSPC/EIO/torn writes/fsync failure via the FileOps seam)
+                plus 0-2 crash+recover points; every response must stay
+                well-formed (sheds only as retryable storage_unavailable),
+                no crash may drop the cluster, and the final trace/results/
+                metrics must match the clean pass byte-for-byte. Failures
+                shrink ddmin-style and write a --disk-replay reproducer
+                (default 0)
+  --disk-replay reproducer file from a --disk-seeds failure: re-run it
   --verbose     per-scenario progress lines
 )";
 
@@ -513,6 +532,494 @@ int RunServiceEpisodes(int64_t episodes, int64_t start_seed, const std::string& 
   return failures == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Storage-fault equivalence mode (ISSUE 10): an in-process HostedCluster
+// driven through a seeded op script must end byte-identical whether or not
+// the script ran under injected disk faults and crash/recover cycles. The
+// comparison artifacts (trace.jsonl / results.csv / metrics.json) are
+// written through plain ofstreams, outside the FileOps seam, so the faults
+// can only corrupt durability state -- exactly what the check targets.
+// ---------------------------------------------------------------------------
+
+struct DiskOp {
+  std::string kind;  // submit | step | finalize
+  int64_t id = 0;           // submit: job id
+  std::string model;        // submit
+  int64_t gpus = 0;         // submit
+  int64_t rounds = 0;       // step
+  bool snapshot_after = false;  // fire the watchdog hook after this op
+};
+
+struct DiskScenario {
+  uint64_t seed = 0;
+  std::string scheduler = "fifo";
+  double rate = 16.0;
+  double hours = 1.0;
+  int snapshot_every = 4;
+  int segment_entries = 3;
+  // Cycle fault schedule (see FaultFileOpsOptions): the heal window
+  // period-burst must stay comfortably wider than one probe+rotate+append
+  // footprint or degraded mode can never escape.
+  int fault_period = 40;
+  int fault_burst = 2;
+  std::vector<int> crash_before;  // Op indices preceded by destroy+Recover.
+  std::vector<DiskOp> ops;
+
+  std::string Describe() const {
+    std::ostringstream out;
+    out << "disk seed " << seed << ": " << scheduler << ", " << ops.size() << " ops, segs="
+        << segment_entries << " snap=" << snapshot_every << ", faults " << fault_period << "/"
+        << fault_burst << ", crashes={";
+    for (size_t i = 0; i < crash_before.size(); ++i) {
+      out << (i > 0 ? "," : "") << crash_before[i];
+    }
+    out << "}";
+    return out.str();
+  }
+};
+
+DiskScenario GenerateDiskScenario(uint64_t seed) {
+  sia::Rng rng = sia::Rng(seed).Fork("disk-fuzz", 0);
+  DiskScenario s;
+  s.seed = seed;
+  const char* schedulers[] = {"fifo", "srtf", "sia"};
+  s.scheduler = schedulers[rng.UniformInt(0, 2)];
+  s.rate = static_cast<double>(rng.UniformInt(8, 24));
+  s.snapshot_every = static_cast<int>(rng.UniformInt(2, 8));
+  s.segment_entries = static_cast<int>(rng.UniformInt(2, 6));
+  s.fault_period = static_cast<int>(rng.UniformInt(30, 120));
+  s.fault_burst = static_cast<int>(rng.UniformInt(1, 6));
+  const int submits = static_cast<int>(rng.UniformInt(1, 3));
+  const int steps = static_cast<int>(rng.UniformInt(6, 18));
+  for (int i = 0; i < submits; ++i) {
+    DiskOp op;
+    op.kind = "submit";
+    op.id = 900000 + i;  // Clear of trace-generated job ids.
+    op.model = (i % 2 == 0) ? "resnet18" : "bert";
+    op.gpus = rng.UniformInt(0, 1) == 0 ? 4 : 8;
+    s.ops.push_back(op);
+  }
+  for (int i = 0; i < steps; ++i) {
+    DiskOp op;
+    op.kind = "step";
+    op.rounds = rng.UniformInt(1, 3);
+    op.snapshot_after = rng.UniformInt(0, 3) == 0;
+    s.ops.push_back(op);
+  }
+  DiskOp fin;
+  fin.kind = "finalize";
+  s.ops.push_back(fin);
+  const int crashes = static_cast<int>(rng.UniformInt(0, 2));
+  std::set<int> crash_set;
+  for (int c = 0; c < crashes; ++c) {
+    crash_set.insert(static_cast<int>(rng.UniformInt(1, static_cast<int64_t>(s.ops.size()) - 1)));
+  }
+  s.crash_before.assign(crash_set.begin(), crash_set.end());
+  return s;
+}
+
+sia::JsonValue DiskOpFrame(const DiskScenario& s, const DiskOp& op, int64_t seq) {
+  sia::JsonValue req = sia::JsonValue::MakeObject();
+  req.Set("cluster", sia::JsonValue::MakeString("dz"));
+  req.Set("client", sia::JsonValue::MakeString("dz-fz"));
+  req.Set("seq", sia::JsonValue::MakeNumber(static_cast<double>(seq)));
+  if (op.kind == "submit") {
+    req.Set("op", sia::JsonValue::MakeString("submit_job"));
+    sia::JsonValue job = sia::JsonValue::MakeObject();
+    job.Set("id", sia::JsonValue::MakeNumber(static_cast<double>(op.id)));
+    job.Set("model", sia::JsonValue::MakeString(op.model));
+    job.Set("max_num_gpus", sia::JsonValue::MakeNumber(static_cast<double>(op.gpus)));
+    req.Set("job", std::move(job));
+  } else if (op.kind == "step") {
+    req.Set("op", sia::JsonValue::MakeString("step_round"));
+    req.Set("rounds", sia::JsonValue::MakeNumber(static_cast<double>(op.rounds)));
+    if (s.scheduler == "sia") {
+      // A 0 ms budget forces the deterministic carry_over rung; a positive
+      // wall-clock deadline would replay nondeterministically (see engine.h).
+      req.Set("deadline_ms", sia::JsonValue::MakeNumber(0));
+    }
+  } else {
+    req.Set("op", sia::JsonValue::MakeString("finalize"));
+  }
+  return req;
+}
+
+// Runs the op script once under `root`. In the faulted pass, crashes
+// (destroy + Recover, no graceful close) fire before the scripted op
+// indices, and sheds are retried like a real client would: every shed must
+// be the typed retryable storage_unavailable, and the cycle fault schedule
+// guarantees a heal window so retries terminate.
+bool RunDiskPass(const DiskScenario& s, const std::string& root, bool faulted,
+                 std::string* detail) {
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  std::filesystem::create_directories(root, ec);
+
+  sia::ClusterCreateSpec spec;
+  spec.name = "dz";
+  spec.scheduler = s.scheduler;
+  spec.trace = "philly";
+  spec.rate_per_hour = s.rate;
+  spec.hours = s.hours;
+  spec.seed = s.seed;
+  spec.snapshot_every = s.snapshot_every;
+  spec.segment_entries = s.segment_entries;
+  if (s.scheduler == "sia") {
+    spec.round_deadline_ms = 0.0;
+  }
+
+  std::string error;
+  std::unique_ptr<sia::HostedCluster> host;
+  for (int attempt = 0; attempt < 100 && host == nullptr; ++attempt) {
+    host = sia::HostedCluster::Create(root, spec, &error);  // Retry is idempotent.
+  }
+  if (host == nullptr) {
+    *detail = "create never succeeded: " + error;
+    return false;
+  }
+
+  const std::set<int> crash_before(s.crash_before.begin(), s.crash_before.end());
+  int64_t next_seq = 1;  // Advances only when the engine applies the op.
+  for (size_t i = 0; i < s.ops.size(); ++i) {
+    if (faulted && crash_before.count(static_cast<int>(i)) > 0) {
+      host.reset();  // SIGKILL analog: no final snapshot, no graceful close.
+      host = sia::HostedCluster::Recover(root, "dz", &error);
+      if (host == nullptr) {
+        *detail = "cluster dropped by recovery before op " + std::to_string(i) + ": " + error;
+        return false;
+      }
+    }
+    const sia::JsonValue req = DiskOpFrame(s, s.ops[i], next_seq);
+    bool acked = false;
+    for (int attempt = 0; attempt < 500 && !acked; ++attempt) {
+      const std::string response = host->HandleRequest(req);
+      if (!ResponseWellFormed(response, detail)) {
+        *detail = "op " + std::to_string(i) + ": " + *detail;
+        return false;
+      }
+      sia::JsonValue parsed;
+      std::string parse_error;
+      sia::JsonValue::Parse(response, &parsed, &parse_error);
+      if (parsed.GetBool("ok", false)) {
+        acked = true;
+        ++next_seq;
+        break;
+      }
+      const std::string code = parsed.GetString("error", "");
+      if (code == sia::ToString(sia::ServiceError::kClusterDone)) {
+        // Stepping past completion auto-finalizes the sim; later mutations
+        // deterministically bounce off it in both passes. The bounce never
+        // consumed a seq, so the next op reuses it.
+        acked = true;
+        break;
+      }
+      if (code != sia::ToString(sia::ServiceError::kStorageUnavailable)) {
+        *detail = "op " + std::to_string(i) + " failed non-retryably: " + response;
+        return false;
+      }
+      if (!faulted) {
+        *detail = "op " + std::to_string(i) + " shed storage_unavailable in the clean pass";
+        return false;
+      }
+    }
+    if (!acked) {
+      *detail = "op " + std::to_string(i) + " never acked (cluster stuck degraded)";
+      return false;
+    }
+    if (s.ops[i].snapshot_after) {
+      std::string snap_error;
+      (void)host->Snapshot(&snap_error);  // Failure self-degrades; probes heal it.
+    }
+  }
+  return true;
+}
+
+// Reference pass (clean) + chaos pass (faults and crashes) + byte compare.
+bool RunDiskSeed(const DiskScenario& s, const std::string& work_root, std::string* detail,
+                 uint64_t* injected) {
+  const std::string ref_root = work_root + "/ref";
+  const std::string chaos_root = work_root + "/chaos";
+  if (!RunDiskPass(s, ref_root, /*faulted=*/false, detail)) {
+    *detail = "reference pass: " + *detail;
+    return false;
+  }
+  {
+    sia::FaultFileOpsOptions fault_options;
+    fault_options.period = s.fault_period;
+    fault_options.burst = s.fault_burst;
+    fault_options.seed = s.seed;
+    sia::FaultInjectingFileOps fault_ops(fault_options);
+    sia::SetFileOps(&fault_ops);
+    const bool ok = RunDiskPass(s, chaos_root, /*faulted=*/true, detail);
+    sia::SetFileOps(nullptr);  // Before fault_ops goes out of scope.
+    if (injected != nullptr) {
+      *injected = fault_ops.stats().injected;
+    }
+    if (!ok) {
+      *detail = "chaos pass: " + *detail;
+      return false;
+    }
+  }
+  for (const char* file : {"trace.jsonl", "results.csv", "metrics.json"}) {
+    const std::string ref_path = ref_root + "/dz/" + file;
+    const std::string chaos_path = chaos_root + "/dz/" + file;
+    std::string ref_bytes;
+    std::string chaos_bytes;
+    std::string read_error;
+    if (!sia::ReadFileToString(ref_path, &ref_bytes, &read_error)) {
+      *detail = "cannot read " + ref_path + ": " + read_error;
+      return false;
+    }
+    if (!sia::ReadFileToString(chaos_path, &chaos_bytes, &read_error)) {
+      *detail = "cannot read " + chaos_path + ": " + read_error;
+      return false;
+    }
+    if (ref_bytes != chaos_bytes) {
+      *detail = std::string(file) + " diverged under faults (" +
+                std::to_string(ref_bytes.size()) + " vs " + std::to_string(chaos_bytes.size()) +
+                " bytes)";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DiskScenarioToText(const DiskScenario& s) {
+  std::ostringstream out;
+  out << "disk_scenario v1\n";
+  out << "seed " << s.seed << "\n";
+  out << "scheduler " << s.scheduler << "\n";
+  out << "rate " << s.rate << "\n";
+  out << "hours " << s.hours << "\n";
+  out << "snapshot_every " << s.snapshot_every << "\n";
+  out << "segment_entries " << s.segment_entries << "\n";
+  out << "fault_period " << s.fault_period << "\n";
+  out << "fault_burst " << s.fault_burst << "\n";
+  out << "crash_before";
+  for (int c : s.crash_before) {
+    out << " " << c;
+  }
+  out << "\n";
+  for (const DiskOp& op : s.ops) {
+    if (op.kind == "submit") {
+      out << "op submit " << op.id << " " << op.model << " " << op.gpus;
+    } else if (op.kind == "step") {
+      out << "op step " << op.rounds;
+    } else {
+      out << "op finalize";
+    }
+    out << (op.snapshot_after ? " snapshot" : "") << "\n";
+  }
+  return out.str();
+}
+
+bool DiskScenarioFromText(const std::string& text, DiskScenario* s, std::string* error) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != "disk_scenario v1") {
+    *error = "not a disk_scenario v1 file";
+    return false;
+  }
+  s->ops.clear();
+  s->crash_before.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "seed") {
+      fields >> s->seed;
+    } else if (key == "scheduler") {
+      fields >> s->scheduler;
+    } else if (key == "rate") {
+      fields >> s->rate;
+    } else if (key == "hours") {
+      fields >> s->hours;
+    } else if (key == "snapshot_every") {
+      fields >> s->snapshot_every;
+    } else if (key == "segment_entries") {
+      fields >> s->segment_entries;
+    } else if (key == "fault_period") {
+      fields >> s->fault_period;
+    } else if (key == "fault_burst") {
+      fields >> s->fault_burst;
+    } else if (key == "crash_before") {
+      int c = 0;
+      while (fields >> c) {
+        s->crash_before.push_back(c);
+      }
+    } else if (key == "op") {
+      DiskOp op;
+      fields >> op.kind;
+      if (op.kind == "submit") {
+        fields >> op.id >> op.model >> op.gpus;
+      } else if (op.kind == "step") {
+        fields >> op.rounds;
+      } else if (op.kind != "finalize") {
+        *error = "unknown op kind: " + op.kind;
+        return false;
+      }
+      std::string tail;
+      if (fields >> tail && tail == "snapshot") {
+        op.snapshot_after = true;
+      }
+      s->ops.push_back(op);
+    } else {
+      *error = "unknown key: " + key;
+      return false;
+    }
+  }
+  if (s->ops.empty()) {
+    *error = "scenario has no ops";
+    return false;
+  }
+  return true;
+}
+
+// ddmin-style shrink: chunked op removal (halving chunk sizes), then crash
+// points, then softening the fault schedule -- keeping every candidate that
+// still fails the equivalence check.
+DiskScenario ShrinkDiskScenario(const DiskScenario& failing, const std::string& work_root,
+                                int max_evals, int* evals) {
+  DiskScenario best = failing;
+  auto still_fails = [&](const DiskScenario& candidate) {
+    if (*evals >= max_evals) {
+      return false;
+    }
+    ++*evals;
+    std::string detail;
+    return !RunDiskSeed(candidate, work_root, &detail, nullptr);
+  };
+
+  // Chunked op removal; the final op (finalize) is pinned so outputs exist.
+  size_t chunk = best.ops.size() / 2;
+  while (chunk >= 1 && *evals < max_evals) {
+    bool removed_any = false;
+    size_t at = 0;
+    while (at + 1 < best.ops.size() && *evals < max_evals) {
+      const size_t take = std::min(chunk, best.ops.size() - 1 - at);
+      if (take == 0) {
+        break;
+      }
+      DiskScenario candidate = best;
+      candidate.ops.erase(candidate.ops.begin() + static_cast<int64_t>(at),
+                          candidate.ops.begin() + static_cast<int64_t>(at + take));
+      std::vector<int> crashes;
+      for (int c : candidate.crash_before) {
+        const int shifted = c < static_cast<int>(at)          ? c
+                            : c >= static_cast<int>(at + take) ? c - static_cast<int>(take)
+                                                               : -1;  // Inside: drop.
+        if (shifted >= 1 && shifted < static_cast<int>(candidate.ops.size())) {
+          crashes.push_back(shifted);
+        }
+      }
+      candidate.crash_before = crashes;
+      if (still_fails(candidate)) {
+        best = candidate;
+        removed_any = true;
+      } else {
+        at += take;
+      }
+    }
+    if (!removed_any) {
+      chunk /= 2;
+    }
+  }
+  // Drop crash points one at a time.
+  size_t c = 0;
+  while (c < best.crash_before.size() && *evals < max_evals) {
+    DiskScenario candidate = best;
+    candidate.crash_before.erase(candidate.crash_before.begin() + static_cast<int64_t>(c));
+    if (still_fails(candidate)) {
+      best = candidate;
+    } else {
+      ++c;
+    }
+  }
+  // Soften the fault schedule while the failure persists.
+  while (*evals < max_evals) {
+    DiskScenario candidate = best;
+    if (candidate.fault_burst > 1) {
+      candidate.fault_burst /= 2;
+    } else if (candidate.fault_period < 1 << 12) {
+      candidate.fault_period *= 2;
+    } else {
+      break;
+    }
+    if (!still_fails(candidate)) {
+      break;
+    }
+    best = candidate;
+  }
+  return best;
+}
+
+int ReplayDiskFile(const std::string& path, const std::string& out_dir) {
+  std::string text;
+  std::string error;
+  if (!sia::ReadFileToString(path, &text, &error)) {
+    std::cerr << "sia_fuzz: cannot read " << path << ": " << error << "\n";
+    return 2;
+  }
+  DiskScenario s;
+  if (!DiskScenarioFromText(text, &s, &error)) {
+    std::cerr << "sia_fuzz: cannot parse " << path << ": " << error << "\n";
+    return 2;
+  }
+  std::cout << "replaying " << path << ": " << s.Describe() << "\n";
+  std::string detail;
+  uint64_t injected = 0;
+  const bool ok = RunDiskSeed(s, out_dir + "/sia_fuzz_disk_replay", &detail, &injected);
+  std::cout << (ok ? "ok   " : "FAIL ") << s.Describe() << " (" << injected
+            << " injected faults)" << (ok ? "" : ": " + detail) << "\n";
+  return ok ? 0 : 1;
+}
+
+int RunDiskFuzz(int64_t seeds, int64_t start_seed, const std::string& out_dir, bool shrink,
+                bool verbose) {
+  const std::string work_root = out_dir + "/sia_fuzz_disk";
+  int failures = 0;
+  for (int64_t i = 0; i < seeds; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(start_seed + i);
+    const DiskScenario scenario = GenerateDiskScenario(seed);
+    std::string detail;
+    uint64_t injected = 0;
+    const bool ok = RunDiskSeed(scenario, work_root, &detail, &injected);
+    if (verbose || !ok) {
+      std::cout << (ok ? "ok   " : "FAIL ") << scenario.Describe() << " (" << injected
+                << " injected faults)" << (ok ? "" : ": " + detail) << "\n";
+    }
+    if (ok) {
+      continue;
+    }
+    ++failures;
+    DiskScenario minimal = scenario;
+    if (shrink) {
+      int evals = 0;
+      minimal = ShrinkDiskScenario(scenario, work_root, /*max_evals=*/40, &evals);
+      std::cout << "shrunk after " << evals << " evaluations: " << minimal.Describe() << "\n";
+    }
+    const std::string path =
+        out_dir + "/sia_fuzz_disk_repro_seed" + std::to_string(seed) + ".txt";
+    std::string write_error;
+    if (sia::AtomicWriteFile(path, DiskScenarioToText(minimal), &write_error)) {
+      std::cout << "reproducer written to " << path << " (replay with --disk-replay=" << path
+                << ")\n";
+    } else {
+      std::cerr << "sia_fuzz: failed to write " << path << ": " << write_error << "\n";
+    }
+  }
+  std::error_code ec;
+  if (failures == 0) {
+    std::filesystem::remove_all(work_root, ec);  // Keep state dirs on failure.
+  }
+  std::cout << "disk fuzz: " << seeds << " scenario(s), " << failures << " failure(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
 struct FuzzStats {
   int scenarios = 0;
   int failures = 0;
@@ -566,6 +1073,8 @@ int main(int argc, char** argv) {
   const int64_t frame_seeds = flags.GetInt("frame-seeds", 0);
   const std::string frame_replay = flags.GetString("frame-replay", "");
   const int64_t service_episodes = flags.GetInt("service-episodes", 0);
+  const int64_t disk_seeds = flags.GetInt("disk-seeds", 0);
+  const std::string disk_replay = flags.GetString("disk-replay", "");
   const bool verbose = flags.GetBool("verbose", false);
   if (flags.Has("help")) {
     std::cout << kUsage;
@@ -591,6 +1100,9 @@ int main(int argc, char** argv) {
   if (!frame_replay.empty()) {
     return ReplayFrameFile(frame_replay);
   }
+  if (!disk_replay.empty()) {
+    return ReplayDiskFile(disk_replay, out_dir);
+  }
   if (!scheduler.empty() && !sia::testing::KnownScheduler(scheduler)) {
     std::cerr << "sia_fuzz: unknown scheduler " << scheduler << "\n";
     return 2;
@@ -607,6 +1119,11 @@ int main(int argc, char** argv) {
     const int rc = RunServiceEpisodes(service_episodes, start_seed, out_dir, verbose);
     if (rc != 0) {
       exit_code = std::max(exit_code, rc == 2 ? 2 : 1);
+    }
+  }
+  if (disk_seeds > 0) {
+    if (RunDiskFuzz(disk_seeds, start_seed, out_dir, shrink, verbose) != 0) {
+      exit_code = 1;
     }
   }
 

@@ -12,15 +12,31 @@
 //   {"op":"step_round","cluster":"c1","client":"me","seq":3,
 //    "rounds":10,"deadline_ms":0}
 //   {"op":"query","cluster":"c1"}        {"op":"telemetry","cluster":"c1"}
-//   {"op":"list_clusters"}  {"op":"server_stats"}  {"op":"shutdown"}
+//   {"op":"list_clusters"}  {"op":"server_stats"}  {"op":"server_info"}
+//   {"op":"shutdown"}       {"op":"begin_upgrade"[,"binary":"/path"]}
 //
 // The daemon survives SIGKILL: every acknowledged mutation is in a fsynced
 // write-ahead journal, a watchdog snapshots hosted clusters, and startup
 // recovers every cluster found under --state-dir (see src/service/engine.h).
+//
+// Zero-downtime upgrade (ISSUE 10): `begin_upgrade` quiesces and snapshots
+// every cluster, then this main() exec()s the (possibly new) binary with
+// the listening socket kept open via --upgrade-fd. Clients queued in the
+// accept backlog during the exec window are served by the new generation.
+//
+// Storage-fault injection (soak/chaos testing only): --disk-fault-period=P
+// with --disk-fault-burst=B fails every durable-write syscall whose global
+// op index falls in [k*P, k*P+B), exercising the degraded read-only mode
+// and journal quarantine paths end to end.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "src/common/fault_file_ops.h"
 #include "src/common/flags.h"
 #include "src/service/server.h"
 
@@ -35,6 +51,10 @@ constexpr char kUsage[] = R"(usage: sia_serve [flags]
   --frame-timeout-ms N  per-frame read timeout           (default 10000)
   --request-timeout-ms N  per-request handling deadline  (default 120000)
   --watchdog-ms N       snapshot sweep interval          (default 2000)
+  --upgrade-fd N        inherited listening socket (upgrade handoff; internal)
+  --disk-fault-period N fail durable writes every N ops  (default 0 = off)
+  --disk-fault-burst N  consecutive failures per period  (default 1)
+  --disk-fault-seed N   seed for the fault schedule      (default 1)
 )";
 
 sia::SiaServer* g_server = nullptr;
@@ -46,6 +66,35 @@ void HandleSignal(int) {
     // recovery is the journal's job, not this handler's.
     g_server->Stop();
   }
+}
+
+// Re-exec for a zero-downtime upgrade: same argv minus any old --upgrade-fd,
+// plus the preserved listen fd. Only returns on exec failure.
+void ExecNextGeneration(int argc, char** argv, const std::string& binary, int listen_fd) {
+  // The listen fd must survive the exec; everything else in the process is
+  // O_CLOEXEC (journal segments) or already closed (the server object and
+  // its connections were destroyed before this call).
+  const int fd_flags = ::fcntl(listen_fd, F_GETFD);
+  if (fd_flags >= 0) {
+    ::fcntl(listen_fd, F_SETFD, fd_flags & ~FD_CLOEXEC);
+  }
+  std::vector<std::string> args;
+  args.push_back(binary.empty() ? argv[0] : binary);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--upgrade-fd", 0) == 0) {
+      continue;  // Stale fd number from the previous handoff.
+    }
+    args.push_back(argv[i]);
+  }
+  args.push_back("--upgrade-fd=" + std::to_string(listen_fd));
+  std::vector<char*> exec_argv;
+  for (std::string& arg : args) {
+    exec_argv.push_back(arg.data());
+  }
+  exec_argv.push_back(nullptr);
+  ::execv(exec_argv[0], exec_argv.data());
+  std::cerr << "upgrade exec of " << exec_argv[0] << " failed: " << strerror(errno)
+            << "\n";
 }
 
 }  // namespace
@@ -73,6 +122,10 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("request-timeout-ms", options.request_timeout_ms));
   options.watchdog_interval_ms =
       static_cast<int>(flags.GetInt("watchdog-ms", options.watchdog_interval_ms));
+  options.inherited_listen_fd = static_cast<int>(flags.GetInt("upgrade-fd", -1));
+  const int fault_period = static_cast<int>(flags.GetInt("disk-fault-period", 0));
+  const int fault_burst = static_cast<int>(flags.GetInt("disk-fault-burst", 1));
+  const uint64_t fault_seed = static_cast<uint64_t>(flags.GetInt("disk-fault-seed", 1));
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown << "\n" << kUsage;
     return 2;
@@ -82,20 +135,54 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  sia::SiaServer server(options);
-  std::string error;
-  if (!server.Start(&error)) {
-    std::cerr << "failed to start: " << error << "\n";
-    return 1;
+  // Installed before any server thread exists and never uninstalled (the
+  // seam must outlive every durable write, including destructor-time ones).
+  static sia::FaultInjectingFileOps* fault_ops = nullptr;
+  if (fault_period > 0) {
+    sia::FaultFileOpsOptions fault_options;
+    fault_options.period = fault_period;
+    fault_options.burst = fault_burst;
+    fault_options.seed = fault_seed;
+    fault_ops = new sia::FaultInjectingFileOps(fault_options);
+    sia::SetFileOps(fault_ops);
+    std::cout << "sia_serve: disk-fault injection on (period=" << fault_period
+              << " burst=" << fault_burst << " seed=" << fault_seed << ")" << std::endl;
   }
-  g_server = &server;
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
 
-  std::cout << "sia_serve listening on " << options.listen << " (state in "
-            << options.state_dir << ", " << server.num_clusters()
-            << " clusters recovered)" << std::endl;
-  server.Wait();
+  // The server lives in a scope so a requested upgrade fully destroys it --
+  // closing every journal fd, trace sink, and connection -- before exec()
+  // replaces the process image.
+  bool upgrade = false;
+  std::string upgrade_binary;
+  int upgrade_listen_fd = -1;
+  {
+    sia::SiaServer server(options);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::cerr << "failed to start: " << error << "\n";
+      return 1;
+    }
+    g_server = &server;
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+
+    std::cout << "sia_serve listening on " << options.listen << " (state in "
+              << options.state_dir << ", " << server.num_clusters()
+              << " clusters recovered)" << std::endl;
+    server.Wait();
+    g_server = nullptr;
+    upgrade = server.upgrade_requested();
+    if (upgrade) {
+      upgrade_binary = server.upgrade_binary();
+      upgrade_listen_fd = server.TakeUpgradeListenFd();
+    }
+  }
+  if (upgrade && upgrade_listen_fd >= 0) {
+    std::cout << "sia_serve upgrading in place" << std::endl;
+    ExecNextGeneration(argc, argv, upgrade_binary, upgrade_listen_fd);
+    ::close(upgrade_listen_fd);
+    return 1;  // exec failed; the old generation is gone either way.
+  }
   std::cout << "sia_serve stopped" << std::endl;
   return 0;
 }

@@ -78,6 +78,11 @@ serve mode:
   --kills      server SIGKILLs during the chaos pass           (default 3)
   --min-kill-ms / --max-kill-ms  delay range between kills     (default 150/500)
   --rate / --hours  workload arrival rate and trace window     (default 20/5)
+  --upgrades   zero-downtime begin_upgrade requests injected
+               mid-traffic during the chaos pass               (default 0)
+  --disk-fault-period / --disk-fault-burst / --disk-fault-seed
+               storage-fault injection for the chaos-pass server only:
+               every N durable-write ops, fail a burst of B    (default 0 = off)
 shared:
   --seed       seed for kill points and restart-backoff jitter (default 1)
   --max-restarts  unexpected failures tolerated per phase      (default 5)
@@ -197,6 +202,11 @@ struct SoakConfig {
   int max_restarts = 5;
   int backoff_ms = 100;
   int backoff_cap_ms = 2000;
+  // Chaos-pass extras (reference pass always runs clean).
+  int upgrades = 0;           // Mid-traffic zero-downtime begin_upgrade count.
+  int disk_fault_period = 0;  // 0 = no storage-fault injection.
+  int disk_fault_burst = 1;
+  uint64_t disk_fault_seed = 1;
 };
 
 std::string SoakClusterName(int index) { return "soak" + std::to_string(index); }
@@ -396,20 +406,47 @@ bool AwaitServerReady(const std::string& socket) {
 }
 
 std::vector<std::string> ServeArgv(const SoakConfig& cfg, const std::string& socket,
-                                   const std::string& state_dir) {
-  return {cfg.serve_binary, "--listen=unix:" + socket, "--state-dir=" + state_dir};
+                                   const std::string& state_dir, bool with_faults) {
+  std::vector<std::string> argv = {cfg.serve_binary, "--listen=unix:" + socket,
+                                   "--state-dir=" + state_dir};
+  if (with_faults && cfg.disk_fault_period > 0) {
+    // Chaos pass only: the server journals/snapshots through a fault-
+    // injecting filesystem seam. The flags survive in-place upgrades too --
+    // sia_serve re-execs with its own argv.
+    argv.push_back("--disk-fault-period=" + std::to_string(cfg.disk_fault_period));
+    argv.push_back("--disk-fault-burst=" + std::to_string(cfg.disk_fault_burst));
+    argv.push_back("--disk-fault-seed=" + std::to_string(cfg.disk_fault_seed));
+  }
+  return argv;
+}
+
+// Asks the server for its storage-health report; fills `sheds_total` and
+// `degraded_clusters`. Returns false when server_info is unreachable.
+bool QueryStorageHealth(const std::string& socket, double* sheds_total,
+                        double* degraded_clusters) {
+  sia::ServiceClient client(MakeClientOptions(socket, "soak-health", 1));
+  sia::JsonValue req = sia::JsonValue::MakeObject();
+  req.Set("op", sia::JsonValue::MakeString("server_info"));
+  const sia::ClientResult result = client.Call(std::move(req));
+  if (!result.ok) {
+    return false;
+  }
+  *sheds_total = result.response.GetNumber("storage_sheds_total", 0.0);
+  *degraded_clusters = result.response.GetNumber("degraded_clusters", -1.0);
+  return true;
 }
 
 // Runs one full soak pass. When `kills` > 0 a killer thread SIGKILLs the
 // server at seeded random instants and restarts it with jittered backoff.
 // Returns 0/1/3 like main().
 int RunSoakPass(const SoakConfig& cfg, const std::string& label, const std::string& socket,
-                const std::string& state_dir, int kills, sia::Rng* rng) {
+                const std::string& state_dir, int kills, int upgrades, bool with_faults,
+                sia::Rng* rng) {
   std::error_code ec;
   std::filesystem::remove_all(state_dir, ec);
   std::filesystem::remove(socket, ec);
 
-  std::atomic<pid_t> server_pid{SpawnChild(ServeArgv(cfg, socket, state_dir))};
+  std::atomic<pid_t> server_pid{SpawnChild(ServeArgv(cfg, socket, state_dir, with_faults))};
   if (server_pid.load() < 0) {
     std::cerr << "[soak] failed to spawn " << cfg.serve_binary << "\n";
     return kExitFailure;
@@ -447,7 +484,7 @@ int RunSoakPass(const SoakConfig& cfg, const std::string& label, const std::stri
           const int64_t backoff =
               BackoffWithJitterMs(attempt, cfg.backoff_ms, cfg.backoff_cap_ms, rng);
           std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
-          const pid_t next = SpawnChild(ServeArgv(cfg, socket, state_dir));
+          const pid_t next = SpawnChild(ServeArgv(cfg, socket, state_dir, with_faults));
           if (next >= 0 && AwaitServerReady(socket)) {
             server_pid.store(next);
             restarted = true;
@@ -469,10 +506,49 @@ int RunSoakPass(const SoakConfig& cfg, const std::string& label, const std::stri
     });
   }
 
+  // Mid-traffic zero-downtime upgrades: begin_upgrade drains + snapshots the
+  // server, which then exec()s itself in place (same pid, same listen fd),
+  // so unlike SIGKILL there is nothing to waitpid or respawn -- clients
+  // queued during the exec window ride straight into the new generation.
+  std::thread upgrader;
+  std::atomic<int> upgrades_done{0};
+  if (upgrades > 0) {
+    upgrader = std::thread([&] {
+      for (int u = 0; u < upgrades && !traffic_done.load(); ++u) {
+        const int64_t delay_ms = rng->UniformInt(cfg.min_kill_ms, cfg.max_kill_ms);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms);
+        while (std::chrono::steady_clock::now() < deadline && !traffic_done.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (traffic_done.load()) {
+          break;
+        }
+        std::cout << "[soak] " << label << ": begin_upgrade (upgrade " << (u + 1) << "/"
+                  << upgrades << ")\n";
+        {
+          sia::ServiceClient client(
+              MakeClientOptions(socket, "soak-upgrade" + std::to_string(u), cfg.seed + u));
+          sia::JsonValue req = sia::JsonValue::MakeObject();
+          req.Set("op", sia::JsonValue::MakeString("begin_upgrade"));
+          client.Call(std::move(req));  // A lost response still upgrades.
+        }
+        if (!AwaitServerReady(socket)) {
+          std::cerr << "[soak] server never came back after upgrade " << (u + 1) << "\n";
+          return;
+        }
+        upgrades_done.fetch_add(1);
+      }
+    });
+  }
+
   const bool traffic_ok = DriveSoakTraffic(cfg, socket);
   traffic_done.store(true);
   if (killer.joinable()) {
     killer.join();
+  }
+  if (upgrader.joinable()) {
+    upgrader.join();
   }
   if (killer_exit.load() != 0) {
     std::cerr << "[soak] " << label << ": restart cap exhausted\n";
@@ -483,6 +559,30 @@ int RunSoakPass(const SoakConfig& cfg, const std::string& label, const std::stri
     std::cerr << "[soak] " << label << ": traffic failed\n";
     ReapServer(server_pid.load());
     return kExitFailure;
+  }
+  if (upgrades > 0) {
+    std::cout << "[soak] " << label << ": " << upgrades_done.load() << "/" << upgrades
+              << " zero-downtime upgrades completed under traffic\n";
+  }
+  if (with_faults && cfg.disk_fault_period > 0) {
+    // The faulted pass must actually have exercised degraded mode: typed
+    // storage_unavailable sheds prove the error taxonomy end to end, and
+    // zero degraded clusters at completion proves the probe path healed.
+    double sheds = 0.0;
+    double degraded = -1.0;
+    if (!QueryStorageHealth(socket, &sheds, &degraded)) {
+      std::cerr << "[soak] " << label << ": server_info unavailable\n";
+      ReapServer(server_pid.load());
+      return kExitFailure;
+    }
+    std::cout << "[soak] " << label << ": " << sheds << " storage sheds, " << degraded
+              << " clusters still degraded\n";
+    if (sheds <= 0.0 || degraded != 0.0) {
+      std::cerr << "[soak] " << label
+                << ": expected >0 storage_unavailable sheds and 0 degraded clusters\n";
+      ReapServer(server_pid.load());
+      return kExitFailure;
+    }
   }
   if (!ShutdownServer(socket, server_pid.load())) {
     std::cerr << "[soak] " << label << ": server did not shut down cleanly\n";
@@ -538,12 +638,16 @@ int RunServeSoak(const SoakConfig& cfg) {
   sia::Rng rng = sia::Rng(cfg.seed).Fork("supervise-soak", 0);
   std::cout << "[soak] reference pass: " << cfg.clients << " clients x " << cfg.clusters
             << " clusters x " << cfg.rounds << " rounds\n";
-  int rc = RunSoakPass(cfg, "reference", socket, ref_state, /*kills=*/0, &rng);
+  int rc = RunSoakPass(cfg, "reference", socket, ref_state, /*kills=*/0, /*upgrades=*/0,
+                       /*with_faults=*/false, &rng);
   if (rc != 0) {
     return rc;
   }
-  std::cout << "[soak] chaos pass: same traffic + " << cfg.kills << " server SIGKILLs\n";
-  rc = RunSoakPass(cfg, "chaos", socket, chaos_state, cfg.kills, &rng);
+  std::cout << "[soak] chaos pass: same traffic + " << cfg.kills << " server SIGKILLs + "
+            << cfg.upgrades << " upgrades"
+            << (cfg.disk_fault_period > 0 ? " + disk faults" : "") << "\n";
+  rc = RunSoakPass(cfg, "chaos", socket, chaos_state, cfg.kills, cfg.upgrades,
+                   /*with_faults=*/true, &rng);
   if (rc != 0) {
     return rc;
   }
@@ -602,6 +706,10 @@ int main(int argc, char** argv) {
   const int max_kill_ms = static_cast<int>(flags.GetInt("max-kill-ms", 500));
   const double rate = flags.GetDouble("rate", 20.0);
   const double hours = flags.GetDouble("hours", 5.0);
+  const int upgrades = static_cast<int>(flags.GetInt("upgrades", 0));
+  const int disk_fault_period = static_cast<int>(flags.GetInt("disk-fault-period", 0));
+  const int disk_fault_burst = static_cast<int>(flags.GetInt("disk-fault-burst", 1));
+  const uint64_t disk_fault_seed = static_cast<uint64_t>(flags.GetInt("disk-fault-seed", 1));
   for (const std::string& unknown : flags.UnknownFlags()) {
     std::cerr << "unknown flag --" << unknown << "\n" << kUsage;
     return kExitUsage;
@@ -627,8 +735,13 @@ int main(int argc, char** argv) {
     cfg.max_restarts = max_restarts;
     cfg.backoff_ms = backoff_ms;
     cfg.backoff_cap_ms = backoff_cap_ms;
+    cfg.upgrades = upgrades;
+    cfg.disk_fault_period = disk_fault_period;
+    cfg.disk_fault_burst = disk_fault_burst;
+    cfg.disk_fault_seed = disk_fault_seed;
     if (cfg.clients < 1 || cfg.clusters < 1 || cfg.rounds < 1 || cfg.min_kill_ms < 1 ||
-        cfg.max_kill_ms < cfg.min_kill_ms) {
+        cfg.max_kill_ms < cfg.min_kill_ms || cfg.upgrades < 0 || cfg.disk_fault_period < 0 ||
+        cfg.disk_fault_burst < 1) {
       std::cerr << "invalid soak configuration\n" << kUsage;
       return kExitUsage;
     }
